@@ -1,0 +1,27 @@
+//! Calibration check: dedicated runtimes and MPI fractions per benchmark.
+use pskel_apps::{Class, NasBenchmark};
+use pskel_mpi::{run_mpi, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement};
+
+fn main() {
+    let classes = [Class::S, Class::B];
+    for b in NasBenchmark::ALL {
+        for class in classes {
+            let out = run_mpi(
+                ClusterSpec::paper_testbed(),
+                Placement::round_robin(4, 4),
+                &b.full_name(class),
+                TraceConfig::on(),
+                b.program(class),
+            );
+            let trace = out.trace.as_ref().unwrap();
+            println!(
+                "{:6} total={:9.3}s mpi%={:5.1} events/rank={:?}",
+                b.full_name(class),
+                out.total_secs(),
+                100.0 * trace.mpi_fraction(),
+                trace.procs.iter().map(|p| p.n_events()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

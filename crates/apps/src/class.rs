@@ -1,0 +1,135 @@
+//! NAS problem classes.
+//!
+//! Class B is the paper's measurement class (30–900 s on 4 nodes of the
+//! testbed); Class S is the sub-second "sample" class the paper uses as a
+//! manually-generated-skeleton baseline. W and A interpolate. The absolute
+//! constants are calibrated to the simulated testbed, not the original
+//! machines — the paper's evaluation depends on the *relative* structure
+//! (see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// NAS problem class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Sample size: runs in well under a second; latency-dominated.
+    S,
+    /// Workstation size.
+    W,
+    /// Small production size.
+    A,
+    /// The paper's measurement size.
+    B,
+}
+
+impl Class {
+    pub const ALL: [Class; 4] = [Class::S, Class::W, Class::A, Class::B];
+
+    /// Multiplier on per-iteration computation relative to Class B.
+    pub fn compute_factor(self) -> f64 {
+        match self {
+            Class::S => 1.0 / 2000.0,
+            Class::W => 1.0 / 64.0,
+            Class::A => 1.0 / 4.0,
+            Class::B => 1.0,
+        }
+    }
+
+    /// Multiplier on message sizes relative to Class B.
+    pub fn bytes_factor(self) -> f64 {
+        match self {
+            Class::S => 1.0 / 500.0,
+            Class::W => 1.0 / 16.0,
+            Class::A => 1.0 / 2.0,
+            Class::B => 1.0,
+        }
+    }
+
+    /// Multiplier on iteration counts relative to Class B. Real NAS classes
+    /// mostly change data size, but the sample class also runs far fewer
+    /// iterations.
+    pub fn steps_factor(self) -> f64 {
+        match self {
+            Class::S => 0.1,
+            Class::W => 0.25,
+            Class::A => 0.5,
+            Class::B => 1.0,
+        }
+    }
+
+    /// Scale a Class-B byte count.
+    pub fn bytes(self, class_b: u64) -> u64 {
+        ((class_b as f64 * self.bytes_factor()).round() as u64).max(1)
+    }
+
+    /// Scale a Class-B compute duration.
+    pub fn compute(self, class_b_secs: f64) -> f64 {
+        class_b_secs * self.compute_factor()
+    }
+
+    /// Scale a Class-B iteration count.
+    pub fn steps(self, class_b: u64) -> u64 {
+        ((class_b as f64 * self.steps_factor()).round() as u64).max(1)
+    }
+}
+
+impl std::str::FromStr for Class {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Class, String> {
+        match s {
+            "S" | "s" => Ok(Class::S),
+            "W" | "w" => Ok(Class::W),
+            "A" | "a" => Ok(Class::A),
+            "B" | "b" => Ok(Class::B),
+            other => Err(format!("unknown class {other:?}; expected S, W, A or B")),
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_b_is_identity() {
+        assert_eq!(Class::B.bytes(1000), 1000);
+        assert_eq!(Class::B.compute(2.0), 2.0);
+        assert_eq!(Class::B.steps(200), 200);
+    }
+
+    #[test]
+    fn class_s_is_tiny_but_nonzero() {
+        assert_eq!(Class::S.bytes(100), 1, "clamped at one byte");
+        assert!(Class::S.compute(1.0) < 1e-3);
+        assert_eq!(Class::S.steps(200), 20);
+    }
+
+    #[test]
+    fn factors_are_monotone() {
+        for pair in Class::ALL.windows(2) {
+            assert!(pair[0].compute_factor() < pair[1].compute_factor());
+            assert!(pair[0].bytes_factor() < pair[1].bytes_factor());
+            assert!(pair[0].steps_factor() <= pair[1].steps_factor());
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Class::B.to_string(), "B");
+        assert_eq!(Class::S.to_string(), "S");
+    }
+}

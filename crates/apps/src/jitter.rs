@@ -1,0 +1,124 @@
+//! Deterministic execution-time variability for the synthetic benchmarks.
+//!
+//! Real applications never repeat an iteration exactly: compute durations
+//! drift with data-dependent branches and cache state, ranks are slightly
+//! imbalanced, and data-dependent message sizes (IS's bucket sizes) vary
+//! per iteration. This variability is what makes skeleton construction
+//! non-trivial — clustering has to average it (τ > 0) and the paper traces
+//! the resulting prediction error back to exactly this averaging (§4.4).
+//!
+//! All randomness is drawn from ChaCha streams seeded by (app, class,
+//! rank), so every run of the same workload performs the identical demand
+//! sequence: traces, dedicated runs and scenario runs stay comparable.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-rank deterministic variability source.
+#[derive(Clone, Debug)]
+pub struct Jitter {
+    rng: ChaCha8Rng,
+    /// Relative standard deviation of compute durations.
+    sigma: f64,
+    /// Fixed multiplicative imbalance of this rank.
+    rank_factor: f64,
+}
+
+impl Jitter {
+    /// `imbalance` is the +/- relative spread of fixed per-rank speed
+    /// differences; `sigma` the per-call relative jitter.
+    pub fn new(seed: u64, rank: usize, sigma: f64, imbalance: f64) -> Jitter {
+        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0,1), got {sigma}");
+        assert!((0.0..1.0).contains(&imbalance), "imbalance must be in [0,1)");
+        // A fixed, deterministic per-rank factor in [1-imb, 1+imb].
+        let h = (rank as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        let rank_factor = 1.0 + imbalance * (2.0 * unit - 1.0);
+        let rng = ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x517c_c1b7));
+        Jitter { rng, sigma, rank_factor }
+    }
+
+    /// A jittered compute duration around `base` seconds.
+    pub fn compute_secs(&mut self, base: f64) -> f64 {
+        let z = self.standard_normal();
+        (base * self.rank_factor * (1.0 + self.sigma * z)).max(0.0)
+    }
+
+    /// A jittered byte count around `base` with relative spread `rel`.
+    pub fn bytes(&mut self, base: u64, rel: f64) -> u64 {
+        let z = self.standard_normal();
+        ((base as f64 * (1.0 + rel * z)).round() as i64).max(1) as u64
+    }
+
+    /// The fixed imbalance factor of this rank.
+    pub fn rank_factor(&self) -> f64 {
+        self.rank_factor
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        // Box-Muller.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_rank() {
+        let mut a = Jitter::new(7, 2, 0.05, 0.03);
+        let mut b = Jitter::new(7, 2, 0.05, 0.03);
+        for _ in 0..10 {
+            assert_eq!(a.compute_secs(1.0), b.compute_secs(1.0));
+        }
+        let mut c = Jitter::new(7, 3, 0.05, 0.03);
+        assert_ne!(a.compute_secs(1.0), c.compute_secs(1.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_rank_factor_only() {
+        let mut j = Jitter::new(1, 0, 0.0, 0.0);
+        assert_eq!(j.compute_secs(2.0), 2.0);
+        assert_eq!(j.rank_factor(), 1.0);
+    }
+
+    #[test]
+    fn jitter_stays_near_base() {
+        let mut j = Jitter::new(42, 1, 0.02, 0.0);
+        let n = 1000;
+        let mean: f64 = (0..n).map(|_| j.compute_secs(1.0)).sum::<f64>() / n as f64;
+        assert!((mean - j.rank_factor()).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn rank_factors_spread_within_bounds() {
+        for r in 0..16 {
+            let j = Jitter::new(0, r, 0.0, 0.05);
+            let f = j.rank_factor();
+            assert!((0.95..=1.05).contains(&f), "rank {r} factor {f}");
+        }
+        // Not all equal.
+        let f0 = Jitter::new(0, 0, 0.0, 0.05).rank_factor();
+        let f1 = Jitter::new(0, 1, 0.0, 0.05).rank_factor();
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn byte_jitter_never_hits_zero() {
+        let mut j = Jitter::new(5, 0, 0.0, 0.0);
+        for _ in 0..100 {
+            assert!(j.bytes(2, 0.9) >= 1);
+        }
+    }
+
+    #[test]
+    fn compute_never_negative() {
+        let mut j = Jitter::new(5, 0, 0.5, 0.0);
+        for _ in 0..1000 {
+            assert!(j.compute_secs(0.001) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # pskel-apps — workloads for the skeleton evaluation
+//!
+//! Pattern-faithful re-implementations of the six NAS Parallel Benchmarks
+//! the paper evaluates (BT, CG, IS, LU, MG, SP) in classes S/W/A/B, plus
+//! small synthetic applications for examples and tests.
+//!
+//! See `DESIGN.md` for the substitution argument: the skeleton pipeline
+//! observes only the MPI interface, so these workloads reproduce each
+//! benchmark's communication structure and compute/communication balance,
+//! not its numerics.
+
+pub mod class;
+pub mod jitter;
+pub mod nas;
+pub mod synthetic;
+
+pub use class::Class;
+pub use jitter::Jitter;
+pub use nas::NasBenchmark;

@@ -1,0 +1,52 @@
+//! CG — Conjugate Gradient.
+//!
+//! The dominant structure is the *inner* solver iteration, repeated
+//! hundreds of times: a matrix-vector product whose halves are exchanged
+//! with the transpose partner, followed by two dot-product allreduces.
+//! Outer iterations add an extra norm reduction. Because the repeating unit
+//! is so short, CG admits the smallest "good" skeletons of the suite
+//! (paper Figure 4: 0.13 s).
+
+use super::exchange;
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0xC6_0001;
+const TAG_TRANSPOSE: u64 = 30;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let n = comm.size();
+    assert!(n.is_power_of_two() && n >= 2, "CG requires a power-of-two rank count");
+    let me = comm.rank();
+    let partner = me ^ 1;
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let outer = class.steps(25);
+    let inner = 30u64;
+    let vec_bytes = class.bytes(1_200_000);
+    let comp_matvec = class.compute(0.115);
+    let comp_outer = class.compute(0.05);
+
+    // Initialization: sparse matrix generation.
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(1.5)));
+    comm.barrier();
+
+    for _ in 0..outer {
+        for _ in 0..inner {
+            // Matrix-vector product with transpose exchange.
+            comm.compute(jit.compute_secs(comp_matvec));
+            exchange(comm, partner, TAG_TRANSPOSE, vec_bytes);
+            // rho and alpha dot products.
+            comm.allreduce(8);
+            comm.allreduce(8);
+        }
+        // Residual norm at the end of each outer iteration.
+        comm.compute(jit.compute_secs(comp_outer));
+        comm.allreduce(8);
+    }
+
+    comm.reduce(0, 8);
+    comm.barrier();
+}

@@ -1,0 +1,36 @@
+//! EP — Embarrassingly Parallel (extension beyond the paper's six codes).
+//!
+//! Gaussian-pair generation with essentially no communication: a long
+//! independent compute phase per rank, a handful of small allreduces to
+//! combine counts at the end. The extreme compute-bound case: its skeleton
+//! is almost pure busy loop, and any prediction method that captures CPU
+//! availability alone should do well — a useful control workload.
+
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0xE9_0001;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let me = comm.rank();
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    // EP splits the sample space evenly; blocks let the trace show a
+    // (compute-only) loop structure.
+    let blocks = class.steps(64);
+    let comp_block = class.compute(2.5);
+
+    comm.bcast(0, 64);
+    comm.barrier();
+
+    for _ in 0..blocks {
+        comm.compute(jit.compute_secs(comp_block));
+    }
+
+    // Combine the ten Gaussian-annulus counts and the checksums.
+    comm.allreduce(80);
+    comm.allreduce(16);
+    comm.reduce(0, 8);
+    comm.barrier();
+}

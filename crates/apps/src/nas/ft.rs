@@ -1,0 +1,47 @@
+//! FT — 3-D FFT (extension beyond the paper's six codes).
+//!
+//! Each timestep evolves the spectrum and performs a distributed 3-D FFT:
+//! two local 1-D FFT passes and a global transpose, which on a slab
+//! decomposition is one large all-to-all per step. Bandwidth-hungry like
+//! IS, but with a much higher compute share — a stress case for skeletons
+//! under network sharing.
+
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0xF7_0001;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let n = comm.size();
+    assert!(n >= 2, "FT requires at least 2 ranks");
+    let me = comm.rank();
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let steps = class.steps(20);
+    // Transpose block per (src,dst) pair: grid bytes / n^2; sized so the
+    // Class-B all-to-all moves serious data (0.5 GB total per step on 4
+    // ranks would be oversized for the testbed; 16 MB/pair ≈ 190 ms).
+    let pair_bytes = class.bytes(16_000_000);
+    let comp_ffts = class.compute(1.4);
+    let comp_evolve = class.compute(0.4);
+
+    // Initialization: index map + initial conditions.
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(1.5)));
+    comm.barrier();
+
+    for _ in 0..steps {
+        // Evolve in frequency space, then the local FFT passes.
+        comm.compute(jit.compute_secs(comp_evolve));
+        comm.compute(jit.compute_secs(comp_ffts));
+        // Global transpose.
+        comm.alltoall(pair_bytes);
+        // Final local pass + checksum reduction.
+        comm.compute(jit.compute_secs(comp_ffts * 0.4));
+        comm.allreduce(16);
+    }
+
+    comm.reduce(0, 16);
+    comm.barrier();
+}

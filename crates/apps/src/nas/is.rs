@@ -1,0 +1,51 @@
+//! IS — Integer Sort.
+//!
+//! Few iterations; each performs a cheap local ranking step, a bucket-size
+//! allreduce, and then the benchmark's signature operation: a huge
+//! all-to-all key redistribution (about half the execution time goes to
+//! MPI). Key distributions are data dependent, so the per-destination
+//! counts jitter from iteration to iteration — the clustering stage has to
+//! raise its similarity threshold to fold these (paper §3.2).
+//!
+//! The single large transfer per iteration is why IS has the *largest*
+//! minimum good skeleton of the suite (paper Figure 4: 3 s out of ~30 s):
+//! a skeleton must include at least one full all-to-all.
+
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0x15_0001;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let n = comm.size();
+    assert!(n >= 2, "IS requires at least 2 ranks");
+    let me = comm.rank();
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let iters = class.steps(10);
+    let pair_bytes = class.bytes(48_000_000);
+    let bucket_bytes = class.bytes(4096);
+    let comp_rank = class.compute(1.4);
+
+    // Initialization: key generation.
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(0.8)));
+    comm.barrier();
+
+    for _ in 0..iters {
+        // Local ranking.
+        comm.compute(jit.compute_secs(comp_rank));
+        // Bucket size exchange.
+        comm.allreduce(bucket_bytes);
+        // Key redistribution: data-dependent per-destination counts.
+        let counts: Vec<u64> = (0..n).map(|_| jit.bytes(pair_bytes, 0.02)).collect();
+        comm.alltoallv(&counts);
+        // Partial verification.
+        comm.allgather(64);
+    }
+
+    // Full verification.
+    comm.reduce(0, 8);
+    comm.barrier();
+}

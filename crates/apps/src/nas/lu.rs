@@ -1,0 +1,83 @@
+//! LU — SSOR solver.
+//!
+//! The suite's distinctive communication pattern: a *pipelined wavefront*.
+//! Each timestep sweeps the 2×2 grid diagonally, block by block — every
+//! rank receives boundary data from its north/west neighbours, computes a
+//! block, and forwards to south/east (then the sweep reverses). The result
+//! is a large number of small eager messages whose cost is dominated by
+//! latency and pipeline fill, making LU the most synchronization-sensitive
+//! code of the suite.
+
+use super::Grid2x2;
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0x10_0001;
+const TAG_LOWER: u64 = 40;
+const TAG_UPPER: u64 = 41;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let me = comm.rank();
+    let grid = Grid2x2::of(me, comm.size());
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let steps = class.steps(250);
+    let blocks = 25u64;
+    let msg = class.bytes(60_000);
+    let comp_block = class.compute(0.0385);
+    let comp_rhs = class.compute(0.04);
+
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(1.8)));
+    comm.barrier();
+
+    let north = grid.north(me);
+    let south = grid.south(me);
+    let west = grid.west(me);
+    let east = grid.east(me);
+
+    for step in 0..steps {
+        // Lower-triangular sweep: wavefront from the north-west corner.
+        for _ in 0..blocks {
+            if let Some(p) = north {
+                comm.recv(Some(p), Some(TAG_LOWER));
+            }
+            if let Some(p) = west {
+                comm.recv(Some(p), Some(TAG_LOWER));
+            }
+            comm.compute(jit.compute_secs(comp_block));
+            if let Some(p) = south {
+                comm.send(p, TAG_LOWER, msg);
+            }
+            if let Some(p) = east {
+                comm.send(p, TAG_LOWER, msg);
+            }
+        }
+        // Upper-triangular sweep: reversed wavefront from the south-east.
+        for _ in 0..blocks {
+            if let Some(p) = south {
+                comm.recv(Some(p), Some(TAG_UPPER));
+            }
+            if let Some(p) = east {
+                comm.recv(Some(p), Some(TAG_UPPER));
+            }
+            comm.compute(jit.compute_secs(comp_block));
+            if let Some(p) = north {
+                comm.send(p, TAG_UPPER, msg);
+            }
+            if let Some(p) = west {
+                comm.send(p, TAG_UPPER, msg);
+            }
+        }
+        // RHS update between sweeps.
+        comm.compute(jit.compute_secs(comp_rhs));
+        // Periodic residual norm.
+        if step % 20 == 19 {
+            comm.allreduce(40);
+        }
+    }
+
+    comm.reduce(0, 40);
+    comm.barrier();
+}

@@ -1,0 +1,56 @@
+//! MG — Multigrid.
+//!
+//! V-cycles over a grid hierarchy: the restriction descent and prolongation
+//! ascent exchange ghost layers with both grid partners at every level,
+//! with message sizes and computation shrinking geometrically toward the
+//! coarse levels — so the fine levels are bandwidth-bound and the coarse
+//! levels pure latency. Short cycles make MG's good skeletons small.
+
+use super::exchange;
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0x36_0001;
+const TAG_GHOST: u64 = 50;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let n = comm.size();
+    assert!(n.is_power_of_two() && n >= 2, "MG requires a power-of-two rank count");
+    let me = comm.rank();
+    let p1 = me ^ 1;
+    let p2 = if n >= 4 { me ^ 2 } else { me ^ 1 };
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let cycles = class.steps(100);
+    let levels = 7u32;
+    let finest_ghost = class.bytes(130_000);
+    let finest_comp = class.compute(0.25);
+
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(1.0)));
+    comm.barrier();
+
+    for _ in 0..cycles {
+        // Restriction: fine -> coarse.
+        for depth in 0..levels {
+            let ghost = (finest_ghost >> (2 * depth)).max(8);
+            let comp = finest_comp / 4f64.powi(depth as i32);
+            exchange(comm, p1, TAG_GHOST + depth as u64, ghost);
+            exchange(comm, p2, TAG_GHOST + 16 + depth as u64, ghost);
+            comm.compute(jit.compute_secs(comp));
+        }
+        // Prolongation: coarse -> fine (interpolation is cheaper).
+        for depth in (0..levels).rev() {
+            let ghost = (finest_ghost >> (2 * depth)).max(8);
+            let comp = finest_comp / (3.0 * 4f64.powi(depth as i32));
+            exchange(comm, p1, TAG_GHOST + 32 + depth as u64, ghost);
+            comm.compute(jit.compute_secs(comp));
+        }
+        // Residual norm.
+        comm.allreduce(8);
+    }
+
+    comm.reduce(0, 8);
+    comm.barrier();
+}

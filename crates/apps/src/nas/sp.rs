@@ -1,0 +1,61 @@
+//! SP — Scalar Pentadiagonal solver.
+//!
+//! Structurally BT's sibling: the same ADI sweep on the 2×2 grid, but with
+//! roughly a third of the per-step computation, smaller messages and twice
+//! the timesteps — so a noticeably higher communication fraction and a
+//! shorter dominant iteration.
+
+use super::{exchange, Grid2x2};
+use crate::class::Class;
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+const SEED: u64 = 0x59_0001;
+const TAG_FACE_X: u64 = 20;
+const TAG_FACE_Y: u64 = 21;
+const TAG_SOLVE_XF: u64 = 22;
+const TAG_SOLVE_XB: u64 = 23;
+const TAG_SOLVE_YF: u64 = 24;
+const TAG_SOLVE_YB: u64 = 25;
+
+pub fn run(comm: &mut Comm, class: Class) {
+    let me = comm.rank();
+    let _grid = Grid2x2::of(me, comm.size());
+    let px = me ^ 1;
+    let py = me ^ 2;
+    let mut jit = Jitter::new(SEED, me, 0.02, 0.03);
+
+    let steps = class.steps(400);
+    let face = class.bytes(1_000_000);
+    let solve = class.bytes(250_000);
+    let comp_rhs = class.compute(0.10);
+    let comp_solve = class.compute(0.06);
+    let comp_back = class.compute(0.03);
+    let comp_z = class.compute(0.02);
+
+    comm.bcast(0, 64);
+    comm.compute(jit.compute_secs(class.compute(1.2)));
+    comm.barrier();
+
+    for step in 0..steps {
+        exchange(comm, px, TAG_FACE_X, face);
+        exchange(comm, py, TAG_FACE_Y, face);
+        comm.compute(jit.compute_secs(comp_rhs));
+
+        for (p, tf, tb) in [(px, TAG_SOLVE_XF, TAG_SOLVE_XB), (py, TAG_SOLVE_YF, TAG_SOLVE_YB)] {
+            comm.compute(jit.compute_secs(comp_solve));
+            exchange(comm, p, tf, solve);
+            comm.compute(jit.compute_secs(comp_back));
+            exchange(comm, p, tb, solve);
+        }
+
+        comm.compute(jit.compute_secs(comp_z));
+
+        if step % 10 == 9 {
+            comm.allreduce(40);
+        }
+    }
+
+    comm.reduce(0, 40);
+    comm.barrier();
+}

@@ -1,0 +1,140 @@
+//! Small synthetic applications used by examples and tests (outside the
+//! NAS suite): quick to run, with clean periodic structure.
+
+use crate::jitter::Jitter;
+use pskel_mpi::Comm;
+
+/// A ring pipeline: each rank computes then forwards a block to its right
+/// neighbour for `rounds` rounds. Works with any rank count ≥ 2.
+pub fn ring(comm: &mut Comm, rounds: u64, compute_secs: f64, bytes: u64) {
+    let n = comm.size();
+    assert!(n >= 2, "ring needs at least 2 ranks");
+    let me = comm.rank();
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    let mut jit = Jitter::new(0x41_6e67, me, 0.02, 0.02);
+
+    comm.barrier();
+    for _ in 0..rounds {
+        comm.compute(jit.compute_secs(compute_secs));
+        let s = comm.isend(right, 1, bytes);
+        let r = comm.irecv(Some(left), Some(1), bytes);
+        comm.waitall(vec![s, r]);
+    }
+    comm.barrier();
+}
+
+/// A 1-D halo-exchange stencil: interior ranks exchange with both
+/// neighbours each step. Any rank count ≥ 2.
+pub fn stencil_1d(comm: &mut Comm, steps: u64, compute_secs: f64, halo_bytes: u64) {
+    let n = comm.size();
+    assert!(n >= 2, "stencil needs at least 2 ranks");
+    let me = comm.rank();
+    let mut jit = Jitter::new(0x57_656e, me, 0.02, 0.02);
+
+    comm.barrier();
+    for _ in 0..steps {
+        let mut reqs = Vec::new();
+        if me > 0 {
+            reqs.push(comm.isend(me - 1, 2, halo_bytes));
+            reqs.push(comm.irecv(Some(me - 1), Some(2), halo_bytes));
+        }
+        if me + 1 < n {
+            reqs.push(comm.isend(me + 1, 2, halo_bytes));
+            reqs.push(comm.irecv(Some(me + 1), Some(2), halo_bytes));
+        }
+        comm.compute(jit.compute_secs(compute_secs));
+        comm.waitall(reqs);
+        comm.allreduce(8);
+    }
+    comm.barrier();
+}
+
+/// A master/worker farm: rank 0 hands out `tasks` work units (any-source
+/// result collection), workers compute. Any rank count ≥ 2.
+pub fn master_worker(comm: &mut Comm, tasks: u64, task_secs: f64, payload: u64) {
+    let n = comm.size();
+    assert!(n >= 2, "master/worker needs at least 2 ranks");
+    let me = comm.rank();
+    let workers = n - 1;
+    let mut jit = Jitter::new(0x6d_6173, me, 0.05, 0.0);
+
+    if me == 0 {
+        // Deal tasks round-robin, collect results from anyone.
+        for t in 0..tasks {
+            let w = 1 + (t as usize % workers);
+            comm.send(w, 3, payload);
+        }
+        for _ in 0..tasks {
+            comm.recv(None, Some(4));
+        }
+        // Poison pills.
+        for w in 1..n {
+            comm.send(w, 5, 8);
+        }
+    } else {
+        let mine = tasks / workers as u64
+            + u64::from((me - 1) < (tasks % workers as u64) as usize);
+        for _ in 0..mine {
+            comm.recv(Some(0), Some(3));
+            comm.compute(jit.compute_secs(task_secs));
+            comm.send(0, 4, payload);
+        }
+        comm.recv(Some(0), Some(5));
+    }
+    comm.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use pskel_mpi::{run_mpi, TraceConfig};
+    use pskel_sim::{ClusterSpec, Placement};
+
+    fn run(
+        n: usize,
+        f: impl Fn(&mut pskel_mpi::Comm) + Send + Sync + 'static,
+    ) -> pskel_mpi::MpiRunOutcome {
+        run_mpi(
+            ClusterSpec::homogeneous(n),
+            Placement::round_robin(n, n),
+            "synthetic",
+            TraceConfig::on(),
+            f,
+        )
+    }
+
+    #[test]
+    fn ring_runs_and_is_periodic() {
+        let out = run(4, |c| super::ring(c, 10, 0.01, 10_000));
+        assert!(out.total_secs() > 0.1);
+        let trace = out.trace.unwrap();
+        // 10 rounds x (isend+irecv+waitall) + 2 barriers.
+        assert_eq!(trace.procs[0].n_events(), 10 * 3 + 2);
+    }
+
+    #[test]
+    fn stencil_runs_with_boundary_ranks() {
+        let out = run(4, |c| super::stencil_1d(c, 5, 0.01, 50_000));
+        assert!(out.total_secs() > 0.05);
+        let trace = out.trace.unwrap();
+        // Interior ranks have 4 requests per step, boundary ranks 2.
+        let b = trace.procs[0].n_events();
+        let i = trace.procs[1].n_events();
+        assert!(i > b);
+    }
+
+    #[test]
+    fn master_worker_completes_all_tasks() {
+        let out = run(4, |c| super::master_worker(c, 10, 0.02, 1000));
+        // 10 tasks across 3 workers, ~4 tasks critical path.
+        let t = out.total_secs();
+        assert!(t >= 0.06, "tasks did not run: {t}");
+    }
+
+    #[test]
+    fn master_worker_uneven_division() {
+        // 7 tasks across 3 workers: 3/2/2.
+        let out = run(4, |c| super::master_worker(c, 7, 0.01, 100));
+        assert!(out.total_secs() > 0.0);
+    }
+}

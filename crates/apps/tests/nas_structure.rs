@@ -1,0 +1,165 @@
+//! Structural tests of the NAS-like workloads: each benchmark must show
+//! the communication pattern its real counterpart is known for (per Tabe &
+//! Stout, cited by the paper), plus determinism and class scaling.
+
+use pskel_apps::{Class, NasBenchmark};
+use pskel_mpi::{run_mpi, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement};
+use pskel_trace::{AppTrace, CommMatrix, MessageSizeStats, OpKind};
+
+fn traced(bench: NasBenchmark, class: Class) -> AppTrace {
+    run_mpi(
+        ClusterSpec::paper_testbed(),
+        Placement::round_robin(4, 4),
+        &bench.full_name(class),
+        TraceConfig::on(),
+        bench.program(class),
+    )
+    .trace
+    .unwrap()
+}
+
+fn count_kind(trace: &AppTrace, rank: usize, kind: OpKind) -> usize {
+    trace.procs[rank].mpi_events().filter(|e| e.kind == kind).count()
+}
+
+#[test]
+fn bt_exchanges_faces_with_both_grid_partners() {
+    let t = traced(NasBenchmark::Bt, Class::S);
+    let m = CommMatrix::of(&t);
+    assert!(m.is_symmetric(), "ADI exchanges are symmetric");
+    // On the 2x2 grid, rank 0 talks to 1 (x) and 2 (y), never 3.
+    assert_eq!(m.neighbours(0), vec![1, 2]);
+    assert_eq!(m.bytes[0][3], 0, "no diagonal traffic");
+}
+
+#[test]
+fn sp_has_more_steps_and_smaller_messages_than_bt() {
+    let bt = traced(NasBenchmark::Bt, Class::S);
+    let sp = traced(NasBenchmark::Sp, Class::S);
+    assert!(
+        sp.procs[0].n_events() > bt.procs[0].n_events(),
+        "SP runs twice the timesteps"
+    );
+    let bt_sizes = MessageSizeStats::of(&bt);
+    let sp_sizes = MessageSizeStats::of(&sp);
+    assert!(sp_sizes.max < bt_sizes.max, "SP faces are smaller than BT faces");
+}
+
+#[test]
+fn cg_alternates_transpose_exchange_and_dot_products() {
+    let t = traced(NasBenchmark::Cg, Class::S);
+    // Two allreduces per inner iteration dominate the collective count.
+    let allreds = count_kind(&t, 0, OpKind::Allreduce);
+    let isends = count_kind(&t, 0, OpKind::Isend);
+    assert!(allreds > isends, "CG is allreduce-heavy: {allreds} vs {isends}");
+    // The exchange partner is the XOR neighbour only.
+    let m = CommMatrix::of(&t);
+    assert_eq!(m.neighbours(0), vec![1]);
+    assert_eq!(m.neighbours(2), vec![3]);
+}
+
+#[test]
+fn is_moves_almost_everything_through_alltoallv() {
+    let t = traced(NasBenchmark::Is, Class::S);
+    assert!(count_kind(&t, 0, OpKind::Alltoallv) >= 1);
+    // IS has no point-to-point traffic at all — it is collective-only.
+    assert_eq!(CommMatrix::of(&t).total_bytes(), 0);
+    // Few, fat iterations: far fewer events than any other benchmark.
+    let lu = traced(NasBenchmark::Lu, Class::S);
+    assert!(t.procs[0].n_events() * 10 < lu.procs[0].n_events());
+}
+
+#[test]
+fn lu_wavefront_uses_many_small_blocking_messages() {
+    let t = traced(NasBenchmark::Lu, Class::S);
+    // Blocking sends/recvs, no nonblocking ops.
+    assert_eq!(count_kind(&t, 0, OpKind::Isend), 0);
+    assert!(count_kind(&t, 0, OpKind::Send) > 100, "pipelined block messages");
+    // Interior flow: corner rank 0 sends only east+south (to 1 and 2).
+    let m = CommMatrix::of(&t);
+    assert_eq!(m.neighbours(0), vec![1, 2]);
+    // Small messages: class S blocks are tiny.
+    let sizes = MessageSizeStats::of(&t);
+    assert!(sizes.max <= 1024, "LU.S messages should be small, max {}", sizes.max);
+}
+
+#[test]
+fn mg_ghost_sizes_shrink_geometrically_with_level() {
+    let t = traced(NasBenchmark::Mg, Class::B);
+    let sizes: Vec<u64> = t.procs[0]
+        .mpi_events()
+        .filter(|e| e.kind == OpKind::Isend)
+        .map(|e| e.bytes)
+        .collect();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(
+        max / min.max(1) >= 256,
+        "V-cycle spans >= 4 size octaves: {min}..{max}"
+    );
+}
+
+#[test]
+fn ep_is_compute_only_until_the_final_reductions() {
+    let t = traced(NasBenchmark::Ep, Class::S);
+    assert_eq!(CommMatrix::of(&t).total_bytes(), 0);
+    let p = &t.procs[0];
+    assert!(p.mpi_fraction() < 0.6, "EP.S is still mostly compute");
+    // Collectives: bcast + 2 barriers + 2 allreduce + reduce.
+    assert!(p.n_events() <= 8, "EP has almost no MPI events: {}", p.n_events());
+}
+
+#[test]
+fn ft_alternates_fft_compute_with_global_transpose() {
+    let t = traced(NasBenchmark::Ft, Class::S);
+    let alltoalls = count_kind(&t, 0, OpKind::Alltoall);
+    let steps = 2; // class S step count
+    assert_eq!(alltoalls, steps, "one transpose per timestep");
+    assert_eq!(count_kind(&t, 0, OpKind::Allreduce), steps);
+}
+
+#[test]
+fn traces_are_deterministic_per_benchmark() {
+    for b in [NasBenchmark::Cg, NasBenchmark::Lu, NasBenchmark::Ft] {
+        let a = traced(b, Class::S);
+        let c = traced(b, Class::S);
+        assert_eq!(a, c, "{b} trace must be bit-identical across runs");
+    }
+}
+
+#[test]
+fn class_scaling_orders_runtimes() {
+    for b in [NasBenchmark::Cg, NasBenchmark::Mg] {
+        let ts: Vec<f64> = [Class::S, Class::W, Class::A]
+            .iter()
+            .map(|&c| traced(b, c).total_time.as_secs_f64())
+            .collect();
+        assert!(ts[0] < ts[1] && ts[1] < ts[2], "{b}: {ts:?}");
+    }
+}
+
+#[test]
+fn every_benchmark_has_an_initialization_phase() {
+    // The first window of the run must be more compute-dominated than the
+    // run's own steady state is communication-free — concretely: a bcast
+    // arrives before any repeated pattern, and some setup compute exists.
+    for b in NasBenchmark::EXTENDED {
+        let t = traced(b, Class::W);
+        let first = t.procs[0].mpi_events().next().unwrap();
+        assert_eq!(first.kind, OpKind::Bcast, "{b} starts with a parameter bcast");
+    }
+}
+
+#[test]
+fn rank_imbalance_is_present_but_small() {
+    // The per-rank compute totals must differ (deterministic imbalance)
+    // but stay within a few percent.
+    let t = traced(NasBenchmark::Sp, Class::W);
+    let totals: Vec<f64> =
+        t.procs.iter().map(|p| p.compute_time().as_secs_f64()).collect();
+    let min = totals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = totals.iter().copied().fold(0.0, f64::max);
+    assert!(max > min, "ranks must not be perfectly balanced: {totals:?}");
+    assert!(max / min < 1.15, "imbalance too large: {totals:?}");
+}

@@ -1,0 +1,165 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out. These
+//! measure *prediction quality* (virtual-time experiments) rather than wall
+//! time, and print their findings; Criterion wraps them so they run under
+//! `cargo bench` with everything else.
+//!
+//! Ablations:
+//! 1. residue handling — the paper's literal 1/K scaling vs. this
+//!    implementation's consolidation;
+//! 2. compute model — per-iteration means (paper) vs. the empirical
+//!    frequency distribution (the paper's §4.4 proposal);
+//! 3. the Q = K/2 compression-ratio rule vs. weaker/stronger targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pskel_apps::{Class, NasBenchmark};
+use pskel_core::{ComputeModel, ExecOptions, SkeletonBuilder};
+use pskel_mpi::{run_mpi, TraceConfig};
+use pskel_predict::{error_pct, Scenario, Testbed};
+use pskel_sim::{ClusterSpec, Placement};
+
+struct Lab {
+    testbed: Testbed,
+    class: Class,
+}
+
+impl Lab {
+    fn new() -> Lab {
+        Lab { testbed: Testbed::default(), class: Class::W }
+    }
+
+    fn prediction_error(
+        &self,
+        bench: NasBenchmark,
+        scenario: Scenario,
+        configure: impl Fn(&mut SkeletonBuilder),
+        target: f64,
+    ) -> f64 {
+        let trace = self.testbed.trace_app(bench, self.class);
+        let app_ded = trace.total_time.as_secs_f64();
+        let mut builder = SkeletonBuilder::new(target);
+        configure(&mut builder);
+        let built = builder.build(&trace);
+        let skel_ded = self.testbed.run_skeleton(&built, Scenario::Dedicated);
+        let skel_scen = self.testbed.run_skeleton(&built, scenario);
+        let predicted = skel_scen * (app_ded / skel_ded);
+        let actual = self.testbed.run_app(bench, self.class, scenario);
+        error_pct(predicted, actual)
+    }
+}
+
+fn ablation_residue_handling(c: &mut Criterion) {
+    let lab = Lab::new();
+    // Tiny skeletons of LU (many small messages) under link throttling are
+    // where residue scaling hurts: the latency of each 1/K-scaled message
+    // cannot shrink.
+    let bench = NasBenchmark::Lu;
+    let scenario = Scenario::NetOneLink;
+    let app = lab.testbed.trace_app(bench, lab.class).total_time.as_secs_f64();
+    let target = app / 60.0;
+
+    let literal =
+        lab.prediction_error(bench, scenario, |b| b.construct.consolidate_residue = false, target);
+    let consolidated =
+        lab.prediction_error(bench, scenario, |b| b.construct.consolidate_residue = true, target);
+    eprintln!(
+        "ablation residue_handling (LU.W, net-one-link, K~60): \
+         paper-literal {literal:.1}% vs consolidated {consolidated:.1}%"
+    );
+
+    c.bench_function("ablation/residue_literal_build", |b| {
+        let trace = lab.testbed.trace_app(bench, lab.class);
+        b.iter(|| {
+            let mut builder = SkeletonBuilder::new(target);
+            builder.construct.consolidate_residue = false;
+            builder.build(&trace)
+        })
+    });
+}
+
+fn ablation_compute_model(c: &mut Criterion) {
+    let lab = Lab::new();
+    // LU under unbalanced CPU sharing is the paper's own example of
+    // mean-compute inaccuracy (§4.4).
+    let bench = NasBenchmark::Lu;
+    let scenario = Scenario::CpuOneNode;
+    let app = lab.testbed.trace_app(bench, lab.class).total_time.as_secs_f64();
+    let target = app / 20.0;
+
+    let mean = lab.prediction_error(
+        bench,
+        scenario,
+        |b| b.construct.compute_model = ComputeModel::Mean,
+        target,
+    );
+    let dist = lab.prediction_error(
+        bench,
+        scenario,
+        |b| b.construct.compute_model = ComputeModel::Distribution,
+        target,
+    );
+    eprintln!(
+        "ablation compute_model (LU.W, cpu-one-node): mean {mean:.1}% vs \
+         frequency-distribution {dist:.1}%"
+    );
+
+    c.bench_function("ablation/distribution_exec", |b| {
+        let trace = lab.testbed.trace_app(bench, lab.class);
+        let mut builder = SkeletonBuilder::new(target);
+        builder.construct.compute_model = ComputeModel::Distribution;
+        let built = builder.build(&trace);
+        b.iter(|| {
+            pskel_core::run_skeleton(
+                &built.skeleton,
+                ClusterSpec::paper_testbed(),
+                Placement::round_robin(4, 4),
+                ExecOptions::default(),
+            )
+        })
+    });
+}
+
+fn ablation_q_rule(c: &mut Criterion) {
+    // How does the choice of compression target Q affect the signature and
+    // the skeleton? The paper uses Q = K/2 as an empirical rule.
+    let trace = run_mpi(
+        ClusterSpec::paper_testbed(),
+        Placement::round_robin(4, 4),
+        "IS.B",
+        TraceConfig::on(),
+        NasBenchmark::Is.program(Class::B),
+    )
+    .trace
+    .unwrap();
+    let k = 10u64;
+    for q_factor in [0.25, 0.5, 1.0] {
+        let q = (k as f64 * q_factor).max(1.0);
+        let (sig, saturated) = pskel_signature::compress_app(
+            &trace,
+            q,
+            pskel_signature::SignatureOptions::default(),
+        );
+        eprintln!(
+            "ablation q_rule (IS.B, K={k}): Q={q:.1} -> threshold {:.2}, ratio {:.1}, \
+             saturated={saturated}",
+            sig.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max),
+            sig.min_compression_ratio(),
+        );
+    }
+
+    c.bench_function("ablation/q_half_k_compress", |b| {
+        b.iter(|| {
+            pskel_signature::compress_app(
+                &trace,
+                (k as f64) / 2.0,
+                pskel_signature::SignatureOptions::default(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_residue_handling, ablation_compute_model, ablation_q_rule
+}
+criterion_main!(ablations);

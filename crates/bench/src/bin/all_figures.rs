@@ -1,0 +1,14 @@
+//! Regenerates every figure of the paper in one run (shared measurement
+//! cache, so this is much cheaper than running the six binaries).
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let t0 = std::time::Instant::now();
+    println!("{}", pskel_predict::report::render_fig2(&pskel_predict::fig2(&mut ctx)));
+    let grid = pskel_predict::fig3(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig3(&grid));
+    println!("{}", pskel_predict::report::render_fig4(&pskel_predict::fig4(&mut ctx)));
+    println!("{}", pskel_predict::report::render_fig5(&grid));
+    println!("{}", pskel_predict::report::render_fig6(&pskel_predict::fig6(&mut ctx)));
+    println!("{}", pskel_predict::report::render_fig7(&pskel_predict::fig7(&mut ctx)));
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

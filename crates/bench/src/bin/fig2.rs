@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: % time in computation vs. MPI for each benchmark
+//! and its skeletons.
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let rows = pskel_predict::fig2(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig2(&rows));
+    pskel_bench::maybe_emit_json(&rows);
+}

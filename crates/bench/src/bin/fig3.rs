@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: prediction error per benchmark across skeleton
+//! sizes, averaged over the five sharing scenarios.
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let grid = pskel_predict::fig3(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig3(&grid));
+    pskel_bench::maybe_emit_json(&grid);
+}

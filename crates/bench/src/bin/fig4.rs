@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: estimated minimum execution time of the smallest
+//! good skeleton per benchmark.
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let rows = pskel_predict::fig4(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig4(&rows));
+    pskel_bench::maybe_emit_json(&rows);
+}

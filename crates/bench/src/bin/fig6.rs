@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: prediction error across the five resource-sharing
+//! scenarios with the largest skeleton.
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let grid = pskel_predict::fig6(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig6(&grid));
+    pskel_bench::maybe_emit_json(&grid);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: min/avg/max error of skeleton prediction vs. the
+//! Class-S and Average baselines under the combined sharing scenario.
+fn main() {
+    let mut ctx = pskel_bench::context_from_args();
+    let rows = pskel_predict::fig7(&mut ctx);
+    println!("{}", pskel_predict::report::render_fig7(&rows));
+    pskel_bench::maybe_emit_json(&rows);
+}

@@ -1,0 +1,53 @@
+//! # pskel-bench — figure regeneration and performance benchmarks
+//!
+//! One binary per figure of the paper (`fig2` … `fig7`, plus `all_figures`)
+//! and Criterion benchmarks for the framework's own components. Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p pskel-bench --bin fig3
+//! cargo bench -p pskel-bench
+//! ```
+//!
+//! Pass `--class W` (or `S`/`A`) to figure binaries for a faster,
+//! smaller-scale run; default is the paper's Class B.
+
+use pskel_apps::Class;
+use pskel_predict::{EvalContext, PAPER_SKELETON_SIZES};
+use serde::Serialize;
+
+/// Parse common CLI options of the figure binaries.
+pub fn context_from_args() -> EvalContext {
+    let args: Vec<String> = std::env::args().collect();
+    let mut class = Class::B;
+    for i in 0..args.len() {
+        if args[i] == "--class" {
+            class = match args.get(i + 1).map(String::as_str) {
+                Some("S") => Class::S,
+                Some("W") => Class::W,
+                Some("A") => Class::A,
+                Some("B") => Class::B,
+                other => panic!("unknown class {other:?}; use S, W, A or B"),
+            };
+        }
+    }
+    // Skeleton sizes scale with the class so smaller runs stay meaningful.
+    let scale = match class {
+        Class::B => 1.0,
+        Class::A => 0.25,
+        Class::W => 0.05,
+        Class::S => 0.001,
+    };
+    let sizes: Vec<f64> = PAPER_SKELETON_SIZES.iter().map(|s| s * scale).collect();
+    EvalContext::new(class, &sizes)
+}
+
+/// If `--json` was passed, print the figure's data as JSON (in addition to
+/// the table, which goes to stderr in that mode being unnecessary — the
+/// caller already printed it to stdout; here we simply emit the JSON after
+/// it, separated by a marker line).
+pub fn maybe_emit_json<T: Serialize>(data: &T) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("--- json ---");
+        println!("{}", serde_json::to_string_pretty(data).expect("figure data serializes"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The skeleton executor: runs a [`Skeleton`] on the simulated cluster
+//! through the same MPI layer the applications use.
+//!
+//! This is the in-simulation equivalent of compiling and running the
+//! generated C program (`codegen.rs` produces that artifact). Nonblocking
+//! request slots recorded at trace time are re-bound to live requests here.
+
+use crate::ir::{RankSkeleton, SkelNode, SkelOp, Skeleton};
+use pskel_mpi::{run_mpi_fns, Comm, CommReq, MpiProgram, MpiRunOutcome, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement};
+use pskel_trace::OpKind;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Execute one rank's skeleton program against a communicator.
+pub fn execute_rank(skel: &RankSkeleton, comm: &mut Comm, seed: u64) {
+    let mut slots: HashMap<u32, CommReq> = HashMap::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (skel.rank as u64).wrapping_mul(0x9e3779b9));
+    run_nodes(&skel.nodes, comm, &mut slots, &mut rng);
+    assert!(
+        slots.is_empty(),
+        "rank {}: skeleton left {} unwaited request slots",
+        skel.rank,
+        slots.len()
+    );
+}
+
+fn run_nodes(
+    nodes: &[SkelNode],
+    comm: &mut Comm,
+    slots: &mut HashMap<u32, CommReq>,
+    rng: &mut ChaCha8Rng,
+) {
+    for node in nodes {
+        match node {
+            SkelNode::Loop { count, body } => {
+                for _ in 0..*count {
+                    run_nodes(body, comm, slots, rng);
+                }
+            }
+            SkelNode::Op(op) => run_op(op, comm, slots, rng),
+        }
+    }
+}
+
+fn run_op(
+    op: &SkelOp,
+    comm: &mut Comm,
+    slots: &mut HashMap<u32, CommReq>,
+    rng: &mut ChaCha8Rng,
+) {
+    match op {
+        SkelOp::Compute { secs, jitter_std } => {
+            let dur = if *jitter_std > 0.0 {
+                sample_normal(rng, *secs, *jitter_std).max(0.0)
+            } else {
+                *secs
+            };
+            comm.compute(dur);
+        }
+        SkelOp::Send { peer, tag, bytes } => comm.send(*peer as usize, *tag, *bytes),
+        SkelOp::Isend { peer, tag, bytes, slot } => {
+            let req = comm.isend(*peer as usize, *tag, *bytes);
+            let prev = slots.insert(*slot, req);
+            assert!(prev.is_none(), "slot {slot} reused before wait");
+        }
+        SkelOp::Recv { peer, tag } => {
+            comm.recv(peer.map(|p| p as usize), *tag);
+        }
+        SkelOp::Irecv { peer, tag, slot } => {
+            let req = comm.irecv(peer.map(|p| p as usize), *tag, 0);
+            let prev = slots.insert(*slot, req);
+            assert!(prev.is_none(), "slot {slot} reused before wait");
+        }
+        SkelOp::Wait { slot } => {
+            let req = slots
+                .remove(slot)
+                .unwrap_or_else(|| panic!("wait on empty slot {slot}"));
+            comm.wait(req);
+        }
+        SkelOp::Waitall { slots: ids } => {
+            let reqs: Vec<CommReq> = ids
+                .iter()
+                .map(|s| {
+                    slots
+                        .remove(s)
+                        .unwrap_or_else(|| panic!("waitall on empty slot {s}"))
+                })
+                .collect();
+            comm.waitall(reqs);
+        }
+        SkelOp::Coll { kind, root, bytes } => run_collective(*kind, *root, *bytes, comm),
+    }
+}
+
+fn run_collective(kind: OpKind, root: Option<u32>, bytes: u64, comm: &mut Comm) {
+    let root = root.map(|r| r as usize).unwrap_or(0);
+    match kind {
+        OpKind::Barrier => comm.barrier(),
+        OpKind::Bcast => comm.bcast(root, bytes),
+        OpKind::Reduce => comm.reduce(root, bytes),
+        OpKind::Allreduce => comm.allreduce(bytes),
+        OpKind::Gather => comm.gather(root, bytes),
+        OpKind::Scatter => comm.scatter(root, bytes),
+        OpKind::Allgather => comm.allgather(bytes),
+        // The v-variants were traced with their average per-rank size; the
+        // skeleton replays them as their balanced counterparts.
+        OpKind::Allgatherv => comm.allgather(bytes),
+        OpKind::Alltoall => comm.alltoall(bytes),
+        OpKind::Alltoallv => comm.alltoall(bytes),
+        OpKind::ReduceScatter => comm.reduce_scatter(bytes),
+        OpKind::Scan => comm.scan(bytes),
+        other => panic!("{other:?} is not a collective"),
+    }
+}
+
+/// Box-Muller standard normal scaled to (mean, std). Uses the executor's
+/// deterministic per-rank stream.
+fn sample_normal(rng: &mut ChaCha8Rng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Execution options for a skeleton run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Seed for the frequency-distribution compute model streams.
+    pub seed: u64,
+    /// Trace the skeleton run itself (used to validate skeleton behaviour,
+    /// e.g. the paper's Figure 2 comparison).
+    pub trace: TraceConfig,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { seed: 0x5eed, trace: TraceConfig::off() }
+    }
+}
+
+/// Run a whole skeleton on a cluster. The skeleton's rank count must match
+/// the placement's.
+pub fn run_skeleton(
+    skeleton: &Skeleton,
+    cluster: ClusterSpec,
+    placement: Placement,
+    opts: ExecOptions,
+) -> MpiRunOutcome {
+    assert_eq!(
+        skeleton.nranks(),
+        placement.n_ranks(),
+        "skeleton has {} ranks but placement has {}",
+        skeleton.nranks(),
+        placement.n_ranks()
+    );
+    let name = format!("skeleton:{}", skeleton.app);
+    let programs: Vec<MpiProgram> = skeleton
+        .ranks
+        .iter()
+        .cloned()
+        .map(|rank_skel| {
+            let seed = opts.seed;
+            Box::new(move |comm: &mut Comm| execute_rank(&rank_skel, comm, seed)) as MpiProgram
+        })
+        .collect();
+    run_mpi_fns(cluster, placement, &name, opts.trace, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SkeletonMeta;
+
+    fn meta() -> SkeletonMeta {
+        SkeletonMeta {
+            scale_k: 1,
+            target_secs: 1.0,
+            app_secs: 1.0,
+            target_q: 1.0,
+            max_threshold: 0.0,
+            threshold_saturated: false,
+            min_good_secs: 0.0,
+            good: true,
+        }
+    }
+
+    fn compute(secs: f64) -> SkelNode {
+        SkelNode::Op(SkelOp::Compute { secs, jitter_std: 0.0 })
+    }
+
+    #[test]
+    fn two_rank_exchange_executes() {
+        let skeleton = Skeleton {
+            app: "t".into(),
+            ranks: vec![
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![
+                        compute(0.1),
+                        SkelNode::Op(SkelOp::Send { peer: 1, tag: 0, bytes: 1000 }),
+                    ],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![SkelNode::Op(SkelOp::Recv { peer: Some(0), tag: Some(0) })],
+                },
+            ],
+            meta: meta(),
+        };
+        let out = run_skeleton(
+            &skeleton,
+            ClusterSpec::homogeneous(2),
+            Placement::round_robin(2, 2),
+            ExecOptions::default(),
+        );
+        let t = out.total_secs();
+        assert!(t > 0.1 && t < 0.2, "exchange took {t}");
+    }
+
+    #[test]
+    fn loops_and_nonblocking_slots_work() {
+        let ring = |_rank: usize| {
+            vec![SkelNode::Loop {
+                count: 5,
+                body: vec![
+                    SkelNode::Op(SkelOp::Isend { peer: 0, tag: 1, bytes: 64, slot: 0 }),
+                    SkelNode::Op(SkelOp::Irecv { peer: None, tag: Some(1), slot: 1 }),
+                    compute(0.01),
+                    SkelNode::Op(SkelOp::Waitall { slots: vec![0, 1] }),
+                ],
+            }]
+        };
+        // Two ranks sending to rank 0... make it symmetric: each sends to
+        // the other.
+        let mk = |rank: usize, peer: u32| {
+            let mut nodes = ring(rank);
+            if let SkelNode::Loop { body, .. } = &mut nodes[0] {
+                if let SkelNode::Op(SkelOp::Isend { peer: p, .. }) = &mut body[0] {
+                    *p = peer;
+                }
+            }
+            RankSkeleton { rank, nodes }
+        };
+        let skeleton = Skeleton {
+            app: "ring".into(),
+            ranks: vec![mk(0, 1), mk(1, 0)],
+            meta: meta(),
+        };
+        let out = run_skeleton(
+            &skeleton,
+            ClusterSpec::homogeneous(2),
+            Placement::round_robin(2, 2),
+            ExecOptions::default(),
+        );
+        assert!(out.total_secs() >= 0.05);
+    }
+
+    #[test]
+    fn collectives_execute() {
+        let nodes = vec![
+            SkelNode::Op(SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 }),
+            SkelNode::Op(SkelOp::Coll { kind: OpKind::Alltoallv, root: None, bytes: 10_000 }),
+            SkelNode::Op(SkelOp::Coll { kind: OpKind::Barrier, root: None, bytes: 0 }),
+        ];
+        let skeleton = Skeleton {
+            app: "colls".into(),
+            ranks: (0..4).map(|r| RankSkeleton { rank: r, nodes: nodes.clone() }).collect(),
+            meta: meta(),
+        };
+        let out = run_skeleton(
+            &skeleton,
+            ClusterSpec::homogeneous(4),
+            Placement::round_robin(4, 4),
+            ExecOptions::default(),
+        );
+        assert!(out.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn jittered_compute_is_deterministic_per_seed() {
+        let nodes = vec![SkelNode::Loop {
+            count: 20,
+            body: vec![SkelNode::Op(SkelOp::Compute { secs: 0.01, jitter_std: 0.002 })],
+        }];
+        let skeleton = Skeleton {
+            app: "jitter".into(),
+            ranks: vec![RankSkeleton { rank: 0, nodes }],
+            meta: meta(),
+        };
+        let run = |seed| {
+            run_skeleton(
+                &skeleton,
+                ClusterSpec::homogeneous(1),
+                Placement::round_robin(1, 1),
+                ExecOptions { seed, trace: TraceConfig::off() },
+            )
+            .total_secs()
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(2);
+        assert_eq!(a, b, "same seed, same time");
+        assert_ne!(a, c, "different seed perturbs jittered durations");
+        // Mean should hold approximately.
+        assert!((a - 0.2).abs() < 0.05, "total {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unwaited request slots")]
+    fn leaked_slot_is_caught() {
+        let skeleton = Skeleton {
+            app: "leak".into(),
+            ranks: vec![
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![SkelNode::Op(SkelOp::Isend { peer: 1, tag: 0, bytes: 8, slot: 0 })],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![SkelNode::Op(SkelOp::Recv { peer: Some(0), tag: Some(0) })],
+                },
+            ],
+            meta: meta(),
+        };
+        run_skeleton(
+            &skeleton,
+            ClusterSpec::homogeneous(2),
+            Placement::round_robin(2, 2),
+            ExecOptions::default(),
+        );
+    }
+}

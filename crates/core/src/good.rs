@@ -1,0 +1,233 @@
+//! Shortest "good" skeleton estimation (paper §3.4).
+//!
+//! The framework identifies the *dominant sequence* of execution events —
+//! the repeating phase accounting for the largest share of execution time —
+//! and declares a skeleton *good* only if it retains at least one full
+//! iteration of it. The shortest good skeleton therefore corresponds to
+//! scaling factor K equal to the dominant loop's iteration count; its
+//! estimated runtime is the application-specific lower bound of Figure 4.
+
+use pskel_signature::{AppSignature, ExecutionSignature, Tok};
+use serde::{Deserialize, Serialize};
+
+/// Share of total execution time a loop must cover to be considered the
+/// dominant sequence.
+pub const DOMINANT_SHARE_THRESHOLD: f64 = 0.5;
+
+/// Dominant-sequence analysis of one rank's signature.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankGoodAnalysis {
+    /// Total repetitions of the dominant sequence across the whole run
+    /// (for a nested loop: its count times all ancestor counts). 1 if the
+    /// signature has no loops — any skeleton is then trivially "good".
+    pub dominant_count: u64,
+    /// Fraction of estimated execution time inside the dominant sequence.
+    pub dominant_share: f64,
+    /// Estimated runtime of the shortest good skeleton, seconds.
+    pub min_good_secs: f64,
+}
+
+/// Analyze one rank. Time estimates use the measured mean event durations
+/// recorded in the signature's cluster table.
+///
+/// The dominant sequence is the most finely repeated loop body (any nesting
+/// depth) that still covers at least [`DOMINANT_SHARE_THRESHOLD`] of the
+/// execution time: for CG that is the inner solver iteration (hundreds of
+/// repetitions, tiny good skeletons); for LU neither triangular-solve inner
+/// loop covers half the time alone, so the dominant sequence is the whole
+/// timestep — reproducing the paper's Figure 4 ordering.
+pub fn analyze_rank(sig: &ExecutionSignature) -> RankGoodAnalysis {
+    let total = sig.estimated_total_secs().max(1e-12);
+
+    // Collect (total_reps, time share) for every loop at every depth.
+    let mut candidates: Vec<(u64, f64)> = Vec::new();
+    collect_loops(sig, &sig.tokens, 1, total, &mut candidates);
+
+    let qualified = candidates
+        .iter()
+        .copied()
+        .filter(|&(_, share)| share >= DOMINANT_SHARE_THRESHOLD)
+        .max_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let (count, share) = qualified
+        .or_else(|| {
+            // No loop covers half the time: fall back to the largest-share
+            // loop so the bound stays meaningful.
+            candidates
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+        })
+        .unwrap_or((1, 0.0));
+
+    RankGoodAnalysis {
+        dominant_count: count,
+        dominant_share: share.min(1.0),
+        min_good_secs: total / count as f64,
+    }
+}
+
+fn collect_loops(
+    sig: &ExecutionSignature,
+    toks: &[Tok],
+    ancestor_reps: u64,
+    total: f64,
+    out: &mut Vec<(u64, f64)>,
+) {
+    for tok in toks {
+        if let Tok::Loop { count, body } = tok {
+            let reps = ancestor_reps * count;
+            let share = subtree_secs(sig, body) * reps as f64 / total;
+            out.push((reps, share));
+            collect_loops(sig, body, reps, total, out);
+        }
+    }
+}
+
+fn subtree_secs(sig: &ExecutionSignature, toks: &[Tok]) -> f64 {
+    toks.iter()
+        .map(|t| match t {
+            Tok::Sym { id, compute_before } => {
+                compute_before + sig.clusters[*id as usize].mean_dur_secs
+            }
+            Tok::Loop { count, body } => *count as f64 * subtree_secs(sig, body),
+        })
+        .sum()
+}
+
+/// Application-level good-skeleton bound: every rank must keep a full
+/// dominant iteration, so the binding constraints are the *maximum* of the
+/// per-rank minimum times and the *minimum* of the per-rank K limits.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoodAnalysis {
+    pub min_good_secs: f64,
+    /// Largest scaling factor that still yields a good skeleton.
+    pub max_good_k: u64,
+}
+
+pub fn analyze_app(sig: &AppSignature) -> GoodAnalysis {
+    let mut min_good = 0.0f64;
+    let mut max_k = u64::MAX;
+    for s in &sig.sigs {
+        let a = analyze_rank(s);
+        min_good = min_good.max(a.min_good_secs);
+        max_k = max_k.min(a.dominant_count);
+    }
+    if sig.sigs.is_empty() {
+        return GoodAnalysis { min_good_secs: 0.0, max_good_k: 1 };
+    }
+    GoodAnalysis { min_good_secs: min_good, max_good_k: max_k.max(1) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_signature::{ClusterInfo, EventKey};
+    use pskel_trace::OpKind;
+
+    fn cluster(dur: f64) -> ClusterInfo {
+        ClusterInfo {
+            key: EventKey { kind: OpKind::Send, peer: Some(1), tag: Some(0), slots: vec![] },
+            mean_bytes: 100.0,
+            mean_dur_secs: dur,
+            count: 1,
+            mean_compute_secs: 0.0,
+            m2_compute: 0.0,
+        }
+    }
+
+    fn sig(tokens: Vec<Tok>, clusters: Vec<ClusterInfo>) -> ExecutionSignature {
+        let trace_len = tokens.iter().map(Tok::expanded_len).sum();
+        ExecutionSignature { rank: 0, tokens, clusters, tail_compute: 0.0, trace_len, threshold: 0.0 }
+    }
+
+    #[test]
+    fn dominant_loop_is_largest_time_share() {
+        // Loop A: 100 iters x (0.01 compute + 0.001 op) = 1.1 s
+        // Loop B: 5 iters x (1.0 compute + 0.001 op) ≈ 5.0 s  <- dominant
+        let s = sig(
+            vec![
+                Tok::Loop { count: 100, body: vec![Tok::Sym { id: 0, compute_before: 0.01 }] },
+                Tok::Loop { count: 5, body: vec![Tok::Sym { id: 0, compute_before: 1.0 }] },
+            ],
+            vec![cluster(0.001)],
+        );
+        let a = analyze_rank(&s);
+        assert_eq!(a.dominant_count, 5);
+        assert!(a.dominant_share > 0.7);
+        // min good = total / 5.
+        let total = s.estimated_total_secs();
+        assert!((a.min_good_secs - total / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_dominant_loop_is_found() {
+        // Outer 10 x inner 50: the inner body carries ~all the time, so the
+        // dominant sequence repeats 500 times (CG's situation).
+        let s = sig(
+            vec![Tok::Loop {
+                count: 10,
+                body: vec![Tok::Loop {
+                    count: 50,
+                    body: vec![Tok::Sym { id: 0, compute_before: 0.01 }],
+                }],
+            }],
+            vec![cluster(0.001)],
+        );
+        let a = analyze_rank(&s);
+        assert_eq!(a.dominant_count, 500);
+        assert!(a.dominant_share > 0.9);
+    }
+
+    #[test]
+    fn split_inner_loops_fall_back_to_the_timestep() {
+        // LU's shape: each timestep is two 25-iteration pipelines; neither
+        // inner loop alone covers half the time, so the dominant sequence
+        // is the 250-repetition timestep loop.
+        let inner = |id: u32| Tok::Loop {
+            count: 25,
+            body: vec![Tok::Sym { id, compute_before: 0.04 }],
+        };
+        let s = sig(
+            vec![Tok::Loop {
+                count: 250,
+                // Two pipelines plus per-timestep work outside them, so
+                // each inner loop covers less than half the total.
+                body: vec![inner(0), inner(1), Tok::Sym { id: 2, compute_before: 0.5 }],
+            }],
+            vec![cluster(0.0), cluster(0.0), cluster(0.0)],
+        );
+        let a = analyze_rank(&s);
+        assert_eq!(a.dominant_count, 250);
+    }
+
+    #[test]
+    fn no_loops_means_k_of_one() {
+        let s = sig(vec![Tok::Sym { id: 0, compute_before: 1.0 }], vec![cluster(0.001)]);
+        let a = analyze_rank(&s);
+        assert_eq!(a.dominant_count, 1);
+        assert!(a.min_good_secs > 0.9);
+    }
+
+    #[test]
+    fn app_analysis_takes_worst_rank() {
+        let fast = sig(
+            vec![Tok::Loop { count: 100, body: vec![Tok::Sym { id: 0, compute_before: 0.1 }] }],
+            vec![cluster(0.0)],
+        );
+        let slow = sig(
+            vec![Tok::Loop { count: 10, body: vec![Tok::Sym { id: 0, compute_before: 1.0 }] }],
+            vec![cluster(0.0)],
+        );
+        let app = AppSignature { app: "x".into(), sigs: vec![fast, slow], app_time_secs: 10.0 };
+        let g = analyze_app(&app);
+        assert_eq!(g.max_good_k, 10, "limited by the rank with the fewest iterations");
+        assert!((g.min_good_secs - 1.0).abs() < 1e-9, "1 s per dominant iteration");
+    }
+
+    #[test]
+    fn empty_app_is_degenerate() {
+        let app = AppSignature { app: "x".into(), sigs: vec![], app_time_secs: 0.0 };
+        let g = analyze_app(&app);
+        assert_eq!(g.max_good_k, 1);
+    }
+}

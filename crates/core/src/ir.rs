@@ -1,0 +1,220 @@
+//! The performance-skeleton intermediate representation.
+//!
+//! A skeleton is, per rank, a tree of loops over primitive operations —
+//! the execution structure the paper's generated C program would contain.
+//! The IR is both executed directly on the simulated cluster (`exec.rs`)
+//! and rendered to compilable C/MPI source (`codegen.rs`).
+
+use pskel_trace::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// A primitive skeleton operation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SkelOp {
+    /// Busy-loop computation for `secs` CPU-seconds. `jitter_std` > 0
+    /// (frequency-distribution mode, the paper's §4.4 extension) makes the
+    /// executor sample the duration from N(secs, jitter_std²), clamped ≥ 0.
+    Compute { secs: f64, jitter_std: f64 },
+    Send { peer: u32, tag: u64, bytes: u64 },
+    Isend { peer: u32, tag: u64, bytes: u64, slot: u32 },
+    Recv { peer: Option<u32>, tag: Option<u64> },
+    Irecv { peer: Option<u32>, tag: Option<u64>, slot: u32 },
+    Wait { slot: u32 },
+    Waitall { slots: Vec<u32> },
+    /// A collective call; `bytes` is the per-rank contribution.
+    Coll { kind: OpKind, root: Option<u32>, bytes: u64 },
+}
+
+impl SkelOp {
+    /// Scale the operation's size parameters by `factor` (≤ 1): compute
+    /// time and message bytes shrink; latency-bound structure (waits,
+    /// zero-byte ops) cannot shrink — the paper's acknowledged weakness of
+    /// "last resort" scaling (§3.3).
+    pub fn scaled(&self, factor: f64) -> SkelOp {
+        debug_assert!(factor > 0.0 && factor <= 1.0, "scale factor {factor} out of range");
+        let scale_bytes = |b: u64| ((b as f64 * factor).round() as u64).max(1.min(b));
+        match self {
+            SkelOp::Compute { secs, jitter_std } => {
+                SkelOp::Compute { secs: secs * factor, jitter_std: jitter_std * factor }
+            }
+            SkelOp::Send { peer, tag, bytes } => {
+                SkelOp::Send { peer: *peer, tag: *tag, bytes: scale_bytes(*bytes) }
+            }
+            SkelOp::Isend { peer, tag, bytes, slot } => SkelOp::Isend {
+                peer: *peer,
+                tag: *tag,
+                bytes: scale_bytes(*bytes),
+                slot: *slot,
+            },
+            SkelOp::Coll { kind, root, bytes } => {
+                SkelOp::Coll { kind: *kind, root: *root, bytes: scale_bytes(*bytes) }
+            }
+            // Receives take their size from the sender; waits have no size.
+            other => other.clone(),
+        }
+    }
+
+    /// Short mnemonic used in renderings and tests.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            SkelOp::Compute { secs, .. } => format!("comp({secs:.3e})"),
+            SkelOp::Send { peer, bytes, .. } => format!("send({peer},{bytes})"),
+            SkelOp::Isend { peer, bytes, .. } => format!("isend({peer},{bytes})"),
+            SkelOp::Recv { peer, .. } => match peer {
+                Some(p) => format!("recv({p})"),
+                None => "recv(*)".into(),
+            },
+            SkelOp::Irecv { peer, .. } => match peer {
+                Some(p) => format!("irecv({p})"),
+                None => "irecv(*)".into(),
+            },
+            SkelOp::Wait { slot } => format!("wait({slot})"),
+            SkelOp::Waitall { slots } => format!("waitall({})", slots.len()),
+            SkelOp::Coll { kind, bytes, .. } => {
+                format!("{}({bytes})", kind.mpi_name().trim_start_matches("MPI_").to_lowercase())
+            }
+        }
+    }
+}
+
+/// A node of the skeleton program tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SkelNode {
+    Op(SkelOp),
+    Loop { count: u64, body: Vec<SkelNode> },
+}
+
+impl SkelNode {
+    /// Number of primitive operations after loop expansion.
+    pub fn expanded_ops(&self) -> u64 {
+        match self {
+            SkelNode::Op(_) => 1,
+            SkelNode::Loop { count, body } => {
+                count * body.iter().map(SkelNode::expanded_ops).sum::<u64>()
+            }
+        }
+    }
+
+    /// Number of operations written in the program text (bodies once).
+    pub fn static_ops(&self) -> u64 {
+        match self {
+            SkelNode::Op(_) => 1,
+            SkelNode::Loop { body, .. } => body.iter().map(SkelNode::static_ops).sum(),
+        }
+    }
+}
+
+/// The skeleton program of one rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankSkeleton {
+    pub rank: usize,
+    pub nodes: Vec<SkelNode>,
+}
+
+impl RankSkeleton {
+    pub fn expanded_ops(&self) -> u64 {
+        self.nodes.iter().map(SkelNode::expanded_ops).sum()
+    }
+
+    pub fn static_ops(&self) -> u64 {
+        self.nodes.iter().map(SkelNode::static_ops).sum()
+    }
+}
+
+/// Construction metadata carried with a skeleton.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SkeletonMeta {
+    /// Integer scaling factor K between application and skeleton.
+    pub scale_k: u64,
+    /// The requested skeleton execution time, seconds.
+    pub target_secs: f64,
+    /// Dedicated application time the skeleton was built from, seconds.
+    pub app_secs: f64,
+    /// Compression ratio Q requested from the signature stage (K/2 rule).
+    pub target_q: f64,
+    /// Largest similarity threshold any rank needed.
+    pub max_threshold: f64,
+    /// Whether the threshold search hit its cap before reaching Q.
+    pub threshold_saturated: bool,
+    /// Estimated minimum "good" skeleton time (§3.4), seconds.
+    pub min_good_secs: f64,
+    /// False if this skeleton is smaller than the shortest good skeleton —
+    /// the framework's warning that prediction quality may suffer.
+    pub good: bool,
+}
+
+/// A complete performance skeleton: one program per rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Skeleton {
+    pub app: String,
+    pub ranks: Vec<RankSkeleton>,
+    pub meta: SkeletonMeta,
+}
+
+impl Skeleton {
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shrinks_compute_and_bytes() {
+        let op = SkelOp::Send { peer: 1, tag: 0, bytes: 1000 };
+        assert_eq!(op.scaled(0.5), SkelOp::Send { peer: 1, tag: 0, bytes: 500 });
+        let c = SkelOp::Compute { secs: 2.0, jitter_std: 0.2 };
+        match c.scaled(0.25) {
+            SkelOp::Compute { secs, jitter_std } => {
+                assert!((secs - 0.5).abs() < 1e-12);
+                assert!((jitter_std - 0.05).abs() < 1e-12);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn scaling_never_drops_nonzero_messages_to_zero() {
+        let op = SkelOp::Send { peer: 1, tag: 0, bytes: 3 };
+        assert_eq!(op.scaled(0.001), SkelOp::Send { peer: 1, tag: 0, bytes: 1 });
+        // Zero-byte ops stay zero.
+        let z = SkelOp::Coll { kind: OpKind::Barrier, root: None, bytes: 0 };
+        assert_eq!(z.scaled(0.5), z);
+    }
+
+    #[test]
+    fn scaling_leaves_waits_alone() {
+        let w = SkelOp::Wait { slot: 3 };
+        assert_eq!(w.scaled(0.01), w);
+        let r = SkelOp::Recv { peer: Some(1), tag: Some(0) };
+        assert_eq!(r.scaled(0.01), r);
+    }
+
+    #[test]
+    fn op_counts() {
+        let tree = SkelNode::Loop {
+            count: 10,
+            body: vec![
+                SkelNode::Op(SkelOp::Compute { secs: 1.0, jitter_std: 0.0 }),
+                SkelNode::Loop {
+                    count: 3,
+                    body: vec![SkelNode::Op(SkelOp::Wait { slot: 0 })],
+                },
+            ],
+        };
+        assert_eq!(tree.expanded_ops(), 10 * (1 + 3));
+        assert_eq!(tree.static_ops(), 2);
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(SkelOp::Send { peer: 2, tag: 0, bytes: 64 }.mnemonic(), "send(2,64)");
+        assert_eq!(
+            SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 }.mnemonic(),
+            "allreduce(8)"
+        );
+        assert_eq!(SkelOp::Recv { peer: None, tag: None }.mnemonic(), "recv(*)");
+    }
+}

@@ -1,0 +1,73 @@
+//! # pskel-core — automatic construction of performance skeletons
+//!
+//! The primary contribution of *"Automatic Construction and Evaluation of
+//! Performance Skeletons"* (Sodhi & Subhlok, IPPS 2005): given the execution
+//! trace of an MPI application, automatically generate a short-running
+//! synthetic program whose execution time under any resource-sharing
+//! scenario tracks the application's.
+//!
+//! The pipeline (paper Figure 1):
+//!
+//! 1. **Record** — `pskel-mpi` traces the application on a dedicated
+//!    (simulated) testbed.
+//! 2. **Compress** — `pskel-signature` clusters similar events and folds
+//!    repeats into loop nests, yielding an execution signature.
+//! 3. **Generate** — [`SkeletonBuilder`] divides loop counts by the scaling
+//!    factor K, coalesces and scales the residue ([`construct`]), estimates
+//!    the shortest *good* skeleton ([`good`]), and emits the skeleton as an
+//!    executable IR ([`ir`]) plus compilable C source ([`codegen`]).
+//!
+//! Skeletons execute on the simulated cluster via [`exec::run_skeleton`];
+//! prediction experiments live in `pskel-predict`.
+//!
+//! ```
+//! use pskel_core::{ExecOptions, SkeletonBuilder};
+//! use pskel_mpi::{run_mpi, TraceConfig};
+//! use pskel_sim::{ClusterSpec, Placement};
+//!
+//! // Trace a toy application on a dedicated 2-node cluster.
+//! let traced = run_mpi(
+//!     ClusterSpec::homogeneous(2),
+//!     Placement::round_robin(2, 2),
+//!     "toy",
+//!     TraceConfig::on(),
+//!     |comm| {
+//!         for _ in 0..100 {
+//!             comm.compute(0.01);
+//!             comm.allreduce(8);
+//!         }
+//!     },
+//! );
+//!
+//! // Build a skeleton intended to run for ~0.1 s (K ≈ 10).
+//! let built = SkeletonBuilder::new(0.1).build(traced.trace.as_ref().unwrap());
+//! assert!(built.skeleton.meta.scale_k >= 5);
+//!
+//! // Execute it on the same testbed: it should take ~1/K of the app time.
+//! let out = pskel_core::exec::run_skeleton(
+//!     &built.skeleton,
+//!     ClusterSpec::homogeneous(2),
+//!     Placement::round_robin(2, 2),
+//!     ExecOptions::default(),
+//! );
+//! let ratio = traced.total_secs() / out.total_secs();
+//! assert!(ratio > 5.0 && ratio < 20.0);
+//! ```
+
+pub mod codegen;
+pub mod construct;
+pub mod exec;
+pub mod good;
+pub mod ir;
+pub mod pipeline;
+pub mod replay;
+pub mod validate;
+
+pub use codegen::generate_c;
+pub use construct::{construct_rank, ComputeModel, ConstructOptions};
+pub use exec::{execute_rank, run_skeleton, ExecOptions};
+pub use good::{analyze_app, analyze_rank, GoodAnalysis, RankGoodAnalysis};
+pub use ir::{RankSkeleton, SkelNode, SkelOp, Skeleton, SkeletonMeta};
+pub use pipeline::{BuiltSkeleton, SkeletonBuilder};
+pub use replay::{replay_rank, replay_trace, ReplayScale};
+pub use validate::{validate, validate_ranks};

@@ -1,0 +1,153 @@
+//! The end-to-end construction pipeline (paper Figure 1):
+//! trace → execution signature → performance skeleton.
+
+use crate::construct::{construct_rank, ConstructOptions};
+use crate::good::analyze_app;
+use crate::ir::{RankSkeleton, Skeleton, SkeletonMeta};
+use pskel_signature::{compress_app, AppSignature, SignatureOptions};
+use pskel_trace::AppTrace;
+
+/// Builds performance skeletons of a requested execution time.
+#[derive(Clone, Copy, Debug)]
+pub struct SkeletonBuilder {
+    /// Intended skeleton execution time, seconds.
+    pub target_secs: f64,
+    pub signature: SignatureOptions,
+    pub construct: ConstructOptions,
+}
+
+impl SkeletonBuilder {
+    /// A builder for a skeleton intended to run `target_secs`.
+    pub fn new(target_secs: f64) -> SkeletonBuilder {
+        assert!(
+            target_secs.is_finite() && target_secs > 0.0,
+            "target skeleton time must be positive, got {target_secs}"
+        );
+        SkeletonBuilder {
+            target_secs,
+            signature: SignatureOptions::default(),
+            construct: ConstructOptions::default(),
+        }
+    }
+
+    /// The integer scaling factor for an application of `app_secs`.
+    pub fn scale_k(&self, app_secs: f64) -> u64 {
+        ((app_secs / self.target_secs).round() as u64).max(1)
+    }
+
+    /// The compression ratio requested from the signature stage: the
+    /// paper's empirical Q = K/2 rule (§3.2).
+    pub fn target_q(&self, k: u64) -> f64 {
+        (k as f64 / 2.0).max(1.0)
+    }
+
+    /// Build a skeleton from an application trace.
+    ///
+    /// Ranks are compressed independently; if that yields structurally
+    /// incompatible rank programs (data-dependent parameters clustering
+    /// differently per rank), the similarity-threshold floor is raised and
+    /// compression retried until the skeleton passes cross-rank validation
+    /// or the threshold cap is hit.
+    pub fn build(&self, trace: &AppTrace) -> BuiltSkeleton {
+        let app_secs = trace.total_time.as_secs_f64();
+        let k = self.scale_k(app_secs);
+        let q = self.target_q(k);
+
+        let mut sig_opts = self.signature;
+        let (signature, saturated, ranks, issues) = loop {
+            let (signature, saturated) = compress_app(trace, q, sig_opts);
+            let ranks: Vec<RankSkeleton> = signature
+                .sigs
+                .iter()
+                .map(|s| construct_rank(s, k, &self.construct))
+                .collect();
+            let issues = crate::validate::validate_ranks(&ranks);
+            if issues.is_empty() {
+                break (signature, saturated, ranks, issues);
+            }
+            let used = signature.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max);
+            let next_floor = used + sig_opts.threshold_step;
+            if next_floor > sig_opts.max_threshold + 1e-12 {
+                break (signature, saturated, ranks, issues);
+            }
+            sig_opts.min_threshold = next_floor;
+        };
+
+        let good = analyze_app(&signature);
+        let max_threshold =
+            signature.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max);
+        let is_good = k <= good.max_good_k;
+
+        let mut warnings = Vec::new();
+        if saturated {
+            warnings.push(format!(
+                "similarity threshold saturated at {:.2} before reaching compression ratio Q={q:.1}",
+                self.signature.max_threshold
+            ));
+        }
+        if !issues.is_empty() {
+            warnings.push(format!(
+                "skeleton is structurally inconsistent across ranks even at the threshold cap: {}",
+                issues.join("; ")
+            ));
+        }
+        if !is_good {
+            warnings.push(format!(
+                "requested {:.2}s skeleton is below the estimated minimum good skeleton of {:.2}s \
+                 (K={k} exceeds the dominant loop count {}); prediction quality may suffer",
+                self.target_secs, good.min_good_secs, good.max_good_k
+            ));
+        }
+
+        let skeleton = Skeleton {
+            app: trace.app.clone(),
+            ranks,
+            meta: SkeletonMeta {
+                scale_k: k,
+                target_secs: self.target_secs,
+                app_secs,
+                target_q: q,
+                max_threshold,
+                threshold_saturated: saturated,
+                min_good_secs: good.min_good_secs,
+                good: is_good,
+            },
+        };
+        BuiltSkeleton { skeleton, signature, warnings }
+    }
+}
+
+/// Result of the construction pipeline.
+#[derive(Clone, Debug)]
+pub struct BuiltSkeleton {
+    pub skeleton: Skeleton,
+    pub signature: AppSignature,
+    /// Human-readable warnings (threshold saturation, not-good skeletons).
+    pub warnings: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_k_rounds_to_nearest() {
+        let b = SkeletonBuilder::new(10.0);
+        assert_eq!(b.scale_k(202.0), 20);
+        assert_eq!(b.scale_k(5.0), 1, "never below 1");
+        assert_eq!(b.scale_k(1000.0), 100);
+    }
+
+    #[test]
+    fn q_rule_is_half_k() {
+        let b = SkeletonBuilder::new(1.0);
+        assert_eq!(b.target_q(40), 20.0);
+        assert_eq!(b.target_q(1), 1.0, "clamped at 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_target_rejected() {
+        SkeletonBuilder::new(0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Trace replay: execute a recorded trace directly on the simulated
+//! cluster, optionally scaled.
+//!
+//! Replay serves two comparison points that frame the skeleton approach:
+//!
+//! * **Full replay** (scale 1) re-executes the application's exact
+//!   operation stream — a perfect predictor that costs as much as the
+//!   application itself (the paper's argument for *short-running*
+//!   skeletons).
+//! * **Naively scaled replay** divides every compute duration and message
+//!   size by K while keeping *every operation*: the obvious alternative to
+//!   signature-based construction. It keeps full per-operation latency and
+//!   software overhead, so it is both slow to run (N ops, not N/K) and
+//!   systematically wrong wherever latency matters — quantifying why the
+//!   paper compresses loops instead of shrinking the whole trace.
+
+use pskel_mpi::{run_mpi_fns, Comm, CommReq, MpiProgram, MpiRunOutcome, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement};
+use pskel_trace::{AppTrace, OpKind, ProcessTrace, Record};
+use std::collections::HashMap;
+
+/// Uniform scaling applied during replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayScale {
+    /// Multiplier on compute durations (1.0 = verbatim).
+    pub compute: f64,
+    /// Multiplier on message/collective sizes (1.0 = verbatim).
+    pub bytes: f64,
+}
+
+impl ReplayScale {
+    /// Verbatim replay.
+    pub fn full() -> ReplayScale {
+        ReplayScale { compute: 1.0, bytes: 1.0 }
+    }
+
+    /// The naive 1/K scaling of the whole trace.
+    pub fn naive(k: u64) -> ReplayScale {
+        let f = 1.0 / k as f64;
+        ReplayScale { compute: f, bytes: f }
+    }
+}
+
+/// Replay one rank's trace against a communicator.
+pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
+    let scale_bytes = |b: u64| -> u64 {
+        if b == 0 {
+            0
+        } else {
+            ((b as f64 * scale.bytes).round() as u64).max(1)
+        }
+    };
+    let mut slots: HashMap<u32, CommReq> = HashMap::new();
+    for rec in &trace.records {
+        match rec {
+            Record::Compute { dur } => comm.compute(dur.as_secs_f64() * scale.compute),
+            Record::Mpi(e) => {
+                let peer = e.peer.map(|p| p as usize);
+                let bytes = scale_bytes(e.bytes);
+                match e.kind {
+                    OpKind::Send => comm.send(peer.expect("send peer"), e.tag.unwrap_or(0), bytes),
+                    OpKind::Isend => {
+                        let req =
+                            comm.isend(peer.expect("isend peer"), e.tag.unwrap_or(0), bytes);
+                        slots.insert(e.slots[0], req);
+                    }
+                    OpKind::Recv => {
+                        comm.recv(peer, e.tag);
+                    }
+                    OpKind::Irecv => {
+                        let req = comm.irecv(peer, e.tag, bytes);
+                        slots.insert(e.slots[0], req);
+                    }
+                    OpKind::Wait => {
+                        let req = slots
+                            .remove(&e.slots[0])
+                            .expect("trace wait references a live request");
+                        comm.wait(req);
+                    }
+                    OpKind::Waitall => {
+                        let reqs = e
+                            .slots
+                            .iter()
+                            .map(|s| slots.remove(s).expect("trace waitall slot live"))
+                            .collect();
+                        comm.waitall(reqs);
+                    }
+                    OpKind::Barrier => comm.barrier(),
+                    OpKind::Bcast => comm.bcast(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Reduce => comm.reduce(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Allreduce => comm.allreduce(bytes),
+                    OpKind::Gather => comm.gather(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Scatter => comm.scatter(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Allgather | OpKind::Allgatherv => comm.allgather(bytes),
+                    OpKind::Alltoall | OpKind::Alltoallv => comm.alltoall(bytes),
+                    OpKind::ReduceScatter => comm.reduce_scatter(bytes),
+                    OpKind::Scan => comm.scan(bytes),
+                }
+            }
+        }
+    }
+    assert!(slots.is_empty(), "trace replay left unwaited requests");
+}
+
+/// Replay a whole application trace on a cluster.
+pub fn replay_trace(
+    trace: &AppTrace,
+    cluster: ClusterSpec,
+    placement: Placement,
+    scale: ReplayScale,
+) -> MpiRunOutcome {
+    assert_eq!(
+        trace.nranks(),
+        placement.n_ranks(),
+        "trace has {} ranks but placement has {}",
+        trace.nranks(),
+        placement.n_ranks()
+    );
+    let name = format!("replay:{}", trace.app);
+    let programs: Vec<MpiProgram> = trace
+        .procs
+        .iter()
+        .cloned()
+        .map(|p| {
+            Box::new(move |comm: &mut Comm| replay_rank(&p, comm, scale)) as MpiProgram
+        })
+        .collect();
+    run_mpi_fns(cluster, placement, &name, TraceConfig::off(), programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_mpi::run_mpi;
+
+    fn traced_app() -> (f64, AppTrace) {
+        let out = run_mpi(
+            ClusterSpec::homogeneous(4),
+            Placement::round_robin(4, 4),
+            "replaytest",
+            TraceConfig::on(),
+            |comm| {
+                for i in 0..20u64 {
+                    comm.compute(0.005);
+                    let peer = comm.rank() ^ 1;
+                    let s = comm.isend(peer, i, 50_000);
+                    let r = comm.irecv(Some(peer), Some(i), 50_000);
+                    comm.waitall(vec![s, r]);
+                    comm.allreduce(8);
+                }
+            },
+        );
+        (out.total_secs(), out.trace.unwrap())
+    }
+
+    #[test]
+    fn full_replay_reproduces_runtime_exactly() {
+        let (original, trace) = traced_app();
+        let replayed = replay_trace(
+            &trace,
+            ClusterSpec::homogeneous(4),
+            Placement::round_robin(4, 4),
+            ReplayScale::full(),
+        )
+        .total_secs();
+        // Replay re-issues the same demands; timing matches to float noise.
+        assert!(
+            (replayed - original).abs() / original < 1e-6,
+            "replay {replayed} vs original {original}"
+        );
+    }
+
+    #[test]
+    fn naive_scaling_keeps_op_count_but_shrinks_time() {
+        let (original, trace) = traced_app();
+        let out = replay_trace(
+            &trace,
+            ClusterSpec::homogeneous(4),
+            Placement::round_robin(4, 4),
+            ReplayScale::naive(10),
+        );
+        let t = out.total_secs();
+        assert!(t < original / 2.0, "scaled replay too slow: {t} vs {original}");
+        // But nowhere near original/10: per-op latency doesn't scale.
+        assert!(
+            t > original / 10.0,
+            "scaled replay impossibly fast: {t} vs {original}"
+        );
+        // All messages still happen.
+        let msgs: u64 = out.report.rank_stats.iter().map(|s| s.msgs_sent).sum();
+        assert!(msgs >= 4 * 20, "messages missing: {msgs}");
+    }
+
+    #[test]
+    fn replay_respects_scenario_contention() {
+        let (_, trace) = traced_app();
+        let free = replay_trace(
+            &trace,
+            ClusterSpec::homogeneous(4),
+            Placement::round_robin(4, 4),
+            ReplayScale::full(),
+        )
+        .total_secs();
+        let loaded = replay_trace(
+            &trace,
+            ClusterSpec::homogeneous(4).with_competing_processes(0, 2),
+            Placement::round_robin(4, 4),
+            ReplayScale::full(),
+        )
+        .total_secs();
+        assert!(loaded > free * 1.1, "contention must slow replay: {free} -> {loaded}");
+    }
+}

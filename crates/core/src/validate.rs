@@ -1,0 +1,232 @@
+//! Static cross-rank consistency checks for constructed skeletons.
+//!
+//! Construction scales every rank independently; for SPMD applications the
+//! deterministic rules keep matching operation counts aligned, but a bug
+//! (or a genuinely non-SPMD trace) would produce a skeleton that deadlocks
+//! at execution time. These checks catch the common cases statically.
+
+use crate::ir::{SkelNode, SkelOp, Skeleton};
+use pskel_trace::OpKind;
+use std::collections::HashMap;
+
+/// Problems found in a skeleton. Empty means "no static inconsistency".
+pub fn validate(skeleton: &Skeleton) -> Vec<String> {
+    validate_ranks(&skeleton.ranks)
+}
+
+/// Rank-program-level validation (used by the construction pipeline before
+/// the [`Skeleton`] wrapper exists).
+pub fn validate_ranks(ranks: &[crate::ir::RankSkeleton]) -> Vec<String> {
+    let mut issues = Vec::new();
+    let n = ranks.len();
+
+    // Expanded send counts per (src, dst, tag) and recv counts per
+    // (dst, src, tag) — wildcard receives counted per (dst, *, *).
+    let mut sends: HashMap<(usize, usize, u64), u64> = HashMap::new();
+    let mut recvs: HashMap<(usize, Option<usize>, Option<u64>), u64> = HashMap::new();
+    // Collective call sequences per rank (kind only: sizes may legally vary
+    // per rank for rooted/v collectives).
+    let mut coll_seqs: Vec<Vec<OpKind>> = vec![Vec::new(); n];
+
+    for (rank, rs) in ranks.iter().enumerate() {
+        count_ops(&rs.nodes, 1, &mut |op, mult| match op {
+            SkelOp::Send { peer, tag, .. } | SkelOp::Isend { peer, tag, .. } => {
+                *sends.entry((rank, *peer as usize, *tag)).or_default() += mult;
+            }
+            SkelOp::Recv { peer, tag } | SkelOp::Irecv { peer, tag, .. } => {
+                *recvs
+                    .entry((rank, peer.map(|p| p as usize), *tag))
+                    .or_default() += mult;
+            }
+            SkelOp::Coll { kind, .. } => {
+                for _ in 0..mult {
+                    coll_seqs[rank].push(*kind);
+                }
+            }
+            _ => {}
+        });
+    }
+
+    // Collective sequences must be identical across ranks.
+    for r in 1..n {
+        if coll_seqs[r] != coll_seqs[0] {
+            issues.push(format!(
+                "collective sequence of rank {r} ({} calls) differs from rank 0 ({} calls)",
+                coll_seqs[r].len(),
+                coll_seqs[0].len()
+            ));
+        }
+    }
+
+    // Point-to-point balance. Wildcard receives absorb anything addressed
+    // to the rank, so do the accounting per destination.
+    for dst in 0..n {
+        let incoming: u64 = sends
+            .iter()
+            .filter(|((_, d, _), _)| *d == dst)
+            .map(|(_, c)| *c)
+            .sum();
+        let receives: u64 = recvs
+            .iter()
+            .filter(|((r, _, _), _)| *r == dst)
+            .map(|(_, c)| *c)
+            .sum();
+        if incoming != receives {
+            issues.push(format!(
+                "rank {dst} receives {receives} messages but {incoming} are sent to it"
+            ));
+        }
+        // Exact-source receives must not exceed what that source sends.
+        let mut per_src: HashMap<(usize, Option<u64>), u64> = HashMap::new();
+        for ((r, src, tag), c) in &recvs {
+            if *r == dst {
+                if let Some(s) = src {
+                    *per_src.entry((*s, *tag)).or_default() += c;
+                }
+            }
+        }
+        for ((src, tag), want) in per_src {
+            let have: u64 = sends
+                .iter()
+                .filter(|((s, d, t), _)| {
+                    *s == src && *d == dst && tag.is_none_or(|tt| *t == tt)
+                })
+                .map(|(_, c)| *c)
+                .sum();
+            if want > have {
+                issues.push(format!(
+                    "rank {dst} posts {want} receives from rank {src} (tag {tag:?}) but only \
+                     {have} matching sends exist"
+                ));
+            }
+        }
+    }
+    issues
+}
+
+fn count_ops(nodes: &[SkelNode], mult: u64, f: &mut impl FnMut(&SkelOp, u64)) {
+    for n in nodes {
+        match n {
+            SkelNode::Op(op) => f(op, mult),
+            SkelNode::Loop { count, body } => count_ops(body, mult * count, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{RankSkeleton, SkeletonMeta};
+
+    fn meta() -> SkeletonMeta {
+        SkeletonMeta {
+            scale_k: 1,
+            target_secs: 1.0,
+            app_secs: 1.0,
+            target_q: 1.0,
+            max_threshold: 0.0,
+            threshold_saturated: false,
+            min_good_secs: 0.0,
+            good: true,
+        }
+    }
+
+    fn send(peer: u32) -> SkelNode {
+        SkelNode::Op(SkelOp::Send { peer, tag: 0, bytes: 100 })
+    }
+
+    fn recv(peer: Option<u32>) -> SkelNode {
+        SkelNode::Op(SkelOp::Recv { peer, tag: Some(0) })
+    }
+
+    #[test]
+    fn balanced_skeleton_passes() {
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton { rank: 0, nodes: vec![send(1), recv(Some(1))] },
+                RankSkeleton { rank: 1, nodes: vec![send(0), recv(Some(0))] },
+            ],
+            meta: meta(),
+        };
+        assert!(validate(&s).is_empty());
+    }
+
+    #[test]
+    fn missing_receive_is_reported() {
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton { rank: 0, nodes: vec![send(1)] },
+                RankSkeleton { rank: 1, nodes: vec![] },
+            ],
+            meta: meta(),
+        };
+        let issues = validate(&s);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].contains("rank 1 receives 0 messages but 1 are sent"));
+    }
+
+    #[test]
+    fn loop_multiplicity_is_counted() {
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![SkelNode::Loop { count: 5, body: vec![send(1)] }],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![SkelNode::Loop { count: 5, body: vec![recv(Some(0))] }],
+                },
+            ],
+            meta: meta(),
+        };
+        assert!(validate(&s).is_empty());
+    }
+
+    #[test]
+    fn collective_sequence_mismatch_is_reported() {
+        let allred = SkelNode::Op(SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 });
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton { rank: 0, nodes: vec![allred.clone(), allred.clone()] },
+                RankSkeleton { rank: 1, nodes: vec![allred] },
+            ],
+            meta: meta(),
+        };
+        let issues = validate(&s);
+        assert!(issues.iter().any(|i| i.contains("collective sequence")));
+    }
+
+    #[test]
+    fn wildcard_receives_absorb_any_sender() {
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton { rank: 0, nodes: vec![recv(None), recv(None)] },
+                RankSkeleton { rank: 1, nodes: vec![send(0)] },
+                RankSkeleton { rank: 2, nodes: vec![send(0)] },
+            ],
+            meta: meta(),
+        };
+        assert!(validate(&s).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_exact_source_is_reported() {
+        let s = Skeleton {
+            app: "x".into(),
+            ranks: vec![
+                RankSkeleton { rank: 0, nodes: vec![recv(Some(1)), recv(Some(1))] },
+                RankSkeleton { rank: 1, nodes: vec![send(0)] },
+                RankSkeleton { rank: 2, nodes: vec![send(0)] },
+            ],
+            meta: meta(),
+        };
+        let issues = validate(&s);
+        assert!(issues.iter().any(|i| i.contains("posts 2 receives from rank 1")));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of skeleton construction: exact compute scaling,
+//! op-count bounds, determinism, and C generation well-formedness on
+//! random signatures.
+
+use proptest::prelude::*;
+use pskel_core::{construct_rank, generate_c, ConstructOptions, SkelNode, SkelOp};
+use pskel_core::{RankSkeleton, Skeleton, SkeletonMeta};
+use pskel_signature::{ClusterInfo, EventKey, ExecutionSignature, Tok};
+use pskel_trace::OpKind;
+
+/// A small alphabet of blocking operations (sends/collectives only, so any
+/// random composition is a valid single-rank program shape).
+fn clusters() -> Vec<ClusterInfo> {
+    let mk = |kind: OpKind, peer: Option<u32>, bytes: f64| ClusterInfo {
+        key: EventKey { kind, peer, tag: Some(0), slots: vec![] },
+        mean_bytes: bytes,
+        mean_dur_secs: 1e-5,
+        count: 1,
+        mean_compute_secs: 0.0,
+        m2_compute: 0.0,
+    };
+    vec![
+        mk(OpKind::Send, Some(1), 5_000.0),
+        mk(OpKind::Send, Some(2), 80_000.0),
+        mk(OpKind::Allreduce, None, 8.0),
+        mk(OpKind::Bcast, Some(0), 4_096.0),
+        mk(OpKind::Barrier, None, 0.0),
+    ]
+}
+
+fn arb_tokens(depth: u32) -> BoxedStrategy<Vec<Tok>> {
+    let sym = (0..5u32, 0.0..0.1f64)
+        .prop_map(|(id, c)| Tok::Sym { id, compute_before: c });
+    if depth == 0 {
+        prop::collection::vec(sym, 1..6).boxed()
+    } else {
+        let leaf = sym.boxed();
+        let node = prop_oneof![
+            3 => leaf.clone(),
+            2 => (1..40u64, arb_tokens(depth - 1))
+                .prop_map(|(count, body)| Tok::Loop { count, body }),
+        ];
+        prop::collection::vec(node, 1..6).boxed()
+    }
+}
+
+fn sig_of(tokens: Vec<Tok>) -> ExecutionSignature {
+    let trace_len = tokens.iter().map(Tok::expanded_len).sum();
+    ExecutionSignature {
+        rank: 0,
+        tokens,
+        clusters: clusters(),
+        tail_compute: 0.0,
+        trace_len,
+        threshold: 0.0,
+    }
+}
+
+fn expanded_compute(nodes: &[SkelNode]) -> f64 {
+    nodes
+        .iter()
+        .map(|n| match n {
+            SkelNode::Op(SkelOp::Compute { secs, .. }) => *secs,
+            SkelNode::Op(_) => 0.0,
+            SkelNode::Loop { count, body } => *count as f64 * expanded_compute(body),
+        })
+        .sum()
+}
+
+fn expanded_mpi_ops(nodes: &[SkelNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| match n {
+            SkelNode::Op(SkelOp::Compute { .. }) => 0,
+            SkelNode::Op(_) => 1,
+            SkelNode::Loop { count, body } => count * expanded_mpi_ops(body),
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compute time scales by exactly 1/K, whatever the loop structure.
+    #[test]
+    fn compute_scales_exactly(tokens in arb_tokens(2), k in 1..500u64) {
+        let sig = sig_of(tokens);
+        let original = pskel_signature::token::total_compute(&sig.tokens);
+        for opts in [
+            ConstructOptions::default(),
+            ConstructOptions { consolidate_residue: true, ..Default::default() },
+        ] {
+            let skel = construct_rank(&sig, k, &opts);
+            let got = expanded_compute(&skel.nodes);
+            let want = original / k as f64;
+            prop_assert!(
+                (got - want).abs() <= 1e-9 + want * 1e-9,
+                "k={}, got {}, want {}", k, got, want
+            );
+        }
+    }
+
+    /// K=1 replays every operation of the signature.
+    #[test]
+    fn k_one_preserves_all_ops(tokens in arb_tokens(2)) {
+        let sig = sig_of(tokens);
+        let skel = construct_rank(&sig, 1, &ConstructOptions::default());
+        prop_assert_eq!(expanded_mpi_ops(&skel.nodes) as usize, sig.expanded_len());
+    }
+
+    /// The skeleton never contains more operations than the application.
+    #[test]
+    fn op_count_never_grows(tokens in arb_tokens(2), k in 1..500u64) {
+        let sig = sig_of(tokens);
+        let skel = construct_rank(&sig, k, &ConstructOptions::default());
+        prop_assert!(expanded_mpi_ops(&skel.nodes) as usize <= sig.expanded_len());
+    }
+
+    /// Consolidation can only reduce the operation count further.
+    #[test]
+    fn consolidation_never_adds_ops(tokens in arb_tokens(2), k in 2..200u64) {
+        let sig = sig_of(tokens);
+        let literal = construct_rank(
+            &sig, k, &ConstructOptions { consolidate_residue: false, ..Default::default() });
+        let consolidated = construct_rank(
+            &sig, k, &ConstructOptions { consolidate_residue: true, ..Default::default() });
+        prop_assert!(
+            expanded_mpi_ops(&consolidated.nodes) <= expanded_mpi_ops(&literal.nodes)
+        );
+    }
+
+    /// Construction is a pure function.
+    #[test]
+    fn construction_is_deterministic(tokens in arb_tokens(2), k in 1..100u64) {
+        let sig = sig_of(tokens);
+        let a = construct_rank(&sig, k, &ConstructOptions::default());
+        let b = construct_rank(&sig, k, &ConstructOptions::default());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generated C is textually well-formed for arbitrary skeletons.
+    #[test]
+    fn generated_c_is_well_formed(tokens in arb_tokens(1), k in 1..50u64) {
+        let sig = sig_of(tokens);
+        let rank0 = construct_rank(&sig, k, &ConstructOptions::default());
+        let skeleton = Skeleton {
+            app: "prop".into(),
+            ranks: vec![RankSkeleton { rank: 0, nodes: rank0.nodes }],
+            meta: SkeletonMeta {
+                scale_k: k,
+                target_secs: 1.0,
+                app_secs: k as f64,
+                target_q: 1.0,
+                max_threshold: 0.0,
+                threshold_saturated: false,
+                min_good_secs: 0.0,
+                good: true,
+            },
+        };
+        let c = generate_c(&skeleton);
+        prop_assert_eq!(c.matches('{').count(), c.matches('}').count());
+        prop_assert!(c.contains("MPI_Init"));
+        prop_assert!(c.contains("MPI_Finalize"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Collective operations, implemented over point-to-point messages with the
+//! algorithms MPICH of the paper's era used: binomial trees for rooted
+//! collectives, recursive doubling for allreduce, ring for allgather and
+//! pairwise exchange for alltoall.
+//!
+//! Building collectives from p2p (rather than magic constant-time models)
+//! matters for the paper's evaluation: throttling *one* link must slow a
+//! collective by exactly the traffic that crosses that link, which is what
+//! produces the error structure of Figure 6.
+//!
+//! Each collective is traced as a single [`OpKind`] event — the trace
+//! reflects the MPI interface, not the implementation, just as the paper's
+//! PMPI shim sees it.
+
+use crate::comm::Comm;
+use pskel_trace::OpKind;
+
+impl Comm<'_> {
+    /// Synchronize all ranks (dissemination algorithm, ⌈log₂ n⌉ rounds).
+    pub fn barrier(&mut self) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            let mut dist = 1;
+            while dist < n {
+                let to = (me + dist) % n;
+                let from = (me + n - dist) % n;
+                self.raw_sendrecv(to, tag, 0, from);
+                dist *= 2;
+            }
+        }
+        self.record_collective(start, OpKind::Barrier, None, 0);
+    }
+
+    /// Broadcast `bytes` from `root` (binomial tree).
+    pub fn bcast(&mut self, root: usize, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            let vrank = (me + n - root) % n;
+            // Find the parent: the first set bit of vrank.
+            let mut mask = 1usize;
+            while mask < n {
+                if vrank & mask != 0 {
+                    let parent = (vrank - mask + root) % n;
+                    self.raw_recv(Some(parent), Some(tag));
+                    break;
+                }
+                mask <<= 1;
+            }
+            // Forward to children with decreasing masks.
+            mask >>= 1;
+            while mask > 0 {
+                if vrank & mask == 0 && vrank + mask < n {
+                    let child = (vrank + mask + root) % n;
+                    self.raw_send(child, tag, bytes);
+                }
+                mask >>= 1;
+            }
+        }
+        self.record_collective(start, OpKind::Bcast, Some(root as u32), bytes);
+    }
+
+    /// Reduce `bytes` of data to `root` (binomial tree, reversed bcast).
+    pub fn reduce(&mut self, root: usize, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            let vrank = (me + n - root) % n;
+            let mut mask = 1usize;
+            while mask < n {
+                if vrank & mask != 0 {
+                    let parent = (vrank - mask + root) % n;
+                    self.raw_send(parent, tag, bytes);
+                    break;
+                } else if vrank + mask < n {
+                    let child = (vrank + mask + root) % n;
+                    self.raw_recv(Some(child), Some(tag));
+                }
+                mask <<= 1;
+            }
+        }
+        self.record_collective(start, OpKind::Reduce, Some(root as u32), bytes);
+    }
+
+    /// Allreduce of `bytes` (recursive doubling; non-power-of-two ranks fold
+    /// into the nearest power of two first, as in MPICH).
+    pub fn allreduce(&mut self, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
+            let rem = n - pow2;
+            // Fold: ranks >= pow2 send their contribution to (rank - pow2).
+            let participates = if me >= pow2 {
+                self.raw_send(me - pow2, tag, bytes);
+                false
+            } else {
+                if me < rem {
+                    self.raw_recv(Some(me + pow2), Some(tag));
+                }
+                true
+            };
+            if participates {
+                let mut mask = 1usize;
+                while mask < pow2 {
+                    let partner = me ^ mask;
+                    self.raw_sendrecv(partner, tag, bytes, partner);
+                    mask <<= 1;
+                }
+            }
+            // Unfold: results go back to the folded ranks.
+            if me >= pow2 {
+                self.raw_recv(Some(me - pow2), Some(tag));
+            } else if me < rem {
+                self.raw_send(me + pow2, tag, bytes);
+            }
+        }
+        self.record_collective(start, OpKind::Allreduce, None, bytes);
+    }
+
+    /// Allgather with `bytes` contributed per rank (ring algorithm:
+    /// n−1 steps, each forwarding one block).
+    pub fn allgather(&mut self, bytes: u64) {
+        let start = self.begin_collective();
+        self.ring_allgather_core(&vec![bytes; self.size()]);
+        self.record_collective(start, OpKind::Allgather, None, bytes);
+    }
+
+    /// Allgather with per-rank contribution sizes.
+    pub fn allgatherv(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.size(), "allgatherv needs one count per rank");
+        let start = self.begin_collective();
+        self.ring_allgather_core(counts);
+        let mine = counts[self.rank()];
+        self.record_collective(start, OpKind::Allgatherv, None, mine);
+    }
+
+    fn ring_allgather_core(&mut self, counts: &[u64]) {
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n <= 1 {
+            return;
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        // Step i forwards the block that originated at (me - i) mod n.
+        for i in 0..n - 1 {
+            let outgoing = counts[(me + n - i) % n];
+            self.raw_sendrecv(right, tag, outgoing, left);
+        }
+    }
+
+    /// Alltoall with `bytes` per (source, destination) pair (pairwise
+    /// exchange: n−1 balanced rounds).
+    pub fn alltoall(&mut self, bytes: u64) {
+        let start = self.begin_collective();
+        let n = self.size();
+        self.alltoall_core(&vec![bytes; n]);
+        self.record_collective(start, OpKind::Alltoall, None, bytes);
+    }
+
+    /// Alltoallv: `send_counts[d]` bytes go from this rank to rank `d`.
+    /// All ranks must pass mutually consistent matrices (as in MPI, where
+    /// recv counts are supplied explicitly).
+    pub fn alltoallv(&mut self, send_counts: &[u64]) {
+        assert_eq!(send_counts.len(), self.size(), "alltoallv needs one count per rank");
+        let start = self.begin_collective();
+        self.alltoall_core(send_counts);
+        let total: u64 = send_counts.iter().sum();
+        let avg = total / self.size().max(1) as u64;
+        self.record_collective(start, OpKind::Alltoallv, None, avg);
+    }
+
+    fn alltoall_core(&mut self, send_counts: &[u64]) {
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        for i in 1..n {
+            let dst = (me + i) % n;
+            let src = (me + n - i) % n;
+            self.raw_sendrecv(dst, tag, send_counts[dst], src);
+        }
+    }
+
+    /// Reduce-scatter: combine a vector of `n × bytes` and leave each rank
+    /// one `bytes`-sized block (recursive halving for powers of two, with
+    /// a fold step otherwise — MPICH's algorithm family).
+    pub fn reduce_scatter(&mut self, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            let pow2 = if n.is_power_of_two() { n } else { n.next_power_of_two() / 2 };
+            let rem = n - pow2;
+            // Fold extra ranks into the power-of-two set.
+            let participates = if me >= pow2 {
+                self.raw_send(me - pow2, tag, bytes * n as u64);
+                false
+            } else {
+                if me < rem {
+                    self.raw_recv(Some(me + pow2), Some(tag));
+                }
+                true
+            };
+            if participates {
+                // Recursive halving: each round exchanges half the
+                // remaining vector with a partner at decreasing distance.
+                let mut dist = pow2 / 2;
+                let mut chunk = bytes * (pow2 as u64 / 2);
+                while dist >= 1 {
+                    let partner = me ^ dist;
+                    self.raw_sendrecv(partner, tag, chunk, partner);
+                    dist /= 2;
+                    chunk = (chunk / 2).max(bytes);
+                }
+            }
+            // Deliver the folded ranks their block.
+            if me >= pow2 {
+                self.raw_recv(Some(me - pow2), Some(tag));
+            } else if me < rem {
+                self.raw_send(me + pow2, tag, bytes);
+            }
+        }
+        self.record_collective(start, OpKind::ReduceScatter, None, bytes);
+    }
+
+    /// Inclusive prefix reduction (linear chain, as in small-communicator
+    /// MPICH): rank r receives from r-1, combines, forwards to r+1.
+    pub fn scan(&mut self, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            if me > 0 {
+                self.raw_recv(Some(me - 1), Some(tag));
+            }
+            if me + 1 < n {
+                self.raw_send(me + 1, tag, bytes);
+            }
+        }
+        self.record_collective(start, OpKind::Scan, None, bytes);
+    }
+
+    /// Gather `bytes` from every rank to `root` (linear; fine at the
+    /// paper's scale of 4 ranks — MPICH's binomial gather differs only in
+    /// constant factors here).
+    pub fn gather(&mut self, root: usize, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            if me == root {
+                for src in 0..n {
+                    if src != root {
+                        self.raw_recv(Some(src), Some(tag));
+                    }
+                }
+            } else {
+                self.raw_send(root, tag, bytes);
+            }
+        }
+        self.record_collective(start, OpKind::Gather, Some(root as u32), bytes);
+    }
+
+    /// Scatter `bytes` to every rank from `root` (linear).
+    pub fn scatter(&mut self, root: usize, bytes: u64) {
+        let start = self.begin_collective();
+        let tag = self.fresh_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        if n > 1 {
+            if me == root {
+                for dst in 0..n {
+                    if dst != root {
+                        self.raw_send(dst, tag, bytes);
+                    }
+                }
+            } else {
+                self.raw_recv(Some(root), Some(tag));
+            }
+        }
+        self.record_collective(start, OpKind::Scatter, Some(root as u32), bytes);
+    }
+}

@@ -1,0 +1,418 @@
+//! The MPI-like communicator, with a built-in PMPI-style profiling shim.
+//!
+//! `Comm` wraps a rank's [`SimCtx`] and exposes the subset of MPI the NAS
+//! benchmarks exercise: blocking and nonblocking point-to-point calls,
+//! waits, and the common collectives (implemented over point-to-point in
+//! `collectives.rs`, using MPICH's algorithms).
+//!
+//! When tracing is enabled, every call is recorded as an [`MpiEvent`] with
+//! its parameters and start/end virtual timestamps, and the gap since the
+//! previous call is recorded as computation — the paper's trace format
+//! (§3.1). Tracing requires no change to application code, mirroring the
+//! paper's link-time PMPI interposition.
+
+use crate::slots::SlotAllocator;
+use pskel_sim::{RecvInfo, SimCtx, SimReq, SimTime};
+use pskel_trace::{MpiEvent, OpKind, ProcessTrace, Record};
+use std::collections::HashMap;
+
+/// Tag bit reserved for collective-internal messages; user tags must stay
+/// below this.
+pub const COLL_TAG_BASE: u64 = 1 << 62;
+
+/// Handle to a pending nonblocking operation issued through [`Comm`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct CommReq(u64);
+
+#[derive(Debug)]
+struct PendingNb {
+    sim: SimReq,
+    slot: u32,
+    kind: OpKind,
+    /// Peer/tag of the initiating call, echoed into the wait's trace event
+    /// so that waits from different call sites stay distinct symbols during
+    /// clustering (their slot numbers alone would collide).
+    peer: Option<u32>,
+    tag: Option<u64>,
+}
+
+/// Records the trace of one rank while the application runs.
+#[derive(Debug)]
+pub struct Tracer {
+    records: Vec<Record>,
+    last_end: SimTime,
+    /// Artificial per-event overhead in CPU-seconds, to let experiments
+    /// quantify the cost of tracing (the paper reports < 1%).
+    pub overhead_secs: f64,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer { records: Vec::new(), last_end: SimTime::ZERO, overhead_secs: 0.0 }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// Per-rank communicator handle.
+///
+/// A communicator may span all simulated ranks (the default) or a *group*
+/// — a subset of world ranks, as when several jobs are co-scheduled on one
+/// cluster (see [`crate::harness::run_jobs`]). All rank numbers at this
+/// API are group-relative; translation to world ranks happens here.
+pub struct Comm<'a> {
+    ctx: &'a mut SimCtx,
+    tracer: Option<Tracer>,
+    slots: SlotAllocator,
+    pending: HashMap<u64, PendingNb>,
+    next_req: u64,
+    coll_seq: u64,
+    /// World ranks of this communicator's members, in group order.
+    group: Vec<usize>,
+    /// This rank's position within `group`.
+    group_rank: usize,
+}
+
+impl<'a> Comm<'a> {
+    /// Wrap a rank context. Pass a [`Tracer`] to record the execution trace.
+    pub fn new(ctx: &'a mut SimCtx, tracer: Option<Tracer>) -> Comm<'a> {
+        let group: Vec<usize> = (0..ctx.nranks()).collect();
+        Comm::with_group(ctx, tracer, group)
+    }
+
+    /// Wrap a rank context as a member of a communicator over `group`
+    /// (world ranks, which must include this rank exactly once).
+    pub fn with_group(
+        ctx: &'a mut SimCtx,
+        tracer: Option<Tracer>,
+        group: Vec<usize>,
+    ) -> Comm<'a> {
+        let me = ctx.rank();
+        let group_rank = group
+            .iter()
+            .position(|&w| w == me)
+            .unwrap_or_else(|| panic!("world rank {me} is not a member of group {group:?}"));
+        assert!(
+            group.iter().filter(|&&w| w == me).count() == 1,
+            "world rank {me} appears more than once in group {group:?}"
+        );
+        Comm {
+            ctx,
+            tracer,
+            slots: SlotAllocator::new(),
+            pending: HashMap::new(),
+            next_req: 0,
+            coll_seq: 0,
+            group,
+            group_rank,
+        }
+    }
+
+    /// This rank (group-relative).
+    pub fn rank(&self) -> usize {
+        self.group_rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Translate a group rank to the underlying world rank.
+    fn world(&self, group_rank: usize) -> usize {
+        *self
+            .group
+            .get(group_rank)
+            .unwrap_or_else(|| panic!("rank {group_rank} outside communicator of size {}", self.group.len()))
+    }
+
+    /// Translate a world rank back to this group (panics if foreign —
+    /// impossible for matched traffic, since groups are disjoint).
+    fn group_rank_of(&self, world: usize) -> usize {
+        self.group
+            .iter()
+            .position(|&w| w == world)
+            .unwrap_or_else(|| panic!("received from world rank {world}, not in this group"))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Perform local computation (not an MPI call; shows up in the trace as
+    /// the gap between surrounding MPI calls).
+    pub fn compute(&mut self, secs: f64) {
+        self.ctx.compute(secs);
+    }
+
+    /// Direct access to the underlying simulation context.
+    pub fn ctx(&mut self) -> &mut SimCtx {
+        self.ctx
+    }
+
+    pub(crate) fn fresh_coll_tag(&mut self) -> u64 {
+        self.coll_seq += 1;
+        COLL_TAG_BASE + self.coll_seq
+    }
+
+    // ---- tracing plumbing --------------------------------------------------
+
+    /// Per-call software cost of the message stack, charged inside the call
+    /// (so it shows up as MPI time in traces, as it would under PMPI).
+    fn charge_call_overhead(&mut self) {
+        let o = self.ctx.sw_overhead_secs();
+        self.ctx.compute(o);
+    }
+
+    fn begin(&mut self) -> SimTime {
+        let start = self.ctx.now();
+        self.charge_call_overhead();
+        if let Some(t) = &self.tracer {
+            if t.overhead_secs > 0.0 {
+                self.ctx.compute(t.overhead_secs);
+            }
+        }
+        start
+    }
+
+    fn end(
+        &mut self,
+        start: SimTime,
+        kind: OpKind,
+        peer: Option<u32>,
+        tag: Option<u64>,
+        bytes: u64,
+        slots: Vec<u32>,
+    ) {
+        let end = self.ctx.now();
+        if let Some(t) = &mut self.tracer {
+            let gap = start.saturating_since(t.last_end);
+            if !gap.is_zero() {
+                t.records.push(Record::Compute { dur: gap });
+            }
+            t.records.push(Record::Mpi(MpiEvent { kind, peer, tag, bytes, slots, start, end }));
+            t.last_end = end;
+        }
+    }
+
+    /// Finish the rank's participation: closes the trace (recording any
+    /// trailing compute) and returns it if tracing was on.
+    pub fn finish(mut self) -> Option<ProcessTrace> {
+        assert!(
+            self.pending.is_empty(),
+            "rank {}: {} nonblocking operations never waited on",
+            self.rank(),
+            self.pending.len()
+        );
+        let now = self.ctx.now();
+        let rank = self.rank();
+        self.tracer.take().map(|mut t| {
+            let gap = now.saturating_since(t.last_end);
+            if !gap.is_zero() {
+                t.records.push(Record::Compute { dur: gap });
+            }
+            ProcessTrace { rank, records: t.records, finish: now }
+        })
+    }
+
+    // ---- point-to-point ----------------------------------------------------
+
+    /// Blocking send of `bytes` with `tag` to `dst`.
+    pub fn send(&mut self, dst: usize, tag: u64, bytes: u64) {
+        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        let start = self.begin();
+        let wdst = self.world(dst);
+        self.ctx.send(wdst, tag, bytes, None);
+        self.end(start, OpKind::Send, Some(dst as u32), Some(tag), bytes, vec![]);
+    }
+
+    /// Blocking send carrying a payload.
+    pub fn send_with_payload(&mut self, dst: usize, tag: u64, payload: Vec<u8>) {
+        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        let bytes = payload.len() as u64;
+        let start = self.begin();
+        let wdst = self.world(dst);
+        self.ctx.send(wdst, tag, bytes, Some(payload));
+        self.end(start, OpKind::Send, Some(dst as u32), Some(tag), bytes, vec![]);
+    }
+
+    /// Blocking receive; `src`/`tag` of `None` mean any-source/any-tag.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>) -> RecvInfo {
+        let start = self.begin();
+        let wsrc = src.map(|s| self.world(s));
+        let mut info = self.ctx.recv(wsrc, tag);
+        info.src = self.group_rank_of(info.src);
+        self.end(
+            start,
+            OpKind::Recv,
+            src.map(|s| s as u32),
+            tag,
+            info.bytes,
+            vec![],
+        );
+        info
+    }
+
+    /// Nonblocking send; complete with [`Comm::wait`] or [`Comm::waitall`].
+    pub fn isend(&mut self, dst: usize, tag: u64, bytes: u64) -> CommReq {
+        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        let start = self.begin();
+        let wdst = self.world(dst);
+        let sim = self.ctx.isend(wdst, tag, bytes, None);
+        let slot = self.slots.alloc();
+        self.end(start, OpKind::Isend, Some(dst as u32), Some(tag), bytes, vec![slot]);
+        self.track(sim, slot, OpKind::Isend, Some(dst as u32), Some(tag))
+    }
+
+    /// Nonblocking receive; complete with [`Comm::wait`] or [`Comm::waitall`].
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<u64>, bytes_hint: u64) -> CommReq {
+        let start = self.begin();
+        let wsrc = src.map(|s| self.world(s));
+        let sim = self.ctx.irecv(wsrc, tag);
+        let slot = self.slots.alloc();
+        self.end(
+            start,
+            OpKind::Irecv,
+            src.map(|s| s as u32),
+            tag,
+            bytes_hint,
+            vec![slot],
+        );
+        self.track(sim, slot, OpKind::Irecv, src.map(|s| s as u32), tag)
+    }
+
+    fn track(
+        &mut self,
+        sim: SimReq,
+        slot: u32,
+        kind: OpKind,
+        peer: Option<u32>,
+        tag: Option<u64>,
+    ) -> CommReq {
+        self.next_req += 1;
+        self.pending.insert(self.next_req, PendingNb { sim, slot, kind, peer, tag });
+        CommReq(self.next_req)
+    }
+
+    /// Block until a nonblocking operation completes.
+    pub fn wait(&mut self, req: CommReq) -> Option<RecvInfo> {
+        let pending = self
+            .pending
+            .remove(&req.0)
+            .expect("wait on unknown or already-completed request");
+        let start = self.begin();
+        let mut outcome = self.ctx.wait(pending.sim);
+        if let Some(info) = &mut outcome {
+            info.src = self.group_rank_of(info.src);
+        }
+        debug_assert_eq!(
+            outcome.is_some(),
+            pending.kind == OpKind::Irecv,
+            "receive waits (and only those) yield receive info"
+        );
+        self.slots.free(pending.slot);
+        self.end(start, OpKind::Wait, pending.peer, pending.tag, 0, vec![pending.slot]);
+        outcome
+    }
+
+    /// Block until all listed operations complete; outcomes in input order.
+    pub fn waitall(&mut self, reqs: Vec<CommReq>) -> Vec<Option<RecvInfo>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let mut sims = Vec::with_capacity(reqs.len());
+        let mut slots = Vec::with_capacity(reqs.len());
+        let mut first_peer = None;
+        let mut first_tag = None;
+        for (i, r) in reqs.into_iter().enumerate() {
+            let pending = self
+                .pending
+                .remove(&r.0)
+                .expect("waitall on unknown or already-completed request");
+            if i == 0 {
+                first_peer = pending.peer;
+                first_tag = pending.tag;
+            }
+            sims.push(pending.sim);
+            slots.push(pending.slot);
+        }
+        let start = self.begin();
+        let mut outcomes = self.ctx.waitall(sims);
+        for info in outcomes.iter_mut().flatten() {
+            info.src = self.group_rank_of(info.src);
+        }
+        for &s in &slots {
+            self.slots.free(s);
+        }
+        self.end(start, OpKind::Waitall, first_peer, first_tag, 0, slots);
+        outcomes
+    }
+
+    /// Combined send+receive (both directions proceed concurrently), the
+    /// building block of exchange patterns.
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        send_bytes: u64,
+        src: Option<usize>,
+        recv_tag: Option<u64>,
+    ) -> RecvInfo {
+        let s = self.isend(dst, send_tag, send_bytes);
+        let r = self.irecv(src, recv_tag, 0);
+        let mut out = self.waitall(vec![s, r]);
+        out.pop()
+            .flatten()
+            .expect("sendrecv receive leg returned no info")
+    }
+
+    // ---- internal untraced p2p (collective building blocks) ---------------
+
+    pub(crate) fn raw_send(&mut self, dst: usize, tag: u64, bytes: u64) {
+        self.charge_call_overhead();
+        let wdst = self.world(dst);
+        self.ctx.send(wdst, tag, bytes, None);
+    }
+
+    pub(crate) fn raw_recv(&mut self, src: Option<usize>, tag: Option<u64>) -> RecvInfo {
+        self.charge_call_overhead();
+        let wsrc = src.map(|s| self.world(s));
+        self.ctx.recv(wsrc, tag)
+    }
+
+    pub(crate) fn raw_sendrecv(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        send_bytes: u64,
+        src: usize,
+    ) -> RecvInfo {
+        self.charge_call_overhead();
+        let wdst = self.world(dst);
+        let wsrc = self.world(src);
+        let s = self.ctx.isend(wdst, tag, send_bytes, None);
+        let r = self.ctx.irecv(Some(wsrc), Some(tag));
+        let mut out = self.ctx.waitall(vec![s, r]);
+        out.pop().flatten().expect("raw_sendrecv receive leg returned no info")
+    }
+
+    /// Record a collective that `collectives.rs` has just carried out.
+    pub(crate) fn record_collective(
+        &mut self,
+        start: SimTime,
+        kind: OpKind,
+        root: Option<u32>,
+        bytes: u64,
+    ) {
+        self.end(start, kind, root, None, bytes, vec![]);
+    }
+
+    pub(crate) fn begin_collective(&mut self) -> SimTime {
+        self.begin()
+    }
+}

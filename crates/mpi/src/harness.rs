@@ -1,0 +1,241 @@
+//! Entry points for running MPI-style applications on the simulator, with
+//! or without tracing.
+
+use crate::comm::{Comm, Tracer};
+use pskel_sim::engine::RankProgram;
+use parking_lot::Mutex;
+use pskel_sim::{ClusterSpec, Placement, SimCtx, SimReport, Simulation};
+
+/// A boxed per-rank MPI program, as consumed by [`run_mpi_fns`].
+pub type MpiProgram = Box<dyn FnOnce(&mut Comm) + Send>;
+use pskel_trace::{AppTrace, ProcessTrace};
+use std::sync::Arc;
+
+/// Result of one application run.
+#[derive(Clone, Debug)]
+pub struct MpiRunOutcome {
+    pub report: SimReport,
+    /// Present when the run was traced.
+    pub trace: Option<AppTrace>,
+}
+
+impl MpiRunOutcome {
+    /// Total virtual execution time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.report.total_time.as_secs_f64()
+    }
+}
+
+/// Tracing configuration for a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceConfig {
+    pub enabled: bool,
+    /// Artificial CPU cost charged per traced MPI event (to measure tracing
+    /// overhead; the paper reports < 1% — see the `trace_overhead` bench).
+    pub overhead_secs: f64,
+}
+
+impl TraceConfig {
+    pub fn on() -> TraceConfig {
+        TraceConfig { enabled: true, overhead_secs: 0.0 }
+    }
+
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+}
+
+/// Run the same MPI program on every rank (SPMD).
+pub fn run_mpi<F>(
+    cluster: ClusterSpec,
+    placement: Placement,
+    app_name: &str,
+    trace: TraceConfig,
+    f: F,
+) -> MpiRunOutcome
+where
+    F: Fn(&mut Comm) + Send + Sync + 'static,
+{
+    let n = placement.n_ranks();
+    let f = Arc::new(f);
+    let programs: Vec<MpiProgram> = (0..n)
+        .map(|_| {
+            let f = f.clone();
+            Box::new(move |comm: &mut Comm| f(comm)) as MpiProgram
+        })
+        .collect();
+    run_mpi_fns(cluster, placement, app_name, trace, programs)
+}
+
+/// One application in a co-scheduled workload (see [`run_jobs`]).
+pub struct Job {
+    /// Display name (also the trace's app name if traced).
+    pub name: String,
+    /// Node assignment for each of this job's ranks.
+    pub placement: Vec<usize>,
+    /// One program per rank of this job.
+    pub programs: Vec<MpiProgram>,
+    pub trace: TraceConfig,
+}
+
+impl Job {
+    /// An SPMD job: the same program on every rank.
+    pub fn spmd<F>(name: &str, placement: Vec<usize>, trace: TraceConfig, f: F) -> Job
+    where
+        F: Fn(&mut Comm) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let programs = (0..placement.len())
+            .map(|_| {
+                let f = f.clone();
+                Box::new(move |comm: &mut Comm| f(comm)) as MpiProgram
+            })
+            .collect();
+        Job { name: name.into(), placement, programs, trace }
+    }
+}
+
+/// Result of one job in a co-scheduled run.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub name: String,
+    /// Virtual time at which this job's last rank finished, seconds.
+    pub total_secs: f64,
+    pub trace: Option<AppTrace>,
+}
+
+/// Run several applications *concurrently* on one simulated cluster —
+/// each with its own private communicator group, contending for the same
+/// CPUs and links. This realizes the paper's motivating situation (grid
+/// nodes shared between applications) with real applications as the
+/// competing load, beyond the synthetic competing processes of §4.2.
+pub fn run_jobs(cluster: ClusterSpec, jobs: Vec<Job>) -> Vec<JobOutcome> {
+    assert!(!jobs.is_empty(), "need at least one job");
+    // Assign contiguous world-rank ranges per job.
+    let mut world_placement = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for job in &jobs {
+        assert_eq!(
+            job.programs.len(),
+            job.placement.len(),
+            "job {}: one program per rank required",
+            job.name
+        );
+        let base = world_placement.len();
+        groups.push((base..base + job.placement.len()).collect());
+        world_placement.extend_from_slice(&job.placement);
+    }
+    let n_world = world_placement.len();
+
+    let traces: Arc<Mutex<Vec<Option<ProcessTrace>>>> =
+        Arc::new(Mutex::new((0..n_world).map(|_| None).collect()));
+    let mut rank_programs: Vec<RankProgram> = Vec::with_capacity(n_world);
+    let mut job_meta = Vec::new();
+    for (job, group) in jobs.into_iter().zip(groups.clone()) {
+        job_meta.push((job.name.clone(), job.trace.enabled, group.clone()));
+        for program in job.programs {
+            let group = group.clone();
+            let trace = job.trace;
+            let traces = traces.clone();
+            rank_programs.push(Box::new(move |ctx: &mut SimCtx| {
+                let tracer = trace.enabled.then(|| {
+                    let mut t = Tracer::new();
+                    t.overhead_secs = trace.overhead_secs;
+                    t
+                });
+                let world_rank = ctx.rank();
+                let mut comm = Comm::with_group(ctx, tracer, group);
+                program(&mut comm);
+                if let Some(pt) = comm.finish() {
+                    traces.lock()[world_rank] = Some(pt);
+                }
+            }) as RankProgram);
+        }
+    }
+
+    let report =
+        Simulation::new(cluster, Placement(world_placement)).run_fns(rank_programs);
+    let mut collected = Arc::try_unwrap(traces)
+        .expect("trace collector still shared after run")
+        .into_inner();
+
+    job_meta
+        .into_iter()
+        .map(|(name, traced, group)| {
+            let total = group
+                .iter()
+                .map(|&w| report.finish_times[w])
+                .max()
+                .unwrap()
+                .as_secs_f64();
+            let trace = if traced {
+                let procs: Vec<ProcessTrace> = group
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        let mut pt = collected[w]
+                            .take()
+                            .unwrap_or_else(|| panic!("job {name}: rank {w} lost its trace"));
+                        pt.rank = i; // group-relative in the job's trace
+                        pt
+                    })
+                    .collect();
+                Some(AppTrace::new(name.clone(), procs))
+            } else {
+                None
+            };
+            JobOutcome { name, total_secs: total, trace }
+        })
+        .collect()
+}
+
+/// Run one program per rank (MPMD / generated skeletons).
+pub fn run_mpi_fns(
+    cluster: ClusterSpec,
+    placement: Placement,
+    app_name: &str,
+    trace: TraceConfig,
+    programs: Vec<MpiProgram>,
+) -> MpiRunOutcome {
+    let n = placement.n_ranks();
+    assert_eq!(programs.len(), n, "need exactly one program per rank");
+    let traces: Arc<Mutex<Vec<Option<ProcessTrace>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+    let rank_programs: Vec<RankProgram> = programs
+        .into_iter()
+        .map(|program| {
+            let traces = traces.clone();
+            Box::new(move |ctx: &mut SimCtx| {
+                let tracer = trace.enabled.then(|| {
+                    let mut t = Tracer::new();
+                    t.overhead_secs = trace.overhead_secs;
+                    t
+                });
+                let rank = ctx.rank();
+                let mut comm = Comm::new(ctx, tracer);
+                program(&mut comm);
+                if let Some(pt) = comm.finish() {
+                    traces.lock()[rank] = Some(pt);
+                }
+            }) as RankProgram
+        })
+        .collect();
+
+    let report = Simulation::new(cluster, placement).run_fns(rank_programs);
+
+    let trace = if trace.enabled {
+        let procs: Vec<ProcessTrace> = Arc::try_unwrap(traces)
+            .expect("trace collector still shared after run")
+            .into_inner()
+            .into_iter()
+            .enumerate()
+            .map(|(r, t)| t.unwrap_or_else(|| panic!("rank {r} produced no trace")))
+            .collect();
+        Some(AppTrace::new(app_name, procs))
+    } else {
+        None
+    };
+
+    MpiRunOutcome { report, trace }
+}

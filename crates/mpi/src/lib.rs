@@ -1,0 +1,24 @@
+//! # pskel-mpi — MPI-like message passing with built-in tracing
+//!
+//! The subset of MPI the NAS benchmarks exercise, implemented on the
+//! deterministic cluster simulator in `pskel-sim`:
+//!
+//! * blocking and nonblocking point-to-point ([`Comm::send`],
+//!   [`Comm::isend`], [`Comm::recv`], [`Comm::irecv`], [`Comm::wait`],
+//!   [`Comm::waitall`], [`Comm::sendrecv`]);
+//! * collectives with MPICH-style algorithms (binomial bcast/reduce,
+//!   recursive-doubling allreduce, ring allgather, pairwise alltoall);
+//! * a PMPI-style profiling shim that records execution traces with no
+//!   application changes, as in §3.1 of the paper.
+//!
+//! Run programs with [`run_mpi`] (SPMD) or [`run_mpi_fns`] (one program per
+//! rank, used by the skeleton executor).
+
+pub mod collectives;
+pub mod comm;
+pub mod harness;
+pub mod slots;
+
+pub use comm::{Comm, CommReq, Tracer, COLL_TAG_BASE};
+pub use harness::{run_jobs, run_mpi, run_mpi_fns, Job, JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig};
+pub use slots::SlotAllocator;

@@ -1,0 +1,182 @@
+//! Tests of the co-scheduled multi-job harness: private communicator
+//! groups, resource contention between jobs, and per-job tracing.
+
+use pskel_mpi::{run_jobs, Comm, Job, TraceConfig};
+use pskel_sim::ClusterSpec;
+use pskel_trace::OpKind;
+
+#[test]
+fn jobs_see_private_rank_spaces() {
+    let probe = |comm: &mut Comm| {
+        assert_eq!(comm.size(), 2, "each job is a 2-rank world");
+        assert!(comm.rank() < 2);
+        let peer = 1 - comm.rank();
+        let info = comm.sendrecv(peer, 0, 100, Some(peer), Some(0));
+        assert_eq!(info.src, peer, "sources are group-relative");
+        comm.barrier();
+    };
+    let outcomes = run_jobs(
+        ClusterSpec::homogeneous(4),
+        vec![
+            Job::spmd("left", vec![0, 1], TraceConfig::off(), probe),
+            Job::spmd("right", vec![2, 3], TraceConfig::off(), probe),
+        ],
+    );
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(|o| o.total_secs > 0.0));
+}
+
+#[test]
+fn co_located_jobs_contend_for_cpus() {
+    // Two single-rank compute jobs. Alone on a dual-CPU node each takes
+    // 1 s; with 3 co-located single-rank jobs (3 tasks on 2 CPUs) each
+    // takes ~1.5 s.
+    let compute = |comm: &mut Comm| comm.compute(1.0);
+    let solo = run_jobs(
+        ClusterSpec::homogeneous(1),
+        vec![Job::spmd("a", vec![0], TraceConfig::off(), compute)],
+    );
+    assert!((solo[0].total_secs - 1.0).abs() < 1e-6);
+
+    let crowded = run_jobs(
+        ClusterSpec::homogeneous(1),
+        vec![
+            Job::spmd("a", vec![0], TraceConfig::off(), compute),
+            Job::spmd("b", vec![0], TraceConfig::off(), compute),
+            Job::spmd("c", vec![0], TraceConfig::off(), compute),
+        ],
+    );
+    for o in &crowded {
+        assert!(
+            (o.total_secs - 1.5).abs() < 1e-6,
+            "{}: expected 1.5 s under 3-way sharing, got {}",
+            o.name,
+            o.total_secs
+        );
+    }
+}
+
+#[test]
+fn co_located_jobs_contend_for_links() {
+    // Job A transfers 12.5 MB node0 -> node1 (0.1 s alone). Job B streams
+    // the same route concurrently: both halve to ~0.2 s.
+    let xfer = |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 0, 12_500_000);
+        } else {
+            comm.recv(Some(0), Some(0));
+        }
+    };
+    let alone = run_jobs(
+        ClusterSpec::homogeneous(2),
+        vec![Job::spmd("a", vec![0, 1], TraceConfig::off(), xfer)],
+    );
+    assert!((alone[0].total_secs - 0.1).abs() < 0.01, "{}", alone[0].total_secs);
+
+    let shared = run_jobs(
+        ClusterSpec::homogeneous(2),
+        vec![
+            Job::spmd("a", vec![0, 1], TraceConfig::off(), xfer),
+            Job::spmd("b", vec![0, 1], TraceConfig::off(), xfer),
+        ],
+    );
+    for o in &shared {
+        assert!(
+            (o.total_secs - 0.2).abs() < 0.02,
+            "{}: expected ~0.2 s sharing the link, got {}",
+            o.name,
+            o.total_secs
+        );
+    }
+}
+
+#[test]
+fn collectives_stay_within_their_job() {
+    // Both jobs run allreduces "simultaneously"; with shared groups this
+    // would deadlock or cross-match. With private groups it completes and
+    // each job's trace shows exactly its own collectives.
+    let body = |comm: &mut Comm| {
+        for _ in 0..5 {
+            comm.allreduce(1024);
+            comm.compute(0.001);
+        }
+        comm.barrier();
+    };
+    let outcomes = run_jobs(
+        ClusterSpec::homogeneous(4),
+        vec![
+            Job::spmd("x", vec![0, 1], TraceConfig::on(), body),
+            Job::spmd("y", vec![2, 3], TraceConfig::on(), body),
+        ],
+    );
+    for o in &outcomes {
+        let trace = o.trace.as_ref().unwrap();
+        assert_eq!(trace.nranks(), 2);
+        for p in &trace.procs {
+            let allreds = p.mpi_events().filter(|e| e.kind == OpKind::Allreduce).count();
+            assert_eq!(allreds, 5, "job {} rank {}", o.name, p.rank);
+        }
+    }
+}
+
+#[test]
+fn traces_use_group_relative_ranks() {
+    let outcomes = run_jobs(
+        ClusterSpec::homogeneous(4),
+        vec![
+            Job::spmd("first", vec![0, 1], TraceConfig::off(), |c: &mut Comm| {
+                c.compute(0.01);
+            }),
+            Job::spmd("second", vec![2, 3], TraceConfig::on(), |c: &mut Comm| {
+                c.compute(0.02);
+                if c.rank() == 0 {
+                    c.send(1, 9, 64);
+                } else {
+                    c.recv(Some(0), Some(9));
+                }
+            }),
+        ],
+    );
+    let trace = outcomes[1].trace.as_ref().unwrap();
+    assert_eq!(trace.app, "second");
+    assert_eq!(trace.procs[0].rank, 0);
+    assert_eq!(trace.procs[1].rank, 1);
+    let send = trace.procs[0].mpi_events().next().unwrap();
+    assert_eq!(send.peer, Some(1), "peer recorded group-relative");
+}
+
+#[test]
+fn jobs_of_different_lengths_release_resources() {
+    // A short job and a long job co-located: the long job speeds up once
+    // the short one exits, so it finishes well before 2x its solo time.
+    let short = |comm: &mut Comm| comm.compute(0.5);
+    let long = |comm: &mut Comm| comm.compute(4.0);
+    // Single-CPU node makes contention total.
+    let mut cluster = ClusterSpec::homogeneous(1);
+    cluster.nodes[0].cpus = 1;
+    let outcomes = run_jobs(
+        cluster,
+        vec![
+            Job::spmd("short", vec![0], TraceConfig::off(), short),
+            Job::spmd("long", vec![0], TraceConfig::off(), long),
+        ],
+    );
+    // Short job: shares CPU until 1.0 s (0.5 work at half speed).
+    assert!((outcomes[0].total_secs - 1.0).abs() < 1e-6, "{}", outcomes[0].total_secs);
+    // Long job: 0.5 work done by t=1.0, then full speed for the rest:
+    // 1.0 + 3.5 = 4.5 s.
+    assert!((outcomes[1].total_secs - 4.5).abs() < 1e-6, "{}", outcomes[1].total_secs);
+}
+
+#[test]
+#[should_panic(expected = "not a member of group")]
+fn foreign_group_is_rejected() {
+    use pskel_sim::{Placement, Simulation};
+    let c = ClusterSpec::homogeneous(2);
+    Simulation::new(c, Placement::round_robin(2, 2)).run(|ctx| {
+        // Rank 1 claims a group it does not belong to.
+        if ctx.rank() == 1 {
+            let _comm = Comm::with_group(ctx, None, vec![0]);
+        }
+    });
+}

@@ -1,0 +1,335 @@
+//! Integration tests for the MPI layer: collective algorithms, tracing
+//! fidelity, and the run harness.
+
+use pskel_mpi::{run_mpi, Comm, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement, THROTTLED_10MBPS};
+use pskel_trace::OpKind;
+
+fn run(
+    n: usize,
+    cluster: ClusterSpec,
+    trace: TraceConfig,
+    f: impl Fn(&mut Comm) + Send + Sync + 'static,
+) -> pskel_mpi::MpiRunOutcome {
+    let placement = Placement::round_robin(n, cluster.len());
+    run_mpi(cluster, placement, "test", trace, f)
+}
+
+#[test]
+fn barrier_synchronizes_unequal_ranks() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.compute(0.1 * (comm.rank() + 1) as f64);
+        comm.barrier();
+        // After the barrier everyone has passed the slowest rank's 0.4s.
+        assert!(comm.now().as_secs_f64() >= 0.4);
+    });
+    assert!(out.total_secs() >= 0.4 && out.total_secs() < 0.45);
+}
+
+#[test]
+fn bcast_from_each_root() {
+    for root in 0..4 {
+        let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), move |comm| {
+            comm.bcast(root, 10_000);
+        });
+        let t = out.total_secs();
+        // Binomial tree over 4 ranks: 2 sequential rounds of ~(55us + 80us).
+        assert!(t > 1e-4 && t < 2e-3, "root {root}: bcast took {t}");
+    }
+}
+
+#[test]
+fn allreduce_scales_with_log_rounds() {
+    let small = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.allreduce(8);
+    })
+    .total_secs();
+    // 2 recursive-doubling rounds of one small-message exchange each.
+    assert!(small > 1e-4 && small < 1e-3, "allreduce(8B) took {small}");
+}
+
+#[test]
+fn allreduce_works_for_non_power_of_two() {
+    let out = run(3, ClusterSpec::homogeneous(3), TraceConfig::off(), |comm| {
+        comm.allreduce(64);
+        comm.compute(0.01);
+        comm.allreduce(64);
+    });
+    assert!(out.total_secs() > 0.01);
+}
+
+#[test]
+fn alltoall_moves_pairwise_blocks() {
+    // 4 ranks, 1.25 MB per pair: each NIC must carry 3 blocks in and
+    // 3 out; at 125 MB/s that is >= 30 ms.
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.alltoall(1_250_000);
+    });
+    let t = out.total_secs();
+    assert!((0.029..0.1).contains(&t), "alltoall took {t}");
+}
+
+#[test]
+fn allgather_ring_time() {
+    // Ring: 3 steps, each moving 1.25 MB per link -> ~3 * 10 ms.
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.allgather(1_250_000);
+    });
+    let t = out.total_secs();
+    assert!((0.029..0.08).contains(&t), "allgather took {t}");
+}
+
+#[test]
+fn gather_and_scatter_complete() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.gather(0, 1000);
+        comm.scatter(0, 1000);
+        comm.barrier();
+    });
+    assert!(out.total_secs() > 0.0);
+}
+
+#[test]
+fn alltoallv_with_skewed_counts() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        let me = comm.rank() as u64;
+        // Rank r sends (r+1)*1000 bytes to everyone.
+        let counts = vec![(me + 1) * 1000; 4];
+        comm.alltoallv(&counts);
+    });
+    assert!(out.total_secs() > 0.0);
+}
+
+#[test]
+fn allgatherv_with_uneven_counts() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), |comm| {
+        comm.allgatherv(&[1000, 2000, 3000, 4000]);
+    });
+    assert!(out.total_secs() > 0.0);
+}
+
+#[test]
+fn throttled_link_dominates_collective_time() {
+    // 1.25 MB alltoall with node 0's link at 10 Mb/s: node 0 must move
+    // 3 blocks in and 3 out through a 1.25 MB/s pipe -> ~3+3 s lower bound
+    // (in/out can overlap, so >= 3 s).
+    let c = ClusterSpec::homogeneous(4).with_link_cap(0, THROTTLED_10MBPS);
+    let out = run(4, c, TraceConfig::off(), |comm| {
+        comm.alltoall(1_250_000);
+    });
+    let t = out.total_secs();
+    assert!(t >= 3.0, "throttled alltoall took only {t}");
+}
+
+#[test]
+fn trace_records_compute_gaps_and_events() {
+    let out = run(2, ClusterSpec::homogeneous(2), TraceConfig::on(), |comm| {
+        comm.compute(0.5);
+        if comm.rank() == 0 {
+            comm.send(1, 7, 4096);
+        } else {
+            comm.recv(Some(0), Some(7));
+        }
+        comm.compute(0.25);
+        comm.barrier();
+    });
+    let trace = out.trace.expect("trace requested");
+    assert_eq!(trace.nranks(), 2);
+
+    let p0 = &trace.procs[0];
+    let kinds: Vec<OpKind> = p0.mpi_events().map(|e| e.kind).collect();
+    assert_eq!(kinds, vec![OpKind::Send, OpKind::Barrier]);
+
+    // Compute time on the dedicated testbed equals demanded CPU time.
+    let compute = p0.compute_time().as_secs_f64();
+    assert!((compute - 0.75).abs() < 1e-6, "rank 0 compute {compute}");
+
+    let send = p0.mpi_events().next().unwrap();
+    assert_eq!(send.peer, Some(1));
+    assert_eq!(send.tag, Some(7));
+    assert_eq!(send.bytes, 4096);
+    assert!(send.end > send.start);
+}
+
+#[test]
+fn trace_pairs_nonblocking_ops_with_waits_via_slots() {
+    let out = run(2, ClusterSpec::homogeneous(2), TraceConfig::on(), |comm| {
+        let peer = 1 - comm.rank();
+        let s = comm.isend(peer, 0, 1000);
+        let r = comm.irecv(Some(peer), Some(0), 1000);
+        comm.compute(0.01);
+        comm.wait(s);
+        comm.wait(r);
+    });
+    let trace = out.trace.unwrap();
+    let p = &trace.procs[0];
+    let evs: Vec<_> = p.mpi_events().collect();
+    assert_eq!(evs[0].kind, OpKind::Isend);
+    assert_eq!(evs[1].kind, OpKind::Irecv);
+    assert_eq!(evs[2].kind, OpKind::Wait);
+    assert_eq!(evs[3].kind, OpKind::Wait);
+    assert_eq!(evs[0].slots, evs[2].slots, "isend slot matches first wait");
+    assert_eq!(evs[1].slots, evs[3].slots, "irecv slot matches second wait");
+    assert_ne!(evs[0].slots, evs[1].slots);
+}
+
+#[test]
+fn waitall_records_all_slots() {
+    let out = run(2, ClusterSpec::homogeneous(2), TraceConfig::on(), |comm| {
+        let peer = 1 - comm.rank();
+        let s = comm.isend(peer, 0, 100);
+        let r = comm.irecv(Some(peer), Some(0), 100);
+        comm.waitall(vec![s, r]);
+    });
+    let trace = out.trace.unwrap();
+    let p = &trace.procs[0];
+    let wa = p.mpi_events().find(|e| e.kind == OpKind::Waitall).unwrap();
+    assert_eq!(wa.slots.len(), 2);
+}
+
+#[test]
+fn collectives_trace_as_single_events() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::on(), |comm| {
+        comm.allreduce(8);
+        comm.alltoall(1000);
+        comm.bcast(2, 500);
+    });
+    let trace = out.trace.unwrap();
+    for p in &trace.procs {
+        let kinds: Vec<OpKind> = p.mpi_events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Allreduce, OpKind::Alltoall, OpKind::Bcast],
+            "rank {} trace shows exactly the interface calls",
+            p.rank
+        );
+        let bcast = p.mpi_events().find(|e| e.kind == OpKind::Bcast).unwrap();
+        assert_eq!(bcast.peer, Some(2), "root recorded");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_virtual_time() {
+    let body = |comm: &mut Comm| {
+        comm.compute(0.1);
+        comm.allreduce(4096);
+        if comm.rank() == 0 {
+            comm.send(1, 0, 200_000);
+        } else if comm.rank() == 1 {
+            comm.recv(Some(0), Some(0));
+        }
+        comm.barrier();
+    };
+    let untraced = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), body);
+    let traced = run(4, ClusterSpec::homogeneous(4), TraceConfig::on(), body);
+    assert_eq!(
+        untraced.report.total_time, traced.report.total_time,
+        "zero-overhead tracing must not change timing"
+    );
+}
+
+#[test]
+fn tracing_overhead_knob_adds_time() {
+    let body = |comm: &mut Comm| {
+        for _ in 0..10 {
+            comm.allreduce(8);
+        }
+    };
+    let free = run(4, ClusterSpec::homogeneous(4), TraceConfig::on(), body);
+    let costly = run(
+        4,
+        ClusterSpec::homogeneous(4),
+        TraceConfig { enabled: true, overhead_secs: 1e-4 },
+        body,
+    );
+    let a = free.total_secs();
+    let b = costly.total_secs();
+    assert!(b > a, "overhead {b} should exceed free {a}");
+    // 10 events/rank at 100us, serialized rounds: at least 1 ms extra.
+    assert!(b - a >= 1e-3);
+}
+
+#[test]
+fn sendrecv_exchanges_in_one_step() {
+    let out = run(2, ClusterSpec::homogeneous(2), TraceConfig::off(), |comm| {
+        let peer = 1 - comm.rank();
+        let info = comm.sendrecv(peer, 5, 10_000, Some(peer), Some(5));
+        assert_eq!(info.bytes, 10_000);
+        assert_eq!(info.src, peer);
+    });
+    // Full exchange in about one wire time, not two.
+    assert!(out.total_secs() < 1e-3);
+}
+
+#[test]
+fn trace_total_time_matches_report() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::on(), |comm| {
+        comm.compute(0.2);
+        comm.barrier();
+    });
+    let trace = out.trace.unwrap();
+    assert_eq!(trace.total_time, out.report.total_time);
+}
+
+#[test]
+#[should_panic(expected = "never waited on")]
+fn leaked_nonblocking_request_is_detected() {
+    run(2, ClusterSpec::homogeneous(2), TraceConfig::off(), |comm| {
+        let peer = 1 - comm.rank();
+        // isend is eager-buffered so it completes, but we never wait on it.
+        let _leaked = comm.isend(peer, 0, 10);
+        comm.recv(Some(peer), Some(0));
+    });
+}
+
+#[test]
+fn two_ranks_per_node_collectives_work() {
+    // 8 ranks on 4 nodes exercises intra-node paths inside collectives.
+    let c = ClusterSpec::homogeneous(4);
+    let placement = Placement::blocked(8, 4);
+    let out = run_mpi(c, placement, "packed", TraceConfig::off(), |comm| {
+        comm.allreduce(4096);
+        comm.alltoall(10_000);
+        comm.barrier();
+    });
+    assert!(out.total_secs() > 0.0);
+}
+
+#[test]
+fn reduce_scatter_completes_for_pow2_and_not() {
+    for n in [2usize, 3, 4] {
+        let out = run(n, ClusterSpec::homogeneous(n), TraceConfig::off(), |comm| {
+            comm.reduce_scatter(100_000);
+            comm.compute(0.001);
+            comm.reduce_scatter(64);
+        });
+        assert!(out.total_secs() > 0.001, "n={n}");
+    }
+}
+
+#[test]
+fn scan_time_grows_linearly_with_ranks() {
+    let t = |n: usize| {
+        run(n, ClusterSpec::homogeneous(n), TraceConfig::off(), |comm| {
+            comm.scan(64);
+        })
+        .total_secs()
+    };
+    let t2 = t(2);
+    let t6 = t(6);
+    // Linear chain: 5 hops vs 1 hop.
+    assert!(t6 > 3.0 * t2, "scan(6)={t6} vs scan(2)={t2}");
+}
+
+#[test]
+fn new_collectives_trace_with_their_kind() {
+    let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::on(), |comm| {
+        comm.reduce_scatter(4096);
+        comm.scan(8);
+    });
+    let trace = out.trace.unwrap();
+    for p in &trace.procs {
+        let kinds: Vec<OpKind> = p.mpi_events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![OpKind::ReduceScatter, OpKind::Scan]);
+    }
+}

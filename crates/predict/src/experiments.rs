@@ -1,0 +1,249 @@
+//! Drivers that regenerate every figure of the paper's evaluation (§4).
+//!
+//! Each function returns the figure's data; `report.rs` renders it in the
+//! paper's row/series layout, and the `pskel-bench` binaries print it.
+
+use crate::methods::{
+    average_prediction, class_s_prediction, error_pct, skeleton_error_pct, status_prediction,
+};
+use crate::runner::EvalContext;
+use crate::scenario::Scenario;
+use pskel_apps::NasBenchmark;
+use pskel_core::ExecOptions;
+use pskel_mpi::TraceConfig;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 2: time split between computation and MPI.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig2Row {
+    pub app: String,
+    /// "application" or "`<n>` sec skeleton".
+    pub label: String,
+    pub compute_pct: f64,
+    pub mpi_pct: f64,
+}
+
+/// Figure 2: activity breakdown of each benchmark and its skeletons.
+pub fn fig2(ctx: &mut EvalContext) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    let sizes = ctx.skeleton_sizes.clone();
+    for bench in NasBenchmark::ALL {
+        let app_frac = ctx.trace(bench).mpi_fraction();
+        rows.push(Fig2Row {
+            app: bench.name().into(),
+            label: "application".into(),
+            compute_pct: 100.0 * (1.0 - app_frac),
+            mpi_pct: 100.0 * app_frac,
+        });
+        for &size in &sizes {
+            ctx.skeleton(bench, size);
+            // Re-run the skeleton with tracing to measure its own split.
+            let built = ctx.skeleton(bench, size).clone();
+            let out = pskel_core::run_skeleton(
+                &built.skeleton,
+                ctx.testbed.cluster.clone(),
+                ctx.testbed.placement.clone(),
+                ExecOptions { trace: TraceConfig::on(), ..Default::default() },
+            );
+            let frac = out.trace.expect("skeleton run traced").mpi_fraction();
+            rows.push(Fig2Row {
+                app: bench.name().into(),
+                label: format!("{size} sec skeleton"),
+                compute_pct: 100.0 * (1.0 - frac),
+                mpi_pct: 100.0 * frac,
+            });
+        }
+    }
+    rows
+}
+
+/// Prediction-error grid: benchmarks × skeleton sizes, errors averaged
+/// over the five sharing scenarios. Figure 3 reads it grouped by
+/// benchmark; Figure 5 reads the same data grouped by size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ErrorGrid {
+    pub apps: Vec<String>,
+    pub sizes: Vec<f64>,
+    /// `errors[app][size]`, percent.
+    pub errors: Vec<Vec<f64>>,
+    /// Grand mean over every (app, size, scenario) cell — the paper's
+    /// headline "average prediction error of 6.7%".
+    pub overall_avg: f64,
+}
+
+impl ErrorGrid {
+    /// Column means (per skeleton size, averaged over apps).
+    pub fn avg_per_size(&self) -> Vec<f64> {
+        let napps = self.apps.len() as f64;
+        (0..self.sizes.len())
+            .map(|j| self.errors.iter().map(|row| row[j]).sum::<f64>() / napps)
+            .collect()
+    }
+
+    /// Row means (per app, averaged over sizes).
+    pub fn avg_per_app(&self) -> Vec<f64> {
+        self.errors
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / row.len() as f64)
+            .collect()
+    }
+}
+
+/// Figures 3 and 5: skeleton prediction error per benchmark and size.
+pub fn fig3(ctx: &mut EvalContext) -> ErrorGrid {
+    let sizes = ctx.skeleton_sizes.clone();
+    let mut errors = Vec::new();
+    let mut all_cells = Vec::new();
+    for bench in NasBenchmark::ALL {
+        let mut row = Vec::new();
+        for &size in &sizes {
+            let mut cell = Vec::new();
+            for scenario in Scenario::SHARING {
+                let e = skeleton_error_pct(ctx, bench, size, scenario);
+                cell.push(e);
+                all_cells.push(e);
+            }
+            row.push(cell.iter().sum::<f64>() / cell.len() as f64);
+        }
+        errors.push(row);
+    }
+    ErrorGrid {
+        apps: NasBenchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
+        sizes,
+        errors,
+        overall_avg: all_cells.iter().sum::<f64>() / all_cells.len() as f64,
+    }
+}
+
+/// One row of the Figure 4 table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig4Row {
+    pub app: String,
+    /// Estimated runtime of the smallest good skeleton, seconds.
+    pub min_good_secs: f64,
+    /// Requested sizes the framework flags as "not good".
+    pub flagged_sizes: Vec<f64>,
+}
+
+/// Figure 4: estimated minimum execution time of the smallest good
+/// skeleton per benchmark.
+pub fn fig4(ctx: &mut EvalContext) -> Vec<Fig4Row> {
+    let sizes = ctx.skeleton_sizes.clone();
+    NasBenchmark::ALL
+        .iter()
+        .map(|&bench| {
+            // Any build carries the analysis; use the largest skeleton.
+            let built = ctx.skeleton(bench, sizes[0]).clone();
+            let min_good = built.skeleton.meta.min_good_secs;
+            let flagged = sizes.iter().copied().filter(|&s| s < min_good).collect();
+            Fig4Row {
+                app: bench.name().into(),
+                min_good_secs: min_good,
+                flagged_sizes: flagged,
+            }
+        })
+        .collect()
+}
+
+/// Figure 6 grid: benchmarks × sharing scenarios at one skeleton size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig6Grid {
+    pub apps: Vec<String>,
+    pub scenarios: Vec<String>,
+    /// `errors[app][scenario]`, percent.
+    pub errors: Vec<Vec<f64>>,
+    pub skeleton_size: f64,
+}
+
+impl Fig6Grid {
+    pub fn avg_per_scenario(&self) -> Vec<f64> {
+        let napps = self.apps.len() as f64;
+        (0..self.scenarios.len())
+            .map(|j| self.errors.iter().map(|row| row[j]).sum::<f64>() / napps)
+            .collect()
+    }
+}
+
+/// Figure 6: prediction error under each sharing scenario, using the
+/// largest (most representative) skeleton.
+pub fn fig6(ctx: &mut EvalContext) -> Fig6Grid {
+    let size = ctx.skeleton_sizes[0];
+    let mut errors = Vec::new();
+    for bench in NasBenchmark::ALL {
+        let row = Scenario::SHARING
+            .iter()
+            .map(|&s| skeleton_error_pct(ctx, bench, size, s))
+            .collect();
+        errors.push(row);
+    }
+    Fig6Grid {
+        apps: NasBenchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
+        scenarios: Scenario::SHARING.iter().map(|s| s.label().to_string()).collect(),
+        errors,
+        skeleton_size: size,
+    }
+}
+
+/// One bar group of Figure 7: a prediction methodology's error spread.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7Row {
+    pub method: String,
+    pub min_pct: f64,
+    pub avg_pct: f64,
+    pub max_pct: f64,
+}
+
+/// Figure 7: min/avg/max error across the suite for each methodology —
+/// skeletons of every size, Class-S prediction, and Average prediction —
+/// under the combined scenario (one shared node + one shared link).
+pub fn fig7(ctx: &mut EvalContext) -> Vec<Fig7Row> {
+    let scenario = Scenario::CpuAndNetOne;
+    let sizes = ctx.skeleton_sizes.clone();
+    let mut rows = Vec::new();
+
+    for &size in &sizes {
+        let errs: Vec<f64> = NasBenchmark::ALL
+            .iter()
+            .map(|&b| skeleton_error_pct(ctx, b, size, scenario))
+            .collect();
+        rows.push(spread(format!("{size} sec skeleton"), &errs));
+    }
+
+    let status_errs: Vec<f64> = NasBenchmark::ALL
+        .iter()
+        .map(|&b| {
+            let pred = status_prediction(ctx, b, scenario);
+            error_pct(pred, ctx.app_time(b, scenario))
+        })
+        .collect();
+    rows.push(spread("Status-based".into(), &status_errs));
+
+    let class_s_errs: Vec<f64> = NasBenchmark::ALL
+        .iter()
+        .map(|&b| {
+            let pred = class_s_prediction(ctx, b, scenario);
+            error_pct(pred, ctx.app_time(b, scenario))
+        })
+        .collect();
+    rows.push(spread("Class S".into(), &class_s_errs));
+
+    let avg_errs: Vec<f64> = NasBenchmark::ALL
+        .iter()
+        .map(|&b| {
+            let pred = average_prediction(ctx, b, scenario);
+            error_pct(pred, ctx.app_time(b, scenario))
+        })
+        .collect();
+    rows.push(spread("Average".into(), &avg_errs));
+
+    rows
+}
+
+fn spread(method: String, errs: &[f64]) -> Fig7Row {
+    Fig7Row {
+        method,
+        min_pct: errs.iter().copied().fold(f64::INFINITY, f64::min),
+        avg_pct: errs.iter().sum::<f64>() / errs.len() as f64,
+        max_pct: errs.iter().copied().fold(0.0, f64::max),
+    }
+}

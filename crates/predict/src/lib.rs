@@ -1,0 +1,30 @@
+//! # pskel-predict — the paper's evaluation harness
+//!
+//! Reproduces §4 of the paper: the five resource-sharing scenarios on the
+//! 4-node testbed ([`Scenario`]), skeleton-based performance prediction,
+//! the paper's two baselines plus an NWS-style status baseline
+//! ([`methods`]), skeleton-based resource selection ([`selection`]), a
+//! driver per figure ([`experiments`]) with paper-style text rendering
+//! ([`report`]), and extension experiments beyond the paper
+//! ([`extensions`]).
+//!
+//! Prediction recipe (§4.2): run the application once on the dedicated
+//! testbed (this also produces the trace the skeleton is built from);
+//! measure the skeleton's dedicated runtime to get the *measured scaling
+//! ratio*; then the predicted application time under any scenario is the
+//! skeleton's runtime in that scenario times the ratio.
+
+pub mod experiments;
+pub mod extensions;
+pub mod methods;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod selection;
+
+pub use experiments::{fig2, fig3, fig4, fig6, fig7, ErrorGrid, Fig2Row, Fig4Row, Fig6Grid, Fig7Row};
+pub use methods::{average_prediction, class_s_prediction, error_pct, skeleton_error_pct, skeleton_prediction, status_prediction};
+pub use extensions::{accuracy_vs_comm_fraction, probe_cost_comparison, ProbeCost, cosched_prediction, cosched_prediction_dense, wan_prediction, wan_prediction_with, CoschedResult, SweepPoint, WanResult};
+pub use runner::{EvalContext, Testbed, PAPER_SKELETON_SIZES};
+pub use scenario::Scenario;
+pub use selection::{select_node_set, CandidateSet, ProbeResult, Selection};

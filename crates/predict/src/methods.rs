@@ -1,0 +1,148 @@
+//! The three prediction methodologies compared in the paper (§4.2, §4.5).
+
+use crate::runner::EvalContext;
+use crate::scenario::Scenario;
+use pskel_apps::{Class, NasBenchmark};
+
+/// Percentage error of a prediction against the measured truth.
+pub fn error_pct(predicted: f64, actual: f64) -> f64 {
+    assert!(actual > 0.0, "actual time must be positive");
+    100.0 * (predicted - actual).abs() / actual
+}
+
+/// Skeleton-based prediction (the paper's method): predicted time =
+/// skeleton time under the scenario × the *measured scaling ratio*
+/// (application / skeleton on the dedicated testbed).
+pub fn skeleton_prediction(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    target_secs: f64,
+    scenario: Scenario,
+) -> f64 {
+    let app_ded = ctx.app_time(bench, Scenario::Dedicated);
+    let skel_ded = ctx.skeleton_time(bench, target_secs, Scenario::Dedicated);
+    let ratio = app_ded / skel_ded;
+    let skel_scen = ctx.skeleton_time(bench, target_secs, scenario);
+    skel_scen * ratio
+}
+
+/// "Average Prediction" baseline: the mean slowdown of the whole suite
+/// under the scenario predicts every program.
+pub fn average_prediction(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    scenario: Scenario,
+) -> f64 {
+    let mut slowdowns = Vec::new();
+    for b in NasBenchmark::ALL {
+        let ded = ctx.app_time(b, Scenario::Dedicated);
+        let scen = ctx.app_time(b, scenario);
+        slowdowns.push(scen / ded);
+    }
+    let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+    ctx.app_time(bench, Scenario::Dedicated) * avg
+}
+
+/// "Class S Prediction" baseline: the Class-S version of the benchmark is
+/// used as a manually-written skeleton for the Class-B version.
+pub fn class_s_prediction(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    scenario: Scenario,
+) -> f64 {
+    let s_ded = ctx.app_time_class(bench, Class::S, Scenario::Dedicated);
+    let s_scen = ctx.app_time_class(bench, Class::S, scenario);
+    let slowdown = s_scen / s_ded;
+    ctx.app_time(bench, Scenario::Dedicated) * slowdown
+}
+
+/// "Status-based" baseline: the state-of-the-art approach the paper's §1
+/// argues against. A resource monitor (NWS/Remos-style) reports per-node
+/// CPU availability and per-link available bandwidth; an application model
+/// (here: the measured compute/communication split of the dedicated trace)
+/// translates resource status into predicted slowdown:
+///
+/// `T = T_ded × (comp_frac × worst CPU slowdown + comm_frac × worst
+/// bandwidth slowdown)`
+///
+/// This is the strongest simple translation such a system could make — it
+/// even gets perfect resource information from the simulator, which no
+/// real monitor has — and it still cannot know how synchronization couples
+/// ranks or how collectives traverse the shared link.
+pub fn status_prediction(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    scenario: Scenario,
+) -> f64 {
+    let dedicated = ctx.app_time(bench, Scenario::Dedicated);
+    let comm_frac = ctx.trace(bench).mpi_fraction();
+    let comp_frac = 1.0 - comm_frac;
+
+    let spec = scenario.apply(&ctx.testbed.cluster);
+    let mut cpu_slow: f64 = 1.0;
+    let mut net_slow: f64 = 1.0;
+    for node in &spec.nodes {
+        // CPU availability for one application process under egalitarian
+        // scheduling with the node's competing processes.
+        let runnable = 1 + node.competing_processes;
+        let share = (node.cpus as f64 / runnable as f64).min(1.0);
+        cpu_slow = cpu_slow.max(1.0 / share);
+        // Available bandwidth relative to the unthrottled link.
+        let avail = node.effective_bandwidth();
+        net_slow = net_slow.max(node.link_bandwidth / avail);
+    }
+    dedicated * (comp_frac * cpu_slow + comm_frac * net_slow)
+}
+
+/// Prediction error of the skeleton method for one (benchmark, size,
+/// scenario) cell.
+pub fn skeleton_error_pct(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    target_secs: f64,
+    scenario: Scenario,
+) -> f64 {
+    let predicted = skeleton_prediction(ctx, bench, target_secs, scenario);
+    let actual = ctx.app_time(bench, scenario);
+    error_pct(predicted, actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_pct_basics() {
+        assert_eq!(error_pct(110.0, 100.0), 10.0);
+        assert_eq!(error_pct(90.0, 100.0), 10.0);
+        assert_eq!(error_pct(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_actual_rejected() {
+        error_pct(1.0, 0.0);
+    }
+
+    #[test]
+    fn skeleton_predicts_dedicated_time_almost_exactly() {
+        // Under the dedicated scenario the prediction is the measured ratio
+        // times the dedicated skeleton time = the dedicated app time.
+        let mut ctx = EvalContext::new(Class::S, &[0.01]);
+        let err = skeleton_error_pct(
+            &mut ctx,
+            NasBenchmark::Cg,
+            0.01,
+            Scenario::Dedicated,
+        );
+        assert!(err < 1e-9, "self-prediction should be exact, got {err}%");
+    }
+
+    #[test]
+    fn skeleton_tracks_cpu_contention_for_small_class() {
+        let mut ctx = EvalContext::new(Class::W, &[0.1]);
+        let err =
+            skeleton_error_pct(&mut ctx, NasBenchmark::Bt, 0.1, Scenario::CpuAllNodes);
+        assert!(err < 25.0, "W-class BT skeleton error too large: {err}%");
+    }
+}

@@ -1,0 +1,301 @@
+//! Plain-text rendering of the figures, in the paper's row/series layout.
+
+use crate::experiments::{ErrorGrid, Fig2Row, Fig4Row, Fig6Grid, Fig7Row};
+
+/// Render an aligned text table.
+pub fn table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Figure 2: % compute vs % MPI per benchmark and skeleton.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let headers = vec!["case".to_string(), "%compute".into(), "%MPI".into()];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} {}", r.app, r.label),
+                pct(r.compute_pct),
+                pct(r.mpi_pct),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 2: time spent in computation vs. MPI (percent)\n{}",
+        table(&headers, &body)
+    )
+}
+
+/// Figure 3: error per benchmark across skeleton sizes.
+pub fn render_fig3(grid: &ErrorGrid) -> String {
+    let mut headers = vec!["app".to_string()];
+    headers.extend(grid.sizes.iter().map(|s| format!("{s}s skel")));
+    let mut body: Vec<Vec<String>> = grid
+        .apps
+        .iter()
+        .zip(&grid.errors)
+        .map(|(app, row)| {
+            let mut cells = vec![app.clone()];
+            cells.extend(row.iter().map(|&e| pct(e)));
+            cells
+        })
+        .collect();
+    let mut avg_row = vec!["Average".to_string()];
+    avg_row.extend(grid.avg_per_size().iter().map(|&e| pct(e)));
+    body.push(avg_row);
+    format!(
+        "Figure 3: prediction error (%) per benchmark, averaged over sharing scenarios\n{}\n\
+         Overall average error across all benchmarks, scenarios and sizes: {:.1}%\n",
+        table(&headers, &body),
+        grid.overall_avg
+    )
+}
+
+/// Figure 4: the smallest good skeleton per benchmark.
+pub fn render_fig4(rows: &[Fig4Row]) -> String {
+    let headers =
+        vec!["Application".to_string(), "Smallest Skeleton".into(), "flagged sizes".into()];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let flagged = if r.flagged_sizes.is_empty() {
+                "-".to_string()
+            } else {
+                r.flagged_sizes
+                    .iter()
+                    .map(|s| format!("{s}s"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            vec![r.app.clone(), format!("{:.2} sec", r.min_good_secs), flagged]
+        })
+        .collect();
+    format!(
+        "Figure 4: estimated minimum execution time for the smallest good skeleton\n{}",
+        table(&headers, &body)
+    )
+}
+
+/// Figure 5: the Figure 3 data grouped by skeleton size.
+pub fn render_fig5(grid: &ErrorGrid) -> String {
+    let mut headers = vec!["skeleton size".to_string()];
+    headers.extend(grid.apps.iter().cloned());
+    headers.push("Average".into());
+    let per_size = grid.avg_per_size();
+    let body: Vec<Vec<String>> = grid
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            let mut cells = vec![format!("{s} second")];
+            cells.extend(grid.errors.iter().map(|row| pct(row[j])));
+            cells.push(pct(per_size[j]));
+            cells
+        })
+        .collect();
+    format!(
+        "Figure 5: prediction error (%) per skeleton size, averaged over sharing scenarios\n{}",
+        table(&headers, &body)
+    )
+}
+
+/// Figure 6: error per benchmark across sharing scenarios.
+pub fn render_fig6(grid: &Fig6Grid) -> String {
+    let mut headers = vec!["app".to_string()];
+    headers.extend((1..=grid.scenarios.len()).map(|i| format!("scenario {i}")));
+    let mut body: Vec<Vec<String>> = grid
+        .apps
+        .iter()
+        .zip(&grid.errors)
+        .map(|(app, row)| {
+            let mut cells = vec![app.clone()];
+            cells.extend(row.iter().map(|&e| pct(e)));
+            cells
+        })
+        .collect();
+    let mut avg = vec!["Average".to_string()];
+    avg.extend(grid.avg_per_scenario().iter().map(|&e| pct(e)));
+    body.push(avg);
+    let legend: String = grid
+        .scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("  scenario {}: {s}\n", i + 1))
+        .collect();
+    format!(
+        "Figure 6: prediction error (%) across resource sharing scenarios \
+         ({}s skeleton)\n{}\n{legend}",
+        grid.skeleton_size,
+        table(&headers, &body)
+    )
+}
+
+/// Figure 7: min/avg/max error per prediction methodology.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let headers =
+        vec!["methodology".to_string(), "MIN".into(), "Average".into(), "MAX".into()];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.method.clone(), pct(r.min_pct), pct(r.avg_pct), pct(r.max_pct)]
+        })
+        .collect();
+    format!(
+        "Figure 7: error spread per prediction methodology\n\
+         (scenario: competing process and traffic on one node and link)\n{}",
+        table(&headers, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a".into(), "long-header".into()],
+            &[
+                vec!["xx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        // All data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn fig2_render_lists_every_case() {
+        let rows = vec![
+            Fig2Row {
+                app: "CG".into(),
+                label: "application".into(),
+                compute_pct: 90.0,
+                mpi_pct: 10.0,
+            },
+            Fig2Row {
+                app: "CG".into(),
+                label: "10 sec skeleton".into(),
+                compute_pct: 89.5,
+                mpi_pct: 10.5,
+            },
+        ];
+        let s = render_fig2(&rows);
+        assert!(s.contains("CG application"));
+        assert!(s.contains("CG 10 sec skeleton"));
+        assert!(s.contains("90.0"));
+    }
+
+    fn sample_grid() -> ErrorGrid {
+        ErrorGrid {
+            apps: vec!["BT".into(), "CG".into()],
+            sizes: vec![10.0, 0.5],
+            errors: vec![vec![1.0, 5.0], vec![2.0, 6.0]],
+            overall_avg: 3.5,
+        }
+    }
+
+    #[test]
+    fn fig3_render_includes_averages() {
+        let s = render_fig3(&sample_grid());
+        assert!(s.contains("10s skel"));
+        assert!(s.contains("0.5s skel"));
+        assert!(s.contains("Average"));
+        // Column averages: (1+2)/2 = 1.5 and (5+6)/2 = 5.5.
+        assert!(s.contains("1.5"));
+        assert!(s.contains("5.5"));
+        assert!(s.contains("3.5%"), "overall average printed");
+    }
+
+    #[test]
+    fn fig5_render_is_the_transpose() {
+        let s = render_fig5(&sample_grid());
+        assert!(s.contains("10 second"));
+        assert!(s.contains("0.5 second"));
+        let ten_line = s.lines().find(|l| l.contains("10 second")).unwrap();
+        assert!(ten_line.contains("1.0") && ten_line.contains("2.0"), "{ten_line}");
+    }
+
+    #[test]
+    fn fig4_render_marks_flagged_sizes() {
+        let rows = vec![
+            Fig4Row { app: "IS".into(), min_good_secs: 3.0, flagged_sizes: vec![2.0, 1.0] },
+            Fig4Row { app: "CG".into(), min_good_secs: 0.13, flagged_sizes: vec![] },
+        ];
+        let s = render_fig4(&rows);
+        assert!(s.contains("3.00 sec"));
+        assert!(s.contains("2s, 1s"));
+        assert!(s.lines().any(|l| l.contains("CG") && l.trim_end().ends_with('-')));
+    }
+
+    #[test]
+    fn fig6_render_numbers_scenarios_with_legend() {
+        let g = Fig6Grid {
+            apps: vec!["BT".into()],
+            scenarios: vec!["one".into(), "two".into()],
+            errors: vec![vec![1.0, 2.0]],
+            skeleton_size: 10.0,
+        };
+        let s = render_fig6(&g);
+        assert!(s.contains("scenario 1"));
+        assert!(s.contains("scenario 2"));
+        assert!(s.contains("  scenario 1: one"));
+        assert!(s.contains("10s skeleton"));
+    }
+
+    #[test]
+    fn grid_row_and_column_averages() {
+        let g = sample_grid();
+        assert_eq!(g.avg_per_size(), vec![1.5, 5.5]);
+        assert_eq!(g.avg_per_app(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn fig7_render_contains_methods() {
+        let rows = vec![
+            Fig7Row { method: "10 sec skeleton".into(), min_pct: 1.0, avg_pct: 5.0, max_pct: 9.0 },
+            Fig7Row { method: "Average".into(), min_pct: 2.0, avg_pct: 40.0, max_pct: 110.0 },
+        ];
+        let s = render_fig7(&rows);
+        assert!(s.contains("10 sec skeleton"));
+        assert!(s.contains("110.0"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Runs applications and skeletons on the testbed under sharing scenarios,
+//! caching everything the figures need.
+
+use crate::scenario::Scenario;
+use pskel_apps::{Class, NasBenchmark};
+use pskel_core::{BuiltSkeleton, ExecOptions, SkeletonBuilder};
+use pskel_mpi::{run_mpi, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement};
+use pskel_trace::AppTrace;
+use std::collections::HashMap;
+
+/// The experimental testbed: cluster spec + rank placement (the paper's
+/// 4 dual-CPU nodes, one rank per node).
+#[derive(Clone, Debug)]
+pub struct Testbed {
+    pub cluster: ClusterSpec,
+    pub placement: Placement,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed {
+            cluster: ClusterSpec::paper_testbed(),
+            placement: Placement::round_robin(4, 4),
+        }
+    }
+}
+
+impl Testbed {
+    /// Run a benchmark under a scenario; returns total execution seconds.
+    pub fn run_app(&self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
+        let cluster = scenario.apply(&self.cluster);
+        run_mpi(
+            cluster,
+            self.placement.clone(),
+            &bench.full_name(class),
+            TraceConfig::off(),
+            bench.program(class),
+        )
+        .total_secs()
+    }
+
+    /// Trace a benchmark on the dedicated testbed.
+    pub fn trace_app(&self, bench: NasBenchmark, class: Class) -> AppTrace {
+        run_mpi(
+            self.cluster.clone(),
+            self.placement.clone(),
+            &bench.full_name(class),
+            TraceConfig::on(),
+            bench.program(class),
+        )
+        .trace
+        .expect("tracing was enabled")
+    }
+
+    /// Run a skeleton under a scenario; returns total execution seconds.
+    pub fn run_skeleton(&self, built: &BuiltSkeleton, scenario: Scenario) -> f64 {
+        let cluster = scenario.apply(&self.cluster);
+        pskel_core::run_skeleton(
+            &built.skeleton,
+            cluster,
+            self.placement.clone(),
+            ExecOptions::default(),
+        )
+        .total_secs()
+    }
+}
+
+/// Lazily-computed, memoized measurements over the full benchmark suite:
+/// the figures share application runs, traces and skeletons through this.
+pub struct EvalContext {
+    pub testbed: Testbed,
+    pub class: Class,
+    /// Skeleton target sizes in seconds, largest first (the paper's
+    /// 10/5/2/1/0.5 for Class B).
+    pub skeleton_sizes: Vec<f64>,
+    app_times: HashMap<(NasBenchmark, Class, Scenario), f64>,
+    traces: HashMap<(NasBenchmark, Class), AppTrace>,
+    skeletons: HashMap<(NasBenchmark, u64), BuiltSkeleton>,
+    skeleton_times: HashMap<(NasBenchmark, u64, Scenario), f64>,
+}
+
+/// The paper's skeleton sizes for Class B (seconds).
+pub const PAPER_SKELETON_SIZES: [f64; 5] = [10.0, 5.0, 2.0, 1.0, 0.5];
+
+impl EvalContext {
+    pub fn new(class: Class, skeleton_sizes: &[f64]) -> EvalContext {
+        EvalContext {
+            testbed: Testbed::default(),
+            class,
+            skeleton_sizes: skeleton_sizes.to_vec(),
+            app_times: HashMap::new(),
+            traces: HashMap::new(),
+            skeletons: HashMap::new(),
+            skeleton_times: HashMap::new(),
+        }
+    }
+
+    /// The paper's configuration: Class B, 10/5/2/1/0.5 s skeletons.
+    pub fn paper() -> EvalContext {
+        EvalContext::new(Class::B, &PAPER_SKELETON_SIZES)
+    }
+
+    fn size_key(target_secs: f64) -> u64 {
+        (target_secs * 1000.0).round() as u64
+    }
+
+    /// Measured application time under a scenario (memoized).
+    pub fn app_time(&mut self, bench: NasBenchmark, scenario: Scenario) -> f64 {
+        self.app_time_class(bench, self.class, scenario)
+    }
+
+    /// Measured application time for an explicit class (used by the
+    /// Class-S baseline).
+    pub fn app_time_class(
+        &mut self,
+        bench: NasBenchmark,
+        class: Class,
+        scenario: Scenario,
+    ) -> f64 {
+        if let Some(&t) = self.app_times.get(&(bench, class, scenario)) {
+            return t;
+        }
+        let t = self.testbed.run_app(bench, class, scenario);
+        self.app_times.insert((bench, class, scenario), t);
+        t
+    }
+
+    /// The dedicated-testbed trace of a benchmark (memoized).
+    pub fn trace(&mut self, bench: NasBenchmark) -> &AppTrace {
+        let class = self.class;
+        if !self.traces.contains_key(&(bench, class)) {
+            let t = self.testbed.trace_app(bench, class);
+            self.traces.insert((bench, class), t);
+        }
+        &self.traces[&(bench, class)]
+    }
+
+    /// A skeleton of the given target size (memoized).
+    pub fn skeleton(&mut self, bench: NasBenchmark, target_secs: f64) -> &BuiltSkeleton {
+        let key = (bench, Self::size_key(target_secs));
+        if !self.skeletons.contains_key(&key) {
+            self.trace(bench); // ensure the trace exists
+            let trace = &self.traces[&(bench, self.class)];
+            let built = SkeletonBuilder::new(target_secs).build(trace);
+            let issues = pskel_core::validate(&built.skeleton);
+            assert!(
+                issues.is_empty(),
+                "{} {target_secs}s skeleton failed validation: {issues:?}",
+                bench.name()
+            );
+            self.skeletons.insert(key, built);
+        }
+        &self.skeletons[&key]
+    }
+
+    /// Skeleton execution time under a scenario (memoized).
+    pub fn skeleton_time(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+        scenario: Scenario,
+    ) -> f64 {
+        let key = (bench, Self::size_key(target_secs), scenario);
+        if let Some(&t) = self.skeleton_times.get(&key) {
+            return t;
+        }
+        self.skeleton(bench, target_secs);
+        let built = &self.skeletons[&(bench, Self::size_key(target_secs))];
+        let t = self.testbed.run_skeleton(built, scenario);
+        self.skeleton_times.insert(key, t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_runs_are_memoized() {
+        let mut ctx = EvalContext::new(Class::S, &[0.01]);
+        let a = ctx.app_time(NasBenchmark::Cg, Scenario::Dedicated);
+        let b = ctx.app_time(NasBenchmark::Cg, Scenario::Dedicated);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn cpu_sharing_slows_the_app() {
+        let mut ctx = EvalContext::new(Class::S, &[0.01]);
+        let ded = ctx.app_time(NasBenchmark::Bt, Scenario::Dedicated);
+        let shared = ctx.app_time(NasBenchmark::Bt, Scenario::CpuAllNodes);
+        assert!(
+            shared > ded * 1.2,
+            "CPU contention must slow BT: {ded} -> {shared}"
+        );
+    }
+
+    #[test]
+    fn skeleton_builds_and_runs_for_class_s() {
+        let mut ctx = EvalContext::new(Class::S, &[0.005]);
+        let t = ctx.skeleton_time(NasBenchmark::Cg, 0.005, Scenario::Dedicated);
+        assert!(t > 0.0);
+        let built = ctx.skeleton(NasBenchmark::Cg, 0.005);
+        assert!(built.skeleton.meta.scale_k >= 1);
+    }
+}

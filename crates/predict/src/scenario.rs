@@ -1,0 +1,201 @@
+//! The paper's five resource-sharing scenarios (§4.2), as transformations
+//! of the cluster specification.
+
+use pskel_sim::{ClusterSpec, THROTTLED_10MBPS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A resource-sharing scenario on the 4-node testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Unloaded testbed (used for tracing and scaling-ratio measurement).
+    Dedicated,
+    /// Two competing compute-intensive processes on one node.
+    CpuOneNode,
+    /// Two competing compute-intensive processes on each node.
+    CpuAllNodes,
+    /// One link throttled to 10 Mb/s.
+    NetOneLink,
+    /// Every link throttled to 10 Mb/s.
+    NetAllLinks,
+    /// Competing processes on one node and one throttled link.
+    CpuAndNetOne,
+}
+
+impl Scenario {
+    /// The five sharing scenarios, in the paper's order.
+    pub const SHARING: [Scenario; 5] = [
+        Scenario::CpuOneNode,
+        Scenario::CpuAllNodes,
+        Scenario::NetOneLink,
+        Scenario::NetAllLinks,
+        Scenario::CpuAndNetOne,
+    ];
+
+    /// All scenarios including the dedicated baseline.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::Dedicated,
+        Scenario::CpuOneNode,
+        Scenario::CpuAllNodes,
+        Scenario::NetOneLink,
+        Scenario::NetAllLinks,
+        Scenario::CpuAndNetOne,
+    ];
+
+    /// Apply the scenario to a dedicated cluster spec.
+    pub fn apply(self, spec: &ClusterSpec) -> ClusterSpec {
+        let mut s = spec.clone();
+        match self {
+            Scenario::Dedicated => {}
+            Scenario::CpuOneNode => {
+                s.nodes[0].competing_processes += 2;
+            }
+            Scenario::CpuAllNodes => {
+                for n in &mut s.nodes {
+                    n.competing_processes += 2;
+                }
+            }
+            Scenario::NetOneLink => {
+                s.nodes[0].link_cap = Some(THROTTLED_10MBPS);
+            }
+            Scenario::NetAllLinks => {
+                for n in &mut s.nodes {
+                    n.link_cap = Some(THROTTLED_10MBPS);
+                }
+            }
+            Scenario::CpuAndNetOne => {
+                s.nodes[0].competing_processes += 2;
+                s.nodes[0].link_cap = Some(THROTTLED_10MBPS);
+            }
+        }
+        s
+    }
+
+    /// The paper's description of the scenario.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Dedicated => "Dedicated testbed",
+            Scenario::CpuOneNode => "Competing process on one node",
+            Scenario::CpuAllNodes => "Competing process on all nodes",
+            Scenario::NetOneLink => "Competing traffic on one link",
+            Scenario::NetAllLinks => "Competing traffic on all links",
+            Scenario::CpuAndNetOne => "Competing process and traffic on one node and link",
+        }
+    }
+
+    /// True if the scenario involves network sharing.
+    pub fn shares_network(self) -> bool {
+        matches!(
+            self,
+            Scenario::NetOneLink | Scenario::NetAllLinks | Scenario::CpuAndNetOne
+        )
+    }
+
+    /// True if the scenario involves CPU sharing.
+    pub fn shares_cpu(self) -> bool {
+        matches!(
+            self,
+            Scenario::CpuOneNode | Scenario::CpuAllNodes | Scenario::CpuAndNetOne
+        )
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+
+    /// Parses the kebab-case scenario names used by the CLI.
+    fn from_str(s: &str) -> Result<Scenario, String> {
+        match s {
+            "dedicated" => Ok(Scenario::Dedicated),
+            "cpu-one-node" => Ok(Scenario::CpuOneNode),
+            "cpu-all-nodes" => Ok(Scenario::CpuAllNodes),
+            "net-one-link" => Ok(Scenario::NetOneLink),
+            "net-all-links" => Ok(Scenario::NetAllLinks),
+            "cpu-and-net" => Ok(Scenario::CpuAndNetOne),
+            other => Err(format!(
+                "unknown scenario {other:?}; expected one of: dedicated, cpu-one-node, \
+                 cpu-all-nodes, net-one-link, net-all-links, cpu-and-net"
+            )),
+        }
+    }
+}
+
+impl Scenario {
+    /// The CLI spelling of this scenario.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Scenario::Dedicated => "dedicated",
+            Scenario::CpuOneNode => "cpu-one-node",
+            Scenario::CpuAllNodes => "cpu-all-nodes",
+            Scenario::NetOneLink => "net-one-link",
+            Scenario::NetAllLinks => "net-all-links",
+            Scenario::CpuAndNetOne => "cpu-and-net",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_is_identity() {
+        let base = ClusterSpec::paper_testbed();
+        let s = Scenario::Dedicated.apply(&base);
+        assert_eq!(s.nodes[0].competing_processes, 0);
+        assert_eq!(s.nodes[0].link_cap, None);
+    }
+
+    #[test]
+    fn cpu_one_node_loads_only_node_zero() {
+        let s = Scenario::CpuOneNode.apply(&ClusterSpec::paper_testbed());
+        assert_eq!(s.nodes[0].competing_processes, 2);
+        assert_eq!(s.nodes[1].competing_processes, 0);
+    }
+
+    #[test]
+    fn cpu_all_nodes_loads_everything() {
+        let s = Scenario::CpuAllNodes.apply(&ClusterSpec::paper_testbed());
+        assert!(s.nodes.iter().all(|n| n.competing_processes == 2));
+    }
+
+    #[test]
+    fn net_scenarios_throttle_links() {
+        let one = Scenario::NetOneLink.apply(&ClusterSpec::paper_testbed());
+        assert_eq!(one.nodes[0].link_cap, Some(THROTTLED_10MBPS));
+        assert_eq!(one.nodes[1].link_cap, None);
+        let all = Scenario::NetAllLinks.apply(&ClusterSpec::paper_testbed());
+        assert!(all.nodes.iter().all(|n| n.link_cap == Some(THROTTLED_10MBPS)));
+    }
+
+    #[test]
+    fn combined_scenario_does_both_on_node_zero() {
+        let s = Scenario::CpuAndNetOne.apply(&ClusterSpec::paper_testbed());
+        assert_eq!(s.nodes[0].competing_processes, 2);
+        assert_eq!(s.nodes[0].link_cap, Some(THROTTLED_10MBPS));
+        assert_eq!(s.nodes[1].competing_processes, 0);
+        assert_eq!(s.nodes[1].link_cap, None);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(Scenario::CpuAndNetOne.shares_cpu());
+        assert!(Scenario::CpuAndNetOne.shares_network());
+        assert!(!Scenario::CpuOneNode.shares_network());
+        assert!(!Scenario::NetAllLinks.shares_cpu());
+        assert!(!Scenario::Dedicated.shares_cpu());
+    }
+
+    #[test]
+    fn sharing_list_matches_paper_order() {
+        assert_eq!(Scenario::SHARING.len(), 5);
+        assert_eq!(Scenario::SHARING[0], Scenario::CpuOneNode);
+        assert_eq!(Scenario::SHARING[4], Scenario::CpuAndNetOne);
+    }
+}

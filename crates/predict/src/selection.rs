@@ -1,0 +1,190 @@
+//! Skeleton-based resource selection — the paper's motivating application
+//! (§1): "a group of candidate node sets is identified for execution
+//! (using existing approximate methods) and the final choice is made by
+//! comparing the execution time of the application skeleton on each node
+//! set."
+
+use pskel_core::{BuiltSkeleton, ExecOptions};
+use pskel_sim::{ClusterSpec, Placement};
+use serde::{Deserialize, Serialize};
+
+/// One candidate node set with its current sharing conditions.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    pub name: String,
+    pub cluster: ClusterSpec,
+    pub placement: Placement,
+}
+
+impl CandidateSet {
+    pub fn new(name: impl Into<String>, cluster: ClusterSpec, placement: Placement) -> Self {
+        CandidateSet { name: name.into(), cluster, placement }
+    }
+}
+
+/// Outcome of probing one candidate with the skeleton.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProbeResult {
+    pub name: String,
+    /// How long the skeleton ran there (the probing cost).
+    pub probe_secs: f64,
+    /// Predicted application time on this candidate.
+    pub predicted_secs: f64,
+}
+
+/// The full selection outcome: every probe, best first.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Selection {
+    /// Probes sorted by predicted application time, ascending.
+    pub ranking: Vec<ProbeResult>,
+    /// Total virtual time spent probing (the method's overhead).
+    pub total_probe_secs: f64,
+}
+
+impl Selection {
+    /// The chosen (fastest-predicted) candidate.
+    pub fn best(&self) -> &ProbeResult {
+        &self.ranking[0]
+    }
+}
+
+/// Probe every candidate with the skeleton and rank them by predicted
+/// application time. `measured_ratio` is the application/skeleton runtime
+/// ratio on the dedicated reference testbed (§4.2's measured scaling
+/// ratio).
+pub fn select_node_set(
+    skeleton: &BuiltSkeleton,
+    measured_ratio: f64,
+    candidates: &[CandidateSet],
+) -> Selection {
+    assert!(!candidates.is_empty(), "need at least one candidate node set");
+    assert!(
+        measured_ratio.is_finite() && measured_ratio > 0.0,
+        "measured scaling ratio must be positive, got {measured_ratio}"
+    );
+    let mut ranking: Vec<ProbeResult> = candidates
+        .iter()
+        .map(|c| {
+            let probe = pskel_core::run_skeleton(
+                &skeleton.skeleton,
+                c.cluster.clone(),
+                c.placement.clone(),
+                ExecOptions::default(),
+            )
+            .total_secs();
+            ProbeResult {
+                name: c.name.clone(),
+                probe_secs: probe,
+                predicted_secs: probe * measured_ratio,
+            }
+        })
+        .collect();
+    let total_probe_secs = ranking.iter().map(|p| p.probe_secs).sum();
+    ranking.sort_by(|a, b| a.predicted_secs.total_cmp(&b.predicted_secs));
+    Selection { ranking, total_probe_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_apps::{Class, NasBenchmark};
+    use pskel_core::SkeletonBuilder;
+    use pskel_mpi::{run_mpi, TraceConfig};
+    use pskel_sim::THROTTLED_10MBPS;
+
+    fn build(bench: NasBenchmark, class: Class) -> (BuiltSkeleton, f64) {
+        let cluster = ClusterSpec::paper_testbed();
+        let placement = Placement::round_robin(4, 4);
+        let traced = run_mpi(
+            cluster.clone(),
+            placement.clone(),
+            &bench.full_name(class),
+            TraceConfig::on(),
+            bench.program(class),
+        );
+        let built =
+            SkeletonBuilder::new(traced.total_secs() / 10.0).build(traced.trace.as_ref().unwrap());
+        let skel_ded = pskel_core::run_skeleton(
+            &built.skeleton,
+            cluster,
+            placement,
+            ExecOptions::default(),
+        )
+        .total_secs();
+        (built, traced.total_secs() / skel_ded)
+    }
+
+    #[test]
+    fn selection_prefers_the_unloaded_candidate() {
+        let (built, ratio) = build(NasBenchmark::Cg, Class::W);
+        let p = Placement::round_robin(4, 4);
+        let candidates = vec![
+            CandidateSet::new(
+                "loaded",
+                ClusterSpec::paper_testbed()
+                    .with_competing_processes(0, 2)
+                    .with_competing_processes(1, 2),
+                p.clone(),
+            ),
+            CandidateSet::new("idle", ClusterSpec::paper_testbed(), p.clone()),
+            CandidateSet::new(
+                "congested",
+                ClusterSpec::paper_testbed().with_link_cap(0, THROTTLED_10MBPS),
+                p,
+            ),
+        ];
+        let sel = select_node_set(&built, ratio, &candidates);
+        assert_eq!(sel.best().name, "idle");
+        assert_eq!(sel.ranking.len(), 3);
+        // Ranking is sorted ascending.
+        for w in sel.ranking.windows(2) {
+            assert!(w[0].predicted_secs <= w[1].predicted_secs);
+        }
+        // Probing costs roughly (candidates x skeleton time), far less
+        // than one application run per candidate would.
+        assert!(sel.total_probe_secs < 3.0 * sel.best().predicted_secs);
+    }
+
+    #[test]
+    fn selection_matches_ground_truth_ordering() {
+        let (built, ratio) = build(NasBenchmark::Mg, Class::W);
+        let p = Placement::round_robin(4, 4);
+        let specs = [
+            ("all-loaded", ClusterSpec::paper_testbed().with_competing_processes(0, 2)
+                .with_competing_processes(1, 2)
+                .with_competing_processes(2, 2)
+                .with_competing_processes(3, 2)),
+            ("idle", ClusterSpec::paper_testbed()),
+        ];
+        let candidates: Vec<CandidateSet> = specs
+            .iter()
+            .map(|(n, c)| CandidateSet::new(*n, c.clone(), p.clone()))
+            .collect();
+        let sel = select_node_set(&built, ratio, &candidates);
+
+        // Ground truth.
+        let mut truth: Vec<(String, f64)> = specs
+            .iter()
+            .map(|(n, c)| {
+                let t = run_mpi(
+                    c.clone(),
+                    p.clone(),
+                    "truth",
+                    TraceConfig::off(),
+                    NasBenchmark::Mg.program(Class::W),
+                )
+                .total_secs();
+                (n.to_string(), t)
+            })
+            .collect();
+        truth.sort_by(|a, b| a.1.total_cmp(&b.1));
+        assert_eq!(sel.best().name, truth[0].0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidate_list_rejected() {
+        let (built, ratio) = build(NasBenchmark::Ep, Class::S);
+        select_node_set(&built, ratio, &[]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Clustering of similar execution events (paper §3.2, first stage).
+//!
+//! Sequential leader clustering: events are scanned in trace order; an event
+//! joins the first existing cluster with the same [`EventKey`] whose
+//! centroid lies within the similarity threshold, else it founds a new
+//! cluster. Centroids are running means, so two merged `MPI_Send(3, 2000)` /
+//! `MPI_Send(3, 1800)` events become the paper's `MPI_Send(3, 1900)`.
+//!
+//! The similarity threshold τ ∈ [0, 1] maps linearly to the maximum allowed
+//! message-size difference, relative to the largest message in the trace:
+//! τ = 0 merges only identical sizes; τ = 1 merges any sizes of equal key.
+
+use crate::feature::{EventKey, EventOccurrence, OccurrenceSeq};
+use serde::{Deserialize, Serialize};
+
+/// A cluster of similar events: the symbol alphabet entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterInfo {
+    pub key: EventKey,
+    /// Centroid message size.
+    pub mean_bytes: f64,
+    /// Centroid in-call duration (dedicated testbed), seconds.
+    pub mean_dur_secs: f64,
+    /// Number of occurrences absorbed.
+    pub count: u64,
+    /// Mean of the computation preceding occurrences of this cluster.
+    pub mean_compute_secs: f64,
+    /// Welford M2 accumulator for the preceding-computation variance; the
+    /// paper (§4.4) proposes using the frequency distribution of compute
+    /// durations instead of plain means — this powers that extension.
+    pub m2_compute: f64,
+}
+
+impl ClusterInfo {
+    /// Centroid bytes rounded for use as an operation parameter.
+    pub fn bytes(&self) -> u64 {
+        self.mean_bytes.round().max(0.0) as u64
+    }
+
+    /// Sample standard deviation of the preceding computation, seconds.
+    pub fn compute_std_secs(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2_compute / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Result of clustering one rank's occurrence sequence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredSeq {
+    pub rank: usize,
+    /// The symbol string: one (cluster id, compute-before) per event.
+    pub symbols: Vec<(u32, f64)>,
+    pub clusters: Vec<ClusterInfo>,
+    pub tail_compute: f64,
+}
+
+/// Cluster `seq` under similarity threshold `tau`.
+pub fn cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
+    assert!((0.0..=1.0).contains(&tau), "similarity threshold must be in [0,1], got {tau}");
+    let scale = seq.byte_scale();
+    let max_diff = tau * scale;
+
+    let mut clusters: Vec<ClusterInfo> = Vec::new();
+    let mut symbols = Vec::with_capacity(seq.events.len());
+
+    for ev in &seq.events {
+        let id = assign(&mut clusters, ev, max_diff);
+        symbols.push((id, ev.compute_before));
+    }
+    ClusteredSeq { rank: seq.rank, symbols, clusters, tail_compute: seq.tail_compute }
+}
+
+fn assign(clusters: &mut Vec<ClusterInfo>, ev: &EventOccurrence, max_diff: f64) -> u32 {
+    for (i, c) in clusters.iter_mut().enumerate() {
+        if c.key == ev.key && (c.mean_bytes - ev.bytes as f64).abs() <= max_diff {
+            // Running mean update keeps the centroid the true average;
+            // Welford's algorithm tracks the compute-gap variance.
+            let n = c.count as f64;
+            c.mean_bytes = (c.mean_bytes * n + ev.bytes as f64) / (n + 1.0);
+            c.mean_dur_secs = (c.mean_dur_secs * n + ev.dur.as_secs_f64()) / (n + 1.0);
+            let delta = ev.compute_before - c.mean_compute_secs;
+            c.mean_compute_secs += delta / (n + 1.0);
+            let delta2 = ev.compute_before - c.mean_compute_secs;
+            c.m2_compute += delta * delta2;
+            c.count += 1;
+            return i as u32;
+        }
+    }
+    clusters.push(ClusterInfo {
+        key: ev.key.clone(),
+        mean_bytes: ev.bytes as f64,
+        mean_dur_secs: ev.dur.as_secs_f64(),
+        count: 1,
+        mean_compute_secs: ev.compute_before,
+        m2_compute: 0.0,
+    });
+    (clusters.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_sim::SimDuration;
+    use pskel_trace::OpKind;
+
+    fn occ(kind: OpKind, peer: u32, bytes: u64, dur_ns: u64) -> EventOccurrence {
+        EventOccurrence {
+            key: EventKey { kind, peer: Some(peer), tag: Some(0), slots: vec![] },
+            bytes,
+            dur: SimDuration(dur_ns),
+            compute_before: 0.0,
+        }
+    }
+
+    fn seq(events: Vec<EventOccurrence>) -> OccurrenceSeq {
+        OccurrenceSeq { rank: 0, events, tail_compute: 0.0 }
+    }
+
+    #[test]
+    fn zero_threshold_merges_only_identical() {
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 2000, 100),
+            occ(OpKind::Send, 1, 1800, 100),
+            occ(OpKind::Send, 1, 2000, 200),
+        ]);
+        let c = cluster(&s, 0.0);
+        assert_eq!(c.clusters.len(), 2);
+        assert_eq!(c.symbols[0].0, c.symbols[2].0);
+        assert_ne!(c.symbols[0].0, c.symbols[1].0);
+    }
+
+    #[test]
+    fn paper_example_merges_at_sufficient_threshold() {
+        // MPI_Send(3, 2000) + MPI_Send(3, 1800) -> MPI_Send(3, 1900).
+        let s = seq(vec![occ(OpKind::Send, 3, 2000, 100), occ(OpKind::Send, 3, 1800, 100)]);
+        // scale = 2000; diff = 200 -> tau >= 0.1 merges.
+        let c = cluster(&s, 0.1);
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.clusters[0].bytes(), 1900);
+        assert_eq!(c.clusters[0].count, 2);
+    }
+
+    #[test]
+    fn below_threshold_stays_separate() {
+        let s = seq(vec![occ(OpKind::Send, 3, 2000, 100), occ(OpKind::Send, 3, 1800, 100)]);
+        let c = cluster(&s, 0.05);
+        assert_eq!(c.clusters.len(), 2);
+    }
+
+    #[test]
+    fn different_kinds_never_merge() {
+        let s = seq(vec![occ(OpKind::Send, 1, 1000, 100), occ(OpKind::Isend, 1, 1000, 100)]);
+        let c = cluster(&s, 1.0);
+        assert_eq!(c.clusters.len(), 2, "blocking vs nonblocking stay distinct");
+    }
+
+    #[test]
+    fn different_peers_never_merge() {
+        let s = seq(vec![occ(OpKind::Send, 1, 1000, 100), occ(OpKind::Send, 2, 1000, 100)]);
+        let c = cluster(&s, 1.0);
+        assert_eq!(c.clusters.len(), 2);
+    }
+
+    #[test]
+    fn centroid_tracks_running_mean_of_duration() {
+        let s = seq(vec![occ(OpKind::Send, 1, 100, 1_000), occ(OpKind::Send, 1, 100, 3_000)]);
+        let c = cluster(&s, 0.0);
+        assert_eq!(c.clusters.len(), 1);
+        assert!((c.clusters[0].mean_dur_secs - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn full_threshold_merges_everything_with_same_key() {
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 10, 100),
+            occ(OpKind::Send, 1, 1_000_000, 100),
+        ]);
+        let c = cluster(&s, 1.0);
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.clusters[0].bytes(), 500_005);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_threshold_rejected() {
+        cluster(&seq(vec![]), 1.5);
+    }
+
+    #[test]
+    fn symbols_preserve_compute_annotations() {
+        let mut e = occ(OpKind::Send, 1, 100, 100);
+        e.compute_before = 0.75;
+        let s = seq(vec![e]);
+        let c = cluster(&s, 0.0);
+        assert_eq!(c.symbols, vec![(0, 0.75)]);
+    }
+}

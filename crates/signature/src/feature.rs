@@ -1,0 +1,150 @@
+//! Event identity and feature extraction for clustering.
+//!
+//! The paper clusters "substantially similar execution events" in an
+//! N-dimensional parameter space, with the rule that different MPI
+//! primitives (and blocking vs. nonblocking variants) are never grouped
+//! (§3.2). We encode that rule as a *hard key* — kind, peer, tag, request
+//! slots — and leave the message size as the fuzzy numeric dimension the
+//! similarity threshold controls.
+
+use pskel_sim::SimDuration;
+use pskel_trace::{OpKind, ProcessTrace, Record};
+use serde::{Deserialize, Serialize};
+
+/// The non-negotiable identity of an event: clustering only merges events
+/// whose keys are equal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventKey {
+    pub kind: OpKind,
+    /// Destination / source / root rank.
+    pub peer: Option<u32>,
+    pub tag: Option<u64>,
+    /// Request-slot pairing for nonblocking ops and their waits.
+    pub slots: Vec<u32>,
+}
+
+/// One event occurrence extracted from a trace, with its fuzzy dimensions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventOccurrence {
+    pub key: EventKey,
+    /// Bytes moved by the call (the clustered numeric dimension).
+    pub bytes: u64,
+    /// Measured time inside the call on the dedicated testbed.
+    pub dur: SimDuration,
+    /// Computation time between the previous MPI call and this one,
+    /// in seconds.
+    pub compute_before: f64,
+}
+
+/// A trace rank reduced to its event-occurrence sequence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OccurrenceSeq {
+    pub rank: usize,
+    pub events: Vec<EventOccurrence>,
+    /// Computation after the final MPI call.
+    pub tail_compute: f64,
+}
+
+impl OccurrenceSeq {
+    /// Extract the occurrence sequence from a process trace.
+    pub fn from_trace(trace: &ProcessTrace) -> OccurrenceSeq {
+        let mut events = Vec::new();
+        let mut pending = 0.0f64;
+        for rec in &trace.records {
+            match rec {
+                Record::Compute { dur } => pending += dur.as_secs_f64(),
+                Record::Mpi(e) => {
+                    events.push(EventOccurrence {
+                        key: EventKey {
+                            kind: e.kind,
+                            peer: e.peer,
+                            tag: e.tag,
+                            slots: e.slots.clone(),
+                        },
+                        bytes: e.bytes,
+                        dur: e.duration(),
+                        compute_before: pending,
+                    });
+                    pending = 0.0;
+                }
+            }
+        }
+        OccurrenceSeq { rank: trace.rank, events, tail_compute: pending }
+    }
+
+    /// Total computation time across the sequence (gaps + tail).
+    pub fn total_compute(&self) -> f64 {
+        self.events.iter().map(|e| e.compute_before).sum::<f64>() + self.tail_compute
+    }
+
+    /// Largest message size in the sequence; the similarity threshold is
+    /// interpreted relative to this scale (τ = 1 merges everything of the
+    /// same key). At least 1 to avoid division by zero.
+    pub fn byte_scale(&self) -> f64 {
+        self.events.iter().map(|e| e.bytes).max().unwrap_or(0).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_sim::SimTime;
+    use pskel_trace::MpiEvent;
+
+    fn trace() -> ProcessTrace {
+        let mk = |kind, bytes, start: u64, end: u64| {
+            Record::Mpi(MpiEvent {
+                kind,
+                peer: Some(1),
+                tag: Some(0),
+                bytes,
+                slots: vec![],
+                start: SimTime(start),
+                end: SimTime(end),
+            })
+        };
+        ProcessTrace {
+            rank: 3,
+            records: vec![
+                Record::Compute { dur: SimDuration(2_000_000_000) },
+                mk(OpKind::Send, 1000, 0, 10),
+                Record::Compute { dur: SimDuration(1_000_000_000) },
+                Record::Compute { dur: SimDuration(500_000_000) },
+                mk(OpKind::Allreduce, 8, 20, 30),
+                Record::Compute { dur: SimDuration(250_000_000) },
+            ],
+            finish: SimTime(100),
+        }
+    }
+
+    #[test]
+    fn extraction_attaches_compute_gaps() {
+        let seq = OccurrenceSeq::from_trace(&trace());
+        assert_eq!(seq.rank, 3);
+        assert_eq!(seq.events.len(), 2);
+        assert!((seq.events[0].compute_before - 2.0).abs() < 1e-12);
+        // Consecutive compute records accumulate.
+        assert!((seq.events[1].compute_before - 1.5).abs() < 1e-12);
+        assert!((seq.tail_compute - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_compute_sums_gaps_and_tail() {
+        let seq = OccurrenceSeq::from_trace(&trace());
+        assert!((seq.total_compute() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_scale_is_max_and_at_least_one() {
+        let seq = OccurrenceSeq::from_trace(&trace());
+        assert_eq!(seq.byte_scale(), 1000.0);
+        let empty = OccurrenceSeq { rank: 0, events: vec![], tail_compute: 0.0 };
+        assert_eq!(empty.byte_scale(), 1.0);
+    }
+
+    #[test]
+    fn keys_differ_by_kind() {
+        let seq = OccurrenceSeq::from_trace(&trace());
+        assert_ne!(seq.events[0].key, seq.events[1].key);
+    }
+}

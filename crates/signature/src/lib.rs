@@ -1,0 +1,31 @@
+//! # pskel-signature — trace compression into execution signatures
+//!
+//! Implements §3.2 of the paper: the application execution trace is
+//! compressed into a compact *execution signature* in two stages —
+//!
+//! 1. **Clustering** ([`cluster()`]): substantially similar events (same MPI
+//!    primitive, peer, tag; message sizes within the similarity threshold)
+//!    are merged into clusters represented by their centroid, producing a
+//!    string of symbols.
+//! 2. **Loop detection** ([`find_loops`]): repeated substrings of the
+//!    symbol string are folded into recursive loop nests, turning
+//!    `αββγββγββγκαα` into `α[(β)²γ]³κ[α]²`.
+//!
+//! The similarity threshold is searched iteratively ([`compress_process`])
+//! until the desired compression ratio Q is reached, with Q = K/2 chosen by
+//! the skeleton-construction layer.
+
+pub mod cluster;
+pub mod feature;
+pub mod loopfind;
+pub mod signature;
+pub mod token;
+
+pub use cluster::{cluster, ClusterInfo, ClusteredSeq};
+pub use feature::{EventKey, EventOccurrence, OccurrenceSeq};
+pub use loopfind::{find_loops, LoopFindOptions};
+pub use signature::{
+    compress_app, compress_process, AppSignature, CompressionOutcome, ExecutionSignature,
+    SignatureOptions,
+};
+pub use token::Tok;

@@ -1,0 +1,294 @@
+//! Loop detection: fold repeated substrings into loop nests (paper §3.2,
+//! second stage).
+//!
+//! The algorithm repeatedly collapses *tandem repeats* — adjacent equal
+//! windows — working from the smallest period upward and restarting after
+//! every change, until a fixpoint. Folding inner repeats first lets outer
+//! periodic structure surface as short windows over `Loop` tokens, which is
+//! how `αββγββγββγκαα` becomes the paper's `α[(β)²γ]³κ[α]²`.
+//!
+//! Compute annotations of merged iterations are averaged (weighted by the
+//! iteration counts each side represents), exactly the paper's policy of
+//! using the mean duration of corresponding compute events; expansion
+//! totals are preserved.
+
+use crate::token::{merge_weighted, seq_structurally_eq, structural_hash, Tok};
+
+/// Options controlling loop detection.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopFindOptions {
+    /// Longest window (in tokens) considered when searching for repeats.
+    /// Real application phase bodies are short once inner loops have been
+    /// folded; the cap bounds worst-case cost on pathological inputs.
+    pub max_period: usize,
+}
+
+impl Default for LoopFindOptions {
+    fn default() -> Self {
+        LoopFindOptions { max_period: 512 }
+    }
+}
+
+/// Fold a token sequence into loop nests.
+pub fn find_loops(mut toks: Vec<Tok>, opts: LoopFindOptions) -> Vec<Tok> {
+    loop {
+        let mut changed = false;
+        let mut period = 1usize;
+        while period <= toks.len() / 2 && period <= opts.max_period {
+            let (folded, did) = fold_pass(toks, period);
+            toks = folded;
+            if did {
+                changed = true;
+                toks = coalesce(toks);
+                period = 1; // inner structure changed; rescan small periods
+            } else {
+                period += 1;
+            }
+        }
+        toks = coalesce(toks);
+        if !changed {
+            return toks;
+        }
+    }
+}
+
+/// One left-to-right pass collapsing tandem repeats of window size `p`.
+fn fold_pass(toks: Vec<Tok>, p: usize) -> (Vec<Tok>, bool) {
+    let n = toks.len();
+    // Hash screen: windows whose hash slices differ cannot be equal, and
+    // the first-element check rejects most positions in O(1).
+    let hashes: Vec<u64> = toks.iter().map(structural_hash).collect();
+    let windows_match = |i: usize| -> bool {
+        hashes[i] == hashes[i + p]
+            && hashes[i..i + p] == hashes[i + p..i + 2 * p]
+            && seq_structurally_eq(&toks[i..i + p], &toks[i + p..i + 2 * p])
+    };
+    let mut out: Vec<Tok> = Vec::with_capacity(n);
+    let mut changed = false;
+    let mut i = 0;
+    while i < n {
+        if i + 2 * p <= n && windows_match(i) {
+            // Extend the run of equal windows as far as it goes.
+            let mut reps = 2usize;
+            while i + (reps + 1) * p <= n
+                && hashes[i..i + p] == hashes[i + reps * p..i + (reps + 1) * p]
+                && seq_structurally_eq(&toks[i..i + p], &toks[i + reps * p..i + (reps + 1) * p])
+            {
+                reps += 1;
+            }
+            // Average the windows into one body (weights preserve totals).
+            let mut body: Vec<Tok> = toks[i..i + p].to_vec();
+            for k in 1..reps {
+                merge_weighted(&mut body, &toks[i + k * p..i + (k + 1) * p], k as f64, 1.0);
+            }
+            out.push(Tok::Loop { count: reps as u64, body });
+            i += reps * p;
+            changed = true;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    (out, changed)
+}
+
+/// Cleanup rewrites that keep the tree canonical:
+/// * adjacent loops with structurally equal bodies merge their counts;
+/// * a loop immediately followed/preceded by one more copy of its body is
+///   not collapsed (that unrolled copy carries distinct compute values and
+///   will be re-examined by later passes anyway);
+/// * single-iteration loops unwrap;
+/// * loops whose body is exactly one loop multiply out.
+fn coalesce(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
+    for t in toks {
+        let t = canonicalize(t);
+        match (out.last_mut(), t) {
+            (
+                Some(Tok::Loop { count: ca, body: ba }),
+                Tok::Loop { count: cb, body: bb },
+            ) if seq_structurally_eq(ba, &bb) => {
+                merge_weighted(ba, &bb, *ca as f64, cb as f64);
+                *ca += cb;
+            }
+            (_, t) => out.push(t),
+        }
+    }
+    out
+}
+
+fn canonicalize(t: Tok) -> Tok {
+    match t {
+        Tok::Loop { count, mut body } => {
+            body = body.into_iter().map(canonicalize).collect();
+            body = coalesce_inner(body);
+            if count == 1 && body.len() == 1 {
+                return body.pop().unwrap();
+            }
+            if body.len() == 1 {
+                if let Tok::Loop { count: ci, body: bi } = &body[0] {
+                    return Tok::Loop { count: count * ci, body: bi.clone() };
+                }
+            }
+            Tok::Loop { count, body }
+        }
+        s => s,
+    }
+}
+
+fn coalesce_inner(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
+    for t in toks {
+        match (out.last_mut(), t) {
+            (
+                Some(Tok::Loop { count: ca, body: ba }),
+                Tok::Loop { count: cb, body: bb },
+            ) if seq_structurally_eq(ba, &bb) => {
+                merge_weighted(ba, &bb, *ca as f64, cb as f64);
+                *ca += cb;
+            }
+            (_, t) => out.push(t),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{expand_ids, render, total_compute};
+
+    fn sym(id: u32) -> Tok {
+        Tok::Sym { id, compute_before: 0.0 }
+    }
+
+    fn symc(id: u32, c: f64) -> Tok {
+        Tok::Sym { id, compute_before: c }
+    }
+
+    fn syms(ids: &[u32]) -> Vec<Tok> {
+        ids.iter().map(|&i| sym(i)).collect()
+    }
+
+    fn fold(ids: &[u32]) -> Vec<Tok> {
+        find_loops(syms(ids), LoopFindOptions::default())
+    }
+
+    // Symbols: alpha=0, beta=1, gamma=2, kappa=3.
+
+    #[test]
+    fn paper_example_folds_to_nested_loops() {
+        // αββγββγββγκαα  ->  α[(β)²γ]³κ[α]²
+        let toks = fold(&[0, 1, 1, 2, 1, 1, 2, 1, 1, 2, 3, 0, 0]);
+        assert_eq!(render(&toks), "s0 [[s1]^2 s2]^3 s3 [s0]^2");
+    }
+
+    #[test]
+    fn expansion_is_inverse_of_folding() {
+        let input = vec![0, 1, 1, 2, 1, 1, 2, 1, 1, 2, 3, 0, 0];
+        let toks = fold(&input);
+        assert_eq!(expand_ids(&toks), input);
+    }
+
+    #[test]
+    fn simple_run_becomes_one_loop() {
+        let toks = fold(&[5, 5, 5, 5]);
+        assert_eq!(render(&toks), "[s5]^4");
+    }
+
+    #[test]
+    fn no_repeats_is_identity() {
+        let input = vec![0, 1, 2, 3, 4];
+        let toks = fold(&input);
+        assert_eq!(expand_ids(&toks), input);
+        assert_eq!(toks.len(), 5, "nothing to fold");
+    }
+
+    #[test]
+    fn long_period_repeats_fold() {
+        // (abcde)x3
+        let mut input = Vec::new();
+        for _ in 0..3 {
+            input.extend_from_slice(&[0, 1, 2, 3, 4]);
+        }
+        let toks = fold(&input);
+        assert_eq!(render(&toks), "[s0 s1 s2 s3 s4]^3");
+    }
+
+    #[test]
+    fn nested_three_levels() {
+        // ((ab)^2 c)^2 = ababcababc
+        let input = vec![0, 1, 0, 1, 2, 0, 1, 0, 1, 2];
+        let toks = fold(&input);
+        assert_eq!(render(&toks), "[[s0 s1]^2 s2]^2");
+        assert_eq!(expand_ids(&toks), input);
+    }
+
+    #[test]
+    fn partial_trailing_iteration_stays_unrolled() {
+        // (ab)^3 a : trailing 'a' must not join the loop.
+        let input = vec![0, 1, 0, 1, 0, 1, 0];
+        let toks = fold(&input);
+        assert_eq!(expand_ids(&toks), input);
+        assert_eq!(render(&toks), "[s0 s1]^3 s0");
+    }
+
+    #[test]
+    fn compute_annotations_are_averaged_and_totals_preserved() {
+        let input = vec![symc(1, 1.0), symc(1, 2.0), symc(1, 6.0)];
+        let before = total_compute(&input);
+        let toks = find_loops(input, LoopFindOptions::default());
+        assert_eq!(render(&toks), "[s1]^3");
+        let after = total_compute(&toks);
+        assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+        match &toks[0] {
+            Tok::Loop { body, .. } => match &body[0] {
+                Tok::Sym { compute_before, .. } => {
+                    assert!((compute_before - 3.0).abs() < 1e-12)
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn adjacent_equal_loops_coalesce() {
+        // Build [a]^2 [a]^2 by hand and coalesce via find_loops.
+        let toks = vec![
+            Tok::Loop { count: 2, body: vec![symc(0, 1.0)] },
+            Tok::Loop { count: 2, body: vec![symc(0, 3.0)] },
+        ];
+        let before = total_compute(&toks);
+        let out = find_loops(toks, LoopFindOptions::default());
+        assert_eq!(render(&out), "[s0]^4");
+        assert!((total_compute(&out) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_period_caps_window() {
+        // Period-3 repeat, but max_period 2: must stay unfolded.
+        let input = vec![0, 1, 2, 0, 1, 2];
+        let toks = find_loops(syms(&input), LoopFindOptions { max_period: 2 });
+        assert_eq!(expand_ids(&toks), input);
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn interleaved_phases_fold_independently() {
+        // aabb aabb -> [[a]^2 [b]^2]^2
+        let input = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let toks = fold(&input);
+        assert_eq!(render(&toks), "[[s0]^2 [s1]^2]^2");
+    }
+
+    #[test]
+    fn large_uniform_input_is_fast_and_exact() {
+        let input: Vec<u32> = std::iter::repeat_n([0, 1, 2], 10_000)
+            .flatten()
+            .collect();
+        let toks = fold(&input);
+        assert_eq!(render(&toks), "[s0 s1 s2]^10000");
+        assert_eq!(expand_ids(&toks), input);
+    }
+}

@@ -1,0 +1,332 @@
+//! Execution signatures: the compressed representation of a trace.
+
+use crate::cluster::{cluster, ClusterInfo, ClusteredSeq};
+use crate::feature::OccurrenceSeq;
+use crate::loopfind::{find_loops, LoopFindOptions};
+use crate::token::{self, Tok};
+use pskel_trace::{AppTrace, ProcessTrace};
+use serde::{Deserialize, Serialize};
+
+/// The execution signature of one rank: a loop-structured symbol tree plus
+/// the cluster table giving each symbol's operation parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSignature {
+    pub rank: usize,
+    pub tokens: Vec<Tok>,
+    pub clusters: Vec<ClusterInfo>,
+    /// Computation after the last event, seconds.
+    pub tail_compute: f64,
+    /// Number of events in the original trace.
+    pub trace_len: usize,
+    /// Similarity threshold used for clustering.
+    pub threshold: f64,
+}
+
+impl ExecutionSignature {
+    /// Build a signature from a clustered sequence.
+    pub fn from_clustered(c: ClusteredSeq, opts: LoopFindOptions) -> ExecutionSignature {
+        let trace_len = c.symbols.len();
+        let toks: Vec<Tok> = c
+            .symbols
+            .iter()
+            .map(|&(id, compute_before)| Tok::Sym { id, compute_before })
+            .collect();
+        let tokens = find_loops(toks, opts);
+        ExecutionSignature {
+            rank: c.rank,
+            tokens,
+            clusters: c.clusters,
+            tail_compute: c.tail_compute,
+            trace_len,
+            threshold: 0.0,
+        }
+    }
+
+    /// Length of the compressed representation (symbols written once).
+    pub fn compressed_len(&self) -> usize {
+        self.tokens.iter().map(Tok::compressed_len).sum()
+    }
+
+    /// Length after expanding all loops (must equal `trace_len`).
+    pub fn expanded_len(&self) -> usize {
+        self.tokens.iter().map(Tok::expanded_len).sum()
+    }
+
+    /// Compression ratio achieved (trace length / signature length); 1.0
+    /// for an empty trace.
+    pub fn compression_ratio(&self) -> f64 {
+        let c = self.compressed_len();
+        if c == 0 {
+            1.0
+        } else {
+            self.trace_len as f64 / c as f64
+        }
+    }
+
+    /// Expand back to the clustered symbol sequence.
+    pub fn expand(&self) -> Vec<(u32, f64)> {
+        token::expand(&self.tokens)
+    }
+
+    /// Total computation time the signature represents, seconds.
+    pub fn total_compute(&self) -> f64 {
+        token::total_compute(&self.tokens) + self.tail_compute
+    }
+
+    /// Estimated total execution time: computation plus the measured mean
+    /// duration of every event occurrence.
+    pub fn estimated_total_secs(&self) -> f64 {
+        self.total_compute() + self.event_time(&self.tokens)
+    }
+
+    fn event_time(&self, toks: &[Tok]) -> f64 {
+        toks.iter()
+            .map(|t| match t {
+                Tok::Sym { id, .. } => self.clusters[*id as usize].mean_dur_secs,
+                Tok::Loop { count, body } => *count as f64 * self.event_time(body),
+            })
+            .sum()
+    }
+
+    /// Paper-style rendering of the token structure.
+    pub fn render(&self) -> String {
+        token::render(&self.tokens)
+    }
+}
+
+/// Signatures for all ranks of an application, with run metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppSignature {
+    pub app: String,
+    pub sigs: Vec<ExecutionSignature>,
+    /// Dedicated-testbed execution time of the traced run, seconds.
+    pub app_time_secs: f64,
+}
+
+impl AppSignature {
+    pub fn nranks(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Worst (smallest) compression ratio across ranks.
+    pub fn min_compression_ratio(&self) -> f64 {
+        self.sigs
+            .iter()
+            .map(|s| s.compression_ratio())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Options for signature construction.
+#[derive(Clone, Copy, Debug)]
+pub struct SignatureOptions {
+    pub loopfind: LoopFindOptions,
+    /// Threshold search step.
+    pub threshold_step: f64,
+    /// Lower bound at which the threshold search starts. Normally 0; the
+    /// skeleton pipeline raises it when independently-compressed ranks
+    /// produce structurally incompatible skeletons (e.g. data-dependent
+    /// collective sizes clustering differently per rank).
+    pub min_threshold: f64,
+    /// Upper bound on the similarity threshold; the paper found ≤ 0.20
+    /// sufficient across the NAS suite and treats larger values as suspect.
+    pub max_threshold: f64,
+}
+
+impl Default for SignatureOptions {
+    fn default() -> Self {
+        SignatureOptions {
+            loopfind: LoopFindOptions::default(),
+            threshold_step: 0.01,
+            min_threshold: 0.0,
+            max_threshold: 0.20,
+        }
+    }
+}
+
+/// Outcome of the iterative threshold search for one rank.
+#[derive(Clone, Debug)]
+pub struct CompressionOutcome {
+    pub signature: ExecutionSignature,
+    /// True if the target ratio was not reached even at `max_threshold`.
+    pub saturated: bool,
+}
+
+/// Compress one rank's trace, searching for the smallest similarity
+/// threshold that achieves compression ratio `target_q` (paper §3.2:
+/// start at τ=0, raise gradually; warn past the τ cap).
+pub fn compress_process(
+    trace: &ProcessTrace,
+    target_q: f64,
+    opts: SignatureOptions,
+) -> CompressionOutcome {
+    assert!(target_q >= 1.0, "target compression ratio must be >= 1, got {target_q}");
+    let seq = OccurrenceSeq::from_trace(trace);
+    let mut tau = opts.min_threshold;
+    let mut best: Option<ExecutionSignature> = None;
+    loop {
+        let clustered = cluster(&seq, tau.min(1.0));
+        let mut sig = ExecutionSignature::from_clustered(clustered, opts.loopfind);
+        sig.threshold = tau;
+        let ratio = sig.compression_ratio();
+        let better = best
+            .as_ref()
+            .map(|b| ratio > b.compression_ratio())
+            .unwrap_or(true);
+        if better {
+            best = Some(sig);
+        }
+        if best.as_ref().unwrap().compression_ratio() >= target_q {
+            return CompressionOutcome { signature: best.unwrap(), saturated: false };
+        }
+        tau += opts.threshold_step;
+        if tau > opts.max_threshold + 1e-12 {
+            return CompressionOutcome { signature: best.unwrap(), saturated: true };
+        }
+    }
+}
+
+/// Compress a whole application trace. Returns per-rank outcomes collected
+/// into an [`AppSignature`] and a saturation flag (any rank saturated).
+pub fn compress_app(
+    trace: &AppTrace,
+    target_q: f64,
+    opts: SignatureOptions,
+) -> (AppSignature, bool) {
+    let mut sigs = Vec::with_capacity(trace.procs.len());
+    let mut saturated = false;
+    for p in &trace.procs {
+        let out = compress_process(p, target_q, opts);
+        saturated |= out.saturated;
+        sigs.push(out.signature);
+    }
+    (
+        AppSignature {
+            app: trace.app.clone(),
+            sigs,
+            app_time_secs: trace.total_time.as_secs_f64(),
+        },
+        saturated,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_sim::{SimDuration, SimTime};
+    use pskel_trace::{MpiEvent, OpKind, Record};
+
+    /// A trace alternating compute and two kinds of sends, with mild size
+    /// jitter: (compute, send(2000±e), send small, allreduce) x reps.
+    fn jittery_trace(reps: usize) -> ProcessTrace {
+        let mut records = Vec::new();
+        let mut t = 0u64;
+        for i in 0..reps {
+            records.push(Record::Compute { dur: SimDuration(10_000_000) });
+            t += 10_000_000;
+            let jitter = (i % 5) as u64 * 40; // 0..160 byte spread
+            let mk = |kind, peer, bytes, t0: &mut u64| {
+                let e = MpiEvent {
+                    kind,
+                    peer: Some(peer),
+                    tag: Some(0),
+                    bytes,
+                    slots: vec![],
+                    start: SimTime(*t0),
+                    end: SimTime(*t0 + 50_000),
+                };
+                *t0 += 50_000;
+                Record::Mpi(e)
+            };
+            records.push(mk(OpKind::Send, 1, 2000 + jitter, &mut t));
+            records.push(mk(OpKind::Send, 2, 64, &mut t));
+            records.push(mk(OpKind::Allreduce, 0, 8, &mut t));
+        }
+        ProcessTrace { rank: 0, records, finish: SimTime(t) }
+    }
+
+    #[test]
+    fn zero_threshold_signature_expands_exactly() {
+        let trace = jittery_trace(20);
+        let out = compress_process(&trace, 1.0, SignatureOptions::default());
+        let sig = out.signature;
+        assert_eq!(sig.expanded_len(), sig.trace_len);
+        assert_eq!(sig.trace_len, 60);
+    }
+
+    #[test]
+    fn threshold_search_reaches_target_ratio() {
+        let trace = jittery_trace(50);
+        let out = compress_process(&trace, 20.0, SignatureOptions::default());
+        assert!(!out.saturated, "target reachable with jitter merged");
+        assert!(out.signature.compression_ratio() >= 20.0);
+        // The jittery sends had to be merged, so tau > 0.
+        assert!(out.signature.threshold > 0.0);
+    }
+
+    #[test]
+    fn low_target_needs_no_threshold() {
+        // With 5 distinct send sizes the zero-threshold alphabet has
+        // 5+1+1 = 7 symbols; period-20 folding still compresses plenty for
+        // a tiny target.
+        let trace = jittery_trace(50);
+        let out = compress_process(&trace, 2.0, SignatureOptions::default());
+        assert!(!out.saturated);
+        assert_eq!(out.signature.threshold, 0.0);
+    }
+
+    #[test]
+    fn impossible_target_saturates_with_warning() {
+        // A trace of all-distinct kinds cannot compress at any threshold.
+        let mut records = Vec::new();
+        let kinds = [OpKind::Send, OpKind::Recv, OpKind::Isend, OpKind::Irecv];
+        for (i, k) in kinds.iter().enumerate() {
+            records.push(Record::Mpi(MpiEvent {
+                kind: *k,
+                peer: Some(i as u32),
+                tag: Some(i as u64),
+                bytes: 100,
+                slots: vec![],
+                start: SimTime(i as u64 * 100),
+                end: SimTime(i as u64 * 100 + 10),
+            }));
+        }
+        let trace = ProcessTrace { rank: 0, records, finish: SimTime(1000) };
+        let out = compress_process(&trace, 4.0, SignatureOptions::default());
+        assert!(out.saturated);
+        assert!(out.signature.compression_ratio() < 4.0);
+    }
+
+    #[test]
+    fn total_compute_survives_compression() {
+        let trace = jittery_trace(50);
+        let total_before: f64 = 50.0 * 0.01;
+        let out = compress_process(&trace, 20.0, SignatureOptions::default());
+        let total_after = out.signature.total_compute();
+        assert!(
+            (total_after - total_before).abs() < 1e-9,
+            "compute not preserved: {total_after} vs {total_before}"
+        );
+    }
+
+    #[test]
+    fn estimated_total_tracks_trace_time() {
+        let trace = jittery_trace(50);
+        let wall = trace.finish.as_secs_f64();
+        let out = compress_process(&trace, 20.0, SignatureOptions::default());
+        let est = out.signature.estimated_total_secs();
+        assert!(
+            (est - wall).abs() / wall < 1e-6,
+            "estimate {est} should match wall {wall}"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let trace = jittery_trace(10);
+        let sig = compress_process(&trace, 5.0, SignatureOptions::default()).signature;
+        let s = serde_json::to_string(&sig).unwrap();
+        let back: ExecutionSignature = serde_json::from_str(&s).unwrap();
+        assert_eq!(sig, back);
+    }
+}

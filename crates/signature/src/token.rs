@@ -1,0 +1,233 @@
+//! The loop-structured token tree of an execution signature.
+//!
+//! After clustering, a rank's trace is a string of symbols; loop detection
+//! rewrites it into a tree of [`Tok`]s where repeated substrings become
+//! [`Tok::Loop`] nodes — the paper's `α[(β)²γ]³κ[α]²` representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One node of the signature tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Tok {
+    /// A clustered execution event, annotated with the (possibly averaged)
+    /// computation preceding it, in seconds.
+    Sym { id: u32, compute_before: f64 },
+    /// `count` repetitions of `body`.
+    Loop { count: u64, body: Vec<Tok> },
+}
+
+impl Tok {
+    /// Structural equality: same symbols and loop shape, ignoring the
+    /// compute annotations (those get averaged when sequences merge).
+    pub fn structurally_eq(a: &Tok, b: &Tok) -> bool {
+        match (a, b) {
+            (Tok::Sym { id: x, .. }, Tok::Sym { id: y, .. }) => x == y,
+            (Tok::Loop { count: ca, body: ba }, Tok::Loop { count: cb, body: bb }) => {
+                ca == cb && seq_structurally_eq(ba, bb)
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of symbols written in the compressed representation (loop
+    /// bodies counted once): the "length of the execution signature".
+    pub fn compressed_len(&self) -> usize {
+        match self {
+            Tok::Sym { .. } => 1,
+            Tok::Loop { body, .. } => body.iter().map(Tok::compressed_len).sum(),
+        }
+    }
+
+    /// Number of symbols after expanding all loops: the original trace
+    /// length this subtree represents.
+    pub fn expanded_len(&self) -> usize {
+        match self {
+            Tok::Sym { .. } => 1,
+            Tok::Loop { count, body } => {
+                *count as usize * body.iter().map(Tok::expanded_len).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Structural equality of token sequences.
+pub fn seq_structurally_eq(a: &[Tok], b: &[Tok]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| Tok::structurally_eq(x, y))
+}
+
+/// A 64-bit structural hash (ignores compute annotations), used to reject
+/// non-equal windows cheaply during loop detection. Equal structures hash
+/// equal; collisions are resolved by a full structural comparison.
+pub fn structural_hash(t: &Tok) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    match t {
+        Tok::Sym { id, .. } => (*id as u64 + 1).wrapping_mul(K) ^ 0x5351,
+        Tok::Loop { count, body } => {
+            let mut h = count.wrapping_mul(K) ^ 0x4c4f;
+            for b in body {
+                h = h.rotate_left(13) ^ structural_hash(b).wrapping_mul(K);
+            }
+            h
+        }
+    }
+}
+
+/// Merge `other` into `acc` by weighted averaging of compute annotations.
+/// The sequences must be structurally equal; `w_acc`/`w_other` are the
+/// numbers of original iterations each side represents, so expansion totals
+/// are preserved exactly.
+pub fn merge_weighted(acc: &mut [Tok], other: &[Tok], w_acc: f64, w_other: f64) {
+    debug_assert!(seq_structurally_eq(acc, other), "merging structurally unequal sequences");
+    let wt = w_acc + w_other;
+    for (a, o) in acc.iter_mut().zip(other) {
+        match (a, o) {
+            (Tok::Sym { compute_before: ca, .. }, Tok::Sym { compute_before: co, .. }) => {
+                *ca = (*ca * w_acc + *co * w_other) / wt;
+            }
+            (Tok::Loop { body: ba, .. }, Tok::Loop { body: bo, .. }) => {
+                merge_weighted(ba, bo, w_acc, w_other);
+            }
+            _ => unreachable!("structural equality was checked"),
+        }
+    }
+}
+
+/// Expand a token sequence back into (symbol id, compute_before) pairs.
+pub fn expand(toks: &[Tok]) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    expand_into(toks, &mut out);
+    out
+}
+
+fn expand_into(toks: &[Tok], out: &mut Vec<(u32, f64)>) {
+    for t in toks {
+        match t {
+            Tok::Sym { id, compute_before } => out.push((*id, *compute_before)),
+            Tok::Loop { count, body } => {
+                for _ in 0..*count {
+                    expand_into(body, out);
+                }
+            }
+        }
+    }
+}
+
+/// Expand only the symbol ids (for structural comparisons).
+pub fn expand_ids(toks: &[Tok]) -> Vec<u32> {
+    expand(toks).into_iter().map(|(id, _)| id).collect()
+}
+
+/// Total compute seconds the sequence represents after expansion.
+pub fn total_compute(toks: &[Tok]) -> f64 {
+    toks.iter()
+        .map(|t| match t {
+            Tok::Sym { compute_before, .. } => *compute_before,
+            Tok::Loop { count, body } => *count as f64 * total_compute(body),
+        })
+        .sum()
+}
+
+impl fmt::Display for Tok {
+    /// Compact paper-style rendering: symbols as `s<id>`, loops as
+    /// `[body]^count`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Sym { id, .. } => write!(f, "s{id}"),
+            Tok::Loop { count, body } => {
+                write!(f, "[")?;
+                for (i, t) in body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]^{count}")
+            }
+        }
+    }
+}
+
+/// Render a full token sequence.
+pub fn render(toks: &[Tok]) -> String {
+    toks.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sym(id: u32) -> Tok {
+        Tok::Sym { id, compute_before: 0.0 }
+    }
+
+    fn symc(id: u32, c: f64) -> Tok {
+        Tok::Sym { id, compute_before: c }
+    }
+
+    fn lp(count: u64, body: Vec<Tok>) -> Tok {
+        Tok::Loop { count, body }
+    }
+
+    #[test]
+    fn structural_equality_ignores_compute() {
+        assert!(Tok::structurally_eq(&symc(1, 0.5), &symc(1, 9.0)));
+        assert!(!Tok::structurally_eq(&sym(1), &sym(2)));
+        assert!(Tok::structurally_eq(
+            &lp(3, vec![symc(1, 0.1)]),
+            &lp(3, vec![symc(1, 7.0)])
+        ));
+        assert!(!Tok::structurally_eq(&lp(3, vec![sym(1)]), &lp(2, vec![sym(1)])));
+        assert!(!Tok::structurally_eq(&lp(3, vec![sym(1)]), &sym(1)));
+    }
+
+    #[test]
+    fn lengths() {
+        let t = lp(3, vec![lp(2, vec![sym(1)]), sym(2)]);
+        assert_eq!(t.compressed_len(), 2);
+        assert_eq!(t.expanded_len(), 9);
+    }
+
+    #[test]
+    fn expand_reproduces_sequence() {
+        let toks = vec![sym(0), lp(2, vec![sym(1), sym(2)]), sym(3)];
+        assert_eq!(expand_ids(&toks), vec![0, 1, 2, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_averages_with_weights() {
+        let mut a = vec![symc(1, 1.0)];
+        let b = vec![symc(1, 4.0)];
+        merge_weighted(&mut a, &b, 1.0, 2.0);
+        match &a[0] {
+            Tok::Sym { compute_before, .. } => assert!((compute_before - 3.0).abs() < 1e-12),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn merge_preserves_expansion_totals() {
+        // Two structurally equal nested sequences; after merge with weights
+        // (2, 3), expanding 5 copies must equal 2*total(a) + 3*total(b).
+        let a = vec![symc(0, 1.0), lp(4, vec![symc(1, 0.5)])];
+        let b = vec![symc(0, 2.0), lp(4, vec![symc(1, 1.5)])];
+        let ta = total_compute(&a);
+        let tb = total_compute(&b);
+        let mut m = a.clone();
+        merge_weighted(&mut m, &b, 2.0, 3.0);
+        let tm = total_compute(&m);
+        assert!((5.0 * tm - (2.0 * ta + 3.0 * tb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let toks = vec![sym(0), lp(3, vec![lp(2, vec![sym(1)]), sym(2)]), sym(3)];
+        assert_eq!(render(&toks), "s0 [[s1]^2 s2]^3 s3");
+    }
+
+    #[test]
+    fn total_compute_weights_loops() {
+        let toks = vec![symc(0, 1.0), lp(10, vec![symc(1, 0.2)])];
+        assert!((total_compute(&toks) - 3.0).abs() < 1e-12);
+    }
+}

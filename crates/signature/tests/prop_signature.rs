@@ -1,0 +1,155 @@
+//! Property-based tests for the signature pipeline: loop folding must be a
+//! lossless structural transform, clustering must respect its hard keys,
+//! and compression must never lose compute time.
+
+use proptest::prelude::*;
+use pskel_signature::loopfind::{find_loops, LoopFindOptions};
+use pskel_signature::token::{expand, expand_ids, total_compute, Tok};
+use pskel_signature::{cluster, compress_process, OccurrenceSeq, SignatureOptions};
+use pskel_sim::{SimDuration, SimTime};
+use pskel_trace::{MpiEvent, OpKind, ProcessTrace, Record};
+
+fn sym_seq(max_alpha: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..max_alpha, 0..max_len)
+}
+
+/// Build a repetitive sequence: random short motifs repeated random counts.
+fn repetitive_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec((prop::collection::vec(0..4u32, 1..5), 1..8usize), 1..6).prop_map(
+        |motifs| {
+            let mut out = Vec::new();
+            for (motif, reps) in motifs {
+                for _ in 0..reps {
+                    out.extend_from_slice(&motif);
+                }
+            }
+            out
+        },
+    )
+}
+
+fn toks_of(ids: &[u32]) -> Vec<Tok> {
+    ids.iter().map(|&id| Tok::Sym { id, compute_before: 0.0 }).collect()
+}
+
+proptest! {
+    #[test]
+    fn folding_is_lossless_on_random_sequences(ids in sym_seq(5, 60)) {
+        let folded = find_loops(toks_of(&ids), LoopFindOptions::default());
+        prop_assert_eq!(expand_ids(&folded), ids);
+    }
+
+    #[test]
+    fn folding_is_lossless_on_repetitive_sequences(ids in repetitive_seq()) {
+        let folded = find_loops(toks_of(&ids), LoopFindOptions::default());
+        prop_assert_eq!(expand_ids(&folded), ids);
+    }
+
+    #[test]
+    fn folding_never_grows_representation(ids in repetitive_seq()) {
+        let folded = find_loops(toks_of(&ids), LoopFindOptions::default());
+        let compressed: usize = folded.iter().map(Tok::compressed_len).sum();
+        prop_assert!(compressed <= ids.len());
+    }
+
+    #[test]
+    fn folding_preserves_total_compute(
+        pairs in prop::collection::vec((0..4u32, 0.0..2.0f64), 1..50)
+    ) {
+        let toks: Vec<Tok> = pairs
+            .iter()
+            .map(|&(id, c)| Tok::Sym { id, compute_before: c })
+            .collect();
+        let before = total_compute(&toks);
+        let folded = find_loops(toks, LoopFindOptions::default());
+        let after = total_compute(&folded);
+        prop_assert!((before - after).abs() < 1e-9, "{} vs {}", before, after);
+    }
+
+    #[test]
+    fn folded_expansion_preserves_positionwise_symbols(ids in repetitive_seq()) {
+        // Even with compute averaging, the symbol at every position of the
+        // expansion must be the original one.
+        let toks: Vec<Tok> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| Tok::Sym { id, compute_before: i as f64 })
+            .collect();
+        let folded = find_loops(toks, LoopFindOptions::default());
+        let expanded = expand(&folded);
+        prop_assert_eq!(expanded.len(), ids.len());
+        for (pos, ((sym, _), want)) in expanded.iter().zip(&ids).enumerate() {
+            prop_assert_eq!(sym, want, "position {}", pos);
+        }
+    }
+}
+
+/// Random trace construction for clustering/compression properties.
+fn arb_trace() -> impl Strategy<Value = ProcessTrace> {
+    let ev = (0..3usize, 0..4u32, prop::sample::select(vec![64u64, 65, 1000, 1010, 50_000]));
+    prop::collection::vec(ev, 1..80).prop_map(|evs| {
+        let kinds = [OpKind::Send, OpKind::Recv, OpKind::Allreduce];
+        let mut records = Vec::new();
+        let mut t = 0u64;
+        for (k, peer, bytes) in evs {
+            records.push(Record::Compute { dur: SimDuration(1_000_000) });
+            t += 1_000_000;
+            records.push(Record::Mpi(MpiEvent {
+                kind: kinds[k],
+                peer: Some(peer),
+                tag: Some(0),
+                bytes,
+                slots: vec![],
+                start: SimTime(t),
+                end: SimTime(t + 20_000),
+            }));
+            t += 20_000;
+        }
+        ProcessTrace { rank: 0, records, finish: SimTime(t) }
+    })
+}
+
+proptest! {
+    #[test]
+    fn zero_threshold_clusters_iff_identical(trace in arb_trace()) {
+        let seq = OccurrenceSeq::from_trace(&trace);
+        let c = cluster(&seq, 0.0);
+        for (i, a) in seq.events.iter().enumerate() {
+            for (j, b) in seq.events.iter().enumerate() {
+                let same_cluster = c.symbols[i].0 == c.symbols[j].0;
+                let identical = a.key == b.key && a.bytes == b.bytes;
+                prop_assert_eq!(same_cluster, identical, "events {} and {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_counts_sum_to_trace_length(trace in arb_trace(), tau in 0.0..=1.0f64) {
+        let seq = OccurrenceSeq::from_trace(&trace);
+        let c = cluster(&seq, tau);
+        let total: u64 = c.clusters.iter().map(|cl| cl.count).sum();
+        prop_assert_eq!(total as usize, seq.events.len());
+    }
+
+    #[test]
+    fn higher_threshold_never_increases_alphabet(trace in arb_trace()) {
+        let seq = OccurrenceSeq::from_trace(&trace);
+        let mut prev = usize::MAX;
+        for tau in [0.0, 0.05, 0.2, 0.5, 1.0] {
+            let c = cluster(&seq, tau);
+            prop_assert!(c.clusters.len() <= prev,
+                "alphabet grew from {} to {} at tau={}", prev, c.clusters.len(), tau);
+            prev = c.clusters.len();
+        }
+    }
+
+    #[test]
+    fn compression_preserves_structure_and_compute(trace in arb_trace()) {
+        let out = compress_process(&trace, 4.0, SignatureOptions::default());
+        let sig = out.signature;
+        prop_assert_eq!(sig.expanded_len(), sig.trace_len);
+        prop_assert!(sig.compression_ratio() >= 1.0);
+        let seq = OccurrenceSeq::from_trace(&trace);
+        prop_assert!((sig.total_compute() - seq.total_compute()).abs() < 1e-9);
+    }
+}

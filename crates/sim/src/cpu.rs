@@ -1,0 +1,219 @@
+//! Per-node CPU model: egalitarian processor sharing.
+//!
+//! A node with `c` CPUs and `n` runnable tasks gives every task a CPU rate of
+//! `min(1, c/n) * speed` — the behaviour of a fair kernel scheduler with
+//! compute-bound processes at equal priority. Competing compute-intensive
+//! processes (the paper's load generators) are modelled as permanently
+//! runnable tasks with infinite work.
+//!
+//! On the paper's dual-CPU nodes this reproduces the observation that *two*
+//! competing processes are needed to contend with one application rank:
+//! 1 rank + 2 competitors = 3 runnable on 2 CPUs → the rank runs at 2/3 speed.
+
+use crate::spec::NodeSpec;
+use crate::time::SimDuration;
+
+/// Work below this many CPU-seconds is considered finished (≪ 1 ns of time).
+const WORK_EPS: f64 = 1e-13;
+
+/// A compute task in progress on a node. `owner` is an engine-level op id.
+#[derive(Clone, Debug)]
+pub struct CpuTask {
+    pub owner: u64,
+    /// CPU-seconds of work still to do.
+    pub remaining: f64,
+}
+
+/// Dynamic CPU state of one node.
+#[derive(Clone, Debug)]
+pub struct NodeCpu {
+    cpus: u32,
+    speed: f64,
+    competing: u32,
+    tasks: Vec<CpuTask>,
+    /// Accumulated CPU-seconds delivered to application tasks (stats).
+    pub delivered: f64,
+}
+
+impl NodeCpu {
+    pub fn new(spec: &NodeSpec) -> NodeCpu {
+        NodeCpu {
+            cpus: spec.cpus,
+            speed: spec.speed,
+            competing: spec.competing_processes,
+            tasks: Vec::new(),
+            delivered: 0.0,
+        }
+    }
+
+    /// Per-task CPU rate under the current load (CPU-seconds per second).
+    pub fn rate(&self) -> f64 {
+        let runnable = self.tasks.len() as u32 + self.competing;
+        if runnable == 0 {
+            return 0.0;
+        }
+        (self.cpus as f64 / runnable as f64).min(1.0) * self.speed
+    }
+
+    /// Number of application tasks currently computing.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Begin a compute task of `work` CPU-seconds owned by op `owner`.
+    pub fn start_task(&mut self, owner: u64, work: f64) {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "compute work must be finite and non-negative, got {work}"
+        );
+        self.tasks.push(CpuTask { owner, remaining: work });
+    }
+
+    /// Advance all tasks by `dt` of wall (virtual) time at the current rate.
+    pub fn settle(&mut self, dt: SimDuration) {
+        if dt.is_zero() || self.tasks.is_empty() {
+            return;
+        }
+        let done = self.rate() * dt.as_secs_f64();
+        for t in &mut self.tasks {
+            let step = done.min(t.remaining);
+            t.remaining -= step;
+            self.delivered += step;
+        }
+    }
+
+    /// Virtual time until the next task completes at the current rate, or
+    /// `None` if no task is running.
+    pub fn next_completion(&self) -> Option<SimDuration> {
+        let rate = self.rate();
+        let min_left = self
+            .tasks
+            .iter()
+            .map(|t| t.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if !min_left.is_finite() {
+            return None;
+        }
+        if min_left <= WORK_EPS {
+            return Some(SimDuration::ZERO);
+        }
+        debug_assert!(rate > 0.0, "tasks present but rate is zero");
+        // Round up so the event never fires before the work is truly done.
+        let secs = min_left / rate;
+        let nanos = (secs * 1e9).ceil();
+        Some(SimDuration((nanos as u64).max(1)))
+    }
+
+    /// Remove and return the owners of all completed tasks.
+    pub fn take_completed(&mut self) -> Vec<u64> {
+        let mut done = Vec::new();
+        self.tasks.retain(|t| {
+            if t.remaining <= WORK_EPS {
+                done.push(t.owner);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeSpec;
+
+    fn node(cpus: u32, competing: u32) -> NodeCpu {
+        let mut s = NodeSpec::reference();
+        s.cpus = cpus;
+        s.competing_processes = competing;
+        NodeCpu::new(&s)
+    }
+
+    #[test]
+    fn lone_task_runs_at_full_speed() {
+        let mut n = node(2, 0);
+        n.start_task(1, 1.0);
+        assert_eq!(n.rate(), 1.0);
+        assert_eq!(n.next_completion(), Some(SimDuration::from_secs_f64(1.0)));
+    }
+
+    #[test]
+    fn one_competitor_on_dual_cpu_does_not_slow_one_rank() {
+        // 1 rank + 1 competitor = 2 runnable on 2 CPUs → full speed.
+        let mut n = node(2, 1);
+        n.start_task(1, 1.0);
+        assert_eq!(n.rate(), 1.0);
+    }
+
+    #[test]
+    fn two_competitors_on_dual_cpu_give_two_thirds() {
+        // The paper's scenario: 3 runnable on 2 CPUs → 2/3 rate each.
+        let mut n = node(2, 2);
+        n.start_task(1, 2.0);
+        assert!((n.rate() - 2.0 / 3.0).abs() < 1e-12);
+        let dt = n.next_completion().unwrap();
+        assert!((dt.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settle_consumes_work_and_completes() {
+        let mut n = node(1, 0);
+        n.start_task(7, 0.5);
+        n.settle(SimDuration::from_secs_f64(0.25));
+        assert!(n.take_completed().is_empty());
+        n.settle(SimDuration::from_secs_f64(0.25));
+        assert_eq!(n.take_completed(), vec![7]);
+        assert_eq!(n.n_tasks(), 0);
+        assert!((n.delivered - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tasks_on_one_cpu_halve_rate() {
+        let mut n = node(1, 0);
+        n.start_task(1, 1.0);
+        n.start_task(2, 2.0);
+        assert_eq!(n.rate(), 0.5);
+        // First completion after 2s (1.0 work at 0.5 rate).
+        let dt = n.next_completion().unwrap();
+        assert!((dt.as_secs_f64() - 2.0).abs() < 1e-6);
+        n.settle(dt);
+        assert_eq!(n.take_completed(), vec![1]);
+        // Remaining task speeds back up to rate 1.0 with 1.0 work left.
+        assert!((n.next_completion().unwrap().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut n = node(2, 0);
+        n.start_task(3, 0.0);
+        assert_eq!(n.next_completion(), Some(SimDuration::ZERO));
+        assert_eq!(n.take_completed(), vec![3]);
+    }
+
+    #[test]
+    fn speed_scales_rate() {
+        let mut s = NodeSpec::reference();
+        s.cpus = 1;
+        s.speed = 2.0;
+        let mut n = NodeCpu::new(&s);
+        n.start_task(1, 1.0);
+        assert_eq!(n.rate(), 2.0);
+        assert!((n.next_completion().unwrap().as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_node_has_no_completion() {
+        // Competing processes alone never generate completion events.
+        let n = node(2, 2);
+        assert_eq!(n.next_completion(), None);
+        assert_eq!(n.n_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_rejected() {
+        node(1, 0).start_task(1, -1.0);
+    }
+}

@@ -1,0 +1,988 @@
+//! The discrete-event engine: a conservative, deterministic coordinator for
+//! thread-per-rank simulated programs.
+//!
+//! Every simulated rank runs its program on a real OS thread and interacts
+//! with virtual time exclusively through [`SimCtx`] requests. The coordinator
+//! only advances the virtual clock when *all* live ranks are blocked in a
+//! request, and processes batched requests in rank order, so simulations are
+//! bit-deterministic regardless of host scheduling.
+//!
+//! Continuous processes (CPU work under processor sharing, network flows
+//! under max-min fairness) are advanced by closed-form "next completion"
+//! scans rather than per-task event churn; discrete delays (wire latency,
+//! rendezvous handshakes, sleeps) go through a timer heap.
+
+use crate::cpu::NodeCpu;
+use crate::msg::{Completion, MatchQueue, Msg, MsgState, RecvReq};
+use crate::net::{max_min_rates, Flow};
+use crate::spec::{ClusterSpec, Placement};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Memory bandwidth used for intra-node (shared-memory) message copies.
+const MEM_COPY_BPS: f64 = 10.0e9;
+
+/// Bytes below which a flow is considered drained.
+const FLOW_EPS: f64 = 0.25;
+
+/// Handle to a pending nonblocking operation. Must be waited on; consuming
+/// semantics prevent double waits.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct SimReq(pub(crate) u64);
+
+/// Completion details of a receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvInfo {
+    pub src: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub payload: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+enum Request {
+    Compute { secs: f64 },
+    Sleep { secs: f64 },
+    Send { dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>, nonblocking: bool },
+    Recv { src: Option<usize>, tag: Option<u64>, nonblocking: bool },
+    Wait { req: u64 },
+    WaitAll { reqs: Vec<u64> },
+    Test { req: u64 },
+    Exit { panic: Option<String> },
+}
+
+#[derive(Debug)]
+enum ReplyKind {
+    Done,
+    Recv(RecvInfo),
+    Handle(u64),
+    WaitDone(Option<RecvInfo>),
+    WaitAllDone(Vec<Option<RecvInfo>>),
+    TestResult(Option<Option<RecvInfo>>),
+}
+
+#[derive(Debug)]
+struct Reply {
+    now: SimTime,
+    kind: ReplyKind,
+}
+
+/// What a blocked rank is waiting for.
+#[derive(Debug)]
+enum Blocked {
+    Running,
+    Compute,
+    Sleep,
+    // The ids in the two blocking variants exist for the deadlock
+    // diagnostic's Debug dump; nothing reads them programmatically.
+    SendB {
+        #[allow(dead_code)]
+        msg: u64,
+    },
+    RecvB {
+        #[allow(dead_code)]
+        recv: u64,
+    },
+    Wait { req: u64 },
+    WaitAll { reqs: Vec<u64>, remaining: usize },
+    Exited,
+}
+
+#[derive(Debug)]
+enum Timer {
+    /// Wire latency elapsed for a message; start its flow (or deliver it).
+    NetDelay { msg: u64 },
+    /// Rendezvous handshake + wire time elapsed; start the flow.
+    RndvWire { msg: u64 },
+    /// Intra-node transfer finished.
+    LocalDelivery { msg: u64 },
+    SleepDone { rank: usize },
+}
+
+/// State of one nonblocking request.
+#[derive(Debug, Default)]
+struct NbState {
+    done: bool,
+    outcome: Option<RecvInfo>,
+    /// Rank blocked in Wait/WaitAll on this request, if any.
+    waiter: Option<usize>,
+}
+
+/// Per-rank accounting captured during the run.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    pub compute_secs: f64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recvd: u64,
+    pub bytes_recvd: u64,
+}
+
+/// Result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Wall-clock (virtual) time at which the last rank finished.
+    pub total_time: SimDuration,
+    /// Per-rank finish times.
+    pub finish_times: Vec<SimTime>,
+    /// Per-rank traffic/compute accounting.
+    pub rank_stats: Vec<RankStats>,
+    /// Engine steps processed (requests + clock advances), for benchmarks.
+    pub events: u64,
+}
+
+/// Per-rank handle through which simulated programs interact with the
+/// virtual cluster. All methods may only be called from the rank's thread.
+pub struct SimCtx {
+    rank: usize,
+    nranks: usize,
+    node: usize,
+    now: SimTime,
+    sw_overhead_secs: f64,
+    tx: Sender<(usize, Request)>,
+    rx: Receiver<Reply>,
+}
+
+impl SimCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the simulation.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Current virtual time. Free: virtual time cannot advance while this
+    /// rank is running, so the value piggybacked on the last reply is exact.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Per-MPI-call software overhead of this cluster's message stack, in
+    /// CPU-seconds. Charged by the `pskel-mpi` layer, not by the engine.
+    pub fn sw_overhead_secs(&self) -> f64 {
+        self.sw_overhead_secs
+    }
+
+    fn roundtrip(&mut self, req: Request) -> ReplyKind {
+        self.tx
+            .send((self.rank, req))
+            .expect("simulation engine terminated while rank was active");
+        let reply = self
+            .rx
+            .recv()
+            .expect("simulation engine terminated while rank was blocked");
+        self.now = reply.now;
+        reply.kind
+    }
+
+    /// Perform `secs` CPU-seconds of computation (subject to CPU sharing on
+    /// this node, so elapsed virtual time may be longer).
+    pub fn compute(&mut self, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        match self.roundtrip(Request::Compute { secs }) {
+            ReplyKind::Done => {}
+            other => panic!("unexpected reply to compute: {other:?}"),
+        }
+    }
+
+    /// Block for `secs` of virtual wall time without using the CPU.
+    pub fn sleep(&mut self, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        match self.roundtrip(Request::Sleep { secs }) {
+            ReplyKind::Done => {}
+            other => panic!("unexpected reply to sleep: {other:?}"),
+        }
+    }
+
+    /// Blocking send (MPI_Send semantics: returns when the buffer may be
+    /// reused — immediately for eager messages, at transfer completion for
+    /// rendezvous messages).
+    pub fn send(&mut self, dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>) {
+        assert!(dst < self.nranks, "send to rank {dst} but nranks={}", self.nranks);
+        match self.roundtrip(Request::Send { dst, tag, bytes, payload, nonblocking: false }) {
+            ReplyKind::Done => {}
+            other => panic!("unexpected reply to send: {other:?}"),
+        }
+    }
+
+    /// Nonblocking send; complete with [`SimCtx::wait`].
+    pub fn isend(&mut self, dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>) -> SimReq {
+        assert!(dst < self.nranks, "isend to rank {dst} but nranks={}", self.nranks);
+        match self.roundtrip(Request::Send { dst, tag, bytes, payload, nonblocking: true }) {
+            ReplyKind::Handle(h) => SimReq(h),
+            other => panic!("unexpected reply to isend: {other:?}"),
+        }
+    }
+
+    /// Blocking receive. `src`/`tag` of `None` mean any-source / any-tag.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>) -> RecvInfo {
+        match self.roundtrip(Request::Recv { src, tag, nonblocking: false }) {
+            ReplyKind::Recv(info) => info,
+            other => panic!("unexpected reply to recv: {other:?}"),
+        }
+    }
+
+    /// Nonblocking receive; complete with [`SimCtx::wait`].
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<u64>) -> SimReq {
+        match self.roundtrip(Request::Recv { src, tag, nonblocking: true }) {
+            ReplyKind::Handle(h) => SimReq(h),
+            other => panic!("unexpected reply to irecv: {other:?}"),
+        }
+    }
+
+    /// Block until a nonblocking operation completes. Returns the receive
+    /// info for irecv requests, `None` for isend requests.
+    pub fn wait(&mut self, req: SimReq) -> Option<RecvInfo> {
+        match self.roundtrip(Request::Wait { req: req.0 }) {
+            ReplyKind::WaitDone(outcome) => outcome,
+            other => panic!("unexpected reply to wait: {other:?}"),
+        }
+    }
+
+    /// Block until all listed nonblocking operations complete. Outcomes are
+    /// returned in argument order.
+    pub fn waitall(&mut self, reqs: Vec<SimReq>) -> Vec<Option<RecvInfo>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let ids = reqs.into_iter().map(|r| r.0).collect();
+        match self.roundtrip(Request::WaitAll { reqs: ids }) {
+            ReplyKind::WaitAllDone(v) => v,
+            other => panic!("unexpected reply to waitall: {other:?}"),
+        }
+    }
+
+    /// Nonblocking completion probe: `None` if still pending; otherwise the
+    /// operation's outcome (the request is consumed).
+    pub fn test(&mut self, req: SimReq) -> Result<Option<RecvInfo>, SimReq> {
+        let id = req.0;
+        match self.roundtrip(Request::Test { req: id }) {
+            ReplyKind::TestResult(Some(outcome)) => Ok(outcome),
+            ReplyKind::TestResult(None) => Err(SimReq(id)),
+            other => panic!("unexpected reply to test: {other:?}"),
+        }
+    }
+}
+
+struct Engine {
+    spec: ClusterSpec,
+    placement: Placement,
+    now: SimTime,
+    nodes: Vec<NodeCpu>,
+    flows: Vec<Flow>,
+    timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    timer_payload: HashMap<u64, Timer>,
+    timer_seq: u64,
+    msgs: HashMap<u64, Msg>,
+    recvs: HashMap<u64, RecvReq>,
+    queues: Vec<MatchQueue>,
+    nb: HashMap<u64, NbState>,
+    blocked: Vec<Blocked>,
+    reply_tx: Vec<Sender<Reply>>,
+    running: usize,
+    live: usize,
+    next_id: u64,
+    send_seq: u64,
+    stats: Vec<RankStats>,
+    finish_times: Vec<SimTime>,
+    panics: Vec<(usize, String)>,
+    events: u64,
+}
+
+impl Engine {
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn reply(&mut self, rank: usize, kind: ReplyKind) {
+        self.blocked[rank] = Blocked::Running;
+        self.running += 1;
+        self.reply_tx[rank]
+            .send(Reply { now: self.now, kind })
+            .expect("rank thread disappeared while a reply was due");
+    }
+
+    fn schedule(&mut self, at: SimTime, timer: Timer) {
+        let id = self.fresh_id();
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at.as_nanos(), self.timer_seq, id)));
+        self.timer_payload.insert(id, timer);
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        self.placement.node_of(rank)
+    }
+
+    // ---- request handling -------------------------------------------------
+
+    fn handle_request(&mut self, rank: usize, req: Request) {
+        self.events += 1;
+        match req {
+            Request::Compute { secs } => {
+                let node = self.node_of(rank);
+                self.stats[rank].compute_secs += secs;
+                self.nodes[node].start_task(rank as u64, secs);
+                self.blocked[rank] = Blocked::Compute;
+            }
+            Request::Sleep { secs } => {
+                let at = self.now + SimDuration::from_secs_f64(secs);
+                self.schedule(at, Timer::SleepDone { rank });
+                self.blocked[rank] = Blocked::Sleep;
+            }
+            Request::Send { dst, tag, bytes, payload, nonblocking } => {
+                self.start_send(rank, dst, tag, bytes, payload, nonblocking);
+            }
+            Request::Recv { src, tag, nonblocking } => {
+                self.start_recv(rank, src, tag, nonblocking);
+            }
+            Request::Wait { req } => {
+                let state = self
+                    .nb
+                    .get_mut(&req)
+                    .unwrap_or_else(|| panic!("rank {rank}: wait on unknown request {req}"));
+                if state.done {
+                    let outcome = self.nb.remove(&req).unwrap().outcome;
+                    self.reply(rank, ReplyKind::WaitDone(outcome));
+                } else {
+                    assert!(
+                        state.waiter.is_none(),
+                        "request {req} waited on twice (second waiter: rank {rank})"
+                    );
+                    state.waiter = Some(rank);
+                    self.blocked[rank] = Blocked::Wait { req };
+                }
+            }
+            Request::WaitAll { reqs } => {
+                let mut remaining = 0;
+                for &id in &reqs {
+                    let state = self
+                        .nb
+                        .get_mut(&id)
+                        .unwrap_or_else(|| panic!("rank {rank}: waitall on unknown request {id}"));
+                    if !state.done {
+                        assert!(
+                            state.waiter.is_none(),
+                            "request {id} waited on twice (second waiter: rank {rank})"
+                        );
+                        state.waiter = Some(rank);
+                        remaining += 1;
+                    }
+                }
+                if remaining == 0 {
+                    let outcomes =
+                        reqs.iter().map(|id| self.nb.remove(id).unwrap().outcome).collect();
+                    self.reply(rank, ReplyKind::WaitAllDone(outcomes));
+                } else {
+                    self.blocked[rank] = Blocked::WaitAll { reqs, remaining };
+                }
+            }
+            Request::Test { req } => {
+                let done = self.nb.get(&req).map(|s| s.done).unwrap_or_else(|| {
+                    panic!("rank {rank}: test on unknown request {req}")
+                });
+                if done {
+                    let outcome = self.nb.remove(&req).unwrap().outcome;
+                    self.reply(rank, ReplyKind::TestResult(Some(outcome)));
+                } else {
+                    self.reply(rank, ReplyKind::TestResult(None));
+                }
+            }
+            Request::Exit { panic } => {
+                self.blocked[rank] = Blocked::Exited;
+                self.finish_times[rank] = self.now;
+                self.live -= 1;
+                if let Some(msg) = panic {
+                    self.panics.push((rank, msg));
+                }
+            }
+        }
+    }
+
+    fn start_send(
+        &mut self,
+        src_rank: usize,
+        dst_rank: usize,
+        tag: u64,
+        bytes: u64,
+        payload: Option<Vec<u8>>,
+        nonblocking: bool,
+    ) {
+        let eager = bytes <= self.spec.net.eager_threshold;
+        let id = self.fresh_id();
+        self.send_seq += 1;
+        self.stats[src_rank].msgs_sent += 1;
+        self.stats[src_rank].bytes_sent += bytes;
+
+        // Decide the sender-side completion.
+        let send_completion = if eager {
+            // Eager sends complete immediately (buffered): the blocking call
+            // returns now, and nonblocking handles are created pre-completed.
+            Completion::None
+        } else if nonblocking {
+            let h = self.fresh_id();
+            self.nb.insert(h, NbState::default());
+            Completion::Nb(h)
+        } else {
+            Completion::Rank(src_rank)
+        };
+
+        let mut msg = Msg {
+            id,
+            seq: self.send_seq,
+            src_rank,
+            dst_rank,
+            tag,
+            bytes,
+            payload,
+            eager,
+            state: if eager { MsgState::EagerLatency } else { MsgState::RndvWaiting },
+            bound_recv: None,
+            send_completion,
+        };
+
+        let intra = self.node_of(src_rank) == self.node_of(dst_rank);
+        if eager {
+            // Latency stage begins immediately; data moves regardless of the
+            // receiver.
+            let at = if intra {
+                let copy = SimDuration::from_secs_f64(bytes as f64 / MEM_COPY_BPS);
+                self.now + self.spec.net.intra_node_latency + copy
+            } else {
+                self.now + self.spec.net.latency
+            };
+            let timer =
+                if intra { Timer::LocalDelivery { msg: id } } else { Timer::NetDelay { msg: id } };
+            self.schedule(at, timer);
+        }
+
+        // Try to match an already-posted receive.
+        let matched = {
+            let q = &self.queues[dst_rank];
+            q.find_recv_for(&msg, |rid| &self.recvs[&rid])
+        };
+        if let Some(rid) = matched {
+            self.queues[dst_rank].remove_recv(rid);
+            msg.bound_recv = Some(rid);
+            self.recvs.get_mut(&rid).unwrap().matched = Some(id);
+            if !eager {
+                self.begin_rendezvous(&mut msg, intra);
+            }
+        } else {
+            self.queues[dst_rank].unmatched_sends.push_back(id);
+        }
+        self.msgs.insert(id, msg);
+
+        // Reply to the sender.
+        match (eager, nonblocking) {
+            (true, false) => self.reply(src_rank, ReplyKind::Done),
+            (true, true) => {
+                let h = self.fresh_id();
+                self.nb.insert(h, NbState { done: true, outcome: None, waiter: None });
+                self.reply(src_rank, ReplyKind::Handle(h));
+            }
+            (false, false) => {
+                self.blocked[src_rank] = Blocked::SendB { msg: id };
+            }
+            (false, true) => {
+                let h = match self.msgs[&id].send_completion {
+                    Completion::Nb(h) => h,
+                    _ => unreachable!(),
+                };
+                self.reply(src_rank, ReplyKind::Handle(h));
+            }
+        }
+    }
+
+    fn begin_rendezvous(&mut self, msg: &mut Msg, intra: bool) {
+        debug_assert_eq!(msg.state, MsgState::RndvWaiting);
+        msg.state = MsgState::RndvHandshake;
+        if intra {
+            let copy = SimDuration::from_secs_f64(msg.bytes as f64 / MEM_COPY_BPS);
+            let at = self.now + self.spec.net.intra_node_latency + copy;
+            self.schedule(at, Timer::LocalDelivery { msg: msg.id });
+        } else {
+            // RTS + CTS + data wire latency, then the bandwidth flow.
+            let lat = self.spec.net.latency;
+            let at = self.now + lat + lat + lat;
+            self.schedule(at, Timer::RndvWire { msg: msg.id });
+        }
+    }
+
+    fn start_recv(&mut self, rank: usize, src: Option<usize>, tag: Option<u64>, nonblocking: bool) {
+        let rid = self.fresh_id();
+        let completion = if nonblocking {
+            let h = self.fresh_id();
+            self.nb.insert(h, NbState::default());
+            Completion::Nb(h)
+        } else {
+            Completion::Rank(rank)
+        };
+        let recv = RecvReq { id: rid, rank, src, tag, completion, matched: None };
+
+        // Match against pending sends in initiation order.
+        let matched = {
+            let q = &self.queues[rank];
+            q.find_send_for(&recv, |mid| &self.msgs[&mid])
+        };
+        self.recvs.insert(rid, recv);
+
+        if nonblocking {
+            let h = match self.recvs[&rid].completion {
+                Completion::Nb(h) => h,
+                _ => unreachable!(),
+            };
+            self.reply(rank, ReplyKind::Handle(h));
+        } else {
+            self.blocked[rank] = Blocked::RecvB { recv: rid };
+        }
+
+        if let Some(mid) = matched {
+            self.queues[rank].remove_send(mid);
+            self.recvs.get_mut(&rid).unwrap().matched = Some(mid);
+            let mut msg = self.msgs.remove(&mid).unwrap();
+            msg.bound_recv = Some(rid);
+            match msg.state {
+                MsgState::Arrived => {
+                    self.msgs.insert(mid, msg);
+                    self.deliver(mid);
+                }
+                MsgState::RndvWaiting => {
+                    let intra = self.node_of(msg.src_rank) == self.node_of(msg.dst_rank);
+                    self.begin_rendezvous(&mut msg, intra);
+                    self.msgs.insert(mid, msg);
+                }
+                // Eager message still in transit: it will deliver on arrival.
+                _ => {
+                    self.msgs.insert(mid, msg);
+                }
+            }
+        } else {
+            self.queues[rank].unmatched_recvs.push_back(rid);
+        }
+    }
+
+    /// Complete a matched, arrived message: hand payload to the receive and
+    /// finish the send side if it is still pending.
+    fn deliver(&mut self, mid: u64) {
+        let mut msg = self.msgs.remove(&mid).unwrap();
+        msg.state = MsgState::Done;
+        let rid = msg
+            .bound_recv
+            .expect("deliver called on unmatched message");
+        let recv = self.recvs.remove(&rid).unwrap();
+        let info = RecvInfo {
+            src: msg.src_rank,
+            tag: msg.tag,
+            bytes: msg.bytes,
+            payload: msg.payload.take(),
+        };
+        self.stats[recv.rank].msgs_recvd += 1;
+        self.stats[recv.rank].bytes_recvd += msg.bytes;
+
+        match recv.completion {
+            Completion::Rank(r) => {
+                debug_assert!(matches!(self.blocked[r], Blocked::RecvB { .. }));
+                self.reply(r, ReplyKind::Recv(info));
+            }
+            Completion::Nb(h) => self.complete_nb(h, Some(info)),
+            Completion::None => unreachable!("receives always have a completion"),
+        }
+
+        match msg.send_completion {
+            Completion::Rank(r) => {
+                debug_assert!(matches!(self.blocked[r], Blocked::SendB { .. }));
+                self.reply(r, ReplyKind::Done);
+            }
+            Completion::Nb(h) => self.complete_nb(h, None),
+            Completion::None => {}
+        }
+    }
+
+    fn complete_nb(&mut self, h: u64, outcome: Option<RecvInfo>) {
+        let state = self.nb.get_mut(&h).expect("completing unknown nonblocking request");
+        debug_assert!(!state.done, "nonblocking request completed twice");
+        state.done = true;
+        state.outcome = outcome;
+        let Some(rank) = state.waiter else { return };
+        match &mut self.blocked[rank] {
+            Blocked::Wait { req } => {
+                debug_assert_eq!(*req, h);
+                let outcome = self.nb.remove(&h).unwrap().outcome;
+                self.reply(rank, ReplyKind::WaitDone(outcome));
+            }
+            Blocked::WaitAll { reqs, remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let ids = std::mem::take(reqs);
+                    let outcomes =
+                        ids.iter().map(|id| self.nb.remove(id).unwrap().outcome).collect();
+                    self.reply(rank, ReplyKind::WaitAllDone(outcomes));
+                }
+            }
+            other => panic!("request {h} has waiter rank {rank} in unexpected state {other:?}"),
+        }
+    }
+
+    // ---- time advancement -------------------------------------------------
+
+    fn fire_timer(&mut self, timer: Timer) {
+        match timer {
+            Timer::SleepDone { rank } => {
+                debug_assert!(matches!(self.blocked[rank], Blocked::Sleep));
+                self.reply(rank, ReplyKind::Done);
+            }
+            Timer::NetDelay { msg } => {
+                // Eager latency elapsed: start the bandwidth flow (or arrive
+                // directly for empty messages).
+                let (bytes, src, dst) = {
+                    let m = self.msgs.get_mut(&msg).expect("timer for vanished message");
+                    debug_assert_eq!(m.state, MsgState::EagerLatency);
+                    if m.bytes == 0 {
+                        m.state = MsgState::Arrived;
+                        (0, 0, 0)
+                    } else {
+                        m.state = MsgState::EagerTransfer;
+                        (m.bytes, m.src_rank, m.dst_rank)
+                    }
+                };
+                if bytes == 0 {
+                    self.on_arrival(msg);
+                } else {
+                    let f = Flow {
+                        id: msg,
+                        src_node: self.node_of(src),
+                        dst_node: self.node_of(dst),
+                        remaining: bytes as f64,
+                    };
+                    self.flows.push(f);
+                }
+            }
+            Timer::RndvWire { msg } => {
+                let (bytes, src, dst) = {
+                    let m = self.msgs.get_mut(&msg).expect("timer for vanished message");
+                    debug_assert_eq!(m.state, MsgState::RndvHandshake);
+                    m.state = MsgState::RndvTransfer;
+                    (m.bytes, m.src_rank, m.dst_rank)
+                };
+                let f = Flow {
+                    id: msg,
+                    src_node: self.node_of(src),
+                    dst_node: self.node_of(dst),
+                    remaining: bytes as f64,
+                };
+                self.flows.push(f);
+            }
+            Timer::LocalDelivery { msg } => {
+                let state = {
+                    let m = self.msgs.get_mut(&msg).expect("timer for vanished message");
+                    let s = m.state;
+                    m.state = MsgState::Arrived;
+                    s
+                };
+                match state {
+                    MsgState::EagerLatency => self.on_arrival(msg),
+                    MsgState::RndvHandshake => self.deliver(msg),
+                    other => panic!("local delivery in state {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// An eager message has fully arrived at its destination.
+    fn on_arrival(&mut self, mid: u64) {
+        let bound = self.msgs[&mid].bound_recv;
+        if bound.is_some() {
+            self.deliver(mid);
+        }
+        // Otherwise it stays buffered (state Arrived, still in the
+        // unmatched_sends queue) until a receive matches it.
+    }
+
+    /// Complete a flow whose bytes have drained.
+    fn flow_done(&mut self, mid: u64) {
+        let state = {
+            let m = self.msgs.get_mut(&mid).expect("flow for vanished message");
+            let s = m.state;
+            m.state = MsgState::Arrived;
+            s
+        };
+        match state {
+            MsgState::EagerTransfer => self.on_arrival(mid),
+            MsgState::RndvTransfer => self.deliver(mid),
+            other => panic!("flow completion in state {other:?}"),
+        }
+    }
+
+    /// Advance virtual time by one step, waking at least one rank or
+    /// making internal progress. Panics on deadlock.
+    fn advance_once(&mut self) {
+        self.events += 1;
+
+        // Completions already ripe at `now` (e.g. zero-work computes).
+        let mut woke = false;
+        for node in 0..self.nodes.len() {
+            if self.nodes[node].next_completion() == Some(SimDuration::ZERO) {
+                for owner in self.nodes[node].take_completed() {
+                    let rank = owner as usize;
+                    debug_assert!(matches!(self.blocked[rank], Blocked::Compute));
+                    self.reply(rank, ReplyKind::Done);
+                    woke = true;
+                }
+            }
+        }
+        if woke {
+            return;
+        }
+
+        // Candidate next times.
+        let mut dt = SimDuration::MAX;
+        for node in &self.nodes {
+            if let Some(d) = node.next_completion() {
+                dt = dt.min(d);
+            }
+        }
+        let rates = max_min_rates(&self.spec, &self.flows);
+        for (f, &r) in self.flows.iter().zip(&rates) {
+            if f.remaining <= FLOW_EPS {
+                dt = SimDuration::ZERO;
+            } else if r > 0.0 {
+                let nanos = (f.remaining / r * 1e9).ceil() as u64;
+                dt = dt.min(SimDuration(nanos.max(1)));
+            }
+        }
+        if let Some(Reverse((t, _, _))) = self.timers.peek() {
+            dt = dt.min(SimTime(*t).saturating_since(self.now));
+        }
+
+        if dt == SimDuration::MAX {
+            self.deadlock_panic();
+        }
+
+        // Settle continuous state and advance the clock.
+        for node in &mut self.nodes {
+            node.settle(dt);
+        }
+        let step = dt.as_secs_f64();
+        for (f, &r) in self.flows.iter_mut().zip(&rates) {
+            f.remaining = (f.remaining - r * step).max(0.0);
+        }
+        self.now += dt;
+
+        // Collect completions at the new time.
+        for node in 0..self.nodes.len() {
+            for owner in self.nodes[node].take_completed() {
+                let rank = owner as usize;
+                debug_assert!(matches!(self.blocked[rank], Blocked::Compute));
+                self.reply(rank, ReplyKind::Done);
+            }
+        }
+        let mut done_flows = Vec::new();
+        self.flows.retain(|f| {
+            if f.remaining <= FLOW_EPS {
+                done_flows.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
+        for mid in done_flows {
+            self.flow_done(mid);
+        }
+        while let Some(&Reverse((t, _, _))) = self.timers.peek() {
+            if t > self.now.as_nanos() {
+                break;
+            }
+            let Reverse((_, _, id)) = self.timers.pop().unwrap();
+            let timer = self.timer_payload.remove(&id).expect("timer payload missing");
+            self.fire_timer(timer);
+        }
+    }
+
+    fn deadlock_panic(&self) -> ! {
+        let mut lines = Vec::new();
+        for (r, b) in self.blocked.iter().enumerate() {
+            if !matches!(b, Blocked::Exited) {
+                lines.push(format!("  rank {r}: {b:?}"));
+            }
+        }
+        if !self.panics.is_empty() {
+            for (r, msg) in &self.panics {
+                lines.push(format!("  rank {r} PANICKED: {msg}"));
+            }
+        }
+        panic!(
+            "simulation deadlock at {}: all live ranks blocked with no pending events\n{}",
+            self.now,
+            lines.join("\n")
+        );
+    }
+}
+
+/// A boxed per-rank program, as consumed by [`Simulation::run_fns`].
+pub type RankProgram = Box<dyn FnOnce(&mut SimCtx) + Send>;
+
+/// A configured simulation, ready to run rank programs.
+pub struct Simulation {
+    spec: ClusterSpec,
+    placement: Placement,
+}
+
+impl Simulation {
+    /// Create a simulation of `spec` with ranks placed per `placement`.
+    pub fn new(spec: ClusterSpec, placement: Placement) -> Simulation {
+        spec.validate();
+        placement.validate(&spec);
+        Simulation { spec, placement }
+    }
+
+    /// Number of ranks this simulation will run.
+    pub fn n_ranks(&self) -> usize {
+        self.placement.n_ranks()
+    }
+
+    /// Run one boxed program per rank. This is the primitive entry point;
+    /// see [`Simulation::run`] for the SPMD convenience form.
+    pub fn run_fns(self, programs: Vec<RankProgram>) -> SimReport {
+        let n = self.placement.n_ranks();
+        assert_eq!(programs.len(), n, "need exactly one program per rank");
+        assert!(n > 0, "simulation needs at least one rank");
+
+        let (req_tx, req_rx) = unbounded::<(usize, Request)>();
+        let mut reply_tx = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+
+        for (rank, program) in programs.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<Reply>();
+            reply_tx.push(tx);
+            let mut ctx = SimCtx {
+                rank,
+                nranks: n,
+                node: self.placement.node_of(rank),
+                now: SimTime::ZERO,
+                sw_overhead_secs: self.spec.net.sw_overhead.as_secs_f64(),
+                tx: req_tx.clone(),
+                rx,
+            };
+            let handle = thread::Builder::new()
+                .name(format!("simrank-{rank}"))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
+                    let panic = result.err().map(|e| {
+                        e.downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "opaque panic payload".to_string())
+                    });
+                    // The engine may already be gone if it panicked first.
+                    let _ = ctx.tx.send((ctx.rank, Request::Exit { panic }));
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        drop(req_tx);
+
+        let mut engine = Engine {
+            nodes: self.spec.nodes.iter().map(NodeCpu::new).collect(),
+            spec: self.spec,
+            placement: self.placement,
+            now: SimTime::ZERO,
+            flows: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_payload: HashMap::new(),
+            timer_seq: 0,
+            msgs: HashMap::new(),
+            recvs: HashMap::new(),
+            queues: vec![MatchQueue::default(); n],
+            nb: HashMap::new(),
+            blocked: (0..n).map(|_| Blocked::Running).collect(),
+            reply_tx,
+            running: n,
+            live: n,
+            next_id: 0,
+            send_seq: 0,
+            stats: vec![RankStats::default(); n],
+            finish_times: vec![SimTime::ZERO; n],
+            panics: Vec::new(),
+            events: 0,
+        };
+
+        let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+        loop {
+            while engine.running > 0 {
+                let (rank, req) = req_rx
+                    .recv()
+                    .expect("all rank threads disconnected while marked running");
+                debug_assert!(inbox[rank].is_none(), "rank {rank} sent two requests");
+                inbox[rank] = Some(req);
+                engine.running -= 1;
+            }
+            for (rank, slot) in inbox.iter_mut().enumerate() {
+                if let Some(req) = slot.take() {
+                    engine.handle_request(rank, req);
+                }
+            }
+            if engine.running > 0 {
+                continue;
+            }
+            if engine.live == 0 {
+                break;
+            }
+            engine.advance_once();
+        }
+
+        for h in handles {
+            h.join().expect("rank thread poisoned after exit");
+        }
+
+        if !engine.panics.is_empty() {
+            let (rank, msg) = &engine.panics[0];
+            panic!("rank {rank} panicked during simulation: {msg}");
+        }
+
+        let total = engine
+            .finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        SimReport {
+            total_time: total.saturating_since(SimTime::ZERO),
+            finish_times: engine.finish_times,
+            rank_stats: engine.stats,
+            events: engine.events,
+        }
+    }
+
+    /// Run the same program on every rank (SPMD).
+    pub fn run<F>(self, f: F) -> SimReport
+    where
+        F: Fn(&mut SimCtx) + Send + Sync + 'static,
+    {
+        let n = self.placement.n_ranks();
+        let f = std::sync::Arc::new(f);
+        let programs: Vec<RankProgram> = (0..n)
+            .map(|_| {
+                let f = f.clone();
+                Box::new(move |ctx: &mut SimCtx| f(ctx)) as RankProgram
+            })
+            .collect();
+        self.run_fns(programs)
+    }
+}

@@ -1,0 +1,43 @@
+//! # pskel-sim — deterministic cluster simulation substrate
+//!
+//! A conservative discrete-event simulator of a small message-passing
+//! cluster, built as the execution substrate for the performance-skeleton
+//! framework (Sodhi & Subhlok, IPPS 2005 — see the workspace `DESIGN.md`).
+//!
+//! The simulated machine mirrors the paper's testbed: nodes with a small
+//! number of CPUs under egalitarian processor sharing, NICs on a full
+//! crossbar switch with latency + bandwidth (max-min fair among concurrent
+//! flows), competing compute processes, and per-link `iproute2`-style
+//! bandwidth caps.
+//!
+//! Programs are plain Rust closures, one per rank, run on real threads.
+//! Every interaction with virtual time goes through [`SimCtx`]; the engine
+//! only advances the clock when all ranks are blocked, so runs are
+//! bit-deterministic.
+//!
+//! ```
+//! use pskel_sim::{ClusterSpec, Placement, Simulation};
+//!
+//! let cluster = ClusterSpec::homogeneous(2);
+//! let placement = Placement::round_robin(2, 2);
+//! let report = Simulation::new(cluster, placement).run(|ctx| {
+//!     if ctx.rank() == 0 {
+//!         ctx.compute(0.5);
+//!         ctx.send(1, 0, 1024, None);
+//!     } else {
+//!         ctx.recv(Some(0), Some(0));
+//!     }
+//! });
+//! assert!(report.total_time.as_secs_f64() > 0.5);
+//! ```
+
+pub mod cpu;
+pub mod engine;
+pub mod msg;
+pub mod net;
+pub mod spec;
+pub mod time;
+
+pub use engine::{RankStats, RecvInfo, SimCtx, SimReport, SimReq, Simulation};
+pub use spec::{ClusterSpec, NetSpec, NodeSpec, Placement, GIGABIT_BPS, THROTTLED_10MBPS};
+pub use time::{SimDuration, SimTime};

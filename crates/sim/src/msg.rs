@@ -1,0 +1,231 @@
+//! Point-to-point message state machine and MPI-style matching.
+//!
+//! Messages follow one of two protocols, selected by size against the eager
+//! threshold (mirroring MPICH):
+//!
+//! * **Eager** (small): the sender buffers and completes immediately; the
+//!   payload crosses the wire (latency, then a bandwidth flow) regardless of
+//!   whether a receive is posted. The receive completes at arrival.
+//! * **Rendezvous** (large): the transfer starts only once a matching
+//!   receive is posted (RTS/CTS handshake, then the flow); both the send and
+//!   the receive complete when the flow drains.
+//!
+//! Matching follows MPI semantics: a receive names a source (or any) and a
+//! tag (or any); candidate messages are considered in send-initiation order,
+//! which preserves the non-overtaking rule.
+
+use std::collections::VecDeque;
+
+/// Identifies who to notify when an operation completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// A rank blocked in a blocking call.
+    Rank(usize),
+    /// A nonblocking request handle.
+    Nb(u64),
+    /// Nothing to notify (e.g. an eager send that already completed).
+    None,
+}
+
+/// Protocol phase of a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgState {
+    /// Eager: in the latency stage (timer pending).
+    EagerLatency,
+    /// Eager: bandwidth flow in progress.
+    EagerTransfer,
+    /// Eager: data buffered at the destination, waiting for a match.
+    Arrived,
+    /// Rendezvous: initiated, waiting for a matching receive.
+    RndvWaiting,
+    /// Rendezvous: matched, handshake + wire time pending (timer), then flow.
+    RndvHandshake,
+    /// Rendezvous: bandwidth flow in progress.
+    RndvTransfer,
+    /// Fully delivered.
+    Done,
+}
+
+/// A point-to-point message in flight.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    pub id: u64,
+    /// Global send-initiation sequence number (drives matching order).
+    pub seq: u64,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub payload: Option<Vec<u8>>,
+    pub eager: bool,
+    pub state: MsgState,
+    /// The receive this message has been matched to, if any.
+    pub bound_recv: Option<u64>,
+    /// Who to notify when the send side completes.
+    pub send_completion: Completion,
+}
+
+/// A posted receive.
+#[derive(Clone, Debug)]
+pub struct RecvReq {
+    pub id: u64,
+    pub rank: usize,
+    /// `None` = MPI_ANY_SOURCE.
+    pub src: Option<usize>,
+    /// `None` = MPI_ANY_TAG.
+    pub tag: Option<u64>,
+    pub completion: Completion,
+    pub matched: Option<u64>,
+}
+
+impl RecvReq {
+    /// Whether this receive can match message `m`.
+    pub fn matches(&self, m: &Msg) -> bool {
+        self.rank == m.dst_rank
+            && self.src.is_none_or(|s| s == m.src_rank)
+            && self.tag.is_none_or(|t| t == m.tag)
+    }
+}
+
+/// Per-destination-rank matching queues.
+#[derive(Clone, Debug, Default)]
+pub struct MatchQueue {
+    /// Messages addressed here, not yet matched, in seq order.
+    pub unmatched_sends: VecDeque<u64>,
+    /// Receives posted here, not yet matched, in post order.
+    pub unmatched_recvs: VecDeque<u64>,
+}
+
+impl MatchQueue {
+    /// Find (without removing) the earliest unmatched message this receive
+    /// can take, honouring send order.
+    pub fn find_send_for<'a>(
+        &self,
+        recv: &RecvReq,
+        lookup: impl Fn(u64) -> &'a Msg,
+    ) -> Option<u64> {
+        self.unmatched_sends
+            .iter()
+            .copied()
+            .find(|&mid| recv.matches(lookup(mid)))
+    }
+
+    /// Find (without removing) the first posted receive this message can
+    /// match, honouring receive post order.
+    pub fn find_recv_for<'a>(
+        &self,
+        msg: &Msg,
+        lookup: impl Fn(u64) -> &'a RecvReq,
+    ) -> Option<u64> {
+        self.unmatched_recvs
+            .iter()
+            .copied()
+            .find(|&rid| lookup(rid).matches(msg))
+    }
+
+    /// Remove a message id from the unmatched list.
+    pub fn remove_send(&mut self, mid: u64) {
+        if let Some(pos) = self.unmatched_sends.iter().position(|&x| x == mid) {
+            self.unmatched_sends.remove(pos);
+        }
+    }
+
+    /// Remove a receive id from the unmatched list.
+    pub fn remove_recv(&mut self, rid: u64) {
+        if let Some(pos) = self.unmatched_recvs.iter().position(|&x| x == rid) {
+            self.unmatched_recvs.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, seq: u64, src: usize, dst: usize, tag: u64) -> Msg {
+        Msg {
+            id,
+            seq,
+            src_rank: src,
+            dst_rank: dst,
+            tag,
+            bytes: 100,
+            payload: None,
+            eager: true,
+            state: MsgState::Arrived,
+            bound_recv: None,
+            send_completion: Completion::None,
+        }
+    }
+
+    fn recv(id: u64, rank: usize, src: Option<usize>, tag: Option<u64>) -> RecvReq {
+        RecvReq { id, rank, src, tag, completion: Completion::Rank(rank), matched: None }
+    }
+
+    #[test]
+    fn exact_match() {
+        let m = msg(1, 0, 0, 1, 42);
+        assert!(recv(1, 1, Some(0), Some(42)).matches(&m));
+        assert!(!recv(1, 1, Some(2), Some(42)).matches(&m));
+        assert!(!recv(1, 1, Some(0), Some(7)).matches(&m));
+        assert!(!recv(1, 0, Some(0), Some(42)).matches(&m), "wrong destination rank");
+    }
+
+    #[test]
+    fn wildcards_match_anything_from_dst() {
+        let m = msg(1, 0, 3, 1, 42);
+        assert!(recv(1, 1, None, None).matches(&m));
+        assert!(recv(1, 1, None, Some(42)).matches(&m));
+        assert!(recv(1, 1, Some(3), None).matches(&m));
+    }
+
+    #[test]
+    fn queue_matches_in_send_order() {
+        let msgs = [msg(10, 0, 0, 1, 5), msg(11, 1, 0, 1, 5)];
+        let mut q = MatchQueue::default();
+        q.unmatched_sends.push_back(10);
+        q.unmatched_sends.push_back(11);
+        let r = recv(1, 1, Some(0), Some(5));
+        let found = q.find_send_for(&r, |id| msgs.iter().find(|m| m.id == id).unwrap());
+        assert_eq!(found, Some(10), "non-overtaking: earliest send first");
+        q.remove_send(10);
+        let found = q.find_send_for(&r, |id| msgs.iter().find(|m| m.id == id).unwrap());
+        assert_eq!(found, Some(11));
+    }
+
+    #[test]
+    fn queue_skips_incompatible_sends() {
+        let msgs = [msg(10, 0, 2, 1, 9), msg(11, 1, 0, 1, 5)];
+        let q = {
+            let mut q = MatchQueue::default();
+            q.unmatched_sends.push_back(10);
+            q.unmatched_sends.push_back(11);
+            q
+        };
+        let r = recv(1, 1, Some(0), Some(5));
+        let found = q.find_send_for(&r, |id| msgs.iter().find(|m| m.id == id).unwrap());
+        assert_eq!(found, Some(11));
+    }
+
+    #[test]
+    fn queue_matches_recvs_in_post_order() {
+        let recvs = [recv(20, 1, None, None), recv(21, 1, Some(0), Some(5))];
+        let mut q = MatchQueue::default();
+        q.unmatched_recvs.push_back(20);
+        q.unmatched_recvs.push_back(21);
+        let m = msg(1, 0, 0, 1, 5);
+        let found = q.find_recv_for(&m, |id| recvs.iter().find(|r| r.id == id).unwrap());
+        assert_eq!(found, Some(20), "earliest posted receive wins");
+        q.remove_recv(20);
+        let found = q.find_recv_for(&m, |id| recvs.iter().find(|r| r.id == id).unwrap());
+        assert_eq!(found, Some(21));
+    }
+
+    #[test]
+    fn remove_nonexistent_is_noop() {
+        let mut q = MatchQueue::default();
+        q.unmatched_sends.push_back(1);
+        q.remove_send(99);
+        assert_eq!(q.unmatched_sends.len(), 1);
+    }
+}

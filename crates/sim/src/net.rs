@@ -1,0 +1,230 @@
+//! Flow-level network model with max-min fair bandwidth allocation.
+//!
+//! The testbed is a full crossbar, so the contended resources are the
+//! per-node NICs: each node has an egress capacity and an ingress capacity
+//! (both equal to the node's effective link bandwidth — throttling the link
+//! caps both directions, like shaping the cable with `iproute2`).
+//!
+//! Rates for the set of active flows are computed by progressive filling
+//! (water-filling): repeatedly find the bottleneck resource — the one whose
+//! remaining capacity divided by its number of unfrozen flows is smallest —
+//! and freeze those flows at that fair share. This is the classic max-min
+//! fair allocation and a good flow-level approximation of TCP sharing on a
+//! switched LAN.
+
+use crate::spec::ClusterSpec;
+
+/// A transfer currently in progress on the network.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Opaque id owned by the engine (message id).
+    pub id: u64,
+    /// Sending node.
+    pub src_node: usize,
+    /// Receiving node. Equal to `src_node` is not allowed here: intra-node
+    /// transfers bypass the network model entirely.
+    pub dst_node: usize,
+    /// Bytes still to transfer.
+    pub remaining: f64,
+}
+
+/// Computes the max-min fair rate (bytes/sec) of every flow.
+///
+/// The `flows` slice must not contain intra-node flows. Returns rates in the
+/// same order as `flows`.
+pub fn max_min_rates(cluster: &ClusterSpec, flows: &[Flow]) -> Vec<f64> {
+    let n_nodes = cluster.len();
+    for f in flows {
+        assert!(
+            f.src_node != f.dst_node,
+            "intra-node flow {} must not enter the network model",
+            f.id
+        );
+        assert!(
+            f.src_node < n_nodes && f.dst_node < n_nodes,
+            "flow {} references a node outside the cluster",
+            f.id
+        );
+    }
+    if flows.is_empty() {
+        return Vec::new();
+    }
+
+    // Resource index: 2*i = egress of node i, 2*i + 1 = ingress of node i.
+    let n_res = 2 * n_nodes;
+    let mut capacity: Vec<f64> = Vec::with_capacity(n_res);
+    for node in &cluster.nodes {
+        let bw = node.effective_bandwidth();
+        capacity.push(bw); // egress
+        capacity.push(bw); // ingress
+    }
+
+    // Which flows use each resource.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_res];
+    for (fi, f) in flows.iter().enumerate() {
+        members[2 * f.src_node].push(fi);
+        members[2 * f.dst_node + 1].push(fi);
+    }
+
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut remaining_cap = capacity;
+    let mut unfrozen_count: Vec<usize> = members.iter().map(|m| m.len()).collect();
+    let mut left = flows.len();
+
+    while left > 0 {
+        // Find the bottleneck resource: min fair share among resources that
+        // still carry unfrozen flows. Ties resolved by lowest index for
+        // determinism.
+        let mut best: Option<(f64, usize)> = None;
+        for r in 0..n_res {
+            if unfrozen_count[r] == 0 {
+                continue;
+            }
+            let share = remaining_cap[r] / unfrozen_count[r] as f64;
+            match best {
+                Some((s, _)) if share >= s => {}
+                _ => best = Some((share, r)),
+            }
+        }
+        let (share, bottleneck) =
+            best.expect("unfrozen flows remain but no resource carries them");
+
+        // Freeze every unfrozen flow crossing the bottleneck at the fair
+        // share, and charge its rate to the other resources it crosses.
+        let flows_here: Vec<usize> = members[bottleneck]
+            .iter()
+            .copied()
+            .filter(|&fi| !frozen[fi])
+            .collect();
+        debug_assert!(!flows_here.is_empty());
+        for fi in flows_here {
+            frozen[fi] = true;
+            rate[fi] = share;
+            left -= 1;
+            let f = &flows[fi];
+            for r in [2 * f.src_node, 2 * f.dst_node + 1] {
+                remaining_cap[r] = (remaining_cap[r] - share).max(0.0);
+                unfrozen_count[r] -= 1;
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, THROTTLED_10MBPS};
+
+    fn flow(id: u64, src: usize, dst: usize) -> Flow {
+        Flow { id, src_node: src, dst_node: dst, remaining: 1e6 }
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let c = ClusterSpec::homogeneous(2);
+        assert!(max_min_rates(&c, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let c = ClusterSpec::homogeneous(2);
+        let r = max_min_rates(&c, &[flow(0, 0, 1)]);
+        assert!((r[0] - c.nodes[0].link_bandwidth).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_common_egress() {
+        // Both flows leave node 0: its egress is the bottleneck.
+        let c = ClusterSpec::homogeneous(3);
+        let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 0, 2)]);
+        let half = c.nodes[0].link_bandwidth / 2.0;
+        assert!((r[0] - half).abs() < 1.0);
+        assert!((r[1] - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_common_ingress() {
+        let c = ClusterSpec::homogeneous(3);
+        let r = max_min_rates(&c, &[flow(0, 1, 0), flow(1, 2, 0)]);
+        let half = c.nodes[0].link_bandwidth / 2.0;
+        assert!((r[0] - half).abs() < 1.0);
+        assert!((r[1] - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let c = ClusterSpec::homogeneous(4);
+        let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 2, 3)]);
+        assert!((r[0] - c.nodes[0].link_bandwidth).abs() < 1.0);
+        assert!((r[1] - c.nodes[0].link_bandwidth).abs() < 1.0);
+    }
+
+    #[test]
+    fn throttled_link_caps_its_flows_only() {
+        let c = ClusterSpec::homogeneous(4).with_link_cap(1, THROTTLED_10MBPS);
+        let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 2, 3)]);
+        assert!((r[0] - THROTTLED_10MBPS).abs() < 1.0, "flow into throttled node capped");
+        assert!((r[1] - c.nodes[0].link_bandwidth).abs() < 1.0, "other flow unaffected");
+    }
+
+    #[test]
+    fn water_filling_redistributes_slack() {
+        // Flows: A: 0->1 (throttled dst), B: 0->2. A is capped at 10 Mbps,
+        // so B should receive the rest of node 0's egress, not just half.
+        let c = ClusterSpec::homogeneous(3).with_link_cap(1, THROTTLED_10MBPS);
+        let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 0, 2)]);
+        assert!((r[0] - THROTTLED_10MBPS).abs() < 1.0);
+        let expect_b = c.nodes[0].link_bandwidth - THROTTLED_10MBPS;
+        assert!((r[1] - expect_b).abs() < 1.0, "B got {} expected {}", r[1], expect_b);
+    }
+
+    #[test]
+    fn crossbar_all_to_one_shares_ingress_fairly() {
+        let c = ClusterSpec::homogeneous(4);
+        let flows: Vec<Flow> = (1..4).map(|s| flow(s as u64, s, 0)).collect();
+        let r = max_min_rates(&c, &flows);
+        let third = c.nodes[0].link_bandwidth / 3.0;
+        for x in &r {
+            assert!((x - third).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn intra_node_flow_rejected() {
+        let c = ClusterSpec::homogeneous(2);
+        max_min_rates(&c, &[flow(0, 1, 1)]);
+    }
+
+    #[test]
+    fn rates_never_exceed_any_capacity() {
+        // Dense random-ish pattern, checked against per-resource sums.
+        let c = ClusterSpec::homogeneous(4).with_link_cap(2, THROTTLED_10MBPS);
+        let mut flows = Vec::new();
+        let mut id = 0;
+        for s in 0..4 {
+            for d in 0..4 {
+                if s != d {
+                    flows.push(flow(id, s, d));
+                    id += 1;
+                }
+            }
+        }
+        let r = max_min_rates(&c, &flows);
+        for node in 0..4 {
+            let cap = c.nodes[node].effective_bandwidth();
+            let egress: f64 =
+                flows.iter().zip(&r).filter(|(f, _)| f.src_node == node).map(|(_, x)| x).sum();
+            let ingress: f64 =
+                flows.iter().zip(&r).filter(|(f, _)| f.dst_node == node).map(|(_, x)| x).sum();
+            assert!(egress <= cap * 1.000001, "node {node} egress oversubscribed");
+            assert!(ingress <= cap * 1.000001, "node {node} ingress oversubscribed");
+        }
+        // Every flow makes progress.
+        for x in &r {
+            assert!(*x > 0.0);
+        }
+    }
+}

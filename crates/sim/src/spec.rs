@@ -1,0 +1,262 @@
+//! Static description of the simulated cluster: nodes, CPUs, NICs, and the
+//! knobs the paper's resource-sharing scenarios turn (competing compute
+//! processes, per-link bandwidth caps).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per second of a Gigabit Ethernet NIC (1 Gb/s).
+pub const GIGABIT_BPS: f64 = 1.0e9 / 8.0;
+
+/// Bytes per second of a 10 Mb/s throttled link (the paper's `iproute2` cap).
+pub const THROTTLED_10MBPS: f64 = 10.0e6 / 8.0;
+
+/// Description of one compute node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of CPUs (the paper's testbed nodes are dual-CPU).
+    pub cpus: u32,
+    /// Relative CPU speed multiplier (1.0 = the reference 1.7 GHz Xeon).
+    pub speed: f64,
+    /// Number of competing compute-intensive processes pinned to this node
+    /// (scenario knob; each behaves as an infinite-work CPU task).
+    pub competing_processes: u32,
+    /// NIC egress/ingress capacity in bytes per second.
+    pub link_bandwidth: f64,
+    /// Optional hard cap on the node's link (the `iproute2` throttle),
+    /// bytes per second. Applies to both directions, like shaping the cable.
+    pub link_cap: Option<f64>,
+}
+
+impl NodeSpec {
+    /// A reference testbed node: dual CPU, Gigabit Ethernet, unloaded.
+    pub fn reference() -> NodeSpec {
+        NodeSpec {
+            cpus: 2,
+            speed: 1.0,
+            competing_processes: 0,
+            link_bandwidth: GIGABIT_BPS,
+            link_cap: None,
+        }
+    }
+
+    /// Effective link capacity after any throttle, bytes per second.
+    pub fn effective_bandwidth(&self) -> f64 {
+        match self.link_cap {
+            Some(cap) => cap.min(self.link_bandwidth),
+            None => self.link_bandwidth,
+        }
+    }
+}
+
+/// Network-wide parameters. The testbed is a full crossbar switch, so the
+/// only shared resources are the per-node NICs; the switch fabric is
+/// contention-free.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// One-way wire latency between two distinct nodes.
+    pub latency: SimDuration,
+    /// Latency for messages a rank sends to a co-located rank (shared memory).
+    pub intra_node_latency: SimDuration,
+    /// Messages at most this many bytes use the eager protocol (sender
+    /// buffers and returns); larger messages rendezvous.
+    pub eager_threshold: u64,
+    /// CPU cost of entering the MPI library, charged per call (software
+    /// stack: argument checking, buffer management, memcpy for eager sends).
+    pub sw_overhead: SimDuration,
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        NetSpec {
+            // ~55us end-to-end small-message latency is typical for
+            // MPICH-over-GigE of the paper's era.
+            latency: SimDuration::from_micros(55),
+            intra_node_latency: SimDuration::from_micros(2),
+            eager_threshold: 64 * 1024,
+            sw_overhead: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// Full description of the simulated cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub nodes: Vec<NodeSpec>,
+    pub net: NetSpec,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n` reference nodes (dual-CPU Xeon, GigE, crossbar),
+    /// mirroring the paper's testbed.
+    pub fn homogeneous(n: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes: vec![NodeSpec::reference(); n],
+            net: NetSpec::default(),
+        }
+    }
+
+    /// The paper's experimental testbed slice: 4 dual-CPU nodes.
+    pub fn paper_testbed() -> ClusterSpec {
+        ClusterSpec::homogeneous(4)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mutable access to one node's spec (for scenario knobs).
+    pub fn node_mut(&mut self, i: usize) -> &mut NodeSpec {
+        &mut self.nodes[i]
+    }
+
+    /// Add `k` competing compute processes to node `i`.
+    pub fn with_competing_processes(mut self, i: usize, k: u32) -> ClusterSpec {
+        self.nodes[i].competing_processes += k;
+        self
+    }
+
+    /// Throttle node `i`'s link to `bps` bytes per second.
+    pub fn with_link_cap(mut self, i: usize, bps: f64) -> ClusterSpec {
+        self.nodes[i].link_cap = Some(bps);
+        self
+    }
+
+    /// Validate invariants; panics with a descriptive message on a bad spec.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "cluster must have at least one node");
+        for (i, n) in self.nodes.iter().enumerate() {
+            assert!(n.cpus >= 1, "node {i}: must have at least one CPU");
+            assert!(
+                n.speed.is_finite() && n.speed > 0.0,
+                "node {i}: speed must be positive, got {}",
+                n.speed
+            );
+            assert!(
+                n.link_bandwidth.is_finite() && n.link_bandwidth > 0.0,
+                "node {i}: link bandwidth must be positive"
+            );
+            if let Some(cap) = n.link_cap {
+                assert!(
+                    cap.is_finite() && cap > 0.0,
+                    "node {i}: link cap must be positive, got {cap}"
+                );
+            }
+        }
+    }
+}
+
+/// Mapping from rank to node index.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement(pub Vec<usize>);
+
+impl Placement {
+    /// Rank `r` on node `r % n_nodes` — one rank per node when
+    /// `n_ranks == n_nodes` (the paper's configuration).
+    pub fn round_robin(n_ranks: usize, n_nodes: usize) -> Placement {
+        assert!(n_nodes > 0, "placement requires at least one node");
+        Placement((0..n_ranks).map(|r| r % n_nodes).collect())
+    }
+
+    /// Ranks packed onto nodes: ranks 0..k on node 0, etc.
+    pub fn blocked(n_ranks: usize, n_nodes: usize) -> Placement {
+        assert!(n_nodes > 0, "placement requires at least one node");
+        let per = n_ranks.div_ceil(n_nodes);
+        Placement((0..n_ranks).map(|r| (r / per).min(n_nodes - 1)).collect())
+    }
+
+    /// Number of ranks placed.
+    pub fn n_ranks(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Node hosting rank `r`.
+    pub fn node_of(&self, r: usize) -> usize {
+        self.0[r]
+    }
+
+    /// Panics unless every rank maps to a node inside the cluster.
+    pub fn validate(&self, cluster: &ClusterSpec) {
+        for (r, &n) in self.0.iter().enumerate() {
+            assert!(
+                n < cluster.len(),
+                "rank {r} placed on node {n}, but cluster has only {} nodes",
+                cluster.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_matches_testbed() {
+        let n = NodeSpec::reference();
+        assert_eq!(n.cpus, 2);
+        assert_eq!(n.competing_processes, 0);
+        assert!((n.link_bandwidth - 1.25e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_honours_cap() {
+        let mut n = NodeSpec::reference();
+        assert_eq!(n.effective_bandwidth(), n.link_bandwidth);
+        n.link_cap = Some(THROTTLED_10MBPS);
+        assert!((n.effective_bandwidth() - 1.25e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let c = ClusterSpec::paper_testbed()
+            .with_competing_processes(0, 2)
+            .with_link_cap(1, THROTTLED_10MBPS);
+        assert_eq!(c.nodes[0].competing_processes, 2);
+        assert_eq!(c.nodes[1].link_cap, Some(THROTTLED_10MBPS));
+        c.validate();
+    }
+
+    #[test]
+    fn round_robin_is_one_rank_per_node_when_equal() {
+        let p = Placement::round_robin(4, 4);
+        assert_eq!(p.0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let p = Placement::round_robin(6, 4);
+        assert_eq!(p.0, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn blocked_packs() {
+        let p = Placement::blocked(4, 2);
+        assert_eq!(p.0, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster has only")]
+    fn placement_validation_catches_overflow() {
+        Placement(vec![0, 7]).validate(&ClusterSpec::homogeneous(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn spec_validation_catches_zero_cpus() {
+        let mut c = ClusterSpec::homogeneous(1);
+        c.nodes[0].cpus = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn paper_testbed_has_four_nodes() {
+        assert_eq!(ClusterSpec::paper_testbed().len(), 4);
+    }
+}

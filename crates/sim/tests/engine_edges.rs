@@ -1,0 +1,206 @@
+//! Edge cases of the engine: protocol boundaries, self-messages, scale,
+//! tie-breaking, heterogeneous hardware, and failure diagnostics.
+
+use pskel_sim::{ClusterSpec, NetSpec, Placement, Simulation};
+
+fn cluster_with_threshold(n: usize, threshold: u64) -> ClusterSpec {
+    let mut c = ClusterSpec::homogeneous(n);
+    c.net = NetSpec { eager_threshold: threshold, ..c.net };
+    c
+}
+
+#[test]
+fn eager_threshold_is_inclusive() {
+    // A message of exactly `threshold` bytes is eager: the sender returns
+    // immediately even though no receive is ever posted... post one late.
+    let c = cluster_with_threshold(2, 1000);
+    let r = Simulation::new(c, Placement::round_robin(2, 2)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 1000, None); // exactly at the threshold
+            assert!(ctx.now().as_secs_f64() < 1e-6, "eager send must not block");
+        } else {
+            ctx.compute(0.1);
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    assert!(r.finish_times[0].as_nanos() < 1000);
+}
+
+#[test]
+fn one_byte_over_threshold_is_rendezvous() {
+    let c = cluster_with_threshold(2, 1000);
+    let r = Simulation::new(c, Placement::round_robin(2, 2)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 1001, None);
+            // Must have waited for the receiver (posted after 0.1 s).
+            assert!(ctx.now().as_secs_f64() >= 0.1, "rendezvous must block");
+        } else {
+            ctx.compute(0.1);
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    assert!(r.finish_times[0].as_secs_f64() >= 0.1);
+}
+
+#[test]
+fn eager_send_to_self_works() {
+    let r = Simulation::new(ClusterSpec::homogeneous(1), Placement(vec![0])).run(|ctx| {
+        ctx.send(0, 5, 100, Some(vec![9; 100]));
+        let info = ctx.recv(Some(0), Some(5));
+        assert_eq!(info.bytes, 100);
+        assert_eq!(info.payload.unwrap()[0], 9);
+    });
+    assert!(r.total_time.as_secs_f64() < 0.01);
+}
+
+#[test]
+fn irecv_before_isend_to_self_rendezvous() {
+    // Rendezvous to self requires posting the receive first (nonblocking).
+    let c = cluster_with_threshold(1, 10);
+    let r = Simulation::new(c, Placement(vec![0])).run(|ctx| {
+        let rcv = ctx.irecv(Some(0), Some(1));
+        let snd = ctx.isend(0, 1, 10_000, None);
+        let outs = ctx.waitall(vec![snd, rcv]);
+        assert_eq!(outs[1].as_ref().unwrap().bytes, 10_000);
+    });
+    assert!(r.total_time.as_secs_f64() < 0.01);
+}
+
+#[test]
+fn zero_byte_messages_carry_only_latency() {
+    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(
+        |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, 0, None);
+            } else {
+                let info = ctx.recv(Some(0), Some(0));
+                assert_eq!(info.bytes, 0);
+            }
+        },
+    );
+    let t = r.total_time.as_secs_f64();
+    assert!(t > 50e-6 && t < 70e-6, "zero-byte message took {t}");
+}
+
+#[test]
+fn sixteen_ranks_all_to_all_pattern_scales() {
+    let n = 16;
+    let r = Simulation::new(ClusterSpec::homogeneous(n), Placement::round_robin(n, n)).run(
+        move |ctx| {
+            let me = ctx.rank();
+            // Symmetric pairwise rounds.
+            for i in 1..n {
+                let dst = (me + i) % n;
+                let src = (me + n - i) % n;
+                let s = ctx.isend(dst, i as u64, 10_000, None);
+                let rc = ctx.irecv(Some(src), Some(i as u64));
+                ctx.waitall(vec![s, rc]);
+            }
+        },
+    );
+    assert!(r.total_time.as_secs_f64() > 0.0);
+    let sent: u64 = r.rank_stats.iter().map(|s| s.msgs_sent).sum();
+    assert_eq!(sent, (n * (n - 1)) as u64);
+}
+
+#[test]
+fn simultaneous_completions_are_ordered_deterministically() {
+    // Four ranks finish identical computes at the same instant, then
+    // exchange; repeat to amplify any ordering instability.
+    let run = || {
+        Simulation::new(ClusterSpec::homogeneous(4), Placement::round_robin(4, 4)).run(|ctx| {
+            let n = ctx.nranks();
+            let me = ctx.rank();
+            for round in 0..20u64 {
+                ctx.compute(0.001); // identical on all ranks
+                let s = ctx.isend((me + 1) % n, round, 100, None);
+                let r = ctx.irecv(Some((me + n - 1) % n), Some(round));
+                ctx.waitall(vec![s, r]);
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.finish_times, b.finish_times);
+}
+
+#[test]
+fn mixed_speed_nodes_and_shared_links_compose() {
+    let mut c = ClusterSpec::homogeneous(3);
+    c.nodes[1].speed = 0.5; // slow node
+    c.nodes[2].link_cap = Some(1.25e6); // throttled node
+    let r = Simulation::new(c, Placement::round_robin(3, 3)).run(|ctx| {
+        match ctx.rank() {
+            0 => {
+                ctx.compute(0.1);
+                ctx.send(2, 0, 125_000, None); // 0.1 s through the throttle
+            }
+            1 => ctx.compute(0.1), // takes 0.2 s at half speed
+            2 => {
+                ctx.recv(Some(0), Some(0));
+            }
+            _ => unreachable!(),
+        }
+    });
+    assert!((r.finish_times[1].as_secs_f64() - 0.2).abs() < 1e-6);
+    assert!(r.finish_times[2].as_secs_f64() > 0.2, "{:?}", r.finish_times);
+}
+
+#[test]
+fn deadlock_diagnostic_names_blocked_states() {
+    let result = std::panic::catch_unwind(|| {
+        Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.recv(Some(1), Some(7));
+            } else {
+                ctx.compute(0.5);
+                // Never sends: rank 0 starves after rank 1 exits.
+            }
+        })
+    });
+    let err = result.unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("rank 0"), "diagnostic lists the stuck rank: {msg}");
+    assert!(msg.contains("RecvB"), "diagnostic shows the blocked op: {msg}");
+}
+
+#[test]
+fn sleep_and_compute_interleave_across_ranks() {
+    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(
+        |ctx| {
+            if ctx.rank() == 0 {
+                ctx.sleep(0.05);
+                ctx.compute(0.05);
+                ctx.sleep(0.05);
+            } else {
+                ctx.compute(0.15);
+            }
+        },
+    );
+    assert!((r.finish_times[0].as_secs_f64() - 0.15).abs() < 1e-6);
+    assert!((r.finish_times[1].as_secs_f64() - 0.15).abs() < 1e-6);
+}
+
+#[test]
+fn wildcard_tag_and_source_combined() {
+    let r = Simulation::new(ClusterSpec::homogeneous(3), Placement::round_robin(3, 3)).run(
+        |ctx| match ctx.rank() {
+            0 => {
+                let a = ctx.recv(None, None);
+                let b = ctx.recv(None, None);
+                let mut srcs = [a.src, b.src];
+                srcs.sort();
+                assert_eq!(srcs, [1, 2]);
+            }
+            r => {
+                ctx.compute(0.01 * r as f64);
+                ctx.send(0, 100 + r as u64, 64, None);
+            }
+        },
+    );
+    assert!(r.total_time.as_secs_f64() >= 0.02);
+}

@@ -1,0 +1,407 @@
+//! Integration tests for the simulation engine: timing semantics of the CPU
+//! and network models, MPI-style matching, nonblocking overlap, determinism.
+
+use pskel_sim::{ClusterSpec, Placement, SimReport, Simulation, THROTTLED_10MBPS};
+
+fn run2(cluster: ClusterSpec, f: impl Fn(&mut pskel_sim::SimCtx) + Send + Sync + 'static) -> SimReport {
+    let n = cluster.len();
+    let p = Placement::round_robin(n, n);
+    Simulation::new(cluster, p).run(f)
+}
+
+fn approx(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * b.max(1e-9)
+}
+
+#[test]
+fn pure_compute_takes_its_duration() {
+    let r = run2(ClusterSpec::homogeneous(1), |ctx| ctx.compute(2.0));
+    assert!(approx(r.total_time.as_secs_f64(), 2.0, 1e-6), "{}", r.total_time);
+}
+
+#[test]
+fn competing_processes_slow_compute_by_processor_sharing() {
+    // Dual CPU + 2 competitors + 1 rank = 3 runnable on 2 CPUs -> 2/3 rate.
+    let c = ClusterSpec::homogeneous(1).with_competing_processes(0, 2);
+    let r = run2(c, |ctx| ctx.compute(2.0));
+    assert!(approx(r.total_time.as_secs_f64(), 3.0, 1e-6), "{}", r.total_time);
+}
+
+#[test]
+fn one_competitor_on_dual_cpu_is_harmless() {
+    let c = ClusterSpec::homogeneous(1).with_competing_processes(0, 1);
+    let r = run2(c, |ctx| ctx.compute(2.0));
+    assert!(approx(r.total_time.as_secs_f64(), 2.0, 1e-6), "{}", r.total_time);
+}
+
+#[test]
+fn two_ranks_on_one_dual_node_compute_at_full_speed() {
+    let c = ClusterSpec::homogeneous(1);
+    let p = Placement(vec![0, 0]);
+    let r = Simulation::new(c, p).run(|ctx| ctx.compute(1.0));
+    assert!(approx(r.total_time.as_secs_f64(), 1.0, 1e-6), "{}", r.total_time);
+}
+
+#[test]
+fn three_ranks_on_one_dual_node_share_cpus() {
+    let c = ClusterSpec::homogeneous(1);
+    let p = Placement(vec![0, 0, 0]);
+    let r = Simulation::new(c, p).run(|ctx| ctx.compute(1.0));
+    // 3 tasks on 2 CPUs -> each at 2/3 until all finish together at 1.5 s.
+    assert!(approx(r.total_time.as_secs_f64(), 1.5, 1e-6), "{}", r.total_time);
+}
+
+#[test]
+fn small_message_time_is_latency_dominated() {
+    // 1 KiB eager message: latency 55us + 1024B at 125MB/s (~8us).
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, 1024, None);
+        } else {
+            let info = ctx.recv(Some(0), Some(7));
+            assert_eq!(info.bytes, 1024);
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(t > 55e-6 && t < 120e-6, "unexpected small-message time {t}");
+}
+
+#[test]
+fn large_message_time_is_bandwidth_dominated() {
+    // 12.5 MB rendezvous at 125 MB/s -> ~0.1 s.
+    let bytes = 12_500_000;
+    let r = run2(ClusterSpec::homogeneous(2), move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, bytes, None);
+        } else {
+            ctx.recv(Some(0), Some(7));
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(approx(t, 0.1, 0.02), "expected ~0.1 s transfer, got {t}");
+}
+
+#[test]
+fn throttled_link_slows_transfer_by_a_hundred() {
+    let bytes = 1_250_000; // 0.01 s at GigE, 1 s at 10 Mb/s
+    let c = ClusterSpec::homogeneous(2).with_link_cap(1, THROTTLED_10MBPS);
+    let r = run2(c, move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, bytes, None);
+        } else {
+            ctx.recv(Some(0), Some(7));
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(approx(t, 1.0, 0.02), "expected ~1 s throttled transfer, got {t}");
+}
+
+#[test]
+fn eager_send_returns_before_delivery() {
+    // Sender finishes immediately, receiver pays the wire time.
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 100, None);
+            // Finish right away: finish_time[0] << finish_time[1].
+        } else {
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    assert!(r.finish_times[0] < r.finish_times[1]);
+    assert!(r.finish_times[0].as_secs_f64() < 1e-6);
+}
+
+#[test]
+fn rendezvous_send_blocks_until_receiver_arrives() {
+    // Receiver only posts its recv after 1 s of compute; the 1 MB
+    // (rendezvous) send cannot complete before that.
+    let bytes = 1_000_000;
+    let r = run2(ClusterSpec::homogeneous(2), move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, bytes, None);
+        } else {
+            ctx.compute(1.0);
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    assert!(r.finish_times[0].as_secs_f64() > 1.0, "{:?}", r.finish_times);
+}
+
+#[test]
+fn eager_message_buffers_ahead_of_receive() {
+    // The eager message arrives while the receiver computes; the receive
+    // then completes instantly (no extra wire time).
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 1000, None);
+        } else {
+            ctx.compute(1.0);
+            let before = ctx.now();
+            ctx.recv(Some(0), Some(0));
+            let waited = (ctx.now() - before).as_secs_f64();
+            assert!(waited < 1e-9, "buffered receive should be instant, waited {waited}");
+        }
+    });
+    assert!(approx(r.total_time.as_secs_f64(), 1.0, 1e-6));
+}
+
+#[test]
+fn nonblocking_overlap_hides_transfer_time() {
+    // isend/irecv posted, then 0.2 s of compute, then wait: the 12.5 MB
+    // transfer (~0.1 s) fully overlaps the compute.
+    let bytes = 12_500_000;
+    let r = run2(ClusterSpec::homogeneous(2), move |ctx| {
+        if ctx.rank() == 0 {
+            let s = ctx.isend(1, 0, bytes, None);
+            ctx.compute(0.2);
+            ctx.wait(s);
+        } else {
+            let h = ctx.irecv(Some(0), Some(0));
+            ctx.compute(0.2);
+            let info = ctx.wait(h).expect("irecv outcome");
+            assert_eq!(info.bytes, bytes);
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(approx(t, 0.2, 0.05), "overlap failed: total {t}");
+}
+
+#[test]
+fn sequential_send_then_compute_adds_up() {
+    // Same exchange but blocking: ~0.1 + 0.2 s.
+    let bytes = 12_500_000;
+    let r = run2(ClusterSpec::homogeneous(2), move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, bytes, None);
+            ctx.compute(0.2);
+        } else {
+            ctx.recv(Some(0), Some(0));
+            ctx.compute(0.2);
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(approx(t, 0.3, 0.05), "expected ~0.3 s, got {t}");
+}
+
+#[test]
+fn concurrent_flows_into_one_node_share_bandwidth() {
+    // Ranks 1 and 2 both send 12.5 MB to rank 0: its ingress is the
+    // bottleneck, so ~0.2 s instead of ~0.1 s.
+    let bytes = 12_500_000;
+    let c = ClusterSpec::homogeneous(3);
+    let r = run2(c, move |ctx| match ctx.rank() {
+        0 => {
+            let a = ctx.irecv(Some(1), Some(0));
+            let b = ctx.irecv(Some(2), Some(0));
+            ctx.waitall(vec![a, b]);
+        }
+        _ => ctx.send(0, 0, bytes, None),
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(approx(t, 0.2, 0.05), "expected ~0.2 s shared ingress, got {t}");
+}
+
+#[test]
+fn payload_is_transferred_intact() {
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 3, 5, Some(vec![1, 2, 3, 4, 5]));
+        } else {
+            let info = ctx.recv(None, None);
+            assert_eq!(info.payload.as_deref(), Some(&[1u8, 2, 3, 4, 5][..]));
+            assert_eq!(info.src, 0);
+            assert_eq!(info.tag, 3);
+        }
+    });
+    assert!(r.total_time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn any_source_matches_in_send_order() {
+    let r = run2(ClusterSpec::homogeneous(3), |ctx| match ctx.rank() {
+        0 => {
+            // Rank 1 sends at t=0, rank 2 at t=0.5: order is deterministic.
+            let first = ctx.recv(None, Some(0));
+            let second = ctx.recv(None, Some(0));
+            assert_eq!(first.src, 1);
+            assert_eq!(second.src, 2);
+        }
+        1 => ctx.send(0, 0, 10, None),
+        2 => {
+            ctx.compute(0.5);
+            ctx.send(0, 0, 10, None);
+        }
+        _ => unreachable!(),
+    });
+    assert!(r.total_time.as_secs_f64() >= 0.5);
+}
+
+#[test]
+fn same_source_messages_do_not_overtake() {
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 100, Some(vec![1]));
+            ctx.send(1, 0, 100, Some(vec![2]));
+            ctx.send(1, 0, 100, Some(vec![3]));
+        } else {
+            for expect in 1..=3u8 {
+                let info = ctx.recv(Some(0), Some(0));
+                assert_eq!(info.payload.as_deref(), Some(&[expect][..]));
+            }
+        }
+    });
+    assert!(r.total_time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn tag_selective_receive_skips_other_tags() {
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 10, 64, Some(vec![10]));
+            ctx.send(1, 20, 64, Some(vec![20]));
+        } else {
+            // Receive tag 20 first even though tag 10 was sent first.
+            let b = ctx.recv(Some(0), Some(20));
+            assert_eq!(b.payload.as_deref(), Some(&[20u8][..]));
+            let a = ctx.recv(Some(0), Some(10));
+            assert_eq!(a.payload.as_deref(), Some(&[10u8][..]));
+        }
+    });
+    assert!(r.total_time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn intra_node_messages_avoid_the_nic() {
+    // Two ranks on one node exchange 12.5 MB; memory copy at 10 GB/s is
+    // ~1.25 ms, far below the 100 ms the NIC would need.
+    let bytes = 12_500_000;
+    let c = ClusterSpec::homogeneous(1);
+    let p = Placement(vec![0, 0]);
+    let r = Simulation::new(c, p).run(move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, bytes, None);
+        } else {
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    let t = r.total_time.as_secs_f64();
+    assert!(t < 0.01, "intra-node transfer too slow: {t}");
+}
+
+#[test]
+fn sleep_advances_wall_time_without_cpu() {
+    let c = ClusterSpec::homogeneous(1).with_competing_processes(0, 2);
+    let r = run2(c, |ctx| ctx.sleep(1.0));
+    // Sleep is unaffected by CPU contention.
+    assert!(approx(r.total_time.as_secs_f64(), 1.0, 1e-9));
+    assert_eq!(r.rank_stats[0].compute_secs, 0.0);
+}
+
+#[test]
+fn test_probe_reports_progress() {
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.compute(0.5);
+            ctx.send(1, 0, 10, None);
+        } else {
+            let mut h = ctx.irecv(Some(0), Some(0));
+            // Not yet complete.
+            h = match ctx.test(h) {
+                Err(h) => h,
+                Ok(_) => panic!("receive cannot be complete at t=0"),
+            };
+            ctx.sleep(1.0);
+            match ctx.test(h) {
+                Ok(Some(info)) => assert_eq!(info.bytes, 10),
+                other => panic!("expected completion after sleep, got {other:?}"),
+            }
+        }
+    });
+    assert!(r.total_time.as_secs_f64() >= 1.0);
+}
+
+#[test]
+fn stats_count_traffic() {
+    let r = run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 1000, None);
+            ctx.send(1, 0, 500, None);
+        } else {
+            ctx.recv(Some(0), Some(0));
+            ctx.recv(Some(0), Some(0));
+        }
+    });
+    assert_eq!(r.rank_stats[0].msgs_sent, 2);
+    assert_eq!(r.rank_stats[0].bytes_sent, 1500);
+    assert_eq!(r.rank_stats[1].msgs_recvd, 2);
+    assert_eq!(r.rank_stats[1].bytes_recvd, 1500);
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let run = || {
+        run2(ClusterSpec::homogeneous(4), |ctx| {
+            let n = ctx.nranks();
+            let me = ctx.rank();
+            for round in 0..5u64 {
+                ctx.compute(0.01 * (me + 1) as f64);
+                let to = (me + 1) % n;
+                let from = (me + n - 1) % n;
+                let s = ctx.isend(to, round, 100_000, None);
+                let rv = ctx.irecv(Some(from), Some(round));
+                ctx.waitall(vec![s, rv]);
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.finish_times, b.finish_times);
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn mutual_recv_deadlocks_with_diagnostic() {
+    run2(ClusterSpec::homogeneous(2), |ctx| {
+        let peer = 1 - ctx.rank();
+        ctx.recv(Some(peer), Some(0));
+    });
+}
+
+#[test]
+#[should_panic(expected = "panicked during simulation")]
+fn rank_panic_is_propagated() {
+    run2(ClusterSpec::homogeneous(2), |ctx| {
+        if ctx.rank() == 1 {
+            panic!("application bug");
+        }
+        ctx.compute(0.001);
+    });
+}
+
+#[test]
+fn heterogeneous_programs_per_rank() {
+    let c = ClusterSpec::homogeneous(2);
+    let p = Placement::round_robin(2, 2);
+    let programs: Vec<pskel_sim::engine::RankProgram> = vec![
+        Box::new(|ctx: &mut pskel_sim::SimCtx| {
+            ctx.compute(0.25);
+            ctx.send(1, 0, 10, None);
+        }),
+        Box::new(|ctx: &mut pskel_sim::SimCtx| {
+            ctx.recv(Some(0), Some(0));
+        }),
+    ];
+    let r = Simulation::new(c, p).run_fns(programs);
+    assert!(r.total_time.as_secs_f64() > 0.25);
+}
+
+#[test]
+fn faster_node_finishes_compute_sooner() {
+    let mut c = ClusterSpec::homogeneous(2);
+    c.node_mut(1).speed = 2.0;
+    let r = run2(c, |ctx| ctx.compute(1.0));
+    assert!(approx(r.finish_times[0].as_secs_f64(), 1.0, 1e-6));
+    assert!(approx(r.finish_times[1].as_secs_f64(), 0.5, 1e-6));
+}

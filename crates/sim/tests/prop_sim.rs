@@ -1,0 +1,166 @@
+//! Property-based tests of the simulator's resource models and the engine:
+//! max-min fairness invariants, processor-sharing work conservation, and
+//! whole-engine determinism/conservation under random traffic patterns.
+
+use proptest::prelude::*;
+use pskel_sim::net::{max_min_rates, Flow};
+use pskel_sim::{ClusterSpec, Placement, Simulation, THROTTLED_10MBPS};
+
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    (2..6usize, prop::collection::vec(any::<bool>(), 6)).prop_map(|(n, throttles)| {
+        let mut c = ClusterSpec::homogeneous(n);
+        for (i, t) in throttles.into_iter().take(n).enumerate() {
+            if t {
+                c.nodes[i].link_cap = Some(THROTTLED_10MBPS);
+            }
+        }
+        c
+    })
+}
+
+fn arb_flows(n_nodes: usize) -> impl Strategy<Value = Vec<Flow>> {
+    prop::collection::vec((0..n_nodes, 0..n_nodes), 0..12).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(s, d)| s != d)
+            .enumerate()
+            .map(|(i, (s, d))| Flow {
+                id: i as u64,
+                src_node: s,
+                dst_node: d,
+                remaining: 1e6,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Feasibility: no NIC is oversubscribed; every flow gets positive rate.
+    #[test]
+    fn max_min_rates_are_feasible(cluster in arb_cluster(), seed_flows in arb_flows(5)) {
+        let n = cluster.len();
+        let flows: Vec<Flow> =
+            seed_flows.into_iter().filter(|f| f.src_node < n && f.dst_node < n).collect();
+        let rates = max_min_rates(&cluster, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        for node in 0..n {
+            let cap = cluster.nodes[node].effective_bandwidth();
+            let egress: f64 = flows.iter().zip(&rates)
+                .filter(|(f, _)| f.src_node == node).map(|(_, r)| *r).sum();
+            let ingress: f64 = flows.iter().zip(&rates)
+                .filter(|(f, _)| f.dst_node == node).map(|(_, r)| *r).sum();
+            prop_assert!(egress <= cap * (1.0 + 1e-9), "egress {} > cap {}", egress, cap);
+            prop_assert!(ingress <= cap * (1.0 + 1e-9));
+        }
+        for (f, r) in flows.iter().zip(&rates) {
+            prop_assert!(*r > 0.0, "flow {} starved", f.id);
+        }
+    }
+
+    /// Max-min property: a flow's rate can only be below a resource's fair
+    /// share if the flow is bottlenecked elsewhere — equivalently, every
+    /// flow is capped by at least one *saturated* resource it crosses.
+    #[test]
+    fn every_flow_has_a_saturated_bottleneck(cluster in arb_cluster(), seed_flows in arb_flows(5)) {
+        let n = cluster.len();
+        let flows: Vec<Flow> =
+            seed_flows.into_iter().filter(|f| f.src_node < n && f.dst_node < n).collect();
+        let rates = max_min_rates(&cluster, &flows);
+        for (f, _r) in flows.iter().zip(&rates) {
+            let mut bottlenecked = false;
+            for (dir, node) in [(0, f.src_node), (1, f.dst_node)] {
+                let cap = cluster.nodes[node].effective_bandwidth();
+                let used: f64 = flows.iter().zip(&rates)
+                    .filter(|(g, _)| if dir == 0 { g.src_node == node } else { g.dst_node == node })
+                    .map(|(_, r)| *r)
+                    .sum();
+                if used >= cap * (1.0 - 1e-6) {
+                    bottlenecked = true;
+                }
+            }
+            prop_assert!(bottlenecked, "flow {} crosses no saturated resource", f.id);
+        }
+    }
+
+    /// Pareto efficiency of the allocation: total rate is invariant under
+    /// permutation of the flow list (determinism irrespective of order).
+    #[test]
+    fn rates_are_order_independent_in_total(cluster in arb_cluster(), seed_flows in arb_flows(5)) {
+        let n = cluster.len();
+        let flows: Vec<Flow> =
+            seed_flows.into_iter().filter(|f| f.src_node < n && f.dst_node < n).collect();
+        let total: f64 = max_min_rates(&cluster, &flows).iter().sum();
+        let mut rev = flows.clone();
+        rev.reverse();
+        let total_rev: f64 = max_min_rates(&cluster, &rev).iter().sum();
+        prop_assert!((total - total_rev).abs() < 1e-6 * total.max(1.0));
+    }
+}
+
+/// A random but deterministic communication pattern executed twice must
+/// produce identical reports, and its traffic accounting must conserve.
+fn random_pattern_program(
+    ops: Vec<(u8, u8, u32)>,
+) -> impl Fn(&mut pskel_sim::SimCtx) + Send + Sync + Clone {
+    move |ctx: &mut pskel_sim::SimCtx| {
+        let n = ctx.nranks();
+        let me = ctx.rank();
+        for (i, &(kind, peer_sel, size)) in ops.iter().enumerate() {
+            let peer = (me + 1 + peer_sel as usize % (n - 1)) % n;
+            let tag = i as u64;
+            match kind % 3 {
+                0 => ctx.compute(size as f64 * 1e-6),
+                _ => {
+                    // Symmetric exchange keeps every pattern deadlock-free.
+                    let s = ctx.isend(peer, tag, size as u64, None);
+                    let back = (me + n - 1 - peer_sel as usize % (n - 1)) % n;
+                    let r = ctx.irecv(Some(back), Some(tag), );
+                    ctx.waitall(vec![s, r]);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn engine_is_deterministic_and_conserves_traffic(
+        ops in prop::collection::vec((0..3u8, 0..3u8, 1..200_000u32), 1..12)
+    ) {
+        let run = || {
+            let c = ClusterSpec::homogeneous(4);
+            let p = Placement::round_robin(4, 4);
+            Simulation::new(c, p).run(random_pattern_program(ops.clone()))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.finish_times, &b.finish_times);
+        prop_assert_eq!(a.events, b.events);
+
+        let sent: u64 = a.rank_stats.iter().map(|s| s.bytes_sent).sum();
+        let recvd: u64 = a.rank_stats.iter().map(|s| s.bytes_recvd).sum();
+        prop_assert_eq!(sent, recvd, "all sent bytes must be received");
+        let msgs_sent: u64 = a.rank_stats.iter().map(|s| s.msgs_sent).sum();
+        let msgs_recvd: u64 = a.rank_stats.iter().map(|s| s.msgs_recvd).sum();
+        prop_assert_eq!(msgs_sent, msgs_recvd);
+    }
+
+    /// Virtual time is never shorter than the critical path lower bound
+    /// (total compute demand of the busiest rank at full speed).
+    #[test]
+    fn total_time_respects_compute_lower_bound(
+        computes in prop::collection::vec(1..50u32, 1..8)
+    ) {
+        let cs = computes.clone();
+        let c = ClusterSpec::homogeneous(2);
+        let p = Placement::round_robin(2, 2);
+        let r = Simulation::new(c, p).run(move |ctx| {
+            for &ms in &cs {
+                ctx.compute(ms as f64 * 1e-3);
+            }
+        });
+        let demand: f64 = computes.iter().map(|&ms| ms as f64 * 1e-3).sum();
+        prop_assert!(r.total_time.as_secs_f64() >= demand - 1e-9);
+    }
+}

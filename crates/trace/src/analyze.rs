@@ -1,0 +1,252 @@
+//! Trace analyses beyond the basic activity split: the communication
+//! matrix (bytes between rank pairs), message-size distribution, and a
+//! phase profile over time. Used by reports, examples and tests to inspect
+//! what a workload actually does on the wire.
+
+use crate::event::OpKind;
+use crate::trace::AppTrace;
+use pskel_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point traffic between rank pairs, from the sender's view.
+/// Collectives are excluded (their internal routing is implementation
+/// detail below the trace).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommMatrix {
+    pub nranks: usize,
+    /// `bytes[src][dst]` total payload bytes initiated src → dst.
+    pub bytes: Vec<Vec<u64>>,
+    /// `msgs[src][dst]` message count src → dst.
+    pub msgs: Vec<Vec<u64>>,
+}
+
+impl CommMatrix {
+    pub fn of(trace: &AppTrace) -> CommMatrix {
+        let n = trace.nranks();
+        let mut bytes = vec![vec![0u64; n]; n];
+        let mut msgs = vec![vec![0u64; n]; n];
+        for p in &trace.procs {
+            for e in p.mpi_events() {
+                if matches!(e.kind, OpKind::Send | OpKind::Isend) {
+                    if let Some(dst) = e.peer {
+                        bytes[p.rank][dst as usize] += e.bytes;
+                        msgs[p.rank][dst as usize] += 1;
+                    }
+                }
+            }
+        }
+        CommMatrix { nranks: n, bytes, msgs }
+    }
+
+    /// Total point-to-point bytes in the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+
+    /// True if traffic is symmetric: src→dst bytes equal dst→src bytes
+    /// for every pair (the signature of exchange-structured codes).
+    pub fn is_symmetric(&self) -> bool {
+        for s in 0..self.nranks {
+            for d in 0..self.nranks {
+                if self.bytes[s][d] != self.bytes[d][s] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Ranks this rank exchanges point-to-point traffic with.
+    pub fn neighbours(&self, rank: usize) -> Vec<usize> {
+        (0..self.nranks)
+            .filter(|&d| d != rank && (self.bytes[rank][d] > 0 || self.bytes[d][rank] > 0))
+            .collect()
+    }
+}
+
+/// Distribution of point-to-point message sizes across the whole trace.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MessageSizeStats {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    /// Median of the observed sizes.
+    pub median: u64,
+}
+
+impl MessageSizeStats {
+    pub fn of(trace: &AppTrace) -> MessageSizeStats {
+        let mut sizes: Vec<u64> = trace
+            .procs
+            .iter()
+            .flat_map(|p| p.mpi_events())
+            .filter(|e| matches!(e.kind, OpKind::Send | OpKind::Isend))
+            .map(|e| e.bytes)
+            .collect();
+        if sizes.is_empty() {
+            return MessageSizeStats::default();
+        }
+        sizes.sort_unstable();
+        let count = sizes.len() as u64;
+        MessageSizeStats {
+            count,
+            min: sizes[0],
+            max: *sizes.last().unwrap(),
+            mean: sizes.iter().sum::<u64>() as f64 / count as f64,
+            median: sizes[sizes.len() / 2],
+        }
+    }
+}
+
+/// Activity of one rank over fixed time windows: how the MPI share evolves
+/// through the run (initialization phases stand out clearly).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    pub window: SimDuration,
+    /// Per window: fraction of the window the rank spent inside MPI calls.
+    pub mpi_fraction: Vec<f64>,
+}
+
+impl PhaseProfile {
+    pub fn of(trace: &AppTrace, rank: usize, window: SimDuration) -> PhaseProfile {
+        assert!(!window.is_zero(), "phase window must be positive");
+        let p = &trace.procs[rank];
+        let end_ns = p.finish.as_nanos();
+        let w = window.as_nanos();
+        let n_windows = end_ns.div_ceil(w).max(1) as usize;
+        let mut mpi_ns = vec![0u64; n_windows];
+        for e in p.mpi_events() {
+            // Spread the event's duration over the windows it spans.
+            let (mut s, eend) = (e.start.as_nanos(), e.end.as_nanos());
+            while s < eend {
+                let win = (s / w) as usize;
+                let win_end = (win as u64 + 1) * w;
+                let seg = eend.min(win_end) - s;
+                if win < n_windows {
+                    mpi_ns[win] += seg;
+                }
+                s += seg;
+            }
+        }
+        let mpi_fraction = mpi_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &ns)| {
+                let len = if (i as u64 + 1) * w <= end_ns { w } else { end_ns - i as u64 * w };
+                if len == 0 {
+                    0.0
+                } else {
+                    ns as f64 / len as f64
+                }
+            })
+            .collect();
+        PhaseProfile { window, mpi_fraction }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MpiEvent, Record};
+    use crate::trace::ProcessTrace;
+    use pskel_sim::SimTime;
+
+    fn send(rank_trace: &mut ProcessTrace, dst: u32, bytes: u64, start: u64, end: u64) {
+        rank_trace.records.push(Record::Mpi(MpiEvent {
+            kind: OpKind::Send,
+            peer: Some(dst),
+            tag: Some(0),
+            bytes,
+            slots: vec![],
+            start: SimTime(start),
+            end: SimTime(end),
+        }));
+    }
+
+    fn two_rank_trace() -> AppTrace {
+        let mut p0 = ProcessTrace::new(0);
+        send(&mut p0, 1, 1000, 0, 10);
+        send(&mut p0, 1, 500, 20, 30);
+        p0.finish = SimTime(100);
+        let mut p1 = ProcessTrace::new(1);
+        send(&mut p1, 0, 1500, 0, 10);
+        p1.finish = SimTime(100);
+        AppTrace::new("t", vec![p0, p1])
+    }
+
+    #[test]
+    fn comm_matrix_counts_directed_traffic() {
+        let m = CommMatrix::of(&two_rank_trace());
+        assert_eq!(m.bytes[0][1], 1500);
+        assert_eq!(m.bytes[1][0], 1500);
+        assert_eq!(m.msgs[0][1], 2);
+        assert_eq!(m.msgs[1][0], 1);
+        assert_eq!(m.total_bytes(), 3000);
+        assert!(m.is_symmetric());
+        assert_eq!(m.neighbours(0), vec![1]);
+    }
+
+    #[test]
+    fn asymmetric_traffic_detected() {
+        let mut p0 = ProcessTrace::new(0);
+        send(&mut p0, 1, 42, 0, 1);
+        p0.finish = SimTime(10);
+        let mut p1 = ProcessTrace::new(1);
+        p1.finish = SimTime(10);
+        let m = CommMatrix::of(&AppTrace::new("t", vec![p0, p1]));
+        assert!(!m.is_symmetric());
+    }
+
+    #[test]
+    fn message_size_stats() {
+        let s = MessageSizeStats::of(&two_rank_trace());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 500);
+        assert_eq!(s.max, 1500);
+        assert!((s.mean - 1000.0).abs() < 1e-9);
+        assert_eq!(s.median, 1000);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let p = ProcessTrace::new(0);
+        let t = AppTrace::new("e", vec![p]);
+        let s = MessageSizeStats::of(&t);
+        assert_eq!(s.count, 0);
+        assert_eq!(CommMatrix::of(&t).total_bytes(), 0);
+    }
+
+    #[test]
+    fn phase_profile_localizes_mpi_time() {
+        // One rank: MPI from t=0..10 only; finish at 100; window 10 -> the
+        // first window is 100% MPI, the rest 0%.
+        let mut p = ProcessTrace::new(0);
+        send(&mut p, 1, 10, 0, 10);
+        p.finish = SimTime(100);
+        let t = AppTrace::new("t", vec![p]);
+        let prof = PhaseProfile::of(&t, 0, SimDuration(10));
+        assert_eq!(prof.mpi_fraction.len(), 10);
+        assert!((prof.mpi_fraction[0] - 1.0).abs() < 1e-9);
+        assert!(prof.mpi_fraction[1..].iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn phase_profile_splits_events_across_windows() {
+        // Event spanning 5..15 with window 10: half in each window.
+        let mut p = ProcessTrace::new(0);
+        send(&mut p, 1, 10, 5, 15);
+        p.finish = SimTime(20);
+        let t = AppTrace::new("t", vec![p]);
+        let prof = PhaseProfile::of(&t, 0, SimDuration(10));
+        assert!((prof.mpi_fraction[0] - 0.5).abs() < 1e-9);
+        assert!((prof.mpi_fraction[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let t = two_rank_trace();
+        PhaseProfile::of(&t, 0, SimDuration(0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace event model: what the PMPI-style profiling shim records.
+//!
+//! Each MPI call becomes an [`MpiEvent`] carrying the call's parameters and
+//! its start/end virtual timestamps. Time between the end of one MPI call
+//! and the start of the next is recorded as a [`Record::Compute`] gap —
+//! exactly the paper's definition of computation time (§3.1).
+
+use pskel_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The MPI primitive an event corresponds to. Blocking and nonblocking
+/// variants are distinct on purpose: the paper's clustering never merges
+/// different primitives (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    Send,
+    Isend,
+    Recv,
+    Irecv,
+    Wait,
+    Waitall,
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Allgatherv,
+    Scatter,
+    Alltoall,
+    Alltoallv,
+    ReduceScatter,
+    Scan,
+}
+
+impl OpKind {
+    /// All kinds, for exhaustive iteration in tests and histograms.
+    pub const ALL: [OpKind; 18] = [
+        OpKind::Send,
+        OpKind::Isend,
+        OpKind::Recv,
+        OpKind::Irecv,
+        OpKind::Wait,
+        OpKind::Waitall,
+        OpKind::Barrier,
+        OpKind::Bcast,
+        OpKind::Reduce,
+        OpKind::Allreduce,
+        OpKind::Gather,
+        OpKind::Allgather,
+        OpKind::Allgatherv,
+        OpKind::Scatter,
+        OpKind::Alltoall,
+        OpKind::Alltoallv,
+        OpKind::ReduceScatter,
+        OpKind::Scan,
+    ];
+
+    /// True for point-to-point data movement initiations (not waits).
+    pub fn is_p2p(self) -> bool {
+        matches!(self, OpKind::Send | OpKind::Isend | OpKind::Recv | OpKind::Irecv)
+    }
+
+    /// True for collective operations.
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            OpKind::Barrier
+                | OpKind::Bcast
+                | OpKind::Reduce
+                | OpKind::Allreduce
+                | OpKind::Gather
+                | OpKind::Allgather
+                | OpKind::Allgatherv
+                | OpKind::Scatter
+                | OpKind::Alltoall
+                | OpKind::Alltoallv
+                | OpKind::ReduceScatter
+                | OpKind::Scan
+        )
+    }
+
+    /// True for completion operations on nonblocking requests.
+    pub fn is_wait(self) -> bool {
+        matches!(self, OpKind::Wait | OpKind::Waitall)
+    }
+
+    /// The MPI spelling, for code generation and reports.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            OpKind::Send => "MPI_Send",
+            OpKind::Isend => "MPI_Isend",
+            OpKind::Recv => "MPI_Recv",
+            OpKind::Irecv => "MPI_Irecv",
+            OpKind::Wait => "MPI_Wait",
+            OpKind::Waitall => "MPI_Waitall",
+            OpKind::Barrier => "MPI_Barrier",
+            OpKind::Bcast => "MPI_Bcast",
+            OpKind::Reduce => "MPI_Reduce",
+            OpKind::Allreduce => "MPI_Allreduce",
+            OpKind::Gather => "MPI_Gather",
+            OpKind::Allgather => "MPI_Allgather",
+            OpKind::Allgatherv => "MPI_Allgatherv",
+            OpKind::Scatter => "MPI_Scatter",
+            OpKind::Alltoall => "MPI_Alltoall",
+            OpKind::Alltoallv => "MPI_Alltoallv",
+            OpKind::ReduceScatter => "MPI_Reduce_scatter",
+            OpKind::Scan => "MPI_Scan",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mpi_name())
+    }
+}
+
+/// One recorded MPI call.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MpiEvent {
+    pub kind: OpKind,
+    /// Peer rank: destination for sends, source for receives (None for
+    /// any-source), root for rooted collectives, None for symmetric ones.
+    pub peer: Option<u32>,
+    /// Message tag for point-to-point calls.
+    pub tag: Option<u64>,
+    /// Bytes moved by this call from this rank's perspective (message size
+    /// for p2p; per-rank contribution for collectives; 0 for waits/barrier).
+    pub bytes: u64,
+    /// Logical request slots: one slot for Isend/Irecv/Wait, several for
+    /// Waitall. Slots pair nonblocking initiations with their completions.
+    pub slots: Vec<u32>,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl MpiEvent {
+    /// Time spent inside the MPI library for this call.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// One entry of a process trace: interleaved compute gaps and MPI calls.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// CPU work between two MPI calls, measured in CPU-seconds demanded
+    /// (on a dedicated testbed, equal to elapsed time).
+    Compute { dur: SimDuration },
+    Mpi(MpiEvent),
+}
+
+impl Record {
+    /// The record's duration contribution.
+    pub fn duration(&self) -> SimDuration {
+        match self {
+            Record::Compute { dur } => *dur,
+            Record::Mpi(e) => e.duration(),
+        }
+    }
+
+    /// The MPI event, if this record is one.
+    pub fn as_mpi(&self) -> Option<&MpiEvent> {
+        match self {
+            Record::Mpi(e) => Some(e),
+            Record::Compute { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: OpKind, start_ns: u64, end_ns: u64) -> MpiEvent {
+        MpiEvent {
+            kind,
+            peer: Some(1),
+            tag: Some(0),
+            bytes: 100,
+            slots: vec![],
+            start: SimTime(start_ns),
+            end: SimTime(end_ns),
+        }
+    }
+
+    #[test]
+    fn kind_classification_is_total() {
+        for k in OpKind::ALL {
+            let classes =
+                [k.is_p2p(), k.is_collective(), k.is_wait()].iter().filter(|&&b| b).count();
+            assert_eq!(classes, 1, "{k} must belong to exactly one class");
+        }
+    }
+
+    #[test]
+    fn mpi_names_are_unique() {
+        let mut names: Vec<_> = OpKind::ALL.iter().map(|k| k.mpi_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), OpKind::ALL.len());
+    }
+
+    #[test]
+    fn event_duration() {
+        assert_eq!(ev(OpKind::Send, 100, 350).duration(), SimDuration(250));
+    }
+
+    #[test]
+    fn record_duration_covers_both_variants() {
+        assert_eq!(Record::Compute { dur: SimDuration(5) }.duration(), SimDuration(5));
+        assert_eq!(Record::Mpi(ev(OpKind::Recv, 0, 7)).duration(), SimDuration(7));
+    }
+
+    #[test]
+    fn as_mpi_filters() {
+        assert!(Record::Compute { dur: SimDuration(1) }.as_mpi().is_none());
+        assert!(Record::Mpi(ev(OpKind::Send, 0, 1)).as_mpi().is_some());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Record::Mpi(ev(OpKind::Alltoall, 3, 9));
+        let s = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

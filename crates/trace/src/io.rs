@@ -1,0 +1,82 @@
+//! Trace (de)serialization.
+//!
+//! The paper's profiling library writes one trace file per process; we keep
+//! a single JSON document per application run (the per-process split is
+//! preserved inside), plus helpers that mirror the per-process layout.
+
+use crate::trace::AppTrace;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialize a trace to a writer as JSON.
+pub fn write_trace<W: Write>(w: W, trace: &AppTrace) -> io::Result<()> {
+    serde_json::to_writer(w, trace).map_err(io::Error::other)
+}
+
+/// Deserialize a trace from a reader.
+pub fn read_trace<R: Read>(r: R) -> io::Result<AppTrace> {
+    serde_json::from_reader(r).map_err(io::Error::other)
+}
+
+/// Save a trace to a file.
+pub fn save_trace(path: impl AsRef<Path>, trace: &AppTrace) -> io::Result<()> {
+    let f = File::create(path)?;
+    write_trace(BufWriter::new(f), trace)
+}
+
+/// Load a trace from a file.
+pub fn load_trace(path: impl AsRef<Path>) -> io::Result<AppTrace> {
+    let f = File::open(path)?;
+    read_trace(BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MpiEvent, OpKind, Record};
+    use crate::trace::ProcessTrace;
+    use pskel_sim::{SimDuration, SimTime};
+
+    fn sample() -> AppTrace {
+        let mut p = ProcessTrace::new(0);
+        p.records.push(Record::Compute { dur: SimDuration(1000) });
+        p.records.push(Record::Mpi(MpiEvent {
+            kind: OpKind::Send,
+            peer: Some(1),
+            tag: Some(42),
+            bytes: 2048,
+            slots: vec![],
+            start: SimTime(1000),
+            end: SimTime(1500),
+        }));
+        p.finish = SimTime(1500);
+        AppTrace::new("sample", vec![p])
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("pskel-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_trace(&path, &t).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(read_trace("not json".as_bytes()).is_err());
+    }
+}

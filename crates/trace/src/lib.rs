@@ -1,0 +1,20 @@
+//! # pskel-trace — execution trace model
+//!
+//! Data model for application execution traces as recorded by the
+//! PMPI-style profiling shim in `pskel-mpi`: a per-rank interleaving of MPI
+//! call events (with parameters and virtual timestamps) and the compute
+//! gaps between them, exactly as in §3.1 of the paper.
+//!
+//! The sibling crate `pskel-signature` compresses these traces into
+//! execution signatures; `pskel-core` turns signatures into performance
+//! skeletons.
+
+pub mod analyze;
+pub mod event;
+pub mod io;
+pub mod trace;
+
+pub use analyze::{CommMatrix, MessageSizeStats, PhaseProfile};
+pub use event::{MpiEvent, OpKind, Record};
+pub use io::{load_trace, read_trace, save_trace, write_trace};
+pub use trace::{AppTrace, ProcessTrace, TraceSummary};

@@ -1,0 +1,215 @@
+//! Per-process and whole-application traces, with the activity-breakdown
+//! statistics behind the paper's Figure 2.
+
+use crate::event::{MpiEvent, OpKind, Record};
+use pskel_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The execution trace of one rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTrace {
+    pub rank: usize,
+    pub records: Vec<Record>,
+    /// Virtual time at which this rank finished.
+    pub finish: SimTime,
+}
+
+impl ProcessTrace {
+    pub fn new(rank: usize) -> ProcessTrace {
+        ProcessTrace { rank, records: Vec::new(), finish: SimTime::ZERO }
+    }
+
+    /// Total time spent inside MPI calls.
+    pub fn mpi_time(&self) -> SimDuration {
+        self.records
+            .iter()
+            .filter_map(Record::as_mpi)
+            .fold(SimDuration::ZERO, |acc, e| acc + e.duration())
+    }
+
+    /// Total computation time (gaps between MPI calls).
+    pub fn compute_time(&self) -> SimDuration {
+        self.records
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| match r {
+                Record::Compute { dur } => acc + *dur,
+                Record::Mpi(_) => acc,
+            })
+    }
+
+    /// Fraction of traced time spent in MPI (0..=1).
+    pub fn mpi_fraction(&self) -> f64 {
+        let mpi = self.mpi_time().as_secs_f64();
+        let total = mpi + self.compute_time().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            mpi / total
+        }
+    }
+
+    /// Number of MPI events.
+    pub fn n_events(&self) -> usize {
+        self.records.iter().filter(|r| r.as_mpi().is_some()).count()
+    }
+
+    /// Iterate over MPI events.
+    pub fn mpi_events(&self) -> impl Iterator<Item = &MpiEvent> {
+        self.records.iter().filter_map(Record::as_mpi)
+    }
+}
+
+/// The execution trace of a whole application run on a dedicated testbed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppTrace {
+    /// Application name, e.g. "CG.B".
+    pub app: String,
+    pub procs: Vec<ProcessTrace>,
+    /// Total dedicated execution time (max rank finish).
+    pub total_time: SimDuration,
+}
+
+impl AppTrace {
+    pub fn new(app: impl Into<String>, procs: Vec<ProcessTrace>) -> AppTrace {
+        let total = procs
+            .iter()
+            .map(|p| p.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO);
+        AppTrace { app: app.into(), procs, total_time: total }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Fraction of time in MPI, averaged over ranks (the paper's Figure 2
+    /// metric).
+    pub fn mpi_fraction(&self) -> f64 {
+        if self.procs.is_empty() {
+            return 0.0;
+        }
+        self.procs.iter().map(|p| p.mpi_fraction()).sum::<f64>() / self.procs.len() as f64
+    }
+
+    /// Total MPI events across ranks.
+    pub fn n_events(&self) -> usize {
+        self.procs.iter().map(|p| p.n_events()).sum()
+    }
+}
+
+/// Aggregate statistics of one trace, used in reports and analyses.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    pub app: String,
+    pub nranks: usize,
+    pub total_time_secs: f64,
+    pub mpi_fraction: f64,
+    pub events_per_rank: Vec<usize>,
+    /// (kind, count, total bytes) triples, sorted by count descending.
+    pub op_histogram: Vec<(OpKind, u64, u64)>,
+}
+
+impl TraceSummary {
+    pub fn of(trace: &AppTrace) -> TraceSummary {
+        let mut hist: Vec<(OpKind, u64, u64)> =
+            OpKind::ALL.iter().map(|&k| (k, 0u64, 0u64)).collect();
+        for p in &trace.procs {
+            for e in p.mpi_events() {
+                let slot = hist.iter_mut().find(|(k, _, _)| *k == e.kind).unwrap();
+                slot.1 += 1;
+                slot.2 += e.bytes;
+            }
+        }
+        hist.retain(|&(_, c, _)| c > 0);
+        hist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        TraceSummary {
+            app: trace.app.clone(),
+            nranks: trace.nranks(),
+            total_time_secs: trace.total_time.as_secs_f64(),
+            mpi_fraction: trace.mpi_fraction(),
+            events_per_rank: trace.procs.iter().map(|p| p.n_events()).collect(),
+            op_histogram: hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpi(kind: OpKind, start: u64, end: u64, bytes: u64) -> Record {
+        Record::Mpi(MpiEvent {
+            kind,
+            peer: Some(0),
+            tag: Some(0),
+            bytes,
+            slots: vec![],
+            start: SimTime(start),
+            end: SimTime(end),
+        })
+    }
+
+    fn compute(ns: u64) -> Record {
+        Record::Compute { dur: SimDuration(ns) }
+    }
+
+    fn proc_trace(records: Vec<Record>) -> ProcessTrace {
+        let finish = records.iter().map(|r| r.duration().as_nanos()).sum();
+        ProcessTrace { rank: 0, records, finish: SimTime(finish) }
+    }
+
+    #[test]
+    fn mpi_and_compute_times_partition() {
+        let t = proc_trace(vec![
+            compute(600),
+            mpi(OpKind::Send, 600, 1000, 10),
+            compute(1000),
+            mpi(OpKind::Recv, 2000, 2400, 10),
+        ]);
+        assert_eq!(t.compute_time(), SimDuration(1600));
+        assert_eq!(t.mpi_time(), SimDuration(800));
+        assert!((t.mpi_fraction() - 800.0 / 2400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_fraction() {
+        assert_eq!(ProcessTrace::new(0).mpi_fraction(), 0.0);
+    }
+
+    #[test]
+    fn app_trace_total_is_max_finish() {
+        let mut a = ProcessTrace::new(0);
+        a.finish = SimTime(500);
+        let mut b = ProcessTrace::new(1);
+        b.finish = SimTime(900);
+        let t = AppTrace::new("X", vec![a, b]);
+        assert_eq!(t.total_time, SimDuration(900));
+        assert_eq!(t.nranks(), 2);
+    }
+
+    #[test]
+    fn summary_histogram_counts_and_sorts() {
+        let p = proc_trace(vec![
+            mpi(OpKind::Send, 0, 1, 10),
+            mpi(OpKind::Send, 1, 2, 20),
+            mpi(OpKind::Allreduce, 2, 3, 8),
+        ]);
+        let t = AppTrace::new("X", vec![p]);
+        let s = TraceSummary::of(&t);
+        assert_eq!(s.op_histogram[0], (OpKind::Send, 2, 30));
+        assert_eq!(s.op_histogram[1], (OpKind::Allreduce, 1, 8));
+        assert_eq!(s.op_histogram.len(), 2);
+    }
+
+    #[test]
+    fn app_fraction_averages_ranks() {
+        let busy = proc_trace(vec![compute(100), mpi(OpKind::Send, 100, 200, 1)]);
+        let idle = proc_trace(vec![compute(300), mpi(OpKind::Send, 300, 400, 1)]);
+        let t = AppTrace::new("X", vec![busy, idle]);
+        let expect = (100.0 / 200.0 + 100.0 / 400.0) / 2.0;
+        assert!((t.mpi_fraction() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Predicting performance on a future architecture — the paper's second
+//! motivating application (§1): "prediction of the performance of important
+//! applications on a future architecture under simulation. The real
+//! application does not have to be simulated at all as the skeleton can be
+//! built on existing machines."
+//!
+//! We build skeletons on the *current* testbed, then run only the short
+//! skeletons on candidate future machines (faster CPUs, faster or slower
+//! interconnects) to forecast full-application times there.
+//!
+//! ```text
+//! cargo run --release --example future_arch
+//! ```
+
+use pskel::prelude::*;
+
+struct FutureMachine {
+    /// Shown in the table header; kept on the struct so `machines()` is
+    /// self-describing.
+    #[allow(dead_code)]
+    name: &'static str,
+    cluster: ClusterSpec,
+}
+
+fn machines() -> Vec<FutureMachine> {
+    // 2x faster CPUs, same GigE.
+    let mut cpu2x = ClusterSpec::paper_testbed();
+    for n in &mut cpu2x.nodes {
+        n.speed = 2.0;
+    }
+    // Same CPUs, 10x network (10 GigE), 5x lower latency.
+    let mut net10x = ClusterSpec::paper_testbed();
+    for n in &mut net10x.nodes {
+        n.link_bandwidth *= 10.0;
+    }
+    net10x.net.latency = pskel_sim::SimDuration::from_micros(11);
+    // Both upgrades.
+    let mut both = cpu2x.clone();
+    for n in &mut both.nodes {
+        n.link_bandwidth *= 10.0;
+    }
+    both.net.latency = pskel_sim::SimDuration::from_micros(11);
+    vec![
+        FutureMachine { name: "2x CPUs, same network", cluster: cpu2x },
+        FutureMachine { name: "same CPUs, 10x network", cluster: net10x },
+        FutureMachine { name: "2x CPUs, 10x network", cluster: both },
+    ]
+}
+
+fn main() {
+    let placement = Placement::round_robin(4, 4);
+    let today = ClusterSpec::paper_testbed();
+    let class = Class::A;
+
+    println!(
+        "{:6} {:>9} | {:>24} {:>24} {:>24}",
+        "app", "today", "2x CPU", "10x net", "2x CPU + 10x net"
+    );
+
+    for bench in [NasBenchmark::Cg, NasBenchmark::Is, NasBenchmark::Sp] {
+        // Build the skeleton on today's machine.
+        let traced = run_mpi(
+            today.clone(),
+            placement.clone(),
+            &bench.full_name(class),
+            TraceConfig::on(),
+            bench.program(class),
+        );
+        let built = SkeletonBuilder::new(traced.total_secs() / 30.0)
+            .build(traced.trace.as_ref().unwrap());
+        let skel_today = run_skeleton(
+            &built.skeleton,
+            today.clone(),
+            placement.clone(),
+            ExecOptions::default(),
+        )
+        .total_secs();
+        let ratio = traced.total_secs() / skel_today;
+
+        let mut cells = Vec::new();
+        for m in machines() {
+            // Only the skeleton runs on the future machine.
+            let skel_future = run_skeleton(
+                &built.skeleton,
+                m.cluster.clone(),
+                placement.clone(),
+                ExecOptions::default(),
+            )
+            .total_secs();
+            let predicted = skel_future * ratio;
+
+            // Ground truth (a luxury the real use case does not have: the
+            // whole point is avoiding slow full-app simulation).
+            let actual = run_mpi(
+                m.cluster,
+                placement.clone(),
+                "truth",
+                TraceConfig::off(),
+                bench.program(class),
+            )
+            .total_secs();
+            let err = 100.0 * (predicted - actual).abs() / actual;
+            cells.push(format!("{predicted:>8.1}s ({err:>4.1}% err)"));
+        }
+        println!(
+            "{:6} {:>8.1}s | {:>24} {:>24} {:>24}",
+            bench.full_name(class),
+            traced.total_secs(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!("\n(per cell: predicted future-machine time from the skeleton alone,");
+    println!(" with error vs. a full application run used here only as ground truth)");
+}

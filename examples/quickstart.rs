@@ -1,0 +1,92 @@
+//! Quickstart: trace an application, build a performance skeleton, and use
+//! it to predict execution time under resource sharing.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pskel::prelude::*;
+
+fn main() {
+    // The application: a synthetic iterative solver on 4 ranks — a halo
+    // exchange with both neighbours plus a residual allreduce per step.
+    let app = |comm: &mut Comm| {
+        pskel::apps::synthetic::stencil_1d(comm, 300, 0.05, 200_000);
+    };
+
+    let cluster = ClusterSpec::paper_testbed();
+    let placement = Placement::round_robin(4, 4);
+
+    // 1. Trace the application on the dedicated testbed. The profiling shim
+    //    needs no changes to application code.
+    println!("tracing application on the dedicated testbed...");
+    let traced = run_mpi(cluster.clone(), placement.clone(), "stencil", TraceConfig::on(), app);
+    let trace = traced.trace.as_ref().unwrap();
+    println!(
+        "  dedicated time: {:.2}s, {} MPI events/rank, {:.0}% of time in MPI",
+        traced.total_secs(),
+        trace.procs[0].n_events(),
+        100.0 * trace.mpi_fraction()
+    );
+
+    // 2. Build a skeleton intended to run ~0.5 s.
+    let built = SkeletonBuilder::new(0.5).build(trace);
+    let meta = &built.skeleton.meta;
+    println!(
+        "\nskeleton built: K={}, Q={:.1}, similarity threshold {:.2}, good={}",
+        meta.scale_k, meta.target_q, meta.max_threshold, meta.good
+    );
+    println!(
+        "  signature: {} -> {} symbols (ratio {:.1}) e.g. rank 0: {}",
+        built.signature.sigs[0].trace_len,
+        built.signature.sigs[0].compressed_len(),
+        built.signature.sigs[0].compression_ratio(),
+        truncate(&built.signature.sigs[0].render(), 70),
+    );
+    for w in &built.warnings {
+        println!("  warning: {w}");
+    }
+
+    // 3. Measure the skeleton on the dedicated testbed -> scaling ratio.
+    let skel_ded = run_skeleton(
+        &built.skeleton,
+        cluster.clone(),
+        placement.clone(),
+        ExecOptions::default(),
+    )
+    .total_secs();
+    let ratio = traced.total_secs() / skel_ded;
+    println!("\nskeleton dedicated time {skel_ded:.3}s -> measured scaling ratio {ratio:.0}x");
+
+    // 4. Predict under every sharing scenario and compare with the truth.
+    println!("\n{:44} {:>10} {:>10} {:>7}", "scenario", "predicted", "actual", "error");
+    for scenario in Scenario::SHARING {
+        let shared_cluster = scenario.apply(&cluster);
+        let skel_t = run_skeleton(
+            &built.skeleton,
+            shared_cluster.clone(),
+            placement.clone(),
+            ExecOptions::default(),
+        )
+        .total_secs();
+        let predicted = skel_t * ratio;
+        let actual =
+            run_mpi(shared_cluster, placement.clone(), "stencil", TraceConfig::off(), app)
+                .total_secs();
+        println!(
+            "{:44} {:>9.1}s {:>9.1}s {:>6.1}%",
+            scenario.label(),
+            predicted,
+            actual,
+            100.0 * (predicted - actual).abs() / actual
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

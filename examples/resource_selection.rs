@@ -1,0 +1,114 @@
+//! Resource selection on a shared grid — the paper's motivating use case
+//! (§1): given several candidate node sets with different current load and
+//! link conditions, pick the best one for an application by briefly running
+//! its performance skeleton on each, instead of relying on error-prone
+//! CPU/bandwidth status translation.
+//!
+//! ```text
+//! cargo run --release --example resource_selection
+//! ```
+
+use pskel::prelude::*;
+use pskel_sim::THROTTLED_10MBPS;
+
+/// A candidate slice of the grid with its current sharing conditions.
+struct Candidate {
+    name: &'static str,
+    cluster: ClusterSpec,
+}
+
+fn candidates() -> Vec<Candidate> {
+    // Site A: idle CPUs, but one congested uplink.
+    let site_a = ClusterSpec::paper_testbed().with_link_cap(2, THROTTLED_10MBPS);
+    // Site B: clean network, but two nodes busy with other jobs.
+    let site_b = ClusterSpec::paper_testbed()
+        .with_competing_processes(0, 2)
+        .with_competing_processes(1, 2);
+    // Site C: slightly slower CPUs (older machines), otherwise unloaded.
+    let mut site_c = ClusterSpec::paper_testbed();
+    for n in &mut site_c.nodes {
+        n.speed = 0.8;
+    }
+    vec![
+        Candidate { name: "site A (one congested link)", cluster: site_a },
+        Candidate { name: "site B (two loaded nodes)", cluster: site_b },
+        Candidate { name: "site C (older, idle CPUs)", cluster: site_c },
+    ]
+}
+
+fn main() {
+    let placement = Placement::round_robin(4, 4);
+    let reference = ClusterSpec::paper_testbed();
+
+    // The application we must place: the CG benchmark (Class A for a quick
+    // demo run; the workflow is identical for Class B).
+    let bench = NasBenchmark::Cg;
+    let class = Class::A;
+    let app = bench.program(class);
+
+    // Trace once on the dedicated reference testbed and build one skeleton.
+    println!("building a skeleton of {} ...", bench.full_name(class));
+    let traced = run_mpi(
+        reference.clone(),
+        placement.clone(),
+        &bench.full_name(class),
+        TraceConfig::on(),
+        app,
+    );
+    let built = SkeletonBuilder::new(0.5).build(traced.trace.as_ref().unwrap());
+    let skel_ref = run_skeleton(
+        &built.skeleton,
+        reference.clone(),
+        placement.clone(),
+        ExecOptions::default(),
+    )
+    .total_secs();
+    let ratio = traced.total_secs() / skel_ref;
+    println!(
+        "  application: {:.1}s dedicated; skeleton: {:.3}s (ratio {ratio:.0}x)\n",
+        traced.total_secs(),
+        skel_ref
+    );
+
+    // Probe each candidate with the skeleton through the library's
+    // selection API, then verify the choice against full application runs
+    // (which a real grid scheduler could never afford).
+    let sets: Vec<pskel_predict::CandidateSet> = candidates()
+        .into_iter()
+        .map(|c| pskel_predict::CandidateSet::new(c.name, c.cluster, placement.clone()))
+        .collect();
+    let selection = pskel_predict::select_node_set(&built, ratio, &sets);
+
+    println!(
+        "{:32} {:>14} {:>16}",
+        "candidate", "skeleton probe", "predicted app time"
+    );
+    for p in &selection.ranking {
+        println!("{:32} {:>13.3}s {:>15.1}s", p.name, p.probe_secs, p.predicted_secs);
+    }
+
+    let mut actual_best: Option<(String, f64)> = None;
+    for c in sets {
+        let actual = run_mpi(
+            c.cluster,
+            placement.clone(),
+            "verify",
+            TraceConfig::off(),
+            bench.program(class),
+        )
+        .total_secs();
+        if actual_best.as_ref().map(|(_, t)| actual < *t).unwrap_or(true) {
+            actual_best = Some((c.name, actual));
+        }
+    }
+
+    let chosen = selection.best();
+    let (truth, tt) = actual_best.unwrap();
+    println!(
+        "\nskeleton-based choice: {} (predicted {:.1}s; all probes cost {:.2}s)",
+        chosen.name, chosen.predicted_secs, selection.total_probe_secs
+    );
+    println!("ground-truth best:     {truth} (actual    {tt:.1}s)");
+    assert_eq!(chosen.name, truth, "skeleton probe should select the truly best site");
+    println!("\nthe skeleton probes cost seconds; the verification runs cost minutes.");
+}

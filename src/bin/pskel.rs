@@ -1,0 +1,299 @@
+//! `pskel` — command-line driver for the performance-skeleton framework.
+//!
+//! ```text
+//! pskel trace   --bench CG --class B -o cg.trace.json
+//! pskel info    -i cg.trace.json
+//! pskel build   -i cg.trace.json --target-secs 5 -o cg.skel.json --emit-c cg.skel.c
+//! pskel run     -i cg.skel.json --scenario net-one-link
+//! pskel predict -i cg.skel.json --trace cg.trace.json --scenario cpu-one-node --verify
+//! ```
+//!
+//! All files are JSON; traces and skeletons are interchangeable with the
+//! library API (`pskel::trace::load_trace`, `serde_json`).
+
+use pskel::prelude::*;
+use pskel_trace::TraceSummary;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: pskel <command> [options]
+
+commands:
+  trace    --bench <BT|CG|IS|LU|MG|SP|EP|FT> [--class <S|W|A|B>] -o <trace.json>
+           run a benchmark traced on the dedicated simulated testbed
+  info     -i <trace.json | skel.json>
+           summarize a trace or skeleton file
+  build    -i <trace.json> --target-secs <t> -o <skel.json>
+           [--emit-c <file.c>] [--consolidate] [--distribution]
+           construct a performance skeleton from a trace
+  run      -i <skel.json> [--scenario <name>]
+           execute a skeleton under a sharing scenario (virtual seconds)
+  predict  -i <skel.json> --trace <trace.json> --scenario <name> [--verify]
+           predict application time under a scenario; --verify also runs
+           the application for ground truth (bench name is read from the
+           trace)
+
+scenarios: dedicated, cpu-one-node, cpu-all-nodes, net-one-link,
+           net-all-links, cpu-and-net";
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_opts(rest)?;
+    match cmd.as_str() {
+        "trace" => cmd_trace(&opts),
+        "info" => cmd_info(&opts),
+        "build" => cmd_build(&opts),
+        "run" => cmd_run(&opts),
+        "predict" => cmd_predict(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+struct Opts {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.require(key)?
+            .parse()
+            .map_err(|e| format!("--{key}: {e}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    const SWITCHES: [&str; 3] = ["verify", "consolidate", "distribution"];
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        if SWITCHES.contains(&name) {
+            switches.push(name.to_string());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+    }
+    Ok(Opts { flags, switches })
+}
+
+fn testbed() -> (ClusterSpec, Placement) {
+    (ClusterSpec::paper_testbed(), Placement::round_robin(4, 4))
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let bench: NasBenchmark = opts.parse("bench")?;
+    let class: Class = opts.parse_or("class", Class::B)?;
+    let out_path = opts.require("o")?;
+    let (cluster, placement) = testbed();
+
+    eprintln!("running {} traced on the dedicated testbed...", bench.full_name(class));
+    let out = run_mpi(
+        cluster,
+        placement,
+        &bench.full_name(class),
+        TraceConfig::on(),
+        bench.program(class),
+    );
+    let trace = out.trace.as_ref().expect("tracing enabled");
+    pskel::trace::save_trace(out_path, trace).map_err(|e| e.to_string())?;
+    eprintln!(
+        "dedicated time {:.3}s, {} events, {:.1}% MPI -> {out_path}",
+        out.total_secs(),
+        trace.n_events(),
+        100.0 * trace.mpi_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let path = opts.require("i")?;
+    // Try a trace first, then a skeleton.
+    if let Ok(trace) = pskel::trace::load_trace(path) {
+        let s = TraceSummary::of(&trace);
+        println!("trace of {} on {} ranks", s.app, s.nranks);
+        println!("  total time   {:.3}s", s.total_time_secs);
+        println!("  MPI fraction {:.1}%", 100.0 * s.mpi_fraction);
+        println!("  events/rank  {:?}", s.events_per_rank);
+        println!("  op histogram (count, total bytes):");
+        for (kind, count, bytes) in &s.op_histogram {
+            println!("    {:16} {:>8}  {:>14}", kind.mpi_name(), count, bytes);
+        }
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let skel: Skeleton = serde_json::from_str(&text)
+        .map_err(|_| format!("{path} is neither a trace nor a skeleton file"))?;
+    let m = &skel.meta;
+    println!("skeleton of {} on {} ranks", skel.app, skel.nranks());
+    println!("  scaling factor K     {}", m.scale_k);
+    println!("  intended runtime     {:.3}s (application {:.3}s)", m.target_secs, m.app_secs);
+    println!("  compression target Q {:.1}", m.target_q);
+    println!("  similarity threshold {:.2}", m.max_threshold);
+    println!("  min good skeleton    {:.3}s", m.min_good_secs);
+    println!("  good                 {}", m.good);
+    println!(
+        "  static ops per rank  {:?}",
+        skel.ranks.iter().map(|r| r.static_ops()).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn cmd_build(opts: &Opts) -> Result<(), String> {
+    let in_path = opts.require("i")?;
+    let out_path = opts.require("o")?;
+    let target: f64 = opts.parse("target-secs")?;
+    let trace = pskel::trace::load_trace(in_path).map_err(|e| e.to_string())?;
+
+    let mut builder = SkeletonBuilder::new(target);
+    if opts.has("consolidate") {
+        builder.construct.consolidate_residue = true;
+    }
+    if opts.has("distribution") {
+        builder.construct.compute_model = ComputeModel::Distribution;
+    }
+    let built = builder.build(&trace);
+    for w in &built.warnings {
+        eprintln!("warning: {w}");
+    }
+    let issues = validate(&built.skeleton);
+    if !issues.is_empty() {
+        return Err(format!("constructed skeleton failed validation: {issues:?}"));
+    }
+
+    let json = serde_json::to_string(&built.skeleton).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "skeleton K={} (Q={:.1}, tau={:.2}, good={}) -> {out_path}",
+        built.skeleton.meta.scale_k,
+        built.skeleton.meta.target_q,
+        built.skeleton.meta.max_threshold,
+        built.skeleton.meta.good
+    );
+
+    if let Some(c_path) = opts.get("emit-c") {
+        std::fs::write(c_path, generate_c(&built.skeleton)).map_err(|e| e.to_string())?;
+        eprintln!("C source -> {c_path}");
+    }
+    Ok(())
+}
+
+fn load_skeleton(path: &str) -> Result<Skeleton, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let skel = load_skeleton(opts.require("i")?)?;
+    let scenario: Scenario = opts.parse_or("scenario", Scenario::Dedicated)?;
+    let (cluster, placement) = testbed();
+    let t = run_skeleton(
+        &skel,
+        scenario.apply(&cluster),
+        placement,
+        ExecOptions::default(),
+    )
+    .total_secs();
+    println!("{t:.6}");
+    eprintln!("skeleton of {} under '{}': {t:.3}s", skel.app, scenario.label());
+    Ok(())
+}
+
+fn cmd_predict(opts: &Opts) -> Result<(), String> {
+    let skel = load_skeleton(opts.require("i")?)?;
+    let trace = pskel::trace::load_trace(opts.require("trace")?).map_err(|e| e.to_string())?;
+    let scenario: Scenario = opts.parse("scenario")?;
+    let (cluster, placement) = testbed();
+
+    let app_ded = trace.total_time.as_secs_f64();
+    let skel_ded = run_skeleton(
+        &skel,
+        cluster.clone(),
+        placement.clone(),
+        ExecOptions::default(),
+    )
+    .total_secs();
+    let ratio = app_ded / skel_ded;
+    let skel_scen = run_skeleton(
+        &skel,
+        scenario.apply(&cluster),
+        placement.clone(),
+        ExecOptions::default(),
+    )
+    .total_secs();
+    let predicted = skel_scen * ratio;
+    println!("{predicted:.6}");
+    eprintln!(
+        "predicted {:.2}s for {} under '{}' (ratio {ratio:.1}x, skeleton {skel_scen:.3}s)",
+        predicted,
+        trace.app,
+        scenario.label()
+    );
+
+    if opts.has("verify") {
+        // The trace's app name encodes "BENCH.CLASS".
+        let (bench_name, class_name) = trace
+            .app
+            .split_once('.')
+            .ok_or_else(|| format!("cannot parse benchmark from app name {:?}", trace.app))?;
+        let bench: NasBenchmark = bench_name.parse()?;
+        let class: Class = class_name.parse()?;
+        let actual = run_mpi(
+            scenario.apply(&cluster),
+            placement,
+            "verify",
+            TraceConfig::off(),
+            bench.program(class),
+        )
+        .total_secs();
+        let err = 100.0 * (predicted - actual).abs() / actual;
+        eprintln!("actual {actual:.2}s -> error {err:.1}%");
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! # pskel — performance skeletons for shared-resource performance prediction
+//!
+//! A full reproduction of *"Automatic Construction and Evaluation of
+//! Performance Skeletons"* (Sodhi & Subhlok, IPPS 2005): a framework that
+//! records the execution trace of a message-passing application, compresses
+//! it into an *execution signature* (event clustering + loop detection),
+//! and generates a short-running synthetic *performance skeleton* whose
+//! execution time under CPU and network sharing tracks the application's —
+//! so a few seconds of skeleton execution predict the runtime of a
+//! many-minute application on the current state of shared resources.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event cluster simulator (processor
+//!   sharing CPUs, max-min fair flow network, the paper's testbed).
+//! * [`mpi`] — MPI-like communicator with MPICH-style collectives and a
+//!   PMPI-style tracing shim.
+//! * [`trace`] — execution-trace model.
+//! * [`signature`] — trace compression into loop-structured signatures.
+//! * [`core`] — skeleton construction, the shortest-"good"-skeleton
+//!   analysis, the skeleton executor, and C/MPI code generation.
+//! * [`apps`] — NAS-like benchmark workloads (BT, CG, IS, LU, MG, SP).
+//! * [`predict`] — the paper's evaluation: five sharing scenarios, three
+//!   prediction methodologies, and drivers for every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pskel::prelude::*;
+//!
+//! // 1. Trace an application on a dedicated (simulated) testbed.
+//! let traced = run_mpi(
+//!     ClusterSpec::paper_testbed(),
+//!     Placement::round_robin(4, 4),
+//!     "my-app",
+//!     TraceConfig::on(),
+//!     |comm| {
+//!         for _ in 0..200 {
+//!             comm.compute(0.02);
+//!             comm.allreduce(4096);
+//!         }
+//!     },
+//! );
+//! let trace = traced.trace.as_ref().unwrap();
+//!
+//! // 2. Build a skeleton intended to run ~0.2 s.
+//! let built = SkeletonBuilder::new(0.2).build(trace);
+//!
+//! // 3. Execute the skeleton under a sharing scenario and predict.
+//! let scenario = Scenario::CpuAllNodes;
+//! let skel_ded = run_skeleton(
+//!     &built.skeleton,
+//!     ClusterSpec::paper_testbed(),
+//!     Placement::round_robin(4, 4),
+//!     ExecOptions::default(),
+//! ).total_secs();
+//! let skel_shared = run_skeleton(
+//!     &built.skeleton,
+//!     scenario.apply(&ClusterSpec::paper_testbed()),
+//!     Placement::round_robin(4, 4),
+//!     ExecOptions::default(),
+//! ).total_secs();
+//! let predicted = skel_shared * (traced.total_secs() / skel_ded);
+//! assert!(predicted > traced.total_secs(), "contention must predict slower");
+//! ```
+
+pub use pskel_apps as apps;
+pub use pskel_core as core;
+pub use pskel_mpi as mpi;
+pub use pskel_predict as predict;
+pub use pskel_sim as sim;
+pub use pskel_signature as signature;
+pub use pskel_trace as trace;
+
+/// The commonly-used types and functions in one import.
+pub mod prelude {
+    pub use pskel_apps::{Class, NasBenchmark};
+    pub use pskel_core::{
+        generate_c, run_skeleton, validate, ComputeModel, ConstructOptions, ExecOptions,
+        Skeleton, SkeletonBuilder,
+    };
+    pub use pskel_mpi::{run_mpi, run_mpi_fns, Comm, TraceConfig};
+    pub use pskel_predict::{EvalContext, Scenario, Testbed, PAPER_SKELETON_SIZES};
+    pub use pskel_sim::{ClusterSpec, Placement, SimDuration, SimTime, Simulation};
+    pub use pskel_signature::{compress_app, compress_process, SignatureOptions};
+    pub use pskel_trace::{AppTrace, OpKind, ProcessTrace};
+}

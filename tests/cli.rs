@@ -1,0 +1,140 @@
+//! Integration test of the `pskel` command-line binary: the full
+//! trace → build → run → predict workflow through files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pskel"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pskel-cli-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_through_files() {
+    let dir = workdir("workflow");
+    let trace = dir.join("mg.trace.json");
+    let skel = dir.join("mg.skel.json");
+    let c_file = dir.join("mg.c");
+
+    // trace
+    let out = bin()
+        .args(["trace", "--bench", "MG", "--class", "S", "-o"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "trace failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    // info on the trace
+    let out = bin().args(["info", "-i"]).arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace of MG.S"), "{stdout}");
+    assert!(stdout.contains("MPI_Isend"));
+
+    // build (+ C emission)
+    let out = bin()
+        .args(["build", "-i"])
+        .arg(&trace)
+        .args(["--target-secs", "0.002", "-o"])
+        .arg(&skel)
+        .arg("--emit-c")
+        .arg(&c_file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    let c = std::fs::read_to_string(&c_file).unwrap();
+    assert!(c.contains("#include <mpi.h>"));
+
+    // info on the skeleton
+    let out = bin().args(["info", "-i"]).arg(&skel).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("skeleton of MG.S"), "{stdout}");
+    assert!(stdout.contains("scaling factor K"));
+
+    // run under a scenario: prints a positive time on stdout
+    let out = bin()
+        .args(["run", "-i"])
+        .arg(&skel)
+        .args(["--scenario", "cpu-all-nodes"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let t: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(t > 0.0);
+
+    // predict with verification: stderr reports a small error
+    let out = bin()
+        .args(["predict", "-i"])
+        .arg(&skel)
+        .args(["--trace"])
+        .arg(&trace)
+        .args(["--scenario", "cpu-all-nodes", "--verify"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let predicted: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(predicted > 0.0);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "verification line missing: {stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: pskel"));
+}
+
+#[test]
+fn missing_option_is_reported() {
+    let out = bin().args(["trace", "--bench", "CG"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--o"));
+}
+
+#[test]
+fn bad_benchmark_name_is_reported() {
+    let out = bin()
+        .args(["trace", "--bench", "ZZ", "-o", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn bad_scenario_is_reported() {
+    let dir = workdir("bad-scenario");
+    let trace = dir.join("t.json");
+    let skel = dir.join("s.json");
+    assert!(bin()
+        .args(["trace", "--bench", "EP", "--class", "S", "-o"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "-i"])
+        .arg(&trace)
+        .args(["--target-secs", "0.01", "-o"])
+        .arg(&skel)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["run", "-i"])
+        .arg(&skel)
+        .args(["--scenario", "sharknado"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}

@@ -1,0 +1,170 @@
+//! Fast (Class W) assertions of the paper's qualitative findings — the
+//! "shape" every figure must keep. These catch regressions in the
+//! reproduction itself, not just in the code.
+
+use pskel::prelude::*;
+use pskel_predict::{
+    average_prediction, class_s_prediction, error_pct, fig2, fig3, fig4, fig6, fig7,
+    status_prediction,
+};
+
+/// Skeleton sizes scaled to Class W runtimes (~0.1–2 s apps).
+fn ctx() -> EvalContext {
+    EvalContext::new(Class::W, &[0.5, 0.25, 0.1, 0.05, 0.025])
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn fig2_shape_skeletons_track_activity_split() {
+    let mut ctx = ctx();
+    let rows = fig2(&mut ctx);
+    // For each benchmark: the largest skeleton's MPI share is within
+    // 12 percentage points of the application's.
+    for bench in NasBenchmark::ALL {
+        let app = rows
+            .iter()
+            .find(|r| r.app == bench.name() && r.label == "application")
+            .unwrap();
+        let big = rows
+            .iter()
+            .find(|r| r.app == bench.name() && r.label.starts_with("0.5 sec"))
+            .unwrap();
+        assert!(
+            (app.mpi_pct - big.mpi_pct).abs() < 12.0,
+            "{}: app {:.1}% vs skeleton {:.1}%",
+            bench.name(),
+            app.mpi_pct,
+            big.mpi_pct
+        );
+        assert!((app.mpi_pct + app.compute_pct - 100.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn fig3_shape_error_grows_as_skeletons_shrink() {
+    let mut ctx = ctx();
+    let grid = fig3(&mut ctx);
+    let per_size = grid.avg_per_size();
+    // Largest vs smallest skeleton: clear degradation on average.
+    assert!(
+        per_size[0] < per_size[per_size.len() - 1],
+        "expected degradation from {per_size:?}"
+    );
+    // Large skeletons are accurate in absolute terms.
+    assert!(per_size[0] < 8.0, "largest skeleton too inaccurate: {per_size:?}");
+    // Overall error stays single-digit-ish, like the paper's 6.7%.
+    assert!(grid.overall_avg < 15.0, "overall {:.1}%", grid.overall_avg);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn fig4_shape_min_good_ordering() {
+    let mut ctx = ctx();
+    let rows = fig4(&mut ctx);
+    let get = |name: &str| {
+        rows.iter().find(|r| r.app == name).unwrap().min_good_secs
+    };
+    // Relative to runtime, IS needs the largest good skeleton and CG the
+    // smallest (the paper's Figure 4 ordering). Class W runtimes differ
+    // per benchmark, so normalize.
+    let mut rel = |b: NasBenchmark| {
+        let total = ctx.app_time(b, Scenario::Dedicated);
+        get(b.name()) / total
+    };
+    let is = rel(NasBenchmark::Is);
+    let cg = rel(NasBenchmark::Cg);
+    for b in NasBenchmark::ALL {
+        let r = rel(b);
+        assert!(is >= r - 1e-9, "IS should be max, {b}: {r} vs {is}");
+        assert!(cg <= r + 1e-9, "CG should be min, {b}: {r} vs {cg}");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn fig6_shape_scenario_difficulty_ordering() {
+    let mut ctx = ctx();
+    let grid = fig6(&mut ctx);
+    let avg = grid.avg_per_scenario();
+    // [cpu-one, cpu-all, net-one, net-all, combined]
+    let balanced_cpu = avg[1];
+    let unbalanced_cpu = avg[0];
+    let combined = avg[4];
+    assert!(
+        balanced_cpu <= unbalanced_cpu + 0.5,
+        "balanced CPU sharing must be the easy case: {avg:?}"
+    );
+    assert!(
+        combined + 0.5 >= balanced_cpu,
+        "combined sharing must not be easier than balanced CPU: {avg:?}"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn fig7_shape_skeletons_beat_all_baselines() {
+    let mut ctx = ctx();
+    let rows = fig7(&mut ctx);
+    let avg_of = |m: &str| {
+        rows.iter()
+            .find(|r| r.method.contains(m))
+            .unwrap_or_else(|| panic!("method {m} missing"))
+            .avg_pct
+    };
+    let best_skeleton = rows
+        .iter()
+        .filter(|r| r.method.contains("skeleton"))
+        .map(|r| r.avg_pct)
+        .fold(f64::INFINITY, f64::min);
+    for baseline in ["Class S", "Average", "Status-based"] {
+        assert!(
+            best_skeleton * 2.0 < avg_of(baseline),
+            "{baseline} ({:.1}%) should lose clearly to skeletons ({best_skeleton:.1}%)",
+            avg_of(baseline)
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
+fn baselines_fail_for_the_papers_reasons() {
+    let mut ctx = ctx();
+    let scenario = Scenario::CpuAndNetOne;
+
+    // Average prediction fails because the suite's slowdowns vary widely.
+    let slowdowns: Vec<f64> = NasBenchmark::ALL
+        .iter()
+        .map(|&b| ctx.app_time(b, scenario) / ctx.app_time(b, Scenario::Dedicated))
+        .collect();
+    let min = slowdowns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = slowdowns.iter().copied().fold(0.0, f64::max);
+    assert!(
+        max / min > 1.5,
+        "slowdowns too uniform for the Average argument: {slowdowns:?}"
+    );
+
+    // Class S fails because its execution behaviour differs from Class B's:
+    // the small class is far more MPI-dominated.
+    for b in [NasBenchmark::Bt, NasBenchmark::Cg, NasBenchmark::Mg] {
+        let w_frac = ctx.trace(b).mpi_fraction();
+        let s_trace = ctx.testbed.trace_app(b, Class::S);
+        assert!(
+            s_trace.mpi_fraction() > w_frac,
+            "{b}: Class S should be more communication-bound"
+        );
+    }
+
+    // And the three baselines actually mispredict on this scenario.
+    for b in NasBenchmark::ALL {
+        let actual = ctx.app_time(b, scenario);
+        let avg_err = error_pct(average_prediction(&mut ctx, b, scenario), actual);
+        let s_err = error_pct(class_s_prediction(&mut ctx, b, scenario), actual);
+        let st_err = error_pct(status_prediction(&mut ctx, b, scenario), actual);
+        // At least one baseline is far off for every benchmark.
+        assert!(
+            avg_err.max(s_err).max(st_err) > 10.0,
+            "{b}: baselines suspiciously good ({avg_err:.1}/{s_err:.1}/{st_err:.1})"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration tests of the whole pipeline: trace → signature →
+//! skeleton → execution → prediction, on fast (Class S/W) workloads.
+
+use pskel::prelude::*;
+
+fn testbed() -> (ClusterSpec, Placement) {
+    (ClusterSpec::paper_testbed(), Placement::round_robin(4, 4))
+}
+
+fn trace_bench(bench: NasBenchmark, class: Class) -> (pskel_mpi::MpiRunOutcome, AppTrace) {
+    let (cluster, placement) = testbed();
+    let out = run_mpi(
+        cluster,
+        placement,
+        &bench.full_name(class),
+        TraceConfig::on(),
+        bench.program(class),
+    );
+    let trace = out.trace.clone().unwrap();
+    (out, trace)
+}
+
+#[test]
+fn every_benchmark_produces_a_valid_skeleton() {
+    for bench in NasBenchmark::ALL {
+        let (out, trace) = trace_bench(bench, Class::S);
+        let target = out.total_secs() / 10.0;
+        let built = SkeletonBuilder::new(target).build(&trace);
+        let issues = validate(&built.skeleton);
+        assert!(issues.is_empty(), "{bench}: {issues:?}");
+        assert_eq!(built.skeleton.nranks(), 4);
+    }
+}
+
+#[test]
+fn skeletons_run_close_to_their_target_time() {
+    let (cluster, placement) = testbed();
+    for bench in [NasBenchmark::Cg, NasBenchmark::Sp, NasBenchmark::Mg] {
+        let (out, trace) = trace_bench(bench, Class::W);
+        let target = out.total_secs() / 20.0;
+        let built = SkeletonBuilder::new(target).build(&trace);
+        let t = run_skeleton(
+            &built.skeleton,
+            cluster.clone(),
+            placement.clone(),
+            ExecOptions::default(),
+        )
+        .total_secs();
+        // Within 2.5x of the intended runtime (latency floors make tiny
+        // skeletons overshoot; the measured-ratio methodology absorbs it).
+        assert!(
+            t > target / 2.5 && t < target * 2.5,
+            "{bench}: skeleton ran {t:.4}s, target {target:.4}s"
+        );
+    }
+}
+
+#[test]
+fn skeleton_prediction_beats_baselines_under_combined_sharing() {
+    // A compact Class-W rendition of Figure 7's conclusion.
+    let mut ctx = EvalContext::new(Class::W, &[0.2]);
+    let scenario = Scenario::CpuAndNetOne;
+    let mut skel_errs = Vec::new();
+    let mut avg_errs = Vec::new();
+    for bench in NasBenchmark::ALL {
+        let actual = ctx.app_time(bench, scenario);
+        let skel = pskel_predict::skeleton_prediction(&mut ctx, bench, 0.2, scenario);
+        let avg = pskel_predict::average_prediction(&mut ctx, bench, scenario);
+        skel_errs.push(pskel_predict::error_pct(skel, actual));
+        avg_errs.push(pskel_predict::error_pct(avg, actual));
+    }
+    let skel_mean = skel_errs.iter().sum::<f64>() / skel_errs.len() as f64;
+    let avg_mean = avg_errs.iter().sum::<f64>() / avg_errs.len() as f64;
+    assert!(
+        skel_mean * 2.0 < avg_mean,
+        "skeleton ({skel_mean:.1}%) must clearly beat average prediction ({avg_mean:.1}%)"
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run_once = || {
+        let (_, trace) = trace_bench(NasBenchmark::Mg, Class::S);
+        let built = SkeletonBuilder::new(0.002).build(&trace);
+        let (cluster, placement) = testbed();
+        let t = run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default())
+            .total_secs();
+        (built.skeleton, t)
+    };
+    let (skel_a, t_a) = run_once();
+    let (skel_b, t_b) = run_once();
+    assert_eq!(skel_a, skel_b, "construction must be bit-deterministic");
+    assert_eq!(t_a, t_b, "execution must be bit-deterministic");
+}
+
+#[test]
+fn min_good_skeleton_ordering_matches_the_paper() {
+    // Figure 4's structure: relative to application runtime, IS needs the
+    // largest good skeleton (few huge iterations) and CG the smallest
+    // (hundreds of small iterations).
+    let mut rel = std::collections::HashMap::new();
+    for bench in NasBenchmark::ALL {
+        let (out, trace) = trace_bench(bench, Class::W);
+        let built = SkeletonBuilder::new(out.total_secs() / 10.0).build(&trace);
+        rel.insert(
+            bench.name(),
+            built.skeleton.meta.min_good_secs / out.total_secs(),
+        );
+    }
+    assert!(
+        rel["IS"] > rel["BT"] && rel["IS"] > rel["CG"] && rel["IS"] > rel["MG"],
+        "IS must need the relatively largest good skeleton: {rel:?}"
+    );
+    assert!(
+        rel["CG"] < rel["BT"] && rel["CG"] < rel["LU"] && rel["CG"] < rel["IS"],
+        "CG must admit the relatively smallest good skeleton: {rel:?}"
+    );
+}
+
+#[test]
+fn not_good_skeletons_are_flagged() {
+    let (out, trace) = trace_bench(NasBenchmark::Is, Class::W);
+    // IS.W has ~3 huge iterations: a skeleton of 1/20 the runtime cannot
+    // contain one and must be flagged.
+    let built = SkeletonBuilder::new(out.total_secs() / 20.0).build(&trace);
+    assert!(!built.skeleton.meta.good);
+    assert!(
+        built.warnings.iter().any(|w| w.contains("minimum good skeleton")),
+        "warnings: {:?}",
+        built.warnings
+    );
+    // A third-of-runtime skeleton keeps one full iteration of IS.W's
+    // three-iteration main loop (K = 3 also drives Q high enough for the
+    // threshold search to actually fold the loop).
+    let big = SkeletonBuilder::new(out.total_secs() / 3.0).build(&trace);
+    assert!(big.skeleton.meta.good, "meta: {:?}", big.skeleton.meta);
+}
+
+#[test]
+fn generated_c_covers_every_benchmark() {
+    for bench in NasBenchmark::ALL {
+        let (out, trace) = trace_bench(bench, Class::S);
+        let built = SkeletonBuilder::new(out.total_secs() / 5.0).build(&trace);
+        let c = generate_c(&built.skeleton);
+        assert!(c.contains("MPI_Init"), "{bench}");
+        assert!(c.contains("run_rank_3"), "{bench}");
+        assert_eq!(
+            c.matches('{').count(),
+            c.matches('}').count(),
+            "{bench}: unbalanced braces"
+        );
+    }
+}
+
+#[test]
+fn traces_roundtrip_through_files() {
+    let (_, trace) = trace_bench(NasBenchmark::Cg, Class::S);
+    let dir = std::env::temp_dir().join("pskel-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cg-s.json");
+    pskel::trace::save_trace(&path, &trace).unwrap();
+    let back = pskel::trace::load_trace(&path).unwrap();
+    assert_eq!(trace, back);
+    // A skeleton built from the reloaded trace is identical.
+    let a = SkeletonBuilder::new(0.01).build(&trace).skeleton;
+    let b = SkeletonBuilder::new(0.01).build(&back).skeleton;
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn skeleton_metadata_reflects_construction() {
+    let (out, trace) = trace_bench(NasBenchmark::Sp, Class::W);
+    let target = out.total_secs() / 15.0;
+    let built = SkeletonBuilder::new(target).build(&trace);
+    let meta = &built.skeleton.meta;
+    assert_eq!(meta.scale_k, (out.total_secs() / target).round() as u64);
+    assert!((meta.app_secs - out.total_secs()).abs() < 1e-9);
+    assert_eq!(meta.target_secs, target);
+    assert!((meta.target_q - meta.scale_k as f64 / 2.0).abs() < 1e-9);
+    assert!(meta.max_threshold <= 0.20);
+}
+
+#[test]
+fn consolidation_reduces_op_count_but_keeps_validity() {
+    let (out, trace) = trace_bench(NasBenchmark::Lu, Class::S);
+    let target = out.total_secs() / 40.0;
+    let mut builder = SkeletonBuilder::new(target);
+
+    builder.construct.consolidate_residue = false;
+    let literal = builder.build(&trace);
+    builder.construct.consolidate_residue = true;
+    let consolidated = builder.build(&trace);
+
+    let lit_ops: u64 = literal.skeleton.ranks.iter().map(|r| r.expanded_ops()).sum();
+    let con_ops: u64 =
+        consolidated.skeleton.ranks.iter().map(|r| r.expanded_ops()).sum();
+    assert!(
+        con_ops <= lit_ops,
+        "consolidation must not increase ops: {con_ops} vs {lit_ops}"
+    );
+    assert!(validate(&literal.skeleton).is_empty());
+    assert!(validate(&consolidated.skeleton).is_empty());
+}

@@ -1,0 +1,135 @@
+//! The execution signatures of real workloads must expose the loop
+//! structure a human would name: these are regression tests on the
+//! clustering + loop-detection pipeline against live traces.
+
+use pskel::prelude::*;
+use pskel_signature::Tok;
+
+fn trace_of(bench: NasBenchmark, class: Class) -> AppTrace {
+    run_mpi(
+        ClusterSpec::paper_testbed(),
+        Placement::round_robin(4, 4),
+        &bench.full_name(class),
+        TraceConfig::on(),
+        bench.program(class),
+    )
+    .trace
+    .unwrap()
+}
+
+fn top_loop_counts(toks: &[Tok]) -> Vec<u64> {
+    toks.iter()
+        .filter_map(|t| match t {
+            Tok::Loop { count, .. } => Some(*count),
+            _ => None,
+        })
+        .collect()
+}
+
+fn max_nesting(toks: &[Tok]) -> usize {
+    toks.iter()
+        .map(|t| match t {
+            Tok::Sym { .. } => 0,
+            Tok::Loop { body, .. } => 1 + max_nesting(body),
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn cg_signature_shows_outer_times_inner_structure() {
+    // CG.W: 6 outer x 30 inner iterations. The signature must contain a
+    // nested loop covering 180 inner iterations.
+    let trace = trace_of(NasBenchmark::Cg, Class::W);
+    let (sig, saturated) =
+        compress_app(&trace, 10.0, SignatureOptions::default());
+    assert!(!saturated);
+    let s = &sig.sigs[0];
+    assert!(
+        s.compression_ratio() > 50.0,
+        "CG is highly cyclic: ratio {}",
+        s.compression_ratio()
+    );
+    assert!(max_nesting(&s.tokens) >= 2, "outer/inner nesting: {}", s.render());
+    // The expansion reproduces the clustered event count exactly.
+    assert_eq!(s.expanded_len(), s.trace_len);
+}
+
+#[test]
+fn lu_signature_folds_both_sweeps() {
+    let trace = trace_of(NasBenchmark::Lu, Class::S);
+    let (sig, _) = compress_app(&trace, 10.0, SignatureOptions::default());
+    let s = &sig.sigs[0];
+    // Timestep loop at some level with the 25-block sweeps nested inside.
+    assert!(max_nesting(&s.tokens) >= 2, "{}", s.render());
+    let render = s.render();
+    assert!(
+        render.contains("]^25") || render.contains("]^24"),
+        "block sweeps should fold: {render}"
+    );
+}
+
+#[test]
+fn is_signature_is_one_short_loop() {
+    let trace = trace_of(NasBenchmark::Is, Class::B);
+    // K=10-ish target forces the jittered alltoallvs to merge.
+    let (sig, _) = compress_app(&trace, 5.0, SignatureOptions::default());
+    let s = &sig.sigs[0];
+    let counts = top_loop_counts(&s.tokens);
+    assert!(
+        counts.contains(&10),
+        "the 10 ranking iterations fold into one loop: {} (counts {counts:?})",
+        s.render()
+    );
+    // Merging the data-dependent sizes needed a nonzero threshold.
+    assert!(s.threshold > 0.0);
+}
+
+#[test]
+fn ep_signature_is_almost_all_one_compute_loop() {
+    let trace = trace_of(NasBenchmark::Ep, Class::W);
+    let (sig, _) = compress_app(&trace, 2.0, SignatureOptions::default());
+    let s = &sig.sigs[0];
+    // 16 compute blocks with no MPI in between collapse into the gaps of
+    // very few events: EP's signature is tiny.
+    assert!(s.compressed_len() <= 8, "{}", s.render());
+    assert!(s.total_compute() > 0.9 * s.estimated_total_secs());
+}
+
+#[test]
+fn signatures_across_ranks_have_equal_shape_for_spmd() {
+    let trace = trace_of(NasBenchmark::Sp, Class::S);
+    let (sig, _) = compress_app(&trace, 10.0, SignatureOptions::default());
+    let lens: Vec<usize> = sig.sigs.iter().map(|s| s.compressed_len()).collect();
+    assert!(
+        lens.iter().all(|&l| l == lens[0]),
+        "SPMD ranks compress to equal-length signatures: {lens:?}"
+    );
+    let renders: Vec<String> = sig.sigs.iter().map(|s| s.render()).collect();
+    // Same loop skeleton (symbol ids may differ since clusters are
+    // per-rank, but the bracket structure must match).
+    let shape = |r: &str| -> String {
+        r.chars().filter(|c| "[]^0123456789 ".contains(*c)).collect()
+    };
+    assert!(
+        renders.iter().all(|r| shape(r) == shape(&renders[0])),
+        "shapes differ: {renders:#?}"
+    );
+}
+
+#[test]
+fn deeper_compression_never_loses_time() {
+    let trace = trace_of(NasBenchmark::Mg, Class::S);
+    for q in [1.0, 4.0, 16.0, 64.0] {
+        let (sig, _) = compress_app(&trace, q, SignatureOptions::default());
+        for (s, p) in sig.sigs.iter().zip(&trace.procs) {
+            let traced_compute = p.compute_time().as_secs_f64();
+            assert!(
+                (s.total_compute() - traced_compute).abs() < 1e-9,
+                "Q={q}: compute drifted {} vs {}",
+                s.total_compute(),
+                traced_compute
+            );
+        }
+    }
+}
