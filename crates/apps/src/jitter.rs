@@ -28,14 +28,24 @@ impl Jitter {
     /// `imbalance` is the +/- relative spread of fixed per-rank speed
     /// differences; `sigma` the per-call relative jitter.
     pub fn new(seed: u64, rank: usize, sigma: f64, imbalance: f64) -> Jitter {
-        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0,1), got {sigma}");
-        assert!((0.0..1.0).contains(&imbalance), "imbalance must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&sigma),
+            "sigma must be in [0,1), got {sigma}"
+        );
+        assert!(
+            (0.0..1.0).contains(&imbalance),
+            "imbalance must be in [0,1)"
+        );
         // A fixed, deterministic per-rank factor in [1-imb, 1+imb].
         let h = (rank as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
         let rank_factor = 1.0 + imbalance * (2.0 * unit - 1.0);
         let rng = ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x517c_c1b7));
-        Jitter { rng, sigma, rank_factor }
+        Jitter {
+            rng,
+            sigma,
+            rank_factor,
+        }
     }
 
     /// A jittered compute duration around `base` seconds.

@@ -50,7 +50,10 @@ pub fn run(comm: &mut Comm, class: Class) {
         comm.compute(jit.compute_secs(comp_rhs));
 
         // Distributed x and y solves: forward and backward substitution.
-        for (p, tf, tb) in [(px, TAG_SOLVE_XF, TAG_SOLVE_XB), (py, TAG_SOLVE_YF, TAG_SOLVE_YB)] {
+        for (p, tf, tb) in [
+            (px, TAG_SOLVE_XF, TAG_SOLVE_XB),
+            (py, TAG_SOLVE_YF, TAG_SOLVE_YB),
+        ] {
             comm.compute(jit.compute_secs(comp_solve));
             exchange(comm, p, tf, solve_fwd);
             comm.compute(jit.compute_secs(comp_back));

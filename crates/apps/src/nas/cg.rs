@@ -17,7 +17,10 @@ const TAG_TRANSPOSE: u64 = 30;
 
 pub fn run(comm: &mut Comm, class: Class) {
     let n = comm.size();
-    assert!(n.is_power_of_two() && n >= 2, "CG requires a power-of-two rank count");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "CG requires a power-of-two rank count"
+    );
     let me = comm.rank();
     let partner = me ^ 1;
     let mut jit = Jitter::new(SEED, me, 0.02, 0.03);

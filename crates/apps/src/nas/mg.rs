@@ -16,7 +16,10 @@ const TAG_GHOST: u64 = 50;
 
 pub fn run(comm: &mut Comm, class: Class) {
     let n = comm.size();
-    assert!(n.is_power_of_two() && n >= 2, "MG requires a power-of-two rank count");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "MG requires a power-of-two rank count"
+    );
     let me = comm.rank();
     let p1 = me ^ 1;
     let p2 = if n >= 4 { me ^ 2 } else { me ^ 1 };

@@ -121,7 +121,9 @@ impl std::str::FromStr for NasBenchmark {
             .iter()
             .copied()
             .find(|b| b.name().eq_ignore_ascii_case(s))
-            .ok_or_else(|| format!("unknown benchmark {s:?}; expected one of BT CG IS LU MG SP EP FT"))
+            .ok_or_else(|| {
+                format!("unknown benchmark {s:?}; expected one of BT CG IS LU MG SP EP FT")
+            })
     }
 }
 
@@ -147,8 +149,14 @@ pub(crate) struct Grid2x2 {
 
 impl Grid2x2 {
     pub fn of(rank: usize, size: usize) -> Grid2x2 {
-        assert_eq!(size, 4, "this benchmark requires a 2x2 process grid (4 ranks)");
-        Grid2x2 { col: rank & 1, row: (rank >> 1) & 1 }
+        assert_eq!(
+            size, 4,
+            "this benchmark requires a 2x2 process grid (4 ranks)"
+        );
+        Grid2x2 {
+            col: rank & 1,
+            row: (rank >> 1) & 1,
+        }
     }
 
     pub fn north(&self, rank: usize) -> Option<usize> {

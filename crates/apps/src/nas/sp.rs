@@ -42,7 +42,10 @@ pub fn run(comm: &mut Comm, class: Class) {
         exchange(comm, py, TAG_FACE_Y, face);
         comm.compute(jit.compute_secs(comp_rhs));
 
-        for (p, tf, tb) in [(px, TAG_SOLVE_XF, TAG_SOLVE_XB), (py, TAG_SOLVE_YF, TAG_SOLVE_YB)] {
+        for (p, tf, tb) in [
+            (px, TAG_SOLVE_XF, TAG_SOLVE_XB),
+            (py, TAG_SOLVE_YF, TAG_SOLVE_YB),
+        ] {
             comm.compute(jit.compute_secs(comp_solve));
             exchange(comm, p, tf, solve);
             comm.compute(jit.compute_secs(comp_back));

@@ -73,8 +73,7 @@ pub fn master_worker(comm: &mut Comm, tasks: u64, task_secs: f64, payload: u64) 
             comm.send(w, 5, 8);
         }
     } else {
-        let mine = tasks / workers as u64
-            + u64::from((me - 1) < (tasks % workers as u64) as usize);
+        let mine = tasks / workers as u64 + u64::from((me - 1) < (tasks % workers as u64) as usize);
         for _ in 0..mine {
             comm.recv(Some(0), Some(3));
             comm.compute(jit.compute_secs(task_secs));

@@ -20,7 +20,10 @@ fn traced(bench: NasBenchmark, class: Class) -> AppTrace {
 }
 
 fn count_kind(trace: &AppTrace, rank: usize, kind: OpKind) -> usize {
-    trace.procs[rank].mpi_events().filter(|e| e.kind == kind).count()
+    trace.procs[rank]
+        .mpi_events()
+        .filter(|e| e.kind == kind)
+        .count()
 }
 
 #[test]
@@ -43,7 +46,10 @@ fn sp_has_more_steps_and_smaller_messages_than_bt() {
     );
     let bt_sizes = MessageSizeStats::of(&bt);
     let sp_sizes = MessageSizeStats::of(&sp);
-    assert!(sp_sizes.max < bt_sizes.max, "SP faces are smaller than BT faces");
+    assert!(
+        sp_sizes.max < bt_sizes.max,
+        "SP faces are smaller than BT faces"
+    );
 }
 
 #[test]
@@ -52,7 +58,10 @@ fn cg_alternates_transpose_exchange_and_dot_products() {
     // Two allreduces per inner iteration dominate the collective count.
     let allreds = count_kind(&t, 0, OpKind::Allreduce);
     let isends = count_kind(&t, 0, OpKind::Isend);
-    assert!(allreds > isends, "CG is allreduce-heavy: {allreds} vs {isends}");
+    assert!(
+        allreds > isends,
+        "CG is allreduce-heavy: {allreds} vs {isends}"
+    );
     // The exchange partner is the XOR neighbour only.
     let m = CommMatrix::of(&t);
     assert_eq!(m.neighbours(0), vec![1]);
@@ -75,13 +84,20 @@ fn lu_wavefront_uses_many_small_blocking_messages() {
     let t = traced(NasBenchmark::Lu, Class::S);
     // Blocking sends/recvs, no nonblocking ops.
     assert_eq!(count_kind(&t, 0, OpKind::Isend), 0);
-    assert!(count_kind(&t, 0, OpKind::Send) > 100, "pipelined block messages");
+    assert!(
+        count_kind(&t, 0, OpKind::Send) > 100,
+        "pipelined block messages"
+    );
     // Interior flow: corner rank 0 sends only east+south (to 1 and 2).
     let m = CommMatrix::of(&t);
     assert_eq!(m.neighbours(0), vec![1, 2]);
     // Small messages: class S blocks are tiny.
     let sizes = MessageSizeStats::of(&t);
-    assert!(sizes.max <= 1024, "LU.S messages should be small, max {}", sizes.max);
+    assert!(
+        sizes.max <= 1024,
+        "LU.S messages should be small, max {}",
+        sizes.max
+    );
 }
 
 #[test]
@@ -107,7 +123,11 @@ fn ep_is_compute_only_until_the_final_reductions() {
     let p = &t.procs[0];
     assert!(p.mpi_fraction() < 0.6, "EP.S is still mostly compute");
     // Collectives: bcast + 2 barriers + 2 allreduce + reduce.
-    assert!(p.n_events() <= 8, "EP has almost no MPI events: {}", p.n_events());
+    assert!(
+        p.n_events() <= 8,
+        "EP has almost no MPI events: {}",
+        p.n_events()
+    );
 }
 
 #[test]
@@ -147,7 +167,11 @@ fn every_benchmark_has_an_initialization_phase() {
     for b in NasBenchmark::EXTENDED {
         let t = traced(b, Class::W);
         let first = t.procs[0].mpi_events().next().unwrap();
-        assert_eq!(first.kind, OpKind::Bcast, "{b} starts with a parameter bcast");
+        assert_eq!(
+            first.kind,
+            OpKind::Bcast,
+            "{b} starts with a parameter bcast"
+        );
     }
 }
 
@@ -156,10 +180,16 @@ fn rank_imbalance_is_present_but_small() {
     // The per-rank compute totals must differ (deterministic imbalance)
     // but stay within a few percent.
     let t = traced(NasBenchmark::Sp, Class::W);
-    let totals: Vec<f64> =
-        t.procs.iter().map(|p| p.compute_time().as_secs_f64()).collect();
+    let totals: Vec<f64> = t
+        .procs
+        .iter()
+        .map(|p| p.compute_time().as_secs_f64())
+        .collect();
     let min = totals.iter().copied().fold(f64::INFINITY, f64::min);
     let max = totals.iter().copied().fold(0.0, f64::max);
-    assert!(max > min, "ranks must not be perfectly balanced: {totals:?}");
+    assert!(
+        max > min,
+        "ranks must not be perfectly balanced: {totals:?}"
+    );
     assert!(max / min < 1.15, "imbalance too large: {totals:?}");
 }

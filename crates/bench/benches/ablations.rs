@@ -24,7 +24,10 @@ struct Lab {
 
 impl Lab {
     fn new() -> Lab {
-        Lab { testbed: Testbed::default(), class: Class::W }
+        Lab {
+            testbed: Testbed::default(),
+            class: Class::W,
+        }
     }
 
     fn prediction_error(
@@ -54,13 +57,25 @@ fn ablation_residue_handling(c: &mut Criterion) {
     // cannot shrink.
     let bench = NasBenchmark::Lu;
     let scenario = Scenario::NetOneLink;
-    let app = lab.testbed.trace_app(bench, lab.class).total_time.as_secs_f64();
+    let app = lab
+        .testbed
+        .trace_app(bench, lab.class)
+        .total_time
+        .as_secs_f64();
     let target = app / 60.0;
 
-    let literal =
-        lab.prediction_error(bench, scenario, |b| b.construct.consolidate_residue = false, target);
-    let consolidated =
-        lab.prediction_error(bench, scenario, |b| b.construct.consolidate_residue = true, target);
+    let literal = lab.prediction_error(
+        bench,
+        scenario,
+        |b| b.construct.consolidate_residue = false,
+        target,
+    );
+    let consolidated = lab.prediction_error(
+        bench,
+        scenario,
+        |b| b.construct.consolidate_residue = true,
+        target,
+    );
     eprintln!(
         "ablation residue_handling (LU.W, net-one-link, K~60): \
          paper-literal {literal:.1}% vs consolidated {consolidated:.1}%"
@@ -82,7 +97,11 @@ fn ablation_compute_model(c: &mut Criterion) {
     // mean-compute inaccuracy (§4.4).
     let bench = NasBenchmark::Lu;
     let scenario = Scenario::CpuOneNode;
-    let app = lab.testbed.trace_app(bench, lab.class).total_time.as_secs_f64();
+    let app = lab
+        .testbed
+        .trace_app(bench, lab.class)
+        .total_time
+        .as_secs_f64();
     let target = app / 20.0;
 
     let mean = lab.prediction_error(
@@ -133,11 +152,8 @@ fn ablation_q_rule(c: &mut Criterion) {
     let k = 10u64;
     for q_factor in [0.25, 0.5, 1.0] {
         let q = (k as f64 * q_factor).max(1.0);
-        let (sig, saturated) = pskel_signature::compress_app(
-            &trace,
-            q,
-            pskel_signature::SignatureOptions::default(),
-        );
+        let (sig, saturated) =
+            pskel_signature::compress_app(&trace, q, pskel_signature::SignatureOptions::default());
         eprintln!(
             "ablation q_rule (IS.B, K={k}): Q={q:.1} -> threshold {:.2}, ratio {:.1}, \
              saturated={saturated}",

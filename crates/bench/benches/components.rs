@@ -16,28 +16,22 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for &nranks in &[2usize, 4, 8] {
         let msgs_per_rank = 200u64;
         g.throughput(Throughput::Elements(nranks as u64 * msgs_per_rank * 2));
-        g.bench_with_input(
-            BenchmarkId::new("ring_msgs", nranks),
-            &nranks,
-            |b, &n| {
-                b.iter(|| {
-                    let sim = Simulation::new(
-                        ClusterSpec::homogeneous(n),
-                        Placement::round_robin(n, n),
-                    );
-                    sim.run(move |ctx| {
-                        let me = ctx.rank();
-                        let right = (me + 1) % ctx.nranks();
-                        let left = (me + ctx.nranks() - 1) % ctx.nranks();
-                        for i in 0..msgs_per_rank {
-                            let s = ctx.isend(right, i, 1000, None);
-                            let r = ctx.irecv(Some(left), Some(i));
-                            ctx.waitall(vec![s, r]);
-                        }
-                    })
+        g.bench_with_input(BenchmarkId::new("ring_msgs", nranks), &nranks, |b, &n| {
+            b.iter(|| {
+                let sim =
+                    Simulation::new(ClusterSpec::homogeneous(n), Placement::round_robin(n, n));
+                sim.run(move |ctx| {
+                    let me = ctx.rank();
+                    let right = (me + 1) % ctx.nranks();
+                    let left = (me + ctx.nranks() - 1) % ctx.nranks();
+                    for i in 0..msgs_per_rank {
+                        let s = ctx.isend(right, i, 1000, None);
+                        let r = ctx.irecv(Some(left), Some(i));
+                        ctx.waitall(vec![s, r]);
+                    }
                 })
-            },
-        );
+            })
+        });
     }
     g.finish();
 }
@@ -45,11 +39,23 @@ fn bench_engine_throughput(c: &mut Criterion) {
 fn bench_collectives(c: &mut Criterion) {
     let mut g = c.benchmark_group("collectives");
     for (name, f) in [
-        ("allreduce_8B", Box::new(|comm: &mut pskel_mpi::Comm| comm.allreduce(8))
-            as Box<dyn Fn(&mut pskel_mpi::Comm) + Send + Sync>),
-        ("alltoall_1MB", Box::new(|comm: &mut pskel_mpi::Comm| comm.alltoall(1_000_000))),
-        ("bcast_64KB", Box::new(|comm: &mut pskel_mpi::Comm| comm.bcast(0, 65_536))),
-        ("barrier", Box::new(|comm: &mut pskel_mpi::Comm| comm.barrier())),
+        (
+            "allreduce_8B",
+            Box::new(|comm: &mut pskel_mpi::Comm| comm.allreduce(8))
+                as Box<dyn Fn(&mut pskel_mpi::Comm) + Send + Sync>,
+        ),
+        (
+            "alltoall_1MB",
+            Box::new(|comm: &mut pskel_mpi::Comm| comm.alltoall(1_000_000)),
+        ),
+        (
+            "bcast_64KB",
+            Box::new(|comm: &mut pskel_mpi::Comm| comm.bcast(0, 65_536)),
+        ),
+        (
+            "barrier",
+            Box::new(|comm: &mut pskel_mpi::Comm| comm.barrier()),
+        ),
     ] {
         let f = std::sync::Arc::new(f);
         g.bench_function(name, |b| {
@@ -101,9 +107,12 @@ fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("construct");
     for &k in &[10u64, 100] {
         g.bench_with_input(BenchmarkId::new("cg_w", k), &k, |b, &k| {
-            let sig =
-                compress_process(&trace.procs[0], (k / 2).max(1) as f64, SignatureOptions::default())
-                    .signature;
+            let sig = compress_process(
+                &trace.procs[0],
+                (k / 2).max(1) as f64,
+                SignatureOptions::default(),
+            )
+            .signature;
             b.iter(|| pskel_core::construct_rank(&sig, k, &ConstructOptions::default()))
         });
     }
@@ -122,7 +131,10 @@ fn bench_trace_overhead(c: &mut Criterion) {
             ClusterSpec::paper_testbed(),
             Placement::round_robin(4, 4),
             "CG.S",
-            TraceConfig { enabled: overhead > 0.0, overhead_secs: overhead },
+            TraceConfig {
+                enabled: overhead > 0.0,
+                overhead_secs: overhead,
+            },
             NasBenchmark::Cg.program(Class::S),
         )
         .total_secs()

@@ -1,14 +1,27 @@
 //! Regenerates every figure of the paper in one run (shared measurement
 //! cache, so this is much cheaper than running the six binaries).
+//!
+//! By default the independent (benchmark × size × scenario) cells are
+//! prewarmed across all cores before rendering; pass `--sequential` to
+//! evaluate lazily on one thread instead. Pass `--store <dir>` to persist
+//! every measurement so a second invocation replays from disk.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
     let t0 = std::time::Instant::now();
-    println!("{}", pskel_predict::report::render_fig2(&pskel_predict::fig2(&mut ctx)));
-    let grid = pskel_predict::fig3(&mut ctx);
+    if !std::env::args().any(|a| a == "--sequential") {
+        ctx.prewarm().expect("prewarming the evaluation grid");
+        eprintln!("prewarm done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    let fig2 = pskel_predict::fig2(&mut ctx).expect("figure 2 evaluation");
+    println!("{}", pskel_predict::report::render_fig2(&fig2));
+    let grid = pskel_predict::fig3(&mut ctx).expect("figure 3 evaluation");
     println!("{}", pskel_predict::report::render_fig3(&grid));
-    println!("{}", pskel_predict::report::render_fig4(&pskel_predict::fig4(&mut ctx)));
+    let fig4 = pskel_predict::fig4(&mut ctx).expect("figure 4 evaluation");
+    println!("{}", pskel_predict::report::render_fig4(&fig4));
     println!("{}", pskel_predict::report::render_fig5(&grid));
-    println!("{}", pskel_predict::report::render_fig6(&pskel_predict::fig6(&mut ctx)));
-    println!("{}", pskel_predict::report::render_fig7(&pskel_predict::fig7(&mut ctx)));
+    let fig6 = pskel_predict::fig6(&mut ctx).expect("figure 6 evaluation");
+    println!("{}", pskel_predict::report::render_fig6(&fig6));
+    let fig7 = pskel_predict::fig7(&mut ctx).expect("figure 7 evaluation");
+    println!("{}", pskel_predict::report::render_fig7(&fig7));
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -7,7 +7,10 @@
 //! ```
 
 use pskel_apps::{Class, NasBenchmark};
-use pskel_predict::{accuracy_vs_comm_fraction, cosched_prediction_dense, probe_cost_comparison, wan_prediction_with, Scenario};
+use pskel_predict::{
+    accuracy_vs_comm_fraction, cosched_prediction_dense, probe_cost_comparison,
+    wan_prediction_with, Scenario,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -93,6 +96,9 @@ fn main() {
         200,
         Scenario::NetOneLink,
     ) {
-        println!("{:26} {:>11.2}s {:>7.1}%", row.method, row.probe_secs, row.error_pct);
+        println!(
+            "{:26} {:>11.2}s {:>7.1}%",
+            row.method, row.probe_secs, row.error_pct
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! and its skeletons.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let rows = pskel_predict::fig2(&mut ctx);
+    let rows = pskel_predict::fig2(&mut ctx).expect("figure 2 evaluation");
     println!("{}", pskel_predict::report::render_fig2(&rows));
     pskel_bench::maybe_emit_json(&rows);
 }

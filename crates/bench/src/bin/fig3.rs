@@ -2,7 +2,7 @@
 //! sizes, averaged over the five sharing scenarios.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let grid = pskel_predict::fig3(&mut ctx);
+    let grid = pskel_predict::fig3(&mut ctx).expect("figure 3 evaluation");
     println!("{}", pskel_predict::report::render_fig3(&grid));
     pskel_bench::maybe_emit_json(&grid);
 }

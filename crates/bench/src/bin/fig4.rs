@@ -2,7 +2,7 @@
 //! good skeleton per benchmark.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let rows = pskel_predict::fig4(&mut ctx);
+    let rows = pskel_predict::fig4(&mut ctx).expect("figure 4 evaluation");
     println!("{}", pskel_predict::report::render_fig4(&rows));
     pskel_bench::maybe_emit_json(&rows);
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 5: prediction error grouped by skeleton size.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let grid = pskel_predict::fig3(&mut ctx);
+    let grid = pskel_predict::fig3(&mut ctx).expect("figure 3 evaluation");
     println!("{}", pskel_predict::report::render_fig5(&grid));
     pskel_bench::maybe_emit_json(&grid);
 }

@@ -2,7 +2,7 @@
 //! scenarios with the largest skeleton.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let grid = pskel_predict::fig6(&mut ctx);
+    let grid = pskel_predict::fig6(&mut ctx).expect("figure 6 evaluation");
     println!("{}", pskel_predict::report::render_fig6(&grid));
     pskel_bench::maybe_emit_json(&grid);
 }

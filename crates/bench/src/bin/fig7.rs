@@ -2,7 +2,7 @@
 //! Class-S and Average baselines under the combined sharing scenario.
 fn main() {
     let mut ctx = pskel_bench::context_from_args();
-    let rows = pskel_predict::fig7(&mut ctx);
+    let rows = pskel_predict::fig7(&mut ctx).expect("figure 7 evaluation");
     println!("{}", pskel_predict::report::render_fig7(&rows));
     pskel_bench::maybe_emit_json(&rows);
 }

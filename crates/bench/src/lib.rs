@@ -13,12 +13,18 @@
 
 use pskel_apps::Class;
 use pskel_predict::{EvalContext, PAPER_SKELETON_SIZES};
+use pskel_store::Store;
 use serde::Serialize;
+use std::sync::Arc;
 
-/// Parse common CLI options of the figure binaries.
+/// Parse common CLI options of the figure binaries: `--class S|W|A|B`
+/// scales the run, `--store <dir>` attaches a content-addressed artifact
+/// cache so repeated invocations replay measurements instead of
+/// re-simulating.
 pub fn context_from_args() -> EvalContext {
     let args: Vec<String> = std::env::args().collect();
     let mut class = Class::B;
+    let mut store_dir: Option<String> = None;
     for i in 0..args.len() {
         if args[i] == "--class" {
             class = match args.get(i + 1).map(String::as_str) {
@@ -29,6 +35,13 @@ pub fn context_from_args() -> EvalContext {
                 other => panic!("unknown class {other:?}; use S, W, A or B"),
             };
         }
+        if args[i] == "--store" {
+            store_dir = Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--store needs a directory argument"))
+                    .clone(),
+            );
+        }
     }
     // Skeleton sizes scale with the class so smaller runs stay meaningful.
     let scale = match class {
@@ -38,7 +51,13 @@ pub fn context_from_args() -> EvalContext {
         Class::S => 0.001,
     };
     let sizes: Vec<f64> = PAPER_SKELETON_SIZES.iter().map(|s| s * scale).collect();
-    EvalContext::new(class, &sizes)
+    let mut ctx = EvalContext::new(class, &sizes);
+    if let Some(dir) = store_dir {
+        let store = Store::open(&dir)
+            .unwrap_or_else(|e| panic!("cannot open artifact store at {dir}: {e}"));
+        ctx.set_store(Arc::new(store));
+    }
+    ctx
 }
 
 /// If `--json` was passed, print the figure's data as JSON (in addition to
@@ -48,6 +67,9 @@ pub fn context_from_args() -> EvalContext {
 pub fn maybe_emit_json<T: Serialize>(data: &T) {
     if std::env::args().any(|a| a == "--json") {
         println!("--- json ---");
-        println!("{}", serde_json::to_string_pretty(data).expect("figure data serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(data).expect("figure data serializes")
+        );
     }
 }

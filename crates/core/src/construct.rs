@@ -63,11 +63,7 @@ impl Default for ConstructOptions {
 }
 
 /// Build one rank's skeleton program from its signature with scaling `k`.
-pub fn construct_rank(
-    sig: &ExecutionSignature,
-    k: u64,
-    opts: &ConstructOptions,
-) -> RankSkeleton {
+pub fn construct_rank(sig: &ExecutionSignature, k: u64, opts: &ConstructOptions) -> RankSkeleton {
     assert!(k >= 1, "scaling factor must be at least 1");
     let mut entries = Vec::new();
     flatten_scaled(&sig.tokens, 1, k, sig, opts, &mut entries);
@@ -103,14 +99,21 @@ pub fn construct_rank(
     if tail >= opts.min_compute_secs {
         push_compute_merged(&mut nodes, tail, 0.0, opts);
     }
-    RankSkeleton { rank: sig.rank, nodes }
+    RankSkeleton {
+        rank: sig.rank,
+        nodes,
+    }
 }
 
 enum Entry {
     Kept(SkelNode),
     /// `mult` consecutive unreduced occurrences of symbol `id`, each
     /// preceded by `compute` seconds of computation.
-    Raw { id: u32, mult: u64, compute: f64 },
+    Raw {
+        id: u32,
+        mult: u64,
+        compute: f64,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -194,9 +197,11 @@ fn flatten_scaled(
 ) {
     for tok in toks {
         match tok {
-            Tok::Sym { id, compute_before } => {
-                out.push(Entry::Raw { id: *id, mult, compute: *compute_before })
-            }
+            Tok::Sym { id, compute_before } => out.push(Entry::Raw {
+                id: *id,
+                mult,
+                compute: *compute_before,
+            }),
             Tok::Loop { count, body } => {
                 let total = count
                     .checked_mul(mult)
@@ -218,11 +223,7 @@ fn flatten_scaled(
 }
 
 /// Convert a kept loop body (original parameters) into skeleton nodes.
-fn body_to_nodes(
-    toks: &[Tok],
-    sig: &ExecutionSignature,
-    opts: &ConstructOptions,
-) -> Vec<SkelNode> {
+fn body_to_nodes(toks: &[Tok], sig: &ExecutionSignature, opts: &ConstructOptions) -> Vec<SkelNode> {
     let mut nodes = Vec::new();
     for tok in toks {
         match tok {
@@ -278,9 +279,7 @@ impl Emitter<'_> {
     fn jitter(&self, id: u32, scale: f64) -> f64 {
         match self.opts.compute_model {
             ComputeModel::Mean => 0.0,
-            ComputeModel::Distribution => {
-                cluster_of(self.sig, id).compute_std_secs() * scale
-            }
+            ComputeModel::Distribution => cluster_of(self.sig, id).compute_std_secs() * scale,
         }
     }
 
@@ -339,8 +338,9 @@ impl Emitter<'_> {
                                 jitter_std: self.jitter(m.id, factor),
                             }));
                         }
-                        self.nodes
-                            .push(SkelNode::Op(op_of(cluster_of(self.sig, m.id)).scaled(factor)));
+                        self.nodes.push(SkelNode::Op(
+                            op_of(cluster_of(self.sig, m.id)).scaled(factor),
+                        ));
                     }
                 } else {
                     // Paper-literal: each leftover occurrence individually
@@ -362,7 +362,10 @@ impl Emitter<'_> {
                     if residue == 1 {
                         self.nodes.extend(body);
                     } else {
-                        self.nodes.push(SkelNode::Loop { count: residue, body });
+                        self.nodes.push(SkelNode::Loop {
+                            count: residue,
+                            body,
+                        });
                     }
                 }
             } else {
@@ -392,7 +395,11 @@ fn push_compute_merged(
     if secs < opts.min_compute_secs && jitter_std == 0.0 {
         return;
     }
-    if let Some(SkelNode::Op(SkelOp::Compute { secs: s, jitter_std: j })) = nodes.last_mut() {
+    if let Some(SkelNode::Op(SkelOp::Compute {
+        secs: s,
+        jitter_std: j,
+    })) = nodes.last_mut()
+    {
         *s += secs;
         *j = (*j * *j + jitter_std * jitter_std).sqrt();
         return;
@@ -420,11 +427,24 @@ pub fn op_of(c: &ClusterInfo) -> SkelOp {
             bytes,
             slot: key.slots[0],
         },
-        OpKind::Recv => SkelOp::Recv { peer: key.peer, tag: key.tag },
-        OpKind::Irecv => SkelOp::Irecv { peer: key.peer, tag: key.tag, slot: key.slots[0] },
+        OpKind::Recv => SkelOp::Recv {
+            peer: key.peer,
+            tag: key.tag,
+        },
+        OpKind::Irecv => SkelOp::Irecv {
+            peer: key.peer,
+            tag: key.tag,
+            slot: key.slots[0],
+        },
         OpKind::Wait => SkelOp::Wait { slot: key.slots[0] },
-        OpKind::Waitall => SkelOp::Waitall { slots: key.slots.clone() },
-        kind => SkelOp::Coll { kind, root: key.peer, bytes },
+        OpKind::Waitall => SkelOp::Waitall {
+            slots: key.slots.clone(),
+        },
+        kind => SkelOp::Coll {
+            kind,
+            root: key.peer,
+            bytes,
+        },
     }
 }
 
@@ -435,7 +455,12 @@ mod tests {
 
     fn send_cluster(peer: u32, bytes: u64) -> ClusterInfo {
         ClusterInfo {
-            key: EventKey { kind: OpKind::Send, peer: Some(peer), tag: Some(0), slots: vec![] },
+            key: EventKey {
+                kind: OpKind::Send,
+                peer: Some(peer),
+                tag: Some(0),
+                slots: vec![],
+            },
             mean_bytes: bytes as f64,
             mean_dur_secs: 1e-4,
             count: 1,
@@ -457,7 +482,10 @@ mod tests {
     }
 
     fn sym(id: u32, c: f64) -> Tok {
-        Tok::Sym { id, compute_before: c }
+        Tok::Sym {
+            id,
+            compute_before: c,
+        }
     }
 
     fn all_ops(nodes: &[SkelNode]) -> Vec<SkelOp> {
@@ -508,10 +536,16 @@ mod tests {
         // Loop of 23 iterations, K=10 -> loop of 2 + a residue representing
         // the 3 leftover iterations (consolidated: one 0.3-scaled op).
         let sig = sig_with(
-            vec![Tok::Loop { count: 23, body: vec![sym(0, 0.1)] }],
+            vec![Tok::Loop {
+                count: 23,
+                body: vec![sym(0, 0.1)],
+            }],
             vec![send_cluster(1, 1000)],
         );
-        let opts = ConstructOptions { consolidate_residue: true, ..Default::default() };
+        let opts = ConstructOptions {
+            consolidate_residue: true,
+            ..Default::default()
+        };
         let skel = construct_rank(&sig, 10, &opts);
         let ops = expanded_ops(&skel.nodes);
         let sends: Vec<u64> = ops
@@ -529,10 +563,16 @@ mod tests {
     #[test]
     fn paper_literal_mode_emits_each_leftover() {
         let sig = sig_with(
-            vec![Tok::Loop { count: 23, body: vec![sym(0, 0.1)] }],
+            vec![Tok::Loop {
+                count: 23,
+                body: vec![sym(0, 0.1)],
+            }],
             vec![send_cluster(1, 1000)],
         );
-        let opts = ConstructOptions { consolidate_residue: false, ..Default::default() };
+        let opts = ConstructOptions {
+            consolidate_residue: false,
+            ..Default::default()
+        };
         let skel = construct_rank(&sig, 10, &opts);
         let sends: Vec<u64> = expanded_ops(&skel.nodes)
             .iter()
@@ -556,7 +596,12 @@ mod tests {
             .filter(|op| matches!(op, SkelOp::Send { .. }))
             .collect();
         assert_eq!(sends.len(), 2);
-        assert!(sends.iter().all(|s| *s == SkelOp::Send { peer: 2, tag: 0, bytes: 500 }));
+        assert!(sends.iter().all(|s| *s
+            == SkelOp::Send {
+                peer: 2,
+                tag: 0,
+                bytes: 500
+            }));
     }
 
     #[test]
@@ -586,7 +631,10 @@ mod tests {
         let sig = sig_with(
             vec![Tok::Loop {
                 count: 12,
-                body: vec![Tok::Loop { count: 20, body: vec![sym(0, 0.01)] }],
+                body: vec![Tok::Loop {
+                    count: 20,
+                    body: vec![sym(0, 0.01)],
+                }],
             }],
             vec![send_cluster(1, 777)],
         );
@@ -610,7 +658,10 @@ mod tests {
     #[test]
     fn k_of_one_replays_the_signature() {
         let sig = sig_with(
-            vec![Tok::Loop { count: 5, body: vec![sym(0, 0.2)] }],
+            vec![Tok::Loop {
+                count: 5,
+                body: vec![sym(0, 0.2)],
+            }],
             vec![send_cluster(1, 100)],
         );
         let skel = construct_rank(&sig, 1, &ConstructOptions::default());
@@ -624,7 +675,10 @@ mod tests {
     #[test]
     fn total_represented_time_shrinks_by_k_exactly() {
         let toks = vec![
-            Tok::Loop { count: 100, body: vec![sym(0, 0.04)] },
+            Tok::Loop {
+                count: 100,
+                body: vec![sym(0, 0.04)],
+            },
             sym(0, 1.0),
         ];
         let sig = sig_with(toks, vec![send_cluster(1, 64)]);
@@ -644,9 +698,17 @@ mod tests {
         let mut c = send_cluster(1, 100);
         c.count = 10;
         c.m2_compute = 0.9; // std = sqrt(0.9/9)
-        let sig = sig_with(vec![Tok::Loop { count: 4, body: vec![sym(0, 0.5)] }], vec![c]);
-        let opts =
-            ConstructOptions { compute_model: ComputeModel::Distribution, ..Default::default() };
+        let sig = sig_with(
+            vec![Tok::Loop {
+                count: 4,
+                body: vec![sym(0, 0.5)],
+            }],
+            vec![c],
+        );
+        let opts = ConstructOptions {
+            compute_model: ComputeModel::Distribution,
+            ..Default::default()
+        };
         let skel = construct_rank(&sig, 2, &opts);
         let jitters: Vec<f64> = all_ops(&skel.nodes)
             .into_iter()
@@ -656,7 +718,9 @@ mod tests {
             })
             .collect();
         assert!(!jitters.is_empty());
-        assert!(jitters.iter().all(|&j| (j - (0.9f64 / 9.0).sqrt()).abs() < 1e-12));
+        assert!(jitters
+            .iter()
+            .all(|&j| (j - (0.9f64 / 9.0).sqrt()).abs() < 1e-12));
     }
 
     #[test]

@@ -44,12 +44,7 @@ fn run_nodes(
     }
 }
 
-fn run_op(
-    op: &SkelOp,
-    comm: &mut Comm,
-    slots: &mut HashMap<u32, CommReq>,
-    rng: &mut ChaCha8Rng,
-) {
+fn run_op(op: &SkelOp, comm: &mut Comm, slots: &mut HashMap<u32, CommReq>, rng: &mut ChaCha8Rng) {
     match op {
         SkelOp::Compute { secs, jitter_std } => {
             let dur = if *jitter_std > 0.0 {
@@ -60,7 +55,12 @@ fn run_op(
             comm.compute(dur);
         }
         SkelOp::Send { peer, tag, bytes } => comm.send(*peer as usize, *tag, *bytes),
-        SkelOp::Isend { peer, tag, bytes, slot } => {
+        SkelOp::Isend {
+            peer,
+            tag,
+            bytes,
+            slot,
+        } => {
             let req = comm.isend(*peer as usize, *tag, *bytes);
             let prev = slots.insert(*slot, req);
             assert!(prev.is_none(), "slot {slot} reused before wait");
@@ -136,7 +136,10 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { seed: 0x5eed, trace: TraceConfig::off() }
+        ExecOptions {
+            seed: 0x5eed,
+            trace: TraceConfig::off(),
+        }
     }
 }
 
@@ -187,7 +190,10 @@ mod tests {
     }
 
     fn compute(secs: f64) -> SkelNode {
-        SkelNode::Op(SkelOp::Compute { secs, jitter_std: 0.0 })
+        SkelNode::Op(SkelOp::Compute {
+            secs,
+            jitter_std: 0.0,
+        })
     }
 
     #[test]
@@ -199,12 +205,19 @@ mod tests {
                     rank: 0,
                     nodes: vec![
                         compute(0.1),
-                        SkelNode::Op(SkelOp::Send { peer: 1, tag: 0, bytes: 1000 }),
+                        SkelNode::Op(SkelOp::Send {
+                            peer: 1,
+                            tag: 0,
+                            bytes: 1000,
+                        }),
                     ],
                 },
                 RankSkeleton {
                     rank: 1,
-                    nodes: vec![SkelNode::Op(SkelOp::Recv { peer: Some(0), tag: Some(0) })],
+                    nodes: vec![SkelNode::Op(SkelOp::Recv {
+                        peer: Some(0),
+                        tag: Some(0),
+                    })],
                 },
             ],
             meta: meta(),
@@ -225,8 +238,17 @@ mod tests {
             vec![SkelNode::Loop {
                 count: 5,
                 body: vec![
-                    SkelNode::Op(SkelOp::Isend { peer: 0, tag: 1, bytes: 64, slot: 0 }),
-                    SkelNode::Op(SkelOp::Irecv { peer: None, tag: Some(1), slot: 1 }),
+                    SkelNode::Op(SkelOp::Isend {
+                        peer: 0,
+                        tag: 1,
+                        bytes: 64,
+                        slot: 0,
+                    }),
+                    SkelNode::Op(SkelOp::Irecv {
+                        peer: None,
+                        tag: Some(1),
+                        slot: 1,
+                    }),
                     compute(0.01),
                     SkelNode::Op(SkelOp::Waitall { slots: vec![0, 1] }),
                 ],
@@ -260,13 +282,30 @@ mod tests {
     #[test]
     fn collectives_execute() {
         let nodes = vec![
-            SkelNode::Op(SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 }),
-            SkelNode::Op(SkelOp::Coll { kind: OpKind::Alltoallv, root: None, bytes: 10_000 }),
-            SkelNode::Op(SkelOp::Coll { kind: OpKind::Barrier, root: None, bytes: 0 }),
+            SkelNode::Op(SkelOp::Coll {
+                kind: OpKind::Allreduce,
+                root: None,
+                bytes: 8,
+            }),
+            SkelNode::Op(SkelOp::Coll {
+                kind: OpKind::Alltoallv,
+                root: None,
+                bytes: 10_000,
+            }),
+            SkelNode::Op(SkelOp::Coll {
+                kind: OpKind::Barrier,
+                root: None,
+                bytes: 0,
+            }),
         ];
         let skeleton = Skeleton {
             app: "colls".into(),
-            ranks: (0..4).map(|r| RankSkeleton { rank: r, nodes: nodes.clone() }).collect(),
+            ranks: (0..4)
+                .map(|r| RankSkeleton {
+                    rank: r,
+                    nodes: nodes.clone(),
+                })
+                .collect(),
             meta: meta(),
         };
         let out = run_skeleton(
@@ -282,7 +321,10 @@ mod tests {
     fn jittered_compute_is_deterministic_per_seed() {
         let nodes = vec![SkelNode::Loop {
             count: 20,
-            body: vec![SkelNode::Op(SkelOp::Compute { secs: 0.01, jitter_std: 0.002 })],
+            body: vec![SkelNode::Op(SkelOp::Compute {
+                secs: 0.01,
+                jitter_std: 0.002,
+            })],
         }];
         let skeleton = Skeleton {
             app: "jitter".into(),
@@ -294,7 +336,10 @@ mod tests {
                 &skeleton,
                 ClusterSpec::homogeneous(1),
                 Placement::round_robin(1, 1),
-                ExecOptions { seed, trace: TraceConfig::off() },
+                ExecOptions {
+                    seed,
+                    trace: TraceConfig::off(),
+                },
             )
             .total_secs()
         };
@@ -315,11 +360,19 @@ mod tests {
             ranks: vec![
                 RankSkeleton {
                     rank: 0,
-                    nodes: vec![SkelNode::Op(SkelOp::Isend { peer: 1, tag: 0, bytes: 8, slot: 0 })],
+                    nodes: vec![SkelNode::Op(SkelOp::Isend {
+                        peer: 1,
+                        tag: 0,
+                        bytes: 8,
+                        slot: 0,
+                    })],
                 },
                 RankSkeleton {
                     rank: 1,
-                    nodes: vec![SkelNode::Op(SkelOp::Recv { peer: Some(0), tag: Some(0) })],
+                    nodes: vec![SkelNode::Op(SkelOp::Recv {
+                        peer: Some(0),
+                        tag: Some(0),
+                    })],
                 },
             ],
             meta: meta(),

@@ -113,9 +113,15 @@ pub fn analyze_app(sig: &AppSignature) -> GoodAnalysis {
         max_k = max_k.min(a.dominant_count);
     }
     if sig.sigs.is_empty() {
-        return GoodAnalysis { min_good_secs: 0.0, max_good_k: 1 };
+        return GoodAnalysis {
+            min_good_secs: 0.0,
+            max_good_k: 1,
+        };
     }
-    GoodAnalysis { min_good_secs: min_good, max_good_k: max_k.max(1) }
+    GoodAnalysis {
+        min_good_secs: min_good,
+        max_good_k: max_k.max(1),
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +132,12 @@ mod tests {
 
     fn cluster(dur: f64) -> ClusterInfo {
         ClusterInfo {
-            key: EventKey { kind: OpKind::Send, peer: Some(1), tag: Some(0), slots: vec![] },
+            key: EventKey {
+                kind: OpKind::Send,
+                peer: Some(1),
+                tag: Some(0),
+                slots: vec![],
+            },
             mean_bytes: 100.0,
             mean_dur_secs: dur,
             count: 1,
@@ -137,7 +148,14 @@ mod tests {
 
     fn sig(tokens: Vec<Tok>, clusters: Vec<ClusterInfo>) -> ExecutionSignature {
         let trace_len = tokens.iter().map(Tok::expanded_len).sum();
-        ExecutionSignature { rank: 0, tokens, clusters, tail_compute: 0.0, trace_len, threshold: 0.0 }
+        ExecutionSignature {
+            rank: 0,
+            tokens,
+            clusters,
+            tail_compute: 0.0,
+            trace_len,
+            threshold: 0.0,
+        }
     }
 
     #[test]
@@ -146,8 +164,20 @@ mod tests {
         // Loop B: 5 iters x (1.0 compute + 0.001 op) ≈ 5.0 s  <- dominant
         let s = sig(
             vec![
-                Tok::Loop { count: 100, body: vec![Tok::Sym { id: 0, compute_before: 0.01 }] },
-                Tok::Loop { count: 5, body: vec![Tok::Sym { id: 0, compute_before: 1.0 }] },
+                Tok::Loop {
+                    count: 100,
+                    body: vec![Tok::Sym {
+                        id: 0,
+                        compute_before: 0.01,
+                    }],
+                },
+                Tok::Loop {
+                    count: 5,
+                    body: vec![Tok::Sym {
+                        id: 0,
+                        compute_before: 1.0,
+                    }],
+                },
             ],
             vec![cluster(0.001)],
         );
@@ -168,7 +198,10 @@ mod tests {
                 count: 10,
                 body: vec![Tok::Loop {
                     count: 50,
-                    body: vec![Tok::Sym { id: 0, compute_before: 0.01 }],
+                    body: vec![Tok::Sym {
+                        id: 0,
+                        compute_before: 0.01,
+                    }],
                 }],
             }],
             vec![cluster(0.001)],
@@ -185,14 +218,24 @@ mod tests {
         // is the 250-repetition timestep loop.
         let inner = |id: u32| Tok::Loop {
             count: 25,
-            body: vec![Tok::Sym { id, compute_before: 0.04 }],
+            body: vec![Tok::Sym {
+                id,
+                compute_before: 0.04,
+            }],
         };
         let s = sig(
             vec![Tok::Loop {
                 count: 250,
                 // Two pipelines plus per-timestep work outside them, so
                 // each inner loop covers less than half the total.
-                body: vec![inner(0), inner(1), Tok::Sym { id: 2, compute_before: 0.5 }],
+                body: vec![
+                    inner(0),
+                    inner(1),
+                    Tok::Sym {
+                        id: 2,
+                        compute_before: 0.5,
+                    },
+                ],
             }],
             vec![cluster(0.0), cluster(0.0), cluster(0.0)],
         );
@@ -202,7 +245,13 @@ mod tests {
 
     #[test]
     fn no_loops_means_k_of_one() {
-        let s = sig(vec![Tok::Sym { id: 0, compute_before: 1.0 }], vec![cluster(0.001)]);
+        let s = sig(
+            vec![Tok::Sym {
+                id: 0,
+                compute_before: 1.0,
+            }],
+            vec![cluster(0.001)],
+        );
         let a = analyze_rank(&s);
         assert_eq!(a.dominant_count, 1);
         assert!(a.min_good_secs > 0.9);
@@ -211,22 +260,48 @@ mod tests {
     #[test]
     fn app_analysis_takes_worst_rank() {
         let fast = sig(
-            vec![Tok::Loop { count: 100, body: vec![Tok::Sym { id: 0, compute_before: 0.1 }] }],
+            vec![Tok::Loop {
+                count: 100,
+                body: vec![Tok::Sym {
+                    id: 0,
+                    compute_before: 0.1,
+                }],
+            }],
             vec![cluster(0.0)],
         );
         let slow = sig(
-            vec![Tok::Loop { count: 10, body: vec![Tok::Sym { id: 0, compute_before: 1.0 }] }],
+            vec![Tok::Loop {
+                count: 10,
+                body: vec![Tok::Sym {
+                    id: 0,
+                    compute_before: 1.0,
+                }],
+            }],
             vec![cluster(0.0)],
         );
-        let app = AppSignature { app: "x".into(), sigs: vec![fast, slow], app_time_secs: 10.0 };
+        let app = AppSignature {
+            app: "x".into(),
+            sigs: vec![fast, slow],
+            app_time_secs: 10.0,
+        };
         let g = analyze_app(&app);
-        assert_eq!(g.max_good_k, 10, "limited by the rank with the fewest iterations");
-        assert!((g.min_good_secs - 1.0).abs() < 1e-9, "1 s per dominant iteration");
+        assert_eq!(
+            g.max_good_k, 10,
+            "limited by the rank with the fewest iterations"
+        );
+        assert!(
+            (g.min_good_secs - 1.0).abs() < 1e-9,
+            "1 s per dominant iteration"
+        );
     }
 
     #[test]
     fn empty_app_is_degenerate() {
-        let app = AppSignature { app: "x".into(), sigs: vec![], app_time_secs: 0.0 };
+        let app = AppSignature {
+            app: "x".into(),
+            sigs: vec![],
+            app_time_secs: 0.0,
+        };
         let g = analyze_app(&app);
         assert_eq!(g.max_good_k, 1);
     }

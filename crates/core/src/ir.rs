@@ -14,15 +14,42 @@ pub enum SkelOp {
     /// Busy-loop computation for `secs` CPU-seconds. `jitter_std` > 0
     /// (frequency-distribution mode, the paper's §4.4 extension) makes the
     /// executor sample the duration from N(secs, jitter_std²), clamped ≥ 0.
-    Compute { secs: f64, jitter_std: f64 },
-    Send { peer: u32, tag: u64, bytes: u64 },
-    Isend { peer: u32, tag: u64, bytes: u64, slot: u32 },
-    Recv { peer: Option<u32>, tag: Option<u64> },
-    Irecv { peer: Option<u32>, tag: Option<u64>, slot: u32 },
-    Wait { slot: u32 },
-    Waitall { slots: Vec<u32> },
+    Compute {
+        secs: f64,
+        jitter_std: f64,
+    },
+    Send {
+        peer: u32,
+        tag: u64,
+        bytes: u64,
+    },
+    Isend {
+        peer: u32,
+        tag: u64,
+        bytes: u64,
+        slot: u32,
+    },
+    Recv {
+        peer: Option<u32>,
+        tag: Option<u64>,
+    },
+    Irecv {
+        peer: Option<u32>,
+        tag: Option<u64>,
+        slot: u32,
+    },
+    Wait {
+        slot: u32,
+    },
+    Waitall {
+        slots: Vec<u32>,
+    },
     /// A collective call; `bytes` is the per-rank contribution.
-    Coll { kind: OpKind, root: Option<u32>, bytes: u64 },
+    Coll {
+        kind: OpKind,
+        root: Option<u32>,
+        bytes: u64,
+    },
 }
 
 impl SkelOp {
@@ -31,24 +58,37 @@ impl SkelOp {
     /// zero-byte ops) cannot shrink — the paper's acknowledged weakness of
     /// "last resort" scaling (§3.3).
     pub fn scaled(&self, factor: f64) -> SkelOp {
-        debug_assert!(factor > 0.0 && factor <= 1.0, "scale factor {factor} out of range");
+        debug_assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor {factor} out of range"
+        );
         let scale_bytes = |b: u64| ((b as f64 * factor).round() as u64).max(1.min(b));
         match self {
-            SkelOp::Compute { secs, jitter_std } => {
-                SkelOp::Compute { secs: secs * factor, jitter_std: jitter_std * factor }
-            }
-            SkelOp::Send { peer, tag, bytes } => {
-                SkelOp::Send { peer: *peer, tag: *tag, bytes: scale_bytes(*bytes) }
-            }
-            SkelOp::Isend { peer, tag, bytes, slot } => SkelOp::Isend {
+            SkelOp::Compute { secs, jitter_std } => SkelOp::Compute {
+                secs: secs * factor,
+                jitter_std: jitter_std * factor,
+            },
+            SkelOp::Send { peer, tag, bytes } => SkelOp::Send {
+                peer: *peer,
+                tag: *tag,
+                bytes: scale_bytes(*bytes),
+            },
+            SkelOp::Isend {
+                peer,
+                tag,
+                bytes,
+                slot,
+            } => SkelOp::Isend {
                 peer: *peer,
                 tag: *tag,
                 bytes: scale_bytes(*bytes),
                 slot: *slot,
             },
-            SkelOp::Coll { kind, root, bytes } => {
-                SkelOp::Coll { kind: *kind, root: *root, bytes: scale_bytes(*bytes) }
-            }
+            SkelOp::Coll { kind, root, bytes } => SkelOp::Coll {
+                kind: *kind,
+                root: *root,
+                bytes: scale_bytes(*bytes),
+            },
             // Receives take their size from the sender; waits have no size.
             other => other.clone(),
         }
@@ -71,7 +111,10 @@ impl SkelOp {
             SkelOp::Wait { slot } => format!("wait({slot})"),
             SkelOp::Waitall { slots } => format!("waitall({})", slots.len()),
             SkelOp::Coll { kind, bytes, .. } => {
-                format!("{}({bytes})", kind.mpi_name().trim_start_matches("MPI_").to_lowercase())
+                format!(
+                    "{}({bytes})",
+                    kind.mpi_name().trim_start_matches("MPI_").to_lowercase()
+                )
             }
         }
     }
@@ -163,9 +206,23 @@ mod tests {
 
     #[test]
     fn scaling_shrinks_compute_and_bytes() {
-        let op = SkelOp::Send { peer: 1, tag: 0, bytes: 1000 };
-        assert_eq!(op.scaled(0.5), SkelOp::Send { peer: 1, tag: 0, bytes: 500 });
-        let c = SkelOp::Compute { secs: 2.0, jitter_std: 0.2 };
+        let op = SkelOp::Send {
+            peer: 1,
+            tag: 0,
+            bytes: 1000,
+        };
+        assert_eq!(
+            op.scaled(0.5),
+            SkelOp::Send {
+                peer: 1,
+                tag: 0,
+                bytes: 500
+            }
+        );
+        let c = SkelOp::Compute {
+            secs: 2.0,
+            jitter_std: 0.2,
+        };
         match c.scaled(0.25) {
             SkelOp::Compute { secs, jitter_std } => {
                 assert!((secs - 0.5).abs() < 1e-12);
@@ -177,10 +234,25 @@ mod tests {
 
     #[test]
     fn scaling_never_drops_nonzero_messages_to_zero() {
-        let op = SkelOp::Send { peer: 1, tag: 0, bytes: 3 };
-        assert_eq!(op.scaled(0.001), SkelOp::Send { peer: 1, tag: 0, bytes: 1 });
+        let op = SkelOp::Send {
+            peer: 1,
+            tag: 0,
+            bytes: 3,
+        };
+        assert_eq!(
+            op.scaled(0.001),
+            SkelOp::Send {
+                peer: 1,
+                tag: 0,
+                bytes: 1
+            }
+        );
         // Zero-byte ops stay zero.
-        let z = SkelOp::Coll { kind: OpKind::Barrier, root: None, bytes: 0 };
+        let z = SkelOp::Coll {
+            kind: OpKind::Barrier,
+            root: None,
+            bytes: 0,
+        };
         assert_eq!(z.scaled(0.5), z);
     }
 
@@ -188,7 +260,10 @@ mod tests {
     fn scaling_leaves_waits_alone() {
         let w = SkelOp::Wait { slot: 3 };
         assert_eq!(w.scaled(0.01), w);
-        let r = SkelOp::Recv { peer: Some(1), tag: Some(0) };
+        let r = SkelOp::Recv {
+            peer: Some(1),
+            tag: Some(0),
+        };
         assert_eq!(r.scaled(0.01), r);
     }
 
@@ -197,7 +272,10 @@ mod tests {
         let tree = SkelNode::Loop {
             count: 10,
             body: vec![
-                SkelNode::Op(SkelOp::Compute { secs: 1.0, jitter_std: 0.0 }),
+                SkelNode::Op(SkelOp::Compute {
+                    secs: 1.0,
+                    jitter_std: 0.0,
+                }),
                 SkelNode::Loop {
                     count: 3,
                     body: vec![SkelNode::Op(SkelOp::Wait { slot: 0 })],
@@ -210,11 +288,31 @@ mod tests {
 
     #[test]
     fn mnemonics_are_stable() {
-        assert_eq!(SkelOp::Send { peer: 2, tag: 0, bytes: 64 }.mnemonic(), "send(2,64)");
         assert_eq!(
-            SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 }.mnemonic(),
+            SkelOp::Send {
+                peer: 2,
+                tag: 0,
+                bytes: 64
+            }
+            .mnemonic(),
+            "send(2,64)"
+        );
+        assert_eq!(
+            SkelOp::Coll {
+                kind: OpKind::Allreduce,
+                root: None,
+                bytes: 8
+            }
+            .mnemonic(),
             "allreduce(8)"
         );
-        assert_eq!(SkelOp::Recv { peer: None, tag: None }.mnemonic(), "recv(*)");
+        assert_eq!(
+            SkelOp::Recv {
+                peer: None,
+                tag: None
+            }
+            .mnemonic(),
+            "recv(*)"
+        );
     }
 }

@@ -65,7 +65,11 @@ impl SkeletonBuilder {
             if issues.is_empty() {
                 break (signature, saturated, ranks, issues);
             }
-            let used = signature.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max);
+            let used = signature
+                .sigs
+                .iter()
+                .map(|s| s.threshold)
+                .fold(0.0f64, f64::max);
             let next_floor = used + sig_opts.threshold_step;
             if next_floor > sig_opts.max_threshold + 1e-12 {
                 break (signature, saturated, ranks, issues);
@@ -74,8 +78,11 @@ impl SkeletonBuilder {
         };
 
         let good = analyze_app(&signature);
-        let max_threshold =
-            signature.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max);
+        let max_threshold = signature
+            .sigs
+            .iter()
+            .map(|s| s.threshold)
+            .fold(0.0f64, f64::max);
         let is_good = k <= good.max_good_k;
 
         let mut warnings = Vec::new();
@@ -113,12 +120,17 @@ impl SkeletonBuilder {
                 good: is_good,
             },
         };
-        BuiltSkeleton { skeleton, signature, warnings }
+        BuiltSkeleton {
+            skeleton,
+            signature,
+            warnings,
+        }
     }
 }
 
-/// Result of the construction pipeline.
-#[derive(Clone, Debug)]
+/// Result of the construction pipeline. Serializable so the artifact
+/// store can persist built skeletons across runs.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BuiltSkeleton {
     pub skeleton: Skeleton,
     pub signature: AppSignature,

@@ -31,13 +31,19 @@ pub struct ReplayScale {
 impl ReplayScale {
     /// Verbatim replay.
     pub fn full() -> ReplayScale {
-        ReplayScale { compute: 1.0, bytes: 1.0 }
+        ReplayScale {
+            compute: 1.0,
+            bytes: 1.0,
+        }
     }
 
     /// The naive 1/K scaling of the whole trace.
     pub fn naive(k: u64) -> ReplayScale {
         let f = 1.0 / k as f64;
-        ReplayScale { compute: f, bytes: f }
+        ReplayScale {
+            compute: f,
+            bytes: f,
+        }
     }
 }
 
@@ -60,8 +66,7 @@ pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
                 match e.kind {
                     OpKind::Send => comm.send(peer.expect("send peer"), e.tag.unwrap_or(0), bytes),
                     OpKind::Isend => {
-                        let req =
-                            comm.isend(peer.expect("isend peer"), e.tag.unwrap_or(0), bytes);
+                        let req = comm.isend(peer.expect("isend peer"), e.tag.unwrap_or(0), bytes);
                         slots.insert(e.slots[0], req);
                     }
                     OpKind::Recv => {
@@ -121,9 +126,7 @@ pub fn replay_trace(
         .procs
         .iter()
         .cloned()
-        .map(|p| {
-            Box::new(move |comm: &mut Comm| replay_rank(&p, comm, scale)) as MpiProgram
-        })
+        .map(|p| Box::new(move |comm: &mut Comm| replay_rank(&p, comm, scale)) as MpiProgram)
         .collect();
     run_mpi_fns(cluster, placement, &name, TraceConfig::off(), programs)
 }
@@ -180,7 +183,10 @@ mod tests {
             ReplayScale::naive(10),
         );
         let t = out.total_secs();
-        assert!(t < original / 2.0, "scaled replay too slow: {t} vs {original}");
+        assert!(
+            t < original / 2.0,
+            "scaled replay too slow: {t} vs {original}"
+        );
         // But nowhere near original/10: per-op latency doesn't scale.
         assert!(
             t > original / 10.0,
@@ -208,6 +214,9 @@ mod tests {
             ReplayScale::full(),
         )
         .total_secs();
-        assert!(loaded > free * 1.1, "contention must slow replay: {free} -> {loaded}");
+        assert!(
+            loaded > free * 1.1,
+            "contention must slow replay: {free} -> {loaded}"
+        );
     }
 }

@@ -88,9 +88,7 @@ pub fn validate_ranks(ranks: &[crate::ir::RankSkeleton]) -> Vec<String> {
         for ((src, tag), want) in per_src {
             let have: u64 = sends
                 .iter()
-                .filter(|((s, d, t), _)| {
-                    *s == src && *d == dst && tag.is_none_or(|tt| *t == tt)
-                })
+                .filter(|((s, d, t), _)| *s == src && *d == dst && tag.is_none_or(|tt| *t == tt))
                 .map(|(_, c)| *c)
                 .sum();
             if want > have {
@@ -132,7 +130,11 @@ mod tests {
     }
 
     fn send(peer: u32) -> SkelNode {
-        SkelNode::Op(SkelOp::Send { peer, tag: 0, bytes: 100 })
+        SkelNode::Op(SkelOp::Send {
+            peer,
+            tag: 0,
+            bytes: 100,
+        })
     }
 
     fn recv(peer: Option<u32>) -> SkelNode {
@@ -144,8 +146,14 @@ mod tests {
         let s = Skeleton {
             app: "x".into(),
             ranks: vec![
-                RankSkeleton { rank: 0, nodes: vec![send(1), recv(Some(1))] },
-                RankSkeleton { rank: 1, nodes: vec![send(0), recv(Some(0))] },
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![send(1), recv(Some(1))],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![send(0), recv(Some(0))],
+                },
             ],
             meta: meta(),
         };
@@ -157,8 +165,14 @@ mod tests {
         let s = Skeleton {
             app: "x".into(),
             ranks: vec![
-                RankSkeleton { rank: 0, nodes: vec![send(1)] },
-                RankSkeleton { rank: 1, nodes: vec![] },
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![send(1)],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![],
+                },
             ],
             meta: meta(),
         };
@@ -174,11 +188,17 @@ mod tests {
             ranks: vec![
                 RankSkeleton {
                     rank: 0,
-                    nodes: vec![SkelNode::Loop { count: 5, body: vec![send(1)] }],
+                    nodes: vec![SkelNode::Loop {
+                        count: 5,
+                        body: vec![send(1)],
+                    }],
                 },
                 RankSkeleton {
                     rank: 1,
-                    nodes: vec![SkelNode::Loop { count: 5, body: vec![recv(Some(0))] }],
+                    nodes: vec![SkelNode::Loop {
+                        count: 5,
+                        body: vec![recv(Some(0))],
+                    }],
                 },
             ],
             meta: meta(),
@@ -188,12 +208,22 @@ mod tests {
 
     #[test]
     fn collective_sequence_mismatch_is_reported() {
-        let allred = SkelNode::Op(SkelOp::Coll { kind: OpKind::Allreduce, root: None, bytes: 8 });
+        let allred = SkelNode::Op(SkelOp::Coll {
+            kind: OpKind::Allreduce,
+            root: None,
+            bytes: 8,
+        });
         let s = Skeleton {
             app: "x".into(),
             ranks: vec![
-                RankSkeleton { rank: 0, nodes: vec![allred.clone(), allred.clone()] },
-                RankSkeleton { rank: 1, nodes: vec![allred] },
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![allred.clone(), allred.clone()],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![allred],
+                },
             ],
             meta: meta(),
         };
@@ -206,9 +236,18 @@ mod tests {
         let s = Skeleton {
             app: "x".into(),
             ranks: vec![
-                RankSkeleton { rank: 0, nodes: vec![recv(None), recv(None)] },
-                RankSkeleton { rank: 1, nodes: vec![send(0)] },
-                RankSkeleton { rank: 2, nodes: vec![send(0)] },
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![recv(None), recv(None)],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![send(0)],
+                },
+                RankSkeleton {
+                    rank: 2,
+                    nodes: vec![send(0)],
+                },
             ],
             meta: meta(),
         };
@@ -220,13 +259,24 @@ mod tests {
         let s = Skeleton {
             app: "x".into(),
             ranks: vec![
-                RankSkeleton { rank: 0, nodes: vec![recv(Some(1)), recv(Some(1))] },
-                RankSkeleton { rank: 1, nodes: vec![send(0)] },
-                RankSkeleton { rank: 2, nodes: vec![send(0)] },
+                RankSkeleton {
+                    rank: 0,
+                    nodes: vec![recv(Some(1)), recv(Some(1))],
+                },
+                RankSkeleton {
+                    rank: 1,
+                    nodes: vec![send(0)],
+                },
+                RankSkeleton {
+                    rank: 2,
+                    nodes: vec![send(0)],
+                },
             ],
             meta: meta(),
         };
         let issues = validate(&s);
-        assert!(issues.iter().any(|i| i.contains("posts 2 receives from rank 1")));
+        assert!(issues
+            .iter()
+            .any(|i| i.contains("posts 2 receives from rank 1")));
     }
 }

@@ -12,7 +12,12 @@ use pskel_trace::OpKind;
 /// random composition is a valid single-rank program shape).
 fn clusters() -> Vec<ClusterInfo> {
     let mk = |kind: OpKind, peer: Option<u32>, bytes: f64| ClusterInfo {
-        key: EventKey { kind, peer, tag: Some(0), slots: vec![] },
+        key: EventKey {
+            kind,
+            peer,
+            tag: Some(0),
+            slots: vec![],
+        },
         mean_bytes: bytes,
         mean_dur_secs: 1e-5,
         count: 1,
@@ -29,8 +34,10 @@ fn clusters() -> Vec<ClusterInfo> {
 }
 
 fn arb_tokens(depth: u32) -> BoxedStrategy<Vec<Tok>> {
-    let sym = (0..5u32, 0.0..0.1f64)
-        .prop_map(|(id, c)| Tok::Sym { id, compute_before: c });
+    let sym = (0..5u32, 0.0..0.1f64).prop_map(|(id, c)| Tok::Sym {
+        id,
+        compute_before: c,
+    });
     if depth == 0 {
         prop::collection::vec(sym, 1..6).boxed()
     } else {

@@ -137,7 +137,11 @@ impl Comm<'_> {
 
     /// Allgather with per-rank contribution sizes.
     pub fn allgatherv(&mut self, counts: &[u64]) {
-        assert_eq!(counts.len(), self.size(), "allgatherv needs one count per rank");
+        assert_eq!(
+            counts.len(),
+            self.size(),
+            "allgatherv needs one count per rank"
+        );
         let start = self.begin_collective();
         self.ring_allgather_core(counts);
         let mine = counts[self.rank()];
@@ -173,7 +177,11 @@ impl Comm<'_> {
     /// All ranks must pass mutually consistent matrices (as in MPI, where
     /// recv counts are supplied explicitly).
     pub fn alltoallv(&mut self, send_counts: &[u64]) {
-        assert_eq!(send_counts.len(), self.size(), "alltoallv needs one count per rank");
+        assert_eq!(
+            send_counts.len(),
+            self.size(),
+            "alltoallv needs one count per rank"
+        );
         let start = self.begin_collective();
         self.alltoall_core(send_counts);
         let total: u64 = send_counts.iter().sum();
@@ -201,7 +209,11 @@ impl Comm<'_> {
         let n = self.size();
         let me = self.rank();
         if n > 1 {
-            let pow2 = if n.is_power_of_two() { n } else { n.next_power_of_two() / 2 };
+            let pow2 = if n.is_power_of_two() {
+                n
+            } else {
+                n.next_power_of_two() / 2
+            };
             let rem = n - pow2;
             // Fold extra ranks into the power-of-two set.
             let participates = if me >= pow2 {

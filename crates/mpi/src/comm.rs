@@ -48,7 +48,11 @@ pub struct Tracer {
 
 impl Tracer {
     pub fn new() -> Tracer {
-        Tracer { records: Vec::new(), last_end: SimTime::ZERO, overhead_secs: 0.0 }
+        Tracer {
+            records: Vec::new(),
+            last_end: SimTime::ZERO,
+            overhead_secs: 0.0,
+        }
     }
 }
 
@@ -86,11 +90,7 @@ impl<'a> Comm<'a> {
 
     /// Wrap a rank context as a member of a communicator over `group`
     /// (world ranks, which must include this rank exactly once).
-    pub fn with_group(
-        ctx: &'a mut SimCtx,
-        tracer: Option<Tracer>,
-        group: Vec<usize>,
-    ) -> Comm<'a> {
+    pub fn with_group(ctx: &'a mut SimCtx, tracer: Option<Tracer>, group: Vec<usize>) -> Comm<'a> {
         let me = ctx.rank();
         let group_rank = group
             .iter()
@@ -124,10 +124,12 @@ impl<'a> Comm<'a> {
 
     /// Translate a group rank to the underlying world rank.
     fn world(&self, group_rank: usize) -> usize {
-        *self
-            .group
-            .get(group_rank)
-            .unwrap_or_else(|| panic!("rank {group_rank} outside communicator of size {}", self.group.len()))
+        *self.group.get(group_rank).unwrap_or_else(|| {
+            panic!(
+                "rank {group_rank} outside communicator of size {}",
+                self.group.len()
+            )
+        })
     }
 
     /// Translate a world rank back to this group (panics if foreign —
@@ -195,7 +197,15 @@ impl<'a> Comm<'a> {
             if !gap.is_zero() {
                 t.records.push(Record::Compute { dur: gap });
             }
-            t.records.push(Record::Mpi(MpiEvent { kind, peer, tag, bytes, slots, start, end }));
+            t.records.push(Record::Mpi(MpiEvent {
+                kind,
+                peer,
+                tag,
+                bytes,
+                slots,
+                start,
+                end,
+            }));
             t.last_end = end;
         }
     }
@@ -216,7 +226,11 @@ impl<'a> Comm<'a> {
             if !gap.is_zero() {
                 t.records.push(Record::Compute { dur: gap });
             }
-            ProcessTrace { rank, records: t.records, finish: now }
+            ProcessTrace {
+                rank,
+                records: t.records,
+                finish: now,
+            }
         })
     }
 
@@ -224,21 +238,41 @@ impl<'a> Comm<'a> {
 
     /// Blocking send of `bytes` with `tag` to `dst`.
     pub fn send(&mut self, dst: usize, tag: u64, bytes: u64) {
-        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
         let start = self.begin();
         let wdst = self.world(dst);
         self.ctx.send(wdst, tag, bytes, None);
-        self.end(start, OpKind::Send, Some(dst as u32), Some(tag), bytes, vec![]);
+        self.end(
+            start,
+            OpKind::Send,
+            Some(dst as u32),
+            Some(tag),
+            bytes,
+            vec![],
+        );
     }
 
     /// Blocking send carrying a payload.
     pub fn send_with_payload(&mut self, dst: usize, tag: u64, payload: Vec<u8>) {
-        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
         let bytes = payload.len() as u64;
         let start = self.begin();
         let wdst = self.world(dst);
         self.ctx.send(wdst, tag, bytes, Some(payload));
-        self.end(start, OpKind::Send, Some(dst as u32), Some(tag), bytes, vec![]);
+        self.end(
+            start,
+            OpKind::Send,
+            Some(dst as u32),
+            Some(tag),
+            bytes,
+            vec![],
+        );
     }
 
     /// Blocking receive; `src`/`tag` of `None` mean any-source/any-tag.
@@ -260,12 +294,22 @@ impl<'a> Comm<'a> {
 
     /// Nonblocking send; complete with [`Comm::wait`] or [`Comm::waitall`].
     pub fn isend(&mut self, dst: usize, tag: u64, bytes: u64) -> CommReq {
-        assert!(tag < COLL_TAG_BASE, "user tag collides with collective tag space");
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
         let start = self.begin();
         let wdst = self.world(dst);
         let sim = self.ctx.isend(wdst, tag, bytes, None);
         let slot = self.slots.alloc();
-        self.end(start, OpKind::Isend, Some(dst as u32), Some(tag), bytes, vec![slot]);
+        self.end(
+            start,
+            OpKind::Isend,
+            Some(dst as u32),
+            Some(tag),
+            bytes,
+            vec![slot],
+        );
         self.track(sim, slot, OpKind::Isend, Some(dst as u32), Some(tag))
     }
 
@@ -295,7 +339,16 @@ impl<'a> Comm<'a> {
         tag: Option<u64>,
     ) -> CommReq {
         self.next_req += 1;
-        self.pending.insert(self.next_req, PendingNb { sim, slot, kind, peer, tag });
+        self.pending.insert(
+            self.next_req,
+            PendingNb {
+                sim,
+                slot,
+                kind,
+                peer,
+                tag,
+            },
+        );
         CommReq(self.next_req)
     }
 
@@ -316,7 +369,14 @@ impl<'a> Comm<'a> {
             "receive waits (and only those) yield receive info"
         );
         self.slots.free(pending.slot);
-        self.end(start, OpKind::Wait, pending.peer, pending.tag, 0, vec![pending.slot]);
+        self.end(
+            start,
+            OpKind::Wait,
+            pending.peer,
+            pending.tag,
+            0,
+            vec![pending.slot],
+        );
         outcome
     }
 
@@ -398,7 +458,9 @@ impl<'a> Comm<'a> {
         let s = self.ctx.isend(wdst, tag, send_bytes, None);
         let r = self.ctx.irecv(Some(wsrc), Some(tag));
         let mut out = self.ctx.waitall(vec![s, r]);
-        out.pop().flatten().expect("raw_sendrecv receive leg returned no info")
+        out.pop()
+            .flatten()
+            .expect("raw_sendrecv receive leg returned no info")
     }
 
     /// Record a collective that `collectives.rs` has just carried out.

@@ -2,8 +2,8 @@
 //! or without tracing.
 
 use crate::comm::{Comm, Tracer};
-use pskel_sim::engine::RankProgram;
 use parking_lot::Mutex;
+use pskel_sim::engine::RankProgram;
 use pskel_sim::{ClusterSpec, Placement, SimCtx, SimReport, Simulation};
 
 /// A boxed per-rank MPI program, as consumed by [`run_mpi_fns`].
@@ -37,7 +37,10 @@ pub struct TraceConfig {
 
 impl TraceConfig {
     pub fn on() -> TraceConfig {
-        TraceConfig { enabled: true, overhead_secs: 0.0 }
+        TraceConfig {
+            enabled: true,
+            overhead_secs: 0.0,
+        }
     }
 
     pub fn off() -> TraceConfig {
@@ -91,7 +94,12 @@ impl Job {
                 Box::new(move |comm: &mut Comm| f(comm)) as MpiProgram
             })
             .collect();
-        Job { name: name.into(), placement, programs, trace }
+        Job {
+            name: name.into(),
+            placement,
+            programs,
+            trace,
+        }
     }
 }
 
@@ -153,8 +161,7 @@ pub fn run_jobs(cluster: ClusterSpec, jobs: Vec<Job>) -> Vec<JobOutcome> {
         }
     }
 
-    let report =
-        Simulation::new(cluster, Placement(world_placement)).run_fns(rank_programs);
+    let report = Simulation::new(cluster, Placement(world_placement)).run_fns(rank_programs);
     let mut collected = Arc::try_unwrap(traces)
         .expect("trace collector still shared after run")
         .into_inner();
@@ -184,7 +191,11 @@ pub fn run_jobs(cluster: ClusterSpec, jobs: Vec<Job>) -> Vec<JobOutcome> {
             } else {
                 None
             };
-            JobOutcome { name, total_secs: total, trace }
+            JobOutcome {
+                name,
+                total_secs: total,
+                trace,
+            }
         })
         .collect()
 }

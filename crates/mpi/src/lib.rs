@@ -20,5 +20,7 @@ pub mod harness;
 pub mod slots;
 
 pub use comm::{Comm, CommReq, Tracer, COLL_TAG_BASE};
-pub use harness::{run_jobs, run_mpi, run_mpi_fns, Job, JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig};
+pub use harness::{
+    run_jobs, run_mpi, run_mpi_fns, Job, JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig,
+};
 pub use slots::SlotAllocator;

@@ -71,7 +71,11 @@ fn co_located_jobs_contend_for_links() {
         ClusterSpec::homogeneous(2),
         vec![Job::spmd("a", vec![0, 1], TraceConfig::off(), xfer)],
     );
-    assert!((alone[0].total_secs - 0.1).abs() < 0.01, "{}", alone[0].total_secs);
+    assert!(
+        (alone[0].total_secs - 0.1).abs() < 0.01,
+        "{}",
+        alone[0].total_secs
+    );
 
     let shared = run_jobs(
         ClusterSpec::homogeneous(2),
@@ -113,7 +117,10 @@ fn collectives_stay_within_their_job() {
         let trace = o.trace.as_ref().unwrap();
         assert_eq!(trace.nranks(), 2);
         for p in &trace.procs {
-            let allreds = p.mpi_events().filter(|e| e.kind == OpKind::Allreduce).count();
+            let allreds = p
+                .mpi_events()
+                .filter(|e| e.kind == OpKind::Allreduce)
+                .count();
             assert_eq!(allreds, 5, "job {} rank {}", o.name, p.rank);
         }
     }
@@ -162,10 +169,18 @@ fn jobs_of_different_lengths_release_resources() {
         ],
     );
     // Short job: shares CPU until 1.0 s (0.5 work at half speed).
-    assert!((outcomes[0].total_secs - 1.0).abs() < 1e-6, "{}", outcomes[0].total_secs);
+    assert!(
+        (outcomes[0].total_secs - 1.0).abs() < 1e-6,
+        "{}",
+        outcomes[0].total_secs
+    );
     // Long job: 0.5 work done by t=1.0, then full speed for the rest:
     // 1.0 + 3.5 = 4.5 s.
-    assert!((outcomes[1].total_secs - 4.5).abs() < 1e-6, "{}", outcomes[1].total_secs);
+    assert!(
+        (outcomes[1].total_secs - 4.5).abs() < 1e-6,
+        "{}",
+        outcomes[1].total_secs
+    );
 }
 
 #[test]

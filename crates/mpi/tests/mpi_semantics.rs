@@ -29,9 +29,14 @@ fn barrier_synchronizes_unequal_ranks() {
 #[test]
 fn bcast_from_each_root() {
     for root in 0..4 {
-        let out = run(4, ClusterSpec::homogeneous(4), TraceConfig::off(), move |comm| {
-            comm.bcast(root, 10_000);
-        });
+        let out = run(
+            4,
+            ClusterSpec::homogeneous(4),
+            TraceConfig::off(),
+            move |comm| {
+                comm.bcast(root, 10_000);
+            },
+        );
         let t = out.total_secs();
         // Binomial tree over 4 ranks: 2 sequential rounds of ~(55us + 80us).
         assert!(t > 1e-4 && t < 2e-3, "root {root}: bcast took {t}");
@@ -239,7 +244,10 @@ fn tracing_overhead_knob_adds_time() {
     let costly = run(
         4,
         ClusterSpec::homogeneous(4),
-        TraceConfig { enabled: true, overhead_secs: 1e-4 },
+        TraceConfig {
+            enabled: true,
+            overhead_secs: 1e-4,
+        },
         body,
     );
     let a = free.total_secs();

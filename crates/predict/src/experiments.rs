@@ -6,11 +6,9 @@
 use crate::methods::{
     average_prediction, class_s_prediction, error_pct, skeleton_error_pct, status_prediction,
 };
-use crate::runner::EvalContext;
+use crate::runner::{EvalContext, EvalError};
 use crate::scenario::Scenario;
 use pskel_apps::NasBenchmark;
-use pskel_core::ExecOptions;
-use pskel_mpi::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// One bar of Figure 2: time split between computation and MPI.
@@ -24,7 +22,7 @@ pub struct Fig2Row {
 }
 
 /// Figure 2: activity breakdown of each benchmark and its skeletons.
-pub fn fig2(ctx: &mut EvalContext) -> Vec<Fig2Row> {
+pub fn fig2(ctx: &mut EvalContext) -> Result<Vec<Fig2Row>, EvalError> {
     let mut rows = Vec::new();
     let sizes = ctx.skeleton_sizes.clone();
     for bench in NasBenchmark::ALL {
@@ -36,16 +34,8 @@ pub fn fig2(ctx: &mut EvalContext) -> Vec<Fig2Row> {
             mpi_pct: 100.0 * app_frac,
         });
         for &size in &sizes {
-            ctx.skeleton(bench, size);
-            // Re-run the skeleton with tracing to measure its own split.
-            let built = ctx.skeleton(bench, size).clone();
-            let out = pskel_core::run_skeleton(
-                &built.skeleton,
-                ctx.testbed.cluster.clone(),
-                ctx.testbed.placement.clone(),
-                ExecOptions { trace: TraceConfig::on(), ..Default::default() },
-            );
-            let frac = out.trace.expect("skeleton run traced").mpi_fraction();
+            // Traced dedicated skeleton run, memoized and store-cached.
+            let frac = ctx.skeleton_mpi_fraction(bench, size)?;
             rows.push(Fig2Row {
                 app: bench.name().into(),
                 label: format!("{size} sec skeleton"),
@@ -54,7 +44,7 @@ pub fn fig2(ctx: &mut EvalContext) -> Vec<Fig2Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Prediction-error grid: benchmarks × skeleton sizes, errors averaged
@@ -90,7 +80,7 @@ impl ErrorGrid {
 }
 
 /// Figures 3 and 5: skeleton prediction error per benchmark and size.
-pub fn fig3(ctx: &mut EvalContext) -> ErrorGrid {
+pub fn fig3(ctx: &mut EvalContext) -> Result<ErrorGrid, EvalError> {
     let sizes = ctx.skeleton_sizes.clone();
     let mut errors = Vec::new();
     let mut all_cells = Vec::new();
@@ -99,7 +89,7 @@ pub fn fig3(ctx: &mut EvalContext) -> ErrorGrid {
         for &size in &sizes {
             let mut cell = Vec::new();
             for scenario in Scenario::SHARING {
-                let e = skeleton_error_pct(ctx, bench, size, scenario);
+                let e = skeleton_error_pct(ctx, bench, size, scenario)?;
                 cell.push(e);
                 all_cells.push(e);
             }
@@ -107,12 +97,15 @@ pub fn fig3(ctx: &mut EvalContext) -> ErrorGrid {
         }
         errors.push(row);
     }
-    ErrorGrid {
-        apps: NasBenchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
+    Ok(ErrorGrid {
+        apps: NasBenchmark::ALL
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
         sizes,
         errors,
         overall_avg: all_cells.iter().sum::<f64>() / all_cells.len() as f64,
-    }
+    })
 }
 
 /// One row of the Figure 4 table.
@@ -127,22 +120,21 @@ pub struct Fig4Row {
 
 /// Figure 4: estimated minimum execution time of the smallest good
 /// skeleton per benchmark.
-pub fn fig4(ctx: &mut EvalContext) -> Vec<Fig4Row> {
+pub fn fig4(ctx: &mut EvalContext) -> Result<Vec<Fig4Row>, EvalError> {
     let sizes = ctx.skeleton_sizes.clone();
-    NasBenchmark::ALL
-        .iter()
-        .map(|&bench| {
-            // Any build carries the analysis; use the largest skeleton.
-            let built = ctx.skeleton(bench, sizes[0]).clone();
-            let min_good = built.skeleton.meta.min_good_secs;
-            let flagged = sizes.iter().copied().filter(|&s| s < min_good).collect();
-            Fig4Row {
-                app: bench.name().into(),
-                min_good_secs: min_good,
-                flagged_sizes: flagged,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for bench in NasBenchmark::ALL {
+        // Any build carries the analysis; use the largest skeleton.
+        let built = ctx.skeleton(bench, sizes[0])?;
+        let min_good = built.skeleton.meta.min_good_secs;
+        let flagged = sizes.iter().copied().filter(|&s| s < min_good).collect();
+        rows.push(Fig4Row {
+            app: bench.name().into(),
+            min_good_secs: min_good,
+            flagged_sizes: flagged,
+        });
+    }
+    Ok(rows)
 }
 
 /// Figure 6 grid: benchmarks × sharing scenarios at one skeleton size.
@@ -166,22 +158,28 @@ impl Fig6Grid {
 
 /// Figure 6: prediction error under each sharing scenario, using the
 /// largest (most representative) skeleton.
-pub fn fig6(ctx: &mut EvalContext) -> Fig6Grid {
+pub fn fig6(ctx: &mut EvalContext) -> Result<Fig6Grid, EvalError> {
     let size = ctx.skeleton_sizes[0];
     let mut errors = Vec::new();
     for bench in NasBenchmark::ALL {
-        let row = Scenario::SHARING
-            .iter()
-            .map(|&s| skeleton_error_pct(ctx, bench, size, s))
-            .collect();
+        let mut row = Vec::new();
+        for scenario in Scenario::SHARING {
+            row.push(skeleton_error_pct(ctx, bench, size, scenario)?);
+        }
         errors.push(row);
     }
-    Fig6Grid {
-        apps: NasBenchmark::ALL.iter().map(|b| b.name().to_string()).collect(),
-        scenarios: Scenario::SHARING.iter().map(|s| s.label().to_string()).collect(),
+    Ok(Fig6Grid {
+        apps: NasBenchmark::ALL
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
+        scenarios: Scenario::SHARING
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect(),
         errors,
         skeleton_size: size,
-    }
+    })
 }
 
 /// One bar group of Figure 7: a prediction methodology's error spread.
@@ -196,16 +194,16 @@ pub struct Fig7Row {
 /// Figure 7: min/avg/max error across the suite for each methodology —
 /// skeletons of every size, Class-S prediction, and Average prediction —
 /// under the combined scenario (one shared node + one shared link).
-pub fn fig7(ctx: &mut EvalContext) -> Vec<Fig7Row> {
+pub fn fig7(ctx: &mut EvalContext) -> Result<Vec<Fig7Row>, EvalError> {
     let scenario = Scenario::CpuAndNetOne;
     let sizes = ctx.skeleton_sizes.clone();
     let mut rows = Vec::new();
 
     for &size in &sizes {
-        let errs: Vec<f64> = NasBenchmark::ALL
-            .iter()
-            .map(|&b| skeleton_error_pct(ctx, b, size, scenario))
-            .collect();
+        let mut errs = Vec::new();
+        for &b in &NasBenchmark::ALL {
+            errs.push(skeleton_error_pct(ctx, b, size, scenario)?);
+        }
         rows.push(spread(format!("{size} sec skeleton"), &errs));
     }
 
@@ -236,7 +234,7 @@ pub fn fig7(ctx: &mut EvalContext) -> Vec<Fig7Row> {
         .collect();
     rows.push(spread("Average".into(), &avg_errs));
 
-    rows
+    Ok(rows)
 }
 
 fn spread(method: String, errs: &[f64]) -> Fig7Row {

@@ -37,9 +37,8 @@ fn skeleton_job(skeleton: &pskel_core::Skeleton, trace: TraceConfig) -> Job {
         .iter()
         .cloned()
         .map(|rs| {
-            Box::new(move |comm: &mut pskel_mpi::Comm| {
-                pskel_core::execute_rank(&rs, comm, 0x5eed)
-            }) as MpiProgram
+            Box::new(move |comm: &mut pskel_mpi::Comm| pskel_core::execute_rank(&rs, comm, 0x5eed))
+                as MpiProgram
         })
         .collect();
     Job {
@@ -349,8 +348,7 @@ pub fn accuracy_vs_comm_fraction(
             .total_secs();
             let predicted = skel_scen * (alone / skel_ded);
             let actual =
-                run_mpi(shared, placement.clone(), "sweep", TraceConfig::off(), app)
-                    .total_secs();
+                run_mpi(shared, placement.clone(), "sweep", TraceConfig::off(), app).total_secs();
             SweepPoint {
                 compute_per_step: compute,
                 comm_fraction,
@@ -449,13 +447,8 @@ pub fn probe_cost_comparison(
     });
 
     // Full replay: near-perfect, costs the whole application.
-    let full = pskel_core::replay_trace(
-        trace,
-        shared,
-        placement,
-        pskel_core::ReplayScale::full(),
-    )
-    .total_secs();
+    let full = pskel_core::replay_trace(trace, shared, placement, pskel_core::ReplayScale::full())
+        .total_secs();
     rows.push(ProbeCost {
         method: "full trace replay".into(),
         probe_secs: full,
@@ -489,14 +482,16 @@ mod tests {
 
     #[test]
     fn sweep_covers_both_regimes() {
-        let pts = accuracy_vs_comm_fraction(
-            crate::Scenario::CpuAllNodes,
-            &[0.02, 0.0002],
-            150_000,
-            10.0,
+        let pts =
+            accuracy_vs_comm_fraction(crate::Scenario::CpuAllNodes, &[0.02, 0.0002], 150_000, 10.0);
+        assert!(
+            pts[0].comm_fraction < 0.3,
+            "first point compute-bound: {pts:?}"
         );
-        assert!(pts[0].comm_fraction < 0.3, "first point compute-bound: {pts:?}");
-        assert!(pts[1].comm_fraction > 0.5, "second point comm-bound: {pts:?}");
+        assert!(
+            pts[1].comm_fraction > 0.5,
+            "second point comm-bound: {pts:?}"
+        );
         for p in &pts {
             assert!(p.error_pct < 35.0, "{pts:?}");
         }
@@ -504,15 +499,14 @@ mod tests {
 
     #[test]
     fn probe_comparison_orders_cost_and_accuracy() {
-        let rows = probe_cost_comparison(
-            NasBenchmark::Cg,
-            Class::W,
-            10,
-            crate::Scenario::CpuAllNodes,
-        );
+        let rows =
+            probe_cost_comparison(NasBenchmark::Cg, Class::W, 10, crate::Scenario::CpuAllNodes);
         assert_eq!(rows.len(), 3);
         let (skel, naive, full) = (&rows[0], &rows[1], &rows[2]);
-        assert!(full.error_pct < 1.0, "full replay is near-perfect: {rows:?}");
+        assert!(
+            full.error_pct < 1.0,
+            "full replay is near-perfect: {rows:?}"
+        );
         assert!(
             full.probe_secs > 3.0 * skel.probe_secs,
             "full replay must cost far more than the skeleton: {rows:?}"
@@ -524,10 +518,7 @@ mod tests {
     #[test]
     fn wan_prediction_is_close() {
         let r = wan_prediction(NasBenchmark::Cg, Class::W, 10.0);
-        assert!(
-            r.actual_wan_secs > r.lan_secs,
-            "WAN must be slower: {r:?}"
-        );
+        assert!(r.actual_wan_secs > r.lan_secs, "WAN must be slower: {r:?}");
         assert!(r.error_pct < 30.0, "WAN prediction too far off: {r:?}");
     }
 }

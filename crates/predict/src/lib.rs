@@ -17,14 +17,25 @@
 pub mod experiments;
 pub mod extensions;
 pub mod methods;
+pub mod provenance;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod selection;
 
-pub use experiments::{fig2, fig3, fig4, fig6, fig7, ErrorGrid, Fig2Row, Fig4Row, Fig6Grid, Fig7Row};
-pub use methods::{average_prediction, class_s_prediction, error_pct, skeleton_error_pct, skeleton_prediction, status_prediction};
-pub use extensions::{accuracy_vs_comm_fraction, probe_cost_comparison, ProbeCost, cosched_prediction, cosched_prediction_dense, wan_prediction, wan_prediction_with, CoschedResult, SweepPoint, WanResult};
-pub use runner::{EvalContext, Testbed, PAPER_SKELETON_SIZES};
+pub use experiments::{
+    fig2, fig3, fig4, fig6, fig7, ErrorGrid, Fig2Row, Fig4Row, Fig6Grid, Fig7Row,
+};
+pub use extensions::{
+    accuracy_vs_comm_fraction, cosched_prediction, cosched_prediction_dense, probe_cost_comparison,
+    wan_prediction, wan_prediction_with, CoschedResult, ProbeCost, SweepPoint, WanResult,
+};
+pub use methods::{
+    average_prediction, class_s_prediction, error_pct, skeleton_error_pct, skeleton_prediction,
+    status_prediction,
+};
+pub use runner::{
+    CounterSnapshot, EvalContext, EvalCounters, EvalError, Testbed, PAPER_SKELETON_SIZES,
+};
 pub use scenario::Scenario;
 pub use selection::{select_node_set, CandidateSet, ProbeResult, Selection};

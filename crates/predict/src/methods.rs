@@ -1,6 +1,6 @@
 //! The three prediction methodologies compared in the paper (§4.2, §4.5).
 
-use crate::runner::EvalContext;
+use crate::runner::{EvalContext, EvalError};
 use crate::scenario::Scenario;
 use pskel_apps::{Class, NasBenchmark};
 
@@ -18,21 +18,17 @@ pub fn skeleton_prediction(
     bench: NasBenchmark,
     target_secs: f64,
     scenario: Scenario,
-) -> f64 {
+) -> Result<f64, EvalError> {
     let app_ded = ctx.app_time(bench, Scenario::Dedicated);
-    let skel_ded = ctx.skeleton_time(bench, target_secs, Scenario::Dedicated);
+    let skel_ded = ctx.skeleton_time(bench, target_secs, Scenario::Dedicated)?;
     let ratio = app_ded / skel_ded;
-    let skel_scen = ctx.skeleton_time(bench, target_secs, scenario);
-    skel_scen * ratio
+    let skel_scen = ctx.skeleton_time(bench, target_secs, scenario)?;
+    Ok(skel_scen * ratio)
 }
 
 /// "Average Prediction" baseline: the mean slowdown of the whole suite
 /// under the scenario predicts every program.
-pub fn average_prediction(
-    ctx: &mut EvalContext,
-    bench: NasBenchmark,
-    scenario: Scenario,
-) -> f64 {
+pub fn average_prediction(ctx: &mut EvalContext, bench: NasBenchmark, scenario: Scenario) -> f64 {
     let mut slowdowns = Vec::new();
     for b in NasBenchmark::ALL {
         let ded = ctx.app_time(b, Scenario::Dedicated);
@@ -45,11 +41,7 @@ pub fn average_prediction(
 
 /// "Class S Prediction" baseline: the Class-S version of the benchmark is
 /// used as a manually-written skeleton for the Class-B version.
-pub fn class_s_prediction(
-    ctx: &mut EvalContext,
-    bench: NasBenchmark,
-    scenario: Scenario,
-) -> f64 {
+pub fn class_s_prediction(ctx: &mut EvalContext, bench: NasBenchmark, scenario: Scenario) -> f64 {
     let s_ded = ctx.app_time_class(bench, Class::S, Scenario::Dedicated);
     let s_scen = ctx.app_time_class(bench, Class::S, scenario);
     let slowdown = s_scen / s_ded;
@@ -69,11 +61,7 @@ pub fn class_s_prediction(
 /// even gets perfect resource information from the simulator, which no
 /// real monitor has — and it still cannot know how synchronization couples
 /// ranks or how collectives traverse the shared link.
-pub fn status_prediction(
-    ctx: &mut EvalContext,
-    bench: NasBenchmark,
-    scenario: Scenario,
-) -> f64 {
+pub fn status_prediction(ctx: &mut EvalContext, bench: NasBenchmark, scenario: Scenario) -> f64 {
     let dedicated = ctx.app_time(bench, Scenario::Dedicated);
     let comm_frac = ctx.trace(bench).mpi_fraction();
     let comp_frac = 1.0 - comm_frac;
@@ -101,10 +89,10 @@ pub fn skeleton_error_pct(
     bench: NasBenchmark,
     target_secs: f64,
     scenario: Scenario,
-) -> f64 {
-    let predicted = skeleton_prediction(ctx, bench, target_secs, scenario);
+) -> Result<f64, EvalError> {
+    let predicted = skeleton_prediction(ctx, bench, target_secs, scenario)?;
     let actual = ctx.app_time(bench, scenario);
-    error_pct(predicted, actual)
+    Ok(error_pct(predicted, actual))
 }
 
 #[cfg(test)]
@@ -129,12 +117,8 @@ mod tests {
         // Under the dedicated scenario the prediction is the measured ratio
         // times the dedicated skeleton time = the dedicated app time.
         let mut ctx = EvalContext::new(Class::S, &[0.01]);
-        let err = skeleton_error_pct(
-            &mut ctx,
-            NasBenchmark::Cg,
-            0.01,
-            Scenario::Dedicated,
-        );
+        let err =
+            skeleton_error_pct(&mut ctx, NasBenchmark::Cg, 0.01, Scenario::Dedicated).unwrap();
         assert!(err < 1e-9, "self-prediction should be exact, got {err}%");
     }
 
@@ -142,7 +126,7 @@ mod tests {
     fn skeleton_tracks_cpu_contention_for_small_class() {
         let mut ctx = EvalContext::new(Class::W, &[0.1]);
         let err =
-            skeleton_error_pct(&mut ctx, NasBenchmark::Bt, 0.1, Scenario::CpuAllNodes);
+            skeleton_error_pct(&mut ctx, NasBenchmark::Bt, 0.1, Scenario::CpuAllNodes).unwrap();
         assert!(err < 25.0, "W-class BT skeleton error too large: {err}%");
     }
 }

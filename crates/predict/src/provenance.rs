@@ -1,0 +1,136 @@
+//! Stable cache keys for experiment artifacts.
+//!
+//! `pskel-store` is deliberately ignorant of benchmarks, scenarios and
+//! builders; this module is where the experiment layer spells out *exactly*
+//! which inputs determine each artifact, so a cached result is reused only
+//! when every one of them matches. Anything that changes simulation output
+//! — cluster spec, placement, benchmark, class, scenario, skeleton builder
+//! parameters — is part of the key; bump a domain string here to invalidate
+//! that artifact class after a semantic change.
+
+use crate::runner::Testbed;
+use crate::scenario::Scenario;
+use pskel_apps::{Class, NasBenchmark};
+use pskel_core::SkeletonBuilder;
+use pskel_store::{KeyBuilder, StoreKey};
+
+/// Artifact kind names, shared between the cache writers and `pskel cache`.
+pub mod kind {
+    pub const TRACE: &str = "trace";
+    pub const APP_TIME: &str = "app-time";
+    pub const SKELETON: &str = "skeleton";
+    pub const SKELETON_TIME: &str = "skel-time";
+    pub const SKELETON_FRAC: &str = "skel-frac";
+}
+
+fn base(domain: &str, testbed: &Testbed, bench: NasBenchmark, class: Class) -> KeyBuilder {
+    KeyBuilder::new(domain)
+        .field_json("cluster", &testbed.cluster)
+        .field_json("placement", &testbed.placement)
+        .field("bench", bench.name())
+        .field("class", &format!("{class:?}"))
+}
+
+/// The builder's full parameter set, as key material. `SkeletonBuilder` is
+/// a plain-data struct whose `Debug` output spells out every field, so the
+/// key changes whenever any construction parameter does.
+fn builder_params(b: &SkeletonBuilder) -> String {
+    format!("{b:?}")
+}
+
+/// Dedicated-testbed trace of `bench` at `class`.
+pub fn trace_key(testbed: &Testbed, bench: NasBenchmark, class: Class) -> StoreKey {
+    base("trace-v1", testbed, bench, class).finish()
+}
+
+/// Measured application time under `scenario`.
+pub fn app_time_key(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    scenario: Scenario,
+) -> StoreKey {
+    base("app-time-v1", testbed, bench, class)
+        .field("scenario", scenario.cli_name())
+        .finish()
+}
+
+/// A skeleton built from the dedicated trace with `builder`'s parameters.
+pub fn skeleton_key(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    builder: &SkeletonBuilder,
+) -> StoreKey {
+    base("skeleton-v1", testbed, bench, class)
+        .field("builder", &builder_params(builder))
+        .field_f64("target-secs", builder.target_secs)
+        .finish()
+}
+
+/// Measured skeleton execution time under `scenario`.
+pub fn skeleton_time_key(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    builder: &SkeletonBuilder,
+    scenario: Scenario,
+) -> StoreKey {
+    base("skel-time-v1", testbed, bench, class)
+        .field("builder", &builder_params(builder))
+        .field_f64("target-secs", builder.target_secs)
+        .field("scenario", scenario.cli_name())
+        .finish()
+}
+
+/// MPI fraction of a traced dedicated skeleton run (Figure 2).
+pub fn skeleton_frac_key(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    builder: &SkeletonBuilder,
+) -> StoreKey {
+    base("skel-frac-v1", testbed, bench, class)
+        .field("builder", &builder_params(builder))
+        .field_f64("target-secs", builder.target_secs)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distinguish_every_dimension() {
+        let tb = Testbed::default();
+        let k = |b, c, s| app_time_key(&tb, b, c, s);
+        let baseline = k(NasBenchmark::Cg, Class::B, Scenario::Dedicated);
+        assert_ne!(baseline, k(NasBenchmark::Lu, Class::B, Scenario::Dedicated));
+        assert_ne!(baseline, k(NasBenchmark::Cg, Class::S, Scenario::Dedicated));
+        assert_ne!(
+            baseline,
+            k(NasBenchmark::Cg, Class::B, Scenario::CpuOneNode)
+        );
+        assert_eq!(baseline, k(NasBenchmark::Cg, Class::B, Scenario::Dedicated));
+    }
+
+    #[test]
+    fn sub_millisecond_targets_get_distinct_keys() {
+        let tb = Testbed::default();
+        let a = SkeletonBuilder::new(0.0004);
+        let b = SkeletonBuilder::new(0.0002);
+        assert_ne!(
+            skeleton_key(&tb, NasBenchmark::Cg, Class::S, &a),
+            skeleton_key(&tb, NasBenchmark::Cg, Class::S, &b),
+        );
+    }
+
+    #[test]
+    fn artifact_domains_do_not_collide() {
+        let tb = Testbed::default();
+        let builder = SkeletonBuilder::new(1.0);
+        let skel = skeleton_key(&tb, NasBenchmark::Cg, Class::B, &builder);
+        let frac = skeleton_frac_key(&tb, NasBenchmark::Cg, Class::B, &builder);
+        assert_ne!(skel, frac);
+    }
+}

@@ -82,8 +82,11 @@ pub fn render_fig3(grid: &ErrorGrid) -> String {
 
 /// Figure 4: the smallest good skeleton per benchmark.
 pub fn render_fig4(rows: &[Fig4Row]) -> String {
-    let headers =
-        vec!["Application".to_string(), "Smallest Skeleton".into(), "flagged sizes".into()];
+    let headers = vec![
+        "Application".to_string(),
+        "Smallest Skeleton".into(),
+        "flagged sizes".into(),
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -96,7 +99,11 @@ pub fn render_fig4(rows: &[Fig4Row]) -> String {
                     .collect::<Vec<_>>()
                     .join(", ")
             };
-            vec![r.app.clone(), format!("{:.2} sec", r.min_good_secs), flagged]
+            vec![
+                r.app.clone(),
+                format!("{:.2} sec", r.min_good_secs),
+                flagged,
+            ]
         })
         .collect();
     format!(
@@ -161,12 +168,21 @@ pub fn render_fig6(grid: &Fig6Grid) -> String {
 
 /// Figure 7: min/avg/max error per prediction methodology.
 pub fn render_fig7(rows: &[Fig7Row]) -> String {
-    let headers =
-        vec!["methodology".to_string(), "MIN".into(), "Average".into(), "MAX".into()];
+    let headers = vec![
+        "methodology".to_string(),
+        "MIN".into(),
+        "Average".into(),
+        "MAX".into(),
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.method.clone(), pct(r.min_pct), pct(r.avg_pct), pct(r.max_pct)]
+            vec![
+                r.method.clone(),
+                pct(r.min_pct),
+                pct(r.avg_pct),
+                pct(r.max_pct),
+            ]
         })
         .collect();
     format!(
@@ -184,10 +200,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["a".into(), "long-header".into()],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -251,19 +264,32 @@ mod tests {
         assert!(s.contains("10 second"));
         assert!(s.contains("0.5 second"));
         let ten_line = s.lines().find(|l| l.contains("10 second")).unwrap();
-        assert!(ten_line.contains("1.0") && ten_line.contains("2.0"), "{ten_line}");
+        assert!(
+            ten_line.contains("1.0") && ten_line.contains("2.0"),
+            "{ten_line}"
+        );
     }
 
     #[test]
     fn fig4_render_marks_flagged_sizes() {
         let rows = vec![
-            Fig4Row { app: "IS".into(), min_good_secs: 3.0, flagged_sizes: vec![2.0, 1.0] },
-            Fig4Row { app: "CG".into(), min_good_secs: 0.13, flagged_sizes: vec![] },
+            Fig4Row {
+                app: "IS".into(),
+                min_good_secs: 3.0,
+                flagged_sizes: vec![2.0, 1.0],
+            },
+            Fig4Row {
+                app: "CG".into(),
+                min_good_secs: 0.13,
+                flagged_sizes: vec![],
+            },
         ];
         let s = render_fig4(&rows);
         assert!(s.contains("3.00 sec"));
         assert!(s.contains("2s, 1s"));
-        assert!(s.lines().any(|l| l.contains("CG") && l.trim_end().ends_with('-')));
+        assert!(s
+            .lines()
+            .any(|l| l.contains("CG") && l.trim_end().ends_with('-')));
     }
 
     #[test]
@@ -291,8 +317,18 @@ mod tests {
     #[test]
     fn fig7_render_contains_methods() {
         let rows = vec![
-            Fig7Row { method: "10 sec skeleton".into(), min_pct: 1.0, avg_pct: 5.0, max_pct: 9.0 },
-            Fig7Row { method: "Average".into(), min_pct: 2.0, avg_pct: 40.0, max_pct: 110.0 },
+            Fig7Row {
+                method: "10 sec skeleton".into(),
+                min_pct: 1.0,
+                avg_pct: 5.0,
+                max_pct: 9.0,
+            },
+            Fig7Row {
+                method: "Average".into(),
+                min_pct: 2.0,
+                avg_pct: 40.0,
+                max_pct: 110.0,
+            },
         ];
         let s = render_fig7(&rows);
         assert!(s.contains("10 sec skeleton"));

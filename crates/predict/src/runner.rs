@@ -1,13 +1,27 @@
 //! Runs applications and skeletons on the testbed under sharing scenarios,
 //! caching everything the figures need.
+//!
+//! The [`EvalContext`] memoizes in-process, and — when opened with a
+//! [`Store`] — persists every measurement and built skeleton to the
+//! content-addressed artifact cache, so a second invocation of any figure
+//! replays from disk without re-running a single simulation. Because the
+//! simulator is deterministic, cached, parallel and sequential evaluation
+//! all produce byte-identical reports; [`EvalContext::prewarm`] exploits
+//! that to fan the independent (benchmark × size × scenario) cells across
+//! a thread pool.
 
+use crate::provenance::{self, kind};
 use crate::scenario::Scenario;
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{BuiltSkeleton, ExecOptions, SkeletonBuilder};
 use pskel_mpi::{run_mpi, TraceConfig};
 use pskel_sim::{ClusterSpec, Placement};
+use pskel_store::Store;
 use pskel_trace::AppTrace;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The experimental testbed: cluster spec + rank placement (the paper's
 /// 4 dual-CPU nodes, one rank per node).
@@ -66,6 +80,218 @@ impl Testbed {
     }
 }
 
+/// Errors the evaluation harness can surface instead of panicking.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// Skeleton construction produced a structurally invalid skeleton even
+    /// after the builder exhausted its threshold escalation.
+    SkeletonInvalid {
+        bench: &'static str,
+        target_secs: f64,
+        issues: Vec<String>,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::SkeletonInvalid {
+                bench,
+                target_secs,
+                issues,
+            } => write!(
+                f,
+                "{bench} {target_secs}s skeleton failed validation: {}",
+                issues.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Simulation/cache activity counters, shared across prewarm workers.
+/// They let tests assert things like "a second run with a warm store
+/// performs zero application re-simulations".
+#[derive(Debug, Default)]
+pub struct EvalCounters {
+    /// Application simulations actually executed.
+    pub app_sims: AtomicU64,
+    /// Traced application simulations actually executed.
+    pub trace_sims: AtomicU64,
+    /// Skeleton simulations actually executed (timed or traced).
+    pub skeleton_sims: AtomicU64,
+    /// Skeleton constructions actually executed.
+    pub skeleton_builds: AtomicU64,
+    /// Artifacts served from the persistent store.
+    pub store_hits: AtomicU64,
+}
+
+/// A point-in-time copy of [`EvalCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub app_sims: u64,
+    pub trace_sims: u64,
+    pub skeleton_sims: u64,
+    pub skeleton_builds: u64,
+    pub store_hits: u64,
+}
+
+impl CounterSnapshot {
+    /// Total simulator invocations of any kind.
+    pub fn total_sims(&self) -> u64 {
+        self.app_sims + self.trace_sims + self.skeleton_sims
+    }
+}
+
+impl EvalCounters {
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            app_sims: self.app_sims.load(Ordering::Relaxed),
+            trace_sims: self.trace_sims.load(Ordering::Relaxed),
+            skeleton_sims: self.skeleton_sims.load(Ordering::Relaxed),
+            skeleton_builds: self.skeleton_builds.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shareable, immutable half of the context: everything a prewarm
+/// worker needs to compute one cell. Memoization stays in `EvalContext`;
+/// these helpers only consult the persistent store.
+struct Shared<'a> {
+    testbed: &'a Testbed,
+    store: Option<&'a Store>,
+    counters: &'a EvalCounters,
+}
+
+impl Shared<'_> {
+    fn app_time(&self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
+        let key = provenance::app_time_key(self.testbed, bench, class, scenario);
+        if let Some(store) = self.store {
+            if let Some(t) = store.get_f64(kind::APP_TIME, key) {
+                EvalCounters::bump(&self.counters.store_hits);
+                return t;
+            }
+        }
+        EvalCounters::bump(&self.counters.app_sims);
+        let t = self.testbed.run_app(bench, class, scenario);
+        if let Some(store) = self.store {
+            store.put_f64(kind::APP_TIME, key, t).ok();
+        }
+        t
+    }
+
+    fn trace(&self, bench: NasBenchmark, class: Class) -> AppTrace {
+        let key = provenance::trace_key(self.testbed, bench, class);
+        if let Some(store) = self.store {
+            if let Some(t) = store.get_trace(kind::TRACE, key) {
+                EvalCounters::bump(&self.counters.store_hits);
+                return t;
+            }
+        }
+        EvalCounters::bump(&self.counters.trace_sims);
+        let t = self.testbed.trace_app(bench, class);
+        if let Some(store) = self.store {
+            store.put_trace(kind::TRACE, key, &t).ok();
+        }
+        t
+    }
+
+    fn skeleton(
+        &self,
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: f64,
+        trace: &AppTrace,
+    ) -> Result<BuiltSkeleton, EvalError> {
+        let builder = SkeletonBuilder::new(target_secs);
+        let key = provenance::skeleton_key(self.testbed, bench, class, &builder);
+        if let Some(store) = self.store {
+            if let Some(built) = store.get_json::<BuiltSkeleton>(kind::SKELETON, key) {
+                EvalCounters::bump(&self.counters.store_hits);
+                return Ok(built);
+            }
+        }
+        EvalCounters::bump(&self.counters.skeleton_builds);
+        let built = builder.build(trace);
+        let issues = pskel_core::validate(&built.skeleton);
+        if !issues.is_empty() {
+            return Err(EvalError::SkeletonInvalid {
+                bench: bench.name(),
+                target_secs,
+                issues,
+            });
+        }
+        if let Some(store) = self.store {
+            store.put_json(kind::SKELETON, key, &built).ok();
+        }
+        Ok(built)
+    }
+
+    fn skeleton_time(
+        &self,
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: f64,
+        scenario: Scenario,
+        built: &BuiltSkeleton,
+    ) -> f64 {
+        let builder = SkeletonBuilder::new(target_secs);
+        let key = provenance::skeleton_time_key(self.testbed, bench, class, &builder, scenario);
+        if let Some(store) = self.store {
+            if let Some(t) = store.get_f64(kind::SKELETON_TIME, key) {
+                EvalCounters::bump(&self.counters.store_hits);
+                return t;
+            }
+        }
+        EvalCounters::bump(&self.counters.skeleton_sims);
+        let t = self.testbed.run_skeleton(built, scenario);
+        if let Some(store) = self.store {
+            store.put_f64(kind::SKELETON_TIME, key, t).ok();
+        }
+        t
+    }
+
+    /// MPI fraction of the skeleton itself, measured by a traced dedicated
+    /// run (the skeleton bars of Figure 2).
+    fn skeleton_mpi_fraction(
+        &self,
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: f64,
+        built: &BuiltSkeleton,
+    ) -> f64 {
+        let builder = SkeletonBuilder::new(target_secs);
+        let key = provenance::skeleton_frac_key(self.testbed, bench, class, &builder);
+        if let Some(store) = self.store {
+            if let Some(f) = store.get_f64(kind::SKELETON_FRAC, key) {
+                EvalCounters::bump(&self.counters.store_hits);
+                return f;
+            }
+        }
+        EvalCounters::bump(&self.counters.skeleton_sims);
+        let out = pskel_core::run_skeleton(
+            &built.skeleton,
+            self.testbed.cluster.clone(),
+            self.testbed.placement.clone(),
+            ExecOptions {
+                trace: TraceConfig::on(),
+                ..Default::default()
+            },
+        );
+        let frac = out.trace.expect("skeleton run traced").mpi_fraction();
+        if let Some(store) = self.store {
+            store.put_f64(kind::SKELETON_FRAC, key, frac).ok();
+        }
+        frac
+    }
+}
+
 /// Lazily-computed, memoized measurements over the full benchmark suite:
 /// the figures share application runs, traces and skeletons through this.
 pub struct EvalContext {
@@ -74,10 +300,13 @@ pub struct EvalContext {
     /// Skeleton target sizes in seconds, largest first (the paper's
     /// 10/5/2/1/0.5 for Class B).
     pub skeleton_sizes: Vec<f64>,
+    store: Option<Arc<Store>>,
+    counters: Arc<EvalCounters>,
     app_times: HashMap<(NasBenchmark, Class, Scenario), f64>,
     traces: HashMap<(NasBenchmark, Class), AppTrace>,
     skeletons: HashMap<(NasBenchmark, u64), BuiltSkeleton>,
     skeleton_times: HashMap<(NasBenchmark, u64, Scenario), f64>,
+    skeleton_fracs: HashMap<(NasBenchmark, u64), f64>,
 }
 
 /// The paper's skeleton sizes for Class B (seconds).
@@ -89,10 +318,13 @@ impl EvalContext {
             testbed: Testbed::default(),
             class,
             skeleton_sizes: skeleton_sizes.to_vec(),
+            store: None,
+            counters: Arc::new(EvalCounters::default()),
             app_times: HashMap::new(),
             traces: HashMap::new(),
             skeletons: HashMap::new(),
             skeleton_times: HashMap::new(),
+            skeleton_fracs: HashMap::new(),
         }
     }
 
@@ -101,8 +333,39 @@ impl EvalContext {
         EvalContext::new(Class::B, &PAPER_SKELETON_SIZES)
     }
 
+    /// A context backed by a persistent artifact store.
+    pub fn with_store(class: Class, skeleton_sizes: &[f64], store: Arc<Store>) -> EvalContext {
+        let mut ctx = EvalContext::new(class, skeleton_sizes);
+        ctx.store = Some(store);
+        ctx
+    }
+
+    /// Attach a persistent store to an existing context.
+    pub fn set_store(&mut self, store: Arc<Store>) {
+        self.store = Some(store);
+    }
+
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Simulation/cache activity counters for this context.
+    pub fn counters(&self) -> &EvalCounters {
+        &self.counters
+    }
+
+    /// Memo-map key for a skeleton size: the exact bit pattern, so
+    /// sub-millisecond sizes (e.g. 0.0004 s and 0.0002 s) never collide.
     fn size_key(target_secs: f64) -> u64 {
-        (target_secs * 1000.0).round() as u64
+        target_secs.to_bits()
+    }
+
+    fn shared(&self) -> Shared<'_> {
+        Shared {
+            testbed: &self.testbed,
+            store: self.store.as_deref(),
+            counters: &self.counters,
+        }
     }
 
     /// Measured application time under a scenario (memoized).
@@ -112,16 +375,16 @@ impl EvalContext {
 
     /// Measured application time for an explicit class (used by the
     /// Class-S baseline).
-    pub fn app_time_class(
-        &mut self,
-        bench: NasBenchmark,
-        class: Class,
-        scenario: Scenario,
-    ) -> f64 {
+    pub fn app_time_class(&mut self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
         if let Some(&t) = self.app_times.get(&(bench, class, scenario)) {
             return t;
         }
-        let t = self.testbed.run_app(bench, class, scenario);
+        let t = Shared {
+            testbed: &self.testbed,
+            store: self.store.as_deref(),
+            counters: &self.counters,
+        }
+        .app_time(bench, class, scenario);
         self.app_times.insert((bench, class, scenario), t);
         t
     }
@@ -130,28 +393,37 @@ impl EvalContext {
     pub fn trace(&mut self, bench: NasBenchmark) -> &AppTrace {
         let class = self.class;
         if !self.traces.contains_key(&(bench, class)) {
-            let t = self.testbed.trace_app(bench, class);
+            let t = Shared {
+                testbed: &self.testbed,
+                store: self.store.as_deref(),
+                counters: &self.counters,
+            }
+            .trace(bench, class);
             self.traces.insert((bench, class), t);
         }
         &self.traces[&(bench, class)]
     }
 
-    /// A skeleton of the given target size (memoized).
-    pub fn skeleton(&mut self, bench: NasBenchmark, target_secs: f64) -> &BuiltSkeleton {
+    /// A skeleton of the given target size (memoized). Fails if the built
+    /// skeleton does not pass structural validation.
+    pub fn skeleton(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+    ) -> Result<&BuiltSkeleton, EvalError> {
         let key = (bench, Self::size_key(target_secs));
         if !self.skeletons.contains_key(&key) {
             self.trace(bench); // ensure the trace exists
-            let trace = &self.traces[&(bench, self.class)];
-            let built = SkeletonBuilder::new(target_secs).build(trace);
-            let issues = pskel_core::validate(&built.skeleton);
-            assert!(
-                issues.is_empty(),
-                "{} {target_secs}s skeleton failed validation: {issues:?}",
-                bench.name()
-            );
+            let class = self.class;
+            let built = Shared {
+                testbed: &self.testbed,
+                store: self.store.as_deref(),
+                counters: &self.counters,
+            }
+            .skeleton(bench, class, target_secs, &self.traces[&(bench, class)])?;
             self.skeletons.insert(key, built);
         }
-        &self.skeletons[&key]
+        Ok(&self.skeletons[&key])
     }
 
     /// Skeleton execution time under a scenario (memoized).
@@ -160,17 +432,212 @@ impl EvalContext {
         bench: NasBenchmark,
         target_secs: f64,
         scenario: Scenario,
-    ) -> f64 {
+    ) -> Result<f64, EvalError> {
         let key = (bench, Self::size_key(target_secs), scenario);
         if let Some(&t) = self.skeleton_times.get(&key) {
-            return t;
+            return Ok(t);
         }
-        self.skeleton(bench, target_secs);
-        let built = &self.skeletons[&(bench, Self::size_key(target_secs))];
-        let t = self.testbed.run_skeleton(built, scenario);
+        self.skeleton(bench, target_secs)?;
+        let class = self.class;
+        let t = Shared {
+            testbed: &self.testbed,
+            store: self.store.as_deref(),
+            counters: &self.counters,
+        }
+        .skeleton_time(
+            bench,
+            class,
+            target_secs,
+            scenario,
+            &self.skeletons[&(bench, Self::size_key(target_secs))],
+        );
         self.skeleton_times.insert(key, t);
-        t
+        Ok(t)
     }
+
+    /// MPI fraction of a traced dedicated skeleton run (memoized).
+    pub fn skeleton_mpi_fraction(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+    ) -> Result<f64, EvalError> {
+        let key = (bench, Self::size_key(target_secs));
+        if let Some(&f) = self.skeleton_fracs.get(&key) {
+            return Ok(f);
+        }
+        self.skeleton(bench, target_secs)?;
+        let class = self.class;
+        let f = Shared {
+            testbed: &self.testbed,
+            store: self.store.as_deref(),
+            counters: &self.counters,
+        }
+        .skeleton_mpi_fraction(bench, class, target_secs, &self.skeletons[&key]);
+        self.skeleton_fracs.insert(key, f);
+        Ok(f)
+    }
+
+    /// Compute every cell the paper's figures need, fanning independent
+    /// (benchmark × size × scenario) work across a thread pool. The
+    /// simulator is deterministic, so figures rendered after a prewarm are
+    /// byte-identical to sequential evaluation — prewarming only moves the
+    /// work earlier and runs it concurrently (and, with a store attached,
+    /// persists it).
+    pub fn prewarm(&mut self) -> Result<(), EvalError> {
+        let class = self.class;
+        let sizes = self.skeleton_sizes.clone();
+
+        // Phase 1: dedicated traces + all application measurements.
+        enum Warm1 {
+            Trace(NasBenchmark),
+            Time(NasBenchmark, Class, Scenario),
+        }
+        enum Warm1Out {
+            Trace(NasBenchmark, AppTrace),
+            Time(NasBenchmark, Class, Scenario, f64),
+        }
+        let mut jobs = Vec::new();
+        for bench in NasBenchmark::ALL {
+            if !self.traces.contains_key(&(bench, class)) {
+                jobs.push(Warm1::Trace(bench));
+            }
+            for scenario in Scenario::ALL {
+                if !self.app_times.contains_key(&(bench, class, scenario)) {
+                    jobs.push(Warm1::Time(bench, class, scenario));
+                }
+            }
+            // Class-S baseline cells (Figure 7).
+            for scenario in [Scenario::Dedicated, Scenario::CpuAndNetOne] {
+                if !self.app_times.contains_key(&(bench, Class::S, scenario)) {
+                    jobs.push(Warm1::Time(bench, Class::S, scenario));
+                }
+            }
+        }
+        let sh = self.shared();
+        let outs = par_map(jobs, |job| match job {
+            Warm1::Trace(b) => Warm1Out::Trace(b, sh.trace(b, class)),
+            Warm1::Time(b, c, s) => Warm1Out::Time(b, c, s, sh.app_time(b, c, s)),
+        });
+        for out in outs {
+            match out {
+                Warm1Out::Trace(b, t) => {
+                    self.traces.insert((b, class), t);
+                }
+                Warm1Out::Time(b, c, s, t) => {
+                    self.app_times.insert((b, c, s), t);
+                }
+            }
+        }
+
+        // Phase 2: skeleton construction (needs the traces).
+        let mut jobs = Vec::new();
+        for bench in NasBenchmark::ALL {
+            for &size in &sizes {
+                if !self.skeletons.contains_key(&(bench, Self::size_key(size))) {
+                    jobs.push((bench, size));
+                }
+            }
+        }
+        let sh = self.shared();
+        let traces = &self.traces;
+        let outs = par_map(jobs, |(bench, size)| {
+            let built = sh.skeleton(bench, class, size, &traces[&(bench, class)])?;
+            Ok::<_, EvalError>((bench, size, built))
+        });
+        for out in outs {
+            let (bench, size, built) = out?;
+            self.skeletons.insert((bench, Self::size_key(size)), built);
+        }
+
+        // Phase 3: skeleton measurements (needs the skeletons).
+        enum Warm3 {
+            Time(NasBenchmark, f64, Scenario),
+            Frac(NasBenchmark, f64),
+        }
+        enum Warm3Out {
+            Time(NasBenchmark, f64, Scenario, f64),
+            Frac(NasBenchmark, f64, f64),
+        }
+        let mut jobs = Vec::new();
+        for bench in NasBenchmark::ALL {
+            for &size in &sizes {
+                for scenario in Scenario::ALL {
+                    if !self
+                        .skeleton_times
+                        .contains_key(&(bench, Self::size_key(size), scenario))
+                    {
+                        jobs.push(Warm3::Time(bench, size, scenario));
+                    }
+                }
+                if !self
+                    .skeleton_fracs
+                    .contains_key(&(bench, Self::size_key(size)))
+                {
+                    jobs.push(Warm3::Frac(bench, size));
+                }
+            }
+        }
+        let sh = self.shared();
+        let skeletons = &self.skeletons;
+        let outs = par_map(jobs, |job| match job {
+            Warm3::Time(b, size, s) => {
+                let built = &skeletons[&(b, Self::size_key(size))];
+                Warm3Out::Time(b, size, s, sh.skeleton_time(b, class, size, s, built))
+            }
+            Warm3::Frac(b, size) => {
+                let built = &skeletons[&(b, Self::size_key(size))];
+                Warm3Out::Frac(b, size, sh.skeleton_mpi_fraction(b, class, size, built))
+            }
+        });
+        for out in outs {
+            match out {
+                Warm3Out::Time(b, size, s, t) => {
+                    self.skeleton_times.insert((b, Self::size_key(size), s), t);
+                }
+                Warm3Out::Frac(b, size, f) => {
+                    self.skeleton_fracs.insert((b, Self::size_key(size)), f);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Order-preserving parallel map over a work queue, using scoped threads
+/// (the DES already runs one OS thread per simulated rank, so plain
+/// `std::thread` is the established idiom here).
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().next();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().unwrap().push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -184,6 +651,11 @@ mod tests {
         let b = ctx.app_time(NasBenchmark::Cg, Scenario::Dedicated);
         assert_eq!(a, b);
         assert!(a > 0.0);
+        assert_eq!(
+            ctx.counters().snapshot().app_sims,
+            1,
+            "second call must hit the memo"
+        );
     }
 
     #[test]
@@ -200,9 +672,129 @@ mod tests {
     #[test]
     fn skeleton_builds_and_runs_for_class_s() {
         let mut ctx = EvalContext::new(Class::S, &[0.005]);
-        let t = ctx.skeleton_time(NasBenchmark::Cg, 0.005, Scenario::Dedicated);
+        let t = ctx
+            .skeleton_time(NasBenchmark::Cg, 0.005, Scenario::Dedicated)
+            .unwrap();
         assert!(t > 0.0);
-        let built = ctx.skeleton(NasBenchmark::Cg, 0.005);
+        let built = ctx.skeleton(NasBenchmark::Cg, 0.005).unwrap();
         assert!(built.skeleton.meta.scale_k >= 1);
+    }
+
+    #[test]
+    fn sub_millisecond_sizes_do_not_collide() {
+        // Regression test: the old key `(secs * 1000).round()` collapsed
+        // every sub-0.5 ms size to 0, silently aliasing distinct skeletons.
+        let mut ctx = EvalContext::new(Class::S, &[0.0004, 0.0002]);
+        let k_a = ctx
+            .skeleton(NasBenchmark::Cg, 0.0004)
+            .unwrap()
+            .skeleton
+            .meta
+            .scale_k;
+        let k_b = ctx
+            .skeleton(NasBenchmark::Cg, 0.0002)
+            .unwrap()
+            .skeleton
+            .meta
+            .scale_k;
+        assert_eq!(
+            ctx.counters().snapshot().skeleton_builds,
+            2,
+            "two distinct sub-millisecond sizes must build two skeletons"
+        );
+        assert!(
+            k_b >= k_a,
+            "smaller target must not reuse the larger target's skeleton (K {k_a} vs {k_b})"
+        );
+        assert_eq!(
+            ctx.skeleton(NasBenchmark::Cg, 0.0004)
+                .unwrap()
+                .skeleton
+                .meta
+                .target_secs,
+            0.0004
+        );
+        assert_eq!(
+            ctx.skeleton(NasBenchmark::Cg, 0.0002)
+                .unwrap()
+                .skeleton
+                .meta
+                .target_secs,
+            0.0002
+        );
+    }
+
+    #[test]
+    fn store_backed_context_replays_without_simulating() {
+        let dir =
+            std::env::temp_dir().join(format!("pskel-predict-store-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(Store::open(&dir).unwrap());
+
+        let mut first = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+        let t1 = first
+            .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::CpuOneNode)
+            .unwrap();
+        let a1 = first.app_time(NasBenchmark::Cg, Scenario::CpuOneNode);
+        let c1 = first.counters().snapshot();
+        assert!(c1.total_sims() > 0, "cold store must simulate");
+
+        // Fresh context, same store: everything replays from disk.
+        let mut second = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+        let t2 = second
+            .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::CpuOneNode)
+            .unwrap();
+        let a2 = second.app_time(NasBenchmark::Cg, Scenario::CpuOneNode);
+        let c2 = second.counters().snapshot();
+        assert_eq!(
+            t1.to_bits(),
+            t2.to_bits(),
+            "cached time must be bit-identical"
+        );
+        assert_eq!(a1.to_bits(), a2.to_bits());
+        assert_eq!(
+            c2.total_sims(),
+            0,
+            "warm store must perform zero simulations"
+        );
+        assert_eq!(
+            c2.skeleton_builds, 0,
+            "warm store must not rebuild skeletons"
+        );
+        assert!(c2.store_hits > 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prewarm_matches_lazy_evaluation() {
+        let mut lazy = EvalContext::new(Class::S, &[0.01]);
+        let want = lazy
+            .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::NetOneLink)
+            .unwrap();
+
+        let mut warm = EvalContext::new(Class::S, &[0.01]);
+        warm.prewarm().unwrap();
+        let sims_after_prewarm = warm.counters().snapshot().total_sims();
+        let got = warm
+            .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::NetOneLink)
+            .unwrap();
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "parallel prewarm must be bit-identical"
+        );
+        assert_eq!(
+            warm.counters().snapshot().total_sims(),
+            sims_after_prewarm,
+            "prewarmed cell must be served from the memo"
+        );
     }
 }

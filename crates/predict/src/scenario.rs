@@ -171,7 +171,10 @@ mod tests {
         assert_eq!(one.nodes[0].link_cap, Some(THROTTLED_10MBPS));
         assert_eq!(one.nodes[1].link_cap, None);
         let all = Scenario::NetAllLinks.apply(&ClusterSpec::paper_testbed());
-        assert!(all.nodes.iter().all(|n| n.link_cap == Some(THROTTLED_10MBPS)));
+        assert!(all
+            .nodes
+            .iter()
+            .all(|n| n.link_cap == Some(THROTTLED_10MBPS)));
     }
 
     #[test]

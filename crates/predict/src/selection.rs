@@ -18,7 +18,11 @@ pub struct CandidateSet {
 
 impl CandidateSet {
     pub fn new(name: impl Into<String>, cluster: ClusterSpec, placement: Placement) -> Self {
-        CandidateSet { name: name.into(), cluster, placement }
+        CandidateSet {
+            name: name.into(),
+            cluster,
+            placement,
+        }
     }
 }
 
@@ -57,7 +61,10 @@ pub fn select_node_set(
     measured_ratio: f64,
     candidates: &[CandidateSet],
 ) -> Selection {
-    assert!(!candidates.is_empty(), "need at least one candidate node set");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate node set"
+    );
     assert!(
         measured_ratio.is_finite() && measured_ratio > 0.0,
         "measured scaling ratio must be positive, got {measured_ratio}"
@@ -81,7 +88,10 @@ pub fn select_node_set(
         .collect();
     let total_probe_secs = ranking.iter().map(|p| p.probe_secs).sum();
     ranking.sort_by(|a, b| a.predicted_secs.total_cmp(&b.predicted_secs));
-    Selection { ranking, total_probe_secs }
+    Selection {
+        ranking,
+        total_probe_secs,
+    }
 }
 
 #[cfg(test)]
@@ -104,13 +114,9 @@ mod tests {
         );
         let built =
             SkeletonBuilder::new(traced.total_secs() / 10.0).build(traced.trace.as_ref().unwrap());
-        let skel_ded = pskel_core::run_skeleton(
-            &built.skeleton,
-            cluster,
-            placement,
-            ExecOptions::default(),
-        )
-        .total_secs();
+        let skel_ded =
+            pskel_core::run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default())
+                .total_secs();
         (built, traced.total_secs() / skel_ded)
     }
 
@@ -150,10 +156,14 @@ mod tests {
         let (built, ratio) = build(NasBenchmark::Mg, Class::W);
         let p = Placement::round_robin(4, 4);
         let specs = [
-            ("all-loaded", ClusterSpec::paper_testbed().with_competing_processes(0, 2)
-                .with_competing_processes(1, 2)
-                .with_competing_processes(2, 2)
-                .with_competing_processes(3, 2)),
+            (
+                "all-loaded",
+                ClusterSpec::paper_testbed()
+                    .with_competing_processes(0, 2)
+                    .with_competing_processes(1, 2)
+                    .with_competing_processes(2, 2)
+                    .with_competing_processes(3, 2),
+            ),
             ("idle", ClusterSpec::paper_testbed()),
         ];
         let candidates: Vec<CandidateSet> = specs

@@ -1,0 +1,95 @@
+//! Acceptance tests for the artifact store + parallel runner:
+//! - prewarmed (concurrent) evaluation renders byte-identical reports to
+//!   the lazy sequential path;
+//! - a second run against a warm store performs zero application
+//!   re-simulations;
+//! - figure drivers run unchanged on a store-backed context.
+
+use pskel_apps::{Class, NasBenchmark};
+use pskel_predict::report::{render_fig3, render_fig7};
+use pskel_predict::{fig3, fig7, EvalContext, Scenario};
+use pskel_store::Store;
+use std::sync::Arc;
+
+fn scratch_store(tag: &str) -> (std::path::PathBuf, Arc<Store>) {
+    let dir =
+        std::env::temp_dir().join(format!("pskel-predict-itest-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(Store::open(&dir).unwrap());
+    (dir, store)
+}
+
+#[test]
+fn parallel_prewarm_renders_byte_identical_reports() {
+    let mut sequential = EvalContext::new(Class::S, &[0.01, 0.005]);
+    let seq_fig3 = render_fig3(&fig3(&mut sequential).unwrap());
+    let seq_fig7 = render_fig7(&fig7(&mut sequential).unwrap());
+
+    let mut parallel = EvalContext::new(Class::S, &[0.01, 0.005]);
+    parallel.prewarm().unwrap();
+    let par_fig3 = render_fig3(&fig3(&mut parallel).unwrap());
+    let par_fig7 = render_fig7(&fig7(&mut parallel).unwrap());
+
+    assert_eq!(
+        seq_fig3, par_fig3,
+        "fig3 must not depend on evaluation order"
+    );
+    assert_eq!(
+        seq_fig7, par_fig7,
+        "fig7 must not depend on evaluation order"
+    );
+}
+
+#[test]
+fn warm_store_eliminates_all_resimulation() {
+    let (dir, store) = scratch_store("replay");
+
+    let mut cold = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+    let report_cold = render_fig3(&fig3(&mut cold).unwrap());
+    let cold_counters = cold.counters().snapshot();
+    assert!(cold_counters.total_sims() > 0, "cold run must simulate");
+
+    // A brand-new context over the same store: same bytes, no simulations.
+    let mut warm = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+    let report_warm = render_fig3(&fig3(&mut warm).unwrap());
+    let warm_counters = warm.counters().snapshot();
+
+    assert_eq!(
+        report_cold, report_warm,
+        "cached replay must be byte-identical"
+    );
+    assert_eq!(warm_counters.app_sims, 0, "no application re-simulations");
+    assert_eq!(warm_counters.trace_sims, 0, "no trace re-simulations");
+    assert_eq!(warm_counters.skeleton_sims, 0, "no skeleton re-simulations");
+    assert_eq!(warm_counters.skeleton_builds, 0, "no skeleton rebuilds");
+    assert!(
+        warm_counters.store_hits > 0,
+        "warm run must be served by the store"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_backed_prewarm_then_lazy_agree() {
+    let (dir, store) = scratch_store("prewarm");
+
+    let mut warm = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+    warm.prewarm().unwrap();
+    let warmed = warm
+        .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::CpuAllNodes)
+        .unwrap();
+
+    let mut lazy = EvalContext::new(Class::S, &[0.01]);
+    let computed = lazy
+        .skeleton_time(NasBenchmark::Cg, 0.01, Scenario::CpuAllNodes)
+        .unwrap();
+
+    assert_eq!(
+        warmed.to_bits(),
+        computed.to_bits(),
+        "store-backed parallel prewarm must agree exactly with direct evaluation"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -59,7 +59,10 @@ pub struct ClusteredSeq {
 
 /// Cluster `seq` under similarity threshold `tau`.
 pub fn cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
-    assert!((0.0..=1.0).contains(&tau), "similarity threshold must be in [0,1], got {tau}");
+    assert!(
+        (0.0..=1.0).contains(&tau),
+        "similarity threshold must be in [0,1], got {tau}"
+    );
     let scale = seq.byte_scale();
     let max_diff = tau * scale;
 
@@ -70,7 +73,12 @@ pub fn cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
         let id = assign(&mut clusters, ev, max_diff);
         symbols.push((id, ev.compute_before));
     }
-    ClusteredSeq { rank: seq.rank, symbols, clusters, tail_compute: seq.tail_compute }
+    ClusteredSeq {
+        rank: seq.rank,
+        symbols,
+        clusters,
+        tail_compute: seq.tail_compute,
+    }
 }
 
 fn assign(clusters: &mut Vec<ClusterInfo>, ev: &EventOccurrence, max_diff: f64) -> u32 {
@@ -108,7 +116,12 @@ mod tests {
 
     fn occ(kind: OpKind, peer: u32, bytes: u64, dur_ns: u64) -> EventOccurrence {
         EventOccurrence {
-            key: EventKey { kind, peer: Some(peer), tag: Some(0), slots: vec![] },
+            key: EventKey {
+                kind,
+                peer: Some(peer),
+                tag: Some(0),
+                slots: vec![],
+            },
             bytes,
             dur: SimDuration(dur_ns),
             compute_before: 0.0,
@@ -116,7 +129,11 @@ mod tests {
     }
 
     fn seq(events: Vec<EventOccurrence>) -> OccurrenceSeq {
-        OccurrenceSeq { rank: 0, events, tail_compute: 0.0 }
+        OccurrenceSeq {
+            rank: 0,
+            events,
+            tail_compute: 0.0,
+        }
     }
 
     #[test]
@@ -135,7 +152,10 @@ mod tests {
     #[test]
     fn paper_example_merges_at_sufficient_threshold() {
         // MPI_Send(3, 2000) + MPI_Send(3, 1800) -> MPI_Send(3, 1900).
-        let s = seq(vec![occ(OpKind::Send, 3, 2000, 100), occ(OpKind::Send, 3, 1800, 100)]);
+        let s = seq(vec![
+            occ(OpKind::Send, 3, 2000, 100),
+            occ(OpKind::Send, 3, 1800, 100),
+        ]);
         // scale = 2000; diff = 200 -> tau >= 0.1 merges.
         let c = cluster(&s, 0.1);
         assert_eq!(c.clusters.len(), 1);
@@ -145,28 +165,40 @@ mod tests {
 
     #[test]
     fn below_threshold_stays_separate() {
-        let s = seq(vec![occ(OpKind::Send, 3, 2000, 100), occ(OpKind::Send, 3, 1800, 100)]);
+        let s = seq(vec![
+            occ(OpKind::Send, 3, 2000, 100),
+            occ(OpKind::Send, 3, 1800, 100),
+        ]);
         let c = cluster(&s, 0.05);
         assert_eq!(c.clusters.len(), 2);
     }
 
     #[test]
     fn different_kinds_never_merge() {
-        let s = seq(vec![occ(OpKind::Send, 1, 1000, 100), occ(OpKind::Isend, 1, 1000, 100)]);
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 1000, 100),
+            occ(OpKind::Isend, 1, 1000, 100),
+        ]);
         let c = cluster(&s, 1.0);
         assert_eq!(c.clusters.len(), 2, "blocking vs nonblocking stay distinct");
     }
 
     #[test]
     fn different_peers_never_merge() {
-        let s = seq(vec![occ(OpKind::Send, 1, 1000, 100), occ(OpKind::Send, 2, 1000, 100)]);
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 1000, 100),
+            occ(OpKind::Send, 2, 1000, 100),
+        ]);
         let c = cluster(&s, 1.0);
         assert_eq!(c.clusters.len(), 2);
     }
 
     #[test]
     fn centroid_tracks_running_mean_of_duration() {
-        let s = seq(vec![occ(OpKind::Send, 1, 100, 1_000), occ(OpKind::Send, 1, 100, 3_000)]);
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 100, 1_000),
+            occ(OpKind::Send, 1, 100, 3_000),
+        ]);
         let c = cluster(&s, 0.0);
         assert_eq!(c.clusters.len(), 1);
         assert!((c.clusters[0].mean_dur_secs - 2e-6).abs() < 1e-15);

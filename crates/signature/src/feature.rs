@@ -69,7 +69,11 @@ impl OccurrenceSeq {
                 }
             }
         }
-        OccurrenceSeq { rank: trace.rank, events, tail_compute: pending }
+        OccurrenceSeq {
+            rank: trace.rank,
+            events,
+            tail_compute: pending,
+        }
     }
 
     /// Total computation time across the sequence (gaps + tail).
@@ -81,7 +85,12 @@ impl OccurrenceSeq {
     /// interpreted relative to this scale (τ = 1 merges everything of the
     /// same key). At least 1 to avoid division by zero.
     pub fn byte_scale(&self) -> f64 {
-        self.events.iter().map(|e| e.bytes).max().unwrap_or(0).max(1) as f64
+        self.events
+            .iter()
+            .map(|e| e.bytes)
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64
     }
 }
 
@@ -106,12 +115,20 @@ mod tests {
         ProcessTrace {
             rank: 3,
             records: vec![
-                Record::Compute { dur: SimDuration(2_000_000_000) },
+                Record::Compute {
+                    dur: SimDuration(2_000_000_000),
+                },
                 mk(OpKind::Send, 1000, 0, 10),
-                Record::Compute { dur: SimDuration(1_000_000_000) },
-                Record::Compute { dur: SimDuration(500_000_000) },
+                Record::Compute {
+                    dur: SimDuration(1_000_000_000),
+                },
+                Record::Compute {
+                    dur: SimDuration(500_000_000),
+                },
                 mk(OpKind::Allreduce, 8, 20, 30),
-                Record::Compute { dur: SimDuration(250_000_000) },
+                Record::Compute {
+                    dur: SimDuration(250_000_000),
+                },
             ],
             finish: SimTime(100),
         }
@@ -138,7 +155,11 @@ mod tests {
     fn byte_scale_is_max_and_at_least_one() {
         let seq = OccurrenceSeq::from_trace(&trace());
         assert_eq!(seq.byte_scale(), 1000.0);
-        let empty = OccurrenceSeq { rank: 0, events: vec![], tail_compute: 0.0 };
+        let empty = OccurrenceSeq {
+            rank: 0,
+            events: vec![],
+            tail_compute: 0.0,
+        };
         assert_eq!(empty.byte_scale(), 1.0);
     }
 

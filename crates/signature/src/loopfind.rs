@@ -81,7 +81,10 @@ fn fold_pass(toks: Vec<Tok>, p: usize) -> (Vec<Tok>, bool) {
             for k in 1..reps {
                 merge_weighted(&mut body, &toks[i + k * p..i + (k + 1) * p], k as f64, 1.0);
             }
-            out.push(Tok::Loop { count: reps as u64, body });
+            out.push(Tok::Loop {
+                count: reps as u64,
+                body,
+            });
             i += reps * p;
             changed = true;
         } else {
@@ -105,8 +108,14 @@ fn coalesce(toks: Vec<Tok>) -> Vec<Tok> {
         let t = canonicalize(t);
         match (out.last_mut(), t) {
             (
-                Some(Tok::Loop { count: ca, body: ba }),
-                Tok::Loop { count: cb, body: bb },
+                Some(Tok::Loop {
+                    count: ca,
+                    body: ba,
+                }),
+                Tok::Loop {
+                    count: cb,
+                    body: bb,
+                },
             ) if seq_structurally_eq(ba, &bb) => {
                 merge_weighted(ba, &bb, *ca as f64, cb as f64);
                 *ca += cb;
@@ -126,8 +135,15 @@ fn canonicalize(t: Tok) -> Tok {
                 return body.pop().unwrap();
             }
             if body.len() == 1 {
-                if let Tok::Loop { count: ci, body: bi } = &body[0] {
-                    return Tok::Loop { count: count * ci, body: bi.clone() };
+                if let Tok::Loop {
+                    count: ci,
+                    body: bi,
+                } = &body[0]
+                {
+                    return Tok::Loop {
+                        count: count * ci,
+                        body: bi.clone(),
+                    };
                 }
             }
             Tok::Loop { count, body }
@@ -141,8 +157,14 @@ fn coalesce_inner(toks: Vec<Tok>) -> Vec<Tok> {
     for t in toks {
         match (out.last_mut(), t) {
             (
-                Some(Tok::Loop { count: ca, body: ba }),
-                Tok::Loop { count: cb, body: bb },
+                Some(Tok::Loop {
+                    count: ca,
+                    body: ba,
+                }),
+                Tok::Loop {
+                    count: cb,
+                    body: bb,
+                },
             ) if seq_structurally_eq(ba, &bb) => {
                 merge_weighted(ba, &bb, *ca as f64, cb as f64);
                 *ca += cb;
@@ -159,11 +181,17 @@ mod tests {
     use crate::token::{expand_ids, render, total_compute};
 
     fn sym(id: u32) -> Tok {
-        Tok::Sym { id, compute_before: 0.0 }
+        Tok::Sym {
+            id,
+            compute_before: 0.0,
+        }
     }
 
     fn symc(id: u32, c: f64) -> Tok {
-        Tok::Sym { id, compute_before: c }
+        Tok::Sym {
+            id,
+            compute_before: c,
+        }
     }
 
     fn syms(ids: &[u32]) -> Vec<Tok> {
@@ -256,8 +284,14 @@ mod tests {
     fn adjacent_equal_loops_coalesce() {
         // Build [a]^2 [a]^2 by hand and coalesce via find_loops.
         let toks = vec![
-            Tok::Loop { count: 2, body: vec![symc(0, 1.0)] },
-            Tok::Loop { count: 2, body: vec![symc(0, 3.0)] },
+            Tok::Loop {
+                count: 2,
+                body: vec![symc(0, 1.0)],
+            },
+            Tok::Loop {
+                count: 2,
+                body: vec![symc(0, 3.0)],
+            },
         ];
         let before = total_compute(&toks);
         let out = find_loops(toks, LoopFindOptions::default());
@@ -284,9 +318,7 @@ mod tests {
 
     #[test]
     fn large_uniform_input_is_fast_and_exact() {
-        let input: Vec<u32> = std::iter::repeat_n([0, 1, 2], 10_000)
-            .flatten()
-            .collect();
+        let input: Vec<u32> = std::iter::repeat_n([0, 1, 2], 10_000).flatten().collect();
         let toks = fold(&input);
         assert_eq!(render(&toks), "[s0 s1 s2]^10000");
         assert_eq!(expand_ids(&toks), input);

@@ -160,7 +160,10 @@ pub fn compress_process(
     target_q: f64,
     opts: SignatureOptions,
 ) -> CompressionOutcome {
-    assert!(target_q >= 1.0, "target compression ratio must be >= 1, got {target_q}");
+    assert!(
+        target_q >= 1.0,
+        "target compression ratio must be >= 1, got {target_q}"
+    );
     let seq = OccurrenceSeq::from_trace(trace);
     let mut tau = opts.min_threshold;
     let mut best: Option<ExecutionSignature> = None;
@@ -177,11 +180,17 @@ pub fn compress_process(
             best = Some(sig);
         }
         if best.as_ref().unwrap().compression_ratio() >= target_q {
-            return CompressionOutcome { signature: best.unwrap(), saturated: false };
+            return CompressionOutcome {
+                signature: best.unwrap(),
+                saturated: false,
+            };
         }
         tau += opts.threshold_step;
         if tau > opts.max_threshold + 1e-12 {
-            return CompressionOutcome { signature: best.unwrap(), saturated: true };
+            return CompressionOutcome {
+                signature: best.unwrap(),
+                saturated: true,
+            };
         }
     }
 }
@@ -222,7 +231,9 @@ mod tests {
         let mut records = Vec::new();
         let mut t = 0u64;
         for i in 0..reps {
-            records.push(Record::Compute { dur: SimDuration(10_000_000) });
+            records.push(Record::Compute {
+                dur: SimDuration(10_000_000),
+            });
             t += 10_000_000;
             let jitter = (i % 5) as u64 * 40; // 0..160 byte spread
             let mk = |kind, peer, bytes, t0: &mut u64| {
@@ -242,7 +253,11 @@ mod tests {
             records.push(mk(OpKind::Send, 2, 64, &mut t));
             records.push(mk(OpKind::Allreduce, 0, 8, &mut t));
         }
-        ProcessTrace { rank: 0, records, finish: SimTime(t) }
+        ProcessTrace {
+            rank: 0,
+            records,
+            finish: SimTime(t),
+        }
     }
 
     #[test]
@@ -291,7 +306,11 @@ mod tests {
                 end: SimTime(i as u64 * 100 + 10),
             }));
         }
-        let trace = ProcessTrace { rank: 0, records, finish: SimTime(1000) };
+        let trace = ProcessTrace {
+            rank: 0,
+            records,
+            finish: SimTime(1000),
+        };
         let out = compress_process(&trace, 4.0, SignatureOptions::default());
         assert!(out.saturated);
         assert!(out.signature.compression_ratio() < 4.0);

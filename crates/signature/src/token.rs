@@ -23,9 +23,16 @@ impl Tok {
     pub fn structurally_eq(a: &Tok, b: &Tok) -> bool {
         match (a, b) {
             (Tok::Sym { id: x, .. }, Tok::Sym { id: y, .. }) => x == y,
-            (Tok::Loop { count: ca, body: ba }, Tok::Loop { count: cb, body: bb }) => {
-                ca == cb && seq_structurally_eq(ba, bb)
-            }
+            (
+                Tok::Loop {
+                    count: ca,
+                    body: ba,
+                },
+                Tok::Loop {
+                    count: cb,
+                    body: bb,
+                },
+            ) => ca == cb && seq_structurally_eq(ba, bb),
             _ => false,
         }
     }
@@ -78,11 +85,21 @@ pub fn structural_hash(t: &Tok) -> u64 {
 /// numbers of original iterations each side represents, so expansion totals
 /// are preserved exactly.
 pub fn merge_weighted(acc: &mut [Tok], other: &[Tok], w_acc: f64, w_other: f64) {
-    debug_assert!(seq_structurally_eq(acc, other), "merging structurally unequal sequences");
+    debug_assert!(
+        seq_structurally_eq(acc, other),
+        "merging structurally unequal sequences"
+    );
     let wt = w_acc + w_other;
     for (a, o) in acc.iter_mut().zip(other) {
         match (a, o) {
-            (Tok::Sym { compute_before: ca, .. }, Tok::Sym { compute_before: co, .. }) => {
+            (
+                Tok::Sym {
+                    compute_before: ca, ..
+                },
+                Tok::Sym {
+                    compute_before: co, ..
+                },
+            ) => {
                 *ca = (*ca * w_acc + *co * w_other) / wt;
             }
             (Tok::Loop { body: ba, .. }, Tok::Loop { body: bo, .. }) => {
@@ -150,7 +167,10 @@ impl fmt::Display for Tok {
 
 /// Render a full token sequence.
 pub fn render(toks: &[Tok]) -> String {
-    toks.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+    toks.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -158,11 +178,17 @@ mod tests {
     use super::*;
 
     pub(crate) fn sym(id: u32) -> Tok {
-        Tok::Sym { id, compute_before: 0.0 }
+        Tok::Sym {
+            id,
+            compute_before: 0.0,
+        }
     }
 
     fn symc(id: u32, c: f64) -> Tok {
-        Tok::Sym { id, compute_before: c }
+        Tok::Sym {
+            id,
+            compute_before: c,
+        }
     }
 
     fn lp(count: u64, body: Vec<Tok>) -> Tok {
@@ -177,7 +203,10 @@ mod tests {
             &lp(3, vec![symc(1, 0.1)]),
             &lp(3, vec![symc(1, 7.0)])
         ));
-        assert!(!Tok::structurally_eq(&lp(3, vec![sym(1)]), &lp(2, vec![sym(1)])));
+        assert!(!Tok::structurally_eq(
+            &lp(3, vec![sym(1)]),
+            &lp(2, vec![sym(1)])
+        ));
         assert!(!Tok::structurally_eq(&lp(3, vec![sym(1)]), &sym(1)));
     }
 

@@ -29,7 +29,12 @@ fn repetitive_seq() -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn toks_of(ids: &[u32]) -> Vec<Tok> {
-    ids.iter().map(|&id| Tok::Sym { id, compute_before: 0.0 }).collect()
+    ids.iter()
+        .map(|&id| Tok::Sym {
+            id,
+            compute_before: 0.0,
+        })
+        .collect()
 }
 
 proptest! {
@@ -86,13 +91,19 @@ proptest! {
 
 /// Random trace construction for clustering/compression properties.
 fn arb_trace() -> impl Strategy<Value = ProcessTrace> {
-    let ev = (0..3usize, 0..4u32, prop::sample::select(vec![64u64, 65, 1000, 1010, 50_000]));
+    let ev = (
+        0..3usize,
+        0..4u32,
+        prop::sample::select(vec![64u64, 65, 1000, 1010, 50_000]),
+    );
     prop::collection::vec(ev, 1..80).prop_map(|evs| {
         let kinds = [OpKind::Send, OpKind::Recv, OpKind::Allreduce];
         let mut records = Vec::new();
         let mut t = 0u64;
         for (k, peer, bytes) in evs {
-            records.push(Record::Compute { dur: SimDuration(1_000_000) });
+            records.push(Record::Compute {
+                dur: SimDuration(1_000_000),
+            });
             t += 1_000_000;
             records.push(Record::Mpi(MpiEvent {
                 kind: kinds[k],
@@ -105,7 +116,11 @@ fn arb_trace() -> impl Strategy<Value = ProcessTrace> {
             }));
             t += 20_000;
         }
-        ProcessTrace { rank: 0, records, finish: SimTime(t) }
+        ProcessTrace {
+            rank: 0,
+            records,
+            finish: SimTime(t),
+        }
     })
 }
 

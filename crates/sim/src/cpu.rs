@@ -66,7 +66,10 @@ impl NodeCpu {
             work.is_finite() && work >= 0.0,
             "compute work must be finite and non-negative, got {work}"
         );
-        self.tasks.push(CpuTask { owner, remaining: work });
+        self.tasks.push(CpuTask {
+            owner,
+            remaining: work,
+        });
     }
 
     /// Advance all tasks by `dt` of wall (virtual) time at the current rate.

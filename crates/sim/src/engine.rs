@@ -18,8 +18,8 @@ use crate::net::{max_min_rates, Flow};
 use crate::spec::{ClusterSpec, Placement};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
@@ -45,14 +45,36 @@ pub struct RecvInfo {
 
 #[derive(Debug)]
 enum Request {
-    Compute { secs: f64 },
-    Sleep { secs: f64 },
-    Send { dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>, nonblocking: bool },
-    Recv { src: Option<usize>, tag: Option<u64>, nonblocking: bool },
-    Wait { req: u64 },
-    WaitAll { reqs: Vec<u64> },
-    Test { req: u64 },
-    Exit { panic: Option<String> },
+    Compute {
+        secs: f64,
+    },
+    Sleep {
+        secs: f64,
+    },
+    Send {
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        payload: Option<Vec<u8>>,
+        nonblocking: bool,
+    },
+    Recv {
+        src: Option<usize>,
+        tag: Option<u64>,
+        nonblocking: bool,
+    },
+    Wait {
+        req: u64,
+    },
+    WaitAll {
+        reqs: Vec<u64>,
+    },
+    Test {
+        req: u64,
+    },
+    Exit {
+        panic: Option<String>,
+    },
 }
 
 #[derive(Debug)]
@@ -87,20 +109,33 @@ enum Blocked {
         #[allow(dead_code)]
         recv: u64,
     },
-    Wait { req: u64 },
-    WaitAll { reqs: Vec<u64>, remaining: usize },
+    Wait {
+        req: u64,
+    },
+    WaitAll {
+        reqs: Vec<u64>,
+        remaining: usize,
+    },
     Exited,
 }
 
 #[derive(Debug)]
 enum Timer {
     /// Wire latency elapsed for a message; start its flow (or deliver it).
-    NetDelay { msg: u64 },
+    NetDelay {
+        msg: u64,
+    },
     /// Rendezvous handshake + wire time elapsed; start the flow.
-    RndvWire { msg: u64 },
+    RndvWire {
+        msg: u64,
+    },
     /// Intra-node transfer finished.
-    LocalDelivery { msg: u64 },
-    SleepDone { rank: usize },
+    LocalDelivery {
+        msg: u64,
+    },
+    SleepDone {
+        rank: usize,
+    },
 }
 
 /// State of one nonblocking request.
@@ -214,8 +249,18 @@ impl SimCtx {
     /// reused — immediately for eager messages, at transfer completion for
     /// rendezvous messages).
     pub fn send(&mut self, dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>) {
-        assert!(dst < self.nranks, "send to rank {dst} but nranks={}", self.nranks);
-        match self.roundtrip(Request::Send { dst, tag, bytes, payload, nonblocking: false }) {
+        assert!(
+            dst < self.nranks,
+            "send to rank {dst} but nranks={}",
+            self.nranks
+        );
+        match self.roundtrip(Request::Send {
+            dst,
+            tag,
+            bytes,
+            payload,
+            nonblocking: false,
+        }) {
             ReplyKind::Done => {}
             other => panic!("unexpected reply to send: {other:?}"),
         }
@@ -223,8 +268,18 @@ impl SimCtx {
 
     /// Nonblocking send; complete with [`SimCtx::wait`].
     pub fn isend(&mut self, dst: usize, tag: u64, bytes: u64, payload: Option<Vec<u8>>) -> SimReq {
-        assert!(dst < self.nranks, "isend to rank {dst} but nranks={}", self.nranks);
-        match self.roundtrip(Request::Send { dst, tag, bytes, payload, nonblocking: true }) {
+        assert!(
+            dst < self.nranks,
+            "isend to rank {dst} but nranks={}",
+            self.nranks
+        );
+        match self.roundtrip(Request::Send {
+            dst,
+            tag,
+            bytes,
+            payload,
+            nonblocking: true,
+        }) {
             ReplyKind::Handle(h) => SimReq(h),
             other => panic!("unexpected reply to isend: {other:?}"),
         }
@@ -232,7 +287,11 @@ impl SimCtx {
 
     /// Blocking receive. `src`/`tag` of `None` mean any-source / any-tag.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>) -> RecvInfo {
-        match self.roundtrip(Request::Recv { src, tag, nonblocking: false }) {
+        match self.roundtrip(Request::Recv {
+            src,
+            tag,
+            nonblocking: false,
+        }) {
             ReplyKind::Recv(info) => info,
             other => panic!("unexpected reply to recv: {other:?}"),
         }
@@ -240,7 +299,11 @@ impl SimCtx {
 
     /// Nonblocking receive; complete with [`SimCtx::wait`].
     pub fn irecv(&mut self, src: Option<usize>, tag: Option<u64>) -> SimReq {
-        match self.roundtrip(Request::Recv { src, tag, nonblocking: true }) {
+        match self.roundtrip(Request::Recv {
+            src,
+            tag,
+            nonblocking: true,
+        }) {
             ReplyKind::Handle(h) => SimReq(h),
             other => panic!("unexpected reply to irecv: {other:?}"),
         }
@@ -315,14 +378,18 @@ impl Engine {
         self.blocked[rank] = Blocked::Running;
         self.running += 1;
         self.reply_tx[rank]
-            .send(Reply { now: self.now, kind })
+            .send(Reply {
+                now: self.now,
+                kind,
+            })
             .expect("rank thread disappeared while a reply was due");
     }
 
     fn schedule(&mut self, at: SimTime, timer: Timer) {
         let id = self.fresh_id();
         self.timer_seq += 1;
-        self.timers.push(Reverse((at.as_nanos(), self.timer_seq, id)));
+        self.timers
+            .push(Reverse((at.as_nanos(), self.timer_seq, id)));
         self.timer_payload.insert(id, timer);
     }
 
@@ -346,10 +413,20 @@ impl Engine {
                 self.schedule(at, Timer::SleepDone { rank });
                 self.blocked[rank] = Blocked::Sleep;
             }
-            Request::Send { dst, tag, bytes, payload, nonblocking } => {
+            Request::Send {
+                dst,
+                tag,
+                bytes,
+                payload,
+                nonblocking,
+            } => {
                 self.start_send(rank, dst, tag, bytes, payload, nonblocking);
             }
-            Request::Recv { src, tag, nonblocking } => {
+            Request::Recv {
+                src,
+                tag,
+                nonblocking,
+            } => {
                 self.start_recv(rank, src, tag, nonblocking);
             }
             Request::Wait { req } => {
@@ -386,17 +463,21 @@ impl Engine {
                     }
                 }
                 if remaining == 0 {
-                    let outcomes =
-                        reqs.iter().map(|id| self.nb.remove(id).unwrap().outcome).collect();
+                    let outcomes = reqs
+                        .iter()
+                        .map(|id| self.nb.remove(id).unwrap().outcome)
+                        .collect();
                     self.reply(rank, ReplyKind::WaitAllDone(outcomes));
                 } else {
                     self.blocked[rank] = Blocked::WaitAll { reqs, remaining };
                 }
             }
             Request::Test { req } => {
-                let done = self.nb.get(&req).map(|s| s.done).unwrap_or_else(|| {
-                    panic!("rank {rank}: test on unknown request {req}")
-                });
+                let done = self
+                    .nb
+                    .get(&req)
+                    .map(|s| s.done)
+                    .unwrap_or_else(|| panic!("rank {rank}: test on unknown request {req}"));
                 if done {
                     let outcome = self.nb.remove(&req).unwrap().outcome;
                     self.reply(rank, ReplyKind::TestResult(Some(outcome)));
@@ -452,7 +533,11 @@ impl Engine {
             bytes,
             payload,
             eager,
-            state: if eager { MsgState::EagerLatency } else { MsgState::RndvWaiting },
+            state: if eager {
+                MsgState::EagerLatency
+            } else {
+                MsgState::RndvWaiting
+            },
             bound_recv: None,
             send_completion,
         };
@@ -467,8 +552,11 @@ impl Engine {
             } else {
                 self.now + self.spec.net.latency
             };
-            let timer =
-                if intra { Timer::LocalDelivery { msg: id } } else { Timer::NetDelay { msg: id } };
+            let timer = if intra {
+                Timer::LocalDelivery { msg: id }
+            } else {
+                Timer::NetDelay { msg: id }
+            };
             self.schedule(at, timer);
         }
 
@@ -494,7 +582,14 @@ impl Engine {
             (true, false) => self.reply(src_rank, ReplyKind::Done),
             (true, true) => {
                 let h = self.fresh_id();
-                self.nb.insert(h, NbState { done: true, outcome: None, waiter: None });
+                self.nb.insert(
+                    h,
+                    NbState {
+                        done: true,
+                        outcome: None,
+                        waiter: None,
+                    },
+                );
                 self.reply(src_rank, ReplyKind::Handle(h));
             }
             (false, false) => {
@@ -534,7 +629,14 @@ impl Engine {
         } else {
             Completion::Rank(rank)
         };
-        let recv = RecvReq { id: rid, rank, src, tag, completion, matched: None };
+        let recv = RecvReq {
+            id: rid,
+            rank,
+            src,
+            tag,
+            completion,
+            matched: None,
+        };
 
         // Match against pending sends in initiation order.
         let matched = {
@@ -583,9 +685,7 @@ impl Engine {
     fn deliver(&mut self, mid: u64) {
         let mut msg = self.msgs.remove(&mid).unwrap();
         msg.state = MsgState::Done;
-        let rid = msg
-            .bound_recv
-            .expect("deliver called on unmatched message");
+        let rid = msg.bound_recv.expect("deliver called on unmatched message");
         let recv = self.recvs.remove(&rid).unwrap();
         let info = RecvInfo {
             src: msg.src_rank,
@@ -616,7 +716,10 @@ impl Engine {
     }
 
     fn complete_nb(&mut self, h: u64, outcome: Option<RecvInfo>) {
-        let state = self.nb.get_mut(&h).expect("completing unknown nonblocking request");
+        let state = self
+            .nb
+            .get_mut(&h)
+            .expect("completing unknown nonblocking request");
         debug_assert!(!state.done, "nonblocking request completed twice");
         state.done = true;
         state.outcome = outcome;
@@ -631,8 +734,10 @@ impl Engine {
                 *remaining -= 1;
                 if *remaining == 0 {
                     let ids = std::mem::take(reqs);
-                    let outcomes =
-                        ids.iter().map(|id| self.nb.remove(id).unwrap().outcome).collect();
+                    let outcomes = ids
+                        .iter()
+                        .map(|id| self.nb.remove(id).unwrap().outcome)
+                        .collect();
                     self.reply(rank, ReplyKind::WaitAllDone(outcomes));
                 }
             }
@@ -810,7 +915,10 @@ impl Engine {
                 break;
             }
             let Reverse((_, _, id)) = self.timers.pop().unwrap();
-            let timer = self.timer_payload.remove(&id).expect("timer payload missing");
+            let timer = self
+                .timer_payload
+                .remove(&id)
+                .expect("timer payload missing");
             self.fire_timer(timer);
         }
     }

@@ -112,11 +112,7 @@ impl MatchQueue {
 
     /// Find (without removing) the first posted receive this message can
     /// match, honouring receive post order.
-    pub fn find_recv_for<'a>(
-        &self,
-        msg: &Msg,
-        lookup: impl Fn(u64) -> &'a RecvReq,
-    ) -> Option<u64> {
+    pub fn find_recv_for<'a>(&self, msg: &Msg, lookup: impl Fn(u64) -> &'a RecvReq) -> Option<u64> {
         self.unmatched_recvs
             .iter()
             .copied()
@@ -159,7 +155,14 @@ mod tests {
     }
 
     fn recv(id: u64, rank: usize, src: Option<usize>, tag: Option<u64>) -> RecvReq {
-        RecvReq { id, rank, src, tag, completion: Completion::Rank(rank), matched: None }
+        RecvReq {
+            id,
+            rank,
+            src,
+            tag,
+            completion: Completion::Rank(rank),
+            matched: None,
+        }
     }
 
     #[test]
@@ -168,7 +171,10 @@ mod tests {
         assert!(recv(1, 1, Some(0), Some(42)).matches(&m));
         assert!(!recv(1, 1, Some(2), Some(42)).matches(&m));
         assert!(!recv(1, 1, Some(0), Some(7)).matches(&m));
-        assert!(!recv(1, 0, Some(0), Some(42)).matches(&m), "wrong destination rank");
+        assert!(
+            !recv(1, 0, Some(0), Some(42)).matches(&m),
+            "wrong destination rank"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn max_min_rates(cluster: &ClusterSpec, flows: &[Flow]) -> Vec<f64> {
                 _ => best = Some((share, r)),
             }
         }
-        let (share, bottleneck) =
-            best.expect("unfrozen flows remain but no resource carries them");
+        let (share, bottleneck) = best.expect("unfrozen flows remain but no resource carries them");
 
         // Freeze every unfrozen flow crossing the bottleneck at the fair
         // share, and charge its rate to the other resources it crosses.
@@ -118,7 +117,12 @@ mod tests {
     use crate::spec::{ClusterSpec, THROTTLED_10MBPS};
 
     fn flow(id: u64, src: usize, dst: usize) -> Flow {
-        Flow { id, src_node: src, dst_node: dst, remaining: 1e6 }
+        Flow {
+            id,
+            src_node: src,
+            dst_node: dst,
+            remaining: 1e6,
+        }
     }
 
     #[test]
@@ -165,8 +169,14 @@ mod tests {
     fn throttled_link_caps_its_flows_only() {
         let c = ClusterSpec::homogeneous(4).with_link_cap(1, THROTTLED_10MBPS);
         let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 2, 3)]);
-        assert!((r[0] - THROTTLED_10MBPS).abs() < 1.0, "flow into throttled node capped");
-        assert!((r[1] - c.nodes[0].link_bandwidth).abs() < 1.0, "other flow unaffected");
+        assert!(
+            (r[0] - THROTTLED_10MBPS).abs() < 1.0,
+            "flow into throttled node capped"
+        );
+        assert!(
+            (r[1] - c.nodes[0].link_bandwidth).abs() < 1.0,
+            "other flow unaffected"
+        );
     }
 
     #[test]
@@ -177,7 +187,12 @@ mod tests {
         let r = max_min_rates(&c, &[flow(0, 0, 1), flow(1, 0, 2)]);
         assert!((r[0] - THROTTLED_10MBPS).abs() < 1.0);
         let expect_b = c.nodes[0].link_bandwidth - THROTTLED_10MBPS;
-        assert!((r[1] - expect_b).abs() < 1.0, "B got {} expected {}", r[1], expect_b);
+        assert!(
+            (r[1] - expect_b).abs() < 1.0,
+            "B got {} expected {}",
+            r[1],
+            expect_b
+        );
     }
 
     #[test]
@@ -215,12 +230,26 @@ mod tests {
         let r = max_min_rates(&c, &flows);
         for node in 0..4 {
             let cap = c.nodes[node].effective_bandwidth();
-            let egress: f64 =
-                flows.iter().zip(&r).filter(|(f, _)| f.src_node == node).map(|(_, x)| x).sum();
-            let ingress: f64 =
-                flows.iter().zip(&r).filter(|(f, _)| f.dst_node == node).map(|(_, x)| x).sum();
-            assert!(egress <= cap * 1.000001, "node {node} egress oversubscribed");
-            assert!(ingress <= cap * 1.000001, "node {node} ingress oversubscribed");
+            let egress: f64 = flows
+                .iter()
+                .zip(&r)
+                .filter(|(f, _)| f.src_node == node)
+                .map(|(_, x)| x)
+                .sum();
+            let ingress: f64 = flows
+                .iter()
+                .zip(&r)
+                .filter(|(f, _)| f.dst_node == node)
+                .map(|(_, x)| x)
+                .sum();
+            assert!(
+                egress <= cap * 1.000001,
+                "node {node} egress oversubscribed"
+            );
+            assert!(
+                ingress <= cap * 1.000001,
+                "node {node} ingress oversubscribed"
+            );
         }
         // Every flow makes progress.
         for x in &r {

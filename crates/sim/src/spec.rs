@@ -130,7 +130,10 @@ impl ClusterSpec {
 
     /// Validate invariants; panics with a descriptive message on a bad spec.
     pub fn validate(&self) {
-        assert!(!self.nodes.is_empty(), "cluster must have at least one node");
+        assert!(
+            !self.nodes.is_empty(),
+            "cluster must have at least one node"
+        );
         for (i, n) in self.nodes.iter().enumerate() {
             assert!(n.cpus >= 1, "node {i}: must have at least one CPU");
             assert!(

@@ -5,7 +5,10 @@ use pskel_sim::{ClusterSpec, NetSpec, Placement, Simulation};
 
 fn cluster_with_threshold(n: usize, threshold: u64) -> ClusterSpec {
     let mut c = ClusterSpec::homogeneous(n);
-    c.net = NetSpec { eager_threshold: threshold, ..c.net };
+    c.net = NetSpec {
+        eager_threshold: threshold,
+        ..c.net
+    };
     c
 }
 
@@ -68,16 +71,14 @@ fn irecv_before_isend_to_self_rendezvous() {
 
 #[test]
 fn zero_byte_messages_carry_only_latency() {
-    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(
-        |ctx| {
-            if ctx.rank() == 0 {
-                ctx.send(1, 0, 0, None);
-            } else {
-                let info = ctx.recv(Some(0), Some(0));
-                assert_eq!(info.bytes, 0);
-            }
-        },
-    );
+    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 0, None);
+        } else {
+            let info = ctx.recv(Some(0), Some(0));
+            assert_eq!(info.bytes, 0);
+        }
+    });
     let t = r.total_time.as_secs_f64();
     assert!(t > 50e-6 && t < 70e-6, "zero-byte message took {t}");
 }
@@ -143,7 +144,11 @@ fn mixed_speed_nodes_and_shared_links_compose() {
         }
     });
     assert!((r.finish_times[1].as_secs_f64() - 0.2).abs() < 1e-6);
-    assert!(r.finish_times[2].as_secs_f64() > 0.2, "{:?}", r.finish_times);
+    assert!(
+        r.finish_times[2].as_secs_f64() > 0.2,
+        "{:?}",
+        r.finish_times
+    );
 }
 
 #[test]
@@ -159,36 +164,37 @@ fn deadlock_diagnostic_names_blocked_states() {
         })
     });
     let err = result.unwrap_err();
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("deadlock"), "{msg}");
-    assert!(msg.contains("rank 0"), "diagnostic lists the stuck rank: {msg}");
-    assert!(msg.contains("RecvB"), "diagnostic shows the blocked op: {msg}");
+    assert!(
+        msg.contains("rank 0"),
+        "diagnostic lists the stuck rank: {msg}"
+    );
+    assert!(
+        msg.contains("RecvB"),
+        "diagnostic shows the blocked op: {msg}"
+    );
 }
 
 #[test]
 fn sleep_and_compute_interleave_across_ranks() {
-    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(
-        |ctx| {
-            if ctx.rank() == 0 {
-                ctx.sleep(0.05);
-                ctx.compute(0.05);
-                ctx.sleep(0.05);
-            } else {
-                ctx.compute(0.15);
-            }
-        },
-    );
+    let r = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.sleep(0.05);
+            ctx.compute(0.05);
+            ctx.sleep(0.05);
+        } else {
+            ctx.compute(0.15);
+        }
+    });
     assert!((r.finish_times[0].as_secs_f64() - 0.15).abs() < 1e-6);
     assert!((r.finish_times[1].as_secs_f64() - 0.15).abs() < 1e-6);
 }
 
 #[test]
 fn wildcard_tag_and_source_combined() {
-    let r = Simulation::new(ClusterSpec::homogeneous(3), Placement::round_robin(3, 3)).run(
-        |ctx| match ctx.rank() {
+    let r = Simulation::new(ClusterSpec::homogeneous(3), Placement::round_robin(3, 3)).run(|ctx| {
+        match ctx.rank() {
             0 => {
                 let a = ctx.recv(None, None);
                 let b = ctx.recv(None, None);
@@ -200,7 +206,7 @@ fn wildcard_tag_and_source_combined() {
                 ctx.compute(0.01 * r as f64);
                 ctx.send(0, 100 + r as u64, 64, None);
             }
-        },
-    );
+        }
+    });
     assert!(r.total_time.as_secs_f64() >= 0.02);
 }

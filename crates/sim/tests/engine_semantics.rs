@@ -3,7 +3,10 @@
 
 use pskel_sim::{ClusterSpec, Placement, SimReport, Simulation, THROTTLED_10MBPS};
 
-fn run2(cluster: ClusterSpec, f: impl Fn(&mut pskel_sim::SimCtx) + Send + Sync + 'static) -> SimReport {
+fn run2(
+    cluster: ClusterSpec,
+    f: impl Fn(&mut pskel_sim::SimCtx) + Send + Sync + 'static,
+) -> SimReport {
     let n = cluster.len();
     let p = Placement::round_robin(n, n);
     Simulation::new(cluster, p).run(f)
@@ -16,7 +19,11 @@ fn approx(a: f64, b: f64, tol: f64) -> bool {
 #[test]
 fn pure_compute_takes_its_duration() {
     let r = run2(ClusterSpec::homogeneous(1), |ctx| ctx.compute(2.0));
-    assert!(approx(r.total_time.as_secs_f64(), 2.0, 1e-6), "{}", r.total_time);
+    assert!(
+        approx(r.total_time.as_secs_f64(), 2.0, 1e-6),
+        "{}",
+        r.total_time
+    );
 }
 
 #[test]
@@ -24,14 +31,22 @@ fn competing_processes_slow_compute_by_processor_sharing() {
     // Dual CPU + 2 competitors + 1 rank = 3 runnable on 2 CPUs -> 2/3 rate.
     let c = ClusterSpec::homogeneous(1).with_competing_processes(0, 2);
     let r = run2(c, |ctx| ctx.compute(2.0));
-    assert!(approx(r.total_time.as_secs_f64(), 3.0, 1e-6), "{}", r.total_time);
+    assert!(
+        approx(r.total_time.as_secs_f64(), 3.0, 1e-6),
+        "{}",
+        r.total_time
+    );
 }
 
 #[test]
 fn one_competitor_on_dual_cpu_is_harmless() {
     let c = ClusterSpec::homogeneous(1).with_competing_processes(0, 1);
     let r = run2(c, |ctx| ctx.compute(2.0));
-    assert!(approx(r.total_time.as_secs_f64(), 2.0, 1e-6), "{}", r.total_time);
+    assert!(
+        approx(r.total_time.as_secs_f64(), 2.0, 1e-6),
+        "{}",
+        r.total_time
+    );
 }
 
 #[test]
@@ -39,7 +54,11 @@ fn two_ranks_on_one_dual_node_compute_at_full_speed() {
     let c = ClusterSpec::homogeneous(1);
     let p = Placement(vec![0, 0]);
     let r = Simulation::new(c, p).run(|ctx| ctx.compute(1.0));
-    assert!(approx(r.total_time.as_secs_f64(), 1.0, 1e-6), "{}", r.total_time);
+    assert!(
+        approx(r.total_time.as_secs_f64(), 1.0, 1e-6),
+        "{}",
+        r.total_time
+    );
 }
 
 #[test]
@@ -48,7 +67,11 @@ fn three_ranks_on_one_dual_node_share_cpus() {
     let p = Placement(vec![0, 0, 0]);
     let r = Simulation::new(c, p).run(|ctx| ctx.compute(1.0));
     // 3 tasks on 2 CPUs -> each at 2/3 until all finish together at 1.5 s.
-    assert!(approx(r.total_time.as_secs_f64(), 1.5, 1e-6), "{}", r.total_time);
+    assert!(
+        approx(r.total_time.as_secs_f64(), 1.5, 1e-6),
+        "{}",
+        r.total_time
+    );
 }
 
 #[test]
@@ -93,7 +116,10 @@ fn throttled_link_slows_transfer_by_a_hundred() {
         }
     });
     let t = r.total_time.as_secs_f64();
-    assert!(approx(t, 1.0, 0.02), "expected ~1 s throttled transfer, got {t}");
+    assert!(
+        approx(t, 1.0, 0.02),
+        "expected ~1 s throttled transfer, got {t}"
+    );
 }
 
 #[test]
@@ -124,7 +150,11 @@ fn rendezvous_send_blocks_until_receiver_arrives() {
             ctx.recv(Some(0), Some(0));
         }
     });
-    assert!(r.finish_times[0].as_secs_f64() > 1.0, "{:?}", r.finish_times);
+    assert!(
+        r.finish_times[0].as_secs_f64() > 1.0,
+        "{:?}",
+        r.finish_times
+    );
 }
 
 #[test]
@@ -139,7 +169,10 @@ fn eager_message_buffers_ahead_of_receive() {
             let before = ctx.now();
             ctx.recv(Some(0), Some(0));
             let waited = (ctx.now() - before).as_secs_f64();
-            assert!(waited < 1e-9, "buffered receive should be instant, waited {waited}");
+            assert!(
+                waited < 1e-9,
+                "buffered receive should be instant, waited {waited}"
+            );
         }
     });
     assert!(approx(r.total_time.as_secs_f64(), 1.0, 1e-6));
@@ -198,7 +231,10 @@ fn concurrent_flows_into_one_node_share_bandwidth() {
         _ => ctx.send(0, 0, bytes, None),
     });
     let t = r.total_time.as_secs_f64();
-    assert!(approx(t, 0.2, 0.05), "expected ~0.2 s shared ingress, got {t}");
+    assert!(
+        approx(t, 0.2, 0.05),
+        "expected ~0.2 s shared ingress, got {t}"
+    );
 }
 
 #[test]

@@ -114,7 +114,7 @@ fn random_pattern_program(
                     // Symmetric exchange keeps every pattern deadlock-free.
                     let s = ctx.isend(peer, tag, size as u64, None);
                     let back = (me + n - 1 - peer_sel as usize % (n - 1)) % n;
-                    let r = ctx.irecv(Some(back), Some(tag), );
+                    let r = ctx.irecv(Some(back), Some(tag));
                     ctx.waitall(vec![s, r]);
                 }
             }

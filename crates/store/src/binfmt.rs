@@ -1,0 +1,755 @@
+//! Compact binary trace format ("PSKT"), with streaming writer and reader.
+//!
+//! Layout (all multi-byte integers are LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   b"PSKT"                          (4 raw bytes)
+//! version u8 = 1                           (1 raw byte)
+//! app     varint len ‖ utf-8 bytes
+//! per process:
+//!   OP_PROC      varint rank
+//!   per record (in trace order):
+//!     OP_COMPUTE   varint dur_ns
+//!     OP_EVENT_DEF descriptor ‖ event payload   (defines dict entry N, uses it)
+//!     OP_EVENT     varint dict index ‖ event payload
+//!   OP_PROC_END  varint finish_ns
+//! OP_END  varint total_time_ns
+//! ```
+//!
+//! A *descriptor* is the slowly-varying part of an MPI event — `(kind, peer,
+//! tag, slots)` — interned into a per-file dictionary the first time it is
+//! seen, so the common case of a loop issuing the same call thousands of
+//! times costs one dictionary entry plus a few bytes per event. The *event
+//! payload* is `varint bytes ‖ varint Δstart ‖ varint Δend`, where Δstart is
+//! the wrapping difference from the previous event's end timestamp on this
+//! rank and Δend the wrapping difference from this event's start — exact for
+//! any input, near-minimal for the monotone timestamps real traces have.
+//! `total_time` is persisted explicitly because `AppTrace` carries it as a
+//! field, not a derived value.
+
+use pskel_sim::{SimDuration, SimTime};
+use pskel_trace::{AppTrace, MpiEvent, OpKind, ProcessTrace, Record};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+pub const MAGIC: [u8; 4] = *b"PSKT";
+pub const VERSION: u8 = 1;
+
+const OP_PROC: u8 = 0x01;
+const OP_COMPUTE: u8 = 0x02;
+const OP_EVENT_DEF: u8 = 0x03;
+const OP_EVENT: u8 = 0x04;
+const OP_PROC_END: u8 = 0x05;
+const OP_END: u8 = 0x06;
+
+/// File extension conventionally used for binary traces.
+pub const BINARY_EXT: &str = "pskt";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+pub(crate) fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            if shift == 63 && byte[0] > 1 {
+                return Err(bad("varint overflows u64"));
+            }
+            return Ok(v);
+        }
+    }
+    Err(bad("varint longer than 10 bytes"))
+}
+
+/// The interned, slowly-varying part of an MPI event.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Descriptor {
+    kind: OpKind,
+    peer: Option<u32>,
+    tag: Option<u64>,
+    slots: Vec<u32>,
+}
+
+impl Descriptor {
+    fn of(e: &MpiEvent) -> Descriptor {
+        Descriptor {
+            kind: e.kind,
+            peer: e.peer,
+            tag: e.tag,
+            slots: e.slots.clone(),
+        }
+    }
+
+    fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let code = OpKind::ALL
+            .iter()
+            .position(|&k| k == self.kind)
+            .expect("OpKind::ALL is exhaustive");
+        w.write_all(&[code as u8])?;
+        match self.peer {
+            Some(p) => {
+                w.write_all(&[1])?;
+                write_varint(w, u64::from(p))?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        match self.tag {
+            Some(t) => {
+                w.write_all(&[1])?;
+                write_varint(w, t)?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        write_varint(w, self.slots.len() as u64)?;
+        for &s in &self.slots {
+            write_varint(w, u64::from(s))?;
+        }
+        Ok(())
+    }
+
+    fn read<R: Read>(r: &mut R) -> io::Result<Descriptor> {
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)?;
+        let kind = *OpKind::ALL
+            .get(usize::from(code[0]))
+            .ok_or_else(|| bad(format!("unknown op kind code {}", code[0])))?;
+        let peer = match read_flag(r)? {
+            true => Some(u32::try_from(read_varint(r)?).map_err(|_| bad("peer rank exceeds u32"))?),
+            false => None,
+        };
+        let tag = match read_flag(r)? {
+            true => Some(read_varint(r)?),
+            false => None,
+        };
+        let n_slots = read_varint(r)?;
+        if n_slots > 1 << 24 {
+            return Err(bad(format!("implausible slot count {n_slots}")));
+        }
+        let mut slots = Vec::with_capacity(n_slots as usize);
+        for _ in 0..n_slots {
+            slots.push(u32::try_from(read_varint(r)?).map_err(|_| bad("slot id exceeds u32"))?);
+        }
+        Ok(Descriptor {
+            kind,
+            peer,
+            tag,
+            slots,
+        })
+    }
+}
+
+fn read_flag<R: Read>(r: &mut R) -> io::Result<bool> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    match b[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        x => Err(bad(format!("invalid presence flag {x}"))),
+    }
+}
+
+/// Streaming binary trace writer. Drive it with `start_process` / `record` /
+/// `end_process` per rank, then `finish` with the app's total time.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    dict: HashMap<Descriptor, u64>,
+    prev_ts: u64,
+    in_process: bool,
+    done: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    pub fn new(mut w: W, app: &str) -> io::Result<TraceWriter<W>> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION])?;
+        write_varint(&mut w, app.len() as u64)?;
+        w.write_all(app.as_bytes())?;
+        Ok(TraceWriter {
+            w,
+            dict: HashMap::new(),
+            prev_ts: 0,
+            in_process: false,
+            done: false,
+        })
+    }
+
+    pub fn start_process(&mut self, rank: usize) -> io::Result<()> {
+        assert!(
+            !self.in_process && !self.done,
+            "start_process out of sequence"
+        );
+        self.in_process = true;
+        self.prev_ts = 0;
+        self.w.write_all(&[OP_PROC])?;
+        write_varint(&mut self.w, rank as u64)
+    }
+
+    pub fn record(&mut self, rec: &Record) -> io::Result<()> {
+        assert!(self.in_process, "record outside a process frame");
+        match rec {
+            Record::Compute { dur } => {
+                self.w.write_all(&[OP_COMPUTE])?;
+                write_varint(&mut self.w, dur.as_nanos())
+            }
+            Record::Mpi(e) => {
+                let desc = Descriptor::of(e);
+                match self.dict.get(&desc) {
+                    Some(&idx) => {
+                        self.w.write_all(&[OP_EVENT])?;
+                        write_varint(&mut self.w, idx)?;
+                    }
+                    None => {
+                        self.dict.insert(desc.clone(), self.dict.len() as u64);
+                        self.w.write_all(&[OP_EVENT_DEF])?;
+                        desc.write(&mut self.w)?;
+                    }
+                }
+                write_varint(&mut self.w, e.bytes)?;
+                let start = e.start.0;
+                let end = e.end.0;
+                write_varint(&mut self.w, start.wrapping_sub(self.prev_ts))?;
+                write_varint(&mut self.w, end.wrapping_sub(start))?;
+                self.prev_ts = end;
+                Ok(())
+            }
+        }
+    }
+
+    pub fn end_process(&mut self, finish: SimTime) -> io::Result<()> {
+        assert!(self.in_process, "end_process outside a process frame");
+        self.in_process = false;
+        self.w.write_all(&[OP_PROC_END])?;
+        write_varint(&mut self.w, finish.0)
+    }
+
+    /// Write the trailer and return the inner writer (unflushed).
+    pub fn finish(mut self, total_time: SimDuration) -> io::Result<W> {
+        assert!(!self.in_process && !self.done, "finish out of sequence");
+        self.done = true;
+        self.w.write_all(&[OP_END])?;
+        write_varint(&mut self.w, total_time.as_nanos())?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// One parsed element of a binary trace stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceItem {
+    ProcessStart { rank: usize },
+    Compute { dur: SimDuration },
+    Mpi(MpiEvent),
+    ProcessEnd { finish: SimTime },
+}
+
+/// Streaming binary trace reader: pulls one [`TraceItem`] at a time so
+/// callers can compute statistics without materializing the whole trace.
+pub struct TraceReader<R: Read> {
+    r: R,
+    app: String,
+    dict: Vec<Descriptor>,
+    prev_ts: u64,
+    in_process: bool,
+    total_time: Option<SimDuration>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse the header. Fails with a clear message on bad magic or an
+    /// unsupported version byte.
+    pub fn new(mut r: R) -> io::Result<TraceReader<R>> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|e| bad(format!("truncated trace header: {e}")))?;
+        if magic != MAGIC {
+            return Err(bad(format!(
+                "not a pskel binary trace (magic {:02x?}, expected {:02x?} \"PSKT\")",
+                magic, MAGIC
+            )));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(bad(format!(
+                "unsupported pskel binary trace version {} (this build reads version {})",
+                version[0], VERSION
+            )));
+        }
+        let app_len = read_varint(&mut r)?;
+        if app_len > 1 << 16 {
+            return Err(bad(format!("implausible app name length {app_len}")));
+        }
+        let mut app_bytes = vec![0u8; app_len as usize];
+        r.read_exact(&mut app_bytes)?;
+        let app = String::from_utf8(app_bytes).map_err(|_| bad("app name is not valid utf-8"))?;
+        Ok(TraceReader {
+            r,
+            app,
+            dict: Vec::new(),
+            prev_ts: 0,
+            in_process: false,
+            total_time: None,
+        })
+    }
+
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Total time from the trailer; available once `next_item` has returned
+    /// `None`.
+    pub fn total_time(&self) -> Option<SimDuration> {
+        self.total_time
+    }
+
+    /// Next stream element, or `None` once the trailer has been consumed.
+    pub fn next_item(&mut self) -> io::Result<Option<TraceItem>> {
+        if self.total_time.is_some() {
+            return Ok(None);
+        }
+        let mut op = [0u8; 1];
+        self.r
+            .read_exact(&mut op)
+            .map_err(|e| bad(format!("truncated trace stream: {e}")))?;
+        match op[0] {
+            OP_PROC => {
+                if self.in_process {
+                    return Err(bad("nested process frame"));
+                }
+                self.in_process = true;
+                self.prev_ts = 0;
+                let rank = read_varint(&mut self.r)? as usize;
+                Ok(Some(TraceItem::ProcessStart { rank }))
+            }
+            OP_COMPUTE => {
+                self.expect_in_process("compute record")?;
+                let dur = SimDuration(read_varint(&mut self.r)?);
+                Ok(Some(TraceItem::Compute { dur }))
+            }
+            OP_EVENT_DEF => {
+                self.expect_in_process("event definition")?;
+                let desc = Descriptor::read(&mut self.r)?;
+                self.dict.push(desc);
+                let desc = self.dict.last().unwrap().clone();
+                self.read_event(desc).map(|e| Some(TraceItem::Mpi(e)))
+            }
+            OP_EVENT => {
+                self.expect_in_process("event record")?;
+                let idx = read_varint(&mut self.r)? as usize;
+                let desc = self
+                    .dict
+                    .get(idx)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "event references descriptor {idx} but only {} defined",
+                            self.dict.len()
+                        ))
+                    })?
+                    .clone();
+                self.read_event(desc).map(|e| Some(TraceItem::Mpi(e)))
+            }
+            OP_PROC_END => {
+                self.expect_in_process("process end")?;
+                self.in_process = false;
+                let finish = SimTime(read_varint(&mut self.r)?);
+                Ok(Some(TraceItem::ProcessEnd { finish }))
+            }
+            OP_END => {
+                if self.in_process {
+                    return Err(bad("trace trailer inside an open process frame"));
+                }
+                self.total_time = Some(SimDuration(read_varint(&mut self.r)?));
+                Ok(None)
+            }
+            x => Err(bad(format!("unknown opcode {x:#04x} in trace stream"))),
+        }
+    }
+
+    fn expect_in_process(&self, what: &str) -> io::Result<()> {
+        if self.in_process {
+            Ok(())
+        } else {
+            Err(bad(format!("{what} outside a process frame")))
+        }
+    }
+
+    fn read_event(&mut self, desc: Descriptor) -> io::Result<MpiEvent> {
+        let bytes = read_varint(&mut self.r)?;
+        let d_start = read_varint(&mut self.r)?;
+        let d_end = read_varint(&mut self.r)?;
+        let start = self.prev_ts.wrapping_add(d_start);
+        let end = start.wrapping_add(d_end);
+        self.prev_ts = end;
+        Ok(MpiEvent {
+            kind: desc.kind,
+            peer: desc.peer,
+            tag: desc.tag,
+            bytes,
+            slots: desc.slots,
+            start: SimTime(start),
+            end: SimTime(end),
+        })
+    }
+}
+
+/// Serialize a whole trace to the binary format.
+pub fn write_trace_binary<W: Write>(w: W, trace: &AppTrace) -> io::Result<()> {
+    let mut tw = TraceWriter::new(w, &trace.app)?;
+    for p in &trace.procs {
+        tw.start_process(p.rank)?;
+        for rec in &p.records {
+            tw.record(rec)?;
+        }
+        tw.end_process(p.finish)?;
+    }
+    tw.finish(trace.total_time)?;
+    Ok(())
+}
+
+/// Deserialize a whole trace from the binary format.
+pub fn read_trace_binary<R: Read>(r: R) -> io::Result<AppTrace> {
+    let mut tr = TraceReader::new(r)?;
+    let app = tr.app().to_string();
+    let mut procs: Vec<ProcessTrace> = Vec::new();
+    let mut current: Option<ProcessTrace> = None;
+    while let Some(item) = tr.next_item()? {
+        match item {
+            TraceItem::ProcessStart { rank } => {
+                current = Some(ProcessTrace::new(rank));
+            }
+            TraceItem::Compute { dur } => {
+                current
+                    .as_mut()
+                    .ok_or_else(|| bad("record outside process frame"))?
+                    .records
+                    .push(Record::Compute { dur });
+            }
+            TraceItem::Mpi(e) => {
+                current
+                    .as_mut()
+                    .ok_or_else(|| bad("record outside process frame"))?
+                    .records
+                    .push(Record::Mpi(e));
+            }
+            TraceItem::ProcessEnd { finish } => {
+                let mut p = current.take().ok_or_else(|| bad("dangling process end"))?;
+                p.finish = finish;
+                procs.push(p);
+            }
+        }
+    }
+    let total_time = tr
+        .total_time()
+        .ok_or_else(|| bad("trace stream ended without trailer"))?;
+    Ok(AppTrace {
+        app,
+        procs,
+        total_time,
+    })
+}
+
+/// Per-rank totals accumulated by [`scan_stats`] without building an
+/// [`AppTrace`].
+#[derive(Clone, Debug, Default)]
+pub struct RankScan {
+    pub rank: usize,
+    pub compute_ns: u128,
+    pub mpi_ns: u128,
+    pub events: usize,
+}
+
+impl RankScan {
+    pub fn mpi_fraction(&self) -> f64 {
+        let total = self.compute_ns + self.mpi_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.mpi_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Streaming statistics of a binary trace (the Figure 2 compute/MPI split)
+/// computed in O(ranks) memory.
+#[derive(Clone, Debug, Default)]
+pub struct ScanStats {
+    pub app: String,
+    pub total_time: SimDuration,
+    pub ranks: Vec<RankScan>,
+}
+
+impl ScanStats {
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn n_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.events).sum()
+    }
+
+    /// MPI fraction averaged over ranks, matching `AppTrace::mpi_fraction`.
+    pub fn mpi_fraction(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(RankScan::mpi_fraction).sum::<f64>() / self.ranks.len() as f64
+    }
+}
+
+/// Scan a binary trace stream for aggregate statistics without
+/// materializing the records.
+pub fn scan_stats<R: Read>(r: R) -> io::Result<ScanStats> {
+    let mut tr = TraceReader::new(r)?;
+    let mut stats = ScanStats {
+        app: tr.app().to_string(),
+        ..ScanStats::default()
+    };
+    let mut current: Option<RankScan> = None;
+    while let Some(item) = tr.next_item()? {
+        match item {
+            TraceItem::ProcessStart { rank } => {
+                current = Some(RankScan {
+                    rank,
+                    ..RankScan::default()
+                });
+            }
+            TraceItem::Compute { dur } => {
+                if let Some(c) = current.as_mut() {
+                    c.compute_ns += u128::from(dur.as_nanos());
+                }
+            }
+            TraceItem::Mpi(e) => {
+                if let Some(c) = current.as_mut() {
+                    c.mpi_ns += u128::from(e.duration().as_nanos());
+                    c.events += 1;
+                }
+            }
+            TraceItem::ProcessEnd { .. } => {
+                if let Some(c) = current.take() {
+                    stats.ranks.push(c);
+                }
+            }
+        }
+    }
+    stats.total_time = tr.total_time().unwrap_or(SimDuration::ZERO);
+    Ok(stats)
+}
+
+fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
+}
+
+/// Load a trace from a file, sniffing the format: files starting with the
+/// `PSKT` magic are read as binary, anything else as JSON.
+pub fn load_trace_auto(path: impl AsRef<Path>) -> io::Result<AppTrace> {
+    let path = path.as_ref();
+    let mut f = File::open(path).map_err(|e| annotate("opening trace", path, e))?;
+    let mut magic = [0u8; 4];
+    let n = read_up_to(&mut f, &mut magic)?;
+    if n == 4 && magic == MAGIC {
+        drop(f);
+        let f = File::open(path).map_err(|e| annotate("opening trace", path, e))?;
+        read_trace_binary(BufReader::new(f)).map_err(|e| annotate("reading binary trace", path, e))
+    } else {
+        drop(f);
+        pskel_trace::io::load_trace(path)
+    }
+}
+
+/// Save a trace, choosing the format by extension: `.json` writes JSON,
+/// everything else (conventionally `.pskt`) writes binary.
+pub fn save_trace_auto(path: impl AsRef<Path>, trace: &AppTrace) -> io::Result<()> {
+    let path = path.as_ref();
+    if path.extension().and_then(|e| e.to_str()) == Some("json") {
+        pskel_trace::io::save_trace(path, trace)
+    } else {
+        let f = File::create(path).map_err(|e| annotate("creating trace file", path, e))?;
+        write_trace_binary(BufWriter::new(f), trace)
+            .map_err(|e| annotate("writing binary trace", path, e))
+    }
+}
+
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varint_roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v).unwrap();
+        assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "value {v}");
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            varint_roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_encoding_is_compact() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 128).unwrap();
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_varint(&mut buf, u64::MAX).unwrap();
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 continuation bytes then a high final byte: > u64::MAX.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(read_varint(&mut bytes.as_slice()).is_err());
+    }
+
+    fn sample_trace() -> AppTrace {
+        let mut p0 = ProcessTrace::new(0);
+        p0.records.push(Record::Compute {
+            dur: SimDuration(1_000_000),
+        });
+        for i in 0..10u64 {
+            p0.records.push(Record::Mpi(MpiEvent {
+                kind: OpKind::Send,
+                peer: Some(1),
+                tag: Some(7),
+                bytes: 4096,
+                slots: vec![],
+                start: SimTime(1_000_000 + i * 10_000),
+                end: SimTime(1_000_000 + i * 10_000 + 3_000),
+            }));
+        }
+        p0.finish = SimTime(2_000_000);
+        let mut p1 = ProcessTrace::new(1);
+        p1.records.push(Record::Mpi(MpiEvent {
+            kind: OpKind::Allreduce,
+            peer: None,
+            tag: None,
+            bytes: 8,
+            slots: vec![3, 4],
+            start: SimTime(500),
+            end: SimTime(900),
+        }));
+        p1.finish = SimTime(900);
+        AppTrace::new("CG.B", vec![p0, p1])
+    }
+
+    #[test]
+    fn whole_trace_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn repeated_events_share_a_descriptor() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        let n_defs = buf.iter().filter(|&&b| b == OP_EVENT_DEF).count();
+        // Opcode bytes can collide with payload bytes, so this is an upper
+        // bound check: far fewer definitions than the 11 events.
+        assert!(
+            n_defs < 11,
+            "descriptor interning not effective: {n_defs} defs"
+        );
+    }
+
+    #[test]
+    fn scan_matches_materialized_stats() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        let stats = scan_stats(buf.as_slice()).unwrap();
+        assert_eq!(stats.app, t.app);
+        assert_eq!(stats.nranks(), t.nranks());
+        assert_eq!(stats.n_events(), t.n_events());
+        assert_eq!(stats.total_time, t.total_time);
+        assert!((stats.mpi_fraction() - t.mpi_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_magic_is_a_clear_error() {
+        let err = read_trace_binary(&b"JUNKDATA"[..]).unwrap_err();
+        assert!(err.to_string().contains("PSKT"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn auto_loader_sniffs_both_formats() {
+        let dir = std::env::temp_dir().join("pskel-store-binfmt-auto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample_trace();
+
+        let bin = dir.join("t.pskt");
+        save_trace_auto(&bin, &t).unwrap();
+        assert_eq!(load_trace_auto(&bin).unwrap(), t);
+
+        let json = dir.join("t.json");
+        save_trace_auto(&json, &t).unwrap();
+        let head = std::fs::read(&json).unwrap();
+        assert_ne!(&head[..4], &MAGIC, "json path must not write binary");
+        assert_eq!(load_trace_auto(&json).unwrap(), t);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_error_names_the_path() {
+        let err = load_trace_auto("/nonexistent/rank7.pskt").unwrap_err();
+        assert!(err.to_string().contains("rank7.pskt"), "got: {err}");
+    }
+}

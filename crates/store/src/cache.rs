@@ -1,0 +1,571 @@
+//! Content-addressed on-disk artifact store.
+//!
+//! Layout under the store root (default `.pskel-cache/`):
+//!
+//! ```text
+//! index.json                     bookkeeping: {"<kind>/<hex>": {bytes, created_unix}}
+//! tmp/                           staging area for atomic writes
+//! objects/<kind>/<hh>/<hex>      one artifact per file, hh = first hex byte
+//! ```
+//!
+//! Every object file is framed as `b"PSKE" ‖ version ‖ varint payload_len ‖
+//! payload ‖ fnv64(payload)`, so a torn write or bit flip is detected on
+//! read. Reads never panic and never return corrupt data: a bad entry is
+//! evicted (file unlinked, index entry dropped) and reported as a miss, so
+//! the caller recomputes and overwrites it. All writes go through a temp
+//! file in `tmp/` followed by a rename, which keeps concurrent writers and
+//! crashed runs from ever exposing a half-written object.
+
+use crate::binfmt::{read_trace_binary, read_varint, write_trace_binary, write_varint};
+use crate::hash::StoreKey;
+use pskel_trace::AppTrace;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const ENTRY_MAGIC: [u8; 4] = *b"PSKE";
+const ENTRY_VERSION: u8 = 1;
+
+/// Default store directory name, relative to the working directory.
+pub const DEFAULT_DIR: &str = ".pskel-cache";
+
+/// FNV-1a 64-bit, used as a cheap payload integrity checksum (not a key).
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct IndexEntry {
+    bytes: u64,
+    created_unix: u64,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct Index {
+    /// Keyed by `"<kind>/<hex key>"`.
+    entries: BTreeMap<String, IndexEntry>,
+}
+
+/// Aggregate store statistics for `pskel cache stats`.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct StoreStats {
+    pub entries: usize,
+    pub total_bytes: u64,
+    /// Per artifact kind: (kind, entry count, bytes).
+    pub by_kind: Vec<(String, usize, u64)>,
+}
+
+/// One listing row for `pskel cache ls`.
+#[derive(Clone, Debug, Serialize)]
+pub struct LsEntry {
+    pub kind: String,
+    pub key: String,
+    pub bytes: u64,
+    pub created_unix: u64,
+}
+
+/// Result of a garbage collection pass.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct GcReport {
+    pub removed: usize,
+    pub freed_bytes: u64,
+    pub remaining_entries: usize,
+    pub remaining_bytes: u64,
+}
+
+/// A content-addressed artifact store rooted at one directory. Safe to
+/// share across threads (`&Store` is `Sync`); writers never expose partial
+/// objects thanks to temp-file + rename.
+pub struct Store {
+    root: PathBuf,
+    index: Mutex<Index>,
+    tmp_counter: AtomicU64,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `dir`. A missing or
+    /// unreadable index is rebuilt by scanning `objects/`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("objects"))
+            .map_err(|e| annotate("creating store directory", &root, e))?;
+        fs::create_dir_all(root.join("tmp"))
+            .map_err(|e| annotate("creating store tmp directory", &root, e))?;
+        let index = match Self::load_index(&root) {
+            Some(idx) => idx,
+            None => Self::rebuild_index(&root),
+        };
+        Ok(Store {
+            root,
+            index: Mutex::new(index),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn load_index(root: &Path) -> Option<Index> {
+        let bytes = fs::read(root.join("index.json")).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Scan `objects/` to reconstruct the index (mtime stands in for the
+    /// creation stamp). Used when the index file is missing or corrupt.
+    fn rebuild_index(root: &Path) -> Index {
+        let mut index = Index::default();
+        let objects = root.join("objects");
+        let kinds = match fs::read_dir(&objects) {
+            Ok(k) => k,
+            Err(_) => return index,
+        };
+        for kind_dir in kinds.flatten() {
+            let kind = kind_dir.file_name().to_string_lossy().into_owned();
+            let Ok(shards) = fs::read_dir(kind_dir.path()) else {
+                continue;
+            };
+            for shard in shards.flatten() {
+                let Ok(files) = fs::read_dir(shard.path()) else {
+                    continue;
+                };
+                for file in files.flatten() {
+                    let hex = file.file_name().to_string_lossy().into_owned();
+                    let Ok(meta) = file.metadata() else { continue };
+                    let created = meta
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                        .map(|d| d.as_secs())
+                        .unwrap_or(0);
+                    index.entries.insert(
+                        format!("{kind}/{hex}"),
+                        IndexEntry {
+                            bytes: meta.len(),
+                            created_unix: created,
+                        },
+                    );
+                }
+            }
+        }
+        index
+    }
+
+    fn object_path(&self, kind: &str, hex: &str) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(kind)
+            .join(&hex[..2])
+            .join(hex)
+    }
+
+    fn atomic_write(&self, dest: &Path, contents: &[u8]) -> io::Result<()> {
+        if let Some(parent) = dest.parent() {
+            fs::create_dir_all(parent).map_err(|e| annotate("creating shard", parent, e))?;
+        }
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = File::create(&tmp).map_err(|e| annotate("creating temp file", &tmp, e))?;
+        f.write_all(contents)
+            .map_err(|e| annotate("writing temp file", &tmp, e))?;
+        f.sync_all().ok();
+        drop(f);
+        fs::rename(&tmp, dest).map_err(|e| {
+            fs::remove_file(&tmp).ok();
+            annotate("publishing object", dest, e)
+        })
+    }
+
+    fn persist_index(&self, index: &Index) -> io::Result<()> {
+        let json = serde_json::to_vec(index).map_err(io::Error::other)?;
+        self.atomic_write(&self.root.join("index.json"), &json)
+    }
+
+    fn now_unix() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
+    /// Store a raw payload under `(kind, key)`.
+    pub fn put_bytes(&self, kind: &str, key: StoreKey, payload: &[u8]) -> io::Result<()> {
+        assert!(
+            !kind.is_empty() && kind.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'),
+            "artifact kind must be a nonempty [a-z0-9-] slug, got {kind:?}"
+        );
+        let mut framed = Vec::with_capacity(payload.len() + 24);
+        framed.extend_from_slice(&ENTRY_MAGIC);
+        framed.push(ENTRY_VERSION);
+        write_varint(&mut framed, payload.len() as u64)?;
+        framed.extend_from_slice(payload);
+        framed.extend_from_slice(&fnv64(payload).to_le_bytes());
+
+        let hex = key.hex();
+        let dest = self.object_path(kind, &hex);
+        self.atomic_write(&dest, &framed)?;
+
+        let mut index = self.index.lock().unwrap();
+        index.entries.insert(
+            format!("{kind}/{hex}"),
+            IndexEntry {
+                bytes: framed.len() as u64,
+                created_unix: Self::now_unix(),
+            },
+        );
+        self.persist_index(&index)
+    }
+
+    /// Fetch a raw payload. Any corruption (bad frame, checksum mismatch,
+    /// unreadable file) evicts the entry and reads as a miss.
+    pub fn get_bytes(&self, kind: &str, key: StoreKey) -> Option<Vec<u8>> {
+        let hex = key.hex();
+        let path = self.object_path(kind, &hex);
+        match Self::read_framed(&path) {
+            Ok(payload) => Some(payload),
+            Err(FetchMiss::Absent) => None,
+            Err(FetchMiss::Corrupt) => {
+                self.evict(kind, &hex);
+                None
+            }
+        }
+    }
+
+    fn read_framed(path: &Path) -> Result<Vec<u8>, FetchMiss> {
+        let mut f = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(FetchMiss::Absent),
+            Err(_) => return Err(FetchMiss::Corrupt),
+        };
+        let mut head = [0u8; 5];
+        f.read_exact(&mut head).map_err(|_| FetchMiss::Corrupt)?;
+        if head[..4] != ENTRY_MAGIC || head[4] != ENTRY_VERSION {
+            return Err(FetchMiss::Corrupt);
+        }
+        let len = read_varint(&mut f).map_err(|_| FetchMiss::Corrupt)?;
+        if len > 1 << 40 {
+            return Err(FetchMiss::Corrupt);
+        }
+        let mut payload = vec![0u8; len as usize];
+        f.read_exact(&mut payload).map_err(|_| FetchMiss::Corrupt)?;
+        let mut check = [0u8; 8];
+        f.read_exact(&mut check).map_err(|_| FetchMiss::Corrupt)?;
+        if u64::from_le_bytes(check) != fnv64(&payload) {
+            return Err(FetchMiss::Corrupt);
+        }
+        Ok(payload)
+    }
+
+    fn evict(&self, kind: &str, hex: &str) {
+        fs::remove_file(self.object_path(kind, hex)).ok();
+        let mut index = self.index.lock().unwrap();
+        if index.entries.remove(&format!("{kind}/{hex}")).is_some() {
+            self.persist_index(&index).ok();
+        }
+    }
+
+    /// Store a serializable artifact as JSON.
+    pub fn put_json<T: Serialize>(&self, kind: &str, key: StoreKey, value: &T) -> io::Result<()> {
+        let json = serde_json::to_vec(value).map_err(io::Error::other)?;
+        self.put_bytes(kind, key, &json)
+    }
+
+    /// Fetch a JSON artifact. A payload that no longer parses (schema
+    /// drift) is evicted like any other corruption.
+    pub fn get_json<T: DeserializeOwned>(&self, kind: &str, key: StoreKey) -> Option<T> {
+        let payload = self.get_bytes(kind, key)?;
+        match serde_json::from_slice(&payload) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.evict(kind, &key.hex());
+                None
+            }
+        }
+    }
+
+    /// Store a measured time (or any scalar) by exact bit pattern.
+    pub fn put_f64(&self, kind: &str, key: StoreKey, value: f64) -> io::Result<()> {
+        self.put_bytes(kind, key, &value.to_bits().to_le_bytes())
+    }
+
+    pub fn get_f64(&self, kind: &str, key: StoreKey) -> Option<f64> {
+        let payload = self.get_bytes(kind, key)?;
+        match <[u8; 8]>::try_from(payload.as_slice()) {
+            Ok(bits) => Some(f64::from_bits(u64::from_le_bytes(bits))),
+            Err(_) => {
+                self.evict(kind, &key.hex());
+                None
+            }
+        }
+    }
+
+    /// Store a trace in the compact binary encoding.
+    pub fn put_trace(&self, kind: &str, key: StoreKey, trace: &AppTrace) -> io::Result<()> {
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, trace)?;
+        self.put_bytes(kind, key, &buf)
+    }
+
+    pub fn get_trace(&self, kind: &str, key: StoreKey) -> Option<AppTrace> {
+        let payload = self.get_bytes(kind, key)?;
+        match read_trace_binary(payload.as_slice()) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                self.evict(kind, &key.hex());
+                None
+            }
+        }
+    }
+
+    /// Aggregate statistics over all entries.
+    pub fn stats(&self) -> StoreStats {
+        let index = self.index.lock().unwrap();
+        let mut by_kind: BTreeMap<String, (usize, u64)> = BTreeMap::new();
+        let mut total_bytes = 0u64;
+        for (key, entry) in &index.entries {
+            let kind = key.split('/').next().unwrap_or("?").to_string();
+            let slot = by_kind.entry(kind).or_default();
+            slot.0 += 1;
+            slot.1 += entry.bytes;
+            total_bytes += entry.bytes;
+        }
+        StoreStats {
+            entries: index.entries.len(),
+            total_bytes,
+            by_kind: by_kind.into_iter().map(|(k, (n, b))| (k, n, b)).collect(),
+        }
+    }
+
+    /// All entries, oldest first.
+    pub fn ls(&self) -> Vec<LsEntry> {
+        let index = self.index.lock().unwrap();
+        let mut rows: Vec<LsEntry> = index
+            .entries
+            .iter()
+            .map(|(key, entry)| {
+                let (kind, hex) = key.split_once('/').unwrap_or(("?", key));
+                LsEntry {
+                    kind: kind.to_string(),
+                    key: hex.to_string(),
+                    bytes: entry.bytes,
+                    created_unix: entry.created_unix,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.created_unix.cmp(&b.created_unix).then(a.key.cmp(&b.key)));
+        rows
+    }
+
+    /// Evict oldest entries until total size fits `max_bytes`.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let mut index = self.index.lock().unwrap();
+        let mut total: u64 = index.entries.values().map(|e| e.bytes).sum();
+        let mut order: Vec<(String, u64, u64)> = index
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.created_unix, e.bytes))
+            .collect();
+        order.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        let mut report = GcReport::default();
+        for (key, _, bytes) in order {
+            if total <= max_bytes {
+                break;
+            }
+            if let Some((kind, hex)) = key.split_once('/') {
+                fs::remove_file(self.object_path(kind, hex)).ok();
+            }
+            index.entries.remove(&key);
+            total -= bytes;
+            report.removed += 1;
+            report.freed_bytes += bytes;
+        }
+        report.remaining_entries = index.entries.len();
+        report.remaining_bytes = total;
+        self.persist_index(&index)?;
+        Ok(report)
+    }
+}
+
+enum FetchMiss {
+    Absent,
+    Corrupt,
+}
+
+fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::KeyBuilder;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("pskel-store-cache-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        Store::open(&dir).unwrap()
+    }
+
+    fn key(n: u64) -> StoreKey {
+        KeyBuilder::new("test").field_u64("n", n).finish()
+    }
+
+    #[test]
+    fn fnv64_known_values() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = tmp_store("roundtrip");
+        s.put_bytes("trace", key(1), b"hello").unwrap();
+        assert_eq!(s.get_bytes("trace", key(1)).as_deref(), Some(&b"hello"[..]));
+        assert!(s.get_bytes("trace", key(2)).is_none());
+        assert!(s.get_bytes("other", key(1)).is_none());
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        let s = tmp_store("f64");
+        let v = 0.1 + 0.2;
+        s.put_f64("time", key(1), v).unwrap();
+        assert_eq!(s.get_f64("time", key(1)).unwrap().to_bits(), v.to_bits());
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_not_fatal() {
+        let s = tmp_store("corrupt");
+        s.put_bytes("trace", key(1), b"payload-data").unwrap();
+        let hex = key(1).hex();
+        let path = s.object_path("trace", &hex);
+        // Flip a payload byte on disk.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 9;
+        raw[last] ^= 0xff;
+        fs::write(&path, &raw).unwrap();
+
+        assert!(
+            s.get_bytes("trace", key(1)).is_none(),
+            "corrupt read must miss"
+        );
+        assert!(!path.exists(), "corrupt entry must be unlinked");
+        assert_eq!(s.stats().entries, 0, "corrupt entry must leave the index");
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn overwrite_is_atomic_and_idempotent() {
+        let s = tmp_store("overwrite");
+        s.put_bytes("sig", key(1), b"v1").unwrap();
+        s.put_bytes("sig", key(1), b"v2").unwrap();
+        assert_eq!(s.get_bytes("sig", key(1)).as_deref(), Some(&b"v2"[..]));
+        assert_eq!(s.stats().entries, 1);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn index_rebuilds_after_deletion() {
+        let s = tmp_store("rebuild");
+        s.put_bytes("trace", key(1), b"abc").unwrap();
+        s.put_bytes("skel", key(2), b"defg").unwrap();
+        let root = s.root().to_path_buf();
+        drop(s);
+        fs::remove_file(root.join("index.json")).unwrap();
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.stats().entries, 2);
+        assert_eq!(s.get_bytes("trace", key(1)).as_deref(), Some(&b"abc"[..]));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stats_group_by_kind() {
+        let s = tmp_store("stats");
+        s.put_bytes("trace", key(1), b"aaaa").unwrap();
+        s.put_bytes("trace", key(2), b"bbbb").unwrap();
+        s.put_bytes("skel", key(3), b"cc").unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.entries, 3);
+        let kinds: Vec<&str> = stats.by_kind.iter().map(|(k, _, _)| k.as_str()).collect();
+        assert_eq!(kinds, vec!["skel", "trace"]);
+        assert_eq!(stats.by_kind[1].1, 2);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_down_to_budget() {
+        let s = tmp_store("gc");
+        for i in 0..4 {
+            s.put_bytes("trace", key(i), &vec![0u8; 100]).unwrap();
+        }
+        let before = s.stats().total_bytes;
+        let report = s.gc(before / 2).unwrap();
+        assert!(
+            report.removed >= 2,
+            "expected at least 2 evictions, got {}",
+            report.removed
+        );
+        assert!(report.remaining_bytes <= before / 2);
+        assert_eq!(report.remaining_entries, s.stats().entries);
+        // Survivors still readable.
+        let alive = (0..4)
+            .filter(|&i| s.get_bytes("trace", key(i)).is_some())
+            .count();
+        assert_eq!(alive, report.remaining_entries);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn gc_zero_budget_clears_everything() {
+        let s = tmp_store("gc-zero");
+        s.put_bytes("trace", key(1), b"x").unwrap();
+        let report = s.gc(0).unwrap();
+        assert_eq!(report.remaining_entries, 0);
+        assert_eq!(s.ls().len(), 0);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn json_schema_drift_reads_as_miss() {
+        let s = tmp_store("drift");
+        s.put_bytes("sig", key(1), b"{\"not\": \"a trace summary\"}")
+            .unwrap();
+        let got: Option<Vec<u64>> = s.get_json("sig", key(1));
+        assert!(got.is_none());
+        assert_eq!(s.stats().entries, 0, "unparseable entry must be evicted");
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn trace_artifacts_roundtrip() {
+        use pskel_sim::{SimDuration, SimTime};
+        use pskel_trace::{ProcessTrace, Record};
+        let s = tmp_store("trace-art");
+        let mut p = ProcessTrace::new(0);
+        p.records.push(Record::Compute {
+            dur: SimDuration(42),
+        });
+        p.finish = SimTime(42);
+        let t = AppTrace::new("LU.A", vec![p]);
+        s.put_trace("trace", key(9), &t).unwrap();
+        assert_eq!(s.get_trace("trace", key(9)).unwrap(), t);
+        fs::remove_dir_all(s.root()).ok();
+    }
+}

@@ -1,0 +1,315 @@
+//! Content hashing for the artifact store: a dependency-free SHA-256 and a
+//! [`KeyBuilder`] that derives stable cache keys from experiment provenance.
+//!
+//! Keys must be *stable across processes and runs* — they are the on-disk
+//! identity of every cached artifact — so all inputs are fed to the digest
+//! length-prefixed (no delimiter ambiguity) and floating-point parameters
+//! go in as their exact IEEE-754 bit patterns.
+
+use std::fmt;
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4).
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manual padding of the length field (bypasses total_len accounting,
+        // which no longer matters).
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Convenience one-shot digest.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// The identity of a cached artifact: a SHA-256 over its full provenance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey([u8; 32]);
+
+impl StoreKey {
+    pub fn from_digest(digest: [u8; 32]) -> StoreKey {
+        StoreKey(digest)
+    }
+
+    /// Lowercase hex, the on-disk spelling of the key.
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+impl fmt::Debug for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StoreKey({})", self.hex())
+    }
+}
+
+/// Builds a [`StoreKey`] from named provenance fields.
+///
+/// Every field is fed to the digest as `len(name) ‖ name ‖ len(value) ‖
+/// value`, so no combination of field contents can alias another key, and
+/// the `domain` string namespaces artifact types (bump it to invalidate a
+/// whole class of cached artifacts after a semantic change).
+pub struct KeyBuilder {
+    hasher: Sha256,
+}
+
+impl KeyBuilder {
+    pub fn new(domain: &str) -> KeyBuilder {
+        let mut b = KeyBuilder {
+            hasher: Sha256::new(),
+        };
+        b.push(b"domain", domain.as_bytes());
+        b
+    }
+
+    fn push(&mut self, name: &[u8], value: &[u8]) {
+        self.hasher.update(&(name.len() as u64).to_le_bytes());
+        self.hasher.update(name);
+        self.hasher.update(&(value.len() as u64).to_le_bytes());
+        self.hasher.update(value);
+    }
+
+    pub fn field(mut self, name: &str, value: &str) -> KeyBuilder {
+        self.push(name.as_bytes(), value.as_bytes());
+        self
+    }
+
+    pub fn field_bytes(mut self, name: &str, value: &[u8]) -> KeyBuilder {
+        self.push(name.as_bytes(), value);
+        self
+    }
+
+    pub fn field_u64(mut self, name: &str, value: u64) -> KeyBuilder {
+        self.push(name.as_bytes(), &value.to_le_bytes());
+        self
+    }
+
+    /// Exact bit pattern — `0.1 + 0.2` and `0.3` are different keys.
+    pub fn field_f64(mut self, name: &str, value: f64) -> KeyBuilder {
+        self.push(name.as_bytes(), &value.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hash a serializable structure (cluster specs, placements, …) via its
+    /// canonical JSON encoding.
+    pub fn field_json<T: serde::Serialize>(self, name: &str, value: &T) -> KeyBuilder {
+        let json = serde_json::to_vec(value).expect("provenance field serializes");
+        self.field_bytes(name, &json)
+    }
+
+    pub fn finish(self) -> StoreKey {
+        StoreKey(self.hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        StoreKey::from_digest({
+            let mut d = [0u8; 32];
+            d.copy_from_slice(bytes);
+            d
+        })
+        .hex()
+    }
+
+    #[test]
+    fn sha256_empty_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_vector() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn key_fields_are_unambiguous() {
+        // ("ab", "c") must not alias ("a", "bc").
+        let k1 = KeyBuilder::new("t").field("ab", "c").finish();
+        let k2 = KeyBuilder::new("t").field("a", "bc").finish();
+        assert_ne!(k1, k2);
+        // Domains namespace keys.
+        let k3 = KeyBuilder::new("u").field("ab", "c").finish();
+        assert_ne!(k1, k3);
+        // Same inputs → same key (stability).
+        let k4 = KeyBuilder::new("t").field("ab", "c").finish();
+        assert_eq!(k1, k4);
+    }
+
+    #[test]
+    fn float_fields_key_on_bits() {
+        let a = KeyBuilder::new("t").field_f64("x", 0.1 + 0.2).finish();
+        let b = KeyBuilder::new("t").field_f64("x", 0.3).finish();
+        assert_ne!(a, b, "distinct bit patterns must produce distinct keys");
+    }
+
+    #[test]
+    fn hex_is_64_lowercase_chars() {
+        let k = KeyBuilder::new("t").finish();
+        let h = k.hex();
+        assert_eq!(h.len(), 64);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

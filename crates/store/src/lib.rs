@@ -1,0 +1,30 @@
+//! # pskel-store — binary trace format and content-addressed artifact store
+//!
+//! Persistence layer for the performance-skeleton pipeline:
+//!
+//! - [`binfmt`]: a compact, versioned, streaming binary encoding of
+//!   [`pskel_trace::AppTrace`] (`PSKT` files) with interned event
+//!   descriptors and delta-coded timestamps, plus format-sniffing loaders
+//!   that keep JSON as an interop format.
+//! - [`hash`]: dependency-free SHA-256 and a [`KeyBuilder`] that turns
+//!   experiment provenance (benchmark, class, cluster spec, scenario,
+//!   builder parameters) into stable [`StoreKey`]s.
+//! - [`cache`]: the on-disk [`Store`] — content-addressed objects under
+//!   `objects/<kind>/…` with atomic writes, checksummed frames,
+//!   corruption-evicting reads, and `stats`/`ls`/`gc` maintenance ops.
+//!
+//! The store deliberately knows nothing about *what* is cached: keys are
+//! opaque digests built by the caller (see `pskel-predict`'s provenance
+//! module), so this crate sits below the experiment layer in the
+//! dependency DAG.
+
+pub mod binfmt;
+pub mod cache;
+pub mod hash;
+
+pub use binfmt::{
+    load_trace_auto, read_trace_binary, save_trace_auto, scan_stats, write_trace_binary, RankScan,
+    ScanStats, TraceItem, TraceReader, TraceWriter, BINARY_EXT, MAGIC, VERSION,
+};
+pub use cache::{fnv64, GcReport, LsEntry, Store, StoreStats, DEFAULT_DIR};
+pub use hash::{sha256, KeyBuilder, Sha256, StoreKey};

@@ -1,0 +1,150 @@
+//! Property tests: the binary trace encoding is lossless for *arbitrary*
+//! traces — including non-monotone timestamps (delta coding wraps), empty
+//! process lists, zero-record processes, and a `total_time` that disagrees
+//! with the max rank finish (it is persisted, not recomputed).
+
+use proptest::prelude::*;
+use pskel_sim::{SimDuration, SimTime};
+use pskel_store::{read_trace_binary, write_trace_binary};
+use pskel_trace::{AppTrace, MpiEvent, OpKind, ProcessTrace, Record};
+
+fn op_kind() -> BoxedStrategy<OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+fn opt_u32() -> BoxedStrategy<Option<u32>> {
+    prop_oneof![Just(None::<u32>), any::<u32>().prop_map(Some)].boxed()
+}
+
+fn opt_u64() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None::<u64>), any::<u64>().prop_map(Some)].boxed()
+}
+
+fn mpi_event() -> BoxedStrategy<MpiEvent> {
+    (
+        op_kind(),
+        opt_u32(),
+        opt_u64(),
+        any::<u64>(),
+        prop::collection::vec(any::<u32>(), 0..4),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(kind, peer, tag, bytes, slots, (start, end))| MpiEvent {
+            kind,
+            peer,
+            tag,
+            bytes,
+            slots,
+            start: SimTime(start),
+            end: SimTime(end),
+        })
+        .boxed()
+}
+
+fn record() -> BoxedStrategy<Record> {
+    prop_oneof![
+        any::<u64>().prop_map(|n| Record::Compute {
+            dur: SimDuration(n)
+        }),
+        mpi_event().prop_map(Record::Mpi),
+    ]
+    .boxed()
+}
+
+fn process_trace() -> BoxedStrategy<ProcessTrace> {
+    (
+        0usize..64,
+        prop::collection::vec(record(), 0..24),
+        any::<u64>(),
+    )
+        .prop_map(|(rank, records, finish)| ProcessTrace {
+            rank,
+            records,
+            finish: SimTime(finish),
+        })
+        .boxed()
+}
+
+fn app_trace() -> BoxedStrategy<AppTrace> {
+    (
+        any::<String>(),
+        prop::collection::vec(process_trace(), 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(app, procs, total)| AppTrace {
+            app,
+            procs,
+            total_time: SimDuration(total),
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn binary_roundtrip_is_lossless(trace in app_trace()) {
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &trace).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let t = AppTrace {
+        app: String::new(),
+        procs: vec![],
+        total_time: SimDuration::ZERO,
+    };
+    let mut buf = Vec::new();
+    write_trace_binary(&mut buf, &t).unwrap();
+    assert_eq!(read_trace_binary(buf.as_slice()).unwrap(), t);
+}
+
+#[test]
+fn zero_record_processes_roundtrip() {
+    let t = AppTrace {
+        app: "empty-ranks".to_string(),
+        procs: (0..4).map(ProcessTrace::new).collect(),
+        total_time: SimDuration(123),
+    };
+    let mut buf = Vec::new();
+    write_trace_binary(&mut buf, &t).unwrap();
+    let back = read_trace_binary(buf.as_slice()).unwrap();
+    assert_eq!(t, back);
+    assert_eq!(
+        back.total_time,
+        SimDuration(123),
+        "total_time is persisted, not recomputed"
+    );
+}
+
+#[test]
+fn reversed_timestamps_roundtrip() {
+    // end < start and later events earlier than older ones: delta coding
+    // must wrap, not truncate or panic.
+    let ev = |start: u64, end: u64| {
+        Record::Mpi(MpiEvent {
+            kind: OpKind::Recv,
+            peer: None,
+            tag: None,
+            bytes: 1,
+            slots: vec![],
+            start: SimTime(start),
+            end: SimTime(end),
+        })
+    };
+    let mut p = ProcessTrace::new(0);
+    p.records = vec![ev(u64::MAX, 5), ev(1_000, 10), ev(0, u64::MAX)];
+    p.finish = SimTime(7);
+    let t = AppTrace {
+        app: "wrap".into(),
+        procs: vec![p],
+        total_time: SimDuration(9),
+    };
+    let mut buf = Vec::new();
+    write_trace_binary(&mut buf, &t).unwrap();
+    assert_eq!(read_trace_binary(buf.as_slice()).unwrap(), t);
+}

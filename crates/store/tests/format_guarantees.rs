@@ -1,0 +1,112 @@
+//! Format-level guarantees: forward-version files are rejected with a clear
+//! error, and the binary encoding beats JSON by at least 5× on a
+//! realistic loop-structured trace (the issue's acceptance bar).
+
+use pskel_sim::{SimDuration, SimTime};
+use pskel_store::{read_trace_binary, scan_stats, write_trace_binary, MAGIC, VERSION};
+use pskel_trace::{AppTrace, MpiEvent, OpKind, ProcessTrace, Record};
+
+/// A trace shaped like a real NAS benchmark run: several ranks, a long
+/// iteration loop of compute/send/recv/allreduce with slowly advancing
+/// timestamps.
+fn realistic_trace() -> AppTrace {
+    let nranks = 8usize;
+    let iters = 200u64;
+    let mut procs = Vec::new();
+    for rank in 0..nranks {
+        let mut p = ProcessTrace::new(rank);
+        let mut t = 0u64;
+        for i in 0..iters {
+            p.records.push(Record::Compute {
+                dur: SimDuration(1_250_000),
+            });
+            t += 1_250_000;
+            let peer = ((rank + 1) % nranks) as u32;
+            for (kind, peer, tag, bytes) in [
+                (OpKind::Isend, Some(peer), Some(17), 32_768),
+                (OpKind::Recv, Some(peer), Some(17), 32_768),
+                (OpKind::Allreduce, None, None, 8),
+            ] {
+                let dur = 40_000 + (i % 7) * 1_000;
+                p.records.push(Record::Mpi(MpiEvent {
+                    kind,
+                    peer,
+                    tag,
+                    bytes,
+                    slots: if kind == OpKind::Isend {
+                        vec![0]
+                    } else {
+                        vec![]
+                    },
+                    start: SimTime(t),
+                    end: SimTime(t + dur),
+                }));
+                t += dur;
+            }
+        }
+        p.finish = SimTime(t);
+        procs.push(p);
+    }
+    AppTrace::new("CG.B", procs)
+}
+
+#[test]
+fn binary_is_at_least_5x_smaller_than_json() {
+    let t = realistic_trace();
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &t).unwrap();
+    let mut json = Vec::new();
+    pskel_trace::write_trace(&mut json, &t).unwrap();
+    assert!(
+        bin.len() * 5 <= json.len(),
+        "binary {} bytes vs json {} bytes: ratio {:.1}x < 5x",
+        bin.len(),
+        json.len(),
+        json.len() as f64 / bin.len() as f64
+    );
+}
+
+#[test]
+fn binary_roundtrip_preserves_realistic_trace() {
+    let t = realistic_trace();
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &t).unwrap();
+    assert_eq!(read_trace_binary(bin.as_slice()).unwrap(), t);
+}
+
+#[test]
+fn streaming_scan_agrees_with_full_decode() {
+    let t = realistic_trace();
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &t).unwrap();
+    let stats = scan_stats(bin.as_slice()).unwrap();
+    assert_eq!(stats.nranks(), t.nranks());
+    assert_eq!(stats.n_events(), t.n_events());
+    assert!((stats.mpi_fraction() - t.mpi_fraction()).abs() < 1e-12);
+}
+
+#[test]
+fn bumped_version_byte_is_rejected_with_clear_error() {
+    let t = realistic_trace();
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &t).unwrap();
+    assert_eq!(&bin[..4], &MAGIC);
+    assert_eq!(bin[4], VERSION);
+    bin[4] = VERSION + 1;
+    let err = read_trace_binary(bin.as_slice()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version") && msg.contains(&format!("{}", VERSION + 1)),
+        "error must name the unsupported version, got: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("{VERSION}")),
+        "error must name the supported version, got: {msg}"
+    );
+}
+
+#[test]
+fn non_trace_file_is_rejected_with_clear_error() {
+    let err = read_trace_binary(&b"{\"app\": \"CG.B\"}"[..]).unwrap_err();
+    assert!(err.to_string().contains("PSKT"), "got: {err}");
+}

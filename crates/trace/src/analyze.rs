@@ -35,7 +35,11 @@ impl CommMatrix {
                 }
             }
         }
-        CommMatrix { nranks: n, bytes, msgs }
+        CommMatrix {
+            nranks: n,
+            bytes,
+            msgs,
+        }
     }
 
     /// Total point-to-point bytes in the run.
@@ -133,7 +137,11 @@ impl PhaseProfile {
             .iter()
             .enumerate()
             .map(|(i, &ns)| {
-                let len = if (i as u64 + 1) * w <= end_ns { w } else { end_ns - i as u64 * w };
+                let len = if (i as u64 + 1) * w <= end_ns {
+                    w
+                } else {
+                    end_ns - i as u64 * w
+                };
                 if len == 0 {
                     0.0
                 } else {
@@ -141,7 +149,10 @@ impl PhaseProfile {
                 }
             })
             .collect();
-        PhaseProfile { window, mpi_fraction }
+        PhaseProfile {
+            window,
+            mpi_fraction,
+        }
     }
 }
 

@@ -59,7 +59,10 @@ impl OpKind {
 
     /// True for point-to-point data movement initiations (not waits).
     pub fn is_p2p(self) -> bool {
-        matches!(self, OpKind::Send | OpKind::Isend | OpKind::Recv | OpKind::Irecv)
+        matches!(
+            self,
+            OpKind::Send | OpKind::Isend | OpKind::Recv | OpKind::Irecv
+        )
     }
 
     /// True for collective operations.
@@ -148,7 +151,9 @@ impl MpiEvent {
 pub enum Record {
     /// CPU work between two MPI calls, measured in CPU-seconds demanded
     /// (on a dedicated testbed, equal to elapsed time).
-    Compute { dur: SimDuration },
+    Compute {
+        dur: SimDuration,
+    },
     Mpi(MpiEvent),
 }
 
@@ -189,8 +194,10 @@ mod tests {
     #[test]
     fn kind_classification_is_total() {
         for k in OpKind::ALL {
-            let classes =
-                [k.is_p2p(), k.is_collective(), k.is_wait()].iter().filter(|&&b| b).count();
+            let classes = [k.is_p2p(), k.is_collective(), k.is_wait()]
+                .iter()
+                .filter(|&&b| b)
+                .count();
             assert_eq!(classes, 1, "{k} must belong to exactly one class");
         }
     }
@@ -210,13 +217,26 @@ mod tests {
 
     #[test]
     fn record_duration_covers_both_variants() {
-        assert_eq!(Record::Compute { dur: SimDuration(5) }.duration(), SimDuration(5));
-        assert_eq!(Record::Mpi(ev(OpKind::Recv, 0, 7)).duration(), SimDuration(7));
+        assert_eq!(
+            Record::Compute {
+                dur: SimDuration(5)
+            }
+            .duration(),
+            SimDuration(5)
+        );
+        assert_eq!(
+            Record::Mpi(ev(OpKind::Recv, 0, 7)).duration(),
+            SimDuration(7)
+        );
     }
 
     #[test]
     fn as_mpi_filters() {
-        assert!(Record::Compute { dur: SimDuration(1) }.as_mpi().is_none());
+        assert!(Record::Compute {
+            dur: SimDuration(1)
+        }
+        .as_mpi()
+        .is_none());
         assert!(Record::Mpi(ev(OpKind::Send, 0, 1)).as_mpi().is_some());
     }
 

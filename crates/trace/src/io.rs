@@ -19,16 +19,24 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<AppTrace> {
     serde_json::from_reader(r).map_err(io::Error::other)
 }
 
-/// Save a trace to a file.
+/// Save a trace to a file. Errors name the operation and the path.
 pub fn save_trace(path: impl AsRef<Path>, trace: &AppTrace) -> io::Result<()> {
-    let f = File::create(path)?;
-    write_trace(BufWriter::new(f), trace)
+    let path = path.as_ref();
+    let f = File::create(path).map_err(|e| annotate("creating trace file", path, e))?;
+    write_trace(BufWriter::new(f), trace).map_err(|e| annotate("writing trace to", path, e))
 }
 
-/// Load a trace from a file.
+/// Load a trace from a file. Errors name the operation and the path.
 pub fn load_trace(path: impl AsRef<Path>) -> io::Result<AppTrace> {
-    let f = File::open(path)?;
-    read_trace(BufReader::new(f))
+    let path = path.as_ref();
+    let f = File::open(path).map_err(|e| annotate("opening trace file", path, e))?;
+    read_trace(BufReader::new(f)).map_err(|e| annotate("parsing trace from", path, e))
+}
+
+/// Wrap an I/O error with the failing operation and path, preserving the
+/// original [`io::ErrorKind`] so callers can still match on it.
+fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -40,7 +48,9 @@ mod tests {
 
     fn sample() -> AppTrace {
         let mut p = ProcessTrace::new(0);
-        p.records.push(Record::Compute { dur: SimDuration(1000) });
+        p.records.push(Record::Compute {
+            dur: SimDuration(1000),
+        });
         p.records.push(Record::Mpi(MpiEvent {
             kind: OpKind::Send,
             peer: Some(1),
@@ -78,5 +88,36 @@ mod tests {
     #[test]
     fn malformed_input_errors() {
         assert!(read_trace("not json".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_operation_and_path() {
+        let err = load_trace("/nonexistent-dir/missing-trace.json").unwrap_err();
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::NotFound,
+            "kind must be preserved"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("missing-trace.json"), "missing path in: {msg}");
+        assert!(msg.contains("opening"), "missing operation in: {msg}");
+
+        let err = save_trace("/nonexistent-dir/out.json", &sample()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out.json"), "missing path in: {msg}");
+        assert!(msg.contains("creating"), "missing operation in: {msg}");
+    }
+
+    #[test]
+    fn parse_errors_name_the_file() {
+        let dir = std::env::temp_dir().join("pskel-trace-io-badfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json at all").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("garbage.json"), "missing path in: {msg}");
+        assert!(msg.contains("parsing"), "missing operation in: {msg}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -16,7 +16,11 @@ pub struct ProcessTrace {
 
 impl ProcessTrace {
     pub fn new(rank: usize) -> ProcessTrace {
-        ProcessTrace { rank, records: Vec::new(), finish: SimTime::ZERO }
+        ProcessTrace {
+            rank,
+            records: Vec::new(),
+            finish: SimTime::ZERO,
+        }
     }
 
     /// Total time spent inside MPI calls.
@@ -77,7 +81,11 @@ impl AppTrace {
             .max()
             .unwrap_or(SimTime::ZERO)
             .saturating_since(SimTime::ZERO);
-        AppTrace { app: app.into(), procs, total_time: total }
+        AppTrace {
+            app: app.into(),
+            procs,
+            total_time: total,
+        }
     }
 
     /// Number of ranks.
@@ -153,12 +161,18 @@ mod tests {
     }
 
     fn compute(ns: u64) -> Record {
-        Record::Compute { dur: SimDuration(ns) }
+        Record::Compute {
+            dur: SimDuration(ns),
+        }
     }
 
     fn proc_trace(records: Vec<Record>) -> ProcessTrace {
         let finish = records.iter().map(|r| r.duration().as_nanos()).sum();
-        ProcessTrace { rank: 0, records, finish: SimTime(finish) }
+        ProcessTrace {
+            rank: 0,
+            records,
+            finish: SimTime(finish),
+        }
     }
 
     #[test]

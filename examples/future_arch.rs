@@ -41,9 +41,18 @@ fn machines() -> Vec<FutureMachine> {
     }
     both.net.latency = pskel_sim::SimDuration::from_micros(11);
     vec![
-        FutureMachine { name: "2x CPUs, same network", cluster: cpu2x },
-        FutureMachine { name: "same CPUs, 10x network", cluster: net10x },
-        FutureMachine { name: "2x CPUs, 10x network", cluster: both },
+        FutureMachine {
+            name: "2x CPUs, same network",
+            cluster: cpu2x,
+        },
+        FutureMachine {
+            name: "same CPUs, 10x network",
+            cluster: net10x,
+        },
+        FutureMachine {
+            name: "2x CPUs, 10x network",
+            cluster: both,
+        },
     ]
 }
 
@@ -66,8 +75,8 @@ fn main() {
             TraceConfig::on(),
             bench.program(class),
         );
-        let built = SkeletonBuilder::new(traced.total_secs() / 30.0)
-            .build(traced.trace.as_ref().unwrap());
+        let built =
+            SkeletonBuilder::new(traced.total_secs() / 30.0).build(traced.trace.as_ref().unwrap());
         let skel_today = run_skeleton(
             &built.skeleton,
             today.clone(),

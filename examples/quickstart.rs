@@ -20,7 +20,13 @@ fn main() {
     // 1. Trace the application on the dedicated testbed. The profiling shim
     //    needs no changes to application code.
     println!("tracing application on the dedicated testbed...");
-    let traced = run_mpi(cluster.clone(), placement.clone(), "stencil", TraceConfig::on(), app);
+    let traced = run_mpi(
+        cluster.clone(),
+        placement.clone(),
+        "stencil",
+        TraceConfig::on(),
+        app,
+    );
     let trace = traced.trace.as_ref().unwrap();
     println!(
         "  dedicated time: {:.2}s, {} MPI events/rank, {:.0}% of time in MPI",
@@ -59,7 +65,10 @@ fn main() {
     println!("\nskeleton dedicated time {skel_ded:.3}s -> measured scaling ratio {ratio:.0}x");
 
     // 4. Predict under every sharing scenario and compare with the truth.
-    println!("\n{:44} {:>10} {:>10} {:>7}", "scenario", "predicted", "actual", "error");
+    println!(
+        "\n{:44} {:>10} {:>10} {:>7}",
+        "scenario", "predicted", "actual", "error"
+    );
     for scenario in Scenario::SHARING {
         let shared_cluster = scenario.apply(&cluster);
         let skel_t = run_skeleton(
@@ -70,9 +79,14 @@ fn main() {
         )
         .total_secs();
         let predicted = skel_t * ratio;
-        let actual =
-            run_mpi(shared_cluster, placement.clone(), "stencil", TraceConfig::off(), app)
-                .total_secs();
+        let actual = run_mpi(
+            shared_cluster,
+            placement.clone(),
+            "stencil",
+            TraceConfig::off(),
+            app,
+        )
+        .total_secs();
         println!(
             "{:44} {:>9.1}s {:>9.1}s {:>6.1}%",
             scenario.label(),

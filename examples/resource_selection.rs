@@ -30,9 +30,18 @@ fn candidates() -> Vec<Candidate> {
         n.speed = 0.8;
     }
     vec![
-        Candidate { name: "site A (one congested link)", cluster: site_a },
-        Candidate { name: "site B (two loaded nodes)", cluster: site_b },
-        Candidate { name: "site C (older, idle CPUs)", cluster: site_c },
+        Candidate {
+            name: "site A (one congested link)",
+            cluster: site_a,
+        },
+        Candidate {
+            name: "site B (two loaded nodes)",
+            cluster: site_b,
+        },
+        Candidate {
+            name: "site C (older, idle CPUs)",
+            cluster: site_c,
+        },
     ]
 }
 
@@ -84,7 +93,10 @@ fn main() {
         "candidate", "skeleton probe", "predicted app time"
     );
     for p in &selection.ranking {
-        println!("{:32} {:>13.3}s {:>15.1}s", p.name, p.probe_secs, p.predicted_secs);
+        println!(
+            "{:32} {:>13.3}s {:>15.1}s",
+            p.name, p.probe_secs, p.predicted_secs
+        );
     }
 
     let mut actual_best: Option<(String, f64)> = None;
@@ -97,7 +109,11 @@ fn main() {
             bench.program(class),
         )
         .total_secs();
-        if actual_best.as_ref().map(|(_, t)| actual < *t).unwrap_or(true) {
+        if actual_best
+            .as_ref()
+            .map(|(_, t)| actual < *t)
+            .unwrap_or(true)
+        {
             actual_best = Some((c.name, actual));
         }
     }
@@ -109,6 +125,9 @@ fn main() {
         chosen.name, chosen.predicted_secs, selection.total_probe_secs
     );
     println!("ground-truth best:     {truth} (actual    {tt:.1}s)");
-    assert_eq!(chosen.name, truth, "skeleton probe should select the truly best site");
+    assert_eq!(
+        chosen.name, truth,
+        "skeleton probe should select the truly best site"
+    );
     println!("\nthe skeleton probes cost seconds; the verification runs cost minutes.");
 }

@@ -37,8 +37,7 @@ fn main() {
     // Sanity: the IR executes and is structurally consistent.
     let issues = validate(&built.skeleton);
     assert!(issues.is_empty(), "skeleton inconsistent: {issues:?}");
-    let t = run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default())
-        .total_secs();
+    let t = run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default()).total_secs();
     println!("  simulated skeleton run: {t:.3}s (target {target:.3}s)");
 
     // Emit C.
@@ -54,7 +53,10 @@ fn main() {
             for line in c_source.lines().take(60) {
                 println!("{line}");
             }
-            println!("... ({} lines total; pass a filename to save)", c_source.lines().count());
+            println!(
+                "... ({} lines total; pass a filename to save)",
+                c_source.lines().count()
+            );
         }
     }
 }

@@ -1,17 +1,23 @@
 //! `pskel` — command-line driver for the performance-skeleton framework.
 //!
 //! ```text
-//! pskel trace   --bench CG --class B -o cg.trace.json
-//! pskel info    -i cg.trace.json
-//! pskel build   -i cg.trace.json --target-secs 5 -o cg.skel.json --emit-c cg.skel.c
+//! pskel trace   --bench CG --class B -o cg.trace.pskt
+//! pskel info    -i cg.trace.pskt
+//! pskel build   -i cg.trace.pskt --target-secs 5 -o cg.skel.json --emit-c cg.skel.c
 //! pskel run     -i cg.skel.json --scenario net-one-link
-//! pskel predict -i cg.skel.json --trace cg.trace.json --scenario cpu-one-node --verify
+//! pskel predict -i cg.skel.json --trace cg.trace.pskt --scenario cpu-one-node --verify
+//! pskel cache   stats --store .pskel-cache
 //! ```
 //!
-//! All files are JSON; traces and skeletons are interchangeable with the
-//! library API (`pskel::trace::load_trace`, `serde_json`).
+//! Traces are written in the compact binary format unless the output path
+//! ends in `.json`; both formats load transparently everywhere. Skeletons
+//! are JSON and interchangeable with the library API. `--store <dir>`
+//! attaches a content-addressed artifact cache to `trace`, `build` and
+//! `predict` so repeated invocations replay cached results.
 
+use pskel::core::BuiltSkeleton;
 use pskel::prelude::*;
+use pskel::store::{load_trace_auto, save_trace_auto, scan_stats, KeyBuilder, Store, StoreKey};
 use pskel_trace::TraceSummary;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,19 +38,30 @@ const USAGE: &str = "\
 usage: pskel <command> [options]
 
 commands:
-  trace    --bench <BT|CG|IS|LU|MG|SP|EP|FT> [--class <S|W|A|B>] -o <trace.json>
+  trace    --bench <BT|CG|IS|LU|MG|SP|EP|FT> [--class <S|W|A|B>] -o <trace.{json|pskt}>
            run a benchmark traced on the dedicated simulated testbed
-  info     -i <trace.json | skel.json>
-           summarize a trace or skeleton file
-  build    -i <trace.json> --target-secs <t> -o <skel.json>
+           (a .json extension writes JSON; anything else writes the
+           compact binary trace format)
+  info     -i <trace.{json|pskt} | skel.json>
+           summarize a trace or skeleton file; binary traces are scanned
+           as a stream without materializing the events
+  build    -i <trace.{json|pskt}> --target-secs <t> -o <skel.json>
            [--emit-c <file.c>] [--consolidate] [--distribution]
            construct a performance skeleton from a trace
   run      -i <skel.json> [--scenario <name>]
            execute a skeleton under a sharing scenario (virtual seconds)
-  predict  -i <skel.json> --trace <trace.json> --scenario <name> [--verify]
+  predict  -i <skel.json> --trace <trace.{json|pskt}> --scenario <name> [--verify]
            predict application time under a scenario; --verify also runs
            the application for ground truth (bench name is read from the
            trace)
+  cache    <stats|ls|gc> [--store <dir>] [--max-bytes <n>]
+           inspect or trim an artifact store (default: .pskel-cache);
+           gc evicts oldest entries until the store fits --max-bytes
+
+options:
+  --store <dir>  on trace/build/predict: consult and fill a
+                 content-addressed artifact cache so repeated
+                 invocations replay instead of re-simulating
 
 scenarios: dedicated, cpu-one-node, cpu-all-nodes, net-one-link,
            net-all-links, cpu-and-net";
@@ -53,6 +70,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    if cmd == "cache" {
+        let Some((action, rest)) = rest.split_first() else {
+            return Err("cache needs an action: stats, ls or gc".into());
+        };
+        let opts = parse_opts(rest)?;
+        return cmd_cache(action, &opts);
+    }
     let opts = parse_opts(rest)?;
     match cmd.as_str() {
         "trace" => cmd_trace(&opts),
@@ -75,7 +99,8 @@ impl Opts {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     fn has(&self, switch: &str) -> bool {
@@ -127,25 +152,69 @@ fn testbed() -> (ClusterSpec, Placement) {
     (ClusterSpec::paper_testbed(), Placement::round_robin(4, 4))
 }
 
+/// Open the artifact store named by `--store`, if any.
+fn open_store(opts: &Opts) -> Result<Option<Store>, String> {
+    match opts.get("store") {
+        None => Ok(None),
+        Some(dir) => Store::open(dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open artifact store at {dir}: {e}")),
+    }
+}
+
+/// Provenance key of a dedicated traced run: the full testbed description
+/// plus the exact program identity.
+fn trace_key(
+    cluster: &ClusterSpec,
+    placement: &Placement,
+    bench: NasBenchmark,
+    class: Class,
+) -> StoreKey {
+    KeyBuilder::new("cli-trace-v1")
+        .field_json("cluster", cluster)
+        .field_json("placement", placement)
+        .field("bench", bench.name())
+        .field("class", &format!("{class:?}"))
+        .finish()
+}
+
 fn cmd_trace(opts: &Opts) -> Result<(), String> {
     let bench: NasBenchmark = opts.parse("bench")?;
     let class: Class = opts.parse_or("class", Class::B)?;
     let out_path = opts.require("o")?;
     let (cluster, placement) = testbed();
+    let store = open_store(opts)?;
+    let key = trace_key(&cluster, &placement, bench, class);
 
-    eprintln!("running {} traced on the dedicated testbed...", bench.full_name(class));
-    let out = run_mpi(
-        cluster,
-        placement,
-        &bench.full_name(class),
-        TraceConfig::on(),
-        bench.program(class),
-    );
-    let trace = out.trace.as_ref().expect("tracing enabled");
-    pskel::trace::save_trace(out_path, trace).map_err(|e| e.to_string())?;
+    let trace = if let Some(hit) = store.as_ref().and_then(|s| s.get_trace("cli-trace", key)) {
+        eprintln!(
+            "replaying {} trace from the store...",
+            bench.full_name(class)
+        );
+        hit
+    } else {
+        eprintln!(
+            "running {} traced on the dedicated testbed...",
+            bench.full_name(class)
+        );
+        let out = run_mpi(
+            cluster,
+            placement,
+            &bench.full_name(class),
+            TraceConfig::on(),
+            bench.program(class),
+        );
+        let trace = out.trace.expect("tracing enabled");
+        if let Some(s) = &store {
+            s.put_trace("cli-trace", key, &trace)
+                .map_err(|e| e.to_string())?;
+        }
+        trace
+    };
+    save_trace_auto(out_path, &trace).map_err(|e| e.to_string())?;
     eprintln!(
         "dedicated time {:.3}s, {} events, {:.1}% MPI -> {out_path}",
-        out.total_secs(),
+        trace.total_time.as_secs_f64(),
         trace.n_events(),
         100.0 * trace.mpi_fraction()
     );
@@ -154,7 +223,31 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
 
 fn cmd_info(opts: &Opts) -> Result<(), String> {
     let path = opts.require("i")?;
-    // Try a trace first, then a skeleton.
+    // Binary traces are summarized in one streaming pass — no event is
+    // ever materialized, so this stays cheap for huge traces.
+    let is_binary = std::fs::File::open(path)
+        .ok()
+        .and_then(|mut f| {
+            use std::io::Read;
+            let mut magic = [0u8; 4];
+            f.read_exact(&mut magic)
+                .ok()
+                .map(|_| magic == pskel::store::MAGIC)
+        })
+        .unwrap_or(false);
+    if is_binary {
+        let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        let s = scan_stats(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+        println!("binary trace of {} on {} ranks", s.app, s.ranks.len());
+        println!("  total time   {:.3}s", s.total_time.as_secs_f64());
+        println!("  MPI fraction {:.1}%", 100.0 * s.mpi_fraction());
+        println!(
+            "  events/rank  {:?}",
+            s.ranks.iter().map(|r| r.events).collect::<Vec<_>>()
+        );
+        return Ok(());
+    }
+    // Try a JSON trace first, then a skeleton.
     if let Ok(trace) = pskel::trace::load_trace(path) {
         let s = TraceSummary::of(&trace);
         println!("trace of {} on {} ranks", s.app, s.nranks);
@@ -173,14 +266,20 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     let m = &skel.meta;
     println!("skeleton of {} on {} ranks", skel.app, skel.nranks());
     println!("  scaling factor K     {}", m.scale_k);
-    println!("  intended runtime     {:.3}s (application {:.3}s)", m.target_secs, m.app_secs);
+    println!(
+        "  intended runtime     {:.3}s (application {:.3}s)",
+        m.target_secs, m.app_secs
+    );
     println!("  compression target Q {:.1}", m.target_q);
     println!("  similarity threshold {:.2}", m.max_threshold);
     println!("  min good skeleton    {:.3}s", m.min_good_secs);
     println!("  good                 {}", m.good);
     println!(
         "  static ops per rank  {:?}",
-        skel.ranks.iter().map(|r| r.static_ops()).collect::<Vec<_>>()
+        skel.ranks
+            .iter()
+            .map(|r| r.static_ops())
+            .collect::<Vec<_>>()
     );
     Ok(())
 }
@@ -189,7 +288,8 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     let in_path = opts.require("i")?;
     let out_path = opts.require("o")?;
     let target: f64 = opts.parse("target-secs")?;
-    let trace = pskel::trace::load_trace(in_path).map_err(|e| e.to_string())?;
+    let trace = load_trace_auto(in_path).map_err(|e| e.to_string())?;
+    let store = open_store(opts)?;
 
     let mut builder = SkeletonBuilder::new(target);
     if opts.has("consolidate") {
@@ -198,13 +298,35 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     if opts.has("distribution") {
         builder.construct.compute_model = ComputeModel::Distribution;
     }
-    let built = builder.build(&trace);
+    // Keyed by the full trace content and every construction parameter, so
+    // a stale cache can never hand back the wrong skeleton.
+    let key = KeyBuilder::new("cli-skeleton-v1")
+        .field_json("trace", &trace)
+        .field("builder", &format!("{builder:?}"))
+        .field_f64("target-secs", target)
+        .finish();
+    let built: BuiltSkeleton = match store.as_ref().and_then(|s| s.get_json("cli-skeleton", key)) {
+        Some(hit) => {
+            eprintln!("skeleton replayed from the store");
+            hit
+        }
+        None => {
+            let built = builder.build(&trace);
+            if let Some(s) = &store {
+                s.put_json("cli-skeleton", key, &built)
+                    .map_err(|e| e.to_string())?;
+            }
+            built
+        }
+    };
     for w in &built.warnings {
         eprintln!("warning: {w}");
     }
     let issues = validate(&built.skeleton);
     if !issues.is_empty() {
-        return Err(format!("constructed skeleton failed validation: {issues:?}"));
+        return Err(format!(
+            "constructed skeleton failed validation: {issues:?}"
+        ));
     }
 
     let json = serde_json::to_string(&built.skeleton).map_err(|e| e.to_string())?;
@@ -241,32 +363,62 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     )
     .total_secs();
     println!("{t:.6}");
-    eprintln!("skeleton of {} under '{}': {t:.3}s", skel.app, scenario.label());
+    eprintln!(
+        "skeleton of {} under '{}': {t:.3}s",
+        skel.app,
+        scenario.label()
+    );
     Ok(())
+}
+
+/// Skeleton runtime under a scenario, served from the store when possible.
+fn skeleton_time_cached(
+    store: Option<&Store>,
+    skel: &Skeleton,
+    scenario: Scenario,
+    cluster: &ClusterSpec,
+    placement: &Placement,
+) -> Result<f64, String> {
+    let key = KeyBuilder::new("cli-skel-time-v1")
+        .field_json("skeleton", skel)
+        .field_json("cluster", cluster)
+        .field_json("placement", placement)
+        .field("scenario", scenario.cli_name())
+        .finish();
+    if let Some(hit) = store.and_then(|s| s.get_f64("cli-skel-time", key)) {
+        return Ok(hit);
+    }
+    let t = run_skeleton(
+        skel,
+        scenario.apply(cluster),
+        placement.clone(),
+        ExecOptions::default(),
+    )
+    .total_secs();
+    if let Some(s) = store {
+        s.put_f64("cli-skel-time", key, t)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(t)
 }
 
 fn cmd_predict(opts: &Opts) -> Result<(), String> {
     let skel = load_skeleton(opts.require("i")?)?;
-    let trace = pskel::trace::load_trace(opts.require("trace")?).map_err(|e| e.to_string())?;
+    let trace = load_trace_auto(opts.require("trace")?).map_err(|e| e.to_string())?;
     let scenario: Scenario = opts.parse("scenario")?;
     let (cluster, placement) = testbed();
+    let store = open_store(opts)?;
 
     let app_ded = trace.total_time.as_secs_f64();
-    let skel_ded = run_skeleton(
+    let skel_ded = skeleton_time_cached(
+        store.as_ref(),
         &skel,
-        cluster.clone(),
-        placement.clone(),
-        ExecOptions::default(),
-    )
-    .total_secs();
+        Scenario::Dedicated,
+        &cluster,
+        &placement,
+    )?;
     let ratio = app_ded / skel_ded;
-    let skel_scen = run_skeleton(
-        &skel,
-        scenario.apply(&cluster),
-        placement.clone(),
-        ExecOptions::default(),
-    )
-    .total_secs();
+    let skel_scen = skeleton_time_cached(store.as_ref(), &skel, scenario, &cluster, &placement)?;
     let predicted = skel_scen * ratio;
     println!("{predicted:.6}");
     eprintln!(
@@ -296,4 +448,41 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         eprintln!("actual {actual:.2}s -> error {err:.1}%");
     }
     Ok(())
+}
+
+fn cmd_cache(action: &str, opts: &Opts) -> Result<(), String> {
+    let dir = opts.get("store").unwrap_or(pskel::store::DEFAULT_DIR);
+    let store =
+        Store::open(dir).map_err(|e| format!("cannot open artifact store at {dir}: {e}"))?;
+    match action {
+        "stats" => {
+            let s = store.stats();
+            println!(
+                "store {dir}: {} entries, {} bytes",
+                s.entries, s.total_bytes
+            );
+            for (kind, entries, bytes) in &s.by_kind {
+                println!("  {kind:16} {entries:>6} entries {bytes:>12} bytes");
+            }
+            Ok(())
+        }
+        "ls" => {
+            for e in store.ls() {
+                println!("{:10} {:16} {}/{}", e.bytes, e.created_unix, e.kind, e.key);
+            }
+            Ok(())
+        }
+        "gc" => {
+            let max_bytes: u64 = opts.parse_or("max-bytes", 0)?;
+            let r = store.gc(max_bytes).map_err(|e| e.to_string())?;
+            println!(
+                "removed {} entries ({} bytes); {} entries ({} bytes) remain",
+                r.removed, r.freed_bytes, r.remaining_entries, r.remaining_bytes
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action {other:?}; use stats, ls or gc"
+        )),
+    }
 }

@@ -22,6 +22,8 @@
 //! * [`apps`] — NAS-like benchmark workloads (BT, CG, IS, LU, MG, SP).
 //! * [`predict`] — the paper's evaluation: five sharing scenarios, three
 //!   prediction methodologies, and drivers for every figure.
+//! * [`store`] — compact binary trace format and the content-addressed
+//!   artifact cache behind `--store` / `pskel cache`.
 //!
 //! ## Quickstart
 //!
@@ -68,20 +70,21 @@ pub use pskel_apps as apps;
 pub use pskel_core as core;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
-pub use pskel_sim as sim;
 pub use pskel_signature as signature;
+pub use pskel_sim as sim;
+pub use pskel_store as store;
 pub use pskel_trace as trace;
 
 /// The commonly-used types and functions in one import.
 pub mod prelude {
     pub use pskel_apps::{Class, NasBenchmark};
     pub use pskel_core::{
-        generate_c, run_skeleton, validate, ComputeModel, ConstructOptions, ExecOptions,
-        Skeleton, SkeletonBuilder,
+        generate_c, run_skeleton, validate, ComputeModel, ConstructOptions, ExecOptions, Skeleton,
+        SkeletonBuilder,
     };
     pub use pskel_mpi::{run_mpi, run_mpi_fns, Comm, TraceConfig};
     pub use pskel_predict::{EvalContext, Scenario, Testbed, PAPER_SKELETON_SIZES};
-    pub use pskel_sim::{ClusterSpec, Placement, SimDuration, SimTime, Simulation};
     pub use pskel_signature::{compress_app, compress_process, SignatureOptions};
+    pub use pskel_sim::{ClusterSpec, Placement, SimDuration, SimTime, Simulation};
     pub use pskel_trace::{AppTrace, OpKind, ProcessTrace};
 }

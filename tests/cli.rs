@@ -27,7 +27,11 @@ fn full_workflow_through_files() {
         .arg(&trace)
         .output()
         .unwrap();
-    assert!(out.status.success(), "trace failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     // info on the trace
@@ -47,7 +51,11 @@ fn full_workflow_through_files() {
         .arg(&c_file)
         .output()
         .unwrap();
-    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let c = std::fs::read_to_string(&c_file).unwrap();
     assert!(c.contains("#include <mpi.h>"));
 
@@ -78,11 +86,143 @@ fn full_workflow_through_files() {
         .args(["--scenario", "cpu-all-nodes", "--verify"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let predicted: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
     assert!(predicted > 0.0);
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("error"), "verification line missing: {stderr}");
+    assert!(
+        stderr.contains("error"),
+        "verification line missing: {stderr}"
+    );
+}
+
+#[test]
+fn binary_trace_and_cache_workflow() {
+    let dir = workdir("cache-workflow");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    let trace = dir.join("ep.trace.pskt");
+    let skel = dir.join("ep.skel.json");
+
+    // Trace to the binary format, filling the store.
+    let out = bin()
+        .args(["trace", "--bench", "EP", "--class", "S", "-o"])
+        .arg(&trace)
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let header = std::fs::read(&trace).unwrap();
+    assert_eq!(&header[..4], b"PSKT", "trace file must be binary");
+
+    // A second trace run replays from the store instead of re-simulating.
+    let out = bin()
+        .args(["trace", "--bench", "EP", "--class", "S", "-o"])
+        .arg(&trace)
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("replaying"),
+        "second trace run must hit the store: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // info streams the binary trace.
+    let out = bin().args(["info", "-i"]).arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("binary trace of EP.S"), "{stdout}");
+
+    // build accepts the binary trace; a second build replays the skeleton.
+    for pass in 0..2 {
+        let out = bin()
+            .args(["build", "-i"])
+            .arg(&trace)
+            .args(["--target-secs", "0.01", "-o"])
+            .arg(&skel)
+            .arg("--store")
+            .arg(&store)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "build failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        if pass == 1 {
+            assert!(
+                String::from_utf8_lossy(&out.stderr).contains("replayed from the store"),
+                "second build must hit the store"
+            );
+        }
+    }
+
+    // predict works from binary trace + store.
+    let out = bin()
+        .args(["predict", "-i"])
+        .arg(&skel)
+        .args(["--trace"])
+        .arg(&trace)
+        .args(["--scenario", "net-one-link", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let predicted: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(predicted > 0.0);
+
+    // cache stats sees the accumulated artifacts; gc 0 empties the store.
+    let out = bin()
+        .args(["cache", "stats", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cli-trace"), "{stdout}");
+    assert!(stdout.contains("cli-skeleton"), "{stdout}");
+    assert!(stdout.contains("cli-skel-time"), "{stdout}");
+
+    let out = bin()
+        .args(["cache", "ls", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).lines().count() >= 3);
+
+    let out = bin()
+        .args(["cache", "gc", "--max-bytes", "0", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["cache", "stats", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("0 entries"),
+        "gc 0 must empty the store"
+    );
 }
 
 #[test]

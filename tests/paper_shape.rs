@@ -17,7 +17,7 @@ fn ctx() -> EvalContext {
 #[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
 fn fig2_shape_skeletons_track_activity_split() {
     let mut ctx = ctx();
-    let rows = fig2(&mut ctx);
+    let rows = fig2(&mut ctx).expect("figure 2 evaluation");
     // For each benchmark: the largest skeleton's MPI share is within
     // 12 percentage points of the application's.
     for bench in NasBenchmark::ALL {
@@ -44,7 +44,7 @@ fn fig2_shape_skeletons_track_activity_split() {
 #[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
 fn fig3_shape_error_grows_as_skeletons_shrink() {
     let mut ctx = ctx();
-    let grid = fig3(&mut ctx);
+    let grid = fig3(&mut ctx).expect("figure 3 evaluation");
     let per_size = grid.avg_per_size();
     // Largest vs smallest skeleton: clear degradation on average.
     assert!(
@@ -52,7 +52,10 @@ fn fig3_shape_error_grows_as_skeletons_shrink() {
         "expected degradation from {per_size:?}"
     );
     // Large skeletons are accurate in absolute terms.
-    assert!(per_size[0] < 8.0, "largest skeleton too inaccurate: {per_size:?}");
+    assert!(
+        per_size[0] < 8.0,
+        "largest skeleton too inaccurate: {per_size:?}"
+    );
     // Overall error stays single-digit-ish, like the paper's 6.7%.
     assert!(grid.overall_avg < 15.0, "overall {:.1}%", grid.overall_avg);
 }
@@ -61,10 +64,8 @@ fn fig3_shape_error_grows_as_skeletons_shrink() {
 #[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
 fn fig4_shape_min_good_ordering() {
     let mut ctx = ctx();
-    let rows = fig4(&mut ctx);
-    let get = |name: &str| {
-        rows.iter().find(|r| r.app == name).unwrap().min_good_secs
-    };
+    let rows = fig4(&mut ctx).expect("figure 4 evaluation");
+    let get = |name: &str| rows.iter().find(|r| r.app == name).unwrap().min_good_secs;
     // Relative to runtime, IS needs the largest good skeleton and CG the
     // smallest (the paper's Figure 4 ordering). Class W runtimes differ
     // per benchmark, so normalize.
@@ -85,7 +86,7 @@ fn fig4_shape_min_good_ordering() {
 #[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
 fn fig6_shape_scenario_difficulty_ordering() {
     let mut ctx = ctx();
-    let grid = fig6(&mut ctx);
+    let grid = fig6(&mut ctx).expect("figure 6 evaluation");
     let avg = grid.avg_per_scenario();
     // [cpu-one, cpu-all, net-one, net-all, combined]
     let balanced_cpu = avg[1];
@@ -105,7 +106,7 @@ fn fig6_shape_scenario_difficulty_ordering() {
 #[cfg_attr(debug_assertions, ignore = "expensive; run with --release")]
 fn fig7_shape_skeletons_beat_all_baselines() {
     let mut ctx = ctx();
-    let rows = fig7(&mut ctx);
+    let rows = fig7(&mut ctx).expect("figure 7 evaluation");
     let avg_of = |m: &str| {
         rows.iter()
             .find(|r| r.method.contains(m))

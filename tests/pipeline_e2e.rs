@@ -64,7 +64,7 @@ fn skeleton_prediction_beats_baselines_under_combined_sharing() {
     let mut avg_errs = Vec::new();
     for bench in NasBenchmark::ALL {
         let actual = ctx.app_time(bench, scenario);
-        let skel = pskel_predict::skeleton_prediction(&mut ctx, bench, 0.2, scenario);
+        let skel = pskel_predict::skeleton_prediction(&mut ctx, bench, 0.2, scenario).unwrap();
         let avg = pskel_predict::average_prediction(&mut ctx, bench, scenario);
         skel_errs.push(pskel_predict::error_pct(skel, actual));
         avg_errs.push(pskel_predict::error_pct(avg, actual));
@@ -83,8 +83,8 @@ fn full_pipeline_is_deterministic() {
         let (_, trace) = trace_bench(NasBenchmark::Mg, Class::S);
         let built = SkeletonBuilder::new(0.002).build(&trace);
         let (cluster, placement) = testbed();
-        let t = run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default())
-            .total_secs();
+        let t =
+            run_skeleton(&built.skeleton, cluster, placement, ExecOptions::default()).total_secs();
         (built.skeleton, t)
     };
     let (skel_a, t_a) = run_once();
@@ -125,7 +125,10 @@ fn not_good_skeletons_are_flagged() {
     let built = SkeletonBuilder::new(out.total_secs() / 20.0).build(&trace);
     assert!(!built.skeleton.meta.good);
     assert!(
-        built.warnings.iter().any(|w| w.contains("minimum good skeleton")),
+        built
+            .warnings
+            .iter()
+            .any(|w| w.contains("minimum good skeleton")),
         "warnings: {:?}",
         built.warnings
     );
@@ -192,9 +195,18 @@ fn consolidation_reduces_op_count_but_keeps_validity() {
     builder.construct.consolidate_residue = true;
     let consolidated = builder.build(&trace);
 
-    let lit_ops: u64 = literal.skeleton.ranks.iter().map(|r| r.expanded_ops()).sum();
-    let con_ops: u64 =
-        consolidated.skeleton.ranks.iter().map(|r| r.expanded_ops()).sum();
+    let lit_ops: u64 = literal
+        .skeleton
+        .ranks
+        .iter()
+        .map(|r| r.expanded_ops())
+        .sum();
+    let con_ops: u64 = consolidated
+        .skeleton
+        .ranks
+        .iter()
+        .map(|r| r.expanded_ops())
+        .sum();
     assert!(
         con_ops <= lit_ops,
         "consolidation must not increase ops: {con_ops} vs {lit_ops}"

@@ -41,8 +41,7 @@ fn cg_signature_shows_outer_times_inner_structure() {
     // CG.W: 6 outer x 30 inner iterations. The signature must contain a
     // nested loop covering 180 inner iterations.
     let trace = trace_of(NasBenchmark::Cg, Class::W);
-    let (sig, saturated) =
-        compress_app(&trace, 10.0, SignatureOptions::default());
+    let (sig, saturated) = compress_app(&trace, 10.0, SignatureOptions::default());
     assert!(!saturated);
     let s = &sig.sigs[0];
     assert!(
@@ -50,7 +49,11 @@ fn cg_signature_shows_outer_times_inner_structure() {
         "CG is highly cyclic: ratio {}",
         s.compression_ratio()
     );
-    assert!(max_nesting(&s.tokens) >= 2, "outer/inner nesting: {}", s.render());
+    assert!(
+        max_nesting(&s.tokens) >= 2,
+        "outer/inner nesting: {}",
+        s.render()
+    );
     // The expansion reproduces the clustered event count exactly.
     assert_eq!(s.expanded_len(), s.trace_len);
 }
@@ -109,7 +112,9 @@ fn signatures_across_ranks_have_equal_shape_for_spmd() {
     // Same loop skeleton (symbol ids may differ since clusters are
     // per-rank, but the bracket structure must match).
     let shape = |r: &str| -> String {
-        r.chars().filter(|c| "[]^0123456789 ".contains(*c)).collect()
+        r.chars()
+            .filter(|c| "[]^0123456789 ".contains(*c))
+            .collect()
     };
     assert!(
         renders.iter().all(|r| shape(r) == shape(&renders[0])),
