@@ -152,13 +152,18 @@ fn ablation_q_rule(c: &mut Criterion) {
     let k = 10u64;
     for q_factor in [0.25, 0.5, 1.0] {
         let q = (k as f64 * q_factor).max(1.0);
-        let (sig, saturated) =
+        let out =
             pskel_signature::compress_app(&trace, q, pskel_signature::SignatureOptions::default());
         eprintln!(
             "ablation q_rule (IS.B, K={k}): Q={q:.1} -> threshold {:.2}, ratio {:.1}, \
-             saturated={saturated}",
-            sig.sigs.iter().map(|s| s.threshold).fold(0.0f64, f64::max),
-            sig.min_compression_ratio(),
+             saturated={}",
+            out.signature
+                .sigs
+                .iter()
+                .map(|s| s.threshold)
+                .fold(0.0f64, f64::max),
+            out.signature.min_compression_ratio(),
+            out.is_saturated(),
         );
     }
 

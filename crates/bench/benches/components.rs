@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{ConstructOptions, SkeletonBuilder};
 use pskel_mpi::{run_mpi, TraceConfig};
-use pskel_signature::{compress_process, SignatureOptions};
+use pskel_signature::{compress_app, compress_process, SignatureOptions};
 use pskel_sim::{ClusterSpec, Placement, Simulation};
-use pskel_trace::AppTrace;
+use pskel_trace::{synthetic_app_trace, synthetic_process_trace, AppTrace};
 
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
@@ -98,6 +98,29 @@ fn bench_compression(c: &mut Criterion) {
     g.throughput(Throughput::Elements(events as u64));
     g.bench_function("compress_cg_w_rank0", |b| {
         b.iter(|| compress_process(&trace.procs[0], 20.0, SignatureOptions::default()))
+    });
+
+    // Deterministic synthetic workloads isolating the compression stack
+    // from the simulator: one at CG.W rank scale, one 100k-event stress
+    // case, and a 4-rank app run exercising the parallel rank fan-out.
+    // Same shapes as `pskel bench compress` so the two harnesses agree.
+    let synth = synthetic_process_trace(0, 3_000, 0xC6);
+    g.throughput(Throughput::Elements(synth.n_events() as u64));
+    g.bench_function("compress_synth_cg_sized", |b| {
+        b.iter(|| compress_process(&synth, 20.0, SignatureOptions::default()))
+    });
+
+    g.sample_size(10);
+    let big = synthetic_process_trace(0, 100_000, 0xB16);
+    g.throughput(Throughput::Elements(big.n_events() as u64));
+    g.bench_function("compress_synth_100k", |b| {
+        b.iter(|| compress_process(&big, 50.0, SignatureOptions::default()))
+    });
+
+    let app = synthetic_app_trace(4, 25_000, 0xA44);
+    g.throughput(Throughput::Elements(app.n_events() as u64));
+    g.bench_function("compress_app_synth_4x25k", |b| {
+        b.iter(|| compress_app(&app, 50.0, SignatureOptions::default()))
     });
     g.finish();
 }

@@ -1,0 +1,230 @@
+//! Wall-clock benchmark of signature compression (`pskel bench compress`).
+//!
+//! Times the full `compress_process`/`compress_app` hot path — clustering,
+//! loop folding, threshold search — on deterministic workloads and reports
+//! speedup against recorded pre-optimization baselines. Complements the
+//! Criterion benches in `benches/components.rs`: this runner is cheap
+//! enough for CI smoke jobs and emits machine-readable JSON
+//! (`BENCH_compress.json`) for artifact tracking.
+
+use pskel_apps::{Class, NasBenchmark};
+use pskel_mpi::{run_mpi, TraceConfig};
+use pskel_signature::{compress_app, compress_process, SignatureOptions};
+use pskel_sim::{ClusterSpec, Placement};
+use pskel_trace::{synthetic_app_trace, synthetic_process_trace};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Pre-optimization wall times in seconds, measured at the commit before
+/// the indexed-clustering / incremental-folding rewrite on the development
+/// machine (single core, best of 5). `None` where no baseline run was
+/// recorded; speedups are only reported against these fixed references,
+/// so they are comparable across runs of the same machine class.
+const BASELINE_SYNTH_CG_SIZED: Option<f64> = Some(0.0229);
+const BASELINE_SYNTH_100K: Option<f64> = Some(3.0141);
+const BASELINE_APP_SYNTH_4X25K: Option<f64> = Some(2.6248);
+const BASELINE_CG_W_RANK0: Option<f64> = None;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct CompressBenchResult {
+    pub name: String,
+    pub events: usize,
+    /// Best-of-`reps` wall time in seconds.
+    pub secs: f64,
+    pub reps: usize,
+    pub events_per_sec: f64,
+    /// Achieved compression ratio (minimum across ranks for app runs).
+    pub ratio: f64,
+    /// Similarity threshold the search settled on (max across ranks).
+    pub threshold: f64,
+    pub baseline_secs: Option<f64>,
+    /// `baseline_secs / secs` when a baseline is recorded.
+    pub speedup: Option<f64>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct CompressBenchReport {
+    pub fast: bool,
+    pub results: Vec<CompressBenchResult>,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn result(
+    name: &str,
+    events: usize,
+    secs: f64,
+    reps: usize,
+    ratio: f64,
+    threshold: f64,
+    baseline_secs: Option<f64>,
+) -> CompressBenchResult {
+    CompressBenchResult {
+        name: name.to_string(),
+        events,
+        secs,
+        reps,
+        events_per_sec: events as f64 / secs,
+        ratio,
+        threshold,
+        baseline_secs,
+        speedup: baseline_secs.map(|b| b / secs),
+    }
+}
+
+/// Run the compression benchmark suite.
+///
+/// `fast` lowers the repetition count for smoke jobs; `include_nas` adds
+/// the traced CG.W workload (requires simulating the benchmark first,
+/// which dominates the run time of the suite).
+pub fn run_compress_bench(fast: bool, include_nas: bool) -> CompressBenchReport {
+    let reps = if fast { 2 } else { 5 };
+    let mut results = Vec::new();
+
+    if include_nas {
+        let trace = run_mpi(
+            ClusterSpec::paper_testbed(),
+            Placement::round_robin(4, 4),
+            "CG.W",
+            TraceConfig::on(),
+            NasBenchmark::Cg.program(Class::W),
+        )
+        .trace
+        .expect("tracing enabled");
+        let p = &trace.procs[0];
+        let (secs, out) = time_best(reps, || {
+            compress_process(p, 20.0, SignatureOptions::default())
+        });
+        results.push(result(
+            "compress_cg_w_rank0",
+            p.n_events(),
+            secs,
+            reps,
+            out.signature.compression_ratio(),
+            out.signature.threshold,
+            BASELINE_CG_W_RANK0,
+        ));
+    }
+
+    // About the event count of one CG.W rank, but fully deterministic and
+    // simulator-free, so the number isolates the compression stack.
+    let cg_sized = synthetic_process_trace(0, 3_000, 0xC6);
+    let (secs, out) = time_best(reps, || {
+        compress_process(&cg_sized, 20.0, SignatureOptions::default())
+    });
+    results.push(result(
+        "compress_synth_cg_sized",
+        cg_sized.n_events(),
+        secs,
+        reps,
+        out.signature.compression_ratio(),
+        out.signature.threshold,
+        BASELINE_SYNTH_CG_SIZED,
+    ));
+
+    let big = synthetic_process_trace(0, 100_000, 0xB16);
+    let (secs, out) = time_best(reps, || {
+        compress_process(&big, 50.0, SignatureOptions::default())
+    });
+    results.push(result(
+        "compress_synth_100k",
+        big.n_events(),
+        secs,
+        reps,
+        out.signature.compression_ratio(),
+        out.signature.threshold,
+        BASELINE_SYNTH_100K,
+    ));
+
+    let app = synthetic_app_trace(4, 25_000, 0xA44);
+    let (secs, out) = time_best(reps, || {
+        compress_app(&app, 50.0, SignatureOptions::default())
+    });
+    results.push(result(
+        "compress_app_synth_4x25k",
+        app.n_events(),
+        secs,
+        reps,
+        out.signature.min_compression_ratio(),
+        out.signature
+            .sigs
+            .iter()
+            .map(|s| s.threshold)
+            .fold(0.0f64, f64::max),
+        BASELINE_APP_SYNTH_4X25K,
+    ));
+
+    CompressBenchReport { fast, results }
+}
+
+impl CompressBenchReport {
+    /// Serialize to pretty-printed JSON. Hand-rolled (the schema is flat
+    /// and the names are identifiers) so report emission works even where
+    /// serde_json is unavailable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn opt(v: Option<f64>) -> String {
+            match v {
+                Some(x) => format!("{x}"),
+                None => "null".to_string(),
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+            let _ = writeln!(s, "      \"events\": {},", r.events);
+            let _ = writeln!(s, "      \"secs\": {},", r.secs);
+            let _ = writeln!(s, "      \"reps\": {},", r.reps);
+            let _ = writeln!(s, "      \"events_per_sec\": {},", r.events_per_sec);
+            let _ = writeln!(s, "      \"ratio\": {},", r.ratio);
+            let _ = writeln!(s, "      \"threshold\": {},", r.threshold);
+            let _ = writeln!(s, "      \"baseline_secs\": {},", opt(r.baseline_secs));
+            let _ = writeln!(s, "      \"speedup\": {}", opt(r.speedup));
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Render the human-readable table printed by the CLI.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<26} {:>8} {:>10} {:>12} {:>8} {:>9}",
+            "workload", "events", "secs", "events/s", "ratio", "speedup"
+        );
+        for r in &self.results {
+            let speedup = match r.speedup {
+                Some(x) => format!("{x:.1}x"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "{:<26} {:>8} {:>10.4} {:>12.0} {:>8.1} {:>9}",
+                r.name, r.events, r.secs, r.events_per_sec, r.ratio, speedup
+            );
+        }
+        s
+    }
+}

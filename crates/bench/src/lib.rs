@@ -11,11 +11,15 @@
 //! Pass `--class W` (or `S`/`A`) to figure binaries for a faster,
 //! smaller-scale run; default is the paper's Class B.
 
+pub mod compress;
+
 use pskel_apps::Class;
 use pskel_predict::{EvalContext, PAPER_SKELETON_SIZES};
 use pskel_store::Store;
 use serde::Serialize;
 use std::sync::Arc;
+
+pub use compress::{run_compress_bench, CompressBenchReport, CompressBenchResult};
 
 /// Parse common CLI options of the figure binaries: `--class S|W|A|B`
 /// scales the run, `--store <dir>` attaches a content-addressed artifact

@@ -70,11 +70,20 @@ pub fn construct_rank(sig: &ExecutionSignature, k: u64, opts: &ConstructOptions)
     let segments = segment(entries, sig);
 
     // Total unreduced occurrences per unit, for grouping and residues.
+    // Keys are probed through a reusable buffer so each distinct unit
+    // allocates its key vector exactly once.
     let mut totals: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut keybuf: Vec<u32> = Vec::new();
     for s in &segments {
         if let Seg::Unit(members) = s {
-            let key: Vec<u32> = members.iter().map(|m| m.id).collect();
-            *totals.entry(key).or_default() += members[0].mult;
+            keybuf.clear();
+            keybuf.extend(members.iter().map(|m| m.id));
+            match totals.get_mut(keybuf.as_slice()) {
+                Some(t) => *t += members[0].mult,
+                None => {
+                    totals.insert(keybuf.clone(), members[0].mult);
+                }
+            }
         }
     }
 
@@ -84,6 +93,8 @@ pub fn construct_rank(sig: &ExecutionSignature, k: u64, opts: &ConstructOptions)
         k,
         totals,
         states: HashMap::new(),
+        pool: Vec::new(),
+        key_buf: keybuf,
         nodes: Vec::new(),
     };
     for s in segments {
@@ -271,7 +282,11 @@ struct Emitter<'a> {
     opts: &'a ConstructOptions,
     k: u64,
     totals: HashMap<Vec<u32>, u64>,
-    states: HashMap<Vec<u32>, UnitState>,
+    /// Unit key -> index into `pool`; looked up by slice so the hot path
+    /// never allocates a key per appearance.
+    states: HashMap<Vec<u32>, usize>,
+    pool: Vec<UnitState>,
+    key_buf: Vec<u32>,
     nodes: Vec<SkelNode>,
 }
 
@@ -285,13 +300,25 @@ impl Emitter<'_> {
 
     fn unit(&mut self, members: &[RawMember]) {
         let k = self.k;
-        let key: Vec<u32> = members.iter().map(|m| m.id).collect();
+        let mut key = std::mem::take(&mut self.key_buf);
+        key.clear();
+        key.extend(members.iter().map(|m| m.id));
         let mult = members[0].mult;
-        let total = self.totals[&key];
-        let mut st = self.states.remove(&key).unwrap_or_else(|| UnitState {
-            acc: 0,
-            budgets: vec![0.0; members.len()],
-        });
+        let total = self.totals[key.as_slice()];
+        let idx = match self.states.get(key.as_slice()) {
+            Some(&i) => i,
+            None => {
+                let i = self.pool.len();
+                self.pool.push(UnitState {
+                    acc: 0,
+                    budgets: vec![0.0; members.len()],
+                });
+                self.states.insert(key.clone(), i);
+                i
+            }
+        };
+        // Take the state out by value so emissions below can borrow `self`.
+        let mut st = std::mem::take(&mut self.pool[idx]);
         for (i, m) in members.iter().enumerate() {
             st.budgets[i] += m.mult as f64 * m.compute / k as f64;
         }
@@ -380,7 +407,8 @@ impl Emitter<'_> {
                 }
             }
         }
-        self.states.insert(key, st);
+        self.pool[idx] = st;
+        self.key_buf = key;
     }
 }
 

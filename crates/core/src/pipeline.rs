@@ -54,28 +54,33 @@ impl SkeletonBuilder {
         let q = self.target_q(k);
 
         let mut sig_opts = self.signature;
-        let (signature, saturated, ranks, issues) = loop {
-            let (signature, saturated) = compress_app(trace, q, sig_opts);
-            let ranks: Vec<RankSkeleton> = signature
+        let (compression, ranks, issues) = loop {
+            let compression = compress_app(trace, q, sig_opts);
+            let ranks: Vec<RankSkeleton> = compression
+                .signature
                 .sigs
                 .iter()
                 .map(|s| construct_rank(s, k, &self.construct))
                 .collect();
             let issues = crate::validate::validate_ranks(&ranks);
             if issues.is_empty() {
-                break (signature, saturated, ranks, issues);
+                break (compression, ranks, issues);
             }
-            let used = signature
+            let used = compression
+                .signature
                 .sigs
                 .iter()
                 .map(|s| s.threshold)
                 .fold(0.0f64, f64::max);
             let next_floor = used + sig_opts.threshold_step;
             if next_floor > sig_opts.max_threshold + 1e-12 {
-                break (signature, saturated, ranks, issues);
+                break (compression, ranks, issues);
             }
             sig_opts.min_threshold = next_floor;
         };
+        let saturated = compression.is_saturated();
+        let saturation_note = compression.saturation_summary();
+        let signature = compression.signature;
 
         let good = analyze_app(&signature);
         let max_threshold = signature
@@ -86,9 +91,10 @@ impl SkeletonBuilder {
         let is_good = k <= good.max_good_k;
 
         let mut warnings = Vec::new();
-        if saturated {
+        if let Some(note) = saturation_note {
             warnings.push(format!(
-                "similarity threshold saturated at {:.2} before reaching compression ratio Q={q:.1}",
+                "similarity threshold saturated at {:.2} before reaching compression ratio \
+                 Q={q:.1} on {note}; consider a longer target time or a higher threshold cap",
                 self.signature.max_threshold
             ));
         }

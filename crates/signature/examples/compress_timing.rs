@@ -1,0 +1,66 @@
+//! Wall-clock timing of signature construction on synthetic traces.
+//!
+//! A dependency-free companion to the Criterion benches (runnable even
+//! where Criterion is unavailable) used to track the compression hot path:
+//!
+//! ```text
+//! cargo run --release -p pskel-signature --example compress_timing
+//! ```
+
+use pskel_signature::{compress_app, compress_process, SignatureOptions};
+use pskel_trace::{synthetic_app_trace, synthetic_process_trace};
+use std::time::Instant;
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+
+    // "CG-sized": about the event count of a CG.W rank trace.
+    let cg_sized = synthetic_process_trace(0, 3_000, 0xC6);
+    let (t, out) = time(reps, || {
+        compress_process(&cg_sized, 20.0, SignatureOptions::default())
+    });
+    println!(
+        "compress_synth_cg_sized: {} events -> ratio {:.1} tau {:.2} in {:.4}s ({:.0} events/s)",
+        cg_sized.n_events(),
+        out.signature.compression_ratio(),
+        out.signature.threshold,
+        t,
+        cg_sized.n_events() as f64 / t
+    );
+
+    let big = synthetic_process_trace(0, 100_000, 0xB16);
+    let (t, out) = time(reps, || {
+        compress_process(&big, 50.0, SignatureOptions::default())
+    });
+    println!(
+        "compress_synth_100k: {} events -> ratio {:.1} tau {:.2} in {:.4}s ({:.0} events/s)",
+        big.n_events(),
+        out.signature.compression_ratio(),
+        out.signature.threshold,
+        t,
+        big.n_events() as f64 / t
+    );
+
+    let app = synthetic_app_trace(4, 25_000, 0xA44);
+    let (t, _out) = time(reps, || compress_app(&app, 50.0, SignatureOptions::default()));
+    println!(
+        "compress_app_synth_4x25k: {} events total in {:.4}s ({:.0} events/s)",
+        app.n_events(),
+        t,
+        app.n_events() as f64 / t
+    );
+}

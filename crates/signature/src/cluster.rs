@@ -9,9 +9,20 @@
 //! The similarity threshold τ ∈ [0, 1] maps linearly to the maximum allowed
 //! message-size difference, relative to the largest message in the trace:
 //! τ = 0 merges only identical sizes; τ = 1 merges any sizes of equal key.
+//!
+//! Events of different keys never interact, so the scan is decomposed into
+//! independent per-key subsequences and each is clustered with a probe
+//! vector kept sorted by centroid: candidate clusters for an event form a
+//! contiguous run located by binary search, replacing the original
+//! O(events × clusters) linear scan (kept as
+//! [`reference::naive_cluster`](crate::reference::naive_cluster)) with
+//! ~O(events × log bucket). Global cluster ids are re-stitched in founding
+//! order afterwards, so the output — floats included — is identical to the
+//! naive scan's.
 
-use crate::feature::{EventKey, EventOccurrence, OccurrenceSeq};
+use crate::feature::{EventKey, OccurrenceSeq};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A cluster of similar events: the symbol alphabet entry.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -63,15 +74,135 @@ pub fn cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
         (0.0..=1.0).contains(&tau),
         "similarity threshold must be in [0,1], got {tau}"
     );
-    let scale = seq.byte_scale();
-    let max_diff = tau * scale;
+    let max_diff = tau * seq.byte_scale();
+    let (groups, group_of) = group_by_key(seq);
+    let mut local = vec![0u32; seq.events.len()];
+    let per_key: Vec<Vec<ClusterInfo>> = groups
+        .iter()
+        .map(|idxs| cluster_key(seq, idxs, max_diff, &mut local).0)
+        .collect();
+    stitch(seq, &group_of, &local, per_key)
+}
 
+/// Group event indices by [`EventKey`], preserving trace order within each
+/// group. Returns the groups plus each event's group index.
+fn group_by_key(seq: &OccurrenceSeq) -> (Vec<Vec<usize>>, Vec<u32>) {
+    let mut index: HashMap<&EventKey, u32> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of = Vec::with_capacity(seq.events.len());
+    for (ei, ev) in seq.events.iter().enumerate() {
+        let g = *index.entry(&ev.key).or_insert_with(|| {
+            groups.push(Vec::new());
+            (groups.len() - 1) as u32
+        });
+        groups[g as usize].push(ei);
+        group_of.push(g);
+    }
+    (groups, group_of)
+}
+
+/// Leader-cluster one key's event subsequence, writing each event's local
+/// cluster id into `local` (indexed by global event position).
+///
+/// Clusters are probed through a vector sorted by centroid: `fl(c - v)` is
+/// monotone in `c`, so the clusters passing the original predicate
+/// `|c - v| <= max_diff` form a contiguous run whose ends are found by
+/// binary search and a short forward scan; the run's lowest cluster id is
+/// exactly the cluster the naive first-match scan would pick. Returns the
+/// clusters plus whether any running-mean update moved a centroid (used by
+/// [`ClusterCache`] to validate zero-threshold reuse).
+fn cluster_key(
+    seq: &OccurrenceSeq,
+    idxs: &[usize],
+    max_diff: f64,
+    local: &mut [u32],
+) -> (Vec<ClusterInfo>, bool) {
     let mut clusters: Vec<ClusterInfo> = Vec::new();
-    let mut symbols = Vec::with_capacity(seq.events.len());
+    let mut by_centroid: Vec<(f64, u32)> = Vec::new();
+    let mut moved = false;
+    for &ei in idxs {
+        let ev = &seq.events[ei];
+        let v = ev.bytes as f64;
+        let start = by_centroid.partition_point(|&(c, _)| c - v < -max_diff);
+        let mut best: Option<(usize, u32)> = None;
+        for (off, &(c, id)) in by_centroid[start..].iter().enumerate() {
+            if c - v > max_diff {
+                break;
+            }
+            if best.is_none_or(|(_, bid)| id < bid) {
+                best = Some((start + off, id));
+            }
+        }
+        let id = match best {
+            Some((pos, id)) => {
+                // Running mean update keeps the centroid the true average;
+                // Welford's algorithm tracks the compute-gap variance.
+                let c = &mut clusters[id as usize];
+                let n = c.count as f64;
+                let old_mean = c.mean_bytes;
+                c.mean_bytes = (c.mean_bytes * n + v) / (n + 1.0);
+                c.mean_dur_secs = (c.mean_dur_secs * n + ev.dur.as_secs_f64()) / (n + 1.0);
+                let delta = ev.compute_before - c.mean_compute_secs;
+                c.mean_compute_secs += delta / (n + 1.0);
+                let delta2 = ev.compute_before - c.mean_compute_secs;
+                c.m2_compute += delta * delta2;
+                c.count += 1;
+                let nc = c.mean_bytes;
+                if nc != old_mean {
+                    moved = true;
+                    by_centroid.remove(pos);
+                    let at = by_centroid.partition_point(|&(x, _)| x < nc);
+                    by_centroid.insert(at, (nc, id));
+                }
+                id
+            }
+            None => {
+                let id = clusters.len() as u32;
+                clusters.push(ClusterInfo {
+                    key: ev.key.clone(),
+                    mean_bytes: v,
+                    mean_dur_secs: ev.dur.as_secs_f64(),
+                    count: 1,
+                    mean_compute_secs: ev.compute_before,
+                    m2_compute: 0.0,
+                });
+                let at = by_centroid.partition_point(|&(x, _)| x < v);
+                by_centroid.insert(at, (v, id));
+                id
+            }
+        };
+        local[ei] = id;
+    }
+    (clusters, moved)
+}
 
-    for ev in &seq.events {
-        let id = assign(&mut clusters, ev, max_diff);
-        symbols.push((id, ev.compute_before));
+/// Reassemble per-key clusterings into one [`ClusteredSeq`] with global
+/// cluster ids assigned in founding order — the order the naive global scan
+/// would have created them, since a cluster is founded by its first event.
+fn stitch(
+    seq: &OccurrenceSeq,
+    group_of: &[u32],
+    local: &[u32],
+    per_key: Vec<Vec<ClusterInfo>>,
+) -> ClusteredSeq {
+    let mut per_key: Vec<Vec<Option<ClusterInfo>>> = per_key
+        .into_iter()
+        .map(|cs| cs.into_iter().map(Some).collect())
+        .collect();
+    let mut gid_of: Vec<Vec<u32>> = per_key.iter().map(|cs| vec![u32::MAX; cs.len()]).collect();
+    let mut clusters = Vec::with_capacity(per_key.iter().map(Vec::len).sum());
+    let mut symbols = Vec::with_capacity(seq.events.len());
+    for (ei, ev) in seq.events.iter().enumerate() {
+        let (g, l) = (group_of[ei] as usize, local[ei] as usize);
+        let gid = if gid_of[g][l] == u32::MAX {
+            let id = clusters.len() as u32;
+            clusters.push(per_key[g][l].take().expect("each cluster stitched once"));
+            gid_of[g][l] = id;
+            id
+        } else {
+            gid_of[g][l]
+        };
+        symbols.push((gid, ev.compute_before));
     }
     ClusteredSeq {
         rank: seq.rank,
@@ -81,36 +212,105 @@ pub fn cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
     }
 }
 
-fn assign(clusters: &mut Vec<ClusterInfo>, ev: &EventOccurrence, max_diff: f64) -> u32 {
-    for (i, c) in clusters.iter_mut().enumerate() {
-        if c.key == ev.key && (c.mean_bytes - ev.bytes as f64).abs() <= max_diff {
-            // Running mean update keeps the centroid the true average;
-            // Welford's algorithm tracks the compute-gap variance.
-            let n = c.count as f64;
-            c.mean_bytes = (c.mean_bytes * n + ev.bytes as f64) / (n + 1.0);
-            c.mean_dur_secs = (c.mean_dur_secs * n + ev.dur.as_secs_f64()) / (n + 1.0);
-            let delta = ev.compute_before - c.mean_compute_secs;
-            c.mean_compute_secs += delta / (n + 1.0);
-            let delta2 = ev.compute_before - c.mean_compute_secs;
-            c.m2_compute += delta * delta2;
-            c.count += 1;
-            return i as u32;
+/// Per-sequence state reused across the τ steps of the iterative threshold
+/// search ([`crate::compress_process`]).
+///
+/// Holds the key grouping and, per key, the zero-threshold clustering plus
+/// the smallest gap between that key's distinct message sizes. When
+/// `max_diff` is below the gap, no merge beyond exact-size identity is
+/// possible, so the zero-threshold partition (and its centroid floats) is
+/// the exact clustering for that key and is reused without rescanning.
+/// Reuse additionally requires that no zero-threshold centroid ever moved
+/// (`stable`): running means of equal sizes stay exact at realistic
+/// magnitudes, but if `size × count` ever exceeds 2⁵³ the mean can drift by
+/// rounding and the shortcut conservatively switches itself off.
+pub struct ClusterCache<'a> {
+    seq: &'a OccurrenceSeq,
+    scale: f64,
+    groups: Vec<Vec<usize>>,
+    group_of: Vec<u32>,
+    zero: Vec<ZeroKey>,
+}
+
+struct ZeroKey {
+    clusters: Vec<ClusterInfo>,
+    /// Local cluster id per event, parallel to the group's index list.
+    local: Vec<u32>,
+    /// Smallest `fl(b - a)` over adjacent distinct sizes; ∞ if < 2 sizes.
+    min_gap: f64,
+    stable: bool,
+}
+
+impl<'a> ClusterCache<'a> {
+    pub fn new(seq: &'a OccurrenceSeq) -> Self {
+        let (groups, group_of) = group_by_key(seq);
+        let mut local = vec![0u32; seq.events.len()];
+        let zero = groups
+            .iter()
+            .map(|idxs| {
+                let (clusters, moved) = cluster_key(seq, idxs, 0.0, &mut local);
+                let mut sizes: Vec<f64> = clusters.iter().map(|c| c.mean_bytes).collect();
+                sizes.sort_by(f64::total_cmp);
+                let min_gap = sizes
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .fold(f64::INFINITY, f64::min);
+                ZeroKey {
+                    clusters,
+                    local: idxs.iter().map(|&ei| local[ei]).collect(),
+                    min_gap,
+                    stable: !moved,
+                }
+            })
+            .collect();
+        ClusterCache {
+            seq,
+            scale: seq.byte_scale(),
+            groups,
+            group_of,
+            zero,
         }
     }
-    clusters.push(ClusterInfo {
-        key: ev.key.clone(),
-        mean_bytes: ev.bytes as f64,
-        mean_dur_secs: ev.dur.as_secs_f64(),
-        count: 1,
-        mean_compute_secs: ev.compute_before,
-        m2_compute: 0.0,
-    });
-    (clusters.len() - 1) as u32
+
+    /// Cluster under threshold `tau`, reusing zero-threshold partitions for
+    /// every key the threshold cannot affect. The second value is true when
+    /// *all* keys were reused — the clustering then equals the τ = 0 one,
+    /// which lets the threshold search skip re-folding entirely.
+    pub fn cluster(&self, tau: f64) -> (ClusteredSeq, bool) {
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "similarity threshold must be in [0,1], got {tau}"
+        );
+        let max_diff = tau * self.scale;
+        let mut local = vec![0u32; self.seq.events.len()];
+        let mut all_reused = true;
+        let per_key: Vec<Vec<ClusterInfo>> = self
+            .groups
+            .iter()
+            .zip(&self.zero)
+            .map(|(idxs, z)| {
+                if z.stable && max_diff < z.min_gap {
+                    for (k, &ei) in idxs.iter().enumerate() {
+                        local[ei] = z.local[k];
+                    }
+                    z.clusters.clone()
+                } else {
+                    all_reused = false;
+                    cluster_key(self.seq, idxs, max_diff, &mut local).0
+                }
+            })
+            .collect();
+        (
+            stitch(self.seq, &self.group_of, &local, per_key),
+            all_reused,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feature::EventOccurrence;
     use pskel_sim::SimDuration;
     use pskel_trace::OpKind;
 
@@ -228,5 +428,54 @@ mod tests {
         let s = seq(vec![e]);
         let c = cluster(&s, 0.0);
         assert_eq!(c.symbols, vec![(0, 0.75)]);
+    }
+
+    #[test]
+    fn global_ids_follow_founding_order_across_keys() {
+        // Interleave two keys so naive founding order alternates; stitched
+        // global ids must match the order of first appearance, not grouping.
+        let s = seq(vec![
+            occ(OpKind::Send, 1, 100, 10),
+            occ(OpKind::Recv, 2, 100, 10),
+            occ(OpKind::Send, 1, 200, 10),
+            occ(OpKind::Recv, 2, 200, 10),
+            occ(OpKind::Send, 1, 100, 10),
+        ]);
+        let c = cluster(&s, 0.0);
+        let ids: Vec<u32> = c.symbols.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 0]);
+        assert_eq!(c.clusters[0].key.kind, OpKind::Send);
+        assert_eq!(c.clusters[1].key.kind, OpKind::Recv);
+    }
+
+    #[test]
+    fn matches_reference_on_synthetic_trace_at_all_taus() {
+        use crate::feature::OccurrenceSeq;
+        use crate::reference::naive_cluster;
+        let trace = pskel_trace::synthetic_process_trace(0, 2_000, 0x5eed);
+        let s = OccurrenceSeq::from_trace(&trace);
+        for i in 0..=20 {
+            let tau = i as f64 * 0.01;
+            assert_eq!(cluster(&s, tau), naive_cluster(&s, tau), "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn cache_matches_direct_clustering() {
+        use crate::feature::OccurrenceSeq;
+        let trace = pskel_trace::synthetic_process_trace(1, 1_000, 0xCAFE);
+        let s = OccurrenceSeq::from_trace(&trace);
+        let cache = ClusterCache::new(&s);
+        let mut saw_reuse = false;
+        let mut saw_fresh = false;
+        for i in 0..=20 {
+            let tau = i as f64 * 0.01;
+            let (cached, all_reused) = cache.cluster(tau);
+            assert_eq!(cached, cluster(&s, tau), "tau={tau}");
+            saw_reuse |= all_reused;
+            saw_fresh |= !all_reused;
+        }
+        assert!(saw_reuse, "small taus must hit the zero-threshold reuse");
+        assert!(saw_fresh, "large taus must recluster the jittered keys");
     }
 }

@@ -18,14 +18,15 @@
 pub mod cluster;
 pub mod feature;
 pub mod loopfind;
+pub mod reference;
 pub mod signature;
 pub mod token;
 
-pub use cluster::{cluster, ClusterInfo, ClusteredSeq};
+pub use cluster::{cluster, ClusterCache, ClusterInfo, ClusteredSeq};
 pub use feature::{EventKey, EventOccurrence, OccurrenceSeq};
 pub use loopfind::{find_loops, LoopFindOptions};
 pub use signature::{
-    compress_app, compress_process, AppSignature, CompressionOutcome, ExecutionSignature,
-    SignatureOptions,
+    compress_app, compress_process, AppCompression, AppSignature, CompressionOutcome,
+    ExecutionSignature, RankSaturation, SignatureOptions,
 };
 pub use token::Tok;

@@ -11,8 +11,31 @@
 //! iteration counts each side represents), exactly the paper's policy of
 //! using the mean duration of corresponding compute events; expansion
 //! totals are preserved.
+//!
+//! The fold order (and therefore the output) is that of the straight-line
+//! algorithm kept in [`reference::naive_find_loops`](crate::reference::
+//! naive_find_loops); the engine here reaches the same fixpoint faster:
+//!
+//! * each token carries its `structural_hash`, computed once at rewrite
+//!   time instead of re-walking the whole sequence every pass;
+//! * window equality is screened by a Rabin–Karp rolling hash over the
+//!   cached token hashes, making each probe O(1) before the authoritative
+//!   structural comparison (false screen positives are merely re-checked,
+//!   so the result never depends on the hash scheme);
+//! * every token carries a modification stamp, and each period records when
+//!   it last verified the sequence. A pass only probes windows overlapping
+//!   tokens newer than that watermark: a window of all-older tokens was
+//!   contiguous and probed at the recorded pass (folds and merges always
+//!   leave a freshly-stamped token in place of what they consume, so
+//!   surviving old neighborhoods are unchanged) and cannot have started
+//!   folding since. This removes the original
+//!   O(n² · max_period) restart-from-scratch worst case the `max_period`
+//!   cap papered over;
+//! * a feasible-period bitmap (distances realized between equal token
+//!   hashes) skips entire periods that provably cannot host a repeat,
+//!   so the first climb does not scan the sequence once per period.
 
-use crate::token::{merge_weighted, seq_structurally_eq, structural_hash, Tok};
+use crate::token::{loop_hash, merge_weighted, seq_structurally_eq, structural_hash, Tok};
 
 /// Options controlling loop detection.
 #[derive(Clone, Copy, Debug)]
@@ -29,109 +52,391 @@ impl Default for LoopFindOptions {
     }
 }
 
+/// A token plus its cached [`structural_hash`] and modification stamp.
+struct HTok {
+    tok: Tok,
+    hash: u64,
+    /// Clock value when this entry was created or structurally rewritten.
+    mtime: u64,
+}
+
+impl HTok {
+    fn new(tok: Tok) -> HTok {
+        HTok {
+            hash: structural_hash(&tok),
+            tok,
+            mtime: 1,
+        }
+    }
+}
+
 /// Fold a token sequence into loop nests.
-pub fn find_loops(mut toks: Vec<Tok>, opts: LoopFindOptions) -> Vec<Tok> {
+pub fn find_loops(toks: Vec<Tok>, opts: LoopFindOptions) -> Vec<Tok> {
+    let n = toks.len();
+    let p_cap = opts.max_period.min(n / 2);
+    let mut f = Folder {
+        seq: toks.into_iter().map(HTok::new).collect(),
+        dirty: (0..n as u32).collect(),
+        feasible: FeasibleSet::all(),
+        feasible_stale: true,
+        verified: vec![0; p_cap + 1],
+        clock: 1,
+        max_period: opts.max_period,
+    };
     loop {
         let mut changed = false;
         let mut period = 1usize;
-        while period <= toks.len() / 2 && period <= opts.max_period {
-            let (folded, did) = fold_pass(toks, period);
-            toks = folded;
-            if did {
+        while period <= f.seq.len() / 2 && period <= f.max_period {
+            if f.fold_pass(period) {
                 changed = true;
-                toks = coalesce(toks);
+                f.coalesce();
                 period = 1; // inner structure changed; rescan small periods
             } else {
                 period += 1;
             }
         }
-        toks = coalesce(toks);
+        f.coalesce();
         if !changed {
-            return toks;
+            return f.seq.into_iter().map(|e| e.tok).collect();
         }
     }
 }
 
-/// One left-to-right pass collapsing tandem repeats of window size `p`.
-fn fold_pass(toks: Vec<Tok>, p: usize) -> (Vec<Tok>, bool) {
-    let n = toks.len();
-    // Hash screen: windows whose hash slices differ cannot be equal, and
-    // the first-element check rejects most positions in O(1).
-    let hashes: Vec<u64> = toks.iter().map(structural_hash).collect();
-    let windows_match = |i: usize| -> bool {
-        hashes[i] == hashes[i + p]
-            && hashes[i..i + p] == hashes[i + p..i + 2 * p]
-            && seq_structurally_eq(&toks[i..i + p], &toks[i + p..i + 2 * p])
-    };
-    let mut out: Vec<Tok> = Vec::with_capacity(n);
-    let mut changed = false;
-    let mut i = 0;
-    while i < n {
-        if i + 2 * p <= n && windows_match(i) {
-            // Extend the run of equal windows as far as it goes.
-            let mut reps = 2usize;
-            while i + (reps + 1) * p <= n
-                && hashes[i..i + p] == hashes[i + reps * p..i + (reps + 1) * p]
-                && seq_structurally_eq(&toks[i..i + p], &toks[i + reps * p..i + (reps + 1) * p])
-            {
-                reps += 1;
+struct Folder {
+    seq: Vec<HTok>,
+    /// Positions of every entry newer than the oldest per-period watermark
+    /// at the last rebuild, ascending — the only places new repeats can
+    /// start. Refreshed whenever the sequence is rewritten.
+    dirty: Vec<u32>,
+    /// Periods at which a tandem repeat is possible at all (some pair of
+    /// equal token hashes sits at that distance). Recomputed lazily: only
+    /// when a climb reaches [`FEASIBLE_MIN_PERIOD`] after a rewrite, so
+    /// fold-heavy phases (which restart at small periods constantly) don't
+    /// pay for it.
+    feasible: FeasibleSet,
+    feasible_stale: bool,
+    /// Per-period clock watermark: entries with `mtime <=` it are proven
+    /// not to start a repeat of that period.
+    verified: Vec<u64>,
+    clock: u64,
+    max_period: usize,
+}
+
+/// Periods below this are probed directly (a scan there is cheaper than
+/// keeping the feasible-period bitmap fresh across rewrites).
+const FEASIBLE_MIN_PERIOD: usize = 16;
+
+/// Bitmap of periods that could host a tandem repeat. A period-p repeat
+/// forces `hash[i] == hash[i + p]` at its start, so only distances realized
+/// between equal token hashes are feasible; the rest of the period climb is
+/// skipped without scanning. When computing the distance set would cost
+/// more than the climb it saves (massively repetitive sequences — which
+/// fold at small periods immediately), it degrades to "all feasible".
+struct FeasibleSet {
+    bits: Vec<u64>,
+    all: bool,
+}
+
+impl FeasibleSet {
+    fn all() -> FeasibleSet {
+        FeasibleSet {
+            bits: Vec::new(),
+            all: true,
+        }
+    }
+
+    fn contains(&self, p: usize) -> bool {
+        self.all || self.bits[p / 64] & (1u64 << (p % 64)) != 0
+    }
+}
+
+impl Folder {
+    /// One left-to-right pass collapsing tandem repeats of window size `p`,
+    /// probing only candidate windows that overlap a dirty entry.
+    fn fold_pass(&mut self, p: usize) -> bool {
+        let n = self.seq.len();
+        let pre = self.clock;
+        if p >= FEASIBLE_MIN_PERIOD {
+            if self.feasible_stale {
+                self.rebuild_feasible();
+                self.feasible_stale = false;
             }
-            // Average the windows into one body (weights preserve totals).
-            let mut body: Vec<Tok> = toks[i..i + p].to_vec();
-            for k in 1..reps {
-                merge_weighted(&mut body, &toks[i + k * p..i + (k + 1) * p], k as f64, 1.0);
+            if !self.feasible.contains(p) {
+                // No pair of equal token hashes sits at distance p, so no
+                // window can equal its right neighbor: the pass is a no-op.
+                self.verified[p] = pre;
+                return false;
             }
-            out.push(Tok::Loop {
-                count: reps as u64,
-                body,
-            });
-            i += reps * p;
-            changed = true;
+        }
+        let watermark = self.verified[p];
+
+        // Candidate start positions, as merged inclusive ranges: i such
+        // that the window [i, i + 2p) contains an entry newer than the
+        // watermark.
+        let last_start = n - 2 * p; // n >= 2p guaranteed by the caller
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        if watermark == 0 {
+            // First visit of this period: every entry is newer. The dirty
+            // index is pruned against *visited* periods only, so it must
+            // not be consulted here.
+            ranges.push((0, last_start));
         } else {
-            out.push(toks[i].clone());
-            i += 1;
+            for &dpos in &self.dirty {
+                let j = dpos as usize;
+                if self.seq[j].mtime <= watermark {
+                    continue;
+                }
+                let lo = j.saturating_sub(2 * p - 1);
+                let hi = j.min(last_start);
+                if lo > hi {
+                    continue;
+                }
+                match ranges.last_mut() {
+                    Some((_, e)) if lo <= *e + 1 => *e = (*e).max(hi),
+                    _ => ranges.push((lo, hi)),
+                }
+            }
         }
-    }
-    (out, changed)
-}
+        if ranges.is_empty() {
+            self.verified[p] = pre;
+            return false;
+        }
 
-/// Cleanup rewrites that keep the tree canonical:
-/// * adjacent loops with structurally equal bodies merge their counts;
-/// * a loop immediately followed/preceded by one more copy of its body is
-///   not collapsed (that unrolled copy carries distinct compute values and
-///   will be re-examined by later passes anyway);
-/// * single-iteration loops unwrap;
-/// * loops whose body is exactly one loop multiply out.
-fn coalesce(toks: Vec<Tok>) -> Vec<Tok> {
-    let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
-    for t in toks {
-        let t = canonicalize(t);
-        match (out.last_mut(), t) {
-            (
-                Some(Tok::Loop {
-                    count: ca,
-                    body: ba,
-                }),
+        // Probe candidates left to right with a rolling polynomial hash
+        // over the cached token hashes: two adjacent windows can only be
+        // equal if their window hashes coincide.
+        const B: u64 = 0x0100_0000_01b3;
+        let bp = B.wrapping_pow(p as u32);
+        let mut folds: Vec<(usize, usize)> = Vec::new(); // (start, reps)
+        let mut cursor = 0usize;
+        let mut prefix: Vec<u64> = Vec::new();
+        for &(a, b) in &ranges {
+            let span = b + 2 * p; // <= n because b <= last_start
+            prefix.clear();
+            prefix.push(0);
+            for e in &self.seq[a..span] {
+                let last = *prefix.last().unwrap();
+                prefix.push(last.wrapping_mul(B).wrapping_add(e.hash));
+            }
+            // Window hash of [x, x + p) for x in [a, span - p].
+            let whash = |x: usize| prefix[x + p - a].wrapping_sub(prefix[x - a].wrapping_mul(bp));
+            for i in a..=b {
+                if i < cursor || whash(i) != whash(i + p) || !self.windows_eq(i, i + p, p) {
+                    continue;
+                }
+                // Extend the run of equal windows as far as it goes.
+                let mut reps = 2usize;
+                while i + (reps + 1) * p <= n && self.windows_eq(i, i + reps * p, p) {
+                    reps += 1;
+                }
+                folds.push((i, reps));
+                cursor = i + reps * p;
+            }
+        }
+        if folds.is_empty() {
+            self.verified[p] = pre;
+            return false;
+        }
+
+        // Rebuild the sequence, averaging each run's windows into one body
+        // (weights preserve expansion totals).
+        self.clock += 1;
+        let stamp = self.clock;
+        let input = std::mem::take(&mut self.seq);
+        let mut out: Vec<HTok> = Vec::with_capacity(input.len());
+        let mut iter = input.into_iter();
+        let mut pos = 0usize;
+        for &(start, reps) in &folds {
+            while pos < start {
+                out.push(iter.next().unwrap());
+                pos += 1;
+            }
+            let mut body: Vec<Tok> = Vec::with_capacity(p);
+            let mut body_hashes: Vec<u64> = Vec::with_capacity(p);
+            for _ in 0..p {
+                let e = iter.next().unwrap();
+                body_hashes.push(e.hash);
+                body.push(e.tok);
+            }
+            let mut window: Vec<Tok> = Vec::with_capacity(p);
+            for k in 1..reps {
+                window.clear();
+                window.extend(iter.by_ref().take(p).map(|e| e.tok));
+                merge_weighted(&mut body, &window, k as f64, 1.0);
+            }
+            pos += reps * p;
+            out.push(HTok {
+                hash: loop_hash(reps as u64, body_hashes.iter().copied()),
+                tok: Tok::Loop {
+                    count: reps as u64,
+                    body,
+                },
+                mtime: stamp,
+            });
+        }
+        out.extend(iter);
+        self.seq = out;
+        // Record the verification before rebuilding, so the horizon below
+        // sees this period as visited and keeps only the fresh stamps.
+        self.verified[p] = pre;
+        self.rebuild_dirty();
+        true
+    }
+
+    /// Structural equality of the windows at `x` and `y`, screened by the
+    /// cached per-token hashes.
+    fn windows_eq(&self, x: usize, y: usize, p: usize) -> bool {
+        let (a, b) = (&self.seq[x..x + p], &self.seq[y..y + p]);
+        a.iter().zip(b).all(|(u, v)| u.hash == v.hash)
+            && a.iter()
+                .zip(b)
+                .all(|(u, v)| Tok::structurally_eq(&u.tok, &v.tok))
+    }
+
+    /// Cleanup rewrites that keep the tree canonical:
+    /// * adjacent loops with structurally equal bodies merge their counts;
+    /// * single-iteration loops unwrap;
+    /// * loops whose body is exactly one loop multiply out.
+    ///
+    /// Rewritten entries get a fresh stamp (merging changes counts and
+    /// adjacency, so affected neighborhoods must be re-probed); entries
+    /// passed through untouched keep their verification history.
+    fn coalesce(&mut self) {
+        self.clock += 1;
+        let stamp = self.clock;
+        let input = std::mem::take(&mut self.seq);
+        let mut out: Vec<HTok> = Vec::with_capacity(input.len());
+        let mut any = false;
+        for e in input {
+            let mut rewritten = false;
+            let tok = canonicalize(e.tok, &mut rewritten);
+            let (hash, mtime) = if rewritten {
+                any = true;
+                (structural_hash(&tok), stamp)
+            } else {
+                (e.hash, e.mtime)
+            };
+            let merged = if let (
+                Some(last),
                 Tok::Loop {
                     count: cb,
                     body: bb,
                 },
-            ) if seq_structurally_eq(ba, &bb) => {
-                merge_weighted(ba, &bb, *ca as f64, cb as f64);
-                *ca += cb;
+            ) = (out.last_mut(), &tok)
+            {
+                if let Tok::Loop {
+                    count: ca,
+                    body: ba,
+                } = &mut last.tok
+                {
+                    if seq_structurally_eq(ba, bb) {
+                        merge_weighted(ba, bb, *ca as f64, *cb as f64);
+                        *ca += *cb;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if merged {
+                any = true;
+                let last = out.last_mut().unwrap();
+                last.hash = structural_hash(&last.tok);
+                last.mtime = stamp;
+            } else {
+                out.push(HTok { tok, hash, mtime });
             }
-            (_, t) => out.push(t),
+        }
+        self.seq = out;
+        if any {
+            self.rebuild_dirty();
         }
     }
-    out
+
+    /// Recompute the dirty-position index: entries older than every
+    /// *visited* period's watermark can never be probed through the index
+    /// again and are dropped from it. Unvisited periods (watermark 0) scan
+    /// the full sequence directly and never consult the index, so they
+    /// don't hold the horizon down.
+    fn rebuild_dirty(&mut self) {
+        let p_cap = self
+            .max_period
+            .min(self.seq.len() / 2)
+            .min(self.verified.len() - 1);
+        let horizon = self.verified[1..=p_cap]
+            .iter()
+            .copied()
+            .filter(|&w| w != 0)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.dirty.clear();
+        for (i, e) in self.seq.iter().enumerate() {
+            if e.mtime > horizon {
+                self.dirty.push(i as u32);
+            }
+        }
+        self.feasible_stale = true;
+    }
+
+    /// Recompute the feasible-period bitmap: sort (hash, position) pairs
+    /// and mark every distance <= p_cap realized within an equal-hash
+    /// group. Capped so massively repetitive inputs — which fold at small
+    /// periods almost immediately — fall back to "all feasible" instead of
+    /// enumerating quadratically many pairs.
+    fn rebuild_feasible(&mut self) {
+        let n = self.seq.len();
+        let p_cap = self.max_period.min(n / 2);
+        if p_cap == 0 {
+            self.feasible = FeasibleSet::all();
+            return;
+        }
+        let mut by_hash: Vec<(u64, u32)> = self
+            .seq
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.hash, i as u32))
+            .collect();
+        by_hash.sort_unstable();
+        let mut bits = vec![0u64; p_cap / 64 + 1];
+        let budget = 4 * n + 1024;
+        let mut work = 0usize;
+        let mut g0 = 0usize;
+        for i in 1..=by_hash.len() {
+            if i < by_hash.len() && by_hash[i].0 == by_hash[g0].0 {
+                continue;
+            }
+            let group = &by_hash[g0..i];
+            g0 = i;
+            for (a, &(_, pa)) in group.iter().enumerate() {
+                for &(_, pb) in &group[a + 1..] {
+                    let d = (pb - pa) as usize;
+                    if d > p_cap {
+                        break;
+                    }
+                    work += 1;
+                    if work > budget {
+                        self.feasible = FeasibleSet::all();
+                        return;
+                    }
+                    bits[d / 64] |= 1u64 << (d % 64);
+                }
+            }
+        }
+        self.feasible = FeasibleSet { bits, all: false };
+    }
 }
 
-fn canonicalize(t: Tok) -> Tok {
+fn canonicalize(t: Tok, changed: &mut bool) -> Tok {
     match t {
         Tok::Loop { count, mut body } => {
-            body = body.into_iter().map(canonicalize).collect();
-            body = coalesce_inner(body);
+            body = body.into_iter().map(|b| canonicalize(b, changed)).collect();
+            body = coalesce_inner(body, changed);
             if count == 1 && body.len() == 1 {
+                *changed = true;
                 return body.pop().unwrap();
             }
             if body.len() == 1 {
@@ -140,6 +445,7 @@ fn canonicalize(t: Tok) -> Tok {
                     body: bi,
                 } = &body[0]
                 {
+                    *changed = true;
                     return Tok::Loop {
                         count: count * ci,
                         body: bi.clone(),
@@ -152,7 +458,7 @@ fn canonicalize(t: Tok) -> Tok {
     }
 }
 
-fn coalesce_inner(toks: Vec<Tok>) -> Vec<Tok> {
+fn coalesce_inner(toks: Vec<Tok>, changed: &mut bool) -> Vec<Tok> {
     let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
     for t in toks {
         match (out.last_mut(), t) {
@@ -168,6 +474,7 @@ fn coalesce_inner(toks: Vec<Tok>) -> Vec<Tok> {
             ) if seq_structurally_eq(ba, &bb) => {
                 merge_weighted(ba, &bb, *ca as f64, cb as f64);
                 *ca += cb;
+                *changed = true;
             }
             (_, t) => out.push(t),
         }
@@ -322,5 +629,45 @@ mod tests {
         let toks = fold(&input);
         assert_eq!(render(&toks), "[s0 s1 s2]^10000");
         assert_eq!(expand_ids(&toks), input);
+    }
+
+    #[test]
+    fn matches_reference_on_pseudorandom_sequences() {
+        use crate::reference::naive_find_loops;
+        // SplitMix64-driven low-alphabet strings with planted repeats: the
+        // incremental engine must reach the reference fixpoint exactly,
+        // including the merged compute floats.
+        let mut state = 0x5eed_cafe_u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for case in 0..50 {
+            let len = 1 + (next() % 120) as usize;
+            let alphabet = 1 + (next() % 4) as u32;
+            let mut input: Vec<Tok> = Vec::with_capacity(len);
+            while input.len() < len {
+                let id = (next() % alphabet as u64) as u32;
+                let c = (next() % 1000) as f64 / 250.0;
+                input.push(symc(id, c));
+                // Occasionally plant an immediate repeat of the tail to
+                // make folds likely at several periods.
+                if next() % 3 == 0 {
+                    let tail = 1 + (next() % 4) as usize;
+                    let start = input.len().saturating_sub(tail);
+                    let copy: Vec<Tok> = input[start..].to_vec();
+                    input.extend(copy);
+                }
+            }
+            let opts = LoopFindOptions {
+                max_period: if next() % 2 == 0 { 512 } else { 3 },
+            };
+            let fast = find_loops(input.clone(), opts);
+            let naive = naive_find_loops(input, opts);
+            assert_eq!(fast, naive, "case {case} diverged");
+        }
     }
 }

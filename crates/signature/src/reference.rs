@@ -1,0 +1,265 @@
+//! Naive reference implementations of clustering and loop detection.
+//!
+//! These are the original, straight-line algorithms that `cluster` and
+//! `find_loops` replaced with indexed/incremental versions. They are kept
+//! verbatim as the executable specification: the optimized code paths must
+//! produce *identical* output (same floats, same structure), and the
+//! equivalence tests in `tests/prop_equivalence.rs` plus the deterministic
+//! tests below enforce that on randomized traces. Being O(events × clusters)
+//! and O(n² · max_period) respectively, they are unsuitable for real-size
+//! traces — use [`crate::cluster()`] / [`crate::find_loops`] everywhere
+//! outside of tests.
+
+use crate::cluster::{ClusterInfo, ClusteredSeq};
+use crate::feature::{EventOccurrence, OccurrenceSeq};
+use crate::loopfind::LoopFindOptions;
+use crate::signature::{CompressionOutcome, ExecutionSignature, SignatureOptions};
+use crate::token::{merge_weighted, seq_structurally_eq, structural_hash, Tok};
+use pskel_trace::ProcessTrace;
+
+/// Reference leader clustering: linear scan over all clusters per event.
+pub fn naive_cluster(seq: &OccurrenceSeq, tau: f64) -> ClusteredSeq {
+    assert!(
+        (0.0..=1.0).contains(&tau),
+        "similarity threshold must be in [0,1], got {tau}"
+    );
+    let scale = seq.byte_scale();
+    let max_diff = tau * scale;
+
+    let mut clusters: Vec<ClusterInfo> = Vec::new();
+    let mut symbols = Vec::with_capacity(seq.events.len());
+
+    for ev in &seq.events {
+        let id = naive_assign(&mut clusters, ev, max_diff);
+        symbols.push((id, ev.compute_before));
+    }
+    ClusteredSeq {
+        rank: seq.rank,
+        symbols,
+        clusters,
+        tail_compute: seq.tail_compute,
+    }
+}
+
+fn naive_assign(clusters: &mut Vec<ClusterInfo>, ev: &EventOccurrence, max_diff: f64) -> u32 {
+    for (i, c) in clusters.iter_mut().enumerate() {
+        if c.key == ev.key && (c.mean_bytes - ev.bytes as f64).abs() <= max_diff {
+            // Running mean update keeps the centroid the true average;
+            // Welford's algorithm tracks the compute-gap variance.
+            let n = c.count as f64;
+            c.mean_bytes = (c.mean_bytes * n + ev.bytes as f64) / (n + 1.0);
+            c.mean_dur_secs = (c.mean_dur_secs * n + ev.dur.as_secs_f64()) / (n + 1.0);
+            let delta = ev.compute_before - c.mean_compute_secs;
+            c.mean_compute_secs += delta / (n + 1.0);
+            let delta2 = ev.compute_before - c.mean_compute_secs;
+            c.m2_compute += delta * delta2;
+            c.count += 1;
+            return i as u32;
+        }
+    }
+    clusters.push(ClusterInfo {
+        key: ev.key.clone(),
+        mean_bytes: ev.bytes as f64,
+        mean_dur_secs: ev.dur.as_secs_f64(),
+        count: 1,
+        mean_compute_secs: ev.compute_before,
+        m2_compute: 0.0,
+    });
+    (clusters.len() - 1) as u32
+}
+
+/// Reference loop detection: recompute hashes every pass, restart at period
+/// 1 over the whole sequence after every fold.
+pub fn naive_find_loops(mut toks: Vec<Tok>, opts: LoopFindOptions) -> Vec<Tok> {
+    loop {
+        let mut changed = false;
+        let mut period = 1usize;
+        while period <= toks.len() / 2 && period <= opts.max_period {
+            let (folded, did) = naive_fold_pass(toks, period);
+            toks = folded;
+            if did {
+                changed = true;
+                toks = naive_coalesce(toks);
+                period = 1; // inner structure changed; rescan small periods
+            } else {
+                period += 1;
+            }
+        }
+        toks = naive_coalesce(toks);
+        if !changed {
+            return toks;
+        }
+    }
+}
+
+/// One left-to-right pass collapsing tandem repeats of window size `p`.
+fn naive_fold_pass(toks: Vec<Tok>, p: usize) -> (Vec<Tok>, bool) {
+    let n = toks.len();
+    let hashes: Vec<u64> = toks.iter().map(structural_hash).collect();
+    let windows_match = |i: usize| -> bool {
+        hashes[i] == hashes[i + p]
+            && hashes[i..i + p] == hashes[i + p..i + 2 * p]
+            && seq_structurally_eq(&toks[i..i + p], &toks[i + p..i + 2 * p])
+    };
+    let mut out: Vec<Tok> = Vec::with_capacity(n);
+    let mut changed = false;
+    let mut i = 0;
+    while i < n {
+        if i + 2 * p <= n && windows_match(i) {
+            let mut reps = 2usize;
+            while i + (reps + 1) * p <= n
+                && hashes[i..i + p] == hashes[i + reps * p..i + (reps + 1) * p]
+                && seq_structurally_eq(&toks[i..i + p], &toks[i + reps * p..i + (reps + 1) * p])
+            {
+                reps += 1;
+            }
+            let mut body: Vec<Tok> = toks[i..i + p].to_vec();
+            for k in 1..reps {
+                merge_weighted(&mut body, &toks[i + k * p..i + (k + 1) * p], k as f64, 1.0);
+            }
+            out.push(Tok::Loop {
+                count: reps as u64,
+                body,
+            });
+            i += reps * p;
+            changed = true;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    (out, changed)
+}
+
+fn naive_coalesce(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
+    for t in toks {
+        let t = naive_canonicalize(t);
+        match (out.last_mut(), t) {
+            (
+                Some(Tok::Loop {
+                    count: ca,
+                    body: ba,
+                }),
+                Tok::Loop {
+                    count: cb,
+                    body: bb,
+                },
+            ) if seq_structurally_eq(ba, &bb) => {
+                merge_weighted(ba, &bb, *ca as f64, cb as f64);
+                *ca += cb;
+            }
+            (_, t) => out.push(t),
+        }
+    }
+    out
+}
+
+fn naive_canonicalize(t: Tok) -> Tok {
+    match t {
+        Tok::Loop { count, mut body } => {
+            body = body.into_iter().map(naive_canonicalize).collect();
+            body = naive_coalesce_inner(body);
+            if count == 1 && body.len() == 1 {
+                return body.pop().unwrap();
+            }
+            if body.len() == 1 {
+                if let Tok::Loop {
+                    count: ci,
+                    body: bi,
+                } = &body[0]
+                {
+                    return Tok::Loop {
+                        count: count * ci,
+                        body: bi.clone(),
+                    };
+                }
+            }
+            Tok::Loop { count, body }
+        }
+        s => s,
+    }
+}
+
+fn naive_coalesce_inner(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::with_capacity(toks.len());
+    for t in toks {
+        match (out.last_mut(), t) {
+            (
+                Some(Tok::Loop {
+                    count: ca,
+                    body: ba,
+                }),
+                Tok::Loop {
+                    count: cb,
+                    body: bb,
+                },
+            ) if seq_structurally_eq(ba, &bb) => {
+                merge_weighted(ba, &bb, *ca as f64, cb as f64);
+                *ca += cb;
+            }
+            (_, t) => out.push(t),
+        }
+    }
+    out
+}
+
+/// Reference threshold search composed from the naive stages, with the same
+/// integer-indexed τ schedule as the optimized [`crate::compress_process`]
+/// so the two can be compared for exact equality.
+pub fn naive_compress_process(
+    trace: &ProcessTrace,
+    target_q: f64,
+    opts: SignatureOptions,
+) -> CompressionOutcome {
+    assert!(
+        target_q >= 1.0,
+        "target compression ratio must be >= 1, got {target_q}"
+    );
+    assert!(
+        opts.threshold_step > 0.0,
+        "threshold step must be positive, got {}",
+        opts.threshold_step
+    );
+    let seq = OccurrenceSeq::from_trace(trace);
+    let mut best: Option<ExecutionSignature> = None;
+    for i in 0u32.. {
+        let tau = opts.min_threshold + f64::from(i) * opts.threshold_step;
+        if i > 0 && tau > opts.max_threshold {
+            break;
+        }
+        let clustered = naive_cluster(&seq, tau.min(1.0));
+        let trace_len = clustered.symbols.len();
+        let toks: Vec<Tok> = clustered
+            .symbols
+            .iter()
+            .map(|&(id, compute_before)| Tok::Sym { id, compute_before })
+            .collect();
+        let sig = ExecutionSignature {
+            rank: clustered.rank,
+            tokens: naive_find_loops(toks, opts.loopfind),
+            clusters: clustered.clusters,
+            tail_compute: clustered.tail_compute,
+            trace_len,
+            threshold: tau,
+        };
+        let ratio = sig.compression_ratio();
+        let better = best
+            .as_ref()
+            .map(|b| ratio > b.compression_ratio())
+            .unwrap_or(true);
+        if better {
+            best = Some(sig);
+        }
+        if best.as_ref().unwrap().compression_ratio() >= target_q {
+            return CompressionOutcome {
+                signature: best.unwrap(),
+                saturated: false,
+            };
+        }
+    }
+    CompressionOutcome {
+        signature: best.expect("first threshold step is always evaluated"),
+        saturated: true,
+    }
+}

@@ -1,11 +1,13 @@
 //! Execution signatures: the compressed representation of a trace.
 
-use crate::cluster::{cluster, ClusterInfo, ClusteredSeq};
+use crate::cluster::{ClusterCache, ClusterInfo, ClusteredSeq};
 use crate::feature::OccurrenceSeq;
 use crate::loopfind::{find_loops, LoopFindOptions};
 use crate::token::{self, Tok};
 use pskel_trace::{AppTrace, ProcessTrace};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// The execution signature of one rank: a loop-structured symbol tree plus
 /// the cluster table giving each symbol's operation parameters.
@@ -121,7 +123,9 @@ impl AppSignature {
 #[derive(Clone, Copy, Debug)]
 pub struct SignatureOptions {
     pub loopfind: LoopFindOptions,
-    /// Threshold search step.
+    /// Threshold search step; must be positive. The search evaluates
+    /// τ = `min_threshold` + i × `threshold_step` by integer index, so 20
+    /// steps of 0.01 land exactly on 0.20 with no accumulated drift.
     pub threshold_step: f64,
     /// Lower bound at which the threshold search starts. Normally 0; the
     /// skeleton pipeline raises it when independently-compressed ranks
@@ -155,6 +159,13 @@ pub struct CompressionOutcome {
 /// Compress one rank's trace, searching for the smallest similarity
 /// threshold that achieves compression ratio `target_q` (paper §3.2:
 /// start at τ=0, raise gradually; warn past the τ cap).
+///
+/// The search clusters through a [`ClusterCache`], which reuses the
+/// zero-threshold partition for every event key whose size gaps exceed the
+/// current threshold; τ steps whose clustering is unchanged from the
+/// previous step are skipped outright (same symbols ⇒ same signature ⇒
+/// the best-so-far and the termination test cannot change), which removes
+/// most of the loop-refolding work from the search.
 pub fn compress_process(
     trace: &ProcessTrace,
     target_q: f64,
@@ -164,59 +175,163 @@ pub fn compress_process(
         target_q >= 1.0,
         "target compression ratio must be >= 1, got {target_q}"
     );
+    assert!(
+        opts.threshold_step > 0.0,
+        "threshold step must be positive, got {}",
+        opts.threshold_step
+    );
     let seq = OccurrenceSeq::from_trace(trace);
-    let mut tau = opts.min_threshold;
+    let cache = ClusterCache::new(&seq);
     let mut best: Option<ExecutionSignature> = None;
-    loop {
-        let clustered = cluster(&seq, tau.min(1.0));
+    let mut best_ratio = f64::NEG_INFINITY;
+    // Symbols and all-keys-reused flag of the previously evaluated step.
+    let mut prev: Option<(Vec<(u32, f64)>, bool)> = None;
+    for i in 0u32.. {
+        let tau = opts.min_threshold + f64::from(i) * opts.threshold_step;
+        if i > 0 && tau > opts.max_threshold {
+            return CompressionOutcome {
+                signature: best.expect("first threshold step is always evaluated"),
+                saturated: true,
+            };
+        }
+        let (clustered, all_reused) = cache.cluster(tau.min(1.0));
+        let unchanged = prev.as_ref().is_some_and(|(syms, prev_reused)| {
+            (all_reused && *prev_reused) || *syms == clustered.symbols
+        });
+        if unchanged {
+            continue;
+        }
+        let symbols = clustered.symbols.clone();
         let mut sig = ExecutionSignature::from_clustered(clustered, opts.loopfind);
         sig.threshold = tau;
         let ratio = sig.compression_ratio();
-        let better = best
-            .as_ref()
-            .map(|b| ratio > b.compression_ratio())
-            .unwrap_or(true);
-        if better {
+        if best.is_none() || ratio > best_ratio {
+            best_ratio = ratio;
             best = Some(sig);
         }
-        if best.as_ref().unwrap().compression_ratio() >= target_q {
+        if best_ratio >= target_q {
             return CompressionOutcome {
                 signature: best.unwrap(),
                 saturated: false,
             };
         }
-        tau += opts.threshold_step;
-        if tau > opts.max_threshold + 1e-12 {
-            return CompressionOutcome {
-                signature: best.unwrap(),
-                saturated: true,
-            };
+        prev = Some((symbols, all_reused));
+    }
+    unreachable!("the threshold search always terminates at max_threshold")
+}
+
+/// One rank that failed to reach the target compression ratio within the
+/// threshold cap, with what it did achieve — surfaced so `pskel build`
+/// warnings can name the offending ranks instead of a bare flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSaturation {
+    pub rank: usize,
+    /// Best compression ratio the rank reached.
+    pub ratio: f64,
+    /// Threshold of the best (kept) signature.
+    pub threshold: f64,
+}
+
+/// Result of compressing a whole application trace.
+#[derive(Clone, Debug)]
+pub struct AppCompression {
+    pub signature: AppSignature,
+    /// Ranks that saturated the threshold search, ascending by rank;
+    /// empty when every rank reached the target ratio.
+    pub saturated: Vec<RankSaturation>,
+}
+
+impl AppCompression {
+    /// Did any rank fail to reach the target ratio?
+    pub fn is_saturated(&self) -> bool {
+        !self.saturated.is_empty()
+    }
+
+    /// Human-readable list of the saturated ranks and their achieved
+    /// ratios, e.g. `rank 3 (ratio 1.8 at tau 0.20), rank 7 (ratio 2.1 at
+    /// tau 0.20)`; `None` when no rank saturated.
+    pub fn saturation_summary(&self) -> Option<String> {
+        if self.saturated.is_empty() {
+            return None;
         }
+        let mut s = String::new();
+        for (i, r) in self.saturated.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "rank {} (ratio {:.1} at tau {:.2})",
+                r.rank, r.ratio, r.threshold
+            );
+        }
+        Some(s)
     }
 }
 
-/// Compress a whole application trace. Returns per-rank outcomes collected
-/// into an [`AppSignature`] and a saturation flag (any rank saturated).
-pub fn compress_app(
-    trace: &AppTrace,
-    target_q: f64,
-    opts: SignatureOptions,
-) -> (AppSignature, bool) {
-    let mut sigs = Vec::with_capacity(trace.procs.len());
-    let mut saturated = false;
-    for p in &trace.procs {
-        let out = compress_process(p, target_q, opts);
-        saturated |= out.saturated;
+/// Compress a whole application trace, fanning ranks across threads. Ranks
+/// are independent, so the result — signatures and saturation list alike —
+/// is identical to compressing them sequentially in rank order.
+pub fn compress_app(trace: &AppTrace, target_q: f64, opts: SignatureOptions) -> AppCompression {
+    let outcomes = par_map(trace.procs.iter().collect(), |p| {
+        compress_process(p, target_q, opts)
+    });
+    let mut sigs = Vec::with_capacity(outcomes.len());
+    let mut saturated = Vec::new();
+    for out in outcomes {
+        if out.saturated {
+            saturated.push(RankSaturation {
+                rank: out.signature.rank,
+                ratio: out.signature.compression_ratio(),
+                threshold: out.signature.threshold,
+            });
+        }
         sigs.push(out.signature);
     }
-    (
-        AppSignature {
+    AppCompression {
+        signature: AppSignature {
             app: trace.app.clone(),
             sigs,
             app_time_secs: trace.total_time.as_secs_f64(),
         },
         saturated,
-    )
+    }
+}
+
+/// Order-preserving parallel map over a work queue, using scoped threads —
+/// the same std-only pattern as the prediction runner's prewarm pool.
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().next();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().unwrap().push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -338,6 +453,94 @@ mod tests {
             (est - wall).abs() / wall < 1e-6,
             "estimate {est} should match wall {wall}"
         );
+    }
+
+    #[test]
+    fn matches_naive_reference_search() {
+        use crate::reference::naive_compress_process;
+        let trace = pskel_trace::synthetic_process_trace(0, 1_500, 0xFACE);
+        for target in [1.5, 8.0, 40.0, 500.0] {
+            let fast = compress_process(&trace, target, SignatureOptions::default());
+            let naive = naive_compress_process(&trace, target, SignatureOptions::default());
+            assert_eq!(fast.saturated, naive.saturated, "target {target}");
+            assert_eq!(fast.signature, naive.signature, "target {target}");
+        }
+    }
+
+    #[test]
+    fn final_step_lands_exactly_on_max_threshold() {
+        // 20 steps of 0.01 from 0 must evaluate τ = 0.20 itself: the
+        // integer-indexed schedule needs no epsilon guard.
+        let taus: Vec<f64> = (0..=20).map(|i| f64::from(i) * 0.01).collect();
+        assert_eq!(*taus.last().unwrap(), 0.20);
+        assert!(taus.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn parallel_app_compression_matches_sequential() {
+        let app = pskel_trace::synthetic_app_trace(4, 600, 0xAB);
+        let par = compress_app(&app, 30.0, SignatureOptions::default());
+        let seq: Vec<_> = app
+            .procs
+            .iter()
+            .map(|p| compress_process(p, 30.0, SignatureOptions::default()))
+            .collect();
+        assert_eq!(par.signature.sigs.len(), 4);
+        for (a, b) in par.signature.sigs.iter().zip(&seq) {
+            assert_eq!(*a, b.signature);
+        }
+        let seq_saturated: Vec<RankSaturation> = seq
+            .iter()
+            .filter(|o| o.saturated)
+            .map(|o| RankSaturation {
+                rank: o.signature.rank,
+                ratio: o.signature.compression_ratio(),
+                threshold: o.signature.threshold,
+            })
+            .collect();
+        assert_eq!(par.saturated, seq_saturated);
+    }
+
+    #[test]
+    fn saturation_summary_names_ranks() {
+        // Two distinct-kind events per rank cannot compress: both ranks
+        // saturate and the summary must name them.
+        let mk_rank = |rank: usize| {
+            let records = vec![
+                Record::Mpi(MpiEvent {
+                    kind: OpKind::Send,
+                    peer: Some(0),
+                    tag: Some(0),
+                    bytes: 100,
+                    slots: vec![],
+                    start: SimTime(0),
+                    end: SimTime(10),
+                }),
+                Record::Mpi(MpiEvent {
+                    kind: OpKind::Recv,
+                    peer: Some(0),
+                    tag: Some(0),
+                    bytes: 100,
+                    slots: vec![],
+                    start: SimTime(20),
+                    end: SimTime(30),
+                }),
+            ];
+            ProcessTrace {
+                rank,
+                records,
+                finish: SimTime(100),
+            }
+        };
+        let app = AppTrace::new("sat", vec![mk_rank(0), mk_rank(1)]);
+        let out = compress_app(&app, 2.0, SignatureOptions::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.saturated.len(), 2);
+        assert_eq!(out.saturated[0].rank, 0);
+        assert_eq!(out.saturated[1].rank, 1);
+        let summary = out.saturation_summary().unwrap();
+        assert!(summary.contains("rank 0"), "{summary}");
+        assert!(summary.contains("rank 1"), "{summary}");
     }
 
     #[test]

@@ -70,14 +70,20 @@ pub fn structural_hash(t: &Tok) -> u64 {
     const K: u64 = 0x9e37_79b9_7f4a_7c15;
     match t {
         Tok::Sym { id, .. } => (*id as u64 + 1).wrapping_mul(K) ^ 0x5351,
-        Tok::Loop { count, body } => {
-            let mut h = count.wrapping_mul(K) ^ 0x4c4f;
-            for b in body {
-                h = h.rotate_left(13) ^ structural_hash(b).wrapping_mul(K);
-            }
-            h
-        }
+        Tok::Loop { count, body } => loop_hash(*count, body.iter().map(structural_hash)),
     }
+}
+
+/// [`structural_hash`] of a loop, computed from the already-known hashes
+/// of its body tokens. Loop detection caches per-token hashes, so a fold
+/// can hash the new loop node in O(body) without re-walking the subtree.
+pub fn loop_hash(count: u64, body_hashes: impl Iterator<Item = u64>) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = count.wrapping_mul(K) ^ 0x4c4f;
+    for bh in body_hashes {
+        h = h.rotate_left(13) ^ bh.wrapping_mul(K);
+    }
+    h
 }
 
 /// Merge `other` into `acc` by weighted averaging of compute annotations.

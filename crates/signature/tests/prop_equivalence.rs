@@ -1,0 +1,114 @@
+//! The optimized signature pipeline (indexed clustering, incremental loop
+//! folding, reusable threshold search) must be *observably identical* to
+//! the straight-line reference implementations in
+//! `pskel_signature::reference` — same cluster tables, same rendered loop
+//! structure, same expansions, bit-equal floats.
+
+use proptest::prelude::*;
+use pskel_signature::loopfind::{find_loops, LoopFindOptions};
+use pskel_signature::reference::{naive_cluster, naive_compress_process, naive_find_loops};
+use pskel_signature::token::{expand_ids, render, Tok};
+use pskel_signature::{cluster, compress_process, OccurrenceSeq, SignatureOptions};
+use pskel_sim::{SimDuration, SimTime};
+use pskel_trace::{MpiEvent, OpKind, ProcessTrace, Record};
+
+/// Random traces mixing a few operation kinds, peers, and byte sizes close
+/// enough that nonzero thresholds actually merge clusters.
+fn arb_trace() -> impl Strategy<Value = ProcessTrace> {
+    let ev = (
+        0..3usize,
+        0..3u32,
+        prop::sample::select(vec![64u64, 65, 80, 1000, 1010, 1200, 50_000]),
+        1_000u64..2_000_000,
+    );
+    prop::collection::vec(ev, 1..120).prop_map(|evs| {
+        let kinds = [OpKind::Send, OpKind::Recv, OpKind::Allreduce];
+        let mut records = Vec::new();
+        let mut t = 0u64;
+        for (k, peer, bytes, compute) in evs {
+            records.push(Record::Compute {
+                dur: SimDuration(compute),
+            });
+            t += compute;
+            records.push(Record::Mpi(MpiEvent {
+                kind: kinds[k],
+                peer: Some(peer),
+                tag: Some(0),
+                bytes,
+                slots: vec![],
+                start: SimTime(t),
+                end: SimTime(t + 20_000),
+            }));
+            t += 20_000;
+        }
+        ProcessTrace {
+            rank: 0,
+            records,
+            finish: SimTime(t),
+        }
+    })
+}
+
+/// Repetitive symbol sequences (motifs repeated) so folds actually happen.
+fn repetitive_toks() -> impl Strategy<Value = Vec<Tok>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0..4u32, 0.0..2.0f64), 1..5),
+            1..8usize,
+        ),
+        1..6,
+    )
+    .prop_map(|motifs| {
+        let mut out = Vec::new();
+        for (motif, reps) in motifs {
+            for _ in 0..reps {
+                out.extend(motif.iter().map(|&(id, c)| Tok::Sym {
+                    id,
+                    compute_before: c,
+                }));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn indexed_clustering_matches_reference(trace in arb_trace(), tau in 0.0..=1.0f64) {
+        let seq = OccurrenceSeq::from_trace(&trace);
+        let fast = cluster(&seq, tau);
+        let naive = naive_cluster(&seq, tau);
+        // Full equality: symbol string, cluster table (keys, counts, and
+        // bit-exact centroid/variance floats).
+        prop_assert_eq!(fast.symbols, naive.symbols);
+        prop_assert_eq!(fast.clusters, naive.clusters);
+    }
+
+    #[test]
+    fn incremental_folding_matches_reference(
+        toks in repetitive_toks(),
+        small_cap in prop::bool::ANY,
+    ) {
+        let opts = LoopFindOptions {
+            max_period: if small_cap { 3 } else { 512 },
+        };
+        let fast = find_loops(toks.clone(), opts);
+        let naive = naive_find_loops(toks, opts);
+        prop_assert_eq!(&fast, &naive);
+        prop_assert_eq!(render(&fast), render(&naive));
+        prop_assert_eq!(expand_ids(&fast), expand_ids(&naive));
+    }
+
+    #[test]
+    fn threshold_search_matches_reference(trace in arb_trace(), q in 1.0..24.0f64) {
+        let fast = compress_process(&trace, q, SignatureOptions::default());
+        let naive = naive_compress_process(&trace, q, SignatureOptions::default());
+        prop_assert_eq!(fast.saturated, naive.saturated);
+        let (f, n) = (&fast.signature, &naive.signature);
+        prop_assert_eq!(f.threshold.to_bits(), n.threshold.to_bits());
+        prop_assert_eq!(render(&f.tokens), render(&n.tokens));
+        prop_assert_eq!(expand_ids(&f.tokens), expand_ids(&n.tokens));
+        prop_assert_eq!(&f.clusters, &n.clusters);
+        prop_assert_eq!(f, n);
+    }
+}

@@ -12,9 +12,11 @@
 pub mod analyze;
 pub mod event;
 pub mod io;
+pub mod synth;
 pub mod trace;
 
 pub use analyze::{CommMatrix, MessageSizeStats, PhaseProfile};
 pub use event::{MpiEvent, OpKind, Record};
 pub use io::{load_trace, read_trace, save_trace, write_trace};
+pub use synth::{synthetic_app_trace, synthetic_process_trace};
 pub use trace::{AppTrace, ProcessTrace, TraceSummary};

@@ -1,0 +1,145 @@
+//! Deterministic synthetic traces for compression benchmarks and tests.
+//!
+//! The generator produces NAS-shaped rank traces — an outer timestep loop
+//! whose body mixes jittered point-to-point sends, an inner halo-exchange
+//! loop, and a closing collective — without touching the simulator or any
+//! randomness crate, so the traces are bit-identical everywhere and can be
+//! built in a tight loop at benchmark scale (100k+ events). Message-size
+//! jitter cycles through a small set of nearby values, which is exactly
+//! the shape that forces the signature τ search above zero.
+
+use crate::event::{MpiEvent, OpKind, Record};
+use crate::trace::{AppTrace, ProcessTrace};
+use pskel_sim::{SimDuration, SimTime};
+
+/// SplitMix64: a tiny, stable PRNG so synthetic traces never depend on the
+/// `rand` crates (benchmarks must stay runnable from the trace model
+/// alone).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Number of MPI events one outer iteration of [`synthetic_process_trace`]
+/// emits: 2 jittered sends + `INNER` exchanges of (send, recv) + 1
+/// allreduce.
+const INNER: usize = 10;
+pub const EVENTS_PER_ITERATION: usize = 2 + 2 * INNER + 1;
+
+/// Build one rank's synthetic trace with roughly `events` MPI events
+/// (rounded down to whole outer iterations, minimum one iteration).
+///
+/// Structure per outer iteration:
+/// * a compute gap, then two sends whose sizes carry *non-periodic*
+///   (pseudo-random) jitter — a fine family (2000 ± 160 bytes) that
+///   clustering merges at small τ and a coarse family (3000 ± 600 bytes)
+///   that only merges late in the τ search. Until both merge, outer
+///   iterations are distinct symbol strings and cannot fold, so the
+///   compression-ratio target genuinely drives the iterative search, as
+///   with the data-dependent message sizes of the NAS codes;
+/// * an inner loop of [`INNER`] halo exchanges (send + recv with a fixed
+///   neighbour) — loop detection must fold this to a nested loop;
+/// * an 8-byte allreduce.
+pub fn synthetic_process_trace(rank: usize, events: usize, seed: u64) -> ProcessTrace {
+    let iterations = (events / EVENTS_PER_ITERATION).max(1);
+    let mut rng = seed ^ (rank as u64).wrapping_mul(0xd134_2543_de82_ef95);
+    let mut records = Vec::with_capacity(iterations * (2 + EVENTS_PER_ITERATION));
+    let mut t = 0u64;
+
+    let mpi = |records: &mut Vec<Record>, kind, peer: u32, tag: u64, bytes, dur: u64, t: &mut u64| {
+        records.push(Record::Mpi(MpiEvent {
+            kind,
+            peer: Some(peer),
+            tag: Some(tag),
+            bytes,
+            slots: vec![],
+            start: SimTime(*t),
+            end: SimTime(*t + dur),
+        }));
+        *t += dur;
+    };
+
+    for _ in 0..iterations {
+        records.push(Record::Compute {
+            dur: SimDuration(10_000_000), // 10ms of outer compute
+        });
+        t += 10_000_000;
+        // In-call durations are drawn per event (40–60µs).
+        let fine = splitmix64(&mut rng) % 5 * 40; // five sizes, 0..160
+        let d = 40_000 + splitmix64(&mut rng) % 20_000;
+        mpi(&mut records, OpKind::Send, 1, 7, 2000 + fine, d, &mut t);
+        let coarse = splitmix64(&mut rng) % 5 * 150; // five sizes, 0..600
+        let d = 40_000 + splitmix64(&mut rng) % 20_000;
+        mpi(&mut records, OpKind::Send, 3, 9, 3000 + coarse, d, &mut t);
+        for _ in 0..INNER {
+            records.push(Record::Compute {
+                dur: SimDuration(500_000), // 0.5ms halo compute
+            });
+            t += 500_000;
+            let d = 40_000 + splitmix64(&mut rng) % 20_000;
+            mpi(&mut records, OpKind::Send, 2, 3, 4096, d, &mut t);
+            let d = 40_000 + splitmix64(&mut rng) % 20_000;
+            mpi(&mut records, OpKind::Recv, 2, 3, 4096, d, &mut t);
+        }
+        let d = 40_000 + splitmix64(&mut rng) % 20_000;
+        mpi(&mut records, OpKind::Allreduce, 0, 0, 8, d, &mut t);
+    }
+    ProcessTrace {
+        rank,
+        records,
+        finish: SimTime(t),
+    }
+}
+
+/// A whole synthetic application trace: `nranks` ranks of roughly
+/// `events_per_rank` events each, with per-rank seeds so in-call durations
+/// differ across ranks the way real testbed measurements do.
+pub fn synthetic_app_trace(nranks: usize, events_per_rank: usize, seed: u64) -> AppTrace {
+    let procs: Vec<ProcessTrace> = (0..nranks)
+        .map(|r| synthetic_process_trace(r, events_per_rank, seed))
+        .collect();
+    AppTrace::new(format!("SYNTH.{nranks}x{events_per_rank}"), procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_count_is_near_request() {
+        let t = synthetic_process_trace(0, 10_000, 1);
+        let n = t.n_events();
+        assert!(n <= 10_000 && n > 10_000 - EVENTS_PER_ITERATION, "{n}");
+        assert_eq!(n % EVENTS_PER_ITERATION, 0);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = synthetic_process_trace(3, 2_000, 42);
+        let b = synthetic_process_trace(3, 2_000, 42);
+        assert_eq!(a, b);
+        let c = synthetic_process_trace(3, 2_000, 43);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn tiny_request_still_yields_one_iteration() {
+        let t = synthetic_process_trace(0, 1, 7);
+        assert_eq!(t.n_events(), EVENTS_PER_ITERATION);
+    }
+
+    #[test]
+    fn app_trace_takes_max_finish() {
+        let app = synthetic_app_trace(4, 1_000, 9);
+        assert_eq!(app.procs.len(), 4);
+        let max = app
+            .procs
+            .iter()
+            .map(|p| p.finish.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!((app.total_time.as_secs_f64() - max).abs() < 1e-12);
+    }
+}

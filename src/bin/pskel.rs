@@ -57,6 +57,11 @@ commands:
   cache    <stats|ls|gc> [--store <dir>] [--max-bytes <n>]
            inspect or trim an artifact store (default: .pskel-cache);
            gc evicts oldest entries until the store fits --max-bytes
+  bench    compress [--json] [-o <report.json>] [--fast] [--skip-nas]
+           time signature compression on reference workloads and report
+           speedup vs the recorded pre-optimization baselines; --json
+           writes BENCH_compress.json (or -o), --fast lowers repetitions
+           for CI smoke runs, --skip-nas omits the simulated CG.W workload
 
 options:
   --store <dir>  on trace/build/predict: consult and fill a
@@ -76,6 +81,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
         };
         let opts = parse_opts(rest)?;
         return cmd_cache(action, &opts);
+    }
+    if cmd == "bench" {
+        let Some((action, rest)) = rest.split_first() else {
+            return Err("bench needs an action: compress".into());
+        };
+        let opts = parse_opts(rest)?;
+        return cmd_bench(action, &opts);
     }
     let opts = parse_opts(rest)?;
     match cmd.as_str() {
@@ -128,7 +140,14 @@ impl Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    const SWITCHES: [&str; 3] = ["verify", "consolidate", "distribution"];
+    const SWITCHES: [&str; 6] = [
+        "verify",
+        "consolidate",
+        "distribution",
+        "json",
+        "fast",
+        "skip-nas",
+    ];
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
     let mut it = args.iter().peekable();
@@ -446,6 +465,28 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         .total_secs();
         let err = 100.0 * (predicted - actual).abs() / actual;
         eprintln!("actual {actual:.2}s -> error {err:.1}%");
+    }
+    Ok(())
+}
+
+fn cmd_bench(action: &str, opts: &Opts) -> Result<(), String> {
+    if action != "compress" {
+        return Err(format!("unknown bench action {action:?}; use compress"));
+    }
+    let fast = opts.has("fast");
+    let include_nas = !opts.has("skip-nas");
+    eprintln!(
+        "timing signature compression ({} mode{})...",
+        if fast { "fast" } else { "full" },
+        if include_nas { "" } else { ", NAS skipped" }
+    );
+    let report = pskel_bench::run_compress_bench(fast, include_nas);
+    print!("{}", report.table());
+    if opts.has("json") || opts.get("o").is_some() {
+        let path = opts.get("o").unwrap_or("BENCH_compress.json");
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report {path}: {e}"))?;
+        eprintln!("report -> {path}");
     }
     Ok(())
 }

@@ -84,7 +84,9 @@ pub mod prelude {
     };
     pub use pskel_mpi::{run_mpi, run_mpi_fns, Comm, TraceConfig};
     pub use pskel_predict::{EvalContext, Scenario, Testbed, PAPER_SKELETON_SIZES};
-    pub use pskel_signature::{compress_app, compress_process, SignatureOptions};
+    pub use pskel_signature::{
+        compress_app, compress_process, AppCompression, RankSaturation, SignatureOptions,
+    };
     pub use pskel_sim::{ClusterSpec, Placement, SimDuration, SimTime, Simulation};
     pub use pskel_trace::{AppTrace, OpKind, ProcessTrace};
 }

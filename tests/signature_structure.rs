@@ -41,8 +41,9 @@ fn cg_signature_shows_outer_times_inner_structure() {
     // CG.W: 6 outer x 30 inner iterations. The signature must contain a
     // nested loop covering 180 inner iterations.
     let trace = trace_of(NasBenchmark::Cg, Class::W);
-    let (sig, saturated) = compress_app(&trace, 10.0, SignatureOptions::default());
-    assert!(!saturated);
+    let out = compress_app(&trace, 10.0, SignatureOptions::default());
+    assert!(!out.is_saturated(), "{:?}", out.saturated);
+    let sig = out.signature;
     let s = &sig.sigs[0];
     assert!(
         s.compression_ratio() > 50.0,
@@ -61,7 +62,7 @@ fn cg_signature_shows_outer_times_inner_structure() {
 #[test]
 fn lu_signature_folds_both_sweeps() {
     let trace = trace_of(NasBenchmark::Lu, Class::S);
-    let (sig, _) = compress_app(&trace, 10.0, SignatureOptions::default());
+    let sig = compress_app(&trace, 10.0, SignatureOptions::default()).signature;
     let s = &sig.sigs[0];
     // Timestep loop at some level with the 25-block sweeps nested inside.
     assert!(max_nesting(&s.tokens) >= 2, "{}", s.render());
@@ -76,7 +77,7 @@ fn lu_signature_folds_both_sweeps() {
 fn is_signature_is_one_short_loop() {
     let trace = trace_of(NasBenchmark::Is, Class::B);
     // K=10-ish target forces the jittered alltoallvs to merge.
-    let (sig, _) = compress_app(&trace, 5.0, SignatureOptions::default());
+    let sig = compress_app(&trace, 5.0, SignatureOptions::default()).signature;
     let s = &sig.sigs[0];
     let counts = top_loop_counts(&s.tokens);
     assert!(
@@ -91,7 +92,7 @@ fn is_signature_is_one_short_loop() {
 #[test]
 fn ep_signature_is_almost_all_one_compute_loop() {
     let trace = trace_of(NasBenchmark::Ep, Class::W);
-    let (sig, _) = compress_app(&trace, 2.0, SignatureOptions::default());
+    let sig = compress_app(&trace, 2.0, SignatureOptions::default()).signature;
     let s = &sig.sigs[0];
     // 16 compute blocks with no MPI in between collapse into the gaps of
     // very few events: EP's signature is tiny.
@@ -102,7 +103,7 @@ fn ep_signature_is_almost_all_one_compute_loop() {
 #[test]
 fn signatures_across_ranks_have_equal_shape_for_spmd() {
     let trace = trace_of(NasBenchmark::Sp, Class::S);
-    let (sig, _) = compress_app(&trace, 10.0, SignatureOptions::default());
+    let sig = compress_app(&trace, 10.0, SignatureOptions::default()).signature;
     let lens: Vec<usize> = sig.sigs.iter().map(|s| s.compressed_len()).collect();
     assert!(
         lens.iter().all(|&l| l == lens[0]),
@@ -126,7 +127,7 @@ fn signatures_across_ranks_have_equal_shape_for_spmd() {
 fn deeper_compression_never_loses_time() {
     let trace = trace_of(NasBenchmark::Mg, Class::S);
     for q in [1.0, 4.0, 16.0, 64.0] {
-        let (sig, _) = compress_app(&trace, q, SignatureOptions::default());
+        let sig = compress_app(&trace, q, SignatureOptions::default()).signature;
         for (s, p) in sig.sigs.iter().zip(&trace.procs) {
             let traced_compute = p.compute_time().as_secs_f64();
             assert!(
