@@ -354,6 +354,18 @@ impl EvalContext {
         &self.counters
     }
 
+    /// A cloneable handle to this context's counters.
+    pub fn counters_handle(&self) -> Arc<EvalCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Replace this context's counters with a shared handle, so several
+    /// contexts (e.g. the per-class contexts of a server worker pool)
+    /// aggregate their activity into one set of counters.
+    pub fn set_counters(&mut self, counters: Arc<EvalCounters>) {
+        self.counters = counters;
+    }
+
     /// Memo-map key for a skeleton size: the exact bit pattern, so
     /// sub-millisecond sizes (e.g. 0.0004 s and 0.0002 s) never collide.
     fn size_key(target_secs: f64) -> u64 {
@@ -764,6 +776,19 @@ mod tests {
         assert!(c2.store_hits > 0);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_counters_aggregate_across_contexts() {
+        let shared = Arc::new(EvalCounters::default());
+        let mut a = EvalContext::new(Class::S, &[0.01]);
+        a.set_counters(Arc::clone(&shared));
+        let mut b = EvalContext::new(Class::S, &[0.01]);
+        b.set_counters(Arc::clone(&shared));
+        a.app_time(NasBenchmark::Cg, Scenario::Dedicated);
+        b.app_time(NasBenchmark::Lu, Scenario::Dedicated);
+        assert_eq!(shared.snapshot().app_sims, 2, "both contexts feed one set");
+        assert_eq!(a.counters_handle().snapshot(), shared.snapshot());
     }
 
     #[test]

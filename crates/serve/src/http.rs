@@ -1,0 +1,404 @@
+//! A minimal, defensive HTTP/1.1 request parser and response writer.
+//!
+//! The service speaks just enough HTTP for `curl`, browsers and the
+//! loadgen client: request line + headers + `Content-Length` bodies,
+//! with keep-alive. Everything is bounded — header bytes, header count,
+//! body size — and every malformed, truncated or oversized input maps to
+//! a [`ParseError`] (and from there to a 4xx response). Parsing never
+//! panics on any byte sequence; the property test in
+//! `tests/http_prop.rs` hammers exactly that guarantee.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line plus all header lines.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+    /// Header names are lowercased; values are trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// True if the client asked to reuse the connection.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. `status()` is the response code the
+/// server sends back before closing the connection.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header or length field.
+    Bad(String),
+    /// Head or body exceeds the configured limits.
+    TooLarge(String),
+    /// Not HTTP/1.0 or HTTP/1.1.
+    Version(String),
+    /// The peer closed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl ParseError {
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Bad(_) => 400,
+            ParseError::TooLarge(_) => 413,
+            ParseError::Version(_) => 505,
+            ParseError::Io(_) => 400,
+        }
+    }
+
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::Bad(m) | ParseError::TooLarge(m) | ParseError::Version(m) => m.clone(),
+            ParseError::Io(e) => format!("read error: {e}"),
+        }
+    }
+}
+
+/// Read one line (terminated by `\n`, with an optional `\r`) without ever
+/// buffering more than `budget` bytes. Returns `Ok(None)` on clean EOF
+/// before the first byte.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Bad("truncated line".into()));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+        if *budget == 0 {
+            return Err(ParseError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => Err(ParseError::Bad("non-UTF-8 header bytes".into())),
+            };
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Parse one request from the stream. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || parts.next().is_some() {
+        return Err(ParseError::Bad(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(ParseError::Bad(format!("malformed method {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Version(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Bad(format!(
+            "malformed request path {target:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r, &mut budget)? else {
+            return Err(ParseError::Bad("truncated headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(ParseError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header line {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Bad(format!("malformed header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::Bad(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ParseError::Bad("truncated body".into())
+            } else {
+                ParseError::Io(e)
+            }
+        })?;
+    }
+
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let conn = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match conn.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// An HTTP response ready to be written to a stream.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `Retry-After` on 429.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Serialize the response. `keep_alive` controls the Connection header;
+    /// the body always carries an exact Content-Length.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut io::BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(b"POST /v1/predict?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let req = parse(b"GET / HTTP/1.1\nHost: y\n\n").unwrap().unwrap();
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"G=T /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET /x HTTP/1.1\r\nHost",
+            b"\xff\xfe\xfd",
+        ] {
+            assert!(parse(bad).is_err(), "{:?} must fail", bad);
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse(head.as_bytes()) {
+            Err(e) => assert_eq!(e.status(), 413),
+            Ok(_) => panic!("oversized body must be rejected"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        req.extend_from_slice(format!("X: {}\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        req.extend_from_slice(b"\r\n");
+        match parse(&req) {
+            Err(e) => assert_eq!(e.status(), 413),
+            Ok(_) => panic!("oversized head must be rejected"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            req.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        match parse(&req) {
+            Err(e) => assert_eq!(e.status(), 413),
+            Ok(_) => panic!("header count cap must apply"),
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .with_header("Retry-After", "1".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,476 @@
+//! A minimal, dependency-free JSON value: parse request bodies, build
+//! response documents, render compactly.
+//!
+//! The service's API surface is small — flat objects of strings,
+//! numbers and booleans in; one or two levels of nesting out — so a
+//! self-contained implementation keeps the crate std-only and avoids
+//! dragging a serialization framework into the hot request path. The
+//! parser accepts full JSON (nested values, escapes, exponents) with a
+//! recursion-depth guard; the renderer emits the compact form with no
+//! insignificant whitespace.
+
+use std::fmt::Write as _;
+
+/// Nesting depth beyond which the parser refuses input; the API never
+/// needs deep documents and a hostile body must not exhaust the stack.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed or constructed JSON value. Objects preserve insertion
+/// order, so rendered responses read in the order they were built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Json::Obj(_))
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render the compact textual form (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document; trailing non-whitespace is an
+    /// error, as is anything malformed.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("document nests too deeply".into());
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected character {:?} at byte {}",
+                b as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("number {text:?} overflows at byte {start}"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // unicode_escape advanced past the hex
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character (the body was validated
+                    // as UTF-8 before parsing).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the 4 hex digits after `\u` (plus a following low-surrogate
+    /// pair when needed); leaves `pos` after the consumed digits.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: must be followed by \uXXXX low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| "invalid surrogate pair".to_string());
+                }
+            }
+            return Err("unpaired surrogate in \\u escape".into());
+        }
+        char::from_u32(hi).ok_or_else(|| "invalid \\u escape".to_string())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_api_request_shape() {
+        let v =
+            Json::parse(r#"{ "bench": "CG", "class": "S", "target_secs": 4e-3, "verify": true }"#)
+                .unwrap();
+        assert!(v.is_object());
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("CG"));
+        assert_eq!(v.get("target_secs").and_then(Json::as_f64), Some(0.004));
+        assert_eq!(v.get("verify").and_then(Json::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn renders_compactly_in_insertion_order() {
+        let v = Json::obj([
+            ("status", Json::str("ok")),
+            ("depth", Json::from(3u64)),
+            ("draining", Json::from(false)),
+            ("items", Json::Arr(vec![Json::from(1u64), Json::Null])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"status":"ok","depth":3,"draining":false,"items":[1,null]}"#
+        );
+    }
+
+    #[test]
+    fn roundtrips_nested_documents() {
+        let text = r#"{"a":[1,2.5,-3],"b":{"c":"x","d":[true,false,null]},"e":"q\"uote\\"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""line\nbreak é 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nbreak é 😀"));
+        let rendered = Json::Str("tab\there \"q\"".into()).render();
+        assert_eq!(rendered, r#""tab\there \"q\"""#);
+        assert_eq!(
+            Json::parse(&rendered).unwrap().as_str(),
+            Some("tab\there \"q\"")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{not json",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "[1 2]",
+            "truth",
+            "\"unterminated",
+            r#""\q""#,
+            r#""\ud800""#,
+            "1e9999",
+            "{} trailing",
+            "\u{1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+}

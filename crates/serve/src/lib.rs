@@ -1,0 +1,48 @@
+//! # pskel-serve — the skeleton-prediction service
+//!
+//! A small, dependency-light HTTP/1.1 JSON service that exposes the
+//! trace → skeleton → prediction pipeline over a network API:
+//!
+//! - `GET  /healthz` — liveness plus queue depth.
+//! - `GET  /metrics` — Prometheus-style text: per-endpoint request /
+//!   error / rejection / coalescing counters, latency quantiles, and the
+//!   shared simulation counters.
+//! - `GET  /v1/scenarios` — the paper's resource-sharing scenarios.
+//! - `POST /v1/trace` — trace summary for a benchmark × class.
+//! - `POST /v1/build` — build a skeleton and report its metadata.
+//! - `POST /v1/predict` — predict shared-scenario runtime by the
+//!   `skeleton`, `average`, or `class-s` method, optionally verifying
+//!   against the simulated ground truth.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! conns ─▶ parse ─▶ router ─▶ single-flight ─▶ bounded queue ─▶ workers
+//!                     │            │                │             │
+//!                  metrics    coalesce dups     429 if full   EvalContext
+//!                                                             + Store
+//! ```
+//!
+//! Connection threads parse and route; deterministic jobs are keyed by
+//! the same content-addressed provenance scheme the store uses, so
+//! identical concurrent requests collapse onto one computation
+//! ([`pskel_store::SingleFlight`]). Jobs pass through a bounded queue —
+//! full means an immediate 429 with `Retry-After`, never unbounded
+//! buffering — into a worker pool of reusable, store-backed
+//! [`pskel_predict::EvalContext`]s. Shutdown (SIGINT/SIGTERM) stops the
+//! accept loop, drains queued work, and exits cleanly.
+
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+pub mod worker;
+
+pub use json::Json;
+pub use loadgen::LoadReport;
+pub use metrics::{Endpoint, Metrics};
+pub use server::{default_workers, signal, ServeConfig, Server};
+pub use worker::{ApiError, ApiJob, PredictMethod};

@@ -1,0 +1,234 @@
+//! A closed-loop load driver for `pskel serve --selftest`.
+//!
+//! Each client thread owns one keep-alive connection and issues its next
+//! request only after the previous response lands (closed loop), so the
+//! offered load adapts to the service rate instead of overrunning it.
+//! The request mix exercises the cheap inline endpoints and the full
+//! predict pipeline (cold once, then memoized/coalesced).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Outcome of a self-test run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    pub clients: usize,
+    pub requests: usize,
+    pub ok: usize,
+    pub errors: usize,
+    pub elapsed: Duration,
+    /// Sorted per-request latencies in microseconds.
+    latencies_micros: Vec<u64>,
+}
+
+impl LoadReport {
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 0.0 {
+            self.requests as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact latency quantile (the driver keeps every sample).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_micros.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_micros[idx]
+    }
+}
+
+/// One HTTP exchange over an established keep-alive connection. Returns
+/// the status code; the body is read fully (to keep framing) and dropped.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<u16> {
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: selftest\r\nContent-Length: {}\r\n{}\r\n{body}",
+        body.len(),
+        if body.is_empty() {
+            ""
+        } else {
+            "Content-Type: application/json\r\n"
+        },
+    )?;
+    writer.flush()?;
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+/// The deterministic request mix for step `i` of a client.
+fn request_for(i: usize) -> (&'static str, &'static str, Option<&'static str>) {
+    match i % 4 {
+        0 => ("GET", "/healthz", None),
+        1 => ("GET", "/v1/scenarios", None),
+        2 => (
+            "POST",
+            "/v1/predict",
+            Some(r#"{"bench":"CG","class":"S","target_secs":0.004,"scenario":"cpu-one-node"}"#),
+        ),
+        _ => (
+            "POST",
+            "/v1/predict",
+            Some(r#"{"bench":"CG","class":"S","target_secs":0.004,"scenario":"net-one-link"}"#),
+        ),
+    }
+}
+
+/// Run `clients` closed-loop clients, `per_client` requests each, against
+/// a server at `addr`. Returns the merged latency/throughput report.
+pub fn run(addr: SocketAddr, clients: usize, per_client: usize) -> io::Result<LoadReport> {
+    run_with_mix(addr, clients, per_client, request_for)
+}
+
+/// Like [`run`], but with a caller-supplied request mix — step `i` of a
+/// client maps to a (method, path, body) triple.
+pub fn run_with_mix(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    mix: fn(usize) -> (&'static str, &'static str, Option<&'static str>),
+) -> io::Result<LoadReport> {
+    let clients = clients.max(1);
+    let per_client = per_client.max(1);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::Builder::new()
+                .name(format!("pskel-loadgen-{c}"))
+                .spawn(move || -> io::Result<(Vec<u64>, usize)> {
+                    let mut writer = TcpStream::connect(addr)?;
+                    writer.set_nodelay(true).ok();
+                    let mut reader = BufReader::new(writer.try_clone()?);
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut errors = 0usize;
+                    for i in 0..per_client {
+                        // Offset the mix per client so concurrent clients
+                        // overlap on identical predicts (exercising
+                        // coalescing) without being in lockstep.
+                        let (method, path, body) = mix(i + c);
+                        let start = Instant::now();
+                        let status = exchange(&mut writer, &mut reader, method, path, body)?;
+                        lat.push(start.elapsed().as_micros() as u64);
+                        if status >= 400 {
+                            errors += 1;
+                        }
+                    }
+                    Ok((lat, errors))
+                })
+                .expect("spawning load client")
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(clients * per_client);
+    let mut errors = 0usize;
+    for h in handles {
+        let (lat, errs) = h
+            .join()
+            .map_err(|_| io::Error::other("load client panicked"))??;
+        latencies.extend(lat);
+        errors += errs;
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    Ok(LoadReport {
+        clients,
+        requests,
+        ok: requests - errors,
+        errors,
+        elapsed,
+        latencies_micros: latencies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_samples() {
+        let report = LoadReport {
+            clients: 1,
+            requests: 5,
+            ok: 5,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_micros: vec![10, 20, 30, 40, 100],
+        };
+        assert_eq!(report.quantile_micros(0.0), 10);
+        assert_eq!(report.quantile_micros(0.5), 30);
+        assert_eq!(report.quantile_micros(1.0), 100);
+        assert!((report.throughput_rps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_cycles_through_all_endpoints() {
+        let paths: Vec<&str> = (0..4).map(|i| request_for(i).1).collect();
+        assert!(paths.contains(&"/healthz"));
+        assert!(paths.contains(&"/v1/scenarios"));
+        assert!(paths.contains(&"/v1/predict"));
+    }
+
+    #[test]
+    fn selftest_against_live_server_reports_sane_numbers() {
+        let server = crate::server::Server::start(crate::server::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            store_dir: None,
+            test_endpoints: false,
+            summary_every: None,
+        })
+        .expect("server starts");
+        // Inline-only mix: the unit test validates the driver plumbing
+        // (threads, latency merge, quantiles), not the simulation
+        // pipeline, so it stays runnable where the NAS deps are stubbed.
+        fn inline_mix(i: usize) -> (&'static str, &'static str, Option<&'static str>) {
+            match i % 2 {
+                0 => ("GET", "/healthz", None),
+                _ => ("GET", "/v1/scenarios", None),
+            }
+        }
+        let report = run_with_mix(server.addr, 2, 8, inline_mix).expect("load run succeeds");
+        assert_eq!(report.requests, 16);
+        assert_eq!(report.errors, 0, "no request in the mix should fail");
+        assert!(report.quantile_micros(0.5) > 0);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+}

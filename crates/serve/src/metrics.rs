@@ -1,0 +1,356 @@
+//! Live service metrics: per-endpoint request/error/reject/coalesce
+//! counters, in-flight gauges and log-bucketed latency histograms,
+//! rendered as Prometheus-style text for `GET /metrics` and as a one-line
+//! stderr summary.
+//!
+//! Everything is lock-free atomics so the hot path costs a handful of
+//! `fetch_add`s; rendering reads whatever is current without stopping the
+//! world (quantiles are therefore approximate under concurrent updates,
+//! which is fine for monitoring).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The fixed endpoint set; `Other` absorbs 404s and stray paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Healthz,
+    Metrics,
+    Scenarios,
+    Trace,
+    Build,
+    Predict,
+    Sleep,
+    Other,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 8] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Scenarios,
+        Endpoint::Trace,
+        Endpoint::Build,
+        Endpoint::Predict,
+        Endpoint::Sleep,
+        Endpoint::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Scenarios => "scenarios",
+            Endpoint::Trace => "trace",
+            Endpoint::Build => "build",
+            Endpoint::Predict => "predict",
+            Endpoint::Sleep => "sleep",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::Scenarios => 2,
+            Endpoint::Trace => 3,
+            Endpoint::Build => 4,
+            Endpoint::Predict => 5,
+            Endpoint::Sleep => 6,
+            Endpoint::Other => 7,
+        }
+    }
+}
+
+/// Latency bucket upper bounds in microseconds (plus an overflow bucket).
+const BOUNDS_MICROS: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+#[derive(Default)]
+struct Histogram {
+    counts: [AtomicU64; BOUNDS_MICROS.len() + 1],
+    total: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = BOUNDS_MICROS.partition_point(|&b| b < micros);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile in seconds: the upper bound of the bucket the
+    /// rank lands in (the overflow bucket reports 2× the largest bound).
+    fn quantile(&self, q: f64) -> f64 {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let micros = BOUNDS_MICROS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BOUNDS_MICROS[BOUNDS_MICROS.len() - 1] * 2);
+                return micros as f64 / 1e6;
+            }
+        }
+        BOUNDS_MICROS[BOUNDS_MICROS.len() - 1] as f64 * 2.0 / 1e6
+    }
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    coalesced: AtomicU64,
+    in_flight: AtomicU64,
+    latency: Histogram,
+}
+
+/// Aggregate totals across endpoints, for summaries and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Totals {
+    pub requests: u64,
+    pub errors: u64,
+    pub rejected: u64,
+    pub coalesced: u64,
+    pub in_flight: u64,
+}
+
+/// The service-wide metrics registry.
+pub struct Metrics {
+    start: Instant,
+    endpoints: [EndpointStats; Endpoint::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            endpoints: Default::default(),
+        }
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Mark a request as started; pair with [`Metrics::end`].
+    pub fn begin(&self, ep: Endpoint) -> Instant {
+        self.endpoints[ep.idx()]
+            .in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        Instant::now()
+    }
+
+    /// Record the outcome of a request started at `started`.
+    pub fn end(&self, ep: Endpoint, started: Instant, status: u16) {
+        let s = &self.endpoints[ep.idx()];
+        s.in_flight.fetch_sub(1, Ordering::Relaxed);
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 429 {
+            s.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        s.latency.observe(started.elapsed());
+    }
+
+    /// Record that a request was answered by another request's in-flight
+    /// computation (single-flight fan-out).
+    pub fn coalesced(&self, ep: Endpoint) {
+        self.endpoints[ep.idx()]
+            .coalesced
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn totals(&self) -> Totals {
+        let mut t = Totals::default();
+        for s in &self.endpoints {
+            t.requests += s.requests.load(Ordering::Relaxed);
+            t.errors += s.errors.load(Ordering::Relaxed);
+            t.rejected += s.rejected.load(Ordering::Relaxed);
+            t.coalesced += s.coalesced.load(Ordering::Relaxed);
+            t.in_flight += s.in_flight.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Requests recorded for one endpoint (used by tests).
+    pub fn requests(&self, ep: Endpoint) -> u64 {
+        self.endpoints[ep.idx()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Prometheus-style text exposition. `extra` carries gauges the
+    /// registry does not own (queue depth, simulator counters) as
+    /// `(metric_name, value)` pairs.
+    pub fn render(&self, extra: &[(&str, u64)]) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# pskel-serve metrics\n");
+        out.push_str(&format!(
+            "pskel_uptime_seconds {:.3}\n",
+            self.uptime().as_secs_f64()
+        ));
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep.idx()];
+            let label = ep.label();
+            let requests = s.requests.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pskel_requests_total{{endpoint=\"{label}\"}} {requests}\n"
+            ));
+            out.push_str(&format!(
+                "pskel_request_errors_total{{endpoint=\"{label}\"}} {}\n",
+                s.errors.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "pskel_requests_rejected_total{{endpoint=\"{label}\"}} {}\n",
+                s.rejected.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "pskel_requests_coalesced_total{{endpoint=\"{label}\"}} {}\n",
+                s.coalesced.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "pskel_in_flight{{endpoint=\"{label}\"}} {}\n",
+                s.in_flight.load(Ordering::Relaxed)
+            ));
+            if requests > 0 {
+                for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "pskel_request_latency_seconds{{endpoint=\"{label}\",quantile=\"{qs}\"}} {:.6}\n",
+                        s.latency.quantile(q)
+                    ));
+                }
+                out.push_str(&format!(
+                    "pskel_request_latency_seconds_sum{{endpoint=\"{label}\"}} {:.6}\n",
+                    s.latency.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                ));
+                out.push_str(&format!(
+                    "pskel_request_latency_seconds_count{{endpoint=\"{label}\"}} {}\n",
+                    s.latency.total.load(Ordering::Relaxed)
+                ));
+            }
+        }
+        for (name, value) in extra {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+
+    /// One-line traffic summary for the periodic stderr report.
+    pub fn summary_line(&self, queue_depth: usize) -> String {
+        let t = self.totals();
+        let predict = &self.endpoints[Endpoint::Predict.idx()];
+        format!(
+            "served {} requests ({} errors, {} rejected, {} coalesced), {} in flight, queue depth {}, predict p50 {:.1} ms p99 {:.1} ms",
+            t.requests,
+            t.errors,
+            t.rejected,
+            t.coalesced,
+            t.in_flight,
+            queue_depth,
+            predict.latency.quantile(0.5) * 1e3,
+            predict.latency.quantile(0.99) * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_errors_accumulate() {
+        let m = Metrics::new();
+        let t = m.begin(Endpoint::Predict);
+        m.end(Endpoint::Predict, t, 200);
+        let t = m.begin(Endpoint::Predict);
+        m.end(Endpoint::Predict, t, 429);
+        let totals = m.totals();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.errors, 1);
+        assert_eq!(totals.rejected, 1);
+        assert_eq!(totals.in_flight, 0);
+        assert_eq!(m.requests(Endpoint::Predict), 2);
+    }
+
+    #[test]
+    fn in_flight_tracks_begin_end() {
+        let m = Metrics::new();
+        let t1 = m.begin(Endpoint::Trace);
+        let t2 = m.begin(Endpoint::Trace);
+        assert_eq!(m.totals().in_flight, 2);
+        m.end(Endpoint::Trace, t1, 200);
+        m.end(Endpoint::Trace, t2, 200);
+        assert_eq!(m.totals().in_flight, 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bucket_correctly() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(Duration::from_micros(80)); // -> 100µs bucket
+        }
+        h.observe(Duration::from_millis(400)); // -> 500ms bucket
+        assert_eq!(h.quantile(0.5), 100e-6);
+        assert_eq!(h.quantile(0.99), 100e-6);
+        assert_eq!(h.quantile(1.0), 0.5);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::default().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_double_top_bound() {
+        let h = Histogram::default();
+        h.observe(Duration::from_secs(30));
+        assert_eq!(h.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn render_exposes_every_endpoint_and_extras() {
+        let m = Metrics::new();
+        let t = m.begin(Endpoint::Healthz);
+        m.end(Endpoint::Healthz, t, 200);
+        m.coalesced(Endpoint::Predict);
+        let text = m.render(&[("pskel_queue_depth", 3), ("pskel_eval_app_sims_total", 7)]);
+        assert!(text.contains("pskel_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(text.contains("pskel_requests_coalesced_total{endpoint=\"predict\"} 1"));
+        assert!(
+            text.contains("pskel_request_latency_seconds{endpoint=\"healthz\",quantile=\"0.5\"}")
+        );
+        assert!(text.contains("pskel_queue_depth 3"));
+        assert!(text.contains("pskel_eval_app_sims_total 7"));
+        assert!(text.contains("pskel_uptime_seconds"));
+    }
+
+    #[test]
+    fn summary_line_mentions_traffic() {
+        let m = Metrics::new();
+        let t = m.begin(Endpoint::Predict);
+        m.end(Endpoint::Predict, t, 200);
+        let line = m.summary_line(2);
+        assert!(line.contains("served 1 requests"), "{line}");
+        assert!(line.contains("queue depth 2"), "{line}");
+    }
+}

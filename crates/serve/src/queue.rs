@@ -1,0 +1,193 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! Connection threads `try_push` — a full queue is an immediate
+//! [`PushError::Full`] (the router turns that into `429 Retry-After`)
+//! rather than a blocked thread, which is the service's backpressure
+//! contract. Workers block in `pop`; closing the queue wakes them all and
+//! lets them drain whatever is still queued before exiting, which is what
+//! graceful shutdown leans on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue. Pushes never block; pops block until an item
+/// arrives or the queue is closed *and* drained.
+pub struct Bounded<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without blocking; `Full` once `capacity` jobs are waiting.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available. Returns `None` only after the
+    /// queue has been closed and every queued item was handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st).unwrap();
+        }
+    }
+
+    /// Refuse new pushes and wake every blocked popper. Already-queued
+    /// items are still handed out (drain-on-shutdown).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(Bounded::new(8));
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "queued item survives close");
+        assert_eq!(q.pop(), None, "drained+closed pops None");
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(Bounded::<u32>::new(8));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_deliver_everything() {
+        let q = Arc::new(Bounded::new(1024));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        q.try_push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

@@ -1,0 +1,415 @@
+//! Request routing: map parsed HTTP requests onto jobs, coalesce
+//! identical in-flight work, and translate outcomes back to responses.
+//!
+//! The router is where the three pillars of the service meet:
+//!
+//! 1. **Backpressure** — jobs enter through [`Bounded::try_push`]; a full
+//!    queue is answered immediately with 429 + `Retry-After` instead of
+//!    queueing unbounded work.
+//! 2. **Coalescing** — POST bodies are canonicalised into the same
+//!    content-addressed key space the store uses ([`KeyBuilder`]), and
+//!    identical concurrent requests collapse onto one queued job via
+//!    [`SingleFlight`]; followers receive a clone of the leader's result.
+//! 3. **Observability** — every request is timed into the per-endpoint
+//!    [`Metrics`], which `GET /metrics` renders.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::{Endpoint, Metrics};
+use crate::queue::{Bounded, PushError};
+use crate::worker::{ApiError, ApiJob, Job, JobOutcome, PredictMethod};
+use pskel_apps::{Class, NasBenchmark};
+use pskel_predict::{EvalCounters, Scenario};
+use pskel_store::{KeyBuilder, SingleFlight, StoreKey};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Shared routing state: one per server, shared by every connection
+/// thread.
+pub struct Router {
+    queue: Arc<Bounded<Job>>,
+    flights: SingleFlight<StoreKey, JobOutcome>,
+    pub metrics: Arc<Metrics>,
+    counters: Arc<EvalCounters>,
+    draining: Arc<AtomicBool>,
+    test_endpoints: bool,
+}
+
+impl Router {
+    pub fn new(
+        queue: Arc<Bounded<Job>>,
+        metrics: Arc<Metrics>,
+        counters: Arc<EvalCounters>,
+        draining: Arc<AtomicBool>,
+        test_endpoints: bool,
+    ) -> Router {
+        Router {
+            queue,
+            flights: SingleFlight::new(),
+            metrics,
+            counters,
+            draining,
+            test_endpoints,
+        }
+    }
+
+    /// Route one request to a response, recording metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let ep = endpoint_of(&req.path);
+        let started = self.metrics.begin(ep);
+        let resp = self.route(ep, req);
+        self.metrics.end(ep, started, resp.status);
+        resp
+    }
+
+    fn route(&self, ep: Endpoint, req: &Request) -> Response {
+        match (req.method.as_str(), ep) {
+            ("GET", Endpoint::Healthz) => self.healthz(),
+            ("GET", Endpoint::Metrics) => self.metrics_text(),
+            ("GET", Endpoint::Scenarios) => scenarios(),
+            ("POST", Endpoint::Trace) => self.job_endpoint(ep, req, parse_trace),
+            ("POST", Endpoint::Build) => self.job_endpoint(ep, req, parse_build),
+            ("POST", Endpoint::Predict) => self.job_endpoint(ep, req, parse_predict),
+            ("POST", Endpoint::Sleep) if self.test_endpoints => self.sleep(req),
+            (_, Endpoint::Other) => error_response(404, format!("no route for {}", req.path)),
+            (m, _) => error_response(405, format!("method {m} not allowed for {}", req.path)),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            Json::obj([
+                ("status", Json::str("ok")),
+                ("queue_depth", Json::from(self.queue.len())),
+                ("queue_capacity", Json::from(self.queue.capacity())),
+                ("draining", Json::from(self.draining.load(Ordering::SeqCst))),
+            ])
+            .render(),
+        )
+    }
+
+    fn metrics_text(&self) -> Response {
+        let c = self.counters.snapshot();
+        let extras = [
+            ("pskel_queue_depth", self.queue.len() as u64),
+            ("pskel_queue_capacity", self.queue.capacity() as u64),
+            ("pskel_eval_app_sims_total", c.app_sims),
+            ("pskel_eval_trace_sims_total", c.trace_sims),
+            ("pskel_eval_skeleton_sims_total", c.skeleton_sims),
+            ("pskel_eval_skeleton_builds_total", c.skeleton_builds),
+            ("pskel_eval_store_hits_total", c.store_hits),
+        ];
+        Response::text(200, self.metrics.render(&extras))
+    }
+
+    /// Parse, key, coalesce, enqueue, respond — the common path for every
+    /// deterministic job endpoint.
+    fn job_endpoint(
+        &self,
+        ep: Endpoint,
+        req: &Request,
+        parse: fn(&Json) -> Result<ApiJob, ApiError>,
+    ) -> Response {
+        let job = match parse_body(req).and_then(|body| parse(&body)) {
+            Ok(job) => job,
+            Err(e) => return api_error_response(&e),
+        };
+        if self.draining.load(Ordering::SeqCst) {
+            return api_error_response(&ApiError::ShuttingDown);
+        }
+        let key = job_key(&job);
+        let shared = self.flights.run(key, || self.enqueue(job));
+        if shared.was_coalesced() {
+            self.metrics.coalesced(ep);
+        }
+        match shared.into_value() {
+            Some(Ok(v)) => Response::json(200, v.render()),
+            Some(Err(e)) => api_error_response(&e),
+            None => api_error_response(&ApiError::Internal(
+                "coalesced leader failed before producing a result".into(),
+            )),
+        }
+    }
+
+    /// Push a job onto the bounded queue and block until a worker answers.
+    fn enqueue(&self, api: ApiJob) -> JobOutcome {
+        let (reply, outcome) = mpsc::channel();
+        match self.queue.try_push(Job { api, reply }) {
+            Ok(()) => outcome.recv().unwrap_or_else(|_| {
+                Err(ApiError::Internal(
+                    "worker dropped the job without answering".into(),
+                ))
+            }),
+            Err(PushError::Full) => Err(ApiError::Busy),
+            Err(PushError::Closed) => Err(ApiError::ShuttingDown),
+        }
+    }
+
+    /// `POST /v1/sleep` (only with `--test-endpoints`): occupies a worker
+    /// without coalescing, so tests can fill the queue deterministically.
+    fn sleep(&self, req: &Request) -> Response {
+        let job = match parse_body(req).and_then(|body| parse_sleep(&body)) {
+            Ok(job) => job,
+            Err(e) => return api_error_response(&e),
+        };
+        match self.enqueue(job) {
+            Ok(v) => Response::json(200, v.render()),
+            Err(e) => api_error_response(&e),
+        }
+    }
+}
+
+fn endpoint_of(path: &str) -> Endpoint {
+    match path {
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        "/v1/scenarios" => Endpoint::Scenarios,
+        "/v1/trace" => Endpoint::Trace,
+        "/v1/build" => Endpoint::Build,
+        "/v1/predict" => Endpoint::Predict,
+        "/v1/sleep" => Endpoint::Sleep,
+        _ => Endpoint::Other,
+    }
+}
+
+fn scenarios() -> Response {
+    let list: Vec<Json> = Scenario::ALL
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::str(s.cli_name())),
+                ("label", Json::str(s.label())),
+                ("shares_cpu", Json::from(s.shares_cpu())),
+                ("shares_network", Json::from(s.shares_network())),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::obj([("scenarios", Json::Arr(list))]).render())
+}
+
+fn error_response(status: u16, message: String) -> Response {
+    Response::json(status, Json::obj([("error", Json::from(message))]).render())
+}
+
+fn api_error_response(e: &ApiError) -> Response {
+    let resp = error_response(e.status(), e.message());
+    if matches!(e, ApiError::Busy) {
+        resp.with_header("Retry-After", "1".into())
+    } else {
+        resp
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    if req.body.is_empty() {
+        return Err(ApiError::Bad("request body must be a JSON object".into()));
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::Bad("invalid JSON body: not UTF-8".into()))?;
+    let v = Json::parse(text).map_err(|e| ApiError::Bad(format!("invalid JSON body: {e}")))?;
+    if v.is_object() {
+        Ok(v)
+    } else {
+        Err(ApiError::Bad("request body must be a JSON object".into()))
+    }
+}
+
+fn field_str<'a>(body: &'a Json, name: &str) -> Result<Option<&'a str>, ApiError> {
+    match body.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s)),
+        Some(other) => Err(ApiError::Bad(format!(
+            "field {name:?} must be a string, got {}",
+            other.render()
+        ))),
+    }
+}
+
+fn require_str<'a>(body: &'a Json, name: &str) -> Result<&'a str, ApiError> {
+    field_str(body, name)?.ok_or_else(|| ApiError::Bad(format!("missing required field {name:?}")))
+}
+
+fn field_f64(body: &Json, name: &str) -> Result<Option<f64>, ApiError> {
+    match body.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(other) => Err(ApiError::Bad(format!(
+            "field {name:?} must be a number, got {}",
+            other.render()
+        ))),
+    }
+}
+
+fn field_bool(body: &Json, name: &str) -> Result<bool, ApiError> {
+    match body.get(name) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(other) => Err(ApiError::Bad(format!(
+            "field {name:?} must be a boolean, got {}",
+            other.render()
+        ))),
+    }
+}
+
+fn parse_bench(body: &Json) -> Result<NasBenchmark, ApiError> {
+    require_str(body, "bench")?.parse().map_err(ApiError::Bad)
+}
+
+/// `class` defaults to S — the paper's smallest size and the only one a
+/// cold request can answer quickly.
+fn parse_class(body: &Json) -> Result<Class, ApiError> {
+    match field_str(body, "class")? {
+        None => Ok(Class::S),
+        Some(s) => s.parse().map_err(ApiError::Bad),
+    }
+}
+
+fn parse_trace(body: &Json) -> Result<ApiJob, ApiError> {
+    Ok(ApiJob::Trace {
+        bench: parse_bench(body)?,
+        class: parse_class(body)?,
+    })
+}
+
+fn parse_build(body: &Json) -> Result<ApiJob, ApiError> {
+    Ok(ApiJob::Build {
+        bench: parse_bench(body)?,
+        class: parse_class(body)?,
+        target_secs: field_f64(body, "target_secs")?
+            .ok_or_else(|| ApiError::Bad("missing required field \"target_secs\"".into()))?,
+    })
+}
+
+fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
+    let method = match field_str(body, "method")? {
+        None => PredictMethod::Skeleton,
+        Some(s) => PredictMethod::parse(s)?,
+    };
+    let scenario: Scenario = require_str(body, "scenario")?
+        .parse()
+        .map_err(ApiError::Bad)?;
+    Ok(ApiJob::Predict {
+        bench: parse_bench(body)?,
+        class: parse_class(body)?,
+        target_secs: field_f64(body, "target_secs")?,
+        scenario,
+        method,
+        verify: field_bool(body, "verify")?,
+    })
+}
+
+fn parse_sleep(body: &Json) -> Result<ApiJob, ApiError> {
+    let ms = field_f64(body, "ms")?.unwrap_or(50.0);
+    if !(0.0..=60_000.0).contains(&ms) {
+        return Err(ApiError::Bad(format!("ms must be in [0, 60000], got {ms}")));
+    }
+    Ok(ApiJob::Sleep { ms: ms as u64 })
+}
+
+/// The coalescing key: same canonical fields, same key — so two requests
+/// that differ only in JSON whitespace or field order still collapse.
+fn job_key(job: &ApiJob) -> StoreKey {
+    match *job {
+        ApiJob::Trace { bench, class } => KeyBuilder::new("serve-v1")
+            .field("endpoint", "trace")
+            .field("bench", bench.name())
+            .field("class", &class.to_string())
+            .finish(),
+        ApiJob::Build {
+            bench,
+            class,
+            target_secs,
+        } => KeyBuilder::new("serve-v1")
+            .field("endpoint", "build")
+            .field("bench", bench.name())
+            .field("class", &class.to_string())
+            .field_f64("target", target_secs)
+            .finish(),
+        ApiJob::Predict {
+            bench,
+            class,
+            target_secs,
+            scenario,
+            method,
+            verify,
+        } => KeyBuilder::new("serve-v1")
+            .field("endpoint", "predict")
+            .field("bench", bench.name())
+            .field("class", &class.to_string())
+            .field_f64("target", target_secs.unwrap_or(f64::NAN))
+            .field("scenario", scenario.cli_name())
+            .field("method", method.name())
+            .field_u64("verify", verify as u64)
+            .finish(),
+        // Sleep jobs never reach job_endpoint(), but give them distinct
+        // keys anyway so an accidental reroute cannot coalesce them.
+        ApiJob::Sleep { ms } => KeyBuilder::new("serve-v1")
+            .field("endpoint", "sleep")
+            .field_u64("ms", ms)
+            .finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predict_job(target: f64) -> ApiJob {
+        ApiJob::Predict {
+            bench: NasBenchmark::Cg,
+            class: Class::S,
+            target_secs: Some(target),
+            scenario: Scenario::CpuOneNode,
+            method: PredictMethod::Skeleton,
+            verify: false,
+        }
+    }
+
+    #[test]
+    fn identical_jobs_share_a_key_distinct_jobs_do_not() {
+        assert_eq!(job_key(&predict_job(0.004)), job_key(&predict_job(0.004)));
+        assert_ne!(job_key(&predict_job(0.004)), job_key(&predict_job(0.008)));
+    }
+
+    #[test]
+    fn whitespace_and_field_order_do_not_change_the_key() {
+        let a =
+            Json::parse(r#"{"bench":"CG","scenario":"cpu-one-node","target_secs":0.004}"#).unwrap();
+        let b =
+            Json::parse(r#"{ "target_secs": 4e-3, "scenario": "cpu-one-node", "bench": "CG" }"#)
+                .unwrap();
+        let ja = parse_predict(&a).unwrap();
+        let jb = parse_predict(&b).unwrap();
+        assert_eq!(job_key(&ja), job_key(&jb));
+    }
+
+    #[test]
+    fn predict_parser_rejects_bad_fields() {
+        let missing = Json::parse(r#"{"bench":"CG"}"#).unwrap();
+        assert!(matches!(parse_predict(&missing), Err(ApiError::Bad(_))));
+        let bad_scenario = Json::parse(r#"{"bench":"CG","scenario":"mystery"}"#).unwrap();
+        assert!(matches!(
+            parse_predict(&bad_scenario),
+            Err(ApiError::Bad(_))
+        ));
+        let bad_bench = Json::parse(r#"{"bench":"ZZ","scenario":"dedicated"}"#).unwrap();
+        assert!(matches!(parse_predict(&bad_bench), Err(ApiError::Bad(_))));
+    }
+
+    #[test]
+    fn class_defaults_to_s() {
+        let v = Json::parse(r#"{"bench":"CG"}"#).unwrap();
+        match parse_trace(&v).unwrap() {
+            ApiJob::Trace { class, .. } => assert_eq!(class, Class::S),
+            other => panic!("unexpected job {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_routing_table() {
+        assert_eq!(endpoint_of("/healthz"), Endpoint::Healthz);
+        assert_eq!(endpoint_of("/v1/predict"), Endpoint::Predict);
+        assert_eq!(endpoint_of("/nope"), Endpoint::Other);
+    }
+}

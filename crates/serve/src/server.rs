@@ -1,0 +1,439 @@
+//! The TCP front end: accept loop, connection threads, periodic stderr
+//! summary, and graceful drain-on-shutdown.
+//!
+//! The accept loop runs nonblocking with a short poll so it can observe
+//! the shutdown flag promptly (a signal handler may only flip an
+//! `AtomicBool`). Each connection gets its own thread — connection
+//! concurrency is naturally bounded by the job queue: a thread that
+//! can't enqueue answers 429 immediately and goes back to reading, so
+//! threads never pile up behind a slow simulator.
+
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::queue::Bounded;
+use crate::router::Router;
+use crate::worker::{self, Job};
+use pskel_predict::EvalCounters;
+use pskel_store::Store;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Per-connection read timeout; an idle keep-alive peer is dropped after
+/// this long so it cannot hold up a drain.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Configuration for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond this, requests get 429.
+    pub queue_capacity: usize,
+    /// Artifact store directory (`None` disables persistence).
+    pub store_dir: Option<PathBuf>,
+    /// Enable `POST /v1/sleep` for deterministic backpressure tests.
+    pub test_endpoints: bool,
+    /// Interval between one-line stderr summaries (`None` disables them).
+    pub summary_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7070".into(),
+            workers: default_workers(),
+            queue_capacity: 64,
+            store_dir: None,
+            test_endpoints: false,
+            summary_every: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Workers default to the machine's parallelism, capped: each worker can
+/// hold several per-class simulation contexts, and contexts are memory-
+/// heavy, so more than 8 rarely pays.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, 8)
+}
+
+/// A running service. Dropping it without [`Server::shutdown`] aborts
+/// helper threads ungracefully; call `shutdown` for a clean drain.
+pub struct Server {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    router: Arc<Router>,
+    queue: Arc<Bounded<Job>>,
+    counters: Arc<EvalCounters>,
+    draining: Arc<AtomicBool>,
+    active_conns: Arc<AtomicUsize>,
+    accept_handle: Option<JoinHandle<()>>,
+    summary_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return
+    /// immediately; the server runs on background threads.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(Store::open(dir)?)),
+            None => None,
+        };
+        let counters: Arc<EvalCounters> = Arc::new(EvalCounters::default());
+        let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let draining = Arc::new(AtomicBool::new(false));
+
+        let worker_handles = worker::spawn_pool(
+            config.workers,
+            Arc::clone(&queue),
+            store,
+            Arc::clone(&counters),
+        );
+        let router = Arc::new(Router::new(
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&counters),
+            Arc::clone(&draining),
+            config.test_endpoints,
+        ));
+
+        let active_conns = Arc::new(AtomicUsize::new(0));
+        let accept_handle = {
+            let router = Arc::clone(&router);
+            let draining = Arc::clone(&draining);
+            let active = Arc::clone(&active_conns);
+            std::thread::Builder::new()
+                .name("pskel-serve-accept".into())
+                .spawn(move || accept_loop(listener, router, draining, active))?
+        };
+        let summary_handle = config.summary_every.map(|every| {
+            let metrics = Arc::clone(&router.metrics);
+            let queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            std::thread::Builder::new()
+                .name("pskel-serve-summary".into())
+                .spawn(move || summary_loop(metrics, queue, draining, every))
+                .expect("spawning summary thread")
+        });
+
+        Ok(Server {
+            addr,
+            router,
+            queue,
+            counters,
+            draining,
+            active_conns,
+            accept_handle: Some(accept_handle),
+            summary_handle,
+            worker_handles,
+        })
+    }
+
+    /// The shared simulation counters (for tests and the CLI summary).
+    pub fn counters(&self) -> Arc<EvalCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Current queue depth (for tests and the CLI summary).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The metrics registry backing `/metrics`.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.router.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, answer new jobs with 503,
+    /// drain queued and in-flight jobs, and wait up to `deadline` for
+    /// open connections to finish. Returns `true` if the drain completed
+    /// within the deadline.
+    pub fn shutdown(mut self, deadline: Duration) -> bool {
+        self.draining.store(true, Ordering::SeqCst);
+        // Close the queue: workers finish what is queued, then exit.
+        self.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.summary_handle.take() {
+            let _ = h.join();
+        }
+        // Connection threads only outlive this point if a peer is mid-
+        // request; give them until the deadline to flush responses.
+        let t0 = Instant::now();
+        while self.active_conns.load(Ordering::SeqCst) > 0 {
+            if t0.elapsed() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<Router>,
+    draining: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let router = Arc::clone(&router);
+                let conn_active = Arc::clone(&active);
+                active.fetch_add(1, Ordering::SeqCst);
+                let spawned = std::thread::Builder::new()
+                    .name("pskel-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &router);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Thread spawn failed (resource exhaustion); the
+                    // connection is dropped and the count restored.
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Handle one connection until the peer closes, errors, or asks not to
+/// keep it alive.
+fn serve_connection(stream: TcpStream, router: &Router) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req: Request = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean close
+            Err(ParseError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(ParseError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => return Ok(()),
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(e) => {
+                // Malformed request: answer with the parse error's status
+                // and close — we can't trust the framing after a bad read.
+                let resp = Response::json(
+                    e.status(),
+                    Json::obj([("error", Json::from(e.message()))]).render(),
+                );
+                resp.write_to(&mut writer, false)?;
+                writer.flush()?;
+                return Ok(());
+            }
+        };
+        let keep_alive = req.keep_alive;
+        let resp = router.handle(&req);
+        resp.write_to(&mut writer, keep_alive)?;
+        writer.flush()?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn summary_loop(
+    metrics: Arc<Metrics>,
+    queue: Arc<Bounded<Job>>,
+    draining: Arc<AtomicBool>,
+    every: Duration,
+) {
+    let mut last = Instant::now();
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        if last.elapsed() >= every {
+            last = Instant::now();
+            if metrics.totals().requests > 0 {
+                eprintln!("{}", metrics.summary_line(queue.len()));
+            }
+        }
+    }
+}
+
+/// Minimal raw signal handling (no external crates): flips a shared flag
+/// on SIGINT/SIGTERM so the serve loop can drain and exit 0.
+pub mod signal {
+    use std::os::raw::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: c_int) {
+        // Only async-signal-safe work here: a relaxed-free atomic store.
+        if let Some(f) = FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Install handlers for SIGINT (2) and SIGTERM (15) that set `flag`.
+    /// Idempotent; the first registered flag wins.
+    #[cfg(unix)]
+    pub fn install(flag: Arc<AtomicBool>) {
+        let _ = FLAG.set(flag);
+        type Handler = extern "C" fn(c_int);
+        extern "C" {
+            fn signal(signum: c_int, handler: Handler) -> isize;
+        }
+        unsafe {
+            signal(2, on_signal); // SIGINT
+            signal(15, on_signal); // SIGTERM
+        }
+    }
+
+    /// Non-unix fallback: ctrl-c handling is unavailable; the flag is
+    /// simply never set by a signal.
+    #[cfg(not(unix))]
+    pub fn install(_flag: Arc<AtomicBool>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Read, Write};
+
+    fn start_test_server(test_endpoints: bool) -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 4,
+            store_dir: None,
+            test_endpoints,
+            summary_every: None,
+        })
+        .expect("server starts")
+    }
+
+    fn raw_request(addr: SocketAddr, req: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(req.as_bytes()).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        (status, buf)
+    }
+
+    #[test]
+    fn healthz_answers_over_tcp() {
+        let server = start_test_server(false);
+        let (status, body) = raw_request(
+            server.addr,
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn keep_alive_serves_two_requests_on_one_connection() {
+        let server = start_test_server(false);
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        for i in 0..2 {
+            s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert!(line.contains("200"), "request {i}: {line}");
+            // Drain headers + body using Content-Length.
+            let mut clen = 0usize;
+            loop {
+                let mut h = String::new();
+                r.read_line(&mut h).unwrap();
+                if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                    clen = v.trim().parse().unwrap();
+                }
+                if h == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; clen];
+            r.read_exact(&mut body).unwrap();
+        }
+        drop(s);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_bad_json_is_400() {
+        let server = start_test_server(false);
+        let (status, _) = raw_request(
+            server.addr,
+            "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 404);
+        let (status, body) = raw_request(
+            server.addr,
+            "POST /v1/predict HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 9\r\n\r\nnot json!",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("invalid JSON"), "body: {body}");
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn sleep_endpoint_is_gated_behind_test_flag() {
+        let server = start_test_server(false);
+        let (status, _) = raw_request(
+            server.addr,
+            "POST /v1/sleep HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 11\r\n\r\n{\"ms\": 1.0}",
+        );
+        // Without --test-endpoints the path resolves but the method match
+        // falls through to 405 (the route exists only when gated in).
+        assert_eq!(status, 405);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn shutdown_drains_and_reports_clean() {
+        let server = start_test_server(true);
+        let (status, _) = raw_request(
+            server.addr,
+            "POST /v1/sleep HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 10\r\n\r\n{\"ms\": 10}",
+        );
+        assert_eq!(status, 200);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+}

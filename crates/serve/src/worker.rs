@@ -1,0 +1,323 @@
+//! The worker pool: long-lived threads that pop jobs off the bounded
+//! queue and execute them against reusable, store-backed
+//! [`EvalContext`]s.
+//!
+//! Each worker owns one `EvalContext` per problem class, created lazily
+//! and kept for the life of the server — so a warm request is answered
+//! from the in-process memo or the shared [`Store`] without simulating.
+//! All contexts across all workers share one [`EvalCounters`] set, which
+//! is what `/metrics` (and the coalescing integration test) observe.
+
+use crate::json::Json;
+use crate::queue::Bounded;
+use pskel_apps::{Class, NasBenchmark};
+use pskel_predict::{error_pct, EvalContext, EvalCounters, EvalError, Scenario};
+use pskel_store::Store;
+use pskel_trace::TraceSummary;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on skeleton target sizes accepted over the API; keeps a
+/// typo like `"target_secs": 1e9` from wedging a worker.
+const MAX_TARGET_SECS: f64 = 3600.0;
+
+/// How a request failed. `Clone` because coalesced followers receive a
+/// copy of the leader's outcome.
+#[derive(Clone, Debug)]
+pub enum ApiError {
+    /// The request was malformed or named an unknown entity (400).
+    Bad(String),
+    /// The job queue is full; retry later (429).
+    Busy,
+    /// The server is draining and no longer accepts work (503).
+    ShuttingDown,
+    /// The pipeline failed internally (500).
+    Internal(String),
+}
+
+impl ApiError {
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::Bad(_) => 400,
+            ApiError::Busy => 429,
+            ApiError::ShuttingDown => 503,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    pub fn message(&self) -> String {
+        match self {
+            ApiError::Bad(m) | ApiError::Internal(m) => m.clone(),
+            ApiError::Busy => "job queue is full; retry shortly".into(),
+            ApiError::ShuttingDown => "server is shutting down".into(),
+        }
+    }
+}
+
+/// The prediction methodologies exposed by `POST /v1/predict`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictMethod {
+    /// The paper's skeleton-based prediction (needs `target_secs`).
+    Skeleton,
+    /// Suite-average slowdown baseline.
+    Average,
+    /// Class-S-as-manual-skeleton baseline.
+    ClassS,
+}
+
+impl PredictMethod {
+    pub fn parse(s: &str) -> Result<PredictMethod, ApiError> {
+        match s {
+            "skeleton" => Ok(PredictMethod::Skeleton),
+            "average" => Ok(PredictMethod::Average),
+            "class-s" => Ok(PredictMethod::ClassS),
+            other => Err(ApiError::Bad(format!(
+                "unknown method {other:?}; expected skeleton, average or class-s"
+            ))),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictMethod::Skeleton => "skeleton",
+            PredictMethod::Average => "average",
+            PredictMethod::ClassS => "class-s",
+        }
+    }
+}
+
+/// One unit of work for the pool.
+#[derive(Clone, Debug)]
+pub enum ApiJob {
+    Trace {
+        bench: NasBenchmark,
+        class: Class,
+    },
+    Build {
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: f64,
+    },
+    Predict {
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: Option<f64>,
+        scenario: Scenario,
+        method: PredictMethod,
+        verify: bool,
+    },
+    /// Test-endpoint job: occupy a worker for a fixed time. Lets the
+    /// integration tests and CI exercise backpressure deterministically.
+    Sleep {
+        ms: u64,
+    },
+}
+
+pub type JobOutcome = Result<Json, ApiError>;
+
+/// A queued job plus the channel its requester is blocked on.
+pub struct Job {
+    pub api: ApiJob,
+    pub reply: mpsc::Sender<JobOutcome>,
+}
+
+/// Validate an API-supplied skeleton target size before it reaches the
+/// builder.
+fn check_target(target_secs: f64) -> Result<f64, ApiError> {
+    if !target_secs.is_finite() || target_secs <= 0.0 || target_secs > MAX_TARGET_SECS {
+        return Err(ApiError::Bad(format!(
+            "target_secs must be in (0, {MAX_TARGET_SECS}], got {target_secs}"
+        )));
+    }
+    Ok(target_secs)
+}
+
+fn eval_err(e: EvalError) -> ApiError {
+    ApiError::Bad(e.to_string())
+}
+
+/// Per-worker state: one lazily-created context per problem class, all
+/// feeding the shared store and counter set.
+struct WorkerState {
+    store: Option<Arc<Store>>,
+    counters: Arc<EvalCounters>,
+    contexts: HashMap<Class, EvalContext>,
+}
+
+impl WorkerState {
+    fn context(&mut self, class: Class) -> &mut EvalContext {
+        let store = self.store.clone();
+        let counters = Arc::clone(&self.counters);
+        self.contexts.entry(class).or_insert_with(|| {
+            let mut ctx = EvalContext::new(class, &[]);
+            if let Some(s) = store {
+                ctx.set_store(s);
+            }
+            ctx.set_counters(counters);
+            ctx
+        })
+    }
+
+    fn execute(&mut self, job: &ApiJob) -> JobOutcome {
+        match *job {
+            ApiJob::Trace { bench, class } => {
+                let ctx = self.context(class);
+                let summary = TraceSummary::of(ctx.trace(bench));
+                Ok(Json::obj([
+                    ("app", Json::str(summary.app)),
+                    ("ranks", Json::from(summary.nranks)),
+                    ("dedicated_secs", Json::from(summary.total_time_secs)),
+                    (
+                        "events",
+                        Json::from(summary.events_per_rank.iter().sum::<usize>()),
+                    ),
+                    (
+                        "events_per_rank",
+                        Json::Arr(
+                            summary
+                                .events_per_rank
+                                .iter()
+                                .map(|&n| Json::from(n))
+                                .collect(),
+                        ),
+                    ),
+                    ("mpi_fraction", Json::from(summary.mpi_fraction)),
+                ]))
+            }
+            ApiJob::Build {
+                bench,
+                class,
+                target_secs,
+            } => {
+                let target_secs = check_target(target_secs)?;
+                let ctx = self.context(class);
+                let built = ctx.skeleton(bench, target_secs).map_err(eval_err)?;
+                let meta = &built.skeleton.meta;
+                Ok(Json::obj([
+                    ("app", Json::str(built.skeleton.app.clone())),
+                    ("ranks", Json::from(built.skeleton.nranks())),
+                    ("scale_k", Json::from(meta.scale_k)),
+                    ("target_secs", Json::from(meta.target_secs)),
+                    ("app_secs", Json::from(meta.app_secs)),
+                    ("target_q", Json::from(meta.target_q)),
+                    ("max_threshold", Json::from(meta.max_threshold)),
+                    ("good", Json::from(meta.good)),
+                    (
+                        "static_ops_per_rank",
+                        Json::Arr(
+                            built
+                                .skeleton
+                                .ranks
+                                .iter()
+                                .map(|r| Json::from(r.static_ops()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "warnings",
+                        Json::Arr(built.warnings.iter().map(Json::str).collect()),
+                    ),
+                ]))
+            }
+            ApiJob::Predict {
+                bench,
+                class,
+                target_secs,
+                scenario,
+                method,
+                verify,
+            } => {
+                let ctx = self.context(class);
+                let mut body: Vec<(&'static str, Json)> = vec![
+                    ("bench", Json::str(bench.name())),
+                    ("class", Json::str(class.to_string())),
+                    ("scenario", Json::str(scenario.cli_name())),
+                    ("method", Json::str(method.name())),
+                ];
+                let predicted = match method {
+                    PredictMethod::Skeleton => {
+                        let target = check_target(target_secs.ok_or_else(|| {
+                            ApiError::Bad("method \"skeleton\" requires target_secs".into())
+                        })?)?;
+                        let app_ded = ctx.app_time(bench, Scenario::Dedicated);
+                        let skel_ded = ctx
+                            .skeleton_time(bench, target, Scenario::Dedicated)
+                            .map_err(eval_err)?;
+                        let skel_scen = ctx
+                            .skeleton_time(bench, target, scenario)
+                            .map_err(eval_err)?;
+                        let ratio = app_ded / skel_ded;
+                        body.push(("target_secs", Json::from(target)));
+                        body.push(("ratio", Json::from(ratio)));
+                        body.push(("skeleton_dedicated_secs", Json::from(skel_ded)));
+                        body.push(("skeleton_scenario_secs", Json::from(skel_scen)));
+                        skel_scen * ratio
+                    }
+                    PredictMethod::Average => {
+                        pskel_predict::average_prediction(ctx, bench, scenario)
+                    }
+                    PredictMethod::ClassS => {
+                        pskel_predict::class_s_prediction(ctx, bench, scenario)
+                    }
+                };
+                body.push(("predicted_secs", Json::from(predicted)));
+                if verify {
+                    let actual = ctx.app_time(bench, scenario);
+                    body.push(("actual_secs", Json::from(actual)));
+                    body.push(("error_pct", Json::from(error_pct(predicted, actual))));
+                }
+                Ok(Json::obj(body))
+            }
+            ApiJob::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+                Ok(Json::obj([("slept_ms", Json::from(ms.min(60_000)))]))
+            }
+        }
+    }
+}
+
+/// Spawn `n` workers draining `queue`. The pool exits when the queue is
+/// closed and empty; every queued job is still answered (drain-on-
+/// shutdown).
+pub fn spawn_pool(
+    n: usize,
+    queue: Arc<Bounded<Job>>,
+    store: Option<Arc<Store>>,
+    counters: Arc<EvalCounters>,
+) -> Vec<JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let store = store.clone();
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name(format!("pskel-serve-worker-{i}"))
+                .spawn(move || {
+                    let mut state = WorkerState {
+                        store,
+                        counters,
+                        contexts: HashMap::new(),
+                    };
+                    while let Some(job) = queue.pop() {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                state.execute(&job.api)
+                            }))
+                            .unwrap_or_else(|_| {
+                                // A panicking pipeline may have left a context
+                                // half-updated; drop them all and rebuild lazily.
+                                state.contexts.clear();
+                                Err(ApiError::Internal("job panicked in the pipeline".into()))
+                            });
+                        // The requester may have gone away (client hangup);
+                        // a dead channel is not a worker error.
+                        let _ = job.reply.send(outcome);
+                    }
+                })
+                .expect("spawning worker thread")
+        })
+        .collect()
+}

@@ -1,0 +1,75 @@
+//! Property tests for the HTTP/1.1 request parser: whatever bytes a peer
+//! sends, the parser must return an error (or a clean EOF) — never panic
+//! and never loop forever.
+
+use proptest::prelude::*;
+use pskel_serve::http::read_request;
+use std::io::Cursor;
+
+proptest! {
+    /// Arbitrary byte soup: parsing must terminate without panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut cur = Cursor::new(bytes);
+        let _ = read_request(&mut cur);
+    }
+
+    /// Well-formed requests round-trip every field.
+    #[test]
+    fn valid_requests_roundtrip(
+        method in "[A-Z]{3,7}",
+        path in "/[a-zA-Z0-9_./-]{0,40}",
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let mut cur = Cursor::new(raw);
+        let req = read_request(&mut cur)
+            .expect("well-formed request parses")
+            .expect("not EOF");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.body, body);
+        prop_assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    /// Any truncated prefix of a valid request is EOF or an error —
+    /// never a panic, never a half-parsed success.
+    #[test]
+    fn truncated_requests_fail_gracefully(
+        body in prop::collection::vec(any::<u8>(), 1..256),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut raw = format!(
+            "POST /v1/predict HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let cut = raw.len() * cut_permille / 1000;
+        prop_assume!(cut < raw.len()); // a full request would rightly parse
+        let mut cur = Cursor::new(raw[..cut].to_vec());
+        match read_request(&mut cur) {
+            Ok(Some(req)) => prop_assert!(
+                false,
+                "truncated request must not parse, got {} {}",
+                req.method,
+                req.path
+            ),
+            Ok(None) | Err(_) => {}
+        }
+    }
+
+    /// Query strings are stripped from the routed path.
+    #[test]
+    fn query_strings_are_stripped(path in "/[a-z]{1,20}", query in "[a-z=&]{0,20}") {
+        let raw = format!("GET {path}?{query} HTTP/1.1\r\nHost: q\r\n\r\n").into_bytes();
+        let mut cur = Cursor::new(raw);
+        let req = read_request(&mut cur).unwrap().unwrap();
+        prop_assert_eq!(req.path, path);
+    }
+}

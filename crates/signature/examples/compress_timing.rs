@@ -56,7 +56,9 @@ fn main() {
     );
 
     let app = synthetic_app_trace(4, 25_000, 0xA44);
-    let (t, _out) = time(reps, || compress_app(&app, 50.0, SignatureOptions::default()));
+    let (t, _out) = time(reps, || {
+        compress_app(&app, 50.0, SignatureOptions::default())
+    });
     println!(
         "compress_app_synth_4x25k: {} events total in {:.4}s ({:.0} events/s)",
         app.n_events(),

@@ -349,7 +349,8 @@ impl Store {
         }
     }
 
-    /// All entries, oldest first.
+    /// All entries, sorted by kind then key — a deterministic order that
+    /// does not depend on directory-walk order or creation timestamps.
     pub fn ls(&self) -> Vec<LsEntry> {
         let index = self.index.lock().unwrap();
         let mut rows: Vec<LsEntry> = index
@@ -365,12 +366,23 @@ impl Store {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| a.created_unix.cmp(&b.created_unix).then(a.key.cmp(&b.key)));
+        rows.sort_by(|a, b| a.kind.cmp(&b.kind).then(a.key.cmp(&b.key)));
         rows
     }
 
     /// Evict oldest entries until total size fits `max_bytes`.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        self.gc_impl(max_bytes, false)
+    }
+
+    /// The report [`Store::gc`] would produce for `max_bytes`, computed
+    /// without evicting anything (dry run).
+    pub fn gc_plan(&self, max_bytes: u64) -> GcReport {
+        self.gc_impl(max_bytes, true)
+            .expect("dry-run gc performs no I/O")
+    }
+
+    fn gc_impl(&self, max_bytes: u64, dry_run: bool) -> io::Result<GcReport> {
         let mut index = self.index.lock().unwrap();
         let mut total: u64 = index.entries.values().map(|e| e.bytes).sum();
         let mut order: Vec<(String, u64, u64)> = index
@@ -381,21 +393,27 @@ impl Store {
         order.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
 
         let mut report = GcReport::default();
+        let mut remaining = index.entries.len();
         for (key, _, bytes) in order {
             if total <= max_bytes {
                 break;
             }
-            if let Some((kind, hex)) = key.split_once('/') {
-                fs::remove_file(self.object_path(kind, hex)).ok();
+            if !dry_run {
+                if let Some((kind, hex)) = key.split_once('/') {
+                    fs::remove_file(self.object_path(kind, hex)).ok();
+                }
+                index.entries.remove(&key);
             }
-            index.entries.remove(&key);
+            remaining -= 1;
             total -= bytes;
             report.removed += 1;
             report.freed_bytes += bytes;
         }
-        report.remaining_entries = index.entries.len();
+        report.remaining_entries = remaining;
         report.remaining_bytes = total;
-        self.persist_index(&index)?;
+        if !dry_run {
+            self.persist_index(&index)?;
+        }
         Ok(report)
     }
 }
@@ -529,6 +547,47 @@ mod tests {
             .filter(|&i| s.get_bytes("trace", key(i)).is_some())
             .count();
         assert_eq!(alive, report.remaining_entries);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn gc_plan_reports_without_evicting() {
+        let s = tmp_store("gc-plan");
+        for i in 0..4 {
+            s.put_bytes("trace", key(i), &vec![0u8; 100]).unwrap();
+        }
+        let before = s.stats();
+        let plan = s.gc_plan(before.total_bytes / 2);
+        assert!(plan.removed >= 2);
+        assert!(plan.remaining_bytes <= before.total_bytes / 2);
+        // Nothing actually happened.
+        assert_eq!(s.stats().entries, before.entries);
+        assert_eq!(s.stats().total_bytes, before.total_bytes);
+        // The real gc matches its own plan.
+        let real = s.gc(before.total_bytes / 2).unwrap();
+        assert_eq!(real.removed, plan.removed);
+        assert_eq!(real.freed_bytes, plan.freed_bytes);
+        assert_eq!(real.remaining_entries, plan.remaining_entries);
+        assert_eq!(real.remaining_bytes, plan.remaining_bytes);
+        fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn ls_is_sorted_by_kind_then_key() {
+        let s = tmp_store("ls-order");
+        s.put_bytes("zz", key(1), b"a").unwrap();
+        s.put_bytes("aa", key(2), b"b").unwrap();
+        s.put_bytes("aa", key(1), b"c").unwrap();
+        let rows = s.ls();
+        let order: Vec<(String, String)> = rows
+            .iter()
+            .map(|e| (e.kind.clone(), e.key.clone()))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "ls must be (kind, key)-sorted");
+        assert_eq!(rows[0].kind, "aa");
+        assert_eq!(rows[2].kind, "zz");
         fs::remove_dir_all(s.root()).ok();
     }
 

@@ -12,6 +12,9 @@
 //! - [`cache`]: the on-disk [`Store`] — content-addressed objects under
 //!   `objects/<kind>/…` with atomic writes, checksummed frames,
 //!   corruption-evicting reads, and `stats`/`ls`/`gc` maintenance ops.
+//! - [`singleflight`]: concurrent request coalescing keyed by the same
+//!   provenance keys — N identical in-flight computations collapse to
+//!   one, complementing the store's across-time deduplication.
 //!
 //! The store deliberately knows nothing about *what* is cached: keys are
 //! opaque digests built by the caller (see `pskel-predict`'s provenance
@@ -21,6 +24,7 @@
 pub mod binfmt;
 pub mod cache;
 pub mod hash;
+pub mod singleflight;
 
 pub use binfmt::{
     load_trace_auto, read_trace_binary, save_trace_auto, scan_stats, write_trace_binary, RankScan,
@@ -28,3 +32,4 @@ pub use binfmt::{
 };
 pub use cache::{fnv64, GcReport, LsEntry, Store, StoreStats, DEFAULT_DIR};
 pub use hash::{sha256, KeyBuilder, Sha256, StoreKey};
+pub use singleflight::{Shared, SingleFlight};

@@ -1,0 +1,256 @@
+//! Concurrent request coalescing ("single flight").
+//!
+//! When N threads ask for the same expensive, deterministic artifact at
+//! the same time, exactly one of them (the *leader*) computes it; the
+//! other N−1 block until the leader finishes and receive a clone of the
+//! result. This sits naturally next to the content-addressed [`Store`]:
+//! the store deduplicates work across *time* (a warm cache replays), the
+//! [`SingleFlight`] map deduplicates work across *concurrency* (identical
+//! in-flight requests collapse to one computation) — both keyed by the
+//! same provenance-derived keys.
+//!
+//! Completed flights are removed from the map immediately, so a later
+//! request with the same key computes again (and typically hits the
+//! store). A leader that panics wakes its followers with
+//! [`Shared::Failed`] instead of leaving them blocked forever.
+//!
+//! [`Store`]: crate::Store
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum FlightState<V> {
+    Pending,
+    Done(V),
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+/// How a [`SingleFlight::run`] call obtained its value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Shared<V> {
+    /// This caller was the leader and computed the value itself.
+    Led(V),
+    /// Another in-flight call computed the value; this caller waited and
+    /// received a clone.
+    Followed(V),
+    /// The leader panicked (or was otherwise torn down) before producing
+    /// a value.
+    Failed,
+}
+
+impl<V> Shared<V> {
+    /// The value, if the flight produced one.
+    pub fn into_value(self) -> Option<V> {
+        match self {
+            Shared::Led(v) | Shared::Followed(v) => Some(v),
+            Shared::Failed => None,
+        }
+    }
+
+    /// True if this caller rode on another call's computation.
+    pub fn was_coalesced(&self) -> bool {
+        matches!(self, Shared::Followed(_))
+    }
+}
+
+/// A keyed single-flight group. `K` is typically a [`StoreKey`];
+/// `V` must be cheap to clone (fan-out clones it per follower).
+///
+/// [`StoreKey`]: crate::StoreKey
+pub struct SingleFlight<K, V> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Marks the flight abandoned if the leader unwinds before completing it.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    group: &'a SingleFlight<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    completed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.completed {
+            *self.flight.state.lock().unwrap() = FlightState::Abandoned;
+            self.flight.done.notify_all();
+        }
+        self.group.flights.lock().unwrap().remove(&self.key);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    pub fn new() -> SingleFlight<K, V> {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of flights currently in the air (for metrics/tests).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+
+    /// Compute `f()` for `key`, coalescing with any identical in-flight
+    /// call: the first caller runs `f`, concurrent callers with the same
+    /// key block and receive a clone of its result.
+    pub fn run(&self, key: K, f: impl FnOnce() -> V) -> Shared<V> {
+        let flight = {
+            let mut map = self.flights.lock().unwrap();
+            if let Some(existing) = map.get(&key) {
+                Arc::clone(existing)
+            } else {
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState::Pending),
+                    done: Condvar::new(),
+                });
+                map.insert(key.clone(), Arc::clone(&flight));
+                drop(map);
+                // Leader path: compute outside every lock.
+                let mut guard = LeaderGuard {
+                    group: self,
+                    key,
+                    flight,
+                    completed: false,
+                };
+                let value = f();
+                {
+                    let mut st = guard.flight.state.lock().unwrap();
+                    *st = FlightState::Done(value.clone());
+                }
+                guard.completed = true;
+                guard.flight.done.notify_all();
+                return Shared::Led(value);
+            }
+        };
+        // Follower path: wait for the leader to land.
+        let mut st = flight.state.lock().unwrap();
+        loop {
+            match &*st {
+                FlightState::Pending => st = flight.done.wait(st).unwrap(),
+                FlightState::Done(v) => return Shared::Followed(v.clone()),
+                FlightState::Abandoned => return Shared::Failed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_call_leads_and_clears_the_map() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        assert_eq!(sf.run(1, || 42), Shared::Led(42));
+        assert_eq!(sf.in_flight(), 0, "completed flight must leave the map");
+        // A later call recomputes rather than reusing the old value.
+        assert_eq!(sf.run(1, || 43), Shared::Led(43));
+    }
+
+    #[test]
+    fn concurrent_identical_calls_compute_once() {
+        const CALLERS: usize = 8;
+        let sf: Arc<SingleFlight<u32, u64>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(Barrier::new(CALLERS));
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let computed = Arc::clone(&computed);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    sf.run(7, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Stay in flight long enough for every follower
+                        // to attach.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        1234u64
+                    })
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            1,
+            "exactly one caller computes"
+        );
+        let leaders = outcomes
+            .iter()
+            .filter(|o| matches!(o, Shared::Led(_)))
+            .count();
+        assert_eq!(leaders, 1);
+        for o in outcomes {
+            assert_eq!(o.into_value(), Some(1234));
+        }
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4u32)
+            .map(|k| {
+                let sf = Arc::clone(&sf);
+                let computed = Arc::clone(&computed);
+                std::thread::spawn(move || {
+                    sf.run(k, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        k * 2
+                    })
+                })
+            })
+            .collect();
+        for (k, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), Shared::Led(k as u32 * 2));
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn leader_panic_fails_followers_instead_of_hanging() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let gate = Arc::new(Barrier::new(2));
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run(9, || {
+                        gate.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        panic!("leader dies mid-flight");
+                    })
+                }));
+            })
+        };
+        gate.wait(); // leader is inside f() now
+        let outcome = sf.run(9, || 1);
+        // Either we attached to the doomed flight (Failed) or the leader
+        // already unwound and we led a fresh flight (Led) — never a hang.
+        assert!(
+            matches!(outcome, Shared::Failed | Shared::Led(1)),
+            "unexpected outcome {outcome:?}"
+        );
+        leader.join().unwrap();
+        assert_eq!(sf.in_flight(), 0, "abandoned flight must leave the map");
+    }
+}

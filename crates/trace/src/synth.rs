@@ -49,18 +49,19 @@ pub fn synthetic_process_trace(rank: usize, events: usize, seed: u64) -> Process
     let mut records = Vec::with_capacity(iterations * (2 + EVENTS_PER_ITERATION));
     let mut t = 0u64;
 
-    let mpi = |records: &mut Vec<Record>, kind, peer: u32, tag: u64, bytes, dur: u64, t: &mut u64| {
-        records.push(Record::Mpi(MpiEvent {
-            kind,
-            peer: Some(peer),
-            tag: Some(tag),
-            bytes,
-            slots: vec![],
-            start: SimTime(*t),
-            end: SimTime(*t + dur),
-        }));
-        *t += dur;
-    };
+    let mpi =
+        |records: &mut Vec<Record>, kind, peer: u32, tag: u64, bytes, dur: u64, t: &mut u64| {
+            records.push(Record::Mpi(MpiEvent {
+                kind,
+                peer: Some(peer),
+                tag: Some(tag),
+                bytes,
+                slots: vec![],
+                start: SimTime(*t),
+                end: SimTime(*t + dur),
+            }));
+            *t += dur;
+        };
 
     for _ in 0..iterations {
         records.push(Record::Compute {

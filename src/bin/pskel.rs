@@ -17,18 +17,44 @@
 
 use pskel::core::BuiltSkeleton;
 use pskel::prelude::*;
+use pskel::serve::{ServeConfig, Server};
 use pskel::store::{load_trace_auto, save_trace_auto, scan_stats, KeyBuilder, Store, StoreKey};
 use pskel_trace::TraceSummary;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a `pskel` invocation failed, which decides the exit code:
+/// usage mistakes (unknown command, bad flag) exit 2 and reprint the
+/// usage text; runtime failures (missing file, failed build) exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Runtime(msg)
+    }
+}
+
+fn usage_err<T>(msg: String) -> Result<T, CliError> {
+    Err(CliError::Usage(msg))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -54,9 +80,22 @@ commands:
            predict application time under a scenario; --verify also runs
            the application for ground truth (bench name is read from the
            trace)
-  cache    <stats|ls|gc> [--store <dir>] [--max-bytes <n>]
+  cache    <stats|ls|gc> [--store <dir>] [--kind <k>]
+           [--max-bytes <n[K|M|G|T]>] [--dry-run]
            inspect or trim an artifact store (default: .pskel-cache);
-           gc evicts oldest entries until the store fits --max-bytes
+           ls sorts by kind then key and --kind filters it; gc evicts
+           oldest entries until the store fits --max-bytes (suffixes
+           like 512M or 2G are accepted) and --dry-run only reports
+           what would be evicted
+  serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
+           [--store <dir>] [--summary-secs <s>]
+           serve the pipeline over HTTP/JSON: POST /v1/trace, /v1/build,
+           /v1/predict plus GET /healthz, /metrics, /v1/scenarios;
+           identical concurrent requests coalesce onto one computation
+           and a full queue answers 429; ctrl-c drains and exits
+           cleanly. --selftest [--clients <n>] [--requests <n>] runs a
+           closed-loop load driver against an in-process server and
+           reports throughput and latency quantiles instead
   bench    compress [--json] [-o <report.json>] [--fast] [--skip-nas]
            time signature compression on reference workloads and report
            speedup vs the recorded pre-optimization baselines; --json
@@ -64,27 +103,32 @@ commands:
            for CI smoke runs, --skip-nas omits the simulated CG.W workload
 
 options:
-  --store <dir>  on trace/build/predict: consult and fill a
+  --store <dir>  on trace/build/predict/serve: consult and fill a
                  content-addressed artifact cache so repeated
                  invocations replay instead of re-simulating
+  --version, -V  print the version and exit
 
 scenarios: dedicated, cpu-one-node, cpu-all-nodes, net-one-link,
            net-all-links, cpu-and-net";
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("missing command".into());
+        return usage_err("missing command".into());
     };
+    if cmd == "--version" || cmd == "-V" {
+        println!("pskel {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
     if cmd == "cache" {
         let Some((action, rest)) = rest.split_first() else {
-            return Err("cache needs an action: stats, ls or gc".into());
+            return usage_err("cache needs an action: stats, ls or gc".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_cache(action, &opts);
     }
     if cmd == "bench" {
         let Some((action, rest)) = rest.split_first() else {
-            return Err("bench needs an action: compress".into());
+            return usage_err("bench needs an action: compress".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
@@ -96,7 +140,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "build" => cmd_build(&opts),
         "run" => cmd_run(&opts),
         "predict" => cmd_predict(&opts),
-        other => Err(format!("unknown command {other:?}")),
+        "serve" => cmd_serve(&opts),
+        other => usage_err(format!("unknown command {other:?}")),
     }
 }
 
@@ -110,61 +155,96 @@ impl Opts {
         self.flags.get(key).map(String::as_str)
     }
 
-    fn require(&self, key: &str) -> Result<&str, String> {
+    fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
-            .ok_or_else(|| format!("missing required option --{key}"))
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
     }
 
     fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
 
-    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError>
     where
         T::Err: std::fmt::Display,
     {
         self.require(key)?
             .parse()
-            .map_err(|e| format!("--{key}: {e}"))
+            .map_err(|e| CliError::Usage(format!("--{key}: {e}")))
     }
 
-    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
     where
         T::Err: std::fmt::Display,
     {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--{key}: {e}"))),
         }
     }
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    const SWITCHES: [&str; 6] = [
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    const SWITCHES: [&str; 9] = [
         "verify",
         "consolidate",
         "distribution",
         "json",
         "fast",
         "skip-nas",
+        "dry-run",
+        "selftest",
+        "test-endpoints",
     ];
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) else {
-            return Err(format!("unexpected argument {a:?}"));
+            return usage_err(format!("unexpected argument {a:?}"));
         };
         if SWITCHES.contains(&name) {
             switches.push(name.to_string());
         } else {
             let value = it
                 .next()
-                .ok_or_else(|| format!("option --{name} needs a value"))?;
+                .ok_or_else(|| CliError::Usage(format!("option --{name} needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         }
     }
     Ok(Opts { flags, switches })
+}
+
+/// Parse a byte count with an optional binary suffix: `4096`, `512K`,
+/// `64M`, `2G`, `1T` (case-insensitive, optional trailing `B`/`iB`).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let split = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(t.len());
+    let (num, suffix) = t.split_at(split);
+    let n: f64 = num
+        .parse()
+        .map_err(|_| format!("invalid byte count {s:?}"))?;
+    let mult: f64 = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1.0,
+        "k" | "kb" | "kib" => 1024.0,
+        "m" | "mb" | "mib" => 1024.0 * 1024.0,
+        "g" | "gb" | "gib" => 1024.0 * 1024.0 * 1024.0,
+        "t" | "tb" | "tib" => 1024.0 * 1024.0 * 1024.0 * 1024.0,
+        other => {
+            return Err(format!(
+                "unknown byte suffix {other:?} in {s:?}; use K, M, G or T"
+            ))
+        }
+    };
+    let v = n * mult;
+    if !v.is_finite() || !(0.0..=u64::MAX as f64).contains(&v) {
+        return Err(format!("byte count {s:?} is out of range"));
+    }
+    Ok(v as u64)
 }
 
 fn testbed() -> (ClusterSpec, Placement) {
@@ -197,7 +277,7 @@ fn trace_key(
         .finish()
 }
 
-fn cmd_trace(opts: &Opts) -> Result<(), String> {
+fn cmd_trace(opts: &Opts) -> Result<(), CliError> {
     let bench: NasBenchmark = opts.parse("bench")?;
     let class: Class = opts.parse_or("class", Class::B)?;
     let out_path = opts.require("o")?;
@@ -240,7 +320,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(opts: &Opts) -> Result<(), String> {
+fn cmd_info(opts: &Opts) -> Result<(), CliError> {
     let path = opts.require("i")?;
     // Binary traces are summarized in one streaming pass — no event is
     // ever materialized, so this stays cheap for huge traces.
@@ -303,7 +383,7 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_build(opts: &Opts) -> Result<(), String> {
+fn cmd_build(opts: &Opts) -> Result<(), CliError> {
     let in_path = opts.require("i")?;
     let out_path = opts.require("o")?;
     let target: f64 = opts.parse("target-secs")?;
@@ -343,9 +423,7 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     }
     let issues = validate(&built.skeleton);
     if !issues.is_empty() {
-        return Err(format!(
-            "constructed skeleton failed validation: {issues:?}"
-        ));
+        return Err(format!("constructed skeleton failed validation: {issues:?}").into());
     }
 
     let json = serde_json::to_string(&built.skeleton).map_err(|e| e.to_string())?;
@@ -370,7 +448,7 @@ fn load_skeleton(path: &str) -> Result<Skeleton, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_run(opts: &Opts) -> Result<(), String> {
+fn cmd_run(opts: &Opts) -> Result<(), CliError> {
     let skel = load_skeleton(opts.require("i")?)?;
     let scenario: Scenario = opts.parse_or("scenario", Scenario::Dedicated)?;
     let (cluster, placement) = testbed();
@@ -421,7 +499,7 @@ fn skeleton_time_cached(
     Ok(t)
 }
 
-fn cmd_predict(opts: &Opts) -> Result<(), String> {
+fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
     let skel = load_skeleton(opts.require("i")?)?;
     let trace = load_trace_auto(opts.require("trace")?).map_err(|e| e.to_string())?;
     let scenario: Scenario = opts.parse("scenario")?;
@@ -469,9 +547,9 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(action: &str, opts: &Opts) -> Result<(), String> {
+fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
     if action != "compress" {
-        return Err(format!("unknown bench action {action:?}; use compress"));
+        return usage_err(format!("unknown bench action {action:?}; use compress"));
     }
     let fast = opts.has("fast");
     let include_nas = !opts.has("skip-nas");
@@ -491,7 +569,7 @@ fn cmd_bench(action: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cache(action: &str, opts: &Opts) -> Result<(), String> {
+fn cmd_cache(action: &str, opts: &Opts) -> Result<(), CliError> {
     let dir = opts.get("store").unwrap_or(pskel::store::DEFAULT_DIR);
     let store =
         Store::open(dir).map_err(|e| format!("cannot open artifact store at {dir}: {e}"))?;
@@ -508,22 +586,194 @@ fn cmd_cache(action: &str, opts: &Opts) -> Result<(), String> {
             Ok(())
         }
         "ls" => {
+            let kind = opts.get("kind");
             for e in store.ls() {
+                if kind.is_some_and(|k| k != e.kind) {
+                    continue;
+                }
                 println!("{:10} {:16} {}/{}", e.bytes, e.created_unix, e.kind, e.key);
             }
             Ok(())
         }
         "gc" => {
-            let max_bytes: u64 = opts.parse_or("max-bytes", 0)?;
-            let r = store.gc(max_bytes).map_err(|e| e.to_string())?;
-            println!(
-                "removed {} entries ({} bytes); {} entries ({} bytes) remain",
-                r.removed, r.freed_bytes, r.remaining_entries, r.remaining_bytes
-            );
+            let max_bytes = match opts.get("max-bytes") {
+                None => 0,
+                Some(v) => {
+                    parse_bytes(v).map_err(|e| CliError::Usage(format!("--max-bytes: {e}")))?
+                }
+            };
+            if opts.has("dry-run") {
+                let r = store.gc_plan(max_bytes);
+                println!(
+                    "would remove {} entries ({} bytes); {} entries ({} bytes) would remain",
+                    r.removed, r.freed_bytes, r.remaining_entries, r.remaining_bytes
+                );
+            } else {
+                let r = store.gc(max_bytes).map_err(|e| e.to_string())?;
+                println!(
+                    "removed {} entries ({} bytes); {} entries ({} bytes) remain",
+                    r.removed, r.freed_bytes, r.remaining_entries, r.remaining_bytes
+                );
+            }
             Ok(())
         }
-        other => Err(format!(
+        other => usage_err(format!(
             "unknown cache action {other:?}; use stats, ls or gc"
         )),
+    }
+}
+
+/// Assemble a [`ServeConfig`] from the command line.
+fn serve_config(opts: &Opts, selftest: bool) -> Result<ServeConfig, CliError> {
+    let default_addr = if selftest {
+        // The self-test talks to itself; an ephemeral port avoids
+        // colliding with a real deployment on the same host.
+        "127.0.0.1:0"
+    } else {
+        "127.0.0.1:7070"
+    };
+    let summary_secs: u64 = opts.parse_or("summary-secs", 10)?;
+    Ok(ServeConfig {
+        addr: opts.get("addr").unwrap_or(default_addr).to_string(),
+        workers: opts.parse_or("workers", pskel::serve::default_workers())?,
+        queue_capacity: opts.parse_or("queue", 64)?,
+        store_dir: opts.get("store").map(Into::into),
+        test_endpoints: opts.has("test-endpoints"),
+        summary_every: if selftest || summary_secs == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(summary_secs))
+        },
+    })
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    if opts.has("selftest") {
+        return cmd_serve_selftest(opts);
+    }
+    let config = serve_config(opts, false)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    pskel::serve::signal::install(Arc::clone(&shutdown));
+    let server = Server::start(config.clone()).map_err(|e| format!("cannot start server: {e}"))?;
+    // Scripts (and the integration tests) scrape the port from this line.
+    println!("pskel-serve listening on http://{}", server.addr);
+    eprintln!(
+        "{} workers, queue capacity {}, store {}",
+        config.workers,
+        config.queue_capacity,
+        config
+            .store_dir
+            .as_deref()
+            .map_or_else(|| "disabled".to_string(), |p| p.display().to_string())
+    );
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutting down: draining in-flight work...");
+    let counters = server.counters();
+    let metrics = server.metrics();
+    if !server.shutdown(Duration::from_secs(10)) {
+        return Err(
+            "shutdown drain deadline exceeded with connections still open"
+                .to_string()
+                .into(),
+        );
+    }
+    let t = metrics.totals();
+    let c = counters.snapshot();
+    eprintln!(
+        "drained cleanly: {} requests ({} errors, {} rejected, {} coalesced), {} simulations",
+        t.requests,
+        t.errors,
+        t.rejected,
+        t.coalesced,
+        c.total_sims()
+    );
+    Ok(())
+}
+
+/// `pskel serve --selftest`: boot an in-process server, drive it with a
+/// closed-loop client fleet, and report throughput and latency.
+fn cmd_serve_selftest(opts: &Opts) -> Result<(), CliError> {
+    let clients: usize = opts.parse_or("clients", 4)?;
+    let requests: usize = opts.parse_or("requests", 50)?;
+    let config = serve_config(opts, true)?;
+    let server = Server::start(config.clone()).map_err(|e| format!("cannot start server: {e}"))?;
+    eprintln!(
+        "selftest: {clients} clients x {requests} requests against {} ({} workers, queue {})",
+        server.addr, config.workers, config.queue_capacity
+    );
+    let report = pskel::serve::loadgen::run(server.addr, clients, requests)
+        .map_err(|e| format!("load driver failed: {e}"))?;
+    let metrics = server.metrics();
+    let counters = server.counters();
+    if !server.shutdown(Duration::from_secs(10)) {
+        return Err("selftest server did not drain cleanly".to_string().into());
+    }
+    let t = metrics.totals();
+    let c = counters.snapshot();
+    let ms = |q: f64| report.quantile_micros(q) as f64 / 1000.0;
+    println!(
+        "selftest: {} requests ({} ok, {} errors) in {:.2}s",
+        report.requests,
+        report.ok,
+        report.errors,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput {:.1} req/s; latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms",
+        report.throughput_rps(),
+        ms(0.50),
+        ms(0.90),
+        ms(0.99)
+    );
+    println!(
+        "coalesced {} requests; {} simulations ({} trace, {} skeleton builds), {} store hits",
+        t.coalesced,
+        c.total_sims(),
+        c.trace_sims,
+        c.skeleton_builds,
+        c.store_hits
+    );
+    if report.errors > 0 {
+        return Err(format!("selftest saw {} failed requests", report.errors).into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn plain_numbers_and_b_suffix() {
+        assert_eq!(parse_bytes("0").unwrap(), 0);
+        assert_eq!(parse_bytes("4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("123B").unwrap(), 123);
+    }
+
+    #[test]
+    fn binary_suffixes_are_1024_based_and_case_insensitive() {
+        assert_eq!(parse_bytes("1K").unwrap(), 1024);
+        assert_eq!(parse_bytes("512M").unwrap(), 512 * 1024 * 1024);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(parse_bytes("1T").unwrap(), 1024u64.pow(4));
+        assert_eq!(parse_bytes("512m").unwrap(), parse_bytes("512MiB").unwrap());
+        assert_eq!(parse_bytes("1kb").unwrap(), 1024);
+    }
+
+    #[test]
+    fn fractional_counts_scale_before_truncation() {
+        assert_eq!(parse_bytes("1.5K").unwrap(), 1536);
+        assert_eq!(parse_bytes("0.5G").unwrap(), 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("12Q").is_err());
+        assert!(parse_bytes("M").is_err());
+        assert!(parse_bytes("-1K").is_err());
+        assert!(parse_bytes("1e400").is_err());
     }
 }

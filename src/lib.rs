@@ -24,6 +24,8 @@
 //!   prediction methodologies, and drivers for every figure.
 //! * [`store`] — compact binary trace format and the content-addressed
 //!   artifact cache behind `--store` / `pskel cache`.
+//! * [`serve`] — `pskel serve`: a concurrent HTTP/JSON prediction
+//!   service with request coalescing, backpressure and live metrics.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +72,7 @@ pub use pskel_apps as apps;
 pub use pskel_core as core;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
+pub use pskel_serve as serve;
 pub use pskel_signature as signature;
 pub use pskel_sim as sim;
 pub use pskel_store as store;

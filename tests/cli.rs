@@ -278,3 +278,137 @@ fn bad_scenario_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
 }
+
+#[test]
+fn version_flag_prints_version_and_exits_zero() {
+    for flag in ["--version", "-V"] {
+        let out = bin().arg(flag).output().unwrap();
+        assert!(out.status.success(), "{flag} must exit 0");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).starts_with("pskel "),
+            "{flag} must print the version"
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_and_name_the_bad_token() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown command exits 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+    assert!(stderr.contains("usage: pskel"), "{stderr}");
+
+    let out = bin().args(["cache", "teleport"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown cache action exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("teleport"));
+
+    let out = bin()
+        .args(["cache", "gc", "--max-bytes", "12Q"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad byte suffix exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("12Q"));
+}
+
+#[test]
+fn runtime_errors_exit_1() {
+    let out = bin()
+        .args(["info", "-i", "/nonexistent/pskel-test.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing input file exits 1");
+}
+
+#[test]
+fn cache_ls_sorts_and_filters_and_gc_dry_runs() {
+    let dir = workdir("cache-ls-gc");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    let trace = dir.join("ep.trace.pskt");
+    let skel = dir.join("ep.skel.json");
+
+    // Populate two artifact kinds: a trace and a skeleton.
+    assert!(bin()
+        .args(["trace", "--bench", "EP", "--class", "S", "-o"])
+        .arg(&trace)
+        .arg("--store")
+        .arg(&store)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "-i"])
+        .arg(&trace)
+        .args(["--target-secs", "0.01", "-o"])
+        .arg(&skel)
+        .arg("--store")
+        .arg(&store)
+        .status()
+        .unwrap()
+        .success());
+
+    // ls is sorted by kind then key.
+    let out = bin()
+        .args(["cache", "ls", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout);
+    let kind_keys: Vec<&str> = listing
+        .lines()
+        .map(|l| l.split_whitespace().last().unwrap())
+        .collect();
+    assert!(kind_keys.len() >= 2, "{listing}");
+    let mut sorted = kind_keys.clone();
+    sorted.sort();
+    assert_eq!(kind_keys, sorted, "ls must sort by kind then key");
+
+    // --kind filters to one artifact kind.
+    let out = bin()
+        .args(["cache", "ls", "--kind", "cli-trace", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let filtered = String::from_utf8_lossy(&out.stdout);
+    assert!(!filtered.is_empty(), "filter must keep cli-trace entries");
+    for line in filtered.lines() {
+        assert!(line.contains("cli-trace/"), "unexpected line: {line}");
+    }
+    assert!(filtered.lines().count() < kind_keys.len());
+
+    // gc --dry-run reports the plan without evicting anything.
+    let out = bin()
+        .args(["cache", "gc", "--max-bytes", "0", "--dry-run", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let plan = String::from_utf8_lossy(&out.stdout);
+    assert!(plan.contains("would remove"), "{plan}");
+    let out = bin()
+        .args(["cache", "stats", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    let stats = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stats.contains(": 0 entries"),
+        "dry-run must not evict: {stats}"
+    );
+
+    // gc accepts human-readable sizes; 1G keeps everything.
+    let out = bin()
+        .args(["cache", "gc", "--max-bytes", "1G", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("removed 0 entries"),
+        "a 1G budget must evict nothing from a tiny store"
+    );
+}

@@ -1,0 +1,282 @@
+//! Integration tests for `pskel serve`: the full HTTP surface against an
+//! in-process server, deterministic backpressure, request coalescing
+//! proven via the shared simulation counters, and graceful SIGINT drain
+//! of the real binary.
+
+use pskel::serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Fetch a required f64 field from a response document.
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("expected number at {key:?} in {v:?}"))
+}
+
+/// Fetch a required array field from a response document.
+fn arr<'a>(v: &'a Json, key: &str) -> &'a [Json] {
+    match v.get(key) {
+        Some(Json::Arr(items)) => items,
+        other => panic!("expected array at {key:?}, got {other:?}"),
+    }
+}
+
+fn start(workers: usize, queue: usize, test_endpoints: bool) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+        store_dir: None,
+        test_endpoints,
+        summary_every: None,
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+/// Minimal HTTP client: one request over a fresh connection, returning
+/// (status, headers, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        headers.push_str(&line);
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    (status, headers, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = request(addr, "GET", path, "");
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request(addr, "POST", path, body);
+    (status, body)
+}
+
+#[test]
+fn every_endpoint_answers() {
+    let server = start(2, 16, false);
+    let addr = server.addr;
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = get(addr, "/v1/scenarios");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(arr(&v, "scenarios").len(), 6);
+    assert!(body.contains("cpu-one-node"), "{body}");
+
+    let (status, body) = post(addr, "/v1/trace", r#"{"bench":"CG","class":"S"}"#);
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("app").and_then(Json::as_str), Some("CG.S"));
+    assert_eq!(num(&v, "ranks"), 4.0);
+    assert!(num(&v, "dedicated_secs") > 0.0);
+
+    let (status, body) = post(
+        addr,
+        "/v1/build",
+        r#"{"bench":"CG","class":"S","target_secs":0.004}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert!(num(&v, "scale_k") >= 1.0);
+    assert_eq!(arr(&v, "static_ops_per_rank").len(), 4);
+
+    let (status, body) = post(
+        addr,
+        "/v1/predict",
+        r#"{"bench":"CG","class":"S","target_secs":0.004,"scenario":"cpu-one-node","verify":true}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let predicted = num(&v, "predicted_secs");
+    let actual = num(&v, "actual_secs");
+    assert!(predicted > 0.0 && actual > 0.0);
+    assert!(num(&v, "error_pct") >= 0.0);
+
+    // The baseline methods answer too (no target_secs required).
+    for method in ["average", "class-s"] {
+        let (status, body) = post(
+            addr,
+            "/v1/predict",
+            &format!(
+                r#"{{"bench":"CG","class":"S","scenario":"cpu-one-node","method":"{method}"}}"#
+            ),
+        );
+        assert_eq!(status, 200, "{method}: {body}");
+    }
+
+    // Error surface: unknown route, wrong method, malformed JSON, bad field.
+    assert_eq!(get(addr, "/v1/nothing").0, 404);
+    assert_eq!(get(addr, "/v1/predict").0, 405);
+    assert_eq!(post(addr, "/v1/predict", "{not json").0, 400);
+    let (status, body) = post(
+        addr,
+        "/v1/predict",
+        r#"{"bench":"ZZ","scenario":"dedicated"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown benchmark"), "{body}");
+
+    // Metrics reflect the traffic.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("pskel_requests_total{endpoint=\"predict\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("pskel_eval_trace_sims_total"), "{metrics}");
+    assert!(metrics.contains("pskel_queue_depth"), "{metrics}");
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One worker, queue of one: the first sleep occupies the worker, the
+    // second fills the queue, the third must bounce with 429.
+    let server = start(1, 1, true);
+    let addr = server.addr;
+
+    let t1 = std::thread::spawn(move || post(addr, "/v1/sleep", r#"{"ms":800}"#));
+    std::thread::sleep(Duration::from_millis(200)); // worker picked up t1
+    let t2 = std::thread::spawn(move || post(addr, "/v1/sleep", r#"{"ms":800}"#));
+    std::thread::sleep(Duration::from_millis(200)); // t2 is parked in the queue
+
+    let (status, headers, body) = request(addr, "POST", "/v1/sleep", r#"{"ms":800}"#);
+    assert_eq!(status, 429, "{body}");
+    assert!(
+        headers.to_ascii_lowercase().contains("retry-after"),
+        "429 must carry Retry-After: {headers}"
+    );
+
+    // The accepted requests still complete.
+    assert_eq!(t1.join().unwrap().0, 200);
+    assert_eq!(t2.join().unwrap().0, 200);
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn identical_concurrent_predictions_coalesce_to_one_simulation() {
+    // Two workers so uncoalesced duplicates COULD run concurrently; the
+    // single-flight layer must ensure they don't.
+    let server = start(2, 16, false);
+    let addr = server.addr;
+    let counters = server.counters();
+
+    const BODY: &str =
+        r#"{"bench":"CG","class":"S","target_secs":0.004,"scenario":"cpu-one-node"}"#;
+    let gate = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                post(addr, "/v1/predict", BODY)
+            })
+        })
+        .collect();
+    let results: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (status, body) in &results {
+        assert_eq!(*status, 200, "{body}");
+    }
+    assert_eq!(
+        results[0].1, results[1].1,
+        "coalesced duplicates must receive identical responses"
+    );
+
+    // The decisive evidence: one trace simulation and one skeleton build
+    // for two identical concurrent requests.
+    let snap = counters.snapshot();
+    assert_eq!(snap.trace_sims, 1, "duplicate predict must not re-trace");
+    assert_eq!(
+        snap.skeleton_builds, 1,
+        "duplicate predict must not rebuild the skeleton"
+    );
+    assert_eq!(
+        server.metrics().totals().coalesced,
+        1,
+        "exactly one request must be recorded as coalesced"
+    );
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn sigint_drains_in_flight_work_and_exits_zero() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pskel"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue",
+            "4",
+            "--test-endpoints",
+            "--summary-secs",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary starts");
+
+    // The CLI announces the bound address on stdout.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("pskel-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+        .parse()
+        .unwrap();
+
+    // Park a request on the single worker, then interrupt the server.
+    let inflight = std::thread::spawn(move || post(addr, "/v1/sleep", r#"{"ms":1500}"#));
+    std::thread::sleep(Duration::from_millis(300));
+    let killed = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    // The in-flight request is drained, not dropped...
+    let (status, body) = inflight.join().unwrap();
+    assert_eq!(status, 200, "in-flight request must drain: {body}");
+    // ...and the process exits cleanly.
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "SIGINT must exit 0, got {exit:?}");
+}
