@@ -44,8 +44,21 @@ pub struct CompressBenchResult {
 
 #[derive(Debug, Clone, Serialize)]
 pub struct CompressBenchReport {
+    /// Build profile the benchmark binary was compiled with. Debug-build
+    /// numbers are not comparable to the recorded baselines; consumers
+    /// should gate on `"release"`.
+    pub profile: &'static str,
     pub fast: bool,
     pub results: Vec<CompressBenchResult>,
+}
+
+/// The build profile of this binary, as recorded in benchmark reports.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
 }
 
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -163,7 +176,11 @@ pub fn run_compress_bench(fast: bool, include_nas: bool) -> CompressBenchReport 
         BASELINE_APP_SYNTH_4X25K,
     ));
 
-    CompressBenchReport { fast, results }
+    CompressBenchReport {
+        profile: build_profile(),
+        fast,
+        results,
+    }
 }
 
 impl CompressBenchReport {
@@ -180,6 +197,7 @@ impl CompressBenchReport {
         }
         let mut s = String::new();
         let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
         let _ = writeln!(s, "  \"fast\": {},", self.fast);
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.results.iter().enumerate() {

@@ -12,6 +12,7 @@
 //! smaller-scale run; default is the paper's Class B.
 
 pub mod compress;
+pub mod sim;
 
 use pskel_apps::Class;
 use pskel_predict::{EvalContext, PAPER_SKELETON_SIZES};
@@ -19,7 +20,8 @@ use pskel_store::Store;
 use serde::Serialize;
 use std::sync::Arc;
 
-pub use compress::{run_compress_bench, CompressBenchReport, CompressBenchResult};
+pub use compress::{build_profile, run_compress_bench, CompressBenchReport, CompressBenchResult};
+pub use sim::{run_sim_bench, SimBenchReport, SimBenchResult};
 
 /// Parse common CLI options of the figure binaries: `--class S|W|A|B`
 /// scales the run, `--store <dir>` attaches a content-addressed artifact

@@ -1,0 +1,300 @@
+//! Wall-clock benchmark of the simulator's execution paths
+//! (`pskel bench sim`).
+//!
+//! Runs the same deterministic replays on the single-threaded script fast
+//! path and the thread-per-rank reference path, reports simulated engine
+//! events per wall second for each, and checks the two paths still
+//! produce bit-identical [`SimReport`]s (the equivalence the proptests in
+//! `pskel-sim` pin down; here it doubles as a guard that the benchmark
+//! measured the same work twice). Cheap enough for CI smoke jobs; emits
+//! machine-readable JSON (`BENCH_sim.json`) for artifact tracking.
+
+use crate::compress::build_profile;
+use pskel_apps::{Class, NasBenchmark};
+use pskel_core::{replay_trace, replay_trace_threaded, ReplayScale};
+use pskel_mpi::{run_mpi, MpiOps, ScriptBuilder, TraceConfig};
+use pskel_sim::{ClusterSpec, Placement, RankScript, SimReport, Simulation};
+use pskel_trace::AppTrace;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct SimBenchResult {
+    pub name: String,
+    pub ranks: usize,
+    /// Engine events one run processes (identical on both paths).
+    pub events: u64,
+    /// Best-of-`reps` wall seconds on the script fast path.
+    pub script_secs: f64,
+    /// Best-of-`reps` wall seconds on the thread-per-rank path.
+    pub threaded_secs: f64,
+    pub reps: usize,
+    pub script_events_per_sec: f64,
+    pub threaded_events_per_sec: f64,
+    /// `threaded_secs / script_secs`.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical reports.
+    pub identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct SimBenchReport {
+    /// Build profile of this binary; debug-build events/sec numbers are
+    /// not comparable to release floors.
+    pub profile: &'static str,
+    pub fast: bool,
+    pub results: Vec<SimBenchResult>,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn result(
+    name: &str,
+    ranks: usize,
+    reps: usize,
+    (script_secs, script): (f64, SimReport),
+    (threaded_secs, threaded): (f64, SimReport),
+) -> SimBenchResult {
+    SimBenchResult {
+        name: name.to_string(),
+        ranks,
+        events: script.events,
+        script_secs,
+        threaded_secs,
+        reps,
+        script_events_per_sec: script.events as f64 / script_secs,
+        threaded_events_per_sec: threaded.events as f64 / threaded_secs,
+        speedup: threaded_secs / script_secs,
+        identical: script == threaded,
+    }
+}
+
+/// A 4-rank NAS-shaped trace to replay. The real CG benchmark when the
+/// runtime RNG is available (its compute jitter needs it); otherwise a
+/// deterministic CG-shaped loop with the same communication skeleton, so
+/// offline builds can still smoke the harness.
+fn nas_shaped_trace(fast: bool) -> (&'static str, AppTrace) {
+    let cluster = ClusterSpec::paper_testbed();
+    let placement = Placement::round_robin(4, 4);
+    if pskel_sim::script::rng_runtime_available() {
+        let class = if fast { Class::S } else { Class::W };
+        let name = if fast {
+            "replay_cg_s_4rank"
+        } else {
+            "replay_cg_w_4rank"
+        };
+        let out = run_mpi(
+            cluster,
+            placement,
+            "CG",
+            TraceConfig::on(),
+            NasBenchmark::Cg.program(class),
+        );
+        (name, out.trace.expect("tracing enabled"))
+    } else {
+        let iters = if fast { 400u64 } else { 2_000 };
+        let out = run_mpi(
+            cluster,
+            placement,
+            "CGish",
+            TraceConfig::on(),
+            move |comm| {
+                let (n, me) = (comm.size(), comm.rank());
+                for i in 0..iters {
+                    comm.compute(2e-5 * (1 + (i + me as u64) % 3) as f64);
+                    let s = comm.isend((me + 1) % n, i, 12_000);
+                    let r = comm.irecv(Some((me + n - 1) % n), Some(i), 12_000);
+                    comm.waitall(vec![s, r]);
+                    comm.allreduce(64);
+                }
+            },
+        );
+        ("replay_cgish_4rank", out.trace.expect("tracing enabled"))
+    }
+}
+
+/// Compressed loop-nest scripts shaped like a signature replay: an outer
+/// iteration loop whose body is a ring exchange plus an allreduce, stored
+/// once and iterated lazily by both paths.
+fn loop_nest_scripts(nranks: usize, iters: u64, sw_overhead_secs: f64) -> Vec<RankScript> {
+    (0..nranks)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, nranks, sw_overhead_secs);
+            b.begin_loop(iters);
+            MpiOps::compute(&mut b, 1.5e-5);
+            let s = MpiOps::isend(&mut b, (rank + 1) % nranks, 3, 10_000);
+            let r = MpiOps::irecv(&mut b, Some((rank + nranks - 1) % nranks), Some(3), 10_000);
+            MpiOps::waitall(&mut b, vec![s, r]);
+            MpiOps::allreduce(&mut b, 512);
+            b.end_loop();
+            b.finish()
+        })
+        .collect()
+}
+
+/// Run the simulator-path benchmark suite. `fast` shrinks workloads and
+/// repetitions for smoke jobs.
+pub fn run_sim_bench(fast: bool) -> SimBenchReport {
+    let reps = if fast { 3 } else { 5 };
+    let mut results = Vec::new();
+
+    // Case 1: replay a traced 4-rank NAS-shaped application, the workload
+    // `pskel predict` and the figure binaries replay constantly.
+    let (name, trace) = nas_shaped_trace(fast);
+    let cluster = ClusterSpec::paper_testbed();
+    let placement = Placement::round_robin(4, 4);
+    let script = time_best(reps, || {
+        replay_trace(
+            &trace,
+            cluster.clone(),
+            placement.clone(),
+            ReplayScale::full(),
+        )
+        .report
+    });
+    let threaded = time_best(reps, || {
+        replay_trace_threaded(
+            &trace,
+            cluster.clone(),
+            placement.clone(),
+            ReplayScale::full(),
+        )
+        .report
+    });
+    results.push(result(name, 4, reps, script, threaded));
+
+    // Case 2: a compressed loop-nest script (signature/skeleton shape) on
+    // more ranks, where per-rank threads and channel round-trips dominate
+    // the threaded path.
+    let nranks = 8;
+    let iters = if fast { 150 } else { 600 };
+    let c = ClusterSpec::homogeneous(nranks);
+    let p = Placement::round_robin(nranks, nranks);
+    let scripts = loop_nest_scripts(nranks, iters, c.net.sw_overhead.as_secs_f64());
+    let script = time_best(reps, || {
+        Simulation::new(c.clone(), p.clone()).run_scripts(&scripts)
+    });
+    let threaded = time_best(reps, || {
+        Simulation::new(c.clone(), p.clone()).run_scripts_threaded(&scripts)
+    });
+    results.push(result(
+        "skeleton_loop_nest_8rank",
+        nranks,
+        reps,
+        script,
+        threaded,
+    ));
+
+    SimBenchReport {
+        profile: build_profile(),
+        fast,
+        results,
+    }
+}
+
+impl SimBenchReport {
+    /// Serialize to pretty-printed JSON. Hand-rolled like
+    /// [`crate::CompressBenchReport::to_json`] so emission works even
+    /// where serde_json is unavailable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+            let _ = writeln!(s, "      \"ranks\": {},", r.ranks);
+            let _ = writeln!(s, "      \"events\": {},", r.events);
+            let _ = writeln!(s, "      \"script_secs\": {},", r.script_secs);
+            let _ = writeln!(s, "      \"threaded_secs\": {},", r.threaded_secs);
+            let _ = writeln!(s, "      \"reps\": {},", r.reps);
+            let _ = writeln!(
+                s,
+                "      \"script_events_per_sec\": {},",
+                r.script_events_per_sec
+            );
+            let _ = writeln!(
+                s,
+                "      \"threaded_events_per_sec\": {},",
+                r.threaded_events_per_sec
+            );
+            let _ = writeln!(s, "      \"speedup\": {},", r.speedup);
+            let _ = writeln!(s, "      \"identical\": {}", r.identical);
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Render the human-readable table printed by the CLI.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<24} {:>5} {:>9} {:>11} {:>11} {:>12} {:>8} {:>9}",
+            "workload",
+            "ranks",
+            "events",
+            "script_s",
+            "threaded_s",
+            "script_ev/s",
+            "speedup",
+            "identical"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>5} {:>9} {:>11.4} {:>11.4} {:>12.0} {:>7.1}x {:>9}",
+                r.name,
+                r.ranks,
+                r.events,
+                r.script_secs,
+                r.threaded_secs,
+                r.script_events_per_sec,
+                r.speedup,
+                r.identical
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_identical_reports_and_valid_json() {
+        let report = run_sim_bench(true);
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert!(r.identical, "{}: paths diverged", r.name);
+            assert!(r.events > 0, "{}: no events", r.name);
+            assert!(r.script_secs > 0.0 && r.threaded_secs > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"profile\""), "json: {json}");
+        assert!(json.contains("skeleton_loop_nest_8rank"), "json: {json}");
+        // The table renders one line per result plus the header.
+        assert_eq!(report.table().lines().count(), 1 + report.results.len());
+    }
+}

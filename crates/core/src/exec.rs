@@ -4,19 +4,30 @@
 //! This is the in-simulation equivalent of compiling and running the
 //! generated C program (`codegen.rs` produces that artifact). Nonblocking
 //! request slots recorded at trace time are re-bound to live requests here.
+//!
+//! Untraced skeleton runs take the simulator's single-threaded fast path:
+//! [`compile_rank`] lowers the skeleton IR to a [`RankScript`] (loop nests
+//! stay compressed) and the coordinator interprets it inline — no rank
+//! threads. Traced runs keep the thread-per-rank path, since tracing needs
+//! a live [`Comm`]. Both paths produce bit-identical reports; jittered
+//! computes draw from the same per-rank seeded stream either way.
 
 use crate::ir::{RankSkeleton, SkelNode, SkelOp, Skeleton};
-use pskel_mpi::{run_mpi_fns, Comm, CommReq, MpiProgram, MpiRunOutcome, TraceConfig};
-use pskel_sim::{ClusterSpec, Placement};
+use pskel_mpi::{
+    try_run_mpi_fns, try_run_mpi_scripts, Comm, CommReq, MpiOps, MpiProgram, MpiRunOutcome,
+    ScriptBuilder, TraceConfig,
+};
+use pskel_sim::script::sample_normal;
+use pskel_sim::{ClusterSpec, Placement, RankScript, SimError};
 use pskel_trace::OpKind;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
 /// Execute one rank's skeleton program against a communicator.
 pub fn execute_rank(skel: &RankSkeleton, comm: &mut Comm, seed: u64) {
     let mut slots: HashMap<u32, CommReq> = HashMap::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (skel.rank as u64).wrapping_mul(0x9e3779b9));
+    let mut rng = ChaCha8Rng::seed_from_u64(rank_jitter_seed(seed, skel.rank));
     run_nodes(&skel.nodes, comm, &mut slots, &mut rng);
     assert!(
         slots.is_empty(),
@@ -115,13 +126,79 @@ fn run_collective(kind: OpKind, root: Option<u32>, bytes: u64, comm: &mut Comm) 
     }
 }
 
-/// Box-Muller standard normal scaled to (mean, std). Uses the executor's
-/// deterministic per-rank stream.
-fn sample_normal(rng: &mut ChaCha8Rng, mean: f64, std: f64) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    mean + std * z
+/// Per-rank jitter stream seed: the same mixing both the threaded executor
+/// and the compiled script use, so the two paths draw identical sequences.
+fn rank_jitter_seed(seed: u64, rank: usize) -> u64 {
+    seed ^ (rank as u64).wrapping_mul(0x9e3779b9)
+}
+
+/// Lower one rank's skeleton to a [`RankScript`] for the simulator's
+/// fast path. Loop nests stay compressed; the skeleton's own request
+/// slot numbers are kept, so diagnostics still name them.
+pub fn compile_rank(
+    skel: &RankSkeleton,
+    nranks: usize,
+    sw_overhead_secs: f64,
+    seed: u64,
+) -> RankScript {
+    let mut b = ScriptBuilder::new(skel.rank, nranks, sw_overhead_secs);
+    b.set_jitter_seed(rank_jitter_seed(seed, skel.rank));
+    compile_nodes(&skel.nodes, &mut b);
+    b.finish()
+}
+
+fn compile_nodes(nodes: &[SkelNode], b: &mut ScriptBuilder) {
+    for node in nodes {
+        match node {
+            SkelNode::Loop { count, body } => {
+                b.begin_loop(*count);
+                compile_nodes(body, b);
+                b.end_loop();
+            }
+            SkelNode::Op(op) => compile_op(op, b),
+        }
+    }
+}
+
+fn compile_op(op: &SkelOp, b: &mut ScriptBuilder) {
+    match op {
+        SkelOp::Compute { secs, jitter_std } => {
+            if *jitter_std > 0.0 {
+                b.compute_jitter(*secs, *jitter_std);
+            } else {
+                b.compute(*secs);
+            }
+        }
+        SkelOp::Send { peer, tag, bytes } => b.send(*peer as usize, *tag, *bytes),
+        SkelOp::Isend {
+            peer,
+            tag,
+            bytes,
+            slot,
+        } => b.isend_slot(*peer as usize, *tag, *bytes, *slot),
+        SkelOp::Recv { peer, tag } => b.recv(peer.map(|p| p as usize), *tag),
+        SkelOp::Irecv { peer, tag, slot } => b.irecv_slot(peer.map(|p| p as usize), *tag, *slot),
+        SkelOp::Wait { slot } => b.wait_slot(*slot),
+        SkelOp::Waitall { slots } => b.waitall_slots(slots.clone()),
+        SkelOp::Coll { kind, root, bytes } => compile_collective(*kind, *root, *bytes, b),
+    }
+}
+
+fn compile_collective(kind: OpKind, root: Option<u32>, bytes: u64, b: &mut ScriptBuilder) {
+    let root = root.map(|r| r as usize).unwrap_or(0);
+    match kind {
+        OpKind::Barrier => b.barrier(),
+        OpKind::Bcast => b.bcast(root, bytes),
+        OpKind::Reduce => b.reduce(root, bytes),
+        OpKind::Allreduce => b.allreduce(bytes),
+        OpKind::Gather => b.gather(root, bytes),
+        OpKind::Scatter => b.scatter(root, bytes),
+        OpKind::Allgather | OpKind::Allgatherv => b.allgather(bytes),
+        OpKind::Alltoall | OpKind::Alltoallv => b.alltoall(bytes),
+        OpKind::ReduceScatter => b.reduce_scatter(bytes),
+        OpKind::Scan => b.scan(bytes),
+        other => panic!("{other:?} is not a collective"),
+    }
 }
 
 /// Execution options for a skeleton run.
@@ -145,12 +222,66 @@ impl Default for ExecOptions {
 
 /// Run a whole skeleton on a cluster. The skeleton's rank count must match
 /// the placement's.
+///
+/// Untraced runs are lowered to rank scripts and take the simulator's
+/// single-threaded fast path; traced runs execute thread-per-rank through
+/// a live [`Comm`] (see [`run_skeleton_threaded`]). Panics on simulation
+/// failure; use [`try_run_skeleton`] for a typed [`SimError`].
 pub fn run_skeleton(
     skeleton: &Skeleton,
     cluster: ClusterSpec,
     placement: Placement,
     opts: ExecOptions,
 ) -> MpiRunOutcome {
+    try_run_skeleton(skeleton, cluster, placement, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_skeleton`].
+pub fn try_run_skeleton(
+    skeleton: &Skeleton,
+    cluster: ClusterSpec,
+    placement: Placement,
+    opts: ExecOptions,
+) -> Result<MpiRunOutcome, SimError> {
+    if opts.trace.enabled {
+        return try_run_skeleton_threaded(skeleton, cluster, placement, opts);
+    }
+    assert_eq!(
+        skeleton.nranks(),
+        placement.n_ranks(),
+        "skeleton has {} ranks but placement has {}",
+        skeleton.nranks(),
+        placement.n_ranks()
+    );
+    let n = skeleton.nranks();
+    let o = cluster.net.sw_overhead.as_secs_f64();
+    let scripts: Vec<RankScript> = skeleton
+        .ranks
+        .iter()
+        .map(|r| compile_rank(r, n, o, opts.seed))
+        .collect();
+    try_run_mpi_scripts(cluster, placement, &scripts)
+}
+
+/// Run a skeleton on the thread-per-rank path (required when tracing the
+/// skeleton run itself; also the reference the fast path is tested
+/// against).
+pub fn run_skeleton_threaded(
+    skeleton: &Skeleton,
+    cluster: ClusterSpec,
+    placement: Placement,
+    opts: ExecOptions,
+) -> MpiRunOutcome {
+    try_run_skeleton_threaded(skeleton, cluster, placement, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_skeleton_threaded`].
+pub fn try_run_skeleton_threaded(
+    skeleton: &Skeleton,
+    cluster: ClusterSpec,
+    placement: Placement,
+    opts: ExecOptions,
+) -> Result<MpiRunOutcome, SimError> {
     assert_eq!(
         skeleton.nranks(),
         placement.n_ranks(),
@@ -168,7 +299,7 @@ pub fn run_skeleton(
             Box::new(move |comm: &mut Comm| execute_rank(&rank_skel, comm, seed)) as MpiProgram
         })
         .collect();
-    run_mpi_fns(cluster, placement, &name, opts.trace, programs)
+    try_run_mpi_fns(cluster, placement, &name, opts.trace, programs)
 }
 
 #[cfg(test)]
@@ -350,6 +481,76 @@ mod tests {
         assert_ne!(a, c, "different seed perturbs jittered durations");
         // Mean should hold approximately.
         assert!((a - 0.2).abs() < 0.05, "total {a}");
+    }
+
+    #[test]
+    fn fast_path_matches_threaded_path_bit_for_bit() {
+        // Loops, nonblocking slots, several collective families, and —
+        // when the RNG runtime is available — jittered computes.
+        let jitter_std = if pskel_sim::script::rng_runtime_available() {
+            0.0005
+        } else {
+            0.0
+        };
+        let n = 4usize;
+        let mk = |rank: usize| RankSkeleton {
+            rank,
+            nodes: vec![
+                SkelNode::Loop {
+                    count: 8,
+                    body: vec![
+                        SkelNode::Op(SkelOp::Compute {
+                            secs: 0.002,
+                            jitter_std,
+                        }),
+                        SkelNode::Op(SkelOp::Isend {
+                            peer: ((rank + 1) % n) as u32,
+                            tag: 5,
+                            bytes: 40_000,
+                            slot: 0,
+                        }),
+                        SkelNode::Op(SkelOp::Irecv {
+                            peer: Some(((rank + n - 1) % n) as u32),
+                            tag: Some(5),
+                            slot: 1,
+                        }),
+                        SkelNode::Op(SkelOp::Waitall { slots: vec![0, 1] }),
+                        SkelNode::Op(SkelOp::Coll {
+                            kind: OpKind::Allreduce,
+                            root: None,
+                            bytes: 64,
+                        }),
+                    ],
+                },
+                SkelNode::Op(SkelOp::Coll {
+                    kind: OpKind::Bcast,
+                    root: Some(1),
+                    bytes: 9_000,
+                }),
+                SkelNode::Op(SkelOp::Coll {
+                    kind: OpKind::Alltoall,
+                    root: None,
+                    bytes: 2_000,
+                }),
+                SkelNode::Op(SkelOp::Coll {
+                    kind: OpKind::Barrier,
+                    root: None,
+                    bytes: 0,
+                }),
+            ],
+        };
+        let skeleton = Skeleton {
+            app: "equiv".into(),
+            ranks: (0..n).map(mk).collect(),
+            meta: meta(),
+        };
+        let c = ClusterSpec::homogeneous(n);
+        let p = Placement::round_robin(n, n);
+        let opts = ExecOptions::default();
+        let threaded = run_skeleton_threaded(&skeleton, c.clone(), p.clone(), opts).report;
+        let fast = run_skeleton(&skeleton, c, p, opts).report;
+        assert_eq!(threaded.total_time, fast.total_time, "total_time differs");
+        assert_eq!(threaded, fast, "reports differ across execution paths");
     }
 
     #[test]

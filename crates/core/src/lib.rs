@@ -65,9 +65,13 @@ pub mod validate;
 
 pub use codegen::generate_c;
 pub use construct::{construct_rank, ComputeModel, ConstructOptions};
-pub use exec::{execute_rank, run_skeleton, ExecOptions};
+pub use exec::{
+    compile_rank, execute_rank, run_skeleton, run_skeleton_threaded, try_run_skeleton, ExecOptions,
+};
 pub use good::{analyze_app, analyze_rank, GoodAnalysis, RankGoodAnalysis};
 pub use ir::{RankSkeleton, SkelNode, SkelOp, Skeleton, SkeletonMeta};
 pub use pipeline::{BuiltSkeleton, SkeletonBuilder};
-pub use replay::{replay_rank, replay_trace, ReplayScale};
+pub use replay::{
+    replay_rank, replay_script, replay_trace, replay_trace_threaded, try_replay_trace, ReplayScale,
+};
 pub use validate::{validate, validate_ranks};

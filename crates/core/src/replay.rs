@@ -13,9 +13,18 @@
 //!   software overhead, so it is both slow to run (N ops, not N/K) and
 //!   systematically wrong wherever latency matters — quantifying why the
 //!   paper compresses loops instead of shrinking the whole trace.
+//!
+//! Untraced replays take the simulator's single-threaded fast path:
+//! [`replay_script`] lowers a recorded rank onto a
+//! [`pskel_sim::RankScript`] and [`replay_trace`] runs all ranks inline on
+//! the coordinator — no rank threads — with reports bit-identical to the
+//! thread-per-rank path ([`replay_trace_threaded`]).
 
-use pskel_mpi::{run_mpi_fns, Comm, CommReq, MpiProgram, MpiRunOutcome, TraceConfig};
-use pskel_sim::{ClusterSpec, Placement};
+use pskel_mpi::{
+    try_run_mpi_fns, try_run_mpi_scripts, Comm, MpiOps, MpiProgram, MpiRunOutcome, ScriptBuilder,
+    TraceConfig,
+};
+use pskel_sim::{ClusterSpec, Placement, RankScript, SimError};
 use pskel_trace::{AppTrace, OpKind, ProcessTrace, Record};
 use std::collections::HashMap;
 
@@ -49,6 +58,13 @@ impl ReplayScale {
 
 /// Replay one rank's trace against a communicator.
 pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
+    replay_rank_ops(trace, comm, scale);
+}
+
+/// Replay one rank's trace through any [`MpiOps`] implementation — a live
+/// [`Comm`] (immediate execution) or a [`ScriptBuilder`] (recording for
+/// the fast path). Both lowerings issue the identical call sequence.
+pub fn replay_rank_ops<M: MpiOps>(trace: &ProcessTrace, m: &mut M, scale: ReplayScale) {
     let scale_bytes = |b: u64| -> u64 {
         if b == 0 {
             0
@@ -56,31 +72,31 @@ pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
             ((b as f64 * scale.bytes).round() as u64).max(1)
         }
     };
-    let mut slots: HashMap<u32, CommReq> = HashMap::new();
+    let mut slots: HashMap<u32, M::Req> = HashMap::new();
     for rec in &trace.records {
         match rec {
-            Record::Compute { dur } => comm.compute(dur.as_secs_f64() * scale.compute),
+            Record::Compute { dur } => m.compute(dur.as_secs_f64() * scale.compute),
             Record::Mpi(e) => {
                 let peer = e.peer.map(|p| p as usize);
                 let bytes = scale_bytes(e.bytes);
                 match e.kind {
-                    OpKind::Send => comm.send(peer.expect("send peer"), e.tag.unwrap_or(0), bytes),
+                    OpKind::Send => m.send(peer.expect("send peer"), e.tag.unwrap_or(0), bytes),
                     OpKind::Isend => {
-                        let req = comm.isend(peer.expect("isend peer"), e.tag.unwrap_or(0), bytes);
+                        let req = m.isend(peer.expect("isend peer"), e.tag.unwrap_or(0), bytes);
                         slots.insert(e.slots[0], req);
                     }
                     OpKind::Recv => {
-                        comm.recv(peer, e.tag);
+                        m.recv(peer, e.tag);
                     }
                     OpKind::Irecv => {
-                        let req = comm.irecv(peer, e.tag, bytes);
+                        let req = m.irecv(peer, e.tag, bytes);
                         slots.insert(e.slots[0], req);
                     }
                     OpKind::Wait => {
                         let req = slots
                             .remove(&e.slots[0])
                             .expect("trace wait references a live request");
-                        comm.wait(req);
+                        m.wait(req);
                     }
                     OpKind::Waitall => {
                         let reqs = e
@@ -88,18 +104,18 @@ pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
                             .iter()
                             .map(|s| slots.remove(s).expect("trace waitall slot live"))
                             .collect();
-                        comm.waitall(reqs);
+                        m.waitall(reqs);
                     }
-                    OpKind::Barrier => comm.barrier(),
-                    OpKind::Bcast => comm.bcast(e.peer.unwrap_or(0) as usize, bytes),
-                    OpKind::Reduce => comm.reduce(e.peer.unwrap_or(0) as usize, bytes),
-                    OpKind::Allreduce => comm.allreduce(bytes),
-                    OpKind::Gather => comm.gather(e.peer.unwrap_or(0) as usize, bytes),
-                    OpKind::Scatter => comm.scatter(e.peer.unwrap_or(0) as usize, bytes),
-                    OpKind::Allgather | OpKind::Allgatherv => comm.allgather(bytes),
-                    OpKind::Alltoall | OpKind::Alltoallv => comm.alltoall(bytes),
-                    OpKind::ReduceScatter => comm.reduce_scatter(bytes),
-                    OpKind::Scan => comm.scan(bytes),
+                    OpKind::Barrier => m.barrier(),
+                    OpKind::Bcast => m.bcast(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Reduce => m.reduce(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Allreduce => m.allreduce(bytes),
+                    OpKind::Gather => m.gather(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Scatter => m.scatter(e.peer.unwrap_or(0) as usize, bytes),
+                    OpKind::Allgather | OpKind::Allgatherv => m.allgather(bytes),
+                    OpKind::Alltoall | OpKind::Alltoallv => m.alltoall(bytes),
+                    OpKind::ReduceScatter => m.reduce_scatter(bytes),
+                    OpKind::Scan => m.scan(bytes),
                 }
             }
         }
@@ -107,8 +123,65 @@ pub fn replay_rank(trace: &ProcessTrace, comm: &mut Comm, scale: ReplayScale) {
     assert!(slots.is_empty(), "trace replay left unwaited requests");
 }
 
+/// Lower one recorded rank to a [`RankScript`] for the simulator's fast
+/// path. `rank` is the world rank the script will run as (the position in
+/// the trace's process list); `sw_overhead_secs` must match the target
+/// cluster's software overhead.
+pub fn replay_script(
+    proc_trace: &ProcessTrace,
+    rank: usize,
+    nranks: usize,
+    sw_overhead_secs: f64,
+    scale: ReplayScale,
+) -> RankScript {
+    let mut b = ScriptBuilder::new(rank, nranks, sw_overhead_secs);
+    replay_rank_ops(proc_trace, &mut b, scale);
+    b.finish()
+}
+
 /// Replay a whole application trace on a cluster.
+///
+/// Replays run untraced and branch on nothing dynamic, so they take the
+/// simulator's single-threaded fast path. Panics on simulation failure;
+/// use [`try_replay_trace`] for a typed [`SimError`].
 pub fn replay_trace(
+    trace: &AppTrace,
+    cluster: ClusterSpec,
+    placement: Placement,
+    scale: ReplayScale,
+) -> MpiRunOutcome {
+    try_replay_trace(trace, cluster, placement, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`replay_trace`].
+pub fn try_replay_trace(
+    trace: &AppTrace,
+    cluster: ClusterSpec,
+    placement: Placement,
+    scale: ReplayScale,
+) -> Result<MpiRunOutcome, SimError> {
+    assert_eq!(
+        trace.nranks(),
+        placement.n_ranks(),
+        "trace has {} ranks but placement has {}",
+        trace.nranks(),
+        placement.n_ranks()
+    );
+    let n = trace.nranks();
+    let o = cluster.net.sw_overhead.as_secs_f64();
+    let scripts: Vec<RankScript> = trace
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(rank, p)| replay_script(p, rank, n, o, scale))
+        .collect();
+    try_run_mpi_scripts(cluster, placement, &scripts)
+}
+
+/// Replay on the thread-per-rank path (the reference the fast path is
+/// tested against; kept public for differential testing and as the
+/// fallback for any future replay mode that needs a live [`Comm`]).
+pub fn replay_trace_threaded(
     trace: &AppTrace,
     cluster: ClusterSpec,
     placement: Placement,
@@ -128,7 +201,8 @@ pub fn replay_trace(
         .cloned()
         .map(|p| Box::new(move |comm: &mut Comm| replay_rank(&p, comm, scale)) as MpiProgram)
         .collect();
-    run_mpi_fns(cluster, placement, &name, TraceConfig::off(), programs)
+    try_run_mpi_fns(cluster, placement, &name, TraceConfig::off(), programs)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -195,6 +269,32 @@ mod tests {
         // All messages still happen.
         let msgs: u64 = out.report.rank_stats.iter().map(|s| s.msgs_sent).sum();
         assert!(msgs >= 4 * 20, "messages missing: {msgs}");
+    }
+
+    #[test]
+    fn fast_replay_is_bit_identical_to_threaded_replay() {
+        let (_, trace) = traced_app();
+        for scale in [ReplayScale::full(), ReplayScale::naive(10)] {
+            let threaded = replay_trace_threaded(
+                &trace,
+                ClusterSpec::homogeneous(4),
+                Placement::round_robin(4, 4),
+                scale,
+            )
+            .report;
+            let fast = replay_trace(
+                &trace,
+                ClusterSpec::homogeneous(4),
+                Placement::round_robin(4, 4),
+                scale,
+            )
+            .report;
+            assert_eq!(
+                threaded, fast,
+                "replay paths diverge at compute scale {}",
+                scale.compute
+            );
+        }
     }
 
     #[test]

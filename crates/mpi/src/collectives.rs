@@ -11,81 +11,307 @@
 //! Each collective is traced as a single [`OpKind`] event — the trace
 //! reflects the MPI interface, not the implementation, just as the paper's
 //! PMPI shim sees it.
+//!
+//! The algorithms themselves are written once, generically, against
+//! [`CollChannel`]: a minimal send/recv/sendrecv surface. Two channels
+//! exist — [`CommColl`] executes the collective immediately through a
+//! live [`Comm`], and the script builder (`crate::script`) *records* the
+//! identical message pattern into a [`pskel_sim::RankScript`], which is
+//! what lets scripted replays reproduce collectives bit-identically on
+//! the simulator's fast path.
 
 use crate::comm::Comm;
 use pskel_trace::OpKind;
 
-impl Comm<'_> {
+/// The point-to-point surface collective algorithms are written against.
+/// `cc_send`/`cc_recv`/`cc_sendrecv` mirror `Comm::raw_send`/`raw_recv`/
+/// `raw_sendrecv`: untraced, overhead-charged, tagged with the collective
+/// tag of the enclosing operation. Ranks are group-relative.
+pub(crate) trait CollChannel {
+    fn size(&self) -> usize;
+    fn rank(&self) -> usize;
+    fn cc_send(&mut self, dst: usize, bytes: u64);
+    fn cc_recv(&mut self, src: usize);
+    fn cc_sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize);
+}
+
+/// A live channel: executes the collective's messages through the
+/// communicator's raw (untraced) point-to-point calls.
+struct CommColl<'c, 'a> {
+    comm: &'c mut Comm<'a>,
+    tag: u64,
+}
+
+impl CollChannel for CommColl<'_, '_> {
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn cc_send(&mut self, dst: usize, bytes: u64) {
+        self.comm.raw_send(dst, self.tag, bytes);
+    }
+
+    fn cc_recv(&mut self, src: usize) {
+        self.comm.raw_recv(Some(src), Some(self.tag));
+    }
+
+    fn cc_sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize) {
+        self.comm.raw_sendrecv(dst, self.tag, send_bytes, src);
+    }
+}
+
+// ---- the algorithms, channel-generic ----------------------------------
+
+/// Dissemination barrier: ⌈log₂ n⌉ rounds of sendrecv at doubling
+/// distance.
+pub(crate) fn alg_barrier<C: CollChannel>(c: &mut C) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        let mut dist = 1;
+        while dist < n {
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            c.cc_sendrecv(to, 0, from);
+            dist *= 2;
+        }
+    }
+}
+
+/// Binomial-tree broadcast from `root`.
+pub(crate) fn alg_bcast<C: CollChannel>(c: &mut C, root: usize, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        let vrank = (me + n - root) % n;
+        // Find the parent: the first set bit of vrank.
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                c.cc_recv(parent);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children with decreasing masks.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                c.cc_send(child, bytes);
+            }
+            mask >>= 1;
+        }
+    }
+}
+
+/// Binomial-tree reduce to `root` (reversed bcast).
+pub(crate) fn alg_reduce<C: CollChannel>(c: &mut C, root: usize, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        let vrank = (me + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                c.cc_send(parent, bytes);
+                break;
+            } else if vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                c.cc_recv(child);
+            }
+            mask <<= 1;
+        }
+    }
+}
+
+/// Recursive-doubling allreduce; non-power-of-two ranks fold into the
+/// nearest power of two first, as in MPICH.
+pub(crate) fn alg_allreduce<C: CollChannel>(c: &mut C, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
+        let rem = n - pow2;
+        // Fold: ranks >= pow2 send their contribution to (rank - pow2).
+        let participates = if me >= pow2 {
+            c.cc_send(me - pow2, bytes);
+            false
+        } else {
+            if me < rem {
+                c.cc_recv(me + pow2);
+            }
+            true
+        };
+        if participates {
+            let mut mask = 1usize;
+            while mask < pow2 {
+                let partner = me ^ mask;
+                c.cc_sendrecv(partner, bytes, partner);
+                mask <<= 1;
+            }
+        }
+        // Unfold: results go back to the folded ranks.
+        if me >= pow2 {
+            c.cc_recv(me - pow2);
+        } else if me < rem {
+            c.cc_send(me + pow2, bytes);
+        }
+    }
+}
+
+/// Ring allgather: n−1 steps, step i forwarding the block that
+/// originated at (me − i) mod n.
+pub(crate) fn alg_ring_allgather<C: CollChannel>(c: &mut C, counts: &[u64]) {
+    let n = c.size();
+    let me = c.rank();
+    if n <= 1 {
+        return;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for i in 0..n - 1 {
+        let outgoing = counts[(me + n - i) % n];
+        c.cc_sendrecv(right, outgoing, left);
+    }
+}
+
+/// Pairwise-exchange alltoall: n−1 balanced rounds.
+pub(crate) fn alg_alltoall<C: CollChannel>(c: &mut C, send_counts: &[u64]) {
+    let n = c.size();
+    let me = c.rank();
+    for i in 1..n {
+        let dst = (me + i) % n;
+        let src = (me + n - i) % n;
+        c.cc_sendrecv(dst, send_counts[dst], src);
+    }
+}
+
+/// Reduce-scatter: recursive halving for powers of two, with a fold step
+/// otherwise — MPICH's algorithm family.
+pub(crate) fn alg_reduce_scatter<C: CollChannel>(c: &mut C, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        let pow2 = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
+        let rem = n - pow2;
+        // Fold extra ranks into the power-of-two set.
+        let participates = if me >= pow2 {
+            c.cc_send(me - pow2, bytes * n as u64);
+            false
+        } else {
+            if me < rem {
+                c.cc_recv(me + pow2);
+            }
+            true
+        };
+        if participates {
+            // Recursive halving: each round exchanges half the
+            // remaining vector with a partner at decreasing distance.
+            let mut dist = pow2 / 2;
+            let mut chunk = bytes * (pow2 as u64 / 2);
+            while dist >= 1 {
+                let partner = me ^ dist;
+                c.cc_sendrecv(partner, chunk, partner);
+                dist /= 2;
+                chunk = (chunk / 2).max(bytes);
+            }
+        }
+        // Deliver the folded ranks their block.
+        if me >= pow2 {
+            c.cc_recv(me - pow2);
+        } else if me < rem {
+            c.cc_send(me + pow2, bytes);
+        }
+    }
+}
+
+/// Inclusive prefix reduction (linear chain, as in small-communicator
+/// MPICH): rank r receives from r-1, combines, forwards to r+1.
+pub(crate) fn alg_scan<C: CollChannel>(c: &mut C, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        if me > 0 {
+            c.cc_recv(me - 1);
+        }
+        if me + 1 < n {
+            c.cc_send(me + 1, bytes);
+        }
+    }
+}
+
+/// Linear gather to `root` (fine at the paper's scale of 4 ranks —
+/// MPICH's binomial gather differs only in constant factors here).
+pub(crate) fn alg_gather<C: CollChannel>(c: &mut C, root: usize, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        if me == root {
+            for src in 0..n {
+                if src != root {
+                    c.cc_recv(src);
+                }
+            }
+        } else {
+            c.cc_send(root, bytes);
+        }
+    }
+}
+
+/// Linear scatter from `root`.
+pub(crate) fn alg_scatter<C: CollChannel>(c: &mut C, root: usize, bytes: u64) {
+    let n = c.size();
+    let me = c.rank();
+    if n > 1 {
+        if me == root {
+            for dst in 0..n {
+                if dst != root {
+                    c.cc_send(dst, bytes);
+                }
+            }
+        } else {
+            c.cc_recv(root);
+        }
+    }
+}
+
+// ---- the traced public surface on Comm --------------------------------
+
+impl<'a> Comm<'a> {
+    fn coll_channel(&mut self) -> CommColl<'_, 'a> {
+        let tag = self.fresh_coll_tag();
+        CommColl { comm: self, tag }
+    }
+
     /// Synchronize all ranks (dissemination algorithm, ⌈log₂ n⌉ rounds).
     pub fn barrier(&mut self) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            let mut dist = 1;
-            while dist < n {
-                let to = (me + dist) % n;
-                let from = (me + n - dist) % n;
-                self.raw_sendrecv(to, tag, 0, from);
-                dist *= 2;
-            }
-        }
+        alg_barrier(&mut self.coll_channel());
         self.record_collective(start, OpKind::Barrier, None, 0);
     }
 
     /// Broadcast `bytes` from `root` (binomial tree).
     pub fn bcast(&mut self, root: usize, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            let vrank = (me + n - root) % n;
-            // Find the parent: the first set bit of vrank.
-            let mut mask = 1usize;
-            while mask < n {
-                if vrank & mask != 0 {
-                    let parent = (vrank - mask + root) % n;
-                    self.raw_recv(Some(parent), Some(tag));
-                    break;
-                }
-                mask <<= 1;
-            }
-            // Forward to children with decreasing masks.
-            mask >>= 1;
-            while mask > 0 {
-                if vrank & mask == 0 && vrank + mask < n {
-                    let child = (vrank + mask + root) % n;
-                    self.raw_send(child, tag, bytes);
-                }
-                mask >>= 1;
-            }
-        }
+        alg_bcast(&mut self.coll_channel(), root, bytes);
         self.record_collective(start, OpKind::Bcast, Some(root as u32), bytes);
     }
 
     /// Reduce `bytes` of data to `root` (binomial tree, reversed bcast).
     pub fn reduce(&mut self, root: usize, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            let vrank = (me + n - root) % n;
-            let mut mask = 1usize;
-            while mask < n {
-                if vrank & mask != 0 {
-                    let parent = (vrank - mask + root) % n;
-                    self.raw_send(parent, tag, bytes);
-                    break;
-                } else if vrank + mask < n {
-                    let child = (vrank + mask + root) % n;
-                    self.raw_recv(Some(child), Some(tag));
-                }
-                mask <<= 1;
-            }
-        }
+        alg_reduce(&mut self.coll_channel(), root, bytes);
         self.record_collective(start, OpKind::Reduce, Some(root as u32), bytes);
     }
 
@@ -93,37 +319,7 @@ impl Comm<'_> {
     /// into the nearest power of two first, as in MPICH).
     pub fn allreduce(&mut self, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
-            let rem = n - pow2;
-            // Fold: ranks >= pow2 send their contribution to (rank - pow2).
-            let participates = if me >= pow2 {
-                self.raw_send(me - pow2, tag, bytes);
-                false
-            } else {
-                if me < rem {
-                    self.raw_recv(Some(me + pow2), Some(tag));
-                }
-                true
-            };
-            if participates {
-                let mut mask = 1usize;
-                while mask < pow2 {
-                    let partner = me ^ mask;
-                    self.raw_sendrecv(partner, tag, bytes, partner);
-                    mask <<= 1;
-                }
-            }
-            // Unfold: results go back to the folded ranks.
-            if me >= pow2 {
-                self.raw_recv(Some(me - pow2), Some(tag));
-            } else if me < rem {
-                self.raw_send(me + pow2, tag, bytes);
-            }
-        }
+        alg_allreduce(&mut self.coll_channel(), bytes);
         self.record_collective(start, OpKind::Allreduce, None, bytes);
     }
 
@@ -131,7 +327,8 @@ impl Comm<'_> {
     /// n−1 steps, each forwarding one block).
     pub fn allgather(&mut self, bytes: u64) {
         let start = self.begin_collective();
-        self.ring_allgather_core(&vec![bytes; self.size()]);
+        let counts = vec![bytes; self.size()];
+        alg_ring_allgather(&mut self.coll_channel(), &counts);
         self.record_collective(start, OpKind::Allgather, None, bytes);
     }
 
@@ -143,33 +340,17 @@ impl Comm<'_> {
             "allgatherv needs one count per rank"
         );
         let start = self.begin_collective();
-        self.ring_allgather_core(counts);
+        alg_ring_allgather(&mut self.coll_channel(), counts);
         let mine = counts[self.rank()];
         self.record_collective(start, OpKind::Allgatherv, None, mine);
-    }
-
-    fn ring_allgather_core(&mut self, counts: &[u64]) {
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n <= 1 {
-            return;
-        }
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
-        // Step i forwards the block that originated at (me - i) mod n.
-        for i in 0..n - 1 {
-            let outgoing = counts[(me + n - i) % n];
-            self.raw_sendrecv(right, tag, outgoing, left);
-        }
     }
 
     /// Alltoall with `bytes` per (source, destination) pair (pairwise
     /// exchange: n−1 balanced rounds).
     pub fn alltoall(&mut self, bytes: u64) {
         let start = self.begin_collective();
-        let n = self.size();
-        self.alltoall_core(&vec![bytes; n]);
+        let counts = vec![bytes; self.size()];
+        alg_alltoall(&mut self.coll_channel(), &counts);
         self.record_collective(start, OpKind::Alltoall, None, bytes);
     }
 
@@ -183,21 +364,10 @@ impl Comm<'_> {
             "alltoallv needs one count per rank"
         );
         let start = self.begin_collective();
-        self.alltoall_core(send_counts);
+        alg_alltoall(&mut self.coll_channel(), send_counts);
         let total: u64 = send_counts.iter().sum();
         let avg = total / self.size().max(1) as u64;
         self.record_collective(start, OpKind::Alltoallv, None, avg);
-    }
-
-    fn alltoall_core(&mut self, send_counts: &[u64]) {
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        for i in 1..n {
-            let dst = (me + i) % n;
-            let src = (me + n - i) % n;
-            self.raw_sendrecv(dst, tag, send_counts[dst], src);
-        }
     }
 
     /// Reduce-scatter: combine a vector of `n × bytes` and leave each rank
@@ -205,45 +375,7 @@ impl Comm<'_> {
     /// a fold step otherwise — MPICH's algorithm family).
     pub fn reduce_scatter(&mut self, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            let pow2 = if n.is_power_of_two() {
-                n
-            } else {
-                n.next_power_of_two() / 2
-            };
-            let rem = n - pow2;
-            // Fold extra ranks into the power-of-two set.
-            let participates = if me >= pow2 {
-                self.raw_send(me - pow2, tag, bytes * n as u64);
-                false
-            } else {
-                if me < rem {
-                    self.raw_recv(Some(me + pow2), Some(tag));
-                }
-                true
-            };
-            if participates {
-                // Recursive halving: each round exchanges half the
-                // remaining vector with a partner at decreasing distance.
-                let mut dist = pow2 / 2;
-                let mut chunk = bytes * (pow2 as u64 / 2);
-                while dist >= 1 {
-                    let partner = me ^ dist;
-                    self.raw_sendrecv(partner, tag, chunk, partner);
-                    dist /= 2;
-                    chunk = (chunk / 2).max(bytes);
-                }
-            }
-            // Deliver the folded ranks their block.
-            if me >= pow2 {
-                self.raw_recv(Some(me - pow2), Some(tag));
-            } else if me < rem {
-                self.raw_send(me + pow2, tag, bytes);
-            }
-        }
+        alg_reduce_scatter(&mut self.coll_channel(), bytes);
         self.record_collective(start, OpKind::ReduceScatter, None, bytes);
     }
 
@@ -251,17 +383,7 @@ impl Comm<'_> {
     /// MPICH): rank r receives from r-1, combines, forwards to r+1.
     pub fn scan(&mut self, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            if me > 0 {
-                self.raw_recv(Some(me - 1), Some(tag));
-            }
-            if me + 1 < n {
-                self.raw_send(me + 1, tag, bytes);
-            }
-        }
+        alg_scan(&mut self.coll_channel(), bytes);
         self.record_collective(start, OpKind::Scan, None, bytes);
     }
 
@@ -270,40 +392,14 @@ impl Comm<'_> {
     /// constant factors here).
     pub fn gather(&mut self, root: usize, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            if me == root {
-                for src in 0..n {
-                    if src != root {
-                        self.raw_recv(Some(src), Some(tag));
-                    }
-                }
-            } else {
-                self.raw_send(root, tag, bytes);
-            }
-        }
+        alg_gather(&mut self.coll_channel(), root, bytes);
         self.record_collective(start, OpKind::Gather, Some(root as u32), bytes);
     }
 
     /// Scatter `bytes` to every rank from `root` (linear).
     pub fn scatter(&mut self, root: usize, bytes: u64) {
         let start = self.begin_collective();
-        let tag = self.fresh_coll_tag();
-        let n = self.size();
-        let me = self.rank();
-        if n > 1 {
-            if me == root {
-                for dst in 0..n {
-                    if dst != root {
-                        self.raw_send(dst, tag, bytes);
-                    }
-                }
-            } else {
-                self.raw_recv(Some(root), Some(tag));
-            }
-        }
+        alg_scatter(&mut self.coll_channel(), root, bytes);
         self.record_collective(start, OpKind::Scatter, Some(root as u32), bytes);
     }
 }

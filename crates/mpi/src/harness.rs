@@ -4,7 +4,7 @@
 use crate::comm::{Comm, Tracer};
 use parking_lot::Mutex;
 use pskel_sim::engine::RankProgram;
-use pskel_sim::{ClusterSpec, Placement, SimCtx, SimReport, Simulation};
+use pskel_sim::{ClusterSpec, Placement, RankScript, SimCtx, SimError, SimReport, Simulation};
 
 /// A boxed per-rank MPI program, as consumed by [`run_mpi_fns`].
 pub type MpiProgram = Box<dyn FnOnce(&mut Comm) + Send>;
@@ -201,6 +201,9 @@ pub fn run_jobs(cluster: ClusterSpec, jobs: Vec<Job>) -> Vec<JobOutcome> {
 }
 
 /// Run one program per rank (MPMD / generated skeletons).
+///
+/// Panics on simulation failure (deadlock, rank panic); use
+/// [`try_run_mpi_fns`] to receive a typed [`SimError`] instead.
 pub fn run_mpi_fns(
     cluster: ClusterSpec,
     placement: Placement,
@@ -208,6 +211,18 @@ pub fn run_mpi_fns(
     trace: TraceConfig,
     programs: Vec<MpiProgram>,
 ) -> MpiRunOutcome {
+    try_run_mpi_fns(cluster, placement, app_name, trace, programs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_mpi_fns`]: simulation failures (deadlock, rank
+/// panic) come back as a [`SimError`] rather than a panic.
+pub fn try_run_mpi_fns(
+    cluster: ClusterSpec,
+    placement: Placement,
+    app_name: &str,
+    trace: TraceConfig,
+    programs: Vec<MpiProgram>,
+) -> Result<MpiRunOutcome, SimError> {
     let n = placement.n_ranks();
     assert_eq!(programs.len(), n, "need exactly one program per rank");
     let traces: Arc<Mutex<Vec<Option<ProcessTrace>>>> =
@@ -233,7 +248,7 @@ pub fn run_mpi_fns(
         })
         .collect();
 
-    let report = Simulation::new(cluster, placement).run_fns(rank_programs);
+    let report = Simulation::new(cluster, placement).try_run_fns(rank_programs)?;
 
     let trace = if trace.enabled {
         let procs: Vec<ProcessTrace> = Arc::try_unwrap(traces)
@@ -248,5 +263,38 @@ pub fn run_mpi_fns(
         None
     };
 
-    MpiRunOutcome { report, trace }
+    Ok(MpiRunOutcome { report, trace })
+}
+
+/// Run pre-lowered [`RankScript`]s on the simulator's single-threaded
+/// fast path (see [`Simulation::run_scripts`]). Scripts never trace —
+/// they *are* the replay of a trace or skeleton — so the outcome carries
+/// no [`AppTrace`].
+///
+/// Panics on simulation failure; use [`try_run_mpi_scripts`] for a typed
+/// [`SimError`].
+pub fn run_mpi_scripts(
+    cluster: ClusterSpec,
+    placement: Placement,
+    scripts: &[RankScript],
+) -> MpiRunOutcome {
+    try_run_mpi_scripts(cluster, placement, scripts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run_mpi_scripts`].
+pub fn try_run_mpi_scripts(
+    cluster: ClusterSpec,
+    placement: Placement,
+    scripts: &[RankScript],
+) -> Result<MpiRunOutcome, SimError> {
+    assert_eq!(
+        scripts.len(),
+        placement.n_ranks(),
+        "need exactly one script per rank"
+    );
+    let report = Simulation::new(cluster, placement).try_run_scripts(scripts)?;
+    Ok(MpiRunOutcome {
+        report,
+        trace: None,
+    })
 }

@@ -12,15 +12,22 @@
 //!   application changes, as in §3.1 of the paper.
 //!
 //! Run programs with [`run_mpi`] (SPMD) or [`run_mpi_fns`] (one program per
-//! rank, used by the skeleton executor).
+//! rank, used by the skeleton executor). Deterministic replays can instead
+//! be lowered to [`pskel_sim::RankScript`]s through [`ScriptBuilder`] and
+//! run on the simulator's single-threaded fast path with
+//! [`run_mpi_scripts`]; the [`MpiOps`] trait lets one program drive either
+//! path.
 
 pub mod collectives;
 pub mod comm;
 pub mod harness;
+pub mod script;
 pub mod slots;
 
 pub use comm::{Comm, CommReq, Tracer, COLL_TAG_BASE};
 pub use harness::{
-    run_jobs, run_mpi, run_mpi_fns, Job, JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig,
+    run_jobs, run_mpi, run_mpi_fns, run_mpi_scripts, try_run_mpi_fns, try_run_mpi_scripts, Job,
+    JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig,
 };
+pub use script::{MpiOps, ScriptBuilder, TMP_SLOT_BASE};
 pub use slots::SlotAllocator;

@@ -1,0 +1,537 @@
+//! Lowering MPI-level programs to [`RankScript`]s for the simulator's
+//! single-threaded fast path.
+//!
+//! Two pieces live here:
+//!
+//! * [`MpiOps`] — the abstract MPI call surface. A program written against
+//!   it can *execute* through a live [`Comm`] (threaded path) or *record*
+//!   into a script through [`ScriptBuilder`] (fast path). Because both
+//!   implementations charge the identical software overhead and the
+//!   collectives expand through the same channel-generic algorithms in
+//!   `collectives.rs`, the two lowerings generate the same request stream
+//!   and therefore bit-identical [`pskel_sim::SimReport`]s.
+//!
+//! * [`ScriptBuilder`] — the recorder itself, with a loop-building API
+//!   (`begin_loop`/`end_loop`) so compressed signature loop nests stay
+//!   compressed in the emitted script, plus explicit-slot variants of the
+//!   nonblocking calls so skeleton programs keep their original request
+//!   slot names.
+//!
+//! Scripts operate at world-rank level (the builder assumes the identity
+//! communicator, as produced by [`Comm::new`]); group-split workloads
+//! ([`crate::harness::run_jobs`]) stay on the threaded path.
+
+use crate::collectives::{
+    alg_allreduce, alg_alltoall, alg_barrier, alg_bcast, alg_gather, alg_reduce,
+    alg_reduce_scatter, alg_ring_allgather, alg_scan, alg_scatter, CollChannel,
+};
+use crate::comm::{Comm, CommReq, COLL_TAG_BASE};
+use pskel_sim::{RankScript, ScriptNode, ScriptOp, ScriptTag};
+
+/// Request slots at or above this value are reserved for builder-generated
+/// temporaries (collective internals, [`MpiOps::isend`]/[`MpiOps::irecv`]
+/// handles); explicit slots passed to [`ScriptBuilder::isend_slot`] and
+/// friends must stay below it.
+pub const TMP_SLOT_BASE: u32 = 1 << 30;
+
+/// The MPI call surface shared by live execution and script recording.
+///
+/// Mirrors the subset of [`Comm`] the replay producers need. Return
+/// values carry no data (replays never branch on message contents), so
+/// receive info is dropped at this level.
+pub trait MpiOps {
+    /// Handle to a pending nonblocking operation.
+    type Req;
+
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    fn compute(&mut self, secs: f64);
+    fn send(&mut self, dst: usize, tag: u64, bytes: u64);
+    fn recv(&mut self, src: Option<usize>, tag: Option<u64>);
+    fn isend(&mut self, dst: usize, tag: u64, bytes: u64) -> Self::Req;
+    fn irecv(&mut self, src: Option<usize>, tag: Option<u64>, bytes_hint: u64) -> Self::Req;
+    fn wait(&mut self, req: Self::Req);
+    fn waitall(&mut self, reqs: Vec<Self::Req>);
+    fn barrier(&mut self);
+    fn bcast(&mut self, root: usize, bytes: u64);
+    fn reduce(&mut self, root: usize, bytes: u64);
+    fn allreduce(&mut self, bytes: u64);
+    fn allgather(&mut self, bytes: u64);
+    fn alltoall(&mut self, bytes: u64);
+    fn reduce_scatter(&mut self, bytes: u64);
+    fn scan(&mut self, bytes: u64);
+    fn gather(&mut self, root: usize, bytes: u64);
+    fn scatter(&mut self, root: usize, bytes: u64);
+}
+
+impl MpiOps for Comm<'_> {
+    type Req = CommReq;
+
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Comm::size(self)
+    }
+
+    fn compute(&mut self, secs: f64) {
+        Comm::compute(self, secs);
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, bytes: u64) {
+        Comm::send(self, dst, tag, bytes);
+    }
+
+    fn recv(&mut self, src: Option<usize>, tag: Option<u64>) {
+        Comm::recv(self, src, tag);
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, bytes: u64) -> CommReq {
+        Comm::isend(self, dst, tag, bytes)
+    }
+
+    fn irecv(&mut self, src: Option<usize>, tag: Option<u64>, bytes_hint: u64) -> CommReq {
+        Comm::irecv(self, src, tag, bytes_hint)
+    }
+
+    fn wait(&mut self, req: CommReq) {
+        Comm::wait(self, req);
+    }
+
+    fn waitall(&mut self, reqs: Vec<CommReq>) {
+        Comm::waitall(self, reqs);
+    }
+
+    fn barrier(&mut self) {
+        Comm::barrier(self);
+    }
+
+    fn bcast(&mut self, root: usize, bytes: u64) {
+        Comm::bcast(self, root, bytes);
+    }
+
+    fn reduce(&mut self, root: usize, bytes: u64) {
+        Comm::reduce(self, root, bytes);
+    }
+
+    fn allreduce(&mut self, bytes: u64) {
+        Comm::allreduce(self, bytes);
+    }
+
+    fn allgather(&mut self, bytes: u64) {
+        Comm::allgather(self, bytes);
+    }
+
+    fn alltoall(&mut self, bytes: u64) {
+        Comm::alltoall(self, bytes);
+    }
+
+    fn reduce_scatter(&mut self, bytes: u64) {
+        Comm::reduce_scatter(self, bytes);
+    }
+
+    fn scan(&mut self, bytes: u64) {
+        Comm::scan(self, bytes);
+    }
+
+    fn gather(&mut self, root: usize, bytes: u64) {
+        Comm::gather(self, root, bytes);
+    }
+
+    fn scatter(&mut self, root: usize, bytes: u64) {
+        Comm::scatter(self, root, bytes);
+    }
+}
+
+/// Records one rank's MPI-level behaviour as a [`RankScript`].
+///
+/// The emitted script reproduces exactly what the same calls would do
+/// through a live [`Comm`]: every MPI call charges the per-call software
+/// overhead first (as `Comm::begin`/`raw_*` do), an empty `waitall` emits
+/// nothing (as [`Comm::waitall`] returns early), and collectives expand
+/// through the identical channel-generic algorithms, tagged with
+/// [`ScriptTag::Coll`] so the execution-time tag sequence matches
+/// [`Comm::fresh_coll_tag`].
+pub struct ScriptBuilder {
+    rank: usize,
+    size: usize,
+    sw_overhead_secs: f64,
+    jitter_seed: u64,
+    /// Stack of node lists: the bottom frame is the script root, one
+    /// frame per open `begin_loop`.
+    frames: Vec<Vec<ScriptNode>>,
+    /// Loop trip counts matching the open frames above the root.
+    counts: Vec<u64>,
+    next_tmp: u32,
+}
+
+impl ScriptBuilder {
+    /// Start a script for `rank` of `size`. `sw_overhead_secs` must match
+    /// the cluster's [`pskel_sim::NetSpec::sw_overhead`] for the lowering
+    /// to be execution-equivalent.
+    pub fn new(rank: usize, size: usize, sw_overhead_secs: f64) -> ScriptBuilder {
+        assert!(
+            rank < size,
+            "rank {rank} outside communicator of size {size}"
+        );
+        ScriptBuilder {
+            rank,
+            size,
+            sw_overhead_secs,
+            jitter_seed: 0,
+            frames: vec![Vec::new()],
+            counts: Vec::new(),
+            next_tmp: TMP_SLOT_BASE,
+        }
+    }
+
+    /// Seed of the deterministic stream behind [`ScriptOp::ComputeJitter`].
+    pub fn set_jitter_seed(&mut self, seed: u64) {
+        self.jitter_seed = seed;
+    }
+
+    fn push(&mut self, op: ScriptOp) {
+        self.frames
+            .last_mut()
+            .expect("builder frame stack empty")
+            .push(ScriptNode::Op(op));
+    }
+
+    /// Charge the per-call software overhead, as `Comm::begin` and the
+    /// `raw_*` helpers do inside every MPI call.
+    fn charge(&mut self) {
+        if self.sw_overhead_secs > 0.0 {
+            self.push(ScriptOp::Compute {
+                secs: self.sw_overhead_secs,
+            });
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> u32 {
+        let slot = self.next_tmp;
+        self.next_tmp += 1;
+        slot
+    }
+
+    fn check_explicit_slot(slot: u32) {
+        assert!(
+            slot < TMP_SLOT_BASE,
+            "explicit request slot {slot} collides with builder temporaries"
+        );
+    }
+
+    // ---- loop structure ---------------------------------------------------
+
+    /// Open a counted loop; every op until the matching [`end_loop`] call
+    /// is recorded once and replayed `count` times.
+    ///
+    /// [`end_loop`]: ScriptBuilder::end_loop
+    pub fn begin_loop(&mut self, count: u64) {
+        self.frames.push(Vec::new());
+        self.counts.push(count);
+    }
+
+    /// Close the innermost open loop.
+    pub fn end_loop(&mut self) {
+        let body = self.frames.pop().expect("end_loop without begin_loop");
+        let count = self.counts.pop().expect("end_loop without begin_loop");
+        assert!(!self.frames.is_empty(), "end_loop closed the script root");
+        self.frames
+            .last_mut()
+            .unwrap()
+            .push(ScriptNode::Loop { count, body });
+    }
+
+    // ---- local time -------------------------------------------------------
+
+    /// Compute with a normally-distributed duration (see
+    /// [`ScriptOp::ComputeJitter`]); falls back to a plain compute when
+    /// `std` is not positive.
+    pub fn compute_jitter(&mut self, mean: f64, std: f64) {
+        if std > 0.0 {
+            self.push(ScriptOp::ComputeJitter { mean, std });
+        } else {
+            self.push(ScriptOp::Compute { secs: mean });
+        }
+    }
+
+    /// Idle for `secs` of virtual wall time.
+    pub fn sleep(&mut self, secs: f64) {
+        self.push(ScriptOp::Sleep { secs });
+    }
+
+    // ---- explicit-slot nonblocking calls (skeleton programs) --------------
+
+    /// Nonblocking send bound to the caller-chosen `slot` (a skeleton's
+    /// own request slot name).
+    pub fn isend_slot(&mut self, dst: usize, tag: u64, bytes: u64, slot: u32) {
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
+        Self::check_explicit_slot(slot);
+        self.charge();
+        self.push(ScriptOp::Isend {
+            dst,
+            tag: ScriptTag::Lit(tag),
+            bytes,
+            slot,
+        });
+    }
+
+    /// Nonblocking receive bound to the caller-chosen `slot`.
+    pub fn irecv_slot(&mut self, src: Option<usize>, tag: Option<u64>, slot: u32) {
+        Self::check_explicit_slot(slot);
+        self.charge();
+        self.push(ScriptOp::Irecv {
+            src,
+            tag: tag.map(ScriptTag::Lit),
+            slot,
+        });
+    }
+
+    /// Complete the operation in `slot`.
+    pub fn wait_slot(&mut self, slot: u32) {
+        self.charge();
+        self.push(ScriptOp::Wait { slot });
+    }
+
+    /// Complete every listed operation. Emits nothing when empty, exactly
+    /// as [`Comm::waitall`] returns before charging overhead.
+    pub fn waitall_slots(&mut self, slots: Vec<u32>) {
+        if slots.is_empty() {
+            return;
+        }
+        self.charge();
+        self.push(ScriptOp::WaitAll { slots });
+    }
+
+    /// Probe the operation in `slot` (MPI_Test). Scripts only support
+    /// testing operations whose completion is statically known (eager
+    /// sends), which is all the skeleton generator emits.
+    pub fn test_slot(&mut self, slot: u32) {
+        self.charge();
+        self.push(ScriptOp::Test { slot });
+    }
+
+    /// Seal the script.
+    pub fn finish(self) -> RankScript {
+        assert!(
+            self.counts.is_empty() && self.frames.len() == 1,
+            "script finished with {} unclosed loops",
+            self.counts.len()
+        );
+        let mut frames = self.frames;
+        RankScript {
+            nodes: frames.pop().unwrap(),
+            coll_tag_base: COLL_TAG_BASE,
+            jitter_seed: self.jitter_seed,
+        }
+    }
+}
+
+/// The recording [`CollChannel`]: emits the collective's messages as
+/// script ops carrying [`ScriptTag::Coll`], matching what [`CommColl`]
+/// executes through `raw_send`/`raw_recv`/`raw_sendrecv` leg for leg.
+///
+/// [`CommColl`]: crate::collectives
+struct ScriptColl<'b> {
+    b: &'b mut ScriptBuilder,
+}
+
+impl CollChannel for ScriptColl<'_> {
+    fn size(&self) -> usize {
+        self.b.size
+    }
+
+    fn rank(&self) -> usize {
+        self.b.rank
+    }
+
+    fn cc_send(&mut self, dst: usize, bytes: u64) {
+        self.b.charge();
+        self.b.push(ScriptOp::Send {
+            dst,
+            tag: ScriptTag::Coll,
+            bytes,
+        });
+    }
+
+    fn cc_recv(&mut self, src: usize) {
+        self.b.charge();
+        self.b.push(ScriptOp::Recv {
+            src: Some(src),
+            tag: Some(ScriptTag::Coll),
+        });
+    }
+
+    fn cc_sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize) {
+        // Mirrors Comm::raw_sendrecv: one overhead charge, then
+        // isend + irecv + waitall as a single blocking exchange.
+        self.b.charge();
+        let s = self.b.fresh_tmp();
+        let r = self.b.fresh_tmp();
+        self.b.push(ScriptOp::Isend {
+            dst,
+            tag: ScriptTag::Coll,
+            bytes: send_bytes,
+            slot: s,
+        });
+        self.b.push(ScriptOp::Irecv {
+            src: Some(src),
+            tag: Some(ScriptTag::Coll),
+            slot: r,
+        });
+        self.b.push(ScriptOp::WaitAll { slots: vec![s, r] });
+    }
+}
+
+impl ScriptBuilder {
+    /// Open a collective: charge the call overhead and advance the
+    /// execution-time collective tag sequence, as
+    /// [`Comm::begin_collective`] + `fresh_coll_tag` do.
+    fn begin_collective(&mut self) -> ScriptColl<'_> {
+        self.charge();
+        self.push(ScriptOp::FreshCollTag);
+        ScriptColl { b: self }
+    }
+}
+
+impl MpiOps for ScriptBuilder {
+    type Req = u32;
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn compute(&mut self, secs: f64) {
+        self.push(ScriptOp::Compute { secs });
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, bytes: u64) {
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
+        self.charge();
+        self.push(ScriptOp::Send {
+            dst,
+            tag: ScriptTag::Lit(tag),
+            bytes,
+        });
+    }
+
+    fn recv(&mut self, src: Option<usize>, tag: Option<u64>) {
+        self.charge();
+        self.push(ScriptOp::Recv {
+            src,
+            tag: tag.map(ScriptTag::Lit),
+        });
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, bytes: u64) -> u32 {
+        assert!(
+            tag < COLL_TAG_BASE,
+            "user tag collides with collective tag space"
+        );
+        self.charge();
+        let slot = self.fresh_tmp();
+        self.push(ScriptOp::Isend {
+            dst,
+            tag: ScriptTag::Lit(tag),
+            bytes,
+            slot,
+        });
+        slot
+    }
+
+    fn irecv(&mut self, src: Option<usize>, tag: Option<u64>, _bytes_hint: u64) -> u32 {
+        self.charge();
+        let slot = self.fresh_tmp();
+        self.push(ScriptOp::Irecv {
+            src,
+            tag: tag.map(ScriptTag::Lit),
+            slot,
+        });
+        slot
+    }
+
+    fn wait(&mut self, req: u32) {
+        self.charge();
+        self.push(ScriptOp::Wait { slot: req });
+    }
+
+    fn waitall(&mut self, reqs: Vec<u32>) {
+        self.waitall_slots(reqs);
+    }
+
+    fn barrier(&mut self) {
+        alg_barrier(&mut self.begin_collective());
+    }
+
+    fn bcast(&mut self, root: usize, bytes: u64) {
+        alg_bcast(&mut self.begin_collective(), root, bytes);
+    }
+
+    fn reduce(&mut self, root: usize, bytes: u64) {
+        alg_reduce(&mut self.begin_collective(), root, bytes);
+    }
+
+    fn allreduce(&mut self, bytes: u64) {
+        alg_allreduce(&mut self.begin_collective(), bytes);
+    }
+
+    fn allgather(&mut self, bytes: u64) {
+        let counts = vec![bytes; self.size];
+        alg_ring_allgather(&mut self.begin_collective(), &counts);
+    }
+
+    fn alltoall(&mut self, bytes: u64) {
+        let counts = vec![bytes; self.size];
+        alg_alltoall(&mut self.begin_collective(), &counts);
+    }
+
+    fn reduce_scatter(&mut self, bytes: u64) {
+        alg_reduce_scatter(&mut self.begin_collective(), bytes);
+    }
+
+    fn scan(&mut self, bytes: u64) {
+        alg_scan(&mut self.begin_collective(), bytes);
+    }
+
+    fn gather(&mut self, root: usize, bytes: u64) {
+        alg_gather(&mut self.begin_collective(), root, bytes);
+    }
+
+    fn scatter(&mut self, root: usize, bytes: u64) {
+        alg_scatter(&mut self.begin_collective(), root, bytes);
+    }
+}
+
+/// Allgatherv and alltoallv take per-rank counts and so live outside
+/// [`MpiOps`] (replays lower them to their balanced forms); the builder
+/// still supports them for completeness.
+impl ScriptBuilder {
+    pub fn allgatherv(&mut self, counts: &[u64]) {
+        assert_eq!(
+            counts.len(),
+            self.size,
+            "allgatherv needs one count per rank"
+        );
+        alg_ring_allgather(&mut self.begin_collective(), counts);
+    }
+
+    pub fn alltoallv(&mut self, send_counts: &[u64]) {
+        assert_eq!(
+            send_counts.len(),
+            self.size,
+            "alltoallv needs one count per rank"
+        );
+        alg_alltoall(&mut self.begin_collective(), send_counts);
+    }
+}

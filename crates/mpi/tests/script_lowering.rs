@@ -1,0 +1,177 @@
+//! The MPI-level lowering guarantee: a program written against [`MpiOps`]
+//! produces bit-identical simulation reports whether it executes live
+//! through `Comm` on the threaded path or is recorded by `ScriptBuilder`
+//! and replayed on the single-threaded fast path.
+//!
+//! This is the contract the replay producers (trace replay, skeleton
+//! execution, signature replay in `pskel-core`) build on.
+
+use pskel_mpi::{
+    run_mpi_fns, run_mpi_scripts, try_run_mpi_scripts, Comm, MpiOps, MpiProgram, ScriptBuilder,
+    TraceConfig,
+};
+use pskel_sim::{ClusterSpec, Placement, RankScript, SimReport, THROTTLED_10MBPS};
+
+/// A collective-heavy, mildly irregular program exercising every MpiOps
+/// call: point-to-point (blocking + nonblocking), each collective family
+/// (including non-power-of-two fold paths when n is odd), and unequal
+/// per-rank compute.
+fn exercise_all_ops<M: MpiOps>(m: &mut M) {
+    let n = m.size();
+    let me = m.rank();
+    m.compute(1e-4 * (me + 1) as f64);
+    m.barrier();
+    m.bcast(0, 40_000);
+    // Ring shift with nonblocking calls, rendezvous-sized.
+    let s = m.isend((me + 1) % n, 7, 100_000);
+    let r = m.irecv(Some((me + n - 1) % n), Some(7), 100_000);
+    m.waitall(vec![s, r]);
+    m.allreduce(2_048);
+    m.compute(5e-4);
+    m.reduce(n - 1, 8_192);
+    m.allgather(3_000);
+    m.alltoall(1_500);
+    m.reduce_scatter(4_096);
+    m.scan(512);
+    m.gather(0, 2_000);
+    m.scatter(0, 2_000);
+    // Blocking p2p pair: even ranks send to the next odd rank.
+    if me % 2 == 0 && me + 1 < n {
+        m.send(me + 1, 9, 25_000);
+    } else if me % 2 == 1 {
+        m.recv(Some(me - 1), Some(9));
+    }
+    // A second collective round so tag sequencing past p2p is covered.
+    m.barrier();
+    let q = m.isend((me + 2) % n, 11, 600);
+    m.recv(Some((me + n - 2) % n), Some(11));
+    m.wait(q);
+    m.allreduce(64);
+}
+
+fn cluster(n: usize, throttle_node0: bool) -> ClusterSpec {
+    let mut c = ClusterSpec::homogeneous(n);
+    if throttle_node0 {
+        c = c.with_link_cap(0, THROTTLED_10MBPS);
+    }
+    c
+}
+
+fn run_threaded(n: usize, c: ClusterSpec) -> SimReport {
+    let programs: Vec<MpiProgram> = (0..n)
+        .map(|_| Box::new(|comm: &mut Comm| exercise_all_ops(comm)) as MpiProgram)
+        .collect();
+    let placement = Placement::round_robin(n, c.len());
+    run_mpi_fns(c, placement, "lowering", TraceConfig::off(), programs).report
+}
+
+fn lower_scripts(n: usize, c: &ClusterSpec) -> Vec<RankScript> {
+    let o = c.net.sw_overhead.as_secs_f64();
+    (0..n)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, n, o);
+            exercise_all_ops(&mut b);
+            b.finish()
+        })
+        .collect()
+}
+
+fn assert_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.total_time, b.total_time, "{what}: total_time differs");
+    assert_eq!(
+        a.finish_times, b.finish_times,
+        "{what}: finish_times differ"
+    );
+    assert_eq!(a.rank_stats, b.rank_stats, "{what}: rank_stats differ");
+    assert_eq!(a.events, b.events, "{what}: event counts differ");
+    assert_eq!(a, b, "{what}: reports differ");
+}
+
+#[test]
+fn script_lowering_matches_live_comm_execution() {
+    for &(n, throttle) in &[
+        (2usize, false),
+        (3, false),
+        (4, false),
+        (4, true),
+        (5, false),
+    ] {
+        let c = cluster(n, throttle);
+        let threaded = run_threaded(n, c.clone());
+        let scripts = lower_scripts(n, &c);
+        let placement = Placement::round_robin(n, c.len());
+        let fast = run_mpi_scripts(c, placement, &scripts).report;
+        assert_identical(&threaded, &fast, &format!("n={n} throttle={throttle}"));
+    }
+}
+
+#[test]
+fn script_lowering_of_loops_matches_unrolled_execution() {
+    let n = 4;
+    let iters = 6u64;
+    let c = cluster(n, false);
+    let o = c.net.sw_overhead.as_secs_f64();
+
+    // Live execution: a plain Rust loop around the exchange body.
+    let programs: Vec<MpiProgram> = (0..n)
+        .map(|_| {
+            Box::new(move |comm: &mut Comm| {
+                let (n, me) = (comm.size(), comm.rank());
+                for _ in 0..iters {
+                    comm.compute(2e-4);
+                    let s = comm.isend((me + 1) % n, 3, 48_000);
+                    let r = comm.irecv(Some((me + n - 1) % n), Some(3), 48_000);
+                    comm.waitall(vec![s, r]);
+                    comm.allreduce(1_024);
+                }
+            }) as MpiProgram
+        })
+        .collect();
+    let placement = Placement::round_robin(n, c.len());
+    let threaded = run_mpi_fns(
+        c.clone(),
+        placement.clone(),
+        "loop",
+        TraceConfig::off(),
+        programs,
+    )
+    .report;
+
+    // Script form: the body recorded ONCE inside a counted loop node.
+    let scripts: Vec<RankScript> = (0..n)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, n, o);
+            b.begin_loop(iters);
+            MpiOps::compute(&mut b, 2e-4);
+            let s = MpiOps::isend(&mut b, (rank + 1) % n, 3, 48_000);
+            let r = MpiOps::irecv(&mut b, Some((rank + n - 1) % n), Some(3), 48_000);
+            MpiOps::waitall(&mut b, vec![s, r]);
+            MpiOps::allreduce(&mut b, 1_024);
+            b.end_loop();
+            b.finish()
+        })
+        .collect();
+    // The loop stays compressed in the script...
+    assert!(scripts[0].unrolled_ops() > 6 * scripts[0].nodes.len() as u64);
+    let fast = run_mpi_scripts(c, placement, &scripts).report;
+    assert_identical(&threaded, &fast, "compressed loop vs unrolled execution");
+}
+
+#[test]
+fn script_deadlock_surfaces_as_typed_error() {
+    let n = 2;
+    let c = cluster(n, false);
+    let o = c.net.sw_overhead.as_secs_f64();
+    let scripts: Vec<RankScript> = (0..n)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, n, o);
+            // Both ranks block receiving from each other with nothing sent.
+            MpiOps::recv(&mut b, Some((rank + 1) % n), Some(0));
+            b.finish()
+        })
+        .collect();
+    let placement = Placement::round_robin(n, c.len());
+    let err = try_run_mpi_scripts(c, placement, &scripts).expect_err("mutual recv must deadlock");
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "unexpected error: {msg}");
+}

@@ -15,7 +15,7 @@ use crate::scenario::Scenario;
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{BuiltSkeleton, ExecOptions, SkeletonBuilder};
 use pskel_mpi::{run_mpi, TraceConfig};
-use pskel_sim::{ClusterSpec, Placement};
+use pskel_sim::{ClusterSpec, Placement, SimError};
 use pskel_store::Store;
 use pskel_trace::AppTrace;
 use std::collections::HashMap;
@@ -68,15 +68,28 @@ impl Testbed {
     }
 
     /// Run a skeleton under a scenario; returns total execution seconds.
+    /// Panics on simulation failure; use [`Testbed::try_run_skeleton`] for
+    /// a typed error.
     pub fn run_skeleton(&self, built: &BuiltSkeleton, scenario: Scenario) -> f64 {
+        self.try_run_skeleton(built, scenario)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible skeleton run: deadlocks and rank panics come back as a
+    /// [`SimError`] instead of unwinding through the harness.
+    pub fn try_run_skeleton(
+        &self,
+        built: &BuiltSkeleton,
+        scenario: Scenario,
+    ) -> Result<f64, SimError> {
         let cluster = scenario.apply(&self.cluster);
-        pskel_core::run_skeleton(
+        Ok(pskel_core::try_run_skeleton(
             &built.skeleton,
             cluster,
             self.placement.clone(),
             ExecOptions::default(),
-        )
-        .total_secs()
+        )?
+        .total_secs())
     }
 }
 
@@ -89,6 +102,12 @@ pub enum EvalError {
         bench: &'static str,
         target_secs: f64,
         issues: Vec<String>,
+    },
+    /// A simulation failed (deadlock, rank panic) instead of completing.
+    Sim {
+        /// What was being simulated, e.g. `"cg 0.5s skeleton under NetOneLink"`.
+        what: String,
+        error: SimError,
     },
 }
 
@@ -104,6 +123,9 @@ impl fmt::Display for EvalError {
                 "{bench} {target_secs}s skeleton failed validation: {}",
                 issues.join("; ")
             ),
+            EvalError::Sim { what, error } => {
+                write!(f, "simulation failed ({what}): {error}")
+            }
         }
     }
 }
@@ -240,21 +262,30 @@ impl Shared<'_> {
         target_secs: f64,
         scenario: Scenario,
         built: &BuiltSkeleton,
-    ) -> f64 {
+    ) -> Result<f64, EvalError> {
         let builder = SkeletonBuilder::new(target_secs);
         let key = provenance::skeleton_time_key(self.testbed, bench, class, &builder, scenario);
         if let Some(store) = self.store {
             if let Some(t) = store.get_f64(kind::SKELETON_TIME, key) {
                 EvalCounters::bump(&self.counters.store_hits);
-                return t;
+                return Ok(t);
             }
         }
         EvalCounters::bump(&self.counters.skeleton_sims);
-        let t = self.testbed.run_skeleton(built, scenario);
+        let t = self
+            .testbed
+            .try_run_skeleton(built, scenario)
+            .map_err(|error| EvalError::Sim {
+                what: format!(
+                    "{} {target_secs}s skeleton under {scenario:?}",
+                    bench.name()
+                ),
+                error,
+            })?;
         if let Some(store) = self.store {
             store.put_f64(kind::SKELETON_TIME, key, t).ok();
         }
-        t
+        Ok(t)
     }
 
     /// MPI fraction of the skeleton itself, measured by a traced dedicated
@@ -265,17 +296,17 @@ impl Shared<'_> {
         class: Class,
         target_secs: f64,
         built: &BuiltSkeleton,
-    ) -> f64 {
+    ) -> Result<f64, EvalError> {
         let builder = SkeletonBuilder::new(target_secs);
         let key = provenance::skeleton_frac_key(self.testbed, bench, class, &builder);
         if let Some(store) = self.store {
             if let Some(f) = store.get_f64(kind::SKELETON_FRAC, key) {
                 EvalCounters::bump(&self.counters.store_hits);
-                return f;
+                return Ok(f);
             }
         }
         EvalCounters::bump(&self.counters.skeleton_sims);
-        let out = pskel_core::run_skeleton(
+        let out = pskel_core::try_run_skeleton(
             &built.skeleton,
             self.testbed.cluster.clone(),
             self.testbed.placement.clone(),
@@ -283,12 +314,16 @@ impl Shared<'_> {
                 trace: TraceConfig::on(),
                 ..Default::default()
             },
-        );
+        )
+        .map_err(|error| EvalError::Sim {
+            what: format!("{} {target_secs}s traced skeleton run", bench.name()),
+            error,
+        })?;
         let frac = out.trace.expect("skeleton run traced").mpi_fraction();
         if let Some(store) = self.store {
             store.put_f64(kind::SKELETON_FRAC, key, frac).ok();
         }
-        frac
+        Ok(frac)
     }
 }
 
@@ -462,7 +497,7 @@ impl EvalContext {
             target_secs,
             scenario,
             &self.skeletons[&(bench, Self::size_key(target_secs))],
-        );
+        )?;
         self.skeleton_times.insert(key, t);
         Ok(t)
     }
@@ -484,7 +519,7 @@ impl EvalContext {
             store: self.store.as_deref(),
             counters: &self.counters,
         }
-        .skeleton_mpi_fraction(bench, class, target_secs, &self.skeletons[&key]);
+        .skeleton_mpi_fraction(bench, class, target_secs, &self.skeletons[&key])?;
         self.skeleton_fracs.insert(key, f);
         Ok(f)
     }
@@ -594,15 +629,17 @@ impl EvalContext {
         let outs = par_map(jobs, |job| match job {
             Warm3::Time(b, size, s) => {
                 let built = &skeletons[&(b, Self::size_key(size))];
-                Warm3Out::Time(b, size, s, sh.skeleton_time(b, class, size, s, built))
+                let t = sh.skeleton_time(b, class, size, s, built)?;
+                Ok::<_, EvalError>(Warm3Out::Time(b, size, s, t))
             }
             Warm3::Frac(b, size) => {
                 let built = &skeletons[&(b, Self::size_key(size))];
-                Warm3Out::Frac(b, size, sh.skeleton_mpi_fraction(b, class, size, built))
+                let f = sh.skeleton_mpi_fraction(b, class, size, built)?;
+                Ok::<_, EvalError>(Warm3Out::Frac(b, size, f))
             }
         });
         for out in outs {
-            match out {
+            match out? {
                 Warm3Out::Time(b, size, s, t) => {
                     self.skeleton_times.insert((b, Self::size_key(size), s), t);
                 }

@@ -91,6 +91,13 @@ impl Router {
 
     fn metrics_text(&self) -> Response {
         let c = self.counters.snapshot();
+        let s = pskel_sim::counters::snapshot();
+        // Fraction of evaluations answered from the store/memo instead of
+        // simulating, as an integer percentage (Prometheus-friendly u64).
+        let sims = c.app_sims + c.trace_sims + c.skeleton_sims;
+        let memo_hit_pct = (c.store_hits * 100)
+            .checked_div(c.store_hits + sims)
+            .unwrap_or(0);
         let extras = [
             ("pskel_queue_depth", self.queue.len() as u64),
             ("pskel_queue_capacity", self.queue.capacity() as u64),
@@ -99,6 +106,19 @@ impl Router {
             ("pskel_eval_skeleton_sims_total", c.skeleton_sims),
             ("pskel_eval_skeleton_builds_total", c.skeleton_builds),
             ("pskel_eval_store_hits_total", c.store_hits),
+            ("pskel_eval_memo_hit_rate_percent", memo_hit_pct),
+            ("pskel_sim_runs_total", s.total_runs()),
+            ("pskel_sim_script_runs_total", s.script_runs),
+            ("pskel_sim_threaded_runs_total", s.threaded_runs),
+            ("pskel_sim_events_total", s.total_events()),
+            (
+                "pskel_sim_script_events_per_sec",
+                s.script_events_per_sec() as u64,
+            ),
+            (
+                "pskel_sim_threaded_events_per_sec",
+                s.threaded_events_per_sec() as u64,
+            ),
         ];
         Response::text(200, self.metrics.render(&extras))
     }
@@ -148,6 +168,8 @@ impl Router {
 
     /// `POST /v1/sleep` (only with `--test-endpoints`): occupies a worker
     /// without coalescing, so tests can fill the queue deterministically.
+    /// With `{"deadlock": true}` it instead runs a deliberately deadlocked
+    /// simulation, exercising the typed-`SimError` → 500 path.
     fn sleep(&self, req: &Request) -> Response {
         let job = match parse_body(req).and_then(|body| parse_sleep(&body)) {
             Ok(job) => job,
@@ -300,6 +322,9 @@ fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
 }
 
 fn parse_sleep(body: &Json) -> Result<ApiJob, ApiError> {
+    if field_bool(body, "deadlock")? {
+        return Ok(ApiJob::Deadlock);
+    }
     let ms = field_f64(body, "ms")?.unwrap_or(50.0);
     if !(0.0..=60_000.0).contains(&ms) {
         return Err(ApiError::Bad(format!("ms must be in [0, 60000], got {ms}")));
@@ -342,11 +367,15 @@ fn job_key(job: &ApiJob) -> StoreKey {
             .field("method", method.name())
             .field_u64("verify", verify as u64)
             .finish(),
-        // Sleep jobs never reach job_endpoint(), but give them distinct
-        // keys anyway so an accidental reroute cannot coalesce them.
+        // Sleep/deadlock jobs never reach job_endpoint(), but give them
+        // distinct keys anyway so an accidental reroute cannot coalesce
+        // them.
         ApiJob::Sleep { ms } => KeyBuilder::new("serve-v1")
             .field("endpoint", "sleep")
             .field_u64("ms", ms)
+            .finish(),
+        ApiJob::Deadlock => KeyBuilder::new("serve-v1")
+            .field("endpoint", "deadlock")
             .finish(),
     }
 }

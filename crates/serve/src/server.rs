@@ -427,6 +427,40 @@ mod tests {
     }
 
     #[test]
+    fn failed_simulation_answers_500_and_worker_keeps_draining() {
+        let server = start_test_server(true);
+        // A deliberately deadlocked simulation must come back as a 500
+        // carrying the simulator's diagnostic...
+        let (status, body) = raw_request(
+            server.addr,
+            "POST /v1/sleep HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 18\r\n\r\n{\"deadlock\": true}",
+        );
+        assert_eq!(status, 500, "body: {body}");
+        assert!(body.contains("deadlock"), "body: {body}");
+        // ...without killing the (single) worker: the next job still runs.
+        let (status, _) = raw_request(
+            server.addr,
+            "POST /v1/sleep HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 9\r\n\r\n{\"ms\": 1}",
+        );
+        assert_eq!(status, 200);
+        // The failed run still shows up in the simulator counters.
+        let (status, metrics) = raw_request(
+            server.addr,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("pskel_sim_script_runs_total"),
+            "metrics: {metrics}"
+        );
+        assert!(
+            metrics.contains("pskel_sim_events_total"),
+            "metrics: {metrics}"
+        );
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
     fn shutdown_drains_and_reports_clean() {
         let server = start_test_server(true);
         let (status, _) = raw_request(

@@ -12,6 +12,7 @@ use crate::json::Json;
 use crate::queue::Bounded;
 use pskel_apps::{Class, NasBenchmark};
 use pskel_predict::{error_pct, EvalContext, EvalCounters, EvalError, Scenario};
+use pskel_sim::{ClusterSpec, Placement, RankScript, ScriptNode, ScriptOp, ScriptTag, Simulation};
 use pskel_store::Store;
 use pskel_trace::TraceSummary;
 use std::collections::HashMap;
@@ -114,6 +115,10 @@ pub enum ApiJob {
     Sleep {
         ms: u64,
     },
+    /// Test-endpoint job: run a deliberately deadlocked two-rank script.
+    /// Proves that a failed simulation surfaces as a diagnostic 500 while
+    /// the worker survives to serve the next request.
+    Deadlock,
 }
 
 pub type JobOutcome = Result<Json, ApiError>;
@@ -135,8 +140,14 @@ fn check_target(target_secs: f64) -> Result<f64, ApiError> {
     Ok(target_secs)
 }
 
+/// A failed simulation ([`EvalError::Sim`]) is a server-side fault (500
+/// with the simulator's diagnostic); everything else the evaluator
+/// rejects is a client problem (400).
 fn eval_err(e: EvalError) -> ApiError {
-    ApiError::Bad(e.to_string())
+    match e {
+        EvalError::Sim { .. } => ApiError::Internal(e.to_string()),
+        _ => ApiError::Bad(e.to_string()),
+    }
 }
 
 /// Per-worker state: one lazily-created context per problem class, all
@@ -275,7 +286,42 @@ impl WorkerState {
                 std::thread::sleep(Duration::from_millis(ms.min(60_000)));
                 Ok(Json::obj([("slept_ms", Json::from(ms.min(60_000)))]))
             }
+            ApiJob::Deadlock => Err(deliberate_deadlock()),
         }
+    }
+}
+
+/// Simulate two ranks each blocked receiving from the other. The fast
+/// path's typed [`pskel_sim::SimError`] comes back as an `Internal` error
+/// carrying the simulator's diagnostic; the worker thread itself is
+/// untouched (no panic, no poisoned context).
+fn deliberate_deadlock() -> ApiError {
+    let n = 2;
+    let scripts: Vec<RankScript> = (0..n)
+        .map(|rank| RankScript {
+            nodes: vec![ScriptNode::Op(ScriptOp::Recv {
+                src: Some((rank + 1) % n),
+                tag: Some(ScriptTag::Lit(0)),
+            })],
+            ..RankScript::default()
+        })
+        .collect();
+    let sim = Simulation::new(ClusterSpec::homogeneous(n), Placement::round_robin(n, n));
+    match sim.try_run_scripts(&scripts) {
+        Ok(_) => ApiError::Internal("deliberate deadlock unexpectedly completed".into()),
+        Err(e) => ApiError::Internal(format!("deliberate deadlock job: {e}")),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry a
+/// `String` or `&str` in practice; anything else reports its opacity).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -306,11 +352,14 @@ pub fn spawn_pool(
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 state.execute(&job.api)
                             }))
-                            .unwrap_or_else(|_| {
+                            .unwrap_or_else(|payload| {
                                 // A panicking pipeline may have left a context
                                 // half-updated; drop them all and rebuild lazily.
                                 state.contexts.clear();
-                                Err(ApiError::Internal("job panicked in the pipeline".into()))
+                                Err(ApiError::Internal(format!(
+                                    "job panicked in the pipeline: {}",
+                                    panic_message(payload.as_ref())
+                                )))
                             });
                         // The requester may have gone away (client hangup);
                         // a dead channel is not a worker error.

@@ -1,0 +1,94 @@
+//! Process-wide simulator activity counters.
+//!
+//! Every completed simulation records which execution path it took
+//! (inline script fast path vs thread-per-rank), how many engine events
+//! it processed and how long it took on the wall clock. `pskel serve`
+//! exports these through `/metrics` and the `--selftest` summary; the
+//! `pskel bench sim` harness complements them with controlled A/B
+//! timings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static THREADED_RUNS: AtomicU64 = AtomicU64::new(0);
+static SCRIPT_RUNS: AtomicU64 = AtomicU64::new(0);
+static THREADED_EVENTS: AtomicU64 = AtomicU64::new(0);
+static SCRIPT_EVENTS: AtomicU64 = AtomicU64::new(0);
+static THREADED_NANOS: AtomicU64 = AtomicU64::new(0);
+static SCRIPT_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the global simulator counters. Monotonic over
+/// the life of the process; consumers wanting rates over an interval
+/// should difference two snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Completed thread-per-rank simulations.
+    pub threaded_runs: u64,
+    /// Completed script fast-path simulations.
+    pub script_runs: u64,
+    /// Engine events processed on the threaded path.
+    pub threaded_events: u64,
+    /// Engine events processed on the script path.
+    pub script_events: u64,
+    /// Wall nanoseconds spent inside threaded runs.
+    pub threaded_nanos: u64,
+    /// Wall nanoseconds spent inside script runs.
+    pub script_nanos: u64,
+}
+
+impl SimCounters {
+    pub fn total_runs(&self) -> u64 {
+        self.threaded_runs + self.script_runs
+    }
+
+    pub fn total_events(&self) -> u64 {
+        self.threaded_events + self.script_events
+    }
+
+    /// Simulated events per wall second on the script fast path.
+    pub fn script_events_per_sec(&self) -> f64 {
+        rate(self.script_events, self.script_nanos)
+    }
+
+    /// Simulated events per wall second on the threaded path.
+    pub fn threaded_events_per_sec(&self) -> f64 {
+        rate(self.threaded_events, self.threaded_nanos)
+    }
+
+    /// Simulated events per wall second across both paths.
+    pub fn events_per_sec(&self) -> f64 {
+        rate(self.total_events(), self.threaded_nanos + self.script_nanos)
+    }
+}
+
+fn rate(events: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        events as f64 * 1e9 / nanos as f64
+    }
+}
+
+/// Read the current counter values.
+pub fn snapshot() -> SimCounters {
+    SimCounters {
+        threaded_runs: THREADED_RUNS.load(Ordering::Relaxed),
+        script_runs: SCRIPT_RUNS.load(Ordering::Relaxed),
+        threaded_events: THREADED_EVENTS.load(Ordering::Relaxed),
+        script_events: SCRIPT_EVENTS.load(Ordering::Relaxed),
+        threaded_nanos: THREADED_NANOS.load(Ordering::Relaxed),
+        script_nanos: SCRIPT_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_threaded(events: u64, elapsed: Duration) {
+    THREADED_RUNS.fetch_add(1, Ordering::Relaxed);
+    THREADED_EVENTS.fetch_add(events, Ordering::Relaxed);
+    THREADED_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_script(events: u64, elapsed: Duration) {
+    SCRIPT_RUNS.fetch_add(1, Ordering::Relaxed);
+    SCRIPT_EVENTS.fetch_add(events, Ordering::Relaxed);
+    SCRIPT_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}

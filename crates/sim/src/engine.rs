@@ -15,6 +15,7 @@
 use crate::cpu::NodeCpu;
 use crate::msg::{Completion, MatchQueue, Msg, MsgState, RecvReq};
 use crate::net::{max_min_rates, Flow};
+use crate::script::{RankScript, ScriptCursor};
 use crate::spec::{ClusterSpec, Placement};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -44,7 +45,7 @@ pub struct RecvInfo {
 }
 
 #[derive(Debug)]
-enum Request {
+pub(crate) enum Request {
     Compute {
         secs: f64,
     },
@@ -78,7 +79,7 @@ enum Request {
 }
 
 #[derive(Debug)]
-enum ReplyKind {
+pub(crate) enum ReplyKind {
     Done,
     Recv(RecvInfo),
     Handle(u64),
@@ -88,9 +89,9 @@ enum ReplyKind {
 }
 
 #[derive(Debug)]
-struct Reply {
+pub(crate) struct Reply {
     now: SimTime,
-    kind: ReplyKind,
+    pub(crate) kind: ReplyKind,
 }
 
 /// What a blocked rank is waiting for.
@@ -147,8 +148,45 @@ struct NbState {
     waiter: Option<usize>,
 }
 
+/// Why a simulation could not complete. Returned by the fallible
+/// `try_run*` entry points; the panicking entry points format this with
+/// `Display` and panic with the resulting string, preserving the
+/// historical diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// All live ranks are blocked and no event can ever wake them.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// One pre-formatted line per non-exited rank describing what it
+        /// is blocked on (plus any rank panics observed earlier).
+        blocked: Vec<String>,
+    },
+    /// A rank program panicked; the simulation completed by unwinding
+    /// but its report is meaningless.
+    RankPanic { rank: usize, msg: String },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => write!(
+                f,
+                "simulation deadlock at {}: all live ranks blocked with no pending events\n{}",
+                at,
+                blocked.join("\n")
+            ),
+            SimError::RankPanic { rank, msg } => {
+                write!(f, "rank {rank} panicked during simulation: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Per-rank accounting captured during the run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankStats {
     pub compute_secs: f64,
     pub msgs_sent: u64,
@@ -158,7 +196,7 @@ pub struct RankStats {
 }
 
 /// Result of a completed simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Wall-clock (virtual) time at which the last rank finished.
     pub total_time: SimDuration,
@@ -343,6 +381,39 @@ impl SimCtx {
     }
 }
 
+/// Where completed replies go: per-rank channels feeding blocked rank
+/// threads, or in-place slots the inline script driver reads back —
+/// identical reply values either way, which is what keeps the two
+/// execution paths bit-identical.
+enum ReplySink {
+    Threads(Vec<Sender<Reply>>),
+    Inline(Vec<Option<Reply>>),
+}
+
+impl ReplySink {
+    fn deliver(&mut self, rank: usize, reply: Reply) {
+        match self {
+            ReplySink::Threads(txs) => txs[rank]
+                .send(reply)
+                .expect("rank thread disappeared while a reply was due"),
+            ReplySink::Inline(slots) => {
+                debug_assert!(
+                    slots[rank].is_none(),
+                    "rank {rank} received two replies without issuing a request"
+                );
+                slots[rank] = Some(reply);
+            }
+        }
+    }
+
+    fn take_inline(&mut self, rank: usize) -> Option<Reply> {
+        match self {
+            ReplySink::Inline(slots) => slots[rank].take(),
+            ReplySink::Threads(_) => unreachable!("inline reply requested on a threaded sink"),
+        }
+    }
+}
+
 struct Engine {
     spec: ClusterSpec,
     placement: Placement,
@@ -357,7 +428,7 @@ struct Engine {
     queues: Vec<MatchQueue>,
     nb: HashMap<u64, NbState>,
     blocked: Vec<Blocked>,
-    reply_tx: Vec<Sender<Reply>>,
+    sink: ReplySink,
     running: usize,
     live: usize,
     next_id: u64,
@@ -377,12 +448,11 @@ impl Engine {
     fn reply(&mut self, rank: usize, kind: ReplyKind) {
         self.blocked[rank] = Blocked::Running;
         self.running += 1;
-        self.reply_tx[rank]
-            .send(Reply {
-                now: self.now,
-                kind,
-            })
-            .expect("rank thread disappeared while a reply was due");
+        let reply = Reply {
+            now: self.now,
+            kind,
+        };
+        self.sink.deliver(rank, reply);
     }
 
     fn schedule(&mut self, at: SimTime, timer: Timer) {
@@ -836,8 +906,8 @@ impl Engine {
     }
 
     /// Advance virtual time by one step, waking at least one rank or
-    /// making internal progress. Panics on deadlock.
-    fn advance_once(&mut self) {
+    /// making internal progress. Fails on deadlock.
+    fn advance_once(&mut self) -> Result<(), SimError> {
         self.events += 1;
 
         // Completions already ripe at `now` (e.g. zero-work computes).
@@ -853,7 +923,7 @@ impl Engine {
             }
         }
         if woke {
-            return;
+            return Ok(());
         }
 
         // Candidate next times.
@@ -877,7 +947,7 @@ impl Engine {
         }
 
         if dt == SimDuration::MAX {
-            self.deadlock_panic();
+            return Err(self.deadlock_error());
         }
 
         // Settle continuous state and advance the clock.
@@ -921,9 +991,10 @@ impl Engine {
                 .expect("timer payload missing");
             self.fire_timer(timer);
         }
+        Ok(())
     }
 
-    fn deadlock_panic(&self) -> ! {
+    fn deadlock_error(&self) -> SimError {
         let mut lines = Vec::new();
         for (r, b) in self.blocked.iter().enumerate() {
             if !matches!(b, Blocked::Exited) {
@@ -935,11 +1006,31 @@ impl Engine {
                 lines.push(format!("  rank {r} PANICKED: {msg}"));
             }
         }
-        panic!(
-            "simulation deadlock at {}: all live ranks blocked with no pending events\n{}",
-            self.now,
-            lines.join("\n")
-        );
+        SimError::Deadlock {
+            at: self.now,
+            blocked: lines,
+        }
+    }
+
+    /// Consume the finished engine into a report, surfacing the first
+    /// rank panic as an error.
+    fn into_report(mut self) -> Result<SimReport, SimError> {
+        if !self.panics.is_empty() {
+            let (rank, msg) = self.panics.remove(0);
+            return Err(SimError::RankPanic { rank, msg });
+        }
+        let total = self
+            .finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok(SimReport {
+            total_time: total.saturating_since(SimTime::ZERO),
+            finish_times: self.finish_times,
+            rank_stats: self.stats,
+            events: self.events,
+        })
     }
 }
 
@@ -965,12 +1056,50 @@ impl Simulation {
         self.placement.n_ranks()
     }
 
+    fn build_engine(self, n: usize, sink: ReplySink) -> Engine {
+        Engine {
+            nodes: self.spec.nodes.iter().map(NodeCpu::new).collect(),
+            spec: self.spec,
+            placement: self.placement,
+            now: SimTime::ZERO,
+            flows: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_payload: HashMap::new(),
+            timer_seq: 0,
+            msgs: HashMap::new(),
+            recvs: HashMap::new(),
+            queues: vec![MatchQueue::default(); n],
+            nb: HashMap::new(),
+            blocked: (0..n).map(|_| Blocked::Running).collect(),
+            sink,
+            running: n,
+            live: n,
+            next_id: 0,
+            send_seq: 0,
+            stats: vec![RankStats::default(); n],
+            finish_times: vec![SimTime::ZERO; n],
+            panics: Vec::new(),
+            events: 0,
+        }
+    }
+
     /// Run one boxed program per rank. This is the primitive entry point;
-    /// see [`Simulation::run`] for the SPMD convenience form.
+    /// see [`Simulation::run`] for the SPMD convenience form. Panics with
+    /// the [`SimError`] diagnostic on deadlock or rank panic; services
+    /// that must survive bad inputs should call
+    /// [`Simulation::try_run_fns`].
     pub fn run_fns(self, programs: Vec<RankProgram>) -> SimReport {
+        self.try_run_fns(programs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_fns`]: returns a typed
+    /// [`SimError`] on deadlock or rank panic instead of panicking, after
+    /// shutting the rank threads down cleanly.
+    pub fn try_run_fns(self, programs: Vec<RankProgram>) -> Result<SimReport, SimError> {
         let n = self.placement.n_ranks();
         assert_eq!(programs.len(), n, "need exactly one program per rank");
         assert!(n > 0, "simulation needs at least one rank");
+        let t0 = std::time::Instant::now();
 
         let (req_tx, req_rx) = unbounded::<(usize, Request)>();
         let mut reply_tx = Vec::with_capacity(n);
@@ -998,7 +1127,7 @@ impl Simulation {
                             .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                             .unwrap_or_else(|| "opaque panic payload".to_string())
                     });
-                    // The engine may already be gone if it panicked first.
+                    // The engine may already be gone if it bailed first.
                     let _ = ctx.tx.send((ctx.rank, Request::Exit { panic }));
                 })
                 .expect("failed to spawn rank thread");
@@ -1006,33 +1135,10 @@ impl Simulation {
         }
         drop(req_tx);
 
-        let mut engine = Engine {
-            nodes: self.spec.nodes.iter().map(NodeCpu::new).collect(),
-            spec: self.spec,
-            placement: self.placement,
-            now: SimTime::ZERO,
-            flows: Vec::new(),
-            timers: BinaryHeap::new(),
-            timer_payload: HashMap::new(),
-            timer_seq: 0,
-            msgs: HashMap::new(),
-            recvs: HashMap::new(),
-            queues: vec![MatchQueue::default(); n],
-            nb: HashMap::new(),
-            blocked: (0..n).map(|_| Blocked::Running).collect(),
-            reply_tx,
-            running: n,
-            live: n,
-            next_id: 0,
-            send_seq: 0,
-            stats: vec![RankStats::default(); n],
-            finish_times: vec![SimTime::ZERO; n],
-            panics: Vec::new(),
-            events: 0,
-        };
+        let mut engine = self.build_engine(n, ReplySink::Threads(reply_tx));
 
         let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
-        loop {
+        let step_err = loop {
             while engine.running > 0 {
                 let (rank, req) = req_rx
                     .recv()
@@ -1050,32 +1156,115 @@ impl Simulation {
                 continue;
             }
             if engine.live == 0 {
-                break;
+                break None;
             }
-            engine.advance_once();
+            if let Err(e) = engine.advance_once() {
+                break Some(e);
+            }
+        };
+
+        if let Some(e) = step_err {
+            // Dropping the engine drops the reply senders; every rank
+            // thread still blocked in a roundtrip unwinds out of its
+            // recv, gets caught by its catch_unwind and exits cleanly.
+            drop(engine);
+            for h in handles {
+                let _ = h.join();
+            }
+            return Err(e);
         }
 
         for h in handles {
             h.join().expect("rank thread poisoned after exit");
         }
 
-        if !engine.panics.is_empty() {
-            let (rank, msg) = &engine.panics[0];
-            panic!("rank {rank} panicked during simulation: {msg}");
+        let report = engine.into_report()?;
+        crate::counters::record_threaded(report.events, t0.elapsed());
+        Ok(report)
+    }
+
+    /// Run one [`RankScript`] per rank on the inline fast path: the
+    /// coordinator interprets every script itself on the calling thread —
+    /// no rank threads, no channels, no context switches. Produces a
+    /// report bit-identical to replaying the same scripts through
+    /// [`Simulation::run_scripts_threaded`]. Panics with the
+    /// [`SimError`] diagnostic on deadlock; see
+    /// [`Simulation::try_run_scripts`].
+    pub fn run_scripts(self, scripts: &[RankScript]) -> SimReport {
+        self.try_run_scripts(scripts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_scripts`].
+    pub fn try_run_scripts(self, scripts: &[RankScript]) -> Result<SimReport, SimError> {
+        let n = self.placement.n_ranks();
+        assert_eq!(scripts.len(), n, "need exactly one script per rank");
+        assert!(n > 0, "simulation needs at least one rank");
+        let t0 = std::time::Instant::now();
+
+        let mut engine = self.build_engine(n, ReplySink::Inline((0..n).map(|_| None).collect()));
+        let mut cursors: Vec<ScriptCursor<'_>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| ScriptCursor::new(s, rank, n))
+            .collect();
+
+        // Same phase structure as the threaded loop — collect one request
+        // from every running rank, process the batch in rank order,
+        // advance the clock once all ranks are blocked — so the engine
+        // observes the identical request sequence.
+        let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+        loop {
+            if engine.running > 0 {
+                for (rank, cursor) in cursors.iter_mut().enumerate() {
+                    if !matches!(engine.blocked[rank], Blocked::Running) {
+                        continue;
+                    }
+                    let reply = engine.sink.take_inline(rank);
+                    debug_assert!(inbox[rank].is_none(), "rank {rank} sent two requests");
+                    inbox[rank] = Some(cursor.next_request(reply));
+                    engine.running -= 1;
+                }
+                debug_assert_eq!(engine.running, 0, "a running rank produced no request");
+            }
+            for (rank, slot) in inbox.iter_mut().enumerate() {
+                if let Some(req) = slot.take() {
+                    engine.handle_request(rank, req);
+                }
+            }
+            if engine.running > 0 {
+                continue;
+            }
+            if engine.live == 0 {
+                break;
+            }
+            engine.advance_once()?;
         }
 
-        let total = engine
-            .finish_times
+        let report = engine.into_report()?;
+        crate::counters::record_script(report.events, t0.elapsed());
+        Ok(report)
+    }
+
+    /// Replay scripts on the thread-per-rank path (one [`SimCtx`]-driven
+    /// thread per script). The reference semantics the fast path is held
+    /// to; useful for A/B benchmarking and differential testing.
+    pub fn run_scripts_threaded(self, scripts: &[RankScript]) -> SimReport {
+        self.try_run_scripts_threaded(scripts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_scripts_threaded`].
+    pub fn try_run_scripts_threaded(self, scripts: &[RankScript]) -> Result<SimReport, SimError> {
+        let programs: Vec<RankProgram> = scripts
             .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        SimReport {
-            total_time: total.saturating_since(SimTime::ZERO),
-            finish_times: engine.finish_times,
-            rank_stats: engine.stats,
-            events: engine.events,
-        }
+            .cloned()
+            .map(|s| {
+                Box::new(move |ctx: &mut SimCtx| crate::script::run_script_on_ctx(&s, ctx))
+                    as RankProgram
+            })
+            .collect();
+        self.try_run_fns(programs)
     }
 
     /// Run the same program on every rank (SPMD).

@@ -10,10 +10,15 @@
 //! flows), competing compute processes, and per-link `iproute2`-style
 //! bandwidth caps.
 //!
-//! Programs are plain Rust closures, one per rank, run on real threads.
-//! Every interaction with virtual time goes through [`SimCtx`]; the engine
-//! only advances the clock when all ranks are blocked, so runs are
-//! bit-deterministic.
+//! Programs come in two forms. Plain Rust closures, one per rank, run on
+//! real threads; every interaction with virtual time goes through
+//! [`SimCtx`], and the engine only advances the clock when all ranks are
+//! blocked, so runs are bit-deterministic. Deterministic replays
+//! (traces, skeletons, signature loop nests) can instead be lowered to
+//! [`script::RankScript`]s, which the coordinator interprets inline on a
+//! single thread ([`Simulation::run_scripts`]) — no rank threads, no
+//! channels — producing reports bit-identical to the threaded path at a
+//! fraction of the cost.
 //!
 //! ```
 //! use pskel_sim::{ClusterSpec, Placement, Simulation};
@@ -31,13 +36,17 @@
 //! assert!(report.total_time.as_secs_f64() > 0.5);
 //! ```
 
+pub mod counters;
 pub mod cpu;
 pub mod engine;
 pub mod msg;
 pub mod net;
+pub mod script;
 pub mod spec;
 pub mod time;
 
-pub use engine::{RankStats, RecvInfo, SimCtx, SimReport, SimReq, Simulation};
+pub use counters::SimCounters;
+pub use engine::{RankStats, RecvInfo, SimCtx, SimError, SimReport, SimReq, Simulation};
+pub use script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
 pub use spec::{ClusterSpec, NetSpec, NodeSpec, Placement, GIGABIT_BPS, THROTTLED_10MBPS};
 pub use time::{SimDuration, SimTime};

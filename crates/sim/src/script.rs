@@ -1,0 +1,494 @@
+//! Script-driven simulation programs: the data representation behind the
+//! engine's single-threaded fast path.
+//!
+//! A [`RankScript`] is a static description of one rank's behaviour — the
+//! same request vocabulary rank closures issue through [`SimCtx`], plus a
+//! loop form so compressed signature loop nests replay without
+//! materializing the expanded op list. Because a script is data rather
+//! than code, the coordinator can drive it *inline*
+//! ([`crate::Simulation::run_scripts`]): no rank threads, no channels, no
+//! context switches — the dominant costs of the closure path for
+//! deterministic replays.
+//!
+//! Two interpreters share this representation:
+//!
+//! * [`ScriptCursor`] (crate-internal) walks the loop nest lazily and
+//!   produces engine `Request`s one at a time for the inline driver;
+//! * [`run_script_on_ctx`] replays the same script through a [`SimCtx`]
+//!   on the threaded path — the reference semantics the proptests hold
+//!   the fast path to, bit for bit.
+//!
+//! The op set mirrors the skip rules of `SimCtx` exactly (non-positive
+//! computes and sleeps issue no request; an empty waitall issues no
+//! request), so a script and a closure performing the same calls generate
+//! the *identical* request stream, which is what makes the two execution
+//! paths produce bit-identical [`crate::SimReport`]s.
+
+use crate::engine::{Reply, ReplyKind, Request, SimCtx, SimReq};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// A message tag in a script. Collective-internal messages use a tag that
+/// depends on how many collectives ran before them; [`ScriptTag::Coll`]
+/// defers that resolution to execution time so loop bodies stay static.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptTag {
+    /// A literal tag value (user point-to-point traffic).
+    Lit(u64),
+    /// The tag of the collective currently in flight: resolved as
+    /// `coll_tag_base + coll_seq` at execution time (see
+    /// [`ScriptOp::FreshCollTag`]).
+    Coll,
+}
+
+/// One primitive operation of a rank script. Request slots are
+/// script-local names for pending nonblocking operations; a slot is bound
+/// by `Isend`/`Irecv` and released by `Wait`/`WaitAll` (or a successful
+/// `Test`), exactly like MPI request handles.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScriptOp {
+    /// `secs` CPU-seconds of work. Skipped when `secs <= 0`.
+    Compute { secs: f64 },
+    /// Compute with a normally-distributed duration: `mean + std·N(0,1)`
+    /// clamped at zero, drawn from the script's deterministic per-rank
+    /// stream. Skipped when the draw clamps to zero.
+    ComputeJitter { mean: f64, std: f64 },
+    /// Idle for `secs` of virtual wall time. Skipped when `secs <= 0`.
+    Sleep { secs: f64 },
+    /// Blocking send.
+    Send {
+        dst: usize,
+        tag: ScriptTag,
+        bytes: u64,
+    },
+    /// Nonblocking send bound to `slot`.
+    Isend {
+        dst: usize,
+        tag: ScriptTag,
+        bytes: u64,
+        slot: u32,
+    },
+    /// Blocking receive (`None` = any-source / any-tag).
+    Recv {
+        src: Option<usize>,
+        tag: Option<ScriptTag>,
+    },
+    /// Nonblocking receive bound to `slot`.
+    Irecv {
+        src: Option<usize>,
+        tag: Option<ScriptTag>,
+        slot: u32,
+    },
+    /// Complete the operation in `slot`.
+    Wait { slot: u32 },
+    /// Complete every listed operation. Issues no request when empty.
+    WaitAll { slots: Vec<u32> },
+    /// Probe the operation in `slot`: frees the slot if the operation has
+    /// completed, leaves it bound otherwise (a later `Wait` must then
+    /// complete it).
+    Test { slot: u32 },
+    /// Start a new collective: advances the collective sequence number
+    /// that [`ScriptTag::Coll`] resolves against. Issues no request.
+    FreshCollTag,
+}
+
+/// A node of the script tree: a primitive op or a counted loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScriptNode {
+    Op(ScriptOp),
+    /// Execute `body` `count` times. Bodies are stored once and iterated
+    /// lazily, so a compressed signature's loop nest never expands.
+    Loop {
+        count: u64,
+        body: Vec<ScriptNode>,
+    },
+}
+
+/// One rank's complete scripted program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankScript {
+    pub nodes: Vec<ScriptNode>,
+    /// Base value [`ScriptTag::Coll`] tags resolve against (the MPI layer
+    /// passes its reserved collective tag space here).
+    pub coll_tag_base: u64,
+    /// Seed of the deterministic stream behind [`ScriptOp::ComputeJitter`].
+    pub jitter_seed: u64,
+}
+
+impl RankScript {
+    /// Number of primitive ops the script would execute fully unrolled
+    /// (loops multiplied out). Useful for sizing benchmarks.
+    pub fn unrolled_ops(&self) -> u64 {
+        fn count(nodes: &[ScriptNode]) -> u64 {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    ScriptNode::Op(_) => 1,
+                    ScriptNode::Loop { count: c, body } => c * count(body),
+                })
+                .sum()
+        }
+        count(&self.nodes)
+    }
+}
+
+/// Box-Muller standard normal scaled to (mean, std), drawn from a
+/// deterministic stream. Shared by the script cursor and the skeleton
+/// executor so jittered computes are bit-identical across both paths.
+pub fn sample_normal(rng: &mut ChaCha8Rng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Whether the linked `rand` implementation actually works at runtime.
+/// Offline typecheck builds link panicking stub crates; differential
+/// tests call this to skip jitter coverage there instead of failing.
+pub fn rng_runtime_available() -> bool {
+    std::panic::catch_unwind(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        sample_normal(&mut rng, 1.0, 0.1)
+    })
+    .is_ok()
+}
+
+/// One stack frame of the lazy loop-nest walk: a body slice, the position
+/// within it, and how many full passes remain after the current one.
+struct Frame<'a> {
+    body: &'a [ScriptNode],
+    idx: usize,
+    remaining: u64,
+}
+
+/// Lazily walks a [`RankScript`] and yields engine `Request`s one at a
+/// time, consuming the engine's replies in between — the inline-driver
+/// equivalent of a rank thread blocked in [`SimCtx`] round-trips.
+pub(crate) struct ScriptCursor<'a> {
+    rank: usize,
+    nranks: usize,
+    frames: Vec<Frame<'a>>,
+    /// Live slot bindings: script slot → engine nonblocking handle.
+    pending: HashMap<u32, u64>,
+    /// Slot awaiting the handle of the request just issued.
+    awaiting_handle: Option<u32>,
+    /// Slot of the outstanding `Test`, resolved by the next reply.
+    awaiting_test: Option<u32>,
+    coll_seq: u64,
+    coll_tag_base: u64,
+    rng: ChaCha8Rng,
+}
+
+impl<'a> ScriptCursor<'a> {
+    pub(crate) fn new(script: &'a RankScript, rank: usize, nranks: usize) -> ScriptCursor<'a> {
+        ScriptCursor {
+            rank,
+            nranks,
+            frames: vec![Frame {
+                body: &script.nodes,
+                idx: 0,
+                remaining: 0,
+            }],
+            pending: HashMap::new(),
+            awaiting_handle: None,
+            awaiting_test: None,
+            coll_seq: 0,
+            coll_tag_base: script.coll_tag_base,
+            rng: ChaCha8Rng::seed_from_u64(script.jitter_seed),
+        }
+    }
+
+    /// Step to the next primitive op, entering/looping/leaving frames as
+    /// needed. `None` once the script is exhausted.
+    fn advance(&mut self) -> Option<&'a ScriptOp> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            if frame.idx == frame.body.len() {
+                if frame.remaining > 0 {
+                    frame.remaining -= 1;
+                    frame.idx = 0;
+                } else {
+                    self.frames.pop();
+                }
+                continue;
+            }
+            let node: &'a ScriptNode = &frame.body[frame.idx];
+            frame.idx += 1;
+            match node {
+                ScriptNode::Op(op) => return Some(op),
+                ScriptNode::Loop { count, body } => {
+                    if *count > 0 && !body.is_empty() {
+                        self.frames.push(Frame {
+                            body,
+                            idx: 0,
+                            remaining: count - 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn tag(&self, tag: &ScriptTag) -> u64 {
+        match tag {
+            ScriptTag::Lit(v) => *v,
+            ScriptTag::Coll => self.coll_tag_base + self.coll_seq,
+        }
+    }
+
+    /// Consume the reply to the previously-issued request (if any) and
+    /// produce the next request. Returns `Request::Exit` once — callers
+    /// must not step an exited cursor again.
+    pub(crate) fn next_request(&mut self, reply: Option<Reply>) -> Request {
+        if let Some(reply) = reply {
+            match reply.kind {
+                ReplyKind::Handle(h) => {
+                    let slot = self
+                        .awaiting_handle
+                        .take()
+                        .expect("engine returned a handle with no slot awaiting one");
+                    let prev = self.pending.insert(slot, h);
+                    assert!(
+                        prev.is_none(),
+                        "rank {}: request slot {slot} rebound while still pending",
+                        self.rank
+                    );
+                }
+                ReplyKind::TestResult(outcome) => {
+                    let slot = self
+                        .awaiting_test
+                        .take()
+                        .expect("engine returned a test result with no test outstanding");
+                    if outcome.is_some() {
+                        self.pending.remove(&slot);
+                    }
+                }
+                _ => {}
+            }
+        }
+        loop {
+            let Some(op) = self.advance() else {
+                assert!(
+                    self.pending.is_empty(),
+                    "rank {}: script finished with {} unwaited request slots",
+                    self.rank,
+                    self.pending.len()
+                );
+                return Request::Exit { panic: None };
+            };
+            match op {
+                ScriptOp::Compute { secs } => {
+                    if *secs > 0.0 {
+                        return Request::Compute { secs: *secs };
+                    }
+                }
+                ScriptOp::ComputeJitter { mean, std } => {
+                    let secs = sample_normal(&mut self.rng, *mean, *std).max(0.0);
+                    if secs > 0.0 {
+                        return Request::Compute { secs };
+                    }
+                }
+                ScriptOp::Sleep { secs } => {
+                    if *secs > 0.0 {
+                        return Request::Sleep { secs: *secs };
+                    }
+                }
+                ScriptOp::Send { dst, tag, bytes } => {
+                    assert!(
+                        *dst < self.nranks,
+                        "send to rank {dst} but nranks={}",
+                        self.nranks
+                    );
+                    return Request::Send {
+                        dst: *dst,
+                        tag: self.tag(tag),
+                        bytes: *bytes,
+                        payload: None,
+                        nonblocking: false,
+                    };
+                }
+                ScriptOp::Isend {
+                    dst,
+                    tag,
+                    bytes,
+                    slot,
+                } => {
+                    assert!(
+                        *dst < self.nranks,
+                        "isend to rank {dst} but nranks={}",
+                        self.nranks
+                    );
+                    self.awaiting_handle = Some(*slot);
+                    return Request::Send {
+                        dst: *dst,
+                        tag: self.tag(tag),
+                        bytes: *bytes,
+                        payload: None,
+                        nonblocking: true,
+                    };
+                }
+                ScriptOp::Recv { src, tag } => {
+                    return Request::Recv {
+                        src: *src,
+                        tag: tag.as_ref().map(|t| self.tag(t)),
+                        nonblocking: false,
+                    };
+                }
+                ScriptOp::Irecv { src, tag, slot } => {
+                    self.awaiting_handle = Some(*slot);
+                    return Request::Recv {
+                        src: *src,
+                        tag: tag.as_ref().map(|t| self.tag(t)),
+                        nonblocking: true,
+                    };
+                }
+                ScriptOp::Wait { slot } => {
+                    let h = self.pending.remove(slot).unwrap_or_else(|| {
+                        panic!("rank {}: wait on empty request slot {slot}", self.rank)
+                    });
+                    return Request::Wait { req: h };
+                }
+                ScriptOp::WaitAll { slots } => {
+                    if slots.is_empty() {
+                        continue;
+                    }
+                    let reqs = slots
+                        .iter()
+                        .map(|s| {
+                            self.pending.remove(s).unwrap_or_else(|| {
+                                panic!("rank {}: waitall on empty request slot {s}", self.rank)
+                            })
+                        })
+                        .collect();
+                    return Request::WaitAll { reqs };
+                }
+                ScriptOp::Test { slot } => {
+                    let h = *self.pending.get(slot).unwrap_or_else(|| {
+                        panic!("rank {}: test on empty request slot {slot}", self.rank)
+                    });
+                    self.awaiting_test = Some(*slot);
+                    return Request::Test { req: h };
+                }
+                ScriptOp::FreshCollTag => self.coll_seq += 1,
+            }
+        }
+    }
+}
+
+/// Interpreter state for the threaded reference path.
+struct Interp {
+    pending: HashMap<u32, SimReq>,
+    coll_seq: u64,
+    coll_tag_base: u64,
+    rng: ChaCha8Rng,
+}
+
+impl Interp {
+    fn tag(&self, tag: &ScriptTag) -> u64 {
+        match tag {
+            ScriptTag::Lit(v) => *v,
+            ScriptTag::Coll => self.coll_tag_base + self.coll_seq,
+        }
+    }
+}
+
+/// Replay a [`RankScript`] through a [`SimCtx`] — the thread-per-rank
+/// reference semantics of the same script. Used by
+/// [`crate::Simulation::run_scripts_threaded`] and by the equivalence
+/// suite to pin the fast path to the closure path, bit for bit.
+pub fn run_script_on_ctx(script: &RankScript, ctx: &mut SimCtx) {
+    let mut st = Interp {
+        pending: HashMap::new(),
+        coll_seq: 0,
+        coll_tag_base: script.coll_tag_base,
+        rng: ChaCha8Rng::seed_from_u64(script.jitter_seed),
+    };
+    run_nodes(&script.nodes, ctx, &mut st);
+    assert!(
+        st.pending.is_empty(),
+        "rank {}: script finished with {} unwaited request slots",
+        ctx.rank(),
+        st.pending.len()
+    );
+}
+
+fn run_nodes(nodes: &[ScriptNode], ctx: &mut SimCtx, st: &mut Interp) {
+    for node in nodes {
+        match node {
+            ScriptNode::Loop { count, body } => {
+                for _ in 0..*count {
+                    run_nodes(body, ctx, st);
+                }
+            }
+            ScriptNode::Op(op) => run_op(op, ctx, st),
+        }
+    }
+}
+
+fn run_op(op: &ScriptOp, ctx: &mut SimCtx, st: &mut Interp) {
+    match op {
+        ScriptOp::Compute { secs } => ctx.compute(*secs),
+        ScriptOp::ComputeJitter { mean, std } => {
+            let secs = sample_normal(&mut st.rng, *mean, *std).max(0.0);
+            ctx.compute(secs);
+        }
+        ScriptOp::Sleep { secs } => ctx.sleep(*secs),
+        ScriptOp::Send { dst, tag, bytes } => ctx.send(*dst, st.tag(tag), *bytes, None),
+        ScriptOp::Isend {
+            dst,
+            tag,
+            bytes,
+            slot,
+        } => {
+            let req = ctx.isend(*dst, st.tag(tag), *bytes, None);
+            let prev = st.pending.insert(*slot, req);
+            assert!(
+                prev.is_none(),
+                "rank {}: request slot {slot} rebound while still pending",
+                ctx.rank()
+            );
+        }
+        ScriptOp::Recv { src, tag } => {
+            ctx.recv(*src, tag.as_ref().map(|t| st.tag(t)));
+        }
+        ScriptOp::Irecv { src, tag, slot } => {
+            let req = ctx.irecv(*src, tag.as_ref().map(|t| st.tag(t)));
+            let prev = st.pending.insert(*slot, req);
+            assert!(
+                prev.is_none(),
+                "rank {}: request slot {slot} rebound while still pending",
+                ctx.rank()
+            );
+        }
+        ScriptOp::Wait { slot } => {
+            let req = st.pending.remove(slot).unwrap_or_else(|| {
+                panic!("rank {}: wait on empty request slot {slot}", ctx.rank())
+            });
+            ctx.wait(req);
+        }
+        ScriptOp::WaitAll { slots } => {
+            if slots.is_empty() {
+                return;
+            }
+            let reqs: Vec<SimReq> = slots
+                .iter()
+                .map(|s| {
+                    st.pending.remove(s).unwrap_or_else(|| {
+                        panic!("rank {}: waitall on empty request slot {s}", ctx.rank())
+                    })
+                })
+                .collect();
+            ctx.waitall(reqs);
+        }
+        ScriptOp::Test { slot } => {
+            let req = st.pending.remove(slot).unwrap_or_else(|| {
+                panic!("rank {}: test on empty request slot {slot}", ctx.rank())
+            });
+            if let Err(req) = ctx.test(req) {
+                st.pending.insert(*slot, req);
+            }
+        }
+        ScriptOp::FreshCollTag => st.coll_seq += 1,
+    }
+}

@@ -101,6 +101,11 @@ commands:
            speedup vs the recorded pre-optimization baselines; --json
            writes BENCH_compress.json (or -o), --fast lowers repetitions
            for CI smoke runs, --skip-nas omits the simulated CG.W workload
+  bench    sim [--json] [-o <report.json>] [--fast]
+           time the simulator's script fast path against the
+           thread-per-rank path on replay workloads, reporting simulated
+           events/sec, speedup and bit-identity of the reports; --json
+           writes BENCH_sim.json (or -o)
 
 options:
   --store <dir>  on trace/build/predict/serve: consult and fill a
@@ -128,7 +133,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
     if cmd == "bench" {
         let Some((action, rest)) = rest.split_first() else {
-            return usage_err("bench needs an action: compress".into());
+            return usage_err("bench needs an action: compress or sim".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
@@ -548,22 +553,36 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
-    if action != "compress" {
-        return usage_err(format!("unknown bench action {action:?}; use compress"));
-    }
     let fast = opts.has("fast");
-    let include_nas = !opts.has("skip-nas");
-    eprintln!(
-        "timing signature compression ({} mode{})...",
-        if fast { "fast" } else { "full" },
-        if include_nas { "" } else { ", NAS skipped" }
-    );
-    let report = pskel_bench::run_compress_bench(fast, include_nas);
-    print!("{}", report.table());
+    let (table, json, default_path) = match action {
+        "compress" => {
+            let include_nas = !opts.has("skip-nas");
+            eprintln!(
+                "timing signature compression ({} mode{})...",
+                if fast { "fast" } else { "full" },
+                if include_nas { "" } else { ", NAS skipped" }
+            );
+            let report = pskel_bench::run_compress_bench(fast, include_nas);
+            (report.table(), report.to_json(), "BENCH_compress.json")
+        }
+        "sim" => {
+            eprintln!(
+                "timing simulator execution paths ({} mode)...",
+                if fast { "fast" } else { "full" }
+            );
+            let report = pskel_bench::run_sim_bench(fast);
+            (report.table(), report.to_json(), "BENCH_sim.json")
+        }
+        other => {
+            return usage_err(format!(
+                "unknown bench action {other:?}; use compress or sim"
+            ))
+        }
+    };
+    print!("{table}");
     if opts.has("json") || opts.get("o").is_some() {
-        let path = opts.get("o").unwrap_or("BENCH_compress.json");
-        std::fs::write(path, report.to_json())
-            .map_err(|e| format!("cannot write report {path}: {e}"))?;
+        let path = opts.get("o").unwrap_or(default_path);
+        std::fs::write(path, json).map_err(|e| format!("cannot write report {path}: {e}"))?;
         eprintln!("report -> {path}");
     }
     Ok(())
@@ -734,6 +753,15 @@ fn cmd_serve_selftest(opts: &Opts) -> Result<(), CliError> {
         c.trace_sims,
         c.skeleton_builds,
         c.store_hits
+    );
+    let s = pskel_sim::counters::snapshot();
+    println!(
+        "simulator: {} runs ({} fast-path, {} threaded), {} events, {:.0} events/s on the fast path",
+        s.total_runs(),
+        s.script_runs,
+        s.threaded_runs,
+        s.total_events(),
+        s.script_events_per_sec()
     );
     if report.errors > 0 {
         return Err(format!("selftest saw {} failed requests", report.errors).into());
