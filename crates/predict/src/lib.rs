@@ -31,11 +31,11 @@ pub use extensions::{
     wan_prediction, wan_prediction_with, CoschedResult, ProbeCost, SweepPoint, WanResult,
 };
 pub use methods::{
-    average_prediction, class_s_prediction, error_pct, skeleton_error_pct, skeleton_prediction,
-    status_prediction,
+    average_prediction, average_prediction_spec, class_s_prediction, class_s_prediction_spec,
+    error_pct, skeleton_error_pct, skeleton_prediction, status_prediction,
 };
 pub use runner::{
     CounterSnapshot, EvalContext, EvalCounters, EvalError, Testbed, PAPER_SKELETON_SIZES,
 };
-pub use scenario::Scenario;
+pub use scenario::{builtin_program, Scenario, ScenarioSpec};
 pub use selection::{select_node_set, CandidateSet, ProbeResult, Selection};

@@ -1,7 +1,7 @@
 //! The three prediction methodologies compared in the paper (§4.2, §4.5).
 
 use crate::runner::{EvalContext, EvalError};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioSpec};
 use pskel_apps::{Class, NasBenchmark};
 
 /// Percentage error of a prediction against the measured truth.
@@ -29,23 +29,43 @@ pub fn skeleton_prediction(
 /// "Average Prediction" baseline: the mean slowdown of the whole suite
 /// under the scenario predicts every program.
 pub fn average_prediction(ctx: &mut EvalContext, bench: NasBenchmark, scenario: Scenario) -> f64 {
+    average_prediction_spec(ctx, bench, &scenario.into()).expect("builtin scenarios always apply")
+}
+
+/// [`average_prediction`] under any [`ScenarioSpec`]; fails only when a
+/// custom program does not fit the testbed.
+pub fn average_prediction_spec(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    scenario: &ScenarioSpec,
+) -> Result<f64, EvalError> {
+    let class = ctx.class;
     let mut slowdowns = Vec::new();
     for b in NasBenchmark::ALL {
         let ded = ctx.app_time(b, Scenario::Dedicated);
-        let scen = ctx.app_time(b, scenario);
+        let scen = ctx.app_time_spec(b, class, scenario)?;
         slowdowns.push(scen / ded);
     }
     let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
-    ctx.app_time(bench, Scenario::Dedicated) * avg
+    Ok(ctx.app_time(bench, Scenario::Dedicated) * avg)
 }
 
 /// "Class S Prediction" baseline: the Class-S version of the benchmark is
 /// used as a manually-written skeleton for the Class-B version.
 pub fn class_s_prediction(ctx: &mut EvalContext, bench: NasBenchmark, scenario: Scenario) -> f64 {
+    class_s_prediction_spec(ctx, bench, &scenario.into()).expect("builtin scenarios always apply")
+}
+
+/// [`class_s_prediction`] under any [`ScenarioSpec`].
+pub fn class_s_prediction_spec(
+    ctx: &mut EvalContext,
+    bench: NasBenchmark,
+    scenario: &ScenarioSpec,
+) -> Result<f64, EvalError> {
     let s_ded = ctx.app_time_class(bench, Class::S, Scenario::Dedicated);
-    let s_scen = ctx.app_time_class(bench, Class::S, scenario);
+    let s_scen = ctx.app_time_spec(bench, Class::S, scenario)?;
     let slowdown = s_scen / s_ded;
-    ctx.app_time(bench, Scenario::Dedicated) * slowdown
+    Ok(ctx.app_time(bench, Scenario::Dedicated) * slowdown)
 }
 
 /// "Status-based" baseline: the state-of-the-art approach the paper's §1

@@ -9,7 +9,7 @@
 //! that artifact class after a semantic change.
 
 use crate::runner::Testbed;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioSpec};
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::SkeletonBuilder;
 use pskel_store::{KeyBuilder, StoreKey};
@@ -50,8 +50,22 @@ pub fn app_time_key(
     class: Class,
     scenario: Scenario,
 ) -> StoreKey {
+    app_time_key_spec(testbed, bench, class, &scenario.into())
+}
+
+/// Measured application time under any [`ScenarioSpec`]. For builtin
+/// scenarios the key is identical to the legacy [`app_time_key`];
+/// custom programs contribute their canonicalized program hash, so two
+/// structurally equal specs share a cache entry and any semantic edit
+/// misses it.
+pub fn app_time_key_spec(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    scenario: &ScenarioSpec,
+) -> StoreKey {
     base("app-time-v1", testbed, bench, class)
-        .field("scenario", scenario.cli_name())
+        .field("scenario", &scenario.provenance_token())
         .finish()
 }
 
@@ -76,10 +90,22 @@ pub fn skeleton_time_key(
     builder: &SkeletonBuilder,
     scenario: Scenario,
 ) -> StoreKey {
+    skeleton_time_key_spec(testbed, bench, class, builder, &scenario.into())
+}
+
+/// Measured skeleton execution time under any [`ScenarioSpec`]; same
+/// identity rules as [`app_time_key_spec`].
+pub fn skeleton_time_key_spec(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    builder: &SkeletonBuilder,
+    scenario: &ScenarioSpec,
+) -> StoreKey {
     base("skel-time-v1", testbed, bench, class)
         .field("builder", &builder_params(builder))
         .field_f64("target-secs", builder.target_secs)
-        .field("scenario", scenario.cli_name())
+        .field("scenario", &scenario.provenance_token())
         .finish()
 }
 
@@ -122,6 +148,56 @@ mod tests {
         assert_ne!(
             skeleton_key(&tb, NasBenchmark::Cg, Class::S, &a),
             skeleton_key(&tb, NasBenchmark::Cg, Class::S, &b),
+        );
+    }
+
+    /// Whether the linked `serde_json` actually works at runtime; offline
+    /// typecheck builds link a panicking stub (same idiom as
+    /// `pskel_sim::script::rng_runtime_available`).
+    fn json_runtime_available() -> bool {
+        std::panic::catch_unwind(|| serde_json::to_string(&1u32)).is_ok()
+    }
+
+    #[test]
+    fn builtin_spec_keys_match_legacy_scenario_keys() {
+        if !json_runtime_available() {
+            return;
+        }
+        // Pinned: wrapping a builtin in ScenarioSpec must not invalidate
+        // caches written by the enum-only code paths.
+        let tb = Testbed::default();
+        for scenario in Scenario::ALL {
+            assert_eq!(
+                app_time_key(&tb, NasBenchmark::Cg, Class::B, scenario),
+                app_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &scenario.into()),
+            );
+        }
+    }
+
+    #[test]
+    fn custom_program_keys_depend_on_program_content() {
+        if !json_runtime_available() {
+            return;
+        }
+        let tb = Testbed::default();
+        let one = ScenarioSpec::custom(crate::scenario::builtin_program(Scenario::CpuOneNode));
+        let all = ScenarioSpec::custom(crate::scenario::builtin_program(Scenario::CpuAllNodes));
+        let one_key = app_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &one);
+        assert_ne!(
+            one_key,
+            app_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &all)
+        );
+        // A custom re-statement of a builtin is a *different* artifact
+        // from the builtin itself (it carries the program identity)...
+        assert_ne!(
+            one_key,
+            app_time_key(&tb, NasBenchmark::Cg, Class::B, Scenario::CpuOneNode)
+        );
+        // ...but structurally equal custom programs share a key.
+        let again = ScenarioSpec::custom(crate::scenario::builtin_program(Scenario::CpuOneNode));
+        assert_eq!(
+            one_key,
+            app_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &again)
         );
     }
 

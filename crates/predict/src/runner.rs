@@ -11,7 +11,7 @@
 //! a thread pool.
 
 use crate::provenance::{self, kind};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioSpec};
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{BuiltSkeleton, ExecOptions, SkeletonBuilder};
 use pskel_mpi::{run_mpi, TraceConfig};
@@ -41,17 +41,39 @@ impl Default for Testbed {
 }
 
 impl Testbed {
+    /// The cluster spec under a scenario: builtin scenarios cannot fail,
+    /// custom programs can (e.g. a node id beyond the testbed).
+    pub fn cluster_under(&self, spec: &ScenarioSpec) -> Result<ClusterSpec, EvalError> {
+        spec.apply(&self.cluster)
+            .map_err(|msg| EvalError::Scenario {
+                scenario: spec.label(),
+                msg,
+            })
+    }
+
     /// Run a benchmark under a scenario; returns total execution seconds.
     pub fn run_app(&self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
-        let cluster = scenario.apply(&self.cluster);
-        run_mpi(
+        self.run_app_spec(bench, class, &scenario.into())
+            .expect("builtin scenarios always apply")
+    }
+
+    /// Run a benchmark under any [`ScenarioSpec`]; returns total
+    /// execution seconds.
+    pub fn run_app_spec(
+        &self,
+        bench: NasBenchmark,
+        class: Class,
+        spec: &ScenarioSpec,
+    ) -> Result<f64, EvalError> {
+        let cluster = self.cluster_under(spec)?;
+        Ok(run_mpi(
             cluster,
             self.placement.clone(),
             &bench.full_name(class),
             TraceConfig::off(),
             bench.program(class),
         )
-        .total_secs()
+        .total_secs())
     }
 
     /// Trace a benchmark on the dedicated testbed.
@@ -91,6 +113,27 @@ impl Testbed {
         )?
         .total_secs())
     }
+
+    /// Fallible skeleton run under any [`ScenarioSpec`].
+    pub fn try_run_skeleton_spec(
+        &self,
+        built: &BuiltSkeleton,
+        spec: &ScenarioSpec,
+        what: &str,
+    ) -> Result<f64, EvalError> {
+        let cluster = self.cluster_under(spec)?;
+        Ok(pskel_core::try_run_skeleton(
+            &built.skeleton,
+            cluster,
+            self.placement.clone(),
+            ExecOptions::default(),
+        )
+        .map_err(|error| EvalError::Sim {
+            what: what.to_string(),
+            error,
+        })?
+        .total_secs())
+    }
 }
 
 /// Errors the evaluation harness can surface instead of panicking.
@@ -109,6 +152,9 @@ pub enum EvalError {
         what: String,
         error: SimError,
     },
+    /// A custom scenario program could not be applied to the testbed
+    /// (e.g. it names a node the cluster does not have).
+    Scenario { scenario: String, msg: String },
 }
 
 impl fmt::Display for EvalError {
@@ -125,6 +171,9 @@ impl fmt::Display for EvalError {
             ),
             EvalError::Sim { what, error } => {
                 write!(f, "simulation failed ({what}): {error}")
+            }
+            EvalError::Scenario { scenario, msg } => {
+                write!(f, "scenario {scenario} does not fit the testbed: {msg}")
             }
         }
     }
@@ -192,20 +241,25 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    fn app_time(&self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
-        let key = provenance::app_time_key(self.testbed, bench, class, scenario);
+    fn app_time(
+        &self,
+        bench: NasBenchmark,
+        class: Class,
+        scenario: &ScenarioSpec,
+    ) -> Result<f64, EvalError> {
+        let key = provenance::app_time_key_spec(self.testbed, bench, class, scenario);
         if let Some(store) = self.store {
             if let Some(t) = store.get_f64(kind::APP_TIME, key) {
                 EvalCounters::bump(&self.counters.store_hits);
-                return t;
+                return Ok(t);
             }
         }
         EvalCounters::bump(&self.counters.app_sims);
-        let t = self.testbed.run_app(bench, class, scenario);
+        let t = self.testbed.run_app_spec(bench, class, scenario)?;
         if let Some(store) = self.store {
             store.put_f64(kind::APP_TIME, key, t).ok();
         }
-        t
+        Ok(t)
     }
 
     fn trace(&self, bench: NasBenchmark, class: Class) -> AppTrace {
@@ -260,11 +314,12 @@ impl Shared<'_> {
         bench: NasBenchmark,
         class: Class,
         target_secs: f64,
-        scenario: Scenario,
+        scenario: &ScenarioSpec,
         built: &BuiltSkeleton,
     ) -> Result<f64, EvalError> {
         let builder = SkeletonBuilder::new(target_secs);
-        let key = provenance::skeleton_time_key(self.testbed, bench, class, &builder, scenario);
+        let key =
+            provenance::skeleton_time_key_spec(self.testbed, bench, class, &builder, scenario);
         if let Some(store) = self.store {
             if let Some(t) = store.get_f64(kind::SKELETON_TIME, key) {
                 EvalCounters::bump(&self.counters.store_hits);
@@ -272,16 +327,15 @@ impl Shared<'_> {
             }
         }
         EvalCounters::bump(&self.counters.skeleton_sims);
-        let t = self
-            .testbed
-            .try_run_skeleton(built, scenario)
-            .map_err(|error| EvalError::Sim {
-                what: format!(
-                    "{} {target_secs}s skeleton under {scenario:?}",
-                    bench.name()
-                ),
-                error,
-            })?;
+        let t = self.testbed.try_run_skeleton_spec(
+            built,
+            scenario,
+            &format!(
+                "{} {target_secs}s skeleton under {}",
+                bench.name(),
+                scenario.provenance_token()
+            ),
+        )?;
         if let Some(store) = self.store {
             store.put_f64(kind::SKELETON_TIME, key, t).ok();
         }
@@ -337,10 +391,10 @@ pub struct EvalContext {
     pub skeleton_sizes: Vec<f64>,
     store: Option<Arc<Store>>,
     counters: Arc<EvalCounters>,
-    app_times: HashMap<(NasBenchmark, Class, Scenario), f64>,
+    app_times: HashMap<(NasBenchmark, Class, ScenarioSpec), f64>,
     traces: HashMap<(NasBenchmark, Class), AppTrace>,
     skeletons: HashMap<(NasBenchmark, u64), BuiltSkeleton>,
-    skeleton_times: HashMap<(NasBenchmark, u64, Scenario), f64>,
+    skeleton_times: HashMap<(NasBenchmark, u64, ScenarioSpec), f64>,
     skeleton_fracs: HashMap<(NasBenchmark, u64), f64>,
 }
 
@@ -423,17 +477,29 @@ impl EvalContext {
     /// Measured application time for an explicit class (used by the
     /// Class-S baseline).
     pub fn app_time_class(&mut self, bench: NasBenchmark, class: Class, scenario: Scenario) -> f64 {
-        if let Some(&t) = self.app_times.get(&(bench, class, scenario)) {
-            return t;
+        self.app_time_spec(bench, class, &scenario.into())
+            .expect("builtin scenarios always apply")
+    }
+
+    /// Measured application time under any [`ScenarioSpec`] (memoized).
+    pub fn app_time_spec(
+        &mut self,
+        bench: NasBenchmark,
+        class: Class,
+        scenario: &ScenarioSpec,
+    ) -> Result<f64, EvalError> {
+        let key = (bench, class, scenario.clone());
+        if let Some(&t) = self.app_times.get(&key) {
+            return Ok(t);
         }
         let t = Shared {
             testbed: &self.testbed,
             store: self.store.as_deref(),
             counters: &self.counters,
         }
-        .app_time(bench, class, scenario);
-        self.app_times.insert((bench, class, scenario), t);
-        t
+        .app_time(bench, class, scenario)?;
+        self.app_times.insert(key, t);
+        Ok(t)
     }
 
     /// The dedicated-testbed trace of a benchmark (memoized).
@@ -480,7 +546,17 @@ impl EvalContext {
         target_secs: f64,
         scenario: Scenario,
     ) -> Result<f64, EvalError> {
-        let key = (bench, Self::size_key(target_secs), scenario);
+        self.skeleton_time_spec(bench, target_secs, &scenario.into())
+    }
+
+    /// Skeleton execution time under any [`ScenarioSpec`] (memoized).
+    pub fn skeleton_time_spec(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+        scenario: &ScenarioSpec,
+    ) -> Result<f64, EvalError> {
+        let key = (bench, Self::size_key(target_secs), scenario.clone());
         if let Some(&t) = self.skeleton_times.get(&key) {
             return Ok(t);
         }
@@ -549,13 +625,19 @@ impl EvalContext {
                 jobs.push(Warm1::Trace(bench));
             }
             for scenario in Scenario::ALL {
-                if !self.app_times.contains_key(&(bench, class, scenario)) {
+                if !self
+                    .app_times
+                    .contains_key(&(bench, class, scenario.into()))
+                {
                     jobs.push(Warm1::Time(bench, class, scenario));
                 }
             }
             // Class-S baseline cells (Figure 7).
             for scenario in [Scenario::Dedicated, Scenario::CpuAndNetOne] {
-                if !self.app_times.contains_key(&(bench, Class::S, scenario)) {
+                if !self
+                    .app_times
+                    .contains_key(&(bench, Class::S, scenario.into()))
+                {
                     jobs.push(Warm1::Time(bench, Class::S, scenario));
                 }
             }
@@ -563,7 +645,13 @@ impl EvalContext {
         let sh = self.shared();
         let outs = par_map(jobs, |job| match job {
             Warm1::Trace(b) => Warm1Out::Trace(b, sh.trace(b, class)),
-            Warm1::Time(b, c, s) => Warm1Out::Time(b, c, s, sh.app_time(b, c, s)),
+            Warm1::Time(b, c, s) => Warm1Out::Time(
+                b,
+                c,
+                s,
+                sh.app_time(b, c, &s.into())
+                    .expect("builtin scenarios always apply"),
+            ),
         });
         for out in outs {
             match out {
@@ -571,7 +659,7 @@ impl EvalContext {
                     self.traces.insert((b, class), t);
                 }
                 Warm1Out::Time(b, c, s, t) => {
-                    self.app_times.insert((b, c, s), t);
+                    self.app_times.insert((b, c, s.into()), t);
                 }
             }
         }
@@ -609,10 +697,11 @@ impl EvalContext {
         for bench in NasBenchmark::ALL {
             for &size in &sizes {
                 for scenario in Scenario::ALL {
-                    if !self
-                        .skeleton_times
-                        .contains_key(&(bench, Self::size_key(size), scenario))
-                    {
+                    if !self.skeleton_times.contains_key(&(
+                        bench,
+                        Self::size_key(size),
+                        scenario.into(),
+                    )) {
                         jobs.push(Warm3::Time(bench, size, scenario));
                     }
                 }
@@ -629,7 +718,7 @@ impl EvalContext {
         let outs = par_map(jobs, |job| match job {
             Warm3::Time(b, size, s) => {
                 let built = &skeletons[&(b, Self::size_key(size))];
-                let t = sh.skeleton_time(b, class, size, s, built)?;
+                let t = sh.skeleton_time(b, class, size, &s.into(), built)?;
                 Ok::<_, EvalError>(Warm3Out::Time(b, size, s, t))
             }
             Warm3::Frac(b, size) => {
@@ -641,7 +730,8 @@ impl EvalContext {
         for out in outs {
             match out? {
                 Warm3Out::Time(b, size, s, t) => {
-                    self.skeleton_times.insert((b, Self::size_key(size), s), t);
+                    self.skeleton_times
+                        .insert((b, Self::size_key(size), s.into()), t);
                 }
                 Warm3Out::Frac(b, size, f) => {
                     self.skeleton_fracs.insert((b, Self::size_key(size)), f);

@@ -1,9 +1,11 @@
 //! The paper's five resource-sharing scenarios (§4.2), as transformations
 //! of the cluster specification.
 
+use pskel_scenario::{CpuSeg, LinkSeg, NodeSel, ScenarioProgram};
 use pskel_sim::{ClusterSpec, THROTTLED_10MBPS};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A resource-sharing scenario on the 4-node testbed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,6 +24,39 @@ pub enum Scenario {
     CpuAndNetOne,
 }
 
+/// The single name table: one row per scenario, carrying the CLI
+/// spelling and the display label. `cli_name`, `label`, `FromStr`, the
+/// CLI usage text and the serve `/v1/scenarios` listing all read from
+/// here, so a rename cannot go out of sync.
+const NAME_TABLE: [(Scenario, &str, &str); 6] = [
+    (Scenario::Dedicated, "dedicated", "Dedicated testbed"),
+    (
+        Scenario::CpuOneNode,
+        "cpu-one-node",
+        "Competing process on one node",
+    ),
+    (
+        Scenario::CpuAllNodes,
+        "cpu-all-nodes",
+        "Competing process on all nodes",
+    ),
+    (
+        Scenario::NetOneLink,
+        "net-one-link",
+        "Competing traffic on one link",
+    ),
+    (
+        Scenario::NetAllLinks,
+        "net-all-links",
+        "Competing traffic on all links",
+    ),
+    (
+        Scenario::CpuAndNetOne,
+        "cpu-and-net",
+        "Competing process and traffic on one node and link",
+    ),
+];
+
 impl Scenario {
     /// The five sharing scenarios, in the paper's order.
     pub const SHARING: [Scenario; 5] = [
@@ -32,15 +67,25 @@ impl Scenario {
         Scenario::CpuAndNetOne,
     ];
 
-    /// All scenarios including the dedicated baseline.
+    /// All scenarios: the dedicated baseline followed by [`SHARING`],
+    /// derived from it so the two lists cannot drift apart.
+    ///
+    /// [`SHARING`]: Scenario::SHARING
     pub const ALL: [Scenario; 6] = [
         Scenario::Dedicated,
-        Scenario::CpuOneNode,
-        Scenario::CpuAllNodes,
-        Scenario::NetOneLink,
-        Scenario::NetAllLinks,
-        Scenario::CpuAndNetOne,
+        Scenario::SHARING[0],
+        Scenario::SHARING[1],
+        Scenario::SHARING[2],
+        Scenario::SHARING[3],
+        Scenario::SHARING[4],
     ];
+
+    fn table_row(self) -> &'static (Scenario, &'static str, &'static str) {
+        NAME_TABLE
+            .iter()
+            .find(|(s, _, _)| *s == self)
+            .expect("every scenario has a NAME_TABLE row")
+    }
 
     /// Apply the scenario to a dedicated cluster spec.
     pub fn apply(self, spec: &ClusterSpec) -> ClusterSpec {
@@ -71,16 +116,9 @@ impl Scenario {
         s
     }
 
-    /// The paper's description of the scenario.
+    /// The paper's description of the scenario (from the name table).
     pub fn label(self) -> &'static str {
-        match self {
-            Scenario::Dedicated => "Dedicated testbed",
-            Scenario::CpuOneNode => "Competing process on one node",
-            Scenario::CpuAllNodes => "Competing process on all nodes",
-            Scenario::NetOneLink => "Competing traffic on one link",
-            Scenario::NetAllLinks => "Competing traffic on all links",
-            Scenario::CpuAndNetOne => "Competing process and traffic on one node and link",
-        }
+        self.table_row().2
     }
 
     /// True if the scenario involves network sharing.
@@ -105,38 +143,142 @@ impl std::str::FromStr for Scenario {
 
     /// Parses the kebab-case scenario names used by the CLI.
     fn from_str(s: &str) -> Result<Scenario, String> {
-        match s {
-            "dedicated" => Ok(Scenario::Dedicated),
-            "cpu-one-node" => Ok(Scenario::CpuOneNode),
-            "cpu-all-nodes" => Ok(Scenario::CpuAllNodes),
-            "net-one-link" => Ok(Scenario::NetOneLink),
-            "net-all-links" => Ok(Scenario::NetAllLinks),
-            "cpu-and-net" => Ok(Scenario::CpuAndNetOne),
-            other => Err(format!(
-                "unknown scenario {other:?}; expected one of: dedicated, cpu-one-node, \
-                 cpu-all-nodes, net-one-link, net-all-links, cpu-and-net"
-            )),
-        }
+        NAME_TABLE
+            .iter()
+            .find(|(_, name, _)| *name == s)
+            .map(|(scenario, _, _)| *scenario)
+            .ok_or_else(|| {
+                let names: Vec<&str> = NAME_TABLE.iter().map(|(_, name, _)| *name).collect();
+                format!(
+                    "unknown scenario {s:?}; expected one of: {}",
+                    names.join(", ")
+                )
+            })
     }
 }
 
 impl Scenario {
-    /// The CLI spelling of this scenario.
+    /// The CLI spelling of this scenario (from the name table).
     pub fn cli_name(self) -> &'static str {
-        match self {
-            Scenario::Dedicated => "dedicated",
-            Scenario::CpuOneNode => "cpu-one-node",
-            Scenario::CpuAllNodes => "cpu-all-nodes",
-            Scenario::NetOneLink => "net-one-link",
-            Scenario::NetAllLinks => "net-all-links",
-            Scenario::CpuAndNetOne => "cpu-and-net",
-        }
+        self.table_row().1
     }
 }
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// The scenario program equivalent to a builtin scenario: the same
+/// cluster transformation expressed in the declarative language, with
+/// everything at t=0 (so the timeline stays empty and simulation is
+/// bit-identical to [`Scenario::apply`]).
+pub fn builtin_program(scenario: Scenario) -> ScenarioProgram {
+    const MBPS_10: Option<f64> = Some(THROTTLED_10MBPS);
+    let mut program = ScenarioProgram::empty(scenario.cli_name());
+    match scenario {
+        Scenario::Dedicated => {}
+        Scenario::CpuOneNode => program.cpu.push(CpuSeg {
+            node: NodeSel::Id(0),
+            at: 0.0,
+            procs: 2,
+        }),
+        Scenario::CpuAllNodes => program.cpu.push(CpuSeg {
+            node: NodeSel::All,
+            at: 0.0,
+            procs: 2,
+        }),
+        Scenario::NetOneLink => program.link.push(LinkSeg {
+            node: NodeSel::Id(0),
+            at: 0.0,
+            cap: MBPS_10,
+        }),
+        Scenario::NetAllLinks => program.link.push(LinkSeg {
+            node: NodeSel::All,
+            at: 0.0,
+            cap: MBPS_10,
+        }),
+        Scenario::CpuAndNetOne => {
+            program.cpu.push(CpuSeg {
+                node: NodeSel::Id(0),
+                at: 0.0,
+                procs: 2,
+            });
+            program.link.push(LinkSeg {
+                node: NodeSel::Id(0),
+                at: 0.0,
+                cap: MBPS_10,
+            });
+        }
+    }
+    program
+}
+
+/// A scenario to evaluate under: one of the paper's builtin scenarios,
+/// or a custom [`ScenarioProgram`] compiled from a spec file.
+///
+/// Builtin scenarios keep their exact legacy provenance identity (the
+/// kebab-case CLI name), so caches written before programs existed stay
+/// valid; custom programs are identified by the canonical-encoding hash
+/// of the program itself.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioSpec {
+    Builtin(Scenario),
+    Custom(Arc<ScenarioProgram>),
+}
+
+impl ScenarioSpec {
+    pub fn custom(program: ScenarioProgram) -> ScenarioSpec {
+        ScenarioSpec::Custom(Arc::new(program))
+    }
+
+    /// Apply to a dedicated cluster spec. Builtin scenarios cannot fail;
+    /// custom programs can (e.g. a node id out of range for the cluster).
+    pub fn apply(&self, spec: &ClusterSpec) -> Result<ClusterSpec, String> {
+        match self {
+            ScenarioSpec::Builtin(s) => Ok(s.apply(spec)),
+            ScenarioSpec::Custom(program) => program.apply(spec),
+        }
+    }
+
+    /// Human-readable description.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioSpec::Builtin(s) => s.label().to_string(),
+            ScenarioSpec::Custom(program) => format!("Custom scenario `{}`", program.name),
+        }
+    }
+
+    /// The stable identity used in provenance keys. Builtin scenarios
+    /// keep the bare CLI name (legacy cache compatibility); custom
+    /// programs get `custom:<name>:<canonical-hash>`.
+    pub fn provenance_token(&self) -> String {
+        match self {
+            ScenarioSpec::Builtin(s) => s.cli_name().to_string(),
+            ScenarioSpec::Custom(program) => {
+                format!("custom:{}:{}", program.name, program.short_id())
+            }
+        }
+    }
+
+    pub fn as_builtin(&self) -> Option<Scenario> {
+        match self {
+            ScenarioSpec::Builtin(s) => Some(*s),
+            ScenarioSpec::Custom(_) => None,
+        }
+    }
+}
+
+impl From<Scenario> for ScenarioSpec {
+    fn from(s: Scenario) -> ScenarioSpec {
+        ScenarioSpec::Builtin(s)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -200,5 +342,63 @@ mod tests {
         assert_eq!(Scenario::SHARING.len(), 5);
         assert_eq!(Scenario::SHARING[0], Scenario::CpuOneNode);
         assert_eq!(Scenario::SHARING[4], Scenario::CpuAndNetOne);
+    }
+
+    #[test]
+    fn all_is_dedicated_plus_sharing() {
+        assert_eq!(Scenario::ALL[0], Scenario::Dedicated);
+        assert_eq!(&Scenario::ALL[1..], &Scenario::SHARING[..]);
+    }
+
+    #[test]
+    fn name_table_round_trips_every_scenario() {
+        for scenario in Scenario::ALL {
+            let parsed: Scenario = scenario.cli_name().parse().unwrap();
+            assert_eq!(parsed, scenario);
+            assert!(!scenario.label().is_empty());
+        }
+        assert!("bogus".parse::<Scenario>().is_err());
+    }
+
+    #[test]
+    fn builtin_programs_are_constant_and_apply_identically() {
+        let base = ClusterSpec::paper_testbed();
+        for scenario in Scenario::ALL {
+            let program = builtin_program(scenario);
+            assert!(
+                program.is_constant(),
+                "{scenario:?} program must be constant"
+            );
+            let via_program = program.apply(&base).unwrap();
+            let via_enum = scenario.apply(&base);
+            assert_eq!(
+                via_program, via_enum,
+                "{scenario:?}: program and enum paths must produce identical specs"
+            );
+            assert!(via_program.timeline.is_empty());
+        }
+    }
+
+    #[test]
+    fn builtin_provenance_token_is_the_legacy_cli_name() {
+        // Pinned: changing this silently invalidates every pre-program cache.
+        for scenario in Scenario::ALL {
+            assert_eq!(
+                ScenarioSpec::from(scenario).provenance_token(),
+                scenario.cli_name()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_provenance_token_tracks_program_content() {
+        let a = ScenarioSpec::custom(builtin_program(Scenario::CpuOneNode));
+        let b = ScenarioSpec::custom(builtin_program(Scenario::CpuAllNodes));
+        assert_ne!(a.provenance_token(), b.provenance_token());
+        assert!(a.provenance_token().starts_with("custom:cpu-one-node:"));
+        // Same program content -> same token, regardless of Arc identity.
+        let a2 = ScenarioSpec::custom(builtin_program(Scenario::CpuOneNode));
+        assert_eq!(a.provenance_token(), a2.provenance_token());
+        assert_eq!(a, a2);
     }
 }

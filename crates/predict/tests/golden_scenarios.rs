@@ -1,0 +1,211 @@
+//! Golden equivalence: each of the paper's six scenarios, expressed as
+//! a scenario *program*, must produce a cluster spec — and therefore a
+//! simulation report — bit-identical to the builtin enum path, on both
+//! the threaded engine and the script fast path.
+//!
+//! Workloads here are synthetic rank scripts (compute + messaging), so
+//! the test is fully deterministic and independent of the NAS jitter
+//! RNG.
+
+use pskel_predict::{builtin_program, Scenario, ScenarioSpec, Testbed};
+use pskel_scenario::ScenarioSource;
+use pskel_sim::script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
+use pskel_sim::{ClusterSpec, Placement, SimReport, Simulation};
+
+fn op(o: ScriptOp) -> ScriptNode {
+    ScriptNode::Op(o)
+}
+
+fn script(nodes: Vec<ScriptNode>) -> RankScript {
+    RankScript {
+        nodes,
+        coll_tag_base: 1 << 62,
+        jitter_seed: 0,
+    }
+}
+
+/// A 4-rank workload exercising CPU and the network: compute, a ring
+/// shift, more compute, then a counter-rotating shift. Even ranks send
+/// first and odd ranks receive first, so the rendezvous transfers never
+/// form a cycle.
+fn workload() -> Vec<RankScript> {
+    (0..4usize)
+        .map(|rank| {
+            let next = (rank + 1) % 4;
+            let prev = (rank + 3) % 4;
+            let shift_fwd = [
+                op(ScriptOp::Send {
+                    dst: next,
+                    tag: ScriptTag::Lit(10 + rank as u64),
+                    bytes: 2_000_000,
+                }),
+                op(ScriptOp::Recv {
+                    src: Some(prev),
+                    tag: Some(ScriptTag::Lit(10 + prev as u64)),
+                }),
+            ];
+            let shift_back = [
+                op(ScriptOp::Send {
+                    dst: prev,
+                    tag: ScriptTag::Lit(20 + rank as u64),
+                    bytes: 500_000,
+                }),
+                op(ScriptOp::Recv {
+                    src: Some(next),
+                    tag: Some(ScriptTag::Lit(20 + next as u64)),
+                }),
+            ];
+            let ordered = |pair: [ScriptNode; 2]| -> Vec<ScriptNode> {
+                let [send, recv] = pair;
+                if rank % 2 == 0 {
+                    vec![send, recv]
+                } else {
+                    vec![recv, send]
+                }
+            };
+            let mut nodes = vec![op(ScriptOp::Compute {
+                secs: 0.05 + rank as f64 * 0.01,
+            })];
+            nodes.extend(ordered(shift_fwd));
+            nodes.push(op(ScriptOp::Compute { secs: 0.03 }));
+            nodes.extend(ordered(shift_back));
+            script(nodes)
+        })
+        .collect()
+}
+
+/// Simulate on both engine paths, assert they agree, return the report.
+fn simulate(cluster: &ClusterSpec) -> SimReport {
+    let scripts = workload();
+    let fast = Simulation::new(cluster.clone(), Placement::round_robin(4, 4)).run_scripts(&scripts);
+    let threaded = Simulation::new(cluster.clone(), Placement::round_robin(4, 4))
+        .run_scripts_threaded(&scripts);
+    assert_eq!(fast, threaded, "fast path diverged from threaded path");
+    fast
+}
+
+#[test]
+fn builtin_programs_simulate_bit_identically_to_the_enum_path() {
+    let testbed = Testbed::default();
+    for scenario in Scenario::ALL {
+        let via_enum = scenario.apply(&testbed.cluster);
+        let via_program = builtin_program(scenario)
+            .apply(&testbed.cluster)
+            .expect("builtin program applies to the paper testbed");
+        assert_eq!(
+            via_enum, via_program,
+            "{scenario:?}: program must fold to the same cluster spec"
+        );
+        let report_enum = simulate(&via_enum);
+        let report_program = simulate(&via_program);
+        assert_eq!(
+            report_enum, report_program,
+            "{scenario:?}: SimReports must be bit-identical"
+        );
+        assert!(report_enum.total_time.as_secs_f64() > 0.0);
+    }
+}
+
+/// The same six scenarios, this time authored as TOML spec text: a
+/// constant custom program predicts identically to the builtin.
+#[test]
+fn constant_custom_specs_match_builtins() {
+    let specs: [(Scenario, &str); 6] = [
+        (Scenario::Dedicated, "name = \"dedicated\"\n"),
+        (
+            Scenario::CpuOneNode,
+            "name = \"cpu-one-node\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n",
+        ),
+        (
+            Scenario::CpuAllNodes,
+            "name = \"cpu-all-nodes\"\n\n[[cpu]]\nnode = \"all\"\nat = 0.0\nprocs = 2\n",
+        ),
+        (
+            Scenario::NetOneLink,
+            "name = \"net-one-link\"\n\n[[link]]\nnode = 0\nat = 0.0\ncap_mbps = 10.0\n",
+        ),
+        (
+            Scenario::NetAllLinks,
+            "name = \"net-all-links\"\n\n[[link]]\nnode = \"all\"\nat = 0.0\ncap_mbps = 10.0\n",
+        ),
+        (
+            Scenario::CpuAndNetOne,
+            "name = \"cpu-and-net\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n\n\
+             [[link]]\nnode = 0\nat = 0.0\ncap_mbps = 10.0\n",
+        ),
+    ];
+    let testbed = Testbed::default();
+    for (scenario, toml) in specs {
+        let program = ScenarioSource::from_toml(toml)
+            .expect("spec parses")
+            .compile()
+            .expect("spec compiles");
+        assert_eq!(
+            program,
+            builtin_program(scenario),
+            "{scenario:?}: TOML spec must compile to the builtin program"
+        );
+        let via_enum = simulate(&scenario.apply(&testbed.cluster));
+        let via_spec = simulate(&program.apply(&testbed.cluster).unwrap());
+        assert_eq!(via_enum, via_spec, "{scenario:?}");
+    }
+}
+
+/// A genuinely time-varying program must (a) run end-to-end through the
+/// testbed application path and (b) differ from the dedicated baseline
+/// in the direction the schedule implies.
+#[test]
+fn time_varying_program_slows_the_workload() {
+    let toml = "name = \"midrun-storm\"\nnodes = 4\n\n\
+                [[cpu]]\nnode = \"all\"\nat = 0.02\nprocs = 6\n\n\
+                [[fault]]\nkind = \"slowdown\"\nnode = 0\nat = 0.01\nfor = 0.05\nfactor = 0.25\n";
+    let program = ScenarioSource::from_toml(toml).unwrap().compile().unwrap();
+    assert!(!program.is_constant());
+
+    let testbed = Testbed::default();
+    let contended = program.apply(&testbed.cluster).unwrap();
+    assert!(!contended.timeline.is_empty());
+
+    let baseline = simulate(&testbed.cluster);
+    let stormy = simulate(&contended);
+    assert!(
+        stormy.total_time > baseline.total_time,
+        "contention must slow the run: {:?} -> {:?}",
+        baseline.total_time,
+        stormy.total_time
+    );
+
+    // Deterministic: applying and simulating again reproduces the report.
+    let again = simulate(&program.apply(&testbed.cluster).unwrap());
+    assert_eq!(stormy, again);
+}
+
+/// ScenarioSpec::apply is the single entry point the harness uses; a
+/// custom spec wrapping a builtin program behaves like the builtin.
+#[test]
+fn scenario_spec_wraps_both_worlds() {
+    let testbed = Testbed::default();
+    let builtin = ScenarioSpec::from(Scenario::NetAllLinks);
+    let custom = ScenarioSpec::custom(builtin_program(Scenario::NetAllLinks));
+    let a = builtin.apply(&testbed.cluster).unwrap();
+    let b = custom.apply(&testbed.cluster).unwrap();
+    assert_eq!(a, b);
+    assert_ne!(
+        builtin.provenance_token(),
+        custom.provenance_token(),
+        "builtin and custom identities stay distinct in provenance"
+    );
+}
+
+/// A custom program that doesn't fit the testbed surfaces a typed error
+/// through the harness instead of panicking.
+#[test]
+fn oversized_program_is_rejected_by_the_testbed() {
+    let toml = "name = \"too-big\"\nnodes = 16\n";
+    let program = ScenarioSource::from_toml(toml).unwrap().compile().unwrap();
+    let testbed = Testbed::default();
+    let err = testbed
+        .cluster_under(&ScenarioSpec::custom(program))
+        .unwrap_err();
+    assert!(err.to_string().contains("declares 16 nodes"), "{err}");
+}

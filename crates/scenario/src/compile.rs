@@ -1,0 +1,608 @@
+//! Compilation from a parsed spec document ([`Val`]) to a validated
+//! [`ScenarioProgram`], with every diagnostic carrying the line/column
+//! and dotted field path of the offending spec entry, plus
+//! deterministic sweep expansion (`[[sweep]]` → one program per value).
+
+use crate::program::{CpuSeg, Fault, LinkSeg, NetSeg, NodeSel, ScenarioProgram};
+use crate::value::{Key, SpecError, Val};
+
+/// A parsed-but-not-yet-compiled scenario spec.
+#[derive(Clone, Debug)]
+pub struct ScenarioSource {
+    root: Val,
+}
+
+/// The single sweep declaration a spec may carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepDef {
+    pub var: String,
+    pub from: i64,
+    pub to: i64,
+    pub step: i64,
+}
+
+impl SweepDef {
+    pub fn values(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut v = self.from;
+        while v <= self.to {
+            out.push(v);
+            v += self.step;
+        }
+        out
+    }
+}
+
+/// One expanded sweep point: the variable's value (None when the spec
+/// has no sweep) and the program compiled with it substituted.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub value: Option<i64>,
+    pub program: ScenarioProgram,
+}
+
+const TOP_KEYS: &[&str] = &["name", "nodes", "cpu", "link", "net", "fault", "sweep"];
+const CPU_KEYS: &[&str] = &["node", "at", "procs"];
+const LINK_KEYS: &[&str] = &["node", "at", "cap_mbps", "restore"];
+const NET_KEYS: &[&str] = &["at", "latency"];
+const SWEEP_KEYS: &[&str] = &["var", "from", "to", "step"];
+
+impl ScenarioSource {
+    pub fn from_toml(src: &str) -> Result<ScenarioSource, SpecError> {
+        Ok(ScenarioSource {
+            root: crate::parse::parse_toml(src)?,
+        })
+    }
+
+    pub fn from_json(src: &str) -> Result<ScenarioSource, SpecError> {
+        Ok(ScenarioSource {
+            root: crate::parse::parse_json(src)?,
+        })
+    }
+
+    /// Sniff the format: a document whose first non-blank byte is `{`
+    /// is JSON, anything else is treated as TOML.
+    pub fn auto(src: &str) -> Result<ScenarioSource, SpecError> {
+        if src.trim_start().starts_with('{') {
+            ScenarioSource::from_json(src)
+        } else {
+            ScenarioSource::from_toml(src)
+        }
+    }
+
+    pub fn has_sweep(&self) -> bool {
+        self.root.get("sweep").is_some()
+    }
+
+    /// Extract and validate the sweep declaration, if any.
+    pub fn sweep(&self) -> Result<Option<SweepDef>, SpecError> {
+        let Some(arr_val) = self.root.get("sweep") else {
+            return Ok(None);
+        };
+        let arr = arr_val
+            .as_arr()
+            .ok_or_else(|| SpecError::of(arr_val, "sweep", "`sweep` must be an array of tables"))?;
+        if arr.len() > 1 {
+            return Err(SpecError::of(
+                &arr[1],
+                "sweep",
+                "at most one sweep is allowed per spec",
+            ));
+        }
+        let entry = &arr[0];
+        let path = "sweep[0]";
+        let entries = expect_table(entry, path)?;
+        check_keys(entries, SWEEP_KEYS, path)?;
+        let var_val = get_req(entry, path, "var")?;
+        let var = var_val
+            .as_str()
+            .ok_or_else(|| type_err(var_val, &format!("{path}.var"), "a string"))?
+            .to_string();
+        if var.is_empty() || !var.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::of(
+                var_val,
+                &format!("{path}.var"),
+                "sweep variable must be a non-empty identifier",
+            ));
+        }
+        let from = plain_int(get_req(entry, path, "from")?, &format!("{path}.from"))?;
+        let to = plain_int(get_req(entry, path, "to")?, &format!("{path}.to"))?;
+        let step = match entry.get("step") {
+            Some(v) => plain_int(v, &format!("{path}.step"))?,
+            None => 1,
+        };
+        if step < 1 {
+            return Err(SpecError::of(
+                entry.get("step").unwrap_or(entry),
+                &format!("{path}.step"),
+                format!("sweep step {step} must be >= 1"),
+            ));
+        }
+        if from > to {
+            return Err(SpecError::of(
+                entry,
+                path,
+                format!("empty sweep range: from {from} to {to} produces no values"),
+            ));
+        }
+        Ok(Some(SweepDef {
+            var,
+            from,
+            to,
+            step,
+        }))
+    }
+
+    /// Compile a sweep-free spec to a single program. Specs with a
+    /// sweep must go through [`expand`] instead.
+    ///
+    /// [`expand`]: ScenarioSource::expand
+    pub fn compile(&self) -> Result<ScenarioProgram, SpecError> {
+        if let Some(sweep_val) = self.root.get("sweep") {
+            self.sweep()?; // surface sweep-shape errors first
+            return Err(SpecError::of(
+                sweep_val,
+                "sweep",
+                "this spec declares a sweep; expand it into its points instead of compiling it directly",
+            ));
+        }
+        self.compile_with(&[], "")
+    }
+
+    /// Compile the spec once per sweep value (or once, with no
+    /// substitution, when there is no sweep). Deterministic: points
+    /// come out in ascending variable order.
+    pub fn expand(&self) -> Result<Vec<SweepPoint>, SpecError> {
+        match self.sweep()? {
+            None => Ok(vec![SweepPoint {
+                value: None,
+                program: self.compile_with(&[], "")?,
+            }]),
+            Some(def) => def
+                .values()
+                .into_iter()
+                .map(|v| {
+                    Ok(SweepPoint {
+                        value: Some(v),
+                        program: self
+                            .compile_with(&[(def.var.as_str(), v)], &format!("-{}{v}", def.var))?,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn compile_with(
+        &self,
+        vars: &[(&str, i64)],
+        name_suffix: &str,
+    ) -> Result<ScenarioProgram, SpecError> {
+        let entries = expect_table(&self.root, "")?;
+        check_keys(entries, TOP_KEYS, "")?;
+
+        let name_val = self
+            .root
+            .get("name")
+            .ok_or_else(|| SpecError::of(&self.root, "name", "missing required field `name`"))?;
+        let name = name_val
+            .as_str()
+            .ok_or_else(|| type_err(name_val, "name", "a string"))?;
+        if name.is_empty() {
+            return Err(SpecError::of(
+                name_val,
+                "name",
+                "scenario name must not be empty",
+            ));
+        }
+
+        let nodes = match self.root.get("nodes") {
+            None => None,
+            Some(v) => {
+                let n = plain_int(v, "nodes")?;
+                if n < 1 {
+                    return Err(SpecError::of(
+                        v,
+                        "nodes",
+                        format!("node count {n} must be >= 1"),
+                    ));
+                }
+                Some(n as u32)
+            }
+        };
+
+        let mut program = ScenarioProgram::empty(&format!("{name}{name_suffix}"));
+        program.nodes = nodes;
+
+        let mut cpu_seen: Vec<(NodeSel, u64)> = Vec::new();
+        for (i, entry) in section(&self.root, "cpu")?.iter().enumerate() {
+            let path = format!("cpu[{i}]");
+            let fields = expect_table(entry, &path)?;
+            check_keys(fields, CPU_KEYS, &path)?;
+            let node = node_sel(
+                vars,
+                get_req(entry, &path, "node")?,
+                &format!("{path}.node"),
+                nodes,
+            )?;
+            let at = time_ge0(vars, get_req(entry, &path, "at")?, &format!("{path}.at"))?;
+            let procs_val = get_req(entry, &path, "procs")?;
+            let procs = int_field(vars, procs_val, &format!("{path}.procs"))?;
+            if procs < 0 {
+                return Err(SpecError::of(
+                    procs_val,
+                    &format!("{path}.procs"),
+                    format!("competing process count {procs} must be >= 0"),
+                ));
+            }
+            if cpu_seen.contains(&(node, at.to_bits())) {
+                return Err(SpecError::of(
+                    entry,
+                    &format!("{path}.at"),
+                    format!(
+                        "overlapping segments: node {node} already has a cpu segment at t={at}"
+                    ),
+                ));
+            }
+            cpu_seen.push((node, at.to_bits()));
+            program.cpu.push(CpuSeg { node, at, procs });
+        }
+
+        let mut link_seen: Vec<(NodeSel, u64)> = Vec::new();
+        for (i, entry) in section(&self.root, "link")?.iter().enumerate() {
+            let path = format!("link[{i}]");
+            let fields = expect_table(entry, &path)?;
+            check_keys(fields, LINK_KEYS, &path)?;
+            let node = node_sel(
+                vars,
+                get_req(entry, &path, "node")?,
+                &format!("{path}.node"),
+                nodes,
+            )?;
+            let at = time_ge0(vars, get_req(entry, &path, "at")?, &format!("{path}.at"))?;
+            let cap = match (entry.get("cap_mbps"), entry.get("restore")) {
+                (Some(cap_val), None) => {
+                    let mbps = num_field(vars, cap_val, &format!("{path}.cap_mbps"))?;
+                    if !(mbps.is_finite() && mbps > 0.0) {
+                        return Err(SpecError::of(
+                            cap_val,
+                            &format!("{path}.cap_mbps"),
+                            format!("bandwidth cap {mbps} must be > 0 (megabits/sec)"),
+                        ));
+                    }
+                    Some(mbps * 1e6 / 8.0)
+                }
+                (None, Some(restore_val)) => match restore_val.kind {
+                    crate::value::Kind::Bool(true) => None,
+                    _ => {
+                        return Err(SpecError::of(
+                            restore_val,
+                            &format!("{path}.restore"),
+                            "`restore` must be `true` (or omit it and set `cap_mbps`)",
+                        ))
+                    }
+                },
+                (None, None) => {
+                    return Err(SpecError::of(
+                        entry,
+                        &path,
+                        "link segment needs either `cap_mbps` or `restore = true`",
+                    ))
+                }
+                (Some(_), Some(restore_val)) => {
+                    return Err(SpecError::of(
+                        restore_val,
+                        &format!("{path}.restore"),
+                        "`cap_mbps` and `restore` are mutually exclusive",
+                    ))
+                }
+            };
+            if link_seen.contains(&(node, at.to_bits())) {
+                return Err(SpecError::of(
+                    entry,
+                    &format!("{path}.at"),
+                    format!(
+                        "overlapping segments: node {node} already has a link segment at t={at}"
+                    ),
+                ));
+            }
+            link_seen.push((node, at.to_bits()));
+            program.link.push(LinkSeg { node, at, cap });
+        }
+
+        let mut net_seen: Vec<u64> = Vec::new();
+        for (i, entry) in section(&self.root, "net")?.iter().enumerate() {
+            let path = format!("net[{i}]");
+            let fields = expect_table(entry, &path)?;
+            check_keys(fields, NET_KEYS, &path)?;
+            let at = time_ge0(vars, get_req(entry, &path, "at")?, &format!("{path}.at"))?;
+            let lat_val = get_req(entry, &path, "latency")?;
+            let latency = num_field(vars, lat_val, &format!("{path}.latency"))?;
+            if !(latency.is_finite() && latency >= 0.0) {
+                return Err(SpecError::of(
+                    lat_val,
+                    &format!("{path}.latency"),
+                    format!("latency {latency} must be >= 0 (seconds)"),
+                ));
+            }
+            if net_seen.contains(&at.to_bits()) {
+                return Err(SpecError::of(
+                    entry,
+                    &format!("{path}.at"),
+                    format!("overlapping segments: a net segment at t={at} already exists"),
+                ));
+            }
+            net_seen.push(at.to_bits());
+            program.net.push(NetSeg { at, latency });
+        }
+
+        let mut delayed: Vec<u32> = Vec::new();
+        for (i, entry) in section(&self.root, "fault")?.iter().enumerate() {
+            let path = format!("fault[{i}]");
+            expect_table(entry, &path)?;
+            let kind_val = get_req(entry, &path, "kind")?;
+            let kind = kind_val
+                .as_str()
+                .ok_or_else(|| type_err(kind_val, &format!("{path}.kind"), "a string"))?;
+            let fields = expect_table(entry, &path)?;
+            match kind {
+                "link-outage" => {
+                    check_keys(fields, &["kind", "node", "at", "for"], &path)?;
+                    let node =
+                        node_sel(vars, get_req(entry, &path, "node")?, &format!("{path}.node"), nodes)?;
+                    let at = time_gt0(vars, get_req(entry, &path, "at")?, &format!("{path}.at"))?;
+                    let dur =
+                        dur_gt0(vars, get_req(entry, &path, "for")?, &format!("{path}.for"))?;
+                    program.faults.push(Fault::LinkOutage { node, at, dur });
+                }
+                "slowdown" => {
+                    check_keys(fields, &["kind", "node", "at", "for", "factor"], &path)?;
+                    let node =
+                        node_sel(vars, get_req(entry, &path, "node")?, &format!("{path}.node"), nodes)?;
+                    let at = time_gt0(vars, get_req(entry, &path, "at")?, &format!("{path}.at"))?;
+                    let dur =
+                        dur_gt0(vars, get_req(entry, &path, "for")?, &format!("{path}.for"))?;
+                    let factor_val = get_req(entry, &path, "factor")?;
+                    let factor = num_field(vars, factor_val, &format!("{path}.factor"))?;
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(SpecError::of(
+                            factor_val,
+                            &format!("{path}.factor"),
+                            format!("slowdown factor {factor} must be > 0"),
+                        ));
+                    }
+                    program.faults.push(Fault::SlowdownBurst {
+                        node,
+                        at,
+                        dur,
+                        factor,
+                    });
+                }
+                "delayed-start" => {
+                    check_keys(fields, &["kind", "rank", "delay"], &path)?;
+                    let rank_val = get_req(entry, &path, "rank")?;
+                    let rank = int_field(vars, rank_val, &format!("{path}.rank"))?;
+                    if rank < 0 {
+                        return Err(SpecError::of(
+                            rank_val,
+                            &format!("{path}.rank"),
+                            format!("rank {rank} must be >= 0"),
+                        ));
+                    }
+                    let delay =
+                        dur_gt0(vars, get_req(entry, &path, "delay")?, &format!("{path}.delay"))?;
+                    if delayed.contains(&(rank as u32)) {
+                        return Err(SpecError::of(
+                            rank_val,
+                            &format!("{path}.rank"),
+                            format!("rank {rank} has more than one delayed-start fault"),
+                        ));
+                    }
+                    delayed.push(rank as u32);
+                    program.faults.push(Fault::DelayedStart {
+                        rank: rank as u32,
+                        delay,
+                    });
+                }
+                other => {
+                    return Err(SpecError::of(
+                        kind_val,
+                        &format!("{path}.kind"),
+                        format!(
+                            "unknown fault kind `{other}` (expected `link-outage`, `slowdown`, or `delayed-start`)"
+                        ),
+                    ))
+                }
+            }
+        }
+
+        // Structural backstop: everything above should already have
+        // caught spec-level mistakes with spans; this guards invariants
+        // the compiler cannot express (and programmatic misuse).
+        program
+            .validate()
+            .map_err(|msg| SpecError::of(&self.root, "", msg))?;
+        crate::counters::record_program_compiled();
+        Ok(program)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn type_err(val: &Val, path: &str, expected: &str) -> SpecError {
+    SpecError::of(
+        val,
+        path,
+        format!("expected {expected}, found {}", val.type_name()),
+    )
+}
+
+fn expect_table<'v>(val: &'v Val, path: &str) -> Result<&'v [(Key, Val)], SpecError> {
+    val.as_table().ok_or_else(|| type_err(val, path, "a table"))
+}
+
+fn check_keys(entries: &[(Key, Val)], allowed: &[&str], path: &str) -> Result<(), SpecError> {
+    for (key, _) in entries {
+        if !allowed.contains(&key.name.as_str()) {
+            let field = if path.is_empty() {
+                key.name.clone()
+            } else {
+                format!("{path}.{}", key.name)
+            };
+            return Err(SpecError::at(
+                key.line,
+                key.col,
+                &field,
+                format!(
+                    "unknown key `{}` (expected one of: {})",
+                    key.name,
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get_req<'v>(table: &'v Val, path: &str, key: &str) -> Result<&'v Val, SpecError> {
+    table.get(key).ok_or_else(|| {
+        let field = if path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{path}.{key}")
+        };
+        SpecError::of(table, &field, format!("missing required field `{key}`"))
+    })
+}
+
+/// Resolve a `"$var"` reference against the substitution map.
+fn substitute(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<Option<i64>, SpecError> {
+    let Some(s) = val.as_str() else {
+        return Ok(None);
+    };
+    let Some(name) = s.strip_prefix('$') else {
+        return Err(SpecError::of(
+            val,
+            path,
+            format!("expected a number or a `$variable` reference, found string {s:?}"),
+        ));
+    };
+    match vars.iter().find(|(v, _)| *v == name) {
+        Some((_, value)) => Ok(Some(*value)),
+        None => Err(SpecError::of(
+            val,
+            path,
+            format!("unknown variable `${name}` (no sweep declares it)"),
+        )),
+    }
+}
+
+fn num_field(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<f64, SpecError> {
+    if let Some(v) = substitute(vars, val, path)? {
+        return Ok(v as f64);
+    }
+    val.as_num().ok_or_else(|| type_err(val, path, "a number"))
+}
+
+fn int_field(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<i64, SpecError> {
+    if let Some(v) = substitute(vars, val, path)? {
+        return Ok(v);
+    }
+    match val.kind {
+        crate::value::Kind::Int(i) => Ok(i),
+        _ => Err(type_err(val, path, "an integer")),
+    }
+}
+
+/// An integer field where `$var` substitution is not allowed (sweep
+/// bounds, node counts).
+fn plain_int(val: &Val, path: &str) -> Result<i64, SpecError> {
+    match val.kind {
+        crate::value::Kind::Int(i) => Ok(i),
+        _ => Err(type_err(val, path, "an integer")),
+    }
+}
+
+fn time_ge0(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<f64, SpecError> {
+    let t = num_field(vars, val, path)?;
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(SpecError::of(
+            val,
+            path,
+            format!("time {t} must be >= 0 (seconds)"),
+        ));
+    }
+    Ok(t)
+}
+
+fn time_gt0(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<f64, SpecError> {
+    let t = num_field(vars, val, path)?;
+    if !(t.is_finite() && t > 0.0) {
+        return Err(SpecError::of(
+            val,
+            path,
+            format!("fault start time {t} must be > 0 (seconds; t=0 state belongs in a schedule segment)"),
+        ));
+    }
+    Ok(t)
+}
+
+fn dur_gt0(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<f64, SpecError> {
+    let d = num_field(vars, val, path)?;
+    if !(d.is_finite() && d > 0.0) {
+        return Err(SpecError::of(
+            val,
+            path,
+            format!("duration {d} must be > 0 (seconds)"),
+        ));
+    }
+    Ok(d)
+}
+
+fn node_sel(
+    vars: &[(&str, i64)],
+    val: &Val,
+    path: &str,
+    declared: Option<u32>,
+) -> Result<NodeSel, SpecError> {
+    if let Some(s) = val.as_str() {
+        if s == "all" {
+            return Ok(NodeSel::All);
+        }
+    }
+    let id = int_field(vars, val, path).map_err(|mut e| {
+        e.msg = "expected a node id, `\"all\"`, or a `$variable` reference".to_string();
+        e
+    })?;
+    if id < 0 {
+        return Err(SpecError::of(
+            val,
+            path,
+            format!("node id {id} must be >= 0"),
+        ));
+    }
+    if let Some(n) = declared {
+        if id >= n as i64 {
+            return Err(SpecError::of(
+                val,
+                path,
+                format!(
+                    "unknown node id {id}: this scenario declares {n} node(s) (0..={})",
+                    n - 1
+                ),
+            ));
+        }
+    }
+    Ok(NodeSel::Id(id as u32))
+}
+
+/// A section array (`[[cpu]]`, …); absent sections are empty.
+fn section<'v>(root: &'v Val, name: &str) -> Result<&'v [Val], SpecError> {
+    match root.get(name) {
+        None => Ok(&[]),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| type_err(v, name, "an array of tables")),
+    }
+}

@@ -1,0 +1,29 @@
+//! Process-wide scenario-engine counters, following the pskel-sim
+//! counter pattern: cheap relaxed atomics, snapshot on demand, exported
+//! through `/metrics` and `--selftest` in pskel-serve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PROGRAMS_COMPILED: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time snapshot of the scenario-engine counters.
+///
+/// Schedule events fired and faults injected are counted by the
+/// simulator itself (see `pskel_sim::counters::SimCounters`), since
+/// that is where timeline events actually execute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioCounters {
+    /// Scenario programs successfully compiled from spec sources.
+    pub programs_compiled: u64,
+}
+
+pub(crate) fn record_program_compiled() {
+    PROGRAMS_COMPILED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read the current counter values.
+pub fn snapshot() -> ScenarioCounters {
+    ScenarioCounters {
+        programs_compiled: PROGRAMS_COMPILED.load(Ordering::Relaxed),
+    }
+}

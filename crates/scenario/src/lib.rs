@@ -1,0 +1,50 @@
+//! # pskel-scenario — programmable resource-sharing scenarios
+//!
+//! The paper's evaluation (Sodhi & Subhlok, IPPS 2005) uses five fixed
+//! resource-sharing scenarios: competing CPU load on one or all nodes,
+//! a throttled link on one or all nodes, and a combined case. This
+//! crate generalizes that hard-coded set into a small declarative
+//! language: a TOML (or JSON) spec describing *time-varying* CPU
+//! contention, link bandwidth/latency schedules, and fault injections,
+//! compiled into a validated [`ScenarioProgram`].
+//!
+//! Applying a program to a [`ClusterSpec`](pskel_sim::ClusterSpec)
+//! folds every t=0 setting into the static spec and lowers the rest
+//! into `pskel-sim` timeline events, which both simulation paths
+//! (threaded and script fast path) execute identically. A constant
+//! program therefore reproduces a builtin paper scenario bit-for-bit.
+//!
+//! ```
+//! use pskel_scenario::ScenarioSource;
+//! use pskel_sim::ClusterSpec;
+//!
+//! let spec = r#"
+//! name = "ramp"
+//! nodes = 2
+//!
+//! [[cpu]]          # one competitor from the start...
+//! node = 0
+//! at = 0.0
+//! procs = 1
+//!
+//! [[cpu]]          # ...two more arrive at t=5s
+//! node = 0
+//! at = 5.0
+//! procs = 3
+//! "#;
+//! let program = ScenarioSource::from_toml(spec).unwrap().compile().unwrap();
+//! let cluster = program.apply(&ClusterSpec::homogeneous(2)).unwrap();
+//! assert_eq!(cluster.nodes[0].competing_processes, 1); // t=0 folded
+//! assert_eq!(cluster.timeline.events.len(), 1);        // t=5 step
+//! ```
+
+pub mod compile;
+pub mod counters;
+mod parse;
+pub mod program;
+pub mod value;
+
+pub use compile::{ScenarioSource, SweepDef, SweepPoint};
+pub use counters::ScenarioCounters;
+pub use program::{CpuSeg, Fault, LinkSeg, NetSeg, NodeSel, ScenarioProgram};
+pub use value::SpecError;

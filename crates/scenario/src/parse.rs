@@ -1,0 +1,271 @@
+//! Source-text parsers for the scenario spec language: a TOML subset
+//! (top-level `key = value` plus `[[section]]` array-of-table headers)
+//! and plain JSON. Both produce the same span-tracking [`Val`] tree.
+
+use crate::value::{Cursor, Key, Kind, SpecError, Val};
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+fn ident(cur: &mut Cursor<'_>) -> Result<(String, u32, u32), SpecError> {
+    let (line, col) = cur.mark();
+    let mut name = String::new();
+    while let Some(b) = cur.peek() {
+        if is_ident_byte(b) {
+            name.push(b as char);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() {
+        return Err(cur.err("expected an identifier"));
+    }
+    Ok((name, line, col))
+}
+
+/// Parse a scalar TOML value: string, bool, or number.
+fn toml_scalar(cur: &mut Cursor<'_>) -> Result<Val, SpecError> {
+    let (line, col) = cur.mark();
+    match cur.peek() {
+        Some(b'"') => {
+            let s = cur.quoted_string()?;
+            Ok(Val::new(Kind::Str(s), line, col))
+        }
+        Some(b't') | Some(b'f') => {
+            let (word, wline, wcol) = ident(cur)?;
+            match word.as_str() {
+                "true" => Ok(Val::new(Kind::Bool(true), wline, wcol)),
+                "false" => Ok(Val::new(Kind::Bool(false), wline, wcol)),
+                other => Err(SpecError::at(
+                    wline,
+                    wcol,
+                    "",
+                    format!("unexpected value `{other}` (strings must be quoted)"),
+                )),
+            }
+        }
+        Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => {
+            let kind = cur.number()?;
+            Ok(Val::new(kind, line, col))
+        }
+        Some(b) => Err(cur.err(format!("unexpected character {:?} in value", b as char))),
+        None => Err(cur.err("unexpected end of input while reading a value")),
+    }
+}
+
+fn insert_unique(table: &mut Vec<(Key, Val)>, key: Key, val: Val) -> Result<(), SpecError> {
+    if table.iter().any(|(k, _)| k.name == key.name) {
+        return Err(SpecError::at(
+            key.line,
+            key.col,
+            &key.name,
+            format!("duplicate key `{}`", key.name),
+        ));
+    }
+    table.push((key, val));
+    Ok(())
+}
+
+/// Parse the TOML subset. Supports comments, `key = value` lines, and
+/// `[[section]]` array-of-table headers; nested `[table]` headers and
+/// inline tables/arrays are outside the spec language and rejected.
+pub fn parse_toml(src: &str) -> Result<Val, SpecError> {
+    let mut cur = Cursor::new(src);
+    let mut root: Vec<(Key, Val)> = Vec::new();
+    // Index into `root` of the section whose last element is open.
+    let mut current: Option<usize> = None;
+
+    loop {
+        cur.skip_ws(true);
+        if cur.at_end() {
+            break;
+        }
+        if cur.peek() == Some(b'[') {
+            let (line, col) = cur.mark();
+            cur.bump();
+            if cur.peek() != Some(b'[') {
+                return Err(SpecError::at(
+                    line,
+                    col,
+                    "",
+                    "expected `[[section]]` (plain `[table]` headers are not part of the spec language)",
+                ));
+            }
+            cur.bump();
+            let (name, nline, ncol) = ident(&mut cur)?;
+            if cur.bump() != Some(b']') || cur.bump() != Some(b']') {
+                return Err(cur.err("expected `]]` to close the section header"));
+            }
+            let elem = Val::new(Kind::Table(Vec::new()), line, col);
+            let idx = match root.iter().position(|(k, _)| k.name == name) {
+                Some(idx) => {
+                    match &mut root[idx].1.kind {
+                        Kind::Arr(items) => items.push(elem),
+                        _ => {
+                            return Err(SpecError::at(
+                                nline,
+                                ncol,
+                                &name,
+                                format!("`{name}` is already defined as a value, not a section"),
+                            ))
+                        }
+                    }
+                    idx
+                }
+                None => {
+                    root.push((
+                        Key {
+                            name,
+                            line: nline,
+                            col: ncol,
+                        },
+                        Val::new(Kind::Arr(vec![elem]), line, col),
+                    ));
+                    root.len() - 1
+                }
+            };
+            current = Some(idx);
+        } else {
+            let (name, kline, kcol) = ident(&mut cur)?;
+            cur.skip_inline_ws();
+            if cur.bump() != Some(b'=') {
+                return Err(SpecError::at(
+                    kline,
+                    kcol,
+                    &name,
+                    format!("expected `=` after key `{name}`"),
+                ));
+            }
+            cur.skip_inline_ws();
+            let val = toml_scalar(&mut cur)?;
+            cur.skip_inline_ws();
+            match cur.peek() {
+                None | Some(b'\n') | Some(b'#') => {}
+                Some(b) => {
+                    return Err(cur.err(format!(
+                        "unexpected trailing character {:?} after value",
+                        b as char
+                    )))
+                }
+            }
+            let key = Key {
+                name,
+                line: kline,
+                col: kcol,
+            };
+            match current {
+                None => insert_unique(&mut root, key, val)?,
+                Some(idx) => match &mut root[idx].1.kind {
+                    Kind::Arr(items) => match &mut items.last_mut().unwrap().kind {
+                        Kind::Table(entries) => insert_unique(entries, key, val)?,
+                        _ => unreachable!("section elements are always tables"),
+                    },
+                    _ => unreachable!("sections are always arrays"),
+                },
+            }
+        }
+    }
+    Ok(Val::new(Kind::Table(root), 1, 1))
+}
+
+/// Parse a JSON document into the same [`Val`] tree.
+pub fn parse_json(src: &str) -> Result<Val, SpecError> {
+    let mut cur = Cursor::new(src);
+    cur.skip_ws(false);
+    let val = json_value(&mut cur)?;
+    cur.skip_ws(false);
+    if !cur.at_end() {
+        return Err(cur.err("unexpected trailing content after JSON document"));
+    }
+    Ok(val)
+}
+
+fn json_value(cur: &mut Cursor<'_>) -> Result<Val, SpecError> {
+    let (line, col) = cur.mark();
+    match cur.peek() {
+        Some(b'{') => {
+            cur.bump();
+            let mut entries: Vec<(Key, Val)> = Vec::new();
+            cur.skip_ws(false);
+            if cur.peek() == Some(b'}') {
+                cur.bump();
+                return Ok(Val::new(Kind::Table(entries), line, col));
+            }
+            loop {
+                cur.skip_ws(false);
+                let (kline, kcol) = cur.mark();
+                if cur.peek() != Some(b'"') {
+                    return Err(cur.err("expected a quoted object key"));
+                }
+                let name = cur.quoted_string()?;
+                cur.skip_ws(false);
+                if cur.bump() != Some(b':') {
+                    return Err(cur.err("expected `:` after object key"));
+                }
+                cur.skip_ws(false);
+                let val = json_value(cur)?;
+                insert_unique(
+                    &mut entries,
+                    Key {
+                        name,
+                        line: kline,
+                        col: kcol,
+                    },
+                    val,
+                )?;
+                cur.skip_ws(false);
+                match cur.bump() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err(cur.err("expected `,` or `}` in object")),
+                }
+            }
+            Ok(Val::new(Kind::Table(entries), line, col))
+        }
+        Some(b'[') => {
+            cur.bump();
+            let mut items = Vec::new();
+            cur.skip_ws(false);
+            if cur.peek() == Some(b']') {
+                cur.bump();
+                return Ok(Val::new(Kind::Arr(items), line, col));
+            }
+            loop {
+                cur.skip_ws(false);
+                items.push(json_value(cur)?);
+                cur.skip_ws(false);
+                match cur.bump() {
+                    Some(b',') => continue,
+                    Some(b']') => break,
+                    _ => return Err(cur.err("expected `,` or `]` in array")),
+                }
+            }
+            Ok(Val::new(Kind::Arr(items), line, col))
+        }
+        Some(b'"') => {
+            let s = cur.quoted_string()?;
+            Ok(Val::new(Kind::Str(s), line, col))
+        }
+        Some(b't') | Some(b'f') => {
+            let (word, _, _) = ident(cur)?;
+            match word.as_str() {
+                "true" => Ok(Val::new(Kind::Bool(true), line, col)),
+                "false" => Ok(Val::new(Kind::Bool(false), line, col)),
+                other => Err(SpecError::at(
+                    line,
+                    col,
+                    "",
+                    format!("unexpected JSON token `{other}`"),
+                )),
+            }
+        }
+        Some(b) if b.is_ascii_digit() || b == b'-' => {
+            let kind = cur.number()?;
+            Ok(Val::new(kind, line, col))
+        }
+        Some(b) => Err(cur.err(format!("unexpected character {:?} in JSON", b as char))),
+        None => Err(cur.err("unexpected end of JSON input")),
+    }
+}

@@ -1,0 +1,968 @@
+//! The validated scenario program: an executable description of how
+//! cluster resource availability changes over simulated time.
+//!
+//! A [`ScenarioProgram`] is a set of piecewise-constant schedules plus
+//! fault injections. Applying it to a base [`ClusterSpec`] folds every
+//! t=0 setting into the static spec fields and lowers everything later
+//! into [`Timeline`] events, so a *constant* program (all segments at
+//! t=0, no faults) produces a cluster spec whose timeline is empty —
+//! and therefore simulates bit-identically to a hand-edited static spec.
+//!
+//! Times are f64 seconds, bandwidth caps are bytes/second (matching
+//! `NodeSpec::link_cap`), CPU contention is expressed as a number of
+//! competing processes *added on top of* whatever the base spec has.
+
+use pskel_sim::{ClusterSpec, SimDuration, StartDelay, Timeline, TimelineAction, TimelineEvent};
+use std::fmt;
+
+/// Which nodes a schedule segment or fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeSel {
+    /// Every node in the cluster.
+    All,
+    /// A single node by index.
+    Id(u32),
+}
+
+impl NodeSel {
+    fn resolve(self, n_nodes: usize) -> std::ops::Range<usize> {
+        match self {
+            NodeSel::All => 0..n_nodes,
+            NodeSel::Id(i) => i as usize..i as usize + 1,
+        }
+    }
+
+    /// Sort key: `All` first, then ids in order.
+    fn key(self) -> (u8, u32) {
+        match self {
+            NodeSel::All => (0, 0),
+            NodeSel::Id(i) => (1, i),
+        }
+    }
+}
+
+impl fmt::Display for NodeSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeSel::All => write!(f, "all"),
+            NodeSel::Id(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// From `at` onward, the scenario contributes `procs` competing
+/// processes on the selected nodes (replacing this scenario's previous
+/// contribution there, not the base spec's own competing processes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuSeg {
+    pub node: NodeSel,
+    pub at: f64,
+    pub procs: i64,
+}
+
+/// From `at` onward, the selected nodes' NIC bandwidth cap is `cap`
+/// bytes/second (`None` = uncapped).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSeg {
+    pub node: NodeSel,
+    pub at: f64,
+    pub cap: Option<f64>,
+}
+
+/// From `at` onward, the network one-way latency is `latency` seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetSeg {
+    pub at: f64,
+    pub latency: f64,
+}
+
+/// An injected fault. Unlike schedule segments, faults are transient:
+/// they fire, hold for a duration, and restore the prevailing state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Link carries zero bandwidth during `[at, at + dur)`, then the cap
+    /// prevailing per the link schedule is restored.
+    LinkOutage { node: NodeSel, at: f64, dur: f64 },
+    /// CPU speed is multiplied by `factor` during `[at, at + dur)`.
+    SlowdownBurst {
+        node: NodeSel,
+        at: f64,
+        dur: f64,
+        factor: f64,
+    },
+    /// Rank `rank` begins executing `delay` seconds late.
+    DelayedStart { rank: u32, delay: f64 },
+}
+
+/// A validated, time-varying contention scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioProgram {
+    pub name: String,
+    /// Declared cluster size; when set, `apply` rejects mismatched clusters.
+    pub nodes: Option<u32>,
+    pub cpu: Vec<CpuSeg>,
+    pub link: Vec<LinkSeg>,
+    pub net: Vec<NetSeg>,
+    pub faults: Vec<Fault>,
+}
+
+fn finite_nonneg(x: f64) -> bool {
+    x.is_finite() && x >= 0.0
+}
+
+impl ScenarioProgram {
+    /// An empty (dedicated-cluster) program.
+    pub fn empty(name: &str) -> ScenarioProgram {
+        ScenarioProgram {
+            name: name.to_string(),
+            nodes: None,
+            cpu: Vec::new(),
+            link: Vec::new(),
+            net: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Structural validation, independent of any concrete cluster.
+    /// Node-index range checks against a real cluster happen in [`apply`].
+    ///
+    /// [`apply`]: ScenarioProgram::apply
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        self.check_ids(|sel| match (self.nodes, sel) {
+            (Some(n), NodeSel::Id(i)) if i >= n => Err(format!(
+                "node id {i} out of range for declared {n}-node scenario"
+            )),
+            _ => Ok(()),
+        })?;
+        let mut cpu_at: Vec<(NodeSel, u64)> = Vec::new();
+        for seg in &self.cpu {
+            if !finite_nonneg(seg.at) {
+                return Err(format!("cpu segment time {} must be >= 0", seg.at));
+            }
+            if seg.procs < 0 {
+                return Err(format!("cpu segment procs {} must be >= 0", seg.procs));
+            }
+            let key = (seg.node, seg.at.to_bits());
+            if cpu_at.contains(&key) {
+                return Err(format!(
+                    "overlapping cpu segments: node {} has two segments at t={}",
+                    seg.node, seg.at
+                ));
+            }
+            cpu_at.push(key);
+        }
+        let mut link_at: Vec<(NodeSel, u64)> = Vec::new();
+        for seg in &self.link {
+            if !finite_nonneg(seg.at) {
+                return Err(format!("link segment time {} must be >= 0", seg.at));
+            }
+            if let Some(cap) = seg.cap {
+                if !cap.is_finite() || cap <= 0.0 {
+                    return Err(format!(
+                        "link segment cap {cap} must be a positive, finite bytes/sec value"
+                    ));
+                }
+            }
+            let key = (seg.node, seg.at.to_bits());
+            if link_at.contains(&key) {
+                return Err(format!(
+                    "overlapping link segments: node {} has two segments at t={}",
+                    seg.node, seg.at
+                ));
+            }
+            link_at.push(key);
+        }
+        let mut net_at: Vec<u64> = Vec::new();
+        for seg in &self.net {
+            if !finite_nonneg(seg.at) {
+                return Err(format!("net segment time {} must be >= 0", seg.at));
+            }
+            if !finite_nonneg(seg.latency) {
+                return Err(format!("net latency {} must be >= 0", seg.latency));
+            }
+            if net_at.contains(&seg.at.to_bits()) {
+                return Err(format!("overlapping net segments at t={}", seg.at));
+            }
+            net_at.push(seg.at.to_bits());
+        }
+        let mut delayed: Vec<u32> = Vec::new();
+        for fault in &self.faults {
+            match *fault {
+                Fault::LinkOutage { at, dur, .. } => {
+                    if !(at.is_finite() && at > 0.0) {
+                        return Err(format!("link-outage start time {at} must be > 0"));
+                    }
+                    if !(dur.is_finite() && dur > 0.0) {
+                        return Err(format!("link-outage duration {dur} must be > 0"));
+                    }
+                }
+                Fault::SlowdownBurst {
+                    at, dur, factor, ..
+                } => {
+                    if !(at.is_finite() && at > 0.0) {
+                        return Err(format!("slowdown start time {at} must be > 0"));
+                    }
+                    if !(dur.is_finite() && dur > 0.0) {
+                        return Err(format!("slowdown duration {dur} must be > 0"));
+                    }
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(format!("slowdown factor {factor} must be > 0"));
+                    }
+                }
+                Fault::DelayedStart { rank, delay } => {
+                    if !(delay.is_finite() && delay > 0.0) {
+                        return Err(format!("delayed-start delay {delay} must be > 0"));
+                    }
+                    if delayed.contains(&rank) {
+                        return Err(format!("rank {rank} has more than one delayed-start"));
+                    }
+                    delayed.push(rank);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_ids(&self, check: impl Fn(NodeSel) -> Result<(), String>) -> Result<(), String> {
+        for seg in &self.cpu {
+            check(seg.node)?;
+        }
+        for seg in &self.link {
+            check(seg.node)?;
+        }
+        for fault in &self.faults {
+            match *fault {
+                Fault::LinkOutage { node, .. } | Fault::SlowdownBurst { node, .. } => check(node)?,
+                Fault::DelayedStart { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the program never changes anything after t=0: applying
+    /// it yields an empty timeline, so the simulation is bit-identical
+    /// to one with the equivalent static spec edits.
+    pub fn is_constant(&self) -> bool {
+        self.faults.is_empty()
+            && self.cpu.iter().all(|s| s.at == 0.0)
+            && self.link.iter().all(|s| s.at == 0.0)
+            && self.net.iter().all(|s| s.at == 0.0)
+    }
+
+    /// Apply the program to a base cluster: fold t=0 settings into the
+    /// static spec, lower everything later into timeline events.
+    pub fn apply(&self, base: &ClusterSpec) -> Result<ClusterSpec, String> {
+        self.validate()?;
+        let n = base.nodes.len();
+        if let Some(decl) = self.nodes {
+            if decl as usize != n {
+                return Err(format!(
+                    "scenario `{}` declares {decl} nodes but the cluster has {n}",
+                    self.name
+                ));
+            }
+        }
+        self.check_ids(|sel| match sel {
+            NodeSel::Id(i) if i as usize >= n => {
+                Err(format!("node id {i} out of range for {n}-node cluster"))
+            }
+            _ => Ok(()),
+        })?;
+
+        let mut spec = base.clone();
+        let mut events: Vec<TimelineEvent> = Vec::new();
+
+        // CPU contention: per-node step function of *added* competing
+        // processes. t=0 folds into `competing_processes`; later steps
+        // become AddCompeting deltas relative to the previous step.
+        let mut per_node: Vec<Vec<(u64, i64)>> = vec![Vec::new(); n];
+        for seg in &self.cpu {
+            for node in seg.node.resolve(n) {
+                per_node[node].push((seg.at.to_bits(), seg.procs));
+            }
+        }
+        for (node, segs) in per_node.iter_mut().enumerate() {
+            segs.sort_by(|a, b| {
+                f64::from_bits(a.0)
+                    .partial_cmp(&f64::from_bits(b.0))
+                    .unwrap()
+            });
+            let mut prev = 0i64;
+            for &(at_bits, procs) in segs.iter() {
+                let at = f64::from_bits(at_bits);
+                if at == 0.0 {
+                    spec.nodes[node].competing_processes = spec.nodes[node]
+                        .competing_processes
+                        .saturating_add(procs as u32);
+                } else {
+                    let delta = procs - prev;
+                    if delta != 0 {
+                        events.push(TimelineEvent {
+                            at: SimDuration::from_secs_f64(at),
+                            node,
+                            action: TimelineAction::AddCompeting(delta),
+                            fault: false,
+                        });
+                    }
+                }
+                prev = procs;
+            }
+        }
+
+        // Link caps: absolute settings; t=0 folds, later become SetLinkCap.
+        let mut link_per_node: Vec<Vec<(f64, Option<f64>)>> = vec![Vec::new(); n];
+        for seg in &self.link {
+            for node in seg.node.resolve(n) {
+                link_per_node[node].push((seg.at, seg.cap));
+            }
+        }
+        for (node, segs) in link_per_node.iter_mut().enumerate() {
+            segs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for &(at, cap) in segs.iter() {
+                if at == 0.0 {
+                    spec.nodes[node].link_cap = cap;
+                } else {
+                    events.push(TimelineEvent {
+                        at: SimDuration::from_secs_f64(at),
+                        node,
+                        action: TimelineAction::SetLinkCap(cap),
+                        fault: false,
+                    });
+                }
+            }
+        }
+
+        // Network latency.
+        let mut net = self.net.clone();
+        net.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        for seg in &net {
+            if seg.at == 0.0 {
+                spec.net.latency = SimDuration::from_secs_f64(seg.latency);
+            } else {
+                events.push(TimelineEvent {
+                    at: SimDuration::from_secs_f64(seg.at),
+                    node: 0,
+                    action: TimelineAction::SetLatency(SimDuration::from_secs_f64(seg.latency)),
+                    fault: false,
+                });
+            }
+        }
+
+        // Faults.
+        let mut start_delays: Vec<StartDelay> = Vec::new();
+        for fault in &self.faults {
+            match *fault {
+                Fault::LinkOutage { node, at, dur } => {
+                    for id in node.resolve(n) {
+                        // A zero cap starves the link's max-min share, so
+                        // flows through it stall for the outage window.
+                        events.push(TimelineEvent {
+                            at: SimDuration::from_secs_f64(at),
+                            node: id,
+                            action: TimelineAction::SetLinkCap(Some(0.0)),
+                            fault: true,
+                        });
+                        events.push(TimelineEvent {
+                            at: SimDuration::from_secs_f64(at + dur),
+                            node: id,
+                            action: TimelineAction::SetLinkCap(self.prevailing_cap(
+                                base,
+                                id,
+                                at + dur,
+                            )),
+                            fault: true,
+                        });
+                    }
+                }
+                Fault::SlowdownBurst {
+                    node,
+                    at,
+                    dur,
+                    factor,
+                } => {
+                    for id in node.resolve(n) {
+                        events.push(TimelineEvent {
+                            at: SimDuration::from_secs_f64(at),
+                            node: id,
+                            action: TimelineAction::SetSpeedFactor(factor),
+                            fault: true,
+                        });
+                        events.push(TimelineEvent {
+                            at: SimDuration::from_secs_f64(at + dur),
+                            node: id,
+                            action: TimelineAction::SetSpeedFactor(1.0),
+                            fault: true,
+                        });
+                    }
+                }
+                Fault::DelayedStart { rank, delay } => {
+                    start_delays.push(StartDelay {
+                        rank: rank as usize,
+                        delay: SimDuration::from_secs_f64(delay),
+                    });
+                }
+            }
+        }
+
+        spec.timeline = Timeline {
+            events,
+            start_delays,
+        };
+        spec.validate();
+        Ok(spec)
+    }
+
+    /// The link cap in force on `node` at time `t` per the link schedule
+    /// (ignoring faults), used to end an outage correctly.
+    fn prevailing_cap(&self, base: &ClusterSpec, node: usize, t: f64) -> Option<f64> {
+        let mut cap = base.nodes[node].link_cap;
+        let mut best_at = -1.0f64;
+        for seg in &self.link {
+            let covers = match seg.node {
+                NodeSel::All => true,
+                NodeSel::Id(i) => i as usize == node,
+            };
+            if covers && seg.at <= t && seg.at >= best_at {
+                best_at = seg.at;
+                cap = seg.cap;
+            }
+        }
+        cap
+    }
+
+    // -- combinators --------------------------------------------------------
+
+    /// Merge two programs into one. Schedules are concatenated; where
+    /// both set the same node at the same instant, CPU contributions
+    /// add and link/net settings from `other` win. Faults concatenate.
+    pub fn compose(&self, other: &ScenarioProgram) -> Result<ScenarioProgram, String> {
+        let nodes = match (self.nodes, other.nodes) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(format!(
+                    "cannot compose scenarios declaring different node counts ({a} vs {b})"
+                ))
+            }
+            (a, b) => a.or(b),
+        };
+        let mut out = ScenarioProgram {
+            name: format!("{}+{}", self.name, other.name),
+            nodes,
+            cpu: self.cpu.clone(),
+            link: self.link.clone(),
+            net: self.net.clone(),
+            faults: self.faults.clone(),
+        };
+        for seg in &other.cpu {
+            if let Some(existing) = out
+                .cpu
+                .iter_mut()
+                .find(|s| s.node == seg.node && s.at.to_bits() == seg.at.to_bits())
+            {
+                existing.procs += seg.procs;
+            } else {
+                out.cpu.push(*seg);
+            }
+        }
+        for seg in &other.link {
+            if let Some(existing) = out
+                .link
+                .iter_mut()
+                .find(|s| s.node == seg.node && s.at.to_bits() == seg.at.to_bits())
+            {
+                existing.cap = seg.cap;
+            } else {
+                out.link.push(*seg);
+            }
+        }
+        for seg in &other.net {
+            if let Some(existing) = out
+                .net
+                .iter_mut()
+                .find(|s| s.at.to_bits() == seg.at.to_bits())
+            {
+                existing.latency = seg.latency;
+            } else {
+                out.net.push(*seg);
+            }
+        }
+        for fault in &other.faults {
+            match *fault {
+                Fault::DelayedStart { rank, .. }
+                    if out.faults.iter().any(
+                        |f| matches!(f, Fault::DelayedStart { rank: r, .. } if *r == rank),
+                    ) =>
+                {
+                    return Err(format!(
+                        "cannot compose: rank {rank} has a delayed-start in both scenarios"
+                    ));
+                }
+                _ => out.faults.push(*fault),
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Stretch the schedule in time and/or intensity: every schedule and
+    /// fault time is multiplied by `time_factor`; CPU contention counts
+    /// are scaled by `load_factor` and rounded to the nearest integer.
+    pub fn scale(&self, time_factor: f64, load_factor: f64) -> Result<ScenarioProgram, String> {
+        if !(time_factor.is_finite() && time_factor > 0.0) {
+            return Err(format!("time factor {time_factor} must be > 0"));
+        }
+        if !(load_factor.is_finite() && load_factor >= 0.0) {
+            return Err(format!("load factor {load_factor} must be >= 0"));
+        }
+        let mut out = self.clone();
+        out.name = format!("{}*t{time_factor}l{load_factor}", self.name);
+        for seg in &mut out.cpu {
+            seg.at *= time_factor;
+            seg.procs = (seg.procs as f64 * load_factor).round() as i64;
+        }
+        for seg in &mut out.link {
+            seg.at *= time_factor;
+        }
+        for seg in &mut out.net {
+            seg.at *= time_factor;
+        }
+        for fault in &mut out.faults {
+            match fault {
+                Fault::LinkOutage { at, dur, .. } => {
+                    *at *= time_factor;
+                    *dur *= time_factor;
+                }
+                Fault::SlowdownBurst { at, dur, .. } => {
+                    *at *= time_factor;
+                    *dur *= time_factor;
+                }
+                Fault::DelayedStart { delay, .. } => *delay *= time_factor,
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Replace every per-node selector with `all`, turning a scenario
+    /// authored against one node into a cluster-wide one. CPU segments
+    /// that collide after widening add; link segments last-wins; exact
+    /// duplicate faults are removed.
+    pub fn mirror_across_nodes(&self) -> Result<ScenarioProgram, String> {
+        let mut out = ScenarioProgram::empty(&format!("{}@all", self.name));
+        out.nodes = self.nodes;
+        for seg in &self.cpu {
+            let widened = CpuSeg {
+                node: NodeSel::All,
+                ..*seg
+            };
+            if let Some(existing) = out
+                .cpu
+                .iter_mut()
+                .find(|s| s.at.to_bits() == widened.at.to_bits())
+            {
+                existing.procs += widened.procs;
+            } else {
+                out.cpu.push(widened);
+            }
+        }
+        for seg in &self.link {
+            let widened = LinkSeg {
+                node: NodeSel::All,
+                ..*seg
+            };
+            if let Some(existing) = out
+                .link
+                .iter_mut()
+                .find(|s| s.at.to_bits() == widened.at.to_bits())
+            {
+                existing.cap = widened.cap;
+            } else {
+                out.link.push(widened);
+            }
+        }
+        out.net = self.net.clone();
+        for fault in &self.faults {
+            let widened = match *fault {
+                Fault::LinkOutage { at, dur, .. } => Fault::LinkOutage {
+                    node: NodeSel::All,
+                    at,
+                    dur,
+                },
+                Fault::SlowdownBurst {
+                    at, dur, factor, ..
+                } => Fault::SlowdownBurst {
+                    node: NodeSel::All,
+                    at,
+                    dur,
+                    factor,
+                },
+                delayed @ Fault::DelayedStart { .. } => delayed,
+            };
+            if !out.faults.contains(&widened) {
+                out.faults.push(widened);
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    // -- canonical identity -------------------------------------------------
+
+    /// A canonical byte encoding: schedules are sorted, floats encoded
+    /// as IEEE-754 bit patterns, so two structurally-equal programs
+    /// (regardless of declaration order or source syntax) encode
+    /// identically. This is the program's identity for provenance keys.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut buf: Vec<u8> = Vec::with_capacity(128);
+        buf.extend_from_slice(b"PSCN1");
+        put_str(&mut buf, &self.name);
+        match self.nodes {
+            None => buf.push(0),
+            Some(n) => {
+                buf.push(1);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+
+        let mut cpu = self.cpu.clone();
+        cpu.sort_by(|a, b| {
+            (a.node.key(), a.at.to_bits(), a.procs).cmp(&(b.node.key(), b.at.to_bits(), b.procs))
+        });
+        buf.push(b'C');
+        buf.extend_from_slice(&(cpu.len() as u32).to_le_bytes());
+        for seg in &cpu {
+            put_sel(&mut buf, seg.node);
+            put_f64(&mut buf, seg.at);
+            buf.extend_from_slice(&seg.procs.to_le_bytes());
+        }
+
+        let mut link = self.link.clone();
+        link.sort_by_key(|a| (a.node.key(), a.at.to_bits()));
+        buf.push(b'L');
+        buf.extend_from_slice(&(link.len() as u32).to_le_bytes());
+        for seg in &link {
+            put_sel(&mut buf, seg.node);
+            put_f64(&mut buf, seg.at);
+            match seg.cap {
+                None => buf.push(0),
+                Some(cap) => {
+                    buf.push(1);
+                    put_f64(&mut buf, cap);
+                }
+            }
+        }
+
+        let mut net = self.net.clone();
+        net.sort_by_key(|s| s.at.to_bits());
+        buf.push(b'N');
+        buf.extend_from_slice(&(net.len() as u32).to_le_bytes());
+        for seg in &net {
+            put_f64(&mut buf, seg.at);
+            put_f64(&mut buf, seg.latency);
+        }
+
+        let mut faults: Vec<Vec<u8>> = self
+            .faults
+            .iter()
+            .map(|fault| {
+                let mut fb = Vec::new();
+                match *fault {
+                    Fault::LinkOutage { node, at, dur } => {
+                        fb.push(1);
+                        put_sel(&mut fb, node);
+                        put_f64(&mut fb, at);
+                        put_f64(&mut fb, dur);
+                    }
+                    Fault::SlowdownBurst {
+                        node,
+                        at,
+                        dur,
+                        factor,
+                    } => {
+                        fb.push(2);
+                        put_sel(&mut fb, node);
+                        put_f64(&mut fb, at);
+                        put_f64(&mut fb, dur);
+                        put_f64(&mut fb, factor);
+                    }
+                    Fault::DelayedStart { rank, delay } => {
+                        fb.push(3);
+                        fb.extend_from_slice(&rank.to_le_bytes());
+                        put_f64(&mut fb, delay);
+                    }
+                }
+                fb
+            })
+            .collect();
+        faults.sort();
+        buf.push(b'F');
+        buf.extend_from_slice(&(faults.len() as u32).to_le_bytes());
+        for fb in faults {
+            buf.extend_from_slice(&fb);
+        }
+        buf
+    }
+
+    /// A short stable hex identifier derived from [`canonical_bytes`]
+    /// (FNV-1a 64). Used in provenance keys and the serve API.
+    ///
+    /// [`canonical_bytes`]: ScenarioProgram::canonical_bytes
+    pub fn short_id(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.canonical_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// One-line summary for CLI/registry listings.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cpu seg(s), {} link seg(s), {} net seg(s), {} fault(s){}",
+            self.cpu.len(),
+            self.link.len(),
+            self.net.len(),
+            self.faults.len(),
+            if self.is_constant() { ", constant" } else { "" }
+        )
+    }
+
+    // -- emitters -----------------------------------------------------------
+
+    /// Serialize to the TOML-subset spec language. Round-trips through
+    /// [`crate::ScenarioSource::from_toml`] to an equal program.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = {}\n", toml_str(&self.name)));
+        if let Some(n) = self.nodes {
+            out.push_str(&format!("nodes = {n}\n"));
+        }
+        for seg in &self.cpu {
+            out.push_str(&format!(
+                "\n[[cpu]]\nnode = {}\nat = {}\nprocs = {}\n",
+                sel_toml(seg.node),
+                fmt_f64(seg.at),
+                seg.procs
+            ));
+        }
+        for seg in &self.link {
+            out.push_str(&format!(
+                "\n[[link]]\nnode = {}\nat = {}\n",
+                sel_toml(seg.node),
+                fmt_f64(seg.at)
+            ));
+            match seg.cap {
+                Some(cap) => out.push_str(&format!("cap_mbps = {}\n", fmt_f64(cap * 8.0 / 1e6))),
+                None => out.push_str("restore = true\n"),
+            }
+        }
+        for seg in &self.net {
+            out.push_str(&format!(
+                "\n[[net]]\nat = {}\nlatency = {}\n",
+                fmt_f64(seg.at),
+                fmt_f64(seg.latency)
+            ));
+        }
+        for fault in &self.faults {
+            match *fault {
+                Fault::LinkOutage { node, at, dur } => out.push_str(&format!(
+                    "\n[[fault]]\nkind = \"link-outage\"\nnode = {}\nat = {}\nfor = {}\n",
+                    sel_toml(node),
+                    fmt_f64(at),
+                    fmt_f64(dur)
+                )),
+                Fault::SlowdownBurst {
+                    node,
+                    at,
+                    dur,
+                    factor,
+                } => out.push_str(&format!(
+                    "\n[[fault]]\nkind = \"slowdown\"\nnode = {}\nat = {}\nfor = {}\nfactor = {}\n",
+                    sel_toml(node),
+                    fmt_f64(at),
+                    fmt_f64(dur),
+                    fmt_f64(factor)
+                )),
+                Fault::DelayedStart { rank, delay } => out.push_str(&format!(
+                    "\n[[fault]]\nkind = \"delayed-start\"\nrank = {rank}\ndelay = {}\n",
+                    fmt_f64(delay)
+                )),
+            }
+        }
+        out
+    }
+
+    /// Serialize to JSON. Round-trips through
+    /// [`crate::ScenarioSource::from_json`] to an equal program.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"name\":{}", json_str(&self.name)));
+        if let Some(n) = self.nodes {
+            out.push_str(&format!(",\"nodes\":{n}"));
+        }
+        if !self.cpu.is_empty() {
+            out.push_str(",\"cpu\":[");
+            for (i, seg) in self.cpu.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"at\":{},\"procs\":{}}}",
+                    sel_json(seg.node),
+                    fmt_f64(seg.at),
+                    seg.procs
+                ));
+            }
+            out.push(']');
+        }
+        if !self.link.is_empty() {
+            out.push_str(",\"link\":[");
+            for (i, seg) in self.link.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"at\":{}",
+                    sel_json(seg.node),
+                    fmt_f64(seg.at)
+                ));
+                match seg.cap {
+                    Some(cap) => {
+                        out.push_str(&format!(",\"cap_mbps\":{}}}", fmt_f64(cap * 8.0 / 1e6)))
+                    }
+                    None => out.push_str(",\"restore\":true}"),
+                }
+            }
+            out.push(']');
+        }
+        if !self.net.is_empty() {
+            out.push_str(",\"net\":[");
+            for (i, seg) in self.net.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at\":{},\"latency\":{}}}",
+                    fmt_f64(seg.at),
+                    fmt_f64(seg.latency)
+                ));
+            }
+            out.push(']');
+        }
+        if !self.faults.is_empty() {
+            out.push_str(",\"fault\":[");
+            for (i, fault) in self.faults.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match *fault {
+                    Fault::LinkOutage { node, at, dur } => out.push_str(&format!(
+                        "{{\"kind\":\"link-outage\",\"node\":{},\"at\":{},\"for\":{}}}",
+                        sel_json(node),
+                        fmt_f64(at),
+                        fmt_f64(dur)
+                    )),
+                    Fault::SlowdownBurst {
+                        node,
+                        at,
+                        dur,
+                        factor,
+                    } => out.push_str(&format!(
+                        "{{\"kind\":\"slowdown\",\"node\":{},\"at\":{},\"for\":{},\"factor\":{}}}",
+                        sel_json(node),
+                        fmt_f64(at),
+                        fmt_f64(dur),
+                        fmt_f64(factor)
+                    )),
+                    Fault::DelayedStart { rank, delay } => out.push_str(&format!(
+                        "{{\"kind\":\"delayed-start\",\"rank\":{rank},\"delay\":{}}}",
+                        fmt_f64(delay)
+                    )),
+                }
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl PartialEq for ScenarioProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bytes() == other.canonical_bytes()
+    }
+}
+
+impl Eq for ScenarioProgram {}
+
+impl std::hash::Hash for ScenarioProgram {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_bytes().hash(state);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+fn put_sel(buf: &mut Vec<u8>, sel: NodeSel) {
+    match sel {
+        NodeSel::All => buf.push(0),
+        NodeSel::Id(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+}
+
+fn sel_toml(sel: NodeSel) -> String {
+    match sel {
+        NodeSel::All => "\"all\"".to_string(),
+        NodeSel::Id(i) => i.to_string(),
+    }
+}
+
+fn sel_json(sel: NodeSel) -> String {
+    sel_toml(sel)
+}
+
+fn toml_str(s: &str) -> String {
+    json_str(s)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 so the emitters round-trip exactly: Rust's shortest
+/// representation re-parses to the same bits, but bare integers must
+/// keep a decimal point to stay floats in the spec grammar.
+fn fmt_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}

@@ -1,0 +1,279 @@
+//! A small span-tracking document tree shared by the TOML-subset and JSON
+//! parsers. Every value and table key remembers the line/column it came
+//! from, so compilation errors can point at the offending field — the
+//! scenario linter's whole contract.
+//!
+//! Hand-rolled on purpose: the workspace's serde-based decoders cannot
+//! report source positions, and the spec language is deliberately tiny.
+
+use std::fmt;
+
+/// A parse or compile error anchored to a source position and field name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    pub line: u32,
+    pub col: u32,
+    /// Dotted path of the field at fault (empty for pure syntax errors).
+    pub field: String,
+    pub msg: String,
+}
+
+impl SpecError {
+    pub fn at(line: u32, col: u32, field: &str, msg: impl Into<String>) -> SpecError {
+        SpecError {
+            line,
+            col,
+            field: field.to_string(),
+            msg: msg.into(),
+        }
+    }
+
+    pub fn of(val: &Val, field: &str, msg: impl Into<String>) -> SpecError {
+        SpecError::at(val.line, val.col, field, msg)
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.field.is_empty() {
+            write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(
+                f,
+                "line {}, column {}: field `{}`: {}",
+                self.line, self.col, self.field, self.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A table key with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Key {
+    pub name: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A parsed value with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Val {
+    pub kind: Kind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Kind {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Arr(Vec<Val>),
+    /// Insertion-ordered; duplicate keys are a parse error.
+    Table(Vec<(Key, Val)>),
+}
+
+impl Val {
+    pub fn new(kind: Kind, line: u32, col: u32) -> Val {
+        Val { kind, line, col }
+    }
+
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.kind {
+            Kind::Str(_) => "string",
+            Kind::Int(_) => "integer",
+            Kind::Float(_) => "float",
+            Kind::Bool(_) => "boolean",
+            Kind::Arr(_) => "array",
+            Kind::Table(_) => "table",
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&[(Key, Val)]> {
+        match &self.kind {
+            Kind::Table(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Val]> {
+        match &self.kind {
+            Kind::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to f64.
+    pub fn as_num(&self) -> Option<f64> {
+        match self.kind {
+            Kind::Int(i) => Some(i as f64),
+            Kind::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Table lookup by key name.
+    pub fn get(&self, name: &str) -> Option<&Val> {
+        self.as_table()?
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared cursor
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    pub fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    pub fn mark(&self) -> (u32, u32) {
+        (self.line, self.col)
+    }
+
+    pub fn err(&self, msg: impl Into<String>) -> SpecError {
+        SpecError::at(self.line, self.col, "", msg)
+    }
+
+    /// Skip spaces and tabs (not newlines).
+    pub fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace including newlines, plus `#` comments when asked.
+    pub fn skip_ws(&mut self, comments: bool) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') if comments => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Parse a quoted string (supports \" \\ \n \t \r escapes).
+    pub fn quoted_string(&mut self) -> Result<String, SpecError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'/') => out.push(b'/'),
+                    other => {
+                        return Err(self.err(format!(
+                            "unsupported string escape {:?}",
+                            other.map(|b| b as char)
+                        )))
+                    }
+                },
+                Some(b'\n') => return Err(self.err("unterminated string (newline)")),
+                Some(b) => out.push(b),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.err("string is not valid UTF-8"))
+    }
+
+    /// Parse a number (integer or float, optional sign/exponent).
+    pub fn number(&mut self) -> Result<Kind, SpecError> {
+        let start = self.pos;
+        let (line, col) = self.mark();
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Kind::Float)
+                .map_err(|_| SpecError::at(line, col, "", format!("invalid number {text:?}")))
+        } else {
+            text.parse::<i64>()
+                .map(Kind::Int)
+                .map_err(|_| SpecError::at(line, col, "", format!("invalid integer {text:?}")))
+        }
+    }
+}

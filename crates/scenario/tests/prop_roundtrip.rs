@@ -1,0 +1,163 @@
+//! Round-trip properties: any valid `ScenarioProgram` survives
+//! serialization to the TOML spec language and to JSON, re-parsing,
+//! and re-compilation with its canonical identity intact.
+//!
+//! The proptest block exercises randomized programs in CI; the
+//! LCG-driven sweep below covers the same property deterministically
+//! so it also runs in environments without the proptest runtime.
+
+use proptest::prelude::*;
+use pskel_scenario::{CpuSeg, Fault, LinkSeg, NetSeg, NodeSel, ScenarioProgram, ScenarioSource};
+
+/// Build a structurally valid program from dial settings. Distinct
+/// per-index times keep segments non-overlapping; ranks are distinct
+/// by construction; caps sit on the exact-round-trip megabit grid.
+fn build_program(
+    name_tag: u32,
+    nodes: u32,
+    cpu: Vec<(u8, u8, u8)>,           // (sel, quarter-seconds, procs)
+    link: Vec<(u8, u8, Option<u16>)>, // (sel, quarter-seconds, mbps or restore)
+    net: Vec<(u8, u8)>,               // (quarter-seconds, latency millis)
+    faults: Vec<(u8, u8, u8, u8)>,    // (kind, sel, at-quarters, dur-quarters)
+) -> ScenarioProgram {
+    let sel = |s: u8| {
+        let s = s as u32;
+        if s % (nodes + 1) == nodes {
+            NodeSel::All
+        } else {
+            NodeSel::Id(s % nodes)
+        }
+    };
+    let mut program = ScenarioProgram::empty(&format!("prop-{name_tag}"));
+    program.nodes = Some(nodes);
+    for (i, &(s, _, procs)) in cpu.iter().enumerate() {
+        program.cpu.push(CpuSeg {
+            node: sel(s),
+            // Index-scaled times can never collide, even for equal selectors.
+            at: i as f64 * 0.25,
+            procs: procs as i64 % 9,
+        });
+    }
+    for (i, &(s, _, cap)) in link.iter().enumerate() {
+        program.link.push(LinkSeg {
+            node: sel(s),
+            at: i as f64 * 0.5,
+            cap: cap.map(|mbps| (mbps as f64 % 1000.0 + 1.0) * 1e6 / 8.0),
+        });
+    }
+    for (i, &(_, lat_ms)) in net.iter().enumerate() {
+        program.net.push(NetSeg {
+            at: i as f64 * 0.75,
+            latency: lat_ms as f64 * 0.001,
+        });
+    }
+    for (i, &(kind, s, at_q, dur_q)) in faults.iter().enumerate() {
+        let at = 0.25 + at_q as f64 * 0.25;
+        let dur = 0.25 + dur_q as f64 * 0.25;
+        program.faults.push(match kind % 3 {
+            0 => Fault::LinkOutage {
+                node: sel(s),
+                at,
+                dur,
+            },
+            1 => Fault::SlowdownBurst {
+                node: sel(s),
+                at,
+                dur,
+                factor: 0.25 + (s as f64 % 4.0) * 0.25,
+            },
+            _ => Fault::DelayedStart {
+                rank: i as u32, // distinct by construction
+                delay: at,
+            },
+        });
+    }
+    program.validate().expect("generated program must be valid");
+    program
+}
+
+fn assert_round_trips(program: &ScenarioProgram) {
+    let via_toml = ScenarioSource::from_toml(&program.to_toml())
+        .expect("emitted TOML parses")
+        .compile()
+        .expect("emitted TOML compiles");
+    assert_eq!(program, &via_toml, "TOML round-trip changed the program");
+    assert_eq!(program.canonical_bytes(), via_toml.canonical_bytes());
+    assert_eq!(program.short_id(), via_toml.short_id());
+
+    let via_json = ScenarioSource::from_json(&program.to_json())
+        .expect("emitted JSON parses")
+        .compile()
+        .expect("emitted JSON compiles");
+    assert_eq!(program, &via_json, "JSON round-trip changed the program");
+    assert_eq!(program.short_id(), via_json.short_id());
+}
+
+fn arb_program() -> BoxedStrategy<ScenarioProgram> {
+    (
+        0u32..1000,
+        1u32..6,
+        prop::collection::vec((0u8..8, 0u8..40, 0u8..9), 0..5),
+        prop::collection::vec(
+            (
+                0u8..8,
+                0u8..40,
+                prop_oneof![Just(None::<u16>), (1u16..1000).prop_map(Some)],
+            ),
+            0..4,
+        ),
+        prop::collection::vec((0u8..40, 0u8..50), 0..3),
+        prop::collection::vec((0u8..3, 0u8..8, 0u8..20, 0u8..8), 0..4),
+    )
+        .prop_map(|(tag, nodes, cpu, link, net, faults)| {
+            build_program(tag, nodes, cpu, link, net, faults)
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_round_trip(program in arb_program()) {
+        assert_round_trips(&program);
+    }
+}
+
+/// Deterministic version of the property: a fixed LCG drives the same
+/// generator through 60 cases, so the round-trip is exercised even
+/// where the proptest runtime is unavailable.
+#[test]
+fn lcg_round_trip_sweep() {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for case in 0..60 {
+        let nodes = 1 + next() % 5;
+        let cpu: Vec<_> = (0..next() % 5)
+            .map(|_| (next() as u8, next() as u8, next() as u8))
+            .collect();
+        let link: Vec<_> = (0..next() % 4)
+            .map(|_| {
+                let cap = if next() % 3 == 0 {
+                    None
+                } else {
+                    Some(1 + (next() % 999) as u16)
+                };
+                (next() as u8, next() as u8, cap)
+            })
+            .collect();
+        let net: Vec<_> = (0..next() % 3)
+            .map(|_| (next() as u8, next() as u8))
+            .collect();
+        let faults: Vec<_> = (0..next() % 4)
+            .map(|_| (next() as u8, next() as u8, next() as u8, next() as u8))
+            .collect();
+        let program = build_program(case, nodes, cpu, link, net, faults);
+        assert_round_trips(&program);
+    }
+}

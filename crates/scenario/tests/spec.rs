@@ -1,0 +1,418 @@
+//! Spec-language tests: the five classic spec mistakes produce
+//! line/column-bearing errors naming the bad field; well-formed specs
+//! compile, expand, and apply as documented.
+
+use pskel_scenario::{Fault, NodeSel, ScenarioProgram, ScenarioSource};
+use pskel_sim::{ClusterSpec, TimelineAction};
+
+fn compile_toml(src: &str) -> ScenarioProgram {
+    ScenarioSource::from_toml(src)
+        .expect("parse")
+        .compile()
+        .expect("compile")
+}
+
+fn compile_err(src: &str) -> pskel_scenario::SpecError {
+    match ScenarioSource::from_toml(src) {
+        Err(e) => e,
+        Ok(source) => source
+            .expand()
+            .expect_err("expected a compile error")
+            .clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The top-5 spec mistakes (satellite: lint diagnostics)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mistake_unknown_key() {
+    let err = compile_err("name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\nprcs = 3\n");
+    assert_eq!(err.line, 7, "error should point at the bad line: {err}");
+    assert_eq!(err.col, 1);
+    assert_eq!(err.field, "cpu[0].prcs");
+    assert!(err.msg.contains("unknown key `prcs`"), "{err}");
+}
+
+#[test]
+fn mistake_negative_time() {
+    let err = compile_err("name = \"x\"\n\n[[cpu]]\nnode = 0\nat = -1.5\nprocs = 2\n");
+    assert_eq!(err.line, 5, "{err}");
+    assert_eq!(err.field, "cpu[0].at");
+    assert!(err.msg.contains("must be >= 0"), "{err}");
+}
+
+#[test]
+fn mistake_overlapping_segments() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[cpu]]\nnode = 1\nat = 2.0\nprocs = 2\n\n[[cpu]]\nnode = 1\nat = 2.0\nprocs = 4\n",
+    );
+    assert_eq!(err.line, 8, "error points at the second segment: {err}");
+    assert_eq!(err.field, "cpu[1].at");
+    assert!(err.msg.contains("overlapping segments"), "{err}");
+}
+
+#[test]
+fn mistake_unknown_node_id() {
+    let err =
+        compile_err("name = \"x\"\nnodes = 4\n\n[[link]]\nnode = 7\nat = 0.0\ncap_mbps = 10.0\n");
+    assert_eq!(err.line, 5, "{err}");
+    assert_eq!(err.field, "link[0].node");
+    assert!(err.msg.contains("unknown node id 7"), "{err}");
+}
+
+#[test]
+fn mistake_empty_sweep_range() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = \"$p\"\n\n[[sweep]]\nvar = \"p\"\nfrom = 8\nto = 1\n",
+    );
+    assert_eq!(err.line, 8, "{err}");
+    assert_eq!(err.field, "sweep[0]");
+    assert!(err.msg.contains("empty sweep range"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// More diagnostics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn error_display_has_line_column_and_field() {
+    let err = compile_err("name = \"x\"\n\n[[net]]\nat = 1.0\nlatency = -0.1\n");
+    let text = err.to_string();
+    assert!(text.contains("line 5"), "{text}");
+    assert!(text.contains("net[0].latency"), "{text}");
+}
+
+#[test]
+fn unknown_variable_is_an_error() {
+    let err = compile_err("name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = \"$zap\"\n");
+    assert_eq!(err.field, "cpu[0].procs");
+    assert!(err.msg.contains("unknown variable `$zap`"), "{err}");
+}
+
+#[test]
+fn fault_at_zero_is_rejected() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[fault]]\nkind = \"slowdown\"\nnode = 0\nat = 0.0\nfor = 1.0\nfactor = 0.5\n",
+    );
+    assert_eq!(err.field, "fault[0].at");
+    assert!(err.msg.contains("must be > 0"), "{err}");
+}
+
+#[test]
+fn unknown_fault_kind_is_rejected() {
+    let err = compile_err("name = \"x\"\n\n[[fault]]\nkind = \"meteor\"\nnode = 0\n");
+    assert_eq!(err.field, "fault[0].kind");
+    assert!(err.msg.contains("unknown fault kind `meteor`"), "{err}");
+}
+
+#[test]
+fn missing_name_is_rejected() {
+    let err = compile_err("[[cpu]]\nnode = 0\nat = 0.0\nprocs = 1\n");
+    assert_eq!(err.field, "name");
+    assert!(err.msg.contains("missing required field"), "{err}");
+}
+
+#[test]
+fn link_needs_cap_or_restore() {
+    let err = compile_err("name = \"x\"\n\n[[link]]\nnode = 0\nat = 1.0\n");
+    assert_eq!(err.field, "link[0]");
+    assert!(err.msg.contains("cap_mbps"), "{err}");
+}
+
+#[test]
+fn duplicate_toml_key_is_a_parse_error() {
+    let err = ScenarioSource::from_toml("name = \"x\"\nname = \"y\"\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.msg.contains("duplicate key"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Compilation and application semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn t0_settings_fold_into_static_spec() {
+    let program = compile_toml(
+        "name = \"combo\"\nnodes = 2\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n\n[[link]]\nnode = 0\nat = 0.0\ncap_mbps = 10.0\n",
+    );
+    assert!(program.is_constant());
+    let base = ClusterSpec::homogeneous(2);
+    let applied = program.apply(&base).unwrap();
+    assert_eq!(applied.nodes[0].competing_processes, 2);
+    assert_eq!(applied.nodes[0].link_cap, Some(pskel_sim::THROTTLED_10MBPS));
+    assert_eq!(applied.nodes[1].competing_processes, 0);
+    assert!(applied.timeline.is_empty());
+}
+
+#[test]
+fn later_segments_become_timeline_events() {
+    let program = compile_toml(
+        "name = \"ramp\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 1\n\n[[cpu]]\nnode = 0\nat = 5.0\nprocs = 3\n\n[[cpu]]\nnode = 0\nat = 9.0\nprocs = 0\n",
+    );
+    let applied = program.apply(&ClusterSpec::homogeneous(2)).unwrap();
+    assert_eq!(applied.nodes[0].competing_processes, 1);
+    let events = &applied.timeline.events;
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].action, TimelineAction::AddCompeting(2)); // 1 -> 3
+    assert_eq!(events[1].action, TimelineAction::AddCompeting(-3)); // 3 -> 0
+    assert!(!events[0].fault);
+}
+
+#[test]
+fn all_selector_reaches_every_node() {
+    let program = compile_toml("name = \"x\"\n\n[[cpu]]\nnode = \"all\"\nat = 0.0\nprocs = 2\n");
+    let applied = program.apply(&ClusterSpec::homogeneous(3)).unwrap();
+    for node in &applied.nodes {
+        assert_eq!(node.competing_processes, 2);
+    }
+}
+
+#[test]
+fn link_outage_emits_paired_fault_events() {
+    let program = compile_toml(
+        "name = \"flap\"\n\n[[fault]]\nkind = \"link-outage\"\nnode = 1\nat = 2.0\nfor = 0.5\n",
+    );
+    let applied = program.apply(&ClusterSpec::homogeneous(2)).unwrap();
+    let events = &applied.timeline.events;
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].action, TimelineAction::SetLinkCap(Some(0.0)));
+    assert!(events[0].fault);
+    // Restore returns to the base spec's (uncapped) state.
+    assert_eq!(events[1].action, TimelineAction::SetLinkCap(None));
+    assert!(events[1].fault);
+}
+
+#[test]
+fn outage_restores_the_scheduled_cap_not_the_base_cap() {
+    let program = compile_toml(
+        "name = \"x\"\n\n[[link]]\nnode = 0\nat = 0.0\ncap_mbps = 10.0\n\n[[fault]]\nkind = \"link-outage\"\nnode = 0\nat = 1.0\nfor = 1.0\n",
+    );
+    let applied = program.apply(&ClusterSpec::homogeneous(2)).unwrap();
+    let restore = applied.timeline.events.last().unwrap();
+    assert_eq!(
+        restore.action,
+        TimelineAction::SetLinkCap(Some(pskel_sim::THROTTLED_10MBPS))
+    );
+}
+
+#[test]
+fn delayed_start_becomes_a_start_delay() {
+    let program = compile_toml(
+        "name = \"x\"\n\n[[fault]]\nkind = \"delayed-start\"\nrank = 3\ndelay = 0.25\n",
+    );
+    let applied = program.apply(&ClusterSpec::homogeneous(4)).unwrap();
+    assert_eq!(applied.timeline.start_delays.len(), 1);
+    assert_eq!(applied.timeline.start_delays[0].rank, 3);
+}
+
+#[test]
+fn apply_rejects_wrong_cluster_size() {
+    let program = compile_toml("name = \"x\"\nnodes = 4\n");
+    let err = program.apply(&ClusterSpec::homogeneous(2)).unwrap_err();
+    assert!(err.contains("declares 4 nodes"), "{err}");
+}
+
+#[test]
+fn apply_rejects_out_of_range_node_without_declaration() {
+    let program = compile_toml("name = \"x\"\n\n[[cpu]]\nnode = 9\nat = 0.0\nprocs = 1\n");
+    let err = program.apply(&ClusterSpec::homogeneous(2)).unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sweep_expands_deterministically() {
+    let source = ScenarioSource::from_toml(
+        "name = \"load\"\n\n[[cpu]]\nnode = \"all\"\nat = 0.0\nprocs = \"$p\"\n\n[[sweep]]\nvar = \"p\"\nfrom = 1\nto = 8\n",
+    )
+    .unwrap();
+    assert!(source.has_sweep());
+    let points = source.expand().unwrap();
+    assert_eq!(points.len(), 8);
+    for (i, point) in points.iter().enumerate() {
+        assert_eq!(point.value, Some(i as i64 + 1));
+        assert_eq!(point.program.name, format!("load-p{}", i + 1));
+        assert_eq!(point.program.cpu[0].procs, i as i64 + 1);
+    }
+    // Deterministic: a second expansion is identical.
+    let again = source.expand().unwrap();
+    for (a, b) in points.iter().zip(again.iter()) {
+        assert_eq!(a.program, b.program);
+    }
+}
+
+#[test]
+fn sweep_step_is_respected() {
+    let source = ScenarioSource::from_toml(
+        "name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = \"$n\"\n\n[[sweep]]\nvar = \"n\"\nfrom = 0\nto = 10\nstep = 5\n",
+    )
+    .unwrap();
+    let values: Vec<_> = source.expand().unwrap().iter().map(|p| p.value).collect();
+    assert_eq!(values, vec![Some(0), Some(5), Some(10)]);
+}
+
+#[test]
+fn compile_refuses_sweep_specs() {
+    let source =
+        ScenarioSource::from_toml("name = \"x\"\n\n[[sweep]]\nvar = \"n\"\nfrom = 1\nto = 2\n")
+            .unwrap();
+    let err = source.compile().unwrap_err();
+    assert!(err.msg.contains("declares a sweep"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips and canonical identity
+// ---------------------------------------------------------------------------
+
+fn rich_program() -> ScenarioProgram {
+    compile_toml(
+        "name = \"rich\"\nnodes = 4\n\n\
+         [[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n\n\
+         [[cpu]]\nnode = \"all\"\nat = 3.5\nprocs = 1\n\n\
+         [[link]]\nnode = 1\nat = 0.0\ncap_mbps = 10.0\n\n\
+         [[link]]\nnode = 1\nat = 6.0\nrestore = true\n\n\
+         [[net]]\nat = 2.0\nlatency = 0.001\n\n\
+         [[fault]]\nkind = \"link-outage\"\nnode = 2\nat = 1.0\nfor = 0.5\n\n\
+         [[fault]]\nkind = \"slowdown\"\nnode = \"all\"\nat = 4.0\nfor = 1.0\nfactor = 0.25\n\n\
+         [[fault]]\nkind = \"delayed-start\"\nrank = 7\ndelay = 0.125\n",
+    )
+}
+
+#[test]
+fn toml_round_trip_preserves_the_program() {
+    let program = rich_program();
+    let back = ScenarioSource::from_toml(&program.to_toml())
+        .unwrap()
+        .compile()
+        .unwrap();
+    assert_eq!(program, back);
+    assert_eq!(program.canonical_bytes(), back.canonical_bytes());
+}
+
+#[test]
+fn json_round_trip_preserves_the_program() {
+    let program = rich_program();
+    let back = ScenarioSource::from_json(&program.to_json())
+        .unwrap()
+        .compile()
+        .unwrap();
+    assert_eq!(program, back);
+}
+
+#[test]
+fn auto_detects_json_vs_toml() {
+    let program = rich_program();
+    let via_json = ScenarioSource::auto(&program.to_json())
+        .unwrap()
+        .compile()
+        .unwrap();
+    let via_toml = ScenarioSource::auto(&program.to_toml())
+        .unwrap()
+        .compile()
+        .unwrap();
+    assert_eq!(via_json, via_toml);
+}
+
+#[test]
+fn canonical_identity_ignores_declaration_order() {
+    let a = compile_toml(
+        "name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 1.0\nprocs = 1\n\n[[cpu]]\nnode = 1\nat = 2.0\nprocs = 2\n",
+    );
+    let b = compile_toml(
+        "name = \"x\"\n\n[[cpu]]\nnode = 1\nat = 2.0\nprocs = 2\n\n[[cpu]]\nnode = 0\nat = 1.0\nprocs = 1\n",
+    );
+    assert_eq!(a, b);
+    assert_eq!(a.short_id(), b.short_id());
+}
+
+#[test]
+fn short_id_distinguishes_different_programs() {
+    let a = compile_toml("name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n");
+    let b = compile_toml("name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 3\n");
+    assert_ne!(a.short_id(), b.short_id());
+    assert_eq!(a.short_id().len(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+#[test]
+fn compose_adds_cpu_and_overrides_link() {
+    let a = compile_toml(
+        "name = \"a\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 1\n\n[[link]]\nnode = 0\nat = 0.0\ncap_mbps = 10.0\n",
+    );
+    let b = compile_toml(
+        "name = \"b\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n\n[[link]]\nnode = 0\nat = 0.0\ncap_mbps = 100.0\n",
+    );
+    let c = a.compose(&b).unwrap();
+    assert_eq!(c.name, "a+b");
+    assert_eq!(c.cpu.len(), 1);
+    assert_eq!(c.cpu[0].procs, 3);
+    assert_eq!(c.link.len(), 1);
+    assert_eq!(c.link[0].cap, Some(100.0 * 1e6 / 8.0));
+}
+
+#[test]
+fn compose_rejects_conflicting_delayed_starts() {
+    let a = compile_toml(
+        "name = \"a\"\n\n[[fault]]\nkind = \"delayed-start\"\nrank = 0\ndelay = 1.0\n",
+    );
+    let b = compile_toml(
+        "name = \"b\"\n\n[[fault]]\nkind = \"delayed-start\"\nrank = 0\ndelay = 2.0\n",
+    );
+    assert!(a.compose(&b).is_err());
+}
+
+#[test]
+fn scale_stretches_times_and_load() {
+    let program = compile_toml(
+        "name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 4.0\nprocs = 2\n\n[[fault]]\nkind = \"slowdown\"\nnode = 0\nat = 2.0\nfor = 1.0\nfactor = 0.5\n",
+    );
+    let scaled = program.scale(2.0, 1.5).unwrap();
+    assert_eq!(scaled.cpu[0].at, 8.0);
+    assert_eq!(scaled.cpu[0].procs, 3);
+    match scaled.faults[0] {
+        Fault::SlowdownBurst {
+            at, dur, factor, ..
+        } => {
+            assert_eq!(at, 4.0);
+            assert_eq!(dur, 2.0);
+            assert_eq!(factor, 0.5);
+        }
+        ref other => panic!("unexpected fault {other:?}"),
+    }
+}
+
+#[test]
+fn mirror_widens_selectors_to_all_nodes() {
+    let program = compile_toml(
+        "name = \"x\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n\n[[link]]\nnode = 1\nat = 0.0\ncap_mbps = 10.0\n",
+    );
+    let mirrored = program.mirror_across_nodes().unwrap();
+    assert_eq!(mirrored.cpu[0].node, NodeSel::All);
+    assert_eq!(mirrored.link[0].node, NodeSel::All);
+    let applied = mirrored.apply(&ClusterSpec::homogeneous(3)).unwrap();
+    for node in &applied.nodes {
+        assert_eq!(node.competing_processes, 2);
+        assert_eq!(node.link_cap, Some(pskel_sim::THROTTLED_10MBPS));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+#[test]
+fn compiles_are_counted() {
+    let before = pskel_scenario::counters::snapshot().programs_compiled;
+    compile_toml("name = \"counted\"\n");
+    compile_toml("name = \"counted2\"\n");
+    let after = pskel_scenario::counters::snapshot().programs_compiled;
+    assert!(after >= before + 2, "before={before} after={after}");
+}

@@ -19,7 +19,8 @@ use crate::metrics::{Endpoint, Metrics};
 use crate::queue::{Bounded, PushError};
 use crate::worker::{ApiError, ApiJob, Job, JobOutcome, PredictMethod};
 use pskel_apps::{Class, NasBenchmark};
-use pskel_predict::{EvalCounters, Scenario};
+use pskel_predict::{EvalCounters, Scenario, ScenarioSpec};
+use pskel_scenario::ScenarioSource;
 use pskel_store::{KeyBuilder, SingleFlight, StoreKey};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -119,6 +120,12 @@ impl Router {
                 "pskel_sim_threaded_events_per_sec",
                 s.threaded_events_per_sec() as u64,
             ),
+            (
+                "pskel_scenario_programs_compiled_total",
+                pskel_scenario::counters::snapshot().programs_compiled,
+            ),
+            ("pskel_sim_timeline_events_total", s.timeline_events),
+            ("pskel_sim_faults_injected_total", s.faults_injected),
         ];
         Response::text(200, self.metrics.render(&extras))
     }
@@ -207,7 +214,20 @@ fn scenarios() -> Response {
             ])
         })
         .collect();
-    Response::json(200, Json::obj([("scenarios", Json::Arr(list))]).render())
+    Response::json(
+        200,
+        Json::obj([
+            ("scenarios", Json::Arr(list)),
+            (
+                "custom_programs",
+                Json::str(
+                    "POST /v1/predict also accepts an inline scenario program \
+                     object in the \"scenario\" field",
+                ),
+            ),
+        ])
+        .render(),
+    )
 }
 
 fn error_response(status: u16, message: String) -> Response {
@@ -303,14 +323,35 @@ fn parse_build(body: &Json) -> Result<ApiJob, ApiError> {
     })
 }
 
+/// The `scenario` field of `POST /v1/predict`: a builtin scenario name
+/// (string) or an inline scenario program (object, same shape as the
+/// JSON spec format `pskel scenario lint` accepts).
+fn parse_scenario(body: &Json) -> Result<ScenarioSpec, ApiError> {
+    match body.get("scenario") {
+        None | Some(Json::Null) => Err(ApiError::Bad("missing required field \"scenario\"".into())),
+        Some(Json::Str(s)) => s
+            .parse::<Scenario>()
+            .map(ScenarioSpec::from)
+            .map_err(ApiError::Bad),
+        Some(obj @ Json::Obj(_)) => {
+            let program = ScenarioSource::from_json(&obj.render())
+                .and_then(|src| src.compile())
+                .map_err(|e| ApiError::Bad(format!("invalid scenario program: {e}")))?;
+            Ok(ScenarioSpec::custom(program))
+        }
+        Some(other) => Err(ApiError::Bad(format!(
+            "field \"scenario\" must be a builtin name or a program object, got {}",
+            other.render()
+        ))),
+    }
+}
+
 fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
     let method = match field_str(body, "method")? {
         None => PredictMethod::Skeleton,
         Some(s) => PredictMethod::parse(s)?,
     };
-    let scenario: Scenario = require_str(body, "scenario")?
-        .parse()
-        .map_err(ApiError::Bad)?;
+    let scenario = parse_scenario(body)?;
     Ok(ApiJob::Predict {
         bench: parse_bench(body)?,
         class: parse_class(body)?,
@@ -355,7 +396,7 @@ fn job_key(job: &ApiJob) -> StoreKey {
             bench,
             class,
             target_secs,
-            scenario,
+            ref scenario,
             method,
             verify,
         } => KeyBuilder::new("serve-v1")
@@ -363,7 +404,7 @@ fn job_key(job: &ApiJob) -> StoreKey {
             .field("bench", bench.name())
             .field("class", &class.to_string())
             .field_f64("target", target_secs.unwrap_or(f64::NAN))
-            .field("scenario", scenario.cli_name())
+            .field("scenario", &scenario.provenance_token())
             .field("method", method.name())
             .field_u64("verify", verify as u64)
             .finish(),
@@ -389,7 +430,7 @@ mod tests {
             bench: NasBenchmark::Cg,
             class: Class::S,
             target_secs: Some(target),
-            scenario: Scenario::CpuOneNode,
+            scenario: Scenario::CpuOneNode.into(),
             method: PredictMethod::Skeleton,
             verify: false,
         }
@@ -424,6 +465,48 @@ mod tests {
         ));
         let bad_bench = Json::parse(r#"{"bench":"ZZ","scenario":"dedicated"}"#).unwrap();
         assert!(matches!(parse_predict(&bad_bench), Err(ApiError::Bad(_))));
+    }
+
+    #[test]
+    fn inline_scenario_programs_parse_and_key_by_content() {
+        let spec = r#"{"bench":"CG","target_secs":0.004,"scenario":
+            {"name":"ramp","cpu":[{"node":"all","at":0.0,"procs":2}]}}"#;
+        let job = parse_predict(&Json::parse(spec).unwrap()).unwrap();
+        match &job {
+            ApiJob::Predict { scenario, .. } => {
+                assert!(scenario.as_builtin().is_none(), "must be a custom spec");
+                assert!(scenario.provenance_token().starts_with("custom:ramp:"));
+            }
+            other => panic!("unexpected job {other:?}"),
+        }
+        // Structurally equal inline programs coalesce onto one key, even
+        // with fields in a different order...
+        let reordered = r#"{"scenario":
+            {"cpu":[{"procs":2,"at":0.0,"node":"all"}],"name":"ramp"},
+            "target_secs":0.004,"bench":"CG"}"#;
+        let same = parse_predict(&Json::parse(reordered).unwrap()).unwrap();
+        assert_eq!(job_key(&job), job_key(&same));
+        // ...and a semantic edit moves to a different key.
+        let edited = spec.replace("\"procs\":2", "\"procs\":3");
+        let other = parse_predict(&Json::parse(&edited).unwrap()).unwrap();
+        assert_ne!(job_key(&job), job_key(&other));
+    }
+
+    #[test]
+    fn bad_inline_programs_are_rejected_with_the_field_name() {
+        let bad = r#"{"bench":"CG","scenario":
+            {"name":"x","cpu":[{"node":0,"at":-1.0,"procs":2}]}}"#;
+        match parse_predict(&Json::parse(bad).unwrap()) {
+            Err(ApiError::Bad(msg)) => {
+                assert!(
+                    msg.contains("cpu[0].at"),
+                    "message must name the field: {msg}"
+                );
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        let not_obj = Json::parse(r#"{"bench":"CG","scenario":7}"#).unwrap();
+        assert!(matches!(parse_predict(&not_obj), Err(ApiError::Bad(_))));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::json::Json;
 use crate::queue::Bounded;
 use pskel_apps::{Class, NasBenchmark};
-use pskel_predict::{error_pct, EvalContext, EvalCounters, EvalError, Scenario};
+use pskel_predict::{error_pct, EvalContext, EvalCounters, EvalError, Scenario, ScenarioSpec};
 use pskel_sim::{ClusterSpec, Placement, RankScript, ScriptNode, ScriptOp, ScriptTag, Simulation};
 use pskel_store::Store;
 use pskel_trace::TraceSummary;
@@ -106,7 +106,9 @@ pub enum ApiJob {
         bench: NasBenchmark,
         class: Class,
         target_secs: Option<f64>,
-        scenario: Scenario,
+        /// A builtin scenario named in the request, or an inline scenario
+        /// program compiled from the request body.
+        scenario: ScenarioSpec,
         method: PredictMethod,
         verify: bool,
     },
@@ -142,10 +144,12 @@ fn check_target(target_secs: f64) -> Result<f64, ApiError> {
 
 /// A failed simulation ([`EvalError::Sim`]) is a server-side fault (500
 /// with the simulator's diagnostic); everything else the evaluator
-/// rejects is a client problem (400).
+/// rejects — including a scenario program that does not fit the testbed
+/// ([`EvalError::Scenario`]) — is a client problem (400).
 fn eval_err(e: EvalError) -> ApiError {
     match e {
         EvalError::Sim { .. } => ApiError::Internal(e.to_string()),
+        EvalError::Scenario { .. } => ApiError::Bad(e.to_string()),
         _ => ApiError::Bad(e.to_string()),
     }
 }
@@ -237,7 +241,7 @@ impl WorkerState {
                 bench,
                 class,
                 target_secs,
-                scenario,
+                ref scenario,
                 method,
                 verify,
             } => {
@@ -245,7 +249,7 @@ impl WorkerState {
                 let mut body: Vec<(&'static str, Json)> = vec![
                     ("bench", Json::str(bench.name())),
                     ("class", Json::str(class.to_string())),
-                    ("scenario", Json::str(scenario.cli_name())),
+                    ("scenario", Json::str(scenario.provenance_token())),
                     ("method", Json::str(method.name())),
                 ];
                 let predicted = match method {
@@ -258,7 +262,7 @@ impl WorkerState {
                             .skeleton_time(bench, target, Scenario::Dedicated)
                             .map_err(eval_err)?;
                         let skel_scen = ctx
-                            .skeleton_time(bench, target, scenario)
+                            .skeleton_time_spec(bench, target, scenario)
                             .map_err(eval_err)?;
                         let ratio = app_ded / skel_ded;
                         body.push(("target_secs", Json::from(target)));
@@ -268,15 +272,19 @@ impl WorkerState {
                         skel_scen * ratio
                     }
                     PredictMethod::Average => {
-                        pskel_predict::average_prediction(ctx, bench, scenario)
+                        pskel_predict::average_prediction_spec(ctx, bench, scenario)
+                            .map_err(eval_err)?
                     }
                     PredictMethod::ClassS => {
-                        pskel_predict::class_s_prediction(ctx, bench, scenario)
+                        pskel_predict::class_s_prediction_spec(ctx, bench, scenario)
+                            .map_err(eval_err)?
                     }
                 };
                 body.push(("predicted_secs", Json::from(predicted)));
                 if verify {
-                    let actual = ctx.app_time(bench, scenario);
+                    let actual = ctx
+                        .app_time_spec(bench, class, scenario)
+                        .map_err(eval_err)?;
                     body.push(("actual_secs", Json::from(actual)));
                     body.push(("error_pct", Json::from(error_pct(predicted, actual))));
                 }

@@ -16,6 +16,8 @@ static THREADED_EVENTS: AtomicU64 = AtomicU64::new(0);
 static SCRIPT_EVENTS: AtomicU64 = AtomicU64::new(0);
 static THREADED_NANOS: AtomicU64 = AtomicU64::new(0);
 static SCRIPT_NANOS: AtomicU64 = AtomicU64::new(0);
+static TIMELINE_EVENTS: AtomicU64 = AtomicU64::new(0);
+static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the global simulator counters. Monotonic over
 /// the life of the process; consumers wanting rates over an interval
@@ -34,6 +36,11 @@ pub struct SimCounters {
     pub threaded_nanos: u64,
     /// Wall nanoseconds spent inside script runs.
     pub script_nanos: u64,
+    /// Scenario timeline events fired by the engine (schedule changes
+    /// applied mid-run, faults included).
+    pub timeline_events: u64,
+    /// Subset of timeline events flagged as injected faults.
+    pub faults_injected: u64,
 }
 
 impl SimCounters {
@@ -78,6 +85,15 @@ pub fn snapshot() -> SimCounters {
         script_events: SCRIPT_EVENTS.load(Ordering::Relaxed),
         threaded_nanos: THREADED_NANOS.load(Ordering::Relaxed),
         script_nanos: SCRIPT_NANOS.load(Ordering::Relaxed),
+        timeline_events: TIMELINE_EVENTS.load(Ordering::Relaxed),
+        faults_injected: FAULTS_INJECTED.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_timeline_event(fault: bool) {
+    TIMELINE_EVENTS.fetch_add(1, Ordering::Relaxed);
+    if fault {
+        FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -60,6 +60,32 @@ impl NodeCpu {
         self.tasks.len()
     }
 
+    /// Current number of competing compute-intensive processes.
+    pub fn competing(&self) -> u32 {
+        self.competing
+    }
+
+    /// Replace the number of competing processes (timeline events). Takes
+    /// effect from the next settle: in-progress work already settled at the
+    /// old rate is unaffected.
+    pub fn set_competing(&mut self, competing: u32) {
+        self.competing = competing;
+    }
+
+    /// Current CPU speed multiplier.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Replace the CPU speed multiplier (timeline slowdown bursts).
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "node speed must be positive, got {speed}"
+        );
+        self.speed = speed;
+    }
+
     /// Begin a compute task of `work` CPU-seconds owned by op `owner`.
     pub fn start_task(&mut self, owner: u64, work: f64) {
         assert!(

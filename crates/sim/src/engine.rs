@@ -16,7 +16,7 @@ use crate::cpu::NodeCpu;
 use crate::msg::{Completion, MatchQueue, Msg, MsgState, RecvReq};
 use crate::net::{max_min_rates, Flow};
 use crate::script::{RankScript, ScriptCursor};
-use crate::spec::{ClusterSpec, Placement};
+use crate::spec::{ClusterSpec, Placement, Timeline, TimelineAction, TimelineEvent};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cmp::Reverse;
@@ -117,6 +117,8 @@ enum Blocked {
         reqs: Vec<u64>,
         remaining: usize,
     },
+    /// The rank's first request is held back by a timeline start delay.
+    StartHold,
     Exited,
 }
 
@@ -135,6 +137,10 @@ enum Timer {
         msg: u64,
     },
     SleepDone {
+        rank: usize,
+    },
+    /// A delayed rank's start hold expired; dispatch its held request.
+    StartRelease {
         rank: usize,
     },
 }
@@ -437,6 +443,17 @@ struct Engine {
     finish_times: Vec<SimTime>,
     panics: Vec<(usize, String)>,
     events: u64,
+    /// Timeline events sorted by time (stable, so same-time events apply in
+    /// spec order); `tl_next` indexes the first not-yet-applied event.
+    tl_events: Vec<TimelineEvent>,
+    tl_next: usize,
+    /// Per-node speed from the static spec; `SetSpeedFactor` multiplies
+    /// this base, so factors never compound across events.
+    base_speed: Vec<f64>,
+    /// Pending start delay per rank (consumed by the rank's first request).
+    hold: Vec<Option<SimDuration>>,
+    /// First request of a delayed rank, parked until its release timer.
+    held_req: Vec<Option<Request>>,
 }
 
 impl Engine {
@@ -471,6 +488,16 @@ impl Engine {
 
     fn handle_request(&mut self, rank: usize, req: Request) {
         self.events += 1;
+        // A delayed rank's first request is parked until its release timer
+        // fires; both execution paths funnel through here, so the hold is
+        // bit-identical between them.
+        if let Some(delay) = self.hold[rank].take() {
+            let at = self.now + delay;
+            self.schedule(at, Timer::StartRelease { rank });
+            self.held_req[rank] = Some(req);
+            self.blocked[rank] = Blocked::StartHold;
+            return;
+        }
         match req {
             Request::Compute { secs } => {
                 let node = self.node_of(rank);
@@ -877,7 +904,34 @@ impl Engine {
                     other => panic!("local delivery in state {other:?}"),
                 }
             }
+            Timer::StartRelease { rank } => {
+                debug_assert!(matches!(self.blocked[rank], Blocked::StartHold));
+                let req = self.held_req[rank]
+                    .take()
+                    .expect("start release for a rank with no held request");
+                self.handle_request(rank, req);
+            }
         }
+    }
+
+    /// Apply one due timeline event to the live engine state.
+    fn apply_timeline_event(&mut self, ev: &TimelineEvent) {
+        match &ev.action {
+            TimelineAction::AddCompeting(delta) => {
+                let cur = self.nodes[ev.node].competing() as i64;
+                self.nodes[ev.node].set_competing((cur + delta).max(0) as u32);
+            }
+            TimelineAction::SetLinkCap(cap) => {
+                self.spec.nodes[ev.node].link_cap = *cap;
+            }
+            TimelineAction::SetSpeedFactor(f) => {
+                self.nodes[ev.node].set_speed(self.base_speed[ev.node] * f);
+            }
+            TimelineAction::SetLatency(lat) => {
+                self.spec.net.latency = *lat;
+            }
+        }
+        crate::counters::record_timeline_event(ev.fault);
     }
 
     /// An eager message has fully arrived at its destination.
@@ -945,6 +999,11 @@ impl Engine {
         if let Some(Reverse((t, _, _))) = self.timers.peek() {
             dt = dt.min(SimTime(*t).saturating_since(self.now));
         }
+        // Never step across a scheduled resource change: rates computed
+        // above are only valid until the next timeline event.
+        if let Some(ev) = self.tl_events.get(self.tl_next) {
+            dt = dt.min(Timeline::event_time(ev).saturating_since(self.now));
+        }
 
         if dt == SimDuration::MAX {
             return Err(self.deadlock_error());
@@ -959,6 +1018,18 @@ impl Engine {
             f.remaining = (f.remaining - r * step).max(0.0);
         }
         self.now += dt;
+
+        // Apply timeline events that are due before collecting completions:
+        // the continuous state above was settled with the pre-event rates,
+        // which is exact because the step never crosses an event boundary.
+        while let Some(ev) = self.tl_events.get(self.tl_next) {
+            if Timeline::event_time(ev) > self.now {
+                break;
+            }
+            let ev = ev.clone();
+            self.tl_next += 1;
+            self.apply_timeline_event(&ev);
+        }
 
         // Collect completions at the new time.
         for node in 0..self.nodes.len() {
@@ -1057,8 +1128,24 @@ impl Simulation {
     }
 
     fn build_engine(self, n: usize, sink: ReplySink) -> Engine {
+        let mut tl_events = self.spec.timeline.events.clone();
+        tl_events.sort_by_key(|ev| ev.at); // stable: same-time events keep spec order
+        let mut hold: Vec<Option<SimDuration>> = vec![None; n];
+        for d in &self.spec.timeline.start_delays {
+            assert!(
+                d.rank < n,
+                "timeline start delay names rank {} but the simulation has {n} ranks",
+                d.rank
+            );
+            hold[d.rank] = Some(d.delay);
+        }
         Engine {
             nodes: self.spec.nodes.iter().map(NodeCpu::new).collect(),
+            base_speed: self.spec.nodes.iter().map(|s| s.speed).collect(),
+            tl_events,
+            tl_next: 0,
+            hold,
+            held_req: (0..n).map(|_| None).collect(),
             spec: self.spec,
             placement: self.placement,
             now: SimTime::ZERO,

@@ -48,5 +48,8 @@ pub mod time;
 pub use counters::SimCounters;
 pub use engine::{RankStats, RecvInfo, SimCtx, SimError, SimReport, SimReq, Simulation};
 pub use script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
-pub use spec::{ClusterSpec, NetSpec, NodeSpec, Placement, GIGABIT_BPS, THROTTLED_10MBPS};
+pub use spec::{
+    ClusterSpec, NetSpec, NodeSpec, Placement, StartDelay, Timeline, TimelineAction, TimelineEvent,
+    GIGABIT_BPS, THROTTLED_10MBPS,
+};
 pub use time::{SimDuration, SimTime};

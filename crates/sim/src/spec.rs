@@ -1,8 +1,10 @@
 //! Static description of the simulated cluster: nodes, CPUs, NICs, and the
 //! knobs the paper's resource-sharing scenarios turn (competing compute
-//! processes, per-link bandwidth caps).
+//! processes, per-link bandwidth caps), plus an optional [`Timeline`] of
+//! scheduled mid-run resource changes (time-varying contention and
+//! fault injection).
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Bytes per second of a Gigabit Ethernet NIC (1 Gb/s).
@@ -11,8 +13,120 @@ pub const GIGABIT_BPS: f64 = 1.0e9 / 8.0;
 /// Bytes per second of a 10 Mb/s throttled link (the paper's `iproute2` cap).
 pub const THROTTLED_10MBPS: f64 = 10.0e6 / 8.0;
 
+/// A scheduled change to one resource, applied when virtual time reaches
+/// `at`. Events at `t = 0` are not allowed: an initial condition belongs in
+/// the static spec (fold it into the node fields), which keeps a constant
+/// timeline-free scenario bit-identical to the plain spec it describes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Offset from simulation start (strictly positive).
+    pub at: SimDuration,
+    /// Node the action applies to (ignored by network-global actions,
+    /// but must still name a valid node).
+    pub node: usize,
+    /// What changes.
+    pub action: TimelineAction,
+    /// True if this event models an injected fault (outage, brownout);
+    /// counted separately in the simulator counters.
+    pub fault: bool,
+}
+
+/// The resource mutation carried by a [`TimelineEvent`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TimelineAction {
+    /// Add (or with a negative delta remove, saturating at zero) competing
+    /// compute-intensive processes on the node.
+    AddCompeting(i64),
+    /// Replace the node's link cap: `Some(bps)` throttles (0.0 is a full
+    /// outage — flows through the node stall), `None` removes the cap.
+    SetLinkCap(Option<f64>),
+    /// Multiply the node's *base* CPU speed by this factor (1.0 restores).
+    /// Factors compose against the spec's speed, not the previous factor.
+    SetSpeedFactor(f64),
+    /// Replace the network-wide inter-node wire latency.
+    SetLatency(SimDuration),
+}
+
+/// Hold a rank's first action until `delay` has elapsed (a delayed rank
+/// start: the process was slow to launch).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StartDelay {
+    pub rank: usize,
+    pub delay: SimDuration,
+}
+
+/// Scheduled mid-run resource changes and rank start delays. An empty
+/// timeline leaves the engine's behaviour — and its reports — exactly as
+/// they were without one.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Resource change events; applied in `(at, insertion order)` order.
+    pub events: Vec<TimelineEvent>,
+    /// Per-rank start delays (at most one per rank).
+    pub start_delays: Vec<StartDelay>,
+}
+
+impl Timeline {
+    /// True if the timeline schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.start_delays.is_empty()
+    }
+
+    /// Absolute virtual time of an event offset.
+    pub(crate) fn event_time(ev: &TimelineEvent) -> SimTime {
+        SimTime(ev.at.as_nanos())
+    }
+
+    /// Validate against a cluster of `n_nodes`; panics with a descriptive
+    /// message on a bad timeline (same convention as spec validation).
+    pub fn validate(&self, n_nodes: usize) {
+        for (i, ev) in self.events.iter().enumerate() {
+            assert!(
+                !ev.at.is_zero(),
+                "timeline event {i}: events at t=0 must be folded into the static spec"
+            );
+            assert!(
+                ev.node < n_nodes,
+                "timeline event {i}: node {} out of range (cluster has {n_nodes})",
+                ev.node
+            );
+            match &ev.action {
+                TimelineAction::AddCompeting(_) => {}
+                TimelineAction::SetLinkCap(Some(cap)) => {
+                    assert!(
+                        cap.is_finite() && *cap >= 0.0,
+                        "timeline event {i}: link cap must be finite and >= 0, got {cap}"
+                    );
+                }
+                TimelineAction::SetLinkCap(None) => {}
+                TimelineAction::SetSpeedFactor(f) => {
+                    assert!(
+                        f.is_finite() && *f > 0.0,
+                        "timeline event {i}: speed factor must be positive, got {f}"
+                    );
+                }
+                TimelineAction::SetLatency(_) => {}
+            }
+        }
+        let mut ranks: Vec<usize> = self.start_delays.iter().map(|d| d.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert!(
+            ranks.len() == self.start_delays.len(),
+            "timeline start delays list a rank more than once"
+        );
+        for d in &self.start_delays {
+            assert!(
+                !d.delay.is_zero(),
+                "timeline start delay for rank {}: zero delays must be omitted",
+                d.rank
+            );
+        }
+    }
+}
+
 /// Description of one compute node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
     /// Number of CPUs (the paper's testbed nodes are dual-CPU).
     pub cpus: u32,
@@ -52,7 +166,7 @@ impl NodeSpec {
 /// Network-wide parameters. The testbed is a full crossbar switch, so the
 /// only shared resources are the per-node NICs; the switch fabric is
 /// contention-free.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NetSpec {
     /// One-way wire latency between two distinct nodes.
     pub latency: SimDuration,
@@ -80,10 +194,12 @@ impl Default for NetSpec {
 }
 
 /// Full description of the simulated cluster.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     pub nodes: Vec<NodeSpec>,
     pub net: NetSpec,
+    /// Scheduled mid-run resource changes; empty for a static cluster.
+    pub timeline: Timeline,
 }
 
 impl ClusterSpec {
@@ -93,6 +209,7 @@ impl ClusterSpec {
         ClusterSpec {
             nodes: vec![NodeSpec::reference(); n],
             net: NetSpec::default(),
+            timeline: Timeline::default(),
         }
     }
 
@@ -152,6 +269,7 @@ impl ClusterSpec {
                 );
             }
         }
+        self.timeline.validate(self.nodes.len());
     }
 }
 

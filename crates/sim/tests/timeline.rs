@@ -1,0 +1,394 @@
+//! Semantics of time-indexed contention (`Timeline`): ramped CPU load,
+//! link outages, slowdown bursts, latency changes and delayed rank starts
+//! must shift virtual time exactly as the processor-sharing / max-min-fair
+//! models predict — and must do so bit-identically on the inline script
+//! fast path and the thread-per-rank reference path.
+
+use pskel_sim::script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
+use pskel_sim::{
+    ClusterSpec, Placement, SimDuration, SimError, SimReport, Simulation, StartDelay, Timeline,
+    TimelineAction, TimelineEvent, THROTTLED_10MBPS,
+};
+
+fn op(o: ScriptOp) -> ScriptNode {
+    ScriptNode::Op(o)
+}
+
+fn script(nodes: Vec<ScriptNode>) -> RankScript {
+    RankScript {
+        nodes,
+        coll_tag_base: 1 << 62,
+        jitter_seed: 0,
+    }
+}
+
+fn event(at_secs: f64, node: usize, action: TimelineAction, fault: bool) -> TimelineEvent {
+    TimelineEvent {
+        at: SimDuration::from_secs_f64(at_secs),
+        node,
+        action,
+        fault,
+    }
+}
+
+/// Run the same scripts through both execution paths and check the
+/// reports are bit-identical before handing one back.
+fn run_both(cluster: &ClusterSpec, scripts: &[RankScript]) -> SimReport {
+    let n = scripts.len();
+    let fast = Simulation::new(cluster.clone(), Placement::round_robin(n, n)).run_scripts(scripts);
+    let threaded = Simulation::new(cluster.clone(), Placement::round_robin(n, n))
+        .run_scripts_threaded(scripts);
+    assert_eq!(fast, threaded, "fast path diverged from threaded path");
+    fast
+}
+
+fn close(actual: f64, expected: f64) {
+    assert!(
+        (actual - expected).abs() < 1e-6,
+        "expected {expected}, got {actual}"
+    );
+}
+
+#[test]
+fn competing_processes_arriving_mid_run_stretch_compute() {
+    // Dual-CPU node, one 3 CPU-second task. Full speed for 1s, then two
+    // competitors arrive: 3 runnable on 2 CPUs -> 2/3 rate, so the
+    // remaining 2 CPU-seconds take 3 wall seconds. Total: 4s.
+    let mut c = ClusterSpec::homogeneous(1);
+    c.timeline.events = vec![event(1.0, 0, TimelineAction::AddCompeting(2), false)];
+    let r = run_both(&c, &[script(vec![op(ScriptOp::Compute { secs: 3.0 })])]);
+    close(r.total_time.as_secs_f64(), 4.0);
+}
+
+#[test]
+fn competitors_leaving_mid_run_speed_compute_back_up() {
+    // Start contended (2 competitors from the static spec), drop them at
+    // t=3: first 3s deliver 2 CPU-seconds, the last 1 CPU-second runs at
+    // full speed. Total: 4s.
+    let mut c = ClusterSpec::homogeneous(1);
+    c.nodes[0].competing_processes = 2;
+    c.timeline.events = vec![event(3.0, 0, TimelineAction::AddCompeting(-2), false)];
+    let r = run_both(&c, &[script(vec![op(ScriptOp::Compute { secs: 3.0 })])]);
+    close(r.total_time.as_secs_f64(), 4.0);
+}
+
+#[test]
+fn slowdown_burst_costs_exactly_the_lost_cycles() {
+    // 2 CPU-seconds of work; the node runs at quarter speed during
+    // [0.5, 1.5]. Work done by t=1.5 is 0.5 + 0.25 = 0.75; the remaining
+    // 1.25 runs at full speed. Total: 2.75s.
+    let mut c = ClusterSpec::homogeneous(1);
+    c.timeline.events = vec![
+        event(0.5, 0, TimelineAction::SetSpeedFactor(0.25), true),
+        event(1.5, 0, TimelineAction::SetSpeedFactor(1.0), true),
+    ];
+    let r = run_both(&c, &[script(vec![op(ScriptOp::Compute { secs: 2.0 })])]);
+    close(r.total_time.as_secs_f64(), 2.75);
+}
+
+#[test]
+fn transient_link_outage_stalls_flows_then_resumes() {
+    // A rendezvous transfer whose flow is cut to zero bandwidth during an
+    // outage window finishes exactly one window later than without it.
+    let bytes: u64 = 4_000_000; // 32 Mbit, ~0.032s at gigabit
+    let scripts = vec![
+        script(vec![op(ScriptOp::Send {
+            dst: 1,
+            tag: ScriptTag::Lit(7),
+            bytes,
+        })]),
+        script(vec![op(ScriptOp::Recv {
+            src: Some(0),
+            tag: Some(ScriptTag::Lit(7)),
+        })]),
+    ];
+    let base = run_both(&ClusterSpec::homogeneous(2), &scripts);
+
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.events = vec![
+        event(0.010, 0, TimelineAction::SetLinkCap(Some(0.0)), true),
+        event(0.060, 0, TimelineAction::SetLinkCap(None), true),
+    ];
+    let outage = run_both(&c, &scripts);
+    close(
+        outage.total_time.as_secs_f64(),
+        base.total_time.as_secs_f64() + 0.050,
+    );
+}
+
+#[test]
+fn permanent_outage_is_a_deadlock_on_both_paths() {
+    let scripts = vec![
+        script(vec![op(ScriptOp::Send {
+            dst: 1,
+            tag: ScriptTag::Lit(0),
+            bytes: 1_000_000,
+        })]),
+        script(vec![op(ScriptOp::Recv {
+            src: Some(0),
+            tag: Some(ScriptTag::Lit(0)),
+        })]),
+    ];
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.events = vec![event(0.001, 0, TimelineAction::SetLinkCap(Some(0.0)), true)];
+    let fast = Simulation::new(c.clone(), Placement::round_robin(2, 2))
+        .try_run_scripts(&scripts)
+        .unwrap_err();
+    let threaded = Simulation::new(c, Placement::round_robin(2, 2))
+        .try_run_scripts_threaded(&scripts)
+        .unwrap_err();
+    assert!(matches!(fast, SimError::Deadlock { .. }), "got {fast:?}");
+    assert_eq!(fast, threaded);
+}
+
+#[test]
+fn latency_change_applies_to_later_sends() {
+    // An eager send issued after the latency event pays the new latency.
+    let delta = 0.001 - 55e-6; // new latency minus the default
+    let scripts = vec![
+        script(vec![
+            op(ScriptOp::Sleep { secs: 0.5 }),
+            op(ScriptOp::Send {
+                dst: 1,
+                tag: ScriptTag::Lit(1),
+                bytes: 1024,
+            }),
+        ]),
+        script(vec![op(ScriptOp::Recv {
+            src: Some(0),
+            tag: Some(ScriptTag::Lit(1)),
+        })]),
+    ];
+    let base = run_both(&ClusterSpec::homogeneous(2), &scripts);
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.events = vec![event(
+        0.1,
+        0,
+        TimelineAction::SetLatency(SimDuration::from_millis(1)),
+        false,
+    )];
+    let slowed = run_both(&c, &scripts);
+    close(
+        slowed.finish_times[1].as_secs_f64(),
+        base.finish_times[1].as_secs_f64() + delta,
+    );
+}
+
+#[test]
+fn delayed_rank_start_holds_its_first_action() {
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.start_delays = vec![StartDelay {
+        rank: 1,
+        delay: SimDuration::from_secs_f64(0.5),
+    }];
+    let scripts = vec![
+        script(vec![op(ScriptOp::Compute { secs: 1.0 })]),
+        script(vec![op(ScriptOp::Compute { secs: 1.0 })]),
+    ];
+    let r = run_both(&c, &scripts);
+    close(r.finish_times[0].as_secs_f64(), 1.0);
+    close(r.finish_times[1].as_secs_f64(), 1.5);
+    close(r.total_time.as_secs_f64(), 1.5);
+}
+
+#[test]
+fn delayed_start_holds_even_an_immediate_exit() {
+    // A rank with an empty program still occupies its slot until released.
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.start_delays = vec![StartDelay {
+        rank: 1,
+        delay: SimDuration::from_secs_f64(0.25),
+    }];
+    let scripts = vec![
+        script(vec![op(ScriptOp::Compute { secs: 0.1 })]),
+        script(vec![]),
+    ];
+    let r = run_both(&c, &scripts);
+    close(r.finish_times[1].as_secs_f64(), 0.25);
+}
+
+#[test]
+fn delayed_receiver_delays_the_sender() {
+    // Rank 0 blocking-sends a rendezvous message; rank 1 starts late, so
+    // the handshake cannot begin until the hold releases.
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.start_delays = vec![StartDelay {
+        rank: 1,
+        delay: SimDuration::from_secs_f64(0.3),
+    }];
+    let scripts = vec![
+        script(vec![op(ScriptOp::Send {
+            dst: 1,
+            tag: ScriptTag::Lit(3),
+            bytes: 1_000_000,
+        })]),
+        script(vec![op(ScriptOp::Recv {
+            src: Some(0),
+            tag: Some(ScriptTag::Lit(3)),
+        })]),
+    ];
+    let r = run_both(&c, &scripts);
+    assert!(
+        r.finish_times[0].as_secs_f64() > 0.3,
+        "sender finished at {} despite the receiver's delayed start",
+        r.finish_times[0]
+    );
+}
+
+#[test]
+fn empty_timeline_changes_nothing() {
+    let scripts = vec![
+        script(vec![
+            op(ScriptOp::Compute { secs: 0.5 }),
+            op(ScriptOp::Send {
+                dst: 1,
+                tag: ScriptTag::Lit(0),
+                bytes: 100_000,
+            }),
+        ]),
+        script(vec![op(ScriptOp::Recv {
+            src: Some(0),
+            tag: Some(ScriptTag::Lit(0)),
+        })]),
+    ];
+    let plain = run_both(&ClusterSpec::homogeneous(2), &scripts);
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline = Timeline::default();
+    let with_empty = run_both(&c, &scripts);
+    assert_eq!(plain, with_empty);
+}
+
+#[test]
+fn timeline_counters_count_events_and_faults() {
+    let before = pskel_sim::counters::snapshot();
+    let mut c = ClusterSpec::homogeneous(1);
+    c.timeline.events = vec![
+        event(0.1, 0, TimelineAction::AddCompeting(1), false),
+        event(0.2, 0, TimelineAction::SetSpeedFactor(0.5), true),
+        event(0.3, 0, TimelineAction::SetSpeedFactor(1.0), true),
+    ];
+    run_both(&c, &[script(vec![op(ScriptOp::Compute { secs: 1.0 })])]);
+    let after = pskel_sim::counters::snapshot();
+    // run_both executes the timeline twice (fast + threaded).
+    assert!(after.timeline_events >= before.timeline_events + 6);
+    assert!(after.faults_injected >= before.faults_injected + 4);
+}
+
+#[test]
+#[should_panic(expected = "t=0")]
+fn events_at_time_zero_are_rejected() {
+    let mut c = ClusterSpec::homogeneous(1);
+    c.timeline.events = vec![event(0.0, 0, TimelineAction::AddCompeting(1), false)];
+    c.validate();
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn events_on_unknown_nodes_are_rejected() {
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.events = vec![event(1.0, 5, TimelineAction::AddCompeting(1), false)];
+    c.validate();
+}
+
+#[test]
+#[should_panic(expected = "more than once")]
+fn duplicate_start_delays_are_rejected() {
+    let mut c = ClusterSpec::homogeneous(2);
+    c.timeline.start_delays = vec![
+        StartDelay {
+            rank: 0,
+            delay: SimDuration::from_millis(1),
+        },
+        StartDelay {
+            rank: 0,
+            delay: SimDuration::from_millis(2),
+        },
+    ];
+    c.validate();
+}
+
+#[test]
+#[should_panic(expected = "speed factor must be positive")]
+fn non_positive_speed_factors_are_rejected() {
+    let mut c = ClusterSpec::homogeneous(1);
+    c.timeline.events = vec![event(1.0, 0, TimelineAction::SetSpeedFactor(0.0), false)];
+    c.validate();
+}
+
+/// Randomized cross-path sweep with live timelines: an LCG enumerates 30
+/// program/timeline shapes; every one must be bit-identical between the
+/// fast path and the threaded path. This is the PR 4 equivalence suite
+/// extended to time-varying contention.
+#[test]
+fn randomized_timeline_sweep_is_bit_identical() {
+    let mut state: u64 = 0x7a11_u64 ^ 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for case in 0..30u32 {
+        let n = 2 + (next() as usize % 3);
+        // Deadlock-free program: shifted nonblocking exchange + compute.
+        let rounds = 1 + next() % 4;
+        let shift = 1 + (next() as usize % (n - 1).max(1));
+        let bytes = 1 + next() % 150_000;
+        let scripts: Vec<RankScript> = (0..n)
+            .map(|rank| {
+                let mut nodes = Vec::new();
+                for t in 0..rounds {
+                    nodes.push(op(ScriptOp::Compute {
+                        secs: (next() % 400) as f64 * 1e-6,
+                    }));
+                    nodes.push(op(ScriptOp::Isend {
+                        dst: (rank + shift) % n,
+                        tag: ScriptTag::Lit(t),
+                        bytes,
+                        slot: 0,
+                    }));
+                    nodes.push(op(ScriptOp::Irecv {
+                        src: Some((rank + n - shift) % n),
+                        tag: Some(ScriptTag::Lit(t)),
+                        slot: 1,
+                    }));
+                    nodes.push(op(ScriptOp::WaitAll { slots: vec![0, 1] }));
+                }
+                script(nodes)
+            })
+            .collect();
+        let mut c = ClusterSpec::homogeneous(n);
+        let n_events = next() as usize % 5;
+        for _ in 0..n_events {
+            let at = 1e-6 * (50 + next() % 3000) as f64;
+            let node = next() as usize % n;
+            let action = match next() % 4 {
+                0 => TimelineAction::AddCompeting(1 + (next() % 3) as i64),
+                1 => TimelineAction::AddCompeting(-((next() % 3) as i64)),
+                2 => TimelineAction::SetSpeedFactor(0.25 + (next() % 7) as f64 * 0.25),
+                // Throttle or un-throttle, never to zero: a permanent
+                // outage would (correctly) deadlock the exchange.
+                _ => {
+                    if next() % 2 == 0 {
+                        TimelineAction::SetLinkCap(Some(THROTTLED_10MBPS))
+                    } else {
+                        TimelineAction::SetLinkCap(None)
+                    }
+                }
+            };
+            c.timeline
+                .events
+                .push(event(at, node, action, next() % 2 == 0));
+        }
+        if next() % 3 == 0 {
+            c.timeline.start_delays = vec![StartDelay {
+                rank: next() as usize % n,
+                delay: SimDuration::from_micros(100 + next() % 1000),
+            }];
+        }
+        let fast = Simulation::new(c.clone(), Placement::round_robin(n, n)).run_scripts(&scripts);
+        let threaded =
+            Simulation::new(c, Placement::round_robin(n, n)).run_scripts_threaded(&scripts);
+        assert_eq!(fast, threaded, "case {case}: paths diverged");
+    }
+}

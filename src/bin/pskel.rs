@@ -16,9 +16,11 @@
 //! `predict` so repeated invocations replay cached results.
 
 use pskel::core::BuiltSkeleton;
+use pskel::predict::ScenarioSpec;
 use pskel::prelude::*;
 use pskel::serve::{ServeConfig, Server};
 use pskel::store::{load_trace_auto, save_trace_auto, scan_stats, KeyBuilder, Store, StoreKey};
+use pskel_scenario::ScenarioSource;
 use pskel_trace::TraceSummary;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,6 +34,10 @@ use std::time::Duration;
 enum CliError {
     Usage(String),
     Runtime(String),
+    /// A scenario spec failed to lint: exit 2 with the line/column
+    /// diagnostic alone (no usage text — the spec is wrong, not the
+    /// invocation).
+    Lint(String),
 }
 
 impl From<String> for CliError {
@@ -57,6 +63,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+        Err(CliError::Lint(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -74,12 +84,19 @@ commands:
   build    -i <trace.{json|pskt}> --target-secs <t> -o <skel.json>
            [--emit-c <file.c>] [--consolidate] [--distribution]
            construct a performance skeleton from a trace
-  run      -i <skel.json> [--scenario <name>]
+  run      -i <skel.json> [--scenario <name> | --scenario-file <spec>]
            execute a skeleton under a sharing scenario (virtual seconds)
-  predict  -i <skel.json> --trace <trace.{json|pskt}> --scenario <name> [--verify]
+  predict  -i <skel.json> --trace <trace.{json|pskt}>
+           (--scenario <name> | --scenario-file <spec>) [--verify]
            predict application time under a scenario; --verify also runs
            the application for ground truth (bench name is read from the
            trace)
+  scenario <ls|lint|show|sweep> [file ...]
+           work with declarative scenario specs (TOML or JSON):
+           ls lists the builtin scenarios; lint validates spec files and
+           exits 2 with a line/column diagnostic on the first bad one;
+           show compiles a spec and prints its schedule; sweep expands a
+           spec's parameter sweep into its concrete scenario programs
   cache    <stats|ls|gc> [--store <dir>] [--kind <k>]
            [--max-bytes <n[K|M|G|T]>] [--dry-run]
            inspect or trim an artifact store (default: .pskel-cache);
@@ -114,7 +131,8 @@ options:
   --version, -V  print the version and exit
 
 scenarios: dedicated, cpu-one-node, cpu-all-nodes, net-one-link,
-           net-all-links, cpu-and-net";
+           net-all-links, cpu-and-net — or a custom scenario program
+           via --scenario-file (see `pskel scenario`)";
 
 fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -137,6 +155,12 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
+    }
+    if cmd == "scenario" {
+        let Some((action, rest)) = rest.split_first() else {
+            return usage_err("scenario needs an action: ls, lint, show or sweep".into());
+        };
+        return cmd_scenario(action, rest);
     }
     let opts = parse_opts(rest)?;
     match cmd.as_str() {
@@ -453,17 +477,42 @@ fn load_skeleton(path: &str) -> Result<Skeleton, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Compile a scenario spec file (TOML or JSON, sniffed) into a program.
+fn load_scenario_program(path: &str) -> Result<pskel_scenario::ScenarioProgram, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read scenario spec {path}: {e}")))?;
+    ScenarioSource::auto(&text)
+        .and_then(|src| src.compile())
+        .map_err(|e| CliError::Lint(format!("{path}: {e}")))
+}
+
+/// The scenario a command runs under: a builtin named by `--scenario` or
+/// a custom program compiled from `--scenario-file`.
+fn scenario_spec_from_opts(
+    opts: &Opts,
+    default: Option<Scenario>,
+) -> Result<ScenarioSpec, CliError> {
+    match (opts.get("scenario"), opts.get("scenario-file")) {
+        (Some(_), Some(_)) => {
+            usage_err("--scenario and --scenario-file are mutually exclusive".into())
+        }
+        (None, Some(path)) => Ok(ScenarioSpec::custom(load_scenario_program(path)?)),
+        (Some(name), None) => name
+            .parse::<Scenario>()
+            .map(Into::into)
+            .map_err(|e| CliError::Usage(format!("--scenario: {e}"))),
+        (None, None) => default.map(Into::into).ok_or_else(|| {
+            CliError::Usage("missing required option --scenario (or --scenario-file)".into())
+        }),
+    }
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), CliError> {
+    let scenario = scenario_spec_from_opts(opts, Some(Scenario::Dedicated))?;
     let skel = load_skeleton(opts.require("i")?)?;
-    let scenario: Scenario = opts.parse_or("scenario", Scenario::Dedicated)?;
     let (cluster, placement) = testbed();
-    let t = run_skeleton(
-        &skel,
-        scenario.apply(&cluster),
-        placement,
-        ExecOptions::default(),
-    )
-    .total_secs();
+    let applied = scenario.apply(&cluster)?;
+    let t = run_skeleton(&skel, applied, placement, ExecOptions::default()).total_secs();
     println!("{t:.6}");
     eprintln!(
         "skeleton of {} under '{}': {t:.3}s",
@@ -474,10 +523,12 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
 }
 
 /// Skeleton runtime under a scenario, served from the store when possible.
+/// Builtin scenarios key by their legacy CLI name (so pre-existing cache
+/// entries stay valid); custom programs key by their canonical hash.
 fn skeleton_time_cached(
     store: Option<&Store>,
     skel: &Skeleton,
-    scenario: Scenario,
+    scenario: &ScenarioSpec,
     cluster: &ClusterSpec,
     placement: &Placement,
 ) -> Result<f64, String> {
@@ -485,14 +536,14 @@ fn skeleton_time_cached(
         .field_json("skeleton", skel)
         .field_json("cluster", cluster)
         .field_json("placement", placement)
-        .field("scenario", scenario.cli_name())
+        .field("scenario", &scenario.provenance_token())
         .finish();
     if let Some(hit) = store.and_then(|s| s.get_f64("cli-skel-time", key)) {
         return Ok(hit);
     }
     let t = run_skeleton(
         skel,
-        scenario.apply(cluster),
+        scenario.apply(cluster)?,
         placement.clone(),
         ExecOptions::default(),
     )
@@ -505,9 +556,9 @@ fn skeleton_time_cached(
 }
 
 fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
+    let scenario = scenario_spec_from_opts(opts, None)?;
     let skel = load_skeleton(opts.require("i")?)?;
     let trace = load_trace_auto(opts.require("trace")?).map_err(|e| e.to_string())?;
-    let scenario: Scenario = opts.parse("scenario")?;
     let (cluster, placement) = testbed();
     let store = open_store(opts)?;
 
@@ -515,12 +566,12 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
     let skel_ded = skeleton_time_cached(
         store.as_ref(),
         &skel,
-        Scenario::Dedicated,
+        &Scenario::Dedicated.into(),
         &cluster,
         &placement,
     )?;
     let ratio = app_ded / skel_ded;
-    let skel_scen = skeleton_time_cached(store.as_ref(), &skel, scenario, &cluster, &placement)?;
+    let skel_scen = skeleton_time_cached(store.as_ref(), &skel, &scenario, &cluster, &placement)?;
     let predicted = skel_scen * ratio;
     println!("{predicted:.6}");
     eprintln!(
@@ -539,7 +590,7 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
         let bench: NasBenchmark = bench_name.parse()?;
         let class: Class = class_name.parse()?;
         let actual = run_mpi(
-            scenario.apply(&cluster),
+            scenario.apply(&cluster)?,
             placement,
             "verify",
             TraceConfig::off(),
@@ -550,6 +601,95 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
         eprintln!("actual {actual:.2}s -> error {err:.1}%");
     }
     Ok(())
+}
+
+/// `pskel scenario <ls|lint|show|sweep>`: work with declarative scenario
+/// spec files without touching the simulator.
+fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
+    // These subcommands take file paths positionally; reject stray flags.
+    let files: Vec<&str> = rest
+        .iter()
+        .map(|a| {
+            if a.starts_with('-') {
+                usage_err(format!("scenario {action} takes file paths, not {a:?}"))
+            } else {
+                Ok(a.as_str())
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    match action {
+        "ls" => {
+            if !files.is_empty() {
+                return usage_err("scenario ls takes no arguments".into());
+            }
+            println!("{:14} {:9} {:9} label", "name", "cpu", "network");
+            for s in Scenario::ALL {
+                println!(
+                    "{:14} {:9} {:9} {}",
+                    s.cli_name(),
+                    if s.shares_cpu() { "shared" } else { "-" },
+                    if s.shares_network() { "shared" } else { "-" },
+                    s.label()
+                );
+            }
+            Ok(())
+        }
+        "lint" => {
+            if files.is_empty() {
+                return usage_err("scenario lint needs at least one spec file".into());
+            }
+            for path in files {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+                let points = ScenarioSource::auto(&text)
+                    .and_then(|src| src.expand())
+                    .map_err(|e| CliError::Lint(format!("{path}: {e}")))?;
+                match points.as_slice() {
+                    [single] => println!("{path}: ok — {}", single.program.summary()),
+                    many => println!("{path}: ok — {} sweep points", many.len()),
+                }
+            }
+            Ok(())
+        }
+        "show" => {
+            let [path] = files.as_slice() else {
+                return usage_err("scenario show needs exactly one spec file".into());
+            };
+            let program = load_scenario_program(path)?;
+            println!("{}", program.summary());
+            println!("  id        {}", program.short_id());
+            match program.apply(&ClusterSpec::paper_testbed()) {
+                Ok(applied) => println!(
+                    "  schedule  {} timeline events on the paper testbed",
+                    applied.timeline.events.len()
+                ),
+                Err(e) => println!("  schedule  (does not fit the paper testbed: {e})"),
+            }
+            print!("{}", program.to_toml());
+            Ok(())
+        }
+        "sweep" => {
+            let [path] = files.as_slice() else {
+                return usage_err("scenario sweep needs exactly one spec file".into());
+            };
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+            let points = ScenarioSource::auto(&text)
+                .and_then(|src| src.expand())
+                .map_err(|e| CliError::Lint(format!("{path}: {e}")))?;
+            for p in &points {
+                match p.value {
+                    Some(v) => println!("{:20} {:>6}  {}", p.program.name, v, p.program.short_id()),
+                    None => println!("{:20} {:>6}  {}", p.program.name, "-", p.program.short_id()),
+                }
+            }
+            eprintln!("{} scenario program(s)", points.len());
+            Ok(())
+        }
+        other => usage_err(format!(
+            "unknown scenario action {other:?}; use ls, lint, show or sweep"
+        )),
+    }
 }
 
 fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
@@ -762,6 +902,11 @@ fn cmd_serve_selftest(opts: &Opts) -> Result<(), CliError> {
         s.threaded_runs,
         s.total_events(),
         s.script_events_per_sec()
+    );
+    let sc = pskel_scenario::counters::snapshot();
+    println!(
+        "scenario engine: {} programs compiled, {} schedule events fired, {} faults injected",
+        sc.programs_compiled, s.timeline_events, s.faults_injected
     );
     if report.errors > 0 {
         return Err(format!("selftest saw {} failed requests", report.errors).into());

@@ -22,6 +22,9 @@
 //! * [`apps`] — NAS-like benchmark workloads (BT, CG, IS, LU, MG, SP).
 //! * [`predict`] — the paper's evaluation: five sharing scenarios, three
 //!   prediction methodologies, and drivers for every figure.
+//! * [`scenario`] — declarative scenario programs: TOML/JSON specs that
+//!   compile into time-varying contention schedules, fault injections
+//!   and parameter sweeps (`pskel scenario`, `--scenario-file`).
 //! * [`store`] — compact binary trace format and the content-addressed
 //!   artifact cache behind `--store` / `pskel cache`.
 //! * [`serve`] — `pskel serve`: a concurrent HTTP/JSON prediction
@@ -72,6 +75,7 @@ pub use pskel_apps as apps;
 pub use pskel_core as core;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
+pub use pskel_scenario as scenario;
 pub use pskel_serve as serve;
 pub use pskel_signature as signature;
 pub use pskel_sim as sim;
@@ -86,7 +90,8 @@ pub mod prelude {
         SkeletonBuilder,
     };
     pub use pskel_mpi::{run_mpi, run_mpi_fns, Comm, TraceConfig};
-    pub use pskel_predict::{EvalContext, Scenario, Testbed, PAPER_SKELETON_SIZES};
+    pub use pskel_predict::{EvalContext, Scenario, ScenarioSpec, Testbed, PAPER_SKELETON_SIZES};
+    pub use pskel_scenario::{ScenarioProgram, ScenarioSource};
     pub use pskel_signature::{
         compress_app, compress_process, AppCompression, RankSaturation, SignatureOptions,
     };
