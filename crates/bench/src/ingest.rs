@@ -1,0 +1,321 @@
+//! Wall-clock benchmark of streaming ingest vs the batch pipeline
+//! (`pskel bench ingest`).
+//!
+//! Feeds the same encoded binary trace to [`pskel_ingest`]'s incremental
+//! engine and to the materialize-then-compress batch path, reports MiB of
+//! trace consumed per wall second for each, and checks the two paths
+//! still produce bit-identical signatures (the equivalence the
+//! differential proptests in `pskel-ingest` pin down; here it doubles as
+//! a guard that the benchmark measured the same work twice). The report
+//! also carries the memory-bound witnesses: the engine's peak in-flight
+//! per-rank event count against the whole-trace event count, plus peak
+//! RSS (`VmHWM`) snapshots taken after each stage where the platform
+//! exposes them. Cheap enough for CI smoke jobs; emits machine-readable
+//! JSON (`BENCH_ingest.json`) for artifact tracking.
+
+use crate::compress::build_profile;
+use pskel_ingest::{batch_signature, ingest_path, ingest_reader, IngestOptions, IngestReport};
+use pskel_signature::AppSignature;
+use pskel_store::binfmt::{load_trace_auto, read_trace_binary, write_trace_binary};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestBenchResult {
+    pub name: String,
+    pub ranks: usize,
+    /// MPI events in the trace (identical on both paths).
+    pub events: u64,
+    /// Encoded size of the binary trace.
+    pub bytes: u64,
+    pub reps: usize,
+    /// Best-of-`reps` wall seconds streaming the encoded bytes.
+    pub streaming_secs: f64,
+    /// Best-of-`reps` wall seconds materializing the trace + compressing.
+    pub batch_secs: f64,
+    pub streaming_mib_per_sec: f64,
+    pub batch_mib_per_sec: f64,
+    /// `batch_secs / streaming_secs`.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical signatures.
+    pub identical: bool,
+    /// Largest number of in-flight event occurrences the engine held for
+    /// any single rank — must stay well below `events` (memory is
+    /// O(largest rank), not O(trace)).
+    pub peak_rank_events: usize,
+    /// Collective-delimited phases the streaming pass resolved.
+    pub phases: usize,
+    /// Whether the streaming source was an mmap (file workloads only).
+    pub mapped: bool,
+    /// `VmHWM` (KiB) right after the streaming reps; `None` where
+    /// `/proc/self/status` is unavailable. The counter is process-wide
+    /// and monotonic, so only the streaming→batch growth is meaningful.
+    pub peak_rss_after_streaming_kib: Option<u64>,
+    /// `VmHWM` (KiB) right after the batch reps.
+    pub peak_rss_after_batch_kib: Option<u64>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestBenchReport {
+    /// Build profile of this binary; debug-build MiB/s numbers are not
+    /// comparable to release floors.
+    pub profile: &'static str,
+    pub fast: bool,
+    pub results: Vec<IngestBenchResult>,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Peak resident set size (`VmHWM`) of this process in KiB, where the
+/// platform exposes `/proc/self/status`.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn result(
+    name: &str,
+    reps: usize,
+    bytes: u64,
+    streaming_secs: f64,
+    streamed: &IngestReport,
+    batch_secs: f64,
+    batch: &AppSignature,
+    rss: (Option<u64>, Option<u64>),
+) -> IngestBenchResult {
+    let mib = bytes as f64 / (1024.0 * 1024.0);
+    IngestBenchResult {
+        name: name.to_string(),
+        ranks: streamed.stats.ranks,
+        events: streamed.stats.events,
+        bytes,
+        reps,
+        streaming_secs,
+        batch_secs,
+        streaming_mib_per_sec: mib / streaming_secs,
+        batch_mib_per_sec: mib / batch_secs,
+        speedup: batch_secs / streaming_secs,
+        identical: streamed.signature == *batch,
+        peak_rank_events: streamed.stats.peak_rank_events,
+        phases: streamed.phases.nphases(),
+        mapped: streamed.stats.mapped,
+        peak_rss_after_streaming_kib: rss.0,
+        peak_rss_after_batch_kib: rss.1,
+    }
+}
+
+/// Run the streaming-vs-batch ingest benchmark suite. `fast` shrinks
+/// workloads and repetitions for smoke jobs.
+pub fn run_ingest_bench(fast: bool) -> IngestBenchReport {
+    let reps = if fast { 3 } else { 5 };
+    let opts = IngestOptions::default();
+    let mut results = Vec::new();
+
+    // Case 1: encoded bytes already in memory — isolates the engine from
+    // the filesystem. Streaming consumes the bytes directly; batch must
+    // first materialize the AppTrace they encode.
+    {
+        let events = if fast { 1_500 } else { 10_000 };
+        let trace = pskel_trace::synthetic_app_trace(8, events, 0x1A6E57);
+        let mut bytes = Vec::new();
+        write_trace_binary(&mut bytes, &trace).expect("encoding to memory cannot fail");
+        drop(trace);
+        let (streaming_secs, streamed) = time_best(reps, || {
+            ingest_reader(
+                bytes.as_slice(),
+                &opts,
+                Some(bytes.len() as u64),
+                &mut |_| {},
+            )
+            .expect("well-formed trace")
+        });
+        let rss_stream = peak_rss_kib();
+        let (batch_secs, batch) = time_best(reps, || {
+            let trace = read_trace_binary(bytes.as_slice()).expect("well-formed trace");
+            batch_signature(&trace, &opts)
+        });
+        results.push(result(
+            "ingest_mem_8rank",
+            reps,
+            bytes.len() as u64,
+            streaming_secs,
+            &streamed,
+            batch_secs,
+            &batch,
+            (rss_stream, peak_rss_kib()),
+        ));
+    }
+
+    // Case 2: a trace file on disk, where the streaming path gets to
+    // mmap the source and skip buffered reads entirely.
+    {
+        let events = if fast { 500 } else { 4_000 };
+        let trace = pskel_trace::synthetic_app_trace(32, events, 0xF11E);
+        let dir = std::env::temp_dir().join("pskel-bench-ingest");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.pskt");
+        let file = std::fs::File::create(&path).expect("temp file");
+        write_trace_binary(std::io::BufWriter::new(file), &trace).expect("write trace file");
+        drop(trace);
+        let bytes = std::fs::metadata(&path).expect("trace file written").len();
+        let (streaming_secs, streamed) = time_best(reps, || {
+            ingest_path(&path, &opts, &mut |_| {}).expect("well-formed trace file")
+        });
+        let rss_stream = peak_rss_kib();
+        let (batch_secs, batch) = time_best(reps, || {
+            let trace = load_trace_auto(&path).expect("well-formed trace file");
+            batch_signature(&trace, &opts)
+        });
+        results.push(result(
+            "ingest_file_32rank",
+            reps,
+            bytes,
+            streaming_secs,
+            &streamed,
+            batch_secs,
+            &batch,
+            (rss_stream, peak_rss_kib()),
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    IngestBenchReport {
+        profile: build_profile(),
+        fast,
+        results,
+    }
+}
+
+impl IngestBenchReport {
+    /// Serialize to pretty-printed JSON. Hand-rolled like
+    /// [`crate::SimBenchReport::to_json`] so emission works even where
+    /// serde_json is unavailable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+            let _ = writeln!(s, "      \"ranks\": {},", r.ranks);
+            let _ = writeln!(s, "      \"events\": {},", r.events);
+            let _ = writeln!(s, "      \"bytes\": {},", r.bytes);
+            let _ = writeln!(s, "      \"reps\": {},", r.reps);
+            let _ = writeln!(s, "      \"streaming_secs\": {},", r.streaming_secs);
+            let _ = writeln!(s, "      \"batch_secs\": {},", r.batch_secs);
+            let _ = writeln!(
+                s,
+                "      \"streaming_mib_per_sec\": {},",
+                r.streaming_mib_per_sec
+            );
+            let _ = writeln!(s, "      \"batch_mib_per_sec\": {},", r.batch_mib_per_sec);
+            let _ = writeln!(s, "      \"speedup\": {},", r.speedup);
+            let _ = writeln!(s, "      \"identical\": {},", r.identical);
+            let _ = writeln!(s, "      \"peak_rank_events\": {},", r.peak_rank_events);
+            let _ = writeln!(s, "      \"phases\": {},", r.phases);
+            let _ = writeln!(s, "      \"mapped\": {},", r.mapped);
+            let _ = writeln!(
+                s,
+                "      \"peak_rss_after_streaming_kib\": {},",
+                opt(r.peak_rss_after_streaming_kib)
+            );
+            let _ = writeln!(
+                s,
+                "      \"peak_rss_after_batch_kib\": {}",
+                opt(r.peak_rss_after_batch_kib)
+            );
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Render the human-readable table printed by the CLI.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<20} {:>5} {:>8} {:>9} {:>11} {:>11} {:>8} {:>9} {:>10}",
+            "workload",
+            "ranks",
+            "events",
+            "bytes",
+            "stream_MiB/s",
+            "batch_MiB/s",
+            "speedup",
+            "identical",
+            "peak_rank"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                s,
+                "{:<20} {:>5} {:>8} {:>9} {:>11.1} {:>11.1} {:>7.1}x {:>9} {:>10}",
+                r.name,
+                r.ranks,
+                r.events,
+                r.bytes,
+                r.streaming_mib_per_sec,
+                r.batch_mib_per_sec,
+                r.speedup,
+                r.identical,
+                r.peak_rank_events
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_bit_identical_with_bounded_memory_and_valid_json() {
+        let report = run_ingest_bench(true);
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert!(r.identical, "{}: streaming diverged from batch", r.name);
+            assert!(r.events > 0 && r.bytes > 0, "{}: empty workload", r.name);
+            assert!(r.streaming_secs > 0.0 && r.batch_secs > 0.0);
+            assert!(
+                (r.peak_rank_events as u64) < r.events,
+                "{}: peak in-flight events must be per-rank, not per-trace",
+                r.name
+            );
+            assert!(r.phases > 0, "{}: no phases resolved", r.name);
+        }
+        #[cfg(unix)]
+        assert!(
+            report.results.iter().any(|r| r.mapped),
+            "the file workload must exercise the mmap source"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"streaming_mib_per_sec\""), "json: {json}");
+        assert!(json.contains("ingest_file_32rank"), "json: {json}");
+        assert_eq!(report.table().lines().count(), 1 + report.results.len());
+    }
+}

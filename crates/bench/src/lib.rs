@@ -12,6 +12,7 @@
 //! smaller-scale run; default is the paper's Class B.
 
 pub mod compress;
+pub mod ingest;
 pub mod sim;
 
 use pskel_apps::Class;
@@ -21,6 +22,7 @@ use serde::Serialize;
 use std::sync::Arc;
 
 pub use compress::{build_profile, run_compress_bench, CompressBenchReport, CompressBenchResult};
+pub use ingest::{run_ingest_bench, IngestBenchReport, IngestBenchResult};
 pub use sim::{run_sim_bench, SimBenchReport, SimBenchResult};
 
 /// Parse common CLI options of the figure binaries: `--class S|W|A|B`

@@ -1,0 +1,430 @@
+//! # pskel-ingest — streaming signature construction
+//!
+//! Builds execution signatures *while the trace is being read*, instead of
+//! materializing an [`AppTrace`] first. The engine consumes binary-format
+//! [`TraceItem`]s one at a time, folds compute gaps into per-event
+//! occurrences exactly the way `OccurrenceSeq::from_trace` does, and hands
+//! each completed rank to the batch pipeline's threshold search
+//! (`compress_seq`, the same indexed `ClusterCache` + rolling-hash
+//! loop-folding). The result is **byte-identical** to compressing the
+//! materialized trace — the differential tests in `tests/stream_equiv.rs`
+//! pin that — while peak memory stays O(largest rank), not O(trace).
+//!
+//! Alongside compression, the engine segments every rank's stream into
+//! collective-delimited phases and reports time-resolved metrics per phase
+//! (load imbalance, transfer fraction, serialization fraction; see
+//! [`phase`]).
+//!
+//! Input can come from any `Read`; [`ingest_path`] prefers a zero-copy
+//! mmap of the file ([`mmap::TraceSource`]).
+
+pub mod mmap;
+pub mod phase;
+
+pub use mmap::TraceSource;
+pub use phase::{AppPhaseMetrics, PhaseMetrics};
+
+use phase::{PhaseAggregator, RankPhaseTracker};
+use pskel_signature::{
+    compress_seq, AppSignature, EventKey, EventOccurrence, ExecutionSignature, OccurrenceSeq,
+    RankSaturation, SignatureOptions,
+};
+use pskel_sim::SimDuration;
+use pskel_store::binfmt::{TraceItem, TraceReader};
+use pskel_trace::AppTrace;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Options for streaming ingest.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestOptions {
+    /// Target compression ratio Q for the per-rank threshold search.
+    pub target_q: f64,
+    pub sig: SignatureOptions,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            target_q: 32.0,
+            sig: SignatureOptions::default(),
+        }
+    }
+}
+
+/// Counters describing one ingest run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Bytes consumed from the source.
+    pub bytes_read: u64,
+    /// Stream frames (items) parsed.
+    pub frames: u64,
+    /// MPI events across all ranks.
+    pub events: u64,
+    /// Ranks ingested.
+    pub ranks: usize,
+    /// Largest number of in-flight event occurrences held for any single
+    /// rank — the witness that memory is O(rank), not O(trace).
+    pub peak_rank_events: usize,
+    /// Whether the source was an mmap (only set by [`ingest_path`]).
+    pub mapped: bool,
+}
+
+/// Everything a finished ingest produces.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    pub signature: AppSignature,
+    /// Ranks that saturated the threshold search (same shape as
+    /// `compress_app`).
+    pub saturated: Vec<RankSaturation>,
+    pub phases: AppPhaseMetrics,
+    pub stats: IngestStats,
+}
+
+/// A progress snapshot handed to the callback during ingest.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestProgress {
+    pub bytes_read: u64,
+    /// Total source size when knowable (file / Content-Length uploads).
+    pub total_bytes: Option<u64>,
+    pub frames: u64,
+    pub events: u64,
+    pub ranks_done: usize,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// One rank's in-flight state: the occurrence sequence under construction.
+struct RankBuilder {
+    rank: usize,
+    events: Vec<EventOccurrence>,
+    /// Compute accumulated since the last MPI event, seconds. Same f64
+    /// accumulation order as `OccurrenceSeq::from_trace` — this is part of
+    /// the byte-identity contract.
+    pending: f64,
+    phases: RankPhaseTracker,
+}
+
+/// Incremental signature construction: feed [`TraceItem`]s in stream
+/// order, then [`finish`](IngestEngine::finish) with the trailer's total
+/// time. Each rank is compressed the moment its `ProcessEnd` arrives, so
+/// construction overlaps with reading/uploading and completed ranks cost
+/// only their (small) signatures.
+pub struct IngestEngine {
+    opts: IngestOptions,
+    app: String,
+    current: Option<RankBuilder>,
+    sigs: Vec<ExecutionSignature>,
+    saturated: Vec<RankSaturation>,
+    phases: PhaseAggregator,
+    events: u64,
+    peak_rank_events: usize,
+}
+
+impl IngestEngine {
+    pub fn new(app: impl Into<String>, opts: IngestOptions) -> IngestEngine {
+        IngestEngine {
+            opts,
+            app: app.into(),
+            current: None,
+            sigs: Vec::new(),
+            saturated: Vec::new(),
+            phases: PhaseAggregator::new(),
+            events: 0,
+            peak_rank_events: 0,
+        }
+    }
+
+    pub fn ranks_done(&self) -> usize {
+        self.sigs.len()
+    }
+
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Consume one stream item.
+    pub fn push(&mut self, item: TraceItem) -> io::Result<()> {
+        match item {
+            TraceItem::ProcessStart { rank } => {
+                if self.current.is_some() {
+                    return Err(invalid("process frame opened inside another"));
+                }
+                self.current = Some(RankBuilder {
+                    rank,
+                    events: Vec::new(),
+                    pending: 0.0,
+                    phases: RankPhaseTracker::new(),
+                });
+            }
+            TraceItem::Compute { dur } => {
+                let b = self.rank_mut()?;
+                b.pending += dur.as_secs_f64();
+                b.phases.compute(dur.as_nanos());
+            }
+            TraceItem::Mpi(e) => {
+                let b = self.rank_mut()?;
+                b.phases.event(&e);
+                let dur = e.duration();
+                b.events.push(EventOccurrence {
+                    key: EventKey {
+                        kind: e.kind,
+                        peer: e.peer,
+                        tag: e.tag,
+                        slots: e.slots,
+                    },
+                    bytes: e.bytes,
+                    dur,
+                    compute_before: b.pending,
+                });
+                b.pending = 0.0;
+                self.events += 1;
+            }
+            TraceItem::ProcessEnd { finish } => {
+                let b = self
+                    .current
+                    .take()
+                    .ok_or_else(|| invalid("process end without a matching start"))?;
+                self.peak_rank_events = self.peak_rank_events.max(b.events.len());
+                self.phases.add_rank(b.phases.finish(finish));
+                let seq = OccurrenceSeq {
+                    rank: b.rank,
+                    events: b.events,
+                    tail_compute: b.pending,
+                };
+                let out = compress_seq(seq, self.opts.target_q, self.opts.sig);
+                if out.saturated {
+                    self.saturated.push(RankSaturation {
+                        rank: out.signature.rank,
+                        ratio: out.signature.compression_ratio(),
+                        threshold: out.signature.threshold,
+                    });
+                }
+                self.sigs.push(out.signature);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the run once the stream trailer has been seen.
+    pub fn finish(self, total_time: SimDuration) -> io::Result<IngestReport> {
+        if self.current.is_some() {
+            return Err(invalid("stream ended inside an open process frame"));
+        }
+        let ranks = self.sigs.len();
+        Ok(IngestReport {
+            signature: AppSignature {
+                app: self.app,
+                sigs: self.sigs,
+                app_time_secs: total_time.as_secs_f64(),
+            },
+            saturated: self.saturated,
+            phases: self.phases.aggregate(),
+            stats: IngestStats {
+                events: self.events,
+                ranks,
+                peak_rank_events: self.peak_rank_events,
+                ..IngestStats::default()
+            },
+        })
+    }
+
+    fn rank_mut(&mut self) -> io::Result<&mut RankBuilder> {
+        self.current
+            .as_mut()
+            .ok_or_else(|| invalid("record outside a process frame"))
+    }
+}
+
+/// How often (in frames) the progress callback fires.
+const PROGRESS_EVERY: u64 = 65_536;
+
+/// Ingest a binary trace from any reader, invoking `progress` periodically.
+/// `total_bytes` sizes the progress bar when the source length is known.
+pub fn ingest_reader<R: Read>(
+    r: R,
+    opts: &IngestOptions,
+    total_bytes: Option<u64>,
+    progress: &mut dyn FnMut(&IngestProgress),
+) -> io::Result<IngestReport> {
+    let mut tr = TraceReader::new(r)?;
+    let mut engine = IngestEngine::new(tr.app().to_string(), *opts);
+    let mut last_tick = 0u64;
+    while let Some(item) = tr.next_item()? {
+        let rank_done = matches!(item, TraceItem::ProcessEnd { .. });
+        engine.push(item)?;
+        let frames = tr.frame_index();
+        if rank_done || frames - last_tick >= PROGRESS_EVERY {
+            last_tick = frames;
+            progress(&IngestProgress {
+                bytes_read: tr.byte_offset(),
+                total_bytes,
+                frames,
+                events: engine.events(),
+                ranks_done: engine.ranks_done(),
+            });
+        }
+    }
+    let total_time = tr
+        .total_time()
+        .ok_or_else(|| invalid("trace stream ended without trailer"))?;
+    let (bytes_read, frames) = (tr.byte_offset(), tr.frame_index());
+    let mut report = engine.finish(total_time)?;
+    report.stats.bytes_read = bytes_read;
+    report.stats.frames = frames;
+    progress(&IngestProgress {
+        bytes_read,
+        total_bytes,
+        frames,
+        events: report.stats.events,
+        ranks_done: report.stats.ranks,
+    });
+    Ok(report)
+}
+
+/// Ingest a binary trace file, zero-copy via mmap where possible.
+pub fn ingest_path(
+    path: impl AsRef<Path>,
+    opts: &IngestOptions,
+    progress: &mut dyn FnMut(&IngestProgress),
+) -> io::Result<IngestReport> {
+    let path = path.as_ref();
+    let src = TraceSource::open(path)?;
+    let total = src.total_bytes();
+    let mapped = src.is_mapped();
+    let mut report = match src {
+        #[cfg(unix)]
+        TraceSource::Mapped { map, .. } => ingest_reader(map.as_slice(), opts, total, progress),
+        TraceSource::Buffered(f) => ingest_reader(io::BufReader::new(f), opts, total, progress),
+    }
+    .map_err(|e| pskel_trace::io::annotate("ingesting trace", path, e))?;
+    report.stats.mapped = mapped;
+    Ok(report)
+}
+
+/// Batch reference for the differential tests and the bench: compress a
+/// materialized trace with the same options and package it as a report
+/// (without phase metrics, which only the streaming path computes).
+pub fn batch_signature(trace: &AppTrace, opts: &IngestOptions) -> AppSignature {
+    pskel_signature::compress_app(trace, opts.target_q, opts.sig).signature
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_store::binfmt::write_trace_binary;
+
+    fn encode(trace: &AppTrace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, trace).unwrap();
+        buf
+    }
+
+    #[test]
+    fn streaming_matches_batch_exactly() {
+        let trace = pskel_trace::synthetic_app_trace(4, 800, 0xC0FFEE);
+        let buf = encode(&trace);
+        let opts = IngestOptions::default();
+        let report = ingest_reader(buf.as_slice(), &opts, None, &mut |_| {}).unwrap();
+        let batch = batch_signature(&trace, &opts);
+        assert_eq!(report.signature, batch);
+    }
+
+    #[test]
+    fn progress_reports_monotone_offsets_and_final_totals() {
+        let trace = pskel_trace::synthetic_app_trace(3, 500, 0xBEEF);
+        let buf = encode(&trace);
+        let total = buf.len() as u64;
+        let mut seen: Vec<IngestProgress> = Vec::new();
+        let report = ingest_reader(
+            buf.as_slice(),
+            &IngestOptions::default(),
+            Some(total),
+            &mut |p| seen.push(*p),
+        )
+        .unwrap();
+        assert!(!seen.is_empty());
+        assert!(seen.windows(2).all(|w| w[0].bytes_read <= w[1].bytes_read));
+        let last = seen.last().unwrap();
+        assert_eq!(last.bytes_read, total);
+        assert_eq!(last.ranks_done, 3);
+        assert_eq!(report.stats.bytes_read, total);
+        assert_eq!(report.stats.ranks, 3);
+        assert!(report.stats.frames > 0);
+    }
+
+    #[test]
+    fn peak_rank_events_bounds_memory() {
+        let trace = pskel_trace::synthetic_app_trace(4, 300, 0x5EED);
+        let buf = encode(&trace);
+        let report =
+            ingest_reader(buf.as_slice(), &IngestOptions::default(), None, &mut |_| {}).unwrap();
+        let max_rank_events = trace
+            .procs
+            .iter()
+            .map(|p| p.records.iter().filter(|r| r.as_mpi().is_some()).count())
+            .max()
+            .unwrap();
+        assert_eq!(report.stats.peak_rank_events, max_rank_events);
+        assert!(
+            (report.stats.peak_rank_events as u64) < report.stats.events,
+            "peak must be per-rank, not whole-trace"
+        );
+    }
+
+    #[test]
+    fn phases_are_detected_on_synthetic_traces() {
+        let trace = pskel_trace::synthetic_app_trace(4, 400, 0xAB);
+        let buf = encode(&trace);
+        let report =
+            ingest_reader(buf.as_slice(), &IngestOptions::default(), None, &mut |_| {}).unwrap();
+        // Synthetic traces contain collectives, so phases must appear and
+        // carry coherent fractions.
+        assert!(report.phases.nphases() > 0);
+        for p in &report.phases.phases {
+            assert!(p.ranks > 0 && p.ranks <= 4);
+            assert!((0.0..=1.0).contains(&p.transfer_fraction), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.serialization_fraction), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.load_imbalance), "{p:?}");
+            assert!(p.end_secs >= p.start_secs, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_path_roundtrips_and_maps() {
+        let dir = std::env::temp_dir().join("pskel-ingest-path");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.pskt");
+        let trace = pskel_trace::synthetic_app_trace(2, 300, 0x77);
+        pskel_store::binfmt::save_trace_auto(&path, &trace).unwrap();
+
+        let opts = IngestOptions::default();
+        let report = ingest_path(&path, &opts, &mut |_| {}).unwrap();
+        assert_eq!(report.signature, batch_signature(&trace, &opts));
+        #[cfg(unix)]
+        assert!(report.stats.mapped);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_error_names_path_and_offset() {
+        let dir = std::env::temp_dir().join("pskel-ingest-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.pskt");
+        let trace = pskel_trace::synthetic_app_trace(2, 200, 0x13);
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() * 2 / 3);
+        std::fs::write(&path, &buf).unwrap();
+
+        let err = ingest_path(&path, &IngestOptions::default(), &mut |_| {}).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cut.pskt"), "missing path in: {msg}");
+        assert!(msg.contains("byte offset"), "missing offset in: {msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

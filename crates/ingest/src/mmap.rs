@@ -1,0 +1,213 @@
+//! Zero-copy trace input: mmap the file on unix, buffered reads elsewhere.
+//!
+//! The reader side of ingest only needs `&[u8]` prefixes in order, so a
+//! private read-only mapping gives the kernel full freedom to fault pages
+//! in sequentially and drop them behind the cursor — peak resident memory
+//! stays bounded by the page cache's working set, not the file size. The
+//! same raw-libc pattern as the serve crate's signal handling keeps this
+//! std-only.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only memory mapping of a whole file.
+#[cfg(unix)]
+pub struct MappedTrace {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+// The mapping is private and read-only; nothing mutates it after creation.
+unsafe impl Send for MappedTrace {}
+#[cfg(unix)]
+unsafe impl Sync for MappedTrace {}
+
+#[cfg(unix)]
+impl MappedTrace {
+    /// Map `file` read-only. Fails for empty files (mmap of length 0 is
+    /// invalid) and on any mmap error; callers fall back to buffered reads.
+    pub fn map(file: &File) -> io::Result<MappedTrace> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(io::Error::other)?;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot mmap an empty file",
+            ));
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedTrace { ptr, len })
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MappedTrace {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// A trace byte source: an mmap'd slice where possible, a plain file
+/// otherwise. Either way it is a `Read` over the trace bytes plus a known
+/// total length for progress reporting.
+pub enum TraceSource {
+    #[cfg(unix)]
+    Mapped {
+        map: MappedTrace,
+        pos: usize,
+    },
+    Buffered(File),
+}
+
+impl TraceSource {
+    /// Open `path`, preferring an mmap; falls back to buffered file I/O
+    /// when mapping fails (empty file, exotic filesystem, non-unix).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TraceSource> {
+        let path = path.as_ref();
+        let file =
+            File::open(path).map_err(|e| pskel_trace::io::annotate("opening trace", path, e))?;
+        #[cfg(unix)]
+        {
+            if let Ok(map) = MappedTrace::map(&file) {
+                return Ok(TraceSource::Mapped { map, pos: 0 });
+            }
+        }
+        Ok(TraceSource::Buffered(file))
+    }
+
+    /// Total bytes in the source, when knowable.
+    pub fn total_bytes(&self) -> Option<u64> {
+        match self {
+            #[cfg(unix)]
+            TraceSource::Mapped { map, .. } => Some(map.len() as u64),
+            TraceSource::Buffered(f) => f.metadata().ok().map(|m| m.len()),
+        }
+    }
+
+    /// True when the source is an actual memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            TraceSource::Mapped { .. } => true,
+            TraceSource::Buffered(_) => false,
+        }
+    }
+}
+
+impl Read for TraceSource {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            TraceSource::Mapped { map, pos } => {
+                let slice = map.as_slice();
+                let n = buf.len().min(slice.len() - *pos);
+                buf[..n].copy_from_slice(&slice[*pos..*pos + n]);
+                *pos += n;
+                Ok(n)
+            }
+            TraceSource::Buffered(f) => f.read(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn mapped_source_reads_whole_file() {
+        let dir = std::env::temp_dir().join("pskel-ingest-mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+
+        let mut src = TraceSource::open(&path).unwrap();
+        assert_eq!(src.total_bytes(), Some(10_000));
+        let mut back = Vec::new();
+        src.read_to_end(&mut back).unwrap();
+        assert_eq!(back, payload);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_prefers_mmap_and_empty_file_falls_back() {
+        let dir = std::env::temp_dir().join("pskel-ingest-mmap-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.bin");
+        std::fs::write(&full, b"abc").unwrap();
+        assert!(TraceSource::open(&full).unwrap().is_mapped());
+
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        let src = TraceSource::open(&empty).unwrap();
+        assert!(!src.is_mapped(), "empty file cannot be mapped");
+        assert_eq!(src.total_bytes(), Some(0));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_error_names_the_path() {
+        let err = match TraceSource::open("/nonexistent/trace77.pskt") {
+            Err(e) => e,
+            Ok(_) => panic!("open of a missing file must fail"),
+        };
+        assert!(err.to_string().contains("trace77.pskt"), "got: {err}");
+    }
+}

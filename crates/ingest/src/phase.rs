@@ -1,0 +1,378 @@
+//! Time-resolved phase metrics over a streaming trace.
+//!
+//! The paper characterizes an application by its compute/communication
+//! structure; here we resolve that structure *in time*. Collective
+//! operations are natural synchronization points, so each rank's record
+//! stream is segmented into **phases** delimited by collective calls: phase
+//! k covers everything after the (k−1)-th collective up to and including
+//! the k-th, plus one tail phase for activity after the last collective.
+//! Because every rank participates in every collective in the same order,
+//! phase k on rank 0 and phase k on rank 7 describe the same application
+//! epoch, and per-phase metrics can be aggregated across ranks by index.
+//!
+//! Per phase we report (definitions in DESIGN.md §12):
+//! - `load_imbalance` — `1 − mean(compute)/max(compute)` across ranks; 0
+//!   when perfectly balanced, →1 when one straggler does all the work.
+//! - `transfer_fraction` — share of busy time spent in point-to-point
+//!   data movement.
+//! - `serialization_fraction` — share of busy time spent blocked in waits
+//!   and collectives (time that cannot be overlapped with anything).
+
+use pskel_sim::SimTime;
+use pskel_trace::{MpiEvent, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-rank accumulator for one phase (the window between two collectives).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RankPhase {
+    compute_ns: u128,
+    p2p_ns: u128,
+    wait_ns: u128,
+    collective_ns: u128,
+    /// Kind of the collective that closed the phase; `None` for the tail.
+    boundary: Option<OpKind>,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl RankPhase {
+    fn busy_ns(&self) -> u128 {
+        self.compute_ns + self.p2p_ns + self.wait_ns + self.collective_ns
+    }
+}
+
+/// Streaming per-rank phase segmentation: feed records in trace order,
+/// then `finish` with the rank's end time.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RankPhaseTracker {
+    closed: Vec<RankPhase>,
+    open: RankPhase,
+}
+
+impl RankPhaseTracker {
+    pub fn new() -> RankPhaseTracker {
+        RankPhaseTracker::default()
+    }
+
+    pub fn compute(&mut self, dur_ns: u64) {
+        self.open.compute_ns += u128::from(dur_ns);
+    }
+
+    pub fn event(&mut self, e: &MpiEvent) {
+        let dur = u128::from(e.duration().as_nanos());
+        if e.kind.is_collective() {
+            self.open.collective_ns += dur;
+            self.open.boundary = Some(e.kind);
+            self.open.end = e.end;
+            let next_start = e.end;
+            let done = std::mem::take(&mut self.open);
+            self.closed.push(done);
+            self.open.start = next_start;
+            self.open.end = next_start;
+        } else if e.kind.is_wait() {
+            self.open.wait_ns += dur;
+            self.open.end = e.end;
+        } else {
+            self.open.p2p_ns += dur;
+            self.open.end = e.end;
+        }
+    }
+
+    pub fn finish(mut self, finish: SimTime) -> Vec<RankPhase> {
+        if self.open.busy_ns() > 0 {
+            self.open.end = if finish.0 > self.open.end.0 {
+                finish
+            } else {
+                self.open.end
+            };
+            self.closed.push(self.open);
+        }
+        self.closed
+    }
+}
+
+/// Metrics for one application phase, aggregated across ranks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    pub index: usize,
+    /// MPI spelling of the collective that closed the phase on rank 0's
+    /// stream (`None` for the tail phase after the last collective).
+    pub boundary: Option<String>,
+    /// Ranks that contributed to this phase.
+    pub ranks: usize,
+    /// Earliest phase start across ranks, seconds.
+    pub start_secs: f64,
+    /// Latest phase end across ranks, seconds.
+    pub end_secs: f64,
+    /// Summed across ranks, seconds.
+    pub compute_secs: f64,
+    pub p2p_secs: f64,
+    pub wait_secs: f64,
+    pub collective_secs: f64,
+    /// `1 − mean(compute)/max(compute)` across ranks.
+    pub load_imbalance: f64,
+    /// p2p share of busy time.
+    pub transfer_fraction: f64,
+    /// wait + collective share of busy time.
+    pub serialization_fraction: f64,
+}
+
+/// Phase metrics for a whole application run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppPhaseMetrics {
+    pub phases: Vec<PhaseMetrics>,
+}
+
+impl AppPhaseMetrics {
+    pub fn nphases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Worst (largest) load imbalance across phases; 0 for no phases.
+    pub fn max_load_imbalance(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.load_imbalance)
+            .fold(0.0, f64::max)
+    }
+
+    /// Busy-time-weighted mean of a per-phase fraction.
+    fn weighted(&self, f: impl Fn(&PhaseMetrics) -> f64) -> f64 {
+        let busy = |p: &PhaseMetrics| p.compute_secs + p.p2p_secs + p.wait_secs + p.collective_secs;
+        let total: f64 = self.phases.iter().map(&busy).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| f(p) * busy(p)).sum::<f64>() / total
+    }
+
+    /// Busy-time-weighted mean transfer fraction across phases.
+    pub fn mean_transfer_fraction(&self) -> f64 {
+        self.weighted(|p| p.transfer_fraction)
+    }
+
+    /// Busy-time-weighted mean serialization fraction across phases.
+    pub fn mean_serialization_fraction(&self) -> f64 {
+        self.weighted(|p| p.serialization_fraction)
+    }
+}
+
+/// Collects per-rank phase lists and aggregates them by phase index.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PhaseAggregator {
+    ranks: Vec<Vec<RankPhase>>,
+}
+
+impl PhaseAggregator {
+    pub fn new() -> PhaseAggregator {
+        PhaseAggregator::default()
+    }
+
+    pub fn add_rank(&mut self, phases: Vec<RankPhase>) {
+        self.ranks.push(phases);
+    }
+
+    pub fn aggregate(self) -> AppPhaseMetrics {
+        let nphases = self.ranks.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = Vec::with_capacity(nphases);
+        for index in 0..nphases {
+            let present: Vec<&RankPhase> = self.ranks.iter().filter_map(|r| r.get(index)).collect();
+            let ranks = present.len();
+            let ns = 1e-9;
+            let sum = |f: fn(&RankPhase) -> u128| -> f64 {
+                present.iter().map(|p| f(p) as f64).sum::<f64>() * ns
+            };
+            let compute_secs = sum(|p| p.compute_ns);
+            let p2p_secs = sum(|p| p.p2p_ns);
+            let wait_secs = sum(|p| p.wait_ns);
+            let collective_secs = sum(|p| p.collective_ns);
+            let busy = compute_secs + p2p_secs + wait_secs + collective_secs;
+            let max_compute = present
+                .iter()
+                .map(|p| p.compute_ns as f64 * ns)
+                .fold(0.0, f64::max);
+            let mean_compute = if ranks == 0 {
+                0.0
+            } else {
+                compute_secs / ranks as f64
+            };
+            let load_imbalance = if max_compute > 0.0 {
+                1.0 - mean_compute / max_compute
+            } else {
+                0.0
+            };
+            let frac = |x: f64| if busy > 0.0 { x / busy } else { 0.0 };
+            out.push(PhaseMetrics {
+                index,
+                boundary: present
+                    .first()
+                    .and_then(|p| p.boundary)
+                    .map(|k| k.mpi_name().to_string()),
+                ranks,
+                start_secs: present
+                    .iter()
+                    .map(|p| p.start.as_secs_f64())
+                    .fold(f64::INFINITY, f64::min),
+                end_secs: present
+                    .iter()
+                    .map(|p| p.end.as_secs_f64())
+                    .fold(0.0, f64::max),
+                compute_secs,
+                p2p_secs,
+                wait_secs,
+                collective_secs,
+                load_imbalance,
+                transfer_fraction: frac(p2p_secs),
+                serialization_fraction: frac(wait_secs + collective_secs),
+            });
+        }
+        AppPhaseMetrics { phases: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: OpKind, start: u64, end: u64) -> MpiEvent {
+        MpiEvent {
+            kind,
+            peer: None,
+            tag: None,
+            bytes: 8,
+            slots: vec![],
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    fn track(records: &[(Option<OpKind>, u64, u64)], finish: u64) -> Vec<RankPhase> {
+        let mut t = RankPhaseTracker::new();
+        for &(kind, a, b) in records {
+            match kind {
+                None => t.compute(b - a),
+                Some(k) => t.event(&ev(k, a, b)),
+            }
+        }
+        t.finish(SimTime(finish))
+    }
+
+    #[test]
+    fn collectives_delimit_phases() {
+        // compute, send, allreduce | compute, barrier | tail compute
+        let phases = track(
+            &[
+                (None, 0, 1_000),
+                (Some(OpKind::Send), 1_000, 1_200),
+                (Some(OpKind::Allreduce), 1_200, 1_500),
+                (None, 0, 2_000),
+                (Some(OpKind::Barrier), 3_500, 3_600),
+                (None, 0, 400),
+            ],
+            4_000,
+        );
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].boundary, Some(OpKind::Allreduce));
+        assert_eq!(phases[0].compute_ns, 1_000);
+        assert_eq!(phases[0].p2p_ns, 200);
+        assert_eq!(phases[0].collective_ns, 300);
+        assert_eq!(phases[1].boundary, Some(OpKind::Barrier));
+        assert_eq!(phases[1].start, SimTime(1_500));
+        assert_eq!(phases[1].end, SimTime(3_600));
+        assert_eq!(phases[2].boundary, None, "tail phase has no boundary");
+        assert_eq!(phases[2].compute_ns, 400);
+        assert_eq!(phases[2].end, SimTime(4_000));
+    }
+
+    #[test]
+    fn empty_tail_is_dropped() {
+        let phases = track(&[(Some(OpKind::Barrier), 0, 100)], 100);
+        assert_eq!(phases.len(), 1);
+    }
+
+    #[test]
+    fn wait_time_is_serialization_not_transfer() {
+        let phases = track(
+            &[
+                (Some(OpKind::Isend), 0, 10),
+                (Some(OpKind::Wait), 10, 510),
+                (Some(OpKind::Barrier), 510, 520),
+            ],
+            520,
+        );
+        assert_eq!(phases[0].p2p_ns, 10);
+        assert_eq!(phases[0].wait_ns, 500);
+        assert_eq!(phases[0].collective_ns, 10);
+    }
+
+    #[test]
+    fn imbalance_detects_stragglers() {
+        let mut agg = PhaseAggregator::new();
+        // Rank 0 computes 1ms, rank 1 computes 3ms before the same barrier.
+        for compute_ns in [1_000_000u64, 3_000_000] {
+            let mut t = RankPhaseTracker::new();
+            t.compute(compute_ns);
+            t.event(&ev(OpKind::Barrier, compute_ns, compute_ns + 1_000));
+            agg.add_rank(t.finish(SimTime(compute_ns + 1_000)));
+        }
+        let m = agg.aggregate();
+        assert_eq!(m.nphases(), 1);
+        let p = &m.phases[0];
+        assert_eq!(p.ranks, 2);
+        // mean 2ms, max 3ms -> 1 - 2/3 = 1/3.
+        assert!((p.load_imbalance - 1.0 / 3.0).abs() < 1e-9, "{p:?}");
+        assert!(p.serialization_fraction > 0.0);
+        assert_eq!(p.index, 0);
+    }
+
+    #[test]
+    fn balanced_ranks_have_zero_imbalance() {
+        let mut agg = PhaseAggregator::new();
+        for _ in 0..4 {
+            let mut t = RankPhaseTracker::new();
+            t.compute(5_000_000);
+            t.event(&ev(OpKind::Allreduce, 5_000_000, 5_001_000));
+            agg.add_rank(t.finish(SimTime(5_001_000)));
+        }
+        let m = agg.aggregate();
+        assert!(m.phases[0].load_imbalance.abs() < 1e-12);
+        assert_eq!(m.max_load_imbalance(), m.phases[0].load_imbalance);
+    }
+
+    #[test]
+    fn fractions_partition_busy_time() {
+        let phases = track(
+            &[
+                (None, 0, 600),
+                (Some(OpKind::Send), 600, 800),
+                (Some(OpKind::Allreduce), 800, 1_000),
+            ],
+            1_000,
+        );
+        let mut agg = PhaseAggregator::new();
+        agg.add_rank(phases);
+        let p = agg.aggregate().phases.remove(0);
+        // busy = 600 + 200 + 200; transfer 200/1000, serialization 200/1000.
+        assert!((p.transfer_fraction - 0.2).abs() < 1e-12);
+        assert!((p.serialization_fraction - 0.2).abs() < 1e-12);
+        let compute_fraction = 1.0 - p.transfer_fraction - p.serialization_fraction;
+        assert!((compute_fraction - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_rank_phase_counts_aggregate_by_index() {
+        let mut agg = PhaseAggregator::new();
+        agg.add_rank(track(
+            &[
+                (Some(OpKind::Barrier), 0, 10),
+                (Some(OpKind::Barrier), 10, 20),
+            ],
+            20,
+        ));
+        agg.add_rank(track(&[(Some(OpKind::Barrier), 0, 10)], 10));
+        let m = agg.aggregate();
+        assert_eq!(m.nphases(), 2);
+        assert_eq!(m.phases[0].ranks, 2);
+        assert_eq!(m.phases[1].ranks, 1);
+    }
+}

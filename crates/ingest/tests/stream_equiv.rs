@@ -1,0 +1,201 @@
+//! Differential property tests: streaming ingest is **byte-identical** to
+//! the batch compression path on arbitrary traces — same structs, same JSON
+//! bytes — and both agree with the naive reference search from
+//! `pskel_signature::reference`, the executable specification the optimized
+//! pipeline is pinned against.
+
+use proptest::prelude::*;
+use pskel_ingest::{batch_signature, ingest_reader, IngestOptions};
+use pskel_signature::reference::naive_compress_process;
+use pskel_signature::SignatureOptions;
+use pskel_sim::{SimDuration, SimTime};
+use pskel_store::binfmt::write_trace_binary;
+use pskel_trace::{AppTrace, MpiEvent, OpKind, ProcessTrace, Record};
+use std::io::Read;
+
+fn op_kind() -> BoxedStrategy<OpKind> {
+    prop::sample::select(OpKind::ALL.to_vec())
+}
+
+/// Events with loosely realistic sizes and times, so the threshold search
+/// exercises real clustering decisions rather than degenerate extremes.
+fn mpi_event() -> BoxedStrategy<MpiEvent> {
+    (
+        op_kind(),
+        prop_oneof![Just(None::<u32>), (0u32..8).prop_map(Some)],
+        prop_oneof![Just(None::<u64>), (0u64..4).prop_map(Some)],
+        0u64..10_000,
+        prop::collection::vec(0u32..4, 0..3),
+        (0u64..1_000_000, 0u64..100_000),
+    )
+        .prop_map(|(kind, peer, tag, bytes, slots, (start, dur))| MpiEvent {
+            kind,
+            peer,
+            tag,
+            bytes,
+            slots,
+            start: SimTime(start),
+            end: SimTime(start + dur),
+        })
+        .boxed()
+}
+
+fn record() -> BoxedStrategy<Record> {
+    prop_oneof![
+        (0u64..2_000_000_000).prop_map(|n| Record::Compute {
+            dur: SimDuration(n)
+        }),
+        mpi_event().prop_map(Record::Mpi),
+    ]
+    .boxed()
+}
+
+fn app_trace(max_ranks: usize, max_records: usize) -> BoxedStrategy<AppTrace> {
+    (
+        "[a-z]{1,8}",
+        prop::collection::vec(
+            (
+                prop::collection::vec(record(), 0..max_records),
+                any::<u64>(),
+            ),
+            0..max_ranks,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(app, ranks, total)| {
+            let procs = ranks
+                .into_iter()
+                .enumerate()
+                .map(|(rank, (records, finish))| ProcessTrace {
+                    rank,
+                    records,
+                    finish: SimTime(finish),
+                })
+                .collect();
+            AppTrace {
+                app,
+                procs,
+                total_time: SimDuration(total),
+            }
+        })
+        .boxed()
+}
+
+fn encode(trace: &AppTrace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace_binary(&mut buf, trace).unwrap();
+    buf
+}
+
+/// A reader that hands out at most `chunk` bytes per call, simulating a
+/// trace arriving over a network in small pieces.
+struct Dribble<'a> {
+    data: &'a [u8],
+    chunk: usize,
+}
+
+impl Read for Dribble<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.data.len());
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_equals_batch_byte_for_byte(
+        trace in app_trace(5, 40),
+        target in 1.0f64..64.0,
+    ) {
+        let opts = IngestOptions { target_q: target, sig: SignatureOptions::default() };
+        let buf = encode(&trace);
+        let streamed = ingest_reader(buf.as_slice(), &opts, None, &mut |_| {}).unwrap();
+        let batch = batch_signature(&trace, &opts);
+        prop_assert_eq!(&streamed.signature, &batch);
+        // Byte identity, not just structural equality: the serialized
+        // artifacts (what the store hashes and the server returns) match.
+        let a = serde_json::to_string(&streamed.signature).unwrap();
+        let b = serde_json::to_string(&batch).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_arrival_changes_nothing(
+        trace in app_trace(4, 30),
+        chunk in 1usize..64,
+    ) {
+        let opts = IngestOptions::default();
+        let buf = encode(&trace);
+        let dribbled = ingest_reader(
+            Dribble { data: &buf, chunk },
+            &opts,
+            None,
+            &mut |_| {},
+        ).unwrap();
+        let whole = ingest_reader(buf.as_slice(), &opts, None, &mut |_| {}).unwrap();
+        prop_assert_eq!(dribbled.signature, whole.signature);
+        prop_assert_eq!(dribbled.phases, whole.phases);
+        prop_assert_eq!(dribbled.stats.events, whole.stats.events);
+    }
+}
+
+proptest! {
+    // The naive reference is O(events x clusters); keep its inputs small.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn streaming_agrees_with_naive_reference(
+        trace in app_trace(3, 20),
+        target in 1.0f64..16.0,
+    ) {
+        let opts = IngestOptions { target_q: target, sig: SignatureOptions::default() };
+        let buf = encode(&trace);
+        let streamed = ingest_reader(buf.as_slice(), &opts, None, &mut |_| {}).unwrap();
+        for (sig, proc_trace) in streamed.signature.sigs.iter().zip(&trace.procs) {
+            let naive = naive_compress_process(proc_trace, target, opts.sig);
+            prop_assert_eq!(sig, &naive.signature);
+        }
+    }
+}
+
+#[test]
+fn saturation_reporting_matches_batch() {
+    // Distinct-kind events cannot compress: every rank saturates, and the
+    // streaming report must list the same ranks as compress_app.
+    let mk_rank = |rank: usize| {
+        let records = [OpKind::Send, OpKind::Recv, OpKind::Isend, OpKind::Irecv]
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                Record::Mpi(MpiEvent {
+                    kind,
+                    peer: Some(i as u32),
+                    tag: Some(i as u64),
+                    bytes: 64,
+                    slots: vec![],
+                    start: SimTime(i as u64 * 100),
+                    end: SimTime(i as u64 * 100 + 10),
+                })
+            })
+            .collect();
+        ProcessTrace {
+            rank,
+            records,
+            finish: SimTime(1_000),
+        }
+    };
+    let trace = AppTrace::new("sat", vec![mk_rank(0), mk_rank(1)]);
+    let opts = IngestOptions {
+        target_q: 4.0,
+        sig: SignatureOptions::default(),
+    };
+    let buf = encode(&trace);
+    let streamed = ingest_reader(buf.as_slice(), &opts, None, &mut |_| {}).unwrap();
+    let batch = pskel_signature::compress_app(&trace, opts.target_q, opts.sig);
+    assert_eq!(streamed.saturated, batch.saturated);
+    assert_eq!(streamed.saturated.len(), 2);
+}

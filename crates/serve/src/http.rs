@@ -14,8 +14,12 @@ use std::io::{self, BufRead, Write};
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard cap on the number of header lines.
 pub const MAX_HEADERS: usize = 64;
-/// Hard cap on a request body.
+/// Hard cap on a buffered request body (JSON API endpoints).
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Hard cap on a streamed binary trace upload (`POST /v1/trace` with an
+/// octet-stream body). Streamed bodies are never buffered whole, so this
+/// can be far larger than [`MAX_BODY_BYTES`].
+pub const MAX_UPLOAD_BYTES: u64 = 256 * 1024 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -46,8 +50,13 @@ impl Request {
 pub enum ParseError {
     /// Malformed request line, header or length field.
     Bad(String),
-    /// Head or body exceeds the configured limits.
-    TooLarge(String),
+    /// Head or body exceeds the configured limits. For body-size
+    /// rejections `max_body_bytes` carries the applicable cap so the 413
+    /// response can tell the client how much it may send.
+    TooLarge {
+        message: String,
+        max_body_bytes: Option<u64>,
+    },
     /// Not HTTP/1.0 or HTTP/1.1.
     Version(String),
     /// The peer closed or timed out mid-request.
@@ -55,10 +64,25 @@ pub enum ParseError {
 }
 
 impl ParseError {
+    /// An oversized-body rejection carrying the cap as a hint.
+    pub fn too_large_body(message: String, max_body_bytes: u64) -> ParseError {
+        ParseError::TooLarge {
+            message,
+            max_body_bytes: Some(max_body_bytes),
+        }
+    }
+
+    fn too_large_head(message: String) -> ParseError {
+        ParseError::TooLarge {
+            message,
+            max_body_bytes: None,
+        }
+    }
+
     pub fn status(&self) -> u16 {
         match self {
             ParseError::Bad(_) => 400,
-            ParseError::TooLarge(_) => 413,
+            ParseError::TooLarge { .. } => 413,
             ParseError::Version(_) => 505,
             ParseError::Io(_) => 400,
         }
@@ -66,8 +90,17 @@ impl ParseError {
 
     pub fn message(&self) -> String {
         match self {
-            ParseError::Bad(m) | ParseError::TooLarge(m) | ParseError::Version(m) => m.clone(),
+            ParseError::Bad(m) | ParseError::Version(m) => m.clone(),
+            ParseError::TooLarge { message, .. } => message.clone(),
             ParseError::Io(e) => format!("read error: {e}"),
+        }
+    }
+
+    /// The body-size cap this rejection hints at, if it is one.
+    pub fn body_limit(&self) -> Option<u64> {
+        match self {
+            ParseError::TooLarge { max_body_bytes, .. } => *max_body_bytes,
+            _ => None,
         }
     }
 }
@@ -90,7 +123,7 @@ fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>,
             Err(e) => return Err(ParseError::Io(e)),
         }
         if *budget == 0 {
-            return Err(ParseError::TooLarge(format!(
+            return Err(ParseError::too_large_head(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
@@ -108,9 +141,21 @@ fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>,
     }
 }
 
-/// Parse one request from the stream. `Ok(None)` means the peer closed the
+/// A parsed request head: everything before the body, plus the declared
+/// body length, which the caller decides how to consume — buffered for
+/// the JSON API ([`read_request_body`]) or streamed for trace uploads.
+#[derive(Debug)]
+pub struct RequestHead {
+    /// The request with an empty body.
+    pub req: Request,
+    /// The declared `Content-Length`, unvalidated against any size cap.
+    pub content_length: u64,
+}
+
+/// Parse one request head (request line + headers) from the stream,
+/// leaving the body unread. `Ok(None)` means the peer closed the
 /// connection cleanly between requests (normal keep-alive teardown).
-pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+pub fn read_request_head(r: &mut impl BufRead) -> Result<Option<RequestHead>, ParseError> {
     let mut budget = MAX_HEAD_BYTES;
     let Some(request_line) = read_line(r, &mut budget)? else {
         return Ok(None);
@@ -149,7 +194,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
             break;
         }
         if headers.len() == MAX_HEADERS {
-            return Err(ParseError::TooLarge(format!(
+            return Err(ParseError::too_large_head(format!(
                 "more than {MAX_HEADERS} headers"
             )));
         }
@@ -163,26 +208,11 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
     }
 
     let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        None => 0usize,
+        None => 0u64,
         Some((_, v)) => v
-            .parse::<usize>()
+            .parse::<u64>()
             .map_err(|_| ParseError::Bad(format!("bad Content-Length {v:?}")))?,
     };
-    if content_length > MAX_BODY_BYTES {
-        return Err(ParseError::TooLarge(format!(
-            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
-        )));
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        r.read_exact(&mut body).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                ParseError::Bad("truncated body".into())
-            } else {
-                ParseError::Io(e)
-            }
-        })?;
-    }
 
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
     let conn = headers
@@ -195,13 +225,51 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
         _ => version == "HTTP/1.1",
     };
 
-    Ok(Some(Request {
-        method,
-        path,
-        headers,
-        body,
-        keep_alive,
+    Ok(Some(RequestHead {
+        req: Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+            keep_alive,
+        },
+        content_length,
     }))
+}
+
+/// Buffer the body declared by `head`, enforcing [`MAX_BODY_BYTES`].
+pub fn read_request_body(r: &mut impl BufRead, head: RequestHead) -> Result<Request, ParseError> {
+    let RequestHead {
+        mut req,
+        content_length,
+    } = head;
+    if content_length > MAX_BODY_BYTES as u64 {
+        return Err(ParseError::too_large_body(
+            format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+            MAX_BODY_BYTES as u64,
+        ));
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length as usize];
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ParseError::Bad("truncated body".into())
+            } else {
+                ParseError::Io(e)
+            }
+        })?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Parse one complete request — head plus buffered body. `Ok(None)` means
+/// the peer closed the connection cleanly between requests.
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    match read_request_head(r)? {
+        None => Ok(None),
+        Some(head) => read_request_body(r, head).map(Some),
+    }
 }
 
 /// An HTTP response ready to be written to a stream.
@@ -358,9 +426,26 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         match parse(head.as_bytes()) {
-            Err(e) => assert_eq!(e.status(), 413),
+            Err(e) => {
+                assert_eq!(e.status(), 413);
+                assert_eq!(e.body_limit(), Some(MAX_BODY_BYTES as u64));
+            }
             Ok(_) => panic!("oversized body must be rejected"),
         }
+    }
+
+    #[test]
+    fn head_parsing_leaves_the_body_unread() {
+        use std::io::Read as _;
+        let bytes = b"POST /v1/trace HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut r = io::BufReader::new(&bytes[..]);
+        let head = read_request_head(&mut r).unwrap().unwrap();
+        assert_eq!(head.req.path, "/v1/trace");
+        assert_eq!(head.content_length, 5);
+        assert!(head.req.body.is_empty());
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"hello");
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!   error / rejection / coalescing counters, latency quantiles, and the
 //!   shared simulation counters.
 //! - `GET  /v1/scenarios` — the paper's resource-sharing scenarios.
-//! - `POST /v1/trace` — trace summary for a benchmark × class.
+//! - `POST /v1/trace` — with a JSON body: trace summary for a benchmark
+//!   × class. With an `application/octet-stream` body: streaming ingest
+//!   of a binary PSKT trace — the signature and time-resolved phase
+//!   metrics are built *while the trace uploads* (never buffering the
+//!   body), provenance-keyed into the store, and concurrent identical
+//!   uploads (same `x-provenance` header) coalesce onto one ingest.
 //! - `POST /v1/build` — build a skeleton and report its metadata.
 //! - `POST /v1/predict` — predict shared-scenario runtime by the
 //!   `skeleton`, `average`, or `class-s` method, optionally verifying
@@ -39,6 +44,7 @@ pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod upload;
 pub mod worker;
 
 pub use json::Json;

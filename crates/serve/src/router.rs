@@ -13,15 +13,19 @@
 //! 3. **Observability** — every request is timed into the per-endpoint
 //!    [`Metrics`], which `GET /metrics` renders.
 
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, MAX_UPLOAD_BYTES};
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
 use crate::queue::{Bounded, PushError};
+use crate::upload::{self, HashingReader, IngestCounters};
 use crate::worker::{ApiError, ApiJob, Job, JobOutcome, PredictMethod};
 use pskel_apps::{Class, NasBenchmark};
+use pskel_ingest::{ingest_reader, IngestOptions};
 use pskel_predict::{EvalCounters, Scenario, ScenarioSpec};
 use pskel_scenario::ScenarioSource;
-use pskel_store::{KeyBuilder, SingleFlight, StoreKey};
+use pskel_store::{KeyBuilder, SingleFlight, Store, StoreKey};
+use std::cell::Cell;
+use std::io::{self, BufRead, Read};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -30,8 +34,13 @@ use std::sync::{mpsc, Arc};
 pub struct Router {
     queue: Arc<Bounded<Job>>,
     flights: SingleFlight<StoreKey, JobOutcome>,
+    /// Coalesces concurrent provenance-keyed trace uploads: followers
+    /// receive the leader's rendered response without re-ingesting.
+    ingest_flights: SingleFlight<StoreKey, Result<String, ApiError>>,
     pub metrics: Arc<Metrics>,
+    pub ingest: IngestCounters,
     counters: Arc<EvalCounters>,
+    store: Option<Arc<Store>>,
     draining: Arc<AtomicBool>,
     test_endpoints: bool,
 }
@@ -41,14 +50,18 @@ impl Router {
         queue: Arc<Bounded<Job>>,
         metrics: Arc<Metrics>,
         counters: Arc<EvalCounters>,
+        store: Option<Arc<Store>>,
         draining: Arc<AtomicBool>,
         test_endpoints: bool,
     ) -> Router {
         Router {
             queue,
             flights: SingleFlight::new(),
+            ingest_flights: SingleFlight::new(),
             metrics,
+            ingest: IngestCounters::default(),
             counters,
+            store,
             draining,
             test_endpoints,
         }
@@ -99,7 +112,7 @@ impl Router {
         let memo_hit_pct = (c.store_hits * 100)
             .checked_div(c.store_hits + sims)
             .unwrap_or(0);
-        let extras = [
+        let mut extras: Vec<(&str, u64)> = vec![
             ("pskel_queue_depth", self.queue.len() as u64),
             ("pskel_queue_capacity", self.queue.capacity() as u64),
             ("pskel_eval_app_sims_total", c.app_sims),
@@ -127,6 +140,7 @@ impl Router {
             ("pskel_sim_timeline_events_total", s.timeline_events),
             ("pskel_sim_faults_injected_total", s.faults_injected),
         ];
+        extras.extend(self.ingest.extras());
         Response::text(200, self.metrics.render(&extras))
     }
 
@@ -186,6 +200,218 @@ impl Router {
             Ok(v) => Response::json(200, v.render()),
             Err(e) => api_error_response(&e),
         }
+    }
+
+    /// `POST /v1/trace` with a binary body: stream the upload straight
+    /// into the incremental ingest engine, building the signature while
+    /// the bytes arrive. Returns the response plus whether the connection
+    /// is still framed for keep-alive (an error can leave the body only
+    /// partially consumed, after which the stream cannot be trusted).
+    pub fn handle_upload(
+        &self,
+        req: &Request,
+        body: &mut dyn BufRead,
+        len: u64,
+    ) -> (Response, bool) {
+        let ep = Endpoint::Trace;
+        let started = self.metrics.begin(ep);
+        let (resp, reusable) = self.upload(req, body, len);
+        self.metrics.end(ep, started, resp.status);
+        (resp, reusable)
+    }
+
+    fn upload(&self, req: &Request, body: &mut dyn BufRead, len: u64) -> (Response, bool) {
+        if self.draining.load(Ordering::SeqCst) {
+            return (api_error_response(&ApiError::ShuttingDown), false);
+        }
+        if len == 0 {
+            return (
+                error_response(
+                    400,
+                    "binary trace upload requires a non-empty Content-Length body".into(),
+                ),
+                true,
+            );
+        }
+        if len > MAX_UPLOAD_BYTES {
+            let hint = Json::obj([
+                (
+                    "error",
+                    Json::from(format!("upload of {len} bytes exceeds {MAX_UPLOAD_BYTES}")),
+                ),
+                ("max_body_bytes", Json::from(MAX_UPLOAD_BYTES)),
+            ]);
+            return (Response::json(413, hint.render()), false);
+        }
+        let q = match target_q_of(req) {
+            Ok(q) => q,
+            Err(e) => return (api_error_response(&e), false),
+        };
+        // Uploads run on connection threads (they own the socket), so the
+        // bounded job queue cannot backpressure them; this gate plays
+        // that role with the same capacity and the same 429 answer.
+        let _active = match ActiveIngest::begin(&self.ingest, self.queue.capacity()) {
+            Some(guard) => guard,
+            None => return (api_error_response(&ApiError::Busy), false),
+        };
+        match req.header("x-provenance") {
+            Some(p) => self.keyed_upload(p, body, len, q),
+            None => match self.stream_ingest(body, len, q, None) {
+                Ok(json) => (Response::json(200, json), true),
+                Err(e) => (api_error_response(&e), false),
+            },
+        }
+    }
+
+    /// An upload with a client-declared `x-provenance` identity: serve
+    /// repeats from the store, and collapse concurrent identical uploads
+    /// onto one ingest — followers drain their copy of the body and
+    /// receive the leader's rendered response.
+    fn keyed_upload(
+        &self,
+        provenance: &str,
+        body: &mut dyn BufRead,
+        len: u64,
+        q: f64,
+    ) -> (Response, bool) {
+        let key = KeyBuilder::new("serve-v1")
+            .field("endpoint", "ingest")
+            .field("provenance", provenance)
+            .field_f64("q", q)
+            .finish();
+        if let Some(cached) = self.store.as_ref().and_then(|s| s.get_bytes("ingest", key)) {
+            if let Ok(json) = String::from_utf8(cached) {
+                self.ingest.cache_hit();
+                let framed = upload::drain(body, len).is_ok();
+                return (Response::json(200, json), framed);
+            }
+        }
+        let ran_here = Cell::new(false);
+        let shared = self.ingest_flights.run(key, || {
+            ran_here.set(true);
+            self.stream_ingest(body, len, q, Some(key))
+        });
+        if shared.was_coalesced() {
+            self.metrics.coalesced(Endpoint::Trace);
+        }
+        match (shared.into_value(), ran_here.get()) {
+            // The leader verified it consumed the body exactly.
+            (Some(Ok(json)), true) => (Response::json(200, json), true),
+            // A follower still owns an unread body on its own socket.
+            (Some(Ok(json)), false) => {
+                let framed = upload::drain(body, len).is_ok();
+                (Response::json(200, json), framed)
+            }
+            (Some(Err(e)), _) => (api_error_response(&e), false),
+            (None, _) => (
+                api_error_response(&ApiError::Internal(
+                    "coalesced leader failed before producing a result".into(),
+                )),
+                false,
+            ),
+        }
+    }
+
+    /// Stream `len` body bytes through the ingest engine. On success the
+    /// body has been consumed exactly; the result is the rendered response
+    /// document, provenance-keyed into the store when one is configured
+    /// (`declared` from the client's header, else the body's content hash
+    /// computed during the same pass).
+    fn stream_ingest(
+        &self,
+        body: &mut dyn BufRead,
+        len: u64,
+        q: f64,
+        declared: Option<StoreKey>,
+    ) -> Result<String, ApiError> {
+        let opts = IngestOptions {
+            target_q: q,
+            ..IngestOptions::default()
+        };
+        let mut src = HashingReader::new((&mut *body).take(len));
+        let report = ingest_reader(&mut src, &opts, Some(len), &mut |_| {}).map_err(|e| {
+            match e.kind() {
+                // Corrupt or truncated upload: the client's problem, and
+                // the message names the failing frame and byte offset.
+                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => {
+                    ApiError::Bad(format!("invalid trace upload: {e}"))
+                }
+                _ => ApiError::Internal(format!("trace upload failed: {e}")),
+            }
+        })?;
+        if src.count() != len {
+            return Err(ApiError::Bad(format!(
+                "trace stream ended after {} of {len} declared body bytes",
+                src.count()
+            )));
+        }
+        let key = declared.unwrap_or_else(|| {
+            KeyBuilder::new("serve-v1")
+                .field("endpoint", "ingest")
+                .field_u64("fnv", src.hash())
+                .field_u64("len", len)
+                .field_f64("q", q)
+                .finish()
+        });
+        self.ingest.record(&report);
+        let doc = upload::report_json(&report, q);
+        if let Some(store) = &self.store {
+            let rendered = upload::with_provenance(doc.clone(), &key, true).render();
+            if store.put_bytes("ingest", key, rendered.as_bytes()).is_ok() {
+                return Ok(rendered);
+            }
+        }
+        Ok(upload::with_provenance(doc, &key, false).render())
+    }
+}
+
+/// Does this request head select the streaming-ingest mode of
+/// `POST /v1/trace`? Binary content types stream; JSON bodies keep the
+/// buffered summary endpoint.
+pub fn is_trace_upload(req: &Request) -> bool {
+    req.method == "POST"
+        && req.path == "/v1/trace"
+        && req.header("content-type").is_some_and(|ct| {
+            let ct = ct.to_ascii_lowercase();
+            ct.starts_with("application/octet-stream")
+                || ct.starts_with("application/x-pskel-trace")
+        })
+}
+
+/// Per-upload compression-ratio target from the `x-target-q` header.
+fn target_q_of(req: &Request) -> Result<f64, ApiError> {
+    match req.header("x-target-q") {
+        None => Ok(IngestOptions::default().target_q),
+        Some(v) => {
+            let q: f64 = v
+                .parse()
+                .map_err(|_| ApiError::Bad(format!("bad x-target-q header {v:?}")))?;
+            if !q.is_finite() || !(1.0..=1e6).contains(&q) {
+                return Err(ApiError::Bad(format!(
+                    "x-target-q must be in [1, 1e6], got {v}"
+                )));
+            }
+            Ok(q)
+        }
+    }
+}
+
+/// RAII guard for the concurrent-ingest gate.
+struct ActiveIngest<'a>(&'a IngestCounters);
+
+impl<'a> ActiveIngest<'a> {
+    fn begin(counters: &'a IngestCounters, cap: usize) -> Option<ActiveIngest<'a>> {
+        if counters.begin_active() >= cap as u64 {
+            counters.end_active();
+            return None;
+        }
+        Some(ActiveIngest(counters))
+    }
+}
+
+impl Drop for ActiveIngest<'_> {
+    fn drop(&mut self) {
+        self.0.end_active();
     }
 }
 

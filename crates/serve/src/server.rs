@@ -8,11 +8,11 @@
 //! can't enqueue answers 429 immediately and goes back to reading, so
 //! threads never pile up behind a slow simulator.
 
-use crate::http::{read_request, ParseError, Request, Response};
+use crate::http::{read_request_body, read_request_head, ParseError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::queue::Bounded;
-use crate::router::Router;
+use crate::router::{is_trace_upload, Router};
 use crate::worker::{self, Job};
 use pskel_predict::EvalCounters;
 use pskel_store::Store;
@@ -106,13 +106,14 @@ impl Server {
         let worker_handles = worker::spawn_pool(
             config.workers,
             Arc::clone(&queue),
-            store,
+            store.clone(),
             Arc::clone(&counters),
         );
         let router = Arc::new(Router::new(
             Arc::clone(&queue),
             Arc::clone(&metrics),
             Arc::clone(&counters),
+            store,
             Arc::clone(&draining),
             config.test_endpoints,
         ));
@@ -230,30 +231,33 @@ fn accept_loop(
 }
 
 /// Handle one connection until the peer closes, errors, or asks not to
-/// keep it alive.
+/// keep it alive. Binary trace uploads never buffer their body: the
+/// connection's own reader is handed to the streaming ingest engine, so
+/// signature construction overlaps the upload.
 fn serve_connection(stream: TcpStream, router: &Router) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        let req: Request = match read_request(&mut reader) {
-            Ok(Some(req)) => req,
+        let head = match read_request_head(&mut reader) {
+            Ok(Some(head)) => head,
             Ok(None) => return Ok(()), // clean close
-            Err(ParseError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
-            Err(ParseError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => return Ok(()),
-            Err(ParseError::Io(e)) => return Err(e),
-            Err(e) => {
-                // Malformed request: answer with the parse error's status
-                // and close — we can't trust the framing after a bad read.
-                let resp = Response::json(
-                    e.status(),
-                    Json::obj([("error", Json::from(e.message()))]).render(),
-                );
-                resp.write_to(&mut writer, false)?;
-                writer.flush()?;
+            Err(e) => return parse_failure(e, &mut writer),
+        };
+        if is_trace_upload(&head.req) {
+            let (resp, framed) = router.handle_upload(&head.req, &mut reader, head.content_length);
+            let keep_alive = head.req.keep_alive && framed;
+            resp.write_to(&mut writer, keep_alive)?;
+            writer.flush()?;
+            if !keep_alive {
                 return Ok(());
             }
+            continue;
+        }
+        let req: Request = match read_request_body(&mut reader, head) {
+            Ok(req) => req,
+            Err(e) => return parse_failure(e, &mut writer),
         };
         let keep_alive = req.keep_alive;
         let resp = router.handle(&req);
@@ -261,6 +265,29 @@ fn serve_connection(stream: TcpStream, router: &Router) -> io::Result<()> {
         writer.flush()?;
         if !keep_alive {
             return Ok(());
+        }
+    }
+}
+
+/// A request that could not be parsed ends the connection: answer with
+/// the parse error's status — including the `max_body_bytes` cap when
+/// the rejection is about body size — and close, since the framing can't
+/// be trusted after a bad read. Peer hangups and idle timeouts close
+/// silently.
+fn parse_failure(e: ParseError, writer: &mut impl Write) -> io::Result<()> {
+    match e {
+        ParseError::Io(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+        ParseError::Io(e) if e.kind() == io::ErrorKind::TimedOut => Ok(()),
+        ParseError::Io(e) => Err(e),
+        e => {
+            let mut pairs = vec![("error".to_string(), Json::from(e.message()))];
+            if let Some(limit) = e.body_limit() {
+                pairs.push(("max_body_bytes".to_string(), Json::from(limit)));
+            }
+            let resp = Response::json(e.status(), Json::Obj(pairs).render());
+            resp.write_to(writer, false)?;
+            writer.flush()?;
+            Ok(())
         }
     }
 }
@@ -410,6 +437,27 @@ mod tests {
         );
         assert_eq!(status, 400);
         assert!(body.contains("invalid JSON"), "body: {body}");
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn oversized_json_body_is_413_with_max_body_bytes_hint() {
+        let server = start_test_server(false);
+        let (status, body) = raw_request(
+            server.addr,
+            &format!(
+                "POST /v1/predict HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+                crate::http::MAX_BODY_BYTES + 1
+            ),
+        );
+        assert_eq!(status, 413);
+        assert!(
+            body.contains(&format!(
+                "\"max_body_bytes\":{}",
+                crate::http::MAX_BODY_BYTES
+            )),
+            "413 must hint the cap: {body}"
+        );
         assert!(server.shutdown(Duration::from_secs(5)));
     }
 

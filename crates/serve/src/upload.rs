@@ -1,0 +1,303 @@
+//! Streaming trace-upload support: counters, content hashing and response
+//! rendering for the `POST /v1/trace` octet-stream ingest mode.
+//!
+//! Uploads stream straight off the connection's reader into
+//! [`pskel_ingest`]'s incremental engine — signatures and time-resolved
+//! phase metrics are built *while the trace uploads*, and peak memory
+//! stays O(largest rank), never O(body). The router provenance-keys each
+//! result into the artifact store; this module owns the pieces that are
+//! mechanism rather than policy: the `/metrics` counter block, the
+//! count-and-hash reader that lets an unnamed upload be content-keyed in
+//! one pass, and the report → JSON rendering.
+
+use crate::json::Json;
+use pskel_ingest::{IngestReport, PhaseMetrics};
+use pskel_store::StoreKey;
+use std::io::{self, BufRead, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upload-side counters surfaced through `GET /metrics`. Totals
+/// accumulate over the server's life; `last_*` gauges snapshot the most
+/// recent successful ingest's phase metrics (percentages, so they render
+/// as Prometheus-friendly integers).
+#[derive(Default)]
+pub struct IngestCounters {
+    active: AtomicU64,
+    uploads: AtomicU64,
+    bytes: AtomicU64,
+    events: AtomicU64,
+    ranks: AtomicU64,
+    phases: AtomicU64,
+    cache_hits: AtomicU64,
+    last_phases: AtomicU64,
+    last_max_load_imbalance_pct: AtomicU64,
+    last_mean_transfer_pct: AtomicU64,
+    last_mean_serialization_pct: AtomicU64,
+}
+
+impl IngestCounters {
+    /// Enter the concurrent-ingest gate; returns the previous count.
+    pub(crate) fn begin_active(&self) -> u64 {
+        self.active.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub(crate) fn end_active(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one successful ingest into the totals and last-run gauges.
+    pub(crate) fn record(&self, report: &IngestReport) {
+        let pct = |f: f64| (f * 100.0).round().clamp(0.0, 100.0) as u64;
+        self.uploads.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(report.stats.bytes_read, Ordering::Relaxed);
+        self.events
+            .fetch_add(report.stats.events, Ordering::Relaxed);
+        self.ranks
+            .fetch_add(report.stats.ranks as u64, Ordering::Relaxed);
+        self.phases
+            .fetch_add(report.phases.nphases() as u64, Ordering::Relaxed);
+        self.last_phases
+            .store(report.phases.nphases() as u64, Ordering::Relaxed);
+        self.last_max_load_imbalance_pct
+            .store(pct(report.phases.max_load_imbalance()), Ordering::Relaxed);
+        self.last_mean_transfer_pct.store(
+            pct(report.phases.mean_transfer_fraction()),
+            Ordering::Relaxed,
+        );
+        self.last_mean_serialization_pct.store(
+            pct(report.phases.mean_serialization_fraction()),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// `(metric name, value)` pairs for the `/metrics` exposition.
+    pub(crate) fn extras(&self) -> Vec<(&'static str, u64)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("pskel_ingest_uploads_total", g(&self.uploads)),
+            ("pskel_ingest_bytes_total", g(&self.bytes)),
+            ("pskel_ingest_events_total", g(&self.events)),
+            ("pskel_ingest_ranks_total", g(&self.ranks)),
+            ("pskel_ingest_phases_total", g(&self.phases)),
+            ("pskel_ingest_cache_hits_total", g(&self.cache_hits)),
+            ("pskel_ingest_active", g(&self.active)),
+            ("pskel_ingest_last_phases", g(&self.last_phases)),
+            (
+                "pskel_ingest_last_max_load_imbalance_percent",
+                g(&self.last_max_load_imbalance_pct),
+            ),
+            (
+                "pskel_ingest_last_mean_transfer_percent",
+                g(&self.last_mean_transfer_pct),
+            ),
+            (
+                "pskel_ingest_last_mean_serialization_percent",
+                g(&self.last_mean_serialization_pct),
+            ),
+        ]
+    }
+}
+
+/// Counts and FNV-1a-hashes bytes as they stream through, so an unnamed
+/// upload can be provenance-keyed by content without a second pass over
+/// the body.
+pub(crate) struct HashingReader<R> {
+    inner: R,
+    count: u64,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    pub(crate) fn new(inner: R) -> HashingReader<R> {
+        HashingReader {
+            inner,
+            count: 0,
+            hash: 0xcbf2_9ce4_8422_2325, // FNV-1a 64 offset basis
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub(crate) fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        for &b in &buf[..n] {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(n)
+    }
+}
+
+/// Discard exactly `len` body bytes. Coalesced followers and cache hits
+/// still own an unread upload on their socket; consuming it keeps the
+/// connection's keep-alive framing intact.
+pub(crate) fn drain(body: &mut dyn BufRead, len: u64) -> io::Result<()> {
+    let n = io::copy(&mut (&mut *body).take(len), &mut io::sink())?;
+    if n == len {
+        Ok(())
+    } else {
+        Err(io::ErrorKind::UnexpectedEof.into())
+    }
+}
+
+/// Render an ingest report as a JSON document. This is the canonical
+/// rendering shared by the `POST /v1/trace` upload response and
+/// `pskel ingest --json` — the router appends its `key`/`stored`
+/// provenance fields with `with_provenance`.
+pub fn report_json(report: &IngestReport, target_q: f64) -> Json {
+    let sig = &report.signature;
+    Json::obj([
+        ("app", Json::str(sig.app.clone())),
+        ("ranks", Json::from(report.stats.ranks)),
+        ("app_secs", Json::from(sig.app_time_secs)),
+        ("events", Json::from(report.stats.events)),
+        ("frames", Json::from(report.stats.frames)),
+        ("bytes", Json::from(report.stats.bytes_read)),
+        (
+            "peak_rank_events",
+            Json::from(report.stats.peak_rank_events),
+        ),
+        ("target_q", Json::from(target_q)),
+        (
+            "tokens_per_rank",
+            Json::Arr(
+                sig.sigs
+                    .iter()
+                    .map(|s| Json::from(s.tokens.len()))
+                    .collect(),
+            ),
+        ),
+        (
+            "compression_ratio_per_rank",
+            Json::Arr(
+                sig.sigs
+                    .iter()
+                    .map(|s| Json::from(s.compression_ratio()))
+                    .collect(),
+            ),
+        ),
+        (
+            "saturated_ranks",
+            Json::Arr(
+                report
+                    .saturated
+                    .iter()
+                    .map(|s| Json::from(s.rank))
+                    .collect(),
+            ),
+        ),
+        ("nphases", Json::from(report.phases.nphases())),
+        (
+            "max_load_imbalance",
+            Json::from(report.phases.max_load_imbalance()),
+        ),
+        (
+            "mean_transfer_fraction",
+            Json::from(report.phases.mean_transfer_fraction()),
+        ),
+        (
+            "mean_serialization_fraction",
+            Json::from(report.phases.mean_serialization_fraction()),
+        ),
+        (
+            "phases",
+            Json::Arr(report.phases.phases.iter().map(phase_json).collect()),
+        ),
+    ])
+}
+
+/// Append the store-provenance fields to a rendered report document.
+pub(crate) fn with_provenance(doc: Json, key: &StoreKey, stored: bool) -> Json {
+    match doc {
+        Json::Obj(mut pairs) => {
+            pairs.push(("key".to_string(), Json::str(key.hex())));
+            pairs.push(("stored".to_string(), Json::from(stored)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+fn phase_json(p: &PhaseMetrics) -> Json {
+    Json::obj([
+        ("index", Json::from(p.index)),
+        (
+            "boundary",
+            p.boundary.as_deref().map(Json::str).unwrap_or(Json::Null),
+        ),
+        ("ranks", Json::from(p.ranks)),
+        ("start_secs", Json::from(p.start_secs)),
+        ("end_secs", Json::from(p.end_secs)),
+        ("compute_secs", Json::from(p.compute_secs)),
+        ("p2p_secs", Json::from(p.p2p_secs)),
+        ("wait_secs", Json::from(p.wait_secs)),
+        ("collective_secs", Json::from(p.collective_secs)),
+        ("load_imbalance", Json::from(p.load_imbalance)),
+        ("transfer_fraction", Json::from(p.transfer_fraction)),
+        (
+            "serialization_fraction",
+            Json::from(p.serialization_fraction),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_reader_counts_and_matches_fnv64() {
+        let data = b"pskel streaming ingest";
+        let mut r = HashingReader::new(&data[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.count(), data.len() as u64);
+        assert_eq!(r.hash(), pskel_store::fnv64(data));
+    }
+
+    #[test]
+    fn hash_is_chunking_independent() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut whole = HashingReader::new(&data[..]);
+        io::copy(&mut whole, &mut io::sink()).unwrap();
+        let mut chunked = HashingReader::new(&data[..]);
+        let mut buf = [0u8; 7];
+        while chunked.read(&mut buf).unwrap() > 0 {}
+        assert_eq!(whole.hash(), chunked.hash());
+    }
+
+    #[test]
+    fn drain_rejects_short_bodies() {
+        let mut short = io::BufReader::new(&b"abc"[..]);
+        assert!(drain(&mut short, 5).is_err());
+        let mut exact = io::BufReader::new(&b"abcde"[..]);
+        assert!(drain(&mut exact, 5).is_ok());
+    }
+
+    #[test]
+    fn counters_render_percent_gauges() {
+        let c = IngestCounters::default();
+        let extras = c.extras();
+        assert!(extras
+            .iter()
+            .any(|(n, _)| *n == "pskel_ingest_uploads_total"));
+        assert!(extras
+            .iter()
+            .any(|(n, _)| *n == "pskel_ingest_last_max_load_imbalance_percent"));
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end streaming ingest: upload a binary PSKT trace over a real
+//! TCP connection, check the streamed signature against the batch
+//! pipeline byte-for-byte (via the response document), exercise the
+//! provenance cache, corrupt-upload diagnostics, and the prediction
+//! endpoint on the same server.
+
+use pskel_serve::{Json, ServeConfig, Server};
+use pskel_signature::SignatureOptions;
+use pskel_store::binfmt::write_trace_binary;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn raw(addr: SocketAddr, req: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(req).unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, buf)
+}
+
+fn upload_request(body: &[u8], provenance: Option<&str>) -> Vec<u8> {
+    let extra = provenance
+        .map(|p| format!("X-Provenance: {p}\r\n"))
+        .unwrap_or_default();
+    let mut req = format!(
+        "POST /v1/trace HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         Content-Type: application/octet-stream\r\n{extra}Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response carries a body")
+}
+
+#[test]
+fn upload_ingests_caches_and_predicts_end_to_end() {
+    let dir = std::env::temp_dir().join("pskel-serve-ingest-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        store_dir: Some(dir.clone()),
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("server starts");
+
+    let trace = pskel_trace::synthetic_app_trace(3, 400, 0xE2E);
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &trace).unwrap();
+
+    // Upload with a declared provenance: 200 with the full report.
+    let (status, resp) = raw(server.addr, &upload_request(&bin, Some("e2e-trace")));
+    assert_eq!(status, 200, "{resp}");
+    let doc = Json::parse(body_of(&resp)).expect("response is JSON");
+    assert_eq!(
+        doc.get("app").and_then(Json::as_str),
+        Some(trace.app.as_str())
+    );
+    assert_eq!(doc.get("ranks").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(doc.get("stored").and_then(Json::as_bool), Some(true));
+    assert!(doc.get("phases").is_some(), "phases missing: {resp}");
+
+    // The streamed signature equals the batch pipeline's, observed
+    // through the response document's per-rank token counts.
+    let batch = pskel_signature::compress_app(&trace, 32.0, SignatureOptions::default()).signature;
+    let tokens: Vec<usize> = match doc.get("tokens_per_rank") {
+        Some(Json::Arr(items)) => items.iter().map(|v| v.as_f64().unwrap() as usize).collect(),
+        other => panic!("tokens_per_rank missing: {other:?}"),
+    };
+    let expected: Vec<usize> = batch.sigs.iter().map(|s| s.tokens.len()).collect();
+    assert_eq!(tokens, expected);
+
+    // Re-uploading the same provenance is answered from the store with
+    // the identical document.
+    let (status2, resp2) = raw(server.addr, &upload_request(&bin, Some("e2e-trace")));
+    assert_eq!(status2, 200);
+    assert_eq!(body_of(&resp), body_of(&resp2));
+
+    // A truncated upload is a client error naming the failing offset.
+    let mut cut = bin.clone();
+    cut.truncate(bin.len() / 2);
+    let (status3, resp3) = raw(server.addr, &upload_request(&cut, None));
+    assert_eq!(status3, 400, "{resp3}");
+    assert!(resp3.contains("byte offset"), "diagnostic missing: {resp3}");
+
+    // The same server still answers predictions.
+    let body = r#"{"bench":"CG","scenario":"dedicated","target_secs":0.004}"#;
+    let req = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status4, resp4) = raw(server.addr, req.as_bytes());
+    assert_eq!(status4, 200, "{resp4}");
+    assert!(resp4.contains("predicted_secs"), "{resp4}");
+
+    // Ingest traffic shows up in /metrics: one real ingest, one cache hit.
+    let (status5, metrics) = raw(
+        server.addr,
+        b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status5, 200);
+    assert!(
+        metrics.contains("pskel_ingest_uploads_total 1"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("pskel_ingest_cache_hits_total 1"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("pskel_ingest_last_phases"),
+        "metrics: {metrics}"
+    );
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_upload_is_413_with_hint_and_unnamed_uploads_work() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        store_dir: None,
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("server starts");
+
+    // An octet-stream upload declaring more than the streaming cap is
+    // rejected up front with the cap in the body.
+    let head = format!(
+        "POST /v1/trace HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         Content-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+        pskel_serve::http::MAX_UPLOAD_BYTES + 1
+    );
+    let (status, resp) = raw(server.addr, head.as_bytes());
+    assert_eq!(status, 413, "{resp}");
+    assert!(resp.contains("max_body_bytes"), "{resp}");
+
+    // Without x-provenance the upload is keyed by content hash; with no
+    // store configured it still ingests, just reports stored=false.
+    let trace = pskel_trace::synthetic_app_trace(2, 200, 0xFAB);
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &trace).unwrap();
+    let (status, resp) = raw(server.addr, &upload_request(&bin, None));
+    assert_eq!(status, 200, "{resp}");
+    let doc = Json::parse(body_of(&resp)).unwrap();
+    assert_eq!(doc.get("stored").and_then(Json::as_bool), Some(false));
+    assert!(doc.get("key").and_then(Json::as_str).is_some());
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+}

@@ -26,7 +26,7 @@ pub use cluster::{cluster, ClusterCache, ClusterInfo, ClusteredSeq};
 pub use feature::{EventKey, EventOccurrence, OccurrenceSeq};
 pub use loopfind::{find_loops, LoopFindOptions};
 pub use signature::{
-    compress_app, compress_process, AppCompression, AppSignature, CompressionOutcome,
+    compress_app, compress_process, compress_seq, AppCompression, AppSignature, CompressionOutcome,
     ExecutionSignature, RankSaturation, SignatureOptions,
 };
 pub use token::Tok;

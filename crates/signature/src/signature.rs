@@ -171,6 +171,19 @@ pub fn compress_process(
     target_q: f64,
     opts: SignatureOptions,
 ) -> CompressionOutcome {
+    compress_seq(OccurrenceSeq::from_trace(trace), target_q, opts)
+}
+
+/// Compress an already-extracted occurrence sequence with the same threshold
+/// search as [`compress_process`]. Streaming ingest builds the sequence
+/// incrementally while the trace is still being read and joins the batch
+/// pipeline here — sharing this exact code path is what makes streaming
+/// signatures byte-identical to batch ones.
+pub fn compress_seq(
+    seq: OccurrenceSeq,
+    target_q: f64,
+    opts: SignatureOptions,
+) -> CompressionOutcome {
     assert!(
         target_q >= 1.0,
         "target compression ratio must be >= 1, got {target_q}"
@@ -180,7 +193,6 @@ pub fn compress_process(
         "threshold step must be positive, got {}",
         opts.threshold_step
     );
-    let seq = OccurrenceSeq::from_trace(trace);
     let cache = ClusterCache::new(&seq);
     let mut best: Option<ExecutionSignature> = None;
     let mut best_ratio = f64::NEG_INFINITY;

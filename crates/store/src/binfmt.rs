@@ -28,6 +28,7 @@
 //! field, not a derived value.
 
 use pskel_sim::{SimDuration, SimTime};
+use pskel_trace::io::annotate;
 use pskel_trace::{AppTrace, MpiEvent, OpKind, ProcessTrace, Record};
 use std::collections::HashMap;
 use std::fs::File;
@@ -259,21 +260,41 @@ pub enum TraceItem {
     ProcessEnd { finish: SimTime },
 }
 
+/// Byte-counting [`Read`] wrapper so parse errors can name the exact offset
+/// at which the stream went wrong.
+struct CountingReader<R: Read> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
 /// Streaming binary trace reader: pulls one [`TraceItem`] at a time so
 /// callers can compute statistics without materializing the whole trace.
 pub struct TraceReader<R: Read> {
-    r: R,
+    r: CountingReader<R>,
     app: String,
     dict: Vec<Descriptor>,
     prev_ts: u64,
     in_process: bool,
     total_time: Option<SimDuration>,
+    frame: u64,
 }
 
 impl<R: Read> TraceReader<R> {
     /// Parse the header. Fails with a clear message on bad magic or an
     /// unsupported version byte.
-    pub fn new(mut r: R) -> io::Result<TraceReader<R>> {
+    pub fn new(r: R) -> io::Result<TraceReader<R>> {
+        let mut r = CountingReader {
+            inner: r,
+            offset: 0,
+        };
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)
             .map_err(|e| bad(format!("truncated trace header: {e}")))?;
@@ -284,7 +305,8 @@ impl<R: Read> TraceReader<R> {
             )));
         }
         let mut version = [0u8; 1];
-        r.read_exact(&mut version)?;
+        r.read_exact(&mut version)
+            .map_err(|e| bad(format!("truncated trace header at byte offset 4: {e}")))?;
         if version[0] != VERSION {
             return Err(bad(format!(
                 "unsupported pskel binary trace version {} (this build reads version {})",
@@ -296,7 +318,9 @@ impl<R: Read> TraceReader<R> {
             return Err(bad(format!("implausible app name length {app_len}")));
         }
         let mut app_bytes = vec![0u8; app_len as usize];
-        r.read_exact(&mut app_bytes)?;
+        let at = r.offset;
+        r.read_exact(&mut app_bytes)
+            .map_err(|e| bad(format!("truncated app name at byte offset {at}: {e}")))?;
         let app = String::from_utf8(app_bytes).map_err(|_| bad("app name is not valid utf-8"))?;
         Ok(TraceReader {
             r,
@@ -305,6 +329,7 @@ impl<R: Read> TraceReader<R> {
             prev_ts: 0,
             in_process: false,
             total_time: None,
+            frame: 0,
         })
     }
 
@@ -318,11 +343,43 @@ impl<R: Read> TraceReader<R> {
         self.total_time
     }
 
+    /// Bytes consumed from the underlying reader so far. Drives progress
+    /// reporting in streaming ingest.
+    pub fn byte_offset(&self) -> u64 {
+        self.r.offset
+    }
+
+    /// Number of stream frames (items) fully parsed so far.
+    pub fn frame_index(&self) -> u64 {
+        self.frame
+    }
+
     /// Next stream element, or `None` once the trailer has been consumed.
+    ///
+    /// Errors on a truncated or corrupt frame name the frame index and the
+    /// byte offset at which the frame started, so a bad file can be bisected
+    /// without a hex dump.
     pub fn next_item(&mut self) -> io::Result<Option<TraceItem>> {
         if self.total_time.is_some() {
             return Ok(None);
         }
+        let frame_start = self.r.offset;
+        let frame = self.frame;
+        match self.next_item_inner() {
+            Ok(item) => {
+                if item.is_some() {
+                    self.frame += 1;
+                }
+                Ok(item)
+            }
+            Err(e) => Err(io::Error::new(
+                e.kind(),
+                format!("{e} (frame {frame} starting at byte offset {frame_start})"),
+            )),
+        }
+    }
+
+    fn next_item_inner(&mut self) -> io::Result<Option<TraceItem>> {
         let mut op = [0u8; 1];
         self.r
             .read_exact(&mut op)
@@ -551,10 +608,6 @@ pub fn scan_stats<R: Read>(r: R) -> io::Result<ScanStats> {
     Ok(stats)
 }
 
-fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
-    io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
-}
-
 /// Load a trace from a file, sniffing the format: files starting with the
 /// `PSKT` magic are read as binary, anything else as JSON.
 pub fn load_trace_auto(path: impl AsRef<Path>) -> io::Result<AppTrace> {
@@ -726,6 +779,55 @@ mod tests {
         write_trace_binary(&mut buf, &t).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_trace_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_error_names_offset_and_frame_index() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace_binary(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte offset"), "missing offset in: {msg}");
+        assert!(msg.contains("frame"), "missing frame index in: {msg}");
+    }
+
+    #[test]
+    fn corrupt_opcode_error_names_exact_offset() {
+        // A valid header followed by a bogus opcode: the error must pinpoint
+        // frame 0 starting right after the header.
+        let mut buf = Vec::new();
+        let tw = TraceWriter::new(&mut buf, "X").unwrap();
+        drop(tw);
+        let header_len = buf.len() as u64;
+        buf.push(0xff);
+        let mut tr = TraceReader::new(buf.as_slice()).unwrap();
+        let err = tr.next_item().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown opcode"), "got: {msg}");
+        assert!(
+            msg.contains(&format!("byte offset {header_len}")),
+            "expected offset {header_len} in: {msg}"
+        );
+        assert!(msg.contains("frame 0"), "missing frame index in: {msg}");
+    }
+
+    #[test]
+    fn reader_reports_progress_offsets() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, &t).unwrap();
+        let total = buf.len() as u64;
+        let mut tr = TraceReader::new(buf.as_slice()).unwrap();
+        let after_header = tr.byte_offset();
+        assert!(after_header > 0 && after_header < total);
+        let mut frames = 0u64;
+        while tr.next_item().unwrap().is_some() {
+            frames += 1;
+            assert_eq!(tr.frame_index(), frames);
+        }
+        assert_eq!(tr.byte_offset(), total, "trailer must consume the stream");
     }
 
     #[test]

@@ -34,8 +34,10 @@ pub fn load_trace(path: impl AsRef<Path>) -> io::Result<AppTrace> {
 }
 
 /// Wrap an I/O error with the failing operation and path, preserving the
-/// original [`io::ErrorKind`] so callers can still match on it.
-fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
+/// original [`io::ErrorKind`] so callers can still match on it. Shared with
+/// the binary-format readers in other crates so every trace error names what
+/// was being done to which file.
+pub fn annotate(op: &str, path: &Path, e: io::Error) -> io::Error {
     io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
 }
 

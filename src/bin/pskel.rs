@@ -81,6 +81,15 @@ commands:
   info     -i <trace.{json|pskt} | skel.json>
            summarize a trace or skeleton file; binary traces are scanned
            as a stream without materializing the events
+  ingest   -i <trace.pskt> [--target-q <Q>] [--json] [-o <report.json>]
+           [--progress]
+           stream a binary trace through the incremental signature
+           engine (zero-copy mmap where possible): signatures and
+           time-resolved phase metrics — per-phase LOAD_IMBALANCE,
+           transfer and serialization fractions — without ever
+           materializing the trace; --json emits the same report
+           document the serve upload endpoint returns and --progress
+           forces progress lines on a non-terminal stderr
   build    -i <trace.{json|pskt}> --target-secs <t> -o <skel.json>
            [--emit-c <file.c>] [--consolidate] [--distribution]
            construct a performance skeleton from a trace
@@ -96,7 +105,9 @@ commands:
            ls lists the builtin scenarios; lint validates spec files and
            exits 2 with a line/column diagnostic on the first bad one;
            show compiles a spec and prints its schedule; sweep expands a
-           spec's parameter sweep into its concrete scenario programs
+           spec's parameter sweep into its concrete scenario programs;
+           a spec path of - reads the spec from standard input (also
+           accepted by --scenario-file)
   cache    <stats|ls|gc> [--store <dir>] [--kind <k>]
            [--max-bytes <n[K|M|G|T]>] [--dry-run]
            inspect or trim an artifact store (default: .pskel-cache);
@@ -123,6 +134,11 @@ commands:
            thread-per-rank path on replay workloads, reporting simulated
            events/sec, speedup and bit-identity of the reports; --json
            writes BENCH_sim.json (or -o)
+  bench    ingest [--json] [-o <report.json>] [--fast]
+           time streaming ingest against the materialize-then-compress
+           batch path, reporting MiB/s, peak RSS, bit-identity of the
+           signatures and the per-rank memory bound; --json writes
+           BENCH_ingest.json (or -o)
 
 options:
   --store <dir>  on trace/build/predict/serve: consult and fill a
@@ -151,7 +167,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
     if cmd == "bench" {
         let Some((action, rest)) = rest.split_first() else {
-            return usage_err("bench needs an action: compress or sim".into());
+            return usage_err("bench needs an action: compress, sim or ingest".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
@@ -166,6 +182,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     match cmd.as_str() {
         "trace" => cmd_trace(&opts),
         "info" => cmd_info(&opts),
+        "ingest" => cmd_ingest(&opts),
         "build" => cmd_build(&opts),
         "run" => cmd_run(&opts),
         "predict" => cmd_predict(&opts),
@@ -216,7 +233,7 @@ impl Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
-    const SWITCHES: [&str; 9] = [
+    const SWITCHES: [&str; 10] = [
         "verify",
         "consolidate",
         "distribution",
@@ -226,6 +243,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         "dry-run",
         "selftest",
         "test-endpoints",
+        "progress",
     ];
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
@@ -412,6 +430,142 @@ fn cmd_info(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pskel ingest`: stream a binary trace through the incremental
+/// signature engine — construction overlaps reading, memory stays
+/// O(largest rank) — and report time-resolved phase metrics.
+fn cmd_ingest(opts: &Opts) -> Result<(), CliError> {
+    use std::io::IsTerminal;
+    let path = opts.require("i")?;
+    let defaults = pskel::ingest::IngestOptions::default();
+    let target_q: f64 = opts.parse_or("target-q", defaults.target_q)?;
+    if !(1.0..=1e6).contains(&target_q) {
+        return usage_err(format!("--target-q must be in [1, 1e6], got {target_q}"));
+    }
+    let ingest_opts = pskel::ingest::IngestOptions {
+        target_q,
+        ..defaults
+    };
+
+    // Progress goes to stderr: live `\r` updates on a terminal, one line
+    // per snapshot when --progress forces it through a pipe.
+    let tty = std::io::stderr().is_terminal();
+    let show_progress = tty || opts.has("progress");
+    let started = std::time::Instant::now();
+    let report = pskel::ingest::ingest_path(path, &ingest_opts, &mut |p| {
+        if !show_progress {
+            return;
+        }
+        let line = match p.total_bytes {
+            Some(total) if total > 0 => format!(
+                "ingesting {path}: {:5.1}% — {} frames, {} events, {} ranks done",
+                100.0 * p.bytes_read as f64 / total as f64,
+                p.frames,
+                p.events,
+                p.ranks_done
+            ),
+            _ => format!(
+                "ingesting {path}: {} bytes — {} frames, {} events, {} ranks done",
+                p.bytes_read, p.frames, p.events, p.ranks_done
+            ),
+        };
+        if tty {
+            eprint!("\r{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if tty {
+        eprintln!();
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = &report.stats;
+    let mib = stats.bytes_read as f64 / (1024.0 * 1024.0);
+    let rate = mib / elapsed.max(1e-9);
+
+    if opts.has("json") || opts.get("o").is_some() {
+        use pskel::serve::Json;
+        // The same document the serve upload endpoint returns, plus the
+        // source-side facts only the CLI knows.
+        let mut doc = pskel::serve::upload::report_json(&report, target_q);
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("path".to_string(), Json::str(path)));
+            pairs.push(("mapped".to_string(), Json::from(stats.mapped)));
+            pairs.push(("elapsed_secs".to_string(), Json::from(elapsed)));
+            pairs.push(("mib_per_sec".to_string(), Json::from(rate)));
+        }
+        let rendered = doc.render();
+        if let Some(out) = opts.get("o") {
+            std::fs::write(out, &rendered)
+                .map_err(|e| format!("cannot write report {out}: {e}"))?;
+            eprintln!("report -> {out}");
+        }
+        if opts.has("json") {
+            println!("{rendered}");
+            return Ok(());
+        }
+    }
+
+    println!(
+        "streamed {} on {} ranks: {} events in {} frames ({:.2} MiB{}) in {:.3}s ({:.1} MiB/s)",
+        report.signature.app,
+        stats.ranks,
+        stats.events,
+        stats.frames,
+        mib,
+        if stats.mapped { ", mmap" } else { "" },
+        elapsed,
+        rate
+    );
+    println!("  app time         {:.3}s", report.signature.app_time_secs);
+    println!("  target Q         {target_q:.1}");
+    println!(
+        "  tokens/rank      {:?}",
+        report
+            .signature
+            .sigs
+            .iter()
+            .map(|sig| sig.tokens.len())
+            .collect::<Vec<_>>()
+    );
+    if !report.saturated.is_empty() {
+        println!(
+            "  saturated ranks  {:?}",
+            report.saturated.iter().map(|r| r.rank).collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "  peak rank events {} (in-flight memory is per-rank, not per-trace)",
+        stats.peak_rank_events
+    );
+    let phases = &report.phases;
+    println!(
+        "  phases           {} (max LOAD_IMBALANCE {:.1}%, mean transfer {:.1}%, mean serialization {:.1}%)",
+        phases.nphases(),
+        100.0 * phases.max_load_imbalance(),
+        100.0 * phases.mean_transfer_fraction(),
+        100.0 * phases.mean_serialization_fraction()
+    );
+    println!(
+        "    {:>3} {:16} {:>10} {:>10} {:>7} {:>7} {:>7}",
+        "#", "boundary", "start(s)", "end(s)", "imbal%", "xfer%", "serial%"
+    );
+    for p in &phases.phases {
+        println!(
+            "    {:>3} {:16} {:>10.4} {:>10.4} {:>7.1} {:>7.1} {:>7.1}",
+            p.index,
+            p.boundary.as_deref().unwrap_or("(tail)"),
+            p.start_secs,
+            p.end_secs,
+            100.0 * p.load_imbalance,
+            100.0 * p.transfer_fraction,
+            100.0 * p.serialization_fraction
+        );
+    }
+    Ok(())
+}
+
 fn cmd_build(opts: &Opts) -> Result<(), CliError> {
     let in_path = opts.require("i")?;
     let out_path = opts.require("o")?;
@@ -477,13 +631,29 @@ fn load_skeleton(path: &str) -> Result<Skeleton, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Read a scenario spec's text; a path of `-` reads standard input.
+/// Returns the display name to use in diagnostics alongside the text.
+fn read_spec_text(path: &str) -> Result<(String, String), CliError> {
+    if path == "-" {
+        use std::io::Read;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| CliError::Runtime(format!("cannot read scenario spec from stdin: {e}")))?;
+        Ok(("<stdin>".to_string(), text))
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read scenario spec {path}: {e}")))?;
+        Ok((path.to_string(), text))
+    }
+}
+
 /// Compile a scenario spec file (TOML or JSON, sniffed) into a program.
 fn load_scenario_program(path: &str) -> Result<pskel_scenario::ScenarioProgram, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Runtime(format!("cannot read scenario spec {path}: {e}")))?;
+    let (name, text) = read_spec_text(path)?;
     ScenarioSource::auto(&text)
         .and_then(|src| src.compile())
-        .map_err(|e| CliError::Lint(format!("{path}: {e}")))
+        .map_err(|e| CliError::Lint(format!("{name}: {e}")))
 }
 
 /// The scenario a command runs under: a builtin named by `--scenario` or
@@ -607,10 +777,11 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
 /// spec files without touching the simulator.
 fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
     // These subcommands take file paths positionally; reject stray flags.
+    // A bare `-` is a path meaning "read the spec from standard input".
     let files: Vec<&str> = rest
         .iter()
         .map(|a| {
-            if a.starts_with('-') {
+            if a.starts_with('-') && a != "-" {
                 usage_err(format!("scenario {action} takes file paths, not {a:?}"))
             } else {
                 Ok(a.as_str())
@@ -639,14 +810,13 @@ fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
                 return usage_err("scenario lint needs at least one spec file".into());
             }
             for path in files {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+                let (name, text) = read_spec_text(path)?;
                 let points = ScenarioSource::auto(&text)
                     .and_then(|src| src.expand())
-                    .map_err(|e| CliError::Lint(format!("{path}: {e}")))?;
+                    .map_err(|e| CliError::Lint(format!("{name}: {e}")))?;
                 match points.as_slice() {
-                    [single] => println!("{path}: ok — {}", single.program.summary()),
-                    many => println!("{path}: ok — {} sweep points", many.len()),
+                    [single] => println!("{name}: ok — {}", single.program.summary()),
+                    many => println!("{name}: ok — {} sweep points", many.len()),
                 }
             }
             Ok(())
@@ -672,11 +842,10 @@ fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
             let [path] = files.as_slice() else {
                 return usage_err("scenario sweep needs exactly one spec file".into());
             };
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+            let (name, text) = read_spec_text(path)?;
             let points = ScenarioSource::auto(&text)
                 .and_then(|src| src.expand())
-                .map_err(|e| CliError::Lint(format!("{path}: {e}")))?;
+                .map_err(|e| CliError::Lint(format!("{name}: {e}")))?;
             for p in &points {
                 match p.value {
                     Some(v) => println!("{:20} {:>6}  {}", p.program.name, v, p.program.short_id()),
@@ -713,9 +882,17 @@ fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
             let report = pskel_bench::run_sim_bench(fast);
             (report.table(), report.to_json(), "BENCH_sim.json")
         }
+        "ingest" => {
+            eprintln!(
+                "timing streaming ingest vs the batch pipeline ({} mode)...",
+                if fast { "fast" } else { "full" }
+            );
+            let report = pskel_bench::run_ingest_bench(fast);
+            (report.table(), report.to_json(), "BENCH_ingest.json")
+        }
         other => {
             return usage_err(format!(
-                "unknown bench action {other:?}; use compress or sim"
+                "unknown bench action {other:?}; use compress, sim or ingest"
             ))
         }
     };

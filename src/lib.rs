@@ -27,6 +27,9 @@
 //!   and parameter sweeps (`pskel scenario`, `--scenario-file`).
 //! * [`store`] — compact binary trace format and the content-addressed
 //!   artifact cache behind `--store` / `pskel cache`.
+//! * [`ingest`] — streaming signature construction over mmap'd binary
+//!   traces with time-resolved phase metrics (`pskel ingest`, the
+//!   octet-stream mode of `POST /v1/trace`).
 //! * [`serve`] — `pskel serve`: a concurrent HTTP/JSON prediction
 //!   service with request coalescing, backpressure and live metrics.
 //!
@@ -73,6 +76,7 @@
 
 pub use pskel_apps as apps;
 pub use pskel_core as core;
+pub use pskel_ingest as ingest;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
 pub use pskel_scenario as scenario;

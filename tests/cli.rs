@@ -226,6 +226,131 @@ fn binary_trace_and_cache_workflow() {
 }
 
 #[test]
+fn ingest_streams_a_binary_trace_with_phase_metrics() {
+    let dir = workdir("ingest");
+    let path = dir.join("app.pskt");
+    let trace = pskel::trace::synthetic_app_trace(3, 400, 0x1A6E57);
+    let mut buf = Vec::new();
+    pskel::store::binfmt::write_trace_binary(&mut buf, &trace).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+
+    // Human report: rank count, phase table with the imbalance column.
+    let out = bin().args(["ingest", "-i"]).arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "ingest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("on 3 ranks"), "{stdout}");
+    assert!(stdout.contains("LOAD_IMBALANCE"), "{stdout}");
+    assert!(stdout.contains("boundary"), "{stdout}");
+
+    // --json emits the serve-shaped report document; --progress forces
+    // progress snapshots onto the piped (non-terminal) stderr.
+    let out = bin()
+        .args(["ingest", "--json", "--progress", "-i"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    for field in [
+        "\"tokens_per_rank\"",
+        "\"phases\"",
+        "\"load_imbalance\"",
+        "\"serialization_fraction\"",
+        "\"mapped\"",
+    ] {
+        assert!(json.contains(field), "{field} missing: {json}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ranks done"), "{stderr}");
+
+    // A truncated file is a runtime error naming the failing byte offset.
+    let cut_path = dir.join("cut.pskt");
+    std::fs::write(&cut_path, &buf[..buf.len() / 2]).unwrap();
+    let out = bin()
+        .args(["ingest", "-i"])
+        .arg(&cut_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("byte offset"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An out-of-range Q is a usage error.
+    let out = bin()
+        .args(["ingest", "--target-q", "0", "-i"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn scenario_specs_can_come_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let lint_stdin = |spec: &str| {
+        let mut child = bin()
+            .args(["scenario", "lint", "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(spec.as_bytes())
+            .unwrap();
+        child.wait_with_output().unwrap()
+    };
+
+    let out =
+        lint_stdin("name = \"storm\"\nnodes = 4\n\n[[cpu]]\nnode = \"all\"\nat = 0.5\nprocs = 2\n");
+    assert!(
+        out.status.success(),
+        "lint rejected a valid stdin spec: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("<stdin>: ok"));
+
+    // A bad spec from stdin keeps the line/column diagnostic, attributed
+    // to <stdin> instead of a path.
+    let out = lint_stdin("name = \"bad\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprcs = 2\n");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("<stdin>"), "{stderr}");
+    assert!(stderr.contains("prcs"), "{stderr}");
+
+    // `--scenario-file -` reads stdin too; a spec that fails to compile
+    // exits 2 before the skeleton is ever opened.
+    let mut child = bin()
+        .args(["run", "-i", "no-such-skeleton.json", "--scenario-file", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"name = \"bad\"\n\n[[cpu]]\nnode = 0\nat = -1.0\nprocs = 2\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("<stdin>"));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
