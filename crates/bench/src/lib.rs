@@ -23,7 +23,9 @@ use std::sync::Arc;
 
 pub use compress::{build_profile, run_compress_bench, CompressBenchReport, CompressBenchResult};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestBenchResult};
-pub use sim::{run_sim_bench, SimBenchReport, SimBenchResult};
+pub use sim::{
+    run_sim_bench, run_sim_bench_threads, SimBenchReport, SimBenchResult, SimScaleResult,
+};
 
 /// Parse common CLI options of the figure binaries: `--class S|W|A|B`
 /// scales the run, `--store <dir>` attaches a content-addressed artifact

@@ -6,8 +6,14 @@
 //! events per wall second for each, and checks the two paths still
 //! produce bit-identical [`SimReport`]s (the equivalence the proptests in
 //! `pskel-sim` pin down; here it doubles as a guard that the benchmark
-//! measured the same work twice). Cheap enough for CI smoke jobs; emits
-//! machine-readable JSON (`BENCH_sim.json`) for artifact tracking.
+//! measured the same work twice). A rank-count scaling series then pits
+//! the serial script engine against the time-sliced parallel driver on
+//! the same loop-nest workload at growing sizes, recording events/sec,
+//! speedup and bit-identity per size plus the host parallelism the run
+//! had available (so CI floors can be host-aware: a single-core runner
+//! cannot show wall-clock fan-out gains, only the algorithmic ones).
+//! Cheap enough for CI smoke jobs; emits machine-readable JSON
+//! (`BENCH_sim.json`) for artifact tracking.
 
 use crate::compress::build_profile;
 use pskel_apps::{Class, NasBenchmark};
@@ -37,13 +43,44 @@ pub struct SimBenchResult {
     pub identical: bool,
 }
 
+/// One point of the serial-vs-parallel rank scaling series.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimScaleResult {
+    pub ranks: usize,
+    /// Simulated nodes (= node-local rank groups the parallel driver can
+    /// shard across).
+    pub nodes: usize,
+    /// Outer loop iterations of the per-rank loop nest.
+    pub iters: u64,
+    /// Engine events one run processes (identical on both engines).
+    pub events: u64,
+    pub reps: usize,
+    /// Best-of-`reps` wall seconds on the serial script engine.
+    pub serial_secs: f64,
+    /// Best-of-`reps` wall seconds on the time-sliced parallel driver.
+    pub parallel_secs: f64,
+    pub serial_events_per_sec: f64,
+    pub parallel_events_per_sec: f64,
+    /// `serial_secs / parallel_secs` (> 1 means the parallel driver won).
+    pub speedup: f64,
+    /// Whether the two engines produced bit-identical reports.
+    pub identical: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct SimBenchReport {
     /// Build profile of this binary; debug-build events/sec numbers are
     /// not comparable to release floors.
     pub profile: &'static str,
     pub fast: bool,
+    /// Pool size handed to the parallel driver in the scaling series.
+    pub sim_threads: usize,
+    /// `std::thread::available_parallelism()` of the benchmarking host.
+    /// Wall-clock fan-out gains need > 1; CI floors key off this.
+    pub host_parallelism: usize,
     pub results: Vec<SimBenchResult>,
+    /// Serial vs parallel engine at growing rank counts.
+    pub scaling: Vec<SimScaleResult>,
 }
 
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -141,9 +178,19 @@ fn loop_nest_scripts(nranks: usize, iters: u64, sw_overhead_secs: f64) -> Vec<Ra
         .collect()
 }
 
-/// Run the simulator-path benchmark suite. `fast` shrinks workloads and
+/// Run the simulator-path benchmark suite with a default thread count
+/// (the host's available parallelism). `fast` shrinks workloads and
 /// repetitions for smoke jobs.
 pub fn run_sim_bench(fast: bool) -> SimBenchReport {
+    let threads = pskel_sim::resolve_sim_threads(None).unwrap_or(1);
+    run_sim_bench_threads(fast, threads)
+}
+
+/// Run the simulator-path benchmark suite, handing `sim_threads` pool
+/// members to the parallel driver in the scaling series (a floor of 2 is
+/// applied there — a 1-thread "parallel" run would dispatch to the serial
+/// engine and measure nothing).
+pub fn run_sim_bench_threads(fast: bool, sim_threads: usize) -> SimBenchReport {
     let reps = if fast { 3 } else { 5 };
     let mut results = Vec::new();
 
@@ -194,10 +241,56 @@ pub fn run_sim_bench(fast: bool) -> SimBenchReport {
         threaded,
     ));
 
+    // Rank-count scaling series: the serial script engine vs the
+    // time-sliced parallel driver on one loop-nest workload at growing
+    // sizes. Iteration counts shrink as ranks grow so every point stays
+    // CI-cheap while the event counts keep climbing.
+    let threads = sim_threads.max(2);
+    let sizes: &[(usize, u64)] = if fast {
+        &[(8, 60), (32, 30), (64, 20)]
+    } else {
+        &[(8, 400), (32, 200), (64, 120), (128, 50), (512, 12)]
+    };
+    let scale_reps = if fast { 2 } else { 3 };
+    let mut scaling = Vec::new();
+    for &(nranks, iters) in sizes {
+        // Multi-rank nodes give the parallel driver real node-local
+        // groups to shard (8 ranks per node, the dense end of the
+        // paper's testbed shapes).
+        let nodes = (nranks / 8).max(2);
+        let c = ClusterSpec::homogeneous(nodes);
+        let p = Placement::blocked(nranks, nodes);
+        let scripts = loop_nest_scripts(nranks, iters, c.net.sw_overhead.as_secs_f64());
+        let (serial_secs, serial) = time_best(scale_reps, || {
+            Simulation::new(c.clone(), p.clone()).run_scripts(&scripts)
+        });
+        let (parallel_secs, parallel) = time_best(scale_reps, || {
+            Simulation::new(c.clone(), p.clone()).run_scripts_parallel(&scripts, threads)
+        });
+        scaling.push(SimScaleResult {
+            ranks: nranks,
+            nodes,
+            iters,
+            events: serial.events,
+            reps: scale_reps,
+            serial_secs,
+            parallel_secs,
+            serial_events_per_sec: serial.events as f64 / serial_secs,
+            parallel_events_per_sec: parallel.events as f64 / parallel_secs,
+            speedup: serial_secs / parallel_secs,
+            identical: serial == parallel,
+        });
+    }
+
     SimBenchReport {
         profile: build_profile(),
         fast,
+        sim_threads: threads,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         results,
+        scaling,
     }
 }
 
@@ -211,6 +304,8 @@ impl SimBenchReport {
         let _ = writeln!(s, "{{");
         let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
         let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"sim_threads\": {},", self.sim_threads);
+        let _ = writeln!(s, "  \"host_parallelism\": {},", self.host_parallelism);
         let _ = writeln!(s, "  \"results\": [");
         for (i, r) in self.results.iter().enumerate() {
             let _ = writeln!(s, "    {{");
@@ -236,6 +331,35 @@ impl SimBenchReport {
                 s,
                 "    }}{}",
                 if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"scaling\": [");
+        for (i, r) in self.scaling.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"ranks\": {},", r.ranks);
+            let _ = writeln!(s, "      \"nodes\": {},", r.nodes);
+            let _ = writeln!(s, "      \"iters\": {},", r.iters);
+            let _ = writeln!(s, "      \"events\": {},", r.events);
+            let _ = writeln!(s, "      \"reps\": {},", r.reps);
+            let _ = writeln!(s, "      \"serial_secs\": {},", r.serial_secs);
+            let _ = writeln!(s, "      \"parallel_secs\": {},", r.parallel_secs);
+            let _ = writeln!(
+                s,
+                "      \"serial_events_per_sec\": {},",
+                r.serial_events_per_sec
+            );
+            let _ = writeln!(
+                s,
+                "      \"parallel_events_per_sec\": {},",
+                r.parallel_events_per_sec
+            );
+            let _ = writeln!(s, "      \"speedup\": {},", r.speedup);
+            let _ = writeln!(s, "      \"identical\": {}", r.identical);
+            let _ = writeln!(
+                s,
+                "    }}{}",
+                if i + 1 < self.scaling.len() { "," } else { "" }
             );
         }
         let _ = writeln!(s, "  ]");
@@ -274,6 +398,29 @@ impl SimBenchReport {
                 r.identical
             );
         }
+        let _ = writeln!(
+            s,
+            "\nrank scaling, serial vs parallel ({} sim threads, host parallelism {}):",
+            self.sim_threads, self.host_parallelism
+        );
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>9} {:>12} {:>14} {:>8} {:>9}",
+            "ranks", "nodes", "events", "serial_ev/s", "parallel_ev/s", "speedup", "identical"
+        );
+        for r in &self.scaling {
+            let _ = writeln!(
+                s,
+                "{:>6} {:>6} {:>9} {:>12.0} {:>14.0} {:>7.2}x {:>9}",
+                r.ranks,
+                r.nodes,
+                r.events,
+                r.serial_events_per_sec,
+                r.parallel_events_per_sec,
+                r.speedup,
+                r.identical
+            );
+        }
         s
     }
 }
@@ -284,17 +431,33 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_identical_reports_and_valid_json() {
-        let report = run_sim_bench(true);
+        let report = run_sim_bench_threads(true, 2);
         assert_eq!(report.results.len(), 2);
         for r in &report.results {
             assert!(r.identical, "{}: paths diverged", r.name);
             assert!(r.events > 0, "{}: no events", r.name);
             assert!(r.script_secs > 0.0 && r.threaded_secs > 0.0);
         }
+        assert!(!report.scaling.is_empty());
+        assert!(report.sim_threads >= 2);
+        assert!(report.host_parallelism >= 1);
+        let mut last_ranks = 0;
+        for r in &report.scaling {
+            assert!(r.ranks > last_ranks, "sizes must grow");
+            last_ranks = r.ranks;
+            assert!(r.identical, "{} ranks: engines diverged", r.ranks);
+            assert!(r.events > 0 && r.serial_secs > 0.0 && r.parallel_secs > 0.0);
+        }
         let json = report.to_json();
         assert!(json.contains("\"profile\""), "json: {json}");
         assert!(json.contains("skeleton_loop_nest_8rank"), "json: {json}");
-        // The table renders one line per result plus the header.
-        assert_eq!(report.table().lines().count(), 1 + report.results.len());
+        assert!(json.contains("\"scaling\""), "json: {json}");
+        assert!(json.contains("\"host_parallelism\""), "json: {json}");
+        // The table renders the path results, then a blank line, the
+        // scaling banner, its header and one line per scaling point.
+        assert_eq!(
+            report.table().lines().count(),
+            1 + report.results.len() + 3 + report.scaling.len()
+        );
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::ir::{RankSkeleton, SkelNode, SkelOp, Skeleton};
 use pskel_mpi::{
-    try_run_mpi_fns, try_run_mpi_scripts, Comm, CommReq, MpiOps, MpiProgram, MpiRunOutcome,
+    try_run_mpi_fns, try_run_mpi_scripts_threads, Comm, CommReq, MpiOps, MpiProgram, MpiRunOutcome,
     ScriptBuilder, TraceConfig,
 };
 use pskel_sim::script::sample_normal;
@@ -209,6 +209,11 @@ pub struct ExecOptions {
     /// Trace the skeleton run itself (used to validate skeleton behaviour,
     /// e.g. the paper's Figure 2 comparison).
     pub trace: TraceConfig,
+    /// Simulator threads for untraced (script) runs: 1 is the exact legacy
+    /// serial engine, more enables the time-sliced parallel driver
+    /// (bit-identical reports either way). Resolve user input with
+    /// [`pskel_sim::resolve_sim_threads`]; traced runs ignore this.
+    pub sim_threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -216,6 +221,7 @@ impl Default for ExecOptions {
         ExecOptions {
             seed: 0x5eed,
             trace: TraceConfig::off(),
+            sim_threads: 1,
         }
     }
 }
@@ -260,7 +266,7 @@ pub fn try_run_skeleton(
         .iter()
         .map(|r| compile_rank(r, n, o, opts.seed))
         .collect();
-    try_run_mpi_scripts(cluster, placement, &scripts)
+    try_run_mpi_scripts_threads(cluster, placement, &scripts, opts.sim_threads)
 }
 
 /// Run a skeleton on the thread-per-rank path (required when tracing the
@@ -469,7 +475,7 @@ mod tests {
                 Placement::round_robin(1, 1),
                 ExecOptions {
                     seed,
-                    trace: TraceConfig::off(),
+                    ..Default::default()
                 },
             )
             .total_secs()

@@ -72,6 +72,7 @@ pub use good::{analyze_app, analyze_rank, GoodAnalysis, RankGoodAnalysis};
 pub use ir::{RankSkeleton, SkelNode, SkelOp, Skeleton, SkeletonMeta};
 pub use pipeline::{BuiltSkeleton, SkeletonBuilder};
 pub use replay::{
-    replay_rank, replay_script, replay_trace, replay_trace_threaded, try_replay_trace, ReplayScale,
+    replay_rank, replay_script, replay_trace, replay_trace_threaded, try_replay_trace,
+    try_replay_trace_threads, ReplayScale,
 };
 pub use validate::{validate, validate_ranks};

@@ -21,8 +21,8 @@
 //! thread-per-rank path ([`replay_trace_threaded`]).
 
 use pskel_mpi::{
-    try_run_mpi_fns, try_run_mpi_scripts, Comm, MpiOps, MpiProgram, MpiRunOutcome, ScriptBuilder,
-    TraceConfig,
+    try_run_mpi_fns, try_run_mpi_scripts_threads, Comm, MpiOps, MpiProgram, MpiRunOutcome,
+    ScriptBuilder, TraceConfig,
 };
 use pskel_sim::{ClusterSpec, Placement, RankScript, SimError};
 use pskel_trace::{AppTrace, OpKind, ProcessTrace, Record};
@@ -153,12 +153,27 @@ pub fn replay_trace(
     try_replay_trace(trace, cluster, placement, scale).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible form of [`replay_trace`].
+/// Fallible form of [`replay_trace`]. Always the exact legacy serial
+/// engine; use [`try_replay_trace_threads`] to carry a resolved simulator
+/// thread count.
 pub fn try_replay_trace(
     trace: &AppTrace,
     cluster: ClusterSpec,
     placement: Placement,
     scale: ReplayScale,
+) -> Result<MpiRunOutcome, SimError> {
+    try_replay_trace_threads(trace, cluster, placement, scale, 1)
+}
+
+/// Like [`try_replay_trace`], but selects the engine by `threads`: 1 runs
+/// the serial script fast path, more the time-sliced parallel driver.
+/// Reports are bit-identical either way.
+pub fn try_replay_trace_threads(
+    trace: &AppTrace,
+    cluster: ClusterSpec,
+    placement: Placement,
+    scale: ReplayScale,
+    threads: usize,
 ) -> Result<MpiRunOutcome, SimError> {
     assert_eq!(
         trace.nranks(),
@@ -175,7 +190,7 @@ pub fn try_replay_trace(
         .enumerate()
         .map(|(rank, p)| replay_script(p, rank, n, o, scale))
         .collect();
-    try_run_mpi_scripts(cluster, placement, &scripts)
+    try_run_mpi_scripts_threads(cluster, placement, &scripts, threads)
 }
 
 /// Replay on the thread-per-rank path (the reference the fast path is

@@ -281,18 +281,33 @@ pub fn run_mpi_scripts(
     try_run_mpi_scripts(cluster, placement, scripts).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible form of [`run_mpi_scripts`].
+/// Fallible form of [`run_mpi_scripts`]. Always the exact legacy serial
+/// engine; callers that carry a resolved simulator thread count should
+/// use [`try_run_mpi_scripts_threads`].
 pub fn try_run_mpi_scripts(
     cluster: ClusterSpec,
     placement: Placement,
     scripts: &[RankScript],
+) -> Result<MpiRunOutcome, SimError> {
+    try_run_mpi_scripts_threads(cluster, placement, scripts, 1)
+}
+
+/// Like [`try_run_mpi_scripts`], but selects the engine by `threads`
+/// (resolved via [`pskel_sim::resolve_sim_threads`]): 1 runs the serial
+/// script fast path, more the time-sliced parallel driver. Reports are
+/// bit-identical either way.
+pub fn try_run_mpi_scripts_threads(
+    cluster: ClusterSpec,
+    placement: Placement,
+    scripts: &[RankScript],
+    threads: usize,
 ) -> Result<MpiRunOutcome, SimError> {
     assert_eq!(
         scripts.len(),
         placement.n_ranks(),
         "need exactly one script per rank"
     );
-    let report = Simulation::new(cluster, placement).try_run_scripts(scripts)?;
+    let report = Simulation::new(cluster, placement).try_run_scripts_auto(scripts, threads)?;
     Ok(MpiRunOutcome {
         report,
         trace: None,

@@ -26,8 +26,8 @@ pub mod slots;
 
 pub use comm::{Comm, CommReq, Tracer, COLL_TAG_BASE};
 pub use harness::{
-    run_jobs, run_mpi, run_mpi_fns, run_mpi_scripts, try_run_mpi_fns, try_run_mpi_scripts, Job,
-    JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig,
+    run_jobs, run_mpi, run_mpi_fns, run_mpi_scripts, try_run_mpi_fns, try_run_mpi_scripts,
+    try_run_mpi_scripts_threads, Job, JobOutcome, MpiProgram, MpiRunOutcome, TraceConfig,
 };
 pub use script::{MpiOps, ScriptBuilder, TMP_SLOT_BASE};
 pub use slots::SlotAllocator;

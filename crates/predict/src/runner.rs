@@ -29,6 +29,11 @@ use std::sync::{Arc, Mutex};
 pub struct Testbed {
     pub cluster: ClusterSpec,
     pub placement: Placement,
+    /// Simulator threads for untraced skeleton runs (1 = serial engine;
+    /// more enables the time-sliced parallel driver). Reports are
+    /// bit-identical either way, so this never perturbs cached artifacts
+    /// and is deliberately excluded from provenance keys.
+    pub sim_threads: usize,
 }
 
 impl Default for Testbed {
@@ -36,6 +41,7 @@ impl Default for Testbed {
         Testbed {
             cluster: ClusterSpec::paper_testbed(),
             placement: Placement::round_robin(4, 4),
+            sim_threads: 1,
         }
     }
 }
@@ -109,7 +115,10 @@ impl Testbed {
             &built.skeleton,
             cluster,
             self.placement.clone(),
-            ExecOptions::default(),
+            ExecOptions {
+                sim_threads: self.sim_threads,
+                ..Default::default()
+            },
         )?
         .total_secs())
     }
@@ -126,7 +135,10 @@ impl Testbed {
             &built.skeleton,
             cluster,
             self.placement.clone(),
-            ExecOptions::default(),
+            ExecOptions {
+                sim_threads: self.sim_threads,
+                ..Default::default()
+            },
         )
         .map_err(|error| EvalError::Sim {
             what: what.to_string(),

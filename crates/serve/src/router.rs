@@ -133,6 +133,21 @@ impl Router {
                 "pskel_sim_threaded_events_per_sec",
                 s.threaded_events_per_sec() as u64,
             ),
+            ("pskel_sim_parallel_runs_total", s.parallel_runs),
+            ("pskel_sim_parallel_events_total", s.parallel_events),
+            (
+                "pskel_sim_parallel_events_per_sec",
+                s.parallel_events_per_sec() as u64,
+            ),
+            ("pskel_sim_parallel_slices_total", s.parallel_slices),
+            (
+                "pskel_sim_parallel_merge_events_total",
+                s.parallel_merge_events,
+            ),
+            (
+                "pskel_sim_parallel_worker_utilization_percent",
+                (s.parallel_worker_utilization() * 100.0) as u64,
+            ),
             (
                 "pskel_scenario_programs_compiled_total",
                 pskel_scenario::counters::snapshot().programs_compiled,

@@ -160,14 +160,34 @@ struct WorkerState {
     store: Option<Arc<Store>>,
     counters: Arc<EvalCounters>,
     contexts: HashMap<Class, EvalContext>,
+    /// Simulator threads for this worker's contexts (see
+    /// [`serve_sim_threads`]).
+    sim_threads: usize,
+}
+
+/// Simulator threads for worker-owned evaluation contexts. The pool
+/// already runs one OS thread per worker, so the default stays the serial
+/// engine (1); operators can opt the workers into the time-sliced
+/// parallel engine with `PSKEL_SIM_THREADS` (reports are bit-identical
+/// either way, so cached artifacts are unaffected).
+fn serve_sim_threads() -> usize {
+    if std::env::var_os("PSKEL_SIM_THREADS").is_none() {
+        return 1;
+    }
+    pskel_sim::resolve_sim_threads(None).unwrap_or_else(|e| {
+        eprintln!("pskel-serve: {e}; falling back to the serial simulator");
+        1
+    })
 }
 
 impl WorkerState {
     fn context(&mut self, class: Class) -> &mut EvalContext {
         let store = self.store.clone();
         let counters = Arc::clone(&self.counters);
+        let sim_threads = self.sim_threads;
         self.contexts.entry(class).or_insert_with(|| {
             let mut ctx = EvalContext::new(class, &[]);
+            ctx.testbed.sim_threads = sim_threads;
             if let Some(s) = store {
                 ctx.set_store(s);
             }
@@ -294,7 +314,7 @@ impl WorkerState {
                 std::thread::sleep(Duration::from_millis(ms.min(60_000)));
                 Ok(Json::obj([("slept_ms", Json::from(ms.min(60_000)))]))
             }
-            ApiJob::Deadlock => Err(deliberate_deadlock()),
+            ApiJob::Deadlock => Err(deliberate_deadlock(self.sim_threads)),
         }
     }
 }
@@ -302,8 +322,10 @@ impl WorkerState {
 /// Simulate two ranks each blocked receiving from the other. The fast
 /// path's typed [`pskel_sim::SimError`] comes back as an `Internal` error
 /// carrying the simulator's diagnostic; the worker thread itself is
-/// untouched (no panic, no poisoned context).
-fn deliberate_deadlock() -> ApiError {
+/// untouched (no panic, no poisoned context). Runs through the same
+/// engine selection as real jobs, so with `PSKEL_SIM_THREADS` set this
+/// also proves the parallel driver surfaces deadlock diagnostics.
+fn deliberate_deadlock(sim_threads: usize) -> ApiError {
     let n = 2;
     let scripts: Vec<RankScript> = (0..n)
         .map(|rank| RankScript {
@@ -315,7 +337,7 @@ fn deliberate_deadlock() -> ApiError {
         })
         .collect();
     let sim = Simulation::new(ClusterSpec::homogeneous(n), Placement::round_robin(n, n));
-    match sim.try_run_scripts(&scripts) {
+    match sim.try_run_scripts_auto(&scripts, sim_threads) {
         Ok(_) => ApiError::Internal("deliberate deadlock unexpectedly completed".into()),
         Err(e) => ApiError::Internal(format!("deliberate deadlock job: {e}")),
     }
@@ -342,6 +364,7 @@ pub fn spawn_pool(
     store: Option<Arc<Store>>,
     counters: Arc<EvalCounters>,
 ) -> Vec<JoinHandle<()>> {
+    let sim_threads = serve_sim_threads();
     (0..n.max(1))
         .map(|i| {
             let queue = Arc::clone(&queue);
@@ -354,6 +377,7 @@ pub fn spawn_pool(
                         store,
                         counters,
                         contexts: HashMap::new(),
+                        sim_threads,
                     };
                     while let Some(job) = queue.pop() {
                         let outcome =

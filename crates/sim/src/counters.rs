@@ -18,6 +18,13 @@ static THREADED_NANOS: AtomicU64 = AtomicU64::new(0);
 static SCRIPT_NANOS: AtomicU64 = AtomicU64::new(0);
 static TIMELINE_EVENTS: AtomicU64 = AtomicU64::new(0);
 static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_RUNS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_EVENTS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_NANOS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_SLICES: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_MERGE_EVENTS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_WORKER_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_WORKER_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the global simulator counters. Monotonic over
 /// the life of the process; consumers wanting rates over an interval
@@ -41,15 +48,32 @@ pub struct SimCounters {
     pub timeline_events: u64,
     /// Subset of timeline events flagged as injected faults.
     pub faults_injected: u64,
+    /// Completed time-sliced parallel-path simulations.
+    pub parallel_runs: u64,
+    /// Engine events processed on the parallel path.
+    pub parallel_events: u64,
+    /// Wall nanoseconds spent inside parallel runs.
+    pub parallel_nanos: u64,
+    /// Slices stepped by the parallel path (max-min rate solves; one per
+    /// window of advances with an unchanged flow set / link capacities).
+    pub parallel_slices: u64,
+    /// Cross-node events merged at slice boundaries (drained flows plus
+    /// timeline actions).
+    pub parallel_merge_events: u64,
+    /// Nanoseconds spawned workers spent generating rank requests.
+    pub parallel_worker_busy_nanos: u64,
+    /// Nanoseconds of spawned-worker capacity (wall time × workers) over
+    /// the same runs; busy / wall is the pool utilization.
+    pub parallel_worker_wall_nanos: u64,
 }
 
 impl SimCounters {
     pub fn total_runs(&self) -> u64 {
-        self.threaded_runs + self.script_runs
+        self.threaded_runs + self.script_runs + self.parallel_runs
     }
 
     pub fn total_events(&self) -> u64 {
-        self.threaded_events + self.script_events
+        self.threaded_events + self.script_events + self.parallel_events
     }
 
     /// Simulated events per wall second on the script fast path.
@@ -62,9 +86,28 @@ impl SimCounters {
         rate(self.threaded_events, self.threaded_nanos)
     }
 
-    /// Simulated events per wall second across both paths.
+    /// Simulated events per wall second on the parallel path.
+    pub fn parallel_events_per_sec(&self) -> f64 {
+        rate(self.parallel_events, self.parallel_nanos)
+    }
+
+    /// Fraction of spawned-worker capacity spent doing useful request
+    /// generation on the parallel path, in [0, 1]. Zero when no run ever
+    /// fanned out (single-core hosts generate requests inline).
+    pub fn parallel_worker_utilization(&self) -> f64 {
+        if self.parallel_worker_wall_nanos == 0 {
+            0.0
+        } else {
+            self.parallel_worker_busy_nanos as f64 / self.parallel_worker_wall_nanos as f64
+        }
+    }
+
+    /// Simulated events per wall second across all paths.
     pub fn events_per_sec(&self) -> f64 {
-        rate(self.total_events(), self.threaded_nanos + self.script_nanos)
+        rate(
+            self.total_events(),
+            self.threaded_nanos + self.script_nanos + self.parallel_nanos,
+        )
     }
 }
 
@@ -87,6 +130,13 @@ pub fn snapshot() -> SimCounters {
         script_nanos: SCRIPT_NANOS.load(Ordering::Relaxed),
         timeline_events: TIMELINE_EVENTS.load(Ordering::Relaxed),
         faults_injected: FAULTS_INJECTED.load(Ordering::Relaxed),
+        parallel_runs: PARALLEL_RUNS.load(Ordering::Relaxed),
+        parallel_events: PARALLEL_EVENTS.load(Ordering::Relaxed),
+        parallel_nanos: PARALLEL_NANOS.load(Ordering::Relaxed),
+        parallel_slices: PARALLEL_SLICES.load(Ordering::Relaxed),
+        parallel_merge_events: PARALLEL_MERGE_EVENTS.load(Ordering::Relaxed),
+        parallel_worker_busy_nanos: PARALLEL_WORKER_BUSY_NANOS.load(Ordering::Relaxed),
+        parallel_worker_wall_nanos: PARALLEL_WORKER_WALL_NANOS.load(Ordering::Relaxed),
     }
 }
 
@@ -107,4 +157,21 @@ pub(crate) fn record_script(events: u64, elapsed: Duration) {
     SCRIPT_RUNS.fetch_add(1, Ordering::Relaxed);
     SCRIPT_EVENTS.fetch_add(events, Ordering::Relaxed);
     SCRIPT_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_parallel(
+    events: u64,
+    elapsed: Duration,
+    slices: u64,
+    merge_events: u64,
+    worker_busy_nanos: u64,
+    worker_wall_nanos: u64,
+) {
+    PARALLEL_RUNS.fetch_add(1, Ordering::Relaxed);
+    PARALLEL_EVENTS.fetch_add(events, Ordering::Relaxed);
+    PARALLEL_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    PARALLEL_SLICES.fetch_add(slices, Ordering::Relaxed);
+    PARALLEL_MERGE_EVENTS.fetch_add(merge_events, Ordering::Relaxed);
+    PARALLEL_WORKER_BUSY_NANOS.fetch_add(worker_busy_nanos, Ordering::Relaxed);
+    PARALLEL_WORKER_WALL_NANOS.fetch_add(worker_wall_nanos, Ordering::Relaxed);
 }

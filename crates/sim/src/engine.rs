@@ -96,7 +96,7 @@ pub(crate) struct Reply {
 
 /// What a blocked rank is waiting for.
 #[derive(Debug)]
-enum Blocked {
+pub(crate) enum Blocked {
     Running,
     Compute,
     Sleep,
@@ -391,7 +391,7 @@ impl SimCtx {
 /// threads, or in-place slots the inline script driver reads back —
 /// identical reply values either way, which is what keeps the two
 /// execution paths bit-identical.
-enum ReplySink {
+pub(crate) enum ReplySink {
     Threads(Vec<Sender<Reply>>),
     Inline(Vec<Option<Reply>>),
 }
@@ -412,7 +412,7 @@ impl ReplySink {
         }
     }
 
-    fn take_inline(&mut self, rank: usize) -> Option<Reply> {
+    pub(crate) fn take_inline(&mut self, rank: usize) -> Option<Reply> {
         match self {
             ReplySink::Inline(slots) => slots[rank].take(),
             ReplySink::Threads(_) => unreachable!("inline reply requested on a threaded sink"),
@@ -420,9 +420,28 @@ impl ReplySink {
     }
 }
 
-struct Engine {
+/// Memoized per-slice state the parallel driver threads through successive
+/// clock advances. A *slice* is a maximal run of advances over which the
+/// flow set and link capacities (`Engine::net_epoch`) are unchanged; the
+/// max-min rate solution is computed once at the slice's opening merge
+/// point and reused verbatim until the next boundary. Also carries scratch
+/// buffers so steady-state advances allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct AdvanceCache {
+    /// `net_epoch` the cached `rates` were solved at, if any.
+    rates_epoch: Option<u64>,
+    rates: Vec<f64>,
+    done_scratch: Vec<u64>,
+    /// Rate solves performed == slices stepped.
+    pub(crate) slices: u64,
+    /// Cross-node events merged at slice boundaries (drained flows +
+    /// timeline actions applied).
+    pub(crate) merge_events: u64,
+}
+
+pub(crate) struct Engine {
     spec: ClusterSpec,
-    placement: Placement,
+    pub(crate) placement: Placement,
     now: SimTime,
     nodes: Vec<NodeCpu>,
     flows: Vec<Flow>,
@@ -433,16 +452,22 @@ struct Engine {
     recvs: HashMap<u64, RecvReq>,
     queues: Vec<MatchQueue>,
     nb: HashMap<u64, NbState>,
-    blocked: Vec<Blocked>,
-    sink: ReplySink,
-    running: usize,
-    live: usize,
+    pub(crate) blocked: Vec<Blocked>,
+    pub(crate) sink: ReplySink,
+    pub(crate) running: usize,
+    pub(crate) live: usize,
     next_id: u64,
     send_seq: u64,
     stats: Vec<RankStats>,
     finish_times: Vec<SimTime>,
     panics: Vec<(usize, String)>,
     events: u64,
+    /// Version of the flow-set/link-capacity state the max-min rate
+    /// solution depends on. Bumped whenever a flow starts or drains or a
+    /// timeline event fires, so a cached rate vector is valid exactly
+    /// while this is unchanged (the rates read only flow endpoints and
+    /// effective bandwidths, never `remaining`).
+    net_epoch: u64,
     /// Timeline events sorted by time (stable, so same-time events apply in
     /// spec order); `tl_next` indexes the first not-yet-applied event.
     tl_events: Vec<TimelineEvent>,
@@ -486,7 +511,7 @@ impl Engine {
 
     // ---- request handling -------------------------------------------------
 
-    fn handle_request(&mut self, rank: usize, req: Request) {
+    pub(crate) fn handle_request(&mut self, rank: usize, req: Request) {
         self.events += 1;
         // A delayed rank's first request is parked until its release timer
         // fires; both execution paths funnel through here, so the hold is
@@ -874,6 +899,7 @@ impl Engine {
                         remaining: bytes as f64,
                     };
                     self.flows.push(f);
+                    self.net_epoch += 1;
                 }
             }
             Timer::RndvWire { msg } => {
@@ -890,6 +916,7 @@ impl Engine {
                     remaining: bytes as f64,
                 };
                 self.flows.push(f);
+                self.net_epoch += 1;
             }
             Timer::LocalDelivery { msg } => {
                 let state = {
@@ -931,6 +958,9 @@ impl Engine {
                 self.spec.net.latency = *lat;
             }
         }
+        // Conservative: only SetLinkCap changes max-min rates, but a stale
+        // cache merely costs one recompute, so invalidate on any event.
+        self.net_epoch += 1;
         crate::counters::record_timeline_event(ev.fault);
     }
 
@@ -961,7 +991,24 @@ impl Engine {
 
     /// Advance virtual time by one step, waking at least one rank or
     /// making internal progress. Fails on deadlock.
+    ///
+    /// This is the exact legacy serial step: every call re-solves the
+    /// max-min fair rates and allocates fresh scratch buffers. The
+    /// parallel driver calls [`Engine::advance_with`] with an
+    /// [`AdvanceCache`] instead, which produces bit-identical state (the
+    /// cached rate vector is only reused while `net_epoch` is unchanged,
+    /// over which interval a fresh solve would return identical values).
     fn advance_once(&mut self) -> Result<(), SimError> {
+        self.advance_with(None)
+    }
+
+    /// One clock step, optionally slice-cached. Keep the `None` arm's
+    /// operation sequence exactly as the historical `advance_once`: the
+    /// `--sim-threads 1` path is pinned as the legacy serial engine.
+    pub(crate) fn advance_with(
+        &mut self,
+        mut cache: Option<&mut AdvanceCache>,
+    ) -> Result<(), SimError> {
         self.events += 1;
 
         // Completions already ripe at `now` (e.g. zero-work computes).
@@ -987,8 +1034,28 @@ impl Engine {
                 dt = dt.min(d);
             }
         }
-        let rates = max_min_rates(&self.spec, &self.flows);
-        for (f, &r) in self.flows.iter().zip(&rates) {
+        // Max-min fair rates for the current flow set. The solution reads
+        // only flow endpoints and per-link caps — never the remaining byte
+        // counts — so within one `net_epoch` (a slice) it is constant and
+        // the cached copy from the slice's opening merge point is
+        // bit-identical to a fresh solve.
+        let fresh_rates;
+        let rates: &[f64] = match cache.as_deref_mut() {
+            None => {
+                fresh_rates = max_min_rates(&self.spec, &self.flows);
+                &fresh_rates
+            }
+            Some(c) => {
+                if c.rates_epoch != Some(self.net_epoch) {
+                    c.rates = max_min_rates(&self.spec, &self.flows);
+                    c.rates_epoch = Some(self.net_epoch);
+                    c.slices += 1;
+                }
+                &c.rates
+            }
+        };
+        debug_assert_eq!(rates.len(), self.flows.len());
+        for (f, &r) in self.flows.iter().zip(rates) {
             if f.remaining <= FLOW_EPS {
                 dt = SimDuration::ZERO;
             } else if r > 0.0 {
@@ -1014,7 +1081,7 @@ impl Engine {
             node.settle(dt);
         }
         let step = dt.as_secs_f64();
-        for (f, &r) in self.flows.iter_mut().zip(&rates) {
+        for (f, &r) in self.flows.iter_mut().zip(rates) {
             f.remaining = (f.remaining - r * step).max(0.0);
         }
         self.now += dt;
@@ -1022,6 +1089,7 @@ impl Engine {
         // Apply timeline events that are due before collecting completions:
         // the continuous state above was settled with the pre-event rates,
         // which is exact because the step never crosses an event boundary.
+        let mut tl_applied = 0u64;
         while let Some(ev) = self.tl_events.get(self.tl_next) {
             if Timeline::event_time(ev) > self.now {
                 break;
@@ -1029,6 +1097,7 @@ impl Engine {
             let ev = ev.clone();
             self.tl_next += 1;
             self.apply_timeline_event(&ev);
+            tl_applied += 1;
         }
 
         // Collect completions at the new time.
@@ -1039,7 +1108,11 @@ impl Engine {
                 self.reply(rank, ReplyKind::Done);
             }
         }
-        let mut done_flows = Vec::new();
+        let mut done_flows = match cache.as_deref_mut() {
+            Some(c) => std::mem::take(&mut c.done_scratch),
+            None => Vec::new(),
+        };
+        done_flows.clear();
         self.flows.retain(|f| {
             if f.remaining <= FLOW_EPS {
                 done_flows.push(f.id);
@@ -1048,8 +1121,16 @@ impl Engine {
                 true
             }
         });
-        for mid in done_flows {
+        if !done_flows.is_empty() {
+            self.net_epoch += 1;
+        }
+        for &mid in &done_flows {
             self.flow_done(mid);
+        }
+        if let Some(c) = cache {
+            c.merge_events += done_flows.len() as u64 + tl_applied;
+            done_flows.clear();
+            c.done_scratch = done_flows;
         }
         while let Some(&Reverse((t, _, _))) = self.timers.peek() {
             if t > self.now.as_nanos() {
@@ -1069,7 +1150,12 @@ impl Engine {
         let mut lines = Vec::new();
         for (r, b) in self.blocked.iter().enumerate() {
             if !matches!(b, Blocked::Exited) {
-                lines.push(format!("  rank {r}: {b:?}"));
+                // Name the node and node-local group so hangs surfaced from
+                // the parallel driver can be traced to the worker shard
+                // that stepped the rank (groups are node-local: group id ==
+                // hosting node id).
+                let node = self.placement.node_of(r);
+                lines.push(format!("  rank {r} (node {node}, group {node}): {b:?}"));
             }
         }
         if !self.panics.is_empty() {
@@ -1085,7 +1171,7 @@ impl Engine {
 
     /// Consume the finished engine into a report, surfacing the first
     /// rank panic as an error.
-    fn into_report(mut self) -> Result<SimReport, SimError> {
+    pub(crate) fn into_report(mut self) -> Result<SimReport, SimError> {
         if !self.panics.is_empty() {
             let (rank, msg) = self.panics.remove(0);
             return Err(SimError::RankPanic { rank, msg });
@@ -1110,8 +1196,8 @@ pub type RankProgram = Box<dyn FnOnce(&mut SimCtx) + Send>;
 
 /// A configured simulation, ready to run rank programs.
 pub struct Simulation {
-    spec: ClusterSpec,
-    placement: Placement,
+    pub(crate) spec: ClusterSpec,
+    pub(crate) placement: Placement,
 }
 
 impl Simulation {
@@ -1127,7 +1213,7 @@ impl Simulation {
         self.placement.n_ranks()
     }
 
-    fn build_engine(self, n: usize, sink: ReplySink) -> Engine {
+    pub(crate) fn build_engine(self, n: usize, sink: ReplySink) -> Engine {
         let mut tl_events = self.spec.timeline.events.clone();
         tl_events.sort_by_key(|ev| ev.at); // stable: same-time events keep spec order
         let mut hold: Vec<Option<SimDuration>> = vec![None; n];
@@ -1167,6 +1253,7 @@ impl Simulation {
             finish_times: vec![SimTime::ZERO; n],
             panics: Vec::new(),
             events: 0,
+            net_epoch: 0,
         }
     }
 

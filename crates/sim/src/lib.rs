@@ -41,12 +41,14 @@ pub mod cpu;
 pub mod engine;
 pub mod msg;
 pub mod net;
+pub mod parallel;
 pub mod script;
 pub mod spec;
 pub mod time;
 
 pub use counters::SimCounters;
 pub use engine::{RankStats, RecvInfo, SimCtx, SimError, SimReport, SimReq, Simulation};
+pub use parallel::resolve_sim_threads;
 pub use script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
 pub use spec::{
     ClusterSpec, NetSpec, NodeSpec, Placement, StartDelay, Timeline, TimelineAction, TimelineEvent,

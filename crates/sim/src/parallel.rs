@@ -1,0 +1,323 @@
+//! Time-sliced parallel stepping for script-driven simulations.
+//!
+//! The serial script fast path ([`Simulation::run_scripts`]) interprets
+//! every rank's script on one thread: collect one request from each
+//! running rank, apply the batch in rank order, advance the clock when
+//! everyone is blocked. This module keeps that superstep structure — it
+//! is what makes the engine conservative and bit-deterministic — but
+//! restructures each superstep around *slices* and *node-local groups*:
+//!
+//! - **Groups.** Ranks are partitioned by hosting node (a node-local
+//!   group); groups are sharded across a scoped worker pool. Within a
+//!   superstep every running rank's next event (compute under processor
+//!   sharing, sleeps, intra-node copies, message issues) is *generated*
+//!   concurrently by its group's worker — each [`ScriptCursor`] owns its
+//!   state, so generation is embarrassingly parallel — and then *merged*
+//!   into the engine serially in ascending rank order, exactly the order
+//!   the serial path applies them.
+//! - **Slices.** Cross-node state (max-min fair network rates) only
+//!   changes when a flow starts or drains or a timeline action fires.
+//!   A slice is the maximal run of clock advances between two such merge
+//!   points; the rate solution is computed once at the slice's opening
+//!   boundary and reused verbatim until the next one (the solver never
+//!   reads the flows' remaining byte counts, so the cached vector is
+//!   bit-identical to a per-advance resolve). Scratch buffers are
+//!   likewise reused, so steady-state advances allocate nothing.
+//!
+//! Because the engine observes the identical request sequence and the
+//! identical per-entity float operation sequence as the serial path,
+//! every [`SimReport`] is bit-identical to [`Simulation::run_scripts`] —
+//! pinned by the differential proptests in `tests/script_equiv.rs`.
+//!
+//! Worker fan-out engages only when the host has more than one CPU and a
+//! superstep's batch is large enough to amortize the handoff; otherwise
+//! generation runs inline on the coordinator (still slice-cached). On a
+//! single-core host the parallel path therefore degrades gracefully into
+//! a faster serial driver rather than oversubscribing the CPU.
+
+use crate::engine::{AdvanceCache, Blocked, Reply, ReplySink, Request, SimError, SimReport};
+use crate::script::{RankScript, ScriptCursor};
+use crate::Simulation;
+use crossbeam::channel::unbounded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum generated requests per pool member before a superstep fans
+/// out; below this the channel handoff costs more than it saves.
+const FANOUT_MIN_PER_WORKER: usize = 24;
+
+/// Resolve the simulator thread count from an explicit request (CLI
+/// flag), the `PSKEL_SIM_THREADS` environment override, or the host's
+/// available parallelism, in that precedence order. A resolved count of
+/// 1 means the exact legacy serial path; 0 is rejected.
+pub fn resolve_sim_threads(explicit: Option<usize>) -> Result<usize, String> {
+    if let Some(n) = explicit {
+        if n == 0 {
+            return Err("--sim-threads must be at least 1 (1 = serial engine); got 0".to_string());
+        }
+        return Ok(n);
+    }
+    if let Ok(raw) = std::env::var("PSKEL_SIM_THREADS") {
+        let trimmed = raw.trim();
+        return match trimmed.parse::<usize>() {
+            Ok(0) => {
+                Err("PSKEL_SIM_THREADS must be at least 1 (1 = serial engine); got 0".to_string())
+            }
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "PSKEL_SIM_THREADS must be a positive integer; got '{trimmed}'"
+            )),
+        };
+    }
+    Ok(std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1))
+}
+
+/// Raw-pointer wrapper so disjoint `&mut` shards of coordinator-owned
+/// buffers can be handed to scoped workers. Safety is by protocol: each
+/// rank index is touched by exactly one pool member per phase, and the
+/// coordinator receives every worker's completion message before reading
+/// the written slots.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// One generation work item: ranks to step, with the replies their last
+/// requests produced. The vec travels to the worker and back so batch
+/// allocations are reused across supersteps.
+type GenBatch = Vec<(usize, Option<Reply>)>;
+
+unsafe fn at<'x, T>(base: SendPtr<T>, idx: usize) -> &'x mut T {
+    &mut *base.0.add(idx)
+}
+
+impl Simulation {
+    /// Dispatch scripts to the engine that matches `threads` (resolved
+    /// via [`resolve_sim_threads`] or explicitly): 1 runs the exact
+    /// legacy serial fast path, anything larger the time-sliced parallel
+    /// driver. Reports are bit-identical either way.
+    pub fn try_run_scripts_auto(
+        self,
+        scripts: &[RankScript],
+        threads: usize,
+    ) -> Result<SimReport, SimError> {
+        assert!(threads >= 1, "resolve the thread count before dispatch");
+        if threads <= 1 {
+            self.try_run_scripts(scripts)
+        } else {
+            self.try_run_scripts_parallel(scripts, threads)
+        }
+    }
+
+    /// Panicking form of [`Simulation::try_run_scripts_parallel`],
+    /// mirroring [`Simulation::run_scripts`].
+    pub fn run_scripts_parallel(self, scripts: &[RankScript], threads: usize) -> SimReport {
+        self.try_run_scripts_parallel(scripts, threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run scripts on the time-sliced parallel driver with up to
+    /// `threads` pool members (capped at the number of node-local rank
+    /// groups). See the module docs for the slice/group structure; the
+    /// report is bit-identical to [`Simulation::run_scripts`].
+    pub fn try_run_scripts_parallel(
+        self,
+        scripts: &[RankScript],
+        threads: usize,
+    ) -> Result<SimReport, SimError> {
+        self.run_parallel_inner(scripts, threads, false)
+    }
+
+    /// Differential-testing entry: fan out whenever a spawned worker
+    /// exists, ignoring the host-parallelism and batch-size gates, so
+    /// single-core CI still exercises the pool handoff machinery.
+    #[doc(hidden)]
+    pub fn try_run_scripts_parallel_forced(
+        self,
+        scripts: &[RankScript],
+        threads: usize,
+    ) -> Result<SimReport, SimError> {
+        self.run_parallel_inner(scripts, threads, true)
+    }
+
+    fn run_parallel_inner(
+        self,
+        scripts: &[RankScript],
+        threads: usize,
+        force_fanout: bool,
+    ) -> Result<SimReport, SimError> {
+        let n = self.placement.n_ranks();
+        assert_eq!(scripts.len(), n, "need exactly one script per rank");
+        assert!(n > 0, "simulation needs at least one rank");
+        let t0 = Instant::now();
+
+        // Node-local groups: ranks sharing a node, sharded round-robin
+        // over the pool. `shard_of_rank` is the only grouping state the
+        // hot loop consults.
+        let mut nodes_used: Vec<usize> = (0..n).map(|r| self.placement.node_of(r)).collect();
+        nodes_used.sort_unstable();
+        nodes_used.dedup();
+        let n_groups = nodes_used.len();
+        let pool = threads.min(n_groups).max(1);
+        let shard_of_rank: Vec<usize> = (0..n)
+            .map(|r| {
+                let node = self.placement.node_of(r);
+                let gi = nodes_used
+                    .binary_search(&node)
+                    .expect("rank on unused node");
+                gi % pool
+            })
+            .collect();
+        let spawned = pool - 1;
+        let host_cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let allow_fanout = spawned > 0 && (force_fanout || host_cores > 1);
+        let fanout_floor = if force_fanout {
+            1
+        } else {
+            FANOUT_MIN_PER_WORKER * pool
+        };
+
+        let mut engine = self.build_engine(n, ReplySink::Inline((0..n).map(|_| None).collect()));
+        let mut cursors: Vec<ScriptCursor<'_>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| ScriptCursor::new(s, rank, n))
+            .collect();
+        let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+        let mut cache = AdvanceCache::default();
+
+        // All cursor/inbox access below this point — coordinator and
+        // workers alike — goes through these pointers, so no phase ever
+        // reborrows the owning vectors out from under an outstanding
+        // shard (the vectors stay alive until after the pool joins).
+        let cursors_base = SendPtr(cursors.as_mut_ptr());
+        let inbox_base = SendPtr(inbox.as_mut_ptr());
+        let busy_nanos = AtomicU64::new(0);
+
+        let result = std::thread::scope(|scope| -> Result<(), SimError> {
+            // One task channel per spawned worker (shards 1..pool); a
+            // shared done channel returns batch vecs for reuse.
+            let mut task_txs = Vec::with_capacity(spawned);
+            let (done_tx, done_rx) = unbounded::<(usize, GenBatch)>();
+            for _ in 0..spawned {
+                let (tx, rx) = unbounded::<(usize, GenBatch)>();
+                task_txs.push(tx);
+                let done_tx = done_tx.clone();
+                let busy = &busy_nanos;
+                scope.spawn(move || {
+                    while let Ok((shard, mut batch)) = rx.recv() {
+                        let t = Instant::now();
+                        for (rank, reply) in batch.drain(..) {
+                            let cursor = unsafe { at(cursors_base, rank) };
+                            let slot = unsafe { at(inbox_base, rank) };
+                            debug_assert!(slot.is_none(), "rank {rank} sent two requests");
+                            *slot = Some(cursor.next_request(reply));
+                        }
+                        busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        if done_tx.send((shard, batch)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            let mut batches: Vec<GenBatch> = (0..pool).map(|_| Vec::new()).collect();
+            loop {
+                if engine.running > 0 {
+                    // Collect phase: pull each running rank's pending
+                    // reply and route it to the rank's group shard, in
+                    // ascending rank order.
+                    let mut batch_total = 0usize;
+                    for rank in 0..n {
+                        if !matches!(engine.blocked[rank], Blocked::Running) {
+                            continue;
+                        }
+                        let reply = engine.sink.take_inline(rank);
+                        batches[shard_of_rank[rank]].push((rank, reply));
+                        engine.running -= 1;
+                        batch_total += 1;
+                    }
+                    debug_assert_eq!(engine.running, 0, "a running rank produced no request");
+
+                    // Generation phase: fan shards out to the pool when
+                    // the batch amortizes the handoff, else run inline.
+                    if allow_fanout && batch_total >= fanout_floor {
+                        let mut outstanding = 0usize;
+                        for shard in 1..pool {
+                            if batches[shard].is_empty() {
+                                continue;
+                            }
+                            let batch = std::mem::take(&mut batches[shard]);
+                            task_txs[shard - 1]
+                                .send((shard, batch))
+                                .expect("worker exited with tasks pending");
+                            outstanding += 1;
+                        }
+                        for (rank, reply) in batches[0].drain(..) {
+                            let cursor = unsafe { at(cursors_base, rank) };
+                            let slot = unsafe { at(inbox_base, rank) };
+                            debug_assert!(slot.is_none(), "rank {rank} sent two requests");
+                            *slot = Some(cursor.next_request(reply));
+                        }
+                        // Barrier: every shard's slots are written before
+                        // the merge below reads any of them.
+                        for _ in 0..outstanding {
+                            let (shard, batch) = done_rx
+                                .recv()
+                                .expect("worker exited before completing its shard");
+                            batches[shard] = batch;
+                        }
+                    } else {
+                        for shard in batches.iter_mut() {
+                            for (rank, reply) in shard.drain(..) {
+                                let cursor = unsafe { at(cursors_base, rank) };
+                                let slot = unsafe { at(inbox_base, rank) };
+                                debug_assert!(slot.is_none(), "rank {rank} sent two requests");
+                                *slot = Some(cursor.next_request(reply));
+                            }
+                        }
+                    }
+                }
+
+                // Merge phase: apply the batch in ascending rank order —
+                // the exact sequence the serial path feeds the engine.
+                for rank in 0..n {
+                    let slot = unsafe { at(inbox_base, rank) };
+                    if let Some(req) = slot.take() {
+                        engine.handle_request(rank, req);
+                    }
+                }
+                if engine.running > 0 {
+                    continue;
+                }
+                if engine.live == 0 {
+                    break;
+                }
+                engine.advance_with(Some(&mut cache))?;
+            }
+            Ok(())
+        });
+        result?;
+
+        let elapsed = t0.elapsed();
+        let report = engine.into_report()?;
+        crate::counters::record_parallel(
+            report.events,
+            elapsed,
+            cache.slices,
+            cache.merge_events,
+            busy_nanos.load(Ordering::Relaxed),
+            elapsed.as_nanos() as u64 * spawned as u64,
+        );
+        Ok(report)
+    }
+}

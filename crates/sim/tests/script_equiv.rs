@@ -7,7 +7,10 @@
 
 use proptest::prelude::*;
 use pskel_sim::script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
-use pskel_sim::{ClusterSpec, Placement, SimReport, Simulation, THROTTLED_10MBPS};
+use pskel_sim::{
+    ClusterSpec, Placement, SimDuration, SimReport, Simulation, StartDelay, Timeline,
+    TimelineAction, TimelineEvent, THROTTLED_10MBPS,
+};
 
 /// One building block of a random program. Every block is deadlock-free
 /// by construction and leaves no request slot bound, so blocks compose in
@@ -336,6 +339,205 @@ fn script_deadlock_returns_typed_error() {
         .try_run_scripts_threaded(&scripts)
         .unwrap_err();
     assert_eq!(err, threaded_err, "paths disagree on the failure");
+}
+
+// ---- parallel-vs-serial equivalence --------------------------------------
+
+/// Canned scenario timelines spanning every resource action plus the
+/// fault shapes `pskel-scenario` programs compile down to (link outage,
+/// slowdown burst, delayed rank start). Every disruptive event is paired
+/// with a restore so programs stay deadlock-free.
+fn timeline_of(sel: u8, n_ranks: usize) -> Timeline {
+    let ev = |us: u64, action: TimelineAction, fault: bool| TimelineEvent {
+        at: SimDuration::from_micros(us),
+        node: 0,
+        action,
+        fault,
+    };
+    match sel % 6 {
+        0 => Timeline::default(),
+        // Competing compute processes arriving and leaving on node 0.
+        1 => Timeline {
+            events: vec![
+                ev(300, TimelineAction::AddCompeting(2), false),
+                ev(2_500, TimelineAction::AddCompeting(-2), false),
+            ],
+            start_delays: Vec::new(),
+        },
+        // Link outage fault (scenario `link_outage`): node 0's NIC stalls,
+        // then recovers.
+        2 => Timeline {
+            events: vec![
+                ev(200, TimelineAction::SetLinkCap(Some(0.0)), true),
+                ev(1_800, TimelineAction::SetLinkCap(None), true),
+            ],
+            start_delays: Vec::new(),
+        },
+        // Slowdown burst fault (scenario `slowdown_burst`).
+        3 => Timeline {
+            events: vec![
+                ev(150, TimelineAction::SetSpeedFactor(0.25), true),
+                ev(3_000, TimelineAction::SetSpeedFactor(1.0), true),
+            ],
+            start_delays: Vec::new(),
+        },
+        // Network-wide latency shift plus a throttle window.
+        4 => Timeline {
+            events: vec![
+                ev(
+                    100,
+                    TimelineAction::SetLatency(SimDuration::from_micros(400)),
+                    false,
+                ),
+                ev(
+                    600,
+                    TimelineAction::SetLinkCap(Some(THROTTLED_10MBPS)),
+                    false,
+                ),
+                ev(2_200, TimelineAction::SetLinkCap(None), false),
+            ],
+            start_delays: Vec::new(),
+        },
+        // Delayed rank start fault (scenario `delayed_start`) composed
+        // with contention.
+        _ => Timeline {
+            events: vec![ev(400, TimelineAction::AddCompeting(1), false)],
+            start_delays: vec![StartDelay {
+                rank: n_ranks - 1,
+                delay: SimDuration::from_micros(700),
+            }],
+        },
+    }
+}
+
+/// Random placements/timelines for the parallel driver: `nodes <= n`
+/// exercises multi-rank node groups (intra-node copies stay inside one
+/// group), `blocked` vs `round_robin` varies which ranks share a group.
+fn arb_parallel_case(
+) -> impl Strategy<Value = (usize, usize, bool, Vec<bool>, Vec<Step>, usize, u8)> {
+    (2..6usize, prop::collection::vec(any::<bool>(), 6)).prop_flat_map(|(n, throttles)| {
+        (
+            Just(n),
+            1..=n,
+            any::<bool>(),
+            Just(throttles),
+            prop::collection::vec(arb_step(), 1..10),
+            2..5usize,
+            0..6u8,
+        )
+    })
+}
+
+fn placement_of(blocked: bool, n: usize, nodes: usize) -> Placement {
+    if blocked {
+        Placement::blocked(n, nodes)
+    } else {
+        Placement::round_robin(n, nodes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tentpole invariant of the time-sliced parallel driver: bit-identical
+    /// reports to the serial fast path across random scripts, placements
+    /// (node-local group shapes) and scenario timelines (fault injection
+    /// included), with worker fan-out forced so the pool handoff machinery
+    /// runs even on single-core CI hosts.
+    #[test]
+    fn parallel_path_matches_serial_path(
+        (n, nodes, blocked, throttles, steps, threads, tl_sel) in arb_parallel_case()
+    ) {
+        let scripts = build_scripts(n, &steps);
+        let mut cluster = cluster_of(nodes, &throttles);
+        cluster.timeline = timeline_of(tl_sel, n);
+        let serial = Simulation::new(cluster.clone(), placement_of(blocked, n, nodes))
+            .run_scripts(&scripts);
+        let parallel = Simulation::new(cluster, placement_of(blocked, n, nodes))
+            .try_run_scripts_parallel_forced(&scripts, threads)
+            .expect("parallel run failed where serial succeeded");
+        assert_reports_bit_identical(&serial, &parallel);
+    }
+
+    /// The parallel driver is bit-deterministic run-to-run (worker
+    /// scheduling must not leak into reports).
+    #[test]
+    fn parallel_path_is_deterministic(
+        (n, nodes, blocked, throttles, steps, threads, tl_sel) in arb_parallel_case()
+    ) {
+        let scripts = build_scripts(n, &steps);
+        let mut cluster = cluster_of(nodes, &throttles);
+        cluster.timeline = timeline_of(tl_sel, n);
+        let a = Simulation::new(cluster.clone(), placement_of(blocked, n, nodes))
+            .try_run_scripts_parallel_forced(&scripts, threads)
+            .expect("parallel run failed");
+        let b = Simulation::new(cluster, placement_of(blocked, n, nodes))
+            .try_run_scripts_parallel_forced(&scripts, threads)
+            .expect("parallel run failed");
+        assert_reports_bit_identical(&a, &b);
+    }
+}
+
+/// The auto dispatcher routes 1 thread to the legacy serial path and many
+/// threads to the parallel driver; both agree bit-for-bit.
+#[test]
+fn auto_dispatch_is_bit_identical_across_thread_counts() {
+    let n = 4;
+    let steps = vec![
+        Step::LoopShift {
+            count: 3,
+            shift: 1,
+            bytes: 40_000,
+            compute_us: 300,
+        },
+        Step::RootScatter { bytes: 9_000 },
+        Step::EagerTest { shift: 1 },
+    ];
+    let scripts = build_scripts(n, &steps);
+    let make = || {
+        let mut c = ClusterSpec::homogeneous(2);
+        c.timeline = timeline_of(4, n);
+        Simulation::new(c, Placement::blocked(n, 2))
+    };
+    let serial = make().try_run_scripts_auto(&scripts, 1).unwrap();
+    for threads in [2, 3, 8] {
+        let parallel = make().try_run_scripts_auto(&scripts, threads).unwrap();
+        assert_reports_bit_identical(&serial, &parallel);
+    }
+}
+
+/// Deadlock diagnostics name the rank's node and node-local group, from
+/// both the serial and the parallel driver, and the two drivers agree on
+/// the whole error.
+#[test]
+fn deadlock_diagnostic_names_node_and_group() {
+    let scripts: Vec<RankScript> = (0..2)
+        .map(|rank| RankScript {
+            nodes: vec![op(ScriptOp::Recv {
+                src: Some(1 - rank),
+                tag: None,
+            })],
+            coll_tag_base: 1 << 62,
+            jitter_seed: 0,
+        })
+        .collect();
+    let serial_err = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2))
+        .try_run_scripts(&scripts)
+        .unwrap_err();
+    let msg = serial_err.to_string();
+    assert!(
+        msg.contains("rank 0 (node 0, group 0)"),
+        "diagnostic lost rank 0's node/group: {msg}"
+    );
+    assert!(
+        msg.contains("rank 1 (node 1, group 1)"),
+        "diagnostic lost rank 1's node/group: {msg}"
+    );
+
+    let parallel_err = Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2))
+        .try_run_scripts_parallel_forced(&scripts, 2)
+        .unwrap_err();
+    assert_eq!(serial_err, parallel_err, "drivers disagree on the failure");
 }
 
 /// A script that exits with a slot still bound panics with the same

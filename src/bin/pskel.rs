@@ -94,9 +94,11 @@ commands:
            [--emit-c <file.c>] [--consolidate] [--distribution]
            construct a performance skeleton from a trace
   run      -i <skel.json> [--scenario <name> | --scenario-file <spec>]
+           [--sim-threads <n>]
            execute a skeleton under a sharing scenario (virtual seconds)
   predict  -i <skel.json> --trace <trace.{json|pskt}>
            (--scenario <name> | --scenario-file <spec>) [--verify]
+           [--sim-threads <n>]
            predict application time under a scenario; --verify also runs
            the application for ground truth (bench name is read from the
            trace)
@@ -129,11 +131,13 @@ commands:
            speedup vs the recorded pre-optimization baselines; --json
            writes BENCH_compress.json (or -o), --fast lowers repetitions
            for CI smoke runs, --skip-nas omits the simulated CG.W workload
-  bench    sim [--json] [-o <report.json>] [--fast]
+  bench    sim [--json] [-o <report.json>] [--fast] [--sim-threads <n>]
            time the simulator's script fast path against the
-           thread-per-rank path on replay workloads, reporting simulated
-           events/sec, speedup and bit-identity of the reports; --json
-           writes BENCH_sim.json (or -o)
+           thread-per-rank path on replay workloads, plus a rank-count
+           scaling series of the serial engine vs the time-sliced
+           parallel driver, reporting simulated events/sec, speedup and
+           bit-identity of the reports; --json writes BENCH_sim.json
+           (or -o)
   bench    ingest [--json] [-o <report.json>] [--fast]
            time streaming ingest against the materialize-then-compress
            batch path, reporting MiB/s, peak RSS, bit-identity of the
@@ -144,6 +148,11 @@ options:
   --store <dir>  on trace/build/predict/serve: consult and fill a
                  content-addressed artifact cache so repeated
                  invocations replay instead of re-simulating
+  --sim-threads <n>  on run/predict/bench sim: simulator threads for
+                 deterministic script runs (default: the host's
+                 available parallelism, or PSKEL_SIM_THREADS; 1 = the
+                 exact serial engine; reports are bit-identical at any
+                 count)
   --version, -V  print the version and exit
 
 scenarios: dedicated, cpu-one-node, cpu-all-nodes, net-one-link,
@@ -296,6 +305,20 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
 
 fn testbed() -> (ClusterSpec, Placement) {
     (ClusterSpec::paper_testbed(), Placement::round_robin(4, 4))
+}
+
+/// Resolve the simulator thread count from `--sim-threads` or the
+/// `PSKEL_SIM_THREADS` environment variable (default: the host's
+/// available parallelism). 1 selects the exact legacy serial engine;
+/// 0 is rejected as a usage error naming its source.
+fn sim_threads_from_opts(opts: &Opts) -> Result<usize, CliError> {
+    let explicit = match opts.get("sim-threads") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| {
+            CliError::Usage(format!("--sim-threads: {e}; expected a positive integer"))
+        })?),
+    };
+    pskel_sim::resolve_sim_threads(explicit).map_err(CliError::Usage)
 }
 
 /// Open the artifact store named by `--store`, if any.
@@ -679,10 +702,15 @@ fn scenario_spec_from_opts(
 
 fn cmd_run(opts: &Opts) -> Result<(), CliError> {
     let scenario = scenario_spec_from_opts(opts, Some(Scenario::Dedicated))?;
+    let sim_threads = sim_threads_from_opts(opts)?;
     let skel = load_skeleton(opts.require("i")?)?;
     let (cluster, placement) = testbed();
     let applied = scenario.apply(&cluster)?;
-    let t = run_skeleton(&skel, applied, placement, ExecOptions::default()).total_secs();
+    let exec = ExecOptions {
+        sim_threads,
+        ..Default::default()
+    };
+    let t = run_skeleton(&skel, applied, placement, exec).total_secs();
     println!("{t:.6}");
     eprintln!(
         "skeleton of {} under '{}': {t:.3}s",
@@ -701,7 +729,11 @@ fn skeleton_time_cached(
     scenario: &ScenarioSpec,
     cluster: &ClusterSpec,
     placement: &Placement,
+    sim_threads: usize,
 ) -> Result<f64, String> {
+    // sim_threads stays out of the cache key on purpose: the parallel
+    // engine is bit-identical to the serial one, so entries are
+    // interchangeable across thread counts.
     let key = KeyBuilder::new("cli-skel-time-v1")
         .field_json("skeleton", skel)
         .field_json("cluster", cluster)
@@ -715,7 +747,10 @@ fn skeleton_time_cached(
         skel,
         scenario.apply(cluster)?,
         placement.clone(),
-        ExecOptions::default(),
+        ExecOptions {
+            sim_threads,
+            ..Default::default()
+        },
     )
     .total_secs();
     if let Some(s) = store {
@@ -727,6 +762,7 @@ fn skeleton_time_cached(
 
 fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
     let scenario = scenario_spec_from_opts(opts, None)?;
+    let sim_threads = sim_threads_from_opts(opts)?;
     let skel = load_skeleton(opts.require("i")?)?;
     let trace = load_trace_auto(opts.require("trace")?).map_err(|e| e.to_string())?;
     let (cluster, placement) = testbed();
@@ -739,9 +775,17 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
         &Scenario::Dedicated.into(),
         &cluster,
         &placement,
+        sim_threads,
     )?;
     let ratio = app_ded / skel_ded;
-    let skel_scen = skeleton_time_cached(store.as_ref(), &skel, &scenario, &cluster, &placement)?;
+    let skel_scen = skeleton_time_cached(
+        store.as_ref(),
+        &skel,
+        &scenario,
+        &cluster,
+        &placement,
+        sim_threads,
+    )?;
     let predicted = skel_scen * ratio;
     println!("{predicted:.6}");
     eprintln!(
@@ -875,11 +919,13 @@ fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
             (report.table(), report.to_json(), "BENCH_compress.json")
         }
         "sim" => {
+            let sim_threads = sim_threads_from_opts(opts)?;
             eprintln!(
-                "timing simulator execution paths ({} mode)...",
-                if fast { "fast" } else { "full" }
+                "timing simulator execution paths ({} mode, {} sim threads)...",
+                if fast { "fast" } else { "full" },
+                sim_threads.max(2)
             );
-            let report = pskel_bench::run_sim_bench(fast);
+            let report = pskel_bench::run_sim_bench_threads(fast, sim_threads);
             (report.table(), report.to_json(), "BENCH_sim.json")
         }
         "ingest" => {
@@ -1073,13 +1119,23 @@ fn cmd_serve_selftest(opts: &Opts) -> Result<(), CliError> {
     );
     let s = pskel_sim::counters::snapshot();
     println!(
-        "simulator: {} runs ({} fast-path, {} threaded), {} events, {:.0} events/s on the fast path",
+        "simulator: {} runs ({} fast-path, {} parallel, {} threaded), {} events, {:.0} events/s on the fast path",
         s.total_runs(),
         s.script_runs,
+        s.parallel_runs,
         s.threaded_runs,
         s.total_events(),
         s.script_events_per_sec()
     );
+    if s.parallel_runs > 0 {
+        println!(
+            "parallel engine: {} slices, {} merge events, {:.0} events/s, worker utilization {:.0}%",
+            s.parallel_slices,
+            s.parallel_merge_events,
+            s.parallel_events_per_sec(),
+            s.parallel_worker_utilization() * 100.0
+        );
+    }
     let sc = pskel_scenario::counters::snapshot();
     println!(
         "scenario engine: {} programs compiled, {} schedule events fired, {} faults injected",
