@@ -1,0 +1,285 @@
+//! The router's hybrid accept path.
+//!
+//! pskel-serve runs thread-per-connection, which is fine for tens of
+//! clients but lets thousands of *idle* keep-alive connections pin a
+//! thread each. The fleet router sits in front of every replica, so it
+//! is exactly where that fan-in concentrates. Here the lifecycle is
+//! split:
+//!
+//! - a single **poller** thread owns the listener, a self-pipe, and every
+//!   idle connection, multiplexed through `poll(2)` (declared directly
+//!   against libc, like the `signal` shim in pskel-serve — no external
+//!   crates);
+//! - a bounded **handler pool** does the blocking work: when a parked
+//!   connection turns readable the poller hands it to the pool, a handler
+//!   reads one request, routes/forwards it, writes the response, and
+//!   parks the connection back on the poller.
+//!
+//! So an idle connection costs one `pollfd` entry, not a thread; only
+//! connections with a request actually in flight occupy a handler.
+//!
+//! On non-Linux targets the poller degrades to handing every parked
+//! connection straight back to the handler pool (thread-per-request,
+//! still bounded by the pool).
+
+use crate::metrics::FleetMetrics;
+use pskel_serve::queue::{Bounded, PushError};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler-side read timeout: an idle parked connection never ties up a
+/// handler, so this only bounds a peer that stalls mid-request.
+pub const HANDLER_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Poll tick, so the poller observes the draining flag promptly.
+const POLL_TICK_MS: i32 = 50;
+
+/// One accepted connection. The `BufReader` travels with the socket so
+/// pipelined bytes buffered during a previous request are not lost while
+/// the connection is parked.
+pub struct Conn {
+    pub reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_read_timeout(Some(HANDLER_READ_TIMEOUT))?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            reader: BufReader::new(stream),
+        })
+    }
+}
+
+/// Handle handlers use to return a keep-alive connection to the poller.
+#[derive(Clone)]
+pub struct Parker {
+    tx: mpsc::Sender<Conn>,
+    wake: WakeFd,
+}
+
+impl Parker {
+    /// Park `conn` until it turns readable again. A connection with
+    /// already-buffered request bytes goes straight back to the handler
+    /// queue instead (poll cannot see user-space buffers).
+    pub fn park(&self, conn: Conn) {
+        if self.tx.send(conn).is_ok() {
+            self.wake.wake();
+        }
+    }
+}
+
+#[derive(Clone)]
+struct WakeFd(Arc<Mutex<Option<i32>>>);
+
+impl WakeFd {
+    fn none() -> WakeFd {
+        WakeFd(Arc::new(Mutex::new(None)))
+    }
+
+    #[cfg(target_os = "linux")]
+    fn wake(&self) {
+        if let Some(fd) = *self.0.lock().unwrap() {
+            let byte = [1u8];
+            unsafe { sys::write(fd, byte.as_ptr().cast(), 1) };
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn wake(&self) {}
+}
+
+/// Spawn the poller thread. Returns the parker handle handlers use to
+/// hand idle connections back.
+pub fn spawn_poller(
+    listener: TcpListener,
+    handler_queue: Arc<Bounded<Conn>>,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<FleetMetrics>,
+) -> std::io::Result<(Parker, JoinHandle<()>)> {
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::channel::<Conn>();
+    let wake = WakeFd::none();
+    let parker = Parker {
+        tx,
+        wake: wake.clone(),
+    };
+    let handle = std::thread::Builder::new()
+        .name("pskel-fleet-poller".into())
+        .spawn(move || poller_loop(listener, handler_queue, rx, wake, draining, metrics))?;
+    Ok((parker, handle))
+}
+
+/// Push a ready connection to the handler pool; a full queue drops the
+/// connection (the peer sees a reset and retries) rather than blocking
+/// the poller.
+fn handoff(queue: &Bounded<Conn>, conn: Conn, metrics: &FleetMetrics) {
+    match queue.try_push(conn) {
+        Ok(()) => {}
+        Err(PushError::Full) | Err(PushError::Closed) => {
+            FleetMetrics::bump(&metrics.handoff_rejected);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn poller_loop(
+    listener: TcpListener,
+    handler_queue: Arc<Bounded<Conn>>,
+    returns: mpsc::Receiver<Conn>,
+    wake: WakeFd,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<FleetMetrics>,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    let mut pipe_fds = [0i32; 2];
+    if unsafe { sys::pipe(pipe_fds.as_mut_ptr()) } != 0 {
+        // No self-pipe: degrade to pure tick-driven polling (returns are
+        // still drained every tick; wakeups just aren't instant).
+        pipe_fds = [-1, -1];
+    } else {
+        *wake.0.lock().unwrap() = Some(pipe_fds[1]);
+    }
+    let listener_fd = listener.as_raw_fd();
+    let mut parked: Vec<Conn> = Vec::new();
+
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(2 + parked.len());
+        fds.push(sys::PollFd {
+            fd: listener_fd,
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        fds.push(sys::PollFd {
+            fd: pipe_fds[0], // -1 is legal: poll ignores negative fds
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        for conn in &parked {
+            fds.push(sys::PollFd {
+                fd: conn.reader.get_ref().as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+        }
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as _, POLL_TICK_MS) };
+        if rc < 0 {
+            // EINTR or transient failure: retry next tick.
+            continue;
+        }
+
+        // New connections: accept everything pending, park them awaiting
+        // their first request bytes.
+        if fds[0].revents != 0 {
+            // Stops on WouldBlock (or a transient accept error).
+            while let Ok((stream, _peer)) = listener.accept() {
+                if let Ok(conn) = Conn::new(stream) {
+                    parked.push(conn);
+                }
+            }
+        }
+
+        // Self-pipe: drain the wake bytes, then adopt returned conns.
+        if fds[1].revents != 0 {
+            let mut sink = [0u8; 64];
+            while unsafe { sys::read(pipe_fds[0], sink.as_mut_ptr().cast(), sink.len()) }
+                == sink.len() as isize
+            {}
+        }
+        while let Ok(conn) = returns.try_recv() {
+            if conn.reader.buffer().is_empty() {
+                parked.push(conn);
+            } else {
+                // Pipelined request already buffered in user space; poll
+                // would never fire for it.
+                handoff(&handler_queue, conn, &metrics);
+            }
+        }
+
+        // Parked connections that turned readable (or hung up — the
+        // handler's read will observe the EOF) move to the handler pool.
+        // Only the entries that were in the poll set this tick: accepts
+        // and returns above appended to `parked` past the end of `fds`,
+        // and they get their first poll next tick. Iterating downward
+        // keeps lower indices aligned with `fds` across swap_remove
+        // (the swapped-in tail element lands at an index ≥ i).
+        let ready = sys::POLLIN | sys::POLLERR | sys::POLLHUP;
+        for i in (0..fds.len() - 2).rev() {
+            if fds[2 + i].revents & ready != 0 {
+                let conn = parked.swap_remove(i);
+                handoff(&handler_queue, conn, &metrics);
+            }
+        }
+        metrics.parked.store(parked.len() as u64, Ordering::Relaxed);
+    }
+
+    *wake.0.lock().unwrap() = None;
+    if pipe_fds[0] >= 0 {
+        unsafe {
+            sys::close(pipe_fds[0]);
+            sys::close(pipe_fds[1]);
+        }
+    }
+    metrics.parked.store(0, Ordering::Relaxed);
+}
+
+/// Fallback without `poll(2)`: every accepted or returned connection goes
+/// straight to the handler pool, whose blocking reads (with timeout)
+/// stand in for readiness notification.
+#[cfg(not(target_os = "linux"))]
+fn poller_loop(
+    listener: TcpListener,
+    handler_queue: Arc<Bounded<Conn>>,
+    returns: mpsc::Receiver<Conn>,
+    _wake: WakeFd,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<FleetMetrics>,
+) {
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Ok(conn) = Conn::new(stream) {
+                    handoff(&handler_queue, conn, &metrics);
+                }
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(POLL_TICK_MS as u64)),
+        }
+        while let Ok(conn) = returns.try_recv() {
+            handoff(&handler_queue, conn, &metrics);
+        }
+    }
+}

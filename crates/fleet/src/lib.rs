@@ -1,0 +1,52 @@
+//! # pskel-fleet — the sharded prediction tier
+//!
+//! Scales the single-process `pskel serve` replica into a fleet: K
+//! replica processes sharing one on-disk store behind a thin router that
+//! consistent-hashes the provenance-key space across them, plus a batch
+//! planner that recognizes queued predicts differing only in scenario
+//! and lowers them onto one vectorized `/v1/sweep` pass.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`ring`] — the consistent-hash ring (fixed virtual nodes per
+//!   replica) mapping store keys to shard ids, with the successor order
+//!   used for failover. Joins and leaves move only the keys they must.
+//! - [`proxy`] — a pooled keep-alive HTTP/1.1 client per shard, speaking
+//!   the replica's existing wire protocol, resilient to replicas closing
+//!   idle pooled connections.
+//! - [`accept`] — the hybrid accept path: a poller thread parks idle
+//!   keep-alive connections in one `poll(2)` set, handing ready ones to
+//!   a small handler pool, so thousands of idle clients don't pin
+//!   threads.
+//! - [`planner`] — the batch planner: groups queued predicts by their
+//!   shared (non-scenario) fields during a short gather window.
+//! - [`router`] — [`Fleet`] itself: request routing, batch dispatch with
+//!   positional fan-back, retry/backoff/failover along the ring, and the
+//!   aggregated fleet-wide `/metrics` view.
+//! - [`spawn`] — replica child processes (`pskel serve`) over a shared
+//!   store.
+//! - [`selftest`] — the multi-replica selftest: aggregate throughput vs
+//!   a single-replica baseline, tail latency, counter-verified batching,
+//!   and per-point bit-identity of batched vs individual predicts.
+//!
+//! Correctness of sharding and failover both rest on the same property:
+//! every replica shares one content-addressed store with atomic
+//! publication and cross-process single-flight reconciliation, so *any*
+//! shard can answer *any* key — the ring only concentrates equal work
+//! onto one replica so it coalesces there.
+
+pub mod accept;
+pub mod metrics;
+pub mod planner;
+pub mod proxy;
+pub mod ring;
+pub mod router;
+pub mod selftest;
+pub mod spawn;
+
+pub use metrics::FleetMetrics;
+pub use planner::{batch_group, Planner};
+pub use ring::Ring;
+pub use router::{Fleet, FleetConfig};
+pub use selftest::{SelftestConfig, SelftestReport};
+pub use spawn::{spawn_replica, spawn_replicas, ReplicaProc};

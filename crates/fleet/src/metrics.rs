@@ -1,0 +1,189 @@
+//! Fleet-level counters and the per-shard `/metrics` aggregation.
+//!
+//! The router keeps its own counter set (`pskel_fleet_*`) and, on
+//! `GET /metrics`, scrapes every shard's exposition text and sums the
+//! shard series into one fleet-wide view: counters and additive gauges
+//! (queue depths, in-flight) add across shards; quantile series are
+//! per-shard approximations that cannot be summed, so they are dropped
+//! (the `_sum`/`_count` pairs, which *are* additive, survive and let a
+//! scraper derive fleet-wide averages); uptime reports the oldest shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters owned by the fleet router itself.
+#[derive(Default)]
+pub struct FleetMetrics {
+    /// Requests forwarded upstream (including every retry attempt's
+    /// original, but not the retries themselves — see `retries`).
+    pub forwarded: AtomicU64,
+    /// Same-shard retry attempts after an upstream I/O failure.
+    pub retries: AtomicU64,
+    /// Requests that failed over to the next replica on the ring.
+    pub failovers: AtomicU64,
+    /// Requests answered 502 after the retry/failover budget ran out.
+    pub upstream_errors: AtomicU64,
+    /// Predict jobs that were executed as part of a batched sweep pass.
+    pub batched_jobs: AtomicU64,
+    /// Vectorized `/v1/sweep` passes dispatched by the planner.
+    pub batch_passes: AtomicU64,
+    /// Batches that failed upstream and fell back to individual predicts.
+    pub batch_fallbacks: AtomicU64,
+    /// Keep-alive connections currently parked on the poller (idle, not
+    /// pinning a handler thread).
+    pub parked: AtomicU64,
+    /// Connections dropped because the handler queue was full.
+    pub handoff_rejected: AtomicU64,
+}
+
+impl FleetMetrics {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// The router's own series, rendered Prometheus-style.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for (name, v) in [
+            ("pskel_fleet_forwarded_total", &self.forwarded),
+            ("pskel_fleet_retries_total", &self.retries),
+            ("pskel_fleet_failovers_total", &self.failovers),
+            ("pskel_fleet_upstream_errors_total", &self.upstream_errors),
+            ("pskel_fleet_batched_jobs_total", &self.batched_jobs),
+            ("pskel_fleet_batch_passes_total", &self.batch_passes),
+            ("pskel_fleet_batch_fallbacks_total", &self.batch_fallbacks),
+            ("pskel_fleet_parked_connections", &self.parked),
+            ("pskel_fleet_handoff_rejected_total", &self.handoff_rejected),
+        ] {
+            out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+/// One parsed exposition line: series identity (name + labels, verbatim)
+/// and value.
+fn parse_line(line: &str) -> Option<(&str, f64)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (series, value) = line.rsplit_once(' ')?;
+    Some((series.trim(), value.trim().parse().ok()?))
+}
+
+/// Is this a per-shard latency-quantile series (not summable)?
+fn is_quantile(series: &str) -> bool {
+    series.contains("quantile=")
+}
+
+/// Aggregate shard exposition texts into one fleet-wide view.
+/// `shards` pairs each shard id with its scraped `/metrics` body
+/// (`None` = scrape failed; the shard reports as down). Series order
+/// follows first appearance across shards, so the output is stable for
+/// a stable fleet.
+pub fn aggregate(shards: &[(u32, Option<String>)]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut uptime: f64 = 0.0;
+    for (_, text) in shards {
+        let Some(text) = text else { continue };
+        for line in text.lines() {
+            let Some((series, value)) = parse_line(line) else {
+                continue;
+            };
+            if is_quantile(series) {
+                continue;
+            }
+            if series == "pskel_uptime_seconds" {
+                uptime = uptime.max(value);
+                continue;
+            }
+            if !sums.contains_key(series) {
+                order.push(series.to_string());
+            }
+            *sums.entry(series.to_string()).or_insert(0.0) += value;
+        }
+    }
+    let mut out = String::with_capacity(4096);
+    out.push_str("# pskel-fleet aggregated metrics\n");
+    out.push_str(&format!("pskel_fleet_shards {}\n", shards.len()));
+    let up = shards.iter().filter(|(_, t)| t.is_some()).count();
+    out.push_str(&format!("pskel_fleet_shards_up {up}\n"));
+    for (id, text) in shards {
+        out.push_str(&format!(
+            "pskel_fleet_shard_up{{shard=\"{id}\"}} {}\n",
+            u8::from(text.is_some())
+        ));
+    }
+    out.push_str(&format!("pskel_uptime_seconds {uptime:.3}\n"));
+    for series in order {
+        let v = sums[&series];
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            out.push_str(&format!("{series} {}\n", v as i64));
+        } else {
+            out.push_str(&format!("{series} {v:.6}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_series_and_reports_up_gauges() {
+        let a = "# pskel-serve metrics\n\
+                 pskel_uptime_seconds 10.500\n\
+                 pskel_requests_total{endpoint=\"predict\"} 5\n\
+                 pskel_request_latency_seconds{endpoint=\"predict\",quantile=\"0.5\"} 0.002\n\
+                 pskel_request_latency_seconds_sum{endpoint=\"predict\"} 0.10\n\
+                 pskel_queue_depth 1\n";
+        let b = "pskel_uptime_seconds 3.000\n\
+                 pskel_requests_total{endpoint=\"predict\"} 7\n\
+                 pskel_request_latency_seconds_sum{endpoint=\"predict\"} 0.25\n\
+                 pskel_queue_depth 2\n";
+        let out = aggregate(&[(0, Some(a.into())), (1, Some(b.into())), (2, None)]);
+        assert!(out.contains("pskel_fleet_shards 3\n"), "{out}");
+        assert!(out.contains("pskel_fleet_shards_up 2\n"), "{out}");
+        assert!(
+            out.contains("pskel_fleet_shard_up{shard=\"0\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("pskel_fleet_shard_up{shard=\"2\"} 0\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("pskel_requests_total{endpoint=\"predict\"} 12\n"),
+            "{out}"
+        );
+        assert!(out.contains("pskel_queue_depth 3\n"), "{out}");
+        // Quantiles are dropped; the additive _sum survives; uptime is max.
+        assert!(!out.contains("quantile"), "{out}");
+        assert!(
+            out.contains("pskel_request_latency_seconds_sum{endpoint=\"predict\"} 0.350000\n"),
+            "{out}"
+        );
+        assert!(out.contains("pskel_uptime_seconds 10.500\n"), "{out}");
+    }
+
+    #[test]
+    fn fleet_counters_render() {
+        let m = FleetMetrics::default();
+        FleetMetrics::bump(&m.forwarded);
+        FleetMetrics::add(&m.batched_jobs, 4);
+        let out = m.render();
+        assert!(out.contains("pskel_fleet_forwarded_total 1\n"), "{out}");
+        assert!(out.contains("pskel_fleet_batched_jobs_total 4\n"), "{out}");
+        assert!(out.contains("pskel_fleet_batch_passes_total 0\n"), "{out}");
+    }
+}

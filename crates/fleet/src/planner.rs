@@ -1,0 +1,313 @@
+//! The batch planner: recognizes queued predict requests that differ
+//! only in scenario and lowers them onto one vectorized `/v1/sweep` pass.
+//!
+//! Handlers submit parsed predict bodies here instead of forwarding them
+//! directly; a dispatcher thread gathers near-simultaneous requests into
+//! one round (bounded by a short gather window, dispatching early once
+//! the arrival stream goes quiet), drains the queue,
+//! groups jobs by their *shared-field* identity (bench/class/target/
+//! method/verify — everything but the scenario), and emits dispatch
+//! units: a group of N ≥ 2 becomes one batch, everything else is
+//! forwarded as the single predict it was. The planner is pure
+//! queue/grouping logic; the actual upstream dispatch and fan-back live
+//! in the router.
+
+use pskel_serve::http::Response;
+use pskel_serve::json::Json;
+use pskel_serve::MAX_SWEEP_POINTS;
+use pskel_store::{KeyBuilder, StoreKey};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A predict request waiting for dispatch: its parsed body, its batch
+/// group (when batch-eligible), and the channel its handler blocks on.
+pub struct PendingJob {
+    pub body: Json,
+    pub group: Option<StoreKey>,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// The fields of a predict body shared by every point of a batch. A body
+/// is batch-eligible only when it contains exactly these fields (plus
+/// `scenario`) with the right types — anything unrecognized is forwarded
+/// untouched so the replica, not the router, gets to reject it.
+pub(crate) const SHARED_FIELDS: [&str; 5] = ["bench", "class", "target_secs", "method", "verify"];
+
+/// Compute the batch-group identity of a parsed predict body, or `None`
+/// if the body is not batch-eligible. Two bodies with the same group key
+/// can be executed as points of one `/v1/sweep` pass.
+pub fn batch_group(body: &Json) -> Option<StoreKey> {
+    let Json::Obj(fields) = body else { return None };
+    let mut has_scenario = false;
+    for (name, value) in fields {
+        match name.as_str() {
+            "scenario" => {
+                has_scenario = matches!(value, Json::Str(_) | Json::Obj(_));
+                if !has_scenario {
+                    return None;
+                }
+            }
+            "bench" | "class" | "method" => {
+                if !matches!(value, Json::Str(_)) {
+                    return None;
+                }
+            }
+            "target_secs" => {
+                if !matches!(value, Json::Num(_)) {
+                    return None;
+                }
+            }
+            "verify" => {
+                if !matches!(value, Json::Bool(_)) {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    if !has_scenario {
+        return None;
+    }
+    let mut kb = KeyBuilder::new("fleet-v1").field("group", "predict");
+    for name in SHARED_FIELDS {
+        kb = match body.get(name) {
+            None => kb.field(name, "\u{0}absent"),
+            Some(Json::Str(s)) => kb.field(name, s),
+            Some(Json::Num(n)) => kb.field_f64(name, *n),
+            Some(Json::Bool(b)) => kb.field_u64(name, *b as u64),
+            Some(_) => return None,
+        };
+    }
+    Some(kb.finish())
+}
+
+/// One dispatch unit produced by a planner round.
+pub enum Unit {
+    /// N ≥ 2 same-group jobs to run as one `/v1/sweep` pass.
+    Batch(Vec<PendingJob>),
+    /// A job forwarded as the single predict it arrived as.
+    Single(PendingJob),
+}
+
+struct State {
+    queue: Vec<PendingJob>,
+    closed: bool,
+}
+
+/// The gather queue plus the dispatcher's draining protocol.
+pub struct Planner {
+    state: Mutex<State>,
+    kick: Condvar,
+    gather: Duration,
+}
+
+impl Planner {
+    pub fn new(gather: Duration) -> Planner {
+        Planner {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                closed: false,
+            }),
+            kick: Condvar::new(),
+            gather,
+        }
+    }
+
+    /// Queue a job for the next dispatch round. Returns the job back if
+    /// the planner is closed (the caller answers 503 itself).
+    pub fn submit(&self, job: PendingJob) -> Result<(), PendingJob> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(job);
+        }
+        st.queue.push(job);
+        self.kick.notify_one();
+        Ok(())
+    }
+
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.kick.notify_all();
+    }
+
+    /// Block until work arrives, gather concurrent arrivals into the
+    /// round, then drain and group. `None` once closed and empty (jobs
+    /// queued before close are still dispatched).
+    ///
+    /// The gather is adaptive: requests that can batch arrive within
+    /// fractions of a millisecond of each other (closed-loop clients
+    /// released by one batched reply re-arrive together), so the round
+    /// dispatches as soon as the arrival stream has been quiet for a
+    /// quarter of the gather window instead of always sleeping the whole
+    /// window. The full window still bounds the worst-case latency a
+    /// trickle of stragglers can add.
+    pub fn next_round(&self) -> Option<Vec<Unit>> {
+        let mut st = self.state.lock().unwrap();
+        while st.queue.is_empty() {
+            if st.closed {
+                return None;
+            }
+            st = self.kick.wait(st).unwrap();
+        }
+        if !self.gather.is_zero() && !st.closed {
+            let deadline = Instant::now() + self.gather;
+            let quiet = self.gather / 4;
+            loop {
+                let seen = st.queue.len();
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .kick
+                    .wait_timeout(st, quiet.min(deadline - now))
+                    .unwrap();
+                st = guard;
+                if st.closed || st.queue.len() == seen {
+                    break; // a quiet sub-window: nobody else is coming
+                }
+            }
+        }
+        let jobs = std::mem::take(&mut st.queue);
+        drop(st);
+        Some(plan(jobs))
+    }
+}
+
+/// Group a drained round into dispatch units, preserving arrival order
+/// (the first member of a group anchors its position). Groups larger
+/// than the sweep-point cap split into consecutive full batches.
+pub fn plan(jobs: Vec<PendingJob>) -> Vec<Unit> {
+    let mut grouped: Vec<(Option<StoreKey>, Vec<PendingJob>)> = Vec::new();
+    let mut index: HashMap<StoreKey, usize> = HashMap::new();
+    for job in jobs {
+        match job.group {
+            Some(key) => match index.get(&key) {
+                Some(&i) if grouped[i].1.len() < MAX_SWEEP_POINTS => grouped[i].1.push(job),
+                _ => {
+                    index.insert(key, grouped.len());
+                    grouped.push((Some(key), vec![job]));
+                }
+            },
+            None => grouped.push((None, vec![job])),
+        }
+    }
+    grouped
+        .into_iter()
+        .flat_map(|(_, mut members)| {
+            if members.len() >= 2 {
+                vec![Unit::Batch(members)]
+            } else {
+                vec![Unit::Single(members.pop().expect("nonempty group"))]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    fn pending(s: &str) -> PendingJob {
+        let body = body(s);
+        let group = batch_group(&body);
+        let (reply, _rx) = mpsc::channel();
+        PendingJob { body, group, reply }
+    }
+
+    #[test]
+    fn same_shared_fields_group_together() {
+        let a = body(r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node"}"#);
+        let b = body(r#"{"scenario":"net-one-link","bench":"CG","target_secs":4e-3}"#);
+        assert_eq!(batch_group(&a).unwrap(), batch_group(&b).unwrap());
+        let c = body(r#"{"bench":"CG","target_secs":0.008,"scenario":"cpu-one-node"}"#);
+        assert_ne!(batch_group(&a).unwrap(), batch_group(&c).unwrap());
+        let d =
+            body(r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node","verify":true}"#);
+        assert_ne!(batch_group(&a).unwrap(), batch_group(&d).unwrap());
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_types_are_not_eligible() {
+        for s in [
+            r#"{"bench":"CG","scenario":"cpu-one-node","surprise":1}"#,
+            r#"{"bench":7,"scenario":"cpu-one-node"}"#,
+            r#"{"bench":"CG","scenario":[1,2]}"#,
+            r#"{"bench":"CG"}"#,
+            r#"[1,2,3]"#,
+        ] {
+            assert!(batch_group(&body(s)).is_none(), "{s}");
+        }
+        // Inline scenario programs are eligible (objects).
+        let inline = r#"{"bench":"CG","target_secs":0.004,
+            "scenario":{"name":"r","cpu":[{"node":"all","at":0.0,"procs":2}]}}"#;
+        assert!(batch_group(&body(inline)).is_some());
+    }
+
+    #[test]
+    fn plan_batches_pairs_and_leaves_singletons() {
+        let units = plan(vec![
+            pending(r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node"}"#),
+            pending(r#"{"bench":"MG","target_secs":0.004,"scenario":"cpu-one-node"}"#),
+            pending(r#"{"bench":"CG","target_secs":0.004,"scenario":"net-one-link"}"#),
+            pending(r#"{"bench":"CG","target_secs":0.004,"scenario":"dedicated"}"#),
+        ]);
+        assert_eq!(units.len(), 2);
+        match &units[0] {
+            Unit::Batch(members) => assert_eq!(members.len(), 3),
+            Unit::Single(_) => panic!("CG group must batch"),
+        }
+        assert!(matches!(&units[1], Unit::Single(_)));
+    }
+
+    #[test]
+    fn oversized_groups_split_at_the_sweep_cap() {
+        let jobs: Vec<PendingJob> = (0..MAX_SWEEP_POINTS + 3)
+            .map(|i| {
+                pending(&format!(
+                    r#"{{"bench":"CG","target_secs":0.004,"scenario":{{"name":"s{i}","cpu":[{{"node":"all","at":0.0,"procs":2}}]}}}}"#
+                ))
+            })
+            .collect();
+        let units = plan(jobs);
+        assert_eq!(units.len(), 2);
+        match (&units[0], &units[1]) {
+            (Unit::Batch(a), Unit::Batch(b)) => {
+                assert_eq!(a.len(), MAX_SWEEP_POINTS);
+                assert_eq!(b.len(), 3);
+            }
+            _ => panic!("both units must be batches"),
+        }
+    }
+
+    #[test]
+    fn planner_round_trip_with_gather_window() {
+        let planner = Planner::new(Duration::from_millis(5));
+        planner
+            .submit(pending(
+                r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node"}"#,
+            ))
+            .ok()
+            .unwrap();
+        planner
+            .submit(pending(
+                r#"{"bench":"CG","target_secs":0.004,"scenario":"net-one-link"}"#,
+            ))
+            .ok()
+            .unwrap();
+        let units = planner.next_round().expect("round with work");
+        assert_eq!(units.len(), 1);
+        assert!(matches!(&units[0], Unit::Batch(m) if m.len() == 2));
+        planner.close();
+        assert!(planner.next_round().is_none());
+        assert!(planner
+            .submit(pending(r#"{"bench":"CG","scenario":"dedicated"}"#))
+            .is_err());
+    }
+}

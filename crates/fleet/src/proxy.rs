@@ -1,0 +1,266 @@
+//! The upstream HTTP/1.1 client the router uses to talk to replica
+//! shards: per-shard keep-alive connection pools, a minimal response
+//! parser, and body pass-through for streamed trace uploads.
+//!
+//! pskel-serve only ever answers with `Content-Length`-framed bodies, so
+//! the parser here stays deliberately small: status line, headers,
+//! counted body. A response that arrives on a `Connection: close`
+//! exchange still parses; the connection just is not returned to the
+//! pool.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upstream connect timeout; replicas are local-network peers.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upstream read timeout; covers a cold predict pipeline.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+/// Idle pooled connections kept per shard.
+const POOL_SIZE: usize = 16;
+/// Cap on a buffered upstream response body (mirrors the service's own
+/// JSON body cap, with headroom for big sweep responses).
+const MAX_RESPONSE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// A parsed upstream response.
+#[derive(Clone, Debug)]
+pub struct UpstreamResponse {
+    pub status: u16,
+    pub content_type: String,
+    /// `Retry-After` header, forwarded verbatim on 429s.
+    pub retry_after: Option<String>,
+    pub body: Vec<u8>,
+}
+
+/// One shard's client: an address plus a small pool of idle keep-alive
+/// connections.
+pub struct ShardClient {
+    pub addr: SocketAddr,
+    pool: Mutex<Vec<BufReader<TcpStream>>>,
+}
+
+impl ShardClient {
+    pub fn new(addr: SocketAddr) -> ShardClient {
+        ShardClient {
+            addr,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn connect(&self) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_nodelay(true).ok();
+        Ok(BufReader::new(stream))
+    }
+
+    fn checkin(&self, conn: BufReader<TcpStream>) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_SIZE {
+            pool.push(conn);
+        }
+    }
+
+    /// One request/response exchange with a buffered body. `headers` are
+    /// extra request headers beyond Host/Content-Length/Content-Type.
+    ///
+    /// Pooled connections go stale when the replica's idle timeout closes
+    /// them; each stale one is discarded and the next tried, so only a
+    /// *fresh* connection's failure propagates to the caller (and the
+    /// service's jobs are deterministic, so a replayed exchange on a new
+    /// connection is safe).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<UpstreamResponse> {
+        loop {
+            let pooled = self.pool.lock().unwrap().pop();
+            let Some(mut conn) = pooled else { break };
+            if let Ok((resp, reusable)) = exchange(&mut conn, method, path, headers, body) {
+                if reusable {
+                    self.checkin(conn);
+                }
+                return Ok(resp);
+            }
+        }
+        let mut conn = self.connect()?;
+        let (resp, reusable) = exchange(&mut conn, method, path, headers, body)?;
+        if reusable {
+            self.checkin(conn);
+        }
+        Ok(resp)
+    }
+
+    /// Stream `len` bytes from `body` upstream (trace uploads). Never
+    /// retried by callers: the source body is consumed as it forwards.
+    pub fn request_streaming(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &mut dyn Read,
+        len: u64,
+    ) -> io::Result<UpstreamResponse> {
+        // Uploads always use a fresh connection: a pooled one may have
+        // gone stale, and a mid-body reconnect is impossible once the
+        // source has been partially drained.
+        let mut conn = self.connect()?;
+        write_head(conn.get_mut(), method, path, headers, len)?;
+        let copied = io::copy(&mut body.take(len), conn.get_mut())?;
+        if copied != len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("upload source ended after {copied} of {len} bytes"),
+            ));
+        }
+        conn.get_mut().flush()?;
+        let (resp, reusable) = read_response(&mut conn)?;
+        if reusable {
+            self.checkin(conn);
+        }
+        Ok(resp)
+    }
+}
+
+fn write_head(
+    w: &mut impl Write,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    content_length: u64,
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: pskel-fleet\r\nContent-Length: {content_length}\r\n"
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())
+}
+
+fn exchange(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<(UpstreamResponse, bool)> {
+    write_head(conn.get_mut(), method, path, headers, body.len() as u64)?;
+    conn.get_mut().write_all(body)?;
+    conn.get_mut().flush()?;
+    read_response(conn)
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parse one response; returns it plus whether the connection may be
+/// reused (keep-alive and fully-consumed body).
+fn read_response(r: &mut impl BufRead) -> io::Result<(UpstreamResponse, bool)> {
+    let mut status_line = String::new();
+    if r.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "upstream closed before the status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad upstream status line {status_line:?}")))?;
+
+    let mut content_length: u64 = 0;
+    let mut content_type = String::new();
+    let mut retry_after = None;
+    let mut keep_alive = true;
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "upstream closed mid-headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("bad upstream header line {line:?}")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad upstream Content-Length {value:?}")))?;
+            }
+            "content-type" => content_type = value.to_string(),
+            "retry-after" => retry_after = Some(value.to_string()),
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > MAX_RESPONSE_BYTES {
+        return Err(bad(format!(
+            "upstream response of {content_length} bytes exceeds {MAX_RESPONSE_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    r.read_exact(&mut body)?;
+    Ok((
+        UpstreamResponse {
+            status,
+            content_type,
+            retry_after,
+            body,
+        },
+        keep_alive,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_framed_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\nRetry-After: 1\r\n\r\n{}";
+        let (resp, reusable) = read_response(&mut io::BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.content_type, "application/json");
+        assert_eq!(resp.retry_after.as_deref(), Some("1"));
+        assert_eq!(resp.body, b"{}");
+        assert!(reusable);
+    }
+
+    #[test]
+    fn connection_close_is_not_reusable() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let (resp, reusable) = read_response(&mut io::BufReader::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!reusable);
+    }
+
+    #[test]
+    fn truncated_responses_error() {
+        for raw in [
+            &b""[..],
+            b"HTTP/1.1 200 OK\r\n",
+            b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nab",
+            b"garbage\r\n\r\n",
+        ] {
+            assert!(read_response(&mut io::BufReader::new(raw)).is_err());
+        }
+    }
+}

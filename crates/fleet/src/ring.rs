@@ -1,0 +1,180 @@
+//! The consistent-hash ring that maps the content-addressed provenance
+//! key space onto replica shards.
+//!
+//! Each replica owns [`VNODES`] virtual points on a 64-bit ring; a key
+//! hashes to a point and is owned by the first replica point clockwise
+//! from it. Virtual nodes keep the per-replica share of the key space
+//! near 1/N, and joins/leaves only move the keys that land between the
+//! new (or departed) replica's points and their predecessors — every
+//! other key keeps its shard, which is what keeps warm store/memo state
+//! on the surviving replicas useful across membership changes. The
+//! proptests in `tests/ring_prop.rs` pin both properties.
+
+use pskel_store::{fnv64, StoreKey};
+
+/// Virtual points per replica. 64 keeps the max/mean shard imbalance
+/// small (see the balance proptest) while membership ops stay O(V·N).
+pub const VNODES: usize = 64;
+
+/// A consistent-hash ring over stable replica ids. Ids — not positional
+/// indices — identify replicas, so removing one never renumbers (and
+/// thus never remaps) the others.
+#[derive(Clone, Debug, Default)]
+pub struct Ring {
+    /// Sorted `(point, replica id)` pairs.
+    points: Vec<(u64, u32)>,
+    /// Member ids, ascending.
+    replicas: Vec<u32>,
+}
+
+/// Finalizing mixer (splitmix64). FNV-1a of short, similar strings —
+/// exactly what vnode labels are — avalanches poorly in the high bits,
+/// and ring ordering compares full 64-bit values, so unmixed points
+/// cluster and shard shares drift far from 1/N (the balance proptest
+/// catches this). The mixer is a bijection, so it costs no entropy.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hash arbitrary bytes to a uniform ring position.
+pub fn point_of_bytes(bytes: &[u8]) -> u64 {
+    mix64(fnv64(bytes))
+}
+
+/// The ring point for virtual node `v` of replica `id`.
+fn vnode_point(id: u32, v: usize) -> u64 {
+    point_of_bytes(format!("replica-{id}-vnode-{v}").as_bytes())
+}
+
+/// Hash a store key onto the ring.
+pub fn key_point(key: &StoreKey) -> u64 {
+    point_of_bytes(key.hex().as_bytes())
+}
+
+impl Ring {
+    pub fn new(replica_ids: impl IntoIterator<Item = u32>) -> Ring {
+        let mut ring = Ring::default();
+        for id in replica_ids {
+            ring.add(id);
+        }
+        ring
+    }
+
+    /// Add a replica (idempotent).
+    pub fn add(&mut self, id: u32) {
+        if self.replicas.contains(&id) {
+            return;
+        }
+        self.replicas.push(id);
+        self.replicas.sort_unstable();
+        for v in 0..VNODES {
+            self.points.push((vnode_point(id, v), id));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Remove a replica (idempotent).
+    pub fn remove(&mut self, id: u32) {
+        self.replicas.retain(|&r| r != id);
+        self.points.retain(|&(_, r)| r != id);
+    }
+
+    pub fn replicas(&self) -> &[u32] {
+        &self.replicas
+    }
+
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica owning ring position `h` (the first point at or after
+    /// `h`, wrapping). `None` on an empty ring.
+    pub fn shard_of_point(&self, h: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        Some(self.points[i % self.points.len()].1)
+    }
+
+    /// The replica owning `key`.
+    pub fn shard_of_key(&self, key: &StoreKey) -> Option<u32> {
+        self.shard_of_point(key_point(key))
+    }
+
+    /// Distinct replicas in ring order starting at `h`'s owner: the
+    /// failover sequence for a key (owner first, then the replicas whose
+    /// points come next). Every member appears exactly once.
+    pub fn successors(&self, h: u64) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.replicas.len());
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for i in 0..self.points.len() {
+            let id = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&id) {
+                order.push(id);
+                if order.len() == self.replicas.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::default();
+        assert_eq!(ring.shard_of_point(42), None);
+        assert!(ring.successors(42).is_empty());
+    }
+
+    #[test]
+    fn single_replica_owns_everything() {
+        let ring = Ring::new([7]);
+        for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.shard_of_point(h), Some(7));
+        }
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut ring = Ring::new([1, 2]);
+        ring.add(1);
+        assert_eq!(ring.replicas(), &[1, 2]);
+        assert_eq!(ring.points.len(), 2 * VNODES);
+        ring.remove(9);
+        ring.remove(2);
+        ring.remove(2);
+        assert_eq!(ring.replicas(), &[1]);
+        assert_eq!(ring.points.len(), VNODES);
+    }
+
+    #[test]
+    fn successors_start_at_the_owner_and_cover_all_members() {
+        let ring = Ring::new([0, 1, 2, 3]);
+        for h in [0u64, 1 << 20, 1 << 40, u64::MAX - 5] {
+            let succ = ring.successors(h);
+            assert_eq!(succ.len(), 4);
+            assert_eq!(succ[0], ring.shard_of_point(h).unwrap());
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+}

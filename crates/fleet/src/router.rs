@@ -1,0 +1,595 @@
+//! The fleet front end: a thin router that consistent-hashes work across
+//! replica processes, batches same-skeleton predicts into vectorized
+//! sweep passes, and serves its own aggregated control plane.
+//!
+//! Request flow:
+//!
+//! - `GET /healthz` and `GET /metrics` answer locally (metrics scrapes
+//!   and sums every shard — see [`crate::metrics::aggregate`]);
+//! - `POST /v1/predict` goes through the [`Planner`]: jobs that share
+//!   everything but the scenario are lowered onto one upstream
+//!   `POST /v1/sweep` and the per-point answers fan back positionally —
+//!   each point is byte-identical to the response the same predict would
+//!   have received individually, because the replica builds both from
+//!   the same code path;
+//! - binary trace uploads stream through untouched, sharded by their
+//!   `x-provenance` identity so repeats land on the shard that cached
+//!   them (never retried: the body is consumed as it forwards);
+//! - everything else forwards to a shard chosen by hashing the request
+//!   body into the same provenance-key space the store uses, so
+//!   identical requests always meet on the same replica and coalesce
+//!   there.
+//!
+//! Failure handling: one same-shard retry after a short backoff (covers
+//! a replica restart), then failover along the ring's successor order —
+//! correct because every replica shares one on-disk store, so any shard
+//! can recompute any answer. A request that exhausts the attempt budget
+//! answers 502.
+
+use crate::accept::{self, Conn, Parker};
+use crate::metrics::{aggregate, FleetMetrics};
+use crate::planner::{batch_group, PendingJob, Planner, Unit, SHARED_FIELDS};
+use crate::proxy::{ShardClient, UpstreamResponse};
+use crate::ring::point_of_bytes;
+use crate::ring::{self, Ring};
+use pskel_serve::http::{
+    read_request_body, read_request_head, ParseError, Request, Response, MAX_UPLOAD_BYTES,
+};
+use pskel_serve::json::Json;
+use pskel_serve::queue::Bounded;
+use pskel_serve::router::is_trace_upload;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Backoff before the single same-shard retry.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+/// Shards tried per request: the owner (with one retry) plus failover to
+/// the next two ring successors.
+const MAX_SHARDS_TRIED: usize = 3;
+
+/// Configuration for [`Fleet::start`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Router bind address (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Upstream replica addresses; ring ids are their positions here.
+    pub shards: Vec<SocketAddr>,
+    /// Handler threads doing blocking request work.
+    pub handlers: usize,
+    /// Ready-connection queue capacity between the poller and handlers.
+    pub handler_queue: usize,
+    /// Planner gather window: how long a round waits for more predicts
+    /// to join before dispatching.
+    pub gather: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            handlers: 8,
+            handler_queue: 256,
+            gather: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Shared router state: the ring, one pooled client per shard, the
+/// planner, and the fleet counters.
+pub struct FleetRouter {
+    ring: Ring,
+    clients: HashMap<u32, ShardClient>,
+    pub metrics: Arc<FleetMetrics>,
+    planner: Arc<Planner>,
+    draining: Arc<AtomicBool>,
+    /// Round-robin cursor for requests with no natural affinity.
+    rr: AtomicU64,
+}
+
+impl FleetRouter {
+    fn new(
+        shards: &[SocketAddr],
+        planner: Arc<Planner>,
+        metrics: Arc<FleetMetrics>,
+        draining: Arc<AtomicBool>,
+    ) -> FleetRouter {
+        let mut clients = HashMap::new();
+        for (i, &addr) in shards.iter().enumerate() {
+            clients.insert(i as u32, ShardClient::new(addr));
+        }
+        FleetRouter {
+            ring: Ring::new(0..shards.len() as u32),
+            clients,
+            metrics,
+            planner,
+            draining,
+            rr: AtomicU64::new(0),
+        }
+    }
+
+    /// Route one buffered request to a response.
+    pub fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => self.metrics_text(),
+            ("POST", "/v1/predict") => self.predict(req),
+            _ => self.forward_generic(req),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            Json::obj([
+                ("status", Json::str("ok")),
+                ("role", Json::str("fleet-router")),
+                ("shards", Json::from(self.ring.len())),
+                ("draining", Json::from(self.draining.load(Ordering::SeqCst))),
+            ])
+            .render(),
+        )
+    }
+
+    /// Scrape every shard and render the aggregated fleet view plus the
+    /// router's own counters.
+    fn metrics_text(&self) -> Response {
+        let scrapes: Vec<(u32, Option<String>)> = self
+            .ring
+            .replicas()
+            .iter()
+            .map(|&id| {
+                let body = self.clients[&id]
+                    .request("GET", "/metrics", &[], b"")
+                    .ok()
+                    .filter(|u| u.status == 200)
+                    .and_then(|u| String::from_utf8(u.body).ok());
+                (id, body)
+            })
+            .collect();
+        let mut out = aggregate(&scrapes);
+        out.push_str(&self.metrics.render());
+        Response::text(200, out)
+    }
+
+    /// `POST /v1/predict`: hand the job to the planner and block on the
+    /// fan-back channel; the dispatcher answers every submitted job.
+    fn predict(&self, req: &Request) -> Response {
+        let body = match parse_json_body(req) {
+            Ok(body) => body,
+            Err(resp) => return resp,
+        };
+        if self.draining.load(Ordering::SeqCst) {
+            return shutting_down();
+        }
+        let group = batch_group(&body);
+        let (reply, fanned) = mpsc::channel();
+        if self
+            .planner
+            .submit(PendingJob { body, group, reply })
+            .is_err()
+        {
+            return shutting_down();
+        }
+        fanned
+            .recv()
+            .unwrap_or_else(|_| error_response(502, "fleet dispatcher dropped the job".into()))
+    }
+
+    /// Forward any other endpoint to a shard: body-keyed affinity for
+    /// POSTs (identical requests meet and coalesce on one replica),
+    /// round-robin for bodiless requests.
+    fn forward_generic(&self, req: &Request) -> Response {
+        if self.draining.load(Ordering::SeqCst) {
+            return shutting_down();
+        }
+        let point = if req.body.is_empty() {
+            point_of_bytes(&self.rr.fetch_add(1, Ordering::Relaxed).to_le_bytes())
+        } else {
+            point_of_bytes(&req.body)
+        };
+        let headers = forwardable_headers(req);
+        let header_refs: Vec<(&str, &str)> =
+            headers.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        self.send(point, &req.method, &req.path, &header_refs, &req.body)
+    }
+
+    /// Stream a binary trace upload to its shard. Sharded by the
+    /// client's `x-provenance` identity when declared (repeats hit the
+    /// shard whose store already has the answer); never retried, since
+    /// the source body is consumed as it forwards.
+    pub fn forward_upload(&self, req: &Request, body: &mut dyn Read, len: u64) -> (Response, bool) {
+        if self.draining.load(Ordering::SeqCst) {
+            return (shutting_down(), false);
+        }
+        if len > MAX_UPLOAD_BYTES {
+            return (
+                error_response(
+                    413,
+                    format!("upload of {len} bytes exceeds {MAX_UPLOAD_BYTES}"),
+                ),
+                false,
+            );
+        }
+        let point = match req.header("x-provenance") {
+            Some(p) => point_of_bytes(p.as_bytes()),
+            None => point_of_bytes(&self.rr.fetch_add(1, Ordering::Relaxed).to_le_bytes()),
+        };
+        let Some(&id) = self.ring.successors(point).first() else {
+            return (error_response(503, "fleet has no shards".into()), false);
+        };
+        let headers = forwardable_headers(req);
+        let header_refs: Vec<(&str, &str)> =
+            headers.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        FleetMetrics::bump(&self.metrics.forwarded);
+        match self.clients[&id].request_streaming(&req.method, &req.path, &header_refs, body, len) {
+            Ok(u) => (to_response(u), true),
+            Err(e) => {
+                FleetMetrics::bump(&self.metrics.upstream_errors);
+                (
+                    error_response(502, format!("upstream shard failed: {e}")),
+                    false,
+                )
+            }
+        }
+    }
+
+    /// Dispatch one planner unit, answering every member's channel.
+    fn dispatch(&self, unit: Unit) {
+        match unit {
+            Unit::Single(job) => {
+                let resp = self.forward_predict(&job);
+                let _ = job.reply.send(resp);
+            }
+            Unit::Batch(jobs) => self.dispatch_batch(jobs),
+        }
+    }
+
+    /// Forward one predict as-is, sharded by its group key when it has
+    /// one (so it meets equal requests on the same replica) and by its
+    /// body otherwise.
+    fn forward_predict(&self, job: &PendingJob) -> Response {
+        let body = job.body.render().into_bytes();
+        let point = match &job.group {
+            Some(key) => ring::key_point(key),
+            None => point_of_bytes(&body),
+        };
+        self.send(point, "POST", "/v1/predict", JSON_HEADERS, &body)
+    }
+
+    /// Lower a same-group batch onto one upstream `/v1/sweep` pass and
+    /// fan the per-point documents back positionally. Any batch-level
+    /// failure falls back to forwarding each member individually, so
+    /// batching can only ever add throughput, never new failure modes.
+    fn dispatch_batch(&self, jobs: Vec<PendingJob>) {
+        let group = jobs[0].group.expect("batches are built from grouped jobs");
+        let sweep_body = sweep_body_of(&jobs).render().into_bytes();
+        let resp = self.send(
+            ring::key_point(&group),
+            "POST",
+            "/v1/sweep",
+            JSON_HEADERS,
+            &sweep_body,
+        );
+        if resp.status == 200 {
+            if let Some(points) = sweep_points(&resp.body, jobs.len()) {
+                FleetMetrics::bump(&self.metrics.batch_passes);
+                FleetMetrics::add(&self.metrics.batched_jobs, jobs.len() as u64);
+                for (job, point) in jobs.iter().zip(points) {
+                    let _ = job.reply.send(Response::json(200, point.render()));
+                }
+                return;
+            }
+        }
+        FleetMetrics::bump(&self.metrics.batch_fallbacks);
+        for job in &jobs {
+            let resp = self.forward_predict(job);
+            let _ = job.reply.send(resp);
+        }
+    }
+
+    /// Send with the retry/failover policy: the owning shard first (one
+    /// retry after a short backoff), then the ring successors. Replicas
+    /// share one store, so any shard can answer any key — failover only
+    /// costs the warm-state locality, not correctness.
+    fn send(
+        &self,
+        point: u64,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Response {
+        let order = self.ring.successors(point);
+        if order.is_empty() {
+            return error_response(503, "fleet has no shards".into());
+        }
+        FleetMetrics::bump(&self.metrics.forwarded);
+        let mut last_err: Option<io::Error> = None;
+        for (i, id) in order.iter().take(MAX_SHARDS_TRIED).enumerate() {
+            if i > 0 {
+                FleetMetrics::bump(&self.metrics.failovers);
+            }
+            match self.clients[id].request(method, path, headers, body) {
+                Ok(u) => return to_response(u),
+                Err(e) => last_err = Some(e),
+            }
+            if i == 0 {
+                FleetMetrics::bump(&self.metrics.retries);
+                std::thread::sleep(RETRY_BACKOFF);
+                match self.clients[id].request(method, path, headers, body) {
+                    Ok(u) => return to_response(u),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        FleetMetrics::bump(&self.metrics.upstream_errors);
+        let detail = last_err.map(|e| e.to_string()).unwrap_or_default();
+        error_response(502, format!("all shards failed: {detail}"))
+    }
+}
+
+const JSON_HEADERS: &[(&str, &str)] = &[("Content-Type", "application/json")];
+
+/// Request headers worth forwarding upstream verbatim.
+fn forwardable_headers(req: &Request) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    for name in ["content-type", "x-provenance", "x-target-q"] {
+        if let Some(v) = req.header(name) {
+            // Static spellings keep the proxy's header slice simple.
+            let spelled: &'static str = match name {
+                "content-type" => "Content-Type",
+                "x-provenance" => "x-provenance",
+                _ => "x-target-q",
+            };
+            out.push((spelled, v.to_string()));
+        }
+    }
+    out
+}
+
+/// Build the `/v1/sweep` body for a batch: the shared predict fields of
+/// the first member plus every member's scenario, in arrival order.
+fn sweep_body_of(jobs: &[PendingJob]) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    for name in SHARED_FIELDS {
+        if let Some(v) = jobs[0].body.get(name) {
+            fields.push((name.to_string(), v.clone()));
+        }
+    }
+    let scenarios: Vec<Json> = jobs
+        .iter()
+        .map(|j| {
+            j.body
+                .get("scenario")
+                .cloned()
+                .expect("batch-eligible bodies carry a scenario")
+        })
+        .collect();
+    fields.push(("scenarios".to_string(), Json::Arr(scenarios)));
+    Json::Obj(fields)
+}
+
+/// Extract the per-point documents from a sweep response body, verifying
+/// the count matches the batch.
+fn sweep_points(body: &[u8], expected: usize) -> Option<Vec<Json>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    match doc.get("points") {
+        Some(Json::Arr(points)) if points.len() == expected => Some(points.clone()),
+        _ => None,
+    }
+}
+
+/// Translate a parsed upstream response into a server-side `Response`,
+/// preserving the body bytes and the `Retry-After` header.
+fn to_response(u: UpstreamResponse) -> Response {
+    let content_type: &'static str = if u.content_type.starts_with("application/json") {
+        "application/json"
+    } else if u.content_type.starts_with("text/plain") {
+        "text/plain; charset=utf-8"
+    } else {
+        "application/octet-stream"
+    };
+    let resp = Response {
+        status: u.status,
+        content_type,
+        body: u.body,
+        extra_headers: Vec::new(),
+    };
+    match u.retry_after {
+        Some(ra) => resp.with_header("Retry-After", ra),
+        None => resp,
+    }
+}
+
+fn error_response(status: u16, message: String) -> Response {
+    Response::json(status, Json::obj([("error", Json::from(message))]).render())
+}
+
+fn shutting_down() -> Response {
+    error_response(503, "fleet router is shutting down".into())
+}
+
+fn parse_json_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| error_response(400, "invalid JSON body: not UTF-8".into()))?;
+    match Json::parse(text) {
+        Ok(v) if v.is_object() => Ok(v),
+        Ok(_) => Err(error_response(
+            400,
+            "request body must be a JSON object".into(),
+        )),
+        Err(e) => Err(error_response(400, format!("invalid JSON body: {e}"))),
+    }
+}
+
+/// A running fleet router. Call [`Fleet::shutdown`] for a clean drain.
+pub struct Fleet {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    router: Arc<FleetRouter>,
+    handler_queue: Arc<Bounded<Conn>>,
+    draining: Arc<AtomicBool>,
+    poller: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Bind, spawn the poller + handler pool + dispatcher, and return;
+    /// the router runs on background threads.
+    pub fn start(config: FleetConfig) -> io::Result<Fleet> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a fleet needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(FleetMetrics::default());
+        let draining = Arc::new(AtomicBool::new(false));
+        let planner = Arc::new(Planner::new(config.gather));
+        let router = Arc::new(FleetRouter::new(
+            &config.shards,
+            Arc::clone(&planner),
+            Arc::clone(&metrics),
+            Arc::clone(&draining),
+        ));
+        let handler_queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.handler_queue));
+        let (parker, poller) = accept::spawn_poller(
+            listener,
+            Arc::clone(&handler_queue),
+            Arc::clone(&draining),
+            Arc::clone(&metrics),
+        )?;
+        let handlers = (0..config.handlers.max(1))
+            .map(|i| {
+                let router = Arc::clone(&router);
+                let queue = Arc::clone(&handler_queue);
+                let parker = parker.clone();
+                std::thread::Builder::new()
+                    .name(format!("pskel-fleet-handler-{i}"))
+                    .spawn(move || handler_loop(router, queue, parker))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let dispatcher = {
+            let router = Arc::clone(&router);
+            std::thread::Builder::new()
+                .name("pskel-fleet-dispatch".into())
+                .spawn(move || dispatcher_loop(router))?
+        };
+        Ok(Fleet {
+            addr,
+            router,
+            handler_queue,
+            draining,
+            poller: Some(poller),
+            dispatcher: Some(dispatcher),
+            handlers,
+        })
+    }
+
+    /// The router's own counter set.
+    pub fn metrics(&self) -> Arc<FleetMetrics> {
+        Arc::clone(&self.router.metrics)
+    }
+
+    /// Graceful drain: stop accepting, dispatch already-queued predicts,
+    /// answer in-flight requests, then join every thread.
+    pub fn shutdown(mut self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.router.planner.close();
+        self.handler_queue.close();
+        if let Some(h) = self.poller.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Pull dispatch rounds out of the planner. Each unit runs on its own
+/// thread so a slow (cold) batch never delays the round behind it; unit
+/// threads always answer every member before exiting.
+fn dispatcher_loop(router: Arc<FleetRouter>) {
+    while let Some(units) = router.planner.next_round() {
+        for unit in units {
+            let router = Arc::clone(&router);
+            let spawned = std::thread::Builder::new()
+                .name("pskel-fleet-unit".into())
+                .spawn(move || router.dispatch(unit));
+            if let Err(_e) = spawned {
+                // Spawn failure (resource exhaustion): the unit's reply
+                // channels drop, and each waiting handler answers 502.
+            }
+        }
+    }
+}
+
+/// Handler loop: take a ready connection, serve exactly one request,
+/// then park it back on the poller (keep-alive) or drop it.
+fn handler_loop(router: Arc<FleetRouter>, queue: Arc<Bounded<Conn>>, parker: Parker) {
+    while let Some(mut conn) = queue.pop() {
+        // Anything but a clean keep-alive closes the connection by drop.
+        if let Ok(true) = serve_one(&router, &mut conn) {
+            parker.park(conn);
+        }
+    }
+}
+
+/// Serve one request off a ready connection. `Ok(true)` means the
+/// connection is still framed and keep-alive.
+fn serve_one(router: &FleetRouter, conn: &mut Conn) -> io::Result<bool> {
+    let head = match read_request_head(&mut conn.reader) {
+        Ok(Some(head)) => head,
+        Ok(None) => return Ok(false), // clean close
+        Err(e) => return parse_failure(e, conn),
+    };
+    if is_trace_upload(&head.req) {
+        let keep = head.req.keep_alive;
+        let len = head.content_length;
+        let req = head.req;
+        let (resp, framed) = router.forward_upload(&req, &mut conn.reader, len);
+        let keep_alive = keep && framed;
+        resp.write_to(conn.reader.get_mut(), keep_alive)?;
+        return Ok(keep_alive);
+    }
+    let req = match read_request_body(&mut conn.reader, head) {
+        Ok(req) => req,
+        Err(e) => return parse_failure(e, conn),
+    };
+    let keep_alive = req.keep_alive;
+    let resp = router.route(&req);
+    resp.write_to(conn.reader.get_mut(), keep_alive)?;
+    Ok(keep_alive)
+}
+
+/// Answer a parse failure and close (framing can't be trusted after a
+/// bad read); peer hangups and idle timeouts close silently.
+fn parse_failure(e: ParseError, conn: &mut Conn) -> io::Result<bool> {
+    match e {
+        ParseError::Io(e)
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+        {
+            Ok(false)
+        }
+        ParseError::Io(e) => Err(e),
+        e => {
+            let resp = error_response(e.status(), e.message());
+            resp.write_to(conn.reader.get_mut(), false)?;
+            conn.reader.get_mut().flush()?;
+            Ok(false)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Spawning replica *processes*: each shard is a full `pskel serve`
+//! child sharing one on-disk store with its siblings. The parent scrapes
+//! the child's bound address from the `pskel-serve listening on
+//! http://ADDR` line the serve command prints for exactly this purpose.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+/// One spawned replica process.
+pub struct ReplicaProc {
+    child: Child,
+    pub addr: SocketAddr,
+}
+
+impl ReplicaProc {
+    /// Kill and reap the child. The store survives an abrupt kill
+    /// because every write is an atomic tmp-file + rename.
+    pub fn stop(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn one `pskel serve` replica on an ephemeral port, sharing
+/// `store_dir`, and wait for it to report its address.
+pub fn spawn_replica(
+    exe: &Path,
+    store_dir: &Path,
+    workers: usize,
+    queue: usize,
+) -> io::Result<ReplicaProc> {
+    let mut child = Command::new(exe)
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .arg("--store")
+        .arg(store_dir)
+        .args(["--workers", &workers.to_string()])
+        .args(["--queue", &queue.to_string()])
+        .args(["--summary-secs", "0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.strip_prefix("pskel-serve listening on http://") {
+                    match rest.trim().parse::<SocketAddr>() {
+                        Ok(addr) => break addr,
+                        Err(_) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("replica reported unparseable address {rest:?}"),
+                            ));
+                        }
+                    }
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "replica exited before reporting its address",
+                ));
+            }
+        }
+    };
+    // The serve command prints nothing further to stdout until shutdown,
+    // so dropping the reader (closing our end of the pipe) is safe.
+    Ok(ReplicaProc { child, addr })
+}
+
+/// Spawn `k` replicas over one shared store. On any failure the replicas
+/// already started are stopped before the error propagates.
+pub fn spawn_replicas(
+    exe: &Path,
+    store_dir: &Path,
+    k: usize,
+    workers: usize,
+    queue: usize,
+) -> io::Result<Vec<ReplicaProc>> {
+    let mut replicas = Vec::with_capacity(k);
+    for _ in 0..k {
+        match spawn_replica(exe, store_dir, workers, queue) {
+            Ok(r) => replicas.push(r),
+            Err(e) => {
+                for r in replicas {
+                    r.stop();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(replicas)
+}

@@ -1,0 +1,325 @@
+//! End-to-end fleet tests over real TCP: a router in front of in-process
+//! replicas sharing one on-disk store. Covers the batching contract
+//! (concurrent same-skeleton predicts → one vectorized pass, bit-identical
+//! per-point answers), generic forwarding, aggregated metrics, failover
+//! after a replica dies, and cross-process single-flight through the
+//! shared store.
+
+use pskel_fleet::{Fleet, FleetConfig};
+use pskel_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pskel-fleet-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn replica(store: &PathBuf) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        store_dir: Some(store.clone()),
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("replica starts")
+}
+
+/// One-shot request over a fresh connection; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn predict_body(scenario: &str) -> String {
+    format!(r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":"{scenario}"}}"#)
+}
+
+#[test]
+fn concurrent_predicts_batch_into_one_pass_bit_identically() {
+    let store = temp_store("batch");
+    let replicas: Vec<Server> = (0..3).map(|_| replica(&store)).collect();
+    let shards: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    // A generous gather window so the barrier-released predicts join one
+    // planner round deterministically.
+    let fleet = Fleet::start(FleetConfig {
+        shards,
+        gather: Duration::from_millis(60),
+        ..FleetConfig::default()
+    })
+    .expect("fleet starts");
+
+    let (status, health) = http(fleet.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("fleet-router"), "{health}");
+    assert!(
+        health.contains("\"shards\":3") || health.contains("\"shards\": 3"),
+        "{health}"
+    );
+
+    // Four same-group predicts (distinct scenarios), released together:
+    // connections are pre-established so the requests land inside one
+    // gather window.
+    let scenarios = [
+        "cpu-one-node",
+        "cpu-all-nodes",
+        "net-one-link",
+        "net-all-links",
+    ];
+    let barrier = Arc::new(Barrier::new(scenarios.len()));
+    let fleet_addr = fleet.addr;
+    let handles: Vec<_> = scenarios
+        .iter()
+        .map(|&scenario| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let body = predict_body(scenario);
+                let mut s = TcpStream::connect(fleet_addr).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                let req = format!(
+                    "POST /v1/predict HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                     Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                barrier.wait();
+                s.write_all(req.as_bytes()).unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                let status: u16 = buf
+                    .lines()
+                    .next()
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|s| s.parse().ok())
+                    .expect("status line");
+                (
+                    status,
+                    buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+                )
+            })
+        })
+        .collect();
+    let answers: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (status, body) in &answers {
+        assert_eq!(*status, 200, "{body}");
+        assert!(body.contains("predicted_secs"), "{body}");
+    }
+
+    // Counter-verified batching: the planner fired at least one
+    // vectorized pass covering at least two of the four jobs.
+    let metrics = fleet.metrics();
+    let passes = metrics
+        .batch_passes
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let batched = metrics
+        .batched_jobs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(passes >= 1, "no batch pass fired (passes={passes})");
+    assert!(
+        batched >= 2,
+        "batch covered too few jobs (batched={batched})"
+    );
+
+    // Bit-identity: each batched answer equals the individually executed
+    // predict for the same body, byte for byte.
+    for (scenario, (_, routed)) in scenarios.iter().zip(&answers) {
+        let (status, direct) = http(
+            replicas[0].addr,
+            "POST",
+            "/v1/predict",
+            &predict_body(scenario),
+        );
+        assert_eq!(status, 200, "{direct}");
+        assert_eq!(
+            &direct, routed,
+            "scenario {scenario} diverged through the batch path"
+        );
+    }
+
+    // The aggregated fleet view sums shard series and reports membership.
+    let (status, metrics_text) = http(fleet.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_text.contains("pskel_fleet_shards 3"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("pskel_fleet_shards_up 3"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("pskel_fleet_batch_passes_total"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("pskel_requests_total"),
+        "{metrics_text}"
+    );
+
+    fleet.shutdown();
+    for r in replicas {
+        assert!(r.shutdown(Duration::from_secs(10)));
+    }
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn generic_forwarding_failover_and_draining() {
+    let store = temp_store("failover");
+    let mut replicas: Vec<Server> = (0..2).map(|_| replica(&store)).collect();
+    let shards: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let fleet = Fleet::start(FleetConfig {
+        shards,
+        gather: Duration::from_millis(1),
+        ..FleetConfig::default()
+    })
+    .expect("fleet starts");
+
+    // Non-predict endpoints forward verbatim: the scenario listing
+    // through the router equals a replica's own answer.
+    let (status, via_router) = http(fleet.addr, "GET", "/v1/scenarios", "");
+    assert_eq!(status, 200);
+    let (_, direct) = http(replicas[0].addr, "GET", "/v1/scenarios", "");
+    assert_eq!(via_router, direct);
+
+    // Upstream statuses pass through untouched.
+    let (status, nf) = http(fleet.addr, "GET", "/no/such/path", "");
+    assert_eq!(status, 404, "{nf}");
+
+    // Kill one replica: every predict must still answer 200 because the
+    // router fails over along the ring and any shard can recompute any
+    // key from the shared store.
+    assert!(replicas.pop().unwrap().shutdown(Duration::from_secs(10)));
+    for scenario in ["cpu-one-node", "net-one-link", "cpu-all-nodes", "dedicated"] {
+        let (status, body) = http(fleet.addr, "POST", "/v1/predict", &predict_body(scenario));
+        assert_eq!(
+            status, 200,
+            "scenario {scenario} failed after replica loss: {body}"
+        );
+    }
+    let (_, metrics_text) = http(fleet.addr, "GET", "/metrics", "");
+    assert!(
+        metrics_text.contains("pskel_fleet_shards_up 1"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("pskel_fleet_shards 2"),
+        "{metrics_text}"
+    );
+
+    // Draining: after shutdown begins the listener goes away; the fleet
+    // answers everything in flight first (implicitly checked by join).
+    fleet.shutdown();
+    for r in replicas {
+        assert!(r.shutdown(Duration::from_secs(10)));
+    }
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn in_process_selftest_passes_end_to_end() {
+    let report = pskel_fleet::selftest::run(&pskel_fleet::SelftestConfig {
+        replicas: 3,
+        workers_per_replica: 2,
+        clients: 8,
+        requests: 2,
+        spawn_exe: None,
+        store_dir: None,
+    })
+    .expect("selftest completes");
+    assert_eq!(report.errors, 0, "load phases saw errors");
+    assert!(
+        report.identical,
+        "sweep points diverged from individual predicts"
+    );
+    assert!(
+        report.batching_ok,
+        "batching not demonstrated: passes={} jobs={} batches_delta={} points_delta={}",
+        report.batch_passes,
+        report.batched_jobs,
+        report.sweep_batches_delta,
+        report.sweep_points_delta
+    );
+    assert!(
+        report.throughput_ok,
+        "fleet ({:.1} rps) fell below {:.0}% of one replica ({:.1} rps) on a {}-core host",
+        report.aggregate_rps,
+        report.throughput_floor * 100.0,
+        report.baseline_rps,
+        report.host_parallelism
+    );
+    assert!(report.p50_ms > 0.0 && report.p99_ms >= report.p50_ms);
+    assert_eq!(report.profile, pskel_serve::build_profile());
+    // The JSON report carries the fields CI greps for.
+    let rendered = report.to_json().render();
+    for field in [
+        "profile",
+        "aggregate_rps",
+        "baseline_rps",
+        "identical",
+        "p99_ms",
+        "throughput_floor",
+    ] {
+        assert!(rendered.contains(field), "{rendered}");
+    }
+}
+
+#[test]
+fn duplicate_predicts_on_different_shards_run_one_simulation() {
+    let store = temp_store("singleflight");
+    let a = replica(&store);
+    let b = replica(&store);
+
+    // Cold on A: real simulations happen.
+    let body = predict_body("cpu-one-node");
+    let (status, from_a) = http(a.addr, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "{from_a}");
+    let a_sims = a.counters().snapshot();
+    assert!(a_sims.total_sims() > 0, "cold predict must simulate");
+
+    // The same predict on B (a different process in production; a
+    // different server instance here) is answered entirely from the
+    // shared store: zero simulations, at least one store hit, and the
+    // identical document byte for byte.
+    let b_before = b.counters().snapshot();
+    let (status, from_b) = http(b.addr, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "{from_b}");
+    let b_after = b.counters().snapshot();
+    assert_eq!(
+        b_after.total_sims() - b_before.total_sims(),
+        0,
+        "duplicate predict re-simulated on the second shard"
+    );
+    assert!(
+        b_after.store_hits > b_before.store_hits,
+        "second shard did not read the shared store"
+    );
+    assert_eq!(from_a, from_b, "shards disagree on the same predict");
+
+    assert!(a.shutdown(Duration::from_secs(10)));
+    assert!(b.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&store).ok();
+}

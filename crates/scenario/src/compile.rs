@@ -158,17 +158,23 @@ impl ScenarioSource {
                 value: None,
                 program: self.compile_with(&[], "")?,
             }]),
-            Some(def) => def
-                .values()
-                .into_iter()
-                .map(|v| {
-                    Ok(SweepPoint {
-                        value: Some(v),
-                        program: self
-                            .compile_with(&[(def.var.as_str(), v)], &format!("-{}{v}", def.var))?,
+            Some(def) => {
+                let points = def
+                    .values()
+                    .into_iter()
+                    .map(|v| {
+                        Ok(SweepPoint {
+                            value: Some(v),
+                            program: self.compile_with(
+                                &[(def.var.as_str(), v)],
+                                &format!("-{}{v}", def.var),
+                            )?,
+                        })
                     })
-                })
-                .collect(),
+                    .collect::<Result<Vec<_>, _>>()?;
+                crate::counters::record_sweep_expanded();
+                Ok(points)
+            }
         }
     }
 

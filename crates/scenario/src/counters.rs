@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PROGRAMS_COMPILED: AtomicU64 = AtomicU64::new(0);
+static SWEEPS_EXPANDED: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time snapshot of the scenario-engine counters.
 ///
@@ -15,15 +16,23 @@ static PROGRAMS_COMPILED: AtomicU64 = AtomicU64::new(0);
 pub struct ScenarioCounters {
     /// Scenario programs successfully compiled from spec sources.
     pub programs_compiled: u64,
+    /// `[[sweep]]` declarations expanded into their point sets (one per
+    /// expansion, however many points it produced).
+    pub sweeps_expanded: u64,
 }
 
 pub(crate) fn record_program_compiled() {
     PROGRAMS_COMPILED.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_sweep_expanded() {
+    SWEEPS_EXPANDED.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Read the current counter values.
 pub fn snapshot() -> ScenarioCounters {
     ScenarioCounters {
         programs_compiled: PROGRAMS_COMPILED.load(Ordering::Relaxed),
+        sweeps_expanded: SWEEPS_EXPANDED.load(Ordering::Relaxed),
     }
 }

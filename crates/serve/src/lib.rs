@@ -18,6 +18,12 @@
 //! - `POST /v1/predict` — predict shared-scenario runtime by the
 //!   `skeleton`, `average`, or `class-s` method, optionally verifying
 //!   against the simulated ground truth.
+//! - `POST /v1/sweep` — N predicts that differ only in scenario, executed
+//!   as one vectorized pass over a shared skeleton (an explicit
+//!   `"scenarios"` array or a `"sweep"` spec expanded by the scenario
+//!   crate); per-point documents are bit-identical to individual
+//!   `/v1/predict` answers. This is the substrate the fleet router's
+//!   batch planner lowers coalesced predicts onto.
 //!
 //! ## Architecture
 //!
@@ -50,5 +56,16 @@ pub mod worker;
 pub use json::Json;
 pub use loadgen::LoadReport;
 pub use metrics::{Endpoint, Metrics};
+pub use router::MAX_SWEEP_POINTS;
 pub use server::{default_workers, signal, ServeConfig, Server};
 pub use worker::{ApiError, ApiJob, PredictMethod};
+
+/// The build profile of this binary, as recorded in selftest and bench
+/// reports (CI asserts `"release"` on its smoke jobs).
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a self-test run.
@@ -123,11 +124,40 @@ pub fn run_with_mix(
     per_client: usize,
     mix: fn(usize) -> (&'static str, &'static str, Option<&'static str>),
 ) -> io::Result<LoadReport> {
+    run_with_schedule(
+        addr,
+        clients,
+        per_client,
+        Arc::new(move |c, i| {
+            // Offset the mix per client so concurrent clients overlap on
+            // identical predicts (exercising coalescing) without being in
+            // lockstep.
+            let (method, path, body) = mix(i + c);
+            (method.into(), path.into(), body.map(Into::into))
+        }),
+    )
+}
+
+/// A dynamic request schedule: maps (client index, step index) to a
+/// (method, path, body) triple. Lets callers drive generated bodies —
+/// e.g. the fleet selftest's distinct-scenario predict sweeps — that a
+/// `fn`-pointer mix of static strings cannot express.
+pub type Schedule = Arc<dyn Fn(usize, usize) -> (String, String, Option<String>) + Send + Sync>;
+
+/// The general driver: `clients` closed-loop clients, each running
+/// `per_client` steps of `schedule`.
+pub fn run_with_schedule(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    schedule: Schedule,
+) -> io::Result<LoadReport> {
     let clients = clients.max(1);
     let per_client = per_client.max(1);
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
+            let schedule = Arc::clone(&schedule);
             std::thread::Builder::new()
                 .name(format!("pskel-loadgen-{c}"))
                 .spawn(move || -> io::Result<(Vec<u64>, usize)> {
@@ -137,12 +167,10 @@ pub fn run_with_mix(
                     let mut lat = Vec::with_capacity(per_client);
                     let mut errors = 0usize;
                     for i in 0..per_client {
-                        // Offset the mix per client so concurrent clients
-                        // overlap on identical predicts (exercising
-                        // coalescing) without being in lockstep.
-                        let (method, path, body) = mix(i + c);
+                        let (method, path, body) = schedule(c, i);
                         let start = Instant::now();
-                        let status = exchange(&mut writer, &mut reader, method, path, body)?;
+                        let status =
+                            exchange(&mut writer, &mut reader, &method, &path, body.as_deref())?;
                         lat.push(start.elapsed().as_micros() as u64);
                         if status >= 400 {
                             errors += 1;

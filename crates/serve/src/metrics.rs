@@ -20,18 +20,20 @@ pub enum Endpoint {
     Trace,
     Build,
     Predict,
+    Sweep,
     Sleep,
     Other,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Scenarios,
         Endpoint::Trace,
         Endpoint::Build,
         Endpoint::Predict,
+        Endpoint::Sweep,
         Endpoint::Sleep,
         Endpoint::Other,
     ];
@@ -44,6 +46,7 @@ impl Endpoint {
             Endpoint::Trace => "trace",
             Endpoint::Build => "build",
             Endpoint::Predict => "predict",
+            Endpoint::Sweep => "sweep",
             Endpoint::Sleep => "sleep",
             Endpoint::Other => "other",
         }
@@ -57,8 +60,9 @@ impl Endpoint {
             Endpoint::Trace => 3,
             Endpoint::Build => 4,
             Endpoint::Predict => 5,
-            Endpoint::Sleep => 6,
-            Endpoint::Other => 7,
+            Endpoint::Sweep => 6,
+            Endpoint::Sleep => 7,
+            Endpoint::Other => 8,
         }
     }
 }
@@ -132,6 +136,10 @@ pub struct Totals {
 pub struct Metrics {
     start: Instant,
     endpoints: [EndpointStats; Endpoint::ALL.len()],
+    /// Vectorized sweep passes executed (one per `POST /v1/sweep` batch).
+    sweep_batches: AtomicU64,
+    /// Individual sweep points evaluated inside those passes.
+    sweep_points: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -145,6 +153,8 @@ impl Metrics {
         Metrics {
             start: Instant::now(),
             endpoints: Default::default(),
+            sweep_batches: AtomicU64::new(0),
+            sweep_points: AtomicU64::new(0),
         }
     }
 
@@ -199,6 +209,20 @@ impl Metrics {
         self.endpoints[ep.idx()].requests.load(Ordering::Relaxed)
     }
 
+    /// Record one executed sweep batch covering `points` scenario points.
+    pub fn sweep_executed(&self, points: u64) {
+        self.sweep_batches.fetch_add(1, Ordering::Relaxed);
+        self.sweep_points.fetch_add(points, Ordering::Relaxed);
+    }
+
+    /// (batches, points) executed through `POST /v1/sweep` so far.
+    pub fn sweep_totals(&self) -> (u64, u64) {
+        (
+            self.sweep_batches.load(Ordering::Relaxed),
+            self.sweep_points.load(Ordering::Relaxed),
+        )
+    }
+
     /// Prometheus-style text exposition. `extra` carries gauges the
     /// registry does not own (queue depth, simulator counters) as
     /// `(metric_name, value)` pairs.
@@ -249,6 +273,9 @@ impl Metrics {
                 ));
             }
         }
+        let (batches, points) = self.sweep_totals();
+        out.push_str(&format!("pskel_sweep_batches_total {batches}\n"));
+        out.push_str(&format!("pskel_sweep_points_total {points}\n"));
         for (name, value) in extra {
             out.push_str(&format!("{name} {value}\n"));
         }

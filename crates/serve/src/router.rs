@@ -84,6 +84,7 @@ impl Router {
             ("POST", Endpoint::Trace) => self.job_endpoint(ep, req, parse_trace),
             ("POST", Endpoint::Build) => self.job_endpoint(ep, req, parse_build),
             ("POST", Endpoint::Predict) => self.job_endpoint(ep, req, parse_predict),
+            ("POST", Endpoint::Sweep) => self.sweep(req),
             ("POST", Endpoint::Sleep) if self.test_endpoints => self.sleep(req),
             (_, Endpoint::Other) => error_response(404, format!("no route for {}", req.path)),
             (m, _) => error_response(405, format!("method {m} not allowed for {}", req.path)),
@@ -152,6 +153,10 @@ impl Router {
                 "pskel_scenario_programs_compiled_total",
                 pskel_scenario::counters::snapshot().programs_compiled,
             ),
+            (
+                "pskel_scenario_sweeps_expanded_total",
+                pskel_scenario::counters::snapshot().sweeps_expanded,
+            ),
             ("pskel_sim_timeline_events_total", s.timeline_events),
             ("pskel_sim_faults_injected_total", s.faults_injected),
         ];
@@ -199,6 +204,43 @@ impl Router {
             }),
             Err(PushError::Full) => Err(ApiError::Busy),
             Err(PushError::Closed) => Err(ApiError::ShuttingDown),
+        }
+    }
+
+    /// `POST /v1/sweep`: N predicts that share everything but the
+    /// scenario, executed as one vectorized pass on a single worker (the
+    /// skeleton and dedicated baselines are paid for once). Same
+    /// coalescing and backpressure as the other job endpoints; on success
+    /// the sweep batch/point counters record the pass.
+    fn sweep(&self, req: &Request) -> Response {
+        let job = match parse_body(req).and_then(|body| parse_sweep(&body)) {
+            Ok(job) => job,
+            Err(e) => return api_error_response(&e),
+        };
+        if self.draining.load(Ordering::SeqCst) {
+            return api_error_response(&ApiError::ShuttingDown);
+        }
+        let points = match &job {
+            ApiJob::PredictBatch { scenarios, .. } => scenarios.len() as u64,
+            _ => 0,
+        };
+        let key = job_key(&job);
+        let shared = self.flights.run(key, || self.enqueue(job));
+        let coalesced = shared.was_coalesced();
+        if coalesced {
+            self.metrics.coalesced(Endpoint::Sweep);
+        }
+        match shared.into_value() {
+            Some(Ok(v)) => {
+                if !coalesced {
+                    self.metrics.sweep_executed(points);
+                }
+                Response::json(200, v.render())
+            }
+            Some(Err(e)) => api_error_response(&e),
+            None => api_error_response(&ApiError::Internal(
+                "coalesced leader failed before producing a result".into(),
+            )),
         }
     }
 
@@ -438,6 +480,7 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/trace" => Endpoint::Trace,
         "/v1/build" => Endpoint::Build,
         "/v1/predict" => Endpoint::Predict,
+        "/v1/sweep" => Endpoint::Sweep,
         "/v1/sleep" => Endpoint::Sleep,
         _ => Endpoint::Other,
     }
@@ -564,26 +607,33 @@ fn parse_build(body: &Json) -> Result<ApiJob, ApiError> {
     })
 }
 
-/// The `scenario` field of `POST /v1/predict`: a builtin scenario name
-/// (string) or an inline scenario program (object, same shape as the
-/// JSON spec format `pskel scenario lint` accepts).
-fn parse_scenario(body: &Json) -> Result<ScenarioSpec, ApiError> {
-    match body.get("scenario") {
-        None | Some(Json::Null) => Err(ApiError::Bad("missing required field \"scenario\"".into())),
-        Some(Json::Str(s)) => s
+/// A scenario value: a builtin scenario name (string) or an inline
+/// scenario program (object, same shape as the JSON spec format
+/// `pskel scenario lint` accepts).
+fn scenario_spec_of(v: &Json) -> Result<ScenarioSpec, ApiError> {
+    match v {
+        Json::Str(s) => s
             .parse::<Scenario>()
             .map(ScenarioSpec::from)
             .map_err(ApiError::Bad),
-        Some(obj @ Json::Obj(_)) => {
+        obj @ Json::Obj(_) => {
             let program = ScenarioSource::from_json(&obj.render())
                 .and_then(|src| src.compile())
                 .map_err(|e| ApiError::Bad(format!("invalid scenario program: {e}")))?;
             Ok(ScenarioSpec::custom(program))
         }
-        Some(other) => Err(ApiError::Bad(format!(
-            "field \"scenario\" must be a builtin name or a program object, got {}",
+        other => Err(ApiError::Bad(format!(
+            "scenario must be a builtin name or a program object, got {}",
             other.render()
         ))),
+    }
+}
+
+/// The `scenario` field of `POST /v1/predict`.
+fn parse_scenario(body: &Json) -> Result<ScenarioSpec, ApiError> {
+    match body.get("scenario") {
+        None | Some(Json::Null) => Err(ApiError::Bad("missing required field \"scenario\"".into())),
+        Some(v) => scenario_spec_of(v),
     }
 }
 
@@ -598,6 +648,73 @@ fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
         class: parse_class(body)?,
         target_secs: field_f64(body, "target_secs")?,
         scenario,
+        method,
+        verify: field_bool(body, "verify")?,
+    })
+}
+
+/// Cap on scenarios per `POST /v1/sweep` batch; keeps one request from
+/// monopolising a worker indefinitely.
+pub const MAX_SWEEP_POINTS: usize = 256;
+
+/// The `POST /v1/sweep` body: the shared predict fields plus either an
+/// explicit `"scenarios"` array (builtin names and/or inline programs)
+/// or a `"sweep"` scenario spec carrying a `[[sweep]]` declaration,
+/// expanded into its points by the scenario crate's deterministic sweep
+/// expansion.
+fn parse_sweep(body: &Json) -> Result<ApiJob, ApiError> {
+    let method = match field_str(body, "method")? {
+        None => PredictMethod::Skeleton,
+        Some(s) => PredictMethod::parse(s)?,
+    };
+    let scenarios: Vec<ScenarioSpec> = match (body.get("scenarios"), body.get("sweep")) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::Bad(
+                "provide either \"scenarios\" or \"sweep\", not both".into(),
+            ))
+        }
+        (Some(Json::Arr(items)), None) => items
+            .iter()
+            .map(scenario_spec_of)
+            .collect::<Result<Vec<_>, _>>()?,
+        (Some(other), None) => {
+            return Err(ApiError::Bad(format!(
+                "field \"scenarios\" must be an array, got {}",
+                other.render()
+            )))
+        }
+        (None, Some(spec @ Json::Obj(_))) => ScenarioSource::from_json(&spec.render())
+            .and_then(|src| src.expand())
+            .map_err(|e| ApiError::Bad(format!("invalid sweep spec: {e}")))?
+            .into_iter()
+            .map(|p| ScenarioSpec::custom(p.program))
+            .collect(),
+        (None, Some(other)) => {
+            return Err(ApiError::Bad(format!(
+                "field \"sweep\" must be a scenario spec object, got {}",
+                other.render()
+            )))
+        }
+        (None, None) => {
+            return Err(ApiError::Bad(
+                "missing required field \"scenarios\" (or a \"sweep\" spec)".into(),
+            ))
+        }
+    };
+    if scenarios.is_empty() {
+        return Err(ApiError::Bad("sweep needs at least one scenario".into()));
+    }
+    if scenarios.len() > MAX_SWEEP_POINTS {
+        return Err(ApiError::Bad(format!(
+            "sweep of {} points exceeds the {MAX_SWEEP_POINTS}-point cap",
+            scenarios.len()
+        )));
+    }
+    Ok(ApiJob::PredictBatch {
+        bench: parse_bench(body)?,
+        class: parse_class(body)?,
+        target_secs: field_f64(body, "target_secs")?,
+        scenarios,
         method,
         verify: field_bool(body, "verify")?,
     })
@@ -649,6 +766,27 @@ fn job_key(job: &ApiJob) -> StoreKey {
             .field("method", method.name())
             .field_u64("verify", verify as u64)
             .finish(),
+        ApiJob::PredictBatch {
+            bench,
+            class,
+            target_secs,
+            ref scenarios,
+            method,
+            verify,
+        } => {
+            let mut kb = KeyBuilder::new("serve-v1")
+                .field("endpoint", "sweep")
+                .field("bench", bench.name())
+                .field("class", &class.to_string())
+                .field_f64("target", target_secs.unwrap_or(f64::NAN))
+                .field("method", method.name())
+                .field_u64("verify", verify as u64)
+                .field_u64("points", scenarios.len() as u64);
+            for s in scenarios {
+                kb = kb.field("scenario", &s.provenance_token());
+            }
+            kb.finish()
+        }
         // Sleep/deadlock jobs never reach job_endpoint(), but give them
         // distinct keys anyway so an accidental reroute cannot coalesce
         // them.
@@ -748,6 +886,64 @@ mod tests {
         }
         let not_obj = Json::parse(r#"{"bench":"CG","scenario":7}"#).unwrap();
         assert!(matches!(parse_predict(&not_obj), Err(ApiError::Bad(_))));
+    }
+
+    #[test]
+    fn sweep_parser_accepts_scenarios_and_sweep_specs() {
+        let explicit = Json::parse(
+            r#"{"bench":"CG","target_secs":0.004,
+                "scenarios":["cpu-one-node",
+                    {"name":"r","cpu":[{"node":"all","at":0.0,"procs":2}]}]}"#,
+        )
+        .unwrap();
+        match parse_sweep(&explicit).unwrap() {
+            ApiJob::PredictBatch { scenarios, .. } => assert_eq!(scenarios.len(), 2),
+            other => panic!("unexpected job {other:?}"),
+        }
+        // A `"sweep"` spec goes through the scenario crate's deterministic
+        // sweep expansion: p = 1..=3 makes three points.
+        let spec = Json::parse(
+            r#"{"bench":"CG","target_secs":0.004,
+                "sweep":{"name":"s","sweep":[{"var":"p","from":1,"to":3}],
+                         "cpu":[{"node":"all","at":0.0,"procs":"$p"}]}}"#,
+        )
+        .unwrap();
+        match parse_sweep(&spec).unwrap() {
+            ApiJob::PredictBatch { scenarios, .. } => assert_eq!(scenarios.len(), 3),
+            other => panic!("unexpected job {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parser_rejects_bad_shapes() {
+        for (body, needle) in [
+            (
+                r#"{"bench":"CG","scenarios":["dedicated"],"sweep":{"name":"s"}}"#,
+                "not both",
+            ),
+            (r#"{"bench":"CG","scenarios":[]}"#, "at least one"),
+            (
+                r#"{"bench":"CG","scenarios":"dedicated"}"#,
+                "must be an array",
+            ),
+            (r#"{"bench":"CG"}"#, "missing required field"),
+        ] {
+            match parse_sweep(&Json::parse(body).unwrap()) {
+                Err(ApiError::Bad(msg)) => {
+                    assert!(msg.contains(needle), "{body} → {msg}")
+                }
+                other => panic!("{body} must be rejected, got {other:?}"),
+            }
+        }
+        // The point cap names itself in the error.
+        let many: Vec<String> = (0..MAX_SWEEP_POINTS + 1)
+            .map(|_| "\"dedicated\"".to_string())
+            .collect();
+        let over = format!(r#"{{"bench":"CG","scenarios":[{}]}}"#, many.join(","));
+        match parse_sweep(&Json::parse(&over).unwrap()) {
+            Err(ApiError::Bad(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("over-cap sweep must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -112,6 +112,21 @@ pub enum ApiJob {
         method: PredictMethod,
         verify: bool,
     },
+    /// A vectorized pass: N predicts that differ only in scenario,
+    /// executed back-to-back on one worker against one shared context, so
+    /// the skeleton, trace and dedicated baselines are computed (or
+    /// fetched) once and every point reuses them. Each point's document
+    /// is produced by exactly the same code path as a single
+    /// [`ApiJob::Predict`], so the per-point bodies are bit-identical to
+    /// individually issued requests.
+    PredictBatch {
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: Option<f64>,
+        scenarios: Vec<ScenarioSpec>,
+        method: PredictMethod,
+        verify: bool,
+    },
     /// Test-endpoint job: occupy a worker for a fixed time. Lets the
     /// integration tests and CI exercise backpressure deterministically.
     Sleep {
@@ -264,51 +279,31 @@ impl WorkerState {
                 ref scenario,
                 method,
                 verify,
+            } => self.predict_doc(bench, class, target_secs, scenario, method, verify),
+            ApiJob::PredictBatch {
+                bench,
+                class,
+                target_secs,
+                ref scenarios,
+                method,
+                verify,
             } => {
-                let ctx = self.context(class);
-                let mut body: Vec<(&'static str, Json)> = vec![
+                // One pass over a shared context: the first point pays for
+                // the trace/skeleton/dedicated baselines, the rest reuse
+                // them from the memo. A per-point failure fails the whole
+                // batch (the caller falls back to individual requests, so
+                // only the offending scenario sees the error).
+                let points = scenarios
+                    .iter()
+                    .map(|s| self.predict_doc(bench, class, target_secs, s, method, verify))
+                    .collect::<Result<Vec<Json>, ApiError>>()?;
+                Ok(Json::obj([
                     ("bench", Json::str(bench.name())),
                     ("class", Json::str(class.to_string())),
-                    ("scenario", Json::str(scenario.provenance_token())),
                     ("method", Json::str(method.name())),
-                ];
-                let predicted = match method {
-                    PredictMethod::Skeleton => {
-                        let target = check_target(target_secs.ok_or_else(|| {
-                            ApiError::Bad("method \"skeleton\" requires target_secs".into())
-                        })?)?;
-                        let app_ded = ctx.app_time(bench, Scenario::Dedicated);
-                        let skel_ded = ctx
-                            .skeleton_time(bench, target, Scenario::Dedicated)
-                            .map_err(eval_err)?;
-                        let skel_scen = ctx
-                            .skeleton_time_spec(bench, target, scenario)
-                            .map_err(eval_err)?;
-                        let ratio = app_ded / skel_ded;
-                        body.push(("target_secs", Json::from(target)));
-                        body.push(("ratio", Json::from(ratio)));
-                        body.push(("skeleton_dedicated_secs", Json::from(skel_ded)));
-                        body.push(("skeleton_scenario_secs", Json::from(skel_scen)));
-                        skel_scen * ratio
-                    }
-                    PredictMethod::Average => {
-                        pskel_predict::average_prediction_spec(ctx, bench, scenario)
-                            .map_err(eval_err)?
-                    }
-                    PredictMethod::ClassS => {
-                        pskel_predict::class_s_prediction_spec(ctx, bench, scenario)
-                            .map_err(eval_err)?
-                    }
-                };
-                body.push(("predicted_secs", Json::from(predicted)));
-                if verify {
-                    let actual = ctx
-                        .app_time_spec(bench, class, scenario)
-                        .map_err(eval_err)?;
-                    body.push(("actual_secs", Json::from(actual)));
-                    body.push(("error_pct", Json::from(error_pct(predicted, actual))));
-                }
-                Ok(Json::obj(body))
+                    ("count", Json::from(points.len())),
+                    ("points", Json::Arr(points)),
+                ]))
             }
             ApiJob::Sleep { ms } => {
                 std::thread::sleep(Duration::from_millis(ms.min(60_000)));
@@ -316,6 +311,62 @@ impl WorkerState {
             }
             ApiJob::Deadlock => Err(deliberate_deadlock(self.sim_threads)),
         }
+    }
+
+    /// The single-predict pipeline; also the per-point body of a
+    /// [`ApiJob::PredictBatch`] (batched answers must be bit-identical to
+    /// individual ones, so there is exactly one implementation).
+    fn predict_doc(
+        &mut self,
+        bench: NasBenchmark,
+        class: Class,
+        target_secs: Option<f64>,
+        scenario: &ScenarioSpec,
+        method: PredictMethod,
+        verify: bool,
+    ) -> JobOutcome {
+        let ctx = self.context(class);
+        let mut body: Vec<(&'static str, Json)> = vec![
+            ("bench", Json::str(bench.name())),
+            ("class", Json::str(class.to_string())),
+            ("scenario", Json::str(scenario.provenance_token())),
+            ("method", Json::str(method.name())),
+        ];
+        let predicted = match method {
+            PredictMethod::Skeleton => {
+                let target = check_target(target_secs.ok_or_else(|| {
+                    ApiError::Bad("method \"skeleton\" requires target_secs".into())
+                })?)?;
+                let app_ded = ctx.app_time(bench, Scenario::Dedicated);
+                let skel_ded = ctx
+                    .skeleton_time(bench, target, Scenario::Dedicated)
+                    .map_err(eval_err)?;
+                let skel_scen = ctx
+                    .skeleton_time_spec(bench, target, scenario)
+                    .map_err(eval_err)?;
+                let ratio = app_ded / skel_ded;
+                body.push(("target_secs", Json::from(target)));
+                body.push(("ratio", Json::from(ratio)));
+                body.push(("skeleton_dedicated_secs", Json::from(skel_ded)));
+                body.push(("skeleton_scenario_secs", Json::from(skel_scen)));
+                skel_scen * ratio
+            }
+            PredictMethod::Average => {
+                pskel_predict::average_prediction_spec(ctx, bench, scenario).map_err(eval_err)?
+            }
+            PredictMethod::ClassS => {
+                pskel_predict::class_s_prediction_spec(ctx, bench, scenario).map_err(eval_err)?
+            }
+        };
+        body.push(("predicted_secs", Json::from(predicted)));
+        if verify {
+            let actual = ctx
+                .app_time_spec(bench, class, scenario)
+                .map_err(eval_err)?;
+            body.push(("actual_secs", Json::from(actual)));
+            body.push(("error_pct", Json::from(error_pct(predicted, actual))));
+        }
+        Ok(Json::obj(body))
     }
 }
 

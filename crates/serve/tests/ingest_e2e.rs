@@ -135,6 +135,49 @@ fn upload_ingests_caches_and_predicts_end_to_end() {
 }
 
 #[test]
+fn upload_gate_429_carries_retry_after() {
+    // Capacity 1: a single in-flight upload saturates the ingest gate,
+    // which must answer further uploads exactly like the predict queue
+    // does — 429 with a Retry-After hint, not a bare rejection.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        store_dir: None,
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("server starts");
+
+    // Occupy the gate: declare a large body but stall after a few bytes,
+    // so the connection thread holds the ActiveIngest guard while it
+    // waits for the rest.
+    let mut stalled = TcpStream::connect(server.addr).expect("connect");
+    stalled
+        .write_all(
+            b"POST /v1/trace HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+              Content-Type: application/octet-stream\r\nContent-Length: 100000\r\n\r\nPSKT",
+        )
+        .unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let trace = pskel_trace::synthetic_app_trace(2, 100, 0x429);
+    let mut bin = Vec::new();
+    write_trace_binary(&mut bin, &trace).unwrap();
+    let (status, resp) = raw(server.addr, &upload_request(&bin, Some("gate-test")));
+    assert_eq!(status, 429, "{resp}");
+    let headers = resp.split("\r\n\r\n").next().unwrap_or("");
+    assert!(
+        headers.to_ascii_lowercase().contains("retry-after: 1"),
+        "429 from the upload gate must carry Retry-After, got: {headers}"
+    );
+
+    drop(stalled);
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
 fn oversized_upload_is_413_with_hint_and_unnamed_uploads_work() {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),

@@ -1,0 +1,120 @@
+//! End-to-end `/v1/sweep`: the vectorized batch endpoint must answer
+//! per-point documents byte-identical to individually executed predicts
+//! — the property the fleet router's batch planner relies on — and its
+//! counters must record exactly one pass.
+
+use pskel_serve::{Json, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (
+        status,
+        buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+    )
+}
+
+fn counter(addr: SocketAddr, name: &str) -> u64 {
+    let (status, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .map(|v| v as u64)
+        .unwrap_or_else(|| panic!("metrics exposition is missing {name}"))
+}
+
+#[test]
+fn sweep_points_are_bit_identical_to_individual_predicts() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        store_dir: None,
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("server starts");
+
+    let scenarios = ["cpu-one-node", "net-one-link", "dedicated"];
+    let mut individual = Vec::new();
+    for s in scenarios {
+        let body = format!(r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":"{s}"}}"#);
+        let (status, resp) = http(server.addr, "POST", "/v1/predict", &body);
+        assert_eq!(status, 200, "{resp}");
+        individual.push(resp);
+    }
+
+    let batches_before = counter(server.addr, "pskel_sweep_batches_total");
+    let points_before = counter(server.addr, "pskel_sweep_points_total");
+    let sweep_body = r#"{"bench":"CG","class":"S","target_secs":0.004,
+        "scenarios":["cpu-one-node","net-one-link","dedicated"]}"#;
+    let (status, resp) = http(server.addr, "POST", "/v1/sweep", sweep_body);
+    assert_eq!(status, 200, "{resp}");
+    let doc = Json::parse(&resp).expect("sweep response is JSON");
+    assert_eq!(doc.get("count").and_then(Json::as_f64), Some(3.0), "{resp}");
+    let points = match doc.get("points") {
+        Some(Json::Arr(points)) => points.clone(),
+        other => panic!("points missing: {other:?}"),
+    };
+    assert_eq!(points.len(), scenarios.len());
+    for (point, direct) in points.iter().zip(&individual) {
+        assert_eq!(
+            &point.render(),
+            direct,
+            "sweep point diverged from the individual predict"
+        );
+    }
+
+    // Exactly one vectorized pass of three points was recorded.
+    assert_eq!(
+        counter(server.addr, "pskel_sweep_batches_total"),
+        batches_before + 1
+    );
+    assert_eq!(
+        counter(server.addr, "pskel_sweep_points_total"),
+        points_before + 3
+    );
+
+    // A `"sweep"` spec expands server-side into its points.
+    let spec_body = r#"{"bench":"CG","class":"S","target_secs":0.004,
+        "sweep":{"name":"pr","sweep":[{"var":"p","from":1,"to":2}],
+                 "cpu":[{"node":"all","at":0.0,"procs":"$p"}]}}"#;
+    let (status, resp) = http(server.addr, "POST", "/v1/sweep", spec_body);
+    assert_eq!(status, 200, "{resp}");
+    let doc = Json::parse(&resp).unwrap();
+    assert_eq!(doc.get("count").and_then(Json::as_f64), Some(2.0), "{resp}");
+
+    // Validation errors answer 400 with a reason.
+    for bad in [
+        r#"{"bench":"CG","scenarios":[]}"#,
+        r#"{"bench":"CG","scenarios":["dedicated"],"sweep":{"name":"x"}}"#,
+        r#"{"bench":"CG"}"#,
+    ] {
+        let (status, resp) = http(server.addr, "POST", "/v1/sweep", bad);
+        assert_eq!(status, 400, "{bad} → {resp}");
+        assert!(resp.contains("error"), "{resp}");
+    }
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+}

@@ -86,11 +86,36 @@ pub struct GcReport {
 /// A content-addressed artifact store rooted at one directory. Safe to
 /// share across threads (`&Store` is `Sync`); writers never expose partial
 /// objects thanks to temp-file + rename.
+///
+/// ## Shared-store discipline (multi-process)
+///
+/// One store directory may be shared by several replica processes (the
+/// fleet tier does exactly this): object writes go through a pid-unique
+/// temp file in `tmp/` followed by an atomic rename, so concurrent
+/// writers of the same content-addressed key race benignly — last rename
+/// wins and every intermediate state is a complete, checksummed object.
+/// Reads go straight to the object file (never through the in-memory
+/// index), so a hit on an object written by *another* process works; the
+/// local index is reconciled lazily on such hits. The `index.json` file
+/// itself is only a statistics cache — if replicas overwrite each other's
+/// copies, `ls`/`stats`/`gc` may transiently undercount until the next
+/// open rebuilds it by scanning `objects/`; correctness of `get`/`put` is
+/// unaffected.
 pub struct Store {
     root: PathBuf,
     index: Mutex<Index>,
     tmp_counter: AtomicU64,
+    /// Puts since `index.json` was last persisted. The on-disk index is a
+    /// statistics cache (a missing/stale one is rebuilt by scanning
+    /// `objects/`), so it is flushed every [`INDEX_FLUSH_EVERY`] puts and
+    /// on drop instead of after every write — rewriting the whole index
+    /// per put is O(entries) and comes to dominate put cost on grown
+    /// stores.
+    dirty_puts: AtomicU64,
 }
+
+/// How many puts may accumulate before `index.json` is rewritten.
+const INDEX_FLUSH_EVERY: u64 = 32;
 
 impl Store {
     /// Open (creating if needed) a store rooted at `dir`. A missing or
@@ -105,11 +130,19 @@ impl Store {
             Some(idx) => idx,
             None => Self::rebuild_index(&root),
         };
-        Ok(Store {
+        let store = Store {
             root,
             index: Mutex::new(index),
             tmp_counter: AtomicU64::new(0),
-        })
+            dirty_puts: AtomicU64::new(0),
+        };
+        // A rebuilt index means the on-disk copy was missing or corrupt;
+        // persist the fresh scan so the next open is cheap again.
+        if !store.root.join("index.json").exists() {
+            let index = store.index.lock().unwrap();
+            store.persist_index(&index).ok();
+        }
+        Ok(store)
     }
 
     pub fn root(&self) -> &Path {
@@ -226,6 +259,22 @@ impl Store {
                 created_unix: Self::now_unix(),
             },
         );
+        // Amortize the O(entries) index rewrite across puts; the object
+        // itself is already durable, and a crash merely costs one index
+        // rebuild on the next open.
+        if self.dirty_puts.fetch_add(1, Ordering::Relaxed) + 1 >= INDEX_FLUSH_EVERY {
+            self.dirty_puts.store(0, Ordering::Relaxed);
+            self.persist_index(&index)?;
+        }
+        Ok(())
+    }
+
+    /// Force `index.json` to reflect every put so far. Called on drop;
+    /// useful before handing the directory to another process that will
+    /// trust the on-disk index (e.g. snapshot/copy tooling).
+    pub fn flush_index(&self) -> io::Result<()> {
+        let index = self.index.lock().unwrap();
+        self.dirty_puts.store(0, Ordering::Relaxed);
         self.persist_index(&index)
     }
 
@@ -235,12 +284,35 @@ impl Store {
         let hex = key.hex();
         let path = self.object_path(kind, &hex);
         match Self::read_framed(&path) {
-            Ok(payload) => Some(payload),
+            Ok(payload) => {
+                self.reconcile_hit(kind, &hex, &path);
+                Some(payload)
+            }
             Err(FetchMiss::Absent) => None,
             Err(FetchMiss::Corrupt) => {
                 self.evict(kind, &hex);
                 None
             }
+        }
+    }
+
+    /// A hit on an object the in-memory index does not know about means
+    /// another process sharing this store wrote it; adopt it so local
+    /// `ls`/`stats`/`gc` see it (memory only — the next `put` persists).
+    fn reconcile_hit(&self, kind: &str, hex: &str, path: &Path) {
+        let mut index = self.index.lock().unwrap();
+        let id = format!("{kind}/{hex}");
+        if index.entries.contains_key(&id) {
+            return;
+        }
+        if let Ok(meta) = fs::metadata(path) {
+            index.entries.insert(
+                id,
+                IndexEntry {
+                    bytes: meta.len(),
+                    created_unix: Self::now_unix(),
+                },
+            );
         }
     }
 
@@ -415,6 +487,16 @@ impl Store {
             self.persist_index(&index)?;
         }
         Ok(report)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if self.dirty_puts.load(Ordering::Relaxed) > 0 {
+            if let Ok(index) = self.index.lock() {
+                self.persist_index(&index).ok();
+            }
+        }
     }
 }
 
@@ -599,6 +681,30 @@ mod tests {
         assert_eq!(report.remaining_entries, 0);
         assert_eq!(s.ls().len(), 0);
         fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn index_flush_is_amortized_but_drop_persists() {
+        let s = tmp_store("amortized");
+        for i in 0..5 {
+            s.put_bytes("trace", key(i), b"x").unwrap();
+        }
+        // Fewer puts than the flush threshold: the on-disk index may lag,
+        // but in-memory statistics are exact.
+        assert_eq!(s.stats().entries, 5);
+        let root = s.root().to_path_buf();
+        drop(s); // flushes the dirty index
+        let bytes = fs::read(root.join("index.json")).unwrap();
+        let idx: Index = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(idx.entries.len(), 5, "drop must persist pending puts");
+        // An explicit flush also works without dropping.
+        let s = Store::open(&root).unwrap();
+        s.put_bytes("trace", key(9), b"y").unwrap();
+        s.flush_index().unwrap();
+        let bytes = fs::read(root.join("index.json")).unwrap();
+        let idx: Index = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(idx.entries.len(), 6);
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

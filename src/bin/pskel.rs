@@ -125,7 +125,23 @@ commands:
            and a full queue answers 429; ctrl-c drains and exits
            cleanly. --selftest [--clients <n>] [--requests <n>] runs a
            closed-loop load driver against an in-process server and
-           reports throughput and latency quantiles instead
+           reports throughput and latency quantiles instead; with
+           --json [-o <report.json>] the selftest also writes a JSON
+           report (including the build profile, like bench reports)
+  fleet    (--shards <a,b,c> | --spawn <k>) [--addr <host:port>]
+           [--handlers <n>] [--gather-ms <ms>] [--store <dir>]
+           [--workers <n>] [--queue <n>]
+           route across a sharded prediction tier: consistent-hash the
+           key space over replica processes sharing one store, batch
+           same-skeleton predicts into vectorized sweep passes, fail
+           over on replica loss, and aggregate /metrics fleet-wide;
+           --shards joins running replicas, --spawn boots k `pskel
+           serve` children itself. --selftest [--replicas <k>]
+           [--clients <n>] [--requests <n>] [--in-process] [--json
+           [-o <report.json>]] boots k replicas + router, measures
+           aggregate vs single-replica throughput and tail latency,
+           and verifies batched predicts are bit-identical to
+           individual execution
   bench    compress [--json] [-o <report.json>] [--fast] [--skip-nas]
            time signature compression on reference workloads and report
            speedup vs the recorded pre-optimization baselines; --json
@@ -196,6 +212,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "run" => cmd_run(&opts),
         "predict" => cmd_predict(&opts),
         "serve" => cmd_serve(&opts),
+        "fleet" => cmd_fleet(&opts),
         other => usage_err(format!("unknown command {other:?}")),
     }
 }
@@ -242,7 +259,7 @@ impl Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
-    const SWITCHES: [&str; 10] = [
+    const SWITCHES: [&str; 11] = [
         "verify",
         "consolidate",
         "distribution",
@@ -253,6 +270,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         "selftest",
         "test-endpoints",
         "progress",
+        "in-process",
     ];
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
@@ -1141,9 +1159,185 @@ fn cmd_serve_selftest(opts: &Opts) -> Result<(), CliError> {
         "scenario engine: {} programs compiled, {} schedule events fired, {} faults injected",
         sc.programs_compiled, s.timeline_events, s.faults_injected
     );
+    if opts.has("json") || opts.get("o").is_some() {
+        use pskel::serve::Json;
+        let json = Json::obj([
+            ("profile", Json::str(pskel::serve::build_profile())),
+            ("clients", Json::from(clients)),
+            ("requests_per_client", Json::from(requests)),
+            ("requests", Json::from(report.requests)),
+            ("ok", Json::from(report.ok)),
+            ("errors", Json::from(report.errors)),
+            ("elapsed_secs", Json::from(report.elapsed.as_secs_f64())),
+            ("throughput_rps", Json::from(report.throughput_rps())),
+            ("p50_ms", Json::from(ms(0.50))),
+            ("p90_ms", Json::from(ms(0.90))),
+            ("p99_ms", Json::from(ms(0.99))),
+            ("coalesced", Json::from(t.coalesced)),
+            ("simulations", Json::from(c.total_sims())),
+            ("store_hits", Json::from(c.store_hits)),
+        ]);
+        let path = opts.get("o").unwrap_or("SELFTEST_serve.json");
+        std::fs::write(path, json.render())
+            .map_err(|e| format!("cannot write report {path}: {e}"))?;
+        eprintln!("report -> {path}");
+    }
     if report.errors > 0 {
         return Err(format!("selftest saw {} failed requests", report.errors).into());
     }
+    Ok(())
+}
+
+/// `pskel fleet`: a consistent-hash router over `pskel serve` replicas
+/// sharing one store, with batched sweep execution for same-skeleton
+/// predicts. `--shards` joins replicas already running; `--spawn k`
+/// boots its own children over a shared store.
+fn cmd_fleet(opts: &Opts) -> Result<(), CliError> {
+    if opts.has("selftest") {
+        return cmd_fleet_selftest(opts);
+    }
+    use pskel::fleet::{spawn_replicas, Fleet, FleetConfig};
+
+    let mut spawned = Vec::new();
+    let shards: Vec<std::net::SocketAddr> = match (opts.get("shards"), opts.get("spawn")) {
+        (Some(_), Some(_)) => {
+            return usage_err("--shards and --spawn are mutually exclusive".into())
+        }
+        (Some(list), None) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad shard address {s:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+        (None, Some(k)) => {
+            let k: usize = k
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --spawn count {k:?}")))?;
+            if k == 0 {
+                return usage_err("--spawn needs at least one replica".into());
+            }
+            let store =
+                std::path::PathBuf::from(opts.get("store").unwrap_or(pskel::store::DEFAULT_DIR));
+            std::fs::create_dir_all(&store)
+                .map_err(|e| format!("cannot create store dir {}: {e}", store.display()))?;
+            let exe =
+                std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+            let workers: usize = opts.parse_or("workers", pskel::serve::default_workers())?;
+            let queue: usize = opts.parse_or("queue", 64)?;
+            eprintln!(
+                "spawning {k} replica(s) over shared store {}...",
+                store.display()
+            );
+            spawned = spawn_replicas(&exe, &store, k, workers, queue)
+                .map_err(|e| format!("cannot spawn replicas: {e}"))?;
+            spawned.iter().map(|r| r.addr).collect()
+        }
+        (None, None) => return usage_err("fleet needs --shards <a,b,c> or --spawn <k>".into()),
+    };
+
+    let gather_ms: u64 = opts.parse_or("gather-ms", 2)?;
+    let config = FleetConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7071").to_string(),
+        shards,
+        handlers: opts.parse_or("handlers", 8)?,
+        gather: Duration::from_millis(gather_ms),
+        ..FleetConfig::default()
+    };
+    let n_shards = config.shards.len();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    pskel::serve::signal::install(Arc::clone(&shutdown));
+    let fleet = Fleet::start(config).map_err(|e| format!("cannot start fleet router: {e}"))?;
+    // Scripts scrape the port from this line, as with pskel-serve's.
+    println!("pskel-fleet listening on http://{}", fleet.addr);
+    eprintln!("routing across {n_shards} shard(s)");
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutting down: draining router, then replicas...");
+    let metrics = fleet.metrics();
+    fleet.shutdown();
+    for r in spawned {
+        r.stop();
+    }
+    eprintln!(
+        "drained: {} forwarded ({} retries, {} failovers), {} jobs batched over {} passes",
+        metrics.forwarded.load(Ordering::Relaxed),
+        metrics.retries.load(Ordering::Relaxed),
+        metrics.failovers.load(Ordering::Relaxed),
+        metrics.batched_jobs.load(Ordering::Relaxed),
+        metrics.batch_passes.load(Ordering::Relaxed),
+    );
+    Ok(())
+}
+
+/// `pskel fleet --selftest`: boot K replicas plus a router, measure
+/// aggregate throughput against a single-replica baseline, and verify
+/// batched sweep execution answers bit-identically to individually
+/// executed predicts. Replicas are real child processes unless
+/// `--in-process` keeps them in this one (faster, less faithful).
+fn cmd_fleet_selftest(opts: &Opts) -> Result<(), CliError> {
+    use pskel::fleet::{selftest, SelftestConfig};
+    let config = SelftestConfig {
+        replicas: opts.parse_or("replicas", 3)?,
+        workers_per_replica: opts.parse_or("workers", 2)?,
+        clients: opts.parse_or("clients", 8)?,
+        requests: opts.parse_or("requests", 24)?,
+        spawn_exe: if opts.has("in-process") {
+            None
+        } else {
+            Some(std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?)
+        },
+        store_dir: opts.get("store").map(Into::into),
+    };
+    eprintln!(
+        "fleet selftest: {} replicas ({}), {} clients x {} requests per phase",
+        config.replicas,
+        if config.spawn_exe.is_some() {
+            "spawned processes"
+        } else {
+            "in-process"
+        },
+        config.clients,
+        config.requests
+    );
+    let report = selftest::run(&config)?;
+    println!(
+        "baseline {:.1} req/s (1 replica) -> fleet {:.1} req/s ({} replicas); \
+         gate {:.0}% of baseline ({} host cores)",
+        report.baseline_rps,
+        report.aggregate_rps,
+        report.replicas,
+        report.throughput_floor * 100.0,
+        report.host_parallelism
+    );
+    println!(
+        "latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms; {} errors",
+        report.p50_ms, report.p90_ms, report.p99_ms, report.errors
+    );
+    println!(
+        "batching: {} jobs coalesced over {} passes; identity sweep ran {} batch / {} points server-side; bit-identical: {}",
+        report.batched_jobs,
+        report.batch_passes,
+        report.sweep_batches_delta,
+        report.sweep_points_delta,
+        report.identical
+    );
+    if opts.has("json") || opts.get("o").is_some() {
+        let path = opts.get("o").unwrap_or("SELFTEST_fleet.json");
+        std::fs::write(path, report.to_json().render())
+            .map_err(|e| format!("cannot write report {path}: {e}"))?;
+        eprintln!("report -> {path}");
+    }
+    if !report.passed() {
+        return Err(format!(
+            "fleet selftest failed: errors={} identical={} throughput_ok={} batching_ok={}",
+            report.errors, report.identical, report.throughput_ok, report.batching_ok
+        )
+        .into());
+    }
+    println!("fleet selftest passed");
     Ok(())
 }
 

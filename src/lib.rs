@@ -76,6 +76,7 @@
 
 pub use pskel_apps as apps;
 pub use pskel_core as core;
+pub use pskel_fleet as fleet;
 pub use pskel_ingest as ingest;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
