@@ -14,6 +14,7 @@
 pub mod compress;
 pub mod ingest;
 pub mod sim;
+pub mod sweep;
 
 use pskel_apps::Class;
 use pskel_predict::{EvalContext, PAPER_SKELETON_SIZES};
@@ -26,6 +27,7 @@ pub use ingest::{run_ingest_bench, IngestBenchReport, IngestBenchResult};
 pub use sim::{
     run_sim_bench, run_sim_bench_threads, SimBenchReport, SimBenchResult, SimScaleResult,
 };
+pub use sweep::{run_sweep_bench, SweepBenchReport};
 
 /// Parse common CLI options of the figure binaries: `--class S|W|A|B`
 /// scales the run, `--store <dir>` attaches a content-addressed artifact

@@ -1,0 +1,290 @@
+//! Wall-clock benchmark of forked sweep execution
+//! (`pskel bench sweep`).
+//!
+//! Builds a 16-point late-divergence sweep — identical scripts, placement
+//! and static spec, with each point scheduling a different competing-load
+//! event at ~80% of the simulated timeline — and times per-point serial
+//! execution against the copy-on-write divergence-tree executor
+//! ([`pskel_sim::try_run_scripts_sweep`]). Reports points per wall
+//! second on both paths, the speedup, the prefix-reuse fraction (the
+//! share of per-point serial engine events the forked run never had to
+//! execute), and whether every point's [`SimReport`] is bit-identical
+//! between the paths — the equivalence the proptests in `pskel-sim` pin
+//! down, doubling here as a guard that both paths measured the same
+//! work. Cheap enough for CI smoke jobs; emits machine-readable JSON
+//! (`BENCH_sweep.json`) for artifact tracking.
+
+use crate::compress::build_profile;
+use pskel_mpi::{MpiOps, ScriptBuilder};
+use pskel_sim::{
+    try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimDuration, SimReport, Simulation,
+    SweepJob, TimelineAction, TimelineEvent,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// How far into the simulated timeline the points diverge. The issue
+/// floor is "the last quarter"; 80% leaves headroom for the event's own
+/// effects to finish inside the horizon.
+const DIVERGENCE_AT: f64 = 0.8;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepBenchReport {
+    /// Build profile of this binary; debug-build numbers are not
+    /// comparable to release floors.
+    pub profile: &'static str,
+    pub fast: bool,
+    /// `std::thread::available_parallelism()` of the benchmarking host.
+    /// The prefix-reuse fraction is host-independent; wall-clock speedup
+    /// beyond the algorithmic savings needs > 1.
+    pub host_parallelism: usize,
+    /// Sweep points (16: the issue's headline shape).
+    pub points: usize,
+    pub ranks: usize,
+    /// Engine events one serial point processes.
+    pub events_per_point: u64,
+    /// Fraction of the timeline shared before the points diverge.
+    pub divergence_at: f64,
+    pub reps: usize,
+    /// Best-of-`reps` wall seconds executing every point serially.
+    pub serial_secs: f64,
+    /// Best-of-`reps` wall seconds for the forked sweep executor.
+    pub forked_secs: f64,
+    pub serial_points_per_sec: f64,
+    pub forked_points_per_sec: f64,
+    /// `serial_secs / forked_secs` (> 1 means the forked executor won).
+    pub speedup: f64,
+    /// `1 - executed_events / serial_events` over the forked run: the
+    /// share of per-point serial work the shared prefix amortized away.
+    pub prefix_reuse: f64,
+    /// Fork points the divergence tree took.
+    pub forks: u64,
+    /// Points answered by fanning another point's report.
+    pub dedup_hits: u64,
+    /// Whether every point was bit-identical between the two paths.
+    pub identical: bool,
+}
+
+/// Compressed loop-nest scripts (signature/skeleton shape): an outer
+/// iteration loop of compute + ring exchange + allreduce.
+fn loop_nest_scripts(nranks: usize, iters: u64, sw_overhead_secs: f64) -> Vec<RankScript> {
+    (0..nranks)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, nranks, sw_overhead_secs);
+            b.begin_loop(iters);
+            MpiOps::compute(&mut b, 1.5e-5);
+            let s = MpiOps::isend(&mut b, (rank + 1) % nranks, 3, 10_000);
+            let r = MpiOps::irecv(&mut b, Some((rank + nranks - 1) % nranks), Some(3), 10_000);
+            MpiOps::waitall(&mut b, vec![s, r]);
+            MpiOps::allreduce(&mut b, 512);
+            b.end_loop();
+            b.finish()
+        })
+        .collect()
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Run the sweep-execution benchmark. `fast` shrinks the workload and
+/// repetitions for smoke jobs; the 16-point shape is kept either way so
+/// the headline number stays comparable.
+pub fn run_sweep_bench(fast: bool) -> SweepBenchReport {
+    let points = 16;
+    let nranks = 8;
+    let nodes = 2;
+    let iters: u64 = if fast { 80 } else { 400 };
+    let reps = if fast { 2 } else { 3 };
+
+    let base = ClusterSpec::homogeneous(nodes);
+    let placement = Placement::blocked(nranks, nodes);
+    let scripts = loop_nest_scripts(nranks, iters, base.net.sw_overhead.as_secs_f64());
+
+    // Probe the undisturbed horizon once so the divergence events land at
+    // a fixed fraction of the simulated timeline regardless of workload
+    // size.
+    let horizon = Simulation::new(base.clone(), placement.clone())
+        .try_run_scripts(&scripts)
+        .expect("probe run completes")
+        .total_time
+        .as_secs_f64();
+    let specs: Vec<ClusterSpec> = (0..points)
+        .map(|k| {
+            let mut spec = base.clone();
+            spec.timeline.events.push(TimelineEvent {
+                at: SimDuration::from_secs_f64(horizon * DIVERGENCE_AT),
+                node: 0,
+                action: TimelineAction::AddCompeting(1 + k as i64),
+                fault: false,
+            });
+            spec
+        })
+        .collect();
+
+    let (serial_secs, serial_reports) = time_best(reps, || {
+        specs
+            .iter()
+            .map(|spec| {
+                Simulation::new(spec.clone(), placement.clone())
+                    .try_run_scripts(&scripts)
+                    .expect("serial point completes")
+            })
+            .collect::<Vec<SimReport>>()
+    });
+    let (forked_secs, outcome) = time_best(reps, || {
+        let jobs: Vec<SweepJob<'_>> = specs
+            .iter()
+            .map(|spec| SweepJob {
+                spec: spec.clone(),
+                placement: placement.clone(),
+                scripts: &scripts,
+            })
+            .collect();
+        try_run_scripts_sweep(&jobs)
+    });
+
+    let identical = outcome.reports.len() == serial_reports.len()
+        && outcome
+            .reports
+            .iter()
+            .zip(&serial_reports)
+            .all(|(forked, serial)| forked.as_ref().ok() == Some(serial));
+
+    SweepBenchReport {
+        profile: build_profile(),
+        fast,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        points,
+        ranks: nranks,
+        events_per_point: serial_reports[0].events,
+        divergence_at: DIVERGENCE_AT,
+        reps,
+        serial_secs,
+        forked_secs,
+        serial_points_per_sec: points as f64 / serial_secs,
+        forked_points_per_sec: points as f64 / forked_secs,
+        speedup: serial_secs / forked_secs,
+        prefix_reuse: outcome.stats.reuse_fraction(),
+        forks: outcome.stats.forks,
+        dedup_hits: outcome.stats.dedup_hits,
+        identical,
+    }
+}
+
+impl SweepBenchReport {
+    /// Serialize to pretty-printed JSON. Hand-rolled like
+    /// [`crate::CompressBenchReport::to_json`] so emission works even
+    /// where serde_json is unavailable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"host_parallelism\": {},", self.host_parallelism);
+        let _ = writeln!(s, "  \"points\": {},", self.points);
+        let _ = writeln!(s, "  \"ranks\": {},", self.ranks);
+        let _ = writeln!(s, "  \"events_per_point\": {},", self.events_per_point);
+        let _ = writeln!(s, "  \"divergence_at\": {},", self.divergence_at);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        let _ = writeln!(s, "  \"serial_secs\": {},", self.serial_secs);
+        let _ = writeln!(s, "  \"forked_secs\": {},", self.forked_secs);
+        let _ = writeln!(
+            s,
+            "  \"serial_points_per_sec\": {},",
+            self.serial_points_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "  \"forked_points_per_sec\": {},",
+            self.forked_points_per_sec
+        );
+        let _ = writeln!(s, "  \"speedup\": {},", self.speedup);
+        let _ = writeln!(s, "  \"prefix_reuse\": {},", self.prefix_reuse);
+        let _ = writeln!(s, "  \"forks\": {},", self.forks);
+        let _ = writeln!(s, "  \"dedup_hits\": {},", self.dedup_hits);
+        let _ = writeln!(s, "  \"identical\": {}", self.identical);
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Render the human-readable table printed by the CLI.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}-point sweep, {} ranks, divergence at {:.0}% of the timeline \
+             (host parallelism {}):",
+            self.points,
+            self.ranks,
+            self.divergence_at * 100.0,
+            self.host_parallelism
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>12} {:>12}",
+            "path", "secs", "points/s", "events/pt"
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.4} {:>12.1} {:>12}",
+            "serial", self.serial_secs, self.serial_points_per_sec, self.events_per_point
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.4} {:>12.1} {:>12}",
+            "forked", self.forked_secs, self.forked_points_per_sec, self.events_per_point
+        );
+        let _ = writeln!(
+            s,
+            "speedup {:.2}x  prefix reuse {:.1}%  forks {}  dedup hits {}  identical {}",
+            self.speedup,
+            self.prefix_reuse * 100.0,
+            self.forks,
+            self.dedup_hits,
+            self.identical
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_bit_identical_and_reuses_the_prefix() {
+        let report = run_sweep_bench(true);
+        assert!(report.identical, "forked sweep diverged from serial");
+        assert_eq!(report.points, 16);
+        assert!(report.events_per_point > 0);
+        assert!(report.serial_secs > 0.0 && report.forked_secs > 0.0);
+        // The algorithmic savings are host-independent: with divergence
+        // at 80%, the shared prefix amortizes most per-point serial work
+        // regardless of how many cores ran the suffixes.
+        assert!(
+            report.prefix_reuse > 0.5,
+            "late-divergence sweep reused too little: {}",
+            report.prefix_reuse
+        );
+        assert!(report.forks >= 1, "no fork point was taken");
+        let json = report.to_json();
+        assert!(json.contains("\"prefix_reuse\""), "json: {json}");
+        assert!(json.contains("\"speedup\""), "json: {json}");
+        assert!(json.contains("\"identical\": true"), "json: {json}");
+        // Banner, header, two path rows, summary line.
+        assert_eq!(report.table().lines().count(), 5);
+    }
+}

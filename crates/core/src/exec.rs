@@ -18,7 +18,7 @@ use pskel_mpi::{
     ScriptBuilder, TraceConfig,
 };
 use pskel_sim::script::sample_normal;
-use pskel_sim::{ClusterSpec, Placement, RankScript, SimError};
+use pskel_sim::{try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimError, SweepJob};
 use pskel_trace::OpKind;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -267,6 +267,78 @@ pub fn try_run_skeleton(
         .map(|r| compile_rank(r, n, o, opts.seed))
         .collect();
     try_run_mpi_scripts_threads(cluster, placement, &scripts, opts.sim_threads)
+}
+
+/// Run one skeleton under many cluster specs — the points of a scenario
+/// sweep — through the simulator's shared-prefix sweep executor.
+///
+/// Rank scripts are compiled once per distinct software overhead (the
+/// only spec field that changes the lowering), timeline prefixes common
+/// to several specs simulate once, and every returned report is
+/// bit-identical to a per-point [`try_run_skeleton`] of the same spec.
+/// Tracing is unsupported here: traced runs need live rank threads.
+pub fn try_run_skeleton_sweep(
+    skeleton: &Skeleton,
+    clusters: &[ClusterSpec],
+    placement: &Placement,
+    opts: ExecOptions,
+) -> Vec<Result<MpiRunOutcome, SimError>> {
+    assert!(
+        !opts.trace.enabled,
+        "sweep execution cannot trace (tracing needs rank threads)"
+    );
+    assert_eq!(
+        skeleton.nranks(),
+        placement.n_ranks(),
+        "skeleton has {} ranks but placement has {}",
+        skeleton.nranks(),
+        placement.n_ranks()
+    );
+    let n = skeleton.nranks();
+    // One compiled script set per distinct software overhead; points with
+    // equal overhead share scripts, which the sweep executor requires for
+    // prefix sharing (script identity is part of a point's static state).
+    let mut overheads: Vec<u64> = Vec::new();
+    let mut compiled: Vec<Vec<RankScript>> = Vec::new();
+    let script_set: Vec<usize> = clusters
+        .iter()
+        .map(|cluster| {
+            let o = cluster.net.sw_overhead.as_secs_f64();
+            match overheads.iter().position(|&bits| bits == o.to_bits()) {
+                Some(i) => i,
+                None => {
+                    overheads.push(o.to_bits());
+                    compiled.push(
+                        skeleton
+                            .ranks
+                            .iter()
+                            .map(|r| compile_rank(r, n, o, opts.seed))
+                            .collect(),
+                    );
+                    compiled.len() - 1
+                }
+            }
+        })
+        .collect();
+    let jobs: Vec<SweepJob<'_>> = clusters
+        .iter()
+        .zip(&script_set)
+        .map(|(cluster, &set)| SweepJob {
+            spec: cluster.clone(),
+            placement: placement.clone(),
+            scripts: &compiled[set],
+        })
+        .collect();
+    try_run_scripts_sweep(&jobs)
+        .reports
+        .into_iter()
+        .map(|r| {
+            r.map(|report| MpiRunOutcome {
+                report,
+                trace: None,
+            })
+        })
+        .collect()
 }
 
 /// Run a skeleton on the thread-per-rank path (required when tracing the
@@ -557,6 +629,65 @@ mod tests {
         let fast = run_skeleton(&skeleton, c, p, opts).report;
         assert_eq!(threaded.total_time, fast.total_time, "total_time differs");
         assert_eq!(threaded, fast, "reports differ across execution paths");
+    }
+
+    #[test]
+    fn sweep_execution_matches_per_point_runs() {
+        use pskel_sim::{SimDuration, TimelineAction, TimelineEvent};
+        let n = 4usize;
+        let mk = |rank: usize| RankSkeleton {
+            rank,
+            nodes: vec![SkelNode::Loop {
+                count: 6,
+                body: vec![
+                    compute(0.003),
+                    SkelNode::Op(SkelOp::Coll {
+                        kind: OpKind::Allreduce,
+                        root: None,
+                        bytes: 512,
+                    }),
+                ],
+            }],
+        };
+        let skeleton = Skeleton {
+            app: "sweep".into(),
+            ranks: (0..n).map(mk).collect(),
+            meta: meta(),
+        };
+        let placement = Placement::round_robin(n, n);
+        // Point 0: dedicated. Points 1..: competing processes arriving at
+        // varying times — shared empty prefix, divergent suffixes. Point 3
+        // repeats point 1 exactly (dedup leaf).
+        let cluster_with = |procs: i64, at_ms: u64| {
+            let mut c = ClusterSpec::homogeneous(n);
+            if procs > 0 {
+                c.timeline.events.push(TimelineEvent {
+                    at: SimDuration::from_millis(at_ms),
+                    node: 0,
+                    action: TimelineAction::AddCompeting(procs),
+                    fault: false,
+                });
+            }
+            c
+        };
+        let clusters = vec![
+            cluster_with(0, 0),
+            cluster_with(2, 5),
+            cluster_with(2, 10),
+            cluster_with(2, 5),
+        ];
+        let opts = ExecOptions::default();
+        let swept = try_run_skeleton_sweep(&skeleton, &clusters, &placement, opts);
+        assert_eq!(swept.len(), clusters.len());
+        for (cluster, got) in clusters.iter().zip(&swept) {
+            let serial =
+                try_run_skeleton(&skeleton, cluster.clone(), placement.clone(), opts).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(
+                got.report, serial.report,
+                "sweep point diverged from its serial run"
+            );
+        }
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub mod validate;
 pub use codegen::generate_c;
 pub use construct::{construct_rank, ComputeModel, ConstructOptions};
 pub use exec::{
-    compile_rank, execute_rank, run_skeleton, run_skeleton_threaded, try_run_skeleton, ExecOptions,
+    compile_rank, execute_rank, run_skeleton, run_skeleton_threaded, try_run_skeleton,
+    try_run_skeleton_sweep, ExecOptions,
 };
 pub use good::{analyze_app, analyze_rank, GoodAnalysis, RankGoodAnalysis};
 pub use ir::{RankSkeleton, SkelNode, SkelOp, Skeleton, SkeletonMeta};

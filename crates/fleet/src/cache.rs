@@ -1,0 +1,178 @@
+//! Bounded LRU cache for hot predict responses at the router.
+//!
+//! Predict answers are pure functions of the canonical request body: the
+//! replicas are deterministic and every value they derive is
+//! content-addressed in the shared store, so a response, once computed,
+//! never changes for the same body. That makes verbatim replay at the
+//! router sound — a repeated hot key skips the upstream round-trip (and
+//! the planner's gather window) entirely.
+//!
+//! Only successful (200) JSON documents are cached, keyed by the
+//! *canonical* rendering of the parsed body so whitespace and key-order
+//! variants of the same request meet on one entry. Capacity is a hard
+//! cap: inserting into a full cache evicts the least-recently-used
+//! entry. A capacity of zero disables caching outright.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What an insert did, so the router can keep its counters honest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inserted {
+    /// An older entry was evicted to make room.
+    pub evicted: bool,
+    /// Entries resident after the insert.
+    pub entries: usize,
+}
+
+/// A capacity-capped LRU map from canonical request bytes to response
+/// bodies. Internally a tick-stamped hash map: lookups refresh the
+/// stamp, eviction removes the minimum. Eviction is O(entries), which is
+/// fine at router cache sizes (hundreds).
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    last_used: u64,
+    body: Arc<[u8]>,
+}
+
+impl ResponseCache {
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Is caching enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up a body, refreshing its recency on a hit.
+    pub fn get(&self, key: &[u8]) -> Option<Arc<[u8]>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.body))
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used
+    /// one when the cache is at capacity. No-op when disabled.
+    pub fn insert(&self, key: Vec<u8>, body: Arc<[u8]>) -> Inserted {
+        if self.capacity == 0 {
+            return Inserted {
+                evicted: false,
+                entries: 0,
+            };
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut evicted = false;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                last_used: tick,
+                body,
+            },
+        );
+        Inserted {
+            evicted,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn hits_replay_the_exact_bytes() {
+        let cache = ResponseCache::new(4);
+        assert!(cache.get(b"k1").is_none());
+        cache.insert(b"k1".to_vec(), body("v1"));
+        assert_eq!(cache.get(b"k1").as_deref(), Some(b"v1".as_slice()));
+        assert!(cache.get(b"k2").is_none());
+    }
+
+    #[test]
+    fn capacity_is_a_hard_cap_and_eviction_is_lru() {
+        let cache = ResponseCache::new(2);
+        cache.insert(b"a".to_vec(), body("1"));
+        cache.insert(b"b".to_vec(), body("2"));
+        // Touch `a` so `b` becomes the least recently used.
+        assert!(cache.get(b"a").is_some());
+        let ins = cache.insert(b"c".to_vec(), body("3"));
+        assert!(ins.evicted);
+        assert_eq!(ins.entries, 2);
+        assert!(cache.get(b"b").is_none(), "LRU entry should be gone");
+        assert!(cache.get(b"a").is_some());
+        assert!(cache.get(b"c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let cache = ResponseCache::new(2);
+        cache.insert(b"a".to_vec(), body("1"));
+        cache.insert(b"b".to_vec(), body("2"));
+        let ins = cache.insert(b"a".to_vec(), body("1'"));
+        assert!(!ins.evicted);
+        assert_eq!(ins.entries, 2);
+        assert_eq!(cache.get(b"a").as_deref(), Some(b"1'".as_slice()));
+        assert!(cache.get(b"b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0);
+        assert!(!cache.enabled());
+        let ins = cache.insert(b"a".to_vec(), body("1"));
+        assert!(!ins.evicted);
+        assert_eq!(ins.entries, 0);
+        assert!(cache.get(b"a").is_none());
+        assert!(cache.is_empty());
+    }
+}

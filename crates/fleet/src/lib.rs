@@ -36,6 +36,7 @@
 //! onto one replica so it coalesces there.
 
 pub mod accept;
+pub mod cache;
 pub mod metrics;
 pub mod planner;
 pub mod proxy;
@@ -44,6 +45,7 @@ pub mod router;
 pub mod selftest;
 pub mod spawn;
 
+pub use cache::ResponseCache;
 pub use metrics::FleetMetrics;
 pub use planner::{batch_group, Planner};
 pub use ring::Ring;

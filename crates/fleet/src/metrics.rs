@@ -33,6 +33,14 @@ pub struct FleetMetrics {
     pub parked: AtomicU64,
     /// Connections dropped because the handler queue was full.
     pub handoff_rejected: AtomicU64,
+    /// Predicts answered verbatim from the router's response cache.
+    pub cache_hits: AtomicU64,
+    /// Cacheable predicts that had to go upstream.
+    pub cache_misses: AtomicU64,
+    /// Entries evicted from the response cache to stay under capacity.
+    pub cache_evictions: AtomicU64,
+    /// Entries currently resident in the response cache (gauge).
+    pub cache_entries: AtomicU64,
 }
 
 impl FleetMetrics {
@@ -61,6 +69,10 @@ impl FleetMetrics {
             ("pskel_fleet_batch_fallbacks_total", &self.batch_fallbacks),
             ("pskel_fleet_parked_connections", &self.parked),
             ("pskel_fleet_handoff_rejected_total", &self.handoff_rejected),
+            ("pskel_fleet_cache_hits_total", &self.cache_hits),
+            ("pskel_fleet_cache_misses_total", &self.cache_misses),
+            ("pskel_fleet_cache_evictions_total", &self.cache_evictions),
+            ("pskel_fleet_cache_entries", &self.cache_entries),
         ] {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
@@ -181,9 +193,13 @@ mod tests {
         let m = FleetMetrics::default();
         FleetMetrics::bump(&m.forwarded);
         FleetMetrics::add(&m.batched_jobs, 4);
+        FleetMetrics::bump(&m.cache_hits);
         let out = m.render();
         assert!(out.contains("pskel_fleet_forwarded_total 1\n"), "{out}");
         assert!(out.contains("pskel_fleet_batched_jobs_total 4\n"), "{out}");
         assert!(out.contains("pskel_fleet_batch_passes_total 0\n"), "{out}");
+        assert!(out.contains("pskel_fleet_cache_hits_total 1\n"), "{out}");
+        assert!(out.contains("pskel_fleet_cache_misses_total 0\n"), "{out}");
+        assert!(out.contains("pskel_fleet_cache_entries 0\n"), "{out}");
     }
 }

@@ -27,6 +27,7 @@
 //! answers 502.
 
 use crate::accept::{self, Conn, Parker};
+use crate::cache::ResponseCache;
 use crate::metrics::{aggregate, FleetMetrics};
 use crate::planner::{batch_group, PendingJob, Planner, Unit, SHARED_FIELDS};
 use crate::proxy::{ShardClient, UpstreamResponse};
@@ -66,6 +67,9 @@ pub struct FleetConfig {
     /// Planner gather window: how long a round waits for more predicts
     /// to join before dispatching.
     pub gather: Duration,
+    /// Response-cache capacity for hot predict keys (entries). Zero
+    /// disables the cache.
+    pub cache_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +80,7 @@ impl Default for FleetConfig {
             handlers: 8,
             handler_queue: 256,
             gather: Duration::from_millis(2),
+            cache_capacity: 256,
         }
     }
 }
@@ -88,6 +93,8 @@ pub struct FleetRouter {
     pub metrics: Arc<FleetMetrics>,
     planner: Arc<Planner>,
     draining: Arc<AtomicBool>,
+    /// Verbatim response replay for hot predict keys.
+    cache: ResponseCache,
     /// Round-robin cursor for requests with no natural affinity.
     rr: AtomicU64,
 }
@@ -98,6 +105,7 @@ impl FleetRouter {
         planner: Arc<Planner>,
         metrics: Arc<FleetMetrics>,
         draining: Arc<AtomicBool>,
+        cache_capacity: usize,
     ) -> FleetRouter {
         let mut clients = HashMap::new();
         for (i, &addr) in shards.iter().enumerate() {
@@ -109,6 +117,7 @@ impl FleetRouter {
             metrics,
             planner,
             draining,
+            cache: ResponseCache::new(cache_capacity),
             rr: AtomicU64::new(0),
         }
     }
@@ -157,8 +166,13 @@ impl FleetRouter {
         Response::text(200, out)
     }
 
-    /// `POST /v1/predict`: hand the job to the planner and block on the
+    /// `POST /v1/predict`: answer hot keys verbatim from the response
+    /// cache, otherwise hand the job to the planner and block on the
     /// fan-back channel; the dispatcher answers every submitted job.
+    ///
+    /// Caching is sound because predict documents are pure functions of
+    /// the canonical body: replicas are deterministic and share one
+    /// content-addressed store, so a 200 never changes for the same key.
     fn predict(&self, req: &Request) -> Response {
         let body = match parse_json_body(req) {
             Ok(body) => body,
@@ -166,6 +180,22 @@ impl FleetRouter {
         };
         if self.draining.load(Ordering::SeqCst) {
             return shutting_down();
+        }
+        // Canonical rendering, so whitespace/key-order variants of the
+        // same request meet on one cache entry (and the same upstream
+        // bytes the planner would have forwarded).
+        let key = body.render().into_bytes();
+        if self.cache.enabled() {
+            if let Some(cached) = self.cache.get(&key) {
+                FleetMetrics::bump(&self.metrics.cache_hits);
+                return Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: cached.to_vec(),
+                    extra_headers: Vec::new(),
+                };
+            }
+            FleetMetrics::bump(&self.metrics.cache_misses);
         }
         let group = batch_group(&body);
         let (reply, fanned) = mpsc::channel();
@@ -176,9 +206,19 @@ impl FleetRouter {
         {
             return shutting_down();
         }
-        fanned
+        let resp = fanned
             .recv()
-            .unwrap_or_else(|_| error_response(502, "fleet dispatcher dropped the job".into()))
+            .unwrap_or_else(|_| error_response(502, "fleet dispatcher dropped the job".into()));
+        if self.cache.enabled() && resp.status == 200 {
+            let inserted = self.cache.insert(key, Arc::from(resp.body.clone()));
+            if inserted.evicted {
+                FleetMetrics::bump(&self.metrics.cache_evictions);
+            }
+            self.metrics
+                .cache_entries
+                .store(inserted.entries as u64, Ordering::Relaxed);
+        }
+        resp
     }
 
     /// Forward any other endpoint to a shard: body-keyed affinity for
@@ -461,6 +501,7 @@ impl Fleet {
             Arc::clone(&planner),
             Arc::clone(&metrics),
             Arc::clone(&draining),
+            config.cache_capacity,
         ));
         let handler_queue: Arc<Bounded<Conn>> = Arc::new(Bounded::new(config.handler_queue));
         let (parker, poller) = accept::spawn_poller(

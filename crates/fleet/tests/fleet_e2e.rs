@@ -288,6 +288,68 @@ fn in_process_selftest_passes_end_to_end() {
 }
 
 #[test]
+fn hot_predict_keys_replay_verbatim_from_the_router_cache() {
+    let store = temp_store("cache");
+    let replicas: Vec<Server> = (0..2).map(|_| replica(&store)).collect();
+    let shards: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let fleet = Fleet::start(FleetConfig {
+        shards,
+        gather: Duration::from_millis(1),
+        cache_capacity: 8,
+        ..FleetConfig::default()
+    })
+    .expect("fleet starts");
+
+    let body = predict_body("cpu-one-node");
+    let (status, first) = http(fleet.addr, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200, "{first}");
+
+    // A whitespace variant of the same request still meets the cached
+    // entry: keys are the canonical rendering, and the replay is the
+    // first answer byte for byte.
+    let spaced = body.replace(",\"class\"", ",  \"class\"");
+    let (status, second) = http(fleet.addr, "POST", "/v1/predict", &spaced);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second, "cached replay diverged");
+
+    let metrics = fleet.metrics();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(metrics.cache_misses.load(Relaxed), 1);
+    assert_eq!(metrics.cache_hits.load(Relaxed), 1);
+    assert_eq!(metrics.cache_entries.load(Relaxed), 1);
+
+    // The hit was answered at the router: nothing new went upstream.
+    let forwarded = metrics.forwarded.load(Relaxed);
+    let (status, third) = http(fleet.addr, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200);
+    assert_eq!(first, third);
+    assert_eq!(metrics.forwarded.load(Relaxed), forwarded);
+    assert_eq!(metrics.cache_hits.load(Relaxed), 2);
+
+    // Validation errors are never cached.
+    let (status, bad) = http(fleet.addr, "POST", "/v1/predict", r#"{"bench":"CG"}"#);
+    assert_ne!(status, 200, "{bad}");
+    assert_eq!(metrics.cache_entries.load(Relaxed), 1);
+
+    // The counters surface in the router's /metrics exposition.
+    let (_, metrics_text) = http(fleet.addr, "GET", "/metrics", "");
+    assert!(
+        metrics_text.contains("pskel_fleet_cache_hits_total 2"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("pskel_fleet_cache_entries 1"),
+        "{metrics_text}"
+    );
+
+    fleet.shutdown();
+    for r in replicas {
+        assert!(r.shutdown(Duration::from_secs(10)));
+    }
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
 fn duplicate_predicts_on_different_shards_run_one_simulation() {
     let store = temp_store("singleflight");
     let a = replica(&store);

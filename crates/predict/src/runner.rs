@@ -393,6 +393,24 @@ impl Shared<'_> {
     }
 }
 
+/// How the points of one [`EvalContext::prewarm_skeleton_sweep`] call
+/// were answered. `points = memo_hits + store_hits + deduped + simulated`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepPrewarm {
+    /// Scenario points requested.
+    pub points: usize,
+    /// Answered from the in-process memo.
+    pub memo_hits: usize,
+    /// Answered from the persistent store.
+    pub store_hits: usize,
+    /// Answered by sharing another point's result (identical compiled
+    /// behavior — same program modulo name).
+    pub deduped: usize,
+    /// Behavior representatives actually simulated, via the forked sweep
+    /// executor.
+    pub simulated: usize,
+}
+
 /// Lazily-computed, memoized measurements over the full benchmark suite:
 /// the figures share application runs, traces and skeletons through this.
 pub struct EvalContext {
@@ -610,6 +628,127 @@ impl EvalContext {
         .skeleton_mpi_fraction(bench, class, target_secs, &self.skeletons[&key])?;
         self.skeleton_fracs.insert(key, f);
         Ok(f)
+    }
+
+    /// Evaluate one skeleton under many scenarios at once — the points of
+    /// a `/v1/sweep` request or a `[[sweep]]` expansion — through the
+    /// simulator's shared-prefix sweep executor.
+    ///
+    /// Points already memoized or stored are skipped; the rest are
+    /// grouped by compiled *behavior* ([`ScenarioProgram::behavior_id`],
+    /// name-independent), one representative per behavior is simulated
+    /// (timeline prefixes common to several behaviors run once), and the
+    /// result fans out to every member. Every filled cell is
+    /// bit-identical to what a lazy [`skeleton_time_spec`] call would
+    /// have computed, so subsequent per-point queries hit the memo.
+    ///
+    /// [`ScenarioProgram::behavior_id`]: pskel_scenario::ScenarioProgram::behavior_id
+    /// [`skeleton_time_spec`]: EvalContext::skeleton_time_spec
+    pub fn prewarm_skeleton_sweep(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+        scenarios: &[ScenarioSpec],
+    ) -> Result<SweepPrewarm, EvalError> {
+        let mut out = SweepPrewarm {
+            points: scenarios.len(),
+            ..SweepPrewarm::default()
+        };
+        if scenarios.is_empty() {
+            return Ok(out);
+        }
+        self.skeleton(bench, target_secs)?;
+        let class = self.class;
+        let size = Self::size_key(target_secs);
+        let builder = SkeletonBuilder::new(target_secs);
+
+        // Partition the points: memo hit, store hit, or pending — pending
+        // points grouped by compiled behavior (program content, name
+        // excluded) so identical points simulate once.
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, spec) in scenarios.iter().enumerate() {
+            if self
+                .skeleton_times
+                .contains_key(&(bench, size, spec.clone()))
+            {
+                out.memo_hits += 1;
+                continue;
+            }
+            let key =
+                provenance::skeleton_time_key_spec(&self.testbed, bench, class, &builder, spec);
+            if let Some(store) = self.store.as_deref() {
+                if let Some(t) = store.get_f64(kind::SKELETON_TIME, key) {
+                    EvalCounters::bump(&self.counters.store_hits);
+                    self.skeleton_times.insert((bench, size, spec.clone()), t);
+                    out.store_hits += 1;
+                    continue;
+                }
+            }
+            let behavior = match spec {
+                ScenarioSpec::Builtin(s) => format!("builtin:{}", s.cli_name()),
+                ScenarioSpec::Custom(p) => format!("behavior:{}", p.behavior_id()),
+            };
+            match groups.iter_mut().find(|(k, _)| *k == behavior) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((behavior, vec![i])),
+            }
+        }
+        if groups.is_empty() {
+            return Ok(out);
+        }
+
+        // One representative cluster per behavior, all swept together.
+        let clusters: Vec<ClusterSpec> = groups
+            .iter()
+            .map(|(_, members)| self.testbed.cluster_under(&scenarios[members[0]]))
+            .collect::<Result<_, _>>()?;
+        let outcomes = {
+            let built = &self.skeletons[&(bench, size)];
+            pskel_core::try_run_skeleton_sweep(
+                &built.skeleton,
+                &clusters,
+                &self.testbed.placement,
+                ExecOptions {
+                    sim_threads: self.testbed.sim_threads,
+                    ..Default::default()
+                },
+            )
+        };
+
+        for ((_, members), outcome) in groups.iter().zip(outcomes) {
+            EvalCounters::bump(&self.counters.skeleton_sims);
+            out.simulated += 1;
+            let rep = &scenarios[members[0]];
+            let t = outcome
+                .map_err(|error| EvalError::Sim {
+                    what: format!(
+                        "{} {target_secs}s skeleton under {}",
+                        bench.name(),
+                        rep.provenance_token()
+                    ),
+                    error,
+                })?
+                .total_secs();
+            out.deduped += members.len() - 1;
+            for &i in members {
+                let spec = &scenarios[i];
+                self.skeleton_times.insert((bench, size, spec.clone()), t);
+                if let Some(store) = self.store.as_deref() {
+                    let key = provenance::skeleton_time_key_spec(
+                        &self.testbed,
+                        bench,
+                        class,
+                        &builder,
+                        spec,
+                    );
+                    store.put_f64(kind::SKELETON_TIME, key, t).ok();
+                }
+            }
+        }
+        if out.deduped > 0 {
+            pskel_scenario::counters::record_sweep_points_deduped(out.deduped as u64);
+        }
+        Ok(out)
     }
 
     /// Compute every cell the paper's figures need, fanning independent
@@ -935,6 +1074,64 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = par_map(items, |i| i * 2);
         assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_prewarm_matches_lazy_evaluation_and_dedupes() {
+        use crate::scenario::builtin_program;
+        let mk_specs = || {
+            let mut renamed = builtin_program(Scenario::CpuOneNode);
+            renamed.name = "cpu-one-node-v2".into();
+            vec![
+                ScenarioSpec::from(Scenario::Dedicated),
+                ScenarioSpec::from(Scenario::CpuOneNode),
+                ScenarioSpec::custom(builtin_program(Scenario::CpuOneNode)),
+                // Same behavior as the previous point, different name:
+                // must dedup, not simulate.
+                ScenarioSpec::custom(renamed),
+                ScenarioSpec::from(Scenario::NetOneLink),
+            ]
+        };
+
+        let mut lazy = EvalContext::new(Class::S, &[0.01]);
+        let want: Vec<f64> = mk_specs()
+            .iter()
+            .map(|s| lazy.skeleton_time_spec(NasBenchmark::Cg, 0.01, s).unwrap())
+            .collect();
+
+        let mut warm = EvalContext::new(Class::S, &[0.01]);
+        let specs = mk_specs();
+        let first = warm
+            .prewarm_skeleton_sweep(NasBenchmark::Cg, 0.01, &specs)
+            .unwrap();
+        assert_eq!(first.points, specs.len());
+        assert_eq!(first.memo_hits + first.store_hits, 0, "cold context");
+        assert_eq!(first.deduped, 1, "renamed twin must dedup: {first:?}");
+        assert_eq!(first.simulated, specs.len() - 1);
+        let sims_after = warm.counters().snapshot().skeleton_sims;
+        for (spec, want) in specs.iter().zip(&want) {
+            let got = warm
+                .skeleton_time_spec(NasBenchmark::Cg, 0.01, spec)
+                .unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "sweep prewarm diverged from lazy evaluation under {spec}"
+            );
+        }
+        assert_eq!(
+            warm.counters().snapshot().skeleton_sims,
+            sims_after,
+            "post-prewarm queries must be memo hits"
+        );
+
+        // A second prewarm of the same points is answered entirely by the
+        // memo.
+        let second = warm
+            .prewarm_skeleton_sweep(NasBenchmark::Cg, 0.01, &specs)
+            .unwrap();
+        assert_eq!(second.memo_hits, specs.len());
+        assert_eq!(second.simulated + second.deduped + second.store_hits, 0);
     }
 
     #[test]

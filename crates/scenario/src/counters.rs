@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static PROGRAMS_COMPILED: AtomicU64 = AtomicU64::new(0);
 static SWEEPS_EXPANDED: AtomicU64 = AtomicU64::new(0);
+static SWEEP_POINTS_DEDUPED: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time snapshot of the scenario-engine counters.
 ///
@@ -19,6 +20,12 @@ pub struct ScenarioCounters {
     /// `[[sweep]]` declarations expanded into their point sets (one per
     /// expansion, however many points it produced).
     pub sweeps_expanded: u64,
+    /// Sweep points answered without their own evaluation because an
+    /// earlier point had the same [`behavior_id`] (identical compiled
+    /// program modulo name).
+    ///
+    /// [`behavior_id`]: crate::ScenarioProgram::behavior_id
+    pub sweep_points_deduped: u64,
 }
 
 pub(crate) fn record_program_compiled() {
@@ -29,10 +36,17 @@ pub(crate) fn record_sweep_expanded() {
     SWEEPS_EXPANDED.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record sweep points answered by behavior-id dedup. Public because the
+/// dedup happens in the consumers (serve, CLI) that fan results back out.
+pub fn record_sweep_points_deduped(n: u64) {
+    SWEEP_POINTS_DEDUPED.fetch_add(n, Ordering::Relaxed);
+}
+
 /// Read the current counter values.
 pub fn snapshot() -> ScenarioCounters {
     ScenarioCounters {
         programs_compiled: PROGRAMS_COMPILED.load(Ordering::Relaxed),
         sweeps_expanded: SWEEPS_EXPANDED.load(Ordering::Relaxed),
+        sweep_points_deduped: SWEEP_POINTS_DEDUPED.load(Ordering::Relaxed),
     }
 }

@@ -718,6 +718,20 @@ impl ScenarioProgram {
         format!("{h:016x}")
     }
 
+    /// Like [`short_id`], but independent of the program's *name*: two
+    /// sweep points whose compiled behavior is identical — e.g. the
+    /// sweep variable is never referenced, or two values collapse to the
+    /// same schedule — share a behavior id even though expansion gave
+    /// them distinct `-var` suffixed names. Sweep executors dedupe on
+    /// this before simulating.
+    ///
+    /// [`short_id`]: ScenarioProgram::short_id
+    pub fn behavior_id(&self) -> String {
+        let mut anon = self.clone();
+        anon.name = String::new();
+        anon.short_id()
+    }
+
     /// One-line summary for CLI/registry listings.
     pub fn summary(&self) -> String {
         format!(

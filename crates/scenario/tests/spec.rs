@@ -338,6 +338,19 @@ fn short_id_distinguishes_different_programs() {
     assert_eq!(a.short_id().len(), 16);
 }
 
+#[test]
+fn behavior_id_ignores_the_name_but_not_the_schedule() {
+    let a = compile_toml("name = \"x-procs2\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n");
+    let b = compile_toml("name = \"y-procs2\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n");
+    let c = compile_toml("name = \"x-procs3\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 3\n");
+    // Same schedule under different names: short ids differ, behavior
+    // ids coincide — the sweep dedup key.
+    assert_ne!(a.short_id(), b.short_id());
+    assert_eq!(a.behavior_id(), b.behavior_id());
+    assert_ne!(a.behavior_id(), c.behavior_id());
+    assert_eq!(a.behavior_id().len(), 16);
+}
+
 // ---------------------------------------------------------------------------
 // Combinators
 // ---------------------------------------------------------------------------

@@ -149,6 +149,22 @@ impl Router {
                 "pskel_sim_parallel_worker_utilization_percent",
                 (s.parallel_worker_utilization() * 100.0) as u64,
             ),
+            ("pskel_sweep_fork_runs_total", s.sweep_runs),
+            ("pskel_sweep_fork_points_total", s.sweep_points),
+            ("pskel_sweep_fork_forks_total", s.sweep_forks),
+            ("pskel_sweep_fork_dedup_hits_total", s.sweep_dedup_hits),
+            (
+                "pskel_sweep_fork_executed_events_total",
+                s.sweep_executed_events,
+            ),
+            (
+                "pskel_sweep_fork_serial_events_total",
+                s.sweep_serial_events,
+            ),
+            (
+                "pskel_sweep_fork_reuse_percent",
+                (s.sweep_reuse_fraction() * 100.0) as u64,
+            ),
             (
                 "pskel_scenario_programs_compiled_total",
                 pskel_scenario::counters::snapshot().programs_compiled,
@@ -156,6 +172,10 @@ impl Router {
             (
                 "pskel_scenario_sweeps_expanded_total",
                 pskel_scenario::counters::snapshot().sweeps_expanded,
+            ),
+            (
+                "pskel_scenario_sweep_points_deduped_total",
+                pskel_scenario::counters::snapshot().sweep_points_deduped,
             ),
             ("pskel_sim_timeline_events_total", s.timeline_events),
             ("pskel_sim_faults_injected_total", s.faults_injected),

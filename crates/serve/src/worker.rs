@@ -288,6 +288,21 @@ impl WorkerState {
                 method,
                 verify,
             } => {
+                // Skeleton batches first prewarm the per-scenario skeleton
+                // times through the forked sweep executor: timeline
+                // prefixes shared between points simulate once and
+                // behavior-identical points dedup. The per-point documents
+                // below still come from the single-predict pipeline —
+                // answered from the memo — so batched bodies stay
+                // bit-identical to individually issued requests.
+                if method == PredictMethod::Skeleton {
+                    if let Some(target) = target_secs {
+                        let target = check_target(target)?;
+                        self.context(class)
+                            .prewarm_skeleton_sweep(bench, target, scenarios)
+                            .map_err(eval_err)?;
+                    }
+                }
                 // One pass over a shared context: the first point pays for
                 // the trace/skeleton/dedicated baselines, the rest reuse
                 // them from the memo. A per-point failure fails the whole

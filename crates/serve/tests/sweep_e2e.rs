@@ -56,15 +56,11 @@ fn sweep_points_are_bit_identical_to_individual_predicts() {
     })
     .expect("server starts");
 
+    // The sweep goes first, against cold worker contexts, so the batch is
+    // answered through the forked sweep executor — the individual
+    // predicts afterwards recompute each point on the serial path and
+    // must still match byte for byte.
     let scenarios = ["cpu-one-node", "net-one-link", "dedicated"];
-    let mut individual = Vec::new();
-    for s in scenarios {
-        let body = format!(r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":"{s}"}}"#);
-        let (status, resp) = http(server.addr, "POST", "/v1/predict", &body);
-        assert_eq!(status, 200, "{resp}");
-        individual.push(resp);
-    }
-
     let batches_before = counter(server.addr, "pskel_sweep_batches_total");
     let points_before = counter(server.addr, "pskel_sweep_points_total");
     let sweep_body = r#"{"bench":"CG","class":"S","target_secs":0.004,
@@ -78,13 +74,23 @@ fn sweep_points_are_bit_identical_to_individual_predicts() {
         other => panic!("points missing: {other:?}"),
     };
     assert_eq!(points.len(), scenarios.len());
-    for (point, direct) in points.iter().zip(&individual) {
+    for (s, point) in scenarios.iter().zip(&points) {
+        let body = format!(r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":"{s}"}}"#);
+        let (status, direct) = http(server.addr, "POST", "/v1/predict", &body);
+        assert_eq!(status, 200, "{direct}");
         assert_eq!(
-            &point.render(),
+            point.render(),
             direct,
             "sweep point diverged from the individual predict"
         );
     }
+
+    // The cold batch ran through the forked executor, which shows up in
+    // the sweep-fork counter family.
+    assert!(
+        counter(server.addr, "pskel_sweep_fork_points_total") >= scenarios.len() as u64,
+        "forked sweep executor was bypassed"
+    );
 
     // Exactly one vectorized pass of three points was recorded.
     assert_eq!(

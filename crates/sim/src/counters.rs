@@ -25,6 +25,13 @@ static PARALLEL_SLICES: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_MERGE_EVENTS: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_WORKER_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_WORKER_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_RUNS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_POINTS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_FORKS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_DEDUP_HITS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_EXECUTED_EVENTS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_SERIAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the global simulator counters. Monotonic over
 /// the life of the process; consumers wanting rates over an interval
@@ -65,6 +72,24 @@ pub struct SimCounters {
     /// Nanoseconds of spawned-worker capacity (wall time × workers) over
     /// the same runs; busy / wall is the pool utilization.
     pub parallel_worker_wall_nanos: u64,
+    /// Completed forked sweep executions (one per point group).
+    pub sweep_runs: u64,
+    /// Sweep points answered by forked execution.
+    pub sweep_points: u64,
+    /// Divergence-tree forks taken (engine snapshots cloned).
+    pub sweep_forks: u64,
+    /// Points answered by cloning another point's report (identical
+    /// compiled timelines — no extra simulation).
+    pub sweep_dedup_hits: u64,
+    /// Engine events actually executed across sweep runs (shared
+    /// prefixes counted once).
+    pub sweep_executed_events: u64,
+    /// Engine events the same points would have cost run serially
+    /// (per-point report totals). `1 - executed/serial` is the
+    /// prefix-reuse fraction.
+    pub sweep_serial_events: u64,
+    /// Wall nanoseconds spent inside forked sweep runs.
+    pub sweep_nanos: u64,
 }
 
 impl SimCounters {
@@ -99,6 +124,17 @@ impl SimCounters {
             0.0
         } else {
             self.parallel_worker_busy_nanos as f64 / self.parallel_worker_wall_nanos as f64
+        }
+    }
+
+    /// Fraction of serial-equivalent engine events sweep runs avoided by
+    /// sharing prefixes and deduping identical points, in [0, 1]. Zero
+    /// when no forked sweep has run.
+    pub fn sweep_reuse_fraction(&self) -> f64 {
+        if self.sweep_serial_events == 0 {
+            0.0
+        } else {
+            1.0 - self.sweep_executed_events as f64 / self.sweep_serial_events as f64
         }
     }
 
@@ -137,6 +173,13 @@ pub fn snapshot() -> SimCounters {
         parallel_merge_events: PARALLEL_MERGE_EVENTS.load(Ordering::Relaxed),
         parallel_worker_busy_nanos: PARALLEL_WORKER_BUSY_NANOS.load(Ordering::Relaxed),
         parallel_worker_wall_nanos: PARALLEL_WORKER_WALL_NANOS.load(Ordering::Relaxed),
+        sweep_runs: SWEEP_RUNS.load(Ordering::Relaxed),
+        sweep_points: SWEEP_POINTS.load(Ordering::Relaxed),
+        sweep_forks: SWEEP_FORKS.load(Ordering::Relaxed),
+        sweep_dedup_hits: SWEEP_DEDUP_HITS.load(Ordering::Relaxed),
+        sweep_executed_events: SWEEP_EXECUTED_EVENTS.load(Ordering::Relaxed),
+        sweep_serial_events: SWEEP_SERIAL_EVENTS.load(Ordering::Relaxed),
+        sweep_nanos: SWEEP_NANOS.load(Ordering::Relaxed),
     }
 }
 
@@ -157,6 +200,24 @@ pub(crate) fn record_script(events: u64, elapsed: Duration) {
     SCRIPT_RUNS.fetch_add(1, Ordering::Relaxed);
     SCRIPT_EVENTS.fetch_add(events, Ordering::Relaxed);
     SCRIPT_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_sweep(
+    points: u64,
+    forks: u64,
+    dedup_hits: u64,
+    executed_events: u64,
+    serial_events: u64,
+    elapsed: Duration,
+) {
+    SWEEP_RUNS.fetch_add(1, Ordering::Relaxed);
+    SWEEP_POINTS.fetch_add(points, Ordering::Relaxed);
+    SWEEP_FORKS.fetch_add(forks, Ordering::Relaxed);
+    SWEEP_DEDUP_HITS.fetch_add(dedup_hits, Ordering::Relaxed);
+    SWEEP_EXECUTED_EVENTS.fetch_add(executed_events, Ordering::Relaxed);
+    SWEEP_SERIAL_EVENTS.fetch_add(serial_events, Ordering::Relaxed);
+    SWEEP_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
 pub(crate) fn record_parallel(

@@ -44,7 +44,7 @@ pub struct RecvInfo {
     pub payload: Option<Vec<u8>>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Request {
     Compute {
         secs: f64,
@@ -78,7 +78,7 @@ pub(crate) enum Request {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum ReplyKind {
     Done,
     Recv(RecvInfo),
@@ -88,14 +88,14 @@ pub(crate) enum ReplyKind {
     TestResult(Option<Option<RecvInfo>>),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Reply {
     now: SimTime,
     pub(crate) kind: ReplyKind,
 }
 
 /// What a blocked rank is waiting for.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Blocked {
     Running,
     Compute,
@@ -122,7 +122,7 @@ pub(crate) enum Blocked {
     Exited,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Timer {
     /// Wire latency elapsed for a message; start its flow (or deliver it).
     NetDelay {
@@ -146,7 +146,7 @@ enum Timer {
 }
 
 /// State of one nonblocking request.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct NbState {
     done: bool,
     outcome: Option<RecvInfo>,
@@ -396,6 +396,21 @@ pub(crate) enum ReplySink {
     Inline(Vec<Option<Reply>>),
 }
 
+impl Clone for ReplySink {
+    /// Only the inline form is cloneable: cloning an engine mid-run (the
+    /// sweep fork path) duplicates the reply slots verbatim. Threaded
+    /// sinks hold channel ends owned by live rank threads; a fork there
+    /// would alias them, so the sweep engine never builds one.
+    fn clone(&self) -> ReplySink {
+        match self {
+            ReplySink::Inline(slots) => ReplySink::Inline(slots.clone()),
+            ReplySink::Threads(_) => {
+                unreachable!("threaded reply sinks cannot be cloned (sweep forks are inline-only)")
+            }
+        }
+    }
+}
+
 impl ReplySink {
     fn deliver(&mut self, rank: usize, reply: Reply) {
         match self {
@@ -420,6 +435,15 @@ impl ReplySink {
     }
 }
 
+/// Outcome of one [`Engine::advance_impl`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Advance {
+    /// A step committed (clock advanced or a ripe completion woke a rank).
+    Stepped,
+    /// The next step would reach the pause horizon; nothing was committed.
+    Paused,
+}
+
 /// Memoized per-slice state the parallel driver threads through successive
 /// clock advances. A *slice* is a maximal run of advances over which the
 /// flow set and link capacities (`Engine::net_epoch`) are unchanged; the
@@ -439,6 +463,7 @@ pub(crate) struct AdvanceCache {
     pub(crate) merge_events: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct Engine {
     spec: ClusterSpec,
     pub(crate) placement: Placement,
@@ -1007,11 +1032,33 @@ impl Engine {
     /// `--sim-threads 1` path is pinned as the legacy serial engine.
     pub(crate) fn advance_with(
         &mut self,
-        mut cache: Option<&mut AdvanceCache>,
+        cache: Option<&mut AdvanceCache>,
     ) -> Result<(), SimError> {
-        self.events += 1;
+        self.advance_impl(cache, None).map(|_| ())
+    }
 
+    /// One clock step with an optional pause horizon. When `pause_at` is
+    /// set and the chosen step would land at or past it, the engine
+    /// returns [`Advance::Paused`] *without committing anything* — no
+    /// event counted, no state settled, no clock movement — leaving the
+    /// state exactly as a fresh engine that executed the same committed
+    /// step sequence. Because every committed step then satisfies
+    /// `now + dt < pause_at`, the step sequence up to the pause is
+    /// identical to what any engine with extra timeline events at or
+    /// after `pause_at` would have taken, which is the invariant the
+    /// sweep fork driver builds on. A step that cannot make progress at
+    /// all (`dt == MAX`) also pauses rather than deadlocking: whether
+    /// the stall is terminal is for the forked continuations — which may
+    /// install wake-up events — to decide.
+    pub(crate) fn advance_impl(
+        &mut self,
+        mut cache: Option<&mut AdvanceCache>,
+        pause_at: Option<SimTime>,
+    ) -> Result<Advance, SimError> {
         // Completions already ripe at `now` (e.g. zero-work computes).
+        // The event is counted only once the step is known to commit, so
+        // a paused probe leaves the counter untouched and resumed runs
+        // reproduce the serial count exactly.
         let mut woke = false;
         for node in 0..self.nodes.len() {
             if self.nodes[node].next_completion() == Some(SimDuration::ZERO) {
@@ -1024,7 +1071,8 @@ impl Engine {
             }
         }
         if woke {
-            return Ok(());
+            self.events += 1;
+            return Ok(Advance::Stepped);
         }
 
         // Candidate next times.
@@ -1072,9 +1120,15 @@ impl Engine {
             dt = dt.min(Timeline::event_time(ev).saturating_since(self.now));
         }
 
+        if let Some(stop) = pause_at {
+            if dt == SimDuration::MAX || self.now + dt >= stop {
+                return Ok(Advance::Paused);
+            }
+        }
         if dt == SimDuration::MAX {
             return Err(self.deadlock_error());
         }
+        self.events += 1;
 
         // Settle continuous state and advance the clock.
         for node in &mut self.nodes {
@@ -1143,7 +1197,32 @@ impl Engine {
                 .expect("timer payload missing");
             self.fire_timer(timer);
         }
-        Ok(())
+        Ok(Advance::Stepped)
+    }
+
+    // ---- sweep-fork support ----------------------------------------------
+
+    /// Engine steps processed so far (requests + committed advances);
+    /// the sweep driver differences this around each drive segment for
+    /// its prefix-reuse accounting.
+    pub(crate) fn events_so_far(&self) -> u64 {
+        self.events
+    }
+
+    /// Append already-sorted timeline events after the ones installed at
+    /// build time. The sweep driver calls this at a pause taken strictly
+    /// before the first appended event's time, so the combined list is
+    /// exactly the sorted per-point list and `tl_next` (which counts
+    /// applied events) stays valid.
+    pub(crate) fn append_timeline_events(&mut self, events: &[TimelineEvent]) {
+        debug_assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        if let (Some(last), Some(first)) = (self.tl_events.last(), events.first()) {
+            debug_assert!(last.at <= first.at);
+        }
+        if let Some(first) = events.first() {
+            debug_assert!(Timeline::event_time(first) > self.now);
+        }
+        self.tl_events.extend_from_slice(events);
     }
 
     fn deadlock_error(&self) -> SimError {
@@ -1188,6 +1267,55 @@ impl Engine {
             rank_stats: self.stats,
             events: self.events,
         })
+    }
+}
+
+/// Drive script cursors against an inline engine until every rank has
+/// exited (`Ok(true)`) or the clock reaches `pause_at` (`Ok(false)`).
+///
+/// Same phase structure as the threaded loop — collect one request from
+/// every running rank, process the batch in rank order, advance the clock
+/// once all ranks are blocked — so the engine observes the identical
+/// request sequence. A pause leaves the engine at a clean phase boundary
+/// (no rank running, all inline reply slots empty, nothing committed from
+/// the refused step), so the `(engine, cursors)` pair can be cloned and
+/// resumed with further `drive_scripts` calls that reproduce serial
+/// execution exactly — the property the sweep fork driver is built on.
+pub(crate) fn drive_scripts(
+    engine: &mut Engine,
+    cursors: &mut [ScriptCursor<'_>],
+    pause_at: Option<SimTime>,
+) -> Result<bool, SimError> {
+    let n = cursors.len();
+    let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+    loop {
+        if engine.running > 0 {
+            for (rank, cursor) in cursors.iter_mut().enumerate() {
+                if !matches!(engine.blocked[rank], Blocked::Running) {
+                    continue;
+                }
+                let reply = engine.sink.take_inline(rank);
+                debug_assert!(inbox[rank].is_none(), "rank {rank} sent two requests");
+                inbox[rank] = Some(cursor.next_request(reply));
+                engine.running -= 1;
+            }
+            debug_assert_eq!(engine.running, 0, "a running rank produced no request");
+        }
+        for (rank, slot) in inbox.iter_mut().enumerate() {
+            if let Some(req) = slot.take() {
+                engine.handle_request(rank, req);
+            }
+        }
+        if engine.running > 0 {
+            continue;
+        }
+        if engine.live == 0 {
+            return Ok(true);
+        }
+        match engine.advance_impl(None, pause_at)? {
+            Advance::Stepped => {}
+            Advance::Paused => return Ok(false),
+        }
     }
 }
 
@@ -1382,38 +1510,7 @@ impl Simulation {
             .enumerate()
             .map(|(rank, s)| ScriptCursor::new(s, rank, n))
             .collect();
-
-        // Same phase structure as the threaded loop — collect one request
-        // from every running rank, process the batch in rank order,
-        // advance the clock once all ranks are blocked — so the engine
-        // observes the identical request sequence.
-        let mut inbox: Vec<Option<Request>> = (0..n).map(|_| None).collect();
-        loop {
-            if engine.running > 0 {
-                for (rank, cursor) in cursors.iter_mut().enumerate() {
-                    if !matches!(engine.blocked[rank], Blocked::Running) {
-                        continue;
-                    }
-                    let reply = engine.sink.take_inline(rank);
-                    debug_assert!(inbox[rank].is_none(), "rank {rank} sent two requests");
-                    inbox[rank] = Some(cursor.next_request(reply));
-                    engine.running -= 1;
-                }
-                debug_assert_eq!(engine.running, 0, "a running rank produced no request");
-            }
-            for (rank, slot) in inbox.iter_mut().enumerate() {
-                if let Some(req) = slot.take() {
-                    engine.handle_request(rank, req);
-                }
-            }
-            if engine.running > 0 {
-                continue;
-            }
-            if engine.live == 0 {
-                break;
-            }
-            engine.advance_once()?;
-        }
+        drive_scripts(&mut engine, &mut cursors, None)?;
 
         let report = engine.into_report()?;
         crate::counters::record_script(report.events, t0.elapsed());

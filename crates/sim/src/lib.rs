@@ -44,6 +44,7 @@ pub mod net;
 pub mod parallel;
 pub mod script;
 pub mod spec;
+pub mod sweep;
 pub mod time;
 
 pub use counters::SimCounters;
@@ -54,4 +55,5 @@ pub use spec::{
     ClusterSpec, NetSpec, NodeSpec, Placement, StartDelay, Timeline, TimelineAction, TimelineEvent,
     GIGABIT_BPS, THROTTLED_10MBPS,
 };
+pub use sweep::{try_run_scripts_sweep, SweepJob, SweepOutcome, SweepStats};
 pub use time::{SimDuration, SimTime};

@@ -156,6 +156,7 @@ pub fn rng_runtime_available() -> bool {
 
 /// One stack frame of the lazy loop-nest walk: a body slice, the position
 /// within it, and how many full passes remain after the current one.
+#[derive(Clone)]
 struct Frame<'a> {
     body: &'a [ScriptNode],
     idx: usize,
@@ -165,6 +166,10 @@ struct Frame<'a> {
 /// Lazily walks a [`RankScript`] and yields engine `Request`s one at a
 /// time, consuming the engine's replies in between — the inline-driver
 /// equivalent of a rank thread blocked in [`SimCtx`] round-trips.
+/// `Clone` snapshots the walk (frames, slot bindings, collective
+/// sequence, jitter stream position) so the sweep driver can fork a
+/// paused run.
+#[derive(Clone)]
 pub(crate) struct ScriptCursor<'a> {
     rank: usize,
     nranks: usize,

@@ -1,0 +1,365 @@
+//! Shared-prefix sweep execution: run many near-identical script
+//! simulations by forking one engine at timeline divergence points.
+//!
+//! A sweep point is a `(ClusterSpec, Placement, scripts)` triple. Points
+//! whose *static* state is identical — same nodes, network, start delays,
+//! placement and rank scripts — can only start behaving differently once
+//! a timeline event one of them schedules (and the others don't, or
+//! schedule differently) actually fires. Until then the deterministic
+//! engine walks the exact same step sequence for every point, so the
+//! driver here executes that shared prefix once, snapshots the full
+//! engine state (rank cursors, pending events, message queues, network
+//! epoch, clocks) by cloning it, and fans the divergent suffixes out
+//! across scoped worker threads.
+//!
+//! # Determinism argument
+//!
+//! The engine's only step-size inputs are its own state and the time of
+//! the next not-yet-applied timeline event. The shared engine carries
+//! exactly the common prefix of every member's *sorted* event list and
+//! pauses before any step that would reach `t_stop`, the earliest next
+//! event any member still has pending. Every committed shared step
+//! therefore satisfies `now + dt < t_stop ≤` each member's own next-event
+//! bound, meaning the member's bound never binds: the shared step
+//! sequence — including f64 flow settling, which is sensitive to step
+//! chopping — is bit-identical to each member's serial execution.
+//! Pauses commit nothing, so forked children (which install their own
+//! next events and re-derive `dt` from identical state) continue exactly
+//! as their serial runs would, reproducing `SimReport`s byte for byte —
+//! a property pinned by the differential proptests in
+//! `tests/script_equiv.rs`.
+//!
+//! Points whose event lists are exhausted together (identical compiled
+//! timelines, or divergence scheduled after the last rank exits) share
+//! one report: the leaf clones it to every member and counts the copies
+//! as dedup hits.
+
+use crate::engine::{drive_scripts, Engine, ReplySink, SimError, SimReport};
+use crate::script::{RankScript, ScriptCursor};
+use crate::spec::{ClusterSpec, Placement, Timeline, TimelineAction, TimelineEvent};
+use crate::time::SimTime;
+use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// One sweep point: a fully applied cluster spec (timeline included),
+/// the rank placement, and the scripts to run.
+pub struct SweepJob<'a> {
+    pub spec: ClusterSpec,
+    pub placement: Placement,
+    pub scripts: &'a [RankScript],
+}
+
+/// Execution accounting for one [`try_run_scripts_sweep`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Points executed.
+    pub points: u64,
+    /// Shared-prefix groups the points partitioned into.
+    pub groups: u64,
+    /// Engine snapshots forked at divergence points.
+    pub forks: u64,
+    /// Points answered by cloning another point's report.
+    pub dedup_hits: u64,
+    /// Engine events actually executed (shared prefixes counted once).
+    pub executed_events: u64,
+    /// Engine events the same points cost when run serially (sum of the
+    /// per-point report totals).
+    pub serial_events: u64,
+}
+
+impl SweepStats {
+    /// Fraction of serial-equivalent work avoided, in [0, 1].
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.serial_events == 0 {
+            0.0
+        } else {
+            1.0 - self.executed_events as f64 / self.serial_events as f64
+        }
+    }
+}
+
+/// Per-point results (in input order) plus the run's accounting.
+pub struct SweepOutcome {
+    pub reports: Vec<Result<SimReport, SimError>>,
+    pub stats: SweepStats,
+}
+
+/// Run every sweep point, sharing work where their deterministic
+/// executions provably coincide. Each point's report (or error) is
+/// bit-identical to what a serial [`crate::Simulation::try_run_scripts`]
+/// of that point alone would produce.
+pub fn try_run_scripts_sweep(jobs: &[SweepJob<'_>]) -> SweepOutcome {
+    let t0 = std::time::Instant::now();
+    for job in jobs {
+        job.spec.validate();
+        job.placement.validate(&job.spec);
+        assert_eq!(
+            job.scripts.len(),
+            job.placement.n_ranks(),
+            "need exactly one script per rank"
+        );
+        assert!(
+            !job.scripts.is_empty(),
+            "simulation needs at least one rank"
+        );
+    }
+
+    // Sorted per-point event lists, exactly as `build_engine` would sort
+    // them (stable by time, same-time events keep spec order) — prefix
+    // comparison must see the order the engine will apply.
+    let sorted: Vec<Vec<TimelineEvent>> = jobs
+        .iter()
+        .map(|j| {
+            let mut evs = j.spec.timeline.events.clone();
+            evs.sort_by_key(|ev| ev.at);
+            evs
+        })
+        .collect();
+
+    // Group points by static identity: everything but the timeline events.
+    let static_eq = |a: &SweepJob<'_>, b: &SweepJob<'_>| {
+        a.placement == b.placement
+            && a.scripts == b.scripts
+            && a.spec.nodes == b.spec.nodes
+            && a.spec.net == b.spec.net
+            && a.spec.timeline.start_delays == b.spec.timeline.start_delays
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|g| static_eq(&jobs[g[0]], job)) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+
+    let mut stats = SweepStats {
+        points: jobs.len() as u64,
+        groups: groups.len() as u64,
+        ..SweepStats::default()
+    };
+    let mut reports: Vec<Option<Result<SimReport, SimError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    let permits = AtomicIsize::new(
+        thread::available_parallelism()
+            .map(|n| n.get() as isize)
+            .unwrap_or(1)
+            - 1,
+    );
+    for group in &groups {
+        run_group(jobs, &sorted, group, &permits, &mut reports, &mut stats);
+    }
+    let reports: Vec<Result<SimReport, SimError>> = reports
+        .into_iter()
+        .map(|r| r.expect("sweep leaf left a point unanswered"))
+        .collect();
+    stats.serial_events += reports
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.events)
+        .sum::<u64>();
+    if !jobs.is_empty() {
+        crate::counters::record_sweep(
+            stats.points,
+            stats.forks,
+            stats.dedup_hits,
+            stats.executed_events,
+            stats.serial_events,
+            t0.elapsed(),
+        );
+    }
+    SweepOutcome { reports, stats }
+}
+
+/// Discriminating key of one timeline event: exact IEEE-754 bit patterns,
+/// so two events compare equal iff the engine would apply them
+/// identically (NaN-free by spec validation).
+type EvKey = (u64, usize, bool, u8, u64);
+
+fn event_key(ev: &TimelineEvent) -> EvKey {
+    let (tag, payload) = match ev.action {
+        TimelineAction::AddCompeting(delta) => (0u8, delta as u64),
+        TimelineAction::SetLinkCap(None) => (1, 0),
+        TimelineAction::SetLinkCap(Some(cap)) => (2, cap.to_bits()),
+        TimelineAction::SetSpeedFactor(f) => (3, f.to_bits()),
+        TimelineAction::SetLatency(lat) => (4, lat.as_nanos()),
+    };
+    (ev.at.as_nanos(), ev.node, ev.fault, tag, payload)
+}
+
+/// State shared by every branch of one group's divergence tree.
+struct GroupCtx<'a> {
+    /// Sorted event list per member (member-local indexing).
+    events: Vec<&'a [TimelineEvent]>,
+    /// One result slot per member.
+    slots: Vec<Mutex<Option<Result<SimReport, SimError>>>>,
+    /// Spawn budget for fork fan-out; branches run inline when exhausted.
+    permits: &'a AtomicIsize,
+    forks: AtomicU64,
+    dedup_hits: AtomicU64,
+    executed: AtomicU64,
+}
+
+fn run_group(
+    jobs: &[SweepJob<'_>],
+    sorted: &[Vec<TimelineEvent>],
+    members: &[usize],
+    permits: &AtomicIsize,
+    reports: &mut [Option<Result<SimReport, SimError>>],
+    stats: &mut SweepStats,
+) {
+    let rep = &jobs[members[0]];
+    let n = rep.placement.n_ranks();
+    // The shared engine starts with *no* timeline events; each branch of
+    // the divergence tree appends its common prefix just before driving.
+    let mut base_spec = rep.spec.clone();
+    base_spec.timeline.events.clear();
+    let sim = crate::Simulation::new(base_spec, rep.placement.clone());
+    let engine = sim.build_engine(n, ReplySink::Inline((0..n).map(|_| None).collect()));
+    let cursors: Vec<ScriptCursor<'_>> = rep
+        .scripts
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| ScriptCursor::new(s, rank, n))
+        .collect();
+
+    let ctx = GroupCtx {
+        events: members.iter().map(|&i| sorted[i].as_slice()).collect(),
+        slots: (0..members.len()).map(|_| Mutex::new(None)).collect(),
+        permits,
+        forks: AtomicU64::new(0),
+        dedup_hits: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
+    };
+    let pts: Vec<usize> = (0..members.len()).collect();
+    thread::scope(|s| {
+        solve(s, &ctx, engine, cursors, pts, 0);
+    });
+
+    for (local, &global) in members.iter().enumerate() {
+        reports[global] = ctx.slots[local]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+    }
+    stats.forks += ctx.forks.load(Ordering::Relaxed);
+    stats.dedup_hits += ctx.dedup_hits.load(Ordering::Relaxed);
+    stats.executed_events += ctx.executed.load(Ordering::Relaxed);
+}
+
+fn try_acquire(permits: &AtomicIsize) -> bool {
+    let mut cur = permits.load(Ordering::Relaxed);
+    while cur > 0 {
+        match permits.compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(seen) => cur = seen,
+        }
+    }
+    false
+}
+
+/// One branch of the divergence tree: `pts` (member-local indices) agree
+/// on their first `k` timeline events, all already installed in `engine`.
+/// Extends the common prefix as far as it goes, drives to the next
+/// divergence horizon, and either finishes (one report fans to every
+/// member) or forks one child per distinct next event.
+fn solve<'env, 'scope>(
+    s: &'scope thread::Scope<'scope, 'env>,
+    ctx: &'env GroupCtx<'env>,
+    mut engine: Engine,
+    mut cursors: Vec<ScriptCursor<'env>>,
+    mut pts: Vec<usize>,
+    mut k: usize,
+) {
+    loop {
+        // Extend k to the longest prefix every member still agrees on.
+        let first = ctx.events[pts[0]];
+        let mut lcp = k;
+        'grow: while lcp < first.len() {
+            let ev = &first[lcp];
+            for &p in &pts[1..] {
+                let evs = ctx.events[p];
+                if lcp >= evs.len() || evs[lcp] != *ev {
+                    break 'grow;
+                }
+            }
+            lcp += 1;
+        }
+        if lcp > k {
+            engine.append_timeline_events(&first[k..lcp]);
+            k = lcp;
+        }
+
+        // Earliest next event any member still has pending; the shared
+        // drive must not commit a step reaching it.
+        let t_stop: Option<SimTime> = pts
+            .iter()
+            .filter_map(|&p| ctx.events[p].get(k))
+            .map(Timeline::event_time)
+            .min();
+
+        let before = engine.events_so_far();
+        let outcome = drive_scripts(&mut engine, &mut cursors, t_stop);
+        ctx.executed
+            .fetch_add(engine.events_so_far() - before, Ordering::Relaxed);
+
+        match outcome {
+            Err(e) => {
+                // A failure before the divergence horizon is shared by
+                // every member, exactly as each serial run would fail.
+                for &p in &pts {
+                    *ctx.slots[p].lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(e.clone()));
+                }
+                return;
+            }
+            Ok(true) => {
+                // Every rank exited before any divergent event could
+                // fire; serial runs would likewise finish without
+                // applying them, so one report serves all members.
+                let result = engine.into_report();
+                if pts.len() > 1 {
+                    ctx.dedup_hits
+                        .fetch_add(pts.len() as u64 - 1, Ordering::Relaxed);
+                }
+                for &p in &pts {
+                    *ctx.slots[p].lock().unwrap_or_else(|e| e.into_inner()) = Some(result.clone());
+                }
+                return;
+            }
+            Ok(false) => {
+                // Paused at t_stop: members now disagree on event k (or
+                // on having one at all). Partition and fork.
+                let mut children: Vec<(Option<EvKey>, Vec<usize>)> = Vec::new();
+                for &p in &pts {
+                    let key = ctx.events[p].get(k).map(event_key);
+                    match children.iter_mut().find(|(existing, _)| *existing == key) {
+                        Some((_, members)) => members.push(p),
+                        None => children.push((key, vec![p])),
+                    }
+                }
+                debug_assert!(
+                    children.len() >= 2,
+                    "pause without divergence: lcp extension should have consumed the event"
+                );
+                ctx.forks
+                    .fetch_add(children.len() as u64 - 1, Ordering::Relaxed);
+                // All but the last child get a snapshot; the last one
+                // inherits this branch's engine and loops in place.
+                let last = children.pop().expect("partition cannot be empty").1;
+                for (_, child) in children {
+                    let engine = engine.clone();
+                    let cursors = cursors.clone();
+                    if try_acquire(ctx.permits) {
+                        s.spawn(move || {
+                            solve(s, ctx, engine, cursors, child, k);
+                            ctx.permits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    } else {
+                        solve(s, ctx, engine, cursors, child, k);
+                    }
+                }
+                pts = last;
+            }
+        }
+    }
+}

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use pskel_sim::script::{RankScript, ScriptNode, ScriptOp, ScriptTag};
 use pskel_sim::{
-    ClusterSpec, Placement, SimDuration, SimReport, Simulation, StartDelay, Timeline,
-    TimelineAction, TimelineEvent, THROTTLED_10MBPS,
+    try_run_scripts_sweep, ClusterSpec, Placement, SimDuration, SimReport, Simulation, StartDelay,
+    SweepJob, Timeline, TimelineAction, TimelineEvent, THROTTLED_10MBPS,
 };
 
 /// One building block of a random program. Every block is deadlock-free
@@ -569,4 +569,218 @@ fn leaked_script_slot_is_caught() {
         .collect();
     Simulation::new(ClusterSpec::homogeneous(2), Placement::round_robin(2, 2))
         .run_scripts(&scripts);
+}
+
+// ---------------------------------------------------------------------------
+// Forked sweep execution vs per-point serial runs
+// ---------------------------------------------------------------------------
+
+/// Per-point timeline for sweep cases. `sel % 6` picks one of the canned
+/// shapes above; `sel / 6` optionally appends one extra late event, so
+/// two selectors with the same base share their whole base prefix and
+/// diverge only near the end of the run — the shape the divergence-tree
+/// executor is built to exploit. Equal selectors exercise dedup.
+fn sweep_timeline_of(sel: u8, n_ranks: usize) -> Timeline {
+    let mut tl = timeline_of(sel % 6, n_ranks);
+    let variant = sel / 6;
+    if variant > 0 {
+        tl.events.push(TimelineEvent {
+            at: SimDuration::from_micros(4_000 + 250 * u64::from(variant)),
+            node: 0,
+            action: TimelineAction::AddCompeting(i64::from(variant)),
+            fault: false,
+        });
+    }
+    tl
+}
+
+/// Run the same points through the forked sweep executor and one at a
+/// time through the serial script path; require bit-identity and sane
+/// sharing accounting. Returns the stats for shape-specific assertions.
+fn check_sweep_matches_serial(
+    n: usize,
+    nodes: usize,
+    blocked: bool,
+    throttles: &[bool],
+    steps: &[Step],
+    sels: &[u8],
+) -> pskel_sim::SweepStats {
+    let scripts = build_scripts(n, steps);
+    let spec_of = |sel: u8| {
+        let mut c = cluster_of(n, throttles);
+        c.timeline = sweep_timeline_of(sel, n);
+        c
+    };
+    let jobs: Vec<SweepJob> = sels
+        .iter()
+        .map(|&sel| SweepJob {
+            spec: spec_of(sel),
+            placement: placement_of(blocked, n, nodes),
+            scripts: &scripts,
+        })
+        .collect();
+    let outcome = try_run_scripts_sweep(&jobs);
+    assert_eq!(outcome.reports.len(), sels.len());
+    for (i, &sel) in sels.iter().enumerate() {
+        let serial = Simulation::new(spec_of(sel), placement_of(blocked, n, nodes))
+            .try_run_scripts(&scripts)
+            .expect("generated sweep programs are deadlock-free");
+        match &outcome.reports[i] {
+            Ok(r) => assert_reports_bit_identical(r, &serial),
+            Err(e) => panic!("sweep point {i} failed where serial succeeded: {e}"),
+        }
+    }
+    let stats = outcome.stats;
+    assert_eq!(stats.points, sels.len() as u64);
+    assert!(stats.groups >= 1 && stats.groups <= stats.points);
+    assert!(
+        stats.executed_events <= stats.serial_events,
+        "sharing made the sweep do MORE work: executed {} vs serial {}",
+        stats.executed_events,
+        stats.serial_events,
+    );
+    let reuse = stats.reuse_fraction();
+    assert!(
+        (0.0..=1.0).contains(&reuse),
+        "reuse fraction {reuse} out of range"
+    );
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant for the sweep executor: forking one engine at
+    /// timeline divergence points is bit-identical to running every point
+    /// on its own, across random programs, placements and fault timelines
+    /// (duplicate selectors exercise the dedup leaves).
+    #[test]
+    fn forked_sweep_matches_per_point_serial(
+        (n, nodes, blocked, throttles, steps, _threads, _sel) in arb_parallel_case(),
+        sels in prop::collection::vec(0..18u8, 1..9),
+    ) {
+        check_sweep_matches_serial(n, nodes, blocked, &throttles, &steps, &sels);
+    }
+}
+
+/// A 16-point late-divergence sweep — the advertised perf shape: every
+/// point shares a long prefix and only the tail differs. Checked without
+/// proptest so failures reproduce immediately, with assertions that the
+/// executor actually shared work (forks taken, duplicates deduped,
+/// strictly fewer events executed than serial).
+#[test]
+fn late_divergence_sweep_shares_the_prefix() {
+    let n = 4;
+    let steps = [
+        Step::LoopShift {
+            count: 12,
+            shift: 1,
+            bytes: 32_768,
+            compute_us: 400,
+        },
+        Step::RootScatter { bytes: 9_000 },
+    ];
+    // Base timeline 1 with variants 1 and 2 (late AddCompeting at
+    // 4.25ms / 4.5ms), each listed twice: 2 divergent branches, 2 dedup
+    // hits per branch... plus base-0 points that finish with no events.
+    let sels = [7, 13, 7, 13, 0, 0];
+    let stats = check_sweep_matches_serial(n, 2, true, &[], &steps, &sels);
+    assert_eq!(stats.groups, 1, "static state is identical across points");
+    assert!(stats.forks >= 2, "expected divergence forks, got {stats:?}");
+    assert!(
+        stats.dedup_hits >= 3,
+        "duplicate points should dedup, got {stats:?}"
+    );
+    assert!(
+        stats.executed_events < stats.serial_events,
+        "prefix sharing should strictly reduce work: {stats:?}"
+    );
+    assert!(stats.reuse_fraction() > 0.0);
+}
+
+/// Mixed static state: points whose placement differs cannot share an
+/// engine and must land in distinct groups, still bit-identical.
+#[test]
+fn mixed_placement_sweep_splits_groups() {
+    let n = 4;
+    let steps = [
+        Step::Shift {
+            shift: 1,
+            bytes: 4_096,
+        },
+        Step::Compute(300),
+    ];
+    let scripts = build_scripts(n, &steps);
+    let spec_of = |sel: u8| {
+        let mut c = cluster_of(n, &[]);
+        c.timeline = sweep_timeline_of(sel, n);
+        c
+    };
+    let jobs: Vec<SweepJob> = [(1u8, true), (1, false), (7, true), (7, false)]
+        .iter()
+        .map(|&(sel, blocked)| SweepJob {
+            spec: spec_of(sel),
+            placement: placement_of(blocked, n, 2),
+            scripts: &scripts,
+        })
+        .collect();
+    let outcome = try_run_scripts_sweep(&jobs);
+    assert_eq!(outcome.stats.groups, 2, "one group per distinct placement");
+    for (job, got) in jobs.iter().zip(&outcome.reports) {
+        let serial = Simulation::new(job.spec.clone(), job.placement.clone())
+            .try_run_scripts(&scripts)
+            .unwrap();
+        assert_reports_bit_identical(got.as_ref().unwrap(), &serial);
+    }
+}
+
+/// Deadlocks inside a shared prefix (or a forked suffix) surface as the
+/// same typed error each point's serial run produces.
+#[test]
+fn sweep_deadlock_matches_serial_error() {
+    let scripts: Vec<RankScript> = (0..2)
+        .map(|rank| RankScript {
+            nodes: vec![op(ScriptOp::Recv {
+                src: Some(1 - rank),
+                tag: None,
+            })],
+            coll_tag_base: 1 << 62,
+            jitter_seed: 0,
+        })
+        .collect();
+    let spec_of = |sel: u8| {
+        let mut c = ClusterSpec::homogeneous(2);
+        c.timeline = sweep_timeline_of(sel, 2);
+        c
+    };
+    // Point 0 deadlocks with no events pending; point 1 must first walk
+    // its timeline (competing-process arrivals) before concluding the
+    // same deadlock — distinct branches of the divergence tree.
+    let jobs: Vec<SweepJob> = [0u8, 1]
+        .iter()
+        .map(|&sel| SweepJob {
+            spec: spec_of(sel),
+            placement: Placement::round_robin(2, 2),
+            scripts: &scripts,
+        })
+        .collect();
+    let outcome = try_run_scripts_sweep(&jobs);
+    for (&sel, got) in [0u8, 1].iter().zip(&outcome.reports) {
+        let serial_err = Simulation::new(spec_of(sel), Placement::round_robin(2, 2))
+            .try_run_scripts(&scripts)
+            .unwrap_err();
+        assert_eq!(
+            got.as_ref().unwrap_err(),
+            &serial_err,
+            "sweep and serial disagree on the deadlock for selector {sel}"
+        );
+    }
+}
+
+/// An empty job list is a no-op, not a panic.
+#[test]
+fn empty_sweep_is_a_noop() {
+    let outcome = try_run_scripts_sweep(&[]);
+    assert!(outcome.reports.is_empty());
+    assert_eq!(outcome.stats, pskel_sim::SweepStats::default());
 }

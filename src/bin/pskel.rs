@@ -159,6 +159,12 @@ commands:
            batch path, reporting MiB/s, peak RSS, bit-identity of the
            signatures and the per-rank memory bound; --json writes
            BENCH_ingest.json (or -o)
+  bench    sweep [--json] [-o <report.json>] [--fast]
+           time the forked divergence-tree sweep executor against
+           per-point serial execution on a 16-point late-divergence
+           sweep, reporting points/sec, speedup, the prefix-reuse
+           fraction and bit-identity of the per-point reports; --json
+           writes BENCH_sweep.json (or -o)
 
 options:
   --store <dir>  on trace/build/predict/serve: consult and fill a
@@ -192,7 +198,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
     if cmd == "bench" {
         let Some((action, rest)) = rest.split_first() else {
-            return usage_err("bench needs an action: compress, sim or ingest".into());
+            return usage_err("bench needs an action: compress, sim, ingest or sweep".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
@@ -908,10 +914,26 @@ fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
             let points = ScenarioSource::auto(&text)
                 .and_then(|src| src.expand())
                 .map_err(|e| CliError::Lint(format!("{name}: {e}")))?;
-            for p in &points {
-                match p.value {
-                    Some(v) => println!("{:20} {:>6}  {}", p.program.name, v, p.program.short_id()),
-                    None => println!("{:20} {:>6}  {}", p.program.name, "-", p.program.short_id()),
+            match points.as_slice() {
+                // A single point is just one program: the sweep-variable
+                // column would be noise (and inconsistent with `show`).
+                [single] => {
+                    println!("{:20} {}", single.program.name, single.program.short_id())
+                }
+                many => {
+                    for p in many {
+                        match p.value {
+                            Some(v) => {
+                                println!("{:20} {:>6}  {}", p.program.name, v, p.program.short_id())
+                            }
+                            None => println!(
+                                "{:20} {:>6}  {}",
+                                p.program.name,
+                                "-",
+                                p.program.short_id()
+                            ),
+                        }
+                    }
                 }
             }
             eprintln!("{} scenario program(s)", points.len());
@@ -954,9 +976,17 @@ fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
             let report = pskel_bench::run_ingest_bench(fast);
             (report.table(), report.to_json(), "BENCH_ingest.json")
         }
+        "sweep" => {
+            eprintln!(
+                "timing forked sweep execution vs per-point serial runs ({} mode)...",
+                if fast { "fast" } else { "full" }
+            );
+            let report = pskel_bench::run_sweep_bench(fast);
+            (report.table(), report.to_json(), "BENCH_sweep.json")
+        }
         other => {
             return usage_err(format!(
-                "unknown bench action {other:?}; use compress, sim or ingest"
+                "unknown bench action {other:?}; use compress, sim, ingest or sweep"
             ))
         }
     };

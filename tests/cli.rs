@@ -627,6 +627,31 @@ fn scenario_subcommands_work_end_to_end() {
         stdout.contains("load-p1") && stdout.contains("load-p3"),
         "{stdout}"
     );
+
+    // A single-point sweep is just one program: no sweep-variable column,
+    // matching `show` (regression: it used to print the value column).
+    let single = dir.join("single.toml");
+    std::fs::write(
+        &single,
+        "name = \"solo\"\nnodes = 4\n\n[[cpu]]\nnode = \"all\"\nat = 0.0\nprocs = \"$p\"\n\n\
+         [[sweep]]\nvar = \"p\"\nfrom = 2\nto = 2\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["scenario", "sweep"])
+        .arg(&single)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    let fields: Vec<&str> = stdout.split_whitespace().collect();
+    assert_eq!(
+        fields.len(),
+        2,
+        "single-point sweep must print only name and id: {stdout}"
+    );
+    assert!(fields[0].starts_with("solo"), "{stdout}");
 }
 
 /// `run --scenario-file` drives a skeleton through a custom scenario
