@@ -52,14 +52,7 @@ pub struct CompressBenchReport {
     pub results: Vec<CompressBenchResult>,
 }
 
-/// The build profile of this binary, as recorded in benchmark reports.
-pub fn build_profile() -> &'static str {
-    if cfg!(debug_assertions) {
-        "debug"
-    } else {
-        "release"
-    }
-}
+pub use crate::profile::build_profile;
 
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;

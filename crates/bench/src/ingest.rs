@@ -13,7 +13,7 @@
 //! exposes them. Cheap enough for CI smoke jobs; emits machine-readable
 //! JSON (`BENCH_ingest.json`) for artifact tracking.
 
-use crate::compress::build_profile;
+use crate::profile::build_profile;
 use pskel_ingest::{batch_signature, ingest_path, ingest_reader, IngestOptions, IngestReport};
 use pskel_signature::AppSignature;
 use pskel_store::binfmt::{load_trace_auto, read_trace_binary, write_trace_binary};

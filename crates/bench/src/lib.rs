@@ -13,6 +13,8 @@
 
 pub mod compress;
 pub mod ingest;
+pub mod mc;
+pub mod profile;
 pub mod sim;
 pub mod sweep;
 
@@ -22,8 +24,10 @@ use pskel_store::Store;
 use serde::Serialize;
 use std::sync::Arc;
 
-pub use compress::{build_profile, run_compress_bench, CompressBenchReport, CompressBenchResult};
+pub use compress::{run_compress_bench, CompressBenchReport, CompressBenchResult};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestBenchResult};
+pub use mc::{run_mc_bench, McBenchReport};
+pub use profile::build_profile;
 pub use sim::{
     run_sim_bench, run_sim_bench_threads, SimBenchReport, SimBenchResult, SimScaleResult,
 };

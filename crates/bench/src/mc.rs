@@ -1,0 +1,341 @@
+//! Wall-clock benchmark of Monte-Carlo ensemble execution
+//! (`pskel bench mc`).
+//!
+//! Expands one stochastic scenario program into a K-member seeded
+//! ensemble ([`pskel_mc::ensemble_specs`]) and times two ways of running
+//! it: K independent serial simulations versus one pass through the
+//! forked sweep executor ([`pskel_sim::try_run_scripts_sweep`]). The
+//! noise window is confined to the tail of the run, so the members share
+//! a long deterministic timeline prefix — the structure the forked
+//! executor amortizes. Reports samples per wall second on both paths,
+//! the speedup, the prefix-reuse fraction, the estimated percentiles,
+//! and two determinism guards: `identical` (every forked member report
+//! is bit-identical to its serial twin) and `seed_deterministic` (two
+//! full expand + simulate + estimate passes under the same seed produce
+//! byte-identical distribution JSON). Cheap enough for CI smoke jobs;
+//! emits machine-readable JSON (`BENCH_mc.json`) for artifact tracking.
+
+use crate::profile::build_profile;
+use pskel_mc::{ensemble_specs, Distribution};
+use pskel_mpi::{MpiOps, ScriptBuilder};
+use pskel_scenario::{NodeSel, NoiseDist, NoiseSeg, ScenarioProgram};
+use pskel_sim::{
+    try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimReport, Simulation, SweepJob,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Base seed of the benchmark ensemble (any value works; fixed so the
+/// report is reproducible).
+const SEED: u64 = 0x5eed;
+
+/// Where the noise window opens, as a fraction of the undisturbed
+/// horizon. Late noise keeps a long shared prefix — the regime the
+/// forked executor is built for (cf. the sweep bench's late divergence).
+const NOISE_FROM: f64 = 0.8;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct McBenchReport {
+    /// Build profile of this binary; debug-build numbers are not
+    /// comparable to release floors.
+    pub profile: &'static str,
+    pub fast: bool,
+    /// `std::thread::available_parallelism()` of the benchmarking host.
+    pub host_parallelism: usize,
+    /// Ensemble members.
+    pub samples: usize,
+    pub ranks: usize,
+    /// Base seed of the ensemble.
+    pub seed: u64,
+    pub reps: usize,
+    /// Best-of-`reps` wall seconds simulating every member serially.
+    pub serial_secs: f64,
+    /// Best-of-`reps` wall seconds for the forked sweep executor.
+    pub forked_secs: f64,
+    pub serial_samples_per_sec: f64,
+    pub forked_samples_per_sec: f64,
+    /// `serial_secs / forked_secs` (> 1 means the forked executor won).
+    pub speedup: f64,
+    /// `1 - executed_events / serial_events` over the forked run.
+    pub prefix_reuse: f64,
+    /// Fork points the divergence tree took.
+    pub forks: u64,
+    /// Members answered by fanning another member's report.
+    pub dedup_hits: u64,
+    /// Estimated percentiles of the member runtimes (simulated seconds).
+    pub p50_secs: f64,
+    pub p90_secs: f64,
+    pub p99_secs: f64,
+    /// Every forked member report bit-identical to its serial twin.
+    pub identical: bool,
+    /// Two full passes under the same seed produced byte-identical
+    /// distribution JSON.
+    pub seed_deterministic: bool,
+}
+
+/// Compressed loop-nest scripts (signature/skeleton shape): an outer
+/// iteration loop of compute + ring exchange + allreduce.
+fn loop_nest_scripts(nranks: usize, iters: u64, sw_overhead_secs: f64) -> Vec<RankScript> {
+    (0..nranks)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, nranks, sw_overhead_secs);
+            b.begin_loop(iters);
+            MpiOps::compute(&mut b, 1.5e-5);
+            let s = MpiOps::isend(&mut b, (rank + 1) % nranks, 3, 10_000);
+            let r = MpiOps::irecv(&mut b, Some((rank + nranks - 1) % nranks), Some(3), 10_000);
+            MpiOps::waitall(&mut b, vec![s, r]);
+            MpiOps::allreduce(&mut b, 512);
+            b.end_loop();
+            b.finish()
+        })
+        .collect()
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// The stochastic program: one CPU-noise block per run whose bursts land
+/// in the last fifth of the undisturbed horizon.
+fn noisy_program(horizon: f64) -> ScenarioProgram {
+    let mut p = ScenarioProgram::empty("bench-mc");
+    p.noise.push(NoiseSeg::Cpu {
+        node: NodeSel::Id(0),
+        procs: 2,
+        interarrival: NoiseDist::Uniform {
+            min: horizon * NOISE_FROM,
+            max: horizon * (NOISE_FROM + 0.1),
+        },
+        duration: NoiseDist::Uniform {
+            min: horizon * 0.05,
+            max: horizon * 0.10,
+        },
+        until: horizon,
+    });
+    p
+}
+
+fn member_times(reports: &[SimReport]) -> Vec<f64> {
+    reports.iter().map(|r| r.total_time.as_secs_f64()).collect()
+}
+
+/// Run the Monte-Carlo benchmark. `fast` shrinks the ensemble and
+/// repetitions for smoke jobs.
+pub fn run_mc_bench(fast: bool) -> McBenchReport {
+    let samples = if fast { 16 } else { 64 };
+    let nranks = 8;
+    let nodes = 2;
+    let iters: u64 = if fast { 80 } else { 400 };
+    let reps = if fast { 2 } else { 3 };
+
+    let base = ClusterSpec::homogeneous(nodes);
+    let placement = Placement::blocked(nranks, nodes);
+    let scripts = loop_nest_scripts(nranks, iters, base.net.sw_overhead.as_secs_f64());
+
+    // Probe the undisturbed horizon once so the noise window scales with
+    // the workload size.
+    let horizon = Simulation::new(base.clone(), placement.clone())
+        .try_run_scripts(&scripts)
+        .expect("probe run completes")
+        .total_time
+        .as_secs_f64();
+    let program = noisy_program(horizon);
+    let ensemble = ensemble_specs(&program, &base, SEED, samples).expect("ensemble expands");
+
+    let (serial_secs, serial_reports) = time_best(reps, || {
+        ensemble
+            .specs
+            .iter()
+            .map(|spec| {
+                Simulation::new(spec.clone(), placement.clone())
+                    .try_run_scripts(&scripts)
+                    .expect("serial member completes")
+            })
+            .collect::<Vec<SimReport>>()
+    });
+    let (forked_secs, outcome) = time_best(reps, || {
+        let jobs: Vec<SweepJob<'_>> = ensemble
+            .specs
+            .iter()
+            .map(|spec| SweepJob {
+                spec: spec.clone(),
+                placement: placement.clone(),
+                scripts: &scripts,
+            })
+            .collect();
+        try_run_scripts_sweep(&jobs)
+    });
+
+    let forked_reports: Vec<SimReport> = outcome
+        .reports
+        .into_iter()
+        .map(|r| r.expect("forked member completes"))
+        .collect();
+    let identical = forked_reports == serial_reports;
+
+    let distribution =
+        Distribution::estimate(&member_times(&forked_reports), SEED).expect("finite runtimes");
+    // Full second pass — expansion included — under the same seed: the
+    // distribution JSON must come back byte for byte.
+    let seed_deterministic = {
+        let again = ensemble_specs(&program, &base, SEED, samples).expect("ensemble expands");
+        let jobs: Vec<SweepJob<'_>> = again
+            .specs
+            .iter()
+            .map(|spec| SweepJob {
+                spec: spec.clone(),
+                placement: placement.clone(),
+                scripts: &scripts,
+            })
+            .collect();
+        let reports: Vec<SimReport> = try_run_scripts_sweep(&jobs)
+            .reports
+            .into_iter()
+            .map(|r| r.expect("repeat member completes"))
+            .collect();
+        let repeat = Distribution::estimate(&member_times(&reports), SEED).expect("finite");
+        repeat.to_json() == distribution.to_json()
+    };
+
+    McBenchReport {
+        profile: build_profile(),
+        fast,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        samples,
+        ranks: nranks,
+        seed: SEED,
+        reps,
+        serial_secs,
+        forked_secs,
+        serial_samples_per_sec: samples as f64 / serial_secs,
+        forked_samples_per_sec: samples as f64 / forked_secs,
+        speedup: serial_secs / forked_secs,
+        prefix_reuse: outcome.stats.reuse_fraction(),
+        forks: outcome.stats.forks,
+        dedup_hits: outcome.stats.dedup_hits,
+        p50_secs: distribution.p50.value,
+        p90_secs: distribution.p90.value,
+        p99_secs: distribution.p99.value,
+        identical,
+        seed_deterministic,
+    }
+}
+
+impl McBenchReport {
+    /// Serialize to pretty-printed JSON. Hand-rolled like
+    /// [`crate::CompressBenchReport::to_json`] so emission works even
+    /// where serde_json is unavailable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(s, "  \"fast\": {},", self.fast);
+        let _ = writeln!(s, "  \"host_parallelism\": {},", self.host_parallelism);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"ranks\": {},", self.ranks);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        let _ = writeln!(s, "  \"serial_secs\": {},", self.serial_secs);
+        let _ = writeln!(s, "  \"forked_secs\": {},", self.forked_secs);
+        let _ = writeln!(
+            s,
+            "  \"serial_samples_per_sec\": {},",
+            self.serial_samples_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "  \"forked_samples_per_sec\": {},",
+            self.forked_samples_per_sec
+        );
+        let _ = writeln!(s, "  \"speedup\": {},", self.speedup);
+        let _ = writeln!(s, "  \"prefix_reuse\": {},", self.prefix_reuse);
+        let _ = writeln!(s, "  \"forks\": {},", self.forks);
+        let _ = writeln!(s, "  \"dedup_hits\": {},", self.dedup_hits);
+        let _ = writeln!(s, "  \"p50_secs\": {},", self.p50_secs);
+        let _ = writeln!(s, "  \"p90_secs\": {},", self.p90_secs);
+        let _ = writeln!(s, "  \"p99_secs\": {},", self.p99_secs);
+        let _ = writeln!(s, "  \"identical\": {},", self.identical);
+        let _ = writeln!(s, "  \"seed_deterministic\": {}", self.seed_deterministic);
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Render the human-readable table printed by the CLI.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}-member ensemble, {} ranks, seed 0x{:x} \
+             (host parallelism {}):",
+            self.samples, self.ranks, self.seed, self.host_parallelism
+        );
+        let _ = writeln!(s, "{:<10} {:>10} {:>12}", "path", "secs", "samples/s");
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.4} {:>12.1}",
+            "serial", self.serial_secs, self.serial_samples_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.4} {:>12.1}",
+            "forked", self.forked_secs, self.forked_samples_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "speedup {:.2}x  prefix reuse {:.1}%  forks {}  dedup hits {}",
+            self.speedup,
+            self.prefix_reuse * 100.0,
+            self.forks,
+            self.dedup_hits
+        );
+        let _ = writeln!(
+            s,
+            "p50 {:.6}s  p90 {:.6}s  p99 {:.6}s  identical {}  seed-deterministic {}",
+            self.p50_secs, self.p90_secs, self.p99_secs, self.identical, self.seed_deterministic
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_and_reuses_the_prefix() {
+        let report = run_mc_bench(true);
+        assert!(report.identical, "forked members diverged from serial");
+        assert!(report.seed_deterministic, "same seed, different bytes");
+        assert_eq!(report.samples, 16);
+        assert!(report.serial_secs > 0.0 && report.forked_secs > 0.0);
+        // Algorithmic, host-independent: with the noise window in the
+        // last fifth, the shared prefix amortizes most member work.
+        assert!(
+            report.prefix_reuse > 0.5,
+            "tail-noise ensemble reused too little: {}",
+            report.prefix_reuse
+        );
+        assert!(report.forks >= 1, "no fork point was taken");
+        assert!(report.p50_secs <= report.p90_secs && report.p90_secs <= report.p99_secs);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"seed_deterministic\": true"),
+            "json: {json}"
+        );
+        assert!(json.contains("\"prefix_reuse\""), "json: {json}");
+        // Banner, header, two path rows, reuse line, percentile line.
+        assert_eq!(report.table().lines().count(), 6);
+    }
+}

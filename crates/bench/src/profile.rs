@@ -1,0 +1,38 @@
+//! The build-profile vocabulary shared by every benchmark report and
+//! selftest document.
+//!
+//! CI gates assert `"release"` on smoke jobs, so the exact strings are
+//! contract: one definition here, re-exported wherever a report needs it
+//! (the four bench reports, `pskel-serve` selftests, the fleet selftest).
+
+/// The build profile of this binary, as recorded in benchmark and
+/// selftest reports (CI asserts `"release"` on its smoke jobs).
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_the_compiled_debug_assertions() {
+        let expected = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        assert_eq!(build_profile(), expected);
+    }
+
+    #[test]
+    fn profile_is_part_of_the_ci_vocabulary() {
+        // The CI gates string-match these two values; anything else would
+        // silently pass every `profile == "release"` assertion.
+        assert!(matches!(build_profile(), "debug" | "release"));
+    }
+}

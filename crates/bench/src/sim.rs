@@ -15,7 +15,7 @@
 //! Cheap enough for CI smoke jobs; emits machine-readable JSON
 //! (`BENCH_sim.json`) for artifact tracking.
 
-use crate::compress::build_profile;
+use crate::profile::build_profile;
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{replay_trace, replay_trace_threaded, ReplayScale};
 use pskel_mpi::{run_mpi, MpiOps, ScriptBuilder, TraceConfig};

@@ -14,7 +14,7 @@
 //! work. Cheap enough for CI smoke jobs; emits machine-readable JSON
 //! (`BENCH_sweep.json`) for artifact tracking.
 
-use crate::compress::build_profile;
+use crate::profile::build_profile;
 use pskel_mpi::{MpiOps, ScriptBuilder};
 use pskel_sim::{
     try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimDuration, SimReport, Simulation,

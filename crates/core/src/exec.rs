@@ -18,7 +18,9 @@ use pskel_mpi::{
     ScriptBuilder, TraceConfig,
 };
 use pskel_sim::script::sample_normal;
-use pskel_sim::{try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimError, SweepJob};
+use pskel_sim::{
+    try_run_scripts_sweep, ClusterSpec, Placement, RankScript, SimError, SweepJob, SweepStats,
+};
 use pskel_trace::OpKind;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -283,6 +285,18 @@ pub fn try_run_skeleton_sweep(
     placement: &Placement,
     opts: ExecOptions,
 ) -> Vec<Result<MpiRunOutcome, SimError>> {
+    try_run_skeleton_sweep_stats(skeleton, clusters, placement, opts).0
+}
+
+/// [`try_run_skeleton_sweep`] plus the sweep executor's [`SweepStats`],
+/// for callers that account for shared-prefix reuse (e.g. Monte-Carlo
+/// ensembles reporting how many events the fork amortized away).
+pub fn try_run_skeleton_sweep_stats(
+    skeleton: &Skeleton,
+    clusters: &[ClusterSpec],
+    placement: &Placement,
+    opts: ExecOptions,
+) -> (Vec<Result<MpiRunOutcome, SimError>>, SweepStats) {
     assert!(
         !opts.trace.enabled,
         "sweep execution cannot trace (tracing needs rank threads)"
@@ -329,7 +343,8 @@ pub fn try_run_skeleton_sweep(
             scripts: &compiled[set],
         })
         .collect();
-    try_run_scripts_sweep(&jobs)
+    let outcome = try_run_scripts_sweep(&jobs);
+    let reports = outcome
         .reports
         .into_iter()
         .map(|r| {
@@ -338,7 +353,8 @@ pub fn try_run_skeleton_sweep(
                 trace: None,
             })
         })
-        .collect()
+        .collect();
+    (reports, outcome.stats)
 }
 
 /// Run a skeleton on the thread-per-rank path (required when tracing the

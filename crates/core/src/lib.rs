@@ -67,7 +67,7 @@ pub use codegen::generate_c;
 pub use construct::{construct_rank, ComputeModel, ConstructOptions};
 pub use exec::{
     compile_rank, execute_rank, run_skeleton, run_skeleton_threaded, try_run_skeleton,
-    try_run_skeleton_sweep, ExecOptions,
+    try_run_skeleton_sweep, try_run_skeleton_sweep_stats, ExecOptions,
 };
 pub use good::{analyze_app, analyze_rank, GoodAnalysis, RankGoodAnalysis};
 pub use ir::{RankSkeleton, SkelNode, SkelOp, Skeleton, SkeletonMeta};

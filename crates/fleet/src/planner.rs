@@ -6,7 +6,7 @@
 //! one round (bounded by a short gather window, dispatching early once
 //! the arrival stream goes quiet), drains the queue,
 //! groups jobs by their *shared-field* identity (bench/class/target/
-//! method/verify — everything but the scenario), and emits dispatch
+//! method/verify/samples/seed — everything but the scenario), and emits dispatch
 //! units: a group of N ≥ 2 becomes one batch, everything else is
 //! forwarded as the single predict it was. The planner is pure
 //! queue/grouping logic; the actual upstream dispatch and fan-back live
@@ -33,7 +33,15 @@ pub struct PendingJob {
 /// is batch-eligible only when it contains exactly these fields (plus
 /// `scenario`) with the right types — anything unrecognized is forwarded
 /// untouched so the replica, not the router, gets to reject it.
-pub(crate) const SHARED_FIELDS: [&str; 5] = ["bench", "class", "target_secs", "method", "verify"];
+pub(crate) const SHARED_FIELDS: [&str; 7] = [
+    "bench",
+    "class",
+    "target_secs",
+    "method",
+    "verify",
+    "samples",
+    "seed",
+];
 
 /// Compute the batch-group identity of a parsed predict body, or `None`
 /// if the body is not batch-eligible. Two bodies with the same group key
@@ -54,7 +62,7 @@ pub fn batch_group(body: &Json) -> Option<StoreKey> {
                     return None;
                 }
             }
-            "target_secs" => {
+            "target_secs" | "samples" | "seed" => {
                 if !matches!(value, Json::Num(_)) {
                     return None;
                 }
@@ -231,6 +239,26 @@ mod tests {
         let d =
             body(r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node","verify":true}"#);
         assert_ne!(batch_group(&a).unwrap(), batch_group(&d).unwrap());
+    }
+
+    #[test]
+    fn mc_fields_are_shared_batch_fields() {
+        // Same ensemble → same group: the whole ensemble sweep routes to
+        // one shard as one batch.
+        let a = body(
+            r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node","samples":16,"seed":7}"#,
+        );
+        let b = body(
+            r#"{"seed":7,"samples":16,"bench":"CG","target_secs":0.004,"scenario":"net-one-link"}"#,
+        );
+        assert_eq!(batch_group(&a).unwrap(), batch_group(&b).unwrap());
+        // Different ensemble parameters must not share a sweep pass.
+        let other_seed = body(
+            r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node","samples":16,"seed":8}"#,
+        );
+        assert_ne!(batch_group(&a).unwrap(), batch_group(&other_seed).unwrap());
+        let no_mc = body(r#"{"bench":"CG","target_secs":0.004,"scenario":"cpu-one-node"}"#);
+        assert_ne!(batch_group(&a).unwrap(), batch_group(&no_mc).unwrap());
     }
 
     #[test]

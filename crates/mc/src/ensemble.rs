@@ -1,0 +1,119 @@
+//! Ensemble expansion: one stochastic program → K seeded deterministic
+//! cluster specs, ready for the forked sweep executor.
+
+use pskel_scenario::{derive_seed, ScenarioProgram};
+use pskel_sim::ClusterSpec;
+
+/// The seed of ensemble member `index` under base seed `base`.
+///
+/// Member seeds are *derived*, not sequential: growing an ensemble
+/// from K to K' > K members keeps the first K variants bit-identical,
+/// which is what lets per-seed caches pay for only the new members.
+pub fn member_seed(base: u64, index: usize) -> u64 {
+    derive_seed(base, index as u64)
+}
+
+/// The first `samples` member seeds under `base`.
+pub fn member_seeds(base: u64, samples: usize) -> Vec<u64> {
+    (0..samples).map(|i| member_seed(base, i)).collect()
+}
+
+/// An expanded ensemble: one deterministic cluster spec per member,
+/// in member order, plus each member's derived seed.
+#[derive(Clone, Debug)]
+pub struct EnsembleSpecs {
+    pub seeds: Vec<u64>,
+    pub specs: Vec<ClusterSpec>,
+}
+
+/// Expand `program` against `base` into a `samples`-member ensemble
+/// under `seed`. Every member shares the static spec and the
+/// deterministic schedule events; members differ only in the noise
+/// events their seed draws, so sweep executors group them into one
+/// shared-prefix family. A noise-free program yields `samples`
+/// identical specs (the executor dedupes them to a single simulation).
+pub fn ensemble_specs(
+    program: &ScenarioProgram,
+    base: &ClusterSpec,
+    seed: u64,
+    samples: usize,
+) -> Result<EnsembleSpecs, String> {
+    if samples == 0 {
+        return Err("ensemble needs at least one sample".into());
+    }
+    let seeds = member_seeds(seed, samples);
+    let specs = seeds
+        .iter()
+        .map(|&s| program.apply_seeded(base, s))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(EnsembleSpecs { seeds, specs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pskel_scenario::{NodeSel, NoiseDist, NoiseSeg};
+
+    fn noisy_program() -> ScenarioProgram {
+        let mut p = ScenarioProgram::empty("mc-test");
+        p.noise.push(NoiseSeg::Cpu {
+            node: NodeSel::All,
+            procs: 1,
+            interarrival: NoiseDist::Exp { mean: 0.5 },
+            duration: NoiseDist::Uniform {
+                min: 0.01,
+                max: 0.05,
+            },
+            until: 4.0,
+        });
+        p
+    }
+
+    #[test]
+    fn member_seeds_are_prefix_stable() {
+        let small = member_seeds(0x5eed, 50);
+        let large = member_seeds(0x5eed, 200);
+        assert_eq!(&large[..50], &small[..]);
+        let mut uniq = large.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), large.len(), "derived seeds collide");
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_shares_the_static_spec() {
+        let program = noisy_program();
+        let base = ClusterSpec::homogeneous(4);
+        let a = ensemble_specs(&program, &base, 7, 8).unwrap();
+        let b = ensemble_specs(&program, &base, 7, 8).unwrap();
+        for (x, y) in a.specs.iter().zip(&b.specs) {
+            assert_eq!(x.timeline.events, y.timeline.events);
+        }
+        // Members differ only in timeline events.
+        for spec in &a.specs {
+            assert_eq!(spec.nodes.len(), base.nodes.len());
+            assert!(spec.timeline.start_delays.is_empty());
+        }
+        assert_ne!(
+            a.specs[0].timeline.events, a.specs[1].timeline.events,
+            "distinct seeds should draw distinct noise"
+        );
+    }
+
+    #[test]
+    fn noise_free_programs_expand_to_identical_members() {
+        let program = ScenarioProgram::empty("plain");
+        let base = ClusterSpec::homogeneous(2);
+        let e = ensemble_specs(&program, &base, 3, 5).unwrap();
+        for spec in &e.specs {
+            assert!(spec.timeline.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_samples_is_an_error() {
+        let program = noisy_program();
+        let base = ClusterSpec::homogeneous(1);
+        assert!(ensemble_specs(&program, &base, 1, 0).is_err());
+    }
+}

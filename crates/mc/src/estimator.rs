@@ -1,0 +1,238 @@
+//! Percentile estimation with bootstrap confidence intervals.
+//!
+//! The estimator is deliberately boring: sort the ensemble's runtimes,
+//! read percentiles by linear interpolation, and bound them with a
+//! seeded nonparametric bootstrap. Every draw comes from
+//! [`SplitMix64`], so the same `(samples, seed)` input always yields
+//! the same `Distribution` — down to the last bit, on any host.
+
+use pskel_scenario::{derive_seed, SplitMix64};
+
+/// Bootstrap resample count. 200 keeps the 2.5%/97.5% quantiles of the
+/// bootstrap distribution meaningful while staying cheap next to the
+/// simulations that produced the samples.
+pub const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// Salt mixed into the base seed for the bootstrap stream, so it never
+/// collides with an ensemble member's expansion stream.
+const BOOTSTRAP_SALT: u64 = 0xb007;
+
+/// One estimated percentile with its bootstrap confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentile {
+    pub value: f64,
+    /// 2.5% quantile of the bootstrap distribution.
+    pub ci_lo: f64,
+    /// 97.5% quantile of the bootstrap distribution.
+    pub ci_hi: f64,
+}
+
+/// The estimated runtime distribution of a Monte-Carlo ensemble.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Distribution {
+    /// Ensemble size the estimate was computed from.
+    pub samples: usize,
+    /// Base seed of the ensemble (also seeds the bootstrap).
+    pub seed: u64,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: Percentile,
+    pub p90: Percentile,
+    pub p99: Percentile,
+}
+
+/// Quantile `q` in `[0, 1]` of an ascending-sorted slice, by linear
+/// interpolation between order statistics (type-7, the R default).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl Distribution {
+    /// Estimate from raw ensemble runtimes (member order does not
+    /// matter; the estimator sorts its own copy). Errors on an empty
+    /// or non-finite input rather than producing NaN percentiles.
+    pub fn estimate(samples: &[f64], seed: u64) -> Result<Distribution, String> {
+        if samples.is_empty() {
+            return Err("cannot estimate a distribution from zero samples".into());
+        }
+        if let Some(bad) = samples.iter().find(|x| !x.is_finite()) {
+            return Err(format!("non-finite sample {bad} in ensemble"));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+
+        // Nonparametric bootstrap: resample n-with-replacement B times,
+        // track each percentile's bootstrap distribution.
+        let mut rng = SplitMix64::new(derive_seed(seed, BOOTSTRAP_SALT));
+        let mut boot50 = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+        let mut boot90 = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+        let mut boot99 = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+        let mut resample = vec![0.0f64; n];
+        for _ in 0..BOOTSTRAP_RESAMPLES {
+            for slot in resample.iter_mut() {
+                *slot = sorted[(rng.next_u64() % n as u64) as usize];
+            }
+            resample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            boot50.push(percentile(&resample, 0.50));
+            boot90.push(percentile(&resample, 0.90));
+            boot99.push(percentile(&resample, 0.99));
+        }
+        let ci = |boot: &mut Vec<f64>, value: f64| {
+            boot.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Percentile {
+                value,
+                ci_lo: percentile(boot, 0.025),
+                ci_hi: percentile(boot, 0.975),
+            }
+        };
+        Ok(Distribution {
+            samples: n,
+            seed,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: ci(&mut boot50, percentile(&sorted, 0.50)),
+            p90: ci(&mut boot90, percentile(&sorted, 0.90)),
+            p99: ci(&mut boot99, percentile(&sorted, 0.99)),
+        })
+    }
+
+    /// Compact JSON rendering (hand-rolled so it works where the serde
+    /// runtime is stubbed out). Field order is fixed; used for
+    /// determinism checks, so keep it byte-stable.
+    pub fn to_json(&self) -> String {
+        let p = |p: &Percentile| {
+            format!(
+                "{{\"value\":{},\"ci_lo\":{},\"ci_hi\":{}}}",
+                p.value, p.ci_lo, p.ci_hi
+            )
+        };
+        format!(
+            "{{\"samples\":{},\"seed\":{},\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.samples,
+            self.seed,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.max,
+            p(&self.p50),
+            p(&self.p90),
+            p(&self.p99)
+        )
+    }
+
+    /// Percentile table for the CLI.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "samples {:>6}   seed 0x{:x}\n",
+            self.samples, self.seed
+        ));
+        out.push_str(&format!(
+            "mean    {:>10.6}s   std dev {:.6}s\n",
+            self.mean, self.std_dev
+        ));
+        out.push_str(&format!(
+            "min     {:>10.6}s   max     {:.6}s\n",
+            self.min, self.max
+        ));
+        out.push_str("quantile   predicted      95% CI\n");
+        for (name, p) in [("p50", &self.p50), ("p90", &self.p90), ("p99", &self.p99)] {
+            out.push_str(&format!(
+                "{name:<8} {:>10.6}s   [{:.6}, {:.6}]\n",
+                p.value, p.ci_lo, p.ci_hi
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate_linearly() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert!((percentile(&xs, 0.90) - 3.7).abs() < 1e-12);
+        assert_eq!(percentile(&[5.0], 0.9), 5.0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic_per_seed() {
+        let samples: Vec<f64> = (0..64).map(|i| 1.0 + 0.01 * (i * 37 % 64) as f64).collect();
+        let a = Distribution::estimate(&samples, 0x5eed).unwrap();
+        let b = Distribution::estimate(&samples, 0x5eed).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let c = Distribution::estimate(&samples, 0x5eee).unwrap();
+        // Same point estimates, different bootstrap draws.
+        assert_eq!(a.p50.value, c.p50.value);
+        assert_ne!((a.p50.ci_lo, a.p90.ci_hi), (c.p50.ci_lo, c.p90.ci_hi));
+    }
+
+    #[test]
+    fn estimate_is_order_insensitive() {
+        let mut samples: Vec<f64> = (0..32).map(|i| (i * 13 % 32) as f64).collect();
+        let a = Distribution::estimate(&samples, 1).unwrap();
+        samples.reverse();
+        let b = Distribution::estimate(&samples, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_cis_bracket() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let d = Distribution::estimate(&samples, 9).unwrap();
+        assert!(d.min <= d.p50.value);
+        assert!(d.p50.value <= d.p90.value);
+        assert!(d.p90.value <= d.p99.value);
+        assert!(d.p99.value <= d.max);
+        for p in [&d.p50, &d.p90, &d.p99] {
+            assert!(p.ci_lo <= p.ci_hi);
+            assert!(p.ci_lo <= p.value + 1e-12 && p.value <= p.ci_hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_samples_collapse_the_distribution() {
+        let d = Distribution::estimate(&[2.5; 40], 3).unwrap();
+        assert_eq!(d.mean, 2.5);
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.p50.value, 2.5);
+        assert_eq!(d.p99.value, 2.5);
+        assert_eq!(d.p50.ci_lo, 2.5);
+        assert_eq!(d.p99.ci_hi, 2.5);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(Distribution::estimate(&[], 0).is_err());
+        assert!(Distribution::estimate(&[1.0, f64::NAN], 0).is_err());
+        assert!(Distribution::estimate(&[1.0, f64::INFINITY], 0).is_err());
+    }
+
+    #[test]
+    fn table_lists_the_three_quantiles() {
+        let d = Distribution::estimate(&[1.0, 2.0, 3.0], 0).unwrap();
+        let t = d.table();
+        assert!(t.contains("p50"));
+        assert!(t.contains("p90"));
+        assert!(t.contains("p99"));
+    }
+}

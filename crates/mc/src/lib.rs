@@ -1,0 +1,35 @@
+//! # pskel-mc — seeded Monte-Carlo prediction
+//!
+//! The paper (Sodhi & Subhlok, IPPS 2005) validates skeletons with
+//! single deterministic predictions, but real MPI programs run under
+//! OS noise: a point estimate misses the runtime *distribution*. This
+//! crate turns one stochastic scenario program (a program carrying
+//! `[[noise]]` blocks) into a Monte-Carlo ensemble:
+//!
+//! 1. **Ensemble expansion** ([`ensemble_specs`]): derive K member
+//!    seeds from a base seed with splitmix64 ([`member_seed`]) and
+//!    expand the program once per member via
+//!    [`ScenarioProgram::apply_seeded`]. Every member shares the
+//!    static spec and the deterministic schedule prefix of the
+//!    timeline, so the forked sweep executor
+//!    (`pskel_sim::try_run_scripts_sweep`) simulates the common
+//!    prefix once and forks only where noise diverges.
+//! 2. **Percentile estimation** ([`Distribution::estimate`]): sort the
+//!    member runtimes, read p50/p90/p99 by linear interpolation, and
+//!    attach bootstrap confidence intervals resampled with the same
+//!    deterministic generator — the whole pipeline is a pure function
+//!    of `(program, base seed, K)`.
+//!
+//! Nothing here is random at run time: "Monte-Carlo" refers to the
+//! sampling structure, not to nondeterminism. Two hosts (or two thread
+//! counts) computing the same ensemble produce byte-identical
+//! distributions.
+
+pub mod ensemble;
+pub mod estimator;
+
+pub use ensemble::{ensemble_specs, member_seed, member_seeds, EnsembleSpecs};
+pub use estimator::{percentile, Distribution, Percentile, BOOTSTRAP_RESAMPLES};
+
+#[doc(no_inline)]
+pub use pskel_scenario::ScenarioProgram;

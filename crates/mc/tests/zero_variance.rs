@@ -1,0 +1,146 @@
+//! Satellite differential: a stochastic program whose distributions
+//! have zero variance must be indistinguishable — `Timeline` events and
+//! `SimReport` bit-identical — from the equivalent deterministic
+//! program, at every seed. This pins the noise expansion to the PR 5
+//! schedule-lowering semantics: constant interarrival/duration draws
+//! produce exactly the `AddCompeting` delta sequence a `[[cpu]]`
+//! schedule would.
+
+use pskel_mc::ensemble_specs;
+use pskel_mpi::{MpiOps, ScriptBuilder};
+use pskel_scenario::{CpuSeg, NodeSel, NoiseDist, NoiseSeg, ScenarioProgram};
+use pskel_sim::{try_run_scripts_sweep, ClusterSpec, Placement, RankScript, Simulation, SweepJob};
+
+const GAP: f64 = 0.5;
+const DUR: f64 = 0.2;
+const UNTIL: f64 = 3.0;
+const PROCS: i64 = 2;
+
+/// The stochastic program: constant-gap, constant-duration CPU bursts.
+fn stochastic() -> ScenarioProgram {
+    let mut p = ScenarioProgram::empty("zv");
+    p.noise.push(NoiseSeg::Cpu {
+        node: NodeSel::Id(0),
+        procs: PROCS,
+        interarrival: NoiseDist::Uniform { min: GAP, max: GAP },
+        duration: NoiseDist::Uniform { min: DUR, max: DUR },
+        until: UNTIL,
+    });
+    p
+}
+
+/// The deterministic equivalent: a `[[cpu]]` schedule stepping to
+/// `PROCS` at each burst start and back to 0 at each burst end, with
+/// times accumulated by the same float arithmetic the expansion uses.
+fn deterministic() -> ScenarioProgram {
+    let mut p = ScenarioProgram::empty("zv");
+    let mut t = 0.0f64;
+    loop {
+        t += GAP;
+        if t >= UNTIL {
+            break;
+        }
+        p.cpu.push(CpuSeg {
+            node: NodeSel::Id(0),
+            at: t,
+            procs: PROCS,
+        });
+        p.cpu.push(CpuSeg {
+            node: NodeSel::Id(0),
+            at: t + DUR,
+            procs: 0,
+        });
+    }
+    assert!(!p.cpu.is_empty());
+    p
+}
+
+fn scripts(nranks: usize, sw_overhead_secs: f64) -> Vec<RankScript> {
+    (0..nranks)
+        .map(|rank| {
+            let mut b = ScriptBuilder::new(rank, nranks, sw_overhead_secs);
+            b.begin_loop(40);
+            MpiOps::compute(&mut b, 2.0e-3);
+            let s = MpiOps::isend(&mut b, (rank + 1) % nranks, 3, 10_000);
+            let r = MpiOps::irecv(&mut b, Some((rank + nranks - 1) % nranks), Some(3), 10_000);
+            MpiOps::waitall(&mut b, vec![s, r]);
+            MpiOps::allreduce(&mut b, 512);
+            b.end_loop();
+            b.finish()
+        })
+        .collect()
+}
+
+#[test]
+fn zero_variance_timeline_is_bit_identical_at_every_seed() {
+    let base = ClusterSpec::homogeneous(2);
+    let want = deterministic().apply(&base).unwrap();
+    assert!(!want.timeline.events.is_empty());
+    for seed in [0u64, 1, 2, 0x5eed, 0xdead_beef, u64::MAX] {
+        let got = stochastic().apply_seeded(&base, seed).unwrap();
+        assert_eq!(
+            got.timeline.events, want.timeline.events,
+            "timeline diverged at seed {seed:#x}"
+        );
+        assert_eq!(got.timeline.start_delays, want.timeline.start_delays);
+    }
+}
+
+#[test]
+fn zero_variance_sim_report_is_bit_identical_at_every_seed() {
+    let nranks = 4;
+    let base = ClusterSpec::homogeneous(2);
+    let placement = Placement::blocked(nranks, 2);
+    let scripts = scripts(nranks, base.net.sw_overhead.as_secs_f64());
+
+    let det_spec = deterministic().apply(&base).unwrap();
+    let want = Simulation::new(det_spec, placement.clone())
+        .try_run_scripts(&scripts)
+        .expect("deterministic run completes");
+
+    for seed in [0u64, 7, 0x5eed] {
+        let spec = stochastic().apply_seeded(&base, seed).unwrap();
+        let got = Simulation::new(spec, placement.clone())
+            .try_run_scripts(&scripts)
+            .expect("stochastic run completes");
+        assert_eq!(got, want, "SimReport diverged at seed {seed:#x}");
+    }
+}
+
+#[test]
+fn zero_variance_ensemble_dedupes_to_one_simulation() {
+    // Every member of a zero-variance ensemble expands to the same
+    // spec, so the forked executor answers K points with one engine
+    // run — and each report equals the deterministic one.
+    let nranks = 4;
+    let samples = 6;
+    let base = ClusterSpec::homogeneous(2);
+    let placement = Placement::blocked(nranks, 2);
+    let scripts = scripts(nranks, base.net.sw_overhead.as_secs_f64());
+
+    let det_spec = deterministic().apply(&base).unwrap();
+    let want = Simulation::new(det_spec, placement.clone())
+        .try_run_scripts(&scripts)
+        .expect("deterministic run completes");
+
+    let ensemble = ensemble_specs(&stochastic(), &base, 0x5eed, samples).unwrap();
+    let jobs: Vec<SweepJob<'_>> = ensemble
+        .specs
+        .iter()
+        .map(|spec| SweepJob {
+            spec: spec.clone(),
+            placement: placement.clone(),
+            scripts: &scripts,
+        })
+        .collect();
+    let outcome = try_run_scripts_sweep(&jobs);
+    assert_eq!(outcome.reports.len(), samples);
+    for report in &outcome.reports {
+        assert_eq!(report.as_ref().ok(), Some(&want));
+    }
+    assert_eq!(
+        outcome.stats.dedup_hits,
+        samples as u64 - 1,
+        "identical members should collapse to one simulation"
+    );
+}

@@ -35,8 +35,11 @@ pub use methods::{
     error_pct, skeleton_error_pct, skeleton_prediction, status_prediction,
 };
 pub use runner::{
-    CounterSnapshot, EvalContext, EvalCounters, EvalError, SweepPrewarm, Testbed,
-    PAPER_SKELETON_SIZES,
+    CounterSnapshot, EvalContext, EvalCounters, EvalError, McPrediction, McStats, SweepPrewarm,
+    Testbed, PAPER_SKELETON_SIZES,
 };
 pub use scenario::{builtin_program, Scenario, ScenarioSpec};
+
+#[doc(no_inline)]
+pub use pskel_mc::{Distribution, Percentile};
 pub use selection::{select_node_set, CandidateSet, ProbeResult, Selection};

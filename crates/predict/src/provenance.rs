@@ -21,6 +21,7 @@ pub mod kind {
     pub const SKELETON: &str = "skeleton";
     pub const SKELETON_TIME: &str = "skel-time";
     pub const SKELETON_FRAC: &str = "skel-frac";
+    pub const MC_SAMPLE: &str = "mc-sample";
 }
 
 fn base(domain: &str, testbed: &Testbed, bench: NasBenchmark, class: Class) -> KeyBuilder {
@@ -106,6 +107,27 @@ pub fn skeleton_time_key_spec(
         .field("builder", &builder_params(builder))
         .field_f64("target-secs", builder.target_secs)
         .field("scenario", &scenario.provenance_token())
+        .finish()
+}
+
+/// One Monte-Carlo ensemble member: the skeleton's time under one
+/// seeded expansion of a stochastic scenario. The member's *derived*
+/// seed (not the base seed) is key material, so ensembles grown from
+/// K to K' samples reuse every member they share, and two base seeds
+/// that happen to derive the same member seed share that member.
+pub fn mc_sample_key(
+    testbed: &Testbed,
+    bench: NasBenchmark,
+    class: Class,
+    builder: &SkeletonBuilder,
+    scenario: &ScenarioSpec,
+    member_seed: u64,
+) -> StoreKey {
+    base("mc-sample-v1", testbed, bench, class)
+        .field("builder", &builder_params(builder))
+        .field_f64("target-secs", builder.target_secs)
+        .field("scenario", &scenario.provenance_token())
+        .field("member-seed", &format!("{member_seed:#018x}"))
         .finish()
 }
 
@@ -198,6 +220,21 @@ mod tests {
         assert_eq!(
             one_key,
             app_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &again)
+        );
+    }
+
+    #[test]
+    fn mc_sample_keys_distinguish_member_seeds() {
+        let tb = Testbed::default();
+        let builder = SkeletonBuilder::new(1.0);
+        let spec: ScenarioSpec = Scenario::Dedicated.into();
+        let k = |seed| mc_sample_key(&tb, NasBenchmark::Cg, Class::B, &builder, &spec, seed);
+        assert_ne!(k(1), k(2));
+        assert_eq!(k(7), k(7));
+        // Distinct from the point-estimate artifact for the same inputs.
+        assert_ne!(
+            k(0),
+            skeleton_time_key_spec(&tb, NasBenchmark::Cg, Class::B, &builder, &spec)
         );
     }
 

@@ -14,6 +14,7 @@ use crate::provenance::{self, kind};
 use crate::scenario::{Scenario, ScenarioSpec};
 use pskel_apps::{Class, NasBenchmark};
 use pskel_core::{BuiltSkeleton, ExecOptions, SkeletonBuilder};
+use pskel_mc::Distribution;
 use pskel_mpi::{run_mpi, TraceConfig};
 use pskel_sim::{ClusterSpec, Placement, SimError};
 use pskel_store::Store;
@@ -167,6 +168,8 @@ pub enum EvalError {
     /// A custom scenario program could not be applied to the testbed
     /// (e.g. it names a node the cluster does not have).
     Scenario { scenario: String, msg: String },
+    /// The request itself was malformed (e.g. a zero-sample ensemble).
+    Invalid { msg: String },
 }
 
 impl fmt::Display for EvalError {
@@ -187,6 +190,7 @@ impl fmt::Display for EvalError {
             EvalError::Scenario { scenario, msg } => {
                 write!(f, "scenario {scenario} does not fit the testbed: {msg}")
             }
+            EvalError::Invalid { msg } => write!(f, "invalid request: {msg}"),
         }
     }
 }
@@ -208,6 +212,14 @@ pub struct EvalCounters {
     pub skeleton_builds: AtomicU64,
     /// Artifacts served from the persistent store.
     pub store_hits: AtomicU64,
+    /// Monte-Carlo ensemble members actually simulated.
+    pub mc_samples_run: AtomicU64,
+    /// Timeline events Monte-Carlo sweeps did not replay thanks to the
+    /// forked executor's shared prefixes.
+    pub mc_prefix_saved: AtomicU64,
+    /// Ensemble members answered from the memo or the persistent store
+    /// instead of simulating.
+    pub mc_cache_hits: AtomicU64,
 }
 
 /// A point-in-time copy of [`EvalCounters`].
@@ -218,12 +230,15 @@ pub struct CounterSnapshot {
     pub skeleton_sims: u64,
     pub skeleton_builds: u64,
     pub store_hits: u64,
+    pub mc_samples_run: u64,
+    pub mc_prefix_saved: u64,
+    pub mc_cache_hits: u64,
 }
 
 impl CounterSnapshot {
     /// Total simulator invocations of any kind.
     pub fn total_sims(&self) -> u64 {
-        self.app_sims + self.trace_sims + self.skeleton_sims
+        self.app_sims + self.trace_sims + self.skeleton_sims + self.mc_samples_run
     }
 }
 
@@ -235,6 +250,9 @@ impl EvalCounters {
             skeleton_sims: self.skeleton_sims.load(Ordering::Relaxed),
             skeleton_builds: self.skeleton_builds.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
+            mc_samples_run: self.mc_samples_run.load(Ordering::Relaxed),
+            mc_prefix_saved: self.mc_prefix_saved.load(Ordering::Relaxed),
+            mc_cache_hits: self.mc_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -411,6 +429,37 @@ pub struct SweepPrewarm {
     pub simulated: usize,
 }
 
+/// How the members of one [`EvalContext::predict_distribution`] ensemble
+/// were answered. `samples = memo_hits + store_hits + simulated`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Ensemble members requested.
+    pub samples: usize,
+    /// Answered from the in-process memo.
+    pub memo_hits: usize,
+    /// Answered from the persistent store.
+    pub store_hits: usize,
+    /// Members submitted to the forked sweep executor.
+    pub simulated: usize,
+    /// Submitted members the executor answered by sharing another
+    /// member's engine run (identical expanded specs).
+    pub dedup_hits: u64,
+    /// Timeline events the executor did not replay thanks to shared
+    /// prefixes (serial cost minus executed cost).
+    pub prefix_events_saved: u64,
+}
+
+/// A Monte-Carlo prediction: the runtime distribution plus how the
+/// ensemble was answered.
+#[derive(Clone, Debug)]
+pub struct McPrediction {
+    pub distribution: Distribution,
+    /// The skeleton-method scaling ratio (dedicated application time over
+    /// dedicated skeleton time) applied to every member.
+    pub ratio: f64,
+    pub stats: McStats,
+}
+
 /// Lazily-computed, memoized measurements over the full benchmark suite:
 /// the figures share application runs, traces and skeletons through this.
 pub struct EvalContext {
@@ -426,6 +475,9 @@ pub struct EvalContext {
     skeletons: HashMap<(NasBenchmark, u64), BuiltSkeleton>,
     skeleton_times: HashMap<(NasBenchmark, u64, ScenarioSpec), f64>,
     skeleton_fracs: HashMap<(NasBenchmark, u64), f64>,
+    /// Monte-Carlo ensemble members: skeleton time per *derived* member
+    /// seed, so growing an ensemble re-simulates only the new members.
+    mc_samples: HashMap<(NasBenchmark, u64, ScenarioSpec, u64), f64>,
 }
 
 /// The paper's skeleton sizes for Class B (seconds).
@@ -444,6 +496,7 @@ impl EvalContext {
             skeletons: HashMap::new(),
             skeleton_times: HashMap::new(),
             skeleton_fracs: HashMap::new(),
+            mc_samples: HashMap::new(),
         }
     }
 
@@ -749,6 +802,158 @@ impl EvalContext {
             pskel_scenario::counters::record_sweep_points_deduped(out.deduped as u64);
         }
         Ok(out)
+    }
+
+    /// Monte-Carlo prediction: expand a (possibly stochastic) scenario
+    /// into a `samples`-member ensemble under `seed`, run every member
+    /// through the forked sweep executor, and return the percentile
+    /// distribution of the scaled predictions.
+    ///
+    /// Each member's skeleton time is memoized and stored under its
+    /// *derived* seed ([`pskel_mc::member_seed`]), so re-asking with a
+    /// larger `samples` simulates only the new members, and a second call
+    /// with the same arguments simulates nothing. The whole pipeline is a
+    /// pure function of `(bench, target, scenario, samples, seed)` —
+    /// byte-identical across runs, hosts and thread counts.
+    pub fn predict_distribution(
+        &mut self,
+        bench: NasBenchmark,
+        target_secs: f64,
+        scenario: &ScenarioSpec,
+        samples: u32,
+        seed: u64,
+    ) -> Result<McPrediction, EvalError> {
+        if samples == 0 {
+            return Err(EvalError::Invalid {
+                msg: "sample count must be >= 1".into(),
+            });
+        }
+        let program = match scenario {
+            ScenarioSpec::Builtin(s) => crate::scenario::builtin_program(*s),
+            ScenarioSpec::Custom(p) => (**p).clone(),
+        };
+        self.skeleton(bench, target_secs)?;
+        let class = self.class;
+        let size = Self::size_key(target_secs);
+        let builder = SkeletonBuilder::new(target_secs);
+
+        // Partition the members: memo hit, store hit, or pending.
+        let seeds = pskel_mc::member_seeds(seed, samples as usize);
+        let mut stats = McStats {
+            samples: seeds.len(),
+            ..McStats::default()
+        };
+        let mut times: Vec<Option<f64>> = vec![None; seeds.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, &member) in seeds.iter().enumerate() {
+            if let Some(&t) = self
+                .mc_samples
+                .get(&(bench, size, scenario.clone(), member))
+            {
+                EvalCounters::bump(&self.counters.mc_cache_hits);
+                times[i] = Some(t);
+                stats.memo_hits += 1;
+                continue;
+            }
+            let key =
+                provenance::mc_sample_key(&self.testbed, bench, class, &builder, scenario, member);
+            if let Some(store) = self.store.as_deref() {
+                if let Some(t) = store.get_f64(kind::MC_SAMPLE, key) {
+                    EvalCounters::bump(&self.counters.store_hits);
+                    EvalCounters::bump(&self.counters.mc_cache_hits);
+                    self.mc_samples
+                        .insert((bench, size, scenario.clone(), member), t);
+                    times[i] = Some(t);
+                    stats.store_hits += 1;
+                    continue;
+                }
+            }
+            pending.push(i);
+        }
+
+        // Simulate the pending members as one sweep: every member shares
+        // the deterministic timeline prefix, so the executor forks at the
+        // first noise event instead of replaying K full timelines.
+        if !pending.is_empty() {
+            let clusters: Vec<ClusterSpec> = pending
+                .iter()
+                .map(|&i| {
+                    program
+                        .apply_seeded(&self.testbed.cluster, seeds[i])
+                        .map_err(|msg| EvalError::Scenario {
+                            scenario: scenario.provenance_token(),
+                            msg,
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let (outcomes, sweep) = {
+                let built = &self.skeletons[&(bench, size)];
+                pskel_core::try_run_skeleton_sweep_stats(
+                    &built.skeleton,
+                    &clusters,
+                    &self.testbed.placement,
+                    ExecOptions {
+                        sim_threads: self.testbed.sim_threads,
+                        ..Default::default()
+                    },
+                )
+            };
+            stats.simulated = pending.len();
+            stats.dedup_hits = sweep.dedup_hits;
+            stats.prefix_events_saved = sweep.serial_events.saturating_sub(sweep.executed_events);
+            self.counters
+                .mc_samples_run
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            self.counters
+                .mc_prefix_saved
+                .fetch_add(stats.prefix_events_saved, Ordering::Relaxed);
+            for (&i, outcome) in pending.iter().zip(outcomes) {
+                let member = seeds[i];
+                let t = outcome
+                    .map_err(|error| EvalError::Sim {
+                        what: format!(
+                            "{} {target_secs}s skeleton under {} (mc member {member:#x})",
+                            bench.name(),
+                            scenario.provenance_token()
+                        ),
+                        error,
+                    })?
+                    .total_secs();
+                times[i] = Some(t);
+                self.mc_samples
+                    .insert((bench, size, scenario.clone(), member), t);
+                if let Some(store) = self.store.as_deref() {
+                    let key = provenance::mc_sample_key(
+                        &self.testbed,
+                        bench,
+                        class,
+                        &builder,
+                        scenario,
+                        member,
+                    );
+                    store.put_f64(kind::MC_SAMPLE, key, t).ok();
+                }
+            }
+        }
+
+        // Scale each member's skeleton time by the deterministic
+        // skeleton-method ratio (dedicated app time over dedicated
+        // skeleton time) — the same scaling the point estimate uses.
+        let dedicated: ScenarioSpec = Scenario::Dedicated.into();
+        let app_ded = self.app_time_spec(bench, class, &dedicated)?;
+        let skel_ded = self.skeleton_time_spec(bench, target_secs, &dedicated)?;
+        let ratio = app_ded / skel_ded;
+        let predicted: Vec<f64> = times
+            .into_iter()
+            .map(|t| t.expect("every member answered") * ratio)
+            .collect();
+        let distribution =
+            Distribution::estimate(&predicted, seed).map_err(|msg| EvalError::Invalid { msg })?;
+        Ok(McPrediction {
+            distribution,
+            ratio,
+            stats,
+        })
     }
 
     /// Compute every cell the paper's figures need, fanning independent

@@ -1,0 +1,141 @@
+//! Acceptance tests for Monte-Carlo distribution predictions:
+//! - the same `(bench, target, scenario, samples, seed)` always yields a
+//!   byte-identical distribution, and a repeat call simulates nothing;
+//! - growing an ensemble from K to K' members simulates only the new
+//!   members (derived member seeds are prefix-stable);
+//! - a warm store replays a distribution without re-simulating;
+//! - a noise-free ensemble collapses to the deterministic point estimate.
+
+use pskel_apps::{Class, NasBenchmark};
+use pskel_predict::{EvalContext, Scenario, ScenarioSpec};
+use pskel_scenario::{NodeSel, NoiseDist, NoiseSeg, ScenarioProgram};
+use pskel_store::Store;
+use std::sync::Arc;
+
+fn scratch_store(tag: &str) -> (std::path::PathBuf, Arc<Store>) {
+    let dir = std::env::temp_dir().join(format!("pskel-mc-itest-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(Store::open(&dir).unwrap());
+    (dir, store)
+}
+
+/// A stochastic scenario small enough for Class-S skeletons: exponential
+/// CPU bursts on every node for the first quarter second.
+fn noisy_spec() -> ScenarioSpec {
+    let mut p = ScenarioProgram::empty("itest-noise");
+    p.noise.push(NoiseSeg::Cpu {
+        node: NodeSel::All,
+        procs: 2,
+        interarrival: NoiseDist::Exp { mean: 0.002 },
+        duration: NoiseDist::Uniform {
+            min: 0.001,
+            max: 0.004,
+        },
+        until: 0.25,
+    });
+    ScenarioSpec::custom(p)
+}
+
+#[test]
+fn distribution_is_deterministic_and_memoized() {
+    let mut ctx = EvalContext::new(Class::S, &[0.01]);
+    let spec = noisy_spec();
+    let first = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 8, 0x5eed)
+        .unwrap();
+    assert_eq!(first.stats.samples, 8);
+    assert_eq!(first.stats.simulated, 8);
+    assert!(
+        first.distribution.max > first.distribution.min,
+        "stochastic noise must spread the ensemble"
+    );
+    let run_once = ctx.counters().snapshot();
+    assert_eq!(run_once.mc_samples_run, 8);
+
+    let second = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 8, 0x5eed)
+        .unwrap();
+    assert_eq!(second.stats.memo_hits, 8);
+    assert_eq!(second.stats.simulated, 0);
+    assert_eq!(
+        first.distribution.to_json(),
+        second.distribution.to_json(),
+        "repeat call must replay byte-identically"
+    );
+    let rerun = ctx.counters().snapshot();
+    assert_eq!(rerun.mc_samples_run, 8, "repeat call must not simulate");
+    assert_eq!(rerun.mc_cache_hits, 8);
+}
+
+#[test]
+fn growing_the_ensemble_simulates_only_new_members() {
+    let mut ctx = EvalContext::new(Class::S, &[0.01]);
+    let spec = noisy_spec();
+    let small = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 5, 7)
+        .unwrap();
+    let grown = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 12, 7)
+        .unwrap();
+    assert_eq!(grown.stats.memo_hits, 5, "the first K members are reused");
+    assert_eq!(grown.stats.simulated, 7, "only the new members simulate");
+    assert_eq!(ctx.counters().snapshot().mc_samples_run, 12);
+    // Shared members pin the extremes in the same region: the grown
+    // ensemble's range contains samples from the original one.
+    assert!(grown.distribution.min <= small.distribution.min);
+    assert!(grown.distribution.max >= small.distribution.max);
+    assert_eq!(small.ratio, grown.ratio);
+}
+
+#[test]
+fn warm_store_replays_distribution_without_simulating() {
+    let (dir, store) = scratch_store("mc-replay");
+    let spec = noisy_spec();
+
+    let mut cold = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+    let first = cold
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 6, 42)
+        .unwrap();
+    assert_eq!(first.stats.simulated, 6);
+
+    let mut warm = EvalContext::with_store(Class::S, &[0.01], Arc::clone(&store));
+    let replay = warm
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 6, 42)
+        .unwrap();
+    assert_eq!(replay.stats.store_hits, 6);
+    assert_eq!(replay.stats.simulated, 0);
+    assert_eq!(warm.counters().snapshot().mc_samples_run, 0);
+    assert_eq!(
+        first.distribution.to_json(),
+        replay.distribution.to_json(),
+        "store replay must be byte-identical"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn noise_free_ensemble_collapses_to_the_point_estimate() {
+    let mut ctx = EvalContext::new(Class::S, &[0.01]);
+    let spec: ScenarioSpec = Scenario::Dedicated.into();
+    let mc = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &spec, 4, 9)
+        .unwrap();
+    // All members expand to the same spec: one engine run answers all.
+    assert_eq!(mc.stats.dedup_hits, 3);
+    assert_eq!(mc.distribution.std_dev, 0.0);
+    // Under Dedicated the skeleton-method prediction is exactly the
+    // dedicated application time (ratio × dedicated skeleton time).
+    let app_ded = ctx.app_time(NasBenchmark::Cg, Scenario::Dedicated);
+    assert_eq!(mc.distribution.p50.value.to_bits(), app_ded.to_bits());
+    assert_eq!(mc.distribution.min.to_bits(), mc.distribution.max.to_bits());
+}
+
+#[test]
+fn zero_samples_is_rejected() {
+    let mut ctx = EvalContext::new(Class::S, &[0.01]);
+    let err = ctx
+        .predict_distribution(NasBenchmark::Cg, 0.01, &noisy_spec(), 0, 0)
+        .unwrap_err();
+    assert!(err.to_string().contains("sample count"), "{err}");
+}

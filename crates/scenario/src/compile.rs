@@ -3,6 +3,7 @@
 //! and dotted field path of the offending spec entry, plus
 //! deterministic sweep expansion (`[[sweep]]` → one program per value).
 
+use crate::noise::{NoiseDist, NoiseSeg};
 use crate::program::{CpuSeg, Fault, LinkSeg, NetSeg, NodeSel, ScenarioProgram};
 use crate::value::{Key, SpecError, Val};
 
@@ -41,7 +42,9 @@ pub struct SweepPoint {
     pub program: ScenarioProgram,
 }
 
-const TOP_KEYS: &[&str] = &["name", "nodes", "cpu", "link", "net", "fault", "sweep"];
+const TOP_KEYS: &[&str] = &[
+    "name", "nodes", "samples", "cpu", "link", "net", "fault", "noise", "sweep",
+];
 const CPU_KEYS: &[&str] = &["node", "at", "procs"];
 const LINK_KEYS: &[&str] = &["node", "at", "cap_mbps", "restore"];
 const NET_KEYS: &[&str] = &["at", "latency"];
@@ -216,8 +219,24 @@ impl ScenarioSource {
             }
         };
 
+        let samples = match self.root.get("samples") {
+            None => None,
+            Some(v) => {
+                let k = plain_int(v, "samples")?;
+                if k < 1 {
+                    return Err(SpecError::of(
+                        v,
+                        "samples",
+                        format!("sample count {k} must be >= 1"),
+                    ));
+                }
+                Some(k as u32)
+            }
+        };
+
         let mut program = ScenarioProgram::empty(&format!("{name}{name_suffix}"));
         program.nodes = nodes;
+        program.samples = samples;
 
         let mut cpu_seen: Vec<(NodeSel, u64)> = Vec::new();
         for (i, entry) in section(&self.root, "cpu")?.iter().enumerate() {
@@ -421,6 +440,93 @@ impl ScenarioSource {
             }
         }
 
+        for (i, entry) in section(&self.root, "noise")?.iter().enumerate() {
+            let path = format!("noise[{i}]");
+            let fields = expect_table(entry, &path)?;
+            let kind = match entry.get("kind") {
+                None => "cpu",
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| type_err(v, &format!("{path}.kind"), "a string"))?,
+            };
+            // The allowed key set depends on the block kind and on each
+            // distribution's family, so it is collected while parsing
+            // and checked at the end for precise unknown-key spans.
+            let mut allowed: Vec<String> = vec!["kind".into(), "until".into()];
+            let until_val = get_req(entry, &path, "until")?;
+            let until = num_field(vars, until_val, &format!("{path}.until"))?;
+            if !(until.is_finite() && until > 0.0) {
+                return Err(SpecError::of(
+                    until_val,
+                    &format!("{path}.until"),
+                    format!("noise horizon `until` {until} must be > 0 (seconds)"),
+                ));
+            }
+            match kind {
+                "cpu" => {
+                    allowed.push("node".into());
+                    allowed.push("procs".into());
+                    let node = node_sel(
+                        vars,
+                        get_req(entry, &path, "node")?,
+                        &format!("{path}.node"),
+                        nodes,
+                    )?;
+                    let procs_val = get_req(entry, &path, "procs")?;
+                    let procs = int_field(vars, procs_val, &format!("{path}.procs"))?;
+                    if procs < 1 {
+                        return Err(SpecError::of(
+                            procs_val,
+                            &format!("{path}.procs"),
+                            format!("noise burst procs {procs} must be >= 1"),
+                        ));
+                    }
+                    let interarrival =
+                        noise_dist(vars, entry, &path, "interarrival", &mut allowed)?;
+                    check_interarrival(entry, &path, &interarrival)?;
+                    let duration = noise_dist(vars, entry, &path, "duration", &mut allowed)?;
+                    program.noise.push(NoiseSeg::Cpu {
+                        node,
+                        procs,
+                        interarrival,
+                        duration,
+                        until,
+                    });
+                }
+                "latency" => {
+                    allowed.push("base".into());
+                    let base_val = get_req(entry, &path, "base")?;
+                    let base = num_field(vars, base_val, &format!("{path}.base"))?;
+                    if !(base.is_finite() && base >= 0.0) {
+                        return Err(SpecError::of(
+                            base_val,
+                            &format!("{path}.base"),
+                            format!("base latency {base} must be >= 0 (seconds)"),
+                        ));
+                    }
+                    let jitter = noise_dist(vars, entry, &path, "jitter", &mut allowed)?;
+                    let interarrival =
+                        noise_dist(vars, entry, &path, "interarrival", &mut allowed)?;
+                    check_interarrival(entry, &path, &interarrival)?;
+                    program.noise.push(NoiseSeg::Latency {
+                        base,
+                        jitter,
+                        interarrival,
+                        until,
+                    });
+                }
+                other => {
+                    return Err(SpecError::of(
+                        entry.get("kind").unwrap_or(entry),
+                        &format!("{path}.kind"),
+                        format!("unknown noise kind `{other}` (expected `cpu` or `latency`)"),
+                    ))
+                }
+            }
+            let refs: Vec<&str> = allowed.iter().map(String::as_str).collect();
+            check_keys(fields, &refs, &path)?;
+        }
+
         // Structural backstop: everything above should already have
         // caught spec-level mistakes with spans; this guards invariants
         // the compiler cannot express (and programmatic misuse).
@@ -564,6 +670,107 @@ fn dur_gt0(vars: &[(&str, i64)], val: &Val, path: &str) -> Result<f64, SpecError
         ));
     }
     Ok(d)
+}
+
+/// Parse one prefixed distribution from a noise block: the `<prefix>`
+/// key names the family (`exp`, `uniform`, `lognormal`) and
+/// `<prefix>_mean` / `<prefix>_min`+`<prefix>_max` /
+/// `<prefix>_p50`+`<prefix>_p90` carry its parameters. Every key the
+/// chosen family accepts is appended to `allowed` so the block's
+/// unknown-key check matches exactly what was parsed.
+fn noise_dist(
+    vars: &[(&str, i64)],
+    entry: &Val,
+    path: &str,
+    prefix: &str,
+    allowed: &mut Vec<String>,
+) -> Result<NoiseDist, SpecError> {
+    allowed.push(prefix.to_string());
+    let family_val = get_req(entry, path, prefix)?;
+    let family = family_val.as_str().ok_or_else(|| {
+        type_err(
+            family_val,
+            &format!("{path}.{prefix}"),
+            "a distribution name (`exp`, `uniform`, or `lognormal`)",
+        )
+    })?;
+    let mut param = |key: String| -> Result<(f64, String), SpecError> {
+        allowed.push(key.clone());
+        let field = format!("{path}.{key}");
+        let v = num_field(vars, get_req(entry, path, &key)?, &field)?;
+        Ok((v, field))
+    };
+    match family {
+        "exp" => {
+            let (mean, field) = param(format!("{prefix}_mean"))?;
+            if !(mean.is_finite() && mean > 0.0) {
+                return Err(SpecError::of(
+                    entry.get(&format!("{prefix}_mean")).unwrap_or(entry),
+                    &field,
+                    format!("distribution scale {mean} must be > 0 (seconds)"),
+                ));
+            }
+            Ok(NoiseDist::Exp { mean })
+        }
+        "uniform" => {
+            let (min, min_field) = param(format!("{prefix}_min"))?;
+            let (max, max_field) = param(format!("{prefix}_max"))?;
+            if !(min.is_finite() && min >= 0.0) {
+                return Err(SpecError::of(
+                    entry.get(&format!("{prefix}_min")).unwrap_or(entry),
+                    &min_field,
+                    format!("distribution scale {min} must be >= 0 (seconds)"),
+                ));
+            }
+            if !(max.is_finite() && max >= min) {
+                return Err(SpecError::of(
+                    entry.get(&format!("{prefix}_max")).unwrap_or(entry),
+                    &max_field,
+                    format!("uniform max {max} must be >= min {min}"),
+                ));
+            }
+            Ok(NoiseDist::Uniform { min, max })
+        }
+        "lognormal" => {
+            let (p50, p50_field) = param(format!("{prefix}_p50"))?;
+            let (p90, p90_field) = param(format!("{prefix}_p90"))?;
+            if !(p50.is_finite() && p50 > 0.0) {
+                return Err(SpecError::of(
+                    entry.get(&format!("{prefix}_p50")).unwrap_or(entry),
+                    &p50_field,
+                    format!("distribution scale {p50} must be > 0 (seconds)"),
+                ));
+            }
+            if !(p90.is_finite() && p90 >= p50) {
+                return Err(SpecError::of(
+                    entry.get(&format!("{prefix}_p90")).unwrap_or(entry),
+                    &p90_field,
+                    format!("lognormal p90 {p90} must be >= p50 {p50}"),
+                ));
+            }
+            Ok(NoiseDist::Lognormal { p50, p90 })
+        }
+        other => Err(SpecError::of(
+            family_val,
+            &format!("{path}.{prefix}"),
+            format!("unknown distribution `{other}` (expected `exp`, `uniform`, or `lognormal`)"),
+        )),
+    }
+}
+
+/// A gap distribution stuck at zero would never advance time; reject it
+/// at compile time rather than relying on the expansion's step floor.
+fn check_interarrival(entry: &Val, path: &str, d: &NoiseDist) -> Result<(), SpecError> {
+    if let NoiseDist::Uniform { max, .. } = *d {
+        if max <= 0.0 {
+            return Err(SpecError::of(
+                entry,
+                &format!("{path}.interarrival_max"),
+                format!("interarrival uniform max {max} must be > 0 (seconds)"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn node_sel(

@@ -40,11 +40,13 @@
 
 pub mod compile;
 pub mod counters;
+pub mod noise;
 mod parse;
 pub mod program;
 pub mod value;
 
 pub use compile::{ScenarioSource, SweepDef, SweepPoint};
 pub use counters::ScenarioCounters;
+pub use noise::{derive_seed, expand_noise, NoiseDist, NoiseSeg, SplitMix64};
 pub use program::{CpuSeg, Fault, LinkSeg, NetSeg, NodeSel, ScenarioProgram};
 pub use value::SpecError;

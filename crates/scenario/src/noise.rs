@@ -1,0 +1,610 @@
+//! Stochastic noise models for scenario programs.
+//!
+//! A `[[noise]]` block describes OS-level interference as a renewal
+//! process: gaps drawn from an *interarrival* distribution separate
+//! bursts whose length comes from a *duration* distribution (CPU
+//! noise), or resample points where the network latency is redrawn
+//! (latency jitter). Sampling is driven entirely by a [`SplitMix64`]
+//! generator seeded from a caller-provided `u64`, so a
+//! `(program, seed)` pair expands to exactly one event list: the same
+//! seed always yields the same [`Timeline`](pskel_sim::Timeline),
+//! regardless of host, thread count, or how many other variants are
+//! being expanded alongside it.
+//!
+//! Streams are split per `(block index, node)` via [`derive_seed`], so
+//! adding a node to a selector or appending a block never perturbs the
+//! draws of the existing streams. Block order is therefore *semantic*
+//! (it picks the substream), and the canonical encoding preserves it.
+
+use crate::program::NodeSel;
+use pskel_sim::{SimDuration, TimelineAction, TimelineEvent};
+
+/// z-score of the 90th percentile of the standard normal; turns a
+/// `(p50, p90)` lognormal parameterization into `(mu, sigma)`.
+const Z90: f64 = 1.281_551_565_544_600_4;
+
+/// Smallest time step the expansion will advance by, guarding against
+/// distributions that can draw a zero gap (e.g. `uniform` with
+/// `min = 0`): progress is guaranteed, so expansion always terminates.
+const MIN_STEP: f64 = 1e-9;
+
+/// Cap on events one seeded expansion may produce; a `until` horizon
+/// huge relative to the mean interarrival fails loudly instead of
+/// allocating without bound.
+pub const NOISE_EVENT_CAP: usize = 100_000;
+
+/// The splitmix64 generator (Steele, Lea & Flood 2014): one u64 of
+/// state, a Weyl increment and a 3-round finalizer. Small, fast, and —
+/// the property everything here leans on — a pure function of its
+/// seed.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        finalize(self.state)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform in `(0, 1]`; safe as a `ln()` argument.
+    fn next_open_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+fn finalize(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent stream seed from a parent seed and a salt
+/// (ensemble member index, block index, node id). One finalizer round
+/// over a Weyl-spaced salt keeps nearby salts decorrelated.
+pub fn derive_seed(seed: u64, salt: u64) -> u64 {
+    finalize(seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(salt.wrapping_add(1))))
+}
+
+/// A sampling distribution over non-negative seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseDist {
+    /// Exponential with the given mean (scale) — the classic memoryless
+    /// interarrival model for OS daemon wakeups.
+    Exp { mean: f64 },
+    /// Uniform on `[min, max]`. `min == max` degenerates to a constant,
+    /// which is how zero-variance differential tests pin the expansion
+    /// to the deterministic schedule semantics.
+    Uniform { min: f64, max: f64 },
+    /// Lognormal parameterized by its median and 90th percentile —
+    /// heavy-tailed durations without asking spec authors for `sigma`.
+    /// `p90 == p50` degenerates to the constant `p50`.
+    Lognormal { p50: f64, p90: f64 },
+}
+
+impl NoiseDist {
+    /// Structural validation; mirrors the spec compiler's checks so
+    /// programmatically built programs fail the same way.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            NoiseDist::Exp { mean } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(format!("exp mean {mean} must be > 0 (seconds)"));
+                }
+            }
+            NoiseDist::Uniform { min, max } => {
+                if !(min.is_finite() && min >= 0.0) {
+                    return Err(format!("uniform min {min} must be >= 0 (seconds)"));
+                }
+                if !(max.is_finite() && max >= min) {
+                    return Err(format!("uniform max {max} must be >= min {min}"));
+                }
+            }
+            NoiseDist::Lognormal { p50, p90 } => {
+                if !(p50.is_finite() && p50 > 0.0) {
+                    return Err(format!("lognormal p50 {p50} must be > 0 (seconds)"));
+                }
+                if !(p90.is_finite() && p90 >= p50) {
+                    return Err(format!("lognormal p90 {p90} must be >= p50 {p50}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every draw returns the same value.
+    pub fn is_constant(&self) -> bool {
+        match *self {
+            NoiseDist::Exp { .. } => false,
+            NoiseDist::Uniform { min, max } => min == max,
+            NoiseDist::Lognormal { p50, p90 } => p50 == p90,
+        }
+    }
+
+    /// The distribution's mean, for summaries and sanity displays.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            NoiseDist::Exp { mean } => mean,
+            NoiseDist::Uniform { min, max } => 0.5 * (min + max),
+            NoiseDist::Lognormal { p50, p90 } => {
+                let sigma = (p90 / p50).ln() / Z90;
+                p50 * (0.5 * sigma * sigma).exp()
+            }
+        }
+    }
+
+    /// Draw one sample. Consumes a fixed number of generator outputs
+    /// per call (one for exp/uniform, two for lognormal), so streams
+    /// stay aligned no matter which branch runs.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        match *self {
+            NoiseDist::Exp { mean } => {
+                let u = rng.next_open_f64();
+                -mean * u.ln()
+            }
+            NoiseDist::Uniform { min, max } => min + (max - min) * rng.next_f64(),
+            NoiseDist::Lognormal { p50, p90 } => {
+                let u1 = rng.next_open_f64();
+                let u2 = rng.next_f64();
+                let sigma = (p90 / p50).ln() / Z90;
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                p50 * (sigma * z).exp()
+            }
+        }
+    }
+
+    /// Short human rendering, e.g. `exp(mean=0.25)`.
+    pub fn describe(&self) -> String {
+        match *self {
+            NoiseDist::Exp { mean } => format!("exp(mean={mean})"),
+            NoiseDist::Uniform { min, max } => format!("uniform({min}..{max})"),
+            NoiseDist::Lognormal { p50, p90 } => format!("lognormal(p50={p50}, p90={p90})"),
+        }
+    }
+}
+
+/// One stochastic noise block of a scenario program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseSeg {
+    /// OS-noise bursts: at each renewal point, `procs` competing
+    /// processes arrive on the selected nodes and leave after a drawn
+    /// duration. Lowered to paired `AddCompeting(+procs)` /
+    /// `AddCompeting(-procs)` events, so overlapping bursts stack.
+    Cpu {
+        node: NodeSel,
+        procs: i64,
+        interarrival: NoiseDist,
+        duration: NoiseDist,
+        /// Generation horizon in seconds: no burst *starts* at or after
+        /// this time (a burst may end past it). Makes the expansion a
+        /// total function of `(block, seed)`.
+        until: f64,
+    },
+    /// Latency jitter: at each renewal point the network one-way
+    /// latency is redrawn as `base + jitter`; at `until` it is restored
+    /// to `base`.
+    Latency {
+        base: f64,
+        jitter: NoiseDist,
+        interarrival: NoiseDist,
+        until: f64,
+    },
+}
+
+impl NoiseSeg {
+    pub fn interarrival(&self) -> &NoiseDist {
+        match self {
+            NoiseSeg::Cpu { interarrival, .. } | NoiseSeg::Latency { interarrival, .. } => {
+                interarrival
+            }
+        }
+    }
+
+    pub fn until(&self) -> f64 {
+        match *self {
+            NoiseSeg::Cpu { until, .. } | NoiseSeg::Latency { until, .. } => until,
+        }
+    }
+
+    /// Structural validation; mirrors the spec compiler's checks.
+    pub fn validate(&self) -> Result<(), String> {
+        let until = self.until();
+        if !(until.is_finite() && until > 0.0) {
+            return Err(format!(
+                "noise horizon `until` {until} must be > 0 (seconds)"
+            ));
+        }
+        self.interarrival().validate()?;
+        if let NoiseDist::Uniform { max, .. } = *self.interarrival() {
+            if max <= 0.0 {
+                return Err(format!(
+                    "noise interarrival uniform max {max} must be > 0: a gap \
+                     distribution stuck at zero cannot advance time"
+                ));
+            }
+        }
+        match *self {
+            NoiseSeg::Cpu {
+                procs, duration, ..
+            } => {
+                if procs < 1 {
+                    return Err(format!("noise burst procs {procs} must be >= 1"));
+                }
+                duration.validate()?;
+            }
+            NoiseSeg::Latency { base, jitter, .. } => {
+                if !(base.is_finite() && base >= 0.0) {
+                    return Err(format!("noise base latency {base} must be >= 0 (seconds)"));
+                }
+                jitter.validate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line human rendering for `scenario show`.
+    pub fn describe(&self) -> String {
+        match *self {
+            NoiseSeg::Cpu {
+                node,
+                procs,
+                interarrival,
+                duration,
+                until,
+            } => format!(
+                "cpu noise on node {node}: +{procs} proc(s), gaps {} for {}, until t={until}",
+                interarrival.describe(),
+                duration.describe()
+            ),
+            NoiseSeg::Latency {
+                base,
+                jitter,
+                interarrival,
+                until,
+            } => format!(
+                "latency jitter: base {base}s + {} at gaps {}, until t={until}",
+                jitter.describe(),
+                interarrival.describe()
+            ),
+        }
+    }
+}
+
+/// Expand noise blocks into timeline events for a `n_nodes`-node
+/// cluster under `seed`. Events come out grouped by `(block, node)`
+/// stream and time-ordered within each stream; the simulator's stable
+/// sort by event time makes the overall schedule deterministic.
+pub fn expand_noise(
+    noise: &[NoiseSeg],
+    n_nodes: usize,
+    seed: u64,
+) -> Result<Vec<TimelineEvent>, String> {
+    let mut events: Vec<TimelineEvent> = Vec::new();
+    for (block, seg) in noise.iter().enumerate() {
+        seg.validate()?;
+        let block_seed = derive_seed(seed, block as u64);
+        match *seg {
+            NoiseSeg::Cpu {
+                node,
+                procs,
+                interarrival,
+                duration,
+                until,
+            } => {
+                let lanes: Vec<usize> = match node {
+                    NodeSel::All => (0..n_nodes).collect(),
+                    NodeSel::Id(i) => vec![i as usize],
+                };
+                for lane in lanes {
+                    if lane >= n_nodes {
+                        return Err(format!(
+                            "noise block {block}: node id {lane} out of range for \
+                             {n_nodes}-node cluster"
+                        ));
+                    }
+                    let mut rng = SplitMix64::new(derive_seed(block_seed, lane as u64));
+                    let mut t = 0.0f64;
+                    loop {
+                        t += interarrival.sample(&mut rng).max(MIN_STEP);
+                        if t >= until {
+                            break;
+                        }
+                        let dur = duration.sample(&mut rng).max(0.0);
+                        push_event(&mut events, t, lane, TimelineAction::AddCompeting(procs))?;
+                        push_event(
+                            &mut events,
+                            t + dur,
+                            lane,
+                            TimelineAction::AddCompeting(-procs),
+                        )?;
+                    }
+                }
+            }
+            NoiseSeg::Latency {
+                base,
+                jitter,
+                interarrival,
+                until,
+            } => {
+                let mut rng = SplitMix64::new(derive_seed(block_seed, 0));
+                let mut t = 0.0f64;
+                let mut jittered = false;
+                loop {
+                    t += interarrival.sample(&mut rng).max(MIN_STEP);
+                    if t >= until {
+                        break;
+                    }
+                    let lat = (base + jitter.sample(&mut rng)).max(0.0);
+                    push_event(
+                        &mut events,
+                        t,
+                        0,
+                        TimelineAction::SetLatency(SimDuration::from_secs_f64(lat)),
+                    )?;
+                    jittered = true;
+                }
+                if jittered {
+                    // Restore the block's baseline so the noise window
+                    // is self-contained past its horizon.
+                    push_event(
+                        &mut events,
+                        until,
+                        0,
+                        TimelineAction::SetLatency(SimDuration::from_secs_f64(base)),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(events)
+}
+
+fn push_event(
+    events: &mut Vec<TimelineEvent>,
+    at: f64,
+    node: usize,
+    action: TimelineAction,
+) -> Result<(), String> {
+    if events.len() >= NOISE_EVENT_CAP {
+        return Err(format!(
+            "noise expansion exceeds {NOISE_EVENT_CAP} events; shrink `until` or \
+             raise the interarrival scale"
+        ));
+    }
+    events.push(TimelineEvent {
+        at: SimDuration::from_secs_f64(at),
+        node,
+        action,
+        fault: false,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_a_pure_function_of_its_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_f64_stays_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+            let o = rng.next_open_f64();
+            assert!(o > 0.0 && o <= 1.0, "{o}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_salt() {
+        let s0 = derive_seed(0x5eed, 0);
+        let s1 = derive_seed(0x5eed, 1);
+        let s2 = derive_seed(0x5eed, 2);
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+        assert_eq!(s0, derive_seed(0x5eed, 0));
+    }
+
+    #[test]
+    fn constant_distributions_ignore_the_stream() {
+        let d = NoiseDist::Uniform { min: 0.5, max: 0.5 };
+        assert!(d.is_constant());
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(999);
+        for _ in 0..50 {
+            assert_eq!(d.sample(&mut a), 0.5);
+            assert_eq!(d.sample(&mut b), 0.5);
+        }
+        let ln = NoiseDist::Lognormal { p50: 2.0, p90: 2.0 };
+        assert!(ln.is_constant());
+        let mut c = SplitMix64::new(3);
+        for _ in 0..50 {
+            assert_eq!(ln.sample(&mut c), 2.0);
+        }
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_roughly_centered() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for d in [
+            NoiseDist::Exp { mean: 0.3 },
+            NoiseDist::Uniform { min: 0.1, max: 0.5 },
+            NoiseDist::Lognormal { p50: 0.3, p90: 0.6 },
+        ] {
+            let n = 4000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                assert!(x >= 0.0 && x.is_finite(), "{x} from {d:?}");
+                sum += x;
+            }
+            let emp = sum / n as f64;
+            let want = d.mean();
+            assert!(
+                (emp - want).abs() < 0.25 * want + 0.05,
+                "empirical mean {emp} far from {want} for {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_validation_rejects_bad_scales() {
+        assert!(NoiseDist::Exp { mean: -1.0 }.validate().is_err());
+        assert!(NoiseDist::Exp { mean: 0.0 }.validate().is_err());
+        assert!(NoiseDist::Uniform {
+            min: -0.1,
+            max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseDist::Uniform { min: 2.0, max: 1.0 }
+            .validate()
+            .is_err());
+        assert!(NoiseDist::Lognormal { p50: 1.0, p90: 0.5 }
+            .validate()
+            .is_err());
+        assert!(NoiseDist::Lognormal { p50: 0.0, p90: 1.0 }
+            .validate()
+            .is_err());
+        assert!(NoiseDist::Lognormal { p50: 1.0, p90: 1.5 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn expansion_is_deterministic_per_seed() {
+        let noise = [NoiseSeg::Cpu {
+            node: NodeSel::All,
+            procs: 1,
+            interarrival: NoiseDist::Exp { mean: 0.2 },
+            duration: NoiseDist::Lognormal {
+                p50: 0.01,
+                p90: 0.05,
+            },
+            until: 5.0,
+        }];
+        let a = expand_noise(&noise, 4, 0x5eed).unwrap();
+        let b = expand_noise(&noise, 4, 0x5eed).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = expand_noise(&noise, 4, 0x5eee).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expansion_streams_are_stable_per_node() {
+        // Narrowing the selector from `all` to one node reproduces that
+        // node's stream exactly — streams are split per (block, node).
+        let wide = [NoiseSeg::Cpu {
+            node: NodeSel::All,
+            procs: 2,
+            interarrival: NoiseDist::Exp { mean: 0.3 },
+            duration: NoiseDist::Uniform {
+                min: 0.01,
+                max: 0.02,
+            },
+            until: 4.0,
+        }];
+        let narrow = [NoiseSeg::Cpu {
+            node: NodeSel::Id(2),
+            procs: 2,
+            interarrival: NoiseDist::Exp { mean: 0.3 },
+            duration: NoiseDist::Uniform {
+                min: 0.01,
+                max: 0.02,
+            },
+            until: 4.0,
+        }];
+        let all = expand_noise(&wide, 4, 9)
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.node == 2)
+            .collect::<Vec<_>>();
+        let one = expand_noise(&narrow, 4, 9).unwrap();
+        assert_eq!(all, one);
+    }
+
+    #[test]
+    fn bursts_never_start_past_the_horizon() {
+        let noise = [NoiseSeg::Cpu {
+            node: NodeSel::Id(0),
+            procs: 1,
+            interarrival: NoiseDist::Uniform { min: 0.4, max: 0.4 },
+            duration: NoiseDist::Uniform { min: 1.0, max: 1.0 },
+            until: 2.0,
+        }];
+        let events = expand_noise(&noise, 1, 1).unwrap();
+        // Starts at 0.4, 0.8, 1.2, 1.6 — four bursts, eight events.
+        assert_eq!(events.len(), 8);
+        for pair in events.chunks(2) {
+            assert!(pair[0].at.as_secs_f64() < 2.0);
+            assert!(matches!(pair[0].action, TimelineAction::AddCompeting(1)));
+            assert!(matches!(pair[1].action, TimelineAction::AddCompeting(-1)));
+        }
+    }
+
+    #[test]
+    fn latency_jitter_restores_the_baseline() {
+        let noise = [NoiseSeg::Latency {
+            base: 0.001,
+            jitter: NoiseDist::Exp { mean: 0.002 },
+            interarrival: NoiseDist::Uniform { min: 0.5, max: 0.5 },
+            until: 2.0,
+        }];
+        let events = expand_noise(&noise, 2, 77).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.at.as_secs_f64(), 2.0);
+        assert!(matches!(last.action, TimelineAction::SetLatency(d) if d.as_secs_f64() == 0.001));
+    }
+
+    #[test]
+    fn runaway_expansion_fails_loudly() {
+        let noise = [NoiseSeg::Cpu {
+            node: NodeSel::Id(0),
+            procs: 1,
+            interarrival: NoiseDist::Uniform {
+                min: 0.0,
+                max: 1e-12,
+            },
+            duration: NoiseDist::Uniform { min: 0.0, max: 0.0 },
+            until: 10.0,
+        }];
+        // min step 1e-9 over a 10 s horizon wants ~1e10 events; the cap
+        // turns that into an error instead of an allocation storm.
+        assert!(expand_noise(&noise, 1, 5).unwrap_err().contains("events"));
+    }
+
+    #[test]
+    fn zero_until_is_rejected() {
+        let seg = NoiseSeg::Cpu {
+            node: NodeSel::All,
+            procs: 1,
+            interarrival: NoiseDist::Exp { mean: 0.1 },
+            duration: NoiseDist::Exp { mean: 0.1 },
+            until: 0.0,
+        };
+        assert!(seg.validate().is_err());
+    }
+}

@@ -12,6 +12,7 @@
 //! `NodeSpec::link_cap`), CPU contention is expressed as a number of
 //! competing processes *added on top of* whatever the base spec has.
 
+use crate::noise::{NoiseDist, NoiseSeg};
 use pskel_sim::{ClusterSpec, SimDuration, StartDelay, Timeline, TimelineAction, TimelineEvent};
 use std::fmt;
 
@@ -104,6 +105,18 @@ pub struct ScenarioProgram {
     pub link: Vec<LinkSeg>,
     pub net: Vec<NetSeg>,
     pub faults: Vec<Fault>,
+    /// Stochastic noise blocks; expanded by [`apply_seeded`] and
+    /// ignored by [`apply`], which yields the noise-free baseline.
+    /// Block order is semantic (it selects PRNG substreams), so the
+    /// canonical encoding preserves it rather than sorting.
+    ///
+    /// [`apply_seeded`]: ScenarioProgram::apply_seeded
+    /// [`apply`]: ScenarioProgram::apply
+    pub noise: Vec<NoiseSeg>,
+    /// Suggested Monte-Carlo ensemble size for this program; callers
+    /// that ask for a distribution without an explicit sample count
+    /// fall back to this hint.
+    pub samples: Option<u32>,
 }
 
 fn finite_nonneg(x: f64) -> bool {
@@ -120,6 +133,8 @@ impl ScenarioProgram {
             link: Vec::new(),
             net: Vec::new(),
             faults: Vec::new(),
+            noise: Vec::new(),
+            samples: None,
         }
     }
 
@@ -223,6 +238,12 @@ impl ScenarioProgram {
                 }
             }
         }
+        for seg in &self.noise {
+            seg.validate()?;
+        }
+        if self.samples == Some(0) {
+            return Err("sample count must be >= 1".into());
+        }
         Ok(())
     }
 
@@ -239,6 +260,11 @@ impl ScenarioProgram {
                 Fault::DelayedStart { .. } => {}
             }
         }
+        for seg in &self.noise {
+            if let NoiseSeg::Cpu { node, .. } = seg {
+                check(*node)?;
+            }
+        }
         Ok(())
     }
 
@@ -247,9 +273,19 @@ impl ScenarioProgram {
     /// to one with the equivalent static spec edits.
     pub fn is_constant(&self) -> bool {
         self.faults.is_empty()
+            && self.noise.is_empty()
             && self.cpu.iter().all(|s| s.at == 0.0)
             && self.link.iter().all(|s| s.at == 0.0)
             && self.net.iter().all(|s| s.at == 0.0)
+    }
+
+    /// True when the program carries stochastic noise blocks, i.e.
+    /// [`apply`] and [`apply_seeded`] diverge.
+    ///
+    /// [`apply`]: ScenarioProgram::apply
+    /// [`apply_seeded`]: ScenarioProgram::apply_seeded
+    pub fn is_stochastic(&self) -> bool {
+        !self.noise.is_empty()
     }
 
     /// Apply the program to a base cluster: fold t=0 settings into the
@@ -415,6 +451,25 @@ impl ScenarioProgram {
         Ok(spec)
     }
 
+    /// Like [`apply`], but additionally expands the program's noise
+    /// blocks under `seed` into timeline events. The result is a fully
+    /// deterministic cluster spec: the same `(program, base, seed)`
+    /// triple always produces bit-identical timelines. A program
+    /// without noise returns exactly what [`apply`] returns, at every
+    /// seed.
+    ///
+    /// [`apply`]: ScenarioProgram::apply
+    pub fn apply_seeded(&self, base: &ClusterSpec, seed: u64) -> Result<ClusterSpec, String> {
+        let mut spec = self.apply(base)?;
+        if self.noise.is_empty() {
+            return Ok(spec);
+        }
+        let events = crate::noise::expand_noise(&self.noise, base.nodes.len(), seed)?;
+        spec.timeline.events.extend(events);
+        spec.validate();
+        Ok(spec)
+    }
+
     /// The link cap in force on `node` at time `t` per the link schedule
     /// (ignoring faults), used to end an outage correctly.
     fn prevailing_cap(&self, base: &ClusterSpec, node: usize, t: f64) -> Option<f64> {
@@ -454,6 +509,18 @@ impl ScenarioProgram {
             link: self.link.clone(),
             net: self.net.clone(),
             faults: self.faults.clone(),
+            // Noise blocks concatenate (each keeps its own substream);
+            // the larger ensemble-size hint wins.
+            noise: self
+                .noise
+                .iter()
+                .chain(other.noise.iter())
+                .copied()
+                .collect(),
+            samples: match (self.samples, other.samples) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
         };
         for seg in &other.cpu {
             if let Some(existing) = out
@@ -541,6 +608,33 @@ impl ScenarioProgram {
                 Fault::DelayedStart { delay, .. } => *delay *= time_factor,
             }
         }
+        // Noise horizons and gap/burst lengths are schedule times and
+        // scale; latency values (base, jitter) are not schedule times
+        // and stay put, matching how net-segment latencies behave.
+        for seg in &mut out.noise {
+            match seg {
+                NoiseSeg::Cpu {
+                    procs,
+                    interarrival,
+                    duration,
+                    until,
+                    ..
+                } => {
+                    *procs = (*procs as f64 * load_factor).round() as i64;
+                    scale_dist(interarrival, time_factor);
+                    scale_dist(duration, time_factor);
+                    *until *= time_factor;
+                }
+                NoiseSeg::Latency {
+                    interarrival,
+                    until,
+                    ..
+                } => {
+                    scale_dist(interarrival, time_factor);
+                    *until *= time_factor;
+                }
+            }
+        }
         out.validate()?;
         Ok(out)
     }
@@ -604,6 +698,27 @@ impl ScenarioProgram {
                 out.faults.push(widened);
             }
         }
+        // Noise blocks widen but never dedupe: block index selects the
+        // PRNG substream, so "identical" blocks are distinct sources.
+        for seg in &self.noise {
+            out.noise.push(match *seg {
+                NoiseSeg::Cpu {
+                    procs,
+                    interarrival,
+                    duration,
+                    until,
+                    ..
+                } => NoiseSeg::Cpu {
+                    node: NodeSel::All,
+                    procs,
+                    interarrival,
+                    duration,
+                    until,
+                },
+                lat @ NoiseSeg::Latency { .. } => lat,
+            });
+        }
+        out.samples = self.samples;
         out.validate()?;
         Ok(out)
     }
@@ -702,6 +817,54 @@ impl ScenarioProgram {
         for fb in faults {
             buf.extend_from_slice(&fb);
         }
+
+        // Stochastic extensions are emitted only when present, so every
+        // noise-free program keeps the encoding (and thus the short_id
+        // and provenance token) it had before noise existed. Blocks are
+        // NOT sorted: their index selects the PRNG substream, so order
+        // is part of the program's behavior.
+        if self.samples.is_some() || !self.noise.is_empty() {
+            buf.push(b'K');
+            match self.samples {
+                None => buf.push(0),
+                Some(k) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+            buf.push(b'S');
+            buf.extend_from_slice(&(self.noise.len() as u32).to_le_bytes());
+            for seg in &self.noise {
+                match *seg {
+                    NoiseSeg::Cpu {
+                        node,
+                        procs,
+                        interarrival,
+                        duration,
+                        until,
+                    } => {
+                        buf.push(1);
+                        put_sel(&mut buf, node);
+                        buf.extend_from_slice(&procs.to_le_bytes());
+                        put_dist(&mut buf, interarrival);
+                        put_dist(&mut buf, duration);
+                        put_f64(&mut buf, until);
+                    }
+                    NoiseSeg::Latency {
+                        base,
+                        jitter,
+                        interarrival,
+                        until,
+                    } => {
+                        buf.push(2);
+                        put_f64(&mut buf, base);
+                        put_dist(&mut buf, jitter);
+                        put_dist(&mut buf, interarrival);
+                        put_f64(&mut buf, until);
+                    }
+                }
+            }
+        }
         buf
     }
 
@@ -734,8 +897,13 @@ impl ScenarioProgram {
 
     /// One-line summary for CLI/registry listings.
     pub fn summary(&self) -> String {
+        let noise = if self.noise.is_empty() {
+            String::new()
+        } else {
+            format!(", {} noise block(s)", self.noise.len())
+        };
         format!(
-            "{} cpu seg(s), {} link seg(s), {} net seg(s), {} fault(s){}",
+            "{} cpu seg(s), {} link seg(s), {} net seg(s), {} fault(s){noise}{}",
             self.cpu.len(),
             self.link.len(),
             self.net.len(),
@@ -753,6 +921,9 @@ impl ScenarioProgram {
         out.push_str(&format!("name = {}\n", toml_str(&self.name)));
         if let Some(n) = self.nodes {
             out.push_str(&format!("nodes = {n}\n"));
+        }
+        if let Some(k) = self.samples {
+            out.push_str(&format!("samples = {k}\n"));
         }
         for seg in &self.cpu {
             out.push_str(&format!(
@@ -806,6 +977,39 @@ impl ScenarioProgram {
                 )),
             }
         }
+        for seg in &self.noise {
+            match *seg {
+                NoiseSeg::Cpu {
+                    node,
+                    procs,
+                    interarrival,
+                    duration,
+                    until,
+                } => {
+                    out.push_str(&format!(
+                        "\n[[noise]]\nkind = \"cpu\"\nnode = {}\nprocs = {procs}\n",
+                        sel_toml(node)
+                    ));
+                    out.push_str(&dist_toml("interarrival", interarrival));
+                    out.push_str(&dist_toml("duration", duration));
+                    out.push_str(&format!("until = {}\n", fmt_f64(until)));
+                }
+                NoiseSeg::Latency {
+                    base,
+                    jitter,
+                    interarrival,
+                    until,
+                } => {
+                    out.push_str(&format!(
+                        "\n[[noise]]\nkind = \"latency\"\nbase = {}\n",
+                        fmt_f64(base)
+                    ));
+                    out.push_str(&dist_toml("jitter", jitter));
+                    out.push_str(&dist_toml("interarrival", interarrival));
+                    out.push_str(&format!("until = {}\n", fmt_f64(until)));
+                }
+            }
+        }
         out
     }
 
@@ -816,6 +1020,9 @@ impl ScenarioProgram {
         out.push_str(&format!("{{\"name\":{}", json_str(&self.name)));
         if let Some(n) = self.nodes {
             out.push_str(&format!(",\"nodes\":{n}"));
+        }
+        if let Some(k) = self.samples {
+            out.push_str(&format!(",\"samples\":{k}"));
         }
         if !self.cpu.is_empty() {
             out.push_str(",\"cpu\":[");
@@ -899,6 +1106,42 @@ impl ScenarioProgram {
             }
             out.push(']');
         }
+        if !self.noise.is_empty() {
+            out.push_str(",\"noise\":[");
+            for (i, seg) in self.noise.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match *seg {
+                    NoiseSeg::Cpu {
+                        node,
+                        procs,
+                        interarrival,
+                        duration,
+                        until,
+                    } => out.push_str(&format!(
+                        "{{\"kind\":\"cpu\",\"node\":{},\"procs\":{procs}{}{},\"until\":{}}}",
+                        sel_json(node),
+                        dist_json("interarrival", interarrival),
+                        dist_json("duration", duration),
+                        fmt_f64(until)
+                    )),
+                    NoiseSeg::Latency {
+                        base,
+                        jitter,
+                        interarrival,
+                        until,
+                    } => out.push_str(&format!(
+                        "{{\"kind\":\"latency\",\"base\":{}{}{},\"until\":{}}}",
+                        fmt_f64(base),
+                        dist_json("jitter", jitter),
+                        dist_json("interarrival", interarrival),
+                        fmt_f64(until)
+                    )),
+                }
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
@@ -934,6 +1177,79 @@ fn put_sel(buf: &mut Vec<u8>, sel: NodeSel) {
             buf.push(1);
             buf.extend_from_slice(&i.to_le_bytes());
         }
+    }
+}
+
+/// Multiply every parameter of a time-valued distribution by `f`.
+fn scale_dist(d: &mut NoiseDist, f: f64) {
+    match d {
+        NoiseDist::Exp { mean } => *mean *= f,
+        NoiseDist::Uniform { min, max } => {
+            *min *= f;
+            *max *= f;
+        }
+        NoiseDist::Lognormal { p50, p90 } => {
+            *p50 *= f;
+            *p90 *= f;
+        }
+    }
+}
+
+fn put_dist(buf: &mut Vec<u8>, d: NoiseDist) {
+    match d {
+        NoiseDist::Exp { mean } => {
+            buf.push(1);
+            put_f64(buf, mean);
+        }
+        NoiseDist::Uniform { min, max } => {
+            buf.push(2);
+            put_f64(buf, min);
+            put_f64(buf, max);
+        }
+        NoiseDist::Lognormal { p50, p90 } => {
+            buf.push(3);
+            put_f64(buf, p50);
+            put_f64(buf, p90);
+        }
+    }
+}
+
+/// TOML lines for one prefixed distribution, e.g.
+/// `interarrival = "exp"` + `interarrival_mean = 0.25`.
+fn dist_toml(prefix: &str, d: NoiseDist) -> String {
+    match d {
+        NoiseDist::Exp { mean } => {
+            format!("{prefix} = \"exp\"\n{prefix}_mean = {}\n", fmt_f64(mean))
+        }
+        NoiseDist::Uniform { min, max } => format!(
+            "{prefix} = \"uniform\"\n{prefix}_min = {}\n{prefix}_max = {}\n",
+            fmt_f64(min),
+            fmt_f64(max)
+        ),
+        NoiseDist::Lognormal { p50, p90 } => format!(
+            "{prefix} = \"lognormal\"\n{prefix}_p50 = {}\n{prefix}_p90 = {}\n",
+            fmt_f64(p50),
+            fmt_f64(p90)
+        ),
+    }
+}
+
+/// JSON fragment (leading comma included) for one prefixed distribution.
+fn dist_json(prefix: &str, d: NoiseDist) -> String {
+    match d {
+        NoiseDist::Exp { mean } => {
+            format!(",\"{prefix}\":\"exp\",\"{prefix}_mean\":{}", fmt_f64(mean))
+        }
+        NoiseDist::Uniform { min, max } => format!(
+            ",\"{prefix}\":\"uniform\",\"{prefix}_min\":{},\"{prefix}_max\":{}",
+            fmt_f64(min),
+            fmt_f64(max)
+        ),
+        NoiseDist::Lognormal { p50, p90 } => format!(
+            ",\"{prefix}\":\"lognormal\",\"{prefix}_p50\":{},\"{prefix}_p90\":{}",
+            fmt_f64(p50),
+            fmt_f64(p90)
+        ),
     }
 }
 

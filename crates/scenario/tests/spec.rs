@@ -429,3 +429,159 @@ fn compiles_are_counted() {
     let after = pskel_scenario::counters::snapshot().programs_compiled;
     assert!(after >= before + 2, "before={before} after={after}");
 }
+
+// ---------------------------------------------------------------------------
+// Noise blocks
+// ---------------------------------------------------------------------------
+
+const NOISY: &str = "name = \"noisy\"\nnodes = 2\nsamples = 32\n\n\
+    [[noise]]\nkind = \"cpu\"\nnode = \"all\"\nprocs = 1\n\
+    interarrival = \"exp\"\ninterarrival_mean = 0.25\n\
+    duration = \"lognormal\"\nduration_p50 = 0.01\nduration_p90 = 0.04\n\
+    until = 5.0\n\n\
+    [[noise]]\nkind = \"latency\"\nbase = 0.001\n\
+    jitter = \"uniform\"\njitter_min = 0.0\njitter_max = 0.002\n\
+    interarrival = \"uniform\"\ninterarrival_min = 0.5\ninterarrival_max = 1.5\n\
+    until = 5.0\n";
+
+#[test]
+fn noise_blocks_compile() {
+    let program = compile_toml(NOISY);
+    assert_eq!(program.noise.len(), 2);
+    assert_eq!(program.samples, Some(32));
+    assert!(program.is_stochastic());
+    assert!(!program.is_constant());
+    assert!(
+        program.summary().contains("2 noise block(s)"),
+        "{}",
+        program.summary()
+    );
+}
+
+#[test]
+fn noise_round_trips_through_both_emitters() {
+    let program = compile_toml(NOISY);
+    let back_toml = ScenarioSource::from_toml(&program.to_toml())
+        .unwrap()
+        .compile()
+        .unwrap();
+    assert_eq!(program, back_toml);
+    assert_eq!(program.canonical_bytes(), back_toml.canonical_bytes());
+    let back_json = ScenarioSource::from_json(&program.to_json())
+        .unwrap()
+        .compile()
+        .unwrap();
+    assert_eq!(program, back_json);
+    assert_eq!(program.canonical_bytes(), back_json.canonical_bytes());
+}
+
+#[test]
+fn noise_free_canonical_encoding_is_unchanged() {
+    // The stochastic sections only appear when used: a noise-free
+    // program must keep the exact identity it had before noise existed
+    // (provenance tokens and store keys depend on this).
+    let program = compile_toml("name = \"plain\"\n\n[[cpu]]\nnode = 0\nat = 0.0\nprocs = 2\n");
+    let bytes = program.canonical_bytes();
+    assert_eq!(&bytes[bytes.len() - 5..], &[b'F', 0, 0, 0, 0]);
+}
+
+#[test]
+fn seeded_apply_is_deterministic_and_noise_free_at_apply() {
+    let program = compile_toml(NOISY);
+    let base = ClusterSpec::homogeneous(2);
+    let plain = program.apply(&base).unwrap();
+    assert!(plain.timeline.events.is_empty(), "apply() ignores noise");
+    let a = program.apply_seeded(&base, 0x5eed).unwrap();
+    let b = program.apply_seeded(&base, 0x5eed).unwrap();
+    assert_eq!(a.timeline.events, b.timeline.events);
+    assert!(!a.timeline.events.is_empty());
+    let c = program.apply_seeded(&base, 1).unwrap();
+    assert_ne!(a.timeline.events, c.timeline.events);
+}
+
+#[test]
+fn noise_block_order_is_part_of_the_identity() {
+    let a = compile_toml(NOISY);
+    let mut b = a.clone();
+    b.noise.swap(0, 1);
+    assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+}
+
+#[test]
+fn noise_negative_scale_is_rejected_with_a_span() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[noise]]\nnode = 0\nprocs = 1\n\
+         interarrival = \"exp\"\ninterarrival_mean = -0.5\n\
+         duration = \"exp\"\nduration_mean = 0.01\nuntil = 2.0\n",
+    );
+    assert!(err.msg.contains("must be > 0"), "{err}");
+    assert!(err.field.contains("interarrival_mean"), "{err}");
+    assert!(err.line > 0);
+}
+
+#[test]
+fn noise_p90_below_p50_is_rejected() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[noise]]\nnode = 0\nprocs = 1\n\
+         interarrival = \"exp\"\ninterarrival_mean = 0.5\n\
+         duration = \"lognormal\"\nduration_p50 = 0.1\nduration_p90 = 0.05\nuntil = 2.0\n",
+    );
+    assert!(err.msg.contains("p90"), "{err}");
+    assert!(err.field.contains("duration_p90"), "{err}");
+}
+
+#[test]
+fn zero_samples_is_rejected() {
+    let err = compile_err("name = \"x\"\nsamples = 0\n");
+    assert!(err.msg.contains("sample count"), "{err}");
+    assert_eq!(err.field, "samples");
+}
+
+#[test]
+fn noise_unknown_distribution_is_rejected() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[noise]]\nnode = 0\nprocs = 1\n\
+         interarrival = \"pareto\"\nduration = \"exp\"\nduration_mean = 0.1\nuntil = 2.0\n",
+    );
+    assert!(err.msg.contains("unknown distribution"), "{err}");
+}
+
+#[test]
+fn noise_zero_width_interarrival_is_rejected() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[noise]]\nnode = 0\nprocs = 1\n\
+         interarrival = \"uniform\"\ninterarrival_min = 0.0\ninterarrival_max = 0.0\n\
+         duration = \"exp\"\nduration_mean = 0.1\nuntil = 2.0\n",
+    );
+    assert!(err.msg.contains("interarrival"), "{err}");
+}
+
+#[test]
+fn noise_unknown_key_is_rejected_with_the_block_path() {
+    let err = compile_err(
+        "name = \"x\"\n\n[[noise]]\nnode = 0\nprocs = 1\nbogus = 3\n\
+         interarrival = \"exp\"\ninterarrival_mean = 0.5\n\
+         duration = \"exp\"\nduration_mean = 0.01\nuntil = 2.0\n",
+    );
+    assert!(err.msg.contains("unknown key"), "{err}");
+    assert!(err.field.contains("noise[0]"), "{err}");
+}
+
+#[test]
+fn noise_supports_sweep_variables() {
+    let source = ScenarioSource::from_toml(
+        "name = \"nsweep\"\n\n[[noise]]\nnode = 0\nprocs = \"$p\"\n\
+         interarrival = \"exp\"\ninterarrival_mean = 0.5\n\
+         duration = \"exp\"\nduration_mean = 0.01\nuntil = 2.0\n\n\
+         [[sweep]]\nvar = \"p\"\nfrom = 1\nto = 3\n",
+    )
+    .unwrap();
+    let points = source.expand().unwrap();
+    assert_eq!(points.len(), 3);
+    for (i, point) in points.iter().enumerate() {
+        match point.program.noise[0] {
+            pskel_scenario::NoiseSeg::Cpu { procs, .. } => assert_eq!(procs, i as i64 + 1),
+            _ => panic!("expected cpu noise"),
+        }
+    }
+}

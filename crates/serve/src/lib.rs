@@ -61,11 +61,6 @@ pub use server::{default_workers, signal, ServeConfig, Server};
 pub use worker::{ApiError, ApiJob, PredictMethod};
 
 /// The build profile of this binary, as recorded in selftest and bench
-/// reports (CI asserts `"release"` on its smoke jobs).
-pub fn build_profile() -> &'static str {
-    if cfg!(debug_assertions) {
-        "debug"
-    } else {
-        "release"
-    }
-}
+/// reports (CI asserts `"release"` on its smoke jobs). One shared
+/// definition — `pskel-bench` owns the vocabulary.
+pub use pskel_bench::build_profile;

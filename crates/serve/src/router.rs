@@ -122,6 +122,9 @@ impl Router {
             ("pskel_eval_skeleton_builds_total", c.skeleton_builds),
             ("pskel_eval_store_hits_total", c.store_hits),
             ("pskel_eval_memo_hit_rate_percent", memo_hit_pct),
+            ("pskel_mc_samples_total", c.mc_samples_run),
+            ("pskel_mc_prefix_events_saved_total", c.mc_prefix_saved),
+            ("pskel_mc_cache_hits_total", c.mc_cache_hits),
             ("pskel_sim_runs_total", s.total_runs()),
             ("pskel_sim_script_runs_total", s.script_runs),
             ("pskel_sim_threaded_runs_total", s.threaded_runs),
@@ -657,12 +660,49 @@ fn parse_scenario(body: &Json) -> Result<ScenarioSpec, ApiError> {
     }
 }
 
+/// Cap on Monte-Carlo ensemble sizes accepted over the API; keeps one
+/// request from monopolising a worker indefinitely.
+pub const MAX_MC_SAMPLES: u32 = 1024;
+
+/// The optional Monte-Carlo fields shared by `/v1/predict` and
+/// `/v1/sweep`: an ensemble size (`samples`) and a base `seed`. `seed`
+/// without `samples` is rejected rather than silently ignored.
+fn parse_mc(body: &Json) -> Result<(Option<u32>, u64), ApiError> {
+    let samples = match field_f64(body, "samples")? {
+        None => None,
+        Some(k) if k.fract() == 0.0 && k >= 1.0 && k <= MAX_MC_SAMPLES as f64 => Some(k as u32),
+        Some(k) => {
+            return Err(ApiError::Bad(format!(
+                "samples must be an integer in [1, {MAX_MC_SAMPLES}], got {k}"
+            )))
+        }
+    };
+    let seed = match field_f64(body, "seed")? {
+        None => 0,
+        Some(_) if samples.is_none() => {
+            return Err(ApiError::Bad(
+                "field \"seed\" requires \"samples\" (a Monte-Carlo ensemble)".into(),
+            ))
+        }
+        // f64 holds integers exactly up to 2^53; larger seeds would be
+        // silently rounded by JSON parsing, so reject them.
+        Some(s) if s.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&s) => s as u64,
+        Some(s) => {
+            return Err(ApiError::Bad(format!(
+                "seed must be an integer in [0, 2^53], got {s}"
+            )))
+        }
+    };
+    Ok((samples, seed))
+}
+
 fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
     let method = match field_str(body, "method")? {
         None => PredictMethod::Skeleton,
         Some(s) => PredictMethod::parse(s)?,
     };
     let scenario = parse_scenario(body)?;
+    let (samples, seed) = parse_mc(body)?;
     Ok(ApiJob::Predict {
         bench: parse_bench(body)?,
         class: parse_class(body)?,
@@ -670,6 +710,8 @@ fn parse_predict(body: &Json) -> Result<ApiJob, ApiError> {
         scenario,
         method,
         verify: field_bool(body, "verify")?,
+        samples,
+        seed,
     })
 }
 
@@ -730,6 +772,7 @@ fn parse_sweep(body: &Json) -> Result<ApiJob, ApiError> {
             scenarios.len()
         )));
     }
+    let (samples, seed) = parse_mc(body)?;
     Ok(ApiJob::PredictBatch {
         bench: parse_bench(body)?,
         class: parse_class(body)?,
@@ -737,6 +780,8 @@ fn parse_sweep(body: &Json) -> Result<ApiJob, ApiError> {
         scenarios,
         method,
         verify: field_bool(body, "verify")?,
+        samples,
+        seed,
     })
 }
 
@@ -777,15 +822,24 @@ fn job_key(job: &ApiJob) -> StoreKey {
             ref scenario,
             method,
             verify,
-        } => KeyBuilder::new("serve-v1")
-            .field("endpoint", "predict")
-            .field("bench", bench.name())
-            .field("class", &class.to_string())
-            .field_f64("target", target_secs.unwrap_or(f64::NAN))
-            .field("scenario", &scenario.provenance_token())
-            .field("method", method.name())
-            .field_u64("verify", verify as u64)
-            .finish(),
+            samples,
+            seed,
+        } => {
+            let mut kb = KeyBuilder::new("serve-v1")
+                .field("endpoint", "predict")
+                .field("bench", bench.name())
+                .field("class", &class.to_string())
+                .field_f64("target", target_secs.unwrap_or(f64::NAN))
+                .field("scenario", &scenario.provenance_token())
+                .field("method", method.name())
+                .field_u64("verify", verify as u64);
+            // Monte-Carlo fields enter the key only when present, so
+            // legacy requests keep their pre-mc coalescing keys.
+            if let Some(k) = samples {
+                kb = kb.field_u64("samples", k as u64).field_u64("seed", seed);
+            }
+            kb.finish()
+        }
         ApiJob::PredictBatch {
             bench,
             class,
@@ -793,6 +847,8 @@ fn job_key(job: &ApiJob) -> StoreKey {
             ref scenarios,
             method,
             verify,
+            samples,
+            seed,
         } => {
             let mut kb = KeyBuilder::new("serve-v1")
                 .field("endpoint", "sweep")
@@ -802,6 +858,9 @@ fn job_key(job: &ApiJob) -> StoreKey {
                 .field("method", method.name())
                 .field_u64("verify", verify as u64)
                 .field_u64("points", scenarios.len() as u64);
+            if let Some(k) = samples {
+                kb = kb.field_u64("samples", k as u64).field_u64("seed", seed);
+            }
             for s in scenarios {
                 kb = kb.field("scenario", &s.provenance_token());
             }
@@ -832,6 +891,54 @@ mod tests {
             scenario: Scenario::CpuOneNode.into(),
             method: PredictMethod::Skeleton,
             verify: false,
+            samples: None,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn mc_fields_extend_the_key_only_when_present() {
+        let plain = predict_job(0.004);
+        let mc = |samples, seed| {
+            let mut job = predict_job(0.004);
+            if let ApiJob::Predict {
+                samples: s,
+                seed: sd,
+                ..
+            } = &mut job
+            {
+                *s = samples;
+                *sd = seed;
+            }
+            job
+        };
+        assert_eq!(job_key(&plain), job_key(&mc(None, 0)));
+        assert_ne!(job_key(&plain), job_key(&mc(Some(8), 0)));
+        assert_ne!(job_key(&mc(Some(8), 0)), job_key(&mc(Some(8), 1)));
+        assert_ne!(job_key(&mc(Some(8), 0)), job_key(&mc(Some(16), 0)));
+    }
+
+    #[test]
+    fn mc_parser_validates_samples_and_seed() {
+        let p = |s: &str| parse_predict(&Json::parse(s).unwrap());
+        let ok = p(r#"{"bench":"CG","scenario":"dedicated","target_secs":0.004,
+                      "samples":16,"seed":7}"#)
+        .unwrap();
+        match ok {
+            ApiJob::Predict { samples, seed, .. } => {
+                assert_eq!(samples, Some(16));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("unexpected job {other:?}"),
+        }
+        for bad in [
+            r#"{"bench":"CG","scenario":"dedicated","samples":0}"#,
+            r#"{"bench":"CG","scenario":"dedicated","samples":1.5}"#,
+            r#"{"bench":"CG","scenario":"dedicated","samples":100000}"#,
+            r#"{"bench":"CG","scenario":"dedicated","seed":7}"#,
+            r#"{"bench":"CG","scenario":"dedicated","samples":4,"seed":-1}"#,
+        ] {
+            assert!(matches!(p(bad), Err(ApiError::Bad(_))), "accepted: {bad}");
         }
     }
 

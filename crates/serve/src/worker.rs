@@ -111,6 +111,12 @@ pub enum ApiJob {
         scenario: ScenarioSpec,
         method: PredictMethod,
         verify: bool,
+        /// Monte-Carlo ensemble size; `Some(k)` adds a percentile
+        /// `distribution` to the response, `None` keeps the legacy body.
+        samples: Option<u32>,
+        /// Base seed of the Monte-Carlo ensemble (ignored without
+        /// `samples`; the parser rejects that combination).
+        seed: u64,
     },
     /// A vectorized pass: N predicts that differ only in scenario,
     /// executed back-to-back on one worker against one shared context, so
@@ -126,6 +132,8 @@ pub enum ApiJob {
         scenarios: Vec<ScenarioSpec>,
         method: PredictMethod,
         verify: bool,
+        samples: Option<u32>,
+        seed: u64,
     },
     /// Test-endpoint job: occupy a worker for a fixed time. Lets the
     /// integration tests and CI exercise backpressure deterministically.
@@ -279,7 +287,18 @@ impl WorkerState {
                 ref scenario,
                 method,
                 verify,
-            } => self.predict_doc(bench, class, target_secs, scenario, method, verify),
+                samples,
+                seed,
+            } => self.predict_doc(
+                bench,
+                class,
+                target_secs,
+                scenario,
+                method,
+                verify,
+                samples,
+                seed,
+            ),
             ApiJob::PredictBatch {
                 bench,
                 class,
@@ -287,6 +306,8 @@ impl WorkerState {
                 ref scenarios,
                 method,
                 verify,
+                samples,
+                seed,
             } => {
                 // Skeleton batches first prewarm the per-scenario skeleton
                 // times through the forked sweep executor: timeline
@@ -310,7 +331,18 @@ impl WorkerState {
                 // only the offending scenario sees the error).
                 let points = scenarios
                     .iter()
-                    .map(|s| self.predict_doc(bench, class, target_secs, s, method, verify))
+                    .map(|s| {
+                        self.predict_doc(
+                            bench,
+                            class,
+                            target_secs,
+                            s,
+                            method,
+                            verify,
+                            samples,
+                            seed,
+                        )
+                    })
                     .collect::<Result<Vec<Json>, ApiError>>()?;
                 Ok(Json::obj([
                     ("bench", Json::str(bench.name())),
@@ -331,6 +363,7 @@ impl WorkerState {
     /// The single-predict pipeline; also the per-point body of a
     /// [`ApiJob::PredictBatch`] (batched answers must be bit-identical to
     /// individual ones, so there is exactly one implementation).
+    #[allow(clippy::too_many_arguments)]
     fn predict_doc(
         &mut self,
         bench: NasBenchmark,
@@ -339,6 +372,8 @@ impl WorkerState {
         scenario: &ScenarioSpec,
         method: PredictMethod,
         verify: bool,
+        samples: Option<u32>,
+        seed: u64,
     ) -> JobOutcome {
         let ctx = self.context(class);
         let mut body: Vec<(&'static str, Json)> = vec![
@@ -381,8 +416,51 @@ impl WorkerState {
             body.push(("actual_secs", Json::from(actual)));
             body.push(("error_pct", Json::from(error_pct(predicted, actual))));
         }
+        // Monte-Carlo extension: `samples` adds a percentile distribution
+        // after the legacy fields, so responses without it stay
+        // byte-identical to earlier servers.
+        if let Some(samples) = samples {
+            if method != PredictMethod::Skeleton {
+                return Err(ApiError::Bad(format!(
+                    "\"samples\" requires method \"skeleton\", got \"{}\"",
+                    method.name()
+                )));
+            }
+            let target = check_target(target_secs.ok_or_else(|| {
+                ApiError::Bad("method \"skeleton\" requires target_secs".into())
+            })?)?;
+            let mc = ctx
+                .predict_distribution(bench, target, scenario, samples, seed)
+                .map_err(eval_err)?;
+            body.push(("distribution", distribution_doc(&mc.distribution)));
+        }
         Ok(Json::obj(body))
     }
+}
+
+/// The JSON rendering of a Monte-Carlo distribution: same fields and
+/// order as [`Distribution::to_json`], as a [`Json`] value.
+///
+/// [`Distribution::to_json`]: pskel_predict::Distribution::to_json
+fn distribution_doc(d: &pskel_predict::Distribution) -> Json {
+    let pct = |p: &pskel_predict::Percentile| {
+        Json::obj([
+            ("value", Json::from(p.value)),
+            ("ci_lo", Json::from(p.ci_lo)),
+            ("ci_hi", Json::from(p.ci_hi)),
+        ])
+    };
+    Json::obj([
+        ("samples", Json::from(d.samples)),
+        ("seed", Json::from(d.seed)),
+        ("mean", Json::from(d.mean)),
+        ("std_dev", Json::from(d.std_dev)),
+        ("min", Json::from(d.min)),
+        ("max", Json::from(d.max)),
+        ("p50", pct(&d.p50)),
+        ("p90", pct(&d.p90)),
+        ("p99", pct(&d.p99)),
+    ])
 }
 
 /// Simulate two ranks each blocked receiving from the other. The fast

@@ -1,0 +1,129 @@
+//! End-to-end Monte-Carlo predictions over HTTP: `"samples"` adds a
+//! percentile `distribution` to `/v1/predict` responses, repeat requests
+//! replay byte-identically from the per-seed cache, and bodies without
+//! `"samples"` keep the exact legacy shape.
+
+use pskel_serve::{Json, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (
+        status,
+        buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+    )
+}
+
+fn counter(addr: SocketAddr, name: &str) -> u64 {
+    let (status, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .map(|v| v as u64)
+        .unwrap_or_else(|| panic!("metrics exposition is missing {name}"))
+}
+
+/// A stochastic inline scenario: exponential CPU bursts on every node.
+const NOISY_SCENARIO: &str = r#"{"name":"mc-e2e","noise":[
+    {"kind":"cpu","node":"all","procs":2,
+     "interarrival":"exp","interarrival_mean":0.002,
+     "duration":"uniform","duration_min":0.001,"duration_max":0.004,
+     "until":0.25}]}"#;
+
+#[test]
+fn samples_add_a_deterministic_distribution_and_legacy_bodies_are_unchanged() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        // One worker: repeat requests must land on the same context so
+        // the memo (not a shared store) answers them.
+        workers: 1,
+        queue_capacity: 8,
+        store_dir: None,
+        test_endpoints: false,
+        summary_every: None,
+    })
+    .expect("server starts");
+
+    let plain_body =
+        format!(r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":{NOISY_SCENARIO}}}"#);
+    let mc_body = format!(
+        r#"{{"bench":"CG","class":"S","target_secs":0.004,"scenario":{NOISY_SCENARIO},
+            "samples":5,"seed":11}}"#
+    );
+
+    // Legacy request first: no distribution anywhere in the body.
+    let (status, plain) = http(server.addr, "POST", "/v1/predict", &plain_body);
+    assert_eq!(status, 200, "{plain}");
+    assert!(!plain.contains("distribution"), "{plain}");
+
+    let samples_before = counter(server.addr, "pskel_mc_samples_total");
+    let (status, first) = http(server.addr, "POST", "/v1/predict", &mc_body);
+    assert_eq!(status, 200, "{first}");
+    let doc = Json::parse(&first).expect("mc response is JSON");
+    let dist = doc.get("distribution").expect("distribution present");
+    assert_eq!(dist.get("samples").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(dist.get("seed").and_then(Json::as_f64), Some(11.0));
+    for q in ["p50", "p90", "p99"] {
+        let p = dist.get(q).unwrap_or_else(|| panic!("{q} missing"));
+        let value = p.get("value").and_then(Json::as_f64).unwrap();
+        assert!(p.get("ci_lo").and_then(Json::as_f64).unwrap() <= value);
+        assert!(value <= p.get("ci_hi").and_then(Json::as_f64).unwrap());
+    }
+    assert_eq!(
+        counter(server.addr, "pskel_mc_samples_total"),
+        samples_before + 5
+    );
+
+    // The Monte-Carlo fields append to the legacy document: everything
+    // before `"distribution"` is byte-identical to the plain body.
+    let legacy_prefix = &plain[..plain.len() - 1];
+    assert!(
+        first.starts_with(legacy_prefix),
+        "mc body must extend the legacy body:\n{plain}\n{first}"
+    );
+
+    // A repeat request replays from the per-seed cache: identical bytes,
+    // zero new simulations. (Requests coalesce too, so force a distinct
+    // connection after the first completed.)
+    let (status, second) = http(server.addr, "POST", "/v1/predict", &mc_body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "repeat mc predict must be byte-identical");
+    assert_eq!(
+        counter(server.addr, "pskel_mc_samples_total"),
+        samples_before + 5,
+        "repeat request must not re-simulate"
+    );
+    assert!(counter(server.addr, "pskel_mc_cache_hits_total") >= 5);
+
+    // Validation: samples only works with the skeleton method.
+    let bad = format!(
+        r#"{{"bench":"CG","class":"S","scenario":{NOISY_SCENARIO},
+            "method":"average","samples":4}}"#
+    );
+    let (status, resp) = http(server.addr, "POST", "/v1/predict", &bad);
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("skeleton"), "{resp}");
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+}

@@ -98,10 +98,15 @@ commands:
            execute a skeleton under a sharing scenario (virtual seconds)
   predict  -i <skel.json> --trace <trace.{json|pskt}>
            (--scenario <name> | --scenario-file <spec>) [--verify]
-           [--sim-threads <n>]
+           [--sim-threads <n>] [--samples <k> [--seed <s>]]
            predict application time under a scenario; --verify also runs
            the application for ground truth (bench name is read from the
-           trace)
+           trace); --samples expands the scenario's [[noise]] blocks
+           into a k-member seeded Monte-Carlo ensemble, executes it as
+           one forked sweep and prints a percentile table (p50/p90/p99
+           with bootstrap confidence intervals) after the point
+           estimate; --seed picks the base seed (default 0) and the
+           whole table is a pure function of (spec, seed, k)
   scenario <ls|lint|show|sweep> [file ...]
            work with declarative scenario specs (TOML or JSON):
            ls lists the builtin scenarios; lint validates spec files and
@@ -165,6 +170,13 @@ commands:
            sweep, reporting points/sec, speedup, the prefix-reuse
            fraction and bit-identity of the per-point reports; --json
            writes BENCH_sweep.json (or -o)
+  bench    mc [--json] [-o <report.json>] [--fast]
+           time a seeded Monte-Carlo noise ensemble executed as one
+           forked sweep against per-member serial runs, reporting
+           samples/sec, speedup, the prefix-reuse fraction, the
+           predicted percentiles and whether the whole distribution is
+           bit-identical across paths and repeat runs; --json writes
+           BENCH_mc.json (or -o)
 
 options:
   --store <dir>  on trace/build/predict/serve: consult and fill a
@@ -198,7 +210,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
     if cmd == "bench" {
         let Some((action, rest)) = rest.split_first() else {
-            return usage_err("bench needs an action: compress, sim, ingest or sweep".into());
+            return usage_err("bench needs an action: compress, sim, ingest, sweep or mc".into());
         };
         let opts = parse_opts(rest)?;
         return cmd_bench(action, &opts);
@@ -784,9 +796,33 @@ fn skeleton_time_cached(
     Ok(t)
 }
 
+/// Parse the Monte-Carlo switches of `pskel predict`: `--samples <k>`
+/// (k >= 1) turns the prediction into a seeded ensemble and `--seed`
+/// picks the base seed. A bare `--seed` is a usage error so a forgotten
+/// `--samples` cannot silently degrade to a point estimate that ignores
+/// the seed.
+fn mc_from_opts(opts: &Opts) -> Result<Option<(u32, u64)>, CliError> {
+    match opts.get("samples") {
+        None => {
+            if opts.get("seed").is_some() {
+                return usage_err("--seed needs --samples".into());
+            }
+            Ok(None)
+        }
+        Some(_) => {
+            let samples: u32 = opts.parse("samples")?;
+            if samples == 0 {
+                return usage_err("--samples must be at least 1".into());
+            }
+            Ok(Some((samples, opts.parse_or("seed", 0)?)))
+        }
+    }
+}
+
 fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
     let scenario = scenario_spec_from_opts(opts, None)?;
     let sim_threads = sim_threads_from_opts(opts)?;
+    let mc = mc_from_opts(opts)?;
     let skel = load_skeleton(opts.require("i")?)?;
     let trace = load_trace_auto(opts.require("trace")?).map_err(|e| e.to_string())?;
     let (cluster, placement) = testbed();
@@ -818,6 +854,40 @@ fn cmd_predict(opts: &Opts) -> Result<(), CliError> {
         trace.app,
         scenario.label()
     );
+
+    if let Some((samples, seed)) = mc {
+        // Expand the scenario's noise blocks into a seeded ensemble and
+        // execute every member as one forked sweep: the deterministic
+        // schedule prefix is simulated once, members fork where their
+        // noise diverges, and noise-free members dedup to a single run.
+        let program = match &scenario {
+            ScenarioSpec::Builtin(s) => pskel::predict::builtin_program(*s),
+            ScenarioSpec::Custom(p) => (**p).clone(),
+        };
+        let ensemble = pskel::mc::ensemble_specs(&program, &cluster, seed, samples as usize)
+            .map_err(CliError::Runtime)?;
+        let (outcomes, stats) = pskel::core::try_run_skeleton_sweep_stats(
+            &skel,
+            &ensemble.specs,
+            &placement,
+            ExecOptions {
+                sim_threads,
+                ..Default::default()
+            },
+        );
+        let mut times = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            times.push(outcome.map_err(|e| e.to_string())?.total_secs() * ratio);
+        }
+        let dist = pskel::mc::Distribution::estimate(&times, seed).map_err(CliError::Runtime)?;
+        print!("{}", dist.table());
+        eprintln!(
+            "ensemble of {samples} member(s): {} fork(s), {} dedup hit(s), prefix reuse {:.1}%",
+            stats.forks,
+            stats.dedup_hits,
+            stats.reuse_fraction() * 100.0
+        );
+    }
 
     if opts.has("verify") {
         // The trace's app name encodes "BENCH.CLASS".
@@ -903,6 +973,12 @@ fn cmd_scenario(action: &str, rest: &[String]) -> Result<(), CliError> {
                 ),
                 Err(e) => println!("  schedule  (does not fit the paper testbed: {e})"),
             }
+            if let Some(k) = program.samples {
+                println!("  samples   {k} (default Monte-Carlo ensemble size)");
+            }
+            for seg in &program.noise {
+                println!("  noise     {}", seg.describe());
+            }
             print!("{}", program.to_toml());
             Ok(())
         }
@@ -984,9 +1060,17 @@ fn cmd_bench(action: &str, opts: &Opts) -> Result<(), CliError> {
             let report = pskel_bench::run_sweep_bench(fast);
             (report.table(), report.to_json(), "BENCH_sweep.json")
         }
+        "mc" => {
+            eprintln!(
+                "timing Monte-Carlo ensemble execution vs per-member serial runs ({} mode)...",
+                if fast { "fast" } else { "full" }
+            );
+            let report = pskel_bench::run_mc_bench(fast);
+            (report.table(), report.to_json(), "BENCH_mc.json")
+        }
         other => {
             return usage_err(format!(
-                "unknown bench action {other:?}; use compress, sim, ingest or sweep"
+                "unknown bench action {other:?}; use compress, sim, ingest, sweep or mc"
             ))
         }
     };

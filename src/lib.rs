@@ -22,6 +22,11 @@
 //! * [`apps`] — NAS-like benchmark workloads (BT, CG, IS, LU, MG, SP).
 //! * [`predict`] — the paper's evaluation: five sharing scenarios, three
 //!   prediction methodologies, and drivers for every figure.
+//! * [`mc`] — seeded Monte-Carlo ensembles over stochastic `[[noise]]`
+//!   scenario blocks: deterministic expansion onto the forked sweep
+//!   executor and percentile estimation with bootstrap CIs
+//!   (`pskel predict --samples`, the `"samples"` field of
+//!   `POST /v1/predict`).
 //! * [`scenario`] — declarative scenario programs: TOML/JSON specs that
 //!   compile into time-varying contention schedules, fault injections
 //!   and parameter sweeps (`pskel scenario`, `--scenario-file`).
@@ -78,6 +83,7 @@ pub use pskel_apps as apps;
 pub use pskel_core as core;
 pub use pskel_fleet as fleet;
 pub use pskel_ingest as ingest;
+pub use pskel_mc as mc;
 pub use pskel_mpi as mpi;
 pub use pskel_predict as predict;
 pub use pskel_scenario as scenario;

@@ -740,3 +740,130 @@ fn run_accepts_a_scenario_file() {
         "CPU contention must slow the skeleton: {contended} <= {dedicated}"
     );
 }
+
+/// Monte-Carlo predictions: `predict --samples` prints a percentile
+/// table that is a pure function of (spec, seed, K), bad `[[noise]]`
+/// blocks are lint errors, and the MC switches are validated.
+#[test]
+fn monte_carlo_predictions_are_seeded_and_noise_is_linted() {
+    let dir = workdir("mc-predict");
+    let spec = dir.join("noisy.toml");
+    std::fs::write(
+        &spec,
+        "name = \"noisy\"\nnodes = 4\nsamples = 8\n\n\
+         [[noise]]\nkind = \"cpu\"\nnode = \"all\"\nprocs = 2\n\
+         interarrival = \"exp\"\ninterarrival_mean = 0.01\n\
+         duration = \"uniform\"\nduration_min = 0.002\nduration_max = 0.008\n\
+         until = 0.5\n",
+    )
+    .unwrap();
+
+    // The noise block lints clean and `show` describes it.
+    let out = bin()
+        .args(["scenario", "lint"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lint rejected a valid noise spec: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["scenario", "show"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("noise     cpu noise on node all"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("samples   8"), "{stdout}");
+
+    // A burst that can never advance time is a lint error (exit 2),
+    // diagnosed before any skeleton or trace is opened.
+    let bad = dir.join("stuck.toml");
+    std::fs::write(
+        &bad,
+        "name = \"stuck\"\n\n\
+         [[noise]]\nkind = \"cpu\"\nnode = \"all\"\nprocs = 2\n\
+         interarrival = \"uniform\"\ninterarrival_min = 0.0\ninterarrival_max = 0.0\n\
+         duration = \"exp\"\nduration_mean = 0.01\nuntil = 1.0\n",
+    )
+    .unwrap();
+    let out = bin().args(["scenario", "lint"]).arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interarrival"), "{stderr}");
+
+    // `--seed` without `--samples` is a usage error, with or without
+    // the input files existing.
+    let out = bin()
+        .args(["predict", "-i", "no-such-skel.json", "--trace", "no.json"])
+        .arg("--scenario-file")
+        .arg(&spec)
+        .args(["--seed", "7"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs --samples"));
+
+    // The simulate path needs the runtime serialization deps; offline
+    // typecheck builds stub them out, and tracing fails long before the
+    // MC layer is involved.
+    let trace = dir.join("t.json");
+    let skel = dir.join("s.json");
+    let traced = bin()
+        .args(["trace", "--bench", "EP", "--class", "S", "-o"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success();
+    if !traced {
+        return;
+    }
+    assert!(bin()
+        .args(["build", "-i"])
+        .arg(&trace)
+        .args(["--target-secs", "0.01", "-o"])
+        .arg(&skel)
+        .status()
+        .unwrap()
+        .success());
+
+    let mc_predict = |threads: &str| {
+        bin()
+            .args(["predict", "-i"])
+            .arg(&skel)
+            .arg("--trace")
+            .arg(&trace)
+            .arg("--scenario-file")
+            .arg(&spec)
+            .args(["--samples", "6", "--seed", "9", "--sim-threads", threads])
+            .output()
+            .unwrap()
+    };
+    let first = mc_predict("1");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("samples      6   seed 0x9"), "{stdout}");
+    for q in ["p50", "p90", "p99", "95% CI"] {
+        assert!(stdout.contains(q), "{q} missing from table: {stdout}");
+    }
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("ensemble of 6 member(s)"), "{stderr}");
+
+    // Same seed, different thread count: byte-identical table.
+    let again = mc_predict("2");
+    assert!(again.status.success());
+    assert_eq!(
+        first.stdout, again.stdout,
+        "MC prediction is not deterministic across runs/threads"
+    );
+}
